@@ -1,0 +1,339 @@
+//! The paper's seven execution phases, generic over any [`CudaRuntime`].
+//!
+//! §III enumerates the phases of a remote kernel execution (Fig. 2 shows
+//! them for the matrix product): initialization, memory allocation, input
+//! transfer, kernel execution, output transfer, memory release,
+//! finalization. Implementing them once against the trait means the same
+//! driver produces the paper's "GPU" (local) and "GigaE"/"40GI" (remote)
+//! measurements — only the runtime behind the trait changes.
+
+use rcuda_core::{ArgPack, Clock, CudaResult, Dim3, SimTime};
+use rcuda_gpu::module::{build_module, fft_module, mm_module};
+
+use crate::runtime::CudaRuntime;
+
+/// Result of a phased execution: the output payload plus per-phase timings
+/// sampled from the caller's clock (wall or virtual).
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// Output bytes (the C matrix, or the transformed batch).
+    pub output: Vec<u8>,
+    /// `(phase name, duration)` in execution order.
+    pub phases: Vec<(&'static str, SimTime)>,
+}
+
+impl ExecReport {
+    /// Total time across all phases.
+    pub fn total(&self) -> SimTime {
+        self.phases.iter().map(|&(_, d)| d).sum()
+    }
+
+    /// Duration of a named phase (0 if absent).
+    pub fn phase(&self, name: &str) -> SimTime {
+        self.phases
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, d)| d)
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+struct PhaseTimer<'a> {
+    clock: &'a dyn Clock,
+    last: SimTime,
+    phases: Vec<(&'static str, SimTime)>,
+}
+
+impl<'a> PhaseTimer<'a> {
+    fn new(clock: &'a dyn Clock) -> Self {
+        PhaseTimer {
+            last: clock.now(),
+            clock,
+            phases: Vec::new(),
+        }
+    }
+
+    fn lap(&mut self, name: &'static str) {
+        let now = self.clock.now();
+        self.phases.push((name, now.saturating_sub(self.last)));
+        self.last = now;
+    }
+}
+
+/// Volkov's SGEMM works on 64×16 C tiles with 16×4 thread blocks; reproduce
+/// that launch geometry.
+fn mm_geometry(m: u32) -> (Dim3, Dim3) {
+    let grid = Dim3::xy(m.div_ceil(64).max(1), m.div_ceil(16).max(1));
+    let block = Dim3::xy(16, 4);
+    (grid, block)
+}
+
+/// One 512-point FFT per thread block of 64 threads.
+fn fft_geometry(batch: u32) -> (Dim3, Dim3) {
+    (Dim3::x(batch.max(1)), Dim3::x(64))
+}
+
+/// Run the MM case study (`C = A · B`, square `m×m`, row-major f32 bytes)
+/// through the seven phases. `a` and `b` must each hold `4·m²` bytes.
+pub fn run_matmul_bytes(
+    rt: &mut dyn CudaRuntime,
+    clock: &dyn Clock,
+    m: u32,
+    a: &[u8],
+    b: &[u8],
+) -> CudaResult<ExecReport> {
+    let bytes = m * m * 4;
+    assert_eq!(a.len() as u32, bytes, "A must be 4·m² bytes");
+    assert_eq!(b.len() as u32, bytes, "B must be 4·m² bytes");
+    let mut t = PhaseTimer::new(clock);
+
+    rt.initialize(&mm_module())?;
+    t.lap("initialization");
+
+    let pa = rt.malloc(bytes)?;
+    let pb = rt.malloc(bytes)?;
+    let pc = rt.malloc(bytes)?;
+    t.lap("allocation");
+
+    rt.memcpy_h2d(pa, a)?;
+    rt.memcpy_h2d(pb, b)?;
+    t.lap("input transfer");
+
+    let (grid, block) = mm_geometry(m);
+    let args = ArgPack::new()
+        .push_ptr(pa)
+        .push_ptr(pb)
+        .push_ptr(pc)
+        .push_u32(m)
+        .push_u32(m)
+        .push_u32(m)
+        .into_bytes();
+    rt.launch("sgemmNN", grid, block, 0, 0, &args)?;
+    rt.thread_synchronize()?;
+    t.lap("kernel");
+
+    let output = rt.memcpy_d2h(pc, bytes)?;
+    t.lap("output transfer");
+
+    rt.free(pa)?;
+    rt.free(pb)?;
+    rt.free(pc)?;
+    t.lap("release");
+
+    rt.finalize()?;
+    t.lap("finalization");
+
+    Ok(ExecReport {
+        output,
+        phases: t.phases,
+    })
+}
+
+/// Run the FFT case study (`batch` in-place 512-point transforms; `input`
+/// must hold `4096·batch` bytes of complex data) through the seven phases.
+pub fn run_fft_bytes(
+    rt: &mut dyn CudaRuntime,
+    clock: &dyn Clock,
+    batch: u32,
+    input: &[u8],
+) -> CudaResult<ExecReport> {
+    let bytes = batch * 512 * 8;
+    assert_eq!(input.len() as u32, bytes, "input must be 4096·batch bytes");
+    let mut t = PhaseTimer::new(clock);
+
+    rt.initialize(&fft_module())?;
+    t.lap("initialization");
+
+    let p = rt.malloc(bytes)?;
+    t.lap("allocation");
+
+    rt.memcpy_h2d(p, input)?;
+    t.lap("input transfer");
+
+    let (grid, block) = fft_geometry(batch);
+    let args = ArgPack::new().push_ptr(p).push_u32(batch).into_bytes();
+    rt.launch("fft512_batch", grid, block, 0, 0, &args)?;
+    rt.thread_synchronize()?;
+    t.lap("kernel");
+
+    let output = rt.memcpy_d2h(p, bytes)?;
+    t.lap("output transfer");
+
+    rt.free(p)?;
+    t.lap("release");
+
+    rt.finalize()?;
+    t.lap("finalization");
+
+    Ok(ExecReport {
+        output,
+        phases: t.phases,
+    })
+}
+
+/// Run the N-body workload (`n` bodies, packed 4-f32 layout; `input` must
+/// hold `16·n` bytes) through the seven phases — the third workload family
+/// (paper future work: "a wide range of applications").
+pub fn run_nbody_bytes(
+    rt: &mut dyn CudaRuntime,
+    clock: &dyn Clock,
+    n: u32,
+    input: &[u8],
+    softening: f32,
+) -> CudaResult<ExecReport> {
+    assert_eq!(input.len() as u32, 16 * n, "input must be 16·n bytes");
+    let mut t = PhaseTimer::new(clock);
+
+    rt.initialize(&build_module(&["nbody_accel"], 0))?;
+    t.lap("initialization");
+
+    let bodies = rt.malloc(16 * n)?;
+    let accel = rt.malloc(12 * n)?;
+    t.lap("allocation");
+
+    rt.memcpy_h2d(bodies, input)?;
+    t.lap("input transfer");
+
+    let args = ArgPack::new()
+        .push_ptr(bodies)
+        .push_ptr(accel)
+        .push_u32(n)
+        .push_f32(softening)
+        .into_bytes();
+    rt.launch(
+        "nbody_accel",
+        Dim3::x(n.div_ceil(256).max(1)),
+        Dim3::x(256),
+        0,
+        0,
+        &args,
+    )?;
+    rt.thread_synchronize()?;
+    t.lap("kernel");
+
+    let output = rt.memcpy_d2h(accel, 12 * n)?;
+    t.lap("output transfer");
+
+    rt.free(bodies)?;
+    rt.free(accel)?;
+    t.lap("release");
+
+    rt.finalize()?;
+    t.lap("finalization");
+
+    Ok(ExecReport {
+        output,
+        phases: t.phases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalRuntime;
+    use rcuda_core::time::{virtual_clock, wall_clock};
+    use rcuda_gpu::GpuDevice;
+    use rcuda_kernels::complex::{bytes_to_complex, complex_to_bytes};
+    use rcuda_kernels::fft::fft_batch_512;
+    use rcuda_kernels::matrix::sgemm_naive;
+    use rcuda_kernels::workload::{fft_input, matrix_pair};
+
+    fn f32s(v: &[f32]) -> Vec<u8> {
+        v.iter().flat_map(|x| x.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn matmul_phases_produce_reference_result() {
+        let clock = wall_clock();
+        let mut rt = LocalRuntime::new(GpuDevice::tesla_c1060_functional(), clock.clone());
+        let m = 32;
+        let (a, b) = matrix_pair(m, 3);
+        let report = run_matmul_bytes(
+            &mut rt,
+            &*clock,
+            m as u32,
+            &f32s(a.as_slice()),
+            &f32s(b.as_slice()),
+        )
+        .unwrap();
+        assert_eq!(report.phases.len(), 7, "seven phases, §III");
+        let mut expect = vec![0.0f32; m * m];
+        sgemm_naive(m, m, m, a.as_slice(), b.as_slice(), &mut expect);
+        let got: Vec<f32> = report
+            .output
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let diff = got
+            .iter()
+            .zip(&expect)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(diff < 1e-3, "diff {diff}");
+    }
+
+    #[test]
+    fn fft_phases_produce_reference_result() {
+        let clock = wall_clock();
+        let mut rt = LocalRuntime::new(GpuDevice::tesla_c1060_functional(), clock.clone());
+        let batch = 3usize;
+        let input = fft_input(batch, 9);
+        let report =
+            run_fft_bytes(&mut rt, &*clock, batch as u32, &complex_to_bytes(&input)).unwrap();
+        let got = bytes_to_complex(&report.output).unwrap();
+        let mut expect = input;
+        fft_batch_512(&mut expect);
+        assert_eq!(got, expect, "local GPU result must be bit-identical");
+    }
+
+    #[test]
+    fn simulated_timing_attributes_kernel_and_transfers() {
+        let clock = virtual_clock();
+        let mut rt = LocalRuntime::new_phantom(GpuDevice::tesla_c1060(), clock.clone());
+        let m = 4096u32;
+        let zeros = vec![0u8; (m * m * 4) as usize];
+        let report = run_matmul_bytes(&mut rt, &*clock, m, &zeros, &zeros).unwrap();
+        // Kernel: 2·4096³ / 375e9 ≈ 0.367 s.
+        let k = report.phase("kernel").as_secs_f64();
+        assert!((k - 0.367).abs() < 0.01, "kernel {k}");
+        // Input transfer: 2 × 64 MiB over PCIe at 5743 MiB/s ≈ 22.3 ms.
+        let i = report.phase("input transfer").as_millis_f64();
+        assert!((i - 22.3).abs() < 0.5, "input {i}");
+        // Initialization pays the CUDA context init (local runtime).
+        assert!(report.phase("initialization").as_secs_f64() > 0.1);
+        // The total adds up.
+        assert_eq!(report.total(), clock.now());
+    }
+
+    #[test]
+    fn nbody_phases_produce_reference_result() {
+        use rcuda_kernels::nbody::{nbody_accelerations, nbody_input};
+        let clock = wall_clock();
+        let mut rt = LocalRuntime::new(GpuDevice::tesla_c1060_functional(), clock.clone());
+        let n = 24u32;
+        let bodies = nbody_input(n as usize, 5);
+        let report = run_nbody_bytes(&mut rt, &*clock, n, &f32s(&bodies), 0.05).unwrap();
+        assert_eq!(report.phases.len(), 7);
+        let got: Vec<f32> = report
+            .output
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let mut expect = vec![0.0f32; 3 * n as usize];
+        nbody_accelerations(&bodies, &mut expect, 0.05);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn geometry_covers_the_problem() {
+        let (grid, block) = mm_geometry(4096);
+        assert_eq!(grid, Dim3::xy(64, 256));
+        assert_eq!(block, Dim3::xy(16, 4));
+        // Remainders round up.
+        let (grid, _) = mm_geometry(100);
+        assert_eq!(grid, Dim3::xy(2, 7));
+        let (grid, block) = fft_geometry(2048);
+        assert_eq!(grid, Dim3::x(2048));
+        assert_eq!(block, Dim3::x(64));
+    }
+}

@@ -1,0 +1,221 @@
+//! [`LocalRuntime`]: the CUDA Runtime backed by a GPU in this node.
+//!
+//! This is the baseline configuration of the paper's Table VI "GPU" column:
+//! the application talks to the device directly, paying PCIe transfers and —
+//! unlike rCUDA clients — the CUDA context initialization on first use
+//! (§VI-B explains why the local GPU loses to remote 40GI at m = 4096).
+
+use rcuda_core::{CudaError, CudaResult, DeviceProperties, DevicePtr, Dim3, SharedClock};
+use rcuda_gpu::{GpuContext, GpuDevice};
+use std::sync::Arc;
+
+use crate::runtime::CudaRuntime;
+
+/// A runtime bound to a local (simulated) GPU.
+pub struct LocalRuntime {
+    ctx: Option<GpuContext>,
+    device: Arc<GpuDevice>,
+    clock: SharedClock,
+    phantom: bool,
+}
+
+impl LocalRuntime {
+    /// A functional local runtime (real memory, kernels execute).
+    pub fn new(device: Arc<GpuDevice>, clock: SharedClock) -> Self {
+        LocalRuntime {
+            ctx: None,
+            device,
+            clock,
+            phantom: false,
+        }
+    }
+
+    /// A timing-only local runtime (phantom memory, kernels skipped) for
+    /// paper-scale simulated runs.
+    pub fn new_phantom(device: Arc<GpuDevice>, clock: SharedClock) -> Self {
+        LocalRuntime {
+            ctx: None,
+            device,
+            clock,
+            phantom: true,
+        }
+    }
+
+    fn ctx(&mut self) -> CudaResult<&mut GpuContext> {
+        self.ctx.as_mut().ok_or(CudaError::InitializationError)
+    }
+}
+
+impl CudaRuntime for LocalRuntime {
+    fn initialize(&mut self, module: &[u8]) -> CudaResult<()> {
+        // A local application creates its context cold: `preinitialized =
+        // false` charges the CUDA environment initialization delay that the
+        // rCUDA daemon avoids by keeping a warm context.
+        let mut ctx = if self.phantom {
+            self.device
+                .create_phantom_context(self.clock.clone(), false)
+        } else {
+            self.device.create_context(self.clock.clone(), false)
+        };
+        ctx.load_module(module)?;
+        self.ctx = Some(ctx);
+        Ok(())
+    }
+
+    fn device_properties(&mut self) -> CudaResult<DeviceProperties> {
+        Ok(self.ctx()?.properties().clone())
+    }
+
+    fn malloc(&mut self, size: u32) -> CudaResult<DevicePtr> {
+        self.ctx()?.malloc(size)
+    }
+
+    fn free(&mut self, ptr: DevicePtr) -> CudaResult<()> {
+        self.ctx()?.free(ptr)
+    }
+
+    fn memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) -> CudaResult<()> {
+        self.ctx()?.memcpy_h2d(dst, data)
+    }
+
+    fn memcpy_d2h(&mut self, src: DevicePtr, size: u32) -> CudaResult<Vec<u8>> {
+        self.ctx()?.memcpy_d2h(src, size)
+    }
+
+    fn memcpy_d2d(&mut self, dst: DevicePtr, src: DevicePtr, size: u32) -> CudaResult<()> {
+        self.ctx()?.memcpy_d2d(dst, src, size)
+    }
+
+    fn memset(&mut self, dst: DevicePtr, value: u8, size: u32) -> CudaResult<()> {
+        self.ctx()?.memset(dst, value, size)
+    }
+
+    fn event_create(&mut self) -> CudaResult<u32> {
+        self.ctx()?.event_create()
+    }
+
+    fn event_record(&mut self, event: u32, stream: u32) -> CudaResult<()> {
+        self.ctx()?.event_record(event, stream)
+    }
+
+    fn event_synchronize(&mut self, event: u32) -> CudaResult<()> {
+        self.ctx()?.event_synchronize(event)
+    }
+
+    fn event_elapsed_ms(&mut self, start: u32, end: u32) -> CudaResult<f32> {
+        self.ctx()?.event_elapsed_ms(start, end)
+    }
+
+    fn event_destroy(&mut self, event: u32) -> CudaResult<()> {
+        self.ctx()?.event_destroy(event)
+    }
+
+    fn launch(
+        &mut self,
+        kernel: &str,
+        grid: Dim3,
+        block: Dim3,
+        _shared_bytes: u32,
+        stream: u32,
+        args: &[u8],
+    ) -> CudaResult<()> {
+        self.ctx()?.launch(kernel, grid, block, args, stream)
+    }
+
+    fn thread_synchronize(&mut self) -> CudaResult<()> {
+        self.ctx()?.synchronize()
+    }
+
+    fn stream_create(&mut self) -> CudaResult<u32> {
+        self.ctx()?.stream_create()
+    }
+
+    fn stream_synchronize(&mut self, stream: u32) -> CudaResult<()> {
+        self.ctx()?.stream_synchronize(stream)
+    }
+
+    fn stream_destroy(&mut self, stream: u32) -> CudaResult<()> {
+        self.ctx()?.stream_destroy(stream)
+    }
+
+    fn memcpy_h2d_async(&mut self, dst: DevicePtr, data: &[u8], stream: u32) -> CudaResult<()> {
+        self.ctx()?.memcpy_h2d_async(dst, data, stream)
+    }
+
+    fn memcpy_d2h_async(&mut self, src: DevicePtr, size: u32, stream: u32) -> CudaResult<Vec<u8>> {
+        self.ctx()?.memcpy_d2h_async(src, size, stream)
+    }
+
+    fn finalize(&mut self) -> CudaResult<()> {
+        self.ctx = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuda_core::time::{virtual_clock, wall_clock};
+    use rcuda_core::{ArgPack, Clock as _};
+    use rcuda_gpu::module::build_module;
+
+    fn functional() -> LocalRuntime {
+        LocalRuntime::new(GpuDevice::tesla_c1060_functional(), wall_clock())
+    }
+
+    #[test]
+    fn calls_before_initialize_fail() {
+        let mut rt = functional();
+        assert_eq!(rt.malloc(16), Err(CudaError::InitializationError));
+        assert_eq!(rt.thread_synchronize(), Err(CudaError::InitializationError));
+    }
+
+    #[test]
+    fn vec_add_end_to_end() {
+        let mut rt = functional();
+        rt.initialize(&build_module(&["vec_add"], 0)).unwrap();
+        let a = rt.malloc(16).unwrap();
+        let b = rt.malloc(16).unwrap();
+        let c = rt.malloc(16).unwrap();
+        rt.memcpy_h2d(a, &f32s(&[1.0, 2.0, 3.0, 4.0])).unwrap();
+        rt.memcpy_h2d(b, &f32s(&[4.0, 3.0, 2.0, 1.0])).unwrap();
+        let args = ArgPack::new()
+            .push_ptr(a)
+            .push_ptr(b)
+            .push_ptr(c)
+            .push_u32(4)
+            .into_bytes();
+        rt.launch("vec_add", Dim3::x(1), Dim3::x(4), 0, 0, &args)
+            .unwrap();
+        let out = rt.memcpy_d2h(c, 16).unwrap();
+        assert_eq!(out, f32s(&[5.0; 4]));
+        for p in [a, b, c] {
+            rt.free(p).unwrap();
+        }
+        rt.finalize().unwrap();
+        assert_eq!(rt.malloc(4), Err(CudaError::InitializationError));
+    }
+
+    #[test]
+    fn local_runtime_pays_context_init_on_virtual_clock() {
+        let clock = virtual_clock();
+        let mut rt = LocalRuntime::new_phantom(GpuDevice::tesla_c1060(), clock.clone());
+        rt.initialize(&build_module(&["vec_add"], 0)).unwrap();
+        assert!(
+            clock.now().as_secs_f64() > 0.1,
+            "local apps pay the CUDA init the daemon pre-pays"
+        );
+    }
+
+    #[test]
+    fn properties_report_the_c1060() {
+        let mut rt = functional();
+        rt.initialize(&build_module(&[], 0)).unwrap();
+        let p = rt.device_properties().unwrap();
+        assert_eq!((p.cc_major, p.cc_minor), (1, 3));
+    }
+
+    fn f32s(v: &[f32]) -> Vec<u8> {
+        v.iter().flat_map(|x| x.to_le_bytes()).collect()
+    }
+}

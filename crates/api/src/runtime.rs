@@ -1,0 +1,96 @@
+//! The [`CudaRuntime`] trait: the API surface the paper remotes.
+
+use rcuda_core::{CudaResult, DeviceProperties, DevicePtr, Dim3};
+
+/// The CUDA Runtime API subset used by the paper's case studies, plus the
+/// stream/async extension (the paper's declared future work).
+///
+/// Methods map 1:1 onto the operations of Table I:
+///
+/// | method | CUDA call | Table I row |
+/// |---|---|---|
+/// | [`initialize`](CudaRuntime::initialize) | module registration | Initialization |
+/// | [`malloc`](CudaRuntime::malloc) | `cudaMalloc` | cudaMalloc |
+/// | [`memcpy_h2d`](CudaRuntime::memcpy_h2d) | `cudaMemcpy(H→D)` | cudaMemcpy (to device) |
+/// | [`memcpy_d2h`](CudaRuntime::memcpy_d2h) | `cudaMemcpy(D→H)` | cudaMemcpy (to host) |
+/// | [`launch`](CudaRuntime::launch) | `cudaLaunch` | cudaLaunch |
+/// | [`free`](CudaRuntime::free) | `cudaFree` | cudaFree |
+/// | [`finalize`](CudaRuntime::finalize) | — | Finalization stage |
+pub trait CudaRuntime {
+    /// Initialization stage: establish the session and ship the GPU module
+    /// (kernels + statically allocated variables).
+    fn initialize(&mut self, module: &[u8]) -> CudaResult<()>;
+
+    /// `cudaGetDeviceProperties`.
+    fn device_properties(&mut self) -> CudaResult<DeviceProperties>;
+
+    /// `cudaMalloc(size)`.
+    fn malloc(&mut self, size: u32) -> CudaResult<DevicePtr>;
+
+    /// `cudaFree(ptr)`.
+    fn free(&mut self, ptr: DevicePtr) -> CudaResult<()>;
+
+    /// Synchronous `cudaMemcpy`, host → device.
+    fn memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) -> CudaResult<()>;
+
+    /// Synchronous `cudaMemcpy`, device → host.
+    fn memcpy_d2h(&mut self, src: DevicePtr, size: u32) -> CudaResult<Vec<u8>>;
+
+    /// Synchronous `cudaMemcpy`, device → device.
+    fn memcpy_d2d(&mut self, dst: DevicePtr, src: DevicePtr, size: u32) -> CudaResult<()>;
+
+    /// `cudaMemset(dst, value, size)`.
+    fn memset(&mut self, dst: DevicePtr, value: u8, size: u32) -> CudaResult<()>;
+
+    /// `cudaLaunch` with its configuration (grid, block, dynamic shared
+    /// memory, stream) and the packed argument block.
+    fn launch(
+        &mut self,
+        kernel: &str,
+        grid: Dim3,
+        block: Dim3,
+        shared_bytes: u32,
+        stream: u32,
+        args: &[u8],
+    ) -> CudaResult<()>;
+
+    /// `cudaThreadSynchronize`.
+    fn thread_synchronize(&mut self) -> CudaResult<()>;
+
+    /// `cudaStreamCreate` (extension).
+    fn stream_create(&mut self) -> CudaResult<u32>;
+
+    /// `cudaStreamSynchronize` (extension).
+    fn stream_synchronize(&mut self, stream: u32) -> CudaResult<()>;
+
+    /// `cudaStreamDestroy` (extension).
+    fn stream_destroy(&mut self, stream: u32) -> CudaResult<()>;
+
+    /// Asynchronous `cudaMemcpy` host → device on a stream (extension).
+    fn memcpy_h2d_async(&mut self, dst: DevicePtr, data: &[u8], stream: u32) -> CudaResult<()>;
+
+    /// Asynchronous `cudaMemcpy` device → host on a stream (extension).
+    ///
+    /// Functional simplification: the bytes are returned immediately but are
+    /// only guaranteed meaningful after the stream synchronizes (matching
+    /// CUDA's contract that the host buffer is undefined until then).
+    fn memcpy_d2h_async(&mut self, src: DevicePtr, size: u32, stream: u32) -> CudaResult<Vec<u8>>;
+
+    /// `cudaEventCreate` (extension).
+    fn event_create(&mut self) -> CudaResult<u32>;
+
+    /// `cudaEventRecord(event, stream)` (extension).
+    fn event_record(&mut self, event: u32, stream: u32) -> CudaResult<()>;
+
+    /// `cudaEventSynchronize(event)` (extension).
+    fn event_synchronize(&mut self, event: u32) -> CudaResult<()>;
+
+    /// `cudaEventElapsedTime(start, end)` in milliseconds (extension).
+    fn event_elapsed_ms(&mut self, start: u32, end: u32) -> CudaResult<f32>;
+
+    /// `cudaEventDestroy(event)` (extension).
+    fn event_destroy(&mut self, event: u32) -> CudaResult<()>;
+
+    /// Finalization stage: release the session's resources.
+    fn finalize(&mut self) -> CudaResult<()>;
+}

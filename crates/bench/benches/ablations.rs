@@ -1,0 +1,187 @@
+//! Ablation studies of the design choices DESIGN.md calls out, reported in
+//! *simulated* time (wall-clock benching is meaningless for virtual-clock
+//! quantities, so this is a custom `harness = false` report, not Criterion).
+//!
+//! 1. **Nagle's algorithm** on/off (the paper disables it, §IV-A);
+//! 2. **context pre-initialization** on/off (§VI-B);
+//! 3. **synchronous vs asynchronous** transfers (paper future work);
+//! 4. **multi-client contention** on the server link (paper future work).
+
+use rcuda_api::run_matmul_bytes;
+use rcuda_client::RemoteRuntime;
+use rcuda_core::time::virtual_clock;
+use rcuda_core::{CaseStudy, Clock as _, SimTime};
+use rcuda_gpu::{GpuDevice, NullCostModel};
+use rcuda_netsim::{GigaEModel, NetworkId, NetworkModel, SharedLink};
+use rcuda_server::{serve_connection, ServerConfig};
+use rcuda_transport::sim_pair;
+use std::sync::Arc;
+
+fn main() {
+    // Keep `cargo bench -- --list`-style invocations happy.
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("ablations: bench");
+        return;
+    }
+    nagle_ablation();
+    preinit_ablation();
+    async_overlap_ablation();
+    contention_ablation();
+}
+
+/// Simulated MM execution over a given GigaE variant and server config.
+fn simulated_mm(
+    m: u32,
+    net: Arc<dyn NetworkModel>,
+    config: ServerConfig,
+    device: Arc<GpuDevice>,
+) -> SimTime {
+    let clock = virtual_clock();
+    let shared: rcuda_core::SharedClock = clock.clone();
+    let (client_side, server_side) = sim_pair(net, shared.clone());
+    let server_clock = shared.clone();
+    let server = std::thread::spawn(move || {
+        let _ = serve_connection(server_side, &device, server_clock, &config);
+    });
+    let mut rt = RemoteRuntime::new(client_side, shared);
+    let bytes = vec![0u8; (m * m * 4) as usize];
+    run_matmul_bytes(&mut rt, &*clock, m, &bytes, &bytes).unwrap();
+    let t = clock.now();
+    drop(rt);
+    let _ = server.join();
+    t
+}
+
+fn phantom_cfg() -> ServerConfig {
+    ServerConfig {
+        preinitialize_context: true,
+        phantom_memory: true,
+    }
+}
+
+fn nagle_ablation() {
+    println!("== Ablation 1: Nagle's algorithm (paper §IV-A disables it) ==");
+    let m = 2048u32;
+    let off = simulated_mm(
+        m,
+        Arc::new(GigaEModel::new()),
+        phantom_cfg(),
+        GpuDevice::tesla_c1060(),
+    );
+    let on = simulated_mm(
+        m,
+        Arc::new(GigaEModel::with_nagle()),
+        phantom_cfg(),
+        GpuDevice::tesla_c1060(),
+    );
+    println!(
+        "  MM m={m} over GigaE, Nagle off: {:.1} ms",
+        off.as_millis_f64()
+    );
+    println!(
+        "  MM m={m} over GigaE, Nagle on : {:.1} ms",
+        on.as_millis_f64()
+    );
+    println!(
+        "  penalty: {:+.1} ms across {} control messages (~40 ms delayed-ACK stall each)\n",
+        on.as_millis_f64() - off.as_millis_f64(),
+        10
+    );
+    assert!(on > off);
+}
+
+fn preinit_ablation() {
+    println!("== Ablation 2: daemon context pre-initialization (paper §VI-B) ==");
+    let m = 4096u32;
+    let warm = simulated_mm(
+        m,
+        Arc::from(NetworkId::Ib40G.model()),
+        phantom_cfg(),
+        GpuDevice::tesla_c1060(),
+    );
+    let cold_cfg = ServerConfig {
+        preinitialize_context: false,
+        phantom_memory: true,
+    };
+    let cold = simulated_mm(
+        m,
+        Arc::from(NetworkId::Ib40G.model()),
+        cold_cfg,
+        GpuDevice::tesla_c1060(),
+    );
+    println!(
+        "  MM m={m} over 40GI, warm context: {:.2} s",
+        warm.as_secs_f64()
+    );
+    println!(
+        "  MM m={m} over 40GI, cold context: {:.2} s",
+        cold.as_secs_f64()
+    );
+    println!(
+        "  pre-initialization saves {:.2} s — why remote 40GI beats the local GPU at m=4096\n",
+        cold.as_secs_f64() - warm.as_secs_f64()
+    );
+    assert!(cold > warm);
+}
+
+fn async_overlap_ablation() {
+    println!("== Ablation 3: synchronous vs asynchronous input transfers ==");
+    // Two input buffers copied to the device: synchronously (serial PCIe
+    // charges on the caller) vs asynchronously on two streams (overlapped).
+    let device = GpuDevice::tesla_c1060();
+    let size = 64u32 << 20;
+    let payload = vec![0u8; size as usize];
+
+    let run = |use_async: bool| -> SimTime {
+        let clock = virtual_clock();
+        let mut ctx = device.create_phantom_context(clock.clone(), true);
+        ctx.load_module(&rcuda_gpu::module::mm_module()).unwrap();
+        let a = ctx.malloc(size).unwrap();
+        let b = ctx.malloc(size).unwrap();
+        if use_async {
+            let s1 = ctx.stream_create().unwrap();
+            let s2 = ctx.stream_create().unwrap();
+            ctx.memcpy_h2d_async(a, &payload, s1).unwrap();
+            ctx.memcpy_h2d_async(b, &payload, s2).unwrap();
+            ctx.synchronize().unwrap();
+        } else {
+            ctx.memcpy_h2d(a, &payload).unwrap();
+            ctx.memcpy_h2d(b, &payload).unwrap();
+        }
+        clock.now()
+    };
+    let sync = run(false);
+    let overlapped = run(true);
+    println!(
+        "  2 × 64 MiB H2D, synchronous : {:.1} ms",
+        sync.as_millis_f64()
+    );
+    println!(
+        "  2 × 64 MiB H2D, async (2 streams): {:.1} ms",
+        overlapped.as_millis_f64()
+    );
+    println!(
+        "  overlap saves {:.1} ms (the extension the paper defers to future work)\n",
+        sync.as_millis_f64() - overlapped.as_millis_f64()
+    );
+    assert!(overlapped < sync);
+}
+
+fn contention_ablation() {
+    println!("== Ablation 4: multi-client contention on the server link ==");
+    let case = CaseStudy::MatMul { dim: 8192 };
+    let link = SharedLink::new(Arc::from(NetworkId::Ib40G.model()));
+    for k in [1u32, 2, 4, 8] {
+        let t = link.transfer_with_flows(case.memcpy_bytes().as_bytes(), k);
+        println!(
+            "  {k} concurrent clients: per-client transfer {:.1} ms ({}x solo)",
+            t.as_millis_f64() * case.memcpy_count() as f64,
+            k
+        );
+    }
+    println!();
+    // Silence the "unused" device/cost-model imports when assertions are
+    // compiled out.
+    let _ = NullCostModel;
+}

@@ -1,0 +1,102 @@
+//! Criterion benches of the middleware itself: call round-trip latency and
+//! memcpy throughput through the full client → protocol → transport →
+//! server → device path (in-process channel transport, so the numbers are
+//! the middleware's own overhead, not a kernel's).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcuda_api::CudaRuntime;
+use rcuda_client::RemoteRuntime;
+use rcuda_core::time::wall_clock;
+use rcuda_gpu::module::build_module;
+use rcuda_gpu::GpuDevice;
+use rcuda_server::{serve_connection, ServerConfig};
+use rcuda_transport::channel_pair;
+use std::hint::black_box;
+use std::thread::JoinHandle;
+
+/// Stand up an in-process client/server pair over channels.
+fn session() -> (
+    RemoteRuntime<rcuda_transport::ChannelTransport>,
+    JoinHandle<()>,
+) {
+    let (client_side, server_side) = channel_pair();
+    let device = GpuDevice::tesla_c1060_functional();
+    let cfg = ServerConfig::default();
+    let server = std::thread::spawn(move || {
+        let _ = serve_connection(server_side, &device, wall_clock(), &cfg);
+    });
+    let mut rt = RemoteRuntime::new(client_side, wall_clock());
+    rt.initialize(&build_module(&["fill", "vec_add"], 0))
+        .unwrap();
+    (rt, server)
+}
+
+fn bench_call_latency(c: &mut Criterion) {
+    let (mut rt, server) = session();
+    c.bench_function("remote_malloc_free_roundtrip", |b| {
+        b.iter(|| {
+            let p = rt.malloc(black_box(4096)).unwrap();
+            rt.free(p).unwrap();
+        })
+    });
+    rt.finalize().unwrap();
+    drop(rt);
+    let _ = server.join();
+}
+
+fn bench_memcpy_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("remote_memcpy");
+    for size in [4u32 << 10, 256 << 10, 4 << 20] {
+        let (mut rt, server) = session();
+        let p = rt.malloc(size).unwrap();
+        let data = vec![0x5Au8; size as usize];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("h2d", size), &data, |b, data| {
+            b.iter(|| rt.memcpy_h2d(black_box(p), data).unwrap())
+        });
+        g.bench_function(BenchmarkId::new("d2h", size), |b| {
+            b.iter(|| black_box(rt.memcpy_d2h(p, size).unwrap()))
+        });
+        rt.free(p).unwrap();
+        rt.finalize().unwrap();
+        drop(rt);
+        let _ = server.join();
+    }
+    g.finish();
+}
+
+fn bench_remote_kernel(c: &mut Criterion) {
+    let (mut rt, server) = session();
+    let n = 1024u32;
+    let p = rt.malloc(n * 4).unwrap();
+    let args = rcuda_core::ArgPack::new()
+        .push_ptr(p)
+        .push_u32(n)
+        .push_f32(1.0)
+        .into_bytes();
+    c.bench_function("remote_fill_launch", |b| {
+        b.iter(|| {
+            rt.launch(
+                "fill",
+                rcuda_core::Dim3::x(n / 64),
+                rcuda_core::Dim3::x(64),
+                0,
+                0,
+                black_box(&args),
+            )
+            .unwrap()
+        })
+    });
+    rt.free(p).unwrap();
+    rt.finalize().unwrap();
+    drop(rt);
+    let _ = server.join();
+}
+
+criterion_group!(
+    benches,
+    bench_call_latency,
+    bench_memcpy_throughput,
+    bench_remote_kernel
+);
+criterion_main!(benches);

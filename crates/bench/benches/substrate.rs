@@ -1,0 +1,158 @@
+//! Criterion microbenches of the substrates: wire protocol, kernels,
+//! device-memory allocator, and network-model evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcuda_core::DevicePtr;
+use rcuda_gpu::alloc::DeviceAllocator;
+use rcuda_kernels::fft::{fft_batch_512, Fft};
+use rcuda_kernels::matrix::{sgemm_blocked, sgemm_naive, sgemm_tiled_gpu, CpuSgemm};
+use rcuda_kernels::workload::{fft_input, matrix_pair};
+use rcuda_netsim::{GigaEModel, NetworkModel};
+use rcuda_proto::ids::MemcpyKind;
+use rcuda_proto::Request;
+use std::hint::black_box;
+use std::io::Cursor;
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("proto");
+    for payload in [0usize, 1024, 64 * 1024, 1 << 20] {
+        let req = Request::Memcpy {
+            dst: 0x1000,
+            src: 0,
+            size: payload as u32,
+            kind: MemcpyKind::HostToDevice,
+            data: Some(vec![0xAB; payload]),
+        };
+        g.throughput(Throughput::Bytes(req.wire_bytes()));
+        g.bench_with_input(
+            BenchmarkId::new("encode_memcpy", payload),
+            &req,
+            |b, req| {
+                let mut buf = Vec::with_capacity(payload + 64);
+                b.iter(|| {
+                    buf.clear();
+                    req.write(&mut buf).unwrap();
+                    black_box(buf.len())
+                });
+            },
+        );
+        let mut encoded = Vec::new();
+        req.write(&mut encoded).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("decode_memcpy", payload),
+            &encoded,
+            |b, enc| {
+                b.iter(|| black_box(Request::read(&mut Cursor::new(enc)).unwrap()));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels");
+    // SGEMM variants at a fixed, cache-interesting size.
+    let m = 192usize;
+    let (a, b) = matrix_pair(m, 7);
+    let mut cmat = vec![0.0f32; m * m];
+    g.throughput(Throughput::Elements((2 * m * m * m) as u64));
+    g.bench_function(BenchmarkId::new("sgemm_naive", m), |bch| {
+        bch.iter(|| sgemm_naive(m, m, m, a.as_slice(), b.as_slice(), black_box(&mut cmat)))
+    });
+    g.bench_function(BenchmarkId::new("sgemm_blocked", m), |bch| {
+        bch.iter(|| sgemm_blocked(m, m, m, a.as_slice(), b.as_slice(), black_box(&mut cmat)))
+    });
+    g.bench_function(BenchmarkId::new("sgemm_tiled_gpu", m), |bch| {
+        bch.iter(|| sgemm_tiled_gpu(m, m, m, a.as_slice(), b.as_slice(), black_box(&mut cmat)))
+    });
+    let mkl = CpuSgemm::new(8);
+    g.bench_function(BenchmarkId::new("sgemm_threaded8", m), |bch| {
+        bch.iter(|| mkl.run(m, m, m, a.as_slice(), b.as_slice(), black_box(&mut cmat)))
+    });
+
+    // FFT: planned vs unplanned, batched.
+    let batch = 64usize;
+    let input = fft_input(batch, 3);
+    g.throughput(Throughput::Elements((batch * 512) as u64));
+    g.bench_function("fft_batch_512x64", |bch| {
+        let mut data = input.clone();
+        bch.iter(|| {
+            data.copy_from_slice(&input);
+            fft_batch_512(black_box(&mut data));
+        })
+    });
+    g.bench_function("fft_planned_512x64", |bch| {
+        let plan = Fft::plan(512);
+        let mut data = input.clone();
+        bch.iter(|| {
+            data.copy_from_slice(&input);
+            plan.forward_batch(black_box(&mut data));
+        })
+    });
+    g.finish();
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    // Policy ablation: first-fit scans less, best-fit packs tighter.
+    for policy in [
+        rcuda_gpu::alloc::AllocPolicy::FirstFit,
+        rcuda_gpu::alloc::AllocPolicy::BestFit,
+    ] {
+        c.bench_function(&format!("allocator_churn_256_{policy:?}"), |b| {
+            b.iter(|| {
+                let mut a = DeviceAllocator::with_policy(64 << 20, policy);
+                let mut live: Vec<DevicePtr> = Vec::with_capacity(256);
+                for i in 0..256u32 {
+                    live.push(a.alloc(4096 + i * 16).unwrap());
+                    if i % 3 == 0 {
+                        let victim = live.swap_remove((i as usize * 7) % live.len());
+                        a.free(victim).unwrap();
+                    }
+                }
+                for p in live {
+                    a.free(p).unwrap();
+                }
+                black_box(a.largest_free_block())
+            })
+        });
+    }
+    c.bench_function("allocator_churn_256", |b| {
+        b.iter(|| {
+            let mut a = DeviceAllocator::new(64 << 20);
+            let mut live: Vec<DevicePtr> = Vec::with_capacity(256);
+            for i in 0..256u32 {
+                live.push(a.alloc(4096 + i * 16).unwrap());
+                if i % 3 == 0 {
+                    let victim = live.swap_remove((i as usize * 7) % live.len());
+                    a.free(victim).unwrap();
+                }
+            }
+            for p in live {
+                a.free(p).unwrap();
+            }
+            black_box(a.free_bytes())
+        })
+    });
+}
+
+fn bench_netmodel(c: &mut Criterion) {
+    let net = GigaEModel::new();
+    c.bench_function("gige_one_way_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for bytes in [8u64, 64, 1024, 21_490, 1 << 20, 64 << 20] {
+                acc += net.one_way(black_box(bytes)).as_nanos();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_protocol,
+    bench_kernels,
+    bench_allocator,
+    bench_netmodel
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches: cost of regenerating each paper artifact.
+//!
+//! One benchmark per table/figure (the brief's "one bench per
+//! table/figure"), timing the full generation pipeline — calibration fits,
+//! testbed evaluation, estimation, rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcuda_bench::printers::*;
+use rcuda_core::Family;
+use rcuda_model::tables::{table4, table6};
+use rcuda_model::{Calibration, SimulatedTestbed};
+use rcuda_netsim::NetworkId;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("artifacts");
+    let tb = SimulatedTestbed::new();
+
+    g.bench_function("table1", |b| b.iter(|| black_box(print_table1())));
+    g.bench_function("table2", |b| b.iter(|| black_box(print_table2())));
+    g.bench_function("table3", |b| b.iter(|| black_box(print_table3())));
+    g.bench_function("table4", |b| b.iter(|| black_box(print_table4(&tb))));
+    g.bench_function("table5", |b| b.iter(|| black_box(print_table5())));
+    g.bench_function("table6", |b| b.iter(|| black_box(print_table6(&tb))));
+    g.bench_function("fig3", |b| {
+        b.iter(|| black_box(print_latency_figure(NetworkId::GigaE, 42)))
+    });
+    g.bench_function("fig4", |b| {
+        b.iter(|| black_box(print_latency_figure(NetworkId::Ib40G, 42)))
+    });
+    g.bench_function("fig5", |b| {
+        b.iter(|| black_box(print_execution_figure(NetworkId::GigaE, &tb)))
+    });
+    g.bench_function("fig6", |b| {
+        b.iter(|| black_box(print_execution_figure(NetworkId::Ib40G, &tb)))
+    });
+    g.finish();
+}
+
+fn bench_model_internals(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model");
+    g.bench_function("calibration_fit", |b| {
+        b.iter(|| black_box(Calibration::paper()))
+    });
+    let tb = SimulatedTestbed::new();
+    g.bench_function("table4_mm_rows", |b| {
+        b.iter(|| black_box(table4(Family::MatMul, &tb)))
+    });
+    g.bench_function("table6_fft_rows", |b| {
+        b.iter(|| black_box(table6(Family::Fft, &tb)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_model_internals);
+criterion_main!(benches);

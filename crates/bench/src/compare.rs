@@ -1,0 +1,322 @@
+//! Paper-vs-reproduction comparison: the machine-generated backbone of
+//! EXPERIMENTS.md.
+//!
+//! Every row pairs one quantity the paper prints with the value our
+//! pipeline regenerates. "Measured" quantities test the calibration
+//! (they should be close by construction); "estimated" quantities test the
+//! whole methodology end-to-end (calibrated testbed → fixed-time
+//! extraction → projection).
+
+use rcuda_core::{CaseStudy, Family};
+use rcuda_model::figures::latency_figure;
+use rcuda_model::paperdata::{
+    FFT_ROWS, MM_ROWS, TABLE4_FFT_ERRORS, TABLE4_MM_ERRORS, TABLE6_FFT_GIGAE_MODEL,
+    TABLE6_FFT_IB40_MODEL, TABLE6_MM_GIGAE_MODEL, TABLE6_MM_IB40_MODEL,
+};
+use rcuda_model::tables::{table4, table6};
+use rcuda_model::SimulatedTestbed;
+use rcuda_netsim::NetworkId;
+
+/// One compared quantity.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Which paper artifact (e.g. `Table IV`, `Fig. 3`).
+    pub experiment: &'static str,
+    /// Which cell (free-form label).
+    pub cell: String,
+    /// The paper's printed value.
+    pub paper: f64,
+    /// Our regenerated value.
+    pub ours: f64,
+}
+
+impl Comparison {
+    /// Relative deviation, ours vs paper.
+    pub fn rel_dev(&self) -> f64 {
+        if self.paper == 0.0 {
+            return if self.ours == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        (self.ours - self.paper) / self.paper
+    }
+}
+
+/// Generate the full comparison set.
+pub fn full_report(testbed: &SimulatedTestbed) -> Vec<Comparison> {
+    let mut out = Vec::new();
+
+    // ---- Figures 3/4: recovered regression coefficients.
+    let f = latency_figure(NetworkId::GigaE, 42).fit;
+    out.push(Comparison {
+        experiment: "Fig. 3",
+        cell: "f slope (ms/MiB)".into(),
+        paper: 8.9,
+        ours: f.slope,
+    });
+    let g = latency_figure(NetworkId::Ib40G, 42).fit;
+    out.push(Comparison {
+        experiment: "Fig. 4",
+        cell: "g slope (ms/MiB)".into(),
+        paper: 0.7,
+        ours: g.slope,
+    });
+
+    // ---- Simulated-testbed measured columns vs the paper's (calibration).
+    for r in MM_ROWS {
+        let case = CaseStudy::MatMul { dim: r.dim };
+        for (label, paper, ours) in [
+            ("CPU", r.cpu_s, testbed.measured_cpu(case).as_secs_f64()),
+            ("GPU", r.gpu_s, testbed.measured_gpu(case).as_secs_f64()),
+            (
+                "GigaE",
+                r.gigae_s,
+                testbed
+                    .measured_remote(case, NetworkId::GigaE)
+                    .as_secs_f64(),
+            ),
+            (
+                "40GI",
+                r.ib40_s,
+                testbed
+                    .measured_remote(case, NetworkId::Ib40G)
+                    .as_secs_f64(),
+            ),
+        ] {
+            out.push(Comparison {
+                experiment: "Table VI (measured, MM)",
+                cell: format!("m={} {label} (s)", r.dim),
+                paper,
+                ours,
+            });
+        }
+    }
+    for r in FFT_ROWS {
+        let case = CaseStudy::Fft { batch: r.batch };
+        for (label, paper, ours) in [
+            ("CPU", r.cpu_ms, testbed.measured_cpu(case).as_millis_f64()),
+            ("GPU", r.gpu_ms, testbed.measured_gpu(case).as_millis_f64()),
+            (
+                "GigaE",
+                r.gigae_ms,
+                testbed
+                    .measured_remote(case, NetworkId::GigaE)
+                    .as_millis_f64(),
+            ),
+            (
+                "40GI",
+                r.ib40_ms,
+                testbed
+                    .measured_remote(case, NetworkId::Ib40G)
+                    .as_millis_f64(),
+            ),
+        ] {
+            out.push(Comparison {
+                experiment: "Table VI (measured, FFT)",
+                cell: format!("n={} {label} (ms)", r.batch),
+                paper,
+                ours,
+            });
+        }
+    }
+
+    // ---- Table IV error columns (methodology end-to-end).
+    let mm4 = table4(Family::MatMul, testbed);
+    for (row, (pe_ge, pe_ib)) in mm4.iter().zip(TABLE4_MM_ERRORS) {
+        out.push(Comparison {
+            experiment: "Table IV (MM)",
+            cell: format!("m={} GigaE-model error (%)", row.case.size()),
+            paper: pe_ge,
+            ours: row.gigae_model.error * 100.0,
+        });
+        out.push(Comparison {
+            experiment: "Table IV (MM)",
+            cell: format!("m={} 40GI-model error (%)", row.case.size()),
+            paper: pe_ib,
+            ours: row.ib40_model.error * 100.0,
+        });
+    }
+    let fft4 = table4(Family::Fft, testbed);
+    for (row, (pe_ge, pe_ib)) in fft4.iter().zip(TABLE4_FFT_ERRORS) {
+        out.push(Comparison {
+            experiment: "Table IV (FFT)",
+            cell: format!("n={} GigaE-model error (%)", row.case.size()),
+            paper: pe_ge,
+            ours: row.gigae_model.error * 100.0,
+        });
+        out.push(Comparison {
+            experiment: "Table IV (FFT)",
+            cell: format!("n={} 40GI-model error (%)", row.case.size()),
+            paper: pe_ib,
+            ours: row.ib40_model.error * 100.0,
+        });
+    }
+
+    // ---- Table VI estimate columns. The paper's print swaps 10GE/10GI
+    // (see paperdata docs); compare after un-swapping.
+    let unswap = |printed: [f64; 5]| [printed[1], printed[0], printed[2], printed[3], printed[4]];
+    let mm6 = table6(Family::MatMul, testbed);
+    for (i, row) in mm6.iter().enumerate() {
+        for (model, est, printed) in [
+            (
+                "GE-model",
+                &row.est_gigae_model,
+                unswap(TABLE6_MM_GIGAE_MODEL[i]),
+            ),
+            (
+                "IB-model",
+                &row.est_ib40_model,
+                unswap(TABLE6_MM_IB40_MODEL[i]),
+            ),
+        ] {
+            for (j, (net, t)) in est.iter().enumerate() {
+                out.push(Comparison {
+                    experiment: "Table VI (estimates, MM)",
+                    cell: format!("m={} {net} {model} (s)", row.case.size()),
+                    paper: printed[j],
+                    ours: t.as_secs_f64(),
+                });
+            }
+        }
+    }
+    let fft6 = table6(Family::Fft, testbed);
+    for (i, row) in fft6.iter().enumerate() {
+        for (model, est, printed) in [
+            (
+                "GE-model",
+                &row.est_gigae_model,
+                unswap(TABLE6_FFT_GIGAE_MODEL[i]),
+            ),
+            (
+                "IB-model",
+                &row.est_ib40_model,
+                unswap(TABLE6_FFT_IB40_MODEL[i]),
+            ),
+        ] {
+            for (j, (net, t)) in est.iter().enumerate() {
+                out.push(Comparison {
+                    experiment: "Table VI (estimates, FFT)",
+                    cell: format!("n={} {net} {model} (ms)", row.case.size()),
+                    paper: printed[j],
+                    ours: t.as_millis_f64(),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+/// Aggregate statistics over a comparison set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub count: usize,
+    /// Maximum |relative deviation| over value comparisons.
+    pub max_abs_rel_dev: f64,
+    /// Mean |relative deviation|.
+    pub mean_abs_rel_dev: f64,
+}
+
+/// Summarize value comparisons (Table IV error rows are percentage-point
+/// quantities and are excluded from relative statistics).
+pub fn summarize(report: &[Comparison]) -> Summary {
+    let vals: Vec<f64> = report
+        .iter()
+        .filter(|c| !c.experiment.starts_with("Table IV"))
+        .map(|c| c.rel_dev().abs())
+        .collect();
+    Summary {
+        count: report.len(),
+        max_abs_rel_dev: vals.iter().cloned().fold(0.0, f64::max),
+        mean_abs_rel_dev: vals.iter().sum::<f64>() / vals.len() as f64,
+    }
+}
+
+/// Render the report as a Markdown table (EXPERIMENTS.md body).
+pub fn render_markdown(report: &[Comparison]) -> String {
+    let mut out = String::new();
+    out.push_str("| Experiment | Cell | Paper | Ours | Δ |\n");
+    out.push_str("|---|---|---:|---:|---:|\n");
+    let mut last = "";
+    for c in report {
+        let exp = if c.experiment == last {
+            ""
+        } else {
+            c.experiment
+        };
+        last = c.experiment;
+        let delta = if c.experiment.starts_with("Table IV") {
+            // Percentage-point quantities: show the absolute difference.
+            format!("{:+.2} pp", c.ours - c.paper)
+        } else {
+            format!("{:+.1}%", c.rel_dev() * 100.0)
+        };
+        out.push_str(&format!(
+            "| {exp} | {} | {:.2} | {:.2} | {delta} |\n",
+            c.cell, c.paper, c.ours
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_every_experiment_family() {
+        let tb = SimulatedTestbed::new();
+        let report = full_report(&tb);
+        for exp in [
+            "Fig. 3",
+            "Fig. 4",
+            "Table VI (measured, MM)",
+            "Table VI (measured, FFT)",
+            "Table IV (MM)",
+            "Table IV (FFT)",
+            "Table VI (estimates, MM)",
+            "Table VI (estimates, FFT)",
+        ] {
+            assert!(report.iter().any(|c| c.experiment == exp), "missing {exp}");
+        }
+        // 2 fits + 60 measured + 30 table4 + 80 + 70 table6 estimates.
+        assert!(report.len() > 200, "only {} comparisons", report.len());
+    }
+
+    /// The headline acceptance criterion: all value reproductions within a
+    /// few percent of the paper, errors within a few percentage points.
+    #[test]
+    fn reproduction_quality_bounds() {
+        let tb = SimulatedTestbed::new();
+        let report = full_report(&tb);
+        let summary = summarize(&report);
+        assert!(
+            summary.max_abs_rel_dev < 0.06,
+            "worst value deviation {:.1}%",
+            summary.max_abs_rel_dev * 100.0
+        );
+        assert!(
+            summary.mean_abs_rel_dev < 0.02,
+            "mean deviation {:.1}%",
+            summary.mean_abs_rel_dev * 100.0
+        );
+        for c in report
+            .iter()
+            .filter(|c| c.experiment.starts_with("Table IV"))
+        {
+            assert!(
+                (c.ours - c.paper).abs() < 6.0,
+                "{}: ours {:.2} vs paper {:.2}",
+                c.cell,
+                c.ours,
+                c.paper
+            );
+        }
+    }
+
+    #[test]
+    fn markdown_renders_one_row_per_comparison() {
+        let tb = SimulatedTestbed::new();
+        let report = full_report(&tb);
+        let md = render_markdown(&report);
+        assert_eq!(md.lines().count(), report.len() + 2);
+    }
+}

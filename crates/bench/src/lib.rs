@@ -1,0 +1,8 @@
+//! Shared harness code for the `tables` binary and the Criterion benches:
+//! the printers that regenerate each of the paper's tables and figures from
+//! the live models, and the paper-comparison report behind EXPERIMENTS.md.
+
+pub mod compare;
+pub mod json;
+pub mod phases;
+pub mod printers;

@@ -1,0 +1,150 @@
+//! Packed kernel-argument blocks.
+//!
+//! CUDA 2.x marshals kernel arguments into a flat byte block
+//! (`cudaSetupArgument` copies each argument at its offset); rCUDA ships
+//! that block inside the `cudaLaunch` message's name region (Table I's `x`).
+//! [`ArgPack`] builds such a block and [`ArgReader`] decodes it on the
+//! device side. All values are little-endian, 4-byte aligned — the layout
+//! of the paper's 32-bit device ABI.
+
+use crate::device::DevicePtr;
+use crate::error::{CudaError, CudaResult};
+
+/// Builder for a packed argument block.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArgPack {
+    bytes: Vec<u8>,
+}
+
+impl ArgPack {
+    pub fn new() -> Self {
+        ArgPack::default()
+    }
+
+    /// Append a device pointer (4 bytes, like Table I's pointer fields).
+    pub fn push_ptr(mut self, p: DevicePtr) -> Self {
+        self.bytes.extend_from_slice(&p.addr().to_le_bytes());
+        self
+    }
+
+    /// Append a `u32`.
+    pub fn push_u32(mut self, v: u32) -> Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an `f32`.
+    pub fn push_f32(mut self, v: f32) -> Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// The finished block.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Sequential decoder for a packed argument block.
+#[derive(Debug)]
+pub struct ArgReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ArgReader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ArgReader { bytes, pos: 0 }
+    }
+
+    fn take4(&mut self) -> CudaResult<[u8; 4]> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(CudaError::InvalidValue)?;
+        self.pos = end;
+        Ok(slice.try_into().unwrap())
+    }
+
+    /// Read the next device pointer.
+    pub fn ptr(&mut self) -> CudaResult<DevicePtr> {
+        Ok(DevicePtr::new(u32::from_le_bytes(self.take4()?)))
+    }
+
+    /// Read the next `u32`.
+    pub fn u32(&mut self) -> CudaResult<u32> {
+        Ok(u32::from_le_bytes(self.take4()?))
+    }
+
+    /// Read the next `f32`.
+    pub fn f32(&mut self) -> CudaResult<f32> {
+        Ok(f32::from_le_bytes(self.take4()?))
+    }
+
+    /// Expect the block to be fully consumed (kernels must not silently
+    /// ignore trailing arguments — that indicates an ABI mismatch).
+    pub fn finish(self) -> CudaResult<()> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(CudaError::InvalidValue)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_and_read_back() {
+        let block = ArgPack::new()
+            .push_ptr(DevicePtr::new(0x100))
+            .push_u32(4096)
+            .push_f32(1.5)
+            .into_bytes();
+        assert_eq!(block.len(), 12);
+        let mut r = ArgReader::new(&block);
+        assert_eq!(r.ptr().unwrap(), DevicePtr::new(0x100));
+        assert_eq!(r.u32().unwrap(), 4096);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn short_block_errors() {
+        let block = ArgPack::new().push_u32(1).into_bytes();
+        let mut r = ArgReader::new(&block);
+        r.u32().unwrap();
+        assert_eq!(r.u32(), Err(CudaError::InvalidValue));
+    }
+
+    #[test]
+    fn trailing_bytes_fail_finish() {
+        let block = ArgPack::new().push_u32(1).push_u32(2).into_bytes();
+        let mut r = ArgReader::new(&block);
+        r.u32().unwrap();
+        assert_eq!(r.finish(), Err(CudaError::InvalidValue));
+    }
+
+    #[test]
+    fn empty_pack() {
+        let p = ArgPack::new();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        ArgReader::new(p.as_bytes()).finish().unwrap();
+    }
+}

@@ -1,0 +1,260 @@
+//! The paper's two case studies and their standard problem-size grids.
+//!
+//! * **MM** — single-precision dense matrix-matrix product `C = A · B` with
+//!   square matrices of dimension `m`. One data element is 4 bytes, so each
+//!   of the three memory transfers (A in, B in, C out) moves `4·m²` bytes.
+//! * **FFT** — a batch of `n` independent 512-point single-precision complex
+//!   1-D FFTs. One point is 8 bytes, so each of the two transfers (input in,
+//!   output out) moves `8·512·n = 4096·n` bytes.
+//!
+//! Module sizes (the GPU code blob shipped at initialization) are the ones
+//! the paper reports: 21 486 bytes for MM, 7 852 bytes for FFT.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::size::ByteSize;
+
+/// Number of complex points per FFT in the batch (fixed by the paper).
+pub const FFT_POINTS: usize = 512;
+
+/// GPU module size for the MM case study, bytes (paper §IV-B).
+pub const MM_MODULE_BYTES: u64 = 21_486;
+
+/// GPU module size for the FFT case study, bytes (paper §IV-B).
+pub const FFT_MODULE_BYTES: u64 = 7_852;
+
+/// The matrix dimensions evaluated in Tables III–VI.
+pub const MM_DIMS: [u32; 8] = [4096, 6144, 8192, 10240, 12288, 14336, 16384, 18432];
+
+/// The FFT batch sizes evaluated in Tables III–VI (note: no 14336 row).
+pub const FFT_BATCHES: [u32; 7] = [2048, 4096, 6144, 8192, 10240, 12288, 16384];
+
+/// A case-study instance: which workload, at which problem size.
+///
+/// ```
+/// use rcuda_core::CaseStudy;
+///
+/// let mm = CaseStudy::MatMul { dim: 4096 };
+/// // One copy moves 4·m² bytes = 64 MiB (paper Table III's "Data" column)...
+/// assert_eq!(mm.memcpy_bytes().as_mib(), 64.0);
+/// // ...and an execution makes 3 of them (A in, B in, C out).
+/// assert_eq!(mm.memcpy_count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CaseStudy {
+    /// Matrix-matrix product with square matrices of dimension `dim`.
+    MatMul { dim: u32 },
+    /// Batch of `batch` independent 512-point complex FFTs.
+    Fft { batch: u32 },
+}
+
+impl CaseStudy {
+    /// The workload family name used in table headers.
+    pub fn family(&self) -> &'static str {
+        match self {
+            CaseStudy::MatMul { .. } => "MM",
+            CaseStudy::Fft { .. } => "FFT",
+        }
+    }
+
+    /// The problem-size column ("Dim." for MM, "Batch" for FFT).
+    pub fn size(&self) -> u32 {
+        match *self {
+            CaseStudy::MatMul { dim } => dim,
+            CaseStudy::Fft { batch } => batch,
+        }
+    }
+
+    /// Bytes moved by ONE memory-copy operation (`4m²` or `4096n`).
+    pub fn memcpy_bytes(&self) -> ByteSize {
+        match *self {
+            CaseStudy::MatMul { dim } => ByteSize(4 * dim as u64 * dim as u64),
+            CaseStudy::Fft { batch } => ByteSize(8 * FFT_POINTS as u64 * batch as u64),
+        }
+    }
+
+    /// Number of bulk memory copies per execution: the paper multiplies the
+    /// per-copy transfer time by 3 for MM (A, B in; C out) and by 2 for FFT
+    /// (one per direction). §V.
+    pub fn memcpy_count(&self) -> u32 {
+        match self {
+            CaseStudy::MatMul { .. } => 3,
+            CaseStudy::Fft { .. } => 2,
+        }
+    }
+
+    /// Of the [`Self::memcpy_count`] copies, how many are host→device.
+    pub fn h2d_count(&self) -> u32 {
+        match self {
+            CaseStudy::MatMul { .. } => 2,
+            CaseStudy::Fft { .. } => 1,
+        }
+    }
+
+    /// Of the [`Self::memcpy_count`] copies, how many are device→host.
+    pub fn d2h_count(&self) -> u32 {
+        1
+    }
+
+    /// Number of `cudaMalloc`/`cudaFree` pairs (Table II: ×3 for MM, ×1 for
+    /// FFT, which transforms in place in a single buffer).
+    pub fn alloc_count(&self) -> u32 {
+        match self {
+            CaseStudy::MatMul { .. } => 3,
+            CaseStudy::Fft { .. } => 1,
+        }
+    }
+
+    /// Size of the GPU module shipped at initialization.
+    pub fn module_bytes(&self) -> ByteSize {
+        match self {
+            CaseStudy::MatMul { .. } => ByteSize(MM_MODULE_BYTES),
+            CaseStudy::Fft { .. } => ByteSize(FFT_MODULE_BYTES),
+        }
+    }
+
+    /// Name of the kernel entry point, as carried in the `cudaLaunch`
+    /// message. Chosen so the message sizes reproduce Table II exactly:
+    /// `cudaLaunch` sends `x + 44` bytes where `x` is the kernel-name length,
+    /// 52 total for MM (8-byte name) and 58 for FFT (14-byte name).
+    pub fn kernel_name(&self) -> &'static str {
+        match self {
+            CaseStudy::MatMul { .. } => "sgemmNN\0",
+            CaseStudy::Fft { .. } => "fft512_batch\0\0",
+        }
+    }
+
+    /// Floating-point operations of one execution.
+    ///
+    /// MM: `2·m³` (multiply-add per inner-product step). FFT: the classic
+    /// `5·N·log2(N)` per transform, times the batch.
+    pub fn flops(&self) -> f64 {
+        match *self {
+            CaseStudy::MatMul { dim } => 2.0 * (dim as f64).powi(3),
+            CaseStudy::Fft { batch } => {
+                let n = FFT_POINTS as f64;
+                5.0 * n * n.log2() * batch as f64
+            }
+        }
+    }
+
+    /// Total application payload moved over the interconnect per execution
+    /// (the product of per-copy bytes and copy count) — the quantity the
+    /// paper's abstract refers to when it validates "executions involving
+    /// data transfers above 40 MB".
+    pub fn total_transfer_bytes(&self) -> ByteSize {
+        self.memcpy_bytes() * self.memcpy_count() as u64
+    }
+
+    /// The standard problem-size grid for this family (Tables III–VI rows).
+    pub fn standard_grid(family: Family) -> Vec<CaseStudy> {
+        match family {
+            Family::MatMul => MM_DIMS
+                .iter()
+                .map(|&dim| CaseStudy::MatMul { dim })
+                .collect(),
+            Family::Fft => FFT_BATCHES
+                .iter()
+                .map(|&batch| CaseStudy::Fft { batch })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for CaseStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CaseStudy::MatMul { dim } => write!(f, "MM(m={dim})"),
+            CaseStudy::Fft { batch } => write!(f, "FFT(n={batch})"),
+        }
+    }
+}
+
+/// Workload family selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    MatMul,
+    Fft,
+}
+
+impl Family {
+    pub const ALL: [Family; 2] = [Family::MatMul, Family::Fft];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size::MIB;
+
+    #[test]
+    fn mm_transfer_sizes_match_table3() {
+        // Table III: dim 4096 -> 64 MB per copy; 18432 -> 1296 MB.
+        let c = CaseStudy::MatMul { dim: 4096 };
+        assert_eq!(c.memcpy_bytes().as_bytes(), 64 * MIB);
+        let c = CaseStudy::MatMul { dim: 18432 };
+        assert_eq!(c.memcpy_bytes().as_bytes(), 1296 * MIB);
+        assert_eq!(c.memcpy_count(), 3);
+    }
+
+    #[test]
+    fn fft_transfer_sizes_match_table3() {
+        // Table III: batch 2048 -> 8 MB per copy; 16384 -> 64 MB.
+        let c = CaseStudy::Fft { batch: 2048 };
+        assert_eq!(c.memcpy_bytes().as_bytes(), 8 * MIB);
+        let c = CaseStudy::Fft { batch: 16384 };
+        assert_eq!(c.memcpy_bytes().as_bytes(), 64 * MIB);
+        assert_eq!(c.memcpy_count(), 2);
+    }
+
+    #[test]
+    fn module_sizes_match_paper() {
+        assert_eq!(
+            CaseStudy::MatMul { dim: 1 }.module_bytes().as_bytes(),
+            21_486
+        );
+        assert_eq!(CaseStudy::Fft { batch: 1 }.module_bytes().as_bytes(), 7_852);
+    }
+
+    #[test]
+    fn kernel_name_lengths_reproduce_table2_launch_sizes() {
+        // cudaLaunch send total = x + 44 (Table I). Table II reports 52 bytes
+        // for MM and 58 for FFT, so x must be 8 and 14.
+        assert_eq!(CaseStudy::MatMul { dim: 1 }.kernel_name().len(), 8);
+        assert_eq!(CaseStudy::Fft { batch: 1 }.kernel_name().len(), 14);
+    }
+
+    #[test]
+    fn standard_grids_match_tables() {
+        let mm = CaseStudy::standard_grid(Family::MatMul);
+        assert_eq!(mm.len(), 8);
+        assert_eq!(mm[0].size(), 4096);
+        assert_eq!(mm[7].size(), 18432);
+        let fft = CaseStudy::standard_grid(Family::Fft);
+        assert_eq!(fft.len(), 7);
+        assert!(
+            fft.iter().all(|c| c.size() != 14336),
+            "paper skips batch 14336"
+        );
+    }
+
+    #[test]
+    fn flops_are_asymptotically_sane() {
+        // MM is O(m^3): doubling m scales work by 8.
+        let f1 = CaseStudy::MatMul { dim: 1024 }.flops();
+        let f2 = CaseStudy::MatMul { dim: 2048 }.flops();
+        assert!((f2 / f1 - 8.0).abs() < 1e-12);
+        // FFT batch is linear in n.
+        let g1 = CaseStudy::Fft { batch: 100 }.flops();
+        let g2 = CaseStudy::Fft { batch: 200 }.flops();
+        assert!((g2 / g1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_transfer_above_40mb_for_mm_grid() {
+        // Abstract: estimation validated at ~1% for transfers above 40 MB.
+        for c in CaseStudy::standard_grid(Family::MatMul) {
+            assert!(c.total_transfer_bytes().as_bytes() >= 40 * MIB);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Device descriptors and device pointers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::size::{ByteSize, GIB};
+
+/// An address in simulated GPU device memory.
+///
+/// The real CUDA 2.3 ABI on the paper's 32-bit device pointers carries these
+/// as 4 bytes on the wire (Table I: "Device pointer — 4"); we therefore keep
+/// the value range within `u32` when allocating, while using a wider type
+/// in-process for convenience.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DevicePtr(pub u32);
+
+impl DevicePtr {
+    /// The null device pointer.
+    pub const NULL: DevicePtr = DevicePtr(0);
+
+    pub const fn new(addr: u32) -> Self {
+        DevicePtr(addr)
+    }
+
+    pub const fn addr(self) -> u32 {
+        self.0
+    }
+
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Pointer arithmetic (byte offset), as CUDA applications routinely do.
+    pub fn offset(self, bytes: u32) -> DevicePtr {
+        DevicePtr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for DevicePtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:08x}", self.0)
+    }
+}
+
+/// Static properties of a (simulated) CUDA device, mirroring the subset of
+/// `cudaDeviceProp` that the middleware ships during initialization
+/// (Table I: "Compute capability — 8 bytes" on the receive side).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProperties {
+    /// Marketing name.
+    pub name: String,
+    /// Compute capability major number.
+    pub cc_major: u32,
+    /// Compute capability minor number.
+    pub cc_minor: u32,
+    /// Total device global memory.
+    pub total_global_mem: ByteSize,
+    /// Number of streaming multiprocessors.
+    pub multiprocessor_count: u32,
+    /// Shader clock in kHz.
+    pub clock_rate_khz: u32,
+    /// Effective host<->device bandwidth over the PCIe link, MiB/s.
+    ///
+    /// The paper measures 5743 MB/s for the Tesla C1060 behind PCIe 2.0 x16.
+    pub pcie_bandwidth_mib_s: f64,
+}
+
+impl DeviceProperties {
+    /// The NVIDIA Tesla C1060 used in the paper's testbed.
+    pub fn tesla_c1060() -> Self {
+        DeviceProperties {
+            name: "Tesla C1060".to_string(),
+            cc_major: 1,
+            cc_minor: 3,
+            total_global_mem: ByteSize(4 * GIB),
+            multiprocessor_count: 30,
+            clock_rate_khz: 1_296_000,
+            pcie_bandwidth_mib_s: 5743.0,
+        }
+    }
+
+    /// Compute capability packed as the 8-byte wire field (major, minor as
+    /// two little-endian `u32`s), exactly the 8 bytes of Table I.
+    pub fn compute_capability_wire(&self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[..4].copy_from_slice(&self.cc_major.to_le_bytes());
+        out[4..].copy_from_slice(&self.cc_minor.to_le_bytes());
+        out
+    }
+
+    /// Decode the 8-byte compute-capability wire field.
+    pub fn compute_capability_from_wire(bytes: [u8; 8]) -> (u32, u32) {
+        let major = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+        let minor = u32::from_le_bytes(bytes[4..].try_into().unwrap());
+        (major, minor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c1060_matches_paper_testbed() {
+        let p = DeviceProperties::tesla_c1060();
+        assert_eq!((p.cc_major, p.cc_minor), (1, 3));
+        assert_eq!(p.total_global_mem, ByteSize(4 * GIB));
+        assert_eq!(p.multiprocessor_count, 30);
+        assert!((p.pcie_bandwidth_mib_s - 5743.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn compute_capability_wire_round_trip() {
+        let p = DeviceProperties::tesla_c1060();
+        let wire = p.compute_capability_wire();
+        assert_eq!(wire.len(), 8); // Table I: 8-byte field
+        assert_eq!(DeviceProperties::compute_capability_from_wire(wire), (1, 3));
+    }
+
+    #[test]
+    fn device_ptr_basics() {
+        let p = DevicePtr::new(0x100);
+        assert!(!p.is_null());
+        assert!(DevicePtr::NULL.is_null());
+        assert_eq!(p.offset(0x10).addr(), 0x110);
+        assert_eq!(p.to_string(), "0x00000100");
+    }
+}

@@ -1,0 +1,118 @@
+//! CUDA launch geometry (`dim3`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// CUDA's `dim3`: block and grid dimensions of a kernel launch.
+///
+/// Table I sends the block dimension as 12 bytes (three `u32`s) and the grid
+/// dimension as 8 bytes (two `u32`s — CUDA 2.x grids are 2-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dim3 {
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+}
+
+impl Dim3 {
+    pub const fn new(x: u32, y: u32, z: u32) -> Self {
+        Dim3 { x, y, z }
+    }
+
+    /// A 1-D geometry.
+    pub const fn x(x: u32) -> Self {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// A 2-D geometry.
+    pub const fn xy(x: u32, y: u32) -> Self {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// Total number of elements spanned.
+    pub const fn count(self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// Encode as the 12-byte block-dimension wire field.
+    pub fn to_wire12(self) -> [u8; 12] {
+        let mut out = [0u8; 12];
+        out[..4].copy_from_slice(&self.x.to_le_bytes());
+        out[4..8].copy_from_slice(&self.y.to_le_bytes());
+        out[8..].copy_from_slice(&self.z.to_le_bytes());
+        out
+    }
+
+    /// Decode the 12-byte block-dimension wire field.
+    pub fn from_wire12(b: [u8; 12]) -> Self {
+        Dim3 {
+            x: u32::from_le_bytes(b[..4].try_into().unwrap()),
+            y: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+            z: u32::from_le_bytes(b[8..].try_into().unwrap()),
+        }
+    }
+
+    /// Encode as the 8-byte grid-dimension wire field (x, y only; CUDA 2.x
+    /// grids are two-dimensional, hence Table I's 8 bytes).
+    pub fn to_wire8(self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[..4].copy_from_slice(&self.x.to_le_bytes());
+        out[4..].copy_from_slice(&self.y.to_le_bytes());
+        out
+    }
+
+    /// Decode the 8-byte grid-dimension wire field (z is implicitly 1).
+    pub fn from_wire8(b: [u8; 8]) -> Self {
+        Dim3 {
+            x: u32::from_le_bytes(b[..4].try_into().unwrap()),
+            y: u32::from_le_bytes(b[4..].try_into().unwrap()),
+            z: 1,
+        }
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Self {
+        Dim3::new(1, 1, 1)
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_match_table1() {
+        let d = Dim3::xy(64, 16);
+        assert_eq!(d.to_wire12().len(), 12); // block dimension field
+        assert_eq!(d.to_wire8().len(), 8); // grid dimension field
+    }
+
+    #[test]
+    fn wire12_round_trip() {
+        let d = Dim3::new(3, 5, 7);
+        assert_eq!(Dim3::from_wire12(d.to_wire12()), d);
+    }
+
+    #[test]
+    fn wire8_round_trip_flattens_z() {
+        let d = Dim3::xy(128, 256);
+        assert_eq!(Dim3::from_wire8(d.to_wire8()), d);
+        // z is not carried by the 8-byte form.
+        let d3 = Dim3::new(2, 3, 9);
+        assert_eq!(Dim3::from_wire8(d3.to_wire8()), Dim3::xy(2, 3));
+    }
+
+    #[test]
+    fn count_and_display() {
+        assert_eq!(Dim3::new(2, 3, 4).count(), 24);
+        assert_eq!(Dim3::x(16).count(), 16);
+        assert_eq!(Dim3::new(1, 2, 3).to_string(), "(1, 2, 3)");
+    }
+}

@@ -1,0 +1,179 @@
+//! CUDA-style error codes.
+//!
+//! The rCUDA wire protocol (paper Table I) returns a 32-bit result code for
+//! every operation, mirroring `cudaError_t` from the CUDA Runtime API. We
+//! model the subset of codes the middleware can actually produce, plus a
+//! transport-level code for broken connections (which real rCUDA surfaces as
+//! `cudaErrorUnknown` to the application).
+
+use std::fmt;
+
+/// Result alias used across the workspace for CUDA-surface operations.
+pub type CudaResult<T> = Result<T, CudaError>;
+
+/// Error codes mirroring the CUDA Runtime API's `cudaError_t`.
+///
+/// The numeric values of the classic codes match CUDA 2.3 (the toolkit the
+/// paper's server daemon was built on) so that the 32-bit code on the wire is
+/// faithful to what the real middleware would carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CudaError {
+    /// `cudaErrorMissingConfiguration` — kernel launched without configuration.
+    MissingConfiguration,
+    /// `cudaErrorMemoryAllocation` — device memory allocation failed.
+    MemoryAllocation,
+    /// `cudaErrorInitializationError` — the runtime could not be initialized.
+    InitializationError,
+    /// `cudaErrorLaunchFailure` — a kernel launch failed while executing.
+    LaunchFailure,
+    /// `cudaErrorInvalidDeviceFunction` — the named kernel is not in the
+    /// loaded module.
+    InvalidDeviceFunction,
+    /// `cudaErrorInvalidValue` — an argument was out of range.
+    InvalidValue,
+    /// `cudaErrorInvalidDevicePointer` — a device pointer does not refer to a
+    /// live allocation.
+    InvalidDevicePointer,
+    /// `cudaErrorInvalidMemcpyDirection` — bad `cudaMemcpyKind`.
+    InvalidMemcpyDirection,
+    /// `cudaErrorInvalidResourceHandle` — unknown stream/event handle.
+    InvalidResourceHandle,
+    /// `cudaErrorNotReady` — asynchronous work has not completed (returned by
+    /// queries, not a failure).
+    NotReady,
+    /// `cudaErrorNoDevice` — no CUDA-capable device is available.
+    NoDevice,
+    /// `cudaErrorUnknown` — catch-all; also what a severed rCUDA connection
+    /// surfaces as.
+    Unknown,
+}
+
+impl CudaError {
+    /// The 32-bit code carried on the wire (CUDA 2.3 numbering).
+    pub const fn code(self) -> u32 {
+        match self {
+            CudaError::MissingConfiguration => 1,
+            CudaError::MemoryAllocation => 2,
+            CudaError::InitializationError => 3,
+            CudaError::LaunchFailure => 4,
+            CudaError::InvalidDeviceFunction => 8,
+            CudaError::InvalidValue => 11,
+            CudaError::InvalidDevicePointer => 17,
+            CudaError::InvalidMemcpyDirection => 21,
+            CudaError::InvalidResourceHandle => 33,
+            CudaError::NotReady => 34,
+            CudaError::NoDevice => 38,
+            CudaError::Unknown => 10000,
+        }
+    }
+
+    /// Decode a wire code. `0` is `cudaSuccess` and therefore yields `Ok(())`.
+    /// Unrecognized nonzero codes decode to [`CudaError::Unknown`].
+    pub fn from_code(code: u32) -> Result<(), CudaError> {
+        Err(match code {
+            0 => return Ok(()),
+            1 => CudaError::MissingConfiguration,
+            2 => CudaError::MemoryAllocation,
+            3 => CudaError::InitializationError,
+            4 => CudaError::LaunchFailure,
+            8 => CudaError::InvalidDeviceFunction,
+            11 => CudaError::InvalidValue,
+            17 => CudaError::InvalidDevicePointer,
+            21 => CudaError::InvalidMemcpyDirection,
+            33 => CudaError::InvalidResourceHandle,
+            34 => CudaError::NotReady,
+            38 => CudaError::NoDevice,
+            _ => CudaError::Unknown,
+        })
+    }
+
+    /// The CUDA-style identifier, e.g. `cudaErrorMemoryAllocation`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CudaError::MissingConfiguration => "cudaErrorMissingConfiguration",
+            CudaError::MemoryAllocation => "cudaErrorMemoryAllocation",
+            CudaError::InitializationError => "cudaErrorInitializationError",
+            CudaError::LaunchFailure => "cudaErrorLaunchFailure",
+            CudaError::InvalidDeviceFunction => "cudaErrorInvalidDeviceFunction",
+            CudaError::InvalidValue => "cudaErrorInvalidValue",
+            CudaError::InvalidDevicePointer => "cudaErrorInvalidDevicePointer",
+            CudaError::InvalidMemcpyDirection => "cudaErrorInvalidMemcpyDirection",
+            CudaError::InvalidResourceHandle => "cudaErrorInvalidResourceHandle",
+            CudaError::NotReady => "cudaErrorNotReady",
+            CudaError::NoDevice => "cudaErrorNoDevice",
+            CudaError::Unknown => "cudaErrorUnknown",
+        }
+    }
+
+    /// All distinct error variants (useful for exhaustive round-trip tests).
+    pub const ALL: [CudaError; 12] = [
+        CudaError::MissingConfiguration,
+        CudaError::MemoryAllocation,
+        CudaError::InitializationError,
+        CudaError::LaunchFailure,
+        CudaError::InvalidDeviceFunction,
+        CudaError::InvalidValue,
+        CudaError::InvalidDevicePointer,
+        CudaError::InvalidMemcpyDirection,
+        CudaError::InvalidResourceHandle,
+        CudaError::NotReady,
+        CudaError::NoDevice,
+        CudaError::Unknown,
+    ];
+}
+
+impl fmt::Display for CudaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (code {})", self.name(), self.code())
+    }
+}
+
+impl std::error::Error for CudaError {}
+
+/// Encode an operation result as the 32-bit wire code (`0` = success).
+pub fn result_code(r: &CudaResult<()>) -> u32 {
+    match r {
+        Ok(()) => 0,
+        Err(e) => e.code(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_code_is_zero() {
+        assert_eq!(CudaError::from_code(0), Ok(()));
+        assert_eq!(result_code(&Ok(())), 0);
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for e in CudaError::ALL {
+            assert_eq!(CudaError::from_code(e.code()), Err(e), "{e}");
+        }
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        let mut codes: Vec<u32> = CudaError::ALL.iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), CudaError::ALL.len());
+    }
+
+    #[test]
+    fn unknown_codes_decode_to_unknown() {
+        assert_eq!(CudaError::from_code(9999), Err(CudaError::Unknown));
+        assert_eq!(CudaError::from_code(u32::MAX), Err(CudaError::Unknown));
+    }
+
+    #[test]
+    fn display_includes_name_and_code() {
+        let s = CudaError::MemoryAllocation.to_string();
+        assert!(s.contains("cudaErrorMemoryAllocation"));
+        assert!(s.contains('2'));
+    }
+}

@@ -1,0 +1,137 @@
+//! Byte-size units and formatting.
+//!
+//! The paper mixes decimal megabytes (network bandwidth, "data size in MB" in
+//! Tables III and V) with exact byte counts (Table I message layouts). We make
+//! the distinction explicit: [`MB`] is the decimal unit used for bandwidth
+//! arithmetic, [`MIB`] the binary unit.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One decimal megabyte (10^6 bytes) — the unit the paper's bandwidth figures
+/// and latency regressions are expressed in.
+pub const MB: u64 = 1_000_000;
+
+/// One kibibyte (2^10 bytes).
+pub const KIB: u64 = 1 << 10;
+
+/// One mebibyte (2^20 bytes).
+pub const MIB: u64 = 1 << 20;
+
+/// One gibibyte (2^30 bytes).
+pub const GIB: u64 = 1 << 30;
+
+/// A byte count with paper-consistent conversions and human formatting.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Construct from raw bytes.
+    pub const fn bytes(n: u64) -> Self {
+        ByteSize(n)
+    }
+
+    /// Construct from decimal megabytes.
+    pub const fn mb(n: u64) -> Self {
+        ByteSize(n * MB)
+    }
+
+    /// Construct from mebibytes.
+    pub const fn mib(n: u64) -> Self {
+        ByteSize(n * MIB)
+    }
+
+    /// Raw byte count.
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Size in decimal megabytes (the paper's `n` in `f(n)`/`g(n)`).
+    pub fn as_mb(self) -> f64 {
+        self.0 as f64 / MB as f64
+    }
+
+    /// Size in mebibytes.
+    pub fn as_mib(self) -> f64 {
+        self.0 as f64 / MIB as f64
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_add(other.0))
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= GIB {
+            write!(f, "{:.2} GiB", b as f64 / GIB as f64)
+        } else if b >= MIB {
+            write!(f, "{:.2} MiB", b as f64 / MIB as f64)
+        } else if b >= KIB {
+            write!(f, "{:.2} KiB", b as f64 / KIB as f64)
+        } else {
+            write!(f, "{b} B")
+        }
+    }
+}
+
+impl std::ops::Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl std::iter::Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        ByteSize(iter.map(|b| b.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_units_are_decimal() {
+        // Table III: MM dim 4096 transfers 4*4096^2 bytes = 67.108864 decimal MB,
+        // which the paper rounds to "64 MB" because it quietly uses MiB there;
+        // we keep both conversions available and exact.
+        let sz = ByteSize::bytes(4 * 4096 * 4096);
+        assert!((sz.as_mb() - 67.108864).abs() < 1e-9);
+        assert!((sz.as_mib() - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(ByteSize::mb(3).as_bytes(), 3_000_000);
+        assert_eq!(ByteSize::mib(2).as_bytes(), 2 << 20);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(ByteSize::bytes(12).to_string(), "12 B");
+        assert_eq!(ByteSize::bytes(2048).to_string(), "2.00 KiB");
+        assert_eq!(ByteSize::mib(64).to_string(), "64.00 MiB");
+        assert_eq!(ByteSize::mib(2048).to_string(), "2.00 GiB");
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(ByteSize::bytes(1) + ByteSize::bytes(2), ByteSize::bytes(3));
+        assert_eq!(ByteSize::bytes(7) * 3, ByteSize::bytes(21));
+        let total: ByteSize = [ByteSize::bytes(1), ByteSize::bytes(4)].into_iter().sum();
+        assert_eq!(total, ByteSize::bytes(5));
+    }
+}

@@ -1,0 +1,396 @@
+//! A GPU context: one application's state on the device.
+//!
+//! Mirrors the CUDA Runtime execution surface the paper remotes (§III,
+//! Fig. 2): module load, `cudaMalloc`, `cudaMemcpy` in both directions,
+//! `cudaLaunch`, `cudaFree`, plus the stream/async extension. Every
+//! operation charges its modeled cost to the context's clock and then
+//! executes functionally (unless the context uses phantom memory).
+//!
+//! The rCUDA server spawns one context per remote execution — "a different
+//! server process for each remote execution over a new GPU context" — which
+//! is what gives clients time-multiplexed, isolated views of the device.
+
+use rcuda_core::{CudaError, CudaResult, DeviceProperties, DevicePtr, Dim3, SharedClock, SimTime};
+use std::sync::Arc;
+
+use crate::device::GpuDevice;
+use crate::memory::DeviceMemory;
+use crate::stream::{EventTable, StreamTable, DEFAULT_STREAM};
+
+/// One application's device state.
+pub struct GpuContext {
+    device: Arc<GpuDevice>,
+    mem: DeviceMemory,
+    clock: SharedClock,
+    streams: StreamTable,
+    events: EventTable,
+    /// Kernels named by the loaded module (None until initialization).
+    module_kernels: Option<Vec<String>>,
+}
+
+impl GpuContext {
+    pub(crate) fn new(device: Arc<GpuDevice>, mem: DeviceMemory, clock: SharedClock) -> Self {
+        GpuContext {
+            device,
+            mem,
+            clock,
+            streams: StreamTable::new(),
+            events: EventTable::new(),
+            module_kernels: None,
+        }
+    }
+
+    /// Initialization phase: register the application's GPU module.
+    pub fn load_module(&mut self, blob: &[u8]) -> CudaResult<()> {
+        let kernels = crate::module::parse_module(blob)?;
+        self.clock
+            .advance(self.device.cost_model().module_load_time(blob.len() as u64));
+        self.module_kernels = Some(kernels);
+        Ok(())
+    }
+
+    /// `cudaMalloc`.
+    pub fn malloc(&mut self, size: u32) -> CudaResult<DevicePtr> {
+        self.mem.malloc(size)
+    }
+
+    /// `cudaFree`.
+    pub fn free(&mut self, ptr: DevicePtr) -> CudaResult<()> {
+        self.mem.free(ptr)
+    }
+
+    /// Synchronous host→device `cudaMemcpy`: charges the PCIe transfer and
+    /// stores the data.
+    pub fn memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) -> CudaResult<()> {
+        self.mem.write(dst, data)?;
+        self.clock
+            .advance(self.device.cost_model().pcie_time(data.len() as u64));
+        Ok(())
+    }
+
+    /// Synchronous device→host `cudaMemcpy`.
+    pub fn memcpy_d2h(&mut self, src: DevicePtr, size: u32) -> CudaResult<Vec<u8>> {
+        let data = self.mem.read(src, size)?;
+        self.clock
+            .advance(self.device.cost_model().pcie_time(size as u64));
+        Ok(data)
+    }
+
+    /// Device→device `cudaMemcpy`.
+    pub fn memcpy_d2d(&mut self, dst: DevicePtr, src: DevicePtr, size: u32) -> CudaResult<()> {
+        self.mem.copy_within(dst, src, size)?;
+        self.clock
+            .advance(self.device.cost_model().pcie_time(size as u64));
+        Ok(())
+    }
+
+    /// `cudaMemset`: on-device fill, charged at device-memory bandwidth.
+    pub fn memset(&mut self, dst: DevicePtr, value: u8, size: u32) -> CudaResult<()> {
+        self.mem.memset(dst, value, size)?;
+        self.clock
+            .advance(self.device.cost_model().memset_time(size as u64));
+        Ok(())
+    }
+
+    /// `cudaEventCreate`.
+    pub fn event_create(&mut self) -> CudaResult<u32> {
+        Ok(self.events.create())
+    }
+
+    /// `cudaEventRecord`: the event is stamped when everything already
+    /// enqueued on `stream` completes (now, for an idle stream).
+    pub fn event_record(&mut self, event: u32, stream: u32) -> CudaResult<()> {
+        let at = if stream == DEFAULT_STREAM {
+            self.clock.now()
+        } else {
+            // Peek the stream's deadline by enqueueing zero work.
+            self.streams.enqueue(stream, SimTime::ZERO, &*self.clock)?
+        };
+        self.events.record(event, at)
+    }
+
+    /// `cudaEventSynchronize`.
+    pub fn event_synchronize(&mut self, event: u32) -> CudaResult<()> {
+        self.events.synchronize(event, &*self.clock)
+    }
+
+    /// `cudaEventElapsedTime`, in milliseconds.
+    pub fn event_elapsed_ms(&self, start: u32, end: u32) -> CudaResult<f32> {
+        self.events.elapsed_ms(start, end)
+    }
+
+    /// `cudaEventDestroy`.
+    pub fn event_destroy(&mut self, event: u32) -> CudaResult<()> {
+        self.events.destroy(event)
+    }
+
+    /// Asynchronous host→device copy on a stream: data lands immediately
+    /// (functionally), the time charge is enqueued on the stream.
+    pub fn memcpy_h2d_async(&mut self, dst: DevicePtr, data: &[u8], stream: u32) -> CudaResult<()> {
+        self.mem.write(dst, data)?;
+        let cost = self.device.cost_model().pcie_time(data.len() as u64);
+        self.streams.enqueue(stream, cost, &*self.clock)?;
+        Ok(())
+    }
+
+    /// Asynchronous device→host copy on a stream.
+    pub fn memcpy_d2h_async(
+        &mut self,
+        src: DevicePtr,
+        size: u32,
+        stream: u32,
+    ) -> CudaResult<Vec<u8>> {
+        let data = self.mem.read(src, size)?;
+        let cost = self.device.cost_model().pcie_time(size as u64);
+        self.streams.enqueue(stream, cost, &*self.clock)?;
+        Ok(data)
+    }
+
+    /// `cudaLaunch`: resolve the kernel (it must be named by the loaded
+    /// module *and* implemented by the device), charge its modeled time,
+    /// and execute it — except on phantom memory, where execution is
+    /// skipped (the data is not real).
+    ///
+    /// On the default stream the launch is synchronous from the context's
+    /// perspective (the paper's model covers synchronous semantics); on a
+    /// user stream the time charge is enqueued instead.
+    pub fn launch(
+        &mut self,
+        name: &str,
+        grid: Dim3,
+        block: Dim3,
+        args: &[u8],
+        stream: u32,
+    ) -> CudaResult<()> {
+        let module = self
+            .module_kernels
+            .as_ref()
+            .ok_or(CudaError::InitializationError)?;
+        if !module.iter().any(|k| k == name) {
+            return Err(CudaError::InvalidDeviceFunction);
+        }
+        let f = self.device.registry().resolve(name)?;
+        if grid.count() == 0 || block.count() == 0 {
+            return Err(CudaError::MissingConfiguration);
+        }
+        let cost = self.device.cost_model().kernel_time(name, args);
+        if stream == DEFAULT_STREAM {
+            self.clock.advance(cost);
+        } else {
+            self.streams.enqueue(stream, cost, &*self.clock)?;
+        }
+        if self.mem.is_phantom() {
+            return Ok(());
+        }
+        f(&mut self.mem, grid, block, args)
+    }
+
+    /// `cudaThreadSynchronize`.
+    pub fn synchronize(&mut self) -> CudaResult<()> {
+        self.streams.synchronize_all(&*self.clock);
+        Ok(())
+    }
+
+    /// `cudaStreamCreate`.
+    pub fn stream_create(&mut self) -> CudaResult<u32> {
+        Ok(self.streams.create())
+    }
+
+    /// `cudaStreamSynchronize`.
+    pub fn stream_synchronize(&mut self, stream: u32) -> CudaResult<()> {
+        self.streams.synchronize(stream, &*self.clock)
+    }
+
+    /// `cudaStreamDestroy`.
+    pub fn stream_destroy(&mut self, stream: u32) -> CudaResult<()> {
+        self.streams.destroy(stream)
+    }
+
+    /// `cudaGetDeviceProperties`.
+    pub fn properties(&self) -> &DeviceProperties {
+        self.device.properties()
+    }
+
+    /// The context's clock (shared with the device and, in remote setups,
+    /// the transport).
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Current position of the context's clock.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Allocation statistics (diagnostics / leak tests).
+    pub fn live_allocations(&self) -> usize {
+        self.mem.live_count()
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.mem.used_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{build_module, mm_module};
+    use rcuda_core::time::virtual_clock;
+    use rcuda_core::{ArgPack, Clock as _};
+
+    fn functional_ctx() -> GpuContext {
+        let d = GpuDevice::tesla_c1060_functional();
+        d.create_context(rcuda_core::time::wall_clock(), true)
+    }
+
+    #[test]
+    fn full_mm_cycle_functional() {
+        use rcuda_kernels::matrix::sgemm_naive;
+        use rcuda_kernels::workload::matrix_pair;
+        let mut ctx = functional_ctx();
+        ctx.load_module(&mm_module()).unwrap();
+        let m = 16usize;
+        let bytes = (m * m * 4) as u32;
+        let (a, b) = matrix_pair(m, 1);
+        let pa = ctx.malloc(bytes).unwrap();
+        let pb = ctx.malloc(bytes).unwrap();
+        let pc = ctx.malloc(bytes).unwrap();
+        ctx.memcpy_h2d(pa, &to_bytes(a.as_slice())).unwrap();
+        ctx.memcpy_h2d(pb, &to_bytes(b.as_slice())).unwrap();
+        let args = ArgPack::new()
+            .push_ptr(pa)
+            .push_ptr(pb)
+            .push_ptr(pc)
+            .push_u32(m as u32)
+            .push_u32(m as u32)
+            .push_u32(m as u32)
+            .into_bytes();
+        ctx.launch("sgemmNN", Dim3::xy(1, 1), Dim3::xy(16, 4), &args, 0)
+            .unwrap();
+        let c = from_bytes(&ctx.memcpy_d2h(pc, bytes).unwrap());
+        let mut expect = vec![0.0f32; m * m];
+        sgemm_naive(m, m, m, a.as_slice(), b.as_slice(), &mut expect);
+        let diff = c
+            .iter()
+            .zip(&expect)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(diff < 1e-4);
+        for p in [pa, pb, pc] {
+            ctx.free(p).unwrap();
+        }
+        assert_eq!(ctx.live_allocations(), 0);
+    }
+
+    #[test]
+    fn launch_requires_module() {
+        let mut ctx = functional_ctx();
+        let r = ctx.launch("sgemmNN", Dim3::x(1), Dim3::x(1), &[], 0);
+        assert_eq!(r, Err(CudaError::InitializationError));
+    }
+
+    #[test]
+    fn launch_requires_kernel_in_module() {
+        let mut ctx = functional_ctx();
+        // Module names only the FFT kernel; sgemm is on the device but not
+        // in this application's module.
+        ctx.load_module(&build_module(&["fft512_batch"], 0))
+            .unwrap();
+        let r = ctx.launch("sgemmNN", Dim3::x(1), Dim3::x(1), &[], 0);
+        assert_eq!(r, Err(CudaError::InvalidDeviceFunction));
+    }
+
+    #[test]
+    fn launch_requires_device_implementation() {
+        let mut ctx = functional_ctx();
+        // Module names a kernel the device does not implement.
+        ctx.load_module(&build_module(&["mystery_kernel"], 0))
+            .unwrap();
+        let r = ctx.launch("mystery_kernel", Dim3::x(1), Dim3::x(1), &[], 0);
+        assert_eq!(r, Err(CudaError::InvalidDeviceFunction));
+    }
+
+    #[test]
+    fn launch_requires_configuration() {
+        let mut ctx = functional_ctx();
+        ctx.load_module(&mm_module()).unwrap();
+        let r = ctx.launch("sgemmNN", Dim3::new(0, 0, 0), Dim3::x(1), &[], 0);
+        assert_eq!(r, Err(CudaError::MissingConfiguration));
+    }
+
+    #[test]
+    fn simulated_mm_charges_pcie_and_kernel_time() {
+        let d = GpuDevice::tesla_c1060();
+        let clock = virtual_clock();
+        let mut ctx = d.create_phantom_context(clock.clone(), true);
+        ctx.load_module(&mm_module()).unwrap();
+        let m = 4096u32;
+        let bytes = m * m * 4;
+        let pa = ctx.malloc(bytes).unwrap();
+        let pb = ctx.malloc(bytes).unwrap();
+        let pc = ctx.malloc(bytes).unwrap();
+        // Phantom H2D: pass a small slice but charge by real size via the
+        // explicit API? No — charge follows data length, so simulate with
+        // zero-filled buffers of the real size.
+        let zeros = vec![0u8; bytes as usize];
+        ctx.memcpy_h2d(pa, &zeros).unwrap();
+        ctx.memcpy_h2d(pb, &zeros).unwrap();
+        let args = ArgPack::new()
+            .push_ptr(pa)
+            .push_ptr(pb)
+            .push_ptr(pc)
+            .push_u32(m)
+            .push_u32(m)
+            .push_u32(m)
+            .into_bytes();
+        ctx.launch("sgemmNN", Dim3::xy(64, 64), Dim3::xy(16, 4), &args, 0)
+            .unwrap();
+        let _ = ctx.memcpy_d2h(pc, bytes).unwrap();
+        // 3 × 64 MiB over PCIe at 5743 MiB/s ≈ 33.4 ms; kernel ≈ 366 ms.
+        let t = clock.now().as_secs_f64();
+        assert!(t > 0.35 && t < 0.45, "total simulated time {t}");
+    }
+
+    #[test]
+    fn async_copies_overlap_on_streams() {
+        let d = GpuDevice::tesla_c1060();
+        let clock = virtual_clock();
+        let mut ctx = d.create_phantom_context(clock.clone(), true);
+        ctx.load_module(&mm_module()).unwrap();
+        let after_load = clock.now();
+        let p = ctx.malloc(64 << 20).unwrap();
+        let q = ctx.malloc(64 << 20).unwrap();
+        let s1 = ctx.stream_create().unwrap();
+        let s2 = ctx.stream_create().unwrap();
+        let zeros = vec![0u8; 64 << 20];
+        ctx.memcpy_h2d_async(p, &zeros, s1).unwrap();
+        ctx.memcpy_h2d_async(q, &zeros, s2).unwrap();
+        assert_eq!(clock.now(), after_load, "async enqueue charges nothing");
+        ctx.synchronize().unwrap();
+        let t = clock.now().as_millis_f64();
+        // One 64 MiB PCIe copy is ~11.4 ms; two overlapped streams cost the
+        // max, not the sum. (The model does not serialize the shared link —
+        // documented simplification.)
+        assert!(t > 10.0 && t < 13.0, "{t}");
+        ctx.stream_destroy(s1).unwrap();
+        ctx.stream_destroy(s2).unwrap();
+    }
+
+    #[test]
+    fn properties_come_from_the_device() {
+        let ctx = functional_ctx();
+        assert_eq!(ctx.properties().cc_major, 1);
+        assert_eq!(ctx.properties().cc_minor, 3);
+    }
+
+    fn to_bytes(data: &[f32]) -> Vec<u8> {
+        data.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn from_bytes(b: &[u8]) -> Vec<f32> {
+        b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+}

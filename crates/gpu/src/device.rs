@@ -1,0 +1,149 @@
+//! The simulated GPU device: properties, kernel registry, cost model.
+//!
+//! One [`GpuDevice`] is shared (behind `Arc`) by every context created on
+//! it, exactly like a physical accelerator serving multiple rCUDA
+//! connections.
+
+use rcuda_core::{DeviceProperties, SharedClock};
+use std::sync::Arc;
+
+use crate::context::GpuContext;
+use crate::kernel::{builtin_registry, KernelRegistry};
+use crate::memory::DeviceMemory;
+use crate::timing::{C1060CostModel, CostModel, NullCostModel};
+
+/// Per-context device-memory capacity: the full 32-bit address space minus
+/// the reserved null region (the C1060's 4 GiB, as close as 4-byte device
+/// pointers allow).
+const CONTEXT_MEM_CAPACITY: u32 = u32::MAX - 0x1000;
+
+/// A simulated CUDA device.
+pub struct GpuDevice {
+    props: DeviceProperties,
+    registry: KernelRegistry,
+    cost: Box<dyn CostModel>,
+}
+
+impl GpuDevice {
+    /// The paper's testbed device with the C1060 cost model — for simulated
+    /// (virtual-clock) executions.
+    pub fn tesla_c1060() -> Arc<Self> {
+        Arc::new(GpuDevice {
+            props: DeviceProperties::tesla_c1060(),
+            registry: builtin_registry(),
+            cost: Box::new(C1060CostModel::new()),
+        })
+    }
+
+    /// The paper's testbed device with no time charging — for functional
+    /// wall-clock runs (tests, examples over real sockets).
+    pub fn tesla_c1060_functional() -> Arc<Self> {
+        Arc::new(GpuDevice {
+            props: DeviceProperties::tesla_c1060(),
+            registry: builtin_registry(),
+            cost: Box::new(NullCostModel),
+        })
+    }
+
+    /// Fully custom device.
+    pub fn custom(
+        props: DeviceProperties,
+        registry: KernelRegistry,
+        cost: Box<dyn CostModel>,
+    ) -> Arc<Self> {
+        Arc::new(GpuDevice {
+            props,
+            registry,
+            cost,
+        })
+    }
+
+    pub fn properties(&self) -> &DeviceProperties {
+        &self.props
+    }
+
+    pub fn registry(&self) -> &KernelRegistry {
+        &self.registry
+    }
+
+    pub fn cost_model(&self) -> &dyn CostModel {
+        &*self.cost
+    }
+
+    /// Create an application context with functional (backed) memory.
+    ///
+    /// `preinitialized` contexts skip the CUDA context-creation charge — the
+    /// rCUDA daemon keeps its context warm (§VI-B), while a local
+    /// application pays it on first use.
+    pub fn create_context(
+        self: &Arc<Self>,
+        clock: SharedClock,
+        preinitialized: bool,
+    ) -> GpuContext {
+        self.make_context(clock, preinitialized, false)
+    }
+
+    /// Create a context with phantom memory: allocation bookkeeping and
+    /// timing are exact, but no bytes are stored and kernels do not execute.
+    /// This lets paper-scale problems (gigabytes of traffic) run through the
+    /// full middleware on a virtual clock at negligible host cost.
+    pub fn create_phantom_context(
+        self: &Arc<Self>,
+        clock: SharedClock,
+        preinitialized: bool,
+    ) -> GpuContext {
+        self.make_context(clock, preinitialized, true)
+    }
+
+    fn make_context(
+        self: &Arc<Self>,
+        clock: SharedClock,
+        preinitialized: bool,
+        phantom: bool,
+    ) -> GpuContext {
+        if !preinitialized {
+            clock.advance(self.cost.context_init_time());
+        }
+        let mem = if phantom {
+            DeviceMemory::phantom(CONTEXT_MEM_CAPACITY)
+        } else {
+            DeviceMemory::new(CONTEXT_MEM_CAPACITY)
+        };
+        GpuContext::new(Arc::clone(self), mem, clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuda_core::time::virtual_clock;
+    use rcuda_core::Clock as _;
+
+    #[test]
+    fn device_exposes_paper_testbed() {
+        let d = GpuDevice::tesla_c1060();
+        assert_eq!(d.properties().name, "Tesla C1060");
+        assert!(d.registry().contains("sgemmNN"));
+    }
+
+    #[test]
+    fn context_init_charge_only_when_cold() {
+        let d = GpuDevice::tesla_c1060();
+        let clock = virtual_clock();
+        let _warm = d.create_context(clock.clone(), true);
+        assert_eq!(clock.now().as_nanos(), 0, "pre-initialized context is free");
+        let _cold = d.create_context(clock.clone(), false);
+        assert!(
+            clock.now().as_secs_f64() > 0.1,
+            "cold context pays CUDA init"
+        );
+    }
+
+    #[test]
+    fn functional_device_charges_nothing() {
+        let d = GpuDevice::tesla_c1060_functional();
+        let clock = virtual_clock();
+        let _ctx = d.create_context(clock.clone(), false);
+        assert_eq!(clock.now().as_nanos(), 0);
+    }
+}

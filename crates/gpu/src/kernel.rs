@@ -1,0 +1,366 @@
+//! The device's kernel registry: name → executable function.
+//!
+//! A kernel is an ordinary Rust function operating on device memory — the
+//! functional stand-in for the CUDA machine code the paper's GPU executes.
+//! Launch geometry is passed through (kernels validate it where it matters)
+//! and arguments arrive as the packed block shipped in the `cudaLaunch`
+//! message (decoded with [`ArgReader`]).
+
+use rcuda_core::{ArgReader, CudaError, CudaResult, Dim3};
+use rcuda_kernels::complex::{bytes_to_complex, complex_to_bytes};
+use rcuda_kernels::fft::fft_batch_512;
+use rcuda_kernels::matrix::sgemm_tiled_gpu;
+use rcuda_kernels::nbody::{nbody_accelerations, ACCEL_STRIDE, BODY_STRIDE};
+use std::collections::HashMap;
+
+use crate::memory::DeviceMemory;
+
+/// A launchable device function.
+pub type KernelFn =
+    fn(mem: &mut DeviceMemory, grid: Dim3, block: Dim3, args: &[u8]) -> CudaResult<()>;
+
+/// Name → kernel lookup for one device.
+#[derive(Default)]
+pub struct KernelRegistry {
+    map: HashMap<String, KernelFn>,
+}
+
+impl KernelRegistry {
+    pub fn new() -> Self {
+        KernelRegistry::default()
+    }
+
+    /// Register (or replace) a kernel.
+    pub fn register(&mut self, name: &str, f: KernelFn) {
+        self.map.insert(name.to_string(), f);
+    }
+
+    /// Resolve a kernel by name; unknown names report
+    /// `cudaErrorInvalidDeviceFunction`, as CUDA does.
+    pub fn resolve(&self, name: &str) -> CudaResult<KernelFn> {
+        self.map
+            .get(name)
+            .copied()
+            .ok_or(CudaError::InvalidDeviceFunction)
+    }
+
+    /// Whether a kernel is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+
+    /// Registered kernel names (sorted, for diagnostics).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.map.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// The registry every simulated device ships with: the two case-study
+/// kernels plus small utility kernels used by tests and examples.
+pub fn builtin_registry() -> KernelRegistry {
+    let mut r = KernelRegistry::new();
+    r.register("sgemmNN", k_sgemm_nn);
+    r.register("fft512_batch", k_fft512_batch);
+    r.register("nbody_accel", k_nbody_accel);
+    r.register("vec_add", k_vec_add);
+    r.register("saxpy", k_saxpy);
+    r.register("fill", k_fill);
+    r
+}
+
+/// `sgemmNN(a, b, c, m, n, k)` — C = A·B, row-major f32 (the Volkov-kernel
+/// stand-in; §IV-B).
+fn k_sgemm_nn(mem: &mut DeviceMemory, _grid: Dim3, _block: Dim3, args: &[u8]) -> CudaResult<()> {
+    let mut r = ArgReader::new(args);
+    let a_ptr = r.ptr()?;
+    let b_ptr = r.ptr()?;
+    let c_ptr = r.ptr()?;
+    let m = r.u32()? as usize;
+    let n = r.u32()? as usize;
+    let k = r.u32()? as usize;
+    r.finish()?;
+    if m == 0 || n == 0 || k == 0 {
+        return Err(CudaError::InvalidValue);
+    }
+    let a = mem.read_f32(a_ptr, (m * k) as u32)?;
+    let b = mem.read_f32(b_ptr, (k * n) as u32)?;
+    let mut c = vec![0.0f32; m * n];
+    sgemm_tiled_gpu(m, n, k, &a, &b, &mut c);
+    mem.write_f32(c_ptr, &c)
+}
+
+/// `fft512_batch(data, batch)` — in-place forward FFT of `batch` 512-point
+/// complex signals.
+fn k_fft512_batch(
+    mem: &mut DeviceMemory,
+    _grid: Dim3,
+    _block: Dim3,
+    args: &[u8],
+) -> CudaResult<()> {
+    let mut r = ArgReader::new(args);
+    let ptr = r.ptr()?;
+    let batch = r.u32()? as usize;
+    r.finish()?;
+    if batch == 0 {
+        return Err(CudaError::InvalidValue);
+    }
+    let bytes = mem.read(ptr, (batch * 512 * 8) as u32)?;
+    let mut data = bytes_to_complex(&bytes).ok_or(CudaError::InvalidValue)?;
+    fft_batch_512(&mut data);
+    mem.write(ptr, &complex_to_bytes(&data))
+}
+
+/// `nbody_accel(bodies, accel, n, softening)` — direct-summation gravity
+/// over `n` packed bodies (third workload family; see
+/// `rcuda_kernels::nbody`).
+fn k_nbody_accel(mem: &mut DeviceMemory, _grid: Dim3, _block: Dim3, args: &[u8]) -> CudaResult<()> {
+    let mut r = ArgReader::new(args);
+    let bodies_ptr = r.ptr()?;
+    let accel_ptr = r.ptr()?;
+    let n = r.u32()? as usize;
+    let softening = r.f32()?;
+    r.finish()?;
+    if n == 0 || softening <= 0.0 {
+        return Err(CudaError::InvalidValue);
+    }
+    let bodies = mem.read_f32(bodies_ptr, (n * BODY_STRIDE) as u32)?;
+    let mut accel = vec![0.0f32; n * ACCEL_STRIDE];
+    nbody_accelerations(&bodies, &mut accel, softening);
+    mem.write_f32(accel_ptr, &accel)
+}
+
+/// `vec_add(a, b, c, n)` — c[i] = a[i] + b[i].
+fn k_vec_add(mem: &mut DeviceMemory, _grid: Dim3, _block: Dim3, args: &[u8]) -> CudaResult<()> {
+    let mut r = ArgReader::new(args);
+    let a_ptr = r.ptr()?;
+    let b_ptr = r.ptr()?;
+    let c_ptr = r.ptr()?;
+    let n = r.u32()?;
+    r.finish()?;
+    let a = mem.read_f32(a_ptr, n)?;
+    let b = mem.read_f32(b_ptr, n)?;
+    let c: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+    mem.write_f32(c_ptr, &c)
+}
+
+/// `saxpy(alpha, x, y, n)` — y[i] += alpha · x[i].
+fn k_saxpy(mem: &mut DeviceMemory, _grid: Dim3, _block: Dim3, args: &[u8]) -> CudaResult<()> {
+    let mut r = ArgReader::new(args);
+    let alpha = r.f32()?;
+    let x_ptr = r.ptr()?;
+    let y_ptr = r.ptr()?;
+    let n = r.u32()?;
+    r.finish()?;
+    let x = mem.read_f32(x_ptr, n)?;
+    let mut y = mem.read_f32(y_ptr, n)?;
+    for (yi, xi) in y.iter_mut().zip(&x) {
+        *yi += alpha * xi;
+    }
+    mem.write_f32(y_ptr, &y)
+}
+
+/// `fill(ptr, n, value)` — ptr[i] = value.
+fn k_fill(mem: &mut DeviceMemory, _grid: Dim3, _block: Dim3, args: &[u8]) -> CudaResult<()> {
+    let mut r = ArgReader::new(args);
+    let ptr = r.ptr()?;
+    let n = r.u32()?;
+    let value = r.f32()?;
+    r.finish()?;
+    mem.write_f32(ptr, &vec![value; n as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuda_core::ArgPack;
+
+    fn geometry() -> (Dim3, Dim3) {
+        (Dim3::x(1), Dim3::x(64))
+    }
+
+    #[test]
+    fn registry_resolves_builtins() {
+        let r = builtin_registry();
+        for name in [
+            "sgemmNN",
+            "fft512_batch",
+            "nbody_accel",
+            "vec_add",
+            "saxpy",
+            "fill",
+        ] {
+            assert!(r.contains(name), "{name}");
+            r.resolve(name).unwrap();
+        }
+        assert_eq!(
+            r.resolve("nonexistent").err(),
+            Some(CudaError::InvalidDeviceFunction)
+        );
+        assert_eq!(r.names().len(), 6);
+    }
+
+    #[test]
+    fn nbody_kernel_matches_reference() {
+        use rcuda_kernels::nbody::nbody_input;
+        let n = 16usize;
+        let bodies = nbody_input(n, 9);
+        let mut mem = DeviceMemory::new(1 << 20);
+        let pb = mem.malloc((n * BODY_STRIDE * 4) as u32).unwrap();
+        let pa = mem.malloc((n * ACCEL_STRIDE * 4) as u32).unwrap();
+        mem.write_f32(pb, &bodies).unwrap();
+        let args = ArgPack::new()
+            .push_ptr(pb)
+            .push_ptr(pa)
+            .push_u32(n as u32)
+            .push_f32(0.01)
+            .into_bytes();
+        let (g, b) = geometry();
+        k_nbody_accel(&mut mem, g, b, &args).unwrap();
+        let got = mem.read_f32(pa, (n * ACCEL_STRIDE) as u32).unwrap();
+        let mut expect = vec![0.0f32; n * ACCEL_STRIDE];
+        nbody_accelerations(&bodies, &mut expect, 0.01);
+        assert_eq!(got, expect, "kernel must be bit-identical to reference");
+    }
+
+    #[test]
+    fn vec_add_computes() {
+        let mut mem = DeviceMemory::new(1 << 16);
+        let a = mem.malloc(16).unwrap();
+        let b = mem.malloc(16).unwrap();
+        let c = mem.malloc(16).unwrap();
+        mem.write_f32(a, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        mem.write_f32(b, &[10.0, 20.0, 30.0, 40.0]).unwrap();
+        let args = ArgPack::new()
+            .push_ptr(a)
+            .push_ptr(b)
+            .push_ptr(c)
+            .push_u32(4)
+            .into_bytes();
+        let (g, bk) = geometry();
+        k_vec_add(&mut mem, g, bk, &args).unwrap();
+        assert_eq!(mem.read_f32(c, 4).unwrap(), vec![11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn saxpy_computes_in_place() {
+        let mut mem = DeviceMemory::new(1 << 16);
+        let x = mem.malloc(8).unwrap();
+        let y = mem.malloc(8).unwrap();
+        mem.write_f32(x, &[1.0, 2.0]).unwrap();
+        mem.write_f32(y, &[5.0, 5.0]).unwrap();
+        let args = ArgPack::new()
+            .push_f32(2.0)
+            .push_ptr(x)
+            .push_ptr(y)
+            .push_u32(2)
+            .into_bytes();
+        let (g, b) = geometry();
+        k_saxpy(&mut mem, g, b, &args).unwrap();
+        assert_eq!(mem.read_f32(y, 2).unwrap(), vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn fill_writes_constant() {
+        let mut mem = DeviceMemory::new(1 << 16);
+        let p = mem.malloc(40).unwrap();
+        let args = ArgPack::new()
+            .push_ptr(p)
+            .push_u32(10)
+            .push_f32(3.5)
+            .into_bytes();
+        let (g, b) = geometry();
+        k_fill(&mut mem, g, b, &args).unwrap();
+        assert_eq!(mem.read_f32(p, 10).unwrap(), vec![3.5; 10]);
+    }
+
+    #[test]
+    fn sgemm_kernel_matches_reference() {
+        use rcuda_kernels::matrix::sgemm_naive;
+        use rcuda_kernels::workload::matrix_pair;
+        let m = 12;
+        let (a, b) = matrix_pair(m, 5);
+        let mut mem = DeviceMemory::new(1 << 20);
+        let pa = mem.malloc((m * m * 4) as u32).unwrap();
+        let pb = mem.malloc((m * m * 4) as u32).unwrap();
+        let pc = mem.malloc((m * m * 4) as u32).unwrap();
+        mem.write_f32(pa, a.as_slice()).unwrap();
+        mem.write_f32(pb, b.as_slice()).unwrap();
+        let args = ArgPack::new()
+            .push_ptr(pa)
+            .push_ptr(pb)
+            .push_ptr(pc)
+            .push_u32(m as u32)
+            .push_u32(m as u32)
+            .push_u32(m as u32)
+            .into_bytes();
+        let (g, bk) = geometry();
+        k_sgemm_nn(&mut mem, g, bk, &args).unwrap();
+        let got = mem.read_f32(pc, (m * m * 4 / 4) as u32).unwrap();
+        let mut expect = vec![0.0f32; m * m];
+        sgemm_naive(m, m, m, a.as_slice(), b.as_slice(), &mut expect);
+        let diff = got
+            .iter()
+            .zip(&expect)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(diff < 1e-4, "diff {diff}");
+    }
+
+    #[test]
+    fn fft_kernel_matches_reference() {
+        use rcuda_kernels::fft::fft_batch_512;
+        use rcuda_kernels::workload::fft_input;
+        let batch = 2;
+        let input = fft_input(batch, 3);
+        let mut mem = DeviceMemory::new(1 << 20);
+        let p = mem.malloc((batch * 512 * 8) as u32).unwrap();
+        mem.write(p, &complex_to_bytes(&input)).unwrap();
+        let args = ArgPack::new()
+            .push_ptr(p)
+            .push_u32(batch as u32)
+            .into_bytes();
+        let (g, b) = geometry();
+        k_fft512_batch(&mut mem, g, b, &args).unwrap();
+        let got = bytes_to_complex(&mem.read(p, (batch * 512 * 8) as u32).unwrap()).unwrap();
+        let mut expect = input;
+        fft_batch_512(&mut expect);
+        assert_eq!(got, expect, "remote kernel must be bit-identical");
+    }
+
+    #[test]
+    fn bad_args_are_rejected_not_panicking() {
+        let mut mem = DeviceMemory::new(1 << 16);
+        let (g, b) = geometry();
+        // Truncated arg block.
+        assert!(k_vec_add(&mut mem, g, b, &[0u8; 3]).is_err());
+        // Dangling pointers.
+        let args = ArgPack::new()
+            .push_ptr(rcuda_core::DevicePtr::new(0xDEAD))
+            .push_u32(4)
+            .push_f32(0.0)
+            .into_bytes();
+        assert_eq!(
+            k_fill(&mut mem, g, b, &args),
+            Err(CudaError::InvalidDevicePointer)
+        );
+        // Zero-size sgemm.
+        let args = ArgPack::new()
+            .push_ptr(rcuda_core::DevicePtr::new(0x1000))
+            .push_ptr(rcuda_core::DevicePtr::new(0x1000))
+            .push_ptr(rcuda_core::DevicePtr::new(0x1000))
+            .push_u32(0)
+            .push_u32(0)
+            .push_u32(0)
+            .into_bytes();
+        assert_eq!(
+            k_sgemm_nn(&mut mem, g, b, &args),
+            Err(CudaError::InvalidValue)
+        );
+        // Trailing garbage after valid args.
+        let mut args = ArgPack::new().push_u32(1).into_bytes();
+        args.push(0xFF);
+        assert!(k_fill(&mut mem, g, b, &args).is_err());
+    }
+}

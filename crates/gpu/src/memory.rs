@@ -1,0 +1,267 @@
+//! The device-memory backing store.
+//!
+//! Pairs the [`DeviceAllocator`] with actual
+//! byte storage so that copies and kernels operate on real data. Buffers are
+//! materialized lazily per allocation (a 4 GiB address space costs nothing
+//! until used) and zero-initialized, which also gives deterministic results
+//! if an application reads memory it never wrote.
+
+use rcuda_core::{CudaError, CudaResult, DevicePtr};
+use std::collections::HashMap;
+
+use crate::alloc::DeviceAllocator;
+
+/// Allocator + backing bytes: one application context's device memory.
+///
+/// In **phantom** mode the allocator bookkeeping (and therefore every error
+/// path and timing charge) is identical, but no bytes are stored: writes are
+/// validated and discarded, reads return zeros. Phantom contexts let
+/// paper-scale problems (gigabytes of traffic) run through the middleware
+/// without gigabytes of host memory; kernels are skipped on them.
+#[derive(Debug)]
+pub struct DeviceMemory {
+    alloc: DeviceAllocator,
+    /// Backing store per live allocation, keyed by base address.
+    buffers: HashMap<u32, Vec<u8>>,
+    backed: bool,
+}
+
+impl DeviceMemory {
+    pub fn new(capacity: u32) -> Self {
+        DeviceMemory {
+            alloc: DeviceAllocator::new(capacity),
+            buffers: HashMap::new(),
+            backed: true,
+        }
+    }
+
+    /// Timing-only memory: full allocator semantics, no storage.
+    pub fn phantom(capacity: u32) -> Self {
+        DeviceMemory {
+            alloc: DeviceAllocator::new(capacity),
+            buffers: HashMap::new(),
+            backed: false,
+        }
+    }
+
+    /// Whether this memory discards data (see [`DeviceMemory::phantom`]).
+    pub fn is_phantom(&self) -> bool {
+        !self.backed
+    }
+
+    /// `cudaMalloc`.
+    pub fn malloc(&mut self, size: u32) -> CudaResult<DevicePtr> {
+        let ptr = self.alloc.alloc(size)?;
+        if self.backed {
+            let (_, rounded) = self.alloc.containing(ptr)?;
+            self.buffers.insert(ptr.addr(), vec![0u8; rounded as usize]);
+        }
+        Ok(ptr)
+    }
+
+    /// `cudaFree`.
+    pub fn free(&mut self, ptr: DevicePtr) -> CudaResult<()> {
+        self.alloc.free(ptr)?;
+        self.buffers.remove(&ptr.addr());
+        Ok(())
+    }
+
+    /// Host→device copy (`ptr` may point inside an allocation).
+    pub fn write(&mut self, ptr: DevicePtr, data: &[u8]) -> CudaResult<()> {
+        let size = u32::try_from(data.len()).map_err(|_| CudaError::InvalidValue)?;
+        self.alloc.check_range(ptr, size)?;
+        if !self.backed {
+            return Ok(());
+        }
+        let (base, _) = self.alloc.containing(ptr)?;
+        let offset = (ptr.addr() - base.addr()) as usize;
+        let buf = self.buffers.get_mut(&base.addr()).expect("buffer exists");
+        buf[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Device→host copy.
+    pub fn read(&self, ptr: DevicePtr, size: u32) -> CudaResult<Vec<u8>> {
+        self.alloc.check_range(ptr, size)?;
+        if !self.backed {
+            return Ok(vec![0u8; size as usize]);
+        }
+        let (base, _) = self.alloc.containing(ptr)?;
+        let offset = (ptr.addr() - base.addr()) as usize;
+        let buf = self.buffers.get(&base.addr()).expect("buffer exists");
+        Ok(buf[offset..offset + size as usize].to_vec())
+    }
+
+    /// Device→device copy (`cudaMemcpyDeviceToDevice`).
+    pub fn copy_within(&mut self, dst: DevicePtr, src: DevicePtr, size: u32) -> CudaResult<()> {
+        let data = self.read(src, size)?;
+        self.write(dst, &data)
+    }
+
+    /// `cudaMemset`: fill `size` bytes at `ptr` with `value`'s low byte.
+    pub fn memset(&mut self, ptr: DevicePtr, value: u8, size: u32) -> CudaResult<()> {
+        self.alloc.check_range(ptr, size)?;
+        if !self.backed {
+            return Ok(());
+        }
+        let (base, _) = self.alloc.containing(ptr)?;
+        let offset = (ptr.addr() - base.addr()) as usize;
+        let buf = self.buffers.get_mut(&base.addr()).expect("buffer exists");
+        buf[offset..offset + size as usize].fill(value);
+        Ok(())
+    }
+
+    /// Borrow an allocation's bytes for in-place kernel work.
+    /// `ptr` must be an allocation base (kernels receive base pointers).
+    /// Unavailable on phantom memory (kernels are skipped there).
+    pub fn buffer_mut(&mut self, ptr: DevicePtr, size: u32) -> CudaResult<&mut [u8]> {
+        if !self.backed {
+            return Err(CudaError::InvalidValue);
+        }
+        self.alloc.check_range(ptr, size)?;
+        let (base, _) = self.alloc.containing(ptr)?;
+        let offset = (ptr.addr() - base.addr()) as usize;
+        let buf = self.buffers.get_mut(&base.addr()).expect("buffer exists");
+        Ok(&mut buf[offset..offset + size as usize])
+    }
+
+    /// Read a device buffer as `f32`s (kernel convenience).
+    pub fn read_f32(&self, ptr: DevicePtr, count: u32) -> CudaResult<Vec<f32>> {
+        let bytes = self.read(ptr, count.checked_mul(4).ok_or(CudaError::InvalidValue)?)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Write `f32`s to a device buffer (kernel convenience).
+    pub fn write_f32(&mut self, ptr: DevicePtr, data: &[f32]) -> CudaResult<()> {
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write(ptr, &bytes)
+    }
+
+    /// Allocation statistics passthrough.
+    pub fn used_bytes(&self) -> u64 {
+        self.alloc.used_bytes()
+    }
+
+    pub fn free_bytes(&self) -> u64 {
+        self.alloc.free_bytes()
+    }
+
+    pub fn live_count(&self) -> usize {
+        self.alloc.live_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> DeviceMemory {
+        DeviceMemory::new(1 << 20)
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = mem();
+        let p = m.malloc(256).unwrap();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write(p, &data).unwrap();
+        assert_eq!(m.read(p, 256).unwrap(), data);
+    }
+
+    #[test]
+    fn fresh_memory_is_zeroed() {
+        let mut m = mem();
+        let p = m.malloc(64).unwrap();
+        assert_eq!(m.read(p, 64).unwrap(), vec![0u8; 64]);
+    }
+
+    #[test]
+    fn interior_offsets_work() {
+        let mut m = mem();
+        let p = m.malloc(1024).unwrap();
+        m.write(p.offset(100), &[1, 2, 3]).unwrap();
+        assert_eq!(m.read(p.offset(99), 5).unwrap(), vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = mem();
+        let p = m.malloc(100).unwrap(); // rounds to the 256-byte alignment
+        assert_eq!(
+            m.write(p, &vec![0u8; 257]),
+            Err(CudaError::InvalidDevicePointer)
+        );
+        assert_eq!(m.read(p, 257), Err(CudaError::InvalidDevicePointer));
+    }
+
+    #[test]
+    fn dangling_pointer_rejected_after_free() {
+        let mut m = mem();
+        let p = m.malloc(64).unwrap();
+        m.free(p).unwrap();
+        assert_eq!(m.read(p, 4), Err(CudaError::InvalidDevicePointer));
+        assert_eq!(m.write(p, &[1]), Err(CudaError::InvalidDevicePointer));
+    }
+
+    #[test]
+    fn device_to_device_copy() {
+        let mut m = mem();
+        let a = m.malloc(16).unwrap();
+        let b = m.malloc(16).unwrap();
+        m.write(a, &[9u8; 16]).unwrap();
+        m.copy_within(b, a, 16).unwrap();
+        assert_eq!(m.read(b, 16).unwrap(), vec![9u8; 16]);
+    }
+
+    #[test]
+    fn f32_views_round_trip() {
+        let mut m = mem();
+        let p = m.malloc(16).unwrap();
+        m.write_f32(p, &[1.0, -2.5, 3.25, 0.0]).unwrap();
+        assert_eq!(m.read_f32(p, 4).unwrap(), vec![1.0, -2.5, 3.25, 0.0]);
+    }
+
+    #[test]
+    fn buffer_mut_allows_in_place_kernel_work() {
+        let mut m = mem();
+        let p = m.malloc(8).unwrap();
+        {
+            let buf = m.buffer_mut(p, 8).unwrap();
+            buf.copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        }
+        assert_eq!(m.read(p, 8).unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn phantom_memory_validates_but_stores_nothing() {
+        let mut m = DeviceMemory::phantom(u32::MAX - 0x1000);
+        assert!(m.is_phantom());
+        // Paper-scale allocation (1296 MiB) costs no host memory.
+        let p = m.malloc(1296 << 20).unwrap();
+        m.write(p, &[1, 2, 3]).unwrap();
+        assert_eq!(m.read(p, 3).unwrap(), vec![0, 0, 0], "writes discarded");
+        // Error paths are identical to backed memory.
+        assert_eq!(
+            m.write(DevicePtr::new(0xBAD), &[1]),
+            Err(CudaError::InvalidDevicePointer)
+        );
+        assert!(m.buffer_mut(p, 4).is_err());
+        m.free(p).unwrap();
+        assert_eq!(m.read(p, 1), Err(CudaError::InvalidDevicePointer));
+    }
+
+    #[test]
+    fn memory_isolated_between_allocations() {
+        let mut m = mem();
+        let a = m.malloc(256).unwrap();
+        let b = m.malloc(256).unwrap();
+        m.write(a, &[0xFFu8; 256]).unwrap();
+        assert_eq!(m.read(b, 256).unwrap(), vec![0u8; 256], "B untouched");
+    }
+}

@@ -1,0 +1,139 @@
+//! The GPU "module" blob: the code image the client ships at initialization.
+//!
+//! The real rCUDA locates the application's CUDA fatbin and sends it to the
+//! server (§III, phase 1); the paper reports 21 486 bytes for the MM module
+//! and 7 852 bytes for the FFT module. Our simulated device obviously cannot
+//! execute NVIDIA machine code, so the module format here is a directory of
+//! kernel *names* (resolved against the device's kernel registry at launch
+//! time) padded with deterministic filler to any requested size — keeping
+//! the wire traffic byte-identical to the paper's.
+//!
+//! Layout: `b"RCUM"` magic · u32 kernel count · per kernel (u32 length +
+//! UTF-8 name) · filler to the target size.
+
+use rcuda_core::{CudaError, CudaResult};
+
+/// Module magic bytes.
+const MAGIC: &[u8; 4] = b"RCUM";
+
+/// Build a module blob exposing `kernels`, padded to `target_size` bytes
+/// (0 = minimal size). Panics if the directory alone exceeds `target_size`.
+pub fn build_module(kernels: &[&str], target_size: usize) -> Vec<u8> {
+    let mut blob = Vec::with_capacity(target_size);
+    blob.extend_from_slice(MAGIC);
+    blob.extend_from_slice(&(kernels.len() as u32).to_le_bytes());
+    for name in kernels {
+        blob.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        blob.extend_from_slice(name.as_bytes());
+    }
+    if target_size > 0 {
+        assert!(
+            blob.len() <= target_size,
+            "kernel directory ({}) exceeds target module size ({})",
+            blob.len(),
+            target_size
+        );
+        // Deterministic filler standing in for the fatbin machine code.
+        let mut x = 0x9E37_79B9u32;
+        while blob.len() < target_size {
+            x = x.wrapping_mul(0x85EB_CA6B).rotate_left(13) ^ 0x27D4_EB2F;
+            blob.push((x >> 24) as u8);
+        }
+    }
+    blob
+}
+
+/// Parse a module blob into its kernel directory.
+pub fn parse_module(blob: &[u8]) -> CudaResult<Vec<String>> {
+    if blob.len() < 8 || &blob[..4] != MAGIC {
+        return Err(CudaError::InitializationError);
+    }
+    let count = u32::from_le_bytes(blob[4..8].try_into().unwrap()) as usize;
+    if count > 1024 {
+        return Err(CudaError::InitializationError);
+    }
+    let mut names = Vec::with_capacity(count);
+    let mut pos = 8;
+    for _ in 0..count {
+        let len_bytes = blob
+            .get(pos..pos + 4)
+            .ok_or(CudaError::InitializationError)?;
+        let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+        pos += 4;
+        let name_bytes = blob
+            .get(pos..pos + len)
+            .ok_or(CudaError::InitializationError)?;
+        let name =
+            String::from_utf8(name_bytes.to_vec()).map_err(|_| CudaError::InitializationError)?;
+        names.push(name);
+        pos += len;
+    }
+    Ok(names)
+}
+
+/// Build the case-study module for MM at the paper's exact size.
+pub fn mm_module() -> Vec<u8> {
+    build_module(
+        &["sgemmNN"],
+        rcuda_core::casestudy::MM_MODULE_BYTES as usize,
+    )
+}
+
+/// Build the case-study module for FFT at the paper's exact size.
+pub fn fft_module() -> Vec<u8> {
+    build_module(
+        &["fft512_batch"],
+        rcuda_core::casestudy::FFT_MODULE_BYTES as usize,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_kernel_directory() {
+        let blob = build_module(&["sgemmNN", "fft512_batch", "vec_add"], 0);
+        assert_eq!(
+            parse_module(&blob).unwrap(),
+            vec!["sgemmNN", "fft512_batch", "vec_add"]
+        );
+    }
+
+    #[test]
+    fn case_study_modules_have_paper_sizes() {
+        assert_eq!(mm_module().len(), 21_486);
+        assert_eq!(fft_module().len(), 7_852);
+        assert_eq!(parse_module(&mm_module()).unwrap(), vec!["sgemmNN"]);
+        assert_eq!(parse_module(&fft_module()).unwrap(), vec!["fft512_batch"]);
+    }
+
+    #[test]
+    fn padding_is_deterministic() {
+        assert_eq!(build_module(&["k"], 4096), build_module(&["k"], 4096));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert_eq!(parse_module(b"nope"), Err(CudaError::InitializationError));
+        assert_eq!(parse_module(&[]), Err(CudaError::InitializationError));
+        // Magic but truncated directory.
+        let mut blob = build_module(&["a_kernel_name"], 0);
+        blob.truncate(10);
+        assert_eq!(parse_module(&blob), Err(CudaError::InitializationError));
+    }
+
+    #[test]
+    fn absurd_kernel_count_is_rejected() {
+        let mut blob = Vec::new();
+        blob.extend_from_slice(b"RCUM");
+        blob.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(parse_module(&blob), Err(CudaError::InitializationError));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds target")]
+    fn oversize_directory_panics() {
+        build_module(&["a_rather_long_kernel_name"], 10);
+    }
+}

@@ -1,0 +1,378 @@
+//! CUDA streams: asynchronous-work bookkeeping per context.
+//!
+//! The paper models synchronous transfers only and leaves asynchronous ones
+//! to future work (§II); we implement them as an extension. A stream is a
+//! FIFO of operations with completion deadlines on the context's clock:
+//! enqueueing charges no caller time, synchronizing advances the clock to
+//! the stream's drain point. On a virtual clock this gives real
+//! compute/transfer overlap semantics; on a wall clock everything completes
+//! immediately (the functional path executes operations inline).
+
+use rcuda_core::{Clock, CudaError, CudaResult, SimTime};
+use std::collections::HashMap;
+
+/// The always-present default stream handle (CUDA's stream 0).
+pub const DEFAULT_STREAM: u32 = 0;
+
+#[derive(Debug, Default)]
+struct StreamState {
+    /// Clock time at which all enqueued work completes.
+    completes_at: SimTime,
+}
+
+/// Per-context stream table.
+#[derive(Debug)]
+pub struct StreamTable {
+    streams: HashMap<u32, StreamState>,
+    next_handle: u32,
+}
+
+impl StreamTable {
+    pub fn new() -> Self {
+        let mut streams = HashMap::new();
+        streams.insert(DEFAULT_STREAM, StreamState::default());
+        StreamTable {
+            streams,
+            next_handle: 1,
+        }
+    }
+
+    /// `cudaStreamCreate`.
+    pub fn create(&mut self) -> u32 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.streams.insert(h, StreamState::default());
+        h
+    }
+
+    /// `cudaStreamDestroy`. The default stream cannot be destroyed.
+    pub fn destroy(&mut self, handle: u32) -> CudaResult<()> {
+        if handle == DEFAULT_STREAM {
+            return Err(CudaError::InvalidResourceHandle);
+        }
+        self.streams
+            .remove(&handle)
+            .map(|_| ())
+            .ok_or(CudaError::InvalidResourceHandle)
+    }
+
+    /// Whether `handle` names a live stream.
+    pub fn contains(&self, handle: u32) -> bool {
+        self.streams.contains_key(&handle)
+    }
+
+    /// Enqueue `duration` of asynchronous work on a stream (FIFO): it starts
+    /// when the stream's previous work finishes (or now) and completes
+    /// `duration` later. Returns the completion deadline.
+    pub fn enqueue(
+        &mut self,
+        handle: u32,
+        duration: SimTime,
+        clock: &dyn Clock,
+    ) -> CudaResult<SimTime> {
+        let now = clock.now();
+        let s = self
+            .streams
+            .get_mut(&handle)
+            .ok_or(CudaError::InvalidResourceHandle)?;
+        let start = s.completes_at.max(now);
+        s.completes_at = start + duration;
+        Ok(s.completes_at)
+    }
+
+    /// `cudaStreamSynchronize`: block (advance the clock) until the stream
+    /// drains.
+    pub fn synchronize(&mut self, handle: u32, clock: &dyn Clock) -> CudaResult<()> {
+        let s = self
+            .streams
+            .get(&handle)
+            .ok_or(CudaError::InvalidResourceHandle)?;
+        let now = clock.now();
+        if s.completes_at > now {
+            clock.advance(s.completes_at - now);
+        }
+        Ok(())
+    }
+
+    /// `cudaStreamQuery`: `Ok` if drained, `Err(NotReady)` otherwise.
+    pub fn query(&self, handle: u32, clock: &dyn Clock) -> CudaResult<()> {
+        let s = self
+            .streams
+            .get(&handle)
+            .ok_or(CudaError::InvalidResourceHandle)?;
+        if s.completes_at <= clock.now() {
+            Ok(())
+        } else {
+            Err(CudaError::NotReady)
+        }
+    }
+
+    /// `cudaThreadSynchronize`: drain every stream.
+    pub fn synchronize_all(&mut self, clock: &dyn Clock) {
+        let target = self
+            .streams
+            .values()
+            .map(|s| s.completes_at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let now = clock.now();
+        if target > now {
+            clock.advance(target - now);
+        }
+    }
+}
+
+impl Default for StreamTable {
+    fn default() -> Self {
+        StreamTable::new()
+    }
+}
+
+/// CUDA events: named points on a context's timeline.
+///
+/// `cudaEventRecord(e, s)` timestamps the event at the moment every
+/// operation enqueued on stream `s` so far completes; `ElapsedTime` then
+/// measures device-side durations — the mechanism CUDA applications use to
+/// time kernels without host round trips.
+#[derive(Debug, Default)]
+pub struct EventTable {
+    /// `None` = created but not yet recorded.
+    events: HashMap<u32, Option<SimTime>>,
+    next_handle: u32,
+}
+
+impl EventTable {
+    pub fn new() -> Self {
+        EventTable {
+            events: HashMap::new(),
+            next_handle: 1,
+        }
+    }
+
+    /// `cudaEventCreate`.
+    pub fn create(&mut self) -> u32 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.events.insert(h, None);
+        h
+    }
+
+    /// `cudaEventDestroy`.
+    pub fn destroy(&mut self, event: u32) -> CudaResult<()> {
+        self.events
+            .remove(&event)
+            .map(|_| ())
+            .ok_or(CudaError::InvalidResourceHandle)
+    }
+
+    /// `cudaEventRecord`: stamp the event at `at` (the recording stream's
+    /// current completion deadline, or now for an idle stream).
+    pub fn record(&mut self, event: u32, at: SimTime) -> CudaResult<()> {
+        let slot = self
+            .events
+            .get_mut(&event)
+            .ok_or(CudaError::InvalidResourceHandle)?;
+        *slot = Some(at);
+        Ok(())
+    }
+
+    /// The recorded timestamp (`NotReady` mirrors CUDA's
+    /// `cudaErrorNotReady` for unrecorded events).
+    pub fn timestamp(&self, event: u32) -> CudaResult<SimTime> {
+        self.events
+            .get(&event)
+            .ok_or(CudaError::InvalidResourceHandle)?
+            .ok_or(CudaError::NotReady)
+    }
+
+    /// `cudaEventSynchronize`: advance the clock to the event's timestamp.
+    pub fn synchronize(&self, event: u32, clock: &dyn Clock) -> CudaResult<()> {
+        let t = self.timestamp(event)?;
+        let now = clock.now();
+        if t > now {
+            clock.advance(t - now);
+        }
+        Ok(())
+    }
+
+    /// `cudaEventElapsedTime`: milliseconds from `start` to `end`.
+    /// Negative spans are an `InvalidValue`, as in CUDA.
+    pub fn elapsed_ms(&self, start: u32, end: u32) -> CudaResult<f32> {
+        let s = self.timestamp(start)?;
+        let e = self.timestamp(end)?;
+        if e < s {
+            return Err(CudaError::InvalidValue);
+        }
+        Ok((e - s).as_millis_f64() as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuda_core::VirtualClock;
+
+    #[test]
+    fn default_stream_exists() {
+        let t = StreamTable::new();
+        assert!(t.contains(DEFAULT_STREAM));
+    }
+
+    #[test]
+    fn create_destroy_cycle() {
+        let mut t = StreamTable::new();
+        let h = t.create();
+        assert_ne!(h, DEFAULT_STREAM);
+        assert!(t.contains(h));
+        t.destroy(h).unwrap();
+        assert!(!t.contains(h));
+        assert_eq!(t.destroy(h), Err(CudaError::InvalidResourceHandle));
+    }
+
+    #[test]
+    fn default_stream_cannot_be_destroyed() {
+        let mut t = StreamTable::new();
+        assert_eq!(
+            t.destroy(DEFAULT_STREAM),
+            Err(CudaError::InvalidResourceHandle)
+        );
+    }
+
+    #[test]
+    fn fifo_completion_times() {
+        let clock = VirtualClock::new();
+        let mut t = StreamTable::new();
+        let h = t.create();
+        let d1 = t.enqueue(h, SimTime::from_nanos(100), &clock).unwrap();
+        let d2 = t.enqueue(h, SimTime::from_nanos(50), &clock).unwrap();
+        assert_eq!(d1, SimTime::from_nanos(100));
+        assert_eq!(
+            d2,
+            SimTime::from_nanos(150),
+            "second op queues behind first"
+        );
+    }
+
+    #[test]
+    fn synchronize_advances_virtual_clock() {
+        let clock = VirtualClock::new();
+        let mut t = StreamTable::new();
+        let h = t.create();
+        t.enqueue(h, SimTime::from_nanos(500), &clock).unwrap();
+        assert_eq!(t.query(h, &clock), Err(CudaError::NotReady));
+        t.synchronize(h, &clock).unwrap();
+        assert_eq!(clock.now(), SimTime::from_nanos(500));
+        t.query(h, &clock).unwrap();
+        // Synchronizing again is a no-op.
+        t.synchronize(h, &clock).unwrap();
+        assert_eq!(clock.now(), SimTime::from_nanos(500));
+    }
+
+    #[test]
+    fn overlap_two_streams() {
+        // Work on two streams overlaps: draining both costs max, not sum.
+        let clock = VirtualClock::new();
+        let mut t = StreamTable::new();
+        let h1 = t.create();
+        let h2 = t.create();
+        t.enqueue(h1, SimTime::from_nanos(300), &clock).unwrap();
+        t.enqueue(h2, SimTime::from_nanos(200), &clock).unwrap();
+        t.synchronize_all(&clock);
+        assert_eq!(clock.now(), SimTime::from_nanos(300));
+    }
+
+    #[test]
+    fn work_enqueued_after_time_passes_starts_now() {
+        let clock = VirtualClock::new();
+        let mut t = StreamTable::new();
+        let h = t.create();
+        t.enqueue(h, SimTime::from_nanos(100), &clock).unwrap();
+        t.synchronize(h, &clock).unwrap();
+        clock.advance(SimTime::from_nanos(400)); // idle gap
+        let d = t.enqueue(h, SimTime::from_nanos(10), &clock).unwrap();
+        assert_eq!(
+            d,
+            SimTime::from_nanos(510),
+            "starts at now, not at old deadline"
+        );
+    }
+
+    #[test]
+    fn unknown_handles_are_rejected() {
+        let clock = VirtualClock::new();
+        let mut t = StreamTable::new();
+        assert_eq!(
+            t.enqueue(99, SimTime::ZERO, &clock),
+            Err(CudaError::InvalidResourceHandle)
+        );
+        assert_eq!(
+            t.synchronize(99, &clock),
+            Err(CudaError::InvalidResourceHandle)
+        );
+        assert_eq!(t.query(99, &clock), Err(CudaError::InvalidResourceHandle));
+    }
+
+    #[test]
+    fn event_lifecycle_and_elapsed() {
+        let clock = VirtualClock::new();
+        let mut streams = StreamTable::new();
+        let mut events = EventTable::new();
+        let s = streams.create();
+        let e1 = events.create();
+        let e2 = events.create();
+
+        // Record e1, run 2 ms of work on the stream, record e2.
+        events.record(e1, clock.now()).unwrap();
+        let deadline = streams
+            .enqueue(s, SimTime::from_millis_f64(2.0), &clock)
+            .unwrap();
+        events.record(e2, deadline).unwrap();
+
+        let ms = events.elapsed_ms(e1, e2).unwrap();
+        assert!((ms - 2.0).abs() < 1e-6, "{ms}");
+
+        // Synchronizing on e2 advances the clock to the deadline.
+        events.synchronize(e2, &clock).unwrap();
+        assert_eq!(clock.now(), deadline);
+
+        events.destroy(e1).unwrap();
+        assert_eq!(events.destroy(e1), Err(CudaError::InvalidResourceHandle));
+    }
+
+    #[test]
+    fn unrecorded_event_is_not_ready() {
+        let mut events = EventTable::new();
+        let e = events.create();
+        assert_eq!(events.timestamp(e), Err(CudaError::NotReady));
+        let e2 = events.create();
+        assert_eq!(events.elapsed_ms(e, e2), Err(CudaError::NotReady));
+    }
+
+    #[test]
+    fn negative_span_is_invalid() {
+        let mut events = EventTable::new();
+        let e1 = events.create();
+        let e2 = events.create();
+        events.record(e1, SimTime::from_nanos(100)).unwrap();
+        events.record(e2, SimTime::from_nanos(50)).unwrap();
+        assert_eq!(events.elapsed_ms(e1, e2), Err(CudaError::InvalidValue));
+        // The reverse span is fine: 50 ns = 5e-5 ms.
+        let ms = events.elapsed_ms(e2, e1).unwrap();
+        assert!((ms - 5e-5).abs() < 1e-9, "{ms}");
+    }
+
+    #[test]
+    fn unknown_event_handles_rejected() {
+        let clock = VirtualClock::new();
+        let mut events = EventTable::new();
+        assert_eq!(
+            events.record(42, SimTime::ZERO),
+            Err(CudaError::InvalidResourceHandle)
+        );
+        assert_eq!(
+            events.synchronize(42, &clock),
+            Err(CudaError::InvalidResourceHandle)
+        );
+        assert_eq!(events.destroy(42), Err(CudaError::InvalidResourceHandle));
+    }
+}

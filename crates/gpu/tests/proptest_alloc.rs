@@ -1,0 +1,123 @@
+//! Property tests on the device-memory allocator's invariants under
+//! arbitrary allocate/free interleavings.
+
+use proptest::prelude::*;
+use rcuda_core::DevicePtr;
+use rcuda_gpu::alloc::DeviceAllocator;
+use rcuda_gpu::memory::DeviceMemory;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u32),
+    /// Free the i-th oldest live allocation (mod live count).
+    FreeLive(usize),
+    /// Free a pointer that was never allocated.
+    FreeGarbage(u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1u32..200_000).prop_map(Op::Alloc),
+        3 => (0usize..64).prop_map(Op::FreeLive),
+        1 => any::<u32>().prop_map(Op::FreeGarbage),
+    ]
+}
+
+proptest! {
+    /// Accounting invariant: used + free == capacity at every step; spans
+    /// never overlap; full cleanup returns all memory.
+    #[test]
+    fn allocator_conserves_memory(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let capacity = 8 << 20;
+        let mut a = DeviceAllocator::new(capacity);
+        let total = a.free_bytes();
+        let mut live: Vec<(DevicePtr, u32)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(size) => {
+                    if let Ok(p) = a.alloc(size) {
+                        // The new span must not overlap any live span.
+                        let rounded = size.div_ceil(256) * 256;
+                        for &(q, qlen) in &live {
+                            prop_assert!(
+                                p.addr() + rounded <= q.addr() || q.addr() + qlen <= p.addr(),
+                                "overlap: {p} len {rounded} with {q} len {qlen}"
+                            );
+                        }
+                        live.push((p, rounded));
+                    }
+                }
+                Op::FreeLive(i) => {
+                    if !live.is_empty() {
+                        let (p, _) = live.remove(i % live.len());
+                        prop_assert!(a.free(p).is_ok());
+                        prop_assert!(a.free(p).is_err(), "double free must fail");
+                    }
+                }
+                Op::FreeGarbage(addr) => {
+                    let p = DevicePtr::new(addr);
+                    if !live.iter().any(|&(q, _)| q == p) {
+                        prop_assert!(a.free(p).is_err());
+                    }
+                }
+            }
+            prop_assert_eq!(a.used_bytes() + a.free_bytes(), total);
+            prop_assert_eq!(a.live_count(), live.len());
+        }
+
+        for (p, _) in live {
+            a.free(p).unwrap();
+        }
+        prop_assert_eq!(a.free_bytes(), total, "all memory recovered");
+        prop_assert_eq!(a.live_count(), 0);
+    }
+
+    /// Data written to one allocation never leaks into another, for
+    /// arbitrary write offsets and sizes.
+    #[test]
+    fn writes_stay_inside_their_allocation(
+        sizes in proptest::collection::vec(16u32..4096, 2..8),
+        write_idx in 0usize..8,
+        offset_frac in 0.0f64..1.0,
+        byte in any::<u8>(),
+    ) {
+        let mut mem = DeviceMemory::new(16 << 20);
+        let ptrs: Vec<(DevicePtr, u32)> = sizes
+            .iter()
+            .map(|&s| (mem.malloc(s).unwrap(), s))
+            .collect();
+        let (target, tsize) = ptrs[write_idx % ptrs.len()];
+        let offset = ((tsize - 8) as f64 * offset_frac) as u32;
+        mem.write(target.offset(offset), &[byte; 8]).unwrap();
+
+        for &(p, s) in &ptrs {
+            if p == target {
+                let got = mem.read(p.offset(offset), 8).unwrap();
+                prop_assert_eq!(got, vec![byte; 8]);
+            } else {
+                let got = mem.read(p, s).unwrap();
+                prop_assert!(got.iter().all(|&b| b == 0), "cross-allocation leak");
+            }
+        }
+    }
+
+    /// check_range accepts exactly the in-bounds ranges.
+    #[test]
+    fn check_range_is_exact(size in 1u32..10_000, probe_off in 0u32..20_000, probe_len in 0u32..20_000) {
+        let mut a = DeviceAllocator::new(1 << 20);
+        let p = a.alloc(size).unwrap();
+        let rounded = size.div_ceil(256) * 256;
+        let ok = a.check_range(p.offset(probe_off.min(rounded)), probe_len).is_ok();
+        let within = probe_off.min(rounded) as u64 + probe_len as u64 <= rounded as u64
+            && probe_off.min(rounded) < rounded || (probe_len == 0 && probe_off.min(rounded) < rounded);
+        // A zero-length probe at a valid offset is fine; anything exceeding
+        // the rounded span must fail.
+        if probe_off.min(rounded) as u64 + probe_len as u64 > rounded as u64 {
+            prop_assert!(!ok, "accepted out-of-bounds range");
+        } else if probe_off.min(rounded) < rounded {
+            prop_assert!(ok, "rejected in-bounds range");
+        }
+        let _ = within;
+    }
+}

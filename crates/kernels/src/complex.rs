@@ -1,0 +1,199 @@
+//! Single-precision complex numbers (the FFT case study's element type:
+//! "single precision floating-point complex points", 8 bytes each).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A single-precision complex number; exactly 8 bytes, matching the paper's
+/// `(8 × 512)·n` byte accounting for the FFT payload.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex32 {
+    pub re: f32,
+    pub im: f32,
+}
+
+impl Complex32 {
+    pub const ZERO: Complex32 = Complex32 { re: 0.0, im: 0.0 };
+    pub const ONE: Complex32 = Complex32 { re: 1.0, im: 0.0 };
+    pub const I: Complex32 = Complex32 { re: 0.0, im: 1.0 };
+
+    pub const fn new(re: f32, im: f32) -> Self {
+        Complex32 { re, im }
+    }
+
+    /// `e^{iθ}` — the twiddle-factor constructor.
+    pub fn cis(theta: f32) -> Self {
+        Complex32 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    pub fn conj(self) -> Self {
+        Complex32 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    pub fn abs(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, s: f32) -> Self {
+        Complex32 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex32 {
+    type Output = Complex32;
+    fn add(self, rhs: Complex32) -> Complex32 {
+        Complex32 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl AddAssign for Complex32 {
+    fn add_assign(&mut self, rhs: Complex32) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex32 {
+    type Output = Complex32;
+    fn sub(self, rhs: Complex32) -> Complex32 {
+        Complex32 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex32 {
+    type Output = Complex32;
+    fn mul(self, rhs: Complex32) -> Complex32 {
+        Complex32 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for Complex32 {
+    type Output = Complex32;
+    fn neg(self) -> Complex32 {
+        Complex32 {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl fmt::Display for Complex32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+/// View a complex slice as its byte payload (for memcpy over the wire).
+pub fn complex_to_bytes(data: &[Complex32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 8);
+    for c in data {
+        out.extend_from_slice(&c.re.to_le_bytes());
+        out.extend_from_slice(&c.im.to_le_bytes());
+    }
+    out
+}
+
+/// Rebuild a complex slice from its byte payload.
+pub fn bytes_to_complex(bytes: &[u8]) -> Option<Vec<Complex32>> {
+    if !bytes.len().is_multiple_of(8) {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(8)
+            .map(|c| {
+                Complex32::new(
+                    f32::from_le_bytes(c[0..4].try_into().unwrap()),
+                    f32::from_le_bytes(c[4..8].try_into().unwrap()),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_is_8_bytes() {
+        // Table II: FFT payload is (8 × 512)·n bytes.
+        assert_eq!(std::mem::size_of::<Complex32>(), 8);
+    }
+
+    #[test]
+    fn field_arithmetic() {
+        let a = Complex32::new(1.0, 2.0);
+        let b = Complex32::new(3.0, -1.0);
+        assert_eq!(a + b, Complex32::new(4.0, 1.0));
+        assert_eq!(a - b, Complex32::new(-2.0, 3.0));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+        assert_eq!(a * b, Complex32::new(5.0, 5.0));
+        assert_eq!(-a, Complex32::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex32::new(1.0, -2.0));
+        assert_eq!(a.norm_sqr(), 5.0);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex32::I * Complex32::I, -Complex32::ONE);
+    }
+
+    #[test]
+    fn cis_lies_on_the_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f32 * std::f32::consts::TAU / 16.0;
+            let c = Complex32::cis(theta);
+            assert!((c.abs() - 1.0).abs() < 1e-6);
+        }
+        let c = Complex32::cis(std::f32::consts::FRAC_PI_2);
+        assert!((c.re).abs() < 1e-6 && (c.im - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let data = vec![
+            Complex32::new(1.0, -2.0),
+            Complex32::new(0.5, 3.25),
+            Complex32::ZERO,
+        ];
+        let bytes = complex_to_bytes(&data);
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(bytes_to_complex(&bytes).unwrap(), data);
+        assert!(bytes_to_complex(&bytes[..20]).is_none());
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex32::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex32::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

@@ -1,0 +1,273 @@
+//! Iterative radix-2 complex FFT, and the paper's batched 512-point case.
+//!
+//! The plan ([`Fft`]) precomputes bit-reversal and twiddle tables once —
+//! like FFTW's planning stage — and then transforms any number of
+//! `n`-point signals in place. [`fft_batch_512`] is the case-study entry
+//! point: `batch` independent 512-point transforms over one contiguous
+//! buffer, the exact workload the paper offloads ("we compute 512 points on
+//! each FFT operation", §IV-B).
+
+use crate::complex::Complex32;
+
+/// A reusable FFT plan for power-of-two sizes.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    /// Bit-reversal permutation indices.
+    rev: Vec<u32>,
+    /// Twiddles for the forward transform, grouped per butterfly stage:
+    /// stage s (half-size h = 2^s) uses `twiddles[h + j]` for j in 0..h.
+    twiddles: Vec<Complex32>,
+}
+
+impl Fft {
+    /// Plan an `n`-point transform. Panics unless `n` is a power of two ≥ 1.
+    pub fn plan(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT size must be a power of two");
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .collect::<Vec<_>>();
+        // Twiddle layout: a flat table where the stage with half-size h
+        // occupies [h, 2h). Total size 2n (h = 1, 2, ..., n/2).
+        let mut twiddles = vec![Complex32::ZERO; n.max(2)];
+        let mut h = 1;
+        while h < n {
+            for j in 0..h {
+                let theta = -std::f32::consts::PI * j as f32 / h as f32;
+                twiddles[h + j] = Complex32::cis(theta);
+            }
+            h *= 2;
+        }
+        Fft { n, rev, twiddles }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT of one `n`-point signal.
+    pub fn forward(&self, data: &mut [Complex32]) {
+        self.transform(data, false);
+    }
+
+    /// In-place inverse DFT (including the `1/n` normalization).
+    pub fn inverse(&self, data: &mut [Complex32]) {
+        self.transform(data, true);
+        let scale = 1.0 / self.n as f32;
+        for v in data.iter_mut() {
+            *v = v.scale(scale);
+        }
+    }
+
+    /// In-place forward transform of `batch` signals laid out back-to-back
+    /// in one buffer — the case-study memory layout.
+    pub fn forward_batch(&self, data: &mut [Complex32]) {
+        assert_eq!(
+            data.len() % self.n,
+            0,
+            "batch buffer must be a multiple of the transform size"
+        );
+        for chunk in data.chunks_exact_mut(self.n) {
+            self.forward(chunk);
+        }
+    }
+
+    fn transform(&self, data: &mut [Complex32], inverse: bool) {
+        assert_eq!(data.len(), self.n, "buffer length must equal plan size");
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Iterative butterflies.
+        let mut h = 1;
+        while h < n {
+            for start in (0..n).step_by(2 * h) {
+                for j in 0..h {
+                    let w = if inverse {
+                        self.twiddles[h + j].conj()
+                    } else {
+                        self.twiddles[h + j]
+                    };
+                    let u = data[start + j];
+                    let t = w * data[start + j + h];
+                    data[start + j] = u + t;
+                    data[start + j + h] = u - t;
+                }
+            }
+            h *= 2;
+        }
+    }
+}
+
+/// Convenience: forward-transform one signal (planning internally).
+pub fn fft_forward(data: &mut [Complex32]) {
+    Fft::plan(data.len()).forward(data);
+}
+
+/// Convenience: inverse-transform one signal (planning internally).
+pub fn fft_inverse(data: &mut [Complex32]) {
+    Fft::plan(data.len()).inverse(data);
+}
+
+/// The case-study kernel: `batch` independent 512-point forward FFTs over a
+/// contiguous buffer of `512·batch` points.
+pub fn fft_batch_512(data: &mut [Complex32]) {
+    assert_eq!(data.len() % 512, 0, "buffer must hold whole 512-pt signals");
+    Fft::plan(512).forward_batch(data);
+}
+
+/// Oracle: the O(n²) direct DFT definition.
+pub fn dft_naive(input: &[Complex32]) -> Vec<Complex32> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex32::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                // Accumulate angles in f64 to keep the oracle itself honest.
+                let theta = -2.0 * std::f64::consts::PI * (k as f64) * (j as f64) / n as f64;
+                acc += x * Complex32::cis(theta as f32);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::fft_input;
+
+    fn max_err(a: &[Complex32], b: &[Complex32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn impulse_transforms_to_all_ones() {
+        let mut data = vec![Complex32::ZERO; 8];
+        data[0] = Complex32::ONE;
+        fft_forward(&mut data);
+        for v in &data {
+            assert!((v.re - 1.0).abs() < 1e-6 && v.im.abs() < 1e-6, "{v}");
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let mut data = vec![Complex32::ONE; 16];
+        fft_forward(&mut data);
+        assert!((data[0].re - 16.0).abs() < 1e-4);
+        for v in &data[1..] {
+            assert!(v.abs() < 1e-4, "{v}");
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k = 5;
+        let mut data: Vec<Complex32> = (0..n)
+            .map(|j| Complex32::cis(std::f32::consts::TAU * (k * j) as f32 / n as f32))
+            .collect();
+        fft_forward(&mut data);
+        assert!((data[k].re - n as f32).abs() < 1e-2, "{}", data[k]);
+        for (i, v) in data.iter().enumerate() {
+            if i != k {
+                assert!(v.abs() < 1e-2, "bin {i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2usize, 4, 8, 32, 128, 512] {
+            let input = fft_input(n / 512 + 1, 42)[..n].to_vec();
+            let expect = dft_naive(&input);
+            let mut data = input.clone();
+            fft_forward(&mut data);
+            let err = max_err(&data, &expect);
+            assert!(err < n as f32 * 1e-4, "n={n}: err {err}");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let input = fft_input(1, 7); // one 512-point signal
+        let mut data = input.clone();
+        fft_forward(&mut data);
+        fft_inverse(&mut data);
+        let err = max_err(&data, &input);
+        assert!(err < 1e-4, "err {err}");
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let input = fft_input(1, 3);
+        let time_energy: f64 = input.iter().map(|c| c.norm_sqr() as f64).sum();
+        let mut data = input;
+        fft_forward(&mut data);
+        let freq_energy: f64 = data.iter().map(|c| c.norm_sqr() as f64).sum::<f64>() / 512.0;
+        let rel = (time_energy - freq_energy).abs() / time_energy;
+        assert!(rel < 1e-5, "rel energy error {rel}");
+    }
+
+    #[test]
+    fn batch_equals_per_signal_transforms() {
+        let batch = 5;
+        let input = fft_input(batch, 9);
+        let mut batched = input.clone();
+        fft_batch_512(&mut batched);
+        for (i, chunk) in input.chunks_exact(512).enumerate() {
+            let mut single = chunk.to_vec();
+            fft_forward(&mut single);
+            let err = max_err(&single, &batched[i * 512..(i + 1) * 512]);
+            assert!(err == 0.0, "signal {i}: err {err}");
+        }
+    }
+
+    #[test]
+    fn plan_reuse_is_deterministic() {
+        let plan = Fft::plan(512);
+        let input = fft_input(1, 11);
+        let mut a = input.clone();
+        let mut b = input;
+        plan.forward(&mut a);
+        plan.forward(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let mut data = vec![Complex32::new(3.0, -1.0)];
+        fft_forward(&mut data);
+        assert_eq!(data[0], Complex32::new(3.0, -1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        Fft::plan(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole 512")]
+    fn ragged_batch_rejected() {
+        let mut data = vec![Complex32::ZERO; 700];
+        fft_batch_512(&mut data);
+    }
+}

@@ -1,0 +1,343 @@
+//! Single-precision dense matrix-matrix product (`C = A · B`).
+//!
+//! Three implementations with one contract:
+//!
+//! * [`sgemm_naive`] — triple loop; the oracle for tests.
+//! * [`sgemm_blocked`] — cache-blocked ikj ordering; the building block.
+//! * [`CpuSgemm`] — blocked + multithreaded over row panels; stands in for
+//!   the paper's 8-core MKL runs.
+//! * [`sgemm_tiled_gpu`] — the register-tiled variant the simulated GPU
+//!   engine executes (the functional stand-in for Volkov's SGEMM kernel).
+//!
+//! All operate on row-major `f32` buffers and accumulate in `f32`, like the
+//! single-precision BLAS they emulate; tests therefore compare with a
+//! dimension-scaled tolerance.
+
+use std::thread;
+
+/// A row-major `rows × cols` single-precision matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wrap an existing buffer. Panics if the length does not match.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer/shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Max absolute element-wise difference against another matrix.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// Oracle: naive `O(m·n·k)` triple loop. `a` is `m×k`, `b` is `k×n`,
+/// `c` is `m×n`, all row-major; `c` is overwritten.
+pub fn sgemm_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    check_shapes(m, n, k, a, b, c);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += a[i * k + l] * b[l * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Cache-block edge length. 64×64 f32 panels (16 KiB) keep three blocks
+/// comfortably inside a typical L1/L2 working set.
+const BLOCK: usize = 64;
+
+/// Cache-blocked ikj SGEMM.
+pub fn sgemm_blocked(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    check_shapes(m, n, k, a, b, c);
+    c.fill(0.0);
+    sgemm_blocked_accumulate(m, n, k, a, b, c);
+}
+
+/// Blocked kernel accumulating into a pre-initialized `c` (used by both the
+/// sequential entry point and the threaded row panels).
+fn sgemm_blocked_accumulate(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for ii in (0..m).step_by(BLOCK) {
+        let i_end = (ii + BLOCK).min(m);
+        for ll in (0..k).step_by(BLOCK) {
+            let l_end = (ll + BLOCK).min(k);
+            for jj in (0..n).step_by(BLOCK) {
+                let j_end = (jj + BLOCK).min(n);
+                for i in ii..i_end {
+                    let a_row = &a[i * k..i * k + k];
+                    let c_row = &mut c[i * n..i * n + n];
+                    for l in ll..l_end {
+                        let av = a_row[l];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[l * n..l * n + n];
+                        for j in jj..j_end {
+                            c_row[j] += av * b_row[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The MKL stand-in: blocked SGEMM parallelized over row panels.
+pub struct CpuSgemm {
+    threads: usize,
+}
+
+impl CpuSgemm {
+    /// Use up to `threads` worker threads (the paper's CPU baseline uses 8).
+    pub fn new(threads: usize) -> Self {
+        CpuSgemm {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Use all available parallelism.
+    pub fn auto() -> Self {
+        CpuSgemm::new(
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// `C = A · B` with `a: m×k`, `b: k×n`, `c: m×n` row-major.
+    pub fn run(&self, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        check_shapes(m, n, k, a, b, c);
+        c.fill(0.0);
+        let workers = self.threads.min(m).max(1);
+        if workers == 1 {
+            sgemm_blocked_accumulate(m, n, k, a, b, c);
+            return;
+        }
+        // Split C (and A) into contiguous row panels, one per worker: each
+        // thread owns a disjoint &mut of c, so no synchronization is needed.
+        let rows_per = m.div_ceil(workers);
+        thread::scope(|scope| {
+            let mut c_rest = &mut c[..];
+            let mut row = 0;
+            while row < m {
+                let panel_rows = rows_per.min(m - row);
+                let (c_panel, rest) = c_rest.split_at_mut(panel_rows * n);
+                c_rest = rest;
+                let a_panel = &a[row * k..(row + panel_rows) * k];
+                scope.spawn(move || {
+                    sgemm_blocked_accumulate(panel_rows, n, k, a_panel, b, c_panel);
+                });
+                row += panel_rows;
+            }
+        });
+    }
+}
+
+/// Register-tiled single-threaded SGEMM — the functional stand-in for the
+/// Volkov GPU kernel that the simulated device executes. Computes 4×4 C
+/// tiles in registers with k-unrolled inner products.
+pub fn sgemm_tiled_gpu(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    check_shapes(m, n, k, a, b, c);
+    c.fill(0.0);
+    const T: usize = 4;
+    let mut i = 0;
+    while i < m {
+        let ih = T.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let jw = T.min(n - j);
+            let mut acc = [[0.0f32; T]; T];
+            for l in 0..k {
+                let mut a_col = [0.0f32; T];
+                for (ti, av) in a_col.iter_mut().enumerate().take(ih) {
+                    *av = a[(i + ti) * k + l];
+                }
+                let b_row = &b[l * n + j..l * n + j + jw];
+                for ti in 0..ih {
+                    let av = a_col[ti];
+                    for tj in 0..jw {
+                        acc[ti][tj] += av * b_row[tj];
+                    }
+                }
+            }
+            for ti in 0..ih {
+                for tj in 0..jw {
+                    c[(i + ti) * n + j + tj] = acc[ti][tj];
+                }
+            }
+            j += T;
+        }
+        i += T;
+    }
+}
+
+fn check_shapes(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &[f32]) {
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    assert_eq!(b.len(), k * n, "B must be k×n");
+    assert_eq!(c.len(), m * n, "C must be m×n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::matrix_pair;
+
+    /// f32 accumulation over k terms: allow k·eps·scale.
+    fn tol(k: usize) -> f32 {
+        k as f32 * 1e-6 * 4.0
+    }
+
+    fn oracle(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        sgemm_naive(m, n, k, a, b, &mut c);
+        c
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let (a, _) = matrix_pair(16, 1);
+        let i = Matrix::identity(16);
+        let mut c = vec![0.0; 256];
+        sgemm_blocked(16, 16, 16, a.as_slice(), i.as_slice(), &mut c);
+        assert_eq!(c, a.as_slice());
+        sgemm_tiled_gpu(16, 16, 16, i.as_slice(), a.as_slice(), &mut c);
+        assert_eq!(c, a.as_slice());
+    }
+
+    #[test]
+    fn blocked_matches_naive_square() {
+        for m in [1usize, 3, 17, 64, 100, 130] {
+            let (a, b) = matrix_pair(m, 7);
+            let expect = oracle(m, m, m, a.as_slice(), b.as_slice());
+            let mut c = vec![0.0; m * m];
+            sgemm_blocked(m, m, m, a.as_slice(), b.as_slice(), &mut c);
+            let diff = c
+                .iter()
+                .zip(&expect)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max);
+            assert!(diff <= tol(m), "m={m}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn tiled_gpu_matches_naive_rectangular() {
+        // Exercise all tile-edge remainders.
+        for (m, n, k) in [(5, 7, 9), (8, 8, 8), (13, 4, 21), (1, 1, 1), (4, 9, 2)] {
+            let (a, _) = matrix_pair(32, 3);
+            let a = &a.as_slice()[..m * k];
+            let (b, _) = matrix_pair(32, 4);
+            let b = &b.as_slice()[..k * n];
+            let expect = oracle(m, n, k, a, b);
+            let mut c = vec![0.0; m * n];
+            sgemm_tiled_gpu(m, n, k, a, b, &mut c);
+            let diff = c
+                .iter()
+                .zip(&expect)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max);
+            assert!(diff <= tol(k), "({m},{n},{k}): diff {diff}");
+        }
+    }
+
+    #[test]
+    fn threaded_matches_blocked() {
+        let m = 97; // deliberately not a multiple of thread count or block
+        let (a, b) = matrix_pair(m, 11);
+        let mut seq = vec![0.0; m * m];
+        sgemm_blocked(m, m, m, a.as_slice(), b.as_slice(), &mut seq);
+        for threads in [1, 2, 3, 8, 97, 200] {
+            let mut par = vec![0.0; m * m];
+            CpuSgemm::new(threads).run(m, m, m, a.as_slice(), b.as_slice(), &mut par);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_sized_edges() {
+        // m = 0 produces an empty C without panicking.
+        let mut c: Vec<f32> = vec![];
+        sgemm_blocked(0, 0, 0, &[], &[], &mut c);
+        CpuSgemm::new(4).run(0, 0, 0, &[], &[], &mut c);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "m×k")]
+    fn shape_mismatch_panics() {
+        let mut c = vec![0.0; 4];
+        sgemm_naive(2, 2, 2, &[0.0; 3], &[0.0; 4], &mut c);
+    }
+
+    #[test]
+    fn matrix_accessors() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        let v = m.clone().into_vec();
+        assert_eq!(v.len(), 6);
+        let m2 = Matrix::from_vec(2, 3, v);
+        assert_eq!(m2.max_abs_diff(&m), 0.0);
+    }
+}

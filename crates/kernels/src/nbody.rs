@@ -1,0 +1,168 @@
+//! Direct-summation N-body gravity — a third workload family, beyond the
+//! paper's two case studies.
+//!
+//! The paper's future work wants the study extended "over a wide range of
+//! applications" (§VII). N-body is the interesting middle ground: O(n²)
+//! compute over O(n) data, so it is even more transfer-friendly than MM —
+//! the planner should find it profitable to remote on every network.
+//!
+//! Layout: bodies are packed as 4 `f32`s (`x, y, z, mass`), accelerations
+//! as 3 `f32`s — the classic GPU-gems layout, 16 B in / 12 B out per body.
+
+/// `f32`s per body in the input layout.
+pub const BODY_STRIDE: usize = 4;
+
+/// `f32`s per body in the acceleration output.
+pub const ACCEL_STRIDE: usize = 3;
+
+/// Compute gravitational accelerations by direct summation.
+///
+/// `bodies` holds `n` packed bodies, `accel` receives `n` packed
+/// accelerations. `softening` is the usual Plummer softening length that
+/// keeps close encounters finite (must be positive).
+pub fn nbody_accelerations(bodies: &[f32], accel: &mut [f32], softening: f32) {
+    assert!(softening > 0.0, "softening must be positive");
+    assert_eq!(bodies.len() % BODY_STRIDE, 0, "ragged body buffer");
+    let n = bodies.len() / BODY_STRIDE;
+    assert_eq!(accel.len(), n * ACCEL_STRIDE, "accel buffer must hold 3·n");
+    let eps2 = softening * softening;
+
+    for i in 0..n {
+        let (xi, yi, zi) = (
+            bodies[i * BODY_STRIDE],
+            bodies[i * BODY_STRIDE + 1],
+            bodies[i * BODY_STRIDE + 2],
+        );
+        // f64 accumulation: n² tiny contributions would otherwise lose
+        // the far field entirely in f32.
+        let (mut ax, mut ay, mut az) = (0.0f64, 0.0f64, 0.0f64);
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let dx = bodies[j * BODY_STRIDE] - xi;
+            let dy = bodies[j * BODY_STRIDE + 1] - yi;
+            let dz = bodies[j * BODY_STRIDE + 2] - zi;
+            let m = bodies[j * BODY_STRIDE + 3];
+            let r2 = dx * dx + dy * dy + dz * dz + eps2;
+            let inv_r = 1.0 / r2.sqrt();
+            let s = m * inv_r * inv_r * inv_r;
+            ax += (s * dx) as f64;
+            ay += (s * dy) as f64;
+            az += (s * dz) as f64;
+        }
+        accel[i * ACCEL_STRIDE] = ax as f32;
+        accel[i * ACCEL_STRIDE + 1] = ay as f32;
+        accel[i * ACCEL_STRIDE + 2] = az as f32;
+    }
+}
+
+/// One leapfrog (kick-drift) integration step over packed position and
+/// velocity buffers — used by tests to check energy behavior, and by the
+/// examples to animate a plummer sphere.
+pub fn nbody_step(bodies: &mut [f32], velocities: &mut [f32], dt: f32, softening: f32) {
+    let n = bodies.len() / BODY_STRIDE;
+    assert_eq!(velocities.len(), n * ACCEL_STRIDE);
+    let mut accel = vec![0.0f32; n * ACCEL_STRIDE];
+    nbody_accelerations(bodies, &mut accel, softening);
+    for i in 0..n {
+        for d in 0..3 {
+            velocities[i * ACCEL_STRIDE + d] += accel[i * ACCEL_STRIDE + d] * dt;
+            bodies[i * BODY_STRIDE + d] += velocities[i * ACCEL_STRIDE + d] * dt;
+        }
+    }
+}
+
+/// Deterministic body generator: positions in the unit cube, masses in
+/// `[0.5, 1.5)`.
+pub fn nbody_input(n: usize, seed: u64) -> Vec<f32> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6e62_6f64);
+    let mut out = Vec::with_capacity(n * BODY_STRIDE);
+    for _ in 0..n {
+        out.push(rng.gen_range(-1.0f32..1.0));
+        out.push(rng.gen_range(-1.0f32..1.0));
+        out.push(rng.gen_range(-1.0f32..1.0));
+        out.push(rng.gen_range(0.5f32..1.5));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bodies_attract_along_their_axis() {
+        // Unit masses at x = ±1: each accelerates toward the other with
+        // |a| = m / (d² + ε²)^{3/2} · d.
+        let bodies = vec![
+            -1.0, 0.0, 0.0, 1.0, //
+            1.0, 0.0, 0.0, 1.0,
+        ];
+        let mut accel = vec![0.0; 6];
+        let eps = 1e-3;
+        nbody_accelerations(&bodies, &mut accel, eps);
+        let expect = 2.0 / (4.0f32 + eps * eps).powf(1.5);
+        assert!((accel[0] - expect).abs() < 1e-5, "{} vs {expect}", accel[0]);
+        assert!((accel[3] + expect).abs() < 1e-5);
+        // No off-axis components.
+        for &a in &[accel[1], accel[2], accel[4], accel[5]] {
+            assert_eq!(a, 0.0);
+        }
+    }
+
+    #[test]
+    fn newtons_third_law_conserves_momentum() {
+        // Σ mᵢ·aᵢ = 0 for any configuration.
+        let bodies = nbody_input(64, 3);
+        let mut accel = vec![0.0; 64 * ACCEL_STRIDE];
+        nbody_accelerations(&bodies, &mut accel, 0.01);
+        for d in 0..3 {
+            let total: f64 = (0..64)
+                .map(|i| (bodies[i * 4 + 3] * accel[i * 3 + d]) as f64)
+                .sum();
+            assert!(total.abs() < 1e-3, "axis {d}: Σm·a = {total}");
+        }
+    }
+
+    #[test]
+    fn softening_bounds_close_encounters() {
+        // Two coincident bodies: acceleration must stay finite.
+        let bodies = vec![0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        let mut accel = vec![0.0; 6];
+        nbody_accelerations(&bodies, &mut accel, 0.1);
+        assert!(accel.iter().all(|a| a.is_finite()));
+    }
+
+    #[test]
+    fn step_moves_bodies_toward_each_other() {
+        let mut bodies = vec![-1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0];
+        let mut vel = vec![0.0; 6];
+        let before = bodies[4] - bodies[0]; // separation
+        for _ in 0..10 {
+            nbody_step(&mut bodies, &mut vel, 0.01, 1e-3);
+        }
+        let after = bodies[4] - bodies[0];
+        assert!(after < before, "gravity must contract: {before} -> {after}");
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_shaped() {
+        let a = nbody_input(10, 7);
+        assert_eq!(a.len(), 40);
+        assert_eq!(a, nbody_input(10, 7));
+        assert_ne!(a, nbody_input(10, 8));
+        for chunk in a.chunks_exact(4) {
+            assert!((0.5..1.5).contains(&chunk[3]), "mass in range");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "softening")]
+    fn zero_softening_rejected() {
+        let mut accel = vec![0.0; 3];
+        nbody_accelerations(&[0.0, 0.0, 0.0, 1.0], &mut accel, 0.0);
+    }
+}

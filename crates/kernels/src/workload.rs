@@ -1,0 +1,153 @@
+//! Deterministic workload generation for the case studies.
+//!
+//! The paper's fixed time includes "random data generation" (§V); here the
+//! generators are seeded so that a remote execution and its local reference
+//! can be compared bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcuda_core::CaseStudy;
+
+use crate::complex::Complex32;
+use crate::matrix::Matrix;
+
+/// Generate the two input matrices of an `m×m` MM case study.
+pub fn matrix_pair(m: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = |_| {
+        let data: Vec<f32> = (0..m * m).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        Matrix::from_vec(m, m, data)
+    };
+    (gen(0), gen(1))
+}
+
+/// Generate a batch of `batch` 512-point complex input signals.
+pub fn fft_input(batch: usize, seed: u64) -> Vec<Complex32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0f_f7_0f_ff);
+    (0..batch * 512)
+        .map(|_| Complex32::new(rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0)))
+        .collect()
+}
+
+/// A concrete, generated case-study instance ready to run.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    MatMul {
+        m: usize,
+        a: Matrix,
+        b: Matrix,
+    },
+    Fft {
+        batch: usize,
+        input: Vec<Complex32>,
+    },
+    /// The extension workload (not in the paper's case studies): `n`
+    /// packed bodies for direct-summation gravity.
+    NBody {
+        n: usize,
+        bodies: Vec<f32>,
+    },
+}
+
+impl Workload {
+    /// Generate data for a [`CaseStudy`] with a seed.
+    pub fn generate(case: CaseStudy, seed: u64) -> Self {
+        match case {
+            CaseStudy::MatMul { dim } => {
+                let (a, b) = matrix_pair(dim as usize, seed);
+                Workload::MatMul {
+                    m: dim as usize,
+                    a,
+                    b,
+                }
+            }
+            CaseStudy::Fft { batch } => Workload::Fft {
+                batch: batch as usize,
+                input: fft_input(batch as usize, seed),
+            },
+        }
+    }
+
+    /// Generate the extension N-body workload.
+    pub fn generate_nbody(n: usize, seed: u64) -> Self {
+        Workload::NBody {
+            n,
+            bodies: crate::nbody::nbody_input(n, seed),
+        }
+    }
+
+    /// The case-study descriptor this workload realizes (`None` for
+    /// workloads outside the paper's two case studies).
+    pub fn case(&self) -> Option<CaseStudy> {
+        match self {
+            Workload::MatMul { m, .. } => Some(CaseStudy::MatMul { dim: *m as u32 }),
+            Workload::Fft { batch, .. } => Some(CaseStudy::Fft {
+                batch: *batch as u32,
+            }),
+            Workload::NBody { .. } => None,
+        }
+    }
+
+    /// Total bytes this workload moves over the interconnect per execution.
+    pub fn transfer_bytes(&self) -> u64 {
+        match self {
+            Workload::MatMul { m, .. } => 3 * 4 * (*m as u64) * (*m as u64),
+            Workload::Fft { batch, .. } => 2 * 4096 * *batch as u64,
+            // 16 B/body in, 12 B/body out.
+            Workload::NBody { n, .. } => 28 * *n as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_pair_is_seed_deterministic() {
+        let (a1, b1) = matrix_pair(8, 5);
+        let (a2, b2) = matrix_pair(8, 5);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        let (a3, _) = matrix_pair(8, 6);
+        assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn matrices_are_distinct_and_bounded() {
+        let (a, b) = matrix_pair(16, 1);
+        assert_ne!(a, b, "A and B must differ");
+        assert!(a.as_slice().iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn fft_input_shape_and_determinism() {
+        let x = fft_input(3, 2);
+        assert_eq!(x.len(), 3 * 512);
+        assert_eq!(x, fft_input(3, 2));
+        assert_ne!(x, fft_input(3, 3));
+    }
+
+    #[test]
+    fn workload_round_trips_case() {
+        let w = Workload::generate(CaseStudy::MatMul { dim: 8 }, 1);
+        assert_eq!(w.case(), Some(CaseStudy::MatMul { dim: 8 }));
+        assert_eq!(w.transfer_bytes(), 3 * 4 * 64);
+        let w = Workload::generate(CaseStudy::Fft { batch: 2 }, 1);
+        assert_eq!(w.case(), Some(CaseStudy::Fft { batch: 2 }));
+        assert_eq!(w.transfer_bytes(), 2 * 4096 * 2);
+        if let Workload::Fft { input, .. } = w {
+            assert_eq!(input.len(), 1024);
+        }
+    }
+
+    #[test]
+    fn nbody_workload_is_outside_the_paper_grid() {
+        let w = Workload::generate_nbody(100, 4);
+        assert_eq!(w.case(), None);
+        assert_eq!(w.transfer_bytes(), 2800);
+        if let Workload::NBody { bodies, .. } = w {
+            assert_eq!(bodies.len(), 400);
+        }
+    }
+}

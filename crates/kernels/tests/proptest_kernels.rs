@@ -1,0 +1,166 @@
+//! Property tests on the compute kernels' mathematical invariants.
+
+use proptest::prelude::*;
+use rcuda_kernels::complex::Complex32;
+use rcuda_kernels::fft::{fft_forward, fft_inverse, Fft};
+use rcuda_kernels::matrix::{sgemm_blocked, sgemm_naive, sgemm_tiled_gpu, CpuSgemm, Matrix};
+
+fn arb_signal(n: usize) -> impl Strategy<Value = Vec<Complex32>> {
+    proptest::collection::vec(
+        (-100.0f32..100.0, -100.0f32..100.0).prop_map(|(re, im)| Complex32::new(re, im)),
+        n..=n,
+    )
+}
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols..=rows * cols)
+}
+
+fn max_err(a: &[Complex32], b: &[Complex32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f32::max)
+}
+
+proptest! {
+    /// FFT is linear: FFT(αx + y) = α·FFT(x) + FFT(y).
+    #[test]
+    fn fft_is_linear(x in arb_signal(128), y in arb_signal(128), alpha in -4.0f32..4.0) {
+        let mut combo: Vec<Complex32> = x
+            .iter()
+            .zip(&y)
+            .map(|(xi, yi)| xi.scale(alpha) + *yi)
+            .collect();
+        fft_forward(&mut combo);
+
+        let mut fx = x;
+        fft_forward(&mut fx);
+        let mut fy = y;
+        fft_forward(&mut fy);
+        let expect: Vec<Complex32> = fx
+            .iter()
+            .zip(&fy)
+            .map(|(a, b)| a.scale(alpha) + *b)
+            .collect();
+        prop_assert!(max_err(&combo, &expect) < 0.3, "err {}", max_err(&combo, &expect));
+    }
+
+    /// Inverse undoes forward for arbitrary signals.
+    #[test]
+    fn fft_inverse_round_trip(x in arb_signal(256)) {
+        let mut data = x.clone();
+        fft_forward(&mut data);
+        fft_inverse(&mut data);
+        prop_assert!(max_err(&data, &x) < 0.05);
+    }
+
+    /// Parseval: energy preserved up to the 1/n convention.
+    #[test]
+    fn fft_parseval(x in arb_signal(64)) {
+        let time: f64 = x.iter().map(|c| c.norm_sqr() as f64).sum();
+        let mut data = x;
+        fft_forward(&mut data);
+        let freq: f64 = data.iter().map(|c| c.norm_sqr() as f64).sum::<f64>() / 64.0;
+        // Allow tiny relative error; handle the all-zero signal.
+        prop_assert!((time - freq).abs() <= 1e-3 * time.max(1.0));
+    }
+
+    /// Circular time shift multiplies the spectrum by a unit-modulus phase:
+    /// magnitudes are invariant.
+    #[test]
+    fn fft_shift_preserves_magnitudes(x in arb_signal(64), shift in 0usize..64) {
+        let mut orig = x.clone();
+        fft_forward(&mut orig);
+        let mut shifted: Vec<Complex32> = (0..64).map(|i| x[(i + shift) % 64]).collect();
+        fft_forward(&mut shifted);
+        for (a, b) in orig.iter().zip(&shifted) {
+            prop_assert!((a.abs() - b.abs()).abs() < 0.2, "{} vs {}", a.abs(), b.abs());
+        }
+    }
+
+    /// Batched transform of one plan equals independent transforms.
+    #[test]
+    fn batch_decomposes(x in arb_signal(3 * 64)) {
+        let plan = Fft::plan(64);
+        let mut batched = x.clone();
+        plan.forward_batch(&mut batched);
+        for (i, chunk) in x.chunks_exact(64).enumerate() {
+            let mut single = chunk.to_vec();
+            plan.forward(&mut single);
+            prop_assert_eq!(&single[..], &batched[i * 64..(i + 1) * 64]);
+        }
+    }
+
+    /// All SGEMM implementations agree on arbitrary rectangular shapes.
+    #[test]
+    fn sgemm_variants_agree(
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        // Deterministic data from the seed keeps the case shrinkable.
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| (((seed.wrapping_mul(i as u64 + 1)) % 1000) as f32 - 500.0) / 250.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| (((seed.wrapping_mul(2 * i as u64 + 3)) % 1000) as f32 - 500.0) / 250.0)
+            .collect();
+        let mut naive = vec![0.0f32; m * n];
+        sgemm_naive(m, n, k, &a, &b, &mut naive);
+        let mut blocked = vec![0.0f32; m * n];
+        sgemm_blocked(m, n, k, &a, &b, &mut blocked);
+        let mut tiled = vec![0.0f32; m * n];
+        sgemm_tiled_gpu(m, n, k, &a, &b, &mut tiled);
+        let tol = k as f32 * 1e-5 * 8.0;
+        for i in 0..m * n {
+            prop_assert!((naive[i] - blocked[i]).abs() <= tol);
+            prop_assert!((naive[i] - tiled[i]).abs() <= tol);
+        }
+    }
+
+    /// C = A·B distributes over matrix addition in B:
+    /// A(B1 + B2) = A·B1 + A·B2.
+    #[test]
+    fn sgemm_distributes(
+        m in 1usize..12,
+        b1 in arb_matrix(12, 12),
+        b2 in arb_matrix(12, 12),
+        a in arb_matrix(12, 12),
+    ) {
+        let k = 12;
+        let n = 12;
+        let a = &a[..m * k];
+        let sum: Vec<f32> = b1.iter().zip(&b2).map(|(x, y)| x + y).collect();
+        let mut left = vec![0.0f32; m * n];
+        sgemm_naive(m, n, k, a, &sum, &mut left);
+        let mut c1 = vec![0.0f32; m * n];
+        sgemm_naive(m, n, k, a, &b1, &mut c1);
+        let mut c2 = vec![0.0f32; m * n];
+        sgemm_naive(m, n, k, a, &b2, &mut c2);
+        for i in 0..m * n {
+            prop_assert!((left[i] - (c1[i] + c2[i])).abs() < 0.05);
+        }
+    }
+
+    /// Threaded SGEMM is bit-identical to the sequential blocked kernel
+    /// regardless of thread count (determinism under parallelism).
+    #[test]
+    fn threaded_sgemm_is_deterministic(
+        m in 1usize..40,
+        threads in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let data: Vec<f32> = (0..m * m)
+            .map(|i| ((seed.wrapping_add(i as u64) % 997) as f32) / 997.0)
+            .collect();
+        let a = Matrix::from_vec(m, m, data.clone());
+        let b = Matrix::from_vec(m, m, data);
+        let mut seq = vec![0.0f32; m * m];
+        sgemm_blocked(m, m, m, a.as_slice(), b.as_slice(), &mut seq);
+        let mut par = vec![0.0f32; m * m];
+        CpuSgemm::new(threads).run(m, m, m, a.as_slice(), b.as_slice(), &mut par);
+        prop_assert_eq!(seq, par);
+    }
+}

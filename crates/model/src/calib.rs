@@ -1,0 +1,409 @@
+//! Least-squares calibration of the simulated testbed against the paper.
+//!
+//! Each component gets a physically motivated basis:
+//!
+//! * **MM** times (CPU, local GPU, network-independent fixed) are fitted as
+//!   `a·m³ + b·m² + c`: the `m³` term is the SGEMM arithmetic, the `m²`
+//!   term the memory-bound work (data generation, PCIe and middleware
+//!   staging copies), the constant the session overheads.
+//! * **FFT** times interpolate the paper's points directly ([`Interp`]):
+//!   the FFT measurements are short and noisy enough that low-order
+//!   parametric fits miss individual rows by several percent.
+//! * The **GigaE TCP-window distortion** is fitted as `p(d) = α/d + β` on
+//!   the relative excess of the paper's measured GigaE times over the
+//!   bandwidth model (the effect §V blames for the FFT estimation errors:
+//!   small copies never open the TCP window fully).
+//!
+//! The fits run at startup from the embedded [`crate::paperdata`]; nothing
+//! downstream hard-codes a fitted coefficient. (The constants compiled into
+//! `rcuda-netsim`'s GigaE model are asserted against the live fit by tests
+//! here.)
+
+use rcuda_core::{CaseStudy, Family, SimTime};
+use rcuda_netsim::regression::{inverse_fit, LinearFit};
+use rcuda_netsim::NetworkId;
+
+use crate::paperdata::{FFT_ROWS, MM_ROWS};
+
+/// A fitted linear combination of basis functions of one variable.
+#[derive(Debug, Clone)]
+pub struct PolyFit {
+    /// Coefficients, one per basis function.
+    coeffs: Vec<f64>,
+    /// Basis functions evaluated on the *scaled* variable.
+    basis: Vec<fn(f64) -> f64>,
+    /// Input scale (inputs are divided by this before the basis, keeping
+    /// the normal equations well conditioned for m up to 18432).
+    scale: f64,
+}
+
+impl PolyFit {
+    /// Least-squares fit of `y ≈ Σ cᵢ·fᵢ(x/scale)`.
+    pub fn fit(samples: &[(f64, f64)], basis: Vec<fn(f64) -> f64>) -> PolyFit {
+        let k = basis.len();
+        assert!(samples.len() >= k, "need at least as many samples as terms");
+        let scale = samples
+            .iter()
+            .map(|s| s.0.abs())
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+        // Normal equations: (AᵀA) c = Aᵀy.
+        let mut ata = vec![vec![0.0f64; k]; k];
+        let mut aty = vec![0.0f64; k];
+        for &(x, y) in samples {
+            let row: Vec<f64> = basis.iter().map(|f| f(x / scale)).collect();
+            for i in 0..k {
+                for j in 0..k {
+                    ata[i][j] += row[i] * row[j];
+                }
+                aty[i] += row[i] * y;
+            }
+        }
+        let coeffs = solve(ata, aty);
+        PolyFit {
+            coeffs,
+            basis,
+            scale,
+        }
+    }
+
+    /// Cubic-quadratic-constant basis (MM components).
+    pub fn fit_cubic(samples: &[(f64, f64)]) -> PolyFit {
+        PolyFit::fit(samples, vec![|t| t * t * t, |t| t * t, |_| 1.0])
+    }
+
+    /// Linear basis (FFT components).
+    pub fn fit_linear(samples: &[(f64, f64)]) -> PolyFit {
+        PolyFit::fit(samples, vec![|t| t, |_| 1.0])
+    }
+
+    /// Quadratic basis. A batch of fixed-size FFTs is nominally linear in
+    /// the batch, but the paper's small-batch FFT rows carry visible
+    /// measurement variability ("this fixed time across different
+    /// interconnects presents larger variability", §V); the mild quadratic
+    /// term absorbs that curvature so the calibration passes through the
+    /// reported points.
+    pub fn fit_quadratic(samples: &[(f64, f64)]) -> PolyFit {
+        PolyFit::fit(samples, vec![|t| t * t, |t| t, |_| 1.0])
+    }
+
+    /// Evaluate the fitted model.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.coeffs)
+            .map(|(f, c)| c * f(x / self.scale))
+            .sum()
+    }
+
+    /// Maximum relative error of the fit over its own samples.
+    pub fn max_rel_error(&self, samples: &[(f64, f64)]) -> f64 {
+        samples
+            .iter()
+            .map(|&(x, y)| ((self.eval(x) - y) / y).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A monotone-x interpolating curve through measured samples, with linear
+/// extrapolation using the end segments' slopes.
+///
+/// Used for the FFT components: their measurements are short (40–700 ms)
+/// and visibly noisy ("this fixed time across different interconnects
+/// presents larger variability", §V), so a low-order parametric fit misses
+/// individual rows by several percent. Interpolation keeps the testbed
+/// calibrated *at* every reported point while still defining times between
+/// and beyond them.
+#[derive(Debug, Clone)]
+pub struct Interp {
+    points: Vec<(f64, f64)>,
+}
+
+impl Interp {
+    pub fn through(samples: &[(f64, f64)]) -> Interp {
+        assert!(samples.len() >= 2, "need at least two samples");
+        for w in samples.windows(2) {
+            assert!(w[0].0 < w[1].0, "x must strictly increase");
+        }
+        Interp {
+            points: samples.to_vec(),
+        }
+    }
+
+    pub fn eval(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        let seg =
+            |a: (f64, f64), b: (f64, f64)| -> f64 { a.1 + (b.1 - a.1) * (x - a.0) / (b.0 - a.0) };
+        if x <= pts[0].0 {
+            return seg(pts[0], pts[1]);
+        }
+        for w in pts.windows(2) {
+            if x <= w[1].0 {
+                return seg(w[0], w[1]);
+            }
+        }
+        seg(pts[pts.len() - 2], pts[pts.len() - 1])
+    }
+}
+
+/// Solve a small dense SPD system by Gaussian elimination with partial
+/// pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .unwrap();
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        assert!(a[col][col].abs() > 1e-300, "singular normal equations");
+        // Eliminate below.
+        let pivot_row = a[col].clone();
+        for row in col + 1..n {
+            let f = a[row][col] / pivot_row[col];
+            for (entry, pivot) in a[row][col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *entry -= f * pivot;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    x
+}
+
+/// The full calibrated parameter set. All fitted times are in **seconds**.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// MM on the 8-core CPU (MKL), seconds vs dimension.
+    pub mm_cpu: PolyFit,
+    /// MM on the local GPU (includes CUDA init), seconds vs dimension.
+    pub mm_gpu: PolyFit,
+    /// MM network-independent fixed time, seconds vs dimension.
+    pub mm_fixed: PolyFit,
+    /// FFT on the CPU (FFTW), seconds vs batch.
+    pub fft_cpu: Interp,
+    /// FFT on the local GPU, seconds vs batch.
+    pub fft_gpu: Interp,
+    /// FFT network-independent fixed time, seconds vs batch.
+    pub fft_fixed: Interp,
+    /// GigaE TCP distortion `p(d) = α/d + β` (`d` in MiB per copy):
+    /// slope = α, intercept = β.
+    pub tcp_distortion: LinearFit,
+}
+
+impl Calibration {
+    /// Fit everything from the embedded paper data.
+    ///
+    /// The fixed-time fits use the 40GI-derived columns: the paper notes the
+    /// GigaE-derived fixed times absorb TCP-window noise ("the differences
+    /// in the fixed times for both models are mostly attributed to
+    /// unexpected network transfer times related to the TCP window status",
+    /// §V), so the InfiniBand side is the cleaner ground truth.
+    pub fn paper() -> Calibration {
+        let mm = |f: fn(&crate::paperdata::MmRow) -> f64| -> Vec<(f64, f64)> {
+            MM_ROWS.iter().map(|r| (r.dim as f64, f(r))).collect()
+        };
+        let fft = |f: fn(&crate::paperdata::FftRow) -> f64| -> Vec<(f64, f64)> {
+            FFT_ROWS
+                .iter()
+                .map(|r| (r.batch as f64, f(r) / 1e3))
+                .collect()
+        };
+
+        // GigaE distortion: relative excess of measured over
+        // fixed + k·bulk, as a function of per-copy MiB.
+        let mut residuals: Vec<(f64, f64)> = Vec::new();
+        for r in MM_ROWS {
+            let case = CaseStudy::MatMul { dim: r.dim };
+            let d = case.memcpy_bytes().as_mib();
+            let bulk = 3.0 * d / NetworkId::GigaE.bandwidth_mib_s();
+            residuals.push((d, (r.gigae_s - r.fixed_ib40_s) / bulk - 1.0));
+        }
+        for r in FFT_ROWS {
+            let case = CaseStudy::Fft { batch: r.batch };
+            let d = case.memcpy_bytes().as_mib();
+            let bulk = 2.0 * d / NetworkId::GigaE.bandwidth_mib_s();
+            residuals.push((d, ((r.gigae_ms - r.fixed_ib40_ms) / 1e3) / bulk - 1.0));
+        }
+
+        Calibration {
+            mm_cpu: PolyFit::fit_cubic(&mm(|r| r.cpu_s)),
+            mm_gpu: PolyFit::fit_cubic(&mm(|r| r.gpu_s)),
+            mm_fixed: PolyFit::fit_cubic(&mm(|r| r.fixed_ib40_s)),
+            fft_cpu: Interp::through(&fft(|r| r.cpu_ms)),
+            fft_gpu: Interp::through(&fft(|r| r.gpu_ms)),
+            fft_fixed: Interp::through(&fft(|r| r.fixed_ib40_ms)),
+            tcp_distortion: inverse_fit(&residuals),
+        }
+    }
+
+    /// Fixed (network-independent) time for a case study.
+    pub fn fixed_time(&self, case: CaseStudy) -> SimTime {
+        let s = match case {
+            CaseStudy::MatMul { dim } => self.mm_fixed.eval(dim as f64),
+            CaseStudy::Fft { batch } => self.fft_fixed.eval(batch as f64),
+        };
+        SimTime::from_secs_f64(s)
+    }
+
+    /// Local CPU time (8-core MKL / FFTW).
+    pub fn cpu_time(&self, case: CaseStudy) -> SimTime {
+        let s = match case {
+            CaseStudy::MatMul { dim } => self.mm_cpu.eval(dim as f64),
+            CaseStudy::Fft { batch } => self.fft_cpu.eval(batch as f64),
+        };
+        SimTime::from_secs_f64(s)
+    }
+
+    /// Local GPU time (includes the CUDA context initialization the rCUDA
+    /// daemon pre-pays).
+    pub fn gpu_time(&self, case: CaseStudy) -> SimTime {
+        let s = match case {
+            CaseStudy::MatMul { dim } => self.mm_gpu.eval(dim as f64),
+            CaseStudy::Fft { batch } => self.fft_gpu.eval(batch as f64),
+        };
+        SimTime::from_secs_f64(s)
+    }
+
+    /// GigaE application-transfer distortion factor for a per-copy size of
+    /// `d_mib` MiB.
+    pub fn gigae_distortion(&self, d_mib: f64) -> f64 {
+        self.tcp_distortion.slope / d_mib + self.tcp_distortion.intercept
+    }
+
+    /// Implied sustained SGEMM rate of the fitted fixed-time cubic term,
+    /// GFLOP/s — a physical sanity check on the calibration.
+    pub fn implied_sgemm_gflops(&self) -> f64 {
+        // fixed(m) ≈ a·(m/scale)³ + ... ⇒ seconds per m³ is a/scale³;
+        // SGEMM does 2·m³ flops.
+        let a = self.mm_fixed.coeffs[0];
+        let scale = self.mm_fixed.scale;
+        2.0 / (a / scale.powi(3)) / 1e9
+    }
+
+    /// The standard problem-size grid of the paper's tables.
+    pub fn grid(family: Family) -> Vec<CaseStudy> {
+        CaseStudy::standard_grid(family)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuda_netsim::gige::{TCP_DISTORTION_ALPHA, TCP_DISTORTION_BETA};
+
+    #[test]
+    fn fits_reproduce_their_own_samples() {
+        let c = Calibration::paper();
+        let mm_fixed: Vec<(f64, f64)> = MM_ROWS
+            .iter()
+            .map(|r| (r.dim as f64, r.fixed_ib40_s))
+            .collect();
+        assert!(
+            c.mm_fixed.max_rel_error(&mm_fixed) < 0.02,
+            "MM fixed fit error {}",
+            c.mm_fixed.max_rel_error(&mm_fixed)
+        );
+        let mm_cpu: Vec<(f64, f64)> = MM_ROWS.iter().map(|r| (r.dim as f64, r.cpu_s)).collect();
+        assert!(c.mm_cpu.max_rel_error(&mm_cpu) < 0.03);
+        let mm_gpu: Vec<(f64, f64)> = MM_ROWS.iter().map(|r| (r.dim as f64, r.gpu_s)).collect();
+        assert!(c.mm_gpu.max_rel_error(&mm_gpu) < 0.03);
+        // The FFT components interpolate, so they are exact at the samples.
+        for r in FFT_ROWS {
+            assert!(
+                (c.fft_cpu.eval(r.batch as f64) - r.cpu_ms / 1e3).abs() < 1e-12,
+                "FFT cpu at {}",
+                r.batch
+            );
+            assert!((c.fft_fixed.eval(r.batch as f64) - r.fixed_ib40_ms / 1e3).abs() < 1e-12);
+        }
+        // ...and sane between them (monotone increasing workload).
+        assert!(c.fft_cpu.eval(3000.0) > c.fft_cpu.eval(2048.0));
+        assert!(c.fft_cpu.eval(3000.0) < c.fft_cpu.eval(4096.0));
+    }
+
+    #[test]
+    fn netsim_distortion_constants_match_the_live_fit() {
+        // rcuda-netsim compiles in α, β so it has no dependency on this
+        // crate; this test keeps them honest.
+        let c = Calibration::paper();
+        assert!(
+            (c.tcp_distortion.slope - TCP_DISTORTION_ALPHA).abs() < 0.15,
+            "α drifted: fit {} vs netsim {}",
+            c.tcp_distortion.slope,
+            TCP_DISTORTION_ALPHA
+        );
+        assert!(
+            (c.tcp_distortion.intercept - TCP_DISTORTION_BETA).abs() < 0.01,
+            "β drifted: fit {} vs netsim {}",
+            c.tcp_distortion.intercept,
+            TCP_DISTORTION_BETA
+        );
+    }
+
+    #[test]
+    fn distortion_decays_with_copy_size() {
+        let c = Calibration::paper();
+        let small = c.gigae_distortion(8.0);
+        let large = c.gigae_distortion(1024.0);
+        assert!(small > 0.3, "8 MiB copies suffer ~40% excess: {small}");
+        assert!(
+            large < 0.05,
+            "GiB copies track the bandwidth model: {large}"
+        );
+        assert!(small > large);
+    }
+
+    #[test]
+    fn implied_gpu_rate_is_physically_plausible() {
+        // Volkov's SGEMM on a C1060 sustains roughly 350-400 GFLOP/s; the
+        // fitted cubic term must land in that neighborhood, or the
+        // calibration has lost contact with the hardware it models.
+        let c = Calibration::paper();
+        let gflops = c.implied_sgemm_gflops();
+        assert!(
+            (250.0..550.0).contains(&gflops),
+            "implied SGEMM rate {gflops} GFLOP/s"
+        );
+    }
+
+    #[test]
+    fn cubic_fit_recovers_exact_polynomial() {
+        let samples: Vec<(f64, f64)> = (1..=10)
+            .map(|i| {
+                let x = (i * 1000) as f64;
+                (x, 3e-12 * x.powi(3) + 2e-8 * x * x + 0.5)
+            })
+            .collect();
+        let fit = PolyFit::fit_cubic(&samples);
+        for &(x, y) in &samples {
+            assert!(((fit.eval(x) - y) / y).abs() < 1e-9);
+        }
+        // Interpolation between samples is sane too.
+        let y = fit.eval(5500.0);
+        let expect = 3e-12 * 5500.0f64.powi(3) + 2e-8 * 5500.0f64 * 5500.0 + 0.5;
+        assert!(((y - expect) / expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let samples: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64, 2.5 * i as f64 + 7.0)).collect();
+        let fit = PolyFit::fit_linear(&samples);
+        assert!((fit.eval(100.0) - 257.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as many samples")]
+    fn underdetermined_fit_panics() {
+        PolyFit::fit_cubic(&[(1.0, 1.0), (2.0, 2.0)]);
+    }
+}

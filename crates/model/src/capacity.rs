@@ -1,0 +1,192 @@
+//! Cluster GPU-capacity planning — the question the paper's conclusion
+//! poses for future work: "to be able to determine the exact amount of GPUs
+//! necessary in each particular case" (§VII).
+//!
+//! First-order model. A cluster has `nodes` application nodes, each issuing
+//! remote executions of one case study at some rate. One execution occupies
+//! its GPU server for
+//!
+//! ```text
+//! service(G) = gpu_busy + k · transfer(net) · max(1, concurrent(G))
+//! ```
+//!
+//! where `gpu_busy` is the local-GPU execution time (kernel + PCIe +
+//! per-session overheads, from the calibration) and the transfer term is
+//! inflated by fair-share link contention when more than one client is
+//! concurrently active per server (`rcuda-netsim`'s [`SharedLink`] model).
+//! The planner picks the smallest GPU count `G` whose per-GPU utilization
+//! stays under a target, solving the service-time/contention fixed point by
+//! iteration.
+//!
+//! [`SharedLink`]: rcuda_netsim::SharedLink
+
+use rcuda_core::{CaseStudy, SimTime};
+use rcuda_netsim::NetworkId;
+
+use crate::calib::Calibration;
+use crate::estimate::total_transfer_time;
+
+/// What the cluster looks like and how hard it drives the GPUs.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// Application nodes (all assumed GPU-less).
+    pub nodes: u32,
+    /// Executions per second issued by each node.
+    pub per_node_rate_hz: f64,
+    /// The workload being offloaded.
+    pub case: CaseStudy,
+    /// The cluster interconnect.
+    pub network: NetworkId,
+    /// Maximum acceptable per-GPU utilization (0, 1], e.g. 0.7.
+    pub utilization_target: f64,
+}
+
+/// The planner's answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityPlan {
+    /// GPUs (= GPU servers) needed.
+    pub gpus: u32,
+    /// Expected per-GPU utilization at that count.
+    pub utilization: f64,
+    /// Expected service time per execution, including contention.
+    pub service_time: SimTime,
+    /// Expected concurrently-active clients per server.
+    pub concurrency: f64,
+    /// GPUs saved versus the GPU-per-node configuration the paper argues
+    /// against.
+    pub gpus_saved: u32,
+}
+
+/// Size the GPU pool for a cluster.
+///
+/// Returns `None` if even one GPU per node cannot meet the utilization
+/// target (the workload saturates dedicated hardware).
+pub fn plan_capacity(spec: &ClusterSpec, calib: &Calibration) -> Option<CapacityPlan> {
+    assert!(spec.nodes > 0, "a cluster has nodes");
+    assert!(
+        spec.utilization_target > 0.0 && spec.utilization_target <= 1.0,
+        "utilization target must be in (0, 1]"
+    );
+    assert!(spec.per_node_rate_hz >= 0.0);
+
+    let gpu_busy = calib.gpu_time(spec.case).as_secs_f64();
+    let base_transfer = total_transfer_time(spec.case, spec.network).as_secs_f64();
+    let offered_rate = spec.nodes as f64 * spec.per_node_rate_hz; // executions/s
+
+    for gpus in 1..=spec.nodes {
+        // Fixed point: concurrency -> service time -> concurrency.
+        let mut concurrency = 1.0f64;
+        let mut service = gpu_busy + base_transfer;
+        for _ in 0..32 {
+            service = gpu_busy + base_transfer * concurrency.max(1.0);
+            // Little's law per server: active = arrival rate × service time.
+            concurrency = offered_rate / gpus as f64 * service;
+        }
+        let utilization = offered_rate * service / gpus as f64;
+        if utilization <= spec.utilization_target {
+            return Some(CapacityPlan {
+                gpus,
+                utilization,
+                service_time: SimTime::from_secs_f64(service),
+                concurrency,
+                gpus_saved: spec.nodes - gpus,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(nodes: u32, rate: f64) -> ClusterSpec {
+        ClusterSpec {
+            nodes,
+            per_node_rate_hz: rate,
+            case: CaseStudy::MatMul { dim: 8192 },
+            network: NetworkId::Ib40G,
+            utilization_target: 0.7,
+        }
+    }
+
+    #[test]
+    fn light_load_needs_one_gpu() {
+        // 32 nodes each running one m=8192 MM every 20 minutes: a single
+        // shared GPU loafs.
+        let c = Calibration::paper();
+        let plan = plan_capacity(&spec(32, 1.0 / 1200.0), &c).unwrap();
+        assert_eq!(plan.gpus, 1);
+        assert!(plan.utilization < 0.3, "{}", plan.utilization);
+        assert_eq!(plan.gpus_saved, 31);
+    }
+
+    #[test]
+    fn heavier_load_scales_gpu_count() {
+        let c = Calibration::paper();
+        let light = plan_capacity(&spec(32, 1.0 / 1200.0), &c).unwrap();
+        let heavy = plan_capacity(&spec(32, 1.0 / 60.0), &c).unwrap();
+        assert!(heavy.gpus > light.gpus, "{heavy:?} vs {light:?}");
+        assert!(heavy.gpus < 32, "still saves hardware");
+        assert!(heavy.utilization <= 0.7);
+    }
+
+    #[test]
+    fn saturating_load_returns_none() {
+        // Nodes continuously issuing back-to-back executions: the GPU busy
+        // time alone exceeds what a GPU per node can absorb at the target.
+        let c = Calibration::paper();
+        let gpu_busy = c.gpu_time(CaseStudy::MatMul { dim: 8192 }).as_secs_f64();
+        let rate = 2.0 / gpu_busy; // 2× oversubscribed per node
+        assert_eq!(plan_capacity(&spec(4, rate), &c), None);
+    }
+
+    #[test]
+    fn slower_network_needs_more_gpus_under_contention() {
+        let c = Calibration::paper();
+        let rate = 1.0 / 120.0;
+        let ib = plan_capacity(
+            &ClusterSpec {
+                network: NetworkId::Ib40G,
+                ..spec(64, rate)
+            },
+            &c,
+        )
+        .unwrap();
+        let ge = plan_capacity(
+            &ClusterSpec {
+                network: NetworkId::GigaE,
+                ..spec(64, rate)
+            },
+            &c,
+        )
+        .unwrap();
+        assert!(
+            ge.gpus >= ib.gpus,
+            "GigaE ({}) should not need fewer GPUs than 40GI ({})",
+            ge.gpus,
+            ib.gpus
+        );
+        assert!(ge.service_time > ib.service_time);
+    }
+
+    #[test]
+    fn utilization_respects_target_monotonically() {
+        let c = Calibration::paper();
+        for rate_div in [2400.0, 600.0, 120.0] {
+            if let Some(plan) = plan_capacity(&spec(32, 1.0 / rate_div), &c) {
+                assert!(plan.utilization <= 0.7 + 1e-9, "rate 1/{rate_div}");
+                assert!(plan.gpus + plan.gpus_saved == 32);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization target")]
+    fn bad_target_panics() {
+        let c = Calibration::paper();
+        let mut s = spec(4, 0.001);
+        s.utilization_target = 1.5;
+        plan_capacity(&s, &c);
+    }
+}

@@ -1,0 +1,157 @@
+//! Minimal ASCII chart rendering for the figure artifacts.
+//!
+//! The paper's Figures 3–6 are line plots; the `tables` harness renders
+//! their series as text grids so the *shape* (orderings, crossovers) is
+//! visible straight from the terminal, no plotting stack required.
+
+/// One plotted series: a label and `(x, y)` points.
+pub type ChartSeries = (String, Vec<(f64, f64)>);
+
+/// Symbols assigned to series, in order.
+const SYMBOLS: &[char] = &['o', '+', 'x', '*', '#', '@', '%', '&', '$', '~'];
+
+/// Render series into a `width × height` character grid with a legend.
+///
+/// Both axes are linear; `log_y` switches the y axis to log10 (useful when
+/// series span orders of magnitude, like the FFT GigaE vs A-HT times).
+pub fn ascii_chart(series: &[ChartSeries], width: usize, height: usize, log_y: bool) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small to read");
+    assert!(!series.is_empty(), "nothing to plot");
+    let points: Vec<(f64, f64)> = series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    assert!(!points.is_empty(), "series have no points");
+
+    let ty = |y: f64| if log_y { y.max(1e-300).log10() } else { y };
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(ty(y));
+        y_max = y_max.max(ty(y));
+    }
+    if x_max == x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max == y_min {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let sym = SYMBOLS[si % SYMBOLS.len()];
+        for &(x, y) in pts {
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((ty(y) - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy;
+            // Later series overwrite earlier ones at collisions; the legend
+            // disambiguates and the orderings still read correctly.
+            grid[row][cx] = sym;
+        }
+    }
+
+    let y_label = |v: f64| -> String {
+        let v = if log_y { 10f64.powf(v) } else { v };
+        if v.abs() >= 1000.0 {
+            format!("{v:.0}")
+        } else {
+            format!("{v:.2}")
+        }
+    };
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{:>9} |", y_label(y_max))
+        } else if i == height - 1 {
+            format!("{:>9} |", y_label(y_min))
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>9}  {:<.0}{:>pad$.0}\n",
+        "",
+        x_min,
+        x_max,
+        pad = width.saturating_sub(format!("{x_min:.0}").len())
+    ));
+    // Legend.
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", SYMBOLS[si % SYMBOLS.len()], label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines_of(chart: &str) -> Vec<&str> {
+        chart.lines().collect()
+    }
+
+    #[test]
+    fn grid_dimensions_and_legend() {
+        let series = vec![
+            ("up".to_string(), vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]),
+            ("down".to_string(), vec![(0.0, 2.0), (1.0, 1.0), (2.0, 0.0)]),
+        ];
+        let chart = ascii_chart(&series, 20, 6, false);
+        let lines = lines_of(&chart);
+        // 6 grid rows + axis + x labels + 2 legend entries.
+        assert_eq!(lines.len(), 6 + 2 + 2);
+        assert!(chart.contains("o up"));
+        assert!(chart.contains("+ down"));
+    }
+
+    #[test]
+    fn increasing_series_slopes_up() {
+        let series = vec![(
+            "lin".to_string(),
+            (0..=10).map(|i| (i as f64, i as f64)).collect::<Vec<_>>(),
+        )];
+        let chart = ascii_chart(&series, 22, 11, false);
+        let lines = lines_of(&chart);
+        // Max y (top row) should hold the last point, min y (bottom grid
+        // row) the first.
+        let top = lines[0];
+        let bottom = lines[10];
+        assert!(top.trim_end().ends_with('o'), "top: {top:?}");
+        assert_eq!(bottom.chars().filter(|&c| c == 'o').count(), 1);
+        assert!(bottom.find('o').unwrap() < top.rfind('o').unwrap());
+    }
+
+    #[test]
+    fn log_scale_compresses_magnitudes() {
+        let series = vec![(
+            "exp".to_string(),
+            vec![(0.0, 1.0), (1.0, 10.0), (2.0, 100.0), (3.0, 1000.0)],
+        )];
+        let chart = ascii_chart(&series, 30, 7, true);
+        // On a log axis an exponential is a straight line: each of the four
+        // points lands on a distinct row.
+        let rows_with_points = lines_of(&chart)
+            .iter()
+            .take(7)
+            .filter(|l| l.contains('o'))
+            .count();
+        assert_eq!(rows_with_points, 4);
+        assert!(chart.contains("1000"), "max label");
+    }
+
+    #[test]
+    fn flat_series_renders_without_division_by_zero() {
+        let series = vec![("flat".to_string(), vec![(0.0, 5.0), (1.0, 5.0)])];
+        let chart = ascii_chart(&series, 16, 4, false);
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_charts_rejected() {
+        ascii_chart(&[("x".to_string(), vec![(0.0, 0.0)])], 4, 2, false);
+    }
+}

@@ -1,0 +1,176 @@
+//! Series generators for the paper's figures.
+//!
+//! * Figures 3–4: ping-pong latency curves for GigaE and 40GI (left: small
+//!   payloads, averaged; right: large payloads, minima) plus the recovered
+//!   linear fits `f` and `g`.
+//! * Figures 5–6: the Table VI execution times as plot series, one line per
+//!   platform (CPU, local GPU, remote GigaE/40GI, and the five estimated
+//!   HPC networks).
+
+use rcuda_core::{Family, SimTime};
+use rcuda_netsim::pingpong::{PingPong, SweepPoint, LARGE_REPS, SMALL_REPS};
+use rcuda_netsim::regression::LinearFit;
+use rcuda_netsim::NetworkId;
+use serde::Serialize;
+
+use crate::tables::{table6, Table6Row};
+use crate::testbed::SimulatedTestbed;
+
+/// One of Figures 3 or 4.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyFigure {
+    pub network: NetworkId,
+    /// Left-hand plot: small payloads, average of 250.
+    pub small: Vec<SweepPoint>,
+    /// Right-hand plot: large payloads, minimum of 100.
+    pub large: Vec<SweepPoint>,
+    /// Linear fit of the large series (ms vs MiB) — the paper's `f`/`g`.
+    pub fit: LinearFit,
+}
+
+/// Generate Figure 3 (GigaE) or Figure 4 (40GI).
+pub fn latency_figure(network: NetworkId, seed: u64) -> LatencyFigure {
+    assert!(
+        NetworkId::MEASURED.contains(&network),
+        "latency figures exist only for the measured networks"
+    );
+    let model = network.model();
+    let pp = PingPong::new(&*model, seed);
+    LatencyFigure {
+        network,
+        small: pp.small_sweep(&PingPong::default_small_payloads(), SMALL_REPS),
+        large: pp.large_sweep(&PingPong::default_large_payloads(), LARGE_REPS),
+        fit: pp.fit_large(),
+    }
+}
+
+/// One plotted series of Figures 5/6: a platform's execution time over the
+/// problem-size grid.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    pub label: String,
+    /// `(problem size, time)` points.
+    pub points: Vec<(u32, SimTime)>,
+}
+
+/// One of Figures 5 or 6 (one half: a single case-study family).
+#[derive(Debug, Clone, Serialize)]
+pub struct ExecutionFigure {
+    pub family: Family,
+    /// Which measured network's model produced the estimates (GigaE for
+    /// Fig. 5, 40GI for Fig. 6).
+    pub model_source: NetworkId,
+    pub series: Vec<Series>,
+}
+
+/// Generate the Figure 5/6 series for one family.
+pub fn execution_figure(
+    family: Family,
+    model_source: NetworkId,
+    testbed: &SimulatedTestbed,
+) -> ExecutionFigure {
+    let rows = table6(family, testbed);
+    let size = |r: &Table6Row| r.case.size();
+
+    let mut series = vec![
+        Series {
+            label: "CPU (local)".to_string(),
+            points: rows.iter().map(|r| (size(r), r.cpu)).collect(),
+        },
+        Series {
+            label: "GPU (local)".to_string(),
+            points: rows.iter().map(|r| (size(r), r.gpu)).collect(),
+        },
+        Series {
+            label: "GigaE (measured)".to_string(),
+            points: rows.iter().map(|r| (size(r), r.gigae)).collect(),
+        },
+        Series {
+            label: "40GI (measured)".to_string(),
+            points: rows.iter().map(|r| (size(r), r.ib40)).collect(),
+        },
+    ];
+    for (i, net) in NetworkId::TARGETS.iter().enumerate() {
+        let pick = |r: &Table6Row| match model_source {
+            NetworkId::GigaE => r.est_gigae_model[i].1,
+            _ => r.est_ib40_model[i].1,
+        };
+        series.push(Series {
+            label: format!("{net} (estimated)"),
+            points: rows.iter().map(|r| (size(r), pick(r))).collect(),
+        });
+    }
+    ExecutionFigure {
+        family,
+        model_source,
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_recovers_f() {
+        let fig = latency_figure(NetworkId::GigaE, 42);
+        assert!(
+            (fig.fit.slope - 8.9).abs() < 0.05,
+            "slope {}",
+            fig.fit.slope
+        );
+        assert!(fig.fit.correlation > 0.999);
+        assert!(!fig.small.is_empty() && !fig.large.is_empty());
+    }
+
+    #[test]
+    fn figure4_recovers_g() {
+        let fig = latency_figure(NetworkId::Ib40G, 42);
+        assert!(
+            (fig.fit.slope - 0.7).abs() < 0.02,
+            "slope {}",
+            fig.fit.slope
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "measured networks")]
+    fn latency_figures_only_for_measured_networks() {
+        latency_figure(NetworkId::Myri10G, 1);
+    }
+
+    #[test]
+    fn figure5_has_nine_series_over_the_grid() {
+        let tb = SimulatedTestbed::new();
+        let fig = execution_figure(Family::MatMul, NetworkId::GigaE, &tb);
+        assert_eq!(fig.series.len(), 9); // CPU, GPU, 2 measured, 5 estimated
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 8, "{}", s.label);
+        }
+        // Crossover shape: on GigaE, remote MM starts slower than CPU but
+        // wins at large sizes (paper Fig. 5 left).
+        let cpu = &fig.series[0].points;
+        let gigae = &fig.series[2].points;
+        assert!(gigae[0].1 > cpu[0].1, "small MM: GigaE remote loses to CPU");
+        assert!(
+            gigae.last().unwrap().1 < cpu.last().unwrap().1,
+            "large MM: GigaE remote beats CPU"
+        );
+    }
+
+    #[test]
+    fn figure6_fft_never_beats_cpu() {
+        let tb = SimulatedTestbed::new();
+        let fig = execution_figure(Family::Fft, NetworkId::Ib40G, &tb);
+        let cpu = &fig.series[0].points;
+        for s in fig.series.iter().skip(1) {
+            for (i, &(_, t)) in s.points.iter().enumerate() {
+                assert!(
+                    t > cpu[i].1,
+                    "FFT: {} must not beat the CPU (paper Fig. 6 right)",
+                    s.label
+                );
+            }
+        }
+    }
+}

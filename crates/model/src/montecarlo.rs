@@ -1,0 +1,186 @@
+//! Monte-Carlo uncertainty for the estimation model.
+//!
+//! The paper reports measurement variability (30-run averages, maximum
+//! standard deviations of 1.0 s for MM and 14.4 ms for FFT, §V) but
+//! propagates only point estimates. This module closes that gap: it re-runs
+//! the §V methodology over many noisy realizations of the testbed and
+//! reports the distribution of the cross-validation error, so every
+//! Table IV cell gets an error bar.
+
+use rcuda_core::{CaseStudy, SimTime};
+use rcuda_netsim::NetworkId;
+
+use crate::estimate::cross_validate;
+use crate::testbed::SimulatedTestbed;
+
+/// Summary statistics of a sampled quantity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Distribution {
+    pub mean: f64,
+    pub stddev: f64,
+    pub min: f64,
+    pub max: f64,
+    pub samples: usize,
+}
+
+impl Distribution {
+    /// Summarize a non-empty sample.
+    pub fn of(samples: &[f64]) -> Distribution {
+        assert!(!samples.is_empty(), "need samples");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        Distribution {
+            mean,
+            stddev: var.sqrt(),
+            min: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            samples: samples.len(),
+        }
+    }
+}
+
+/// The error distribution of one cross-validation direction for one case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBar {
+    pub case: CaseStudy,
+    /// Source network of the model (GigaE or 40GI).
+    pub src: NetworkId,
+    /// Distribution of the relative estimation error across realizations.
+    pub error: Distribution,
+}
+
+/// Re-run the §V cross-validation over `realizations` noisy testbeds
+/// (relative noise `noise_rel`, e.g. 0.01 for 1 %) and summarize the error.
+pub fn error_bar(
+    case: CaseStudy,
+    src: NetworkId,
+    dst: NetworkId,
+    noise_rel: f64,
+    realizations: u64,
+) -> ErrorBar {
+    assert!(realizations >= 2, "need at least two realizations");
+    let errors: Vec<f64> = (0..realizations)
+        .map(|seed| {
+            let tb = SimulatedTestbed::with_noise(noise_rel, seed);
+            let measured_src = tb.measured_remote(case, src);
+            let measured_dst = tb.measured_remote(case, dst);
+            cross_validate(case, src, dst, measured_src, measured_dst).error
+        })
+        .collect();
+    ErrorBar {
+        case,
+        src,
+        error: Distribution::of(&errors),
+    }
+}
+
+/// Distribution of a projected execution time on `target`, under noise.
+pub fn estimate_distribution(
+    case: CaseStudy,
+    src: NetworkId,
+    target: NetworkId,
+    noise_rel: f64,
+    realizations: u64,
+) -> Distribution {
+    let samples: Vec<f64> = (0..realizations)
+        .map(|seed| {
+            let tb = SimulatedTestbed::with_noise(noise_rel, seed);
+            let measured = tb.measured_remote(case, src);
+            let fixed = crate::estimate::fixed_time(measured, case, src);
+            crate::estimate::estimate(fixed, case, target).as_secs_f64()
+        })
+        .collect();
+    Distribution::of(&samples)
+}
+
+/// A convenient default: 1 % relative noise (the paper's reported
+/// variability is at the percent level), 100 realizations.
+pub fn default_error_bar(case: CaseStudy, src: NetworkId, dst: NetworkId) -> ErrorBar {
+    error_bar(case, src, dst, 0.01, 100)
+}
+
+/// Format as `mean ± stddev`, in seconds or the given scale.
+pub fn format_pm(d: &Distribution, scale: f64, unit: &str) -> String {
+    format!("{:.2} ± {:.2} {unit}", d.mean * scale, d.stddev * scale)
+}
+
+/// Helper for time distributions.
+pub fn time_distribution_secs(samples: &[SimTime]) -> Distribution {
+    let vals: Vec<f64> = samples.iter().map(|t| t.as_secs_f64()).collect();
+    Distribution::of(&vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_noise_collapses_to_the_point_estimate() {
+        let case = CaseStudy::MatMul { dim: 8192 };
+        let bar = error_bar(case, NetworkId::GigaE, NetworkId::Ib40G, 0.0, 5);
+        assert_eq!(bar.error.stddev, 0.0);
+        assert_eq!(bar.error.min, bar.error.max);
+        // ...and equals the deterministic cross-validation error.
+        let tb = SimulatedTestbed::new();
+        let det = cross_validate(
+            case,
+            NetworkId::GigaE,
+            NetworkId::Ib40G,
+            tb.measured_remote(case, NetworkId::GigaE),
+            tb.measured_remote(case, NetworkId::Ib40G),
+        )
+        .error;
+        assert!((bar.error.mean - det).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_widens_but_does_not_bias_the_mm_errors() {
+        let case = CaseStudy::MatMul { dim: 12288 };
+        let bar = error_bar(case, NetworkId::Ib40G, NetworkId::GigaE, 0.01, 200);
+        // Paper-scale result: MM errors stay small even under 1 % noise.
+        assert!(bar.error.mean.abs() < 0.02, "mean {}", bar.error.mean);
+        assert!(bar.error.stddev > 0.0);
+        assert!(bar.error.stddev < 0.02, "stddev {}", bar.error.stddev);
+        assert!(bar.error.max - bar.error.min < 0.1);
+    }
+
+    #[test]
+    fn fft_bias_survives_noise() {
+        // The FFT/GigaE-model error is a *systematic* TCP-window effect,
+        // not noise: its sign must survive every realization.
+        let case = CaseStudy::Fft { batch: 2048 };
+        let bar = error_bar(case, NetworkId::GigaE, NetworkId::Ib40G, 0.01, 100);
+        assert!(bar.error.min > 0.2, "min {}", bar.error.min);
+        assert!(bar.error.mean > 0.3, "mean {}", bar.error.mean);
+    }
+
+    #[test]
+    fn estimate_distribution_brackets_the_noiseless_value() {
+        let case = CaseStudy::MatMul { dim: 8192 };
+        let d = estimate_distribution(case, NetworkId::Ib40G, NetworkId::AsicHt, 0.01, 100);
+        let tb = SimulatedTestbed::new();
+        let measured = tb.measured_remote(case, NetworkId::Ib40G);
+        let fixed = crate::estimate::fixed_time(measured, case, NetworkId::Ib40G);
+        let point = crate::estimate::estimate(fixed, case, NetworkId::AsicHt).as_secs_f64();
+        assert!(d.min <= point && point <= d.max);
+        assert!((d.mean - point).abs() / point < 0.01);
+    }
+
+    #[test]
+    fn distribution_statistics_are_correct() {
+        let d = Distribution::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.mean, 2.5);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 4.0);
+        assert!((d.stddev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(d.samples, 4);
+        assert_eq!(format_pm(&d, 1.0, "s"), "2.50 ± 1.12 s");
+    }
+
+    #[test]
+    #[should_panic(expected = "need samples")]
+    fn empty_distribution_rejected() {
+        Distribution::of(&[]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Asynchronous-transfer extension of the estimation model.
+//!
+//! The paper's model covers synchronous copies only ("Note that only
+//! applications making use of synchronous data transfers are covered by the
+//! developed estimation model, leaving asynchronous transfers for future
+//! work", §II). This module supplies that future work at the same level of
+//! abstraction as the rest of the model.
+//!
+//! ## The overlap model
+//!
+//! Synchronously, a bulk copy costs `net + pcie` back to back (the PCIe leg
+//! is inside the paper's "fixed" time, the network leg is the `k·transfer`
+//! term). Streaming the copy in `c` chunks through a double-buffered relay
+//! lets the network and PCIe legs overlap, so one direction's cost drops
+//! from `net + pcie` to
+//!
+//! ```text
+//! max(net, pcie) + min(net, pcie)/c        (pipeline fill + bottleneck)
+//! ```
+//!
+//! Relative to the synchronous estimate, the *exposed* network time per
+//! direction shrinks by `min(net, pcie)·(1 − 1/c)`:
+//!
+//! ```text
+//! estimate_async = estimate_sync − Σ_direction min(net_d, pcie_d)·(1 − 1/c)
+//! ```
+//!
+//! Kernels are not overlapped (MM cannot start before both inputs arrive;
+//! this keeps the bound conservative for FFT, where chunk-level kernel
+//! overlap would help further).
+
+use rcuda_core::{CaseStudy, SimTime};
+use rcuda_netsim::NetworkId;
+
+use crate::estimate::{estimate, transfer_time};
+
+/// Effective host↔device bandwidth of the paper's PCIe 2.0 x16 link, MiB/s.
+pub const PCIE_MIB_S: f64 = 5743.0;
+
+/// PCIe time for one direction's payload of a case study.
+fn pcie_time_one_copy(case: CaseStudy) -> f64 {
+    case.memcpy_bytes().as_mib() / PCIE_MIB_S
+}
+
+/// Network time saved by streaming one direction in `chunks` chunks.
+fn direction_saving(case: CaseStudy, net: NetworkId, copies: u32, chunks: u32) -> f64 {
+    let net_t = transfer_time(case, net).as_secs_f64() * copies as f64;
+    let pcie_t = pcie_time_one_copy(case) * copies as f64;
+    net_t.min(pcie_t) * (1.0 - 1.0 / chunks.max(1) as f64)
+}
+
+/// Asynchronous (chunk-streamed, double-buffered) execution-time estimate.
+///
+/// `fixed` is the same network-independent time the synchronous model uses;
+/// `chunks` is the streaming granularity per copy (1 = no overlap, i.e. the
+/// synchronous estimate exactly).
+pub fn estimate_async(fixed: SimTime, case: CaseStudy, net: NetworkId, chunks: u32) -> SimTime {
+    let sync = estimate(fixed, case, net).as_secs_f64();
+    let saving = direction_saving(case, net, case.h2d_count(), chunks)
+        + direction_saving(case, net, case.d2h_count(), chunks);
+    SimTime::from_secs_f64(sync - saving)
+}
+
+/// The fraction of the synchronous remoting penalty (`estimate_sync −
+/// fixed`) removed by asynchronous streaming.
+pub fn overlap_benefit(fixed: SimTime, case: CaseStudy, net: NetworkId, chunks: u32) -> f64 {
+    let sync = estimate(fixed, case, net).as_secs_f64();
+    let async_ = estimate_async(fixed, case, net, chunks).as_secs_f64();
+    let penalty = sync - fixed.as_secs_f64();
+    if penalty <= 0.0 {
+        0.0
+    } else {
+        (sync - async_) / penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::Calibration;
+
+    fn fixed(case: CaseStudy) -> SimTime {
+        Calibration::paper().fixed_time(case)
+    }
+
+    #[test]
+    fn one_chunk_is_the_synchronous_estimate() {
+        let case = CaseStudy::MatMul { dim: 8192 };
+        let f = fixed(case);
+        for net in NetworkId::ALL {
+            assert_eq!(estimate_async(f, case, net, 1), estimate(f, case, net));
+        }
+    }
+
+    #[test]
+    fn more_chunks_monotonically_help() {
+        let case = CaseStudy::Fft { batch: 8192 };
+        let f = fixed(case);
+        let net = NetworkId::TenGigIb;
+        let mut prev = estimate_async(f, case, net, 1);
+        for chunks in [2, 4, 8, 32, 256] {
+            let t = estimate_async(f, case, net, chunks);
+            assert!(t <= prev, "chunks {chunks}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn overlap_saving_is_bounded_by_the_smaller_leg() {
+        // On a network slower than PCIe, at most the PCIe time can hide;
+        // the exposed network time cannot go below net − pcie.
+        let case = CaseStudy::MatMul { dim: 8192 };
+        let f = fixed(case);
+        let net = NetworkId::GigaE; // 112 MiB/s ≪ 5743 MiB/s PCIe
+        let sync = estimate(f, case, net).as_secs_f64();
+        let asyncest = estimate_async(f, case, net, 1_000).as_secs_f64();
+        let net_total = transfer_time(case, net).as_secs_f64() * 3.0;
+        let pcie_total = 3.0 * case.memcpy_bytes().as_mib() / PCIE_MIB_S;
+        assert!(asyncest >= sync - pcie_total - 1e-9);
+        assert!(asyncest >= f.as_secs_f64() + net_total - pcie_total - 1e-9);
+        // And the saving is small relative to the (huge) GigaE penalty.
+        assert!(overlap_benefit(f, case, net, 1_000) < 0.05);
+    }
+
+    #[test]
+    fn fast_networks_benefit_most() {
+        // When net ≈ or < PCIe, nearly the whole smaller leg hides: the
+        // overlap benefit fraction grows with network speed.
+        let case = CaseStudy::MatMul { dim: 8192 };
+        let f = fixed(case);
+        let slow = overlap_benefit(f, case, NetworkId::GigaE, 64);
+        let mid = overlap_benefit(f, case, NetworkId::TenGigIb, 64);
+        let fast = overlap_benefit(f, case, NetworkId::AsicHt, 64);
+        assert!(slow < mid && mid < fast, "{slow} {mid} {fast}");
+        // A-HT (2884 MiB/s) is within 2× of PCIe: the hideable fraction is
+        // pcie/net ≈ 2884/5743 ≈ 0.50 of the penalty.
+        assert!(fast > 0.45, "{fast}");
+    }
+
+    #[test]
+    fn async_never_beats_fixed_time() {
+        // Overlap can hide transfers, not computation.
+        let case = CaseStudy::Fft { batch: 2048 };
+        let f = fixed(case);
+        for net in NetworkId::ALL {
+            for chunks in [1, 8, 1024] {
+                assert!(estimate_async(f, case, net, chunks) >= f);
+            }
+        }
+    }
+}

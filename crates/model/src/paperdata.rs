@@ -1,0 +1,403 @@
+//! The paper's reported measurements, embedded as calibration ground truth.
+//!
+//! Sources: Table IV (measured GigaE/40GI times and per-model fixed times)
+//! and Table VI (measured local CPU and local GPU times). These numbers are
+//! used for two purposes only:
+//!
+//! 1. **calibration** — least-squares fits of the simulated testbed's
+//!    component models (`rcuda-model::calib`);
+//! 2. **golden tests / EXPERIMENTS.md** — checking that our regenerated
+//!    tables agree with the paper's printed ones.
+//!
+//! Known printing quirks in the paper, handled downstream:
+//!
+//! * Table VI's MM "Measured 40GI" column repeats Table IV's GigaE-model
+//!   *fixed* column; Table IV's 40GI measured column (2.03 … 67.05 s) is the
+//!   real measurement and is what we embed.
+//! * Table VI's 10GE and 10GI estimate columns are swapped relative to
+//!   Table V's bandwidths (10GI is the faster network, yet the printed 10GI
+//!   column is the slower one; recomputing from the paper's own fixed times
+//!   proves the swap). Our generator emits them unswapped.
+
+/// One MM row of paper measurements. Times in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmRow {
+    /// Matrix dimension `m`.
+    pub dim: u32,
+    /// Local CPU (MKL, 8 cores), Table VI.
+    pub cpu_s: f64,
+    /// Local GPU (CUDA, includes context init), Table VI.
+    pub gpu_s: f64,
+    /// Remote GPU over 1 Gbps Ethernet, Table IV.
+    pub gigae_s: f64,
+    /// Remote GPU over 40 Gbps InfiniBand, Table IV.
+    pub ib40_s: f64,
+    /// Fixed time derived by the paper from the GigaE run, Table IV.
+    pub fixed_gigae_s: f64,
+    /// Fixed time derived by the paper from the 40GI run, Table IV.
+    pub fixed_ib40_s: f64,
+}
+
+/// Table IV + Table VI, MM case study.
+pub const MM_ROWS: [MmRow; 8] = [
+    MmRow {
+        dim: 4096,
+        cpu_s: 2.08,
+        gpu_s: 2.40,
+        gigae_s: 3.64,
+        ib40_s: 2.03,
+        fixed_gigae_s: 1.93,
+        fixed_ib40_s: 1.89,
+    },
+    MmRow {
+        dim: 6144,
+        cpu_s: 5.66,
+        gpu_s: 4.58,
+        gigae_s: 8.47,
+        ib40_s: 4.85,
+        fixed_gigae_s: 4.62,
+        fixed_ib40_s: 4.54,
+    },
+    MmRow {
+        dim: 8192,
+        cpu_s: 11.99,
+        gpu_s: 8.12,
+        gigae_s: 15.60,
+        ib40_s: 9.34,
+        fixed_gigae_s: 8.77,
+        fixed_ib40_s: 8.78,
+    },
+    MmRow {
+        dim: 10240,
+        cpu_s: 21.52,
+        gpu_s: 13.30,
+        gigae_s: 25.47,
+        ib40_s: 15.74,
+        fixed_gigae_s: 14.79,
+        fixed_ib40_s: 14.86,
+    },
+    MmRow {
+        dim: 12288,
+        cpu_s: 35.45,
+        gpu_s: 20.37,
+        gigae_s: 38.39,
+        ib40_s: 24.42,
+        fixed_gigae_s: 23.02,
+        fixed_ib40_s: 23.15,
+    },
+    MmRow {
+        dim: 14336,
+        cpu_s: 54.00,
+        gpu_s: 29.64,
+        gigae_s: 54.96,
+        ib40_s: 35.49,
+        fixed_gigae_s: 34.03,
+        fixed_ib40_s: 33.77,
+    },
+    MmRow {
+        dim: 16384,
+        cpu_s: 78.87,
+        gpu_s: 41.43,
+        gigae_s: 74.13,
+        ib40_s: 49.93,
+        fixed_gigae_s: 46.80,
+        fixed_ib40_s: 47.68,
+    },
+    MmRow {
+        dim: 18432,
+        cpu_s: 109.12,
+        gpu_s: 55.86,
+        gigae_s: 97.65,
+        ib40_s: 67.05,
+        fixed_gigae_s: 63.06,
+        fixed_ib40_s: 64.21,
+    },
+];
+
+/// One FFT row of paper measurements. Times in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FftRow {
+    /// Batch size `n`.
+    pub batch: u32,
+    /// Local CPU (FFTW, 8 cores), Table VI.
+    pub cpu_ms: f64,
+    /// Local GPU, Table VI.
+    pub gpu_ms: f64,
+    /// Remote GPU over GigaE, Table IV.
+    pub gigae_ms: f64,
+    /// Remote GPU over 40GI, Table IV.
+    pub ib40_ms: f64,
+    /// Fixed time from the GigaE run, Table IV.
+    pub fixed_gigae_ms: f64,
+    /// Fixed time from the 40GI run, Table IV.
+    pub fixed_ib40_ms: f64,
+}
+
+/// Table IV + Table VI, FFT case study.
+pub const FFT_ROWS: [FftRow; 7] = [
+    FftRow {
+        batch: 2048,
+        cpu_ms: 41.67,
+        gpu_ms: 51.00,
+        gigae_ms: 354.33,
+        ib40_ms: 167.00,
+        fixed_gigae_ms: 211.98,
+        fixed_ib40_ms: 155.30,
+    },
+    FftRow {
+        batch: 4096,
+        cpu_ms: 74.67,
+        gpu_ms: 102.33,
+        gigae_ms: 555.67,
+        ib40_ms: 226.00,
+        fixed_gigae_ms: 270.97,
+        fixed_ib40_ms: 202.59,
+    },
+    FftRow {
+        batch: 6144,
+        cpu_ms: 115.67,
+        gpu_ms: 153.33,
+        gigae_ms: 761.00,
+        ib40_ms: 306.33,
+        fixed_gigae_ms: 333.95,
+        fixed_ib40_ms: 271.22,
+    },
+    FftRow {
+        batch: 8192,
+        cpu_ms: 150.33,
+        gpu_ms: 201.67,
+        gigae_ms: 964.33,
+        ib40_ms: 379.67,
+        fixed_gigae_ms: 394.94,
+        fixed_ib40_ms: 332.85,
+    },
+    FftRow {
+        batch: 10240,
+        cpu_ms: 187.33,
+        gpu_ms: 253.33,
+        gigae_ms: 1167.67,
+        ib40_ms: 458.00,
+        fixed_gigae_ms: 455.92,
+        fixed_ib40_ms: 399.48,
+    },
+    FftRow {
+        batch: 12288,
+        cpu_ms: 224.67,
+        gpu_ms: 304.67,
+        gigae_ms: 1371.33,
+        ib40_ms: 537.67,
+        fixed_gigae_ms: 517.24,
+        fixed_ib40_ms: 467.45,
+    },
+    FftRow {
+        batch: 16384,
+        cpu_ms: 299.00,
+        gpu_ms: 403.00,
+        gigae_ms: 1782.00,
+        ib40_ms: 696.67,
+        fixed_gigae_ms: 643.21,
+        fixed_ib40_ms: 603.04,
+    },
+];
+
+/// Paper Table II control-message transfer times (µs), per operation and
+/// direction — "directly extracted from the real measured times ...
+/// interpolated if the exact value was not available". These are the
+/// constants the Table II generator uses for the non-payload terms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlTimes {
+    /// (send µs, receive µs) on GigaE.
+    pub gigae: (f64, f64),
+    /// (send µs, receive µs) on 40GI.
+    pub ib40: (f64, f64),
+}
+
+/// Table II, MM rows: Initialization, cudaMalloc, cudaLaunch, cudaFree, and
+/// the fixed (non-payload) parts of the two memcpy directions.
+pub mod control {
+    use super::ControlTimes;
+
+    pub const MM_INIT: ControlTimes = ControlTimes {
+        gigae: (338.7, 44.4),
+        ib40: (80.9, 20.0),
+    };
+    pub const FFT_INIT: ControlTimes = ControlTimes {
+        gigae: (233.9, 44.4),
+        ib40: (39.5, 20.0),
+    };
+    pub const MALLOC: ControlTimes = ControlTimes {
+        gigae: (22.2, 22.2),
+        ib40: (27.9, 27.9),
+    };
+    pub const MM_LAUNCH: ControlTimes = ControlTimes {
+        gigae: (23.1, 22.2),
+        ib40: (27.9, 27.9),
+    };
+    pub const FFT_LAUNCH: ControlTimes = ControlTimes {
+        gigae: (23.2, 22.2),
+        ib40: (27.9, 27.9),
+    };
+    pub const FREE: ControlTimes = ControlTimes {
+        gigae: (22.2, 22.2),
+        ib40: (27.9, 27.9),
+    };
+    /// Memcpy header overheads: Table II's intercepts — to-device send
+    /// intercept / ack, and to-host request / payload intercept.
+    pub const MEMCPY_H2D: ControlTimes = ControlTimes {
+        gigae: (177.7, 22.2),
+        ib40: (16.8, 27.9),
+    };
+    pub const MEMCPY_D2H: ControlTimes = ControlTimes {
+        gigae: (22.4, 35.3),
+        ib40: (27.8, 5.6),
+    };
+}
+
+/// Paper Table IV error percentages, MM rows: (GigaE-model error %,
+/// 40GI-model error %).
+pub const TABLE4_MM_ERRORS: [(f64, f64); 8] = [
+    (2.16, -1.21),
+    (1.76, -1.01),
+    (-0.10, 0.06),
+    (-0.41, 0.25),
+    (-0.54, 0.35),
+    (0.73, -0.47),
+    (-1.78, 1.20),
+    (-1.72, 1.18),
+];
+
+/// Paper Table IV error percentages, FFT rows.
+pub const TABLE4_FFT_ERRORS: [(f64, f64); 7] = [
+    (33.95, -16.00),
+    (30.26, -12.31),
+    (20.48, -8.24),
+    (16.35, -6.44),
+    (12.32, -4.83),
+    (9.26, -3.63),
+    (5.77, -2.25),
+];
+
+/// Paper Table VI estimate columns (for EXPERIMENTS.md comparison), MM in
+/// seconds. Columns: 10GE, 10GI, Myr, F-HT, A-HT — **as printed**, i.e.
+/// with the paper's 10GE/10GI swap left intact (see module docs).
+pub const TABLE6_MM_GIGAE_MODEL: [[f64; 5]; 8] = [
+    [2.13, 2.15, 2.19, 2.07, 2.00],
+    [5.07, 5.11, 5.20, 4.92, 4.77],
+    [9.56, 9.64, 9.79, 9.30, 9.04],
+    [16.03, 16.16, 16.39, 15.63, 15.21],
+    [24.80, 24.98, 25.32, 24.22, 23.62],
+    [36.46, 36.70, 37.17, 35.66, 34.85],
+    [49.96, 50.29, 50.89, 48.93, 47.86],
+    [67.06, 67.47, 68.24, 65.75, 64.40],
+];
+
+/// Table VI, MM estimates from the 40GI model (seconds), as printed.
+pub const TABLE6_MM_IB40_MODEL: [[f64; 5]; 8] = [
+    [2.09, 2.11, 2.15, 2.02, 1.96],
+    [4.98, 5.03, 5.11, 4.84, 4.69],
+    [9.57, 9.65, 9.80, 9.31, 9.05],
+    [16.10, 16.22, 16.46, 15.69, 15.27],
+    [24.93, 25.12, 25.46, 24.35, 23.75],
+    [36.20, 36.44, 36.91, 35.40, 34.59],
+    [50.85, 51.18, 51.78, 49.81, 48.75],
+    [68.22, 68.63, 69.39, 66.90, 65.56],
+];
+
+/// Table VI, FFT estimates from the GigaE model (milliseconds), as printed.
+pub const TABLE6_FFT_GIGAE_MODEL: [[f64; 5]; 7] = [
+    [228.48, 230.17, 233.32, 223.08, 217.53],
+    [303.96, 307.33, 313.64, 293.16, 282.06],
+    [383.44, 388.50, 397.95, 367.24, 350.60],
+    [460.92, 467.67, 480.27, 439.32, 417.13],
+    [538.40, 546.83, 562.59, 511.40, 483.66],
+    [616.21, 626.33, 645.24, 583.82, 550.53],
+    [775.17, 788.66, 813.88, 731.98, 687.59],
+];
+
+/// Table VI, FFT estimates from the 40GI model (milliseconds), as printed.
+pub const TABLE6_FFT_IB40_MODEL: [[f64; 5]; 7] = [
+    [171.79, 173.48, 176.63, 166.39, 160.84],
+    [235.58, 238.96, 245.26, 224.78, 213.69],
+    [320.71, 325.77, 335.22, 304.51, 287.87],
+    [398.83, 405.58, 418.19, 377.24, 355.04],
+    [481.96, 490.39, 506.15, 454.96, 427.22],
+    [566.41, 576.54, 595.45, 534.02, 500.73],
+    [735.00, 748.49, 773.70, 691.80, 647.42],
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuda_core::{CaseStudy, Family};
+    use rcuda_netsim::NetworkId;
+
+    /// The paper's own arithmetic must be internally consistent: its fixed
+    /// columns equal measured − k·(payload / bandwidth) within print
+    /// rounding.
+    #[test]
+    fn paper_fixed_columns_are_consistent_with_measured() {
+        for row in MM_ROWS {
+            let case = CaseStudy::MatMul { dim: row.dim };
+            let per_copy_s = case.memcpy_bytes().as_mib() / NetworkId::GigaE.bandwidth_mib_s();
+            let fixed = row.gigae_s - 3.0 * per_copy_s;
+            assert!(
+                (fixed - row.fixed_gigae_s).abs() < 0.02,
+                "dim {}: {fixed} vs {}",
+                row.dim,
+                row.fixed_gigae_s
+            );
+            let per_copy_ib = case.memcpy_bytes().as_mib() / NetworkId::Ib40G.bandwidth_mib_s();
+            let fixed_ib = row.ib40_s - 3.0 * per_copy_ib;
+            assert!(
+                (fixed_ib - row.fixed_ib40_s).abs() < 0.02,
+                "dim {} ib: {fixed_ib} vs {}",
+                row.dim,
+                row.fixed_ib40_s
+            );
+        }
+        for row in FFT_ROWS {
+            let case = CaseStudy::Fft { batch: row.batch };
+            let per_copy_ms =
+                case.memcpy_bytes().as_mib() / NetworkId::GigaE.bandwidth_mib_s() * 1e3;
+            let fixed = row.gigae_ms - 2.0 * per_copy_ms;
+            assert!(
+                (fixed - row.fixed_gigae_ms).abs() < 0.2,
+                "batch {}: {fixed} vs {}",
+                row.batch,
+                row.fixed_gigae_ms
+            );
+        }
+    }
+
+    #[test]
+    fn row_grids_match_case_study_grids() {
+        let dims: Vec<u32> = CaseStudy::standard_grid(Family::MatMul)
+            .iter()
+            .map(|c| c.size())
+            .collect();
+        assert_eq!(dims, MM_ROWS.map(|r| r.dim).to_vec());
+        let batches: Vec<u32> = CaseStudy::standard_grid(Family::Fft)
+            .iter()
+            .map(|c| c.size())
+            .collect();
+        assert_eq!(batches, FFT_ROWS.map(|r| r.batch).to_vec());
+    }
+
+    /// The qualitative headline of the paper, straight from its data: MM is
+    /// GPU-friendly at scale (GPU beats CPU from 6144 up), FFT is not (CPU
+    /// always beats even the local GPU).
+    #[test]
+    fn paper_data_encodes_the_headline_shape() {
+        for row in MM_ROWS.iter().skip(1) {
+            assert!(row.gpu_s < row.cpu_s, "MM dim {}: GPU should win", row.dim);
+        }
+        for row in FFT_ROWS {
+            assert!(
+                row.cpu_ms < row.gpu_ms,
+                "FFT batch {}: CPU should win even locally",
+                row.batch
+            );
+            assert!(row.gpu_ms < row.ib40_ms, "remoting only adds overhead");
+        }
+    }
+}

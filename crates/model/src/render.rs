@@ -1,0 +1,125 @@
+//! Plain-text table rendering for the bench harness.
+
+/// A column-aligned text table builder.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with right-aligned numeric-looking cells and a header rule.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i] - cell.chars().count();
+                if i == 0 {
+                    // First column left-aligned (labels).
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds with 2 decimals (MM convention).
+pub fn secs(t: rcuda_core::SimTime) -> String {
+    format!("{:.2}", t.as_secs_f64())
+}
+
+/// Format milliseconds with 2 decimals (FFT convention).
+pub fn millis(t: rcuda_core::SimTime) -> String {
+    format!("{:.2}", t.as_millis_f64())
+}
+
+/// Format milliseconds with 1 decimal (Tables III/V convention).
+pub fn millis1(t: rcuda_core::SimTime) -> String {
+    format!("{:.1}", t.as_millis_f64())
+}
+
+/// Format a relative error as a signed percentage (Table IV convention).
+pub fn percent(e: f64) -> String {
+    format!("{:+.2}%", e * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuda_core::SimTime;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["Size", "GigaE", "40GI"]);
+        t.row(vec!["4096", "569.4", "46.8"]);
+        t.row(vec!["18432", "11530.2", "948.0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Size"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numeric columns line up on their last character.
+        assert!(lines[2].ends_with("46.8"));
+        assert!(lines[3].ends_with("948.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(SimTime::from_secs_f64(3.637)), "3.64");
+        assert_eq!(millis(SimTime::from_millis_f64(354.333)), "354.33");
+        assert_eq!(millis1(SimTime::from_millis_f64(569.44)), "569.4");
+        assert_eq!(percent(0.0216), "+2.16%");
+        assert_eq!(percent(-0.16), "-16.00%");
+    }
+}

@@ -1,0 +1,150 @@
+//! Network identifiers and their catalog data.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::gige::GigaEModel;
+use crate::hpc::BandwidthModel;
+use crate::ib40g::Ib40GModel;
+use crate::model::NetworkModel;
+
+/// The seven interconnects of the study.
+///
+/// ```
+/// use rcuda_netsim::{NetworkId, NetworkModel};
+///
+/// // Table V, MM dim 4096: a 64 MiB copy over ASIC HyperTransport takes
+/// // 22.2 ms at the catalog's 2884 MiB/s.
+/// let t = NetworkId::AsicHt.model().bulk_transfer(64 << 20);
+/// assert!((t.as_millis_f64() - 22.2).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkId {
+    /// 1 Gbps Ethernet, TCP with Nagle disabled (measured, §IV-A).
+    GigaE,
+    /// 40 Gbps InfiniBand (measured, §IV-A).
+    Ib40G,
+    /// 10-Gigabit iWARP Ethernet, NetEffect NE010e (projected, §VI-A).
+    TenGigE,
+    /// 10 Gbps InfiniBand, Mellanox MHEA28-XT (projected, §VI-A).
+    TenGigIb,
+    /// Myrinet-10G, Myri 10G-PCIE-8A-C (projected, §VI-A).
+    Myri10G,
+    /// HyperTransport high-node-count extension on FPGA (projected, §VI-A).
+    FpgaHt,
+    /// HyperTransport high-node-count extension on ASIC (projected, §VI-A).
+    AsicHt,
+}
+
+impl NetworkId {
+    /// The two networks the paper measures directly.
+    pub const MEASURED: [NetworkId; 2] = [NetworkId::GigaE, NetworkId::Ib40G];
+
+    /// The five target HPC networks of §VI, in Table V/VI column order.
+    pub const TARGETS: [NetworkId; 5] = [
+        NetworkId::TenGigE,
+        NetworkId::TenGigIb,
+        NetworkId::Myri10G,
+        NetworkId::FpgaHt,
+        NetworkId::AsicHt,
+    ];
+
+    /// All seven networks.
+    pub const ALL: [NetworkId; 7] = [
+        NetworkId::GigaE,
+        NetworkId::Ib40G,
+        NetworkId::TenGigE,
+        NetworkId::TenGigIb,
+        NetworkId::Myri10G,
+        NetworkId::FpgaHt,
+        NetworkId::AsicHt,
+    ];
+
+    /// The paper's abbreviation for this network.
+    pub const fn abbrev(self) -> &'static str {
+        match self {
+            NetworkId::GigaE => "GigaE",
+            NetworkId::Ib40G => "40GI",
+            NetworkId::TenGigE => "10GE",
+            NetworkId::TenGigIb => "10GI",
+            NetworkId::Myri10G => "Myr",
+            NetworkId::FpgaHt => "F-HT",
+            NetworkId::AsicHt => "A-HT",
+        }
+    }
+
+    /// Effective one-way bandwidth, MiB/s (paper §IV-A and §VI-A).
+    pub const fn bandwidth_mib_s(self) -> f64 {
+        match self {
+            NetworkId::GigaE => 112.4,
+            NetworkId::Ib40G => 1367.1,
+            NetworkId::TenGigE => 880.0,
+            NetworkId::TenGigIb => 970.0,
+            NetworkId::Myri10G => 750.0,
+            NetworkId::FpgaHt => 1442.0,
+            NetworkId::AsicHt => 2884.0,
+        }
+    }
+
+    /// Instantiate the full timing model for this network.
+    pub fn model(self) -> Box<dyn NetworkModel> {
+        match self {
+            NetworkId::GigaE => Box::new(GigaEModel::new()),
+            NetworkId::Ib40G => Box::new(Ib40GModel::new()),
+            other => Box::new(BandwidthModel::for_id(other)),
+        }
+    }
+}
+
+impl fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidths_match_paper() {
+        assert_eq!(NetworkId::GigaE.bandwidth_mib_s(), 112.4);
+        assert_eq!(NetworkId::Ib40G.bandwidth_mib_s(), 1367.1);
+        assert_eq!(NetworkId::TenGigE.bandwidth_mib_s(), 880.0);
+        assert_eq!(NetworkId::TenGigIb.bandwidth_mib_s(), 970.0);
+        assert_eq!(NetworkId::Myri10G.bandwidth_mib_s(), 750.0);
+        assert_eq!(NetworkId::FpgaHt.bandwidth_mib_s(), 1442.0);
+        assert_eq!(NetworkId::AsicHt.bandwidth_mib_s(), 2884.0);
+    }
+
+    #[test]
+    fn aht_doubles_fht() {
+        // §VI-A: "For the A-HT we assume that we will be able to double the
+        // bandwidth".
+        assert_eq!(
+            NetworkId::AsicHt.bandwidth_mib_s(),
+            2.0 * NetworkId::FpgaHt.bandwidth_mib_s()
+        );
+    }
+
+    #[test]
+    fn model_ids_are_consistent() {
+        for id in NetworkId::ALL {
+            let m = id.model();
+            assert_eq!(m.id(), id);
+            assert_eq!(m.bandwidth_mib_s(), id.bandwidth_mib_s());
+            assert_eq!(m.name(), id.abbrev());
+        }
+    }
+
+    #[test]
+    fn catalog_partitions() {
+        for id in NetworkId::MEASURED {
+            assert!(!NetworkId::TARGETS.contains(&id));
+        }
+        assert_eq!(
+            NetworkId::MEASURED.len() + NetworkId::TARGETS.len(),
+            NetworkId::ALL.len()
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! The [`NetworkModel`] trait: three views of an interconnect's timing.
+
+use rcuda_core::SimTime;
+
+use crate::id::NetworkId;
+
+/// A point-to-point interconnect's timing behavior.
+///
+/// All times are **one-way, end-to-end** (application level), matching the
+/// paper's methodology: "the bandwidth is extracted from the measured
+/// round-trip time divided by two" (§VI).
+pub trait NetworkModel: Send + Sync {
+    /// Which network this is.
+    fn id(&self) -> NetworkId;
+
+    /// Effective one-way bandwidth for bulk payloads, MiB/s.
+    fn bandwidth_mib_s(&self) -> f64;
+
+    /// One-way end-to-end latency of a single message with `bytes` of
+    /// payload — the ping-pong quantity of Figures 3–4. Must be monotonic
+    /// in `bytes`.
+    fn one_way(&self, bytes: u64) -> SimTime;
+
+    /// The paper's Tables III/V arithmetic: `payload / effective bandwidth`.
+    ///
+    /// This deliberately ignores per-message latency; the paper argues the
+    /// approximation is valid because the case studies move few, large
+    /// messages (§V).
+    fn bulk_transfer(&self, bytes: u64) -> SimTime {
+        let mib = bytes as f64 / (1u64 << 20) as f64;
+        SimTime::from_secs_f64(mib / self.bandwidth_mib_s())
+    }
+
+    /// What an application-level bulk copy actually costs on this network.
+    ///
+    /// Defaults to [`NetworkModel::one_way`]. GigaE overrides this to add
+    /// the TCP-window distortion that makes real rCUDA transfers slower than
+    /// the ping-pong model for moderate payloads (§V: "the differences in
+    /// the fixed times ... are mostly attributed to unexpected network
+    /// transfer times related to the TCP window status").
+    fn app_transfer(&self, bytes: u64) -> SimTime {
+        self.one_way(bytes)
+    }
+
+    /// Human-readable name (paper abbreviation).
+    fn name(&self) -> &'static str {
+        self.id().abbrev()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Flat;
+
+    impl NetworkModel for Flat {
+        fn id(&self) -> NetworkId {
+            NetworkId::AsicHt
+        }
+        fn bandwidth_mib_s(&self) -> f64 {
+            2884.0
+        }
+        fn one_way(&self, bytes: u64) -> SimTime {
+            self.bulk_transfer(bytes)
+        }
+    }
+
+    #[test]
+    fn bulk_transfer_reproduces_table5_aht_column() {
+        // Table V: A-HT, 64 MB -> 22.2 ms; 1296 MB -> 449.4 ms.
+        let t = Flat.bulk_transfer(64 << 20);
+        assert!((t.as_millis_f64() - 22.2).abs() < 0.05, "{t:?}");
+        let t = Flat.bulk_transfer(1296 << 20);
+        assert!((t.as_millis_f64() - 449.4).abs() < 0.1, "{t:?}");
+    }
+
+    #[test]
+    fn app_transfer_defaults_to_one_way() {
+        assert_eq!(Flat.app_transfer(1 << 20), Flat.one_way(1 << 20));
+    }
+}

@@ -1,0 +1,119 @@
+//! Piecewise-linear curves through measured anchor points.
+//!
+//! The paper's Table II control-message times are "directly extracted from
+//! the real measured times represented in the left-hand side plots in
+//! Figures 3 and 4 (interpolated if the exact value was not available)".
+//! [`PiecewiseLinear`] is that interpolation: a monotone polyline through
+//! anchor `(payload bytes, one-way µs)` points, extended past the last
+//! anchor with a caller-supplied slope (the asymptotic per-byte cost).
+
+/// A monotone piecewise-linear curve `bytes → microseconds`.
+#[derive(Debug, Clone)]
+pub struct PiecewiseLinear {
+    /// Anchor points, strictly increasing in `x` (bytes).
+    points: Vec<(f64, f64)>,
+    /// Per-byte slope (µs/B) beyond the last anchor.
+    tail_slope: f64,
+}
+
+impl PiecewiseLinear {
+    /// Build from anchors. Panics (debug) if anchors are not strictly
+    /// increasing in `x` or decreasing in `y` — the curve must be monotone,
+    /// as latency can only grow with payload.
+    pub fn new(anchors: &[(u64, f64)], tail_slope_us_per_byte: f64) -> Self {
+        assert!(!anchors.is_empty(), "need at least one anchor");
+        for w in anchors.windows(2) {
+            assert!(w[0].0 < w[1].0, "anchor x must strictly increase");
+            assert!(w[0].1 <= w[1].1, "anchor y must be non-decreasing");
+        }
+        assert!(tail_slope_us_per_byte >= 0.0);
+        PiecewiseLinear {
+            points: anchors.iter().map(|&(x, y)| (x as f64, y)).collect(),
+            tail_slope: tail_slope_us_per_byte,
+        }
+    }
+
+    /// Evaluate at `bytes`, in microseconds.
+    pub fn eval_us(&self, bytes: u64) -> f64 {
+        let x = bytes as f64;
+        let first = self.points[0];
+        if x <= first.0 {
+            return first.1;
+        }
+        for w in self.points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if x <= x1 {
+                return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+            }
+        }
+        let (xn, yn) = *self.points.last().unwrap();
+        yn + (x - xn) * self.tail_slope
+    }
+
+    /// The largest anchor x (bytes).
+    pub fn last_anchor_bytes(&self) -> u64 {
+        self.points.last().unwrap().0 as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> PiecewiseLinear {
+        PiecewiseLinear::new(&[(8, 22.2), (20, 22.4), (100, 30.0)], 0.01)
+    }
+
+    #[test]
+    fn hits_anchors_exactly() {
+        let c = curve();
+        assert_eq!(c.eval_us(8), 22.2);
+        assert_eq!(c.eval_us(20), 22.4);
+        assert_eq!(c.eval_us(100), 30.0);
+    }
+
+    #[test]
+    fn clamps_below_first_anchor() {
+        let c = curve();
+        assert_eq!(c.eval_us(0), 22.2);
+        assert_eq!(c.eval_us(4), 22.2);
+    }
+
+    #[test]
+    fn interpolates_between_anchors() {
+        let c = curve();
+        let mid = c.eval_us(14); // halfway between 8 and 20
+        assert!((mid - 22.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extends_with_tail_slope() {
+        let c = curve();
+        assert!((c.eval_us(1100) - (30.0 + 1000.0 * 0.01)).abs() < 1e-9);
+        assert_eq!(c.last_anchor_bytes(), 100);
+    }
+
+    #[test]
+    fn is_monotone_everywhere() {
+        let c = curve();
+        let mut prev = f64::NEG_INFINITY;
+        for b in (0..5000).step_by(7) {
+            let v = c.eval_us(b);
+            assert!(v >= prev, "non-monotone at {b}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn rejects_unsorted_anchors() {
+        PiecewiseLinear::new(&[(10, 1.0), (5, 2.0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_decreasing_latency() {
+        PiecewiseLinear::new(&[(5, 2.0), (10, 1.0)], 0.0);
+    }
+}

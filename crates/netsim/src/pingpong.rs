@@ -1,0 +1,209 @@
+//! The ping-pong latency characterization of §IV-A (Figures 3 and 4).
+//!
+//! The paper measures end-to-end latency with "a customized ping-pong test":
+//! for small payloads it reports the **average of 250 executions**, for
+//! large payloads the **minimum of 100 executions**, then fits the linear
+//! models `f`/`g` on the large-payload series. This module reproduces that
+//! procedure against any [`NetworkModel`] + [`JitterModel`] pair.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rcuda_core::SimTime;
+use serde::Serialize;
+
+use crate::jitter::JitterModel;
+use crate::model::NetworkModel;
+use crate::regression::{linear_fit, LinearFit};
+
+/// Repetitions for the small-payload sweep (paper: 250).
+pub const SMALL_REPS: usize = 250;
+
+/// Repetitions for the large-payload sweep (paper: 100).
+pub const LARGE_REPS: usize = 100;
+
+/// One point of a latency sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SweepPoint {
+    /// Message payload, bytes.
+    pub payload: u64,
+    /// Reduced one-way latency (average for small, minimum for large).
+    pub latency: SimTime,
+    /// Sample standard deviation across repetitions, µs.
+    pub stddev_us: f64,
+}
+
+/// Ping-pong test harness.
+pub struct PingPong<'a> {
+    net: &'a dyn NetworkModel,
+    jitter: JitterModel,
+    seed: u64,
+}
+
+impl<'a> PingPong<'a> {
+    /// Harness with the network's catalog jitter.
+    pub fn new(net: &'a dyn NetworkModel, seed: u64) -> Self {
+        PingPong {
+            jitter: JitterModel::for_network(net.id()),
+            net,
+            seed,
+        }
+    }
+
+    /// Harness with explicit jitter (e.g. [`JitterModel::none`]).
+    pub fn with_jitter(net: &'a dyn NetworkModel, jitter: JitterModel, seed: u64) -> Self {
+        PingPong { net, jitter, seed }
+    }
+
+    /// The payload grid of the Figures 3/4 left-hand plots: 4 B to 64 KiB.
+    pub fn default_small_payloads() -> Vec<u64> {
+        let mut v = vec![4, 8, 12, 16, 20, 32, 52, 58, 64, 128, 256, 512];
+        let mut p = 1024u64;
+        while p <= 64 * 1024 {
+            v.push(p);
+            p *= 2;
+        }
+        v
+    }
+
+    /// The payload grid of the Figures 3/4 right-hand plots: 1–64 MiB.
+    pub fn default_large_payloads() -> Vec<u64> {
+        (1..=16).map(|i| (i * 4) << 20).collect()
+    }
+
+    /// One round trip: payload out, payload back, with independent noise on
+    /// each leg. The reported latency is round-trip / 2, the paper's
+    /// convention for extracting one-way numbers.
+    fn one_way_sample(&self, rng: &mut StdRng, payload: u64) -> SimTime {
+        let base = self.net.one_way(payload);
+        let out = self.jitter.perturb(rng, payload, base);
+        let back = self.jitter.perturb(rng, payload, base);
+        SimTime::from_nanos((out.as_nanos() + back.as_nanos()) / 2)
+    }
+
+    fn sweep(&self, payloads: &[u64], reps: usize, reduce_min: bool) -> Vec<SweepPoint> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        payloads
+            .iter()
+            .map(|&payload| {
+                let samples: Vec<f64> = (0..reps)
+                    .map(|_| self.one_way_sample(&mut rng, payload).as_micros_f64())
+                    .collect();
+                let mean = samples.iter().sum::<f64>() / reps as f64;
+                let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / reps as f64;
+                let reduced = if reduce_min {
+                    samples.iter().cloned().fold(f64::INFINITY, f64::min)
+                } else {
+                    mean
+                };
+                SweepPoint {
+                    payload,
+                    latency: SimTime::from_micros_f64(reduced),
+                    stddev_us: var.sqrt(),
+                }
+            })
+            .collect()
+    }
+
+    /// Small-payload sweep: average of `reps` (paper: 250) per point.
+    pub fn small_sweep(&self, payloads: &[u64], reps: usize) -> Vec<SweepPoint> {
+        self.sweep(payloads, reps, false)
+    }
+
+    /// Large-payload sweep: minimum of `reps` (paper: 100) per point.
+    pub fn large_sweep(&self, payloads: &[u64], reps: usize) -> Vec<SweepPoint> {
+        self.sweep(payloads, reps, true)
+    }
+
+    /// Fit the large-payload linear model (latency in ms vs payload in MiB)
+    /// — the procedure that produced the paper's `f` and `g`.
+    pub fn fit_large(&self) -> LinearFit {
+        let pts = self.large_sweep(&Self::default_large_payloads(), LARGE_REPS);
+        let samples: Vec<(f64, f64)> = pts
+            .iter()
+            .map(|p| {
+                (
+                    p.payload as f64 / (1u64 << 20) as f64,
+                    p.latency.as_millis_f64(),
+                )
+            })
+            .collect();
+        linear_fit(&samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gige::GigaEModel;
+    use crate::ib40g::Ib40GModel;
+
+    #[test]
+    fn noiseless_small_sweep_returns_curve_values() {
+        let net = GigaEModel::new();
+        let pp = PingPong::with_jitter(&net, JitterModel::none(), 1);
+        let pts = pp.small_sweep(&[8, 20, 52], 10);
+        assert!((pts[0].latency.as_micros_f64() - 22.2).abs() < 0.05);
+        assert!((pts[1].latency.as_micros_f64() - 22.4).abs() < 0.05);
+        assert!((pts[2].latency.as_micros_f64() - 23.1).abs() < 0.05);
+        assert!(pts.iter().all(|p| p.stddev_us < 1e-6));
+    }
+
+    #[test]
+    fn gige_fit_recovers_f() {
+        // With noise and min-of-100 reduction, the fit must still land on
+        // f(n) = 8.9n − 0.3 (correlation "1.0" as the paper prints it).
+        let net = GigaEModel::new();
+        let fit = PingPong::new(&net, 42).fit_large();
+        assert!((fit.slope - 8.9).abs() < 0.05, "slope {}", fit.slope);
+        assert!(
+            (fit.intercept - (-0.3)).abs() < 1.5,
+            "intercept {}",
+            fit.intercept
+        );
+        assert!(fit.correlation > 0.9999, "corr {}", fit.correlation);
+    }
+
+    #[test]
+    fn ib_fit_recovers_g() {
+        let net = Ib40GModel::new();
+        let fit = PingPong::new(&net, 42).fit_large();
+        assert!((fit.slope - 0.7).abs() < 0.02, "slope {}", fit.slope);
+        assert!(
+            (fit.intercept - 2.8).abs() < 1.5,
+            "intercept {}",
+            fit.intercept
+        );
+        assert!(fit.correlation > 0.999, "corr {}", fit.correlation);
+    }
+
+    #[test]
+    fn sweeps_are_deterministic_for_a_seed() {
+        let net = GigaEModel::new();
+        let a = PingPong::new(&net, 9).small_sweep(&[64, 1024], 50);
+        let b = PingPong::new(&net, 9).small_sweep(&[64, 1024], 50);
+        assert_eq!(a, b);
+        let c = PingPong::new(&net, 10).small_sweep(&[64, 1024], 50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn observed_stddev_within_paper_bounds() {
+        // Paper: max stddev 22.7 µs (GigaE small), 2.1 ms (GigaE large).
+        let net = GigaEModel::new();
+        let pp = PingPong::new(&net, 7);
+        let small = pp.small_sweep(&PingPong::default_small_payloads(), SMALL_REPS);
+        assert!(small.iter().all(|p| p.stddev_us < 22.7), "small stddev");
+        let large = pp.large_sweep(&PingPong::default_large_payloads(), LARGE_REPS);
+        assert!(large.iter().all(|p| p.stddev_us < 2_100.0), "large stddev");
+    }
+
+    #[test]
+    fn default_grids_span_the_figures() {
+        let small = PingPong::default_small_payloads();
+        assert_eq!(*small.first().unwrap(), 4);
+        assert_eq!(*small.last().unwrap(), 64 * 1024);
+        let large = PingPong::default_large_payloads();
+        assert_eq!(*large.first().unwrap(), 4 << 20);
+        assert_eq!(*large.last().unwrap(), 64 << 20);
+    }
+}

@@ -1,0 +1,131 @@
+//! Ordinary least-squares linear regression.
+//!
+//! The paper fits its large-payload latency models by "performing a linear
+//! regression of the data", reporting `f(n) = 8.9n − 0.3` (GigaE) and
+//! `g(n) = 0.7n + 2.8` (40GI), each with "a correlation coefficient of 1.0".
+//! This module provides that fit plus the Pearson correlation used to quote
+//! the quality, and is reused by the estimation model's calibration.
+
+/// Result of a least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct LinearFit {
+    pub slope: f64,
+    pub intercept: f64,
+    /// Pearson correlation coefficient of the sample.
+    pub correlation: f64,
+}
+
+impl LinearFit {
+    /// Evaluate the fitted line.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fit a line through `(x, y)` samples. Panics if fewer than two samples or
+/// if all `x` are identical (the slope would be undefined).
+pub fn linear_fit(samples: &[(f64, f64)]) -> LinearFit {
+    assert!(samples.len() >= 2, "need at least two samples");
+    let n = samples.len() as f64;
+    let sum_x: f64 = samples.iter().map(|s| s.0).sum();
+    let sum_y: f64 = samples.iter().map(|s| s.1).sum();
+    let mean_x = sum_x / n;
+    let mean_y = sum_y / n;
+
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for &(x, y) in samples {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    assert!(sxx > 0.0, "all x values identical; slope undefined");
+
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let correlation = if syy == 0.0 {
+        // A perfectly flat response is perfectly predicted by a flat line.
+        1.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    };
+    LinearFit {
+        slope,
+        intercept,
+        correlation,
+    }
+}
+
+/// Fit `y ≈ a/x + b` (a hyperbola in `x`, linear in `1/x`) — the shape of
+/// the GigaE TCP-window distortion factor (§V): large for small transfers,
+/// vanishing for large ones.
+pub fn inverse_fit(samples: &[(f64, f64)]) -> LinearFit {
+    let transformed: Vec<(f64, f64)> = samples.iter().map(|&(x, y)| (1.0 / x, y)).collect();
+    linear_fit(&transformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let samples: Vec<(f64, f64)> = (1..=64).map(|i| (i as f64, 8.9 * i as f64 - 0.3)).collect();
+        let fit = linear_fit(&samples);
+        assert!((fit.slope - 8.9).abs() < 1e-12);
+        assert!((fit.intercept + 0.3).abs() < 1e-9);
+        assert!((fit.correlation - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_fits_close() {
+        // Deterministic "noise" with zero mean over the sample.
+        let samples: Vec<(f64, f64)> = (1..=100)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.05 } else { -0.05 };
+                (x, 0.7 * x + 2.8 + noise)
+            })
+            .collect();
+        let fit = linear_fit(&samples);
+        assert!((fit.slope - 0.7).abs() < 1e-3);
+        assert!((fit.intercept - 2.8).abs() < 0.05);
+        assert!(fit.correlation > 0.999);
+    }
+
+    #[test]
+    fn eval_applies_coefficients() {
+        let fit = LinearFit {
+            slope: 2.0,
+            intercept: 1.0,
+            correlation: 1.0,
+        };
+        assert_eq!(fit.eval(3.0), 7.0);
+    }
+
+    #[test]
+    fn inverse_fit_recovers_hyperbola() {
+        let samples: Vec<(f64, f64)> = [8.0, 16.0, 24.0, 32.0, 64.0]
+            .iter()
+            .map(|&d| (d, 3.4 / d - 0.01))
+            .collect();
+        let fit = inverse_fit(&samples);
+        assert!((fit.slope - 3.4).abs() < 1e-9, "alpha");
+        assert!((fit.intercept + 0.01).abs() < 1e-9, "beta");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_sample() {
+        linear_fit(&[(1.0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn rejects_degenerate_x() {
+        linear_fit(&[(1.0, 2.0), (1.0, 3.0)]);
+    }
+}

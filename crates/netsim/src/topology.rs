@@ -1,0 +1,306 @@
+//! Cluster network topologies — the paper's future work ("we intend to
+//! extend our study to analyze the behavior of this proposal over a wide
+//! range of applications, cluster configurations, and network topologies",
+//! §VII).
+//!
+//! A [`Topology`] is a weighted graph of hosts and switches. A
+//! [`TopologyNetwork`] binds two hosts across it and implements
+//! [`NetworkModel`]: a message pays the per-hop switching latencies along
+//! the route (cut-through switching: payload serialization is paid once, at
+//! the link bandwidth of the underlying technology).
+
+use rcuda_core::SimTime;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::id::NetworkId;
+use crate::model::NetworkModel;
+
+/// Node index within a topology.
+pub type NodeId = usize;
+
+/// A weighted undirected graph of hosts and switches.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// adjacency: node → (neighbor, hop latency µs)
+    adj: Vec<Vec<(NodeId, f64)>>,
+    /// Which nodes are hosts (can terminate a connection).
+    is_host: Vec<bool>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Topology {
+            adj: Vec::new(),
+            is_host: Vec::new(),
+        }
+    }
+
+    /// Add a host node; returns its id.
+    pub fn add_host(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.is_host.push(true);
+        self.adj.len() - 1
+    }
+
+    /// Add a switch node; returns its id.
+    pub fn add_switch(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.is_host.push(false);
+        self.adj.len() - 1
+    }
+
+    /// Connect two nodes with a link of `latency_us` per traversal.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, latency_us: f64) {
+        assert!(a < self.adj.len() && b < self.adj.len(), "unknown node");
+        assert!(a != b, "no self-links");
+        assert!(latency_us >= 0.0);
+        self.adj[a].push((b, latency_us));
+        self.adj[b].push((a, latency_us));
+    }
+
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Lowest-latency path cost between two nodes (Dijkstra), in µs.
+    /// `None` if unreachable.
+    pub fn path_latency_us(&self, from: NodeId, to: NodeId) -> Option<f64> {
+        assert!(from < self.adj.len() && to < self.adj.len(), "unknown node");
+        if from == to {
+            return Some(0.0);
+        }
+        // Dijkstra over f64 weights via an ordered-bits max-heap trick.
+        let mut dist: HashMap<NodeId, f64> = HashMap::new();
+        let mut heap: BinaryHeap<(std::cmp::Reverse<u64>, NodeId)> = BinaryHeap::new();
+        dist.insert(from, 0.0);
+        heap.push((std::cmp::Reverse(0), from));
+        while let Some((std::cmp::Reverse(dbits), node)) = heap.pop() {
+            let d = f64::from_bits(dbits);
+            if node == to {
+                return Some(d);
+            }
+            if d > *dist.get(&node).unwrap_or(&f64::INFINITY) {
+                continue;
+            }
+            for &(next, w) in &self.adj[node] {
+                let nd = d + w;
+                if nd < *dist.get(&next).unwrap_or(&f64::INFINITY) {
+                    dist.insert(next, nd);
+                    // Non-negative f64s order identically to their bit
+                    // patterns, so the heap key is just the bits.
+                    heap.push((std::cmp::Reverse(nd.to_bits()), next));
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of links on the lowest-hop route (BFS). `None` if unreachable.
+    pub fn hop_count(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let mut seen = vec![false; self.adj.len()];
+        let mut frontier = vec![from];
+        seen[from] = true;
+        let mut hops = 0;
+        while !frontier.is_empty() {
+            hops += 1;
+            let mut next = Vec::new();
+            for &n in &frontier {
+                for &(m, _) in &self.adj[n] {
+                    if m == to {
+                        return Some(hops);
+                    }
+                    if !seen[m] {
+                        seen[m] = true;
+                        next.push(m);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        None
+    }
+
+    /// A star: `hosts` hosts hanging off one switch, `hop_latency_us` per
+    /// link. Returns (topology, host ids).
+    pub fn star(hosts: usize, hop_latency_us: f64) -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let sw = t.add_switch();
+        let ids: Vec<NodeId> = (0..hosts)
+            .map(|_| {
+                let h = t.add_host();
+                t.connect(h, sw, hop_latency_us);
+                h
+            })
+            .collect();
+        (t, ids)
+    }
+
+    /// A two-level tree: `racks` top-of-rack switches under one core
+    /// switch, `hosts_per_rack` hosts per rack. Cross-rack routes traverse
+    /// four links. Returns (topology, host ids grouped by rack).
+    pub fn two_level(
+        racks: usize,
+        hosts_per_rack: usize,
+        edge_latency_us: f64,
+        core_latency_us: f64,
+    ) -> (Topology, Vec<Vec<NodeId>>) {
+        let mut t = Topology::new();
+        let core = t.add_switch();
+        let mut groups = Vec::with_capacity(racks);
+        for _ in 0..racks {
+            let tor = t.add_switch();
+            t.connect(tor, core, core_latency_us);
+            let hosts: Vec<NodeId> = (0..hosts_per_rack)
+                .map(|_| {
+                    let h = t.add_host();
+                    t.connect(h, tor, edge_latency_us);
+                    h
+                })
+                .collect();
+            groups.push(hosts);
+        }
+        (t, groups)
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::new()
+    }
+}
+
+/// A point-to-point network model across a topology: the technology's link
+/// bandwidth plus the route's accumulated switching latency.
+pub struct TopologyNetwork {
+    technology: Box<dyn NetworkModel>,
+    route_latency: SimTime,
+}
+
+impl TopologyNetwork {
+    /// Bind hosts `from` and `to` of `topo`, carried over `technology`'s
+    /// links. Panics if the hosts are not connected.
+    pub fn between(
+        topo: &Topology,
+        from: NodeId,
+        to: NodeId,
+        technology: NetworkId,
+    ) -> TopologyNetwork {
+        let us = topo
+            .path_latency_us(from, to)
+            .expect("hosts must be connected");
+        TopologyNetwork {
+            technology: technology.model(),
+            route_latency: SimTime::from_micros_f64(us),
+        }
+    }
+
+    /// The route's switching latency (one way).
+    pub fn route_latency(&self) -> SimTime {
+        self.route_latency
+    }
+}
+
+impl NetworkModel for TopologyNetwork {
+    fn id(&self) -> NetworkId {
+        self.technology.id()
+    }
+
+    fn bandwidth_mib_s(&self) -> f64 {
+        self.technology.bandwidth_mib_s()
+    }
+
+    fn one_way(&self, bytes: u64) -> SimTime {
+        self.technology.one_way(bytes) + self.route_latency
+    }
+
+    fn app_transfer(&self, bytes: u64) -> SimTime {
+        self.technology.app_transfer(bytes) + self.route_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_routes_are_two_hops() {
+        let (t, hosts) = Topology::star(4, 1.5);
+        assert_eq!(t.hop_count(hosts[0], hosts[3]), Some(2));
+        assert_eq!(t.path_latency_us(hosts[0], hosts[3]), Some(3.0));
+        assert_eq!(t.path_latency_us(hosts[1], hosts[1]), Some(0.0));
+    }
+
+    #[test]
+    fn two_level_tree_distances() {
+        let (t, racks) = Topology::two_level(3, 2, 1.0, 2.0);
+        // Same rack: host-tor-host = 2 hops, 2 µs.
+        assert_eq!(t.hop_count(racks[0][0], racks[0][1]), Some(2));
+        assert_eq!(t.path_latency_us(racks[0][0], racks[0][1]), Some(2.0));
+        // Cross rack: host-tor-core-tor-host = 4 hops, 1+2+2+1 = 6 µs.
+        assert_eq!(t.hop_count(racks[0][0], racks[2][1]), Some(4));
+        assert_eq!(t.path_latency_us(racks[0][0], racks[2][1]), Some(6.0));
+    }
+
+    #[test]
+    fn dijkstra_prefers_lower_latency_not_fewer_hops() {
+        let mut t = Topology::new();
+        let a = t.add_host();
+        let b = t.add_host();
+        let s1 = t.add_switch();
+        let s2 = t.add_switch();
+        t.connect(a, b, 100.0); // direct but slow
+        t.connect(a, s1, 1.0);
+        t.connect(s1, s2, 1.0);
+        t.connect(s2, b, 1.0);
+        assert_eq!(t.path_latency_us(a, b), Some(3.0));
+        assert_eq!(
+            t.hop_count(a, b),
+            Some(1),
+            "hop count is still the direct link"
+        );
+    }
+
+    #[test]
+    fn disconnected_hosts_are_unreachable() {
+        let mut t = Topology::new();
+        let a = t.add_host();
+        let b = t.add_host();
+        assert_eq!(t.path_latency_us(a, b), None);
+        assert_eq!(t.hop_count(a, b), None);
+    }
+
+    #[test]
+    fn topology_network_adds_route_latency() {
+        let (topo, racks) = Topology::two_level(2, 1, 2.0, 5.0);
+        let near = TopologyNetwork::between(&topo, racks[0][0], racks[0][0], NetworkId::Ib40G);
+        let far = TopologyNetwork::between(&topo, racks[0][0], racks[1][0], NetworkId::Ib40G);
+        assert_eq!(near.route_latency(), SimTime::ZERO);
+        assert_eq!(far.route_latency(), SimTime::from_micros_f64(14.0));
+        let base = NetworkId::Ib40G.model();
+        assert_eq!(
+            far.one_way(8),
+            base.one_way(8) + SimTime::from_micros_f64(14.0)
+        );
+        // Bulk transfers barely notice switching latency.
+        let bulk_far = far.app_transfer(64 << 20).as_secs_f64();
+        let bulk_base = base.app_transfer(64 << 20).as_secs_f64();
+        assert!((bulk_far - bulk_base) < 20e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn binding_disconnected_hosts_panics() {
+        let mut t = Topology::new();
+        let a = t.add_host();
+        let b = t.add_host();
+        TopologyNetwork::between(&t, a, b, NetworkId::GigaE);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests on the interconnect models.
+
+use proptest::prelude::*;
+use rcuda_netsim::{NetworkId, NetworkModel};
+
+proptest! {
+    /// One-way latency is monotone in payload on every network.
+    #[test]
+    fn one_way_is_monotone(
+        a in 0u64..256 << 20,
+        b in 0u64..256 << 20,
+    ) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        for id in NetworkId::ALL {
+            let m = id.model();
+            prop_assert!(
+                m.one_way(lo) <= m.one_way(hi),
+                "{id}: one_way({lo}) > one_way({hi})"
+            );
+        }
+    }
+
+    /// Bulk transfer is exactly linear: t(x)·2 == t(2x) (within rounding).
+    #[test]
+    fn bulk_transfer_is_linear(bytes in 1u64..128 << 20) {
+        for id in NetworkId::ALL {
+            let m = id.model();
+            let t1 = m.bulk_transfer(bytes).as_nanos() as i128;
+            let t2 = m.bulk_transfer(2 * bytes).as_nanos() as i128;
+            prop_assert!((t2 - 2 * t1).abs() <= 2, "{id}");
+        }
+    }
+
+    /// Faster catalog bandwidth ⇒ faster bulk transfer, any payload.
+    #[test]
+    fn bandwidth_orders_bulk_times(bytes in 1u64 << 20..512 << 20) {
+        let mut nets: Vec<NetworkId> = NetworkId::ALL.to_vec();
+        nets.sort_by(|a, b| a.bandwidth_mib_s().total_cmp(&b.bandwidth_mib_s()));
+        for w in nets.windows(2) {
+            let slow = w[0].model().bulk_transfer(bytes);
+            let fast = w[1].model().bulk_transfer(bytes);
+            prop_assert!(fast <= slow, "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    /// The application-transfer view never beats the ping-pong view by more
+    /// than the GigaE distortion floor (app transfers can be slower, not
+    /// meaningfully faster).
+    #[test]
+    fn app_transfer_not_faster_than_bulk(bytes in 1u64 << 20..256 << 20) {
+        for id in NetworkId::ALL {
+            let m = id.model();
+            let app = m.app_transfer(bytes).as_secs_f64();
+            let bulk = m.bulk_transfer(bytes).as_secs_f64();
+            prop_assert!(app >= bulk * 0.94, "{id}: app {app} vs bulk {bulk}");
+        }
+    }
+
+    /// The paper's regression lines bound the measured-network one-way
+    /// latency in the linear regime.
+    #[test]
+    fn linear_regime_matches_regressions(mib in 1u64..64) {
+        use rcuda_netsim::{GigaEModel, Ib40GModel};
+        let bytes = mib << 20;
+        let f = GigaEModel::f_ms(mib as f64);
+        let got = GigaEModel::new().one_way(bytes).as_millis_f64();
+        prop_assert!((got - f).abs() < 0.01, "f({mib}) = {f}, got {got}");
+        if mib >= 4 {
+            let g = Ib40GModel::g_ms(mib as f64);
+            let got = Ib40GModel::new().one_way(bytes).as_millis_f64();
+            prop_assert!((got - g).abs() < 0.01, "g({mib}) = {g}, got {got}");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests on topology routing.
+
+use proptest::prelude::*;
+use rcuda_netsim::Topology;
+
+/// Build a random connected topology: a host chain plus random extra links.
+fn arb_topology() -> impl Strategy<Value = (Topology, usize)> {
+    (
+        3usize..12,
+        proptest::collection::vec((0usize..12, 0usize..12, 0.1f64..50.0), 0..10),
+    )
+        .prop_map(|(n, extra)| {
+            let mut t = Topology::new();
+            let hosts: Vec<usize> = (0..n).map(|_| t.add_host()).collect();
+            // Chain guarantees connectivity.
+            for w in hosts.windows(2) {
+                t.connect(w[0], w[1], 10.0);
+            }
+            for (a, b, lat) in extra {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    t.connect(hosts[a], hosts[b], lat);
+                }
+            }
+            (t, n)
+        })
+}
+
+proptest! {
+    /// Shortest-path latency is symmetric on undirected graphs.
+    #[test]
+    fn path_latency_is_symmetric((t, n) in arb_topology(), a in 0usize..12, b in 0usize..12) {
+        let (a, b) = (a % n, b % n);
+        let ab = t.path_latency_us(a, b);
+        let ba = t.path_latency_us(b, a);
+        match (ab, ba) {
+            (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+            (None, None) => {}
+            _ => prop_assert!(false, "asymmetric reachability"),
+        }
+    }
+
+    /// Triangle inequality: going via any intermediate node is never
+    /// cheaper than the shortest path.
+    #[test]
+    fn triangle_inequality((t, n) in arb_topology(), a in 0usize..12, b in 0usize..12, c in 0usize..12) {
+        let (a, b, c) = (a % n, b % n, c % n);
+        let direct = t.path_latency_us(a, b).unwrap();
+        let via = t.path_latency_us(a, c).unwrap() + t.path_latency_us(c, b).unwrap();
+        prop_assert!(direct <= via + 1e-9, "direct {direct} via {via}");
+    }
+
+    /// Adding a link never makes any route slower.
+    #[test]
+    fn adding_links_never_hurts(
+        (t, n) in arb_topology(),
+        x in 0usize..12,
+        y in 0usize..12,
+        lat in 0.1f64..100.0,
+    ) {
+        let (x, y) = (x % n, y % n);
+        prop_assume!(x != y);
+        let mut t2 = t.clone();
+        t2.connect(x, y, lat);
+        for a in 0..n {
+            for b in 0..n {
+                let before = t.path_latency_us(a, b).unwrap();
+                let after = t2.path_latency_us(a, b).unwrap();
+                prop_assert!(after <= before + 1e-9, "{a}->{b}: {before} -> {after}");
+            }
+        }
+    }
+
+    /// Hop count is a lower bound scaled by the cheapest link.
+    #[test]
+    fn hops_bound_latency((t, n) in arb_topology(), a in 0usize..12, b in 0usize..12) {
+        let (a, b) = (a % n, b % n);
+        prop_assume!(a != b);
+        let lat = t.path_latency_us(a, b).unwrap();
+        let hops = t.hop_count(a, b).unwrap() as f64;
+        // Cheapest possible link in arb_topology is 0.1 µs.
+        prop_assert!(lat >= hops.min(1.0) * 0.1 - 1e-9);
+    }
+}

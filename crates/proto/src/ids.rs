@@ -1,0 +1,164 @@
+//! Function identifiers — the first 32 bits of every request message.
+
+use rcuda_core::CudaError;
+
+/// The remote-API function selector carried in the first 4 bytes of every
+/// request (paper §III: "the first 32 bits of the request identify the
+/// specific CUDA function called").
+///
+/// Ids 1–6 cover the operations of Table I; higher ids are extensions this
+/// implementation adds (device queries, streams and asynchronous copies —
+/// the paper's declared future work — and an orderly-quit marker for the
+/// finalization stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum FunctionId {
+    /// `cudaMalloc`
+    Malloc = 1,
+    /// `cudaFree`
+    Free = 2,
+    /// `cudaMemcpy` (direction given by the `kind` field)
+    Memcpy = 3,
+    /// `cudaLaunch`
+    Launch = 4,
+    /// `cudaThreadSynchronize`
+    ThreadSynchronize = 5,
+    /// `cudaGetDeviceProperties` (extension)
+    DeviceProps = 16,
+    /// `cudaStreamCreate` (extension)
+    StreamCreate = 17,
+    /// `cudaStreamSynchronize` (extension)
+    StreamSynchronize = 18,
+    /// `cudaStreamDestroy` (extension)
+    StreamDestroy = 19,
+    /// `cudaMemcpyAsync` (extension)
+    MemcpyAsync = 20,
+    /// `cudaMemset` (extension)
+    Memset = 21,
+    /// `cudaEventCreate` (extension)
+    EventCreate = 22,
+    /// `cudaEventRecord` (extension)
+    EventRecord = 23,
+    /// `cudaEventSynchronize` (extension)
+    EventSynchronize = 24,
+    /// `cudaEventElapsedTime` (extension)
+    EventElapsed = 25,
+    /// `cudaEventDestroy` (extension)
+    EventDestroy = 26,
+    /// Finalization stage: client is closing the socket.
+    Quit = 255,
+}
+
+impl FunctionId {
+    /// Decode a wire id.
+    pub fn from_u32(v: u32) -> Result<FunctionId, CudaError> {
+        Ok(match v {
+            1 => FunctionId::Malloc,
+            2 => FunctionId::Free,
+            3 => FunctionId::Memcpy,
+            4 => FunctionId::Launch,
+            5 => FunctionId::ThreadSynchronize,
+            16 => FunctionId::DeviceProps,
+            17 => FunctionId::StreamCreate,
+            18 => FunctionId::StreamSynchronize,
+            19 => FunctionId::StreamDestroy,
+            20 => FunctionId::MemcpyAsync,
+            21 => FunctionId::Memset,
+            22 => FunctionId::EventCreate,
+            23 => FunctionId::EventRecord,
+            24 => FunctionId::EventSynchronize,
+            25 => FunctionId::EventElapsed,
+            26 => FunctionId::EventDestroy,
+            255 => FunctionId::Quit,
+            _ => return Err(CudaError::InvalidValue),
+        })
+    }
+
+    pub const fn as_u32(self) -> u32 {
+        self as u32
+    }
+
+    /// All defined ids (for exhaustive round-trip tests).
+    pub const ALL: [FunctionId; 17] = [
+        FunctionId::Malloc,
+        FunctionId::Free,
+        FunctionId::Memcpy,
+        FunctionId::Launch,
+        FunctionId::ThreadSynchronize,
+        FunctionId::DeviceProps,
+        FunctionId::StreamCreate,
+        FunctionId::StreamSynchronize,
+        FunctionId::StreamDestroy,
+        FunctionId::MemcpyAsync,
+        FunctionId::Memset,
+        FunctionId::EventCreate,
+        FunctionId::EventRecord,
+        FunctionId::EventSynchronize,
+        FunctionId::EventElapsed,
+        FunctionId::EventDestroy,
+        FunctionId::Quit,
+    ];
+}
+
+/// `cudaMemcpyKind` — the 4-byte `kind` field of the memcpy message,
+/// with CUDA's numeric values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum MemcpyKind {
+    HostToHost = 0,
+    HostToDevice = 1,
+    DeviceToHost = 2,
+    DeviceToDevice = 3,
+}
+
+impl MemcpyKind {
+    pub fn from_u32(v: u32) -> Result<MemcpyKind, CudaError> {
+        Ok(match v {
+            0 => MemcpyKind::HostToHost,
+            1 => MemcpyKind::HostToDevice,
+            2 => MemcpyKind::DeviceToHost,
+            3 => MemcpyKind::DeviceToDevice,
+            _ => return Err(CudaError::InvalidMemcpyDirection),
+        })
+    }
+
+    pub const fn as_u32(self) -> u32 {
+        self as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_ids_round_trip() {
+        for id in FunctionId::ALL {
+            assert_eq!(FunctionId::from_u32(id.as_u32()), Ok(id));
+        }
+    }
+
+    #[test]
+    fn unknown_function_id_is_invalid_value() {
+        assert_eq!(FunctionId::from_u32(9000), Err(CudaError::InvalidValue));
+        assert_eq!(FunctionId::from_u32(0), Err(CudaError::InvalidValue));
+    }
+
+    #[test]
+    fn memcpy_kinds_use_cuda_numbering() {
+        assert_eq!(MemcpyKind::HostToDevice.as_u32(), 1);
+        assert_eq!(MemcpyKind::DeviceToHost.as_u32(), 2);
+        for k in [
+            MemcpyKind::HostToHost,
+            MemcpyKind::HostToDevice,
+            MemcpyKind::DeviceToHost,
+            MemcpyKind::DeviceToDevice,
+        ] {
+            assert_eq!(MemcpyKind::from_u32(k.as_u32()), Ok(k));
+        }
+        assert_eq!(
+            MemcpyKind::from_u32(4),
+            Err(CudaError::InvalidMemcpyDirection)
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! The rCUDA wire protocol.
+//!
+//! The paper (§III, Table I) describes a synchronous request/response
+//! protocol: for every CUDA Runtime call the client sends one message whose
+//! first 32 bits identify the function, followed by function-dependent
+//! fields; the server always answers with a 32-bit CUDA result code,
+//! possibly followed by more data.
+//!
+//! This crate implements:
+//!
+//! * the exact field layouts of Table I ([`request`], [`response`]),
+//! * streaming encode/decode over any `Read`/`Write` pair ([`wire`]),
+//! * the message-size accounting that reproduces Table I ([`sizes`]),
+//! * the launch-configuration record carried by `cudaLaunch` ([`launch`]).
+//!
+//! ## Framing
+//!
+//! There is none — exactly as in the paper. Every field either has a fixed
+//! size or is preceded by a size field, so the receiver always knows how many
+//! bytes to read next. Table I therefore accounts for *all* bytes on the
+//! wire.
+//!
+//! ## The initialization handshake
+//!
+//! Initialization is the one asymmetric exchange (Fig. 2): upon accepting a
+//! connection the server immediately sends the device's 8-byte compute
+//! capability; the client then ships the GPU module (4-byte size + blob) and
+//! the server acknowledges with a 4-byte result code. Send `x+4`, receive
+//! `8 + 4 = 12` bytes — Table I's Initialization row.
+
+pub mod ids;
+pub mod launch;
+pub mod request;
+pub mod response;
+pub mod sizes;
+pub mod wire;
+
+pub use ids::FunctionId;
+pub use launch::LaunchConfig;
+pub use request::Request;
+pub use response::Response;
+pub use sizes::{OpKind, OpSizes};

@@ -1,0 +1,318 @@
+//! Response messages (server → client).
+//!
+//! "The server always sends a 32-bit result code of the operation, and
+//! possibly more data depending on each particular function" (paper §III).
+//! The result code always comes first; on error no further payload follows.
+
+use std::io::{self, Read, Write};
+
+use rcuda_core::{error::result_code, CudaError, CudaResult, DevicePtr};
+
+use crate::ids::MemcpyKind;
+use crate::request::Request;
+use crate::wire::{get_bytes, get_u32, put_bytes, put_u32};
+
+/// A server reply. Which variant is legal is determined by the request that
+/// elicited it; [`Response::read`] is therefore keyed on the request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Bare result code (Init, H2D memcpy, launch, free, synchronize, ...).
+    Ack(CudaResult<()>),
+    /// `cudaMalloc`: result code + device pointer.
+    Malloc(CudaResult<DevicePtr>),
+    /// Device→host `cudaMemcpy`: result code + payload.
+    MemcpyToHost(CudaResult<Vec<u8>>),
+    /// `cudaGetDeviceProperties`: result code + length-prefixed blob.
+    DeviceProps(CudaResult<Vec<u8>>),
+    /// `cudaStreamCreate`: result code + stream handle.
+    StreamCreate(CudaResult<u32>),
+    /// `cudaEventCreate`: result code + event handle.
+    EventCreate(CudaResult<u32>),
+    /// `cudaEventElapsedTime`: result code + elapsed milliseconds (f32, as
+    /// the CUDA API returns it).
+    EventElapsed(CudaResult<f32>),
+}
+
+impl Response {
+    /// Exact number of bytes [`Response::write`] puts on the wire.
+    ///
+    /// For Table I operations this reproduces the Receive column (error
+    /// branchs excluded): Malloc `8`, Memcpy-to-host `x+4`, everything
+    /// ack-only `4`.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Response::Ack(_) => 4,
+            Response::Malloc(Ok(_)) => 8,
+            Response::Malloc(Err(_)) => 4,
+            Response::MemcpyToHost(Ok(d)) => 4 + d.len() as u64,
+            Response::MemcpyToHost(Err(_)) => 4,
+            Response::DeviceProps(Ok(d)) => 8 + d.len() as u64,
+            Response::DeviceProps(Err(_)) => 4,
+            Response::StreamCreate(Ok(_)) => 8,
+            Response::StreamCreate(Err(_)) => 4,
+            Response::EventCreate(Ok(_)) => 8,
+            Response::EventCreate(Err(_)) => 4,
+            Response::EventElapsed(Ok(_)) => 8,
+            Response::EventElapsed(Err(_)) => 4,
+        }
+    }
+
+    /// Serialize onto the wire: result code, then success payload if any.
+    pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            Response::Ack(r) => put_u32(w, result_code(r)),
+            Response::Malloc(r) => match r {
+                Ok(ptr) => {
+                    put_u32(w, 0)?;
+                    put_u32(w, ptr.addr())
+                }
+                Err(e) => put_u32(w, e.code()),
+            },
+            Response::MemcpyToHost(r) => match r {
+                Ok(data) => {
+                    put_u32(w, 0)?;
+                    put_bytes(w, data)
+                }
+                Err(e) => put_u32(w, e.code()),
+            },
+            Response::DeviceProps(r) => match r {
+                Ok(blob) => {
+                    put_u32(w, 0)?;
+                    put_u32(w, blob.len() as u32)?;
+                    put_bytes(w, blob)
+                }
+                Err(e) => put_u32(w, e.code()),
+            },
+            Response::StreamCreate(r) => match r {
+                Ok(stream) => {
+                    put_u32(w, 0)?;
+                    put_u32(w, *stream)
+                }
+                Err(e) => put_u32(w, e.code()),
+            },
+            Response::EventCreate(r) => match r {
+                Ok(event) => {
+                    put_u32(w, 0)?;
+                    put_u32(w, *event)
+                }
+                Err(e) => put_u32(w, e.code()),
+            },
+            Response::EventElapsed(r) => match r {
+                Ok(ms) => {
+                    put_u32(w, 0)?;
+                    put_u32(w, ms.to_bits())
+                }
+                Err(e) => put_u32(w, e.code()),
+            },
+        }
+    }
+
+    /// Read the response appropriate for `req`.
+    ///
+    /// The device→host payload length is known from the request's `size`
+    /// field, exactly as in the paper's protocol (the receiver knows how many
+    /// bytes it asked for).
+    pub fn read<R: Read>(r: &mut R, req: &Request) -> io::Result<Response> {
+        let status = CudaError::from_code(get_u32(r)?);
+        Ok(match req {
+            Request::Malloc { .. } => match status {
+                Ok(()) => Response::Malloc(Ok(DevicePtr::new(get_u32(r)?))),
+                Err(e) => Response::Malloc(Err(e)),
+            },
+            // Only device→host copies carry a payload back; H2D and D2D
+            // are plain acknowledgements.
+            Request::Memcpy { size, kind, .. } | Request::MemcpyAsync { size, kind, .. }
+                if matches!(kind, MemcpyKind::DeviceToHost) =>
+            {
+                match status {
+                    Ok(()) => Response::MemcpyToHost(Ok(get_bytes(r, *size as usize)?)),
+                    Err(e) => Response::MemcpyToHost(Err(e)),
+                }
+            }
+            Request::DeviceProps => match status {
+                Ok(()) => {
+                    let len = get_u32(r)? as usize;
+                    Response::DeviceProps(Ok(get_bytes(r, len)?))
+                }
+                Err(e) => Response::DeviceProps(Err(e)),
+            },
+            Request::StreamCreate => match status {
+                Ok(()) => Response::StreamCreate(Ok(get_u32(r)?)),
+                Err(e) => Response::StreamCreate(Err(e)),
+            },
+            Request::EventCreate => match status {
+                Ok(()) => Response::EventCreate(Ok(get_u32(r)?)),
+                Err(e) => Response::EventCreate(Err(e)),
+            },
+            Request::EventElapsed { .. } => match status {
+                Ok(()) => Response::EventElapsed(Ok(f32::from_bits(get_u32(r)?))),
+                Err(e) => Response::EventElapsed(Err(e)),
+            },
+            _ => Response::Ack(status),
+        })
+    }
+
+    /// Unwrap as a bare acknowledgement.
+    pub fn into_ack(self) -> CudaResult<()> {
+        match self {
+            Response::Ack(r) => r,
+            other => unexpected(other),
+        }
+    }
+
+    /// Unwrap as a `cudaMalloc` reply.
+    pub fn into_malloc(self) -> CudaResult<DevicePtr> {
+        match self {
+            Response::Malloc(r) => r,
+            other => unexpected(other),
+        }
+    }
+
+    /// Unwrap as a device→host memcpy reply.
+    pub fn into_memcpy_to_host(self) -> CudaResult<Vec<u8>> {
+        match self {
+            Response::MemcpyToHost(r) => r,
+            other => unexpected(other),
+        }
+    }
+}
+
+fn unexpected<T>(resp: Response) -> CudaResult<T> {
+    debug_assert!(false, "protocol desync: unexpected response {resp:?}");
+    Err(CudaError::Unknown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MemcpyKind;
+    use std::io::Cursor;
+
+    fn round_trip(resp: &Response, req: &Request) -> Response {
+        let mut buf = Vec::new();
+        resp.write(&mut buf).unwrap();
+        assert_eq!(buf.len() as u64, resp.wire_bytes(), "{resp:?}");
+        Response::read(&mut Cursor::new(&buf), req).unwrap()
+    }
+
+    #[test]
+    fn ack_round_trip_and_size() {
+        let req = Request::Free {
+            ptr: DevicePtr::new(8),
+        };
+        let ok = Response::Ack(Ok(()));
+        assert_eq!(round_trip(&ok, &req), ok);
+        assert_eq!(ok.wire_bytes(), 4); // Table I: cudaFree receive = 4
+
+        let err = Response::Ack(Err(CudaError::InvalidDevicePointer));
+        assert_eq!(round_trip(&err, &req), err);
+    }
+
+    #[test]
+    fn malloc_round_trip_and_size() {
+        let req = Request::Malloc { size: 16 };
+        let ok = Response::Malloc(Ok(DevicePtr::new(0x40)));
+        assert_eq!(round_trip(&ok, &req), ok);
+        assert_eq!(ok.wire_bytes(), 8); // Table I: cudaMalloc receive = 8
+
+        let err = Response::Malloc(Err(CudaError::MemoryAllocation));
+        assert_eq!(round_trip(&err, &req), err);
+        assert_eq!(err.wire_bytes(), 4);
+    }
+
+    #[test]
+    fn memcpy_to_host_round_trip_and_size() {
+        let req = Request::Memcpy {
+            dst: 0,
+            src: 0x40,
+            size: 6,
+            kind: MemcpyKind::DeviceToHost,
+            data: None,
+        };
+        let ok = Response::MemcpyToHost(Ok(vec![1, 2, 3, 4, 5, 6]));
+        assert_eq!(round_trip(&ok, &req), ok);
+        assert_eq!(ok.wire_bytes(), 10); // x + 4
+
+        let err = Response::MemcpyToHost(Err(CudaError::InvalidDevicePointer));
+        assert_eq!(round_trip(&err, &req), err);
+    }
+
+    #[test]
+    fn h2d_memcpy_gets_plain_ack() {
+        let req = Request::Memcpy {
+            dst: 0x40,
+            src: 0,
+            size: 2,
+            kind: MemcpyKind::HostToDevice,
+            data: Some(vec![1, 2]),
+        };
+        let ok = Response::Ack(Ok(()));
+        assert_eq!(round_trip(&ok, &req), ok); // Table I: to-device receive = 4
+    }
+
+    #[test]
+    fn device_props_round_trip() {
+        let req = Request::DeviceProps;
+        let ok = Response::DeviceProps(Ok(b"props-blob".to_vec()));
+        assert_eq!(round_trip(&ok, &req), ok);
+        let err = Response::DeviceProps(Err(CudaError::NoDevice));
+        assert_eq!(round_trip(&err, &req), err);
+    }
+
+    #[test]
+    fn event_create_round_trip() {
+        let req = Request::EventCreate;
+        let ok = Response::EventCreate(Ok(3));
+        assert_eq!(round_trip(&ok, &req), ok);
+        assert_eq!(ok.wire_bytes(), 8);
+        let err = Response::EventCreate(Err(CudaError::Unknown));
+        assert_eq!(round_trip(&err, &req), err);
+    }
+
+    #[test]
+    fn event_elapsed_round_trip_preserves_f32_bits() {
+        let req = Request::EventElapsed { start: 1, end: 2 };
+        for ms in [0.0f32, 1.5, 1234.567, f32::MIN_POSITIVE] {
+            let ok = Response::EventElapsed(Ok(ms));
+            assert_eq!(round_trip(&ok, &req), ok, "{ms}");
+        }
+        let err = Response::EventElapsed(Err(CudaError::NotReady));
+        assert_eq!(round_trip(&err, &req), err);
+    }
+
+    #[test]
+    fn stream_create_round_trip() {
+        let req = Request::StreamCreate;
+        let ok = Response::StreamCreate(Ok(42));
+        assert_eq!(round_trip(&ok, &req), ok);
+        let err = Response::StreamCreate(Err(CudaError::InitializationError));
+        assert_eq!(round_trip(&err, &req), err);
+    }
+
+    #[test]
+    fn async_d2h_reads_payload() {
+        let req = Request::MemcpyAsync {
+            dst: 0,
+            src: 0x40,
+            size: 3,
+            kind: MemcpyKind::DeviceToHost,
+            stream: 1,
+            data: None,
+        };
+        let ok = Response::MemcpyToHost(Ok(vec![7, 8, 9]));
+        assert_eq!(round_trip(&ok, &req), ok);
+    }
+
+    #[test]
+    fn unwrap_helpers() {
+        assert!(Response::Ack(Ok(())).into_ack().is_ok());
+        assert_eq!(
+            Response::Malloc(Ok(DevicePtr::new(1))).into_malloc(),
+            Ok(DevicePtr::new(1))
+        );
+        assert_eq!(
+            Response::MemcpyToHost(Ok(vec![1])).into_memcpy_to_host(),
+            Ok(vec![1])
+        );
+    }
+}

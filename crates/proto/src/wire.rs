@@ -1,0 +1,113 @@
+//! Low-level wire primitives: little-endian scalar reads/writes and
+//! exact-length buffers over any `Read`/`Write` pair.
+//!
+//! Everything the protocol puts on the wire goes through these helpers so
+//! that byte accounting (paper Table I) has a single source of truth.
+
+use std::io::{self, Read, Write};
+
+/// Write a little-endian `u32` (4 bytes — the unit of almost every Table I
+/// field).
+pub fn put_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Read a little-endian `u32`.
+pub fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Write a byte blob verbatim (the `x`-sized fields of Table I: module
+/// images, memcpy payloads, kernel names).
+pub fn put_bytes<W: Write>(w: &mut W, b: &[u8]) -> io::Result<()> {
+    w.write_all(b)
+}
+
+/// Read exactly `n` bytes.
+pub fn get_bytes<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<u8>> {
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Read exactly `N` bytes into a fixed array.
+pub fn get_array<R: Read, const N: usize>(r: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Reinterpret a `f32` slice as its wire bytes (host data payloads).
+pub fn f32s_to_bytes(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Reinterpret wire bytes as `f32`s. Errors if the length is not a multiple
+/// of four.
+pub fn bytes_to_f32s(bytes: &[u8]) -> io::Result<Vec<f32>> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "payload length not a multiple of 4",
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn u32_round_trip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF).unwrap();
+        assert_eq!(buf.len(), 4);
+        assert_eq!(get_u32(&mut Cursor::new(&buf)).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn u32_is_little_endian() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1).unwrap();
+        assert_eq!(buf, [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"module-image").unwrap();
+        let mut c = Cursor::new(&buf);
+        assert_eq!(get_bytes(&mut c, 6).unwrap(), b"module");
+        assert_eq!(get_bytes(&mut c, 6).unwrap(), b"-image");
+    }
+
+    #[test]
+    fn short_read_errors() {
+        let mut c = Cursor::new(vec![1u8, 2]);
+        assert!(get_u32(&mut c).is_err());
+    }
+
+    #[test]
+    fn f32_payload_round_trip() {
+        let data = vec![1.5f32, -0.25, f32::MIN_POSITIVE, 3.4e38];
+        let bytes = f32s_to_bytes(&data);
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(bytes_to_f32s(&bytes).unwrap(), data);
+    }
+
+    #[test]
+    fn misaligned_f32_payload_errors() {
+        assert!(bytes_to_f32s(&[0u8; 7]).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests: every message encodes/decodes losslessly and its encoded
+//! length equals its accounting.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+
+use rcuda_core::{CudaError, Dim3};
+use rcuda_proto::ids::MemcpyKind;
+use rcuda_proto::{LaunchConfig, Request, Response};
+
+fn arb_dim3() -> impl Strategy<Value = Dim3> {
+    (1u32..=1024, 1u32..=1024).prop_map(|(x, y)| Dim3::xy(x, y))
+}
+
+fn arb_launch_config() -> impl Strategy<Value = LaunchConfig> {
+    (arb_dim3(), arb_dim3(), 0u32..=49152, 0u32..=8).prop_map(|(block, grid, shared, stream)| {
+        LaunchConfig {
+            texture_offset: 0,
+            parameters_offset: 0,
+            num_textures: 0,
+            block,
+            grid,
+            shared_bytes: shared,
+            stream,
+        }
+    })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..4096).prop_map(|module| Request::Init { module }),
+        (1u32..=1 << 28).prop_map(|size| Request::Malloc { size }),
+        any::<u32>().prop_map(|p| Request::Free {
+            ptr: rcuda_core::DevicePtr::new(p)
+        }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0..2048)
+        )
+            .prop_map(|(dst, src, data)| Request::Memcpy {
+                dst,
+                src,
+                size: data.len() as u32,
+                kind: MemcpyKind::HostToDevice,
+                data: Some(data),
+            }),
+        (any::<u32>(), any::<u32>(), 0u32..=1 << 20).prop_map(|(dst, src, size)| {
+            Request::Memcpy {
+                dst,
+                src,
+                size,
+                kind: MemcpyKind::DeviceToHost,
+                data: None,
+            }
+        }),
+        (
+            "[a-zA-Z_][a-zA-Z0-9_]{0,30}",
+            proptest::collection::vec(any::<u8>(), 0..64),
+            arb_launch_config()
+        )
+            .prop_map(|(name, params, cfg)| Request::launch(&name, &params, cfg)),
+        Just(Request::ThreadSynchronize),
+        Just(Request::DeviceProps),
+        Just(Request::StreamCreate),
+        any::<u32>().prop_map(|stream| Request::StreamSynchronize { stream }),
+        any::<u32>().prop_map(|stream| Request::StreamDestroy { stream }),
+        Just(Request::Quit),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_round_trip(req in arb_request()) {
+        let mut buf = Vec::new();
+        req.write(&mut buf).unwrap();
+        prop_assert_eq!(buf.len() as u64, req.wire_bytes());
+        let decoded = match &req {
+            Request::Init { .. } => Request::read_init(&mut Cursor::new(&buf)).unwrap(),
+            _ => Request::read(&mut Cursor::new(&buf)).unwrap(),
+        };
+        prop_assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn back_to_back_requests_decode_in_order(
+        reqs in proptest::collection::vec(arb_request(), 1..8)
+    ) {
+        // The protocol has no framing: messages must self-delimit so that a
+        // stream of them parses unambiguously.
+        let mut buf = Vec::new();
+        for r in &reqs {
+            r.write(&mut buf).unwrap();
+        }
+        let mut cursor = Cursor::new(&buf);
+        for r in &reqs {
+            let decoded = match r {
+                Request::Init { .. } => Request::read_init(&mut cursor).unwrap(),
+                _ => Request::read(&mut cursor).unwrap(),
+            };
+            prop_assert_eq!(&decoded, r);
+        }
+        prop_assert_eq!(cursor.position() as usize, buf.len());
+    }
+
+    #[test]
+    fn ack_response_round_trip(code in prop_oneof![
+        Just(Ok(())),
+        proptest::sample::select(CudaError::ALL.to_vec()).prop_map(Err)
+    ]) {
+        let req = Request::ThreadSynchronize;
+        let resp = Response::Ack(code);
+        let mut buf = Vec::new();
+        resp.write(&mut buf).unwrap();
+        prop_assert_eq!(buf.len() as u64, resp.wire_bytes());
+        prop_assert_eq!(Response::read(&mut Cursor::new(&buf), &req).unwrap(), resp);
+    }
+
+    #[test]
+    fn d2h_response_round_trip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let req = Request::Memcpy {
+            dst: 0,
+            src: 64,
+            size: data.len() as u32,
+            kind: MemcpyKind::DeviceToHost,
+            data: None,
+        };
+        let resp = Response::MemcpyToHost(Ok(data));
+        let mut buf = Vec::new();
+        resp.write(&mut buf).unwrap();
+        prop_assert_eq!(buf.len() as u64, resp.wire_bytes());
+        prop_assert_eq!(Response::read(&mut Cursor::new(&buf), &req).unwrap(), resp);
+    }
+
+    #[test]
+    fn launch_name_and_params_survive(
+        name in "[a-zA-Z_][a-zA-Z0-9_]{0,30}",
+        params in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let req = Request::launch(&name, &params, LaunchConfig::default());
+        if let Request::Launch { config, region } = &req {
+            prop_assert_eq!(Request::kernel_name(region, config).unwrap(), name);
+            prop_assert_eq!(Request::kernel_params(region, config).unwrap(), &params[..]);
+        } else {
+            panic!("not a launch");
+        }
+    }
+}

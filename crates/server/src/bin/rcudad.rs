@@ -1,0 +1,111 @@
+//! `rcudad` — the rCUDA daemon as a standalone binary.
+//!
+//! ```text
+//! rcudad [--listen ADDR] [--gpus N] [--policy round-robin|least-loaded]
+//!        [--cold-context] [--once N]
+//! ```
+//!
+//! * `--listen` — bind address (default `127.0.0.1:8308`; use port 0 for an
+//!   ephemeral port, printed at startup).
+//! * `--gpus` — size of the simulated GPU pool (default 1).
+//! * `--policy` — session placement across the pool (default round-robin).
+//! * `--cold-context` — do NOT pre-initialize contexts (ablation of the
+//!   warm-daemon behavior, §VI-B).
+//! * `--once N` — exit after serving N sessions (handy for scripts and
+//!   tests; default: run until killed).
+
+use rcuda_gpu::GpuDevice;
+use rcuda_server::{GpuPool, PoolPolicy, RcudaDaemon, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("rcudad: {msg}");
+    eprintln!(
+        "usage: rcudad [--listen ADDR] [--gpus N] \
+         [--policy round-robin|least-loaded] [--cold-context] [--once N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:8308".to_string();
+    let mut gpus = 1usize;
+    let mut policy = PoolPolicy::RoundRobin;
+    let mut preinit = true;
+    let mut once: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => {
+                listen = args
+                    .next()
+                    .unwrap_or_else(|| usage("--listen needs an address"));
+            }
+            "--gpus" => {
+                gpus = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--gpus needs a positive integer"));
+            }
+            "--policy" => match args.next().as_deref() {
+                Some("round-robin") => policy = PoolPolicy::RoundRobin,
+                Some("least-loaded") => policy = PoolPolicy::LeastLoaded,
+                _ => usage("--policy is round-robin or least-loaded"),
+            },
+            "--cold-context" => preinit = false,
+            "--once" => {
+                once = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--once needs a count")),
+                );
+            }
+            "--help" | "-h" => usage("help"),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let pool = Arc::new(GpuPool::new(
+        (0..gpus)
+            .map(|_| GpuDevice::tesla_c1060_functional())
+            .collect(),
+        policy,
+    ));
+    let config = ServerConfig {
+        preinitialize_context: preinit,
+        phantom_memory: false,
+    };
+    let mut daemon = match RcudaDaemon::bind_pool(&listen, Arc::clone(&pool), config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("rcudad: cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "rcudad: serving {} simulated Tesla C1060 GPU(s) on {} ({:?} placement, {} contexts)",
+        gpus,
+        daemon.local_addr(),
+        policy,
+        if preinit { "warm" } else { "cold" },
+    );
+
+    match once {
+        Some(n) => {
+            if !daemon.wait_for_sessions(n, Duration::from_secs(3600)) {
+                eprintln!("rcudad: timed out waiting for {n} sessions");
+            }
+            println!(
+                "rcudad: served {} session(s), exiting (--once)",
+                daemon.sessions_served()
+            );
+            daemon.shutdown();
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+}

@@ -1,0 +1,193 @@
+//! The TCP daemon: accept loop + one worker thread per connection.
+//!
+//! Worker threads stand in for the original middleware's per-execution
+//! server processes; each gets its own pre-initialized GPU context, so
+//! multiple clients time-multiplex the device concurrently and in isolation
+//! (§III, Fig. 1).
+
+use parking_lot::Mutex;
+use rcuda_core::time::wall_clock;
+use rcuda_gpu::GpuDevice;
+use rcuda_transport::TcpTransport;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::pool::{GpuPool, PoolPolicy};
+use crate::worker::{serve_connection, ServerConfig, SessionReport};
+
+/// A running rCUDA daemon.
+pub struct RcudaDaemon {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    sessions_served: Arc<AtomicU64>,
+    reports: Arc<Mutex<Vec<SessionReport>>>,
+}
+
+impl RcudaDaemon {
+    /// Bind and start serving on `addr` (use port 0 for an ephemeral port)
+    /// with the default configuration and a single device.
+    pub fn bind<A: ToSocketAddrs>(addr: A, device: Arc<GpuDevice>) -> io::Result<Self> {
+        Self::bind_with_config(addr, device, ServerConfig::default())
+    }
+
+    /// Bind a single device with an explicit worker configuration.
+    pub fn bind_with_config<A: ToSocketAddrs>(
+        addr: A,
+        device: Arc<GpuDevice>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        Self::bind_pool(
+            addr,
+            Arc::new(GpuPool::new(vec![device], PoolPolicy::RoundRobin)),
+            config,
+        )
+    }
+
+    /// Bind a multi-GPU pool: each incoming session is placed on a device
+    /// by the pool's policy (the paper's future-work scheduling).
+    pub fn bind_pool<A: ToSocketAddrs>(
+        addr: A,
+        pool: Arc<GpuPool>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let sessions_served = Arc::new(AtomicU64::new(0));
+        let reports = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_sessions = Arc::clone(&sessions_served);
+        let accept_reports = Arc::clone(&reports);
+        let accept_thread = std::thread::Builder::new()
+            .name("rcuda-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream: TcpStream = match stream {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let pool = Arc::clone(&pool);
+                    let config = config.clone();
+                    let sessions = Arc::clone(&accept_sessions);
+                    let reports = Arc::clone(&accept_reports);
+                    // Workers are detached: a session blocked on a quiet
+                    // client must not hold up daemon shutdown (it ends when
+                    // its client leaves, like the original's per-execution
+                    // server processes).
+                    std::thread::Builder::new()
+                        .name("rcuda-worker".into())
+                        .spawn(move || {
+                            let served = {
+                                let (device, _slot) = pool.assign();
+                                TcpTransport::from_stream(stream).ok().and_then(|t| {
+                                    serve_connection(t, &device, wall_clock(), &config).ok()
+                                })
+                                // _slot drops here: the pool seat is free
+                                // before the session is counted below.
+                            };
+                            if let Some(report) = served {
+                                reports.lock().push(report);
+                                sessions.fetch_add(1, Ordering::SeqCst);
+                            }
+                        })
+                        .expect("spawn worker");
+                }
+            })
+            .expect("spawn accept loop");
+
+        Ok(RcudaDaemon {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            sessions_served,
+            reports,
+        })
+    }
+
+    /// The bound address (connect clients here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Completed sessions so far.
+    pub fn sessions_served(&self) -> u64 {
+        self.sessions_served.load(Ordering::SeqCst)
+    }
+
+    /// Reports of completed sessions.
+    pub fn session_reports(&self) -> Vec<SessionReport> {
+        self.reports.lock().clone()
+    }
+
+    /// Wait until at least `n` sessions have completed (their reports are
+    /// recorded and their pool seats released), or the timeout expires.
+    /// Returns whether the count was reached. Tests use this to close the
+    /// tiny window between a client's Quit acknowledgement and the worker
+    /// thread finishing its bookkeeping.
+    pub fn wait_for_sessions(&self, n: u64, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.sessions_served() < n {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::yield_now();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        true
+    }
+
+    /// Stop accepting and join the accept loop. Worker threads are
+    /// detached: an active session keeps running until its client leaves
+    /// (like the original middleware's per-execution server processes).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RcudaDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daemon_binds_ephemeral_port_and_shuts_down() {
+        let device = GpuDevice::tesla_c1060_functional();
+        let mut daemon = RcudaDaemon::bind("127.0.0.1:0", device).unwrap();
+        assert_ne!(daemon.local_addr().port(), 0);
+        assert_eq!(daemon.sessions_served(), 0);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn daemon_survives_garbage_connection() {
+        use std::io::Write;
+        let device = GpuDevice::tesla_c1060_functional();
+        let mut daemon = RcudaDaemon::bind("127.0.0.1:0", device).unwrap();
+        {
+            // Connect, read nothing, send garbage, vanish.
+            let mut s = TcpStream::connect(daemon.local_addr()).unwrap();
+            let _ = s.write_all(&[0xFF; 64]);
+        }
+        // The daemon still accepts a fresh (also short-lived) connection.
+        let _ = TcpStream::connect(daemon.local_addr()).unwrap();
+        daemon.shutdown();
+    }
+}

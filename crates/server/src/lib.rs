@@ -1,0 +1,23 @@
+//! The rCUDA server daemon.
+//!
+//! §III: "on the other side, there is a GPU network service listening for
+//! requests on a TCP port. ... Time-multiplexing (sharing) the GPU is
+//! accomplished by spawning a different server process for each remote
+//! execution over a new GPU context." This crate is that service:
+//!
+//! * [`worker`] — serves one connection: the initialization handshake, then
+//!   a request/dispatch/respond loop over a fresh, **pre-initialized** GPU
+//!   context (the warm context is why remote executions skip the CUDA
+//!   environment initialization delay, §VI-B);
+//! * [`dispatch`] — maps each protocol request onto the context;
+//! * [`daemon`] — the TCP accept loop, one worker thread per connection
+//!   (threads stand in for the original's processes).
+
+pub mod daemon;
+pub mod dispatch;
+pub mod pool;
+pub mod worker;
+
+pub use daemon::RcudaDaemon;
+pub use pool::{GpuPool, PoolPolicy};
+pub use worker::{serve_connection, ServerConfig, SessionReport};

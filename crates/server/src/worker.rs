@@ -1,0 +1,287 @@
+//! Per-connection session worker.
+//!
+//! One worker serves one remote execution over one fresh GPU context
+//! (§III). The session follows Fig. 2 exactly:
+//!
+//! 1. push the device's 8-byte compute capability (the first half of
+//!    Table I's 12 receive bytes for Initialization);
+//! 2. read the module-upload request, load it, acknowledge;
+//! 3. loop: read request → dispatch → respond, until Quit or disconnect.
+
+use rcuda_core::SharedClock;
+use rcuda_gpu::{GpuContext, GpuDevice};
+use rcuda_proto::{Request, Response};
+use rcuda_transport::Transport;
+use std::io;
+use std::sync::Arc;
+
+use crate::dispatch::dispatch;
+
+/// Worker configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Keep the CUDA context warm before the client arrives (the rCUDA
+    /// behavior, §VI-B). Disable to ablate the pre-initialization benefit.
+    pub preinitialize_context: bool,
+    /// Use phantom device memory (timing-only sessions at paper scale).
+    pub phantom_memory: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            preinitialize_context: true,
+            phantom_memory: false,
+        }
+    }
+}
+
+/// What a session did, for logging and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionReport {
+    /// Requests served (excluding the module upload).
+    pub requests: u64,
+    /// Whether the client ended the session with an orderly Quit.
+    pub orderly_shutdown: bool,
+    /// Device allocations still live at session end (leaks if nonzero —
+    /// the daemon releases them with the context either way).
+    pub leaked_allocations: usize,
+}
+
+/// Serve one connection to completion.
+///
+/// Transport errors after the handshake are treated as a client disconnect
+/// (the report notes the unorderly end); errors during the handshake are
+/// returned.
+pub fn serve_connection<T: Transport>(
+    mut transport: T,
+    device: &Arc<GpuDevice>,
+    clock: SharedClock,
+    config: &ServerConfig,
+) -> io::Result<SessionReport> {
+    let mut ctx = if config.phantom_memory {
+        device.create_phantom_context(clock, config.preinitialize_context)
+    } else {
+        device.create_context(clock, config.preinitialize_context)
+    };
+
+    // Phase 1a: announce the device (8-byte compute capability).
+    transport.write_all(&device.properties().compute_capability_wire())?;
+    transport.flush()?;
+
+    // Phase 1b: receive and load the GPU module.
+    let init = Request::read_init(&mut transport)?;
+    let resp = dispatch(&mut ctx, &init).expect("init never quits");
+    resp.write(&mut transport)?;
+    transport.flush()?;
+
+    let mut report = SessionReport::default();
+    // Read until the client quits or vanishes (a read error is a client
+    // disconnect, not a server fault).
+    while let Ok(req) = Request::read(&mut transport) {
+        report.requests += 1;
+        match dispatch(&mut ctx, &req) {
+            Some(resp) => {
+                if resp.write(&mut transport).is_err() || transport.flush().is_err() {
+                    break;
+                }
+            }
+            None => {
+                // Finalization stage: acknowledge the Quit, then release
+                // everything ("the daemon server quits servicing the current
+                // execution and releases the associated resources", §III).
+                let _ = Response::Ack(Ok(())).write(&mut transport);
+                let _ = transport.flush();
+                report.orderly_shutdown = true;
+                break;
+            }
+        }
+    }
+    report.leaked_allocations = live_allocations(&ctx);
+    Ok(report)
+}
+
+fn live_allocations(ctx: &GpuContext) -> usize {
+    ctx.live_allocations()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuda_core::time::{virtual_clock, wall_clock};
+    use rcuda_core::Clock as _;
+    use rcuda_gpu::module::build_module;
+    use rcuda_proto::ids::MemcpyKind;
+    use rcuda_transport::channel_pair;
+    use std::io::{Read, Write};
+    use std::thread;
+
+    /// Drive the worker with raw protocol messages over an in-process pipe.
+    #[test]
+    fn full_session_over_channel() {
+        let (mut client, server_side) = channel_pair();
+        let device = GpuDevice::tesla_c1060_functional();
+        let clock = wall_clock();
+        let cfg = ServerConfig::default();
+        let worker =
+            thread::spawn(move || serve_connection(server_side, &device, clock, &cfg).unwrap());
+
+        // Handshake: compute capability arrives first.
+        let mut cc = [0u8; 8];
+        client.read_exact(&mut cc).unwrap();
+        assert_eq!(
+            rcuda_core::DeviceProperties::compute_capability_from_wire(cc),
+            (1, 3)
+        );
+        // Ship a module.
+        Request::Init {
+            module: build_module(&["fill"], 0),
+        }
+        .write(&mut client)
+        .unwrap();
+        client.flush().unwrap();
+        let init_req = Request::Init { module: vec![] };
+        assert_eq!(
+            Response::read(&mut client, &init_req).unwrap(),
+            Response::Ack(Ok(()))
+        );
+        // Malloc.
+        let malloc = Request::Malloc { size: 16 };
+        malloc.write(&mut client).unwrap();
+        client.flush().unwrap();
+        let ptr = Response::read(&mut client, &malloc)
+            .unwrap()
+            .into_malloc()
+            .unwrap();
+        // Free + Quit.
+        let free = Request::Free { ptr };
+        free.write(&mut client).unwrap();
+        client.flush().unwrap();
+        Response::read(&mut client, &free)
+            .unwrap()
+            .into_ack()
+            .unwrap();
+        Request::Quit.write(&mut client).unwrap();
+        client.flush().unwrap();
+        Response::read(&mut client, &Request::Quit)
+            .unwrap()
+            .into_ack()
+            .unwrap();
+
+        let report = worker.join().unwrap();
+        assert!(report.orderly_shutdown);
+        assert_eq!(report.requests, 3); // malloc, free, quit
+        assert_eq!(report.leaked_allocations, 0);
+    }
+
+    #[test]
+    fn client_disconnect_mid_session_is_survived() {
+        let (mut client, server_side) = channel_pair();
+        let device = GpuDevice::tesla_c1060_functional();
+        let clock = wall_clock();
+        let cfg = ServerConfig::default();
+        let worker =
+            thread::spawn(move || serve_connection(server_side, &device, clock, &cfg).unwrap());
+        let mut cc = [0u8; 8];
+        client.read_exact(&mut cc).unwrap();
+        Request::Init {
+            module: build_module(&[], 0),
+        }
+        .write(&mut client)
+        .unwrap();
+        client.flush().unwrap();
+        let init_req = Request::Init { module: vec![] };
+        Response::read(&mut client, &init_req).unwrap();
+        // Leak an allocation, then vanish without Quit.
+        let malloc = Request::Malloc { size: 1024 };
+        malloc.write(&mut client).unwrap();
+        client.flush().unwrap();
+        Response::read(&mut client, &malloc).unwrap();
+        drop(client);
+        let report = worker.join().unwrap();
+        assert!(!report.orderly_shutdown);
+        assert_eq!(
+            report.leaked_allocations, 1,
+            "leak is visible in the report"
+        );
+    }
+
+    #[test]
+    fn preinit_config_controls_context_charge() {
+        for (preinit, expect_charge) in [(true, false), (false, true)] {
+            let (mut client, server_side) = channel_pair();
+            let device = GpuDevice::tesla_c1060(); // charging cost model
+            let clock = virtual_clock();
+            let cfg = ServerConfig {
+                preinitialize_context: preinit,
+                phantom_memory: true,
+            };
+            let clock2 = clock.clone();
+            let worker = thread::spawn(move || {
+                serve_connection(server_side, &device, clock2, &cfg).unwrap()
+            });
+            let mut cc = [0u8; 8];
+            client.read_exact(&mut cc).unwrap();
+            Request::Quit.write(&mut client).unwrap();
+            // No module upload: the worker is waiting for Init; send an
+            // empty module instead to keep the protocol aligned.
+            drop(client);
+            let _ = worker.join();
+            let charged = clock.now().as_secs_f64() > 0.1;
+            assert_eq!(charged, expect_charge, "preinit={preinit}");
+        }
+    }
+
+    #[test]
+    fn bad_requests_yield_error_codes_not_session_death() {
+        let (mut client, server_side) = channel_pair();
+        let device = GpuDevice::tesla_c1060_functional();
+        let clock = wall_clock();
+        let cfg = ServerConfig::default();
+        let worker =
+            thread::spawn(move || serve_connection(server_side, &device, clock, &cfg).unwrap());
+        let mut cc = [0u8; 8];
+        client.read_exact(&mut cc).unwrap();
+        Request::Init {
+            module: build_module(&[], 0),
+        }
+        .write(&mut client)
+        .unwrap();
+        client.flush().unwrap();
+        let init_req = Request::Init { module: vec![] };
+        Response::read(&mut client, &init_req).unwrap();
+
+        // Free a garbage pointer -> error code, session continues.
+        let bad_free = Request::Free {
+            ptr: rcuda_core::DevicePtr::new(0xBEEF),
+        };
+        bad_free.write(&mut client).unwrap();
+        client.flush().unwrap();
+        let resp = Response::read(&mut client, &bad_free).unwrap();
+        assert!(resp.into_ack().is_err());
+
+        // D2H from garbage -> error code, still alive.
+        let bad_cpy = Request::Memcpy {
+            dst: 0,
+            src: 0xBEEF,
+            size: 4,
+            kind: MemcpyKind::DeviceToHost,
+            data: None,
+        };
+        bad_cpy.write(&mut client).unwrap();
+        client.flush().unwrap();
+        let resp = Response::read(&mut client, &bad_cpy).unwrap();
+        assert!(resp.into_memcpy_to_host().is_err());
+
+        // Orderly quit still possible.
+        Request::Quit.write(&mut client).unwrap();
+        client.flush().unwrap();
+        Response::read(&mut client, &Request::Quit)
+            .unwrap()
+            .into_ack()
+            .unwrap();
+        let report = worker.join().unwrap();
+        assert!(report.orderly_shutdown);
+        assert_eq!(report.requests, 3);
+    }
+}

@@ -1,0 +1,183 @@
+//! In-process transport over crossbeam channels.
+//!
+//! Messages buffer locally until `flush`, then travel as one `Vec<u8>` —
+//! preserving the protocol's message boundaries without any real I/O.
+//! Dropping one endpoint makes the peer's reads fail with
+//! `UnexpectedEof` and its writes with `BrokenPipe`, mirroring socket
+//! behavior so connection-loss handling can be tested in-process.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::io::{self, Read, Write};
+
+use crate::stats::TransportStats;
+use crate::Transport;
+
+/// One endpoint of an in-process duplex byte stream.
+pub struct ChannelTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    /// Bytes written since the last flush.
+    out_buf: Vec<u8>,
+    /// Received message currently being consumed.
+    in_buf: Vec<u8>,
+    in_pos: usize,
+    stats: TransportStats,
+}
+
+/// Create a connected pair of endpoints.
+pub fn channel_pair() -> (ChannelTransport, ChannelTransport) {
+    let (tx_a, rx_b) = unbounded();
+    let (tx_b, rx_a) = unbounded();
+    let mk = |tx, rx| ChannelTransport {
+        tx,
+        rx,
+        out_buf: Vec::new(),
+        in_buf: Vec::new(),
+        in_pos: 0,
+        stats: TransportStats::default(),
+    };
+    (mk(tx_a, rx_a), mk(tx_b, rx_b))
+}
+
+impl ChannelTransport {
+    /// Deliver the pending message to the peer (internal flush step).
+    fn deliver(&mut self) -> io::Result<()> {
+        if self.out_buf.is_empty() {
+            return Ok(());
+        }
+        let msg = std::mem::take(&mut self.out_buf);
+        self.stats.record_message();
+        self.tx
+            .send(msg)
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))
+    }
+
+    /// Bytes of the current pending (unflushed) message.
+    pub fn pending_bytes(&self) -> usize {
+        self.out_buf.len()
+    }
+}
+
+impl Read for ChannelTransport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.in_pos >= self.in_buf.len() {
+            match self.rx.recv() {
+                Ok(msg) => {
+                    self.in_buf = msg;
+                    self.in_pos = 0;
+                }
+                Err(_) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed")),
+            }
+        }
+        let n = buf.len().min(self.in_buf.len() - self.in_pos);
+        buf[..n].copy_from_slice(&self.in_buf[self.in_pos..self.in_pos + n]);
+        self.in_pos += n;
+        self.stats.record_recv(n as u64);
+        Ok(n)
+    }
+}
+
+impl Write for ChannelTransport {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.out_buf.extend_from_slice(buf);
+        self.stats.record_send(buf.len() as u64);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.deliver()
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_one_message() {
+        let (mut a, mut b) = channel_pair();
+        a.write_all(b"hello").unwrap();
+        a.flush().unwrap();
+        let mut buf = [0u8; 5];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn message_boundaries_do_not_block_partial_reads() {
+        let (mut a, mut b) = channel_pair();
+        a.write_all(b"0123456789").unwrap();
+        a.flush().unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"0123");
+        let mut rest = [0u8; 6];
+        b.read_exact(&mut rest).unwrap();
+        assert_eq!(&rest, b"456789");
+    }
+
+    #[test]
+    fn nothing_travels_before_flush() {
+        let (mut a, _b) = channel_pair();
+        a.write_all(b"buffered").unwrap();
+        assert_eq!(a.pending_bytes(), 8);
+        assert_eq!(a.stats().messages_sent, 0);
+        a.flush().unwrap();
+        assert_eq!(a.pending_bytes(), 0);
+        assert_eq!(a.stats().messages_sent, 1);
+    }
+
+    #[test]
+    fn empty_flush_is_not_a_message() {
+        let (mut a, _b) = channel_pair();
+        a.flush().unwrap();
+        assert_eq!(a.stats().messages_sent, 0);
+    }
+
+    #[test]
+    fn dropped_peer_breaks_both_directions() {
+        let (mut a, b) = channel_pair();
+        drop(b);
+        a.write_all(b"x").unwrap();
+        assert_eq!(a.flush().unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            a.read_exact(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn stats_count_bytes_both_ways() {
+        let (mut a, mut b) = channel_pair();
+        a.write_all(&[0u8; 100]).unwrap();
+        a.flush().unwrap();
+        let mut buf = [0u8; 100];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(a.stats().bytes_sent, 100);
+        assert_eq!(b.stats().bytes_received, 100);
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let (mut a, mut b) = channel_pair();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 3];
+            b.read_exact(&mut buf).unwrap();
+            b.write_all(&buf).unwrap();
+            b.flush().unwrap();
+        });
+        a.write_all(b"abc").unwrap();
+        a.flush().unwrap();
+        let mut echo = [0u8; 3];
+        a.read_exact(&mut echo).unwrap();
+        assert_eq!(&echo, b"abc");
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,42 @@
+//! Byte transports between the rCUDA client and server.
+//!
+//! The protocol (`rcuda-proto`) is transport-agnostic: it only needs a byte
+//! stream in each direction with message boundaries marked by `flush`. Three
+//! transports implement that contract:
+//!
+//! * [`TcpTransport`] — real sockets with `TCP_NODELAY` set, reproducing the
+//!   paper's configuration ("we disabled the TCP-layer congestion control
+//!   algorithm ... Nagle's algorithm", §IV-A). Used by the functional
+//!   client/server over loopback or a real network.
+//! * [`ChannelTransport`] — in-process crossbeam channels; zero-latency, for
+//!   unit and integration tests.
+//! * [`SimTransport`] — a channel pair that charges each flushed message's
+//!   latency to a shared (virtual) clock according to a
+//!   [`rcuda_netsim::NetworkModel`]; this is how a full client/server
+//!   execution is simulated over GigaE, 40GI, or any of the paper's five
+//!   target HPC networks.
+//!
+//! ## Contract
+//!
+//! Writers MUST call [`std::io::Write::flush`] exactly once per protocol
+//! message: the flush marks the message boundary that latency accounting
+//! (and TCP packetization) keys on.
+
+pub mod channel;
+pub mod sim;
+pub mod stats;
+pub mod tcp;
+
+use std::io;
+
+pub use channel::{channel_pair, ChannelTransport};
+pub use sim::{sim_pair, SimTransport};
+pub use stats::TransportStats;
+pub use tcp::TcpTransport;
+
+/// A bidirectional byte stream with per-message flush semantics.
+pub trait Transport: io::Read + io::Write + Send {
+    /// Cumulative traffic counters (used by tests to verify the Table I /
+    /// Table II byte accounting end-to-end).
+    fn stats(&self) -> TransportStats;
+}

@@ -1,0 +1,43 @@
+//! Traffic counters shared by all transports.
+
+/// Cumulative transport statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Payload bytes written (before any transport framing).
+    pub bytes_sent: u64,
+    /// Payload bytes read.
+    pub bytes_received: u64,
+    /// Messages sent (flush calls with pending data).
+    pub messages_sent: u64,
+}
+
+impl TransportStats {
+    pub fn record_send(&mut self, bytes: u64) {
+        self.bytes_sent += bytes;
+    }
+
+    pub fn record_recv(&mut self, bytes: u64) {
+        self.bytes_received += bytes;
+    }
+
+    pub fn record_message(&mut self) {
+        self.messages_sent += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = TransportStats::default();
+        s.record_send(10);
+        s.record_send(5);
+        s.record_recv(3);
+        s.record_message();
+        assert_eq!(s.bytes_sent, 15);
+        assert_eq!(s.bytes_received, 3);
+        assert_eq!(s.messages_sent, 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Real TCP transport, configured as the paper configures it.
+//!
+//! §IV-A: "we disabled the TCP-layer congestion control algorithm ... in
+//! order to avoid unnecessary delays introduced by the default congestion
+//! control algorithm in this protocol (Nagle's algorithm)". We set
+//! `TCP_NODELAY` on every stream and additionally buffer writes so each
+//! protocol message leaves in as few segments as possible.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::stats::TransportStats;
+use crate::Transport;
+
+/// A TCP-backed transport endpoint.
+pub struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    stats: TransportStats,
+    /// Whether any bytes were written since the last flush.
+    dirty: bool,
+}
+
+impl TcpTransport {
+    /// Connect to a server (sets `TCP_NODELAY`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Wrap an accepted stream (sets `TCP_NODELAY`).
+    pub fn from_stream(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        let reader = BufReader::with_capacity(256 * 1024, stream.try_clone()?);
+        let writer = BufWriter::with_capacity(256 * 1024, stream);
+        Ok(TcpTransport {
+            reader,
+            writer,
+            stats: TransportStats::default(),
+            dirty: false,
+        })
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.reader.get_ref().peer_addr()
+    }
+
+    /// Shut down both directions (finalization stage).
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        let _ = self.writer.flush();
+        self.reader.get_ref().shutdown(std::net::Shutdown::Both)
+    }
+}
+
+impl Read for TcpTransport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.reader.read(buf)?;
+        self.stats.record_recv(n as u64);
+        Ok(n)
+    }
+}
+
+impl Write for TcpTransport {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.writer.write(buf)?;
+        self.stats.record_send(n as u64);
+        if n > 0 {
+            self.dirty = true;
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dirty {
+            self.stats.record_message();
+            self.dirty = false;
+        }
+        self.writer.flush()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    /// Loopback echo round trip through real sockets.
+    #[test]
+    fn loopback_echo() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::from_stream(stream).unwrap();
+            let mut buf = [0u8; 12];
+            t.read_exact(&mut buf).unwrap();
+            t.write_all(&buf).unwrap();
+            t.flush().unwrap();
+        });
+
+        let mut client = TcpTransport::connect(addr).unwrap();
+        client.write_all(b"ping-payload").unwrap();
+        client.flush().unwrap();
+        let mut echo = [0u8; 12];
+        client.read_exact(&mut echo).unwrap();
+        assert_eq!(&echo, b"ping-payload");
+        assert_eq!(client.stats().bytes_sent, 12);
+        assert_eq!(client.stats().bytes_received, 12);
+        assert_eq!(client.stats().messages_sent, 1);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn nodelay_is_set() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            TcpTransport::from_stream(stream).unwrap()
+        });
+        let client = TcpTransport::connect(addr).unwrap();
+        assert!(
+            client.reader.get_ref().nodelay().unwrap(),
+            "Nagle must be off"
+        );
+        let srv = server.join().unwrap();
+        assert!(srv.reader.get_ref().nodelay().unwrap());
+    }
+
+    #[test]
+    fn large_payload_crosses_loopback() {
+        // A payload far larger than socket buffers, to exercise chunked
+        // reads/writes (an 8 MiB FFT-batch-sized message).
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let payload: Vec<u8> = (0..8 << 20).map(|i| (i % 251) as u8).collect();
+        let expect = payload.clone();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::from_stream(stream).unwrap();
+            let mut buf = vec![0u8; expect.len()];
+            t.read_exact(&mut buf).unwrap();
+            assert_eq!(buf, expect);
+            t.write_all(&[1]).unwrap();
+            t.flush().unwrap();
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        client.write_all(&payload).unwrap();
+        client.flush().unwrap();
+        let mut ack = [0u8; 1];
+        client.read_exact(&mut ack).unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn closed_peer_surfaces_as_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream); // immediate close
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        server.join().unwrap();
+        let mut buf = [0u8; 1];
+        assert!(client.read_exact(&mut buf).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! The FFT case study (paper §IV-B, Figures 5/6 right): the counter-example.
+//!
+//! A batch of 512-point FFTs is O(n log n) on O(n) data — not compute-dense
+//! enough to amortize transfers. The paper's point: this workload is not
+//! even worth a *local* GPU (PCIe transfers already eat the speedup), so
+//! remoting it only makes things worse. The planner verdicts below come out
+//! of the calibrated testbed.
+//!
+//! ```sh
+//! cargo run --release --example fft_batch
+//! ```
+
+use rcuda::api::run_fft_bytes;
+use rcuda::core::time::wall_clock;
+use rcuda::core::Family;
+use rcuda::kernels::complex::{bytes_to_complex, complex_to_bytes};
+use rcuda::kernels::fft::fft_batch_512;
+use rcuda::kernels::workload::fft_input;
+use rcuda::model::render::{millis, TextTable};
+use rcuda::model::tables::table6;
+use rcuda::model::SimulatedTestbed;
+use rcuda::netsim::NetworkId;
+use rcuda::session;
+
+fn main() {
+    functional_proof();
+    paper_scale_sweep();
+}
+
+/// Remote FFT returns exactly what the host-side reference computes.
+fn functional_proof() {
+    let batch = 8u32;
+    let input = fft_input(batch as usize, 99);
+    let input_bytes = complex_to_bytes(&input);
+
+    let clock = wall_clock();
+    let mut sess = session::simulated_session(NetworkId::GigaE, false);
+    let out = run_fft_bytes(&mut sess.runtime, &*clock, batch, &input_bytes)
+        .unwrap()
+        .output;
+    sess.finish();
+
+    let mut expect = input;
+    fft_batch_512(&mut expect);
+    assert_eq!(bytes_to_complex(&out).unwrap(), expect);
+    println!(
+        "[functional] batch of {batch} 512-pt FFTs over simulated GigaE: \
+         remote result bit-identical to the reference\n"
+    );
+}
+
+fn paper_scale_sweep() {
+    let tb = SimulatedTestbed::new();
+    let rows = table6(Family::Fft, &tb);
+
+    println!("[paper scale] FFT execution times in milliseconds (40GI-based estimates):");
+    let mut table = TextTable::new(vec![
+        "Batch", "CPU", "GPU", "GigaE", "40GI", "10GE", "10GI", "Myr", "F-HT", "A-HT",
+    ]);
+    for row in &rows {
+        let mut cells = vec![
+            row.case.size().to_string(),
+            millis(row.cpu),
+            millis(row.gpu),
+            millis(row.gigae),
+            millis(row.ib40),
+        ];
+        for (_, t) in &row.est_ib40_model {
+            cells.push(millis(*t));
+        }
+        table.row(cells);
+    }
+    println!("{}", table.render());
+
+    println!("verdicts (the paper's negative result, §VI-B):");
+    for row in [&rows[0], rows.last().unwrap()] {
+        let n = row.case.size();
+        println!(
+            "  n = {n}: CPU {} ms < local GPU {} ms < best remote (A-HT) {} ms — \
+             keep the FFT on the CPU",
+            millis(row.cpu),
+            millis(row.gpu),
+            millis(row.est_ib40_model[4].1),
+        );
+    }
+    println!(
+        "\n  rule of thumb the paper distills: if a workload does not profit \
+         from a LOCAL GPU, no interconnect will make a remote GPU profitable; \
+         if it does profit, even GigaE-to-A-HT class networks keep the remote \
+         penalty small relative to the saved hardware."
+    );
+}

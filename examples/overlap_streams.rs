@@ -1,0 +1,95 @@
+//! Asynchronous streaming — the future work the paper defers ("leaving
+//! asynchronous transfers for future work", §II) — demonstrated live.
+//!
+//! A large host→device transfer is streamed in chunks with
+//! `cudaMemcpyAsync`: while chunk *k* crosses the PCIe bus on the device
+//! side, chunk *k+1* is already crossing the network. On the virtual clock
+//! this shows exactly the overlap the analytic extension
+//! (`rcuda::model::overlap`) predicts.
+//!
+//! ```sh
+//! cargo run --release --example overlap_streams [mib] [chunks]
+//! ```
+
+use rcuda::api::CudaRuntime;
+use rcuda::core::Clock as _;
+use rcuda::gpu::module::build_module;
+use rcuda::netsim::NetworkId;
+use rcuda::session;
+
+fn main() {
+    let mib: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let chunks: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let total = mib << 20;
+    let chunk = total / chunks;
+
+    println!(
+        "streaming a {mib} MiB host→device transfer over simulated A-HT \
+         (2884 MiB/s network, 5743 MiB/s PCIe)\n"
+    );
+
+    // --- Synchronous: each chunk pays network THEN PCIe, serially.
+    let sync_time = {
+        let mut sess = session::simulated_session(NetworkId::AsicHt, true);
+        sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+        let p = sess.runtime.malloc(total).unwrap();
+        let start = sess.clock.now();
+        let buf = vec![0u8; chunk as usize];
+        for i in 0..chunks {
+            sess.runtime.memcpy_h2d(p.offset(i * chunk), &buf).unwrap();
+        }
+        let t = sess.clock.now() - start;
+        sess.runtime.free(p).unwrap();
+        sess.runtime.finalize().unwrap();
+        sess.finish();
+        t
+    };
+
+    // --- Asynchronous: the PCIe leg of chunk k overlaps the network leg of
+    //     chunk k+1 (double buffering on one device stream).
+    let async_time = {
+        let mut sess = session::simulated_session(NetworkId::AsicHt, true);
+        sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+        let p = sess.runtime.malloc(total).unwrap();
+        let stream = sess.runtime.stream_create().unwrap();
+        let start = sess.clock.now();
+        let buf = vec![0u8; chunk as usize];
+        for i in 0..chunks {
+            sess.runtime
+                .memcpy_h2d_async(p.offset(i * chunk), &buf, stream)
+                .unwrap();
+        }
+        sess.runtime.stream_synchronize(stream).unwrap();
+        let t = sess.clock.now() - start;
+        sess.runtime.stream_destroy(stream).unwrap();
+        sess.runtime.free(p).unwrap();
+        sess.runtime.finalize().unwrap();
+        sess.finish();
+        t
+    };
+
+    println!(
+        "  synchronous ({chunks} chunks): {:>8.2} ms",
+        sync_time.as_millis_f64()
+    );
+    println!(
+        "  async/streamed            : {:>8.2} ms",
+        async_time.as_millis_f64()
+    );
+    println!(
+        "  saved: {:.2} ms ({:.0}% of the PCIe leg hidden behind the network)\n",
+        (sync_time - async_time).as_millis_f64(),
+        100.0 * (sync_time - async_time).as_millis_f64() / (mib as f64 / 5743.0 * 1000.0)
+    );
+    println!(
+        "the analytic extension (rcuda::model::overlap::estimate_async) makes \
+         the same prediction for the paper's case studies — see the \
+         ablations bench for the full sweep."
+    );
+}

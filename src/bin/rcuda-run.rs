@@ -1,0 +1,139 @@
+//! `rcuda-run` — run a case study against an rCUDA daemon over TCP.
+//!
+//! Pairs with `rcudad` for a two-terminal demo of the middleware:
+//!
+//! ```text
+//! terminal 1:  cargo run -p rcuda-server --bin rcudad -- --listen 127.0.0.1:8308
+//! terminal 2:  cargo run --bin rcuda-run -- --connect 127.0.0.1:8308 mm 256
+//!              cargo run --bin rcuda-run -- --connect 127.0.0.1:8308 fft 16
+//! ```
+//!
+//! The workload executes remotely, the result is verified against a local
+//! reference computation, and the session's wire trace is printed.
+
+use rcuda::api::{run_fft_bytes, run_matmul_bytes};
+use rcuda::core::time::wall_clock;
+use rcuda::kernels::complex::complex_to_bytes;
+use rcuda::kernels::fft::fft_batch_512;
+use rcuda::kernels::matrix::CpuSgemm;
+use rcuda::kernels::workload::{fft_input, matrix_pair};
+use rcuda::session;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("rcuda-run: {msg}");
+    eprintln!("usage: rcuda-run --connect ADDR (mm DIM | fft BATCH) [--seed N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = None;
+    let mut workload: Option<(String, u32)> = None;
+    let mut seed = 1u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => addr = args.next(),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "mm" | "fft" => {
+                let size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("workload needs a size"));
+                workload = Some((arg, size));
+            }
+            "--help" | "-h" => usage("help"),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| usage("--connect is required"));
+    let (kind, size) = workload.unwrap_or_else(|| usage("pick a workload: mm DIM or fft BATCH"));
+
+    let clock = wall_clock();
+    let mut rt = match session::connect_tcp(&addr) {
+        Ok(rt) => rt,
+        Err(e) => {
+            eprintln!("rcuda-run: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    match kind.as_str() {
+        "mm" => {
+            let m = size;
+            let (a, b) = matrix_pair(m as usize, seed);
+            let to_bytes =
+                |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|f| f.to_le_bytes()).collect() };
+            let report = run_matmul_bytes(
+                &mut rt,
+                &*clock,
+                m,
+                &to_bytes(a.as_slice()),
+                &to_bytes(b.as_slice()),
+            )
+            .expect("remote MM failed");
+            // Verify against a local 8-thread reference.
+            let mut expect = vec![0.0f32; (m * m) as usize];
+            CpuSgemm::new(8).run(
+                m as usize,
+                m as usize,
+                m as usize,
+                a.as_slice(),
+                b.as_slice(),
+                &mut expect,
+            );
+            let got: Vec<f32> = report
+                .output
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            let diff = got
+                .iter()
+                .zip(&expect)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max);
+            let tol = m as f32 * 1e-5 * 8.0;
+            assert!(diff <= tol, "remote result diverged: max diff {diff}");
+            println!("mm {m}×{m}: remote result verified (max |Δ| = {diff:.2e})");
+            for (phase, t) in &report.phases {
+                println!("  {phase:<16} {:>10.3} ms", t.as_millis_f64());
+            }
+        }
+        "fft" => {
+            let batch = size;
+            let input = fft_input(batch as usize, seed);
+            let report = run_fft_bytes(&mut rt, &*clock, batch, &complex_to_bytes(&input))
+                .expect("remote FFT failed");
+            let mut expect = input;
+            fft_batch_512(&mut expect);
+            assert_eq!(
+                report.output,
+                complex_to_bytes(&expect),
+                "remote FFT result diverged"
+            );
+            println!("fft batch {batch}: remote result bit-identical to reference");
+            for (phase, t) in &report.phases {
+                println!("  {phase:<16} {:>10.3} ms", t.as_millis_f64());
+            }
+        }
+        _ => unreachable!(),
+    }
+
+    println!("\nwire trace:");
+    for ev in &rt.trace().events {
+        println!(
+            "  {:<22} sent {:>10} B  received {:>10} B  {:>10.3} ms",
+            ev.op,
+            ev.sent,
+            ev.received,
+            ev.duration().as_millis_f64()
+        );
+    }
+    let (sent, received) = rt.trace().totals();
+    println!("total: {sent} B sent, {received} B received");
+}

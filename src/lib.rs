@@ -1,0 +1,41 @@
+//! # rcuda-rs
+//!
+//! A Rust reproduction of **"Performance of CUDA Virtualized Remote GPUs in
+//! High Performance Clusters"** (Duato, Peña, Silla, Mayo, Quintana-Ortí —
+//! ICPP 2011): the rCUDA GPU-remoting middleware, a simulated CUDA device
+//! and interconnect models standing in for the paper's testbed, and the
+//! network performance-estimation model that is the paper's contribution.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rcuda::session;
+//! use rcuda::api::{run_matmul_bytes, CudaRuntime};
+//!
+//! // A remote GPU over a simulated 40 Gbps InfiniBand link:
+//! let mut sess = session::simulated_session(rcuda::netsim::NetworkId::Ib40G, false);
+//! let m = 16u32;
+//! let a: Vec<u8> = vec![0u8; (m * m * 4) as usize];
+//! let b = a.clone();
+//! let report = run_matmul_bytes(&mut sess.runtime, &*sess.clock, m, &a, &b).unwrap();
+//! assert_eq!(report.output.len(), a.len());
+//! sess.finish();
+//! ```
+//!
+//! See the `examples/` directory for the case studies, the network planner,
+//! and multi-client GPU sharing; `rcuda-bench`'s `tables` binary regenerates
+//! every table and figure of the paper.
+
+pub use rcuda_api as api;
+pub use rcuda_client as client;
+pub use rcuda_core as core;
+pub use rcuda_gpu as gpu;
+pub use rcuda_kernels as kernels;
+pub use rcuda_model as model;
+pub use rcuda_netsim as netsim;
+pub use rcuda_proto as proto;
+pub use rcuda_server as server;
+pub use rcuda_transport as transport;
+
+pub mod paper_map;
+pub mod session;

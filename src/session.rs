@@ -1,0 +1,132 @@
+//! Session helpers: one call to stand up a local, TCP-remote, or
+//! simulated-remote CUDA runtime.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use rcuda_api::LocalRuntime;
+use rcuda_client::RemoteRuntime;
+use rcuda_core::time::{virtual_clock, wall_clock};
+use rcuda_core::{CudaError, CudaResult, SharedClock, VirtualClock};
+use rcuda_gpu::GpuDevice;
+use rcuda_netsim::NetworkId;
+use rcuda_server::{serve_connection, ServerConfig, SessionReport};
+use rcuda_transport::{sim_pair, SimTransport, TcpTransport};
+
+/// A functional local-GPU runtime (wall clock, kernels really execute).
+pub fn local_functional() -> LocalRuntime {
+    LocalRuntime::new(GpuDevice::tesla_c1060_functional(), wall_clock())
+}
+
+/// A timing-only local-GPU runtime on a fresh virtual clock.
+pub fn local_simulated() -> (LocalRuntime, Arc<VirtualClock>) {
+    let clock = virtual_clock();
+    let rt = LocalRuntime::new_phantom(GpuDevice::tesla_c1060(), clock.clone());
+    (rt, clock)
+}
+
+/// Connect to an rCUDA daemon over real TCP (see
+/// [`rcuda_server::RcudaDaemon`]).
+pub fn connect_tcp<A: std::net::ToSocketAddrs>(addr: A) -> CudaResult<RemoteRuntime<TcpTransport>> {
+    let transport = TcpTransport::connect(addr).map_err(|_| CudaError::Unknown)?;
+    Ok(RemoteRuntime::new(transport, wall_clock()))
+}
+
+/// A complete in-process remote session over a simulated network: client
+/// runtime on one end, a served GPU context on the other, one shared
+/// virtual clock.
+pub struct SimSession {
+    /// The client-side runtime (use it like any [`rcuda_api::CudaRuntime`]).
+    pub runtime: RemoteRuntime<SimTransport>,
+    /// The session's virtual clock — `clock.now()` after a run is the
+    /// simulated execution time.
+    pub clock: Arc<VirtualClock>,
+    server: Option<JoinHandle<std::io::Result<SessionReport>>>,
+}
+
+impl SimSession {
+    /// Join the server side and return its session report.
+    pub fn finish(mut self) -> SessionReport {
+        // Make sure the server saw a Quit or a hangup: dropping the runtime
+        // closes the client endpoint.
+        let server = self.server.take().expect("finish called once");
+        drop(self.runtime);
+        server
+            .join()
+            .expect("server thread panicked")
+            .expect("server io error")
+    }
+}
+
+/// Stand up a simulated remote-GPU session over `net`.
+///
+/// With `phantom = true` the server context skips data storage and kernel
+/// execution (paper-scale problems at negligible host cost — timing is
+/// unaffected); with `phantom = false` everything executes functionally and
+/// remote results are bit-identical to local ones.
+pub fn simulated_session(net: NetworkId, phantom: bool) -> SimSession {
+    simulated_session_with(Arc::from(net.model()), phantom)
+}
+
+/// [`simulated_session`] over an arbitrary network model — e.g. a
+/// [`rcuda_netsim::TopologyNetwork`] binding two specific cluster hosts, or
+/// a custom what-if interconnect.
+pub fn simulated_session_with(
+    model: Arc<dyn rcuda_netsim::NetworkModel>,
+    phantom: bool,
+) -> SimSession {
+    let clock = virtual_clock();
+    let shared: SharedClock = clock.clone();
+    let (client_side, server_side) = sim_pair(model, shared.clone());
+    let device = if phantom {
+        GpuDevice::tesla_c1060()
+    } else {
+        GpuDevice::tesla_c1060_functional()
+    };
+    let config = ServerConfig {
+        preinitialize_context: true,
+        phantom_memory: phantom,
+    };
+    let server_clock = shared.clone();
+    let server = std::thread::Builder::new()
+        .name("rcuda-sim-server".into())
+        .spawn(move || serve_connection(server_side, &device, server_clock, &config))
+        .expect("spawn sim server");
+    SimSession {
+        runtime: RemoteRuntime::new(client_side, shared),
+        clock,
+        server: Some(server),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuda_api::CudaRuntime;
+    use rcuda_core::Clock as _;
+    use rcuda_gpu::module::build_module;
+
+    #[test]
+    fn simulated_session_round_trip() {
+        let mut sess = simulated_session(NetworkId::Ib40G, false);
+        sess.runtime
+            .initialize(&build_module(&["fill"], 0))
+            .unwrap();
+        let p = sess.runtime.malloc(64).unwrap();
+        sess.runtime.memcpy_h2d(p, &[7u8; 64]).unwrap();
+        assert_eq!(sess.runtime.memcpy_d2h(p, 64).unwrap(), vec![7u8; 64]);
+        sess.runtime.free(p).unwrap();
+        sess.runtime.finalize().unwrap();
+        assert!(sess.clock.now().as_micros_f64() > 0.0, "time passed");
+        let report = sess.finish();
+        assert!(report.orderly_shutdown);
+        assert_eq!(report.leaked_allocations, 0);
+    }
+
+    #[test]
+    fn local_helpers_construct() {
+        let _ = local_functional();
+        let (_, clock) = local_simulated();
+        assert_eq!(clock.now().as_nanos(), 0);
+    }
+}

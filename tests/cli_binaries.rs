@@ -1,0 +1,61 @@
+//! The shipped `rcuda-run` binary, tested as a user would run it: spawn the
+//! actual executable against a live daemon and check its verified output.
+
+use rcuda::gpu::GpuDevice;
+use rcuda::server::RcudaDaemon;
+use std::process::Command;
+
+fn run_cli(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rcuda-run"))
+        .args(args)
+        .output()
+        .expect("spawn rcuda-run");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).to_string()
+            + &String::from_utf8_lossy(&out.stderr),
+    )
+}
+
+#[test]
+fn rcuda_run_mm_verifies_against_local_reference() {
+    let mut daemon =
+        RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let addr = daemon.local_addr().to_string();
+    let (ok, out) = run_cli(&["--connect", &addr, "mm", "48"]);
+    assert!(ok, "rcuda-run failed:\n{out}");
+    assert!(out.contains("remote result verified"), "{out}");
+    assert!(out.contains("wire trace"), "{out}");
+    // Table I byte counts visible in the live trace.
+    assert!(out.contains("21490"), "module upload bytes missing:\n{out}");
+    daemon.shutdown();
+}
+
+#[test]
+fn rcuda_run_fft_is_bit_identical() {
+    let mut daemon =
+        RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let addr = daemon.local_addr().to_string();
+    let (ok, out) = run_cli(&["--connect", &addr, "fft", "4"]);
+    assert!(ok, "rcuda-run failed:\n{out}");
+    assert!(out.contains("bit-identical"), "{out}");
+    daemon.shutdown();
+}
+
+#[test]
+fn rcuda_run_rejects_bad_usage() {
+    let (ok, out) = run_cli(&[]);
+    assert!(!ok, "missing args must fail");
+    assert!(out.contains("usage"), "{out}");
+    let (ok, out) = run_cli(&["--connect", "127.0.0.1:9", "--bogus"]);
+    assert!(!ok);
+    assert!(out.contains("unknown argument"), "{out}");
+}
+
+#[test]
+fn rcuda_run_reports_connection_failure() {
+    // A port nothing listens on: clean error, not a hang or panic.
+    let (ok, out) = run_cli(&["--connect", "127.0.0.1:1", "mm", "16"]);
+    assert!(!ok);
+    assert!(out.contains("cannot connect"), "{out}");
+}

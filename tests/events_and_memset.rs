@@ -1,0 +1,134 @@
+//! The extended API surface end to end: `cudaMemset`, device-to-device
+//! copies, and the event API, local and remote.
+
+use rcuda::api::CudaRuntime;
+use rcuda::core::{ArgPack, CudaError, Dim3};
+use rcuda::gpu::module::build_module;
+use rcuda::netsim::NetworkId;
+use rcuda::session;
+
+fn both_runtimes(test: impl Fn(&mut dyn CudaRuntime)) {
+    let mut local = session::local_functional();
+    test(&mut local);
+    let mut sess = session::simulated_session(NetworkId::Ib40G, false);
+    test(&mut sess.runtime);
+    sess.finish();
+}
+
+#[test]
+fn memset_fills_device_memory() {
+    both_runtimes(|rt| {
+        rt.initialize(&build_module(&[], 0)).unwrap();
+        let p = rt.malloc(64).unwrap();
+        rt.memset(p, 0xAB, 64).unwrap();
+        assert_eq!(rt.memcpy_d2h(p, 64).unwrap(), vec![0xAB; 64]);
+        // Partial fill at an offset.
+        rt.memset(p.offset(8), 0x00, 8).unwrap();
+        let data = rt.memcpy_d2h(p, 24).unwrap();
+        assert_eq!(&data[..8], &[0xAB; 8]);
+        assert_eq!(&data[8..16], &[0x00; 8]);
+        assert_eq!(&data[16..], &[0xAB; 8]);
+        // Out-of-bounds memset errors.
+        assert_eq!(
+            rt.memset(p, 0xFF, 1 << 20),
+            Err(CudaError::InvalidDevicePointer)
+        );
+        rt.free(p).unwrap();
+        rt.finalize().unwrap();
+    });
+}
+
+#[test]
+fn d2d_copy_moves_data_on_the_device() {
+    both_runtimes(|rt| {
+        rt.initialize(&build_module(&[], 0)).unwrap();
+        let a = rt.malloc(32).unwrap();
+        let b = rt.malloc(32).unwrap();
+        rt.memcpy_h2d(a, &(0u8..32).collect::<Vec<_>>()).unwrap();
+        rt.memcpy_d2d(b, a, 32).unwrap();
+        assert_eq!(rt.memcpy_d2h(b, 32).unwrap(), (0u8..32).collect::<Vec<_>>());
+        // Dangling source errors.
+        rt.free(a).unwrap();
+        assert_eq!(
+            rt.memcpy_d2d(b, a, 32),
+            Err(CudaError::InvalidDevicePointer)
+        );
+        rt.free(b).unwrap();
+        rt.finalize().unwrap();
+    });
+}
+
+#[test]
+fn event_lifecycle_over_the_wire() {
+    both_runtimes(|rt| {
+        rt.initialize(&build_module(&["fill"], 0)).unwrap();
+        let e1 = rt.event_create().unwrap();
+        let e2 = rt.event_create().unwrap();
+        assert_ne!(e1, e2);
+
+        rt.event_record(e1, 0).unwrap();
+        // Some work between the records.
+        let p = rt.malloc(256).unwrap();
+        let args = ArgPack::new()
+            .push_ptr(p)
+            .push_u32(64)
+            .push_f32(1.0)
+            .into_bytes();
+        rt.launch("fill", Dim3::x(1), Dim3::x(64), 0, 0, &args)
+            .unwrap();
+        rt.event_record(e2, 0).unwrap();
+        rt.event_synchronize(e2).unwrap();
+
+        let ms = rt.event_elapsed_ms(e1, e2).unwrap();
+        assert!(ms >= 0.0, "elapsed {ms}");
+        // Reversed order is InvalidValue (CUDA semantics) unless both
+        // stamps coincide exactly.
+        match rt.event_elapsed_ms(e2, e1) {
+            Ok(v) => assert_eq!(v, 0.0),
+            Err(e) => assert_eq!(e, CudaError::InvalidValue),
+        }
+
+        rt.event_destroy(e1).unwrap();
+        assert_eq!(rt.event_destroy(e1), Err(CudaError::InvalidResourceHandle));
+        // Unrecorded event: NotReady.
+        let e3 = rt.event_create().unwrap();
+        assert_eq!(rt.event_elapsed_ms(e3, e2), Err(CudaError::NotReady));
+        rt.free(p).unwrap();
+        rt.finalize().unwrap();
+    });
+}
+
+#[test]
+fn events_measure_simulated_kernel_time() {
+    // On a virtual clock, events measure the modeled device time between
+    // records — the CUDA idiom for timing kernels, working remotely.
+    let mut sess = session::simulated_session(NetworkId::Ib40G, true);
+    let rt = &mut sess.runtime;
+    rt.initialize(&rcuda::gpu::module::mm_module()).unwrap();
+    let m = 2048u32;
+    let bytes = m * m * 4;
+    let pa = rt.malloc(bytes).unwrap();
+    let pb = rt.malloc(bytes).unwrap();
+    let pc = rt.malloc(bytes).unwrap();
+
+    let e1 = rt.event_create().unwrap();
+    let e2 = rt.event_create().unwrap();
+    rt.event_record(e1, 0).unwrap();
+    let args = ArgPack::new()
+        .push_ptr(pa)
+        .push_ptr(pb)
+        .push_ptr(pc)
+        .push_u32(m)
+        .push_u32(m)
+        .push_u32(m)
+        .into_bytes();
+    rt.launch("sgemmNN", Dim3::xy(32, 128), Dim3::xy(16, 4), 0, 0, &args)
+        .unwrap();
+    rt.event_record(e2, 0).unwrap();
+    let ms = rt.event_elapsed_ms(e1, e2).unwrap();
+    // 2·2048³ / 375 GFLOP/s ≈ 45.8 ms of modeled kernel time, plus the
+    // simulated network time of the launch exchange (~0.06 ms on 40GI).
+    assert!((ms - 45.8).abs() < 2.0, "elapsed {ms} ms");
+    rt.finalize().unwrap();
+    sess.finish();
+}

@@ -1,0 +1,146 @@
+//! Failure injection: dead servers, vanished clients, resource exhaustion,
+//! and protocol misuse must surface as CUDA error codes or clean session
+//! ends — never hangs or crashes.
+
+use rcuda::api::CudaRuntime;
+use rcuda::client::RemoteRuntime;
+use rcuda::core::time::wall_clock;
+use rcuda::core::{CudaError, Dim3};
+use rcuda::gpu::module::build_module;
+use rcuda::gpu::GpuDevice;
+use rcuda::server::RcudaDaemon;
+use rcuda::session;
+use std::io::Write;
+use std::net::TcpStream;
+
+#[test]
+fn server_death_mid_session_surfaces_as_unknown() {
+    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut rt = session::connect_tcp(daemon.local_addr()).unwrap();
+    rt.initialize(&build_module(&[], 0)).unwrap();
+    let p = rt.malloc(64).unwrap();
+    // Kill the daemon (workers see their sockets close on shutdown only
+    // when the client leaves; so emulate a dead server by dropping the
+    // daemon *and* poking the worker with a bogus response path: instead,
+    // shut down the OS socket from our side and observe the error).
+    daemon.shutdown();
+    drop(daemon);
+    // The worker thread may outlive the daemon while our socket stays
+    // open. Continue using the session: if the worker died this errors
+    // with cudaErrorUnknown, if it survived it answers — both are
+    // acceptable, but the call must not hang. Free and quit:
+    match rt.free(p) {
+        Ok(()) => {
+            rt.finalize().ok();
+        }
+        Err(e) => assert_eq!(e, CudaError::Unknown),
+    }
+}
+
+#[test]
+fn oom_propagates_and_session_survives() {
+    let mut sess = session::simulated_session(rcuda::netsim::NetworkId::Ib40G, false);
+    sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+    // The device exposes slightly less than 4 GiB; ask for more in chunks
+    // until exhaustion.
+    let mut held = Vec::new();
+    let chunk = 1u32 << 30; // 1 GiB
+    let mut oom = false;
+    for _ in 0..8 {
+        match sess.runtime.malloc(chunk) {
+            Ok(p) => held.push(p),
+            Err(e) => {
+                assert_eq!(e, CudaError::MemoryAllocation);
+                oom = true;
+                break;
+            }
+        }
+    }
+    assert!(oom, "device memory must exhaust within 8 GiB of requests");
+    assert!(held.len() >= 3, "but at least 3 GiB must fit");
+    // The session is still healthy: free everything and keep working.
+    for p in held {
+        sess.runtime.free(p).unwrap();
+    }
+    let p = sess.runtime.malloc(chunk).unwrap();
+    sess.runtime.free(p).unwrap();
+    sess.runtime.finalize().unwrap();
+    let report = sess.finish();
+    assert!(report.orderly_shutdown);
+    assert_eq!(report.leaked_allocations, 0);
+}
+
+#[test]
+fn garbage_after_handshake_ends_session_not_daemon() {
+    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let addr = daemon.local_addr();
+    {
+        // Speak just enough protocol to get past the handshake, then spew
+        // garbage function ids.
+        let mut s = TcpStream::connect(addr).unwrap();
+        use std::io::Read;
+        let mut cc = [0u8; 8];
+        s.read_exact(&mut cc).unwrap();
+        // Valid empty-module init.
+        let module = build_module(&[], 0);
+        s.write_all(&(module.len() as u32).to_le_bytes()).unwrap();
+        s.write_all(&module).unwrap();
+        let mut ack = [0u8; 4];
+        s.read_exact(&mut ack).unwrap();
+        // Garbage request.
+        s.write_all(&[0xFF; 3]).unwrap(); // truncated id
+        drop(s);
+    }
+    // Daemon still serves real clients.
+    let mut rt = session::connect_tcp(addr).unwrap();
+    rt.initialize(&build_module(&[], 0)).unwrap();
+    assert!(rt.malloc(64).is_ok());
+    rt.finalize().unwrap();
+    daemon.shutdown();
+}
+
+#[test]
+fn launch_of_unknown_kernel_is_an_error_code_remotely() {
+    let mut sess = session::simulated_session(rcuda::netsim::NetworkId::GigaE, false);
+    sess.runtime
+        .initialize(&build_module(&["vec_add"], 0))
+        .unwrap();
+    let err = sess
+        .runtime
+        .launch("sgemmNN", Dim3::x(1), Dim3::x(1), 0, 0, &[])
+        .unwrap_err();
+    assert_eq!(err, CudaError::InvalidDeviceFunction);
+    // Session continues.
+    let p = sess.runtime.malloc(16).unwrap();
+    sess.runtime.free(p).unwrap();
+    sess.runtime.finalize().unwrap();
+    sess.finish();
+}
+
+#[test]
+fn dangling_pointer_operations_error_remotely() {
+    let mut sess = session::simulated_session(rcuda::netsim::NetworkId::Ib40G, false);
+    sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+    let p = sess.runtime.malloc(128).unwrap();
+    sess.runtime.free(p).unwrap();
+    assert_eq!(
+        sess.runtime.memcpy_h2d(p, &[1, 2, 3]),
+        Err(CudaError::InvalidDevicePointer)
+    );
+    assert_eq!(
+        sess.runtime.memcpy_d2h(p, 4),
+        Err(CudaError::InvalidDevicePointer)
+    );
+    assert_eq!(sess.runtime.free(p), Err(CudaError::InvalidDevicePointer));
+    sess.runtime.finalize().unwrap();
+    sess.finish();
+}
+
+#[test]
+fn client_without_initialize_cannot_reach_the_wire() {
+    let (a, _b) = rcuda::transport::channel_pair();
+    let mut rt = RemoteRuntime::new(a, wall_clock());
+    assert_eq!(rt.malloc(4), Err(CudaError::InitializationError));
+    assert_eq!(rt.thread_synchronize(), Err(CudaError::InitializationError));
+    assert_eq!(rt.finalize(), Ok(()), "finalize without init is a no-op");
+}

@@ -1,0 +1,83 @@
+//! Multi-GPU daemon: sessions are scheduled across a pool of devices
+//! (the paper's future-work GPU scheduling, implemented as `GpuPool`).
+
+use rcuda::api::{run_matmul_bytes, CudaRuntime};
+use rcuda::core::time::wall_clock;
+use rcuda::gpu::GpuDevice;
+use rcuda::kernels::workload::matrix_pair;
+use rcuda::server::{GpuPool, PoolPolicy, RcudaDaemon, ServerConfig};
+use rcuda::session;
+use std::sync::Arc;
+use std::thread;
+
+fn f32s(v: &[f32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+#[test]
+fn pooled_daemon_serves_concurrent_clients_correctly() {
+    let pool = Arc::new(GpuPool::uniform_c1060(3, PoolPolicy::LeastLoaded));
+    let mut daemon =
+        RcudaDaemon::bind_pool("127.0.0.1:0", Arc::clone(&pool), ServerConfig::default()).unwrap();
+    let addr = daemon.local_addr();
+
+    let handles: Vec<_> = (0..9u64)
+        .map(|seed| {
+            thread::spawn(move || {
+                let clock = wall_clock();
+                let m = 20u32;
+                let (a, b) = matrix_pair(m as usize, seed);
+                let mut rt = session::connect_tcp(addr).unwrap();
+                run_matmul_bytes(
+                    &mut rt,
+                    &*clock,
+                    m,
+                    &f32s(a.as_slice()),
+                    &f32s(b.as_slice()),
+                )
+                .unwrap()
+                .output
+            })
+        })
+        .collect();
+    let outputs: Vec<Vec<u8>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Every client got the right answer, regardless of which device served
+    // it.
+    let clock = wall_clock();
+    for (seed, out) in outputs.iter().enumerate() {
+        let (a, b) = matrix_pair(20, seed as u64);
+        let mut local = session::local_functional();
+        let expect = run_matmul_bytes(
+            &mut local,
+            &*clock,
+            20,
+            &f32s(a.as_slice()),
+            &f32s(b.as_slice()),
+        )
+        .unwrap()
+        .output;
+        assert_eq!(out, &expect, "client {seed}");
+    }
+
+    assert!(daemon.wait_for_sessions(9, std::time::Duration::from_secs(5)));
+    daemon.shutdown();
+    assert_eq!(daemon.sessions_served(), 9);
+    // Sessions ended, pool fully released.
+    assert_eq!(pool.loads(), vec![0, 0, 0]);
+}
+
+#[test]
+fn single_device_daemon_is_a_pool_of_one() {
+    // The classic constructor still works and routes through the pool.
+    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut rt = session::connect_tcp(daemon.local_addr()).unwrap();
+    rt.initialize(&rcuda::gpu::module::build_module(&[], 0))
+        .unwrap();
+    let p = rt.malloc(64).unwrap();
+    rt.free(p).unwrap();
+    rt.finalize().unwrap();
+    assert!(daemon.wait_for_sessions(1, std::time::Duration::from_secs(5)));
+    daemon.shutdown();
+    assert_eq!(daemon.sessions_served(), 1);
+}

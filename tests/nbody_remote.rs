@@ -1,0 +1,76 @@
+//! The N-body extension workload through the full middleware: remote
+//! results identical to local, and the compute/transfer ratio story
+//! (O(n²) flops on O(n) bytes makes it the most remoting-friendly of the
+//! three workload families).
+
+use rcuda::api::run_nbody_bytes;
+use rcuda::core::time::wall_clock;
+use rcuda::core::Clock as _;
+use rcuda::kernels::nbody::{nbody_accelerations, nbody_input};
+use rcuda::netsim::NetworkId;
+use rcuda::session;
+
+fn f32s(v: &[f32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+#[test]
+fn nbody_remote_equals_local_reference() {
+    let n = 48u32;
+    let bodies = nbody_input(n as usize, 17);
+    let clock = wall_clock();
+
+    let mut expect = vec![0.0f32; 3 * n as usize];
+    nbody_accelerations(&bodies, &mut expect, 0.02);
+
+    for net in [NetworkId::GigaE, NetworkId::Ib40G] {
+        let mut sess = session::simulated_session(net, false);
+        let report = run_nbody_bytes(&mut sess.runtime, &*clock, n, &f32s(&bodies), 0.02).unwrap();
+        assert_eq!(report.output, f32s(&expect), "{net}");
+        let r = sess.finish();
+        assert!(r.orderly_shutdown);
+        assert_eq!(r.leaked_allocations, 0);
+    }
+}
+
+#[test]
+fn nbody_is_the_most_network_insensitive_workload() {
+    // Simulated at scale: an n-body step moves 28·n bytes but computes
+    // 20·n² flops, so GigaE vs A-HT should differ far less for N-body than
+    // for MM at comparable kernel times.
+    let run = |net: NetworkId| -> f64 {
+        let n = 65_536u32;
+        let bytes = vec![0u8; (16 * n) as usize];
+        let mut sess = session::simulated_session(net, true);
+        let clock = sess.clock.clone();
+        run_nbody_bytes(&mut sess.runtime, &*clock, n, &bytes, 0.01).unwrap();
+        let t = sess.clock.now().as_secs_f64();
+        sess.finish();
+        t
+    };
+    let gigae = run(NetworkId::GigaE);
+    let aht = run(NetworkId::AsicHt);
+    let nbody_ratio = gigae / aht;
+    assert!(
+        nbody_ratio < 1.3,
+        "n-body should barely notice the network: ratio {nbody_ratio}"
+    );
+
+    // MM with a similar kernel time (~0.23 s → m ≈ 3500) is far more
+    // sensitive on GigaE.
+    let run_mm = |net: NetworkId| -> f64 {
+        let m = 3584u32;
+        let bytes = vec![0u8; (m * m * 4) as usize];
+        let mut sess = session::simulated_session(net, true);
+        let clock = sess.clock.clone();
+        rcuda::api::run_matmul_bytes(&mut sess.runtime, &*clock, m, &bytes, &bytes).unwrap();
+        let t = sess.clock.now().as_secs_f64();
+        sess.finish();
+        t
+    };
+    let mm_ratio = run_mm(NetworkId::GigaE) / run_mm(NetworkId::AsicHt);
+    assert!(
+        mm_ratio > nbody_ratio * 1.5,
+        "MM ({mm_ratio}) must be more network-sensitive than n-body ({nbody_ratio})"
+    );
+}

@@ -1,0 +1,97 @@
+//! Validation of the async-overlap model against the live middleware:
+//! chunk-streamed `cudaMemcpyAsync` over a simulated link must approach
+//! `max(network, PCIe)` while the synchronous path pays `network + PCIe` —
+//! the relationship `rcuda::model::overlap` assumes analytically.
+
+use rcuda::api::CudaRuntime;
+use rcuda::core::{Clock as _, SimTime};
+use rcuda::gpu::module::build_module;
+use rcuda::netsim::NetworkId;
+use rcuda::session;
+
+const TOTAL: u32 = 256 << 20;
+const CHUNKS: u32 = 32;
+
+/// Stream `TOTAL` bytes H2D in `CHUNKS` chunks, sync or async.
+fn transfer_time(net: NetworkId, use_async: bool) -> SimTime {
+    let chunk = TOTAL / CHUNKS;
+    let mut sess = session::simulated_session(net, true);
+    sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+    let p = sess.runtime.malloc(TOTAL).unwrap();
+    let stream = if use_async {
+        sess.runtime.stream_create().unwrap()
+    } else {
+        0
+    };
+    let start = sess.clock.now();
+    let buf = vec![0u8; chunk as usize];
+    for i in 0..CHUNKS {
+        if use_async {
+            sess.runtime
+                .memcpy_h2d_async(p.offset(i * chunk), &buf, stream)
+                .unwrap();
+        } else {
+            sess.runtime.memcpy_h2d(p.offset(i * chunk), &buf).unwrap();
+        }
+    }
+    if use_async {
+        sess.runtime.stream_synchronize(stream).unwrap();
+    }
+    let t = sess.clock.now() - start;
+    sess.runtime.finalize().unwrap();
+    sess.finish();
+    t
+}
+
+#[test]
+fn async_streaming_hides_the_smaller_leg() {
+    // A-HT: network 2884 MiB/s, PCIe 5743 MiB/s — the PCIe leg is the
+    // smaller one and should hide almost entirely.
+    let sync = transfer_time(NetworkId::AsicHt, false).as_secs_f64();
+    let asynct = transfer_time(NetworkId::AsicHt, true).as_secs_f64();
+    let mib = (TOTAL >> 20) as f64;
+    let net = mib / 2884.0;
+    let pcie = mib / 5743.0;
+
+    // Synchronous pays both legs per chunk (plus control chatter).
+    assert!(
+        (sync - (net + pcie)).abs() / (net + pcie) < 0.05,
+        "sync {sync} vs net+pcie {}",
+        net + pcie
+    );
+    // Async approaches the bottleneck leg plus one chunk of fill.
+    let bound = net + pcie / CHUNKS as f64;
+    assert!(
+        (asynct - bound).abs() / bound < 0.06,
+        "async {asynct} vs bound {bound}"
+    );
+    assert!(asynct < sync, "overlap must help");
+}
+
+#[test]
+fn slow_networks_gain_little_from_overlap() {
+    // GigaE: the network leg is 50× the PCIe leg; hiding PCIe is noise.
+    let sync = transfer_time(NetworkId::GigaE, false).as_secs_f64();
+    let asynct = transfer_time(NetworkId::GigaE, true).as_secs_f64();
+    assert!(asynct <= sync);
+    let gain = (sync - asynct) / sync;
+    assert!(gain < 0.05, "GigaE overlap gain should be marginal: {gain}");
+}
+
+#[test]
+fn overlap_gain_matches_the_analytic_model_shape() {
+    // The middleware's measured gain fraction per network must order the
+    // same way as the analytic overlap benefit: faster networks gain more.
+    let gain = |net: NetworkId| -> f64 {
+        let sync = transfer_time(net, false).as_secs_f64();
+        let asynct = transfer_time(net, true).as_secs_f64();
+        (sync - asynct) / sync
+    };
+    let slow = gain(NetworkId::Myri10G);
+    let mid = gain(NetworkId::FpgaHt);
+    let fast = gain(NetworkId::AsicHt);
+    assert!(
+        slow < mid && mid < fast,
+        "gain must grow with bandwidth: {slow} {mid} {fast}"
+    );
+}

@@ -1,0 +1,170 @@
+//! Property: the remote runtime is observationally equivalent to the local
+//! one. For arbitrary (valid and invalid) operation sequences, every call
+//! returns the same result — values *and* error codes — whether the GPU is
+//! local or behind the simulated network. This is the middleware's
+//! transparency promise (§III) as an executable property.
+
+use proptest::prelude::*;
+use rcuda::api::CudaRuntime;
+use rcuda::core::{ArgPack, CudaError, DevicePtr, Dim3};
+use rcuda::gpu::module::build_module;
+use rcuda::netsim::NetworkId;
+use rcuda::session;
+
+/// An abstract operation over a small pool of buffer slots.
+#[derive(Debug, Clone)]
+enum Op {
+    Malloc {
+        slot: usize,
+        size: u32,
+    },
+    Free {
+        slot: usize,
+    },
+    Write {
+        slot: usize,
+        offset: u32,
+        data: Vec<u8>,
+    },
+    Read {
+        slot: usize,
+        offset: u32,
+        len: u32,
+    },
+    Fill {
+        slot: usize,
+        count: u32,
+        value: f32,
+    },
+    VecAdd {
+        a: usize,
+        b: usize,
+        c: usize,
+        n: u32,
+    },
+    Memset {
+        slot: usize,
+        value: u8,
+        size: u32,
+    },
+    CopyD2D {
+        dst: usize,
+        src: usize,
+        size: u32,
+    },
+}
+
+const SLOTS: usize = 4;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..SLOTS, 4u32..4096).prop_map(|(slot, size)| Op::Malloc { slot, size }),
+        (0..SLOTS).prop_map(|slot| Op::Free { slot }),
+        (
+            0..SLOTS,
+            0u32..64,
+            proptest::collection::vec(any::<u8>(), 1..128)
+        )
+            .prop_map(|(slot, offset, data)| Op::Write { slot, offset, data }),
+        (0..SLOTS, 0u32..64, 1u32..128).prop_map(|(slot, offset, len)| Op::Read {
+            slot,
+            offset,
+            len
+        }),
+        (0..SLOTS, 1u32..64, any::<f32>()).prop_map(|(slot, count, value)| Op::Fill {
+            slot,
+            count,
+            value
+        }),
+        (0..SLOTS, 0..SLOTS, 0..SLOTS, 1u32..32).prop_map(|(a, b, c, n)| Op::VecAdd { a, b, c, n }),
+        (0..SLOTS, any::<u8>(), 1u32..256).prop_map(|(slot, value, size)| Op::Memset {
+            slot,
+            value,
+            size
+        }),
+        (0..SLOTS, 0..SLOTS, 1u32..256).prop_map(|(dst, src, size)| Op::CopyD2D { dst, src, size }),
+    ]
+}
+
+/// Everything observable about one operation's outcome.
+#[derive(Debug, Clone, PartialEq)]
+enum Outcome {
+    Ptr(Result<bool, CudaError>), // bool: non-null
+    Unit(Result<(), CudaError>),
+    Bytes(Result<Vec<u8>, CudaError>),
+}
+
+fn run_ops(rt: &mut dyn CudaRuntime, ops: &[Op]) -> Vec<Outcome> {
+    rt.initialize(&build_module(&["fill", "vec_add"], 0))
+        .unwrap();
+    let mut slots: [DevicePtr; SLOTS] = [DevicePtr::NULL; SLOTS];
+    let mut outcomes = Vec::with_capacity(ops.len());
+    for op in ops {
+        let outcome = match op {
+            Op::Malloc { slot, size } => {
+                let r = rt.malloc(*size);
+                if let Ok(p) = r {
+                    slots[*slot] = p;
+                }
+                Outcome::Ptr(r.map(|p| !p.is_null()))
+            }
+            Op::Free { slot } => {
+                let r = rt.free(slots[*slot]);
+                if r.is_ok() {
+                    slots[*slot] = DevicePtr::NULL;
+                }
+                Outcome::Unit(r)
+            }
+            Op::Write { slot, offset, data } => {
+                Outcome::Unit(rt.memcpy_h2d(slots[*slot].offset(*offset), data))
+            }
+            Op::Read { slot, offset, len } => {
+                Outcome::Bytes(rt.memcpy_d2h(slots[*slot].offset(*offset), *len))
+            }
+            Op::Fill { slot, count, value } => {
+                let args = ArgPack::new()
+                    .push_ptr(slots[*slot])
+                    .push_u32(*count)
+                    .push_f32(*value)
+                    .into_bytes();
+                Outcome::Unit(rt.launch("fill", Dim3::x(1), Dim3::x(64), 0, 0, &args))
+            }
+            Op::VecAdd { a, b, c, n } => {
+                let args = ArgPack::new()
+                    .push_ptr(slots[*a])
+                    .push_ptr(slots[*b])
+                    .push_ptr(slots[*c])
+                    .push_u32(*n)
+                    .into_bytes();
+                Outcome::Unit(rt.launch("vec_add", Dim3::x(1), Dim3::x(64), 0, 0, &args))
+            }
+            Op::Memset { slot, value, size } => {
+                Outcome::Unit(rt.memset(slots[*slot], *value, *size))
+            }
+            Op::CopyD2D { dst, src, size } => {
+                Outcome::Unit(rt.memcpy_d2d(slots[*dst], slots[*src], *size))
+            }
+        };
+        outcomes.push(outcome);
+    }
+    rt.finalize().unwrap();
+    outcomes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn remote_is_observationally_equivalent_to_local(
+        ops in proptest::collection::vec(arb_op(), 1..24)
+    ) {
+        let mut local = session::local_functional();
+        let local_outcomes = run_ops(&mut local, &ops);
+
+        let mut sess = session::simulated_session(NetworkId::Ib40G, false);
+        let remote_outcomes = run_ops(&mut sess.runtime, &ops);
+        sess.finish();
+
+        prop_assert_eq!(local_outcomes, remote_outcomes);
+    }
+}

@@ -1,0 +1,69 @@
+//! Topology-aware placement: running the middleware between two specific
+//! hosts of a modeled cluster (the paper's future-work "network topologies"
+//! axis). Cross-rack placement must cost measurably more than same-rack
+//! placement in control-message-heavy workloads, and essentially the same
+//! for bulk-dominated ones.
+
+use rcuda::api::CudaRuntime;
+use rcuda::core::Clock as _;
+use rcuda::gpu::module::build_module;
+use rcuda::netsim::{NetworkId, Topology, TopologyNetwork};
+use rcuda::session;
+use std::sync::Arc;
+
+/// Simulated time for a chatty session (many small calls) between two
+/// hosts of the topology.
+fn chatty_session_time(topo: &Topology, a: usize, b: usize) -> f64 {
+    let net = Arc::new(TopologyNetwork::between(topo, a, b, NetworkId::Ib40G));
+    let mut sess = session::simulated_session_with(net, true);
+    sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+    // 50 malloc/free pairs: 200 small messages.
+    for _ in 0..50 {
+        let p = sess.runtime.malloc(256).unwrap();
+        sess.runtime.free(p).unwrap();
+    }
+    sess.runtime.finalize().unwrap();
+    let t = sess.clock.now().as_micros_f64();
+    sess.finish();
+    t
+}
+
+#[test]
+fn cross_rack_placement_costs_more_per_call() {
+    // Two racks, 5 µs edge links, 20 µs core links.
+    let (topo, racks) = Topology::two_level(2, 2, 5.0, 20.0);
+    let same_rack = chatty_session_time(&topo, racks[0][0], racks[0][1]);
+    let cross_rack = chatty_session_time(&topo, racks[0][0], racks[1][0]);
+    // Same-rack route: 2×5 = 10 µs; cross-rack: 5+20+20+5 = 50 µs. The
+    // session exchanges ~202 messages, so the delta is ~202 × 40 µs.
+    let delta = cross_rack - same_rack;
+    let expect = 202.0 * 40.0;
+    assert!(
+        (delta - expect).abs() / expect < 0.05,
+        "delta {delta} µs vs expected {expect} µs"
+    );
+}
+
+#[test]
+fn bulk_workloads_barely_notice_the_rack_boundary() {
+    let (topo, racks) = Topology::two_level(2, 2, 5.0, 20.0);
+    let run = |a: usize, b: usize| -> f64 {
+        let net = Arc::new(TopologyNetwork::between(&topo, a, b, NetworkId::Ib40G));
+        let mut sess = session::simulated_session_with(net, true);
+        sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+        let p = sess.runtime.malloc(64 << 20).unwrap();
+        sess.runtime.memcpy_h2d(p, &vec![0u8; 64 << 20]).unwrap();
+        sess.runtime.free(p).unwrap();
+        sess.runtime.finalize().unwrap();
+        let t = sess.clock.now().as_secs_f64();
+        sess.finish();
+        t
+    };
+    let same = run(racks[0][0], racks[0][1]);
+    let cross = run(racks[0][0], racks[1][0]);
+    assert!(cross > same, "switching latency is not free");
+    assert!(
+        (cross - same) / same < 0.01,
+        "a 64 MiB copy must dwarf per-hop latency: {same} vs {cross}"
+    );
+}
