@@ -17,4 +17,4 @@ pub mod runtime;
 
 pub use exec::{run_fft_bytes, run_matmul_bytes, run_nbody_bytes, ExecReport};
 pub use local::LocalRuntime;
-pub use runtime::CudaRuntime;
+pub use runtime::{CudaRuntime, CudaRuntimeAsyncExt};

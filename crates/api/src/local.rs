@@ -9,7 +9,7 @@ use rcuda_core::{CudaError, CudaResult, DeviceProperties, DevicePtr, Dim3, Share
 use rcuda_gpu::{GpuContext, GpuDevice};
 use std::sync::Arc;
 
-use crate::runtime::CudaRuntime;
+use crate::runtime::{CudaRuntime, CudaRuntimeAsyncExt};
 
 /// A runtime bound to a local (simulated) GPU.
 pub struct LocalRuntime {
@@ -90,26 +90,6 @@ impl CudaRuntime for LocalRuntime {
         self.ctx()?.memset(dst, value, size)
     }
 
-    fn event_create(&mut self) -> CudaResult<u32> {
-        self.ctx()?.event_create()
-    }
-
-    fn event_record(&mut self, event: u32, stream: u32) -> CudaResult<()> {
-        self.ctx()?.event_record(event, stream)
-    }
-
-    fn event_synchronize(&mut self, event: u32) -> CudaResult<()> {
-        self.ctx()?.event_synchronize(event)
-    }
-
-    fn event_elapsed_ms(&mut self, start: u32, end: u32) -> CudaResult<f32> {
-        self.ctx()?.event_elapsed_ms(start, end)
-    }
-
-    fn event_destroy(&mut self, event: u32) -> CudaResult<()> {
-        self.ctx()?.event_destroy(event)
-    }
-
     fn launch(
         &mut self,
         kernel: &str,
@@ -126,6 +106,13 @@ impl CudaRuntime for LocalRuntime {
         self.ctx()?.synchronize()
     }
 
+    fn finalize(&mut self) -> CudaResult<()> {
+        self.ctx = None;
+        Ok(())
+    }
+}
+
+impl CudaRuntimeAsyncExt for LocalRuntime {
     fn stream_create(&mut self) -> CudaResult<u32> {
         self.ctx()?.stream_create()
     }
@@ -146,9 +133,24 @@ impl CudaRuntime for LocalRuntime {
         self.ctx()?.memcpy_d2h_async(src, size, stream)
     }
 
-    fn finalize(&mut self) -> CudaResult<()> {
-        self.ctx = None;
-        Ok(())
+    fn event_create(&mut self) -> CudaResult<u32> {
+        self.ctx()?.event_create()
+    }
+
+    fn event_record(&mut self, event: u32, stream: u32) -> CudaResult<()> {
+        self.ctx()?.event_record(event, stream)
+    }
+
+    fn event_synchronize(&mut self, event: u32) -> CudaResult<()> {
+        self.ctx()?.event_synchronize(event)
+    }
+
+    fn event_elapsed_ms(&mut self, start: u32, end: u32) -> CudaResult<f32> {
+        self.ctx()?.event_elapsed_ms(start, end)
+    }
+
+    fn event_destroy(&mut self, event: u32) -> CudaResult<()> {
+        self.ctx()?.event_destroy(event)
     }
 }
 

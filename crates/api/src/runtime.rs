@@ -1,9 +1,16 @@
 //! The [`CudaRuntime`] trait: the API surface the paper remotes.
+//!
+//! The surface is split in two. [`CudaRuntime`] is the paper-faithful
+//! synchronous API — the operations of Table I plus the small synchronous
+//! extensions (`memset`, device-to-device copies, device queries) — which is
+//! everything the case studies and the estimation model need.
+//! [`CudaRuntimeAsyncExt`] layers the stream/event/async-memcpy extension on
+//! top (the paper's declared future work); code that only drives the
+//! synchronous surface never sees it.
 
 use rcuda_core::{CudaResult, DeviceProperties, DevicePtr, Dim3};
 
-/// The CUDA Runtime API subset used by the paper's case studies, plus the
-/// stream/async extension (the paper's declared future work).
+/// The CUDA Runtime API subset used by the paper's case studies.
 ///
 /// Methods map 1:1 onto the operations of Table I:
 ///
@@ -57,40 +64,50 @@ pub trait CudaRuntime {
     /// `cudaThreadSynchronize`.
     fn thread_synchronize(&mut self) -> CudaResult<()>;
 
-    /// `cudaStreamCreate` (extension).
+    /// Finalization stage: release the session's resources.
+    fn finalize(&mut self) -> CudaResult<()>;
+}
+
+/// The stream/event/async-memcpy extension — the paper's declared future
+/// work ("providing the application with the whole CUDA Runtime API,
+/// including ... asynchronous functions", §VII).
+///
+/// Split from [`CudaRuntime`] so the paper-faithful synchronous surface
+/// stands alone: the seven-phase executors, the estimation model and the
+/// batching pipeline only require the base trait, while overlap studies
+/// opt into this one.
+pub trait CudaRuntimeAsyncExt: CudaRuntime {
+    /// `cudaStreamCreate`.
     fn stream_create(&mut self) -> CudaResult<u32>;
 
-    /// `cudaStreamSynchronize` (extension).
+    /// `cudaStreamSynchronize`.
     fn stream_synchronize(&mut self, stream: u32) -> CudaResult<()>;
 
-    /// `cudaStreamDestroy` (extension).
+    /// `cudaStreamDestroy`.
     fn stream_destroy(&mut self, stream: u32) -> CudaResult<()>;
 
-    /// Asynchronous `cudaMemcpy` host → device on a stream (extension).
+    /// Asynchronous `cudaMemcpy` host → device on a stream.
     fn memcpy_h2d_async(&mut self, dst: DevicePtr, data: &[u8], stream: u32) -> CudaResult<()>;
 
-    /// Asynchronous `cudaMemcpy` device → host on a stream (extension).
+    /// Asynchronous `cudaMemcpy` device → host on a stream.
     ///
     /// Functional simplification: the bytes are returned immediately but are
     /// only guaranteed meaningful after the stream synchronizes (matching
     /// CUDA's contract that the host buffer is undefined until then).
     fn memcpy_d2h_async(&mut self, src: DevicePtr, size: u32, stream: u32) -> CudaResult<Vec<u8>>;
 
-    /// `cudaEventCreate` (extension).
+    /// `cudaEventCreate`.
     fn event_create(&mut self) -> CudaResult<u32>;
 
-    /// `cudaEventRecord(event, stream)` (extension).
+    /// `cudaEventRecord(event, stream)`.
     fn event_record(&mut self, event: u32, stream: u32) -> CudaResult<()>;
 
-    /// `cudaEventSynchronize(event)` (extension).
+    /// `cudaEventSynchronize(event)`.
     fn event_synchronize(&mut self, event: u32) -> CudaResult<()>;
 
-    /// `cudaEventElapsedTime(start, end)` in milliseconds (extension).
+    /// `cudaEventElapsedTime(start, end)` in milliseconds.
     fn event_elapsed_ms(&mut self, start: u32, end: u32) -> CudaResult<f32>;
 
-    /// `cudaEventDestroy(event)` (extension).
+    /// `cudaEventDestroy(event)`.
     fn event_destroy(&mut self, event: u32) -> CudaResult<()>;
-
-    /// Finalization stage: release the session's resources.
-    fn finalize(&mut self) -> CudaResult<()>;
 }

@@ -1,0 +1,131 @@
+//! Batched vs. per-call submission — the small-message coalescing ablation
+//! DESIGN.md §5 calls for, over both substrates:
+//!
+//! * **SimTransport** (virtual clock): flush counts and simulated execution
+//!   time of the FFT case study at paper scale;
+//! * **loopback TCP** (wall clock, criterion-timed): a functional FFT
+//!   session against a live daemon, per-call vs. pipelined.
+//!
+//! The flush-count evidence is asserted, not just printed: at window depth
+//! ≥ 4 the pipelined FFT run crosses the network in at most half the
+//! flushes of the synchronous per-call protocol, with bit-identical output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcuda_api::run_fft_bytes;
+use rcuda_client::RemoteRuntime;
+use rcuda_core::time::{virtual_clock, wall_clock};
+use rcuda_core::{Clock as _, SimTime};
+use rcuda_gpu::GpuDevice;
+use rcuda_kernels::complex::complex_to_bytes;
+use rcuda_kernels::workload::fft_input;
+use rcuda_netsim::NetworkId;
+use rcuda_server::{serve_connection, RcudaDaemon, ServerConfig};
+use rcuda_transport::sim_pair;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Simulated FFT execution over `net` at the given pipeline depth; returns
+/// (simulated time, client flush count).
+fn simulated_fft(batch: u32, net: NetworkId, depth: usize) -> (SimTime, u64) {
+    let clock = virtual_clock();
+    let shared: rcuda_core::SharedClock = clock.clone();
+    let (client_side, server_side) = sim_pair(Arc::from(net.model()), shared.clone());
+    let device = GpuDevice::tesla_c1060();
+    let config = ServerConfig {
+        preinitialize_context: true,
+        phantom_memory: true,
+    };
+    let server_clock = shared.clone();
+    let server = std::thread::spawn(move || {
+        let _ = serve_connection(server_side, &device, server_clock, &config);
+    });
+    let mut rt = RemoteRuntime::new(client_side, shared);
+    rt.set_pipeline_depth(depth).unwrap();
+    let input = vec![0u8; (batch * 512 * 8) as usize];
+    run_fft_bytes(&mut rt, &*clock, batch, &input).unwrap();
+    let flushes = rt.transport_stats().messages_sent;
+    let t = clock.now();
+    drop(rt);
+    let _ = server.join();
+    (t, flushes)
+}
+
+/// Functional FFT over loopback TCP; returns (output bytes, flush count).
+fn tcp_fft(addr: std::net::SocketAddr, batch: u32, input: &[u8], depth: usize) -> (Vec<u8>, u64) {
+    let transport = rcuda_transport::TcpTransport::connect(addr).unwrap();
+    let mut rt = RemoteRuntime::new(transport, wall_clock());
+    rt.set_pipeline_depth(depth).unwrap();
+    let clock = wall_clock();
+    let report = run_fft_bytes(&mut rt, &*clock, batch, input).unwrap();
+    (report.output, rt.transport_stats().messages_sent)
+}
+
+fn flush_count_evidence() {
+    println!("== Ablation 5: batched vs. per-call submission (FFT case study) ==");
+    for depth in [2usize, 4, 8] {
+        let (t_pipe, f_pipe) = simulated_fft(2048, NetworkId::GigaE, depth);
+        let (t_sync, f_sync) = simulated_fft(2048, NetworkId::GigaE, 0);
+        println!(
+            "  FFT batch=2048 over GigaE, depth {depth}: {f_pipe} flushes \
+             ({f_sync} per-call), {:.2} ms vs {:.2} ms",
+            t_pipe.as_millis_f64(),
+            t_sync.as_millis_f64(),
+        );
+        assert!(
+            f_pipe < f_sync,
+            "pipelining must issue strictly fewer flushes"
+        );
+        if depth >= 4 {
+            assert!(
+                f_sync >= 2 * f_pipe,
+                "depth {depth}: expected ≥2× fewer flushes, got {f_pipe} vs {f_sync}"
+            );
+            assert!(t_pipe < t_sync, "fewer round trips must cost less time");
+        }
+    }
+    println!();
+}
+
+fn bench_batching(c: &mut Criterion) {
+    flush_count_evidence();
+
+    let mut g = c.benchmark_group("batching");
+
+    // Simulated substrate: paper-scale FFT on GigaE.
+    g.bench_function("sim/per-call", |b| {
+        b.iter(|| black_box(simulated_fft(2048, NetworkId::GigaE, 0)))
+    });
+    g.bench_function("sim/depth-4", |b| {
+        b.iter(|| black_box(simulated_fft(2048, NetworkId::GigaE, 4)))
+    });
+
+    // Loopback TCP substrate: small functional batch against a live daemon.
+    let daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let addr = daemon.local_addr();
+    let batch = 16u32;
+    let input = complex_to_bytes(&fft_input(batch as usize, 7));
+
+    // Bit-identical evidence across modes before timing anything.
+    let (sync_out, sync_flushes) = tcp_fft(addr, batch, &input, 0);
+    let (pipe_out, pipe_flushes) = tcp_fft(addr, batch, &input, 4);
+    assert_eq!(pipe_out, sync_out, "batched output must be bit-identical");
+    assert!(
+        sync_flushes >= 2 * pipe_flushes,
+        "TCP: expected ≥2× fewer flushes, got {pipe_flushes} vs {sync_flushes}"
+    );
+    println!(
+        "  FFT batch={batch} over loopback TCP: {pipe_flushes} flushes \
+         (depth 4) vs {sync_flushes} (per-call), outputs identical\n"
+    );
+
+    g.bench_function("tcp/per-call", |b| {
+        b.iter(|| black_box(tcp_fft(addr, batch, &input, 0)))
+    });
+    g.bench_function("tcp/depth-4", |b| {
+        b.iter(|| black_box(tcp_fft(addr, batch, &input, 4)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_batching);
+criterion_main!(benches);

@@ -98,7 +98,7 @@ fn bench_allocator(c: &mut Criterion) {
         rcuda_gpu::alloc::AllocPolicy::FirstFit,
         rcuda_gpu::alloc::AllocPolicy::BestFit,
     ] {
-        c.bench_function(&format!("allocator_churn_256_{policy:?}"), |b| {
+        c.bench_function(format!("allocator_churn_256_{policy:?}"), |b| {
             b.iter(|| {
                 let mut a = DeviceAllocator::with_policy(64 << 20, policy);
                 let mut live: Vec<DevicePtr> = Vec::with_capacity(256);

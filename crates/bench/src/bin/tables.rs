@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Artifacts: `table1 table2 table3 table4 table5 table6 fig3 fig4 fig5
-//! fig6 compare`. Pass `--json` for machine-readable output.
+//! fig6 pipeline compare`. Pass `--json` for machine-readable output.
 
 use rcuda_bench::compare::{full_report, render_markdown, summarize};
 use rcuda_bench::json::artifact_json;
@@ -38,6 +38,7 @@ fn main() {
             "fig4",
             "fig5",
             "fig6",
+            "pipeline",
             "phases",
             "uncertainty",
             "compare",
@@ -69,6 +70,7 @@ fn main() {
             "fig4" => print_latency_figure(NetworkId::Ib40G, SEED),
             "fig5" => print_execution_figure(NetworkId::GigaE, &testbed),
             "fig6" => print_execution_figure(NetworkId::Ib40G, &testbed),
+            "pipeline" => print_pipeline_table(4),
             "phases" => print_phase_profile(4096, 2048),
             "uncertainty" => print_uncertainty(0.01, 100),
             "compare" => {

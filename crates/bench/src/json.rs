@@ -68,6 +68,25 @@ pub fn artifact_json(what: &str, testbed: &SimulatedTestbed) -> Option<String> {
             "mm": execution_figure(Family::MatMul, NetworkId::Ib40G, testbed),
             "fft": execution_figure(Family::Fft, NetworkId::Ib40G, testbed),
         }),
+        "pipeline" => {
+            use rcuda_core::CaseStudy;
+            use rcuda_model::pipeline::estimate_pipelined;
+            let grid = |family: Family| -> Vec<_> {
+                CaseStudy::standard_grid(family)
+                    .into_iter()
+                    .flat_map(|case| {
+                        [NetworkId::GigaE, NetworkId::Ib40G]
+                            .map(|net| estimate_pipelined(case, net, 4))
+                    })
+                    .collect()
+            };
+            json!({
+                "table": "pipeline",
+                "depth": 4,
+                "mm": grid(Family::MatMul),
+                "fft": grid(Family::Fft),
+            })
+        }
         "compare" => {
             let report = crate::compare::full_report(testbed);
             json!({
@@ -94,7 +113,7 @@ mod tests {
         let tb = SimulatedTestbed::new();
         for what in [
             "table1", "table2", "table3", "table4", "table5", "table6", "fig3", "fig4", "fig5",
-            "fig6", "compare",
+            "fig6", "pipeline", "compare",
         ] {
             let s = artifact_json(what, &tb).unwrap_or_else(|| panic!("missing {what}"));
             let v: serde_json::Value = serde_json::from_str(&s).expect(what);

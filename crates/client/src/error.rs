@@ -1,0 +1,73 @@
+//! Transport failure → CUDA error-code mapping.
+//!
+//! Real rCUDA surfaces every transport fault as `cudaErrorUnknown`, which
+//! makes a dead server indistinguishable from a genuine CUDA failure. The
+//! client instead preserves the [`io::ErrorKind`] of the failure in one of
+//! the dedicated transport codes (10001+), so callers can tell a timeout
+//! from a lost connection from a protocol violation.
+
+use rcuda_core::CudaError;
+use std::io;
+
+/// Map a transport-layer I/O failure to the CUDA error surfaced to the
+/// application, preserving the failure class.
+pub fn transport_error(e: &io::Error) -> CudaError {
+    match e.kind() {
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => CudaError::TransportTimedOut,
+        io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::ConnectionRefused
+        | io::ErrorKind::BrokenPipe
+        | io::ErrorKind::NotConnected
+        | io::ErrorKind::UnexpectedEof => CudaError::TransportConnectionLost,
+        // The protocol layer reports undecodable bytes (bad selector, bad
+        // memcpy kind, mismatched batch response) as InvalidData.
+        io::ErrorKind::InvalidData => CudaError::ProtocolViolation,
+        _ => CudaError::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_map_to_distinct_causes() {
+        let timeout = io::Error::new(io::ErrorKind::TimedOut, "t");
+        assert_eq!(transport_error(&timeout), CudaError::TransportTimedOut);
+
+        for kind in [
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionAborted,
+            io::ErrorKind::ConnectionRefused,
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::NotConnected,
+            io::ErrorKind::UnexpectedEof,
+        ] {
+            let e = io::Error::new(kind, "gone");
+            assert_eq!(
+                transport_error(&e),
+                CudaError::TransportConnectionLost,
+                "{kind:?}"
+            );
+        }
+
+        let garbage = io::Error::new(io::ErrorKind::InvalidData, "bad selector");
+        assert_eq!(transport_error(&garbage), CudaError::ProtocolViolation);
+
+        let other = io::Error::other("mystery");
+        assert_eq!(transport_error(&other), CudaError::Unknown);
+    }
+
+    #[test]
+    fn all_mapped_errors_are_transport_class() {
+        for kind in [
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::InvalidData,
+        ] {
+            let e = io::Error::new(kind, "x");
+            assert!(transport_error(&e).is_transport());
+        }
+    }
+}

@@ -12,8 +12,10 @@
 //! methodology: "we analyze the traces of two different case studies over
 //! two different networks" (§I).
 
+pub mod error;
 pub mod runtime;
 pub mod trace;
 
+pub use error::transport_error;
 pub use runtime::RemoteRuntime;
 pub use trace::{CallEvent, Trace};

@@ -1,16 +1,48 @@
 //! [`RemoteRuntime`]: the CUDA Runtime implemented by remote forwarding.
 //!
-//! Every method marshals one request per `rcuda-proto`, flushes it as one
-//! message, and blocks on the response — the synchronous semantics the
-//! paper's model covers. Connection loss surfaces as `cudaErrorUnknown`,
-//! mirroring how real rCUDA reports a dead server to the application.
+//! Every method marshals one request per `rcuda-proto`. In the default
+//! (paper-faithful) mode each request flushes as one message and blocks on
+//! the response — the synchronous semantics the paper's model covers, where
+//! every CUDA call costs a network round trip.
+//!
+//! ## Deferred-completion pipelining
+//!
+//! That round trip per call is exactly what sinks short-kernel workloads on
+//! high-latency networks (the paper's FFT-on-GigaE result, §IV-B). With
+//! [`RemoteRuntime::set_pipeline_depth`] the client instead *defers* calls
+//! that return no data — `memcpy_h2d`, `memset`, `launch`, `free`,
+//! `thread_synchronize` — into an in-flight window, which drains as **one**
+//! batched write (and one combined read) when:
+//!
+//! * the window reaches the configured depth,
+//! * a result-bearing call (`malloc`, `memcpy_d2h`, ...) arrives — it rides
+//!   as the final element of the batch, so even the forced flush costs a
+//!   single round trip, or
+//! * the application calls [`RemoteRuntime::flush_pipeline`] explicitly.
+//!
+//! A deferred `thread_synchronize` still executes in order on the server's
+//! context (device-side ordering is preserved); only the host-blocking
+//! completion moves to the drain point. Use [`RemoteRuntime::flush_pipeline`]
+//! when strict host-blocking semantics are required.
+//!
+//! Deferred calls return `Ok(())` immediately; a failure surfaces at the
+//! drain point (first failed element wins), mirroring CUDA's own
+//! asynchronous error reporting. Results are bit-identical to the unbatched
+//! path — the server executes batch elements in submission order on the same
+//! context.
+//!
+//! Transport faults are reported with their cause preserved
+//! ([`crate::error::transport_error`]): timeout, connection loss and
+//! protocol violation each get a distinct code instead of the
+//! `cudaErrorUnknown` catch-all real rCUDA uses.
 
-use rcuda_api::CudaRuntime;
+use rcuda_api::{CudaRuntime, CudaRuntimeAsyncExt};
 use rcuda_core::{CudaError, CudaResult, DeviceProperties, DevicePtr, Dim3, SharedClock};
 use rcuda_proto::ids::MemcpyKind;
-use rcuda_proto::{LaunchConfig, Request, Response};
-use rcuda_transport::Transport;
+use rcuda_proto::{Batch, BatchResponse, LaunchConfig, Request, Response};
+use rcuda_transport::{Transport, TransportStats};
 
+use crate::error::transport_error;
 use crate::trace::{CallEvent, Trace};
 
 /// The client side of an rCUDA session.
@@ -21,6 +53,11 @@ pub struct RemoteRuntime<T: Transport> {
     /// Compute capability announced by the server at connect time.
     server_cc: Option<(u32, u32)>,
     initialized: bool,
+    /// Deferred-completion window size; 0 = synchronous per-call round trips
+    /// (the paper's protocol).
+    pipeline_depth: usize,
+    /// Calls deferred but not yet on the wire, in submission order.
+    window: Vec<Request>,
 }
 
 impl<T: Transport> RemoteRuntime<T> {
@@ -33,6 +70,8 @@ impl<T: Transport> RemoteRuntime<T> {
             trace: Trace::new(),
             server_cc: None,
             initialized: false,
+            pipeline_depth: 0,
+            window: Vec::new(),
         }
     }
 
@@ -51,14 +90,85 @@ impl<T: Transport> RemoteRuntime<T> {
         self.trace
     }
 
-    /// One request/response round trip, traced.
+    /// Cumulative transport counters (bytes and messages each way). The
+    /// `messages_sent` counter is the number of network flushes — the
+    /// quantity pipelining exists to reduce.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// Enable (depth ≥ 1) or disable (0) deferred-completion pipelining.
+    /// Any deferred calls are drained first so a depth change never
+    /// reorders work.
+    pub fn set_pipeline_depth(&mut self, depth: usize) -> CudaResult<()> {
+        self.flush_pipeline()?;
+        self.pipeline_depth = depth;
+        Ok(())
+    }
+
+    /// The configured in-flight window size (0 = pipelining off).
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth
+    }
+
+    /// Deferred calls currently waiting in the window.
+    pub fn pending_calls(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Drain the in-flight window, if any: one batched write, one combined
+    /// read. Returns the first deferred failure, if any element failed.
+    pub fn flush_pipeline(&mut self) -> CudaResult<()> {
+        if self.window.is_empty() {
+            return Ok(());
+        }
+        let requests = std::mem::take(&mut self.window);
+        let batch = Batch::new(requests).map_err(|_| CudaError::InvalidValue)?;
+        let resp = self.send_batch(&batch)?;
+        first_failure(&resp.responses)
+    }
+
+    /// Write `batch` as one message, read the combined response, trace it.
+    fn send_batch(&mut self, batch: &Batch) -> CudaResult<BatchResponse> {
+        let start = self.clock.now();
+        let sent = batch.wire_bytes();
+        batch
+            .write(&mut self.transport)
+            .and_then(|_| self.transport.flush())
+            .map_err(|e| transport_error(&e))?;
+        let resp =
+            BatchResponse::read(&mut self.transport, batch).map_err(|e| transport_error(&e))?;
+        let end = self.clock.now();
+        self.trace.record(CallEvent {
+            op: format!("batch[{}]", batch.len()),
+            sent,
+            received: resp.wire_bytes(),
+            start,
+            end,
+        });
+        Ok(resp)
+    }
+
+    /// One result-bearing exchange, traced. If deferred calls are pending,
+    /// `req` rides as the final element of the draining batch, so the whole
+    /// window plus this call still costs a single round trip.
     fn call(&mut self, op: &'static str, req: Request) -> CudaResult<Response> {
+        if !self.window.is_empty() {
+            let mut requests = std::mem::take(&mut self.window);
+            requests.push(req);
+            let batch = Batch::new(requests).map_err(|_| CudaError::InvalidValue)?;
+            let mut resp = self.send_batch(&batch)?;
+            let last = resp.responses.pop().ok_or(CudaError::ProtocolViolation)?;
+            // Deferred failures take precedence: they happened first.
+            first_failure(&resp.responses)?;
+            return Ok(last);
+        }
         let start = self.clock.now();
         let sent = req.wire_bytes();
         req.write(&mut self.transport)
             .and_then(|_| self.transport.flush())
-            .map_err(|_| CudaError::Unknown)?;
-        let resp = Response::read(&mut self.transport, &req).map_err(|_| CudaError::Unknown)?;
+            .map_err(|e| transport_error(&e))?;
+        let resp = Response::read(&mut self.transport, &req).map_err(|e| transport_error(&e))?;
         let end = self.clock.now();
         self.trace.record(CallEvent {
             op: op.to_string(),
@@ -70,6 +180,20 @@ impl<T: Transport> RemoteRuntime<T> {
         Ok(resp)
     }
 
+    /// Submit a no-result call. With pipelining off this is a synchronous
+    /// round trip; with pipelining on it joins the window and completes
+    /// immediately, draining when the window fills.
+    fn defer(&mut self, op: &'static str, req: Request) -> CudaResult<()> {
+        if self.pipeline_depth == 0 {
+            return self.call(op, req)?.into_ack();
+        }
+        self.window.push(req);
+        if self.window.len() >= self.pipeline_depth {
+            self.flush_pipeline()?;
+        }
+        Ok(())
+    }
+
     fn ensure_initialized(&self) -> CudaResult<()> {
         if self.initialized {
             Ok(())
@@ -77,6 +201,14 @@ impl<T: Transport> RemoteRuntime<T> {
             Err(CudaError::InitializationError)
         }
     }
+}
+
+/// The first error among a batch's responses, if any (submission order).
+fn first_failure(responses: &[Response]) -> CudaResult<()> {
+    for resp in responses {
+        resp.clone().into_ack()?;
+    }
+    Ok(())
 }
 
 impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
@@ -87,7 +219,7 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
         let mut cc = [0u8; 8];
         self.transport
             .read_exact(&mut cc)
-            .map_err(|_| CudaError::Unknown)?;
+            .map_err(|e| transport_error(&e))?;
         self.server_cc = Some(DeviceProperties::compute_capability_from_wire(cc));
 
         let req = Request::Init {
@@ -96,8 +228,8 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
         let sent = req.wire_bytes();
         req.write(&mut self.transport)
             .and_then(|_| self.transport.flush())
-            .map_err(|_| CudaError::Unknown)?;
-        let resp = Response::read(&mut self.transport, &req).map_err(|_| CudaError::Unknown)?;
+            .map_err(|e| transport_error(&e))?;
+        let resp = Response::read(&mut self.transport, &req).map_err(|e| transport_error(&e))?;
         let end = self.clock.now();
         self.trace.record(CallEvent {
             op: "initialization".to_string(),
@@ -131,7 +263,7 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
 
     fn free(&mut self, ptr: DevicePtr) -> CudaResult<()> {
         self.ensure_initialized()?;
-        self.call("cudaFree", Request::Free { ptr })?.into_ack()
+        self.defer("cudaFree", Request::Free { ptr })
     }
 
     fn memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) -> CudaResult<()> {
@@ -143,7 +275,7 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
             kind: MemcpyKind::HostToDevice,
             data: Some(data.to_vec()),
         };
-        self.call("cudaMemcpyH2D", req)?.into_ack()
+        self.defer("cudaMemcpyH2D", req)
     }
 
     fn memcpy_d2h(&mut self, src: DevicePtr, size: u32) -> CudaResult<Vec<u8>> {
@@ -177,41 +309,7 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
             value: value as u32,
             size,
         };
-        self.call("cudaMemset", req)?.into_ack()
-    }
-
-    fn event_create(&mut self) -> CudaResult<u32> {
-        self.ensure_initialized()?;
-        match self.call("cudaEventCreate", Request::EventCreate)? {
-            Response::EventCreate(r) => r,
-            _ => Err(CudaError::Unknown),
-        }
-    }
-
-    fn event_record(&mut self, event: u32, stream: u32) -> CudaResult<()> {
-        self.ensure_initialized()?;
-        self.call("cudaEventRecord", Request::EventRecord { event, stream })?
-            .into_ack()
-    }
-
-    fn event_synchronize(&mut self, event: u32) -> CudaResult<()> {
-        self.ensure_initialized()?;
-        self.call("cudaEventSynchronize", Request::EventSynchronize { event })?
-            .into_ack()
-    }
-
-    fn event_elapsed_ms(&mut self, start: u32, end: u32) -> CudaResult<f32> {
-        self.ensure_initialized()?;
-        match self.call("cudaEventElapsedTime", Request::EventElapsed { start, end })? {
-            Response::EventElapsed(r) => r,
-            _ => Err(CudaError::Unknown),
-        }
-    }
-
-    fn event_destroy(&mut self, event: u32) -> CudaResult<()> {
-        self.ensure_initialized()?;
-        self.call("cudaEventDestroy", Request::EventDestroy { event })?
-            .into_ack()
+        self.defer("cudaMemset", req)
     }
 
     fn launch(
@@ -234,15 +332,25 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
             stream,
         };
         let req = Request::launch(kernel, args, config);
-        self.call("cudaLaunch", req)?.into_ack()
+        self.defer("cudaLaunch", req)
     }
 
     fn thread_synchronize(&mut self) -> CudaResult<()> {
         self.ensure_initialized()?;
-        self.call("cudaThreadSynchronize", Request::ThreadSynchronize)?
-            .into_ack()
+        self.defer("cudaThreadSynchronize", Request::ThreadSynchronize)
     }
 
+    fn finalize(&mut self) -> CudaResult<()> {
+        if !self.initialized {
+            return Ok(());
+        }
+        self.call("finalization", Request::Quit)?.into_ack()?;
+        self.initialized = false;
+        Ok(())
+    }
+}
+
+impl<T: Transport> CudaRuntimeAsyncExt for RemoteRuntime<T> {
     fn stream_create(&mut self) -> CudaResult<u32> {
         self.ensure_initialized()?;
         match self.call("cudaStreamCreate", Request::StreamCreate)? {
@@ -292,13 +400,38 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
         self.call("cudaMemcpyAsyncD2H", req)?.into_memcpy_to_host()
     }
 
-    fn finalize(&mut self) -> CudaResult<()> {
-        if !self.initialized {
-            return Ok(());
+    fn event_create(&mut self) -> CudaResult<u32> {
+        self.ensure_initialized()?;
+        match self.call("cudaEventCreate", Request::EventCreate)? {
+            Response::EventCreate(r) => r,
+            _ => Err(CudaError::Unknown),
         }
-        self.call("finalization", Request::Quit)?.into_ack()?;
-        self.initialized = false;
-        Ok(())
+    }
+
+    fn event_record(&mut self, event: u32, stream: u32) -> CudaResult<()> {
+        self.ensure_initialized()?;
+        self.call("cudaEventRecord", Request::EventRecord { event, stream })?
+            .into_ack()
+    }
+
+    fn event_synchronize(&mut self, event: u32) -> CudaResult<()> {
+        self.ensure_initialized()?;
+        self.call("cudaEventSynchronize", Request::EventSynchronize { event })?
+            .into_ack()
+    }
+
+    fn event_elapsed_ms(&mut self, start: u32, end: u32) -> CudaResult<f32> {
+        self.ensure_initialized()?;
+        match self.call("cudaEventElapsedTime", Request::EventElapsed { start, end })? {
+            Response::EventElapsed(r) => r,
+            _ => Err(CudaError::Unknown),
+        }
+    }
+
+    fn event_destroy(&mut self, event: u32) -> CudaResult<()> {
+        self.ensure_initialized()?;
+        self.call("cudaEventDestroy", Request::EventDestroy { event })?
+            .into_ack()
     }
 }
 
@@ -406,13 +539,15 @@ mod tests {
     }
 
     #[test]
-    fn severed_connection_is_cuda_error_unknown() {
+    fn severed_connection_reports_connection_lost() {
         let (client_side, server_side) = channel_pair();
         let h = fake_server(server_side, vec![]);
         let mut rt = RemoteRuntime::new(client_side, wall_clock());
         rt.initialize(&[]).unwrap();
         h.join().unwrap(); // server is gone now
-        assert_eq!(rt.malloc(16), Err(CudaError::Unknown));
+                           // The cause is preserved (UnexpectedEof/BrokenPipe → connection
+                           // lost), not collapsed into cudaErrorUnknown like real rCUDA does.
+        assert_eq!(rt.malloc(16), Err(CudaError::TransportConnectionLost));
     }
 
     #[test]
@@ -446,6 +581,181 @@ mod tests {
         assert_eq!((d2h.sent, d2h.received), (20, 504)); // 20 / x+4
         assert_eq!(t.bulk_payload(), 1500);
         h.join().unwrap();
+    }
+
+    /// A protocol-speaking fake that answers batched frames: one combined
+    /// response with an Ack per element (and the scripted closure for any
+    /// result-bearing tail).
+    fn fake_batch_server(
+        mut side: ChannelTransport,
+        mut exchanges: u32,
+    ) -> thread::JoinHandle<Vec<usize>> {
+        use rcuda_proto::Frame;
+        thread::spawn(move || {
+            put_bytes(&mut side, &1u32.to_le_bytes()).unwrap();
+            put_bytes(&mut side, &3u32.to_le_bytes()).unwrap();
+            side.flush().unwrap();
+            let _init = Request::read_init(&mut side).unwrap();
+            put_u32(&mut side, 0).unwrap();
+            side.flush().unwrap();
+            let mut batch_sizes = Vec::new();
+            while exchanges > 0 {
+                match Frame::read(&mut side).unwrap() {
+                    Frame::Single(req) => {
+                        exchanges -= 1;
+                        answer(&req, &mut side);
+                        side.flush().unwrap();
+                    }
+                    Frame::Batch(batch) => {
+                        exchanges -= 1;
+                        batch_sizes.push(batch.len());
+                        put_u32(&mut side, batch.len() as u32).unwrap();
+                        for req in batch.requests() {
+                            answer(req, &mut side);
+                        }
+                        side.flush().unwrap();
+                    }
+                }
+            }
+            batch_sizes
+        })
+    }
+
+    /// Answer one request with a plausible success response.
+    fn answer(req: &Request, side: &mut ChannelTransport) {
+        match req {
+            Request::Malloc { .. } => {
+                put_u32(side, 0).unwrap();
+                put_u32(side, 0x4000).unwrap();
+            }
+            Request::Memcpy { size, kind, .. } if *kind == MemcpyKind::DeviceToHost => {
+                put_u32(side, 0).unwrap();
+                put_bytes(side, &vec![9u8; *size as usize]).unwrap();
+            }
+            _ => put_u32(side, 0).unwrap(),
+        }
+    }
+
+    #[test]
+    fn deferred_calls_drain_as_one_batch_when_window_fills() {
+        let (client_side, server_side) = channel_pair();
+        // Expect: init exchange handled separately; then ONE batch frame.
+        let h = fake_batch_server(server_side, 1);
+        let mut rt = RemoteRuntime::new(client_side, wall_clock());
+        rt.initialize(&[]).unwrap();
+        rt.set_pipeline_depth(3).unwrap();
+        rt.memcpy_h2d(DevicePtr::new(0x10), &[1, 2, 3, 4]).unwrap();
+        assert_eq!(rt.pending_calls(), 1, "deferred, not sent");
+        rt.memset(DevicePtr::new(0x10), 0, 4).unwrap();
+        assert_eq!(rt.pending_calls(), 2);
+        rt.free(DevicePtr::new(0x10)).unwrap(); // window full -> drains
+        assert_eq!(rt.pending_calls(), 0);
+        let sizes = h.join().unwrap();
+        assert_eq!(sizes, vec![3], "three calls crossed as one frame");
+        // Trace shows one batch event covering all three calls.
+        let ev = rt.trace().events.last().unwrap();
+        assert_eq!(ev.op, "batch[3]");
+    }
+
+    #[test]
+    fn result_bearing_call_rides_as_final_batch_element() {
+        let (client_side, server_side) = channel_pair();
+        let h = fake_batch_server(server_side, 1);
+        let mut rt = RemoteRuntime::new(client_side, wall_clock());
+        rt.initialize(&[]).unwrap();
+        rt.set_pipeline_depth(8).unwrap();
+        rt.memcpy_h2d(DevicePtr::new(0x10), &[1, 2, 3, 4]).unwrap();
+        rt.launch("k", Dim3::new(1, 1, 1), Dim3::new(1, 1, 1), 0, 0, &[])
+            .unwrap();
+        // D2H forces the drain and joins the same frame.
+        let back = rt.memcpy_d2h(DevicePtr::new(0x10), 4).unwrap();
+        assert_eq!(back, vec![9u8; 4]);
+        assert_eq!(rt.pending_calls(), 0);
+        let sizes = h.join().unwrap();
+        assert_eq!(sizes, vec![3], "h2d + launch + d2h in one frame");
+    }
+
+    #[test]
+    fn explicit_flush_drains_the_window() {
+        let (client_side, server_side) = channel_pair();
+        let h = fake_batch_server(server_side, 1);
+        let mut rt = RemoteRuntime::new(client_side, wall_clock());
+        rt.initialize(&[]).unwrap();
+        rt.set_pipeline_depth(8).unwrap();
+        rt.memset(DevicePtr::new(0x10), 7, 16).unwrap();
+        assert_eq!(rt.pending_calls(), 1);
+        rt.flush_pipeline().unwrap();
+        assert_eq!(rt.pending_calls(), 0);
+        assert_eq!(h.join().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn depth_zero_is_bitwise_the_synchronous_protocol() {
+        // With pipelining off nothing batches: the fake sees only single
+        // frames, exactly as before this feature existed.
+        let (client_side, server_side) = channel_pair();
+        let h = fake_batch_server(server_side, 2);
+        let mut rt = RemoteRuntime::new(client_side, wall_clock());
+        rt.initialize(&[]).unwrap();
+        rt.memcpy_h2d(DevicePtr::new(0x10), &[1]).unwrap();
+        rt.free(DevicePtr::new(0x10)).unwrap();
+        assert_eq!(h.join().unwrap(), Vec::<usize>::new(), "no batch frames");
+    }
+
+    #[test]
+    fn deferred_error_surfaces_at_the_drain_point() {
+        use rcuda_proto::Frame;
+        let (client_side, server_side) = channel_pair();
+        let h = thread::spawn(move || {
+            let mut side = server_side;
+            put_bytes(&mut side, &1u32.to_le_bytes()).unwrap();
+            put_bytes(&mut side, &3u32.to_le_bytes()).unwrap();
+            side.flush().unwrap();
+            let _ = Request::read_init(&mut side).unwrap();
+            put_u32(&mut side, 0).unwrap();
+            side.flush().unwrap();
+            // One batch of 2: first element fails, second succeeds.
+            let batch = match Frame::read(&mut side).unwrap() {
+                Frame::Batch(b) => b,
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(batch.len(), 2);
+            put_u32(&mut side, 2).unwrap();
+            put_u32(&mut side, CudaError::InvalidDevicePointer.code()).unwrap();
+            put_u32(&mut side, 0).unwrap();
+            side.flush().unwrap();
+        });
+        let mut rt = RemoteRuntime::new(client_side, wall_clock());
+        rt.initialize(&[]).unwrap();
+        rt.set_pipeline_depth(2).unwrap();
+        // The doomed call itself completes immediately...
+        rt.free(DevicePtr::new(0xBAD)).unwrap();
+        // ...and its failure surfaces when the window drains.
+        assert_eq!(
+            rt.memset(DevicePtr::new(0x10), 0, 4),
+            Err(CudaError::InvalidDevicePointer)
+        );
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn pipelining_halves_message_count_for_deferred_runs() {
+        let (client_side, server_side) = channel_pair();
+        let h = fake_batch_server(server_side, 2);
+        let mut rt = RemoteRuntime::new(client_side, wall_clock());
+        rt.initialize(&[]).unwrap();
+        let after_init = rt.transport_stats().messages_sent;
+        rt.set_pipeline_depth(4).unwrap();
+        for _ in 0..2 {
+            rt.memcpy_h2d(DevicePtr::new(0x10), &[0; 8]).unwrap();
+            rt.memset(DevicePtr::new(0x10), 0, 8).unwrap();
+            rt.launch("k", Dim3::new(1, 1, 1), Dim3::new(1, 1, 1), 0, 0, &[])
+                .unwrap();
+            rt.free(DevicePtr::new(0x10)).unwrap();
+        }
+        let flushes = rt.transport_stats().messages_sent - after_init;
+        assert_eq!(flushes, 2, "8 calls crossed in 2 flushes");
+        assert_eq!(h.join().unwrap(), vec![4, 4]);
     }
 
     #[test]

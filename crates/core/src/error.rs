@@ -2,9 +2,11 @@
 //!
 //! The rCUDA wire protocol (paper Table I) returns a 32-bit result code for
 //! every operation, mirroring `cudaError_t` from the CUDA Runtime API. We
-//! model the subset of codes the middleware can actually produce, plus a
-//! transport-level code for broken connections (which real rCUDA surfaces as
-//! `cudaErrorUnknown` to the application).
+//! model the subset of codes the middleware can actually produce, plus
+//! dedicated transport-level codes (timeout, connection lost, protocol
+//! violation) in the 10001+ range. Real rCUDA collapses all of those into
+//! `cudaErrorUnknown`; keeping them distinct lets an application tell a
+//! dead server from a genuinely unknown CUDA fault.
 
 use std::fmt;
 
@@ -44,9 +46,17 @@ pub enum CudaError {
     NotReady,
     /// `cudaErrorNoDevice` — no CUDA-capable device is available.
     NoDevice,
-    /// `cudaErrorUnknown` — catch-all; also what a severed rCUDA connection
-    /// surfaces as.
+    /// `cudaErrorUnknown` — catch-all.
     Unknown,
+    /// The transport timed out waiting for the server (no CUDA equivalent;
+    /// real rCUDA collapses this into `cudaErrorUnknown`, losing the cause).
+    TransportTimedOut,
+    /// The connection to the server was lost (reset, broken pipe, refused,
+    /// or unexpected EOF mid-message).
+    TransportConnectionLost,
+    /// The peer sent bytes that violate the wire protocol (bad selector,
+    /// mismatched batch response, undecodable field).
+    ProtocolViolation,
 }
 
 impl CudaError {
@@ -65,6 +75,12 @@ impl CudaError {
             CudaError::NotReady => 34,
             CudaError::NoDevice => 38,
             CudaError::Unknown => 10000,
+            // Transport diagnostics live above the CUDA range: CUDA 2.3
+            // never defined codes past cudaErrorStartupFailure (0x7f), so
+            // 10001+ cannot collide with a real toolkit code.
+            CudaError::TransportTimedOut => 10001,
+            CudaError::TransportConnectionLost => 10002,
+            CudaError::ProtocolViolation => 10003,
         }
     }
 
@@ -84,6 +100,9 @@ impl CudaError {
             33 => CudaError::InvalidResourceHandle,
             34 => CudaError::NotReady,
             38 => CudaError::NoDevice,
+            10001 => CudaError::TransportTimedOut,
+            10002 => CudaError::TransportConnectionLost,
+            10003 => CudaError::ProtocolViolation,
             _ => CudaError::Unknown,
         })
     }
@@ -103,11 +122,14 @@ impl CudaError {
             CudaError::NotReady => "cudaErrorNotReady",
             CudaError::NoDevice => "cudaErrorNoDevice",
             CudaError::Unknown => "cudaErrorUnknown",
+            CudaError::TransportTimedOut => "rcudaErrorTransportTimedOut",
+            CudaError::TransportConnectionLost => "rcudaErrorTransportConnectionLost",
+            CudaError::ProtocolViolation => "rcudaErrorProtocolViolation",
         }
     }
 
     /// All distinct error variants (useful for exhaustive round-trip tests).
-    pub const ALL: [CudaError; 12] = [
+    pub const ALL: [CudaError; 15] = [
         CudaError::MissingConfiguration,
         CudaError::MemoryAllocation,
         CudaError::InitializationError,
@@ -120,7 +142,21 @@ impl CudaError {
         CudaError::NotReady,
         CudaError::NoDevice,
         CudaError::Unknown,
+        CudaError::TransportTimedOut,
+        CudaError::TransportConnectionLost,
+        CudaError::ProtocolViolation,
     ];
+
+    /// Whether this error reports a transport/protocol fault rather than a
+    /// CUDA-level failure.
+    pub const fn is_transport(self) -> bool {
+        matches!(
+            self,
+            CudaError::TransportTimedOut
+                | CudaError::TransportConnectionLost
+                | CudaError::ProtocolViolation
+        )
+    }
 }
 
 impl fmt::Display for CudaError {

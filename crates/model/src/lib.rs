@@ -35,6 +35,7 @@ pub mod figures;
 pub mod montecarlo;
 pub mod overlap;
 pub mod paperdata;
+pub mod pipeline;
 pub mod render;
 pub mod tables;
 pub mod testbed;
@@ -44,4 +45,5 @@ pub use capacity::{plan_capacity, CapacityPlan, ClusterSpec};
 pub use estimate::{cross_validate, estimate, fixed_time, transfer_time, CrossValidationRow};
 pub use montecarlo::{default_error_bar, error_bar, Distribution, ErrorBar};
 pub use overlap::{estimate_async, overlap_benefit};
+pub use pipeline::{estimate_pipelined, estimate_pipelined_with, PipelineEstimate};
 pub use testbed::SimulatedTestbed;

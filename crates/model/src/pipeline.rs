@@ -1,0 +1,261 @@
+//! Pipelined-submission accounting: how many round trips batching removes.
+//!
+//! The paper's FFT-on-GigaE negative result (§IV-B) comes from paying one
+//! full network round trip per CUDA call — the per-call fixed costs of
+//! Table II dominate when payloads are small. This module prices the same
+//! seven-phase call sequence under the client's deferred-completion mode
+//! (`rcuda-client`): calls that return no data join an in-flight window and
+//! drain as one batched message, so a run of deferred calls plus the
+//! result-bearing call that forces the flush costs a *single*
+//! [`NetworkModel::round_trip`] instead of one per call.
+//!
+//! Flush counts are exact — they replay the same window algorithm the
+//! client implements — and times follow the paper's Table I/II wire-size
+//! conventions, with the batch framing overhead of `rcuda-proto` added per
+//! combined message.
+
+use rcuda_core::{CaseStudy, SimTime};
+use rcuda_netsim::{NetworkId, NetworkModel};
+use rcuda_proto::batch::{BATCH_HEADER_BYTES, BATCH_RESPONSE_HEADER_BYTES};
+use serde::Serialize;
+
+/// One remoted CUDA call of the seven-phase execution, in Table I wire
+/// accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CallShape {
+    /// Operation label (Table I row).
+    pub op: &'static str,
+    /// Request bytes on the wire.
+    pub send_bytes: u64,
+    /// Response bytes on the wire.
+    pub recv_bytes: u64,
+    /// Whether the deferred-completion client can enqueue this call
+    /// (it returns no data) instead of blocking on it.
+    pub deferrable: bool,
+}
+
+/// The exact call sequence the seven-phase executor issues for `case`
+/// (initialization through finalization), in submission order.
+pub fn call_sequence(case: CaseStudy) -> Vec<CallShape> {
+    let payload = case.memcpy_bytes().as_bytes();
+    let launch_send = 44 + case.kernel_name().len() as u64;
+    let mut calls = vec![CallShape {
+        op: "Initialization",
+        send_bytes: case.module_bytes().as_bytes() + 4,
+        recv_bytes: 12,
+        deferrable: false,
+    }];
+    for _ in 0..case.alloc_count() {
+        calls.push(CallShape {
+            op: "cudaMalloc",
+            send_bytes: 8,
+            recv_bytes: 8,
+            deferrable: false,
+        });
+    }
+    for _ in 0..case.h2d_count() {
+        calls.push(CallShape {
+            op: "cudaMemcpy (to device)",
+            send_bytes: payload + 20,
+            recv_bytes: 4,
+            deferrable: true,
+        });
+    }
+    calls.push(CallShape {
+        op: "cudaLaunch",
+        send_bytes: launch_send,
+        recv_bytes: 4,
+        deferrable: true,
+    });
+    calls.push(CallShape {
+        op: "cudaThreadSynchronize",
+        send_bytes: 4,
+        recv_bytes: 4,
+        deferrable: true,
+    });
+    calls.push(CallShape {
+        op: "cudaMemcpy (to host)",
+        send_bytes: 20,
+        recv_bytes: payload + 4,
+        deferrable: false,
+    });
+    for _ in 0..case.alloc_count() {
+        calls.push(CallShape {
+            op: "cudaFree",
+            send_bytes: 8,
+            recv_bytes: 4,
+            deferrable: true,
+        });
+    }
+    calls.push(CallShape {
+        op: "Finalization",
+        send_bytes: 4,
+        recv_bytes: 4,
+        deferrable: false,
+    });
+    calls
+}
+
+/// Per-call vs. pipelined accounting of one case-study execution.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineEstimate {
+    pub case: CaseStudy,
+    pub net: NetworkId,
+    /// Configured in-flight window depth (≥ 1).
+    pub depth: usize,
+    /// Remoted calls in the run — also the flush count of the synchronous
+    /// per-call protocol (one round trip each).
+    pub calls: u32,
+    /// Network flushes under deferred-completion pipelining.
+    pub flushes: u32,
+    /// `calls − flushes`: round trips the batching removed.
+    pub round_trips_removed: u32,
+    /// Total exchange time, per-call mode.
+    pub time_per_call: SimTime,
+    /// Total exchange time, pipelined mode (batch framing included).
+    pub time_pipelined: SimTime,
+    /// `time_per_call − time_pipelined`.
+    pub saved: SimTime,
+}
+
+/// Price `case` on `net` under deferred-completion pipelining with the given
+/// window `depth`, replaying the client's window algorithm over the
+/// seven-phase call sequence.
+pub fn estimate_pipelined(case: CaseStudy, net: NetworkId, depth: usize) -> PipelineEstimate {
+    estimate_pipelined_with(case, &*net.model(), depth)
+}
+
+/// [`estimate_pipelined`] over an arbitrary network model.
+pub fn estimate_pipelined_with(
+    case: CaseStudy,
+    model: &dyn NetworkModel,
+    depth: usize,
+) -> PipelineEstimate {
+    assert!(depth >= 1, "a pipelined window holds at least one call");
+    let calls = call_sequence(case);
+    let time_per_call: SimTime = calls
+        .iter()
+        .map(|c| model.round_trip(c.send_bytes, c.recv_bytes))
+        .sum();
+
+    // Replay the client's drain rules: deferrable calls accumulate; the
+    // window drains when it reaches `depth`, when a result-bearing call
+    // rides as the batch's final element, or at end of session.
+    let mut flushes = 0u32;
+    let mut time_pipelined = SimTime::ZERO;
+    let mut pending: Vec<&CallShape> = Vec::new();
+    let flush = |group: &[&CallShape], batched: bool| -> SimTime {
+        let sent: u64 = group.iter().map(|c| c.send_bytes).sum();
+        let recv: u64 = group.iter().map(|c| c.recv_bytes).sum();
+        if batched {
+            model.round_trip(
+                sent + BATCH_HEADER_BYTES,
+                recv + BATCH_RESPONSE_HEADER_BYTES,
+            )
+        } else {
+            model.round_trip(sent, recv)
+        }
+    };
+    for call in &calls {
+        if call.deferrable {
+            pending.push(call);
+            if pending.len() >= depth {
+                flushes += 1;
+                time_pipelined += flush(&pending, true);
+                pending.clear();
+            }
+        } else if pending.is_empty() {
+            flushes += 1;
+            time_pipelined += flush(&[call], false);
+        } else {
+            pending.push(call);
+            flushes += 1;
+            time_pipelined += flush(&pending, true);
+            pending.clear();
+        }
+    }
+    if !pending.is_empty() {
+        flushes += 1;
+        time_pipelined += flush(&pending, true);
+    }
+
+    PipelineEstimate {
+        case,
+        net: model.id(),
+        depth,
+        calls: calls.len() as u32,
+        flushes,
+        round_trips_removed: calls.len() as u32 - flushes,
+        time_per_call,
+        time_pipelined,
+        saved: time_per_call.saturating_sub(time_pipelined),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuda_core::Family;
+
+    #[test]
+    fn fft_sequence_matches_the_seven_phase_executor() {
+        let calls = call_sequence(CaseStudy::Fft { batch: 2048 });
+        // init, malloc, h2d, launch, sync, d2h, free, quit.
+        assert_eq!(calls.len(), 8);
+        assert_eq!(calls.iter().filter(|c| c.deferrable).count(), 4);
+    }
+
+    #[test]
+    fn fft_pipelined_halves_the_flush_count_at_depth_4() {
+        // The acceptance shape of the batching ablation: at depth ≥ 4 the
+        // whole deferred run [h2d, launch, sync] rides with the d2h that
+        // forces the flush, and the free rides with Finalization — four
+        // flushes instead of eight.
+        let est = estimate_pipelined(CaseStudy::Fft { batch: 2048 }, NetworkId::GigaE, 4);
+        assert_eq!(est.calls, 8);
+        assert_eq!(est.flushes, 4);
+        assert!(
+            est.calls >= 2 * est.flushes,
+            "≥2× fewer flushes: {} vs {}",
+            est.calls,
+            est.flushes
+        );
+        assert_eq!(est.round_trips_removed, 4);
+    }
+
+    #[test]
+    fn depth_one_still_flushes_every_deferrable_run_separately() {
+        let est = estimate_pipelined(CaseStudy::Fft { batch: 2048 }, NetworkId::GigaE, 1);
+        assert_eq!(est.flushes, est.calls, "depth 1 batches nothing");
+        assert_eq!(est.round_trips_removed, 0);
+    }
+
+    #[test]
+    fn pipelining_saves_time_on_every_grid_point() {
+        for family in [Family::MatMul, Family::Fft] {
+            for case in CaseStudy::standard_grid(family) {
+                for net in [NetworkId::GigaE, NetworkId::Ib40G] {
+                    let est = estimate_pipelined(case, net, 4);
+                    assert!(est.flushes < est.calls, "{case:?} {net}");
+                    assert!(
+                        est.time_pipelined < est.time_per_call,
+                        "{case:?} {net}: {:?} vs {:?}",
+                        est.time_pipelined,
+                        est.time_per_call
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn savings_shrink_with_payload_share() {
+        // The removed round trips are fixed-cost; relative savings are
+        // largest where the paper's model errs most — small FFT batches on
+        // GigaE (§V's TCP-window regime).
+        let small = estimate_pipelined(CaseStudy::Fft { batch: 2048 }, NetworkId::GigaE, 4);
+        let large = estimate_pipelined(CaseStudy::Fft { batch: 16384 }, NetworkId::GigaE, 4);
+        let rel = |e: &PipelineEstimate| e.saved.as_secs_f64() / e.time_per_call.as_secs_f64();
+        assert!(rel(&small) > rel(&large));
+    }
+}

@@ -42,6 +42,15 @@ pub trait NetworkModel: Send + Sync {
         self.one_way(bytes)
     }
 
+    /// Cost of one synchronous call exchange: the request crosses one way,
+    /// the response crosses back (§III's "each CUDA call costs a network
+    /// round trip"). Pipelined-mode accounting sums this per *flush* rather
+    /// than per call — batching N requests into one flush pays one
+    /// `round_trip(Σ sent, Σ received)` instead of N separate ones.
+    fn round_trip(&self, sent_bytes: u64, received_bytes: u64) -> SimTime {
+        self.app_transfer(sent_bytes) + self.app_transfer(received_bytes)
+    }
+
     /// Human-readable name (paper abbreviation).
     fn name(&self) -> &'static str {
         self.id().abbrev()
@@ -78,5 +87,13 @@ mod tests {
     #[test]
     fn app_transfer_defaults_to_one_way() {
         assert_eq!(Flat.app_transfer(1 << 20), Flat.one_way(1 << 20));
+    }
+
+    #[test]
+    fn round_trip_is_both_directions() {
+        assert_eq!(
+            Flat.round_trip(1 << 20, 1 << 10),
+            Flat.app_transfer(1 << 20) + Flat.app_transfer(1 << 10)
+        );
     }
 }

@@ -1,0 +1,335 @@
+//! Batched call submission: one wire message packing N consecutive requests.
+//!
+//! The paper's protocol is strictly synchronous — one request, one response,
+//! one network round trip per CUDA call — which is exactly why the FFT case
+//! study loses to the local GPU on Gigabit Ethernet (§IV-B: the per-call
+//! round-trip latency dominates a short computation). A `Batch` frame removes
+//! those round trips for calls that return no data: the client packs N
+//! requests into a single message (`FunctionId::Batch` selector + count +
+//! the requests back to back, each with its own selector) and the server
+//! answers with a single [`BatchResponse`] carrying the N responses in
+//! submission order.
+//!
+//! Batching is a pure framing change: each packed request is encoded exactly
+//! as it would be on its own, so the batch wire size is the sum of its parts
+//! plus the fixed 8-byte header, and the server decodes elements with the
+//! unchanged per-request reader.
+//!
+//! Two requests can never appear inside a batch: `Init` (it has no selector;
+//! it is identified by protocol position during the handshake) and `Batch`
+//! itself (no nesting). Both are rejected at encode and decode time.
+
+use std::io::{self, Read, Write};
+
+use crate::ids::FunctionId;
+use crate::request::Request;
+use crate::response::Response;
+use crate::wire::{get_u32, put_u32};
+
+/// Fixed overhead of a batch frame: 4-byte `FunctionId::Batch` selector +
+/// 4-byte element count.
+pub const BATCH_HEADER_BYTES: u64 = 8;
+
+/// Fixed overhead of a batch response: the 4-byte element count. (Unlike
+/// single responses there is no leading result code for the frame itself —
+/// each packed response carries its own.)
+pub const BATCH_RESPONSE_HEADER_BYTES: u64 = 4;
+
+/// N consecutive requests packed into one client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    requests: Vec<Request>,
+}
+
+impl Batch {
+    /// Pack `requests` into a batch.
+    ///
+    /// Returns `Err` with the offending request's index if any element is
+    /// not batchable (`Init` has no selector, and batches do not nest —
+    /// though the latter cannot be expressed as a `Request` anyway).
+    pub fn new(requests: Vec<Request>) -> Result<Batch, usize> {
+        if let Some(bad) = requests.iter().position(|r| r.function_id().is_none()) {
+            return Err(bad);
+        }
+        Ok(Batch { requests })
+    }
+
+    /// The packed requests, in submission order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Consume the batch, yielding the packed requests.
+    pub fn into_requests(self) -> Vec<Request> {
+        self.requests
+    }
+
+    /// Number of packed requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Exact number of bytes [`Batch::write`] puts on the wire: the 8-byte
+    /// header plus the sum of the packed requests' own wire sizes.
+    pub fn wire_bytes(&self) -> u64 {
+        BATCH_HEADER_BYTES + self.requests.iter().map(Request::wire_bytes).sum::<u64>()
+    }
+
+    /// Serialize onto the wire: selector, count, then each request encoded
+    /// exactly as it would be on its own.
+    pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        put_u32(w, FunctionId::Batch.as_u32())?;
+        put_u32(w, self.requests.len() as u32)?;
+        for req in &self.requests {
+            req.write(w)?;
+        }
+        Ok(())
+    }
+
+    /// Read the body of a batch frame whose `FunctionId::Batch` selector has
+    /// already been consumed (see [`Frame::read`]).
+    pub fn read_body<R: Read>(r: &mut R) -> io::Result<Batch> {
+        let count = get_u32(r)? as usize;
+        // Capacity is clamped so a corrupt count cannot force a huge
+        // allocation before the per-request reads start failing.
+        let mut requests = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            requests.push(Request::read(r)?);
+        }
+        Ok(Batch { requests })
+    }
+}
+
+/// The server's combined reply to a [`Batch`]: one response per packed
+/// request, in submission order. The server executes every element even if
+/// an earlier one fails — each response carries its own result code, exactly
+/// as if the calls had been issued individually. (The one exception is a
+/// `Quit` inside a batch: it ends the session, so elements after it are
+/// answered but not executed.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResponse {
+    pub responses: Vec<Response>,
+}
+
+impl BatchResponse {
+    /// Exact number of bytes [`BatchResponse::write`] puts on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        BATCH_RESPONSE_HEADER_BYTES + self.responses.iter().map(Response::wire_bytes).sum::<u64>()
+    }
+
+    /// Serialize onto the wire: count, then each response.
+    pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        put_u32(w, self.responses.len() as u32)?;
+        for resp in &self.responses {
+            resp.write(w)?;
+        }
+        Ok(())
+    }
+
+    /// Read the combined reply to `batch`. Like [`Response::read`] this is
+    /// keyed on the requests: each packed response's shape is determined by
+    /// the request that elicited it. The element count must match the
+    /// batch's — anything else is a protocol violation.
+    pub fn read<R: Read>(r: &mut R, batch: &Batch) -> io::Result<BatchResponse> {
+        let count = get_u32(r)? as usize;
+        if count != batch.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "batch response count {count} does not match batch of {}",
+                    batch.len()
+                ),
+            ));
+        }
+        let mut responses = Vec::with_capacity(count.min(1024));
+        for req in batch.requests() {
+            responses.push(Response::read(r, req)?);
+        }
+        Ok(BatchResponse { responses })
+    }
+}
+
+/// What the server's reader sees next on the wire: a lone request or a batch.
+///
+/// The selector is read once; `FunctionId::Batch` routes to the batch body
+/// reader, anything else to the unchanged per-request reader, so a server
+/// built on `Frame::read` speaks both the paper's one-call-per-message
+/// protocol and the batched extension with no mode negotiation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    Single(Request),
+    Batch(Batch),
+}
+
+impl Frame {
+    /// Read the next frame (selector first).
+    pub fn read<R: Read>(r: &mut R) -> io::Result<Frame> {
+        let raw = get_u32(r)?;
+        let id =
+            FunctionId::from_u32(raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if id == FunctionId::Batch {
+            Ok(Frame::Batch(Batch::read_body(r)?))
+        } else {
+            Ok(Frame::Single(Request::read_with_id(id, r)?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MemcpyKind;
+    use crate::launch::LaunchConfig;
+    use rcuda_core::{CudaError, DevicePtr};
+    use std::io::Cursor;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Memcpy {
+                dst: 0x1000,
+                src: 0,
+                size: 4,
+                kind: MemcpyKind::HostToDevice,
+                data: Some(vec![1, 2, 3, 4]),
+            },
+            Request::Memset {
+                dst: 0x2000,
+                value: 0,
+                size: 64,
+            },
+            Request::launch("sgemmNN", &[0; 16], LaunchConfig::default()),
+            Request::Free {
+                ptr: DevicePtr::new(0x1000),
+            },
+        ]
+    }
+
+    #[test]
+    fn batch_wire_size_is_sum_of_parts_plus_header() {
+        let requests = sample_requests();
+        let parts: u64 = requests.iter().map(Request::wire_bytes).sum();
+        let batch = Batch::new(requests).unwrap();
+        assert_eq!(batch.wire_bytes(), BATCH_HEADER_BYTES + parts);
+
+        let mut buf = Vec::new();
+        batch.write(&mut buf).unwrap();
+        assert_eq!(buf.len() as u64, batch.wire_bytes());
+    }
+
+    #[test]
+    fn batch_round_trips_through_frame_reader() {
+        let batch = Batch::new(sample_requests()).unwrap();
+        let mut buf = Vec::new();
+        batch.write(&mut buf).unwrap();
+        match Frame::read(&mut Cursor::new(&buf)).unwrap() {
+            Frame::Batch(decoded) => assert_eq!(decoded, batch),
+            other => panic!("expected batch frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_request_still_reads_as_single_frame() {
+        let req = Request::Malloc { size: 256 };
+        let mut buf = Vec::new();
+        req.write(&mut buf).unwrap();
+        match Frame::read(&mut Cursor::new(&buf)).unwrap() {
+            Frame::Single(decoded) => assert_eq!(decoded, req),
+            other => panic!("expected single frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn init_is_not_batchable() {
+        let reqs = vec![
+            Request::ThreadSynchronize,
+            Request::Init { module: vec![1] },
+        ];
+        assert_eq!(Batch::new(reqs), Err(1));
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let batch = Batch::new(Vec::new()).unwrap();
+        assert_eq!(batch.wire_bytes(), BATCH_HEADER_BYTES);
+        let mut buf = Vec::new();
+        batch.write(&mut buf).unwrap();
+        match Frame::read(&mut Cursor::new(&buf)).unwrap() {
+            Frame::Batch(decoded) => assert!(decoded.is_empty()),
+            other => panic!("expected batch frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_batch_selector_is_rejected() {
+        let mut buf = Vec::new();
+        // Outer batch claiming one element whose selector is again Batch.
+        put_u32(&mut buf, FunctionId::Batch.as_u32()).unwrap();
+        put_u32(&mut buf, 1).unwrap();
+        put_u32(&mut buf, FunctionId::Batch.as_u32()).unwrap();
+        put_u32(&mut buf, 0).unwrap();
+        assert!(Frame::read(&mut Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn batch_response_round_trip_and_size() {
+        let batch = Batch::new(sample_requests()).unwrap();
+        let resp = BatchResponse {
+            responses: vec![
+                Response::Ack(Ok(())),
+                Response::Ack(Ok(())),
+                Response::Ack(Err(CudaError::LaunchFailure)),
+                Response::Ack(Ok(())),
+            ],
+        };
+        let mut buf = Vec::new();
+        resp.write(&mut buf).unwrap();
+        assert_eq!(buf.len() as u64, resp.wire_bytes());
+        let decoded = BatchResponse::read(&mut Cursor::new(&buf), &batch).unwrap();
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn batch_response_with_payload_bearing_tail() {
+        // A result-bearing call (D2H memcpy) may ride as the final element.
+        let requests = vec![
+            Request::Memset {
+                dst: 0x1000,
+                value: 7,
+                size: 3,
+            },
+            Request::Memcpy {
+                dst: 0,
+                src: 0x1000,
+                size: 3,
+                kind: MemcpyKind::DeviceToHost,
+                data: None,
+            },
+        ];
+        let batch = Batch::new(requests).unwrap();
+        let resp = BatchResponse {
+            responses: vec![
+                Response::Ack(Ok(())),
+                Response::MemcpyToHost(Ok(vec![7, 7, 7])),
+            ],
+        };
+        let mut buf = Vec::new();
+        resp.write(&mut buf).unwrap();
+        let decoded = BatchResponse::read(&mut Cursor::new(&buf), &batch).unwrap();
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn mismatched_response_count_is_rejected() {
+        let batch = Batch::new(vec![Request::ThreadSynchronize]).unwrap();
+        let resp = BatchResponse {
+            responses: vec![Response::Ack(Ok(())), Response::Ack(Ok(()))],
+        };
+        let mut buf = Vec::new();
+        resp.write(&mut buf).unwrap();
+        assert!(BatchResponse::read(&mut Cursor::new(&buf), &batch).is_err());
+    }
+}

@@ -45,6 +45,10 @@ pub enum FunctionId {
     EventElapsed = 25,
     /// `cudaEventDestroy` (extension)
     EventDestroy = 26,
+    /// A batch frame: one length-prefixed message packing N consecutive
+    /// requests (extension; see [`crate::batch`]). Batches themselves are
+    /// never nested.
+    Batch = 32,
     /// Finalization stage: client is closing the socket.
     Quit = 255,
 }
@@ -69,6 +73,7 @@ impl FunctionId {
             24 => FunctionId::EventSynchronize,
             25 => FunctionId::EventElapsed,
             26 => FunctionId::EventDestroy,
+            32 => FunctionId::Batch,
             255 => FunctionId::Quit,
             _ => return Err(CudaError::InvalidValue),
         })
@@ -79,7 +84,7 @@ impl FunctionId {
     }
 
     /// All defined ids (for exhaustive round-trip tests).
-    pub const ALL: [FunctionId; 17] = [
+    pub const ALL: [FunctionId; 18] = [
         FunctionId::Malloc,
         FunctionId::Free,
         FunctionId::Memcpy,
@@ -96,6 +101,7 @@ impl FunctionId {
         FunctionId::EventSynchronize,
         FunctionId::EventElapsed,
         FunctionId::EventDestroy,
+        FunctionId::Batch,
         FunctionId::Quit,
     ];
 }

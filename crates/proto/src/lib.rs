@@ -20,6 +20,12 @@
 //! bytes to read next. Table I therefore accounts for *all* bytes on the
 //! wire.
 //!
+//! One extension departs from the paper's strict one-call-per-round-trip
+//! model: the [`batch`] module packs N consecutive requests into a single
+//! message (and their N responses into a single reply), eliminating the
+//! per-call network round trips that sink the FFT case study on Gigabit
+//! Ethernet. Servers read via [`batch::Frame`], which accepts both framings.
+//!
 //! ## The initialization handshake
 //!
 //! Initialization is the one asymmetric exchange (Fig. 2): upon accepting a
@@ -28,6 +34,7 @@
 //! the server acknowledges with a 4-byte result code. Send `x+4`, receive
 //! `8 + 4 = 12` bytes — Table I's Initialization row.
 
+pub mod batch;
 pub mod ids;
 pub mod launch;
 pub mod request;
@@ -35,6 +42,7 @@ pub mod response;
 pub mod sizes;
 pub mod wire;
 
+pub use batch::{Batch, BatchResponse, Frame};
 pub use ids::FunctionId;
 pub use launch::LaunchConfig;
 pub use request::Request;

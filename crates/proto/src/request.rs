@@ -263,7 +263,20 @@ impl Request {
         let raw = get_u32(r)?;
         let id =
             FunctionId::from_u32(raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Self::read_with_id(id, r)
+    }
+
+    /// Read the body of a request whose selector has already been consumed
+    /// (used by [`crate::batch::Frame::read`], which peeks at the selector to
+    /// decide between a single request and a batch).
+    pub fn read_with_id<R: Read>(id: FunctionId, r: &mut R) -> io::Result<Request> {
         Ok(match id {
+            FunctionId::Batch => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "batch frames cannot appear inside a batch",
+                ))
+            }
             FunctionId::Malloc => Request::Malloc { size: get_u32(r)? },
             FunctionId::Free => Request::Free {
                 ptr: DevicePtr::new(get_u32(r)?),

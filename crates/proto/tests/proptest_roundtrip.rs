@@ -5,8 +5,9 @@ use proptest::prelude::*;
 use std::io::Cursor;
 
 use rcuda_core::{CudaError, Dim3};
+use rcuda_proto::batch::BATCH_HEADER_BYTES;
 use rcuda_proto::ids::MemcpyKind;
-use rcuda_proto::{LaunchConfig, Request, Response};
+use rcuda_proto::{Batch, BatchResponse, Frame, LaunchConfig, Request, Response};
 
 fn arb_dim3() -> impl Strategy<Value = Dim3> {
     (1u32..=1024, 1u32..=1024).prop_map(|(x, y)| Dim3::xy(x, y))
@@ -67,6 +68,101 @@ fn arb_request() -> impl Strategy<Value = Request> {
         any::<u32>().prop_map(|stream| Request::StreamDestroy { stream }),
         Just(Request::Quit),
     ]
+}
+
+/// Any request that may appear inside a batch: everything but `Init`, which
+/// has no selector (it is identified by protocol position in the handshake).
+fn arb_batchable_request() -> impl Strategy<Value = Request> {
+    arb_request().prop_filter("Init is not batchable", |r| r.function_id().is_some())
+}
+
+/// A matching response for `req`, shaped the way the server would answer it;
+/// `seed`/`val` pick between success and failure and fill the payload.
+fn response_for(req: &Request, seed: u8, val: u32) -> Response {
+    let err = CudaError::ALL[seed as usize % CudaError::ALL.len()];
+    let fail = seed.is_multiple_of(4);
+    match req {
+        Request::Malloc { .. } if fail => Response::Malloc(Err(CudaError::MemoryAllocation)),
+        Request::Malloc { .. } => Response::Malloc(Ok(rcuda_core::DevicePtr::new(val))),
+        Request::Memcpy {
+            kind: MemcpyKind::DeviceToHost,
+            size,
+            ..
+        } => {
+            if fail {
+                Response::MemcpyToHost(Err(CudaError::InvalidDevicePointer))
+            } else {
+                Response::MemcpyToHost(Ok(vec![seed; *size as usize]))
+            }
+        }
+        Request::DeviceProps => Response::DeviceProps(Ok(val.to_le_bytes().to_vec())),
+        Request::StreamCreate if fail => Response::StreamCreate(Err(err)),
+        Request::StreamCreate => Response::StreamCreate(Ok(val)),
+        _ if fail => Response::Ack(Err(err)),
+        _ => Response::Ack(Ok(())),
+    }
+}
+
+proptest! {
+    #[test]
+    fn batch_round_trip(reqs in proptest::collection::vec(arb_batchable_request(), 0..12)) {
+        let batch = Batch::new(reqs.clone()).unwrap();
+
+        // Batching is pure framing: wire size is the 8-byte header plus the
+        // sum of the elements' own wire sizes.
+        let parts: u64 = reqs.iter().map(Request::wire_bytes).sum();
+        prop_assert_eq!(batch.wire_bytes(), BATCH_HEADER_BYTES + parts);
+
+        let mut buf = Vec::new();
+        batch.write(&mut buf).unwrap();
+        prop_assert_eq!(buf.len() as u64, batch.wire_bytes());
+
+        match Frame::read(&mut Cursor::new(&buf)).unwrap() {
+            Frame::Batch(decoded) => prop_assert_eq!(decoded.into_requests(), reqs),
+            other => prop_assert!(false, "expected batch frame, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn batch_response_round_trip(
+        elements in proptest::collection::vec(
+            (arb_batchable_request(), any::<u8>(), any::<u32>()),
+            0..12,
+        )
+    ) {
+        let responses: Vec<Response> = elements
+            .iter()
+            .map(|(req, seed, val)| response_for(req, *seed, *val))
+            .collect();
+        let batch =
+            Batch::new(elements.into_iter().map(|(req, _, _)| req).collect()).unwrap();
+        let resp = BatchResponse { responses };
+        let mut buf = Vec::new();
+        resp.write(&mut buf).unwrap();
+        prop_assert_eq!(buf.len() as u64, resp.wire_bytes());
+        let decoded = BatchResponse::read(&mut Cursor::new(&buf), &batch).unwrap();
+        prop_assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn batch_frame_interleaves_with_singles(
+        before in arb_batchable_request(),
+        packed in proptest::collection::vec(arb_batchable_request(), 1..6),
+        after in arb_batchable_request(),
+    ) {
+        // A stream mixing single and batch frames parses unambiguously.
+        let batch = Batch::new(packed).unwrap();
+        let mut buf = Vec::new();
+        before.write(&mut buf).unwrap();
+        batch.write(&mut buf).unwrap();
+        after.write(&mut buf).unwrap();
+
+        let mut cursor = Cursor::new(&buf);
+        prop_assert_eq!(Frame::read(&mut cursor).unwrap(), Frame::Single(before));
+        prop_assert_eq!(Frame::read(&mut cursor).unwrap(), Frame::Batch(batch));
+        prop_assert_eq!(Frame::read(&mut cursor).unwrap(), Frame::Single(after));
+        prop_assert_eq!(cursor.position() as usize, buf.len());
+    }
 }
 
 proptest! {

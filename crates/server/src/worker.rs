@@ -10,12 +10,12 @@
 
 use rcuda_core::SharedClock;
 use rcuda_gpu::{GpuContext, GpuDevice};
-use rcuda_proto::{Request, Response};
+use rcuda_proto::{Frame, Request, Response};
 use rcuda_transport::Transport;
 use std::io;
 use std::sync::Arc;
 
-use crate::dispatch::dispatch;
+use crate::dispatch::{dispatch, dispatch_batch};
 
 /// Worker configuration.
 #[derive(Debug, Clone)]
@@ -77,23 +77,40 @@ pub fn serve_connection<T: Transport>(
 
     let mut report = SessionReport::default();
     // Read until the client quits or vanishes (a read error is a client
-    // disconnect, not a server fault).
-    while let Ok(req) = Request::read(&mut transport) {
-        report.requests += 1;
-        match dispatch(&mut ctx, &req) {
-            Some(resp) => {
+    // disconnect, not a server fault). Both framings are accepted: the
+    // paper's one-call-per-message protocol and the batched extension.
+    while let Ok(frame) = Frame::read(&mut transport) {
+        match frame {
+            Frame::Single(req) => {
+                report.requests += 1;
+                match dispatch(&mut ctx, &req) {
+                    Some(resp) => {
+                        if resp.write(&mut transport).is_err() || transport.flush().is_err() {
+                            break;
+                        }
+                    }
+                    None => {
+                        // Finalization stage: acknowledge the Quit, then
+                        // release everything ("the daemon server quits
+                        // servicing the current execution and releases the
+                        // associated resources", §III).
+                        let _ = Response::Ack(Ok(())).write(&mut transport);
+                        let _ = transport.flush();
+                        report.orderly_shutdown = true;
+                        break;
+                    }
+                }
+            }
+            Frame::Batch(batch) => {
+                report.requests += batch.len() as u64;
+                let (resp, quit) = dispatch_batch(&mut ctx, &batch);
                 if resp.write(&mut transport).is_err() || transport.flush().is_err() {
                     break;
                 }
-            }
-            None => {
-                // Finalization stage: acknowledge the Quit, then release
-                // everything ("the daemon server quits servicing the current
-                // execution and releases the associated resources", §III).
-                let _ = Response::Ack(Ok(())).write(&mut transport);
-                let _ = transport.flush();
-                report.orderly_shutdown = true;
-                break;
+                if quit {
+                    report.orderly_shutdown = true;
+                    break;
+                }
             }
         }
     }
@@ -172,6 +189,123 @@ mod tests {
         assert!(report.orderly_shutdown);
         assert_eq!(report.requests, 3); // malloc, free, quit
         assert_eq!(report.leaked_allocations, 0);
+    }
+
+    /// A batched frame executes in order on the worker's context and yields
+    /// one combined response, and the session keeps working afterwards.
+    #[test]
+    fn batched_session_over_channel() {
+        use rcuda_core::ArgPack;
+        use rcuda_proto::{Batch, BatchResponse, LaunchConfig};
+
+        let (mut client, server_side) = channel_pair();
+        let device = GpuDevice::tesla_c1060_functional();
+        let clock = wall_clock();
+        let cfg = ServerConfig::default();
+        let worker =
+            thread::spawn(move || serve_connection(server_side, &device, clock, &cfg).unwrap());
+
+        let mut cc = [0u8; 8];
+        client.read_exact(&mut cc).unwrap();
+        Request::Init {
+            module: build_module(&["fill"], 0),
+        }
+        .write(&mut client)
+        .unwrap();
+        client.flush().unwrap();
+        let init_req = Request::Init { module: vec![] };
+        Response::read(&mut client, &init_req).unwrap();
+
+        // Malloc is result-bearing, so it goes alone.
+        let malloc = Request::Malloc { size: 16 };
+        malloc.write(&mut client).unwrap();
+        client.flush().unwrap();
+        let ptr = Response::read(&mut client, &malloc)
+            .unwrap()
+            .into_malloc()
+            .unwrap();
+
+        // fill + synchronize + readback + free, all in one frame: the D2H
+        // copy rides as a result-bearing element inside the batch.
+        let args = ArgPack::new()
+            .push_ptr(ptr)
+            .push_u32(4)
+            .push_f32(3.0)
+            .into_bytes();
+        let batch = Batch::new(vec![
+            Request::launch("fill", &args, LaunchConfig::simple(1, 4)),
+            Request::ThreadSynchronize,
+            Request::Memcpy {
+                dst: 0,
+                src: ptr.addr(),
+                size: 16,
+                kind: MemcpyKind::DeviceToHost,
+                data: None,
+            },
+            Request::Free { ptr },
+        ])
+        .unwrap();
+        batch.write(&mut client).unwrap();
+        client.flush().unwrap();
+        let resp = BatchResponse::read(&mut client, &batch).unwrap();
+        assert_eq!(resp.responses.len(), 4);
+        assert_eq!(resp.responses[0], Response::Ack(Ok(())));
+        assert_eq!(resp.responses[1], Response::Ack(Ok(())));
+        let bytes = match &resp.responses[2] {
+            Response::MemcpyToHost(Ok(b)) => b.clone(),
+            other => panic!("{other:?}"),
+        };
+        let vals: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![3.0; 4]);
+        assert_eq!(resp.responses[3], Response::Ack(Ok(())));
+
+        // The session is still alive for ordinary single requests.
+        Request::Quit.write(&mut client).unwrap();
+        client.flush().unwrap();
+        Response::read(&mut client, &Request::Quit)
+            .unwrap()
+            .into_ack()
+            .unwrap();
+
+        let report = worker.join().unwrap();
+        assert!(report.orderly_shutdown);
+        assert_eq!(report.requests, 6); // malloc + 4 batched + quit
+        assert_eq!(report.leaked_allocations, 0);
+    }
+
+    /// A Quit packed inside a batch still ends the session gracefully.
+    #[test]
+    fn quit_inside_batch_is_orderly() {
+        use rcuda_proto::{Batch, BatchResponse};
+
+        let (mut client, server_side) = channel_pair();
+        let device = GpuDevice::tesla_c1060_functional();
+        let clock = wall_clock();
+        let cfg = ServerConfig::default();
+        let worker =
+            thread::spawn(move || serve_connection(server_side, &device, clock, &cfg).unwrap());
+        let mut cc = [0u8; 8];
+        client.read_exact(&mut cc).unwrap();
+        Request::Init {
+            module: build_module(&[], 0),
+        }
+        .write(&mut client)
+        .unwrap();
+        client.flush().unwrap();
+        let init_req = Request::Init { module: vec![] };
+        Response::read(&mut client, &init_req).unwrap();
+
+        let batch = Batch::new(vec![Request::ThreadSynchronize, Request::Quit]).unwrap();
+        batch.write(&mut client).unwrap();
+        client.flush().unwrap();
+        let resp = BatchResponse::read(&mut client, &batch).unwrap();
+        assert_eq!(resp.responses[1], Response::Ack(Ok(())));
+
+        let report = worker.join().unwrap();
+        assert!(report.orderly_shutdown);
     }
 
     #[test]

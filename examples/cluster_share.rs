@@ -43,7 +43,7 @@ fn concurrent_sharing(clients: usize) {
                 let clock = wall_clock();
                 let (a, b) = matrix_pair(m as usize, seed);
                 let f = |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
-                let mut rt = session::connect_tcp(addr).unwrap();
+                let mut rt = session::Session::builder().tcp(addr).unwrap();
                 let report =
                     run_matmul_bytes(&mut rt, &*clock, m, &f(a.as_slice()), &f(b.as_slice()))
                         .unwrap();

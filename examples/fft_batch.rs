@@ -34,7 +34,7 @@ fn functional_proof() {
     let input_bytes = complex_to_bytes(&input);
 
     let clock = wall_clock();
-    let mut sess = session::simulated_session(NetworkId::GigaE, false);
+    let mut sess = session::Session::builder().simulated(NetworkId::GigaE);
     let out = run_fft_bytes(&mut sess.runtime, &*clock, batch, &input_bytes)
         .unwrap()
         .output;

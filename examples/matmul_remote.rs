@@ -41,7 +41,7 @@ fn functional_proof() {
         .unwrap()
         .output;
 
-    let mut sess = session::simulated_session(NetworkId::Ib40G, false);
+    let mut sess = session::Session::builder().simulated(NetworkId::Ib40G);
     let remote_out = run_matmul_bytes(&mut sess.runtime, &*clock, m, &a, &b)
         .unwrap()
         .output;

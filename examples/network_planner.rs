@@ -43,7 +43,9 @@ fn main() {
 
     // ---- 1. One traced run on the network we "own" (simulated GigaE at
     //         scale; phantom memory keeps host cost negligible).
-    let mut sess = session::simulated_session(NetworkId::GigaE, true);
+    let mut sess = session::Session::builder()
+        .phantom(true)
+        .simulated(NetworkId::GigaE);
     let clock = sess.clock.clone();
     match kind.as_str() {
         "mm" => {

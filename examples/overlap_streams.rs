@@ -11,7 +11,7 @@
 //! cargo run --release --example overlap_streams [mib] [chunks]
 //! ```
 
-use rcuda::api::CudaRuntime;
+use rcuda::api::{CudaRuntime, CudaRuntimeAsyncExt};
 use rcuda::core::Clock as _;
 use rcuda::gpu::module::build_module;
 use rcuda::netsim::NetworkId;
@@ -36,7 +36,9 @@ fn main() {
 
     // --- Synchronous: each chunk pays network THEN PCIe, serially.
     let sync_time = {
-        let mut sess = session::simulated_session(NetworkId::AsicHt, true);
+        let mut sess = session::Session::builder()
+            .phantom(true)
+            .simulated(NetworkId::AsicHt);
         sess.runtime.initialize(&build_module(&[], 0)).unwrap();
         let p = sess.runtime.malloc(total).unwrap();
         let start = sess.clock.now();
@@ -54,7 +56,9 @@ fn main() {
     // --- Asynchronous: the PCIe leg of chunk k overlaps the network leg of
     //     chunk k+1 (double buffering on one device stream).
     let async_time = {
-        let mut sess = session::simulated_session(NetworkId::AsicHt, true);
+        let mut sess = session::Session::builder()
+            .phantom(true)
+            .simulated(NetworkId::AsicHt);
         sess.runtime.initialize(&build_module(&[], 0)).unwrap();
         let p = sess.runtime.malloc(total).unwrap();
         let stream = sess.runtime.stream_create().unwrap();

@@ -19,7 +19,9 @@ fn main() {
     println!("rCUDA daemon listening on {}", daemon.local_addr());
 
     // 2. A GPU-less node connects and initializes with its GPU module.
-    let mut rt = session::connect_tcp(daemon.local_addr()).unwrap();
+    let mut rt = session::Session::builder()
+        .tcp(daemon.local_addr())
+        .unwrap();
     rt.initialize(&build_module(&["vec_add"], 0)).unwrap();
     println!(
         "connected; server announced compute capability {:?}",

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI would run, in the order that fails fastest.
+# Works offline — all third-party dependencies are vendored in vendor/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release ==" >&2
+cargo build --release --workspace
+
+echo "== cargo test ==" >&2
+cargo test -q --workspace
+
+echo "== cargo fmt --check ==" >&2
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings ==" >&2
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed." >&2

@@ -55,7 +55,7 @@ fn main() {
     let (kind, size) = workload.unwrap_or_else(|| usage("pick a workload: mm DIM or fft BATCH"));
 
     let clock = wall_clock();
-    let mut rt = match session::connect_tcp(&addr) {
+    let mut rt = match session::Session::builder().tcp(&addr) {
         Ok(rt) => rt,
         Err(e) => {
             eprintln!("rcuda-run: cannot connect to {addr}: {e}");

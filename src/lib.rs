@@ -13,7 +13,7 @@
 //! use rcuda::api::{run_matmul_bytes, CudaRuntime};
 //!
 //! // A remote GPU over a simulated 40 Gbps InfiniBand link:
-//! let mut sess = session::simulated_session(rcuda::netsim::NetworkId::Ib40G, false);
+//! let mut sess = session::Session::builder().simulated(rcuda::netsim::NetworkId::Ib40G);
 //! let m = 16u32;
 //! let a: Vec<u8> = vec![0u8; (m * m * 4) as usize];
 //! let b = a.clone();
@@ -39,3 +39,5 @@ pub use rcuda_transport as transport;
 
 pub mod paper_map;
 pub mod session;
+
+pub use session::Session;

@@ -1,5 +1,29 @@
-//! Session helpers: one call to stand up a local, TCP-remote, or
-//! simulated-remote CUDA runtime.
+//! Session construction: one builder to stand up a CUDA runtime over any
+//! transport.
+//!
+//! [`Session::builder`] unifies the three transport-specific construction
+//! paths (real TCP, in-process channel, simulated network) behind one
+//! fluent API, with pipelining as an opt-in knob:
+//!
+//! ```
+//! use rcuda::session::Session;
+//! use rcuda::netsim::NetworkId;
+//!
+//! // Simulated 40 Gbps InfiniBand, deferred-completion window of 4:
+//! let sess = Session::builder()
+//!     .pipeline(4)
+//!     .simulated(NetworkId::Ib40G);
+//! # drop(sess);
+//! ```
+//!
+//! Pipelining defaults to **off** (depth 0): the paper's protocol is
+//! strictly synchronous — one round trip per CUDA call — and the estimation
+//! model of §V prices exactly that. `pipeline(depth)` opts a session into
+//! the batched submission path (see `rcuda-client`).
+//!
+//! The free functions ([`local_functional`], [`local_simulated`]) remain for
+//! local runtimes, which involve no transport; the older remote constructors
+//! are deprecated in favor of the builder.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -7,11 +31,11 @@ use std::thread::JoinHandle;
 use rcuda_api::LocalRuntime;
 use rcuda_client::RemoteRuntime;
 use rcuda_core::time::{virtual_clock, wall_clock};
-use rcuda_core::{CudaError, CudaResult, SharedClock, VirtualClock};
+use rcuda_core::{CudaResult, SharedClock, VirtualClock};
 use rcuda_gpu::GpuDevice;
 use rcuda_netsim::NetworkId;
 use rcuda_server::{serve_connection, ServerConfig, SessionReport};
-use rcuda_transport::{sim_pair, SimTransport, TcpTransport};
+use rcuda_transport::{channel_pair, sim_pair, ChannelTransport, SimTransport, TcpTransport};
 
 /// A functional local-GPU runtime (wall clock, kernels really execute).
 pub fn local_functional() -> LocalRuntime {
@@ -25,11 +49,129 @@ pub fn local_simulated() -> (LocalRuntime, Arc<VirtualClock>) {
     (rt, clock)
 }
 
-/// Connect to an rCUDA daemon over real TCP (see
-/// [`rcuda_server::RcudaDaemon`]).
+/// Entry point for remote-session construction; see [`Session::builder`].
+pub struct Session;
+
+impl Session {
+    /// Start configuring a remote session. Terminal methods pick the
+    /// transport: [`SessionBuilder::tcp`], [`SessionBuilder::channel`],
+    /// [`SessionBuilder::simulated`] / [`SessionBuilder::simulated_with`].
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder {
+            pipeline_depth: 0,
+            phantom: false,
+        }
+    }
+}
+
+/// Options common to every transport, applied by the terminal methods.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    pipeline_depth: usize,
+    phantom: bool,
+}
+
+impl SessionBuilder {
+    /// Deferred-completion window depth. `0` (the default) keeps the
+    /// paper-faithful synchronous protocol; `depth ≥ 1` batches no-result
+    /// calls into one message per window (see `rcuda-client`).
+    pub fn pipeline(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// Phantom server memory: data storage and kernel execution are skipped
+    /// (paper-scale problems at negligible host cost — simulated timing is
+    /// unaffected). Default `false`: everything executes functionally and
+    /// remote results are bit-identical to local ones. Ignored by
+    /// [`SessionBuilder::tcp`], where the daemon owns its configuration.
+    pub fn phantom(mut self, phantom: bool) -> Self {
+        self.phantom = phantom;
+        self
+    }
+
+    /// Connect to an rCUDA daemon over real TCP (see
+    /// [`rcuda_server::RcudaDaemon`]).
+    pub fn tcp<A: std::net::ToSocketAddrs>(
+        self,
+        addr: A,
+    ) -> CudaResult<RemoteRuntime<TcpTransport>> {
+        let transport =
+            TcpTransport::connect(addr).map_err(|e| rcuda_client::transport_error(&e))?;
+        let mut rt = RemoteRuntime::new(transport, wall_clock());
+        rt.set_pipeline_depth(self.pipeline_depth)?;
+        Ok(rt)
+    }
+
+    /// A complete in-process session over an OS-free channel transport:
+    /// client runtime on one end, a served GPU context on a server thread,
+    /// both on the wall clock. The fastest way to drive the full protocol
+    /// stack in tests and benches.
+    pub fn channel(self) -> ChannelSession {
+        let (client_side, server_side) = channel_pair();
+        let clock: SharedClock = wall_clock();
+        let server = spawn_server(server_side, clock.clone(), self.phantom);
+        let mut runtime = RemoteRuntime::new(client_side, clock);
+        runtime
+            .set_pipeline_depth(self.pipeline_depth)
+            .expect("fresh session");
+        ChannelSession {
+            runtime,
+            server: Some(server),
+        }
+    }
+
+    /// A complete in-process session over the simulated network `net`, on a
+    /// fresh shared virtual clock.
+    pub fn simulated(self, net: NetworkId) -> SimSession {
+        self.simulated_with(Arc::from(net.model()))
+    }
+
+    /// [`SessionBuilder::simulated`] over an arbitrary network model — e.g.
+    /// a [`rcuda_netsim::TopologyNetwork`] binding two specific cluster
+    /// hosts, or a custom what-if interconnect.
+    pub fn simulated_with(self, model: Arc<dyn rcuda_netsim::NetworkModel>) -> SimSession {
+        let clock = virtual_clock();
+        let shared: SharedClock = clock.clone();
+        let (client_side, server_side) = sim_pair(model, shared.clone());
+        let server = spawn_server(server_side, shared.clone(), self.phantom);
+        let mut runtime = RemoteRuntime::new(client_side, shared);
+        runtime
+            .set_pipeline_depth(self.pipeline_depth)
+            .expect("fresh session");
+        SimSession {
+            runtime,
+            clock,
+            server: Some(server),
+        }
+    }
+}
+
+/// Spawn a server thread driving one session over `transport`.
+fn spawn_server<T: rcuda_transport::Transport + 'static>(
+    transport: T,
+    clock: SharedClock,
+    phantom: bool,
+) -> JoinHandle<std::io::Result<SessionReport>> {
+    let device = if phantom {
+        GpuDevice::tesla_c1060()
+    } else {
+        GpuDevice::tesla_c1060_functional()
+    };
+    let config = ServerConfig {
+        preinitialize_context: true,
+        phantom_memory: phantom,
+    };
+    std::thread::Builder::new()
+        .name("rcuda-session-server".into())
+        .spawn(move || serve_connection(transport, &device, clock, &config))
+        .expect("spawn session server")
+}
+
+/// Connect to an rCUDA daemon over real TCP.
+#[deprecated(since = "0.2.0", note = "use `Session::builder().tcp(addr)`")]
 pub fn connect_tcp<A: std::net::ToSocketAddrs>(addr: A) -> CudaResult<RemoteRuntime<TcpTransport>> {
-    let transport = TcpTransport::connect(addr).map_err(|_| CudaError::Unknown)?;
-    Ok(RemoteRuntime::new(transport, wall_clock()))
+    Session::builder().tcp(addr)
 }
 
 /// A complete in-process remote session over a simulated network: client
@@ -58,45 +200,50 @@ impl SimSession {
     }
 }
 
+/// A complete in-process remote session over a channel transport (wall
+/// clock); see [`SessionBuilder::channel`].
+pub struct ChannelSession {
+    /// The client-side runtime.
+    pub runtime: RemoteRuntime<ChannelTransport>,
+    server: Option<JoinHandle<std::io::Result<SessionReport>>>,
+}
+
+impl ChannelSession {
+    /// Join the server side and return its session report.
+    pub fn finish(mut self) -> SessionReport {
+        let server = self.server.take().expect("finish called once");
+        drop(self.runtime);
+        server
+            .join()
+            .expect("server thread panicked")
+            .expect("server io error")
+    }
+}
+
 /// Stand up a simulated remote-GPU session over `net`.
 ///
 /// With `phantom = true` the server context skips data storage and kernel
 /// execution (paper-scale problems at negligible host cost — timing is
 /// unaffected); with `phantom = false` everything executes functionally and
 /// remote results are bit-identical to local ones.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session::builder().phantom(phantom).simulated(net)`"
+)]
 pub fn simulated_session(net: NetworkId, phantom: bool) -> SimSession {
-    simulated_session_with(Arc::from(net.model()), phantom)
+    Session::builder().phantom(phantom).simulated(net)
 }
 
-/// [`simulated_session`] over an arbitrary network model — e.g. a
-/// [`rcuda_netsim::TopologyNetwork`] binding two specific cluster hosts, or
-/// a custom what-if interconnect.
+/// [`simulated_session`] over an arbitrary network model.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session::builder().phantom(phantom).simulated_with(model)`"
+)]
 pub fn simulated_session_with(
     model: Arc<dyn rcuda_netsim::NetworkModel>,
     phantom: bool,
 ) -> SimSession {
-    let clock = virtual_clock();
-    let shared: SharedClock = clock.clone();
-    let (client_side, server_side) = sim_pair(model, shared.clone());
-    let device = if phantom {
-        GpuDevice::tesla_c1060()
-    } else {
-        GpuDevice::tesla_c1060_functional()
-    };
-    let config = ServerConfig {
-        preinitialize_context: true,
-        phantom_memory: phantom,
-    };
-    let server_clock = shared.clone();
-    let server = std::thread::Builder::new()
-        .name("rcuda-sim-server".into())
-        .spawn(move || serve_connection(server_side, &device, server_clock, &config))
-        .expect("spawn sim server");
-    SimSession {
-        runtime: RemoteRuntime::new(client_side, shared),
-        clock,
-        server: Some(server),
-    }
+    Session::builder().phantom(phantom).simulated_with(model)
 }
 
 #[cfg(test)]
@@ -108,7 +255,7 @@ mod tests {
 
     #[test]
     fn simulated_session_round_trip() {
-        let mut sess = simulated_session(NetworkId::Ib40G, false);
+        let mut sess = Session::builder().simulated(NetworkId::Ib40G);
         sess.runtime
             .initialize(&build_module(&["fill"], 0))
             .unwrap();
@@ -121,6 +268,38 @@ mod tests {
         let report = sess.finish();
         assert!(report.orderly_shutdown);
         assert_eq!(report.leaked_allocations, 0);
+    }
+
+    #[test]
+    fn channel_session_round_trip() {
+        let mut sess = Session::builder().channel();
+        sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+        let p = sess.runtime.malloc(16).unwrap();
+        sess.runtime.memcpy_h2d(p, &[3u8; 16]).unwrap();
+        assert_eq!(sess.runtime.memcpy_d2h(p, 16).unwrap(), vec![3u8; 16]);
+        sess.runtime.free(p).unwrap();
+        sess.runtime.finalize().unwrap();
+        let report = sess.finish();
+        assert!(report.orderly_shutdown);
+    }
+
+    #[test]
+    fn builder_applies_the_pipeline_depth() {
+        let sess = Session::builder().pipeline(4).simulated(NetworkId::GigaE);
+        assert_eq!(sess.runtime.pipeline_depth(), 4);
+        let default = Session::builder().simulated(NetworkId::GigaE);
+        assert_eq!(
+            default.runtime.pipeline_depth(),
+            0,
+            "paper-faithful default"
+        );
+    }
+
+    #[test]
+    fn deprecated_constructors_still_work() {
+        #[allow(deprecated)]
+        let sess = simulated_session(NetworkId::Ib40G, true);
+        assert_eq!(sess.runtime.pipeline_depth(), 0);
     }
 
     #[test]

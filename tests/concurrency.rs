@@ -33,7 +33,7 @@ fn eight_concurrent_clients_share_one_gpu() {
                 let m = 24u32;
                 let (a, b) = matrix_pair(m as usize, seed);
                 let (a, b) = (f32s(a.as_slice()), f32s(b.as_slice()));
-                let mut rt = session::connect_tcp(addr).unwrap();
+                let mut rt = session::Session::builder().tcp(addr).unwrap();
                 let out = run_matmul_bytes(&mut rt, &*clock, m, &a, &b)
                     .unwrap()
                     .output;
@@ -67,7 +67,7 @@ fn mixed_workloads_share_one_gpu() {
     let mm = thread::spawn(move || {
         let clock = wall_clock();
         let (a, b) = matrix_pair(20, 77);
-        let mut rt = session::connect_tcp(addr).unwrap();
+        let mut rt = session::Session::builder().tcp(addr).unwrap();
         run_matmul_bytes(
             &mut rt,
             &*clock,
@@ -81,7 +81,7 @@ fn mixed_workloads_share_one_gpu() {
     let fft = thread::spawn(move || {
         let clock = wall_clock();
         let input = complex_to_bytes(&fft_input(2, 88));
-        let mut rt = session::connect_tcp(addr).unwrap();
+        let mut rt = session::Session::builder().tcp(addr).unwrap();
         run_fft_bytes(&mut rt, &*clock, 2, &input).unwrap().output
     });
     let mm_out = mm.join().unwrap();
@@ -101,7 +101,7 @@ fn contexts_are_isolated_between_connections() {
     let addr = daemon.local_addr();
     let module = build_module(&["fill"], 0);
 
-    let mut rt1 = session::connect_tcp(addr).unwrap();
+    let mut rt1 = session::Session::builder().tcp(addr).unwrap();
     rt1.initialize(&module).unwrap();
     let p1 = rt1.malloc(1024).unwrap();
     // Fill session 1's buffer with a marker.
@@ -113,7 +113,7 @@ fn contexts_are_isolated_between_connections() {
     rt1.launch("fill", Dim3::x(1), Dim3::x(16), 0, 0, &args)
         .unwrap();
 
-    let mut rt2 = session::connect_tcp(addr).unwrap();
+    let mut rt2 = session::Session::builder().tcp(addr).unwrap();
     rt2.initialize(&module).unwrap();
     // Session 2 allocates; even if it receives the same numeric address,
     // the memory is zeroed, never session 1's data.

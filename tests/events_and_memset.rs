@@ -1,7 +1,7 @@
 //! The extended API surface end to end: `cudaMemset`, device-to-device
 //! copies, and the event API, local and remote.
 
-use rcuda::api::CudaRuntime;
+use rcuda::api::{CudaRuntime, CudaRuntimeAsyncExt};
 use rcuda::core::{ArgPack, CudaError, Dim3};
 use rcuda::gpu::module::build_module;
 use rcuda::netsim::NetworkId;
@@ -10,7 +10,15 @@ use rcuda::session;
 fn both_runtimes(test: impl Fn(&mut dyn CudaRuntime)) {
     let mut local = session::local_functional();
     test(&mut local);
-    let mut sess = session::simulated_session(NetworkId::Ib40G, false);
+    let mut sess = session::Session::builder().simulated(NetworkId::Ib40G);
+    test(&mut sess.runtime);
+    sess.finish();
+}
+
+fn both_runtimes_async(test: impl Fn(&mut dyn CudaRuntimeAsyncExt)) {
+    let mut local = session::local_functional();
+    test(&mut local);
+    let mut sess = session::Session::builder().simulated(NetworkId::Ib40G);
     test(&mut sess.runtime);
     sess.finish();
 }
@@ -60,7 +68,7 @@ fn d2d_copy_moves_data_on_the_device() {
 
 #[test]
 fn event_lifecycle_over_the_wire() {
-    both_runtimes(|rt| {
+    both_runtimes_async(|rt| {
         rt.initialize(&build_module(&["fill"], 0)).unwrap();
         let e1 = rt.event_create().unwrap();
         let e2 = rt.event_create().unwrap();
@@ -102,7 +110,9 @@ fn event_lifecycle_over_the_wire() {
 fn events_measure_simulated_kernel_time() {
     // On a virtual clock, events measure the modeled device time between
     // records — the CUDA idiom for timing kernels, working remotely.
-    let mut sess = session::simulated_session(NetworkId::Ib40G, true);
+    let mut sess = session::Session::builder()
+        .phantom(true)
+        .simulated(NetworkId::Ib40G);
     let rt = &mut sess.runtime;
     rt.initialize(&rcuda::gpu::module::mm_module()).unwrap();
     let m = 2048u32;

@@ -14,9 +14,11 @@ use std::io::Write;
 use std::net::TcpStream;
 
 #[test]
-fn server_death_mid_session_surfaces_as_unknown() {
+fn server_death_mid_session_surfaces_as_transport_error() {
     let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
-    let mut rt = session::connect_tcp(daemon.local_addr()).unwrap();
+    let mut rt = session::Session::builder()
+        .tcp(daemon.local_addr())
+        .unwrap();
     rt.initialize(&build_module(&[], 0)).unwrap();
     let p = rt.malloc(64).unwrap();
     // Kill the daemon (workers see their sockets close on shutdown only
@@ -27,19 +29,20 @@ fn server_death_mid_session_surfaces_as_unknown() {
     drop(daemon);
     // The worker thread may outlive the daemon while our socket stays
     // open. Continue using the session: if the worker died this errors
-    // with cudaErrorUnknown, if it survived it answers — both are
-    // acceptable, but the call must not hang. Free and quit:
+    // with a transport code that names the cause (connection lost), if it
+    // survived it answers — both are acceptable, but the call must not
+    // hang. Free and quit:
     match rt.free(p) {
         Ok(()) => {
             rt.finalize().ok();
         }
-        Err(e) => assert_eq!(e, CudaError::Unknown),
+        Err(e) => assert!(e.is_transport(), "expected a transport code, got {e}"),
     }
 }
 
 #[test]
 fn oom_propagates_and_session_survives() {
-    let mut sess = session::simulated_session(rcuda::netsim::NetworkId::Ib40G, false);
+    let mut sess = session::Session::builder().simulated(rcuda::netsim::NetworkId::Ib40G);
     sess.runtime.initialize(&build_module(&[], 0)).unwrap();
     // The device exposes slightly less than 4 GiB; ask for more in chunks
     // until exhaustion.
@@ -92,7 +95,7 @@ fn garbage_after_handshake_ends_session_not_daemon() {
         drop(s);
     }
     // Daemon still serves real clients.
-    let mut rt = session::connect_tcp(addr).unwrap();
+    let mut rt = session::Session::builder().tcp(addr).unwrap();
     rt.initialize(&build_module(&[], 0)).unwrap();
     assert!(rt.malloc(64).is_ok());
     rt.finalize().unwrap();
@@ -101,7 +104,7 @@ fn garbage_after_handshake_ends_session_not_daemon() {
 
 #[test]
 fn launch_of_unknown_kernel_is_an_error_code_remotely() {
-    let mut sess = session::simulated_session(rcuda::netsim::NetworkId::GigaE, false);
+    let mut sess = session::Session::builder().simulated(rcuda::netsim::NetworkId::GigaE);
     sess.runtime
         .initialize(&build_module(&["vec_add"], 0))
         .unwrap();
@@ -119,7 +122,7 @@ fn launch_of_unknown_kernel_is_an_error_code_remotely() {
 
 #[test]
 fn dangling_pointer_operations_error_remotely() {
-    let mut sess = session::simulated_session(rcuda::netsim::NetworkId::Ib40G, false);
+    let mut sess = session::Session::builder().simulated(rcuda::netsim::NetworkId::Ib40G);
     sess.runtime.initialize(&build_module(&[], 0)).unwrap();
     let p = sess.runtime.malloc(128).unwrap();
     sess.runtime.free(p).unwrap();

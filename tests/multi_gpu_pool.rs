@@ -27,7 +27,7 @@ fn pooled_daemon_serves_concurrent_clients_correctly() {
                 let clock = wall_clock();
                 let m = 20u32;
                 let (a, b) = matrix_pair(m as usize, seed);
-                let mut rt = session::connect_tcp(addr).unwrap();
+                let mut rt = session::Session::builder().tcp(addr).unwrap();
                 run_matmul_bytes(
                     &mut rt,
                     &*clock,
@@ -71,7 +71,9 @@ fn pooled_daemon_serves_concurrent_clients_correctly() {
 fn single_device_daemon_is_a_pool_of_one() {
     // The classic constructor still works and routes through the pool.
     let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
-    let mut rt = session::connect_tcp(daemon.local_addr()).unwrap();
+    let mut rt = session::Session::builder()
+        .tcp(daemon.local_addr())
+        .unwrap();
     rt.initialize(&rcuda::gpu::module::build_module(&[], 0))
         .unwrap();
     let p = rt.malloc(64).unwrap();

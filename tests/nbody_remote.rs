@@ -24,7 +24,7 @@ fn nbody_remote_equals_local_reference() {
     nbody_accelerations(&bodies, &mut expect, 0.02);
 
     for net in [NetworkId::GigaE, NetworkId::Ib40G] {
-        let mut sess = session::simulated_session(net, false);
+        let mut sess = session::Session::builder().simulated(net);
         let report = run_nbody_bytes(&mut sess.runtime, &*clock, n, &f32s(&bodies), 0.02).unwrap();
         assert_eq!(report.output, f32s(&expect), "{net}");
         let r = sess.finish();
@@ -41,7 +41,7 @@ fn nbody_is_the_most_network_insensitive_workload() {
     let run = |net: NetworkId| -> f64 {
         let n = 65_536u32;
         let bytes = vec![0u8; (16 * n) as usize];
-        let mut sess = session::simulated_session(net, true);
+        let mut sess = session::Session::builder().phantom(true).simulated(net);
         let clock = sess.clock.clone();
         run_nbody_bytes(&mut sess.runtime, &*clock, n, &bytes, 0.01).unwrap();
         let t = sess.clock.now().as_secs_f64();
@@ -61,7 +61,7 @@ fn nbody_is_the_most_network_insensitive_workload() {
     let run_mm = |net: NetworkId| -> f64 {
         let m = 3584u32;
         let bytes = vec![0u8; (m * m * 4) as usize];
-        let mut sess = session::simulated_session(net, true);
+        let mut sess = session::Session::builder().phantom(true).simulated(net);
         let clock = sess.clock.clone();
         rcuda::api::run_matmul_bytes(&mut sess.runtime, &*clock, m, &bytes, &bytes).unwrap();
         let t = sess.clock.now().as_secs_f64();

@@ -3,7 +3,7 @@
 //! `max(network, PCIe)` while the synchronous path pays `network + PCIe` —
 //! the relationship `rcuda::model::overlap` assumes analytically.
 
-use rcuda::api::CudaRuntime;
+use rcuda::api::{CudaRuntime, CudaRuntimeAsyncExt};
 use rcuda::core::{Clock as _, SimTime};
 use rcuda::gpu::module::build_module;
 use rcuda::netsim::NetworkId;
@@ -15,7 +15,7 @@ const CHUNKS: u32 = 32;
 /// Stream `TOTAL` bytes H2D in `CHUNKS` chunks, sync or async.
 fn transfer_time(net: NetworkId, use_async: bool) -> SimTime {
     let chunk = TOTAL / CHUNKS;
-    let mut sess = session::simulated_session(net, true);
+    let mut sess = session::Session::builder().phantom(true).simulated(net);
     sess.runtime.initialize(&build_module(&[], 0)).unwrap();
     let p = sess.runtime.malloc(TOTAL).unwrap();
     let stream = if use_async {

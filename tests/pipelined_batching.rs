@@ -1,0 +1,167 @@
+//! Deferred-completion pipelining, end to end: the batched submission path
+//! must change *when* requests cross the network — never *what* the
+//! application observes. Both case studies run pipelined over simulated and
+//! real-TCP transports and must produce output bit-identical to the per-call
+//! protocol and to local execution, while issuing measurably fewer flushes
+//! (the ablation evidence: ≥ 2× fewer for the FFT case study at depth ≥ 4).
+
+use rcuda::api::{run_fft_bytes, run_matmul_bytes};
+use rcuda::core::time::wall_clock;
+use rcuda::gpu::GpuDevice;
+use rcuda::kernels::complex::complex_to_bytes;
+use rcuda::kernels::workload::{fft_input, matrix_pair};
+use rcuda::netsim::NetworkId;
+use rcuda::server::RcudaDaemon;
+use rcuda::session::{self, Session};
+
+fn f32s(v: &[f32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+#[test]
+fn pipelined_fft_is_bit_identical_and_halves_the_flushes() {
+    let batch = 8u32;
+    let input = complex_to_bytes(&fft_input(batch as usize, 31));
+    let clock = wall_clock();
+
+    let mut local = session::local_functional();
+    let local_out = run_fft_bytes(&mut local, &*clock, batch, &input)
+        .unwrap()
+        .output;
+
+    let mut per_call = Session::builder().simulated(NetworkId::GigaE);
+    let sync_out = run_fft_bytes(&mut per_call.runtime, &*clock, batch, &input)
+        .unwrap()
+        .output;
+    let sync_flushes = per_call.runtime.transport_stats().messages_sent;
+    per_call.finish();
+
+    let mut pipelined = Session::builder().pipeline(4).simulated(NetworkId::GigaE);
+    let pipe_out = run_fft_bytes(&mut pipelined.runtime, &*clock, batch, &input)
+        .unwrap()
+        .output;
+    let pipe_flushes = pipelined.runtime.transport_stats().messages_sent;
+    let report = pipelined.finish();
+
+    assert_eq!(sync_out, local_out, "per-call remote must equal local");
+    assert_eq!(pipe_out, local_out, "pipelined remote must equal local");
+    assert!(
+        sync_flushes >= 2 * pipe_flushes,
+        "depth 4 must remove ≥ half the flushes: {pipe_flushes} vs {sync_flushes}"
+    );
+    assert!(report.orderly_shutdown);
+    assert_eq!(report.leaked_allocations, 0);
+}
+
+#[test]
+fn pipelined_matmul_is_bit_identical_with_fewer_flushes() {
+    let m = 32u32;
+    let (a, b) = matrix_pair(m as usize, 17);
+    let (a, b) = (f32s(a.as_slice()), f32s(b.as_slice()));
+    let clock = wall_clock();
+
+    let mut local = session::local_functional();
+    let local_out = run_matmul_bytes(&mut local, &*clock, m, &a, &b)
+        .unwrap()
+        .output;
+
+    let mut per_call = Session::builder().simulated(NetworkId::Ib40G);
+    let sync_out = run_matmul_bytes(&mut per_call.runtime, &*clock, m, &a, &b)
+        .unwrap()
+        .output;
+    let sync_flushes = per_call.runtime.transport_stats().messages_sent;
+    per_call.finish();
+
+    let mut pipelined = Session::builder().pipeline(4).simulated(NetworkId::Ib40G);
+    let pipe_out = run_matmul_bytes(&mut pipelined.runtime, &*clock, m, &a, &b)
+        .unwrap()
+        .output;
+    let pipe_flushes = pipelined.runtime.transport_stats().messages_sent;
+    pipelined.finish();
+
+    assert_eq!(sync_out, local_out);
+    assert_eq!(pipe_out, local_out);
+    assert!(
+        pipe_flushes < sync_flushes,
+        "pipelining must issue strictly fewer flushes: {pipe_flushes} vs {sync_flushes}"
+    );
+}
+
+#[test]
+fn pipelined_fft_over_tcp_equals_local() {
+    let batch = 4u32;
+    let input = complex_to_bytes(&fft_input(batch as usize, 23));
+    let clock = wall_clock();
+
+    let mut local = session::local_functional();
+    let local_out = run_fft_bytes(&mut local, &*clock, batch, &input)
+        .unwrap()
+        .output;
+
+    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+
+    let mut sync_rt = Session::builder().tcp(daemon.local_addr()).unwrap();
+    let sync_out = run_fft_bytes(&mut sync_rt, &*clock, batch, &input)
+        .unwrap()
+        .output;
+    let sync_flushes = sync_rt.transport_stats().messages_sent;
+    drop(sync_rt);
+
+    let mut pipe_rt = Session::builder()
+        .pipeline(4)
+        .tcp(daemon.local_addr())
+        .unwrap();
+    let pipe_out = run_fft_bytes(&mut pipe_rt, &*clock, batch, &input)
+        .unwrap()
+        .output;
+    let pipe_flushes = pipe_rt.transport_stats().messages_sent;
+    drop(pipe_rt);
+
+    assert_eq!(sync_out, local_out);
+    assert_eq!(pipe_out, local_out);
+    assert!(
+        sync_flushes >= 2 * pipe_flushes,
+        "TCP: depth 4 must remove ≥ half the flushes: {pipe_flushes} vs {sync_flushes}"
+    );
+
+    assert!(daemon.wait_for_sessions(2, std::time::Duration::from_secs(5)));
+    daemon.shutdown();
+    let reports = daemon.session_reports();
+    assert_eq!(reports.len(), 2);
+    for report in &reports {
+        assert!(report.orderly_shutdown);
+        assert_eq!(report.leaked_allocations, 0);
+    }
+}
+
+#[test]
+fn pipelined_depth_sweep_is_deterministic() {
+    // Whatever the window depth, the application-visible bytes never change.
+    let batch = 4u32;
+    let input = complex_to_bytes(&fft_input(batch as usize, 3));
+    let clock = wall_clock();
+
+    let mut local = session::local_functional();
+    let expected = run_fft_bytes(&mut local, &*clock, batch, &input)
+        .unwrap()
+        .output;
+
+    let mut last_flushes = u64::MAX;
+    for depth in [0usize, 1, 2, 4, 8, 64] {
+        let mut sess = Session::builder()
+            .pipeline(depth)
+            .simulated(NetworkId::GigaE);
+        let out = run_fft_bytes(&mut sess.runtime, &*clock, batch, &input)
+            .unwrap()
+            .output;
+        let flushes = sess.runtime.transport_stats().messages_sent;
+        sess.finish();
+        assert_eq!(out, expected, "depth {depth}");
+        assert!(
+            flushes <= last_flushes,
+            "deeper windows never flush more: depth {depth} took {flushes}, \
+             shallower took {last_flushes}"
+        );
+        last_flushes = flushes;
+    }
+}

@@ -161,7 +161,7 @@ proptest! {
         let mut local = session::local_functional();
         let local_outcomes = run_ops(&mut local, &ops);
 
-        let mut sess = session::simulated_session(NetworkId::Ib40G, false);
+        let mut sess = session::Session::builder().simulated(NetworkId::Ib40G);
         let remote_outcomes = run_ops(&mut sess.runtime, &ops);
         sess.finish();
 

@@ -31,7 +31,9 @@ fn matmul_over_tcp_equals_local() {
 
     // Remote over loopback TCP.
     let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
-    let mut remote = session::connect_tcp(daemon.local_addr()).unwrap();
+    let mut remote = session::Session::builder()
+        .tcp(daemon.local_addr())
+        .unwrap();
     let remote_out = run_matmul_bytes(&mut remote, &*clock, m, &a, &b)
         .unwrap()
         .output;
@@ -57,7 +59,9 @@ fn fft_over_tcp_equals_local() {
         .output;
 
     let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
-    let mut remote = session::connect_tcp(daemon.local_addr()).unwrap();
+    let mut remote = session::Session::builder()
+        .tcp(daemon.local_addr())
+        .unwrap();
     let remote_out = run_fft_bytes(&mut remote, &*clock, batch, &input)
         .unwrap()
         .output;
@@ -79,7 +83,7 @@ fn matmul_over_simulated_network_equals_local() {
         .output;
 
     for net in [NetworkId::GigaE, NetworkId::Ib40G, NetworkId::AsicHt] {
-        let mut sess = session::simulated_session(net, false);
+        let mut sess = session::Session::builder().simulated(net);
         let out = run_matmul_bytes(&mut sess.runtime, &*clock, m, &a, &b)
             .unwrap()
             .output;
@@ -98,7 +102,7 @@ fn trace_byte_accounting_matches_table1() {
     let (a, b) = matrix_pair(m as usize, 2);
     let (a, b) = (f32s(a.as_slice()), f32s(b.as_slice()));
     let clock = wall_clock();
-    let mut sess = session::simulated_session(NetworkId::Ib40G, false);
+    let mut sess = session::Session::builder().simulated(NetworkId::Ib40G);
     run_matmul_bytes(&mut sess.runtime, &*clock, m, &a, &b).unwrap();
 
     let trace = sess.runtime.trace().clone();
@@ -133,7 +137,9 @@ fn two_sequential_sessions_reuse_the_daemon() {
     let clock = wall_clock();
     for seed in 0..2u64 {
         let (a, b) = matrix_pair(16, seed);
-        let mut rt = session::connect_tcp(daemon.local_addr()).unwrap();
+        let mut rt = session::Session::builder()
+            .tcp(daemon.local_addr())
+            .unwrap();
         run_matmul_bytes(
             &mut rt,
             &*clock,

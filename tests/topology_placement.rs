@@ -15,7 +15,9 @@ use std::sync::Arc;
 /// hosts of the topology.
 fn chatty_session_time(topo: &Topology, a: usize, b: usize) -> f64 {
     let net = Arc::new(TopologyNetwork::between(topo, a, b, NetworkId::Ib40G));
-    let mut sess = session::simulated_session_with(net, true);
+    let mut sess = session::Session::builder()
+        .phantom(true)
+        .simulated_with(net);
     sess.runtime.initialize(&build_module(&[], 0)).unwrap();
     // 50 malloc/free pairs: 200 small messages.
     for _ in 0..50 {
@@ -49,7 +51,9 @@ fn bulk_workloads_barely_notice_the_rack_boundary() {
     let (topo, racks) = Topology::two_level(2, 2, 5.0, 20.0);
     let run = |a: usize, b: usize| -> f64 {
         let net = Arc::new(TopologyNetwork::between(&topo, a, b, NetworkId::Ib40G));
-        let mut sess = session::simulated_session_with(net, true);
+        let mut sess = session::Session::builder()
+            .phantom(true)
+            .simulated_with(net);
         sess.runtime.initialize(&build_module(&[], 0)).unwrap();
         let p = sess.runtime.malloc(64 << 20).unwrap();
         sess.runtime.memcpy_h2d(p, &vec![0u8; 64 << 20]).unwrap();

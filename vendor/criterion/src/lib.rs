@@ -1,0 +1,263 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Keeps the authoring API (`Criterion`, `benchmark_group`,
+//! `bench_with_input`, `Throughput`, `criterion_group!`/`criterion_main!`)
+//! so benches compile and run unchanged, but replaces the statistical
+//! machinery with a fixed warm-up plus a short timed loop and plain-text
+//! output. Good enough for relative comparisons in an offline container;
+//! not a replacement for criterion's confidence intervals.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measures one closure; handed to `bench_function` callbacks.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up once, then time a small fixed batch.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Names one benchmark, optionally parameterized (`new("h2d", 4096)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as an identifier.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation, echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 10 }
+    }
+}
+
+fn report(group: Option<&str>, id: &str, iters: u64, elapsed: Duration, thr: Option<Throughput>) {
+    let per_iter = elapsed.as_secs_f64() / iters.max(1) as f64;
+    let rate = match thr {
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+            format!("  {:.1} MiB/s", n as f64 / per_iter / (1u64 << 20) as f64)
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.3e} elem/s", n as f64 / per_iter)
+        }
+        None => String::new(),
+    };
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    println!("bench {name}: {:.3} µs/iter{rate}", per_iter * 1e6);
+}
+
+impl Criterion {
+    /// Override the timed iteration count (criterion's `sample_size`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = n.max(1) as u64;
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(None, &id.into_id(), b.iters, b.elapsed, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.criterion.iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(
+            Some(&self.name),
+            &id.into_id(),
+            b.iters,
+            b.elapsed,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.criterion.iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(
+            Some(&self.name),
+            &id.into_id(),
+            b.iters,
+            b.elapsed,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// `criterion_group!(name, target, ...)` — plain and `config =` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = &$config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — generates `main`, honoring the harness
+/// flags cargo passes (`--list` must enumerate nothing and exit cleanly so
+/// `cargo test --benches` stays quiet).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--list") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("square", |b| b.iter(|| std::hint::black_box(7u64 * 7)));
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_with_input(BenchmarkId::new("with_input", 1024), &1024usize, |b, n| {
+            b.iter(|| std::hint::black_box(vec![0u8; *n]))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_benches() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        sample_bench(&mut c);
+    }
+}

@@ -1,0 +1,697 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Keeps proptest's authoring surface — [`Strategy`], `any::<T>()`,
+//! `prop_oneof!`, `proptest!`, `prop_assert*!`, `collection::vec`,
+//! `sample::select`, simple regex-shaped string strategies — but runs each
+//! property over a fixed number of deterministically seeded samples and
+//! reports failures by panicking (no shrinking). Failures therefore print
+//! the failing inputs via the assertion message rather than a minimized
+//! case; determinism makes them reproducible.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-case generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Each test case gets its own seed so cases are independent and stable
+    /// across runs.
+    pub fn from_case(case: u64) -> Self {
+        TestRng {
+            state: case.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5bf0_3635,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A reusable recipe for generating values.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe sampling, for [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn sample_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_filter`]. Rejection resamples (bounded).
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 samples in a row",
+            self.whence
+        );
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        Union::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total_weight = options.iter().map(|&(w, _)| w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! needs positive total weight");
+        Union {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, option) in &self.options {
+            if pick < *weight as u64 {
+                return option.sample(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Bit-pattern sampling, with non-finite values mapped back into
+        // range so naive arithmetic properties hold.
+        let x = f32::from_bits(rng.next_u32());
+        if x.is_finite() {
+            x
+        } else {
+            (rng.unit_f64() as f32 - 0.5) * 2.0e6
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let x = f64::from_bits(rng.next_u64());
+        if x.is_finite() {
+            x
+        } else {
+            (rng.unit_f64() - 0.5) * 2.0e12
+        }
+    }
+}
+
+/// The canonical strategy for `T` (`any::<T>()`).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---- ranges as strategies ----
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_float_range!(f32, f64);
+
+// ---- tuples of strategies ----
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+// ---- string strategies from a regex subset ----
+
+enum Atom {
+    Class(Vec<(char, char)>),
+    Literal(char),
+    AnyChar,
+}
+
+struct Rep {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the supported regex subset: literals, `[a-z_]` classes, `.`, and
+/// quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded capped at 8).
+fn parse_pattern(pattern: &str) -> Vec<Rep> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut reps = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in `{pattern}`");
+                i += 1; // ']'
+                Atom::Class(ranges)
+            }
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '\\' => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated {} quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        reps.push(Rep { atom, min, max });
+    }
+    reps
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::AnyChar => {
+            let printable = b' '..=b'~';
+            let span = (*printable.end() - *printable.start()) as u64 + 1;
+            (printable.start() + rng.below(span) as u8) as char
+        }
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let span = hi as u64 - lo as u64 + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick as u32).expect("valid class char");
+                }
+                pick -= span;
+            }
+            unreachable!("class pick within total")
+        }
+    }
+}
+
+/// String-typed regex patterns are strategies, as in proptest.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let reps = parse_pattern(self);
+        let mut out = String::new();
+        for rep in &reps {
+            let count = rep.min + rng.below((rep.max - rep.min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(sample_atom(&rep.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for [`vec`], inclusive.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a vector of `size` samples of `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// `proptest::sample::select`: pick uniformly from a fixed list.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Per-property configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps offline CI fast while
+        // still exercising each property across distinct seeds.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $( ($weight, $crate::Strategy::boxed($strategy)) ),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($strategy) ),+ ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Skip the current case when its inputs don't meet a precondition. Works
+/// via the `Result` the case body runs inside (see `proptest!`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::CaseSkipped);
+        }
+    };
+}
+
+/// Marker returned by `prop_assume!` rejections.
+#[derive(Debug)]
+pub struct CaseSkipped;
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+     $($(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategies = ($($strategy,)+);
+                for case in 0..config.cases as u64 {
+                    let mut rng = $crate::TestRng::from_case(case);
+                    let ($($arg,)+) = $crate::Strategy::sample(&strategies, &mut rng);
+                    // The closure gives `prop_assume!` an early exit;
+                    // assertion failures panic straight through.
+                    #[allow(clippy::redundant_closure_call)]
+                    let _ = (|| -> ::std::result::Result<(), $crate::CaseSkipped> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_oneof_sample_in_bounds() {
+        let mut rng = crate::TestRng::from_case(0);
+        let s = prop_oneof![1u32..10, 20u32..=29];
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((1..10).contains(&v) || (20..=29).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn regex_subset_produces_identifiers() {
+        let mut rng = crate::TestRng::from_case(3);
+        let s = "[a-zA-Z_][a-zA-Z0-9_]{0,30}";
+        for _ in 0..100 {
+            let ident = Strategy::sample(&s, &mut rng);
+            assert!(!ident.is_empty() && ident.len() <= 31);
+            let mut chars = ident.chars();
+            let first = chars.next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "{ident}");
+            assert!(
+                chars.all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "{ident}"
+            );
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::TestRng::from_case(9);
+        let s = collection::vec(any::<u8>(), 2..5);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_wires_args_and_assume(x in 0u32..100, y in any::<bool>()) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!(y, y);
+            prop_assert_ne!(x, 13);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_form_compiles(pair in (0u8..4, 0u8..4)) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+        }
+    }
+}

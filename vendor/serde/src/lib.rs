@@ -1,0 +1,441 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's visitor architecture, this stub uses one concrete
+//! self-describing tree, [`Content`] (the JSON data model), and two traits:
+//! [`Serialize`] converts a value *to* a `Content`, [`Deserialize`] rebuilds
+//! a value *from* one. `serde_derive` emits implementations following
+//! serde's externally-tagged conventions, and the `serde_json` stub reuses
+//! `Content` as its `Value`. This is enough for every derive and call site
+//! in the workspace; it is not a general serde replacement.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Insertion-ordered map (JSON object).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    pub fn is_object(&self) -> bool {
+        matches!(self, Content::Map(_))
+    }
+
+    pub fn is_array(&self) -> bool {
+        matches!(self, Content::Seq(_))
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(n) => Some(*n),
+            Content::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(n) => Some(*n),
+            Content::U64(n) if *n <= i64::MAX as u64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(x) => Some(*x),
+            Content::U64(n) => Some(*n as f64),
+            Content::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Content)>> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object field / array element lookup, `None` on kind mismatch.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Content = Content::Null;
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+
+    fn index(&self, idx: usize) -> &Content {
+        match self {
+            Content::Seq(v) => v.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Deserialization failure: what was expected, what was found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.msg.fmt(f)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a value into the [`Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuild a value from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+// ---- helpers used by derive-generated code ----
+
+/// Expect an object; `ty` names the target type for the error message.
+pub fn content_as_map<'a>(c: &'a Content, ty: &str) -> Result<&'a [(String, Content)], Error> {
+    c.as_object()
+        .map(|m| m.as_slice())
+        .ok_or_else(|| Error::custom(format!("expected object for {ty}")))
+}
+
+/// Expect an array; `ty` names the target type for the error message.
+pub fn content_as_seq<'a>(c: &'a Content, ty: &str) -> Result<&'a [Content], Error> {
+    c.as_array()
+        .map(|v| v.as_slice())
+        .ok_or_else(|| Error::custom(format!("expected array for {ty}")))
+}
+
+/// Field lookup that treats a missing key as `Null` (so `Option` fields may
+/// be omitted; non-optional fields then fail in their own `from_content`).
+pub fn map_field<'a>(m: &'a [(String, Content)], key: &str) -> &'a Content {
+    m.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+// ---- Serialize impls for primitives and std containers ----
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+    )*};
+}
+
+impl_ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// ---- Deserialize impls ----
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+macro_rules! impl_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let n = c.as_u64().ok_or_else(|| {
+                    Error::custom(concat!("expected ", stringify!($t)))
+                })?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let n = c.as_i64().ok_or_else(|| {
+                    Error::custom(concat!("expected ", stringify!($t)))
+                })?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_de_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        f64::from_content(c).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($($name:ident : $idx:tt),+ ; $len:expr))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let seq = content_as_seq(c, "tuple")?;
+                if seq.len() != $len {
+                    return Err(Error::custom("tuple length mismatch"));
+                }
+                Ok(($($name::from_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_de_tuple! {
+    (A: 0; 1)
+    (A: 0, B: 1; 2)
+    (A: 0, B: 1, C: 2; 3)
+    (A: 0, B: 1, C: 2, D: 3; 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_content(&42u32.to_content()), Ok(42));
+        assert_eq!(i64::from_content(&(-3i64).to_content()), Ok(-3));
+        assert_eq!(f64::from_content(&1.5f64.to_content()), Ok(1.5));
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Option::<u8>::from_content(&Option::<u8>::None.to_content()),
+            Ok(None)
+        );
+        assert_eq!(
+            Vec::<u8>::from_content(&vec![1u8, 2, 3].to_content()),
+            Ok(vec![1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn numeric_cross_coercions() {
+        // Integral floats may arrive as integers after a JSON round trip.
+        assert_eq!(f64::from_content(&Content::U64(3)), Ok(3.0));
+        assert_eq!(u64::from_content(&Content::I64(5)), Ok(5));
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let c = Content::Map(vec![(
+            "xs".to_string(),
+            Content::Seq(vec![Content::U64(7)]),
+        )]);
+        assert!(c.is_object());
+        assert_eq!(c["xs"][0].as_u64(), Some(7));
+        assert!(c["missing"].is_null());
+    }
+}

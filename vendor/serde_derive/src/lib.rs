@@ -1,0 +1,477 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are equally unavailable offline). The parser only needs item kind,
+//! type name, field names / arities and enum variants — field *types* never
+//! appear in the generated code because conversion goes through the
+//! `serde::Serialize` / `serde::Deserialize` traits, letting inference pick
+//! the right impl per field.
+//!
+//! Conventions match serde's externally-tagged defaults on the JSON model:
+//! named struct → object; newtype struct → inner value; tuple struct →
+//! array; unit enum variant → its name as a string; data-carrying variant →
+//! single-key object `{ "Variant": ... }`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Tuple struct/variant with this arity.
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    skip_generics(&tokens, &mut i);
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (tokens.get(*i), tokens.get(*i + 1))
+    {
+        if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket {
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+        }
+    }
+}
+
+/// Skip `<...>` balancing nested angle brackets; groups are atomic tokens so
+/// only `<`/`>` puncts need counting. `->` never appears at depth 0 between
+/// a type name and its body.
+fn skip_generics(tokens: &[TokenTree], i: &mut usize) {
+    if !matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return;
+    }
+    let mut depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        *i += 1;
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Field names of `{ ... }`, skipping attributes, visibility and types.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        names.push(name);
+        i += 1;
+        // Skip `: Type` up to the comma separating fields. A comma inside
+        // the type can only occur at angle depth > 0 or inside a group
+        // (groups are single tokens here).
+        let mut angle = 0i32;
+        let mut prev_minus = false;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' if !prev_minus => angle += 1,
+                    '>' if prev_minus => {} // `->` in fn-pointer types
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                prev_minus = p.as_char() == '-';
+            } else {
+                prev_minus = false;
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Arity of `( ... )`: top-level comma count, trailing comma tolerated.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut prev_minus = false;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' if !prev_minus => angle += 1,
+                '>' if prev_minus => {}
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                }
+                _ => trailing_comma = false,
+            }
+            prev_minus = p.as_char() == '-';
+        } else {
+            prev_minus = false;
+            trailing_comma = false;
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the variant comma.
+        while let Some(tok) = tokens.get(i) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---- code generation ----
+
+fn tuple_bindings(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("__f{k}")).collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Content::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+                }
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push(format!(
+                        "{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_string()),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds = tuple_bindings(*n);
+                        let inner = if *n == 1 {
+                            format!("::serde::Serialize::to_content({})", binds[0])
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+                        };
+                        arms.push(format!(
+                            "{name}::{vname}({}) => ::serde::Content::Map(vec![(\"{vname}\"\
+                             .to_string(), {inner})]),",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push(format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Content::Map(vec![(\"{vname}\"\
+                             .to_string(), ::serde::Content::Map(vec![{}]))]),",
+                            fields.join(", "),
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{ {} }}\n\
+                 }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!("let _ = __c; Ok({name})"),
+            Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_content(__c)?))"),
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_content(&__seq[{k}])?"))
+                    .collect();
+                format!(
+                    "let __seq = ::serde::content_as_seq(__c, \"{name}\")?;\n\
+                     if __seq.len() != {n} {{\n\
+                     return Err(::serde::Error::custom(\"wrong tuple arity for {name}\"));\n\
+                     }}\n\
+                     Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+            Fields::Named(names) => {
+                let inits: Vec<String> = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_content(\
+                             ::serde::map_field(__map, \"{f}\"))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __map = ::serde::content_as_map(__c, \"{name}\")?;\n\
+                     Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+        },
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push(format!("\"{vname}\" => Ok({name}::{vname}),"));
+                    }
+                    Fields::Tuple(n) => {
+                        let inner = if *n == 1 {
+                            format!("Ok({name}::{vname}(::serde::Deserialize::from_content(__v)?))")
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_content(&__seq[{k}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{ let __seq = ::serde::content_as_seq(__v, \"{name}\")?;\n\
+                                 if __seq.len() != {n} {{\n\
+                                 return Err(::serde::Error::custom(\
+                                 \"wrong tuple arity for {name}::{vname}\"));\n\
+                                 }}\n\
+                                 Ok({name}::{vname}({})) }}",
+                                elems.join(", ")
+                            )
+                        };
+                        data_arms.push(format!("\"{vname}\" => {inner},"));
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_content(\
+                                     ::serde::map_field(__fields, \"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vname}\" => {{\n\
+                             let __fields = ::serde::content_as_map(__v, \"{name}::{vname}\")?;\n\
+                             Ok({name}::{vname} {{ {} }})\n\
+                             }},",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 _ => Err(::serde::Error::custom(\"unknown variant of {name}\")),\n\
+                 }},\n\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = &__m[0];\n\
+                 let _ = __v;\n\
+                 match __k.as_str() {{\n\
+                 {}\n\
+                 _ => Err(::serde::Error::custom(\"unknown variant of {name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(::serde::Error::custom(\"expected variant of {name}\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__c: &::serde::Content) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
