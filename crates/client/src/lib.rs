@@ -13,9 +13,11 @@
 //! two different networks" (§I).
 
 pub mod error;
+pub mod retry;
 pub mod runtime;
 pub mod trace;
 
 pub use error::transport_error;
+pub use retry::{batch_is_idempotent, is_idempotent, RetryPolicy};
 pub use runtime::RemoteRuntime;
 pub use trace::{CallEvent, Trace};

@@ -38,12 +38,25 @@
 
 use rcuda_api::{CudaRuntime, CudaRuntimeAsyncExt};
 use rcuda_core::{CudaError, CudaResult, DeviceProperties, DevicePtr, Dim3, SharedClock};
+use rcuda_proto::handshake::read_hello_reply;
 use rcuda_proto::ids::MemcpyKind;
-use rcuda_proto::{Batch, BatchResponse, LaunchConfig, Request, Response};
+use rcuda_proto::{Batch, BatchResponse, LaunchConfig, Request, Response, SessionHello};
 use rcuda_transport::{Transport, TransportStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use crate::error::transport_error;
+use crate::retry::{batch_is_idempotent, is_idempotent, RetryPolicy};
 use crate::trace::{CallEvent, Trace};
+
+/// Process-wide session-token sequence (uniqueness within the process is
+/// all the registry needs; the pid guards against cross-process clashes on
+/// a shared daemon).
+static SESSION_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+fn next_session_token() -> u64 {
+    ((std::process::id() as u64) << 32) ^ SESSION_COUNTER.fetch_add(1, Ordering::Relaxed)
+}
 
 /// The client side of an rCUDA session.
 pub struct RemoteRuntime<T: Transport> {
@@ -58,6 +71,14 @@ pub struct RemoteRuntime<T: Transport> {
     pipeline_depth: usize,
     /// Calls deferred but not yet on the wire, in submission order.
     window: Vec<Request>,
+    /// Per-call wall-clock budget; `None` = block indefinitely (the
+    /// paper-faithful default).
+    deadline: Option<Duration>,
+    /// Fault retry policy; default fail-fast.
+    retry: RetryPolicy,
+    /// Token announced via the resumable handshake — `Some` iff retries
+    /// were enabled before `initialize`.
+    session_token: Option<u64>,
 }
 
 impl<T: Transport> RemoteRuntime<T> {
@@ -72,6 +93,9 @@ impl<T: Transport> RemoteRuntime<T> {
             initialized: false,
             pipeline_depth: 0,
             window: Vec::new(),
+            deadline: None,
+            retry: RetryPolicy::default(),
+            session_token: None,
         }
     }
 
@@ -88,6 +112,12 @@ impl<T: Transport> RemoteRuntime<T> {
     /// Take ownership of the trace (e.g. to persist it).
     pub fn into_trace(self) -> Trace {
         self.trace
+    }
+
+    /// The underlying transport — e.g. to inspect a
+    /// `rcuda_transport::FaultInjector`'s fired-fault record in tests.
+    pub fn transport(&self) -> &T {
+        &self.transport
     }
 
     /// Cumulative transport counters (bytes and messages each way). The
@@ -111,6 +141,37 @@ impl<T: Transport> RemoteRuntime<T> {
         self.pipeline_depth
     }
 
+    /// Bound every call's wall-clock time (attempts + backoffs + replays).
+    /// A call that cannot complete within the budget fails with
+    /// [`CudaError::TransportTimedOut`]. `None` (the default) blocks
+    /// indefinitely, as the paper's synchronous protocol does.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// The per-call deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Configure fault retries. Must be set before [`CudaRuntime::initialize`]
+    /// to take effect: enabling retries switches initialization to the
+    /// resumable handshake that makes server-side session resume possible.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The configured retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The session token announced to the server (`Some` iff the resumable
+    /// handshake was used).
+    pub fn session_token(&self) -> Option<u64> {
+        self.session_token
+    }
+
     /// Deferred calls currently waiting in the window.
     pub fn pending_calls(&self) -> usize {
         self.window.len()
@@ -128,16 +189,100 @@ impl<T: Transport> RemoteRuntime<T> {
         first_failure(&resp.responses)
     }
 
-    /// Write `batch` as one message, read the combined response, trace it.
-    fn send_batch(&mut self, batch: &Batch) -> CudaResult<BatchResponse> {
-        let start = self.clock.now();
-        let sent = batch.wire_bytes();
+    /// Arm the transport's read deadline with the call's remaining budget.
+    /// Fails with [`CudaError::TransportTimedOut`] once the budget is spent.
+    fn arm_deadline(&mut self, started: Instant) -> CudaResult<()> {
+        let timeout = match self.deadline {
+            Some(budget) => Some(
+                budget
+                    .checked_sub(started.elapsed())
+                    .filter(|r| !r.is_zero())
+                    .ok_or(CudaError::TransportTimedOut)?,
+            ),
+            None => None,
+        };
+        self.transport
+            .set_read_deadline(timeout)
+            .map_err(|e| transport_error(&e))
+    }
+
+    /// Whether a fault of class `err` on attempt `attempt` may be retried
+    /// for a request whose idempotency is `replayable`.
+    fn may_retry(&self, attempt: u32, replayable: bool, err: CudaError) -> bool {
+        replayable
+            && attempt < self.retry.max_retries
+            && self.session_token.is_some()
+            && matches!(
+                err,
+                CudaError::TransportTimedOut | CudaError::TransportConnectionLost
+            )
+    }
+
+    /// Reconnect the transport and resume the parked server session: read
+    /// the fresh connection's compute-capability push, present the session
+    /// token, take the resume verdict. A server rejection surfaces as
+    /// [`CudaError::InitializationError`].
+    fn reestablish(&mut self) -> CudaResult<()> {
+        let token = self
+            .session_token
+            .ok_or(CudaError::TransportConnectionLost)?;
+        self.transport
+            .reconnect()
+            .map_err(|e| transport_error(&e))?;
+        let mut cc = [0u8; 8];
+        self.transport
+            .read_exact(&mut cc)
+            .map_err(|e| transport_error(&e))?;
+        SessionHello::Reconnect { session: token }
+            .write(&mut self.transport)
+            .and_then(|_| self.transport.flush())
+            .map_err(|e| transport_error(&e))?;
+        read_hello_reply(&mut self.transport).map_err(|e| transport_error(&e))?
+    }
+
+    /// Back off, reconnect, resume. Returns the error the caller should
+    /// surface if recovery fails: an explicit resume rejection wins over
+    /// the original fault; any other recovery failure preserves it.
+    fn recover(&mut self, attempt: u32, original: CudaError) -> CudaResult<()> {
+        std::thread::sleep(self.retry.backoff(attempt));
+        match self.reestablish() {
+            Ok(()) => Ok(()),
+            Err(CudaError::InitializationError) => Err(CudaError::InitializationError),
+            Err(_) => Err(original),
+        }
+    }
+
+    /// One write-flush-read exchange of `batch` (no retry logic).
+    fn try_batch(&mut self, batch: &Batch, started: Instant) -> CudaResult<BatchResponse> {
+        self.arm_deadline(started)?;
         batch
             .write(&mut self.transport)
             .and_then(|_| self.transport.flush())
             .map_err(|e| transport_error(&e))?;
-        let resp =
-            BatchResponse::read(&mut self.transport, batch).map_err(|e| transport_error(&e))?;
+        BatchResponse::read(&mut self.transport, batch).map_err(|e| transport_error(&e))
+    }
+
+    /// Write `batch` as one message, read the combined response, trace it.
+    /// Faults replay (under the policy) only if *every* element is
+    /// idempotent.
+    fn send_batch(&mut self, batch: &Batch) -> CudaResult<BatchResponse> {
+        let started = Instant::now();
+        let replayable = batch_is_idempotent(batch);
+        let start = self.clock.now();
+        let sent = batch.wire_bytes();
+        let mut attempt = 0;
+        let resp = loop {
+            match self.try_batch(batch, started) {
+                Ok(resp) => break resp,
+                Err(e) => {
+                    if !self.may_retry(attempt, replayable, e) {
+                        return Err(e);
+                    }
+                    self.recover(attempt, e)?;
+                    attempt += 1;
+                }
+            }
+        };
         let end = self.clock.now();
         self.trace.record(CallEvent {
             op: format!("batch[{}]", batch.len()),
@@ -149,9 +294,23 @@ impl<T: Transport> RemoteRuntime<T> {
         Ok(resp)
     }
 
+    /// One write-flush-read exchange of `req` (no retry logic).
+    fn try_single(&mut self, req: &Request, started: Instant) -> CudaResult<Response> {
+        self.arm_deadline(started)?;
+        req.write(&mut self.transport)
+            .and_then(|_| self.transport.flush())
+            .map_err(|e| transport_error(&e))?;
+        Response::read(&mut self.transport, req).map_err(|e| transport_error(&e))
+    }
+
     /// One result-bearing exchange, traced. If deferred calls are pending,
     /// `req` rides as the final element of the draining batch, so the whole
     /// window plus this call still costs a single round trip.
+    ///
+    /// On a transport fault, idempotent requests replay transparently after
+    /// a backed-off reconnect (when retries are configured); non-idempotent
+    /// ones surface the fault immediately — a replayed `cudaMalloc` or
+    /// `cudaLaunch` could double-execute.
     fn call(&mut self, op: &'static str, req: Request) -> CudaResult<Response> {
         if !self.window.is_empty() {
             let mut requests = std::mem::take(&mut self.window);
@@ -163,12 +322,23 @@ impl<T: Transport> RemoteRuntime<T> {
             first_failure(&resp.responses)?;
             return Ok(last);
         }
+        let started = Instant::now();
+        let replayable = is_idempotent(&req);
         let start = self.clock.now();
         let sent = req.wire_bytes();
-        req.write(&mut self.transport)
-            .and_then(|_| self.transport.flush())
-            .map_err(|e| transport_error(&e))?;
-        let resp = Response::read(&mut self.transport, &req).map_err(|e| transport_error(&e))?;
+        let mut attempt = 0;
+        let resp = loop {
+            match self.try_single(&req, started) {
+                Ok(resp) => break resp,
+                Err(e) => {
+                    if !self.may_retry(attempt, replayable, e) {
+                        return Err(e);
+                    }
+                    self.recover(attempt, e)?;
+                    attempt += 1;
+                }
+            }
+        };
         let end = self.clock.now();
         self.trace.record(CallEvent {
             op: op.to_string(),
@@ -211,34 +381,77 @@ fn first_failure(responses: &[Response]) -> CudaResult<()> {
     Ok(())
 }
 
-impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
-    fn initialize(&mut self, module: &[u8]) -> CudaResult<()> {
-        // Phase 1 (Fig. 2): the server pushes its 8-byte compute capability
-        // on connect; then we ship the module and take the result code.
-        let start = self.clock.now();
+impl<T: Transport> RemoteRuntime<T> {
+    /// One full initialization exchange: CC push, module upload (resumable
+    /// hello when retries are on), acknowledgement. Returns the traced byte
+    /// counts.
+    fn try_initialize(&mut self, module: &[u8], started: Instant) -> CudaResult<(u64, u64)> {
+        self.arm_deadline(started)?;
         let mut cc = [0u8; 8];
         self.transport
             .read_exact(&mut cc)
             .map_err(|e| transport_error(&e))?;
         self.server_cc = Some(DeviceProperties::compute_capability_from_wire(cc));
-
-        let req = Request::Init {
-            module: module.to_vec(),
+        let hello = match self.session_token {
+            Some(session) => SessionHello::Resumable {
+                session,
+                module: module.to_vec(),
+            },
+            None => SessionHello::Fresh {
+                module: module.to_vec(),
+            },
         };
-        let sent = req.wire_bytes();
-        req.write(&mut self.transport)
+        let sent = hello.wire_bytes();
+        hello
+            .write(&mut self.transport)
             .and_then(|_| self.transport.flush())
             .map_err(|e| transport_error(&e))?;
-        let resp = Response::read(&mut self.transport, &req).map_err(|e| transport_error(&e))?;
+        read_hello_reply(&mut self.transport).map_err(|e| transport_error(&e))??;
+        // Received: 8-byte CC push + 4-byte result code (Table I's 12).
+        Ok((sent, 12))
+    }
+}
+
+impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
+    fn initialize(&mut self, module: &[u8]) -> CudaResult<()> {
+        // Phase 1 (Fig. 2): the server pushes its 8-byte compute capability
+        // on connect; then we ship the module and take the result code.
+        // With retries configured the upload becomes a resumable hello
+        // (announcing the session token); the wire is otherwise unchanged,
+        // so default sessions keep Table I's exact byte counts.
+        if self.retry.max_retries > 0 && self.session_token.is_none() {
+            self.session_token = Some(next_session_token());
+        }
+        let started = Instant::now();
+        let start = self.clock.now();
+        let mut attempt = 0;
+        let (sent, received) = loop {
+            match self.try_initialize(module, started) {
+                Ok(counts) => break counts,
+                Err(e) => {
+                    // Nothing to resume yet: a failed initialization
+                    // re-dials and redoes the full fresh handshake.
+                    let retryable = matches!(
+                        e,
+                        CudaError::TransportTimedOut | CudaError::TransportConnectionLost
+                    );
+                    if !(retryable && attempt < self.retry.max_retries) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.retry.backoff(attempt));
+                    self.transport.reconnect().map_err(|_| e)?;
+                    attempt += 1;
+                }
+            }
+        };
         let end = self.clock.now();
         self.trace.record(CallEvent {
             op: "initialization".to_string(),
             sent,
-            received: 8 + resp.wire_bytes(), // CC push + result code = 12
+            received,
             start,
             end,
         });
-        resp.into_ack()?;
         self.initialized = true;
         Ok(())
     }
@@ -756,6 +969,70 @@ mod tests {
         let flushes = rt.transport_stats().messages_sent - after_init;
         assert_eq!(flushes, 2, "8 calls crossed in 2 flushes");
         assert_eq!(h.join().unwrap(), vec![4, 4]);
+    }
+
+    #[test]
+    fn deadline_bounds_a_silent_server() {
+        let (client_side, server_side) = channel_pair();
+        let h = fake_server(
+            server_side,
+            vec![Box::new(|_req, _side| {
+                // Swallow the request: never respond (a stalled network).
+                std::thread::sleep(Duration::from_millis(300));
+            })],
+        );
+        let mut rt = RemoteRuntime::new(client_side, wall_clock());
+        rt.initialize(&[]).unwrap();
+        rt.set_deadline(Some(Duration::from_millis(50)));
+        let begun = Instant::now();
+        assert_eq!(rt.malloc(16), Err(CudaError::TransportTimedOut));
+        assert!(
+            begun.elapsed() < Duration::from_millis(280),
+            "returned within the deadline, not when the server got around to it"
+        );
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn retries_announce_a_session_token() {
+        let (client_side, mut side) = channel_pair();
+        let h = thread::spawn(move || {
+            put_bytes(&mut side, &1u32.to_le_bytes()).unwrap();
+            put_bytes(&mut side, &3u32.to_le_bytes()).unwrap();
+            side.flush().unwrap();
+            let hello = rcuda_proto::SessionHello::read(&mut side).unwrap();
+            put_u32(&mut side, 0).unwrap();
+            side.flush().unwrap();
+            hello
+        });
+        let mut rt = RemoteRuntime::new(client_side, wall_clock());
+        assert_eq!(rt.session_token(), None);
+        rt.set_retry_policy(crate::retry::RetryPolicy::retries(2));
+        rt.initialize(&[9, 9]).unwrap();
+        match h.join().unwrap() {
+            rcuda_proto::SessionHello::Resumable { session, module } => {
+                assert_eq!(Some(session), rt.session_token());
+                assert_eq!(module, vec![9, 9]);
+            }
+            other => panic!("expected resumable hello, got {other:?}"),
+        }
+        // Received bytes keep Table I's 12; sent grows by exactly the
+        // 12-byte hello overhead (selector + token).
+        let ev = &rt.trace().events[0];
+        assert_eq!(ev.received, 12);
+        assert_eq!(ev.sent, 12 + 4 + 2);
+    }
+
+    #[test]
+    fn default_sessions_have_no_token_and_unchanged_wire() {
+        // fake_server parses the paper's positional init: if the default
+        // path grew a selector this would fail to parse.
+        let (client_side, server_side) = channel_pair();
+        let h = fake_server(server_side, vec![]);
+        let mut rt = RemoteRuntime::new(client_side, wall_clock());
+        rt.initialize(&[1, 2, 3]).unwrap();
+        assert_eq!(rt.session_token(), None);
+        h.join().unwrap();
     }
 
     #[test]

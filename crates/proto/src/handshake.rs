@@ -1,0 +1,217 @@
+//! Session-establishment messages: the first client → server message after
+//! the server's compute-capability push.
+//!
+//! The paper's protocol identifies the initialization message *positionally*
+//! (no selector — the first word is the module length). The fault-tolerance
+//! extension adds two selector-carrying handshakes that a server can
+//! distinguish from a module length because their values
+//! ([`FunctionId::Hello`], [`FunctionId::Reconnect`]) are impossible module
+//! sizes (≥ 4 GiB − 2):
+//!
+//! * **Hello** — a fresh session that wants to be resumable announces a
+//!   64-bit session token before its module upload. If the connection later
+//!   dies without an orderly Quit, the server parks the session's GPU
+//!   context under that token.
+//! * **Reconnect** — a returning client presents its token. The server
+//!   either resumes the parked context (reply code 0) or cleanly rejects
+//!   the resume (`cudaErrorInitializationError`) when nothing is parked —
+//!   never a hang, never a protocol desync.
+//!
+//! The server's reply to either handshake is a single 4-byte result code,
+//! exactly like the paper's initialization acknowledgement, so the exchange
+//! costs one round trip.
+
+use std::io::{self, Read, Write};
+
+use rcuda_core::{CudaError, CudaResult};
+
+use crate::ids::FunctionId;
+use crate::wire::{get_bytes, get_u32, get_u64, put_u32, put_u64};
+
+/// Extra bytes a [`SessionHello::Resumable`] handshake sends compared to the
+/// paper's bare module upload: the 4-byte `Hello` selector + 8-byte token.
+pub const HELLO_OVERHEAD_BYTES: u64 = 12;
+
+/// The first client → server message of a session, in all three forms the
+/// server accepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionHello {
+    /// The paper's positional initialization: module length + module image.
+    Fresh { module: Vec<u8> },
+    /// A resumable initialization: `Hello` selector, session token, then the
+    /// module exactly as in `Fresh`.
+    Resumable { session: u64, module: Vec<u8> },
+    /// A returning session: `Reconnect` selector + session token. No module
+    /// travels — the parked server context already holds it.
+    Reconnect { session: u64 },
+}
+
+impl SessionHello {
+    /// Exact number of bytes [`SessionHello::write`] puts on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            SessionHello::Fresh { module } => 4 + module.len() as u64,
+            SessionHello::Resumable { module, .. } => {
+                HELLO_OVERHEAD_BYTES + 4 + module.len() as u64
+            }
+            SessionHello::Reconnect { .. } => 12,
+        }
+    }
+
+    /// Serialize onto the wire.
+    pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            SessionHello::Fresh { module } => {
+                put_u32(w, module.len() as u32)?;
+                w.write_all(module)
+            }
+            SessionHello::Resumable { session, module } => {
+                put_u32(w, FunctionId::Hello.as_u32())?;
+                put_u64(w, *session)?;
+                put_u32(w, module.len() as u32)?;
+                w.write_all(module)
+            }
+            SessionHello::Reconnect { session } => {
+                put_u32(w, FunctionId::Reconnect.as_u32())?;
+                put_u64(w, *session)
+            }
+        }
+    }
+
+    /// Read the handshake message. The first word disambiguates: a `Hello`
+    /// or `Reconnect` selector routes to the extended forms, anything else
+    /// *is* the module length of the paper's positional initialization.
+    pub fn read<R: Read>(r: &mut R) -> io::Result<SessionHello> {
+        let first = get_u32(r)?;
+        match FunctionId::from_u32(first) {
+            Ok(FunctionId::Hello) => {
+                let session = get_u64(r)?;
+                let len = get_u32(r)? as usize;
+                let module = get_bytes(r, len)?;
+                Ok(SessionHello::Resumable { session, module })
+            }
+            Ok(FunctionId::Reconnect) => Ok(SessionHello::Reconnect {
+                session: get_u64(r)?,
+            }),
+            _ => Ok(SessionHello::Fresh {
+                module: get_bytes(r, first as usize)?,
+            }),
+        }
+    }
+
+    /// The module image carried by this handshake, if any.
+    pub fn module(&self) -> Option<&[u8]> {
+        match self {
+            SessionHello::Fresh { module } | SessionHello::Resumable { module, .. } => Some(module),
+            SessionHello::Reconnect { .. } => None,
+        }
+    }
+
+    /// The session token carried by this handshake, if any.
+    pub fn session(&self) -> Option<u64> {
+        match self {
+            SessionHello::Fresh { .. } => None,
+            SessionHello::Resumable { session, .. } | SessionHello::Reconnect { session } => {
+                Some(*session)
+            }
+        }
+    }
+}
+
+/// Write the server's 4-byte reply to a handshake (`0` = accepted/resumed).
+pub fn write_hello_reply<W: Write>(w: &mut W, result: &CudaResult<()>) -> io::Result<()> {
+    put_u32(w, rcuda_core::error::result_code(result))
+}
+
+/// Read the server's 4-byte reply to a handshake.
+pub fn read_hello_reply<R: Read>(r: &mut R) -> io::Result<CudaResult<()>> {
+    Ok(CudaError::from_code(get_u32(r)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip(h: &SessionHello) -> SessionHello {
+        let mut buf = Vec::new();
+        h.write(&mut buf).unwrap();
+        assert_eq!(buf.len() as u64, h.wire_bytes(), "{h:?}");
+        SessionHello::read(&mut Cursor::new(&buf)).unwrap()
+    }
+
+    #[test]
+    fn all_three_forms_round_trip() {
+        for h in [
+            SessionHello::Fresh {
+                module: vec![1, 2, 3],
+            },
+            SessionHello::Resumable {
+                session: 0xAB_CDEF,
+                module: vec![9; 64],
+            },
+            SessionHello::Reconnect {
+                session: u64::MAX - 7,
+            },
+        ] {
+            assert_eq!(round_trip(&h), h);
+        }
+    }
+
+    #[test]
+    fn fresh_form_is_bitwise_the_paper_init() {
+        // The paper's positional init (len + blob) must read back as Fresh:
+        // legacy clients keep working against a handshake-aware server.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 3).unwrap();
+        buf.extend_from_slice(&[7, 8, 9]);
+        assert_eq!(
+            SessionHello::read(&mut Cursor::new(&buf)).unwrap(),
+            SessionHello::Fresh {
+                module: vec![7, 8, 9]
+            }
+        );
+    }
+
+    #[test]
+    fn selectors_cannot_be_module_lengths() {
+        // Hello/Reconnect occupy the top of the u32 range, where a module
+        // length is physically impossible (a 4 GiB module).
+        assert!(FunctionId::Hello.as_u32() > u32::MAX - 2);
+        assert!(FunctionId::Reconnect.as_u32() > u32::MAX - 2);
+    }
+
+    #[test]
+    fn accessors_expose_module_and_session() {
+        let h = SessionHello::Resumable {
+            session: 42,
+            module: vec![1],
+        };
+        assert_eq!(h.module(), Some(&[1u8][..]));
+        assert_eq!(h.session(), Some(42));
+        assert_eq!(
+            SessionHello::Reconnect { session: 1 }.module(),
+            None,
+            "reconnect ships no module"
+        );
+        assert_eq!(SessionHello::Fresh { module: vec![] }.session(), None);
+    }
+
+    #[test]
+    fn reply_round_trips_success_and_rejection() {
+        for r in [Ok(()), Err(CudaError::InitializationError)] {
+            let mut buf = Vec::new();
+            write_hello_reply(&mut buf, &r).unwrap();
+            assert_eq!(buf.len(), 4);
+            assert_eq!(read_hello_reply(&mut Cursor::new(&buf)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn truncated_handshake_is_an_error_not_a_panic() {
+        // A Reconnect selector followed by nothing.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, FunctionId::Reconnect.as_u32()).unwrap();
+        assert!(SessionHello::read(&mut Cursor::new(&buf)).is_err());
+    }
+}

@@ -51,6 +51,16 @@ pub enum FunctionId {
     Batch = 32,
     /// Finalization stage: client is closing the socket.
     Quit = 255,
+    /// Handshake: a fresh session announcing a resume token before its
+    /// module upload (extension; see [`crate::handshake`]). The value is
+    /// deliberately an impossible module length, so a server reading the
+    /// first post-connect word can distinguish it from the paper's
+    /// positional `Init` message.
+    Hello = 0xFFFF_FFFE,
+    /// Handshake: a returning session asking to resume after a connection
+    /// loss (extension; see [`crate::handshake`]). Like [`Self::Hello`],
+    /// the value cannot be a module length.
+    Reconnect = 0xFFFF_FFFF,
 }
 
 impl FunctionId {
@@ -75,6 +85,8 @@ impl FunctionId {
             26 => FunctionId::EventDestroy,
             32 => FunctionId::Batch,
             255 => FunctionId::Quit,
+            0xFFFF_FFFE => FunctionId::Hello,
+            0xFFFF_FFFF => FunctionId::Reconnect,
             _ => return Err(CudaError::InvalidValue),
         })
     }
@@ -84,7 +96,7 @@ impl FunctionId {
     }
 
     /// All defined ids (for exhaustive round-trip tests).
-    pub const ALL: [FunctionId; 18] = [
+    pub const ALL: [FunctionId; 20] = [
         FunctionId::Malloc,
         FunctionId::Free,
         FunctionId::Memcpy,
@@ -103,6 +115,8 @@ impl FunctionId {
         FunctionId::EventDestroy,
         FunctionId::Batch,
         FunctionId::Quit,
+        FunctionId::Hello,
+        FunctionId::Reconnect,
     ];
 }
 

@@ -35,6 +35,7 @@
 //! `8 + 4 = 12` bytes — Table I's Initialization row.
 
 pub mod batch;
+pub mod handshake;
 pub mod ids;
 pub mod launch;
 pub mod request;
@@ -43,6 +44,7 @@ pub mod sizes;
 pub mod wire;
 
 pub use batch::{Batch, BatchResponse, Frame};
+pub use handshake::SessionHello;
 pub use ids::FunctionId;
 pub use launch::LaunchConfig;
 pub use request::Request;

@@ -277,6 +277,12 @@ impl Request {
                     "batch frames cannot appear inside a batch",
                 ))
             }
+            FunctionId::Hello | FunctionId::Reconnect => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "handshake selectors are only valid as the first post-connect message",
+                ))
+            }
             FunctionId::Malloc => Request::Malloc { size: get_u32(r)? },
             FunctionId::Free => Request::Free {
                 ptr: DevicePtr::new(get_u32(r)?),

@@ -19,6 +19,18 @@ pub fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     Ok(u32::from_le_bytes(buf))
 }
 
+/// Write a little-endian `u64` (session tokens in the reconnect handshake).
+pub fn put_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Read a little-endian `u64`.
+pub fn get_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
 /// Write a byte blob verbatim (the `x`-sized fields of Table I: module
 /// images, memcpy payloads, kernel names).
 pub fn put_bytes<W: Write>(w: &mut W, b: &[u8]) -> io::Result<()> {
@@ -27,8 +39,19 @@ pub fn put_bytes<W: Write>(w: &mut W, b: &[u8]) -> io::Result<()> {
 
 /// Read exactly `n` bytes.
 pub fn get_bytes<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<u8>> {
-    let mut buf = vec![0u8; n];
-    r.read_exact(&mut buf)?;
+    // Grow with the bytes actually received: a corrupted length prefix then
+    // costs at most one bounded chunk before the inevitable `UnexpectedEof`,
+    // never an up-front multi-gigabyte allocation.
+    const CHUNK: usize = 64 * 1024;
+    let mut buf = Vec::with_capacity(n.min(CHUNK));
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = remaining.min(CHUNK);
+        let start = buf.len();
+        buf.resize(start + take, 0);
+        r.read_exact(&mut buf[start..])?;
+        remaining -= take;
+    }
     Ok(buf)
 }
 
@@ -81,6 +104,18 @@ mod tests {
         let mut buf = Vec::new();
         put_u32(&mut buf, 1).unwrap();
         assert_eq!(buf, [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn u64_round_trip_and_endianness() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 0x0102_0304_0506_0708).unwrap();
+        assert_eq!(buf.len(), 8);
+        assert_eq!(buf[0], 8, "little-endian");
+        assert_eq!(
+            get_u64(&mut Cursor::new(&buf)).unwrap(),
+            0x0102_0304_0506_0708
+        );
     }
 
     #[test]

@@ -2,12 +2,79 @@
 //! length equals its accounting.
 
 use proptest::prelude::*;
-use std::io::Cursor;
+use std::io::{Cursor, Read, Write};
 
 use rcuda_core::{CudaError, Dim3};
 use rcuda_proto::batch::BATCH_HEADER_BYTES;
 use rcuda_proto::ids::MemcpyKind;
-use rcuda_proto::{Batch, BatchResponse, Frame, LaunchConfig, Request, Response};
+use rcuda_proto::{Batch, BatchResponse, Frame, LaunchConfig, Request, Response, SessionHello};
+
+/// A reader that delivers its data in caller-chosen chunk sizes — the
+/// transport-level shape of partial reads. Once the schedule is exhausted it
+/// keeps serving one byte at a time, then EOF.
+struct ChunkedReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    chunks: Vec<usize>,
+    next: usize,
+}
+
+impl<'a> ChunkedReader<'a> {
+    fn new(data: &'a [u8], chunks: Vec<usize>) -> ChunkedReader<'a> {
+        ChunkedReader {
+            data,
+            pos: 0,
+            chunks,
+            next: 0,
+        }
+    }
+}
+
+impl Read for ChunkedReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let chunk = self.chunks.get(self.next).copied().unwrap_or(1).max(1);
+        self.next += 1;
+        let n = buf.len().min(chunk).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A writer that accepts at most `cap` bytes per `write` call — the
+/// transport-level shape of partial writes (exercises `write_all` loops).
+struct CappedWriter {
+    buf: Vec<u8>,
+    cap: usize,
+}
+
+impl Write for CappedWriter {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        let n = data.len().min(self.cap);
+        self.buf.extend_from_slice(&data[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn arb_hello() -> impl Strategy<Value = SessionHello> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..2048)
+            .prop_map(|module| SessionHello::Fresh { module }),
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..2048)
+        )
+            .prop_map(|(session, module)| SessionHello::Resumable { session, module }),
+        any::<u64>().prop_map(|session| SessionHello::Reconnect { session }),
+    ]
+}
 
 fn arb_dim3() -> impl Strategy<Value = Dim3> {
     (1u32..=1024, 1u32..=1024).prop_map(|(x, y)| Dim3::xy(x, y))
@@ -226,6 +293,98 @@ proptest! {
         resp.write(&mut buf).unwrap();
         prop_assert_eq!(buf.len() as u64, resp.wire_bytes());
         prop_assert_eq!(Response::read(&mut Cursor::new(&buf), &req).unwrap(), resp);
+    }
+
+    #[test]
+    fn hello_round_trips_under_arbitrary_read_splits(
+        hello in arb_hello(),
+        chunks in proptest::collection::vec(1usize..7, 0..64),
+    ) {
+        let mut buf = Vec::new();
+        hello.write(&mut buf).unwrap();
+        prop_assert_eq!(buf.len() as u64, hello.wire_bytes());
+        let mut r = ChunkedReader::new(&buf, chunks);
+        prop_assert_eq!(SessionHello::read(&mut r).unwrap(), hello);
+    }
+
+    #[test]
+    fn hello_round_trips_under_partial_writes(hello in arb_hello(), cap in 1usize..9) {
+        let mut w = CappedWriter { buf: Vec::new(), cap };
+        hello.write(&mut w).unwrap();
+        prop_assert_eq!(w.buf.len() as u64, hello.wire_bytes());
+        prop_assert_eq!(SessionHello::read(&mut Cursor::new(&w.buf)).unwrap(), hello);
+    }
+
+    #[test]
+    fn batch_round_trips_under_arbitrary_read_splits(
+        reqs in proptest::collection::vec(arb_batchable_request(), 0..8),
+        chunks in proptest::collection::vec(1usize..7, 0..128),
+        cap in 1usize..9,
+    ) {
+        let batch = Batch::new(reqs.clone()).unwrap();
+        let mut w = CappedWriter { buf: Vec::new(), cap };
+        batch.write(&mut w).unwrap();
+        let mut r = ChunkedReader::new(&w.buf, chunks);
+        match Frame::read(&mut r).unwrap() {
+            Frame::Batch(decoded) => prop_assert_eq!(decoded.into_requests(), reqs),
+            other => prop_assert!(false, "expected batch frame, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn corrupted_or_truncated_hello_never_panics(
+        hello in arb_hello(),
+        flip in any::<usize>(),
+        xor in 1u8..=255,
+        cut in any::<usize>(),
+    ) {
+        let mut buf = Vec::new();
+        hello.write(&mut buf).unwrap();
+        // One byte flipped anywhere — a header byte included — must decode
+        // to *something* or to an error, never panic or over-allocate.
+        let mut corrupted = buf.clone();
+        let i = flip % corrupted.len();
+        corrupted[i] ^= xor;
+        let _ = SessionHello::read(&mut Cursor::new(&corrupted));
+        // Any truncation point: an error, never a panic.
+        let keep = cut % buf.len();
+        prop_assert!(SessionHello::read(&mut Cursor::new(&buf[..keep])).is_err());
+    }
+
+    #[test]
+    fn corrupted_or_truncated_batch_never_panics(
+        reqs in proptest::collection::vec(arb_batchable_request(), 1..6),
+        flip in any::<usize>(),
+        xor in 1u8..=255,
+        cut in any::<usize>(),
+    ) {
+        let batch = Batch::new(reqs).unwrap();
+        let mut buf = Vec::new();
+        batch.write(&mut buf).unwrap();
+        let mut corrupted = buf.clone();
+        let i = flip % corrupted.len();
+        corrupted[i] ^= xor;
+        let _ = Frame::read(&mut Cursor::new(&corrupted));
+        let keep = cut % buf.len();
+        prop_assert!(Frame::read(&mut Cursor::new(&buf[..keep])).is_err());
+    }
+
+    #[test]
+    fn corrupted_batch_response_count_is_invalid_data(
+        reqs in proptest::collection::vec(arb_batchable_request(), 1..6),
+        bogus_extra in 1u32..64,
+    ) {
+        // A response frame whose element count disagrees with the batch must
+        // be rejected as a protocol violation, not mis-parsed.
+        let batch = Batch::new(reqs.clone()).unwrap();
+        let responses: Vec<Response> =
+            reqs.iter().map(|r| response_for(r, 1, 0)).collect();
+        let resp = BatchResponse { responses };
+        let mut buf = Vec::new();
+        resp.write(&mut buf).unwrap();
+        buf[..4].copy_from_slice(&(reqs.len() as u32 + bogus_extra).to_le_bytes());
+        let err = BatchResponse::read(&mut Cursor::new(&buf), &batch).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -16,7 +16,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::pool::{GpuPool, PoolPolicy};
-use crate::worker::{serve_connection, ServerConfig, SessionReport};
+use crate::registry::SessionRegistry;
+use crate::worker::{serve_connection_with_registry, ServerConfig, SessionReport};
 
 /// A running rCUDA daemon.
 pub struct RcudaDaemon {
@@ -25,6 +26,7 @@ pub struct RcudaDaemon {
     accept_thread: Option<JoinHandle<()>>,
     sessions_served: Arc<AtomicU64>,
     reports: Arc<Mutex<Vec<SessionReport>>>,
+    registry: Arc<SessionRegistry>,
 }
 
 impl RcudaDaemon {
@@ -59,10 +61,14 @@ impl RcudaDaemon {
         let stop = Arc::new(AtomicBool::new(false));
         let sessions_served = Arc::new(AtomicU64::new(0));
         let reports = Arc::new(Mutex::new(Vec::new()));
+        // One registry shared by every worker, so a session parked by a
+        // dying connection can be resumed by a later one.
+        let registry = Arc::new(SessionRegistry::new());
 
         let accept_stop = Arc::clone(&stop);
         let accept_sessions = Arc::clone(&sessions_served);
         let accept_reports = Arc::clone(&reports);
+        let accept_registry = Arc::clone(&registry);
         let accept_thread = std::thread::Builder::new()
             .name("rcuda-accept".into())
             .spawn(move || {
@@ -78,6 +84,7 @@ impl RcudaDaemon {
                     let config = config.clone();
                     let sessions = Arc::clone(&accept_sessions);
                     let reports = Arc::clone(&accept_reports);
+                    let registry = Arc::clone(&accept_registry);
                     // Workers are detached: a session blocked on a quiet
                     // client must not hold up daemon shutdown (it ends when
                     // its client leaves, like the original's per-execution
@@ -88,7 +95,14 @@ impl RcudaDaemon {
                             let served = {
                                 let (device, _slot) = pool.assign();
                                 TcpTransport::from_stream(stream).ok().and_then(|t| {
-                                    serve_connection(t, &device, wall_clock(), &config).ok()
+                                    serve_connection_with_registry(
+                                        t,
+                                        &device,
+                                        wall_clock(),
+                                        &config,
+                                        &registry,
+                                    )
+                                    .ok()
                                 })
                                 // _slot drops here: the pool seat is free
                                 // before the session is counted below.
@@ -109,12 +123,18 @@ impl RcudaDaemon {
             accept_thread: Some(accept_thread),
             sessions_served,
             reports,
+            registry,
         })
     }
 
     /// The bound address (connect clients here).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Sessions currently parked awaiting a reconnect.
+    pub fn parked_sessions(&self) -> usize {
+        self.registry.parked_count()
     }
 
     /// Completed sessions so far.

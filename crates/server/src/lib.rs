@@ -16,8 +16,10 @@
 pub mod daemon;
 pub mod dispatch;
 pub mod pool;
+pub mod registry;
 pub mod worker;
 
 pub use daemon::RcudaDaemon;
 pub use pool::{GpuPool, PoolPolicy};
-pub use worker::{serve_connection, ServerConfig, SessionReport};
+pub use registry::SessionRegistry;
+pub use worker::{serve_connection, serve_connection_with_registry, ServerConfig, SessionReport};

@@ -1,0 +1,200 @@
+//! Parked sessions awaiting reconnection.
+//!
+//! When a resumable session's connection dies without an orderly Quit, its
+//! worker parks the GPU context here under the client-chosen session token.
+//! A worker serving the client's replacement connection takes the context
+//! back out and resumes exactly where the old session stopped — allocations,
+//! loaded module, streams and events all survive the reconnect.
+//!
+//! [`SessionRegistry::take_deadline`] waits briefly for the context to
+//! appear: on a real network the client's new connection can be accepted
+//! before the old worker has observed the EOF and parked, and the timed
+//! wait closes that race without busy-looping. A token that never shows up
+//! is a clean rejection, not a hang.
+
+use rcuda_gpu::GpuContext;
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Most sessions a registry will hold parked at once; beyond this the
+/// oldest parked session is evicted (its context dropped, resources
+/// released) so an unbounded stream of crashing clients cannot pin GPU
+/// state forever.
+const DEFAULT_CAPACITY: usize = 64;
+
+struct Parked {
+    ctx: GpuContext,
+    parked_at: u64,
+}
+
+struct Inner {
+    parked: HashMap<u64, Parked>,
+    /// Monotonic park sequence, for oldest-first eviction.
+    seq: u64,
+}
+
+/// Shared store of parked sessions, keyed by session token.
+pub struct SessionRegistry {
+    inner: Mutex<Inner>,
+    arrived: Condvar,
+    capacity: usize,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        SessionRegistry::new()
+    }
+}
+
+impl SessionRegistry {
+    pub fn new() -> SessionRegistry {
+        SessionRegistry::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    pub fn with_capacity(capacity: usize) -> SessionRegistry {
+        assert!(capacity > 0, "registry capacity must be positive");
+        SessionRegistry {
+            inner: Mutex::new(Inner {
+                parked: HashMap::new(),
+                seq: 0,
+            }),
+            arrived: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Park a session's context for later resume. Replaces any context
+    /// already parked under the same token; evicts the oldest parked
+    /// session when full.
+    pub fn park(&self, session: u64, ctx: GpuContext) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        if inner.parked.len() >= self.capacity && !inner.parked.contains_key(&session) {
+            if let Some(oldest) = inner
+                .parked
+                .iter()
+                .min_by_key(|(_, p)| p.parked_at)
+                .map(|(k, _)| *k)
+            {
+                inner.parked.remove(&oldest);
+            }
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.parked.insert(
+            session,
+            Parked {
+                ctx,
+                parked_at: seq,
+            },
+        );
+        self.arrived.notify_all();
+    }
+
+    /// Take a parked context out, if present.
+    pub fn take(&self, session: u64) -> Option<GpuContext> {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .parked
+            .remove(&session)
+            .map(|p| p.ctx)
+    }
+
+    /// Take a parked context, waiting up to `timeout` for it to be parked.
+    /// Closes the race where the reconnecting client's new worker runs
+    /// before the old worker has noticed the disconnect.
+    pub fn take_deadline(&self, session: u64, timeout: Duration) -> Option<GpuContext> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("registry lock");
+        loop {
+            if let Some(p) = inner.parked.remove(&session) {
+                return Some(p.ctx);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, timed_out) = self
+                .arrived
+                .wait_timeout(inner, deadline - now)
+                .expect("registry lock");
+            inner = guard;
+            if timed_out.timed_out() {
+                return inner.parked.remove(&session).map(|p| p.ctx);
+            }
+        }
+    }
+
+    /// Number of sessions currently parked.
+    pub fn parked_count(&self) -> usize {
+        self.inner.lock().expect("registry lock").parked.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuda_core::time::wall_clock;
+    use rcuda_gpu::GpuDevice;
+    use std::sync::Arc;
+
+    fn ctx() -> GpuContext {
+        GpuDevice::tesla_c1060_functional().create_context(wall_clock(), true)
+    }
+
+    #[test]
+    fn park_then_take_round_trips() {
+        let reg = SessionRegistry::new();
+        reg.park(7, ctx());
+        assert_eq!(reg.parked_count(), 1);
+        assert!(reg.take(7).is_some());
+        assert!(reg.take(7).is_none(), "taking is consuming");
+        assert_eq!(reg.parked_count(), 0);
+    }
+
+    #[test]
+    fn take_deadline_waits_for_late_park() {
+        let reg = Arc::new(SessionRegistry::new());
+        let reg2 = Arc::clone(&reg);
+        let parker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            reg2.park(42, ctx());
+        });
+        // The taker arrives first; the timed wait bridges the gap.
+        let got = reg.take_deadline(42, Duration::from_secs(2));
+        assert!(got.is_some());
+        parker.join().unwrap();
+    }
+
+    #[test]
+    fn take_deadline_gives_up_cleanly() {
+        let reg = SessionRegistry::new();
+        let start = Instant::now();
+        assert!(reg.take_deadline(99, Duration::from_millis(25)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        assert!(start.elapsed() < Duration::from_secs(2), "no hang");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let reg = SessionRegistry::with_capacity(2);
+        reg.park(1, ctx());
+        reg.park(2, ctx());
+        reg.park(3, ctx()); // evicts 1
+        assert_eq!(reg.parked_count(), 2);
+        assert!(reg.take(1).is_none(), "oldest was evicted");
+        assert!(reg.take(2).is_some());
+        assert!(reg.take(3).is_some());
+    }
+
+    #[test]
+    fn reparking_same_token_replaces_not_evicts() {
+        let reg = SessionRegistry::with_capacity(2);
+        reg.park(1, ctx());
+        reg.park(2, ctx());
+        reg.park(2, ctx()); // replacement, not a third session
+        assert_eq!(reg.parked_count(), 2);
+        assert!(reg.take(1).is_some(), "1 must not have been evicted");
+    }
+}

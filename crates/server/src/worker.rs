@@ -8,14 +8,22 @@
 //! 2. read the module-upload request, load it, acknowledge;
 //! 3. loop: read request → dispatch → respond, until Quit or disconnect.
 
-use rcuda_core::SharedClock;
-use rcuda_gpu::{GpuContext, GpuDevice};
-use rcuda_proto::{Frame, Request, Response};
+use rcuda_core::{CudaError, SharedClock};
+use rcuda_gpu::GpuDevice;
+use rcuda_proto::handshake::write_hello_reply;
+use rcuda_proto::{Frame, Request, Response, SessionHello};
 use rcuda_transport::Transport;
 use std::io;
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::dispatch::{dispatch, dispatch_batch};
+use crate::registry::SessionRegistry;
+
+/// How long a reconnecting client's worker waits for the dead worker to
+/// park the session before rejecting the resume. Covers the window between
+/// the new connection being accepted and the old worker observing EOF.
+const RESUME_WAIT: Duration = Duration::from_secs(1);
 
 /// Worker configuration.
 #[derive(Debug, Clone)]
@@ -46,20 +54,48 @@ pub struct SessionReport {
     /// Device allocations still live at session end (leaks if nonzero —
     /// the daemon releases them with the context either way).
     pub leaked_allocations: usize,
+    /// This connection resumed a previously parked session.
+    pub resumed: bool,
+    /// The session's context was parked for resume when the connection
+    /// dropped (its live allocations are preserved, not leaked).
+    pub parked: bool,
 }
 
 /// Serve one connection to completion.
 ///
 /// Transport errors after the handshake are treated as a client disconnect
 /// (the report notes the unorderly end); errors during the handshake are
-/// returned.
+/// returned. Sessions using the resumable handshake get a private registry,
+/// so a dropped connection parks the context with nobody to reclaim it —
+/// use [`serve_connection_with_registry`] to let reconnects find it.
 pub fn serve_connection<T: Transport>(
-    mut transport: T,
+    transport: T,
     device: &Arc<GpuDevice>,
     clock: SharedClock,
     config: &ServerConfig,
 ) -> io::Result<SessionReport> {
-    let mut ctx = if config.phantom_memory {
+    serve_connection_with_registry(transport, device, clock, config, &SessionRegistry::new())
+}
+
+/// Serve one connection, parking and resuming sessions via `registry`.
+///
+/// The first post-connect message selects the session form (see
+/// [`rcuda_proto::handshake`]): the paper's positional init starts an
+/// ordinary session; a `Hello` starts a resumable one whose context is
+/// parked in `registry` if the connection dies without a Quit; a
+/// `Reconnect` takes a parked context back out and resumes serving it, or
+/// is cleanly rejected with `cudaErrorInitializationError` when the token
+/// is unknown.
+pub fn serve_connection_with_registry<T: Transport>(
+    mut transport: T,
+    device: &Arc<GpuDevice>,
+    clock: SharedClock,
+    config: &ServerConfig,
+    registry: &SessionRegistry,
+) -> io::Result<SessionReport> {
+    // The context is created at accept time — before the client says
+    // anything — reproducing the warm-context behavior of §VI-B.
+    let fresh_ctx = if config.phantom_memory {
         device.create_phantom_context(clock, config.preinitialize_context)
     } else {
         device.create_context(clock, config.preinitialize_context)
@@ -69,16 +105,49 @@ pub fn serve_connection<T: Transport>(
     transport.write_all(&device.properties().compute_capability_wire())?;
     transport.flush()?;
 
-    // Phase 1b: receive and load the GPU module.
-    let init = Request::read_init(&mut transport)?;
-    let resp = dispatch(&mut ctx, &init).expect("init never quits");
-    resp.write(&mut transport)?;
-    transport.flush()?;
-
     let mut report = SessionReport::default();
-    // Read until the client quits or vanishes (a read error is a client
-    // disconnect, not a server fault). Both framings are accepted: the
-    // paper's one-call-per-message protocol and the batched extension.
+
+    // Phase 1b: session handshake.
+    let (mut ctx, session_token) = match SessionHello::read(&mut transport)? {
+        SessionHello::Fresh { module } => {
+            let mut ctx = fresh_ctx;
+            let resp = dispatch(&mut ctx, &Request::Init { module }).expect("init never quits");
+            resp.write(&mut transport)?;
+            transport.flush()?;
+            (ctx, None)
+        }
+        SessionHello::Resumable { session, module } => {
+            let mut ctx = fresh_ctx;
+            let resp = dispatch(&mut ctx, &Request::Init { module }).expect("init never quits");
+            resp.write(&mut transport)?;
+            transport.flush()?;
+            (ctx, Some(session))
+        }
+        SessionHello::Reconnect { session } => {
+            // The pre-created context is discarded: the parked one carries
+            // the session's state.
+            drop(fresh_ctx);
+            match registry.take_deadline(session, RESUME_WAIT) {
+                Some(ctx) => {
+                    write_hello_reply(&mut transport, &Ok(()))?;
+                    transport.flush()?;
+                    report.resumed = true;
+                    (ctx, Some(session))
+                }
+                None => {
+                    // Nothing parked under that token: reject and end the
+                    // connection cleanly.
+                    write_hello_reply(&mut transport, &Err(CudaError::InitializationError))?;
+                    transport.flush()?;
+                    return Ok(report);
+                }
+            }
+        }
+    };
+
+    // Phase 2: read until the client quits or vanishes (a read error is a
+    // client disconnect, not a server fault). Both framings are accepted:
+    // the paper's one-call-per-message protocol and the batched extension.
     while let Ok(frame) = Frame::read(&mut transport) {
         match frame {
             Frame::Single(req) => {
@@ -114,12 +183,17 @@ pub fn serve_connection<T: Transport>(
             }
         }
     }
-    report.leaked_allocations = live_allocations(&ctx);
-    Ok(report)
-}
 
-fn live_allocations(ctx: &GpuContext) -> usize {
-    ctx.live_allocations()
+    match session_token {
+        Some(session) if !report.orderly_shutdown => {
+            // Unorderly end of a resumable session: keep the context alive
+            // for the client's reconnect instead of releasing it.
+            registry.park(session, ctx);
+            report.parked = true;
+        }
+        _ => report.leaked_allocations = ctx.live_allocations(),
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -364,6 +438,160 @@ mod tests {
             let charged = clock.now().as_secs_f64() > 0.1;
             assert_eq!(charged, expect_charge, "preinit={preinit}");
         }
+    }
+
+    /// A resumable session that vanishes parks its context; a reconnect
+    /// resumes it with all state (allocations, module) intact.
+    #[test]
+    fn parked_session_resumes_with_state_intact() {
+        use rcuda_proto::handshake::read_hello_reply;
+        use std::sync::Arc;
+
+        let registry = Arc::new(SessionRegistry::new());
+        let device = GpuDevice::tesla_c1060_functional();
+        let cfg = ServerConfig::default();
+
+        // Connection 1: resumable hello, malloc + write data, then vanish.
+        let (mut client, server_side) = channel_pair();
+        let (reg2, dev2, cfg2) = (Arc::clone(&registry), Arc::clone(&device), cfg.clone());
+        let worker1 = thread::spawn(move || {
+            serve_connection_with_registry(server_side, &dev2, wall_clock(), &cfg2, &reg2).unwrap()
+        });
+        let mut cc = [0u8; 8];
+        client.read_exact(&mut cc).unwrap();
+        SessionHello::Resumable {
+            session: 0xDEAD_0001,
+            module: build_module(&[], 0),
+        }
+        .write(&mut client)
+        .unwrap();
+        client.flush().unwrap();
+        assert_eq!(read_hello_reply(&mut client).unwrap(), Ok(()));
+
+        let malloc = Request::Malloc { size: 8 };
+        malloc.write(&mut client).unwrap();
+        client.flush().unwrap();
+        let ptr = Response::read(&mut client, &malloc)
+            .unwrap()
+            .into_malloc()
+            .unwrap();
+        let h2d = Request::Memcpy {
+            dst: ptr.addr(),
+            src: 0,
+            size: 8,
+            kind: MemcpyKind::HostToDevice,
+            data: Some(vec![1, 2, 3, 4, 5, 6, 7, 8]),
+        };
+        h2d.write(&mut client).unwrap();
+        client.flush().unwrap();
+        Response::read(&mut client, &h2d).unwrap();
+        drop(client); // connection dies without Quit
+
+        let report1 = worker1.join().unwrap();
+        assert!(report1.parked && !report1.orderly_shutdown);
+        assert_eq!(report1.leaked_allocations, 0, "parked, not leaked");
+        assert_eq!(registry.parked_count(), 1);
+
+        // Connection 2: reconnect with the token, read the data back.
+        let (mut client, server_side) = channel_pair();
+        let (reg2, dev2, cfg2) = (Arc::clone(&registry), Arc::clone(&device), cfg.clone());
+        let worker2 = thread::spawn(move || {
+            serve_connection_with_registry(server_side, &dev2, wall_clock(), &cfg2, &reg2).unwrap()
+        });
+        client.read_exact(&mut cc).unwrap();
+        SessionHello::Reconnect {
+            session: 0xDEAD_0001,
+        }
+        .write(&mut client)
+        .unwrap();
+        client.flush().unwrap();
+        assert_eq!(read_hello_reply(&mut client).unwrap(), Ok(()), "resumed");
+
+        let d2h = Request::Memcpy {
+            dst: 0,
+            src: ptr.addr(),
+            size: 8,
+            kind: MemcpyKind::DeviceToHost,
+            data: None,
+        };
+        d2h.write(&mut client).unwrap();
+        client.flush().unwrap();
+        let bytes = Response::read(&mut client, &d2h)
+            .unwrap()
+            .into_memcpy_to_host()
+            .unwrap();
+        assert_eq!(bytes, vec![1, 2, 3, 4, 5, 6, 7, 8], "state survived");
+
+        Request::Quit.write(&mut client).unwrap();
+        client.flush().unwrap();
+        Response::read(&mut client, &Request::Quit).unwrap();
+        let report2 = worker2.join().unwrap();
+        assert!(report2.resumed && report2.orderly_shutdown);
+        assert_eq!(registry.parked_count(), 0);
+    }
+
+    /// Reconnecting with an unknown token is rejected cleanly, not hung.
+    #[test]
+    fn unknown_reconnect_token_is_rejected() {
+        use rcuda_core::CudaError;
+        use rcuda_proto::handshake::read_hello_reply;
+
+        let registry = SessionRegistry::new();
+        let (mut client, server_side) = channel_pair();
+        let device = GpuDevice::tesla_c1060_functional();
+        let cfg = ServerConfig::default();
+        let report = thread::scope(|s| {
+            let h = s.spawn(|| {
+                serve_connection_with_registry(server_side, &device, wall_clock(), &cfg, &registry)
+                    .unwrap()
+            });
+            let mut cc = [0u8; 8];
+            client.read_exact(&mut cc).unwrap();
+            SessionHello::Reconnect { session: 12345 }
+                .write(&mut client)
+                .unwrap();
+            client.flush().unwrap();
+            assert_eq!(
+                read_hello_reply(&mut client).unwrap(),
+                Err(CudaError::InitializationError)
+            );
+            h.join().unwrap()
+        });
+        assert!(!report.resumed && !report.orderly_shutdown);
+        assert_eq!(report.requests, 0);
+    }
+
+    /// An orderly Quit on a resumable session releases — never parks.
+    #[test]
+    fn orderly_quit_does_not_park() {
+        use rcuda_proto::handshake::read_hello_reply;
+
+        let registry = SessionRegistry::new();
+        let (mut client, server_side) = channel_pair();
+        let device = GpuDevice::tesla_c1060_functional();
+        let cfg = ServerConfig::default();
+        let report = thread::scope(|s| {
+            let h = s.spawn(|| {
+                serve_connection_with_registry(server_side, &device, wall_clock(), &cfg, &registry)
+                    .unwrap()
+            });
+            let mut cc = [0u8; 8];
+            client.read_exact(&mut cc).unwrap();
+            SessionHello::Resumable {
+                session: 77,
+                module: build_module(&[], 0),
+            }
+            .write(&mut client)
+            .unwrap();
+            client.flush().unwrap();
+            read_hello_reply(&mut client).unwrap().unwrap();
+            Request::Quit.write(&mut client).unwrap();
+            client.flush().unwrap();
+            Response::read(&mut client, &Request::Quit).unwrap();
+            h.join().unwrap()
+        });
+        assert!(report.orderly_shutdown && !report.parked);
+        assert_eq!(registry.parked_count(), 0);
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! `UnexpectedEof` and its writes with `BrokenPipe`, mirroring socket
 //! behavior so connection-loss handling can be tested in-process.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::io::{self, Read, Write};
+use std::time::Duration;
 
 use crate::stats::TransportStats;
 use crate::Transport;
@@ -21,6 +22,8 @@ pub struct ChannelTransport {
     /// Received message currently being consumed.
     in_buf: Vec<u8>,
     in_pos: usize,
+    /// Bound on waiting for the next message (`set_read_deadline`).
+    read_timeout: Option<Duration>,
     stats: TransportStats,
 }
 
@@ -34,6 +37,7 @@ pub fn channel_pair() -> (ChannelTransport, ChannelTransport) {
         out_buf: Vec::new(),
         in_buf: Vec::new(),
         in_pos: 0,
+        read_timeout: None,
         stats: TransportStats::default(),
     };
     (mk(tx_a, rx_a), mk(tx_b, rx_b))
@@ -61,12 +65,27 @@ impl ChannelTransport {
 impl Read for ChannelTransport {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         if self.in_pos >= self.in_buf.len() {
-            match self.rx.recv() {
+            let next = match self.read_timeout {
+                Some(t) => self.rx.recv_timeout(t).map_err(|e| match e {
+                    RecvTimeoutError::Timeout => {
+                        io::Error::new(io::ErrorKind::TimedOut, "read deadline exceeded")
+                    }
+                    RecvTimeoutError::Disconnected => {
+                        io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed")
+                    }
+                }),
+                None => self
+                    .rx
+                    .recv()
+                    .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed")),
+            };
+            match next {
                 Ok(msg) => {
                     self.in_buf = msg;
                     self.in_pos = 0;
+                    self.stats.record_message_received();
                 }
-                Err(_) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed")),
+                Err(e) => return Err(e),
             }
         }
         let n = buf.len().min(self.in_buf.len() - self.in_pos);
@@ -92,6 +111,11 @@ impl Write for ChannelTransport {
 impl Transport for ChannelTransport {
     fn stats(&self) -> TransportStats {
         self.stats
+    }
+
+    fn set_read_deadline(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.read_timeout = timeout;
+        Ok(())
     }
 }
 
@@ -162,6 +186,50 @@ mod tests {
         b.read_exact(&mut buf).unwrap();
         assert_eq!(a.stats().bytes_sent, 100);
         assert_eq!(b.stats().bytes_received, 100);
+    }
+
+    #[test]
+    fn read_deadline_times_out_then_clears() {
+        let (mut a, mut b) = channel_pair();
+        a.set_read_deadline(Some(Duration::from_millis(10)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            a.read_exact(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::TimedOut
+        );
+        // Data that arrives within the deadline is read normally.
+        b.write_all(&[7]).unwrap();
+        b.flush().unwrap();
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [7]);
+        // Clearing the deadline restores blocking reads (peer gone → EOF,
+        // not TimedOut).
+        a.set_read_deadline(None).unwrap();
+        drop(b);
+        assert_eq!(
+            a.read_exact(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn messages_received_counts_peer_flushes() {
+        let (mut a, mut b) = channel_pair();
+        for _ in 0..3 {
+            a.write_all(b"xy").unwrap();
+            a.flush().unwrap();
+        }
+        let mut buf = [0u8; 6];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(b.stats().messages_received, 3);
+        // Partial consumption of one message counts it exactly once.
+        a.write_all(b"0123456789").unwrap();
+        a.flush().unwrap();
+        let mut half = [0u8; 5];
+        b.read_exact(&mut half).unwrap();
+        b.read_exact(&mut half).unwrap();
+        assert_eq!(b.stats().messages_received, 4);
     }
 
     #[test]

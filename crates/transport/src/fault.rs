@@ -1,0 +1,575 @@
+//! Deterministic fault injection for any [`Transport`].
+//!
+//! [`FaultInjector`] wraps a transport and perturbs traffic according to a
+//! [`FaultPlan`]: a schedule keyed on the *message index* — the number of
+//! flushes the wrapper has performed. Because the rCUDA protocol is strictly
+//! synchronous (one flush per request, one reply per request), the message
+//! index maps one-to-one onto call sites: for a pipeline-disabled matrix
+//! multiply, index 0 is initialization, 1–3 the three `cudaMalloc`s, and so
+//! on. A plan can therefore say "kill the connection exactly under the
+//! second host-to-device copy" and a test can assert the precise error class
+//! that must surface.
+//!
+//! Faults are injected at well-defined points:
+//!
+//! * **write-side faults** fire when the message at the scheduled index is
+//!   flushed — the injector buffers writes itself, so a message can be
+//!   swallowed, truncated, or corrupted atomically;
+//! * **read-side faults** arm once the request at the scheduled index has
+//!   been flushed and fire on the *reply* to that request.
+//!
+//! The schedule is either hand-written ([`FaultPlan::at`]) or derived from a
+//! 64-bit seed ([`FaultPlan::seeded`]) via an inline SplitMix64 generator —
+//! the same seed always yields the same faults at the same indices, which is
+//! what makes conformance runs reproducible and failures replayable.
+//!
+//! After a fault kills the connection, the injector reports `BrokenPipe` /
+//! `UnexpectedEof` like a real dead socket until [`Transport::reconnect`]
+//! succeeds on the inner transport. The message-index counter keeps running
+//! across reconnects, so one plan spans the whole session including its
+//! recovery traffic.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use crate::stats::TransportStats;
+use crate::Transport;
+
+/// What goes wrong with one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The connection dies while the message is being sent: the message is
+    /// lost, the flush fails with `BrokenPipe`, and the transport is dead
+    /// until reconnected.
+    Disconnect,
+    /// Only the first `keep` bytes of the message reach the peer before the
+    /// connection dies.
+    PartialWrite { keep: usize },
+    /// Only the first `keep` bytes of the *reply* arrive before the
+    /// connection dies.
+    PartialRead { keep: usize },
+    /// The message vanishes without an error: the send appears to succeed,
+    /// the peer never sees it, and the caller's next read hangs until its
+    /// deadline. Models a stalled network rather than a broken one.
+    Stall,
+    /// The byte at `offset` in the outgoing message is XORed with `xor`
+    /// (delivery otherwise succeeds).
+    CorruptWrite { offset: usize, xor: u8 },
+    /// The byte at `offset` in the incoming reply is XORed with `xor`.
+    CorruptRead { offset: usize, xor: u8 },
+}
+
+impl FaultKind {
+    /// Whether this fault leaves the connection dead (requiring a
+    /// reconnect before any further traffic).
+    pub fn kills_connection(self) -> bool {
+        matches!(
+            self,
+            FaultKind::Disconnect | FaultKind::PartialWrite { .. } | FaultKind::PartialRead { .. }
+        )
+    }
+}
+
+/// One scheduled fault: `kind` strikes the message with index
+/// `message_index` (write-side kinds) or its reply (read-side kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    pub message_index: u64,
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults, ordered by message index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// No faults: the injector becomes a transparent wrapper.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// An explicit schedule (sorted internally by message index).
+    pub fn new(mut faults: Vec<Fault>) -> FaultPlan {
+        faults.sort_by_key(|f| f.message_index);
+        FaultPlan { faults }
+    }
+
+    /// Convenience: a single fault at `message_index`.
+    pub fn at(message_index: u64, kind: FaultKind) -> FaultPlan {
+        FaultPlan::new(vec![Fault {
+            message_index,
+            kind,
+        }])
+    }
+
+    /// Derive `count` faults over message indices `0..horizon` from a seed.
+    /// The same `(seed, horizon, count)` triple always yields the same plan.
+    pub fn seeded(seed: u64, horizon: u64, count: usize) -> FaultPlan {
+        assert!(horizon > 0, "horizon must be positive");
+        let mut rng = SplitMix64::new(seed);
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            let message_index = rng.next() % horizon;
+            let kind = match rng.next() % 6 {
+                0 => FaultKind::Disconnect,
+                1 => FaultKind::PartialWrite {
+                    keep: (rng.next() % 8) as usize,
+                },
+                2 => FaultKind::PartialRead {
+                    keep: (rng.next() % 4) as usize,
+                },
+                3 => FaultKind::Stall,
+                4 => FaultKind::CorruptWrite {
+                    offset: (rng.next() % 4) as usize,
+                    xor: (rng.next() % 255) as u8 + 1,
+                },
+                _ => FaultKind::CorruptRead {
+                    offset: (rng.next() % 4) as usize,
+                    xor: (rng.next() % 255) as u8 + 1,
+                },
+            };
+            faults.push(Fault {
+                message_index,
+                kind,
+            });
+        }
+        FaultPlan::new(faults)
+    }
+
+    /// The scheduled faults, in message-index order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    fn take_write_fault(&mut self, index: u64) -> Option<FaultKind> {
+        let pos = self.faults.iter().position(|f| {
+            f.message_index == index
+                && !matches!(
+                    f.kind,
+                    FaultKind::PartialRead { .. } | FaultKind::CorruptRead { .. }
+                )
+        })?;
+        Some(self.faults.remove(pos).kind)
+    }
+
+    fn take_read_fault(&mut self, index: u64) -> Option<FaultKind> {
+        let pos = self.faults.iter().position(|f| {
+            f.message_index == index
+                && matches!(
+                    f.kind,
+                    FaultKind::PartialRead { .. } | FaultKind::CorruptRead { .. }
+                )
+        })?;
+        Some(self.faults.remove(pos).kind)
+    }
+}
+
+/// SplitMix64 — tiny, seedable, good enough to scatter faults. Inlined so
+/// the transport crate needs no RNG dependency.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A read-side fault armed against the reply currently in flight.
+#[derive(Debug, Clone, Copy)]
+enum ArmedRead {
+    /// Allow `remaining` more reply bytes, then kill the connection.
+    Partial { remaining: usize },
+    /// XOR the reply byte at `offset` (counted from the start of the reply).
+    Corrupt { offset: usize, xor: u8 },
+}
+
+/// A [`Transport`] wrapper that injects the faults of a [`FaultPlan`].
+///
+/// Generic over the inner transport: tests wrap [`crate::ChannelTransport`]
+/// (or [`crate::ReconnectTransport`]) for in-process conformance runs, and
+/// the same wrapper drives a real [`crate::TcpTransport`] against a live
+/// daemon.
+pub struct FaultInjector<T: Transport> {
+    inner: T,
+    plan: FaultPlan,
+    /// Messages flushed so far — the plan's index space.
+    flushes: u64,
+    /// Bytes buffered for the message being assembled.
+    out_buf: Vec<u8>,
+    /// Connection killed by a fault; cleared by a successful reconnect.
+    dead: bool,
+    /// Read-side fault armed for the current reply, with progress state.
+    armed_read: Option<ArmedRead>,
+    /// Bytes already consumed of the reply the armed fault targets.
+    reply_pos: usize,
+    /// Faults that have actually fired, in order (for deterministic-replay
+    /// assertions).
+    fired: VecDeque<Fault>,
+}
+
+impl<T: Transport> FaultInjector<T> {
+    pub fn new(inner: T, plan: FaultPlan) -> FaultInjector<T> {
+        FaultInjector {
+            inner,
+            plan,
+            flushes: 0,
+            out_buf: Vec::new(),
+            dead: false,
+            armed_read: None,
+            reply_pos: 0,
+            fired: VecDeque::new(),
+        }
+    }
+
+    /// The faults that have fired so far, in firing order.
+    pub fn fired(&self) -> impl Iterator<Item = &Fault> {
+        self.fired.iter()
+    }
+
+    /// Messages flushed so far (the next message's index).
+    pub fn message_index(&self) -> u64 {
+        self.flushes
+    }
+
+    /// The inner transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    fn dead_write_err() -> io::Error {
+        io::Error::new(io::ErrorKind::BrokenPipe, "connection killed by fault")
+    }
+
+    fn dead_read_err() -> io::Error {
+        io::Error::new(io::ErrorKind::UnexpectedEof, "connection killed by fault")
+    }
+
+    fn record(&mut self, index: u64, kind: FaultKind) {
+        self.fired.push_back(Fault {
+            message_index: index,
+            kind,
+        });
+    }
+}
+
+impl<T: Transport> Read for FaultInjector<T> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(Self::dead_read_err());
+        }
+        match self.armed_read {
+            Some(ArmedRead::Partial { remaining }) => {
+                if remaining == 0 {
+                    self.dead = true;
+                    self.armed_read = None;
+                    return Err(Self::dead_read_err());
+                }
+                let limit = buf.len().min(remaining);
+                let n = self.inner.read(&mut buf[..limit])?;
+                self.armed_read = Some(ArmedRead::Partial {
+                    remaining: remaining - n,
+                });
+                self.reply_pos += n;
+                Ok(n)
+            }
+            Some(ArmedRead::Corrupt { offset, xor }) => {
+                let n = self.inner.read(buf)?;
+                let start = self.reply_pos;
+                if offset >= start && offset < start + n {
+                    buf[offset - start] ^= xor;
+                    self.armed_read = None;
+                }
+                self.reply_pos += n;
+                Ok(n)
+            }
+            None => self.inner.read(buf),
+        }
+    }
+}
+
+impl<T: Transport> Write for FaultInjector<T> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(Self::dead_write_err());
+        }
+        self.out_buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(Self::dead_write_err());
+        }
+        if self.out_buf.is_empty() {
+            return self.inner.flush();
+        }
+        let index = self.flushes;
+        self.flushes += 1;
+        let msg = std::mem::take(&mut self.out_buf);
+
+        // Arm any read-side fault scheduled against this message's reply.
+        if let Some(kind) = self.plan.take_read_fault(index) {
+            self.record(index, kind);
+            self.reply_pos = 0;
+            self.armed_read = Some(match kind {
+                FaultKind::PartialRead { keep } => ArmedRead::Partial { remaining: keep },
+                FaultKind::CorruptRead { offset, xor } => ArmedRead::Corrupt { offset, xor },
+                _ => unreachable!("take_read_fault returns only read kinds"),
+            });
+        }
+
+        match self.plan.take_write_fault(index) {
+            None => {
+                self.inner.write_all(&msg)?;
+                self.inner.flush()
+            }
+            Some(kind) => {
+                self.record(index, kind);
+                match kind {
+                    FaultKind::Disconnect => {
+                        self.dead = true;
+                        Err(Self::dead_write_err())
+                    }
+                    FaultKind::PartialWrite { keep } => {
+                        let keep = keep.min(msg.len());
+                        if keep > 0 {
+                            self.inner.write_all(&msg[..keep])?;
+                            let _ = self.inner.flush();
+                        }
+                        self.dead = true;
+                        Err(Self::dead_write_err())
+                    }
+                    FaultKind::Stall => {
+                        // The message evaporates; the caller only notices
+                        // when its reply never comes.
+                        Ok(())
+                    }
+                    FaultKind::CorruptWrite { offset, xor } => {
+                        let mut msg = msg;
+                        if let Some(b) = msg.get_mut(offset) {
+                            *b ^= xor;
+                        }
+                        self.inner.write_all(&msg)?;
+                        self.inner.flush()
+                    }
+                    FaultKind::PartialRead { .. } | FaultKind::CorruptRead { .. } => {
+                        unreachable!("take_write_fault returns only write kinds")
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T: Transport> Transport for FaultInjector<T> {
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+
+    fn set_read_deadline(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_deadline(timeout)
+    }
+
+    fn reconnect(&mut self) -> io::Result<()> {
+        self.inner.reconnect()?;
+        self.dead = false;
+        self.armed_read = None;
+        self.out_buf.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::channel_pair;
+
+    fn send(t: &mut impl Transport, msg: &[u8]) -> io::Result<()> {
+        t.write_all(msg)?;
+        t.flush()
+    }
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let (a, mut b) = channel_pair();
+        let mut inj = FaultInjector::new(a, FaultPlan::none());
+        send(&mut inj, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        send(&mut b, b"world").unwrap();
+        inj.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        assert_eq!(inj.fired().count(), 0);
+    }
+
+    #[test]
+    fn disconnect_kills_message_and_connection() {
+        let (a, mut b) = channel_pair();
+        let mut inj = FaultInjector::new(a, FaultPlan::at(1, FaultKind::Disconnect));
+        send(&mut inj, b"first").unwrap();
+        let mut buf = [0u8; 5];
+        b.read_exact(&mut buf).unwrap();
+
+        let err = send(&mut inj, b"second").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        // Dead in both directions until reconnect.
+        assert_eq!(
+            send(&mut inj, b"third").unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+        assert_eq!(
+            inj.read_exact(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        assert_eq!(
+            inj.fired().copied().collect::<Vec<_>>(),
+            vec![Fault {
+                message_index: 1,
+                kind: FaultKind::Disconnect
+            }]
+        );
+    }
+
+    #[test]
+    fn partial_write_delivers_prefix_then_dies() {
+        let (a, mut b) = channel_pair();
+        let mut inj = FaultInjector::new(a, FaultPlan::at(0, FaultKind::PartialWrite { keep: 3 }));
+        let err = send(&mut inj, b"abcdef").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        let mut buf = [0u8; 3];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abc", "peer saw only the kept prefix");
+    }
+
+    #[test]
+    fn partial_read_truncates_the_reply() {
+        let (a, mut b) = channel_pair();
+        let mut inj = FaultInjector::new(a, FaultPlan::at(0, FaultKind::PartialRead { keep: 2 }));
+        send(&mut inj, b"req").unwrap();
+        let mut req = [0u8; 3];
+        b.read_exact(&mut req).unwrap();
+        send(&mut b, b"reply").unwrap();
+
+        let mut buf = [0u8; 2];
+        inj.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"re");
+        let mut more = [0u8; 1];
+        assert_eq!(
+            inj.read_exact(&mut more).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn stall_swallows_message_silently() {
+        let (a, mut b) = channel_pair();
+        let mut inj = FaultInjector::new(a, FaultPlan::at(0, FaultKind::Stall));
+        send(&mut inj, b"vanishes").unwrap();
+        // Connection still usable; the peer never saw message 0.
+        send(&mut inj, b"arrives!").unwrap();
+        let mut buf = [0u8; 8];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"arrives!");
+    }
+
+    #[test]
+    fn corrupt_write_flips_the_scheduled_byte() {
+        let (a, mut b) = channel_pair();
+        let mut inj = FaultInjector::new(
+            a,
+            FaultPlan::at(
+                0,
+                FaultKind::CorruptWrite {
+                    offset: 2,
+                    xor: 0xFF,
+                },
+            ),
+        );
+        send(&mut inj, &[0, 0, 0, 0]).unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [0, 0, 0xFF, 0]);
+    }
+
+    #[test]
+    fn corrupt_read_flips_reply_byte_at_offset() {
+        let (a, mut b) = channel_pair();
+        let mut inj = FaultInjector::new(
+            a,
+            FaultPlan::at(
+                1,
+                FaultKind::CorruptRead {
+                    offset: 1,
+                    xor: 0x0F,
+                },
+            ),
+        );
+        // Message 0 and its reply pass untouched.
+        send(&mut inj, b"m0").unwrap();
+        send(&mut b, &[1, 2]).unwrap();
+        let mut buf = [0u8; 2];
+        inj.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [1, 2]);
+        let mut req = [0u8; 2];
+        b.read_exact(&mut req).unwrap();
+        // Message 1's reply gets byte 1 XORed, even across split reads.
+        send(&mut inj, b"m1").unwrap();
+        b.read_exact(&mut req).unwrap();
+        send(&mut b, &[3, 4]).unwrap();
+        let mut one = [0u8; 1];
+        inj.read_exact(&mut one).unwrap();
+        assert_eq!(one, [3]);
+        inj.read_exact(&mut one).unwrap();
+        assert_eq!(one, [4 ^ 0x0F]);
+    }
+
+    #[test]
+    fn reconnect_revives_a_killed_connection() {
+        // ChannelTransport can't reconnect, so exercise the revive logic
+        // through a ReconnectTransport below the injector.
+        use crate::reconnect::ReconnectTransport;
+        let (a, _keep_b) = channel_pair();
+        let (a2, _keep_b2) = channel_pair();
+        let mut spare = Some(a2);
+        let rt = ReconnectTransport::new(a, move || {
+            spare
+                .take()
+                .ok_or_else(|| io::Error::other("no more endpoints"))
+        });
+        let mut inj = FaultInjector::new(rt, FaultPlan::at(0, FaultKind::Disconnect));
+        assert_eq!(
+            send(&mut inj, b"dies").unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+        inj.reconnect().unwrap();
+        send(&mut inj, b"lives").unwrap();
+        assert_eq!(
+            inj.message_index(),
+            2,
+            "index keeps counting across reconnect"
+        );
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_seed_sensitive() {
+        let p1 = FaultPlan::seeded(42, 10, 3);
+        let p2 = FaultPlan::seeded(42, 10, 3);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.faults().len(), 3);
+        assert!(p1.faults().iter().all(|f| f.message_index < 10));
+        let p3 = FaultPlan::seeded(43, 10, 3);
+        assert_ne!(p1, p3, "different seed, different plan");
+    }
+}

@@ -23,13 +23,18 @@
 //! (and TCP packetization) keys on.
 
 pub mod channel;
+pub mod fault;
+pub mod reconnect;
 pub mod sim;
 pub mod stats;
 pub mod tcp;
 
 use std::io;
+use std::time::Duration;
 
 pub use channel::{channel_pair, ChannelTransport};
+pub use fault::{Fault, FaultInjector, FaultKind, FaultPlan};
+pub use reconnect::ReconnectTransport;
 pub use sim::{sim_pair, SimTransport};
 pub use stats::TransportStats;
 pub use tcp::TcpTransport;
@@ -39,4 +44,24 @@ pub trait Transport: io::Read + io::Write + Send {
     /// Cumulative traffic counters (used by tests to verify the Table I /
     /// Table II byte accounting end-to-end).
     fn stats(&self) -> TransportStats;
+
+    /// Bound every subsequent read: a read that makes no progress for
+    /// `timeout` fails with [`io::ErrorKind::TimedOut`]. `None` restores
+    /// blocking reads. Transports without a timing source accept the call
+    /// as a no-op (the default) — callers must not rely on enforcement
+    /// unless the concrete transport documents it.
+    fn set_read_deadline(&mut self, _timeout: Option<Duration>) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Tear down the current connection and establish a fresh one to the
+    /// same peer. Counters survive; buffered/un-acked data does not.
+    /// Transports that cannot re-dial return [`io::ErrorKind::Unsupported`]
+    /// (the default).
+    fn reconnect(&mut self) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "transport cannot reconnect",
+        ))
+    }
 }

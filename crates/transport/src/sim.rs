@@ -81,6 +81,12 @@ impl Transport for SimTransport {
     fn stats(&self) -> TransportStats {
         self.inner.stats()
     }
+
+    fn set_read_deadline(&mut self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        // Deadlines are wall-time bounds on the underlying channel; the
+        // virtual clock is unaffected.
+        self.inner.set_read_deadline(timeout)
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,10 @@ pub struct TransportStats {
     pub bytes_received: u64,
     /// Messages sent (flush calls with pending data).
     pub messages_sent: u64,
+    /// Messages received (peer flushes consumed by this endpoint).
+    pub messages_received: u64,
+    /// Times this endpoint's connection was re-established.
+    pub reconnects: u64,
 }
 
 impl TransportStats {
@@ -23,6 +27,24 @@ impl TransportStats {
     pub fn record_message(&mut self) {
         self.messages_sent += 1;
     }
+
+    pub fn record_message_received(&mut self) {
+        self.messages_received += 1;
+    }
+
+    pub fn record_reconnect(&mut self) {
+        self.reconnects += 1;
+    }
+
+    /// Fold another endpoint-incarnation's counters into this one (used by
+    /// reconnecting transports to keep totals across connections).
+    pub fn absorb(&mut self, other: &TransportStats) {
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.messages_sent += other.messages_sent;
+        self.messages_received += other.messages_received;
+        self.reconnects += other.reconnects;
+    }
 }
 
 #[cfg(test)]
@@ -36,8 +58,35 @@ mod tests {
         s.record_send(5);
         s.record_recv(3);
         s.record_message();
+        s.record_message_received();
+        s.record_message_received();
+        s.record_reconnect();
         assert_eq!(s.bytes_sent, 15);
         assert_eq!(s.bytes_received, 3);
         assert_eq!(s.messages_sent, 1);
+        assert_eq!(s.messages_received, 2);
+        assert_eq!(s.reconnects, 1);
+    }
+
+    #[test]
+    fn absorb_sums_every_counter() {
+        let mut a = TransportStats {
+            bytes_sent: 1,
+            bytes_received: 2,
+            messages_sent: 3,
+            messages_received: 4,
+            reconnects: 5,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(
+            a,
+            TransportStats {
+                bytes_sent: 2,
+                bytes_received: 4,
+                messages_sent: 6,
+                messages_received: 8,
+                reconnects: 10,
+            }
+        );
     }
 }

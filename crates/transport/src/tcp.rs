@@ -7,7 +7,8 @@
 //! protocol message leaves in as few segments as possible.
 
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::stats::TransportStats;
 use crate::Transport;
@@ -19,12 +20,25 @@ pub struct TcpTransport {
     stats: TransportStats,
     /// Whether any bytes were written since the last flush.
     dirty: bool,
+    /// The address `connect` dialed — `Some` makes [`Transport::reconnect`]
+    /// possible; accepted streams (`from_stream`) cannot re-dial.
+    dial_addr: Option<SocketAddr>,
+    /// Last deadline set, re-applied to the fresh socket after a reconnect.
+    read_timeout: Option<Duration>,
+    /// Set by flush, cleared by the next successful read: counts one
+    /// received message per request/response exchange (TCP itself has no
+    /// message boundaries to count exactly).
+    awaiting_response: bool,
 }
 
 impl TcpTransport {
     /// Connect to a server (sets `TCP_NODELAY`).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
-        Self::from_stream(TcpStream::connect(addr)?)
+        let stream = TcpStream::connect(addr)?;
+        let dial_addr = stream.peer_addr().ok();
+        let mut t = Self::from_stream(stream)?;
+        t.dial_addr = dial_addr;
+        Ok(t)
     }
 
     /// Wrap an accepted stream (sets `TCP_NODELAY`).
@@ -37,6 +51,9 @@ impl TcpTransport {
             writer,
             stats: TransportStats::default(),
             dirty: false,
+            dial_addr: None,
+            read_timeout: None,
+            awaiting_response: false,
         })
     }
 
@@ -56,6 +73,10 @@ impl Read for TcpTransport {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         let n = self.reader.read(buf)?;
         self.stats.record_recv(n as u64);
+        if n > 0 && self.awaiting_response {
+            self.stats.record_message_received();
+            self.awaiting_response = false;
+        }
         Ok(n)
     }
 }
@@ -74,6 +95,7 @@ impl Write for TcpTransport {
         if self.dirty {
             self.stats.record_message();
             self.dirty = false;
+            self.awaiting_response = true;
         }
         self.writer.flush()
     }
@@ -82,6 +104,36 @@ impl Write for TcpTransport {
 impl Transport for TcpTransport {
     fn stats(&self) -> TransportStats {
         self.stats
+    }
+
+    fn set_read_deadline(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        // A socket read timeout bounds each read syscall, not the whole
+        // message; for the protocol's small fixed-size reads that is the
+        // same bound in practice.
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.read_timeout = timeout;
+        Ok(())
+    }
+
+    fn reconnect(&mut self) -> io::Result<()> {
+        let addr = self.dial_addr.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::Unsupported,
+                "accepted stream has no dial address to reconnect to",
+            )
+        })?;
+        // Drop the dead socket before dialing so the server sees the EOF
+        // promptly and can park the session for resume.
+        let _ = self.reader.get_ref().shutdown(std::net::Shutdown::Both);
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        self.reader = BufReader::with_capacity(256 * 1024, stream.try_clone()?);
+        self.writer = BufWriter::with_capacity(256 * 1024, stream);
+        self.dirty = false;
+        self.awaiting_response = false;
+        self.stats.record_reconnect();
+        Ok(())
     }
 }
 
@@ -156,6 +208,91 @@ mod tests {
         client.flush().unwrap();
         let mut ack = [0u8; 1];
         client.read_exact(&mut ack).unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn reconnect_redials_the_original_address() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            // First connection: echo one byte, then close.
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::from_stream(stream).unwrap();
+            let mut buf = [0u8; 1];
+            t.read_exact(&mut buf).unwrap();
+            t.write_all(&buf).unwrap();
+            t.flush().unwrap();
+            drop(t);
+            // Second connection after the client reconnects.
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::from_stream(stream).unwrap();
+            let mut buf = [0u8; 1];
+            t.read_exact(&mut buf).unwrap();
+            t.write_all(&[buf[0] + 1]).unwrap();
+            t.flush().unwrap();
+        });
+
+        let mut client = TcpTransport::connect(addr).unwrap();
+        client.write_all(&[5]).unwrap();
+        client.flush().unwrap();
+        let mut echo = [0u8; 1];
+        client.read_exact(&mut echo).unwrap();
+        assert_eq!(echo, [5]);
+
+        client.reconnect().unwrap();
+        client.write_all(&[6]).unwrap();
+        client.flush().unwrap();
+        client.read_exact(&mut echo).unwrap();
+        assert_eq!(echo, [7]);
+        let stats = client.stats();
+        assert_eq!(stats.reconnects, 1);
+        assert_eq!(stats.messages_sent, 2, "counters span the reconnect");
+        assert_eq!(stats.messages_received, 2);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn accepted_stream_cannot_reconnect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            TcpTransport::from_stream(stream).unwrap()
+        });
+        let _client = TcpTransport::connect(addr).unwrap();
+        let mut srv = server.join().unwrap();
+        assert_eq!(
+            srv.reconnect().unwrap_err().kind(),
+            io::ErrorKind::Unsupported
+        );
+    }
+
+    #[test]
+    fn read_deadline_bounds_a_silent_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Hold the connection open without ever writing.
+            thread::sleep(std::time::Duration::from_millis(300));
+            drop(stream);
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        client
+            .set_read_deadline(Some(std::time::Duration::from_millis(30)))
+            .unwrap();
+        let start = std::time::Instant::now();
+        let mut buf = [0u8; 1];
+        let err = client.read_exact(&mut buf).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ),
+            "got {err:?}"
+        );
+        assert!(start.elapsed() < std::time::Duration::from_millis(250));
         server.join().unwrap();
     }
 

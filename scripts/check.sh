@@ -10,6 +10,9 @@ cargo build --release --workspace
 echo "== cargo test ==" >&2
 cargo test -q --workspace
 
+echo "== failure-injection conformance (3 seeds) ==" >&2
+RCUDA_FAULT_SEEDS=3 cargo test -q --test failure_injection
+
 echo "== cargo fmt --check ==" >&2
 cargo fmt --all --check
 

@@ -25,17 +25,23 @@
 //! local runtimes, which involve no transport; the older remote constructors
 //! are deprecated in favor of the builder.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use rcuda_api::LocalRuntime;
-use rcuda_client::RemoteRuntime;
+use rcuda_client::{RemoteRuntime, RetryPolicy};
 use rcuda_core::time::{virtual_clock, wall_clock};
 use rcuda_core::{CudaResult, SharedClock, VirtualClock};
 use rcuda_gpu::GpuDevice;
 use rcuda_netsim::NetworkId;
-use rcuda_server::{serve_connection, ServerConfig, SessionReport};
-use rcuda_transport::{channel_pair, sim_pair, ChannelTransport, SimTransport, TcpTransport};
+use rcuda_server::{
+    serve_connection, serve_connection_with_registry, ServerConfig, SessionRegistry, SessionReport,
+};
+use rcuda_transport::{
+    channel_pair, sim_pair, ChannelTransport, FaultInjector, FaultPlan, ReconnectTransport,
+    SimTransport, TcpTransport, TransportStats,
+};
 
 /// A functional local-GPU runtime (wall clock, kernels really execute).
 pub fn local_functional() -> LocalRuntime {
@@ -60,6 +66,8 @@ impl Session {
         SessionBuilder {
             pipeline_depth: 0,
             phantom: false,
+            deadline: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -69,6 +77,8 @@ impl Session {
 pub struct SessionBuilder {
     pipeline_depth: usize,
     phantom: bool,
+    deadline: Option<Duration>,
+    retry: RetryPolicy,
 }
 
 impl SessionBuilder {
@@ -77,6 +87,30 @@ impl SessionBuilder {
     /// calls into one message per window (see `rcuda-client`).
     pub fn pipeline(mut self, depth: usize) -> Self {
         self.pipeline_depth = depth;
+        self
+    }
+
+    /// Per-call wall-clock deadline: a call that cannot complete within the
+    /// budget fails with `TransportTimedOut` instead of blocking. Default
+    /// `None` — block indefinitely, as the paper's synchronous protocol
+    /// does.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Retry transport faults up to `max_retries` times (with exponential
+    /// backoff): idempotent calls replay transparently after a reconnect,
+    /// non-idempotent ones still surface the fault immediately. Default
+    /// `0` — fail fast, exactly the pre-retry behavior.
+    pub fn retries(mut self, max_retries: u32) -> Self {
+        self.retry = RetryPolicy::retries(max_retries);
+        self
+    }
+
+    /// Full control over the retry policy (backoff curve included).
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -100,6 +134,8 @@ impl SessionBuilder {
             TcpTransport::connect(addr).map_err(|e| rcuda_client::transport_error(&e))?;
         let mut rt = RemoteRuntime::new(transport, wall_clock());
         rt.set_pipeline_depth(self.pipeline_depth)?;
+        rt.set_deadline(self.deadline);
+        rt.set_retry_policy(self.retry);
         Ok(rt)
     }
 
@@ -115,9 +151,73 @@ impl SessionBuilder {
         runtime
             .set_pipeline_depth(self.pipeline_depth)
             .expect("fresh session");
+        runtime.set_deadline(self.deadline);
+        runtime.set_retry_policy(self.retry);
         ChannelSession {
             runtime,
             server: Some(server),
+        }
+    }
+
+    /// A fault-injection session: an in-process server behind a
+    /// [`FaultInjector`] executing `plan`, over a reconnectable channel
+    /// transport. Each (re)connect spawns a fresh server thread; all server
+    /// threads share one [`SessionRegistry`], so a session announced with
+    /// [`SessionBuilder::retries`] parks on disconnect and resumes — with
+    /// device state intact — on the next connection. The workhorse of the
+    /// failure-injection conformance suite.
+    pub fn channel_faulty(self, plan: FaultPlan) -> FaultSession {
+        let clock: SharedClock = wall_clock();
+        let device = Arc::new(if self.phantom {
+            GpuDevice::tesla_c1060()
+        } else {
+            GpuDevice::tesla_c1060_functional()
+        });
+        let config = ServerConfig {
+            preinitialize_context: true,
+            phantom_memory: self.phantom,
+        };
+        let registry = Arc::new(SessionRegistry::new());
+        let servers: ServerSet = Arc::new(Mutex::new(Vec::new()));
+
+        let dial = {
+            let device = Arc::clone(&device);
+            let registry = Arc::clone(&registry);
+            let servers = Arc::clone(&servers);
+            let clock = clock.clone();
+            move || -> std::io::Result<ChannelTransport> {
+                let (client_side, server_side) = channel_pair();
+                let device = Arc::clone(&device);
+                let registry = Arc::clone(&registry);
+                let clock = clock.clone();
+                let config = config.clone();
+                let handle = std::thread::Builder::new()
+                    .name("rcuda-faulty-server".into())
+                    .spawn(move || {
+                        serve_connection_with_registry(
+                            server_side,
+                            &device,
+                            clock,
+                            &config,
+                            &registry,
+                        )
+                    })?;
+                servers.lock().expect("server set lock").push(handle);
+                Ok(client_side)
+            }
+        };
+        let initial = dial().expect("spawn first server");
+        let transport = FaultInjector::new(ReconnectTransport::new(initial, dial), plan);
+        let mut runtime = RemoteRuntime::new(transport, clock);
+        runtime
+            .set_pipeline_depth(self.pipeline_depth)
+            .expect("fresh session");
+        runtime.set_deadline(self.deadline);
+        runtime.set_retry_policy(self.retry);
+        FaultSession {
+            runtime,
+            servers,
+            registry,
         }
     }
 
@@ -139,6 +239,8 @@ impl SessionBuilder {
         runtime
             .set_pipeline_depth(self.pipeline_depth)
             .expect("fresh session");
+        runtime.set_deadline(self.deadline);
+        runtime.set_retry_policy(self.retry);
         SimSession {
             runtime,
             clock,
@@ -187,6 +289,11 @@ pub struct SimSession {
 }
 
 impl SimSession {
+    /// Traffic counters for the client side of the connection.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.runtime.transport_stats()
+    }
+
     /// Join the server side and return its session report.
     pub fn finish(mut self) -> SessionReport {
         // Make sure the server saw a Quit or a hangup: dropping the runtime
@@ -209,6 +316,11 @@ pub struct ChannelSession {
 }
 
 impl ChannelSession {
+    /// Traffic counters for the client side of the connection.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.runtime.transport_stats()
+    }
+
     /// Join the server side and return its session report.
     pub fn finish(mut self) -> SessionReport {
         let server = self.server.take().expect("finish called once");
@@ -217,6 +329,47 @@ impl ChannelSession {
             .join()
             .expect("server thread panicked")
             .expect("server io error")
+    }
+}
+
+type ServerSet = Arc<Mutex<Vec<JoinHandle<std::io::Result<SessionReport>>>>>;
+
+/// A fault-injection session; see [`SessionBuilder::channel_faulty`].
+///
+/// Every connection attempt — the first one included — spawns its own
+/// server thread over a shared [`SessionRegistry`]; [`FaultSession::finish`]
+/// joins them all and returns every session report, in connection order.
+pub struct FaultSession {
+    /// The client-side runtime, behind the fault injector.
+    pub runtime: RemoteRuntime<FaultInjector<ReconnectTransport<ChannelTransport>>>,
+    servers: ServerSet,
+    registry: Arc<SessionRegistry>,
+}
+
+impl FaultSession {
+    /// Traffic counters for the client side, summed across reconnects.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.runtime.transport_stats()
+    }
+
+    /// Sessions currently parked server-side awaiting a reconnect.
+    pub fn parked_sessions(&self) -> usize {
+        self.registry.parked_count()
+    }
+
+    /// Drop the client and join every server thread spawned over the
+    /// session's lifetime. A thread whose connection died before the
+    /// handshake yields no report.
+    pub fn finish(self) -> Vec<SessionReport> {
+        let FaultSession {
+            runtime, servers, ..
+        } = self;
+        drop(runtime);
+        let handles = std::mem::take(&mut *servers.lock().expect("server set lock"));
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("server thread panicked").ok())
+            .collect()
     }
 }
 
@@ -293,6 +446,57 @@ mod tests {
             0,
             "paper-faithful default"
         );
+    }
+
+    #[test]
+    fn builder_applies_deadline_and_retries() {
+        let sess = Session::builder()
+            .deadline(std::time::Duration::from_millis(250))
+            .retries(3)
+            .channel();
+        assert_eq!(
+            sess.runtime.deadline(),
+            Some(std::time::Duration::from_millis(250))
+        );
+        assert_eq!(sess.runtime.retry_policy().max_retries, 3);
+        drop(sess);
+
+        let default = Session::builder().simulated(NetworkId::GigaE);
+        assert_eq!(default.runtime.deadline(), None, "block forever by default");
+        assert_eq!(
+            default.runtime.retry_policy().max_retries,
+            0,
+            "fail-fast by default"
+        );
+    }
+
+    #[test]
+    fn session_surfaces_transport_stats() {
+        let mut sess = Session::builder().channel();
+        sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+        let stats = sess.transport_stats();
+        assert!(stats.bytes_sent > 0, "init was sent");
+        assert!(stats.bytes_received > 0, "cc push + ack were received");
+        assert_eq!(stats.messages_sent, 1, "one request so far");
+        assert_eq!(stats.messages_received, 2, "cc push, then the init ack");
+        assert_eq!(stats.reconnects, 0);
+        sess.runtime.finalize().unwrap();
+        sess.finish();
+    }
+
+    #[test]
+    fn faulty_session_without_faults_behaves_normally() {
+        let mut sess = Session::builder().channel_faulty(FaultPlan::none());
+        sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+        let p = sess.runtime.malloc(8).unwrap();
+        sess.runtime.memcpy_h2d(p, &[9u8; 8]).unwrap();
+        assert_eq!(sess.runtime.memcpy_d2h(p, 8).unwrap(), vec![9u8; 8]);
+        sess.runtime.free(p).unwrap();
+        sess.runtime.finalize().unwrap();
+        assert_eq!(sess.parked_sessions(), 0);
+        let reports = sess.finish();
+        assert_eq!(reports.len(), 1, "a single connection served everything");
+        assert!(reports[0].orderly_shutdown);
     }
 
     #[test]

@@ -1,17 +1,398 @@
 //! Failure injection: dead servers, vanished clients, resource exhaustion,
-//! and protocol misuse must surface as CUDA error codes or clean session
-//! ends — never hangs or crashes.
+//! protocol misuse — and, via the deterministic [`FaultInjector`], precise
+//! transport faults at chosen call sites. Everything must surface as CUDA
+//! error codes or clean session ends — never hangs or crashes.
+//!
+//! ## The conformance table
+//!
+//! With pipelining off the protocol is strictly synchronous, so the fault
+//! injector's message index maps one-to-one onto the matrix-multiply case
+//! study's call sites:
+//!
+//! | index | call            |
+//! |-------|-----------------|
+//! | 0     | initialization  |
+//! | 1–3   | cudaMalloc ×3   |
+//! | 4–5   | cudaMemcpy H2D  |
+//! | 6     | cudaLaunch      |
+//! | 7     | cudaThreadSync  |
+//! | 8     | cudaMemcpy D2H  |
+//! | 9–11  | cudaFree ×3     |
+//! | 12    | finalization    |
+//!
+//! The table crosses those sites with every fault kind and asserts the exact
+//! error class and a wall-clock bound. Separately, the tentpole acceptance:
+//! a connection killed mid-MM with retries enabled completes bit-identically
+//! to a fault-free run, while the default fail-fast session surfaces a
+//! transport error within its deadline.
 
-use rcuda::api::CudaRuntime;
-use rcuda::client::RemoteRuntime;
+use rcuda::api::{run_matmul_bytes, CudaRuntime};
+use rcuda::client::{RemoteRuntime, RetryPolicy};
 use rcuda::core::time::wall_clock;
 use rcuda::core::{CudaError, Dim3};
 use rcuda::gpu::module::build_module;
 use rcuda::gpu::GpuDevice;
 use rcuda::server::RcudaDaemon;
-use rcuda::session;
+use rcuda::session::{self, Session};
+use rcuda::transport::{Fault, FaultInjector, FaultKind, FaultPlan, TcpTransport};
 use std::io::Write;
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Per-call deadline used across the suite: long enough for in-process
+/// round trips, short enough that stall rows finish quickly.
+const DEADLINE: Duration = Duration::from_millis(150);
+
+/// No single faulted run may take longer than this (generous; the point is
+/// "bounded", not "fast").
+const WALL_BOUND: Duration = Duration::from_secs(10);
+
+fn mm_input(m: u32) -> Vec<u8> {
+    (0..m * m)
+        .flat_map(|i| (((i % 7) as f32) * 0.5 - 1.0).to_le_bytes())
+        .collect()
+}
+
+/// Run the MM case study against a faulty channel session and return the
+/// outcome plus the faults that actually fired.
+fn mm_under(
+    builder: session::SessionBuilder,
+    plan: FaultPlan,
+) -> (Result<Vec<u8>, CudaError>, Vec<Fault>) {
+    let m = 8u32;
+    let (a, b) = (mm_input(m), mm_input(m));
+    let mut sess = builder.channel_faulty(plan);
+    let clock = wall_clock();
+    let result = run_matmul_bytes(&mut sess.runtime, &*clock, m, &a, &b).map(|r| r.output);
+    let fired: Vec<Fault> = sess.runtime.transport().fired().copied().collect();
+    sess.finish();
+    (result, fired)
+}
+
+// ---------------------------------------------------------------- tentpole
+
+#[test]
+fn conformance_fault_kind_by_call_site() {
+    // Call sites by message index (see the module-level table).
+    let sites: &[(&str, u64)] = &[
+        ("init", 0),
+        ("malloc", 1),
+        ("h2d", 4),
+        ("launch", 6),
+        ("d2h", 8),
+        ("free", 9),
+        ("quit", 12),
+    ];
+    let kinds: &[(FaultKind, CudaError)] = &[
+        (FaultKind::Disconnect, CudaError::TransportConnectionLost),
+        (
+            FaultKind::PartialWrite { keep: 2 },
+            CudaError::TransportConnectionLost,
+        ),
+        (
+            FaultKind::PartialRead { keep: 2 },
+            CudaError::TransportConnectionLost,
+        ),
+        (FaultKind::Stall, CudaError::TransportTimedOut),
+    ];
+    for &(site, index) in sites {
+        for &(kind, expected) in kinds {
+            let begun = Instant::now();
+            let (result, fired) = mm_under(
+                Session::builder().deadline(DEADLINE),
+                FaultPlan::at(index, kind),
+            );
+            let elapsed = begun.elapsed();
+            assert_eq!(
+                result.as_ref().err(),
+                Some(&expected),
+                "{kind:?} at {site} (index {index}) must surface {expected}, got {result:?}"
+            );
+            assert!(
+                elapsed < WALL_BOUND,
+                "{kind:?} at {site} took {elapsed:?} — not bounded by the deadline"
+            );
+            assert_eq!(
+                fired,
+                vec![Fault {
+                    message_index: index,
+                    kind
+                }],
+                "exactly the scheduled fault fired at {site}"
+            );
+        }
+    }
+}
+
+#[test]
+fn disconnect_mid_mm_with_retries_is_bit_identical() {
+    // Baseline: no faults.
+    let (baseline, fired) = mm_under(Session::builder(), FaultPlan::none());
+    let baseline = baseline.expect("fault-free MM completes");
+    assert!(fired.is_empty());
+
+    // The connection dies under the first H2D copy (index 4, idempotent):
+    // with retries the call replays transparently over a resumed session.
+    let m = 8u32;
+    let (a, b) = (mm_input(m), mm_input(m));
+    let mut sess = Session::builder()
+        .deadline(Duration::from_secs(2))
+        .retries(2)
+        .channel_faulty(FaultPlan::at(4, FaultKind::Disconnect));
+    let clock = wall_clock();
+    let out = run_matmul_bytes(&mut sess.runtime, &*clock, m, &a, &b)
+        .expect("MM completes despite the mid-run disconnect")
+        .output;
+    assert_eq!(out, baseline, "replayed run is bit-identical");
+    let stats = sess.transport_stats();
+    assert_eq!(stats.reconnects, 1, "exactly one reconnect");
+    let reports = sess.finish();
+    assert_eq!(reports.len(), 2, "two connections served the session");
+    assert!(reports[0].parked, "first incarnation parked on disconnect");
+    assert_eq!(reports[0].leaked_allocations, 0, "parked, not leaked");
+    assert!(reports[1].resumed, "second incarnation resumed the session");
+    assert!(reports[1].orderly_shutdown);
+    assert_eq!(reports[1].leaked_allocations, 0);
+}
+
+#[test]
+fn disconnect_mid_mm_without_retries_fails_fast() {
+    // Same schedule, default fail-fast policy: the fault surfaces as a
+    // transport-class error within the deadline instead of being retried.
+    let begun = Instant::now();
+    let (result, _) = mm_under(
+        Session::builder().deadline(DEADLINE),
+        FaultPlan::at(4, FaultKind::Disconnect),
+    );
+    let err = result.expect_err("default sessions do not retry");
+    assert!(err.is_transport(), "transport-class error, got {err}");
+    assert_eq!(err, CudaError::TransportConnectionLost);
+    assert!(begun.elapsed() < WALL_BOUND);
+}
+
+#[test]
+fn non_idempotent_calls_surface_faults_despite_retries() {
+    // cudaMalloc (index 1) must NOT replay — a retry could double-allocate.
+    let (result, _) = mm_under(
+        Session::builder()
+            .deadline(Duration::from_secs(2))
+            .retries(3),
+        FaultPlan::at(1, FaultKind::Disconnect),
+    );
+    assert_eq!(result.unwrap_err(), CudaError::TransportConnectionLost);
+
+    // cudaLaunch (index 6) likewise — a retry could double-execute.
+    let (result, _) = mm_under(
+        Session::builder()
+            .deadline(Duration::from_secs(2))
+            .retries(3),
+        FaultPlan::at(6, FaultKind::Disconnect),
+    );
+    assert_eq!(result.unwrap_err(), CudaError::TransportConnectionLost);
+}
+
+#[test]
+fn corrupted_response_status_is_an_error_not_garbage() {
+    // Flip the malloc reply's status byte: the client must report an error
+    // code, never hand the application a pointer decoded from noise.
+    let mut sess = Session::builder()
+        .deadline(DEADLINE)
+        .channel_faulty(FaultPlan::at(
+            1,
+            FaultKind::CorruptRead {
+                offset: 0,
+                xor: 0xFF,
+            },
+        ));
+    sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+    assert_eq!(sess.runtime.malloc(64), Err(CudaError::Unknown));
+    sess.finish();
+}
+
+#[test]
+fn corrupted_batch_response_count_is_a_protocol_violation() {
+    // Corrupt the first byte of the batched reply (its element count): the
+    // mismatch must be rejected as a protocol violation.
+    let mut sess = Session::builder()
+        .pipeline(2)
+        .deadline(DEADLINE)
+        .channel_faulty(FaultPlan::at(
+            2,
+            FaultKind::CorruptRead {
+                offset: 0,
+                xor: 0x04,
+            },
+        ));
+    sess.runtime.initialize(&build_module(&[], 0)).unwrap(); // index 0
+    let p = sess.runtime.malloc(32).unwrap(); // index 1
+    sess.runtime.memcpy_h2d(p, &[1u8; 32]).unwrap(); // deferred
+    let err = sess
+        .runtime
+        .memset(p, 0, 32) // window full → batch flush, index 2
+        .unwrap_err();
+    assert_eq!(err, CudaError::ProtocolViolation);
+    sess.finish();
+}
+
+// ----------------------------------------------------- batch flush faults
+
+#[test]
+fn idempotent_batch_replays_after_disconnect() {
+    let mut sess = Session::builder()
+        .pipeline(2)
+        .deadline(Duration::from_secs(2))
+        .retries(2)
+        .channel_faulty(FaultPlan::at(2, FaultKind::Disconnect));
+    sess.runtime.initialize(&build_module(&[], 0)).unwrap(); // index 0
+    let p = sess.runtime.malloc(16).unwrap(); // index 1
+    sess.runtime.memcpy_h2d(p, &[7u8; 16]).unwrap(); // deferred
+    sess.runtime.memset(p, 9, 16).unwrap(); // drain: h2d+memset, index 2 dies
+    assert_eq!(
+        sess.runtime.memcpy_d2h(p, 16).unwrap(),
+        vec![9u8; 16],
+        "both batched writes landed exactly once on the resumed session"
+    );
+    assert_eq!(sess.transport_stats().reconnects, 1);
+    sess.runtime.free(p).unwrap();
+    sess.runtime.finalize().unwrap();
+    let reports = sess.finish();
+    assert_eq!(reports.len(), 2);
+    assert!(reports[1].resumed);
+}
+
+#[test]
+fn batch_containing_a_launch_does_not_replay() {
+    let mut sess = Session::builder()
+        .pipeline(2)
+        .deadline(Duration::from_secs(2))
+        .retries(2)
+        .channel_faulty(FaultPlan::at(2, FaultKind::Disconnect));
+    sess.runtime
+        .initialize(&build_module(&["vec_add"], 0))
+        .unwrap(); // index 0
+    let p = sess.runtime.malloc(16).unwrap(); // index 1
+    sess.runtime.memcpy_h2d(p, &[1u8; 16]).unwrap(); // deferred
+    let err = sess
+        .runtime
+        .launch("vec_add", Dim3::x(1), Dim3::x(1), 0, 0, &[]) // drain, dies
+        .unwrap_err();
+    assert_eq!(
+        err,
+        CudaError::TransportConnectionLost,
+        "a batch with a launch is not idempotent: no replay, fault surfaces"
+    );
+    assert_eq!(sess.transport_stats().reconnects, 0);
+    sess.finish();
+}
+
+// ------------------------------------------------------------ determinism
+
+#[test]
+fn same_seed_same_faults_same_outcome() {
+    // Satellite (d): the seeded schedule and everything downstream of it —
+    // which faults fire, in what order, and the final result — is a pure
+    // function of the seed. Asserted by running the identical session twice.
+    let seed = 0xA11CE;
+    let run = || {
+        mm_under(
+            Session::builder().deadline(DEADLINE),
+            FaultPlan::seeded(seed, 13, 2),
+        )
+    };
+    let (result1, fired1) = run();
+    let (result2, fired2) = run();
+    assert_eq!(fired1, fired2, "same seed, same fault sequence");
+    assert_eq!(result1, result2, "same seed, same final outcome");
+    assert!(
+        !FaultPlan::seeded(seed, 13, 2).faults().is_empty(),
+        "the schedule is non-trivial"
+    );
+}
+
+#[test]
+fn seeded_schedules_never_hang_or_panic() {
+    // Satellite (f): scripts/check.sh runs this with RCUDA_FAULT_SEEDS=3.
+    // Every seed must produce a bounded, panic-free run — completing or
+    // failing with a real CUDA error code, never wedging the client.
+    let seeds: u64 = std::env::var("RCUDA_FAULT_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    for seed in 0..seeds {
+        let begun = Instant::now();
+        let (result, fired) = mm_under(
+            Session::builder().deadline(DEADLINE).retries(1),
+            FaultPlan::seeded(seed, 13, 3),
+        );
+        assert!(
+            begun.elapsed() < WALL_BOUND,
+            "seed {seed} exceeded the wall bound"
+        );
+        if let Err(e) = result {
+            assert!(e.code() > 0, "seed {seed}: error has a real code, got {e}");
+        }
+        assert!(
+            fired.len() <= 3,
+            "seed {seed}: at most the scheduled faults fire"
+        );
+    }
+}
+
+// ------------------------------------------------------------ TCP end-to-end
+
+#[test]
+fn tcp_daemon_resumes_a_faulted_session() {
+    // The same injector drives a real TcpTransport (native re-dial) against
+    // a live daemon: disconnect under H2D, reconnect, resume, verify bytes.
+    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let transport = TcpTransport::connect(daemon.local_addr()).unwrap();
+    let injector = FaultInjector::new(transport, FaultPlan::at(2, FaultKind::Disconnect));
+    let mut rt = RemoteRuntime::new(injector, wall_clock());
+    rt.set_deadline(Some(Duration::from_secs(5)));
+    rt.set_retry_policy(RetryPolicy::retries(2));
+
+    rt.initialize(&build_module(&[], 0)).unwrap(); // index 0
+    let p = rt.malloc(64).unwrap(); // index 1
+    rt.memcpy_h2d(p, &[5u8; 64]).unwrap(); // index 2: dies, replays
+    assert_eq!(rt.memcpy_d2h(p, 64).unwrap(), vec![5u8; 64]);
+    assert_eq!(rt.transport_stats().reconnects, 1);
+    rt.free(p).unwrap();
+    rt.finalize().unwrap();
+    assert_eq!(
+        daemon.parked_sessions(),
+        0,
+        "orderly quit leaves nothing parked"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn parked_session_recovers_on_next_idempotent_call() {
+    // A non-idempotent fault surfaces to the application, but the session
+    // itself is not lost: the parked server context resumes as soon as the
+    // next replayable call triggers recovery.
+    let mut sess = Session::builder()
+        .deadline(Duration::from_secs(2))
+        .retries(1)
+        .channel_faulty(FaultPlan::at(1, FaultKind::Disconnect));
+    sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+    // Malloc is non-idempotent: the disconnect surfaces...
+    assert_eq!(
+        sess.runtime.malloc(16),
+        Err(CudaError::TransportConnectionLost)
+    );
+    // ...but the session token is real, the first server parked the
+    // context, and an idempotent call afterwards recovers the session.
+    assert!(sess.runtime.session_token().is_some());
+    sess.runtime.thread_synchronize().unwrap();
+    assert_eq!(sess.transport_stats().reconnects, 1);
+    sess.runtime.finalize().unwrap();
+    let reports = sess.finish();
+    assert_eq!(reports.len(), 2);
+    assert!(reports[1].resumed);
+}
+
+// ------------------------------------------------- pre-existing coverage
 
 #[test]
 fn server_death_mid_session_surfaces_as_transport_error() {
