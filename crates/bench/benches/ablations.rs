@@ -57,6 +57,7 @@ fn phantom_cfg() -> ServerConfig {
     ServerConfig {
         preinitialize_context: true,
         phantom_memory: true,
+        ..Default::default()
     }
 }
 
@@ -103,6 +104,7 @@ fn preinit_ablation() {
     let cold_cfg = ServerConfig {
         preinitialize_context: false,
         phantom_memory: true,
+        ..Default::default()
     };
     let cold = simulated_mm(
         m,

@@ -34,6 +34,7 @@ fn simulated_fft(batch: u32, net: NetworkId, depth: usize) -> (SimTime, u64) {
     let config = ServerConfig {
         preinitialize_context: true,
         phantom_memory: true,
+        ..Default::default()
     };
     let server_clock = shared.clone();
     let server = std::thread::spawn(move || {
@@ -43,7 +44,7 @@ fn simulated_fft(batch: u32, net: NetworkId, depth: usize) -> (SimTime, u64) {
     rt.set_pipeline_depth(depth).unwrap();
     let input = vec![0u8; (batch * 512 * 8) as usize];
     run_fft_bytes(&mut rt, &*clock, batch, &input).unwrap();
-    let flushes = rt.transport_stats().messages_sent;
+    let flushes = rt.metrics().messages_sent;
     let t = clock.now();
     drop(rt);
     let _ = server.join();
@@ -57,7 +58,7 @@ fn tcp_fft(addr: std::net::SocketAddr, batch: u32, input: &[u8], depth: usize) -
     rt.set_pipeline_depth(depth).unwrap();
     let clock = wall_clock();
     let report = run_fft_bytes(&mut rt, &*clock, batch, input).unwrap();
-    (report.output, rt.transport_stats().messages_sent)
+    (report.output, rt.metrics().messages_sent)
 }
 
 fn flush_count_evidence() {

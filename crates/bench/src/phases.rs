@@ -39,6 +39,7 @@ pub fn profile(family: Family, size: u32, net: NetworkId) -> ExecReport {
     let config = ServerConfig {
         preinitialize_context: true,
         phantom_memory: true,
+        ..Default::default()
     };
     let server_clock = shared.clone();
     let server = std::thread::spawn(move || {

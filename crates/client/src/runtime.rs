@@ -38,6 +38,7 @@
 
 use rcuda_api::{CudaRuntime, CudaRuntimeAsyncExt};
 use rcuda_core::{CudaError, CudaResult, DeviceProperties, DevicePtr, Dim3, SharedClock};
+use rcuda_obs::{CallSpan, ObsHandle, Op, SessionMetrics};
 use rcuda_proto::handshake::read_hello_reply;
 use rcuda_proto::ids::MemcpyKind;
 use rcuda_proto::{Batch, BatchResponse, LaunchConfig, Request, Response, SessionHello};
@@ -79,6 +80,15 @@ pub struct RemoteRuntime<T: Transport> {
     /// Token announced via the resumable handshake — `Some` iff retries
     /// were enabled before `initialize`.
     session_token: Option<u64>,
+    /// Observer for per-call spans and retry/reconnect episodes; disarmed
+    /// by default (every emission is then a `None` check, no allocation).
+    obs: ObsHandle,
+    /// Completed calls (batch frames count once, initialization included).
+    calls: u64,
+    /// Deferred calls that crossed inside batch frames.
+    batched_calls: u64,
+    /// Transport-fault replays across all calls.
+    retries_total: u64,
 }
 
 impl<T: Transport> RemoteRuntime<T> {
@@ -96,6 +106,10 @@ impl<T: Transport> RemoteRuntime<T> {
             deadline: None,
             retry: RetryPolicy::default(),
             session_token: None,
+            obs: ObsHandle::none(),
+            calls: 0,
+            batched_calls: 0,
+            retries_total: 0,
         }
     }
 
@@ -120,9 +134,38 @@ impl<T: Transport> RemoteRuntime<T> {
         &self.transport
     }
 
-    /// Cumulative transport counters (bytes and messages each way). The
+    /// Install an observer: the runtime reports one [`CallSpan`] per call
+    /// (and per batch frame) plus retry episodes, and the transport reports
+    /// per-message byte events and reconnects. A disarmed handle uninstalls
+    /// everything.
+    pub fn set_observer(&mut self, obs: ObsHandle) {
+        self.obs = obs.clone();
+        self.transport.set_observer(obs);
+    }
+
+    /// A point-in-time snapshot of the session's cumulative counters:
+    /// transport bytes/messages plus the runtime's call accounting. The
     /// `messages_sent` counter is the number of network flushes — the
     /// quantity pipelining exists to reduce.
+    pub fn metrics(&self) -> SessionMetrics {
+        let stats = self.transport.stats();
+        SessionMetrics {
+            bytes_sent: stats.bytes_sent,
+            bytes_received: stats.bytes_received,
+            messages_sent: stats.messages_sent,
+            messages_received: stats.messages_received,
+            reconnects: stats.reconnects,
+            calls: self.calls,
+            batched_calls: self.batched_calls,
+            retries: self.retries_total,
+        }
+    }
+
+    /// Cumulative transport counters (bytes and messages each way).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `metrics()` for the full SessionMetrics snapshot"
+    )]
     pub fn transport_stats(&self) -> TransportStats {
         self.transport.stats()
     }
@@ -268,6 +311,7 @@ impl<T: Transport> RemoteRuntime<T> {
     fn send_batch(&mut self, batch: &Batch) -> CudaResult<BatchResponse> {
         let started = Instant::now();
         let replayable = batch_is_idempotent(batch);
+        let op = Op::Batch(batch.len() as u32);
         let start = self.clock.now();
         let sent = batch.wire_bytes();
         let mut attempt = 0;
@@ -278,18 +322,31 @@ impl<T: Transport> RemoteRuntime<T> {
                     if !self.may_retry(attempt, replayable, e) {
                         return Err(e);
                     }
+                    self.obs.emit_retry(op, attempt);
                     self.recover(attempt, e)?;
                     attempt += 1;
                 }
             }
         };
         let end = self.clock.now();
-        self.trace.record(CallEvent {
-            op: format!("batch[{}]", batch.len()),
+        let event = CallEvent {
+            op,
             sent,
             received: resp.wire_bytes(),
             start,
             end,
+        };
+        self.trace.record(event);
+        self.calls += 1;
+        self.batched_calls += batch.len() as u64;
+        self.retries_total += attempt as u64;
+        self.obs.emit_call(&CallSpan {
+            op,
+            bytes_sent: event.sent,
+            bytes_received: event.received,
+            start,
+            end,
+            retries: attempt,
         });
         Ok(resp)
     }
@@ -334,18 +391,30 @@ impl<T: Transport> RemoteRuntime<T> {
                     if !self.may_retry(attempt, replayable, e) {
                         return Err(e);
                     }
+                    self.obs.emit_retry(Op::Named(op), attempt);
                     self.recover(attempt, e)?;
                     attempt += 1;
                 }
             }
         };
         let end = self.clock.now();
+        let received = resp.wire_bytes();
         self.trace.record(CallEvent {
-            op: op.to_string(),
+            op: Op::Named(op),
             sent,
-            received: resp.wire_bytes(),
+            received,
             start,
             end,
+        });
+        self.calls += 1;
+        self.retries_total += attempt as u64;
+        self.obs.emit_call(&CallSpan {
+            op: Op::Named(op),
+            bytes_sent: sent,
+            bytes_received: received,
+            start,
+            end,
+            retries: attempt,
         });
         Ok(resp)
     }
@@ -438,6 +507,7 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
                     if !(retryable && attempt < self.retry.max_retries) {
                         return Err(e);
                     }
+                    self.obs.emit_retry(Op::Named("initialization"), attempt);
                     std::thread::sleep(self.retry.backoff(attempt));
                     self.transport.reconnect().map_err(|_| e)?;
                     attempt += 1;
@@ -446,11 +516,21 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
         };
         let end = self.clock.now();
         self.trace.record(CallEvent {
-            op: "initialization".to_string(),
+            op: Op::Named("initialization"),
             sent,
             received,
             start,
             end,
+        });
+        self.calls += 1;
+        self.retries_total += attempt as u64;
+        self.obs.emit_call(&CallSpan {
+            op: Op::Named("initialization"),
+            bytes_sent: sent,
+            bytes_received: received,
+            start,
+            end,
+            retries: attempt,
         });
         self.initialized = true;
         Ok(())
@@ -957,7 +1037,7 @@ mod tests {
         let h = fake_batch_server(server_side, 2);
         let mut rt = RemoteRuntime::new(client_side, wall_clock());
         rt.initialize(&[]).unwrap();
-        let after_init = rt.transport_stats().messages_sent;
+        let after_init = rt.metrics().messages_sent;
         rt.set_pipeline_depth(4).unwrap();
         for _ in 0..2 {
             rt.memcpy_h2d(DevicePtr::new(0x10), &[0; 8]).unwrap();
@@ -966,7 +1046,7 @@ mod tests {
                 .unwrap();
             rt.free(DevicePtr::new(0x10)).unwrap();
         }
-        let flushes = rt.transport_stats().messages_sent - after_init;
+        let flushes = rt.metrics().messages_sent - after_init;
         assert_eq!(flushes, 2, "8 calls crossed in 2 flushes");
         assert_eq!(h.join().unwrap(), vec![4, 4]);
     }

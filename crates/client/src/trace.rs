@@ -6,13 +6,15 @@
 //! transfer times. [`Trace`] captures everything that procedure needs.
 
 use rcuda_core::SimTime;
+use rcuda_obs::Op;
 use serde::{Deserialize, Serialize};
 
 /// One remote API call.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CallEvent {
-    /// Operation name (`cudaMemcpyH2D`, `cudaLaunch`, ...).
-    pub op: String,
+    /// Operation label (`cudaMemcpyH2D`, `cudaLaunch`, `batch[n]`, ...) —
+    /// a `Copy` token, so recording a call never heap-allocates.
+    pub op: Op,
     /// Bytes sent client → server (request message).
     pub sent: u64,
     /// Bytes received server → client (response message).
@@ -32,12 +34,12 @@ impl CallEvent {
     /// Application payload moved by this call, if it is a bulk memcpy
     /// (header bytes excluded): `x` of Table I.
     pub fn bulk_payload(&self) -> u64 {
-        match self.op.as_str() {
+        match self.op.as_named() {
             // Request carries 20 header bytes + payload.
-            "cudaMemcpyH2D" | "cudaMemcpyAsyncH2D" => self.sent.saturating_sub(20),
+            Some("cudaMemcpyH2D" | "cudaMemcpyAsyncH2D") => self.sent.saturating_sub(20),
             // Response carries 4 status bytes + payload (async adds a
             // stream field to the request, not the response).
-            "cudaMemcpyD2H" | "cudaMemcpyAsyncD2H" => self.received.saturating_sub(4),
+            Some("cudaMemcpyD2H" | "cudaMemcpyAsyncD2H") => self.received.saturating_sub(4),
             _ => 0,
         }
     }
@@ -104,7 +106,7 @@ mod tests {
 
     fn ev(op: &str, sent: u64, received: u64, start: u64, end: u64) -> CallEvent {
         CallEvent {
-            op: op.to_string(),
+            op: Op::parse(op),
             sent,
             received,
             start: SimTime::from_nanos(start),

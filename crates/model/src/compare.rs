@@ -1,0 +1,297 @@
+//! Replay a measured observability trace against the estimation model.
+//!
+//! [`compare_report`] takes the [`Report`] a `rcuda_obs::Recorder` captured
+//! from a live run and re-prices every call's network share with a
+//! [`NetworkModel`] — the same `app_transfer` arithmetic `estimate.rs` uses
+//! for Tables IV/VI. Grouping follows the paper's phase breakdown (Fig. 5:
+//! initialization, allocation, input transfer, kernel, output transfer),
+//! and each row reports the estimated-vs-measured network-time error.
+//!
+//! Because server spans record GPU service time separately, the measured
+//! network share is `client span time − server service` per phase — exactly
+//! the subtraction §V performs to extract fixed time, but done from the
+//! instrumented run instead of end-to-end totals. On a simulated transport
+//! the sim charges `app_transfer` per message, so bulk-transfer phases
+//! replay with zero error; on a real link the residual *is* the model error
+//! the paper tabulates.
+
+use rcuda_core::SimTime;
+use rcuda_netsim::NetworkModel;
+use rcuda_obs::Report;
+
+/// Map an operation group (see `rcuda_obs::Op::group`) onto the paper's
+/// phase vocabulary — the same labels `run_matmul_bytes` times.
+pub fn phase_of(group: &str) -> &'static str {
+    match group {
+        "initialization" => "initialization",
+        "cudaMalloc" => "allocation",
+        "cudaMemcpyH2D" | "cudaMemcpyAsyncH2D" => "input transfer",
+        "cudaLaunch" | "cudaThreadSynchronize" => "kernel",
+        "cudaMemcpyD2H" | "cudaMemcpyAsyncD2H" => "output transfer",
+        "cudaFree" | "finalization" => "cleanup",
+        _ => "other",
+    }
+}
+
+/// One phase of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseRow {
+    pub phase: &'static str,
+    /// Client calls folded into this phase.
+    pub calls: u64,
+    /// Request bytes summed over the phase.
+    pub bytes_sent: u64,
+    /// Response bytes summed over the phase.
+    pub bytes_received: u64,
+    /// Summed client-side call time.
+    pub measured_total: SimTime,
+    /// Summed server dispatch (GPU service) time.
+    pub server_service: SimTime,
+    /// Measured network share: `measured_total − server_service`.
+    pub measured_network: SimTime,
+    /// Model-estimated network share:
+    /// `Σ app_transfer(sent) + app_transfer(received)` per call.
+    pub estimated_network: SimTime,
+    /// Relative error `(estimated − measured) / measured`, or `0.0` when
+    /// the measured network share is zero.
+    pub error: f64,
+}
+
+/// A per-phase estimated-vs-measured comparison; see [`compare_report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Network the estimate was priced on (paper abbreviation).
+    pub network: &'static str,
+    /// Phases in first-appearance order (deterministic for a
+    /// deterministic run).
+    pub rows: Vec<PhaseRow>,
+}
+
+/// Price `report`'s traced calls on `net` and compare against what the run
+/// measured, phase by phase.
+pub fn compare_report(report: &Report, net: &dyn NetworkModel) -> CompareReport {
+    let mut rows: Vec<PhaseRow> = Vec::new();
+    let index = |phase: &'static str, rows: &mut Vec<PhaseRow>| -> usize {
+        match rows.iter().position(|r| r.phase == phase) {
+            Some(i) => i,
+            None => {
+                rows.push(PhaseRow {
+                    phase,
+                    calls: 0,
+                    bytes_sent: 0,
+                    bytes_received: 0,
+                    measured_total: SimTime::ZERO,
+                    server_service: SimTime::ZERO,
+                    measured_network: SimTime::ZERO,
+                    estimated_network: SimTime::ZERO,
+                    error: 0.0,
+                });
+                rows.len() - 1
+            }
+        }
+    };
+    for span in &report.spans {
+        let i = index(phase_of(span.op.group()), &mut rows);
+        let row = &mut rows[i];
+        row.calls += 1;
+        row.bytes_sent += span.bytes_sent;
+        row.bytes_received += span.bytes_received;
+        row.measured_total += span.duration();
+        // Priced per call, not on the phase's byte sum: app_transfer is
+        // nonlinear (per-message latency, TCP-window distortion).
+        row.estimated_network +=
+            net.app_transfer(span.bytes_sent) + net.app_transfer(span.bytes_received);
+    }
+    for span in &report.server_spans {
+        let i = index(phase_of(span.op.group()), &mut rows);
+        rows[i].server_service += span.service();
+    }
+    for row in &mut rows {
+        row.measured_network = row.measured_total.saturating_sub(row.server_service);
+        let meas = row.measured_network.as_secs_f64();
+        if meas > 0.0 {
+            row.error = (row.estimated_network.as_secs_f64() - meas) / meas;
+        }
+    }
+    CompareReport {
+        network: net.name(),
+        rows,
+    }
+}
+
+/// Integer-only `ns → µs` rendering (deterministic: no float formatting).
+fn us(t: SimTime) -> String {
+    let ns = t.as_nanos();
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+impl CompareReport {
+    /// The phase named `phase`, if the run exercised it.
+    pub fn phase(&self, phase: &str) -> Option<&PhaseRow> {
+        self.rows.iter().find(|r| r.phase == phase)
+    }
+
+    /// Worst absolute per-phase error across the run.
+    pub fn max_abs_error(&self) -> f64 {
+        self.rows.iter().map(|r| r.error.abs()).fold(0.0, f64::max)
+    }
+
+    /// Fixed-width plain-text rendering, suitable for golden-file tests.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "model::compare — network share replayed on {}\n",
+            self.network
+        ));
+        out.push_str(&format!(
+            "{:<16} {:>6} {:>12} {:>12} {:>14} {:>14} {:>9}\n",
+            "phase", "calls", "sent B", "recv B", "est net us", "meas net us", "error"
+        ));
+        out.push_str(&format!("{:-<88}\n", ""));
+        for r in &self.rows {
+            let err = if r.measured_network == SimTime::ZERO {
+                "n/a".to_string()
+            } else {
+                format!("{:+.2}%", r.error * 100.0)
+            };
+            out.push_str(&format!(
+                "{:<16} {:>6} {:>12} {:>12} {:>14} {:>14} {:>9}\n",
+                r.phase,
+                r.calls,
+                r.bytes_sent,
+                r.bytes_received,
+                us(r.estimated_network),
+                us(r.measured_network),
+                err
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuda_core::time::virtual_clock;
+    use rcuda_core::Clock as _;
+    use rcuda_netsim::NetworkId;
+    use rcuda_obs::{CallSpan, Op, Recorder, ServerSpan};
+
+    fn span(op: &'static str, sent: u64, received: u64, start: u64, end: u64) -> CallSpan {
+        CallSpan {
+            op: Op::Named(op),
+            bytes_sent: sent,
+            bytes_received: received,
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+            retries: 0,
+        }
+    }
+
+    /// A synthetic trace whose span durations equal exactly the model's
+    /// app_transfer charges (plus explicit server service) must replay with
+    /// zero error — the situation a sim-transport run produces.
+    #[test]
+    fn exact_replay_has_zero_error() {
+        let net = NetworkId::Ib40G.model();
+        let rec = Recorder::new();
+        let h = rec.handle();
+
+        let sent = 1 << 20;
+        let received = 4u64;
+        let wire = (net.app_transfer(sent) + net.app_transfer(received)).as_nanos();
+        let service = 5_000u64;
+        h.emit_call(&span("cudaMemcpyH2D", sent, received, 0, wire + service));
+        h.emit_server(&ServerSpan {
+            op: Op::Named("cudaMemcpyH2D"),
+            queue_wait: SimTime::ZERO,
+            start: SimTime::from_nanos(100),
+            end: SimTime::from_nanos(100 + service),
+        });
+
+        let report = compare_report(&rec.report(), &*net);
+        let row = report.phase("input transfer").unwrap();
+        assert_eq!(row.calls, 1);
+        assert_eq!(row.measured_network, row.estimated_network);
+        assert_eq!(row.error, 0.0);
+        assert_eq!(report.max_abs_error(), 0.0);
+    }
+
+    #[test]
+    fn phases_group_and_order_by_first_appearance() {
+        let rec = Recorder::new();
+        let h = rec.handle();
+        h.emit_call(&span("initialization", 40, 12, 0, 10));
+        h.emit_call(&span("cudaMalloc", 8, 8, 10, 20));
+        h.emit_call(&span("cudaMemcpyH2D", 1044, 4, 20, 40));
+        h.emit_call(&span("cudaLaunch", 52, 4, 40, 50));
+        h.emit_call(&span("cudaThreadSynchronize", 4, 4, 50, 60));
+        h.emit_call(&span("cudaMemcpyD2H", 20, 1028, 60, 80));
+        h.emit_call(&span("cudaFree", 8, 4, 80, 90));
+        let report = compare_report(&rec.report(), &*NetworkId::GigaE.model());
+        let phases: Vec<&str> = report.rows.iter().map(|r| r.phase).collect();
+        assert_eq!(
+            phases,
+            vec![
+                "initialization",
+                "allocation",
+                "input transfer",
+                "kernel",
+                "output transfer",
+                "cleanup"
+            ]
+        );
+        let kernel = report.phase("kernel").unwrap();
+        assert_eq!(kernel.calls, 2, "launch + synchronize fold into kernel");
+    }
+
+    #[test]
+    fn overestimates_show_positive_error() {
+        let rec = Recorder::new();
+        let h = rec.handle();
+        // 1 MiB moved in 1 ns of measured time: any model overestimates.
+        h.emit_call(&span("cudaMemcpyH2D", 1 << 20, 4, 0, 1));
+        let report = compare_report(&rec.report(), &*NetworkId::GigaE.model());
+        assert!(report.phase("input transfer").unwrap().error > 0.0);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_labeled() {
+        let mk = || {
+            let rec = Recorder::new();
+            let h = rec.handle();
+            h.emit_call(&span("cudaMalloc", 8, 8, 0, 30_000));
+            compare_report(&rec.report(), &*NetworkId::Ib40G.model()).render()
+        };
+        let a = mk();
+        assert_eq!(a, mk());
+        assert!(a.contains("40GI") || a.contains("Ib40G") || a.contains("40G"));
+        assert!(a.contains("allocation"));
+    }
+
+    /// The end-to-end shape: a virtual clock advances exactly by the model
+    /// charge, giving per-phase zero error for the transfer phase.
+    #[test]
+    fn virtual_clock_run_replays_exactly() {
+        let net = NetworkId::GigaE.model();
+        let clock = virtual_clock();
+        let rec = Recorder::new();
+        let h = rec.handle();
+
+        let sent = 8 << 20;
+        let start = clock.now();
+        clock.advance(net.app_transfer(sent));
+        clock.advance(net.app_transfer(4));
+        let end = clock.now();
+        h.emit_call(&CallSpan {
+            op: Op::Named("cudaMemcpyH2D"),
+            bytes_sent: sent,
+            bytes_received: 4,
+            start,
+            end,
+            retries: 0,
+        });
+        let report = compare_report(&rec.report(), &*net);
+        assert_eq!(report.phase("input transfer").unwrap().error, 0.0);
+    }
+}

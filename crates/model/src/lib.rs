@@ -30,6 +30,7 @@
 pub mod calib;
 pub mod capacity;
 pub mod chart;
+pub mod compare;
 pub mod estimate;
 pub mod figures;
 pub mod montecarlo;
@@ -42,6 +43,7 @@ pub mod testbed;
 
 pub use calib::{Calibration, PolyFit};
 pub use capacity::{plan_capacity, CapacityPlan, ClusterSpec};
+pub use compare::{compare_report, CompareReport, PhaseRow};
 pub use estimate::{cross_validate, estimate, fixed_time, transfer_time, CrossValidationRow};
 pub use montecarlo::{default_error_bar, error_bar, Distribution, ErrorBar};
 pub use overlap::{estimate_async, overlap_benefit};

@@ -1,0 +1,219 @@
+//! Chrome `trace_event` export.
+//!
+//! Renders a [`Report`] in the Trace Event Format consumed by
+//! `chrome://tracing` and Perfetto: client call spans on track 1, server
+//! dispatch spans on track 2, and per-message instant events on the client
+//! track. Timestamps are microseconds (the format's native unit) printed
+//! with fixed nanosecond precision, so the output is byte-deterministic
+//! for a deterministic run and can be golden-filed.
+
+use crate::event::Dir;
+use crate::record::Report;
+use std::fmt::Write as _;
+
+/// Process/thread ids used in the exported trace.
+const PID: u32 = 1;
+const CLIENT_TID: u32 = 1;
+const SERVER_TID: u32 = 2;
+
+/// Fixed-precision µs rendering of a nanosecond stamp (`1234` → `1.234`).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `report` as Chrome `trace_event` JSON.
+///
+/// Every client [`CallSpan`](crate::CallSpan) becomes a complete (`"X"`)
+/// event carrying byte counts and retries in `args`; server spans likewise
+/// on their own thread with queue-wait; each transport message becomes an
+/// instant (`"i"`) event. Load the result in `chrome://tracing`, Perfetto,
+/// or `about:tracing`.
+pub fn chrome_trace(report: &Report) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for span in &report.spans {
+        events.push(format!(
+            concat!(
+                "{{\"name\":\"{}\",\"cat\":\"client\",\"ph\":\"X\",",
+                "\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},",
+                "\"args\":{{\"bytes_sent\":{},\"bytes_received\":{},\"retries\":{}}}}}"
+            ),
+            escape(&span.op.to_string()),
+            us(span.start.as_nanos()),
+            us(span.duration().as_nanos()),
+            PID,
+            CLIENT_TID,
+            span.bytes_sent,
+            span.bytes_received,
+            span.retries,
+        ));
+    }
+    for span in &report.server_spans {
+        events.push(format!(
+            concat!(
+                "{{\"name\":\"{}\",\"cat\":\"server\",\"ph\":\"X\",",
+                "\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},",
+                "\"args\":{{\"queue_wait_ns\":{}}}}}"
+            ),
+            escape(&span.op.to_string()),
+            us(span.start.as_nanos()),
+            us(span.service().as_nanos()),
+            PID,
+            SERVER_TID,
+            span.queue_wait.as_nanos(),
+        ));
+    }
+    for (dir, bytes, at) in &report.message_events {
+        let (name, dir_str) = match dir {
+            Dir::Sent => ("msg_sent", "sent"),
+            Dir::Received => ("msg_received", "received"),
+        };
+        events.push(format!(
+            concat!(
+                "{{\"name\":\"{}\",\"cat\":\"net\",\"ph\":\"i\",\"s\":\"t\",",
+                "\"ts\":{},\"pid\":{},\"tid\":{},",
+                "\"args\":{{\"bytes\":{},\"dir\":\"{}\"}}}}"
+            ),
+            name,
+            us(at.as_nanos()),
+            PID,
+            CLIENT_TID,
+            bytes,
+            dir_str,
+        ));
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, event) in events.iter().enumerate() {
+        out.push_str(event);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Schema-check a Chrome trace produced by [`chrome_trace`] (or by hand).
+///
+/// Verifies the JSON parses, the root carries a non-empty `traceEvents`
+/// array, and every event has the fields the Trace Event Format requires:
+/// string `name`/`ph`, numeric `ts`/`pid`/`tid`, and `dur` for complete
+/// (`"X"`) events. Returns a description of the first violation.
+pub fn validate_chrome_trace(json: &str) -> Result<(), String> {
+    let root: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("root object is missing \"traceEvents\"")?
+        .as_array()
+        .ok_or("\"traceEvents\" is not an array")?;
+    if events.is_empty() {
+        return Err("\"traceEvents\" is empty".into());
+    }
+    for (i, event) in events.iter().enumerate() {
+        let field = |name: &str| {
+            event
+                .get(name)
+                .ok_or_else(|| format!("event {i} is missing \"{name}\""))
+        };
+        let ph = field("ph")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: \"ph\" is not a string"))?
+            .to_string();
+        field("name")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: \"name\" is not a string"))?;
+        for numeric in ["ts", "pid", "tid"] {
+            let v = field(numeric)?;
+            if v.as_f64().is_none() {
+                return Err(format!("event {i}: \"{numeric}\" is not a number"));
+            }
+        }
+        if ph == "X" && field("dur")?.as_f64().is_none() {
+            return Err(format!("event {i}: complete event without numeric \"dur\""));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CallSpan, Dir, ServerSpan};
+    use crate::op::Op;
+    use rcuda_core::SimTime;
+
+    fn report() -> Report {
+        Report {
+            spans: vec![CallSpan {
+                op: Op::Named("cudaMalloc"),
+                bytes_sent: 8,
+                bytes_received: 8,
+                start: SimTime::from_nanos(1_500),
+                end: SimTime::from_nanos(4_750),
+                retries: 0,
+            }],
+            server_spans: vec![ServerSpan {
+                op: Op::Named("cudaMalloc"),
+                queue_wait: SimTime::ZERO,
+                start: SimTime::from_nanos(2_000),
+                end: SimTime::from_nanos(4_000),
+            }],
+            message_events: vec![
+                (Dir::Sent, 8, SimTime::from_nanos(1_500)),
+                (Dir::Received, 8, SimTime::from_nanos(4_750)),
+            ],
+            ..Report::default()
+        }
+    }
+
+    #[test]
+    fn trace_is_valid_and_microsecond_scaled() {
+        let json = chrome_trace(&report());
+        validate_chrome_trace(&json).unwrap();
+        assert!(json.contains("\"ts\":1.500"), "{json}");
+        assert!(json.contains("\"dur\":3.250"), "{json}");
+        assert!(json.contains("\"cat\":\"server\""));
+        assert!(json.contains("\"name\":\"msg_sent\""));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[]}").is_err());
+        assert!(
+            validate_chrome_trace("{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\"}]}").is_err()
+        );
+        let no_dur = concat!(
+            "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\",",
+            "\"ts\":0,\"pid\":1,\"tid\":1}]}"
+        );
+        let err = validate_chrome_trace(no_dur).unwrap_err();
+        assert!(err.contains("dur"), "{err}");
+    }
+
+    #[test]
+    fn batch_names_render_structurally() {
+        let mut r = report();
+        r.spans[0].op = Op::Batch(3);
+        let json = chrome_trace(&r);
+        validate_chrome_trace(&json).unwrap();
+        assert!(json.contains("\"name\":\"batch[3]\""));
+    }
+}

@@ -1,0 +1,198 @@
+//! Fixed-bucket (log2) latency histograms.
+//!
+//! Buckets are powers of two in nanoseconds: bucket `i` covers
+//! `[2^(i-1), 2^i)` ns (bucket 0 holds exact zeros, bucket 1 holds 1 ns).
+//! 48 buckets reach ~78 hours — far beyond any call. Fixed buckets keep the
+//! struct `Copy`, recording allocation-free, and merging a pure elementwise
+//! sum, which makes merge associative and commutative (property-tested).
+
+use rcuda_core::SimTime;
+
+/// Number of log2 buckets.
+pub const BUCKETS: usize = 48;
+
+/// A log2-bucketed latency histogram over nanosecond samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    /// `u64::MAX` when empty (the identity for `min`).
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket a nanosecond sample falls into.
+    pub fn bucket_index(ns: u64) -> usize {
+        if ns == 0 {
+            0
+        } else {
+            ((64 - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive-exclusive bounds `[lo, hi)` of bucket `i` in nanoseconds
+    /// (the last bucket is open-ended: `hi = u64::MAX`).
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 1),
+            _ if i >= BUCKETS - 1 => (1u64 << (BUCKETS - 2), u64::MAX),
+            _ => (1u64 << (i - 1), 1u64 << i),
+        }
+    }
+
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[Self::bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    pub fn record(&mut self, t: SimTime) {
+        self.record_ns(t.as_nanos());
+    }
+
+    /// Fold another histogram in. Elementwise sums plus min/max, so for any
+    /// histograms `a ∘ (b ∘ c) == (a ∘ b) ∘ c` and `a ∘ b == b ∘ a`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> SimTime {
+        SimTime::from_nanos(self.sum_ns)
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    pub fn min(&self) -> Option<SimTime> {
+        (self.count > 0).then(|| SimTime::from_nanos(self.min_ns))
+    }
+
+    pub fn max(&self) -> Option<SimTime> {
+        (self.count > 0).then(|| SimTime::from_nanos(self.max_ns))
+    }
+
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Upper bound (ns) of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`); 0 for an empty histogram. Log2 buckets bound the
+    /// relative error at 2x — good enough for the order-of-magnitude
+    /// latency questions the paper asks.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                // Exact at the extremes where a single sample defines the
+                // bucket's contribution.
+                return hi.saturating_sub(1).clamp(lo, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indices_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bounds_cover_every_sample() {
+        for ns in [0u64, 1, 2, 3, 7, 8, 1000, 1 << 40, u64::MAX] {
+            let i = Histogram::bucket_index(ns);
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert!(lo <= ns, "{ns} below bucket {i}");
+            assert!(ns < hi || hi == u64::MAX, "{ns} above bucket {i}");
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), None);
+        for ns in [10, 20, 30] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), SimTime::from_nanos(60));
+        assert_eq!(h.mean_ns(), 20.0);
+        assert_eq!(h.min(), Some(SimTime::from_nanos(10)));
+        assert_eq!(h.max(), Some(SimTime::from_nanos(30)));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record_ns(42);
+        let snapshot = h;
+        h.merge(&Histogram::new());
+        assert_eq!(h, snapshot);
+        let mut empty = Histogram::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn quantiles_bound_the_samples() {
+        let mut h = Histogram::new();
+        for ns in 1..=1000u64 {
+            h.record_ns(ns);
+        }
+        let p50 = h.quantile_ns(0.5);
+        assert!((256..=1000).contains(&p50), "p50 {p50}");
+        assert_eq!(h.quantile_ns(1.0), 1000, "clamped to the observed max");
+        assert_eq!(Histogram::new().quantile_ns(0.5), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! [`SessionMetrics`]: the one-stop counter snapshot of a session.
+//!
+//! Replaces the ad-hoc `transport_stats()` getter surface: a single plain
+//! struct combining the transport's byte/message counters with the client
+//! runtime's call accounting, cheap to copy and to serialize.
+
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time snapshot of a session's cumulative counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionMetrics {
+    /// Payload bytes written client → server (before transport framing).
+    pub bytes_sent: u64,
+    /// Payload bytes read server → client.
+    pub bytes_received: u64,
+    /// Protocol messages sent (flushes with pending data) — the quantity
+    /// pipelining exists to reduce.
+    pub messages_sent: u64,
+    /// Protocol messages received (peer flushes consumed).
+    pub messages_received: u64,
+    /// Times the connection was re-established (all counters above span
+    /// reconnects — nothing resets).
+    pub reconnects: u64,
+    /// Completed client calls, where one batch frame counts once (the
+    /// initialization exchange included).
+    pub calls: u64,
+    /// Deferred calls that crossed inside batch frames (0 with pipelining
+    /// off).
+    pub batched_calls: u64,
+    /// Transport-fault replays across all calls.
+    pub retries: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_zero() {
+        assert_eq!(SessionMetrics::default().bytes_sent, 0);
+        assert_eq!(SessionMetrics::default(), SessionMetrics::default());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = SessionMetrics {
+            bytes_sent: 1,
+            bytes_received: 2,
+            messages_sent: 3,
+            messages_received: 4,
+            reconnects: 5,
+            calls: 6,
+            batched_calls: 7,
+            retries: 8,
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: SessionMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

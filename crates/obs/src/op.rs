@@ -1,0 +1,186 @@
+//! Call identifiers: copyable operation labels that never allocate.
+//!
+//! The client used to label trace events with `String`s — one heap
+//! allocation per CUDA call, even when nobody was reading the trace. [`Op`]
+//! replaces that with a `Copy` enum over `&'static str` names (plus a
+//! structured case for batched frames), so recording a call costs nothing
+//! beyond the struct copy.
+
+use serde::{Content, Deserialize, Error, Serialize};
+use std::fmt;
+
+/// The operation names the client runtime emits. Deserialization interns
+/// against this table so round-tripped traces stay allocation-free too.
+static KNOWN_OPS: &[&str] = &[
+    "initialization",
+    "finalization",
+    "cudaGetDeviceProperties",
+    "cudaMalloc",
+    "cudaFree",
+    "cudaMemcpyH2D",
+    "cudaMemcpyD2H",
+    "cudaMemcpyD2D",
+    "cudaMemset",
+    "cudaLaunch",
+    "cudaThreadSynchronize",
+    "cudaStreamCreate",
+    "cudaStreamSynchronize",
+    "cudaStreamDestroy",
+    "cudaMemcpyAsyncH2D",
+    "cudaMemcpyAsyncD2H",
+    "cudaEventCreate",
+    "cudaEventRecord",
+    "cudaEventSynchronize",
+    "cudaEventElapsedTime",
+    "cudaEventDestroy",
+];
+
+/// A call identifier: a named CUDA operation or a batched frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Op {
+    /// A single named operation (`cudaMalloc`, `initialization`, ...).
+    Named(&'static str),
+    /// A pipelined batch frame of `n` deferred calls.
+    Batch(u32),
+}
+
+impl Op {
+    /// Parse a display form back into an [`Op`]. `batch[n]` becomes
+    /// [`Op::Batch`]; known names intern to their static string; unknown
+    /// names are leaked once (trace deserialization is a cold path).
+    pub fn parse(s: &str) -> Op {
+        if let Some(n) = s
+            .strip_prefix("batch[")
+            .and_then(|rest| rest.strip_suffix(']'))
+            .and_then(|n| n.parse::<u32>().ok())
+        {
+            return Op::Batch(n);
+        }
+        match KNOWN_OPS.iter().find(|k| **k == s) {
+            Some(k) => Op::Named(k),
+            None => Op::Named(Box::leak(s.to_string().into_boxed_str())),
+        }
+    }
+
+    /// The static name, for single operations.
+    pub fn as_named(&self) -> Option<&'static str> {
+        match self {
+            Op::Named(name) => Some(name),
+            Op::Batch(_) => None,
+        }
+    }
+
+    /// The aggregation key: the operation name, with every batch size
+    /// folding into one `batch` group.
+    pub fn group(&self) -> &'static str {
+        match self {
+            Op::Named(name) => name,
+            Op::Batch(_) => "batch",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Named(name) => f.write_str(name),
+            Op::Batch(n) => write!(f, "batch[{n}]"),
+        }
+    }
+}
+
+impl PartialEq<str> for Op {
+    fn eq(&self, other: &str) -> bool {
+        match self {
+            Op::Named(name) => *name == other,
+            Op::Batch(n) => {
+                other
+                    .strip_prefix("batch[")
+                    .and_then(|rest| rest.strip_suffix(']'))
+                    .and_then(|m| m.parse::<u32>().ok())
+                    == Some(*n)
+            }
+        }
+    }
+}
+
+impl PartialEq<&str> for Op {
+    fn eq(&self, other: &&str) -> bool {
+        self == *other
+    }
+}
+
+impl PartialEq<Op> for str {
+    fn eq(&self, other: &Op) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<Op> for &str {
+    fn eq(&self, other: &Op) -> bool {
+        other == *self
+    }
+}
+
+impl Serialize for Op {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Op {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(Op::parse(s)),
+            other => Err(Error::custom(format!("expected op string, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for op in [Op::Named("cudaMalloc"), Op::Batch(7)] {
+            assert_eq!(Op::parse(&op.to_string()), op);
+        }
+    }
+
+    #[test]
+    fn known_names_intern_to_the_static_table() {
+        let parsed = Op::parse("cudaMemcpyH2D");
+        match parsed {
+            Op::Named(name) => {
+                assert!(std::ptr::eq(name.as_ptr(), KNOWN_OPS[5].as_ptr()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_comparisons_work_both_ways() {
+        assert_eq!(Op::Named("cudaFree"), *"cudaFree");
+        assert!(Op::Named("cudaFree") == "cudaFree");
+        assert!("cudaFree" == Op::Named("cudaFree"));
+        assert!(Op::Batch(3) == "batch[3]");
+        assert!(Op::Batch(3) != "batch[4]");
+        assert!(Op::Named("cudaFree") != "cudaMalloc");
+    }
+
+    #[test]
+    fn batch_groups_fold_together() {
+        assert_eq!(Op::Batch(2).group(), Op::Batch(9).group());
+        assert_eq!(Op::Named("cudaLaunch").group(), "cudaLaunch");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let op = Op::Batch(12);
+        let c = op.to_content();
+        assert_eq!(Op::from_content(&c).unwrap(), op);
+        let op = Op::Named("cudaLaunch");
+        assert_eq!(Op::from_content(&op.to_content()).unwrap(), op);
+    }
+}

@@ -1,0 +1,181 @@
+//! Plain-text and JSON summaries of a recorded run.
+//!
+//! [`summary_table`] reproduces the paper's Table I byte accounting from a
+//! live run: one row per operation group with call counts, request/response
+//! bytes, and client/server/network time splits. [`summary_json`] is the
+//! same data machine-readable. Both renders are byte-deterministic for a
+//! deterministic run, so they can be golden-filed.
+
+use crate::record::Report;
+use serde::Content;
+use std::fmt::Write as _;
+
+/// Fixed-precision µs rendering of a nanosecond quantity.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Render `report` as a fixed-width text table: per-operation byte and
+/// timing accounting followed by session totals.
+pub fn summary_table(report: &Report) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "op", "calls", "sent B", "recv B", "client us", "server us", "network us"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(24 + 1 + 6 + 6 * 13));
+    for (op, stats) in report.per_op() {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            op,
+            stats.calls,
+            stats.bytes_sent,
+            stats.bytes_received,
+            us(stats.total_time.as_nanos()),
+            us(stats.server_service.as_nanos()),
+            us(stats.network_time().as_nanos()),
+        );
+    }
+    let (sent, received) = report.totals();
+    let _ = writeln!(out, "{}", "-".repeat(24 + 1 + 6 + 6 * 13));
+    let _ = writeln!(
+        out,
+        "total: {} calls, {} B sent, {} B received over {} us",
+        report.spans.len(),
+        sent,
+        received,
+        us(report.span().as_nanos()),
+    );
+    let _ = writeln!(
+        out,
+        "transport: {} msgs sent ({} B), {} msgs received ({} B), {} retries, {} reconnects",
+        report.messages.sent_count,
+        report.messages.sent_bytes,
+        report.messages.received_count,
+        report.messages.received_bytes,
+        report.retries,
+        report.reconnects,
+    );
+    out
+}
+
+/// Render `report` as pretty-printed JSON with the same per-operation and
+/// total accounting as [`summary_table`], plus latency quantiles.
+pub fn summary_json(report: &Report) -> String {
+    let ops: Vec<Content> = report
+        .per_op()
+        .iter()
+        .map(|(op, stats)| {
+            Content::Map(vec![
+                ("op".into(), Content::Str((*op).into())),
+                ("calls".into(), Content::U64(stats.calls)),
+                ("bytes_sent".into(), Content::U64(stats.bytes_sent)),
+                ("bytes_received".into(), Content::U64(stats.bytes_received)),
+                ("retries".into(), Content::U64(stats.retries)),
+                (
+                    "client_time_ns".into(),
+                    Content::U64(stats.total_time.as_nanos()),
+                ),
+                (
+                    "server_service_ns".into(),
+                    Content::U64(stats.server_service.as_nanos()),
+                ),
+                (
+                    "server_queue_wait_ns".into(),
+                    Content::U64(stats.server_queue_wait.as_nanos()),
+                ),
+                (
+                    "network_time_ns".into(),
+                    Content::U64(stats.network_time().as_nanos()),
+                ),
+                (
+                    "latency_p50_ns".into(),
+                    Content::U64(stats.latency.quantile_ns(0.5)),
+                ),
+                (
+                    "latency_max_ns".into(),
+                    Content::U64(stats.latency.max().map_or(0, |t| t.as_nanos())),
+                ),
+            ])
+        })
+        .collect();
+    let (sent, received) = report.totals();
+    let root = Content::Map(vec![
+        ("ops".into(), Content::Seq(ops)),
+        (
+            "totals".into(),
+            Content::Map(vec![
+                ("calls".into(), Content::U64(report.spans.len() as u64)),
+                ("bytes_sent".into(), Content::U64(sent)),
+                ("bytes_received".into(), Content::U64(received)),
+                ("span_ns".into(), Content::U64(report.span().as_nanos())),
+                (
+                    "messages_sent".into(),
+                    Content::U64(report.messages.sent_count),
+                ),
+                (
+                    "messages_received".into(),
+                    Content::U64(report.messages.received_count),
+                ),
+                ("retries".into(), Content::U64(report.retries)),
+                ("reconnects".into(), Content::U64(report.reconnects)),
+            ]),
+        ),
+    ]);
+    let mut json = serde_json::to_string_pretty(&root).expect("summary content serializes");
+    json.push('\n');
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CallSpan;
+    use crate::op::Op;
+    use crate::record::Recorder;
+    use rcuda_core::SimTime;
+
+    fn report() -> Report {
+        let rec = Recorder::new();
+        let h = rec.handle();
+        h.emit_call(&CallSpan {
+            op: Op::Named("cudaMalloc"),
+            bytes_sent: 8,
+            bytes_received: 8,
+            start: SimTime::ZERO,
+            end: SimTime::from_nanos(2_500),
+            retries: 0,
+        });
+        h.emit_call(&CallSpan {
+            op: Op::Named("cudaMemcpyH2D"),
+            bytes_sent: 1_044,
+            bytes_received: 4,
+            start: SimTime::from_nanos(2_500),
+            end: SimTime::from_nanos(10_000),
+            retries: 1,
+        });
+        rec.report()
+    }
+
+    #[test]
+    fn table_lists_every_group_and_totals() {
+        let table = summary_table(&report());
+        assert!(table.contains("cudaMalloc"), "{table}");
+        assert!(table.contains("cudaMemcpyH2D"), "{table}");
+        assert!(table.contains("total: 2 calls, 1052 B sent, 12 B received"));
+    }
+
+    #[test]
+    fn json_parses_and_carries_byte_accounting() {
+        let json = summary_json(&report());
+        let root: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let ops = root.get("ops").unwrap().as_array().unwrap();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[1].get("bytes_sent").unwrap().as_u64(), Some(1_044));
+        assert_eq!(ops[1].get("retries").unwrap().as_u64(), Some(1));
+        let totals = root.get("totals").unwrap();
+        assert_eq!(totals.get("bytes_sent").unwrap().as_u64(), Some(1_052));
+    }
+}

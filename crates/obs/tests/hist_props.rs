@@ -1,0 +1,77 @@
+//! Property tests: histogram merge forms a commutative monoid.
+//!
+//! Fixed log2 buckets make merge an elementwise sum (plus min/max), so it
+//! must be associative and commutative with the empty histogram as
+//! identity — the algebra that lets per-thread or per-shard histograms be
+//! combined in any order without changing the aggregate.
+
+use proptest::prelude::*;
+use rcuda_obs::Histogram;
+
+fn from_samples(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &ns in samples {
+        h.record_ns(ns);
+    }
+    h
+}
+
+fn merged(a: &Histogram, b: &Histogram) -> Histogram {
+    let mut out = *a;
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(
+        xs in proptest::collection::vec(any::<u64>(), 0..64),
+        ys in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (a, b) = (from_samples(&xs), from_samples(&ys));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec(any::<u64>(), 0..48),
+        ys in proptest::collection::vec(any::<u64>(), 0..48),
+        zs in proptest::collection::vec(any::<u64>(), 0..48),
+    ) {
+        let (a, b, c) = (from_samples(&xs), from_samples(&ys), from_samples(&zs));
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c))
+        );
+    }
+
+    #[test]
+    fn empty_is_the_identity(xs in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let a = from_samples(&xs);
+        prop_assert_eq!(merged(&a, &Histogram::new()), a);
+        prop_assert_eq!(merged(&Histogram::new(), &a), a);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        xs in proptest::collection::vec(any::<u64>(), 0..64),
+        ys in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        // Guard the sum against overflow so both sides saturate identically.
+        let xs: Vec<u64> = xs.iter().map(|v| v >> 8).collect();
+        let ys: Vec<u64> = ys.iter().map(|v| v >> 8).collect();
+        let together: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+        prop_assert_eq!(
+            merged(&from_samples(&xs), &from_samples(&ys)),
+            from_samples(&together)
+        );
+    }
+
+    #[test]
+    fn every_sample_lands_in_its_bucket(ns in any::<u64>()) {
+        let i = Histogram::bucket_index(ns);
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        prop_assert!(lo <= ns);
+        prop_assert!(ns < hi || hi == u64::MAX);
+    }
+}

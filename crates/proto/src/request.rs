@@ -140,6 +140,43 @@ impl Request {
         })
     }
 
+    /// The observability label for this request — the same names the client
+    /// runtime stamps on its call spans, so client and server spans for one
+    /// call aggregate into the same group. Memcpy variants are split by
+    /// direction (their Table I byte accounting differs per direction).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Init { .. } => "initialization",
+            Request::Malloc { .. } => "cudaMalloc",
+            Request::Free { .. } => "cudaFree",
+            Request::Memcpy { kind, .. } => match kind {
+                MemcpyKind::HostToDevice => "cudaMemcpyH2D",
+                MemcpyKind::DeviceToHost => "cudaMemcpyD2H",
+                MemcpyKind::DeviceToDevice => "cudaMemcpyD2D",
+                MemcpyKind::HostToHost => "cudaMemcpyH2H",
+            },
+            Request::Launch { .. } => "cudaLaunch",
+            Request::ThreadSynchronize => "cudaThreadSynchronize",
+            Request::DeviceProps => "cudaGetDeviceProperties",
+            Request::StreamCreate => "cudaStreamCreate",
+            Request::StreamSynchronize { .. } => "cudaStreamSynchronize",
+            Request::StreamDestroy { .. } => "cudaStreamDestroy",
+            Request::MemcpyAsync { kind, .. } => match kind {
+                MemcpyKind::HostToDevice => "cudaMemcpyAsyncH2D",
+                MemcpyKind::DeviceToHost => "cudaMemcpyAsyncD2H",
+                MemcpyKind::DeviceToDevice => "cudaMemcpyAsyncD2D",
+                MemcpyKind::HostToHost => "cudaMemcpyAsyncH2H",
+            },
+            Request::Memset { .. } => "cudaMemset",
+            Request::EventCreate => "cudaEventCreate",
+            Request::EventRecord { .. } => "cudaEventRecord",
+            Request::EventSynchronize { .. } => "cudaEventSynchronize",
+            Request::EventElapsed { .. } => "cudaEventElapsedTime",
+            Request::EventDestroy { .. } => "cudaEventDestroy",
+            Request::Quit => "finalization",
+        }
+    }
+
     /// Exact number of bytes [`Request::write`] puts on the wire.
     ///
     /// For the Table I operations this reproduces the paper's Send column —
@@ -527,6 +564,29 @@ mod tests {
             req.write(&mut buf).unwrap();
             assert_eq!(buf.len() as u64, req.wire_bytes(), "{req:?}");
         }
+    }
+
+    #[test]
+    fn op_names_match_client_labels_and_split_by_direction() {
+        assert_eq!(Request::Init { module: vec![] }.op_name(), "initialization");
+        assert_eq!(Request::Malloc { size: 1 }.op_name(), "cudaMalloc");
+        assert_eq!(Request::Quit.op_name(), "finalization");
+        let h2d = Request::Memcpy {
+            dst: 0,
+            src: 0,
+            size: 0,
+            kind: MemcpyKind::HostToDevice,
+            data: Some(vec![]),
+        };
+        assert_eq!(h2d.op_name(), "cudaMemcpyH2D");
+        let d2h = Request::Memcpy {
+            dst: 0,
+            src: 0,
+            size: 0,
+            kind: MemcpyKind::DeviceToHost,
+            data: None,
+        };
+        assert_eq!(d2h.op_name(), "cudaMemcpyD2H");
     }
 
     #[test]

@@ -77,6 +77,7 @@ fn main() {
     let config = ServerConfig {
         preinitialize_context: preinit,
         phantom_memory: false,
+        ..Default::default()
     };
     let mut daemon = match RcudaDaemon::bind_pool(&listen, Arc::clone(&pool), config) {
         Ok(d) => d,

@@ -8,10 +8,11 @@
 //! 2. read the module-upload request, load it, acknowledge;
 //! 3. loop: read request → dispatch → respond, until Quit or disconnect.
 
-use rcuda_core::{CudaError, SharedClock};
-use rcuda_gpu::GpuDevice;
+use rcuda_core::{CudaError, SharedClock, SimTime};
+use rcuda_gpu::{GpuContext, GpuDevice};
+use rcuda_obs::{ObsHandle, Op, ServerSpan};
 use rcuda_proto::handshake::write_hello_reply;
-use rcuda_proto::{Frame, Request, Response, SessionHello};
+use rcuda_proto::{Batch, BatchResponse, Frame, Request, Response, SessionHello};
 use rcuda_transport::Transport;
 use std::io;
 use std::sync::Arc;
@@ -33,6 +34,10 @@ pub struct ServerConfig {
     pub preinitialize_context: bool,
     /// Use phantom device memory (timing-only sessions at paper scale).
     pub phantom_memory: bool,
+    /// Server-side observer: every dispatched request reports a
+    /// [`ServerSpan`] (service time + in-frame queue wait). Disarmed by
+    /// default — the request loop then takes no timestamps at all.
+    pub observer: ObsHandle,
 }
 
 impl Default for ServerConfig {
@@ -40,6 +45,7 @@ impl Default for ServerConfig {
         ServerConfig {
             preinitialize_context: true,
             phantom_memory: false,
+            observer: ObsHandle::none(),
         }
     }
 }
@@ -93,6 +99,11 @@ pub fn serve_connection_with_registry<T: Transport>(
     config: &ServerConfig,
     registry: &SessionRegistry,
 ) -> io::Result<SessionReport> {
+    let obs = config.observer.clone();
+    // The worker keeps its own clock handle: the context takes ownership of
+    // `clock` (it charges simulated GPU time to it), and the span timestamps
+    // must come from that same clock so client and server spans line up.
+    let clk = clock.clone();
     // The context is created at accept time — before the client says
     // anything — reproducing the warm-context behavior of §VI-B.
     let fresh_ctx = if config.phantom_memory {
@@ -111,14 +122,16 @@ pub fn serve_connection_with_registry<T: Transport>(
     let (mut ctx, session_token) = match SessionHello::read(&mut transport)? {
         SessionHello::Fresh { module } => {
             let mut ctx = fresh_ctx;
-            let resp = dispatch(&mut ctx, &Request::Init { module }).expect("init never quits");
+            let resp = dispatch_observed(&mut ctx, &Request::Init { module }, &clk, &obs)
+                .expect("init never quits");
             resp.write(&mut transport)?;
             transport.flush()?;
             (ctx, None)
         }
         SessionHello::Resumable { session, module } => {
             let mut ctx = fresh_ctx;
-            let resp = dispatch(&mut ctx, &Request::Init { module }).expect("init never quits");
+            let resp = dispatch_observed(&mut ctx, &Request::Init { module }, &clk, &obs)
+                .expect("init never quits");
             resp.write(&mut transport)?;
             transport.flush()?;
             (ctx, Some(session))
@@ -152,7 +165,7 @@ pub fn serve_connection_with_registry<T: Transport>(
         match frame {
             Frame::Single(req) => {
                 report.requests += 1;
-                match dispatch(&mut ctx, &req) {
+                match dispatch_observed(&mut ctx, &req, &clk, &obs) {
                     Some(resp) => {
                         if resp.write(&mut transport).is_err() || transport.flush().is_err() {
                             break;
@@ -172,7 +185,11 @@ pub fn serve_connection_with_registry<T: Transport>(
             }
             Frame::Batch(batch) => {
                 report.requests += batch.len() as u64;
-                let (resp, quit) = dispatch_batch(&mut ctx, &batch);
+                let (resp, quit) = if obs.is_enabled() {
+                    dispatch_batch_observed(&mut ctx, &batch, &clk, &obs)
+                } else {
+                    dispatch_batch(&mut ctx, &batch)
+                };
                 if resp.write(&mut transport).is_err() || transport.flush().is_err() {
                     break;
                 }
@@ -194,6 +211,67 @@ pub fn serve_connection_with_registry<T: Transport>(
         _ => report.leaked_allocations = ctx.live_allocations(),
     }
     Ok(report)
+}
+
+/// Dispatch one request, reporting its service time as a [`ServerSpan`].
+/// With no observer installed this is exactly [`dispatch`]: no timestamps
+/// are taken.
+fn dispatch_observed(
+    ctx: &mut GpuContext,
+    req: &Request,
+    clk: &SharedClock,
+    obs: &ObsHandle,
+) -> Option<Response> {
+    if !obs.is_enabled() {
+        return dispatch(ctx, req);
+    }
+    let start = clk.now();
+    let resp = dispatch(ctx, req);
+    obs.emit_server(&ServerSpan {
+        op: Op::Named(req.op_name()),
+        queue_wait: SimTime::ZERO,
+        start,
+        end: clk.now(),
+    });
+    resp
+}
+
+/// [`crate::dispatch::dispatch_batch`] with per-element [`ServerSpan`]s:
+/// each element's queue wait is the time it spent behind earlier elements
+/// of the same frame (measured from frame arrival to dispatch start).
+fn dispatch_batch_observed(
+    ctx: &mut GpuContext,
+    batch: &Batch,
+    clk: &SharedClock,
+    obs: &ObsHandle,
+) -> (BatchResponse, bool) {
+    let frame_at = clk.now();
+    let mut responses = Vec::with_capacity(batch.len());
+    let mut quit = false;
+    for req in batch.requests() {
+        if quit {
+            // Matches `dispatch_batch`: elements after a Quit are answered
+            // without executing, so they get no span either.
+            responses.push(Response::Ack(Err(CudaError::InvalidValue)));
+            continue;
+        }
+        let start = clk.now();
+        let resp = dispatch(ctx, req);
+        obs.emit_server(&ServerSpan {
+            op: Op::Named(req.op_name()),
+            queue_wait: start.saturating_sub(frame_at),
+            start,
+            end: clk.now(),
+        });
+        match resp {
+            Some(resp) => responses.push(resp),
+            None => {
+                responses.push(Response::Ack(Ok(())));
+                quit = true;
+            }
+        }
+    }
+    (BatchResponse { responses }, quit)
 }
 
 #[cfg(test)]
@@ -423,6 +501,7 @@ mod tests {
             let cfg = ServerConfig {
                 preinitialize_context: preinit,
                 phantom_memory: true,
+                ..Default::default()
             };
             let clock2 = clock.clone();
             let worker = thread::spawn(move || {

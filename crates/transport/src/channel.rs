@@ -7,6 +7,7 @@
 //! behavior so connection-loss handling can be tested in-process.
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rcuda_obs::{Dir, ObsHandle};
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
@@ -25,6 +26,7 @@ pub struct ChannelTransport {
     /// Bound on waiting for the next message (`set_read_deadline`).
     read_timeout: Option<Duration>,
     stats: TransportStats,
+    obs: ObsHandle,
 }
 
 /// Create a connected pair of endpoints.
@@ -39,6 +41,7 @@ pub fn channel_pair() -> (ChannelTransport, ChannelTransport) {
         in_pos: 0,
         read_timeout: None,
         stats: TransportStats::default(),
+        obs: ObsHandle::none(),
     };
     (mk(tx_a, rx_a), mk(tx_b, rx_b))
 }
@@ -51,6 +54,7 @@ impl ChannelTransport {
         }
         let msg = std::mem::take(&mut self.out_buf);
         self.stats.record_message();
+        self.obs.emit_message(Dir::Sent, msg.len() as u64);
         self.tx
             .send(msg)
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))
@@ -81,6 +85,7 @@ impl Read for ChannelTransport {
             };
             match next {
                 Ok(msg) => {
+                    self.obs.emit_message(Dir::Received, msg.len() as u64);
                     self.in_buf = msg;
                     self.in_pos = 0;
                     self.stats.record_message_received();
@@ -116,6 +121,10 @@ impl Transport for ChannelTransport {
     fn set_read_deadline(&mut self, timeout: Option<Duration>) -> io::Result<()> {
         self.read_timeout = timeout;
         Ok(())
+    }
+
+    fn set_observer(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 }
 
@@ -230,6 +239,28 @@ mod tests {
         b.read_exact(&mut half).unwrap();
         b.read_exact(&mut half).unwrap();
         assert_eq!(b.stats().messages_received, 4);
+    }
+
+    #[test]
+    fn observer_sees_one_event_per_message() {
+        let rec = rcuda_obs::Recorder::new();
+        let (mut a, mut b) = channel_pair();
+        a.set_observer(rec.handle());
+        b.set_observer(rec.handle());
+        a.write_all(&[0u8; 20]).unwrap();
+        a.write_all(&[0u8; 4]).unwrap();
+        a.flush().unwrap();
+        let mut buf = [0u8; 24];
+        b.read_exact(&mut buf[..10]).unwrap();
+        b.read_exact(&mut buf[10..]).unwrap();
+        let report = rec.report();
+        assert_eq!(report.messages.sent_count, 1, "one flush, one send event");
+        assert_eq!(report.messages.sent_bytes, 24);
+        assert_eq!(
+            report.messages.received_count, 1,
+            "partial reads consume one message"
+        );
+        assert_eq!(report.messages.received_bytes, 24);
     }
 
     #[test]

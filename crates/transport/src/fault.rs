@@ -388,6 +388,13 @@ impl<T: Transport> Transport for FaultInjector<T> {
         self.out_buf.clear();
         Ok(())
     }
+
+    fn set_observer(&mut self, obs: rcuda_obs::ObsHandle) {
+        // The injector buffers writes itself, so the inner transport still
+        // sees exactly one flush per delivered message — message events
+        // keep their per-message meaning under fault injection.
+        self.inner.set_observer(obs);
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,8 @@ pub mod tcp;
 use std::io;
 use std::time::Duration;
 
+pub use rcuda_obs::ObsHandle;
+
 pub use channel::{channel_pair, ChannelTransport};
 pub use fault::{Fault, FaultInjector, FaultKind, FaultPlan};
 pub use reconnect::ReconnectTransport;
@@ -64,4 +66,11 @@ pub trait Transport: io::Read + io::Write + Send {
             "transport cannot reconnect",
         ))
     }
+
+    /// Install an observability sink: the transport reports one
+    /// [`rcuda_obs::MessageEvent`] per protocol message (at flush time for
+    /// sends, at consumption time for receives) and reconnect episodes.
+    /// Uninstrumented transports accept the call as a no-op (the default);
+    /// a disarmed handle uninstalls any previous observer.
+    fn set_observer(&mut self, _obs: ObsHandle) {}
 }

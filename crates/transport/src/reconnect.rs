@@ -10,6 +10,7 @@
 //! to call back), and lets tests spawn a fresh in-process server per
 //! connection.
 
+use rcuda_obs::ObsHandle;
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
@@ -24,6 +25,15 @@ pub struct ReconnectTransport<T: Transport> {
     stats_base: TransportStats,
     /// Last deadline set, re-applied after each reconnect.
     read_timeout: Option<Duration>,
+    /// Observer handle, re-installed on each fresh connection.
+    obs: ObsHandle,
+}
+
+fn not_connected() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotConnected,
+        "connection lost and not re-established (last reconnect failed)",
+    )
 }
 
 impl<T: Transport> ReconnectTransport<T> {
@@ -37,45 +47,57 @@ impl<T: Transport> ReconnectTransport<T> {
             dial: Box::new(dial),
             stats_base: TransportStats::default(),
             read_timeout: None,
+            obs: ObsHandle::none(),
         }
     }
 
-    /// The current connection.
-    pub fn inner(&self) -> &T {
-        self.inner.as_ref().expect("connection present")
+    /// The current connection (`None` between a failed reconnect and the
+    /// next successful one).
+    pub fn inner(&self) -> Option<&T> {
+        self.inner.as_ref()
     }
 
-    fn inner_mut(&mut self) -> &mut T {
-        self.inner.as_mut().expect("connection present")
+    fn inner_mut(&mut self) -> io::Result<&mut T> {
+        self.inner.as_mut().ok_or_else(not_connected)
     }
 }
 
 impl<T: Transport> Read for ReconnectTransport<T> {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        self.inner_mut().read(buf)
+        self.inner_mut()?.read(buf)
     }
 }
 
 impl<T: Transport> Write for ReconnectTransport<T> {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.inner_mut().write(buf)
+        self.inner_mut()?.write(buf)
     }
 
     fn flush(&mut self) -> io::Result<()> {
-        self.inner_mut().flush()
+        self.inner_mut()?.flush()
     }
 }
 
 impl<T: Transport> Transport for ReconnectTransport<T> {
     fn stats(&self) -> TransportStats {
+        // Absorb only a live connection: after a failed re-dial the retired
+        // incarnations' counters (already folded into `stats_base`) must
+        // still be reported, not dropped — and certainly not panicked over.
         let mut total = self.stats_base;
-        total.absorb(&self.inner().stats());
+        if let Some(inner) = &self.inner {
+            total.absorb(&inner.stats());
+        }
         total
     }
 
     fn set_read_deadline(&mut self, timeout: Option<Duration>) -> io::Result<()> {
         self.read_timeout = timeout;
-        self.inner_mut().set_read_deadline(timeout)
+        match self.inner.as_mut() {
+            // Remember the deadline even while disconnected; it is
+            // re-applied to the next fresh connection.
+            None => Ok(()),
+            Some(inner) => inner.set_read_deadline(timeout),
+        }
     }
 
     fn reconnect(&mut self) -> io::Result<()> {
@@ -88,9 +110,18 @@ impl<T: Transport> Transport for ReconnectTransport<T> {
         }
         let mut fresh = (self.dial)()?;
         fresh.set_read_deadline(self.read_timeout)?;
+        fresh.set_observer(self.obs.clone());
         self.stats_base.record_reconnect();
+        self.obs.emit_reconnect();
         self.inner = Some(fresh);
         Ok(())
+    }
+
+    fn set_observer(&mut self, obs: ObsHandle) {
+        self.obs = obs.clone();
+        if let Some(inner) = self.inner.as_mut() {
+            inner.set_observer(obs);
+        }
     }
 }
 
@@ -177,6 +208,84 @@ mod tests {
             rt.reconnect().unwrap_err().kind(),
             io::ErrorKind::ConnectionRefused
         );
+    }
+
+    #[test]
+    fn failed_redial_keeps_counters_and_degrades_gracefully() {
+        let (a1, b1) = channel_pair();
+        let (a2, mut b2) = channel_pair();
+        // First dial attempt fails, second succeeds.
+        let mut attempts = vec![Ok(a2), Err(io::ErrorKind::ConnectionRefused)];
+        let mut rt = ReconnectTransport::new(a1, move || match attempts.pop().unwrap() {
+            Ok(t) => Ok(t),
+            Err(kind) => Err(io::Error::new(kind, "refused")),
+        });
+        rt.write_all(&[0u8; 10]).unwrap();
+        rt.flush().unwrap();
+        drop(b1);
+
+        assert_eq!(
+            rt.reconnect().unwrap_err().kind(),
+            io::ErrorKind::ConnectionRefused
+        );
+        // No connection — but the retired incarnation's counters survive
+        // (this used to panic on `stats()` and every IO method).
+        let s = rt.stats();
+        assert_eq!(s.bytes_sent, 10);
+        assert_eq!(s.messages_sent, 1);
+        assert_eq!(s.reconnects, 0, "failed attempts are not reconnects");
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            rt.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::NotConnected
+        );
+        assert_eq!(
+            rt.write(&[1]).unwrap_err().kind(),
+            io::ErrorKind::NotConnected
+        );
+        assert_eq!(rt.flush().unwrap_err().kind(), io::ErrorKind::NotConnected);
+        // Deadlines set while disconnected are remembered, not errors.
+        rt.set_read_deadline(Some(Duration::from_millis(10)))
+            .unwrap();
+
+        // The next attempt succeeds and service resumes with continuous
+        // counters and the remembered deadline.
+        rt.reconnect().unwrap();
+        rt.write_all(&[0u8; 5]).unwrap();
+        rt.flush().unwrap();
+        b2.read_exact(&mut [0u8; 5]).unwrap();
+        let s = rt.stats();
+        assert_eq!(s.bytes_sent, 15, "no counter lost across the outage");
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.reconnects, 1);
+        assert_eq!(
+            rt.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::TimedOut,
+            "deadline survived the outage"
+        );
+    }
+
+    #[test]
+    fn observer_is_reinstalled_on_the_fresh_connection() {
+        let rec = rcuda_obs::Recorder::new();
+        let (a1, b1) = channel_pair();
+        let (a2, mut b2) = channel_pair();
+        let mut rt = ReconnectTransport::new(a1, queued_dialer(vec![a2]));
+        rt.set_observer(rec.handle());
+        rt.write_all(&[0u8; 3]).unwrap();
+        rt.flush().unwrap();
+        drop(b1);
+        rt.reconnect().unwrap();
+        rt.write_all(&[0u8; 7]).unwrap();
+        rt.flush().unwrap();
+        b2.read_exact(&mut [0u8; 7]).unwrap();
+        let report = rec.report();
+        assert_eq!(report.reconnects, 1);
+        assert_eq!(
+            report.messages.sent_count, 2,
+            "messages on both incarnations observed"
+        );
+        assert_eq!(report.messages.sent_bytes, 10);
     }
 
     #[test]

@@ -87,6 +87,14 @@ impl Transport for SimTransport {
         // virtual clock is unaffected.
         self.inner.set_read_deadline(timeout)
     }
+
+    fn set_observer(&mut self, obs: rcuda_obs::ObsHandle) {
+        // The channel reports send events from its own flush, which runs
+        // after this transport charges the message's network latency to the
+        // shared clock — so a clock-stamping observer sees each message at
+        // its (simulated) arrival time.
+        self.inner.set_observer(obs);
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! `TCP_NODELAY` on every stream and additionally buffer writes so each
 //! protocol message leaves in as few segments as possible.
 
+use rcuda_obs::{Dir, ObsHandle};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -20,6 +21,10 @@ pub struct TcpTransport {
     stats: TransportStats,
     /// Whether any bytes were written since the last flush.
     dirty: bool,
+    /// Bytes written since the last flush (the size of the message a flush
+    /// will put on the wire).
+    pending_out: u64,
+    obs: ObsHandle,
     /// The address `connect` dialed — `Some` makes [`Transport::reconnect`]
     /// possible; accepted streams (`from_stream`) cannot re-dial.
     dial_addr: Option<SocketAddr>,
@@ -51,6 +56,8 @@ impl TcpTransport {
             writer,
             stats: TransportStats::default(),
             dirty: false,
+            pending_out: 0,
+            obs: ObsHandle::none(),
             dial_addr: None,
             read_timeout: None,
             awaiting_response: false,
@@ -73,6 +80,11 @@ impl Read for TcpTransport {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         let n = self.reader.read(buf)?;
         self.stats.record_recv(n as u64);
+        if n > 0 {
+            // TCP has no message boundaries: receive events are per read
+            // chunk, not per protocol message (byte totals still match).
+            self.obs.emit_message(Dir::Received, n as u64);
+        }
         if n > 0 && self.awaiting_response {
             self.stats.record_message_received();
             self.awaiting_response = false;
@@ -87,6 +99,7 @@ impl Write for TcpTransport {
         self.stats.record_send(n as u64);
         if n > 0 {
             self.dirty = true;
+            self.pending_out += n as u64;
         }
         Ok(n)
     }
@@ -94,7 +107,9 @@ impl Write for TcpTransport {
     fn flush(&mut self) -> io::Result<()> {
         if self.dirty {
             self.stats.record_message();
+            self.obs.emit_message(Dir::Sent, self.pending_out);
             self.dirty = false;
+            self.pending_out = 0;
             self.awaiting_response = true;
         }
         self.writer.flush()
@@ -131,9 +146,15 @@ impl Transport for TcpTransport {
         self.reader = BufReader::with_capacity(256 * 1024, stream.try_clone()?);
         self.writer = BufWriter::with_capacity(256 * 1024, stream);
         self.dirty = false;
+        self.pending_out = 0;
         self.awaiting_response = false;
         self.stats.record_reconnect();
+        self.obs.emit_reconnect();
         Ok(())
+    }
+
+    fn set_observer(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 }
 

@@ -1,0 +1,69 @@
+//! Record, summarize, and replay an observed MM run.
+//!
+//! One observer installed via `Session::builder().observer(..)` watches the
+//! whole stack — client spans, transport messages, server service spans —
+//! while the MM case study runs over a simulated 40GI link. The run then
+//! prints the Table-I-style byte/time accounting, replays the measured
+//! trace against the §V estimation model (`model::compare`), and writes a
+//! Chrome `trace_event` file loadable in `chrome://tracing` / Perfetto.
+//!
+//! ```sh
+//! cargo run --release --example observed_matmul [trace-out.json]
+//! ```
+//!
+//! The trace path defaults to `target/observed_matmul_trace.json`.
+
+use rcuda::api::run_matmul_bytes;
+use rcuda::core::{Clock as _, SharedClock};
+use rcuda::model::compare_report;
+use rcuda::netsim::NetworkId;
+use rcuda::obs::{chrome_trace, summary_table, validate_chrome_trace, Recorder};
+use rcuda::session::Session;
+
+fn main() {
+    let trace_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/observed_matmul_trace.json".into());
+    let m = 1024u32;
+    let net = NetworkId::Ib40G;
+
+    let rec = Recorder::new();
+    let mut sess = Session::builder()
+        .phantom(true)
+        .observer(rec.handle())
+        .simulated(net);
+    rec.attach_clock(sess.clock.clone() as SharedClock);
+
+    let bytes = vec![0u8; (m * m * 4) as usize];
+    let clock = sess.clock.clone();
+    run_matmul_bytes(&mut sess.runtime, &*clock, m, &bytes, &bytes).expect("MM run");
+    let total = sess.clock.now();
+    sess.finish();
+
+    let report = rec.report();
+    println!(
+        "observed {m}\u{d7}{m} SGEMM over simulated {net}: {:.3} ms of virtual time\n",
+        total.as_secs_f64() * 1e3
+    );
+    println!("{}", summary_table(&report));
+
+    let cmp = compare_report(&report, &*net.model());
+    println!("{}", cmp.render());
+    println!(
+        "worst per-phase estimate error: {:.3}%\n",
+        cmp.max_abs_error() * 100.0
+    );
+
+    let json = chrome_trace(&report);
+    validate_chrome_trace(&json).expect("emitted trace must satisfy the trace_event schema");
+    println!("trace schema OK");
+    if let Some(dir) = std::path::Path::new(&trace_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&trace_path, &json).expect("write trace file");
+    println!(
+        "wrote {} ({} events) — load it in chrome://tracing or Perfetto",
+        trace_path,
+        report.spans.len() + report.server_spans.len() + report.message_events.len()
+    );
+}

@@ -24,7 +24,7 @@ fn main() {
             .simulated(NetworkId::GigaE);
         let report = run_fft_bytes(&mut sess.runtime, &*sess.clock.clone(), batch, &input)
             .expect("remote FFT");
-        let flushes = sess.runtime.transport_stats().messages_sent;
+        let flushes = sess.runtime.metrics().messages_sent;
         let elapsed = sess.clock.now();
         sess.finish();
         println!(

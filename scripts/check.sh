@@ -13,10 +13,19 @@ cargo test -q --workspace
 echo "== failure-injection conformance (3 seeds) ==" >&2
 RCUDA_FAULT_SEEDS=3 cargo test -q --test failure_injection
 
+echo "== observed MM run + trace schema check ==" >&2
+trace_out="target/check_observed_trace.json"
+observed=$(cargo run -q --release --example observed_matmul "$trace_out")
+grep -q "trace schema OK" <<<"$observed"
+test -s "$trace_out" || { echo "observed_matmul wrote no trace" >&2; exit 1; }
+
 echo "== cargo fmt --check ==" >&2
 cargo fmt --all --check
 
 echo "== cargo clippy -D warnings ==" >&2
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo clippy -p rcuda-obs -D warnings ==" >&2
+cargo clippy -p rcuda-obs --all-targets -- -D warnings
 
 echo "All checks passed." >&2

@@ -33,6 +33,7 @@ pub use rcuda_gpu as gpu;
 pub use rcuda_kernels as kernels;
 pub use rcuda_model as model;
 pub use rcuda_netsim as netsim;
+pub use rcuda_obs as obs;
 pub use rcuda_proto as proto;
 pub use rcuda_server as server;
 pub use rcuda_transport as transport;

@@ -22,8 +22,12 @@
 //! the batched submission path (see `rcuda-client`).
 //!
 //! The free functions ([`local_functional`], [`local_simulated`]) remain for
-//! local runtimes, which involve no transport; the older remote constructors
-//! are deprecated in favor of the builder.
+//! local runtimes, which involve no transport.
+//!
+//! Observability: [`SessionBuilder::observer`] installs one observer on the
+//! whole stack — the client runtime reports per-call spans, the transport
+//! reports per-message byte events, and the in-process server reports
+//! per-request service spans, all into the same sink (see `rcuda-obs`).
 
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -35,12 +39,13 @@ use rcuda_core::time::{virtual_clock, wall_clock};
 use rcuda_core::{CudaResult, SharedClock, VirtualClock};
 use rcuda_gpu::GpuDevice;
 use rcuda_netsim::NetworkId;
+use rcuda_obs::{ObsHandle, SessionMetrics};
 use rcuda_server::{
     serve_connection, serve_connection_with_registry, ServerConfig, SessionRegistry, SessionReport,
 };
 use rcuda_transport::{
     channel_pair, sim_pair, ChannelTransport, FaultInjector, FaultPlan, ReconnectTransport,
-    SimTransport, TcpTransport, TransportStats,
+    SimTransport, TcpTransport, Transport, TransportStats,
 };
 
 /// A functional local-GPU runtime (wall clock, kernels really execute).
@@ -68,6 +73,7 @@ impl Session {
             phantom: false,
             deadline: None,
             retry: RetryPolicy::default(),
+            observer: ObsHandle::none(),
         }
     }
 }
@@ -79,6 +85,7 @@ pub struct SessionBuilder {
     phantom: bool,
     deadline: Option<Duration>,
     retry: RetryPolicy,
+    observer: ObsHandle,
 }
 
 impl SessionBuilder {
@@ -124,6 +131,38 @@ impl SessionBuilder {
         self
     }
 
+    /// Install an observer on the whole session: per-call spans from the
+    /// client runtime, per-message byte events from the transport, and (for
+    /// the in-process terminal methods) per-request service spans from the
+    /// server worker, all reported to the same sink. Accepts an
+    /// [`rcuda_obs::ObsHandle`] (e.g. [`rcuda_obs::Recorder::handle`]) or an
+    /// `Arc<dyn Observer>`. Default: disarmed — the per-call hot path then
+    /// performs no observability work at all.
+    pub fn observer(mut self, observer: impl Into<ObsHandle>) -> Self {
+        self.observer = observer.into();
+        self
+    }
+
+    /// Apply every common knob to a freshly constructed runtime. All
+    /// terminal methods funnel through here so a new option cannot be
+    /// forgotten on one transport path.
+    fn configure<T: Transport>(&self, runtime: &mut RemoteRuntime<T>) -> CudaResult<()> {
+        runtime.set_pipeline_depth(self.pipeline_depth)?;
+        runtime.set_deadline(self.deadline);
+        runtime.set_retry_policy(self.retry);
+        runtime.set_observer(self.observer.clone());
+        Ok(())
+    }
+
+    /// The worker configuration shared by every in-process server spawn.
+    fn server_config(&self) -> ServerConfig {
+        ServerConfig {
+            preinitialize_context: true,
+            phantom_memory: self.phantom,
+            observer: self.observer.clone(),
+        }
+    }
+
     /// Connect to an rCUDA daemon over real TCP (see
     /// [`rcuda_server::RcudaDaemon`]).
     pub fn tcp<A: std::net::ToSocketAddrs>(
@@ -133,9 +172,7 @@ impl SessionBuilder {
         let transport =
             TcpTransport::connect(addr).map_err(|e| rcuda_client::transport_error(&e))?;
         let mut rt = RemoteRuntime::new(transport, wall_clock());
-        rt.set_pipeline_depth(self.pipeline_depth)?;
-        rt.set_deadline(self.deadline);
-        rt.set_retry_policy(self.retry);
+        self.configure(&mut rt)?;
         Ok(rt)
     }
 
@@ -146,13 +183,9 @@ impl SessionBuilder {
     pub fn channel(self) -> ChannelSession {
         let (client_side, server_side) = channel_pair();
         let clock: SharedClock = wall_clock();
-        let server = spawn_server(server_side, clock.clone(), self.phantom);
+        let server = spawn_server(server_side, clock.clone(), self.server_config());
         let mut runtime = RemoteRuntime::new(client_side, clock);
-        runtime
-            .set_pipeline_depth(self.pipeline_depth)
-            .expect("fresh session");
-        runtime.set_deadline(self.deadline);
-        runtime.set_retry_policy(self.retry);
+        self.configure(&mut runtime).expect("fresh session");
         ChannelSession {
             runtime,
             server: Some(server),
@@ -173,10 +206,7 @@ impl SessionBuilder {
         } else {
             GpuDevice::tesla_c1060_functional()
         });
-        let config = ServerConfig {
-            preinitialize_context: true,
-            phantom_memory: self.phantom,
-        };
+        let config = self.server_config();
         let registry = Arc::new(SessionRegistry::new());
         let servers: ServerSet = Arc::new(Mutex::new(Vec::new()));
 
@@ -209,11 +239,7 @@ impl SessionBuilder {
         let initial = dial().expect("spawn first server");
         let transport = FaultInjector::new(ReconnectTransport::new(initial, dial), plan);
         let mut runtime = RemoteRuntime::new(transport, clock);
-        runtime
-            .set_pipeline_depth(self.pipeline_depth)
-            .expect("fresh session");
-        runtime.set_deadline(self.deadline);
-        runtime.set_retry_policy(self.retry);
+        self.configure(&mut runtime).expect("fresh session");
         FaultSession {
             runtime,
             servers,
@@ -234,13 +260,9 @@ impl SessionBuilder {
         let clock = virtual_clock();
         let shared: SharedClock = clock.clone();
         let (client_side, server_side) = sim_pair(model, shared.clone());
-        let server = spawn_server(server_side, shared.clone(), self.phantom);
+        let server = spawn_server(server_side, shared.clone(), self.server_config());
         let mut runtime = RemoteRuntime::new(client_side, shared);
-        runtime
-            .set_pipeline_depth(self.pipeline_depth)
-            .expect("fresh session");
-        runtime.set_deadline(self.deadline);
-        runtime.set_retry_policy(self.retry);
+        self.configure(&mut runtime).expect("fresh session");
         SimSession {
             runtime,
             clock,
@@ -250,30 +272,20 @@ impl SessionBuilder {
 }
 
 /// Spawn a server thread driving one session over `transport`.
-fn spawn_server<T: rcuda_transport::Transport + 'static>(
+fn spawn_server<T: Transport + 'static>(
     transport: T,
     clock: SharedClock,
-    phantom: bool,
+    config: ServerConfig,
 ) -> JoinHandle<std::io::Result<SessionReport>> {
-    let device = if phantom {
+    let device = if config.phantom_memory {
         GpuDevice::tesla_c1060()
     } else {
         GpuDevice::tesla_c1060_functional()
-    };
-    let config = ServerConfig {
-        preinitialize_context: true,
-        phantom_memory: phantom,
     };
     std::thread::Builder::new()
         .name("rcuda-session-server".into())
         .spawn(move || serve_connection(transport, &device, clock, &config))
         .expect("spawn session server")
-}
-
-/// Connect to an rCUDA daemon over real TCP.
-#[deprecated(since = "0.2.0", note = "use `Session::builder().tcp(addr)`")]
-pub fn connect_tcp<A: std::net::ToSocketAddrs>(addr: A) -> CudaResult<RemoteRuntime<TcpTransport>> {
-    Session::builder().tcp(addr)
 }
 
 /// A complete in-process remote session over a simulated network: client
@@ -289,9 +301,15 @@ pub struct SimSession {
 }
 
 impl SimSession {
+    /// A point-in-time snapshot of the session's cumulative counters.
+    pub fn metrics(&self) -> SessionMetrics {
+        self.runtime.metrics()
+    }
+
     /// Traffic counters for the client side of the connection.
+    #[deprecated(since = "0.2.0", note = "use `metrics()` for the full snapshot")]
     pub fn transport_stats(&self) -> TransportStats {
-        self.runtime.transport_stats()
+        stats_from_metrics(&self.runtime.metrics())
     }
 
     /// Join the server side and return its session report.
@@ -316,9 +334,15 @@ pub struct ChannelSession {
 }
 
 impl ChannelSession {
+    /// A point-in-time snapshot of the session's cumulative counters.
+    pub fn metrics(&self) -> SessionMetrics {
+        self.runtime.metrics()
+    }
+
     /// Traffic counters for the client side of the connection.
+    #[deprecated(since = "0.2.0", note = "use `metrics()` for the full snapshot")]
     pub fn transport_stats(&self) -> TransportStats {
-        self.runtime.transport_stats()
+        stats_from_metrics(&self.runtime.metrics())
     }
 
     /// Join the server side and return its session report.
@@ -347,9 +371,16 @@ pub struct FaultSession {
 }
 
 impl FaultSession {
+    /// A point-in-time snapshot of the session's cumulative counters,
+    /// summed across reconnects.
+    pub fn metrics(&self) -> SessionMetrics {
+        self.runtime.metrics()
+    }
+
     /// Traffic counters for the client side, summed across reconnects.
+    #[deprecated(since = "0.2.0", note = "use `metrics()` for the full snapshot")]
     pub fn transport_stats(&self) -> TransportStats {
-        self.runtime.transport_stats()
+        stats_from_metrics(&self.runtime.metrics())
     }
 
     /// Sessions currently parked server-side awaiting a reconnect.
@@ -373,30 +404,16 @@ impl FaultSession {
     }
 }
 
-/// Stand up a simulated remote-GPU session over `net`.
-///
-/// With `phantom = true` the server context skips data storage and kernel
-/// execution (paper-scale problems at negligible host cost — timing is
-/// unaffected); with `phantom = false` everything executes functionally and
-/// remote results are bit-identical to local ones.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session::builder().phantom(phantom).simulated(net)`"
-)]
-pub fn simulated_session(net: NetworkId, phantom: bool) -> SimSession {
-    Session::builder().phantom(phantom).simulated(net)
-}
-
-/// [`simulated_session`] over an arbitrary network model.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session::builder().phantom(phantom).simulated_with(model)`"
-)]
-pub fn simulated_session_with(
-    model: Arc<dyn rcuda_netsim::NetworkModel>,
-    phantom: bool,
-) -> SimSession {
-    Session::builder().phantom(phantom).simulated_with(model)
+/// The transport slice of a [`SessionMetrics`] snapshot, for the deprecated
+/// `transport_stats()` shims.
+fn stats_from_metrics(m: &SessionMetrics) -> TransportStats {
+    TransportStats {
+        bytes_sent: m.bytes_sent,
+        bytes_received: m.bytes_received,
+        messages_sent: m.messages_sent,
+        messages_received: m.messages_received,
+        reconnects: m.reconnects,
+    }
 }
 
 #[cfg(test)]
@@ -471,17 +488,50 @@ mod tests {
     }
 
     #[test]
-    fn session_surfaces_transport_stats() {
+    fn session_surfaces_metrics() {
         let mut sess = Session::builder().channel();
         sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+        let m = sess.metrics();
+        assert!(m.bytes_sent > 0, "init was sent");
+        assert!(m.bytes_received > 0, "cc push + ack were received");
+        assert_eq!(m.messages_sent, 1, "one request so far");
+        assert_eq!(m.messages_received, 2, "cc push, then the init ack");
+        assert_eq!(m.reconnects, 0);
+        assert_eq!(m.calls, 1, "initialization is a call");
+        assert_eq!(m.retries, 0);
+
+        // The deprecated shim reports exactly the transport slice.
+        #[allow(deprecated)]
         let stats = sess.transport_stats();
-        assert!(stats.bytes_sent > 0, "init was sent");
-        assert!(stats.bytes_received > 0, "cc push + ack were received");
-        assert_eq!(stats.messages_sent, 1, "one request so far");
-        assert_eq!(stats.messages_received, 2, "cc push, then the init ack");
-        assert_eq!(stats.reconnects, 0);
+        assert_eq!(stats.bytes_sent, m.bytes_sent);
+        assert_eq!(stats.bytes_received, m.bytes_received);
+        assert_eq!(stats.messages_sent, m.messages_sent);
+        assert_eq!(stats.messages_received, m.messages_received);
+        assert_eq!(stats.reconnects, m.reconnects);
+
         sess.runtime.finalize().unwrap();
         sess.finish();
+    }
+
+    #[test]
+    fn observer_records_client_and_server_spans() {
+        let rec = rcuda_obs::Recorder::new();
+        let mut sess = Session::builder().observer(rec.handle()).channel();
+        sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+        let p = sess.runtime.malloc(16).unwrap();
+        sess.runtime.free(p).unwrap();
+        sess.runtime.finalize().unwrap();
+        sess.finish();
+
+        let report = rec.report();
+        assert!(report.spans.iter().any(|s| s.op == "cudaMalloc"));
+        assert!(report.spans.iter().any(|s| s.op == "initialization"));
+        assert!(
+            report.server_spans.iter().any(|s| s.op == "cudaMalloc"),
+            "the in-process server reports into the same sink"
+        );
+        assert!(report.messages.sent_count >= 4, "one message per call");
+        assert_eq!(report.reconnects, 0);
     }
 
     #[test]
@@ -497,13 +547,6 @@ mod tests {
         let reports = sess.finish();
         assert_eq!(reports.len(), 1, "a single connection served everything");
         assert!(reports[0].orderly_shutdown);
-    }
-
-    #[test]
-    fn deprecated_constructors_still_work() {
-        #[allow(deprecated)]
-        let sess = simulated_session(NetworkId::Ib40G, true);
-        assert_eq!(sess.runtime.pipeline_depth(), 0);
     }
 
     #[test]

@@ -144,8 +144,9 @@ fn disconnect_mid_mm_with_retries_is_bit_identical() {
         .expect("MM completes despite the mid-run disconnect")
         .output;
     assert_eq!(out, baseline, "replayed run is bit-identical");
-    let stats = sess.transport_stats();
-    assert_eq!(stats.reconnects, 1, "exactly one reconnect");
+    let m = sess.metrics();
+    assert_eq!(m.reconnects, 1, "exactly one reconnect");
+    assert!(m.retries >= 1, "at least one call replayed");
     let reports = sess.finish();
     assert_eq!(reports.len(), 2, "two connections served the session");
     assert!(reports[0].parked, "first incarnation parked on disconnect");
@@ -252,7 +253,7 @@ fn idempotent_batch_replays_after_disconnect() {
         vec![9u8; 16],
         "both batched writes landed exactly once on the resumed session"
     );
-    assert_eq!(sess.transport_stats().reconnects, 1);
+    assert_eq!(sess.metrics().reconnects, 1);
     sess.runtime.free(p).unwrap();
     sess.runtime.finalize().unwrap();
     let reports = sess.finish();
@@ -281,7 +282,7 @@ fn batch_containing_a_launch_does_not_replay() {
         CudaError::TransportConnectionLost,
         "a batch with a launch is not idempotent: no replay, fault surfaces"
     );
-    assert_eq!(sess.transport_stats().reconnects, 0);
+    assert_eq!(sess.metrics().reconnects, 0);
     sess.finish();
 }
 
@@ -355,7 +356,7 @@ fn tcp_daemon_resumes_a_faulted_session() {
     let p = rt.malloc(64).unwrap(); // index 1
     rt.memcpy_h2d(p, &[5u8; 64]).unwrap(); // index 2: dies, replays
     assert_eq!(rt.memcpy_d2h(p, 64).unwrap(), vec![5u8; 64]);
-    assert_eq!(rt.transport_stats().reconnects, 1);
+    assert_eq!(rt.metrics().reconnects, 1);
     rt.free(p).unwrap();
     rt.finalize().unwrap();
     assert_eq!(
@@ -385,7 +386,7 @@ fn parked_session_recovers_on_next_idempotent_call() {
     // context, and an idempotent call afterwards recovers the session.
     assert!(sess.runtime.session_token().is_some());
     sess.runtime.thread_synchronize().unwrap();
-    assert_eq!(sess.transport_stats().reconnects, 1);
+    assert_eq!(sess.metrics().reconnects, 1);
     sess.runtime.finalize().unwrap();
     let reports = sess.finish();
     assert_eq!(reports.len(), 2);

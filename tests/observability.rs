@@ -1,0 +1,276 @@
+//! End-to-end observability: an observed MM run over the simulated
+//! transport must reproduce Table I's byte accounting call by call, export
+//! a schema-valid (and byte-stable) Chrome trace and summary table, replay
+//! through `model::compare` with zero error on the bulk-transfer phases,
+//! and keep its counters continuous across an injected mid-run fault.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use rcuda::api::run_matmul_bytes;
+use rcuda::core::casestudy::MM_MODULE_BYTES;
+use rcuda::core::{ArgPack, Clock as _, DevicePtr, SharedClock, VirtualClock};
+use rcuda::model::compare_report;
+use rcuda::netsim::NetworkId;
+use rcuda::obs::{chrome_trace, summary_table, validate_chrome_trace, Recorder, Report};
+use rcuda::proto::OpKind;
+use rcuda::session::Session;
+use rcuda::transport::{FaultKind, FaultPlan};
+
+/// Wait until the server thread's startup charges (context preinit, CC
+/// push) have landed on the shared virtual clock, so the client's first
+/// span starts at a deterministic stamp.
+fn quiesce(clock: &Arc<VirtualClock>) {
+    let mut last = clock.now();
+    let mut stable = 0;
+    for _ in 0..500 {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let now = clock.now();
+        if now == last && now.as_nanos() > 0 {
+            stable += 1;
+            if stable >= 3 {
+                return;
+            }
+        } else {
+            stable = 0;
+        }
+        last = now;
+    }
+    panic!("simulated session never became quiescent");
+}
+
+/// Drive the MM case study at `m` over a simulated `net` with a recorder
+/// installed on the whole stack; returns what it saw.
+fn observed_mm(m: u32, net: NetworkId) -> Report {
+    let rec = Recorder::new();
+    let mut sess = Session::builder()
+        .phantom(true)
+        .observer(rec.handle())
+        .simulated(net);
+    rec.attach_clock(sess.clock.clone() as SharedClock);
+    quiesce(&sess.clock);
+    let bytes = vec![0u8; (m * m * 4) as usize];
+    let clock = sess.clock.clone();
+    run_matmul_bytes(&mut sess.runtime, &*clock, m, &bytes, &bytes).unwrap();
+    sess.finish();
+    rec.report()
+}
+
+/// Compare `actual` against the golden file `tests/golden/<name>`;
+/// regenerate with `RCUDA_UPDATE_GOLDEN=1 cargo test`.
+fn golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("RCUDA_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden file {} — regenerate with RCUDA_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from its golden copy — if intentional, regenerate \
+         with RCUDA_UPDATE_GOLDEN=1"
+    );
+}
+
+const M: u32 = 64;
+
+/// The per-call byte counts an observed run reports must equal the Table I
+/// accounting `rcuda-proto` encodes symbolically (`OpKind::totals`),
+/// resolved at this run's payload sizes.
+#[test]
+fn mm_byte_accounting_matches_table1() {
+    let report = observed_mm(M, NetworkId::Ib40G);
+    let rows = report.per_op();
+    let row = |op: &str| {
+        rows.iter()
+            .find(|(k, _)| *k == op)
+            .unwrap_or_else(|| panic!("no '{op}' row in {rows:?}"))
+            .1
+    };
+    let d = 4 * u64::from(M) * u64::from(M);
+
+    // Initialization: module upload (x + 4) out; CC push + error (12) back.
+    let init = row("initialization");
+    let (sent, recv) = OpKind::Initialization.totals().resolve(MM_MODULE_BYTES);
+    assert_eq!(
+        (init.calls, init.bytes_sent, init.bytes_received),
+        (1, sent, recv)
+    );
+
+    // cudaMalloc ×3: 8 out, 8 back, each.
+    let malloc = row("cudaMalloc");
+    let (sent, recv) = OpKind::Malloc.totals().resolve(0);
+    assert_eq!(
+        (malloc.calls, malloc.bytes_sent, malloc.bytes_received),
+        (3, 3 * sent, 3 * recv)
+    );
+
+    // cudaMemcpy to device ×2: x + 20 out, 4 back, each.
+    let h2d = row("cudaMemcpyH2D");
+    let (sent, recv) = OpKind::MemcpyToDevice.totals().resolve(d);
+    assert_eq!(
+        (h2d.calls, h2d.bytes_sent, h2d.bytes_received),
+        (2, 2 * sent, 2 * recv)
+    );
+
+    // cudaLaunch: x + 44 out, 4 back. Our realization's variable payload is
+    // the launch region ("sgemmNN\0" + packed args) plus its 4-byte length
+    // prefix; the 44 fixed bytes match Table I field for field.
+    let launch = row("cudaLaunch");
+    let args = ArgPack::new()
+        .push_ptr(DevicePtr::new(1))
+        .push_ptr(DevicePtr::new(2))
+        .push_ptr(DevicePtr::new(3))
+        .push_u32(M)
+        .push_u32(M)
+        .push_u32(M)
+        .into_bytes();
+    let x = 4 + "sgemmNN\0".len() as u64 + args.len() as u64;
+    let (sent, recv) = OpKind::Launch.totals().resolve(x);
+    assert_eq!(
+        (launch.calls, launch.bytes_sent, launch.bytes_received),
+        (1, sent, recv)
+    );
+
+    // cudaMemcpy to host: 20 out, x + 4 back.
+    let d2h = row("cudaMemcpyD2H");
+    let (sent, recv) = OpKind::MemcpyToHost.totals().resolve(d);
+    assert_eq!(
+        (d2h.calls, d2h.bytes_sent, d2h.bytes_received),
+        (1, sent, recv)
+    );
+
+    // cudaFree ×3: 8 out, 4 back, each.
+    let free = row("cudaFree");
+    let (sent, recv) = OpKind::Free.totals().resolve(0);
+    assert_eq!(
+        (free.calls, free.bytes_sent, free.bytes_received),
+        (3, 3 * sent, 3 * recv)
+    );
+
+    // Synchronization and Quit are bare 4-byte function ids + 4-byte acks
+    // (not broken out in Table I).
+    let sync = row("cudaThreadSynchronize");
+    assert_eq!(
+        (sync.calls, sync.bytes_sent, sync.bytes_received),
+        (1, 4, 4)
+    );
+    let fin = row("finalization");
+    assert_eq!((fin.calls, fin.bytes_sent, fin.bytes_received), (1, 4, 4));
+
+    // Transport-level message accounting agrees with the span view: one
+    // request message per call, one response per call plus the CC push.
+    let calls = report.spans.len() as u64;
+    assert_eq!(calls, 13, "13 remote calls in the MM case study");
+    assert_eq!(report.messages.sent_count, calls);
+    assert_eq!(report.messages.received_count, calls + 1);
+    let (span_sent, span_received) = report.totals();
+    assert_eq!(report.messages.sent_bytes, span_sent);
+    assert_eq!(report.messages.received_bytes, span_received);
+
+    // Every request (Quit included) produced a server-side service span.
+    assert_eq!(report.server_spans.len(), 13);
+}
+
+/// The Chrome trace export of a deterministic sim run is schema-valid and
+/// byte-stable.
+#[test]
+fn chrome_trace_export_matches_golden() {
+    let report = observed_mm(M, NetworkId::Ib40G);
+    let json = chrome_trace(&report);
+    validate_chrome_trace(&json).expect("trace schema");
+    golden("mm_trace.json", &json);
+}
+
+/// The Table-I-style summary of the same run is byte-stable.
+#[test]
+fn summary_table_matches_golden() {
+    let report = observed_mm(M, NetworkId::Ib40G);
+    golden("mm_summary.txt", &summary_table(&report));
+}
+
+/// Replaying the measured trace against the estimation model: the sim
+/// transport charges exactly `app_transfer` per message and the server
+/// spans isolate the GPU share, so every single-message phase replays with
+/// zero error; only initialization (CC push and ack priced as separate
+/// messages) may deviate, and barely.
+#[test]
+fn model_compare_replays_sim_run_exactly() {
+    let net = NetworkId::Ib40G;
+    let report = observed_mm(M, net);
+    let cmp = compare_report(&report, &*net.model());
+
+    for phase in [
+        "allocation",
+        "input transfer",
+        "kernel",
+        "output transfer",
+        "cleanup",
+    ] {
+        let row = cmp.phase(phase).unwrap_or_else(|| panic!("no {phase} row"));
+        assert_eq!(
+            row.measured_network, row.estimated_network,
+            "{phase}: sim-measured network share must replay exactly"
+        );
+        assert_eq!(row.error, 0.0, "{phase}");
+    }
+    assert!(
+        cmp.max_abs_error() < 0.02,
+        "initialization residual too large: {}",
+        cmp.max_abs_error()
+    );
+
+    let rendered = cmp.render();
+    assert!(rendered.contains("input transfer"), "{rendered}");
+    assert!(rendered.contains("+0.00%"), "{rendered}");
+}
+
+/// A mid-run disconnect must not lose observability state: the observer
+/// sees the reconnect and the replay, and its message accounting stays
+/// consistent with the transport's own counters across the re-dial.
+#[test]
+fn observer_counters_survive_a_midrun_fault() {
+    let rec = Recorder::new();
+    // The connection dies under the first H2D copy (message index 4); with
+    // retries the call replays transparently over a resumed session.
+    let mut sess = Session::builder()
+        .deadline(std::time::Duration::from_secs(2))
+        .retries(2)
+        .observer(rec.handle())
+        .channel_faulty(FaultPlan::at(4, FaultKind::Disconnect));
+    let m = 8u32;
+    let bytes = vec![0u8; (m * m * 4) as usize];
+    let clock = rcuda::core::time::wall_clock();
+    run_matmul_bytes(&mut sess.runtime, &*clock, m, &bytes, &bytes)
+        .expect("MM completes despite the mid-run disconnect");
+
+    let metrics = sess.metrics();
+    sess.finish();
+    let report = rec.report();
+
+    assert_eq!(report.reconnects, 1, "observer saw the re-dial");
+    assert!(report.retries >= 1, "observer saw the replayed call");
+    assert_eq!(metrics.reconnects, 1);
+    assert!(metrics.retries >= 1);
+
+    // Counter continuity: the observer's per-message event stream and the
+    // transport's absorbed counters describe the same session across the
+    // re-dial.
+    assert_eq!(report.messages.sent_count, metrics.messages_sent);
+    assert_eq!(report.messages.received_count, metrics.messages_received);
+    assert_eq!(report.messages.sent_bytes, metrics.bytes_sent);
+    assert_eq!(report.messages.received_bytes, metrics.bytes_received);
+
+    // The workload's 13 calls each produced exactly one span — the replayed
+    // one carries its retry count instead of splitting into two spans.
+    assert_eq!(report.spans.len(), 13);
+    assert!(report.spans.iter().any(|s| s.retries >= 1));
+}

@@ -33,14 +33,14 @@ fn pipelined_fft_is_bit_identical_and_halves_the_flushes() {
     let sync_out = run_fft_bytes(&mut per_call.runtime, &*clock, batch, &input)
         .unwrap()
         .output;
-    let sync_flushes = per_call.runtime.transport_stats().messages_sent;
+    let sync_flushes = per_call.runtime.metrics().messages_sent;
     per_call.finish();
 
     let mut pipelined = Session::builder().pipeline(4).simulated(NetworkId::GigaE);
     let pipe_out = run_fft_bytes(&mut pipelined.runtime, &*clock, batch, &input)
         .unwrap()
         .output;
-    let pipe_flushes = pipelined.runtime.transport_stats().messages_sent;
+    let pipe_flushes = pipelined.runtime.metrics().messages_sent;
     let report = pipelined.finish();
 
     assert_eq!(sync_out, local_out, "per-call remote must equal local");
@@ -69,14 +69,14 @@ fn pipelined_matmul_is_bit_identical_with_fewer_flushes() {
     let sync_out = run_matmul_bytes(&mut per_call.runtime, &*clock, m, &a, &b)
         .unwrap()
         .output;
-    let sync_flushes = per_call.runtime.transport_stats().messages_sent;
+    let sync_flushes = per_call.runtime.metrics().messages_sent;
     per_call.finish();
 
     let mut pipelined = Session::builder().pipeline(4).simulated(NetworkId::Ib40G);
     let pipe_out = run_matmul_bytes(&mut pipelined.runtime, &*clock, m, &a, &b)
         .unwrap()
         .output;
-    let pipe_flushes = pipelined.runtime.transport_stats().messages_sent;
+    let pipe_flushes = pipelined.runtime.metrics().messages_sent;
     pipelined.finish();
 
     assert_eq!(sync_out, local_out);
@@ -104,7 +104,7 @@ fn pipelined_fft_over_tcp_equals_local() {
     let sync_out = run_fft_bytes(&mut sync_rt, &*clock, batch, &input)
         .unwrap()
         .output;
-    let sync_flushes = sync_rt.transport_stats().messages_sent;
+    let sync_flushes = sync_rt.metrics().messages_sent;
     drop(sync_rt);
 
     let mut pipe_rt = Session::builder()
@@ -114,7 +114,7 @@ fn pipelined_fft_over_tcp_equals_local() {
     let pipe_out = run_fft_bytes(&mut pipe_rt, &*clock, batch, &input)
         .unwrap()
         .output;
-    let pipe_flushes = pipe_rt.transport_stats().messages_sent;
+    let pipe_flushes = pipe_rt.metrics().messages_sent;
     drop(pipe_rt);
 
     assert_eq!(sync_out, local_out);
@@ -154,7 +154,7 @@ fn pipelined_depth_sweep_is_deterministic() {
         let out = run_fft_bytes(&mut sess.runtime, &*clock, batch, &input)
             .unwrap()
             .output;
-        let flushes = sess.runtime.transport_stats().messages_sent;
+        let flushes = sess.runtime.metrics().messages_sent;
         sess.finish();
         assert_eq!(out, expected, "depth {depth}");
         assert!(
