@@ -39,10 +39,10 @@
 use rcuda_api::{CudaRuntime, CudaRuntimeAsyncExt};
 use rcuda_core::{CudaError, CudaResult, DeviceProperties, DevicePtr, Dim3, SharedClock};
 use rcuda_obs::{CallSpan, ObsHandle, Op, SessionMetrics};
-use rcuda_proto::handshake::read_hello_reply;
+use rcuda_proto::handshake::{read_hello_reply, ServerHello};
 use rcuda_proto::ids::MemcpyKind;
 use rcuda_proto::{Batch, BatchResponse, LaunchConfig, Request, Response, SessionHello};
-use rcuda_transport::{Transport, TransportStats};
+use rcuda_transport::Transport;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -89,6 +89,9 @@ pub struct RemoteRuntime<T: Transport> {
     batched_calls: u64,
     /// Transport-fault replays across all calls.
     retries_total: u64,
+    /// Retry hint from the server's last `Busy` rejection, consumed by the
+    /// initialization retry loop (it backs off at least this long).
+    busy_retry_hint: Option<Duration>,
 }
 
 impl<T: Transport> RemoteRuntime<T> {
@@ -110,6 +113,7 @@ impl<T: Transport> RemoteRuntime<T> {
             calls: 0,
             batched_calls: 0,
             retries_total: 0,
+            busy_retry_hint: None,
         }
     }
 
@@ -159,15 +163,6 @@ impl<T: Transport> RemoteRuntime<T> {
             batched_calls: self.batched_calls,
             retries: self.retries_total,
         }
-    }
-
-    /// Cumulative transport counters (bytes and messages each way).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `metrics()` for the full SessionMetrics snapshot"
-    )]
-    pub fn transport_stats(&self) -> TransportStats {
-        self.transport.stats()
     }
 
     /// Enable (depth ≥ 1) or disable (0) deferred-completion pipelining.
@@ -276,6 +271,12 @@ impl<T: Transport> RemoteRuntime<T> {
         self.transport
             .read_exact(&mut cc)
             .map_err(|e| transport_error(&e))?;
+        if let ServerHello::Busy { retry_after_ms } = ServerHello::from_wire(cc) {
+            // The daemon shed the reconnect at admission; the parked
+            // session is still there for a later attempt.
+            self.busy_retry_hint = Some(Duration::from_millis(retry_after_ms as u64));
+            return Err(CudaError::ServerBusy);
+        }
         SessionHello::Reconnect { session: token }
             .write(&mut self.transport)
             .and_then(|_| self.transport.flush())
@@ -460,7 +461,15 @@ impl<T: Transport> RemoteRuntime<T> {
         self.transport
             .read_exact(&mut cc)
             .map_err(|e| transport_error(&e))?;
-        self.server_cc = Some(DeviceProperties::compute_capability_from_wire(cc));
+        match ServerHello::from_wire(cc) {
+            ServerHello::Busy { retry_after_ms } => {
+                // Load-shed at admission: retryable, honoring the server's
+                // backoff hint (see the `initialize` retry loop).
+                self.busy_retry_hint = Some(Duration::from_millis(retry_after_ms as u64));
+                return Err(CudaError::ServerBusy);
+            }
+            ServerHello::Ready { major, minor } => self.server_cc = Some((major, minor)),
+        }
         let hello = match self.session_token {
             Some(session) => SessionHello::Resumable {
                 session,
@@ -499,16 +508,24 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
                 Ok(counts) => break counts,
                 Err(e) => {
                     // Nothing to resume yet: a failed initialization
-                    // re-dials and redoes the full fresh handshake.
+                    // re-dials and redoes the full fresh handshake. A
+                    // `Busy` rejection is retryable like a transport fault,
+                    // but backs off at least the server's hint.
                     let retryable = matches!(
                         e,
-                        CudaError::TransportTimedOut | CudaError::TransportConnectionLost
+                        CudaError::TransportTimedOut
+                            | CudaError::TransportConnectionLost
+                            | CudaError::ServerBusy
                     );
                     if !(retryable && attempt < self.retry.max_retries) {
                         return Err(e);
                     }
                     self.obs.emit_retry(Op::Named("initialization"), attempt);
-                    std::thread::sleep(self.retry.backoff(attempt));
+                    let mut backoff = self.retry.backoff(attempt);
+                    if let Some(hint) = self.busy_retry_hint.take() {
+                        backoff = backoff.max(hint);
+                    }
+                    std::thread::sleep(backoff);
                     self.transport.reconnect().map_err(|_| e)?;
                     attempt += 1;
                 }

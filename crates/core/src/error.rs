@@ -57,6 +57,10 @@ pub enum CudaError {
     /// The peer sent bytes that violate the wire protocol (bad selector,
     /// mismatched batch response, undecodable field).
     ProtocolViolation,
+    /// The server is over its admission limits and shed this connection at
+    /// the handshake (load shedding, not a fault — retrying after the
+    /// server's hint is expected to succeed).
+    ServerBusy,
 }
 
 impl CudaError {
@@ -81,6 +85,7 @@ impl CudaError {
             CudaError::TransportTimedOut => 10001,
             CudaError::TransportConnectionLost => 10002,
             CudaError::ProtocolViolation => 10003,
+            CudaError::ServerBusy => 10004,
         }
     }
 
@@ -103,6 +108,7 @@ impl CudaError {
             10001 => CudaError::TransportTimedOut,
             10002 => CudaError::TransportConnectionLost,
             10003 => CudaError::ProtocolViolation,
+            10004 => CudaError::ServerBusy,
             _ => CudaError::Unknown,
         })
     }
@@ -125,11 +131,12 @@ impl CudaError {
             CudaError::TransportTimedOut => "rcudaErrorTransportTimedOut",
             CudaError::TransportConnectionLost => "rcudaErrorTransportConnectionLost",
             CudaError::ProtocolViolation => "rcudaErrorProtocolViolation",
+            CudaError::ServerBusy => "rcudaErrorServerBusy",
         }
     }
 
     /// All distinct error variants (useful for exhaustive round-trip tests).
-    pub const ALL: [CudaError; 15] = [
+    pub const ALL: [CudaError; 16] = [
         CudaError::MissingConfiguration,
         CudaError::MemoryAllocation,
         CudaError::InitializationError,
@@ -145,10 +152,12 @@ impl CudaError {
         CudaError::TransportTimedOut,
         CudaError::TransportConnectionLost,
         CudaError::ProtocolViolation,
+        CudaError::ServerBusy,
     ];
 
     /// Whether this error reports a transport/protocol fault rather than a
-    /// CUDA-level failure.
+    /// CUDA-level failure. `ServerBusy` is deliberately *not* a transport
+    /// fault: the connection worked, the server chose to shed it.
     pub const fn is_transport(self) -> bool {
         matches!(
             self,

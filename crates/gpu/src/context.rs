@@ -230,6 +230,18 @@ impl GpuContext {
     pub fn used_bytes(&self) -> u64 {
         self.mem.used_bytes()
     }
+
+    /// Cap this context's live device bytes (rounded allocator accounting);
+    /// over-quota mallocs fail with `cudaErrorMemoryAllocation`. `None`
+    /// removes the cap.
+    pub fn set_mem_quota(&mut self, quota: Option<u64>) {
+        self.mem.set_quota(quota);
+    }
+
+    /// The per-context byte quota, if any.
+    pub fn mem_quota(&self) -> Option<u64> {
+        self.mem.quota()
+    }
 }
 
 #[cfg(test)]

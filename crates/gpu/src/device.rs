@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use crate::context::GpuContext;
 use crate::kernel::{builtin_registry, KernelRegistry};
+use crate::ledger::MemoryLedger;
 use crate::memory::DeviceMemory;
 use crate::timing::{C1060CostModel, CostModel, NullCostModel};
 
@@ -22,6 +23,7 @@ pub struct GpuDevice {
     props: DeviceProperties,
     registry: KernelRegistry,
     cost: Box<dyn CostModel>,
+    ledger: Arc<MemoryLedger>,
 }
 
 impl GpuDevice {
@@ -32,6 +34,7 @@ impl GpuDevice {
             props: DeviceProperties::tesla_c1060(),
             registry: builtin_registry(),
             cost: Box::new(C1060CostModel::new()),
+            ledger: Arc::new(MemoryLedger::new()),
         })
     }
 
@@ -42,6 +45,7 @@ impl GpuDevice {
             props: DeviceProperties::tesla_c1060(),
             registry: builtin_registry(),
             cost: Box::new(NullCostModel),
+            ledger: Arc::new(MemoryLedger::new()),
         })
     }
 
@@ -55,7 +59,14 @@ impl GpuDevice {
             props,
             registry,
             cost,
+            ledger: Arc::new(MemoryLedger::new()),
         })
+    }
+
+    /// Device-wide memory accounting across every context created on this
+    /// device (live bytes, peak). See [`MemoryLedger`].
+    pub fn ledger(&self) -> &Arc<MemoryLedger> {
+        &self.ledger
     }
 
     pub fn properties(&self) -> &DeviceProperties {
@@ -108,7 +119,8 @@ impl GpuDevice {
             DeviceMemory::phantom(CONTEXT_MEM_CAPACITY)
         } else {
             DeviceMemory::new(CONTEXT_MEM_CAPACITY)
-        };
+        }
+        .with_ledger(Arc::clone(&self.ledger));
         GpuContext::new(Arc::clone(self), mem, clock)
     }
 }
@@ -137,6 +149,22 @@ mod tests {
             clock.now().as_secs_f64() > 0.1,
             "cold context pays CUDA init"
         );
+    }
+
+    #[test]
+    fn ledger_spans_contexts_and_survives_leaky_drops() {
+        let d = GpuDevice::tesla_c1060_functional();
+        let clock = rcuda_core::time::wall_clock();
+        let mut a = d.create_context(clock.clone(), true);
+        let mut b = d.create_phantom_context(clock.clone(), true);
+        let pa = a.malloc(1000).unwrap();
+        let _leaked = b.malloc(5000).unwrap();
+        assert_eq!(d.ledger().live_bytes(), a.used_bytes() + b.used_bytes());
+        a.free(pa).unwrap();
+        drop(b); // never freed — Drop reclaims it
+        drop(a);
+        assert_eq!(d.ledger().live_bytes(), 0, "device back at baseline");
+        assert!(d.ledger().peak_bytes() >= 5000);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Device-wide memory accounting shared across contexts.
+//!
+//! The [`crate::alloc::DeviceAllocator`] is per-context, so it cannot answer
+//! the multi-tenant question "how many device bytes are live across *all*
+//! sessions on this GPU right now?". The [`MemoryLedger`] does: every
+//! [`crate::memory::DeviceMemory`] created through a
+//! [`crate::device::GpuDevice`] reports its allocator deltas here, and
+//! releases its remainder on drop — so a session that leaks (crashes,
+//! panics, is evicted from a parked registry) still returns its bytes the
+//! moment its context is dropped. A server can then assert the device is
+//! back at baseline after hostile load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic count of live device bytes across every context on one device.
+///
+/// Counts the allocator's *rounded* bytes (the same quantity as
+/// `DeviceAllocator::used_bytes`), so per-context `used_bytes()` sums equal
+/// the ledger exactly.
+#[derive(Debug, Default)]
+pub struct MemoryLedger {
+    live: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemoryLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `bytes` newly allocated.
+    pub fn add(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let now = self.live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Record `bytes` freed. Saturates at zero rather than underflowing, so
+    /// a double-report bug shows up as a too-low ledger, not a wrap to 2^64.
+    pub fn sub(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let mut cur = self.live.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self
+                .live
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Bytes currently live across all contexts on the device.
+    pub fn live_bytes(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`Self::live_bytes`] since creation.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn add_sub_track_live_and_peak() {
+        let l = MemoryLedger::new();
+        l.add(100);
+        l.add(50);
+        assert_eq!(l.live_bytes(), 150);
+        assert_eq!(l.peak_bytes(), 150);
+        l.sub(120);
+        assert_eq!(l.live_bytes(), 30);
+        assert_eq!(l.peak_bytes(), 150, "peak is sticky");
+    }
+
+    #[test]
+    fn sub_saturates_instead_of_wrapping() {
+        let l = MemoryLedger::new();
+        l.add(10);
+        l.sub(25);
+        assert_eq!(l.live_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_balanced_traffic_returns_to_zero() {
+        let l = Arc::new(MemoryLedger::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        l.add(256);
+                        l.sub(256);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(l.live_bytes(), 0);
+        assert!(l.peak_bytes() >= 256);
+    }
+}

@@ -24,6 +24,7 @@ pub mod alloc;
 pub mod context;
 pub mod device;
 pub mod kernel;
+pub mod ledger;
 pub mod memory;
 pub mod module;
 pub mod stream;
@@ -32,5 +33,6 @@ pub mod timing;
 pub use context::GpuContext;
 pub use device::GpuDevice;
 pub use kernel::{builtin_registry, KernelFn, KernelRegistry};
+pub use ledger::MemoryLedger;
 pub use module::{build_module, parse_module};
 pub use timing::{C1060CostModel, CostModel, NullCostModel};

@@ -8,8 +8,10 @@
 
 use rcuda_core::{CudaError, CudaResult, DevicePtr};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::alloc::DeviceAllocator;
+use crate::ledger::MemoryLedger;
 
 /// Allocator + backing bytes: one application context's device memory.
 ///
@@ -24,6 +26,12 @@ pub struct DeviceMemory {
     /// Backing store per live allocation, keyed by base address.
     buffers: HashMap<u32, Vec<u8>>,
     backed: bool,
+    /// Device-wide accounting: every allocator delta is mirrored here, and
+    /// the remainder is released on drop (see [`MemoryLedger`]).
+    ledger: Option<Arc<MemoryLedger>>,
+    /// Per-context cap on `used_bytes` (rounded allocator bytes). Mallocs
+    /// that would exceed it fail with `cudaErrorMemoryAllocation`.
+    quota: Option<u64>,
 }
 
 impl DeviceMemory {
@@ -32,6 +40,8 @@ impl DeviceMemory {
             alloc: DeviceAllocator::new(capacity),
             buffers: HashMap::new(),
             backed: true,
+            ledger: None,
+            quota: None,
         }
     }
 
@@ -41,7 +51,26 @@ impl DeviceMemory {
             alloc: DeviceAllocator::new(capacity),
             buffers: HashMap::new(),
             backed: false,
+            ledger: None,
+            quota: None,
         }
+    }
+
+    /// Mirror this context's allocator deltas into a device-wide ledger.
+    pub fn with_ledger(mut self, ledger: Arc<MemoryLedger>) -> Self {
+        self.ledger = Some(ledger);
+        self
+    }
+
+    /// Cap this context's live rounded bytes. `None` removes the cap.
+    /// Already-live allocations are unaffected; only new mallocs are checked.
+    pub fn set_quota(&mut self, quota: Option<u64>) {
+        self.quota = quota;
+    }
+
+    /// The current per-context byte quota, if any.
+    pub fn quota(&self) -> Option<u64> {
+        self.quota
     }
 
     /// Whether this memory discards data (see [`DeviceMemory::phantom`]).
@@ -51,7 +80,20 @@ impl DeviceMemory {
 
     /// `cudaMalloc`.
     pub fn malloc(&mut self, size: u32) -> CudaResult<DevicePtr> {
+        let before = self.alloc.used_bytes();
         let ptr = self.alloc.alloc(size)?;
+        let grew = self.alloc.used_bytes() - before;
+        // Quota check *after* the alloc, against the allocator's own rounded
+        // accounting — exact, without duplicating its rounding rules here.
+        if let Some(quota) = self.quota {
+            if self.alloc.used_bytes() > quota {
+                self.alloc.free(ptr).expect("just allocated");
+                return Err(CudaError::MemoryAllocation);
+            }
+        }
+        if let Some(ledger) = &self.ledger {
+            ledger.add(grew);
+        }
         if self.backed {
             let (_, rounded) = self.alloc.containing(ptr)?;
             self.buffers.insert(ptr.addr(), vec![0u8; rounded as usize]);
@@ -61,7 +103,11 @@ impl DeviceMemory {
 
     /// `cudaFree`.
     pub fn free(&mut self, ptr: DevicePtr) -> CudaResult<()> {
+        let before = self.alloc.used_bytes();
         self.alloc.free(ptr)?;
+        if let Some(ledger) = &self.ledger {
+            ledger.sub(before - self.alloc.used_bytes());
+        }
         self.buffers.remove(&ptr.addr());
         Ok(())
     }
@@ -154,6 +200,17 @@ impl DeviceMemory {
 
     pub fn live_count(&self) -> usize {
         self.alloc.live_count()
+    }
+}
+
+impl Drop for DeviceMemory {
+    /// Return whatever this context still holds to the device ledger — the
+    /// reclamation path for sessions that exit without freeing (crash,
+    /// panic, registry eviction).
+    fn drop(&mut self) {
+        if let Some(ledger) = &self.ledger {
+            ledger.sub(self.alloc.used_bytes());
+        }
     }
 }
 
@@ -254,6 +311,52 @@ mod tests {
         assert!(m.buffer_mut(p, 4).is_err());
         m.free(p).unwrap();
         assert_eq!(m.read(p, 1), Err(CudaError::InvalidDevicePointer));
+    }
+
+    #[test]
+    fn quota_rejects_over_cap_malloc_without_leaking() {
+        let mut m = mem();
+        m.set_quota(Some(512));
+        let a = m.malloc(256).unwrap();
+        assert_eq!(m.malloc(512), Err(CudaError::MemoryAllocation));
+        assert_eq!(m.used_bytes(), 256, "failed malloc left nothing behind");
+        // Freeing makes room again.
+        m.free(a).unwrap();
+        let b = m.malloc(512).unwrap();
+        m.free(b).unwrap();
+    }
+
+    #[test]
+    fn quota_checks_rounded_bytes() {
+        let mut m = mem();
+        m.set_quota(Some(256));
+        // 100 rounds to the 256-byte alignment: exactly at quota, allowed.
+        let p = m.malloc(100).unwrap();
+        assert_eq!(m.malloc(1), Err(CudaError::MemoryAllocation));
+        m.free(p).unwrap();
+    }
+
+    #[test]
+    fn ledger_mirrors_alloc_free_and_drop() {
+        let ledger = Arc::new(MemoryLedger::new());
+        let mut m = mem().with_ledger(Arc::clone(&ledger));
+        let a = m.malloc(100).unwrap(); // rounds to 256
+        let _b = m.malloc(1024).unwrap();
+        assert_eq!(ledger.live_bytes(), m.used_bytes());
+        assert_eq!(ledger.live_bytes(), 256 + 1024);
+        m.free(a).unwrap();
+        assert_eq!(ledger.live_bytes(), 1024);
+        drop(m); // leaked `_b` returns via Drop
+        assert_eq!(ledger.live_bytes(), 0);
+    }
+
+    #[test]
+    fn ledger_ignores_failed_and_quota_rejected_mallocs() {
+        let ledger = Arc::new(MemoryLedger::new());
+        let mut m = DeviceMemory::new(1 << 20).with_ledger(Arc::clone(&ledger));
+        m.set_quota(Some(256));
+        m.malloc(4096).unwrap_err();
+        assert_eq!(ledger.live_bytes(), 0);
     }
 
     #[test]

@@ -68,6 +68,24 @@ impl ServerSpan {
     }
 }
 
+/// A daemon lifecycle event: admission decisions, resource reclamation, and
+/// failures that are invisible from any single session's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DaemonEvent {
+    /// A connection was shed at the handshake (over admission limits); the
+    /// client was told to retry after this many milliseconds.
+    SessionRejected { retry_after_ms: u32 },
+    /// `listener.incoming()` yielded an error (no session involved).
+    AcceptError,
+    /// A dispatch panicked; the session was killed, the daemon survived.
+    SessionPanicked,
+    /// A parked session was evicted from the resume registry to make room.
+    SessionEvicted { session: u64 },
+    /// Device bytes returned to the allocator when a session's context was
+    /// released (worker exit, eviction, or drain).
+    BytesReclaimed { bytes: u64 },
+}
+
 /// A sink for observability events. All methods default to no-ops so
 /// observers implement only what they need. Implementations must be
 /// thread-safe: client, transport, and server layers may report from
@@ -78,6 +96,7 @@ pub trait Observer: Send + Sync {
     fn retry(&self, _op: Op, _attempt: u32) {}
     fn reconnect(&self) {}
     fn server_span(&self, _span: &ServerSpan) {}
+    fn daemon_event(&self, _event: &DaemonEvent) {}
 }
 
 /// The nullable observer handle held by instrumented layers.
@@ -142,6 +161,13 @@ impl ObsHandle {
             obs.server_span(span);
         }
     }
+
+    #[inline]
+    pub fn emit_daemon(&self, event: DaemonEvent) {
+        if let Some(obs) = &self.observer {
+            obs.daemon_event(&event);
+        }
+    }
 }
 
 impl From<Arc<dyn Observer>> for ObsHandle {
@@ -172,6 +198,7 @@ mod tests {
         retries: AtomicU64,
         reconnects: AtomicU64,
         server: AtomicU64,
+        daemon: AtomicU64,
     }
 
     impl Observer for Counting {
@@ -189,6 +216,9 @@ mod tests {
         }
         fn server_span(&self, _: &ServerSpan) {
             self.server.fetch_add(1, Ordering::Relaxed);
+        }
+        fn daemon_event(&self, _: &DaemonEvent) {
+            self.daemon.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -218,11 +248,13 @@ mod tests {
             start: SimTime::ZERO,
             end: SimTime::from_nanos(3),
         });
+        handle.emit_daemon(DaemonEvent::SessionRejected { retry_after_ms: 25 });
         assert_eq!(obs.calls.load(Ordering::Relaxed), 1);
         assert_eq!(obs.messages.load(Ordering::Relaxed), 1);
         assert_eq!(obs.retries.load(Ordering::Relaxed), 1);
         assert_eq!(obs.reconnects.load(Ordering::Relaxed), 1);
         assert_eq!(obs.server.load(Ordering::Relaxed), 1);
+        assert_eq!(obs.daemon.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod record;
 pub mod summary;
 
 pub use chrome::{chrome_trace, validate_chrome_trace};
-pub use event::{CallSpan, Dir, MessageEvent, ObsHandle, Observer, ServerSpan};
+pub use event::{CallSpan, DaemonEvent, Dir, MessageEvent, ObsHandle, Observer, ServerSpan};
 pub use hist::{Histogram, BUCKETS};
 pub use metrics::SessionMetrics;
 pub use op::Op;

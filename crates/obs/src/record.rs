@@ -7,7 +7,7 @@
 //! by operation group so call time can be split into network and
 //! GPU-service components.
 
-use crate::event::{CallSpan, Dir, MessageEvent, ObsHandle, Observer, ServerSpan};
+use crate::event::{CallSpan, DaemonEvent, Dir, MessageEvent, ObsHandle, Observer, ServerSpan};
 use crate::hist::Histogram;
 use crate::op::Op;
 use parking_lot::Mutex;
@@ -22,6 +22,7 @@ struct RecState {
     messages: Vec<(Dir, u64, SimTime)>,
     retries: u64,
     reconnects: u64,
+    daemon_events: Vec<DaemonEvent>,
 }
 
 /// An [`Observer`] that records everything for later aggregation.
@@ -86,6 +87,7 @@ impl Recorder {
             messages,
             retries: state.retries,
             reconnects: state.reconnects,
+            daemon_events: state.daemon_events.clone(),
         }
     }
 }
@@ -118,6 +120,10 @@ impl Observer for Recorder {
 
     fn server_span(&self, span: &ServerSpan) {
         self.state.lock().server_spans.push(*span);
+    }
+
+    fn daemon_event(&self, event: &DaemonEvent) {
+        self.state.lock().daemon_events.push(*event);
     }
 }
 
@@ -171,6 +177,8 @@ pub struct Report {
     pub messages: MessageTotals,
     pub retries: u64,
     pub reconnects: u64,
+    /// Daemon lifecycle events (admission, reclamation, panics), in order.
+    pub daemon_events: Vec<DaemonEvent>,
 }
 
 impl Report {
@@ -289,6 +297,8 @@ mod tests {
         h.emit_message(Dir::Received, 4);
         h.emit_retry(Op::Named("cudaFree"), 0);
         h.emit_reconnect();
+        h.emit_daemon(DaemonEvent::BytesReclaimed { bytes: 4096 });
+        h.emit_daemon(DaemonEvent::SessionPanicked);
         let report = rec.report();
         assert_eq!(report.messages.sent_count, 2);
         assert_eq!(report.messages.sent_bytes, 1052);
@@ -296,6 +306,13 @@ mod tests {
         assert_eq!(report.messages.received_bytes, 4);
         assert_eq!(report.retries, 1);
         assert_eq!(report.reconnects, 1);
+        assert_eq!(
+            report.daemon_events,
+            vec![
+                DaemonEvent::BytesReclaimed { bytes: 4096 },
+                DaemonEvent::SessionPanicked,
+            ]
+        );
     }
 
     #[test]

@@ -1,12 +1,12 @@
-//! Session-establishment messages: the first client → server message after
-//! the server's compute-capability push.
+//! Session-establishment messages: the server's 8-byte hello push and the
+//! first client → server message that follows it.
 //!
 //! The paper's protocol identifies the initialization message *positionally*
 //! (no selector — the first word is the module length). The fault-tolerance
 //! extension adds two selector-carrying handshakes that a server can
 //! distinguish from a module length because their values
 //! ([`FunctionId::Hello`], [`FunctionId::Reconnect`]) are impossible module
-//! sizes (≥ 4 GiB − 2):
+//! sizes (≥ 4 GiB − 3):
 //!
 //! * **Hello** — a fresh session that wants to be resumable announces a
 //!   64-bit session token before its module upload. If the connection later
@@ -21,12 +21,78 @@
 //! exactly like the paper's initialization acknowledgement, so the exchange
 //! costs one round trip.
 
+//!
+//! The overload extension reuses the same trick in the *server → client*
+//! direction: the daemon's very first message has always been the fixed
+//! 8-byte compute-capability push, and [`ServerHello`] overlays it. An
+//! admitted connection receives the two capability words unchanged (legacy
+//! clients parse the bytes exactly as before); a shed connection receives
+//! the [`FunctionId::Busy`] selector — an impossible capability major —
+//! followed by a retry hint in milliseconds, then the server closes the
+//! connection. A legacy client still consumes a well-formed 8-byte frame
+//! and then observes a clean EOF instead of a protocol desync.
+
 use std::io::{self, Read, Write};
 
 use rcuda_core::{CudaError, CudaResult};
 
 use crate::ids::FunctionId;
 use crate::wire::{get_bytes, get_u32, get_u64, put_u32, put_u64};
+
+/// The server's first message on every connection: 8 bytes, either the
+/// device's compute capability (the paper's Fig. 2 push, connection
+/// admitted) or a `Busy` load-shed marker with a retry hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerHello {
+    /// Admitted: the device's compute capability `(major, minor)`.
+    Ready { major: u32, minor: u32 },
+    /// Shed: the daemon is over its admission limits; try again after
+    /// `retry_after_ms` milliseconds. The server closes the connection
+    /// right after pushing this frame.
+    Busy { retry_after_ms: u32 },
+}
+
+impl ServerHello {
+    /// Byte count of the frame on the wire (always 8).
+    pub const WIRE_BYTES: usize = 8;
+
+    /// Encode as the 8-byte wire frame (two LE u32 words).
+    pub fn to_wire(self) -> [u8; Self::WIRE_BYTES] {
+        let (a, b) = match self {
+            ServerHello::Ready { major, minor } => (major, minor),
+            ServerHello::Busy { retry_after_ms } => (FunctionId::Busy.as_u32(), retry_after_ms),
+        };
+        let mut buf = [0u8; Self::WIRE_BYTES];
+        buf[..4].copy_from_slice(&a.to_le_bytes());
+        buf[4..].copy_from_slice(&b.to_le_bytes());
+        buf
+    }
+
+    /// Decode the 8-byte wire frame. A first word equal to the `Busy`
+    /// selector — impossible as a compute-capability major — marks a shed
+    /// connection; anything else is the capability push.
+    pub fn from_wire(buf: [u8; Self::WIRE_BYTES]) -> ServerHello {
+        let a = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+        let b = u32::from_le_bytes(buf[4..].try_into().expect("4 bytes"));
+        if a == FunctionId::Busy.as_u32() {
+            ServerHello::Busy { retry_after_ms: b }
+        } else {
+            ServerHello::Ready { major: a, minor: b }
+        }
+    }
+
+    /// Write the frame.
+    pub fn write<W: Write>(self, w: &mut W) -> io::Result<()> {
+        w.write_all(&self.to_wire())
+    }
+
+    /// Read the frame.
+    pub fn read<R: Read>(r: &mut R) -> io::Result<ServerHello> {
+        let mut buf = [0u8; Self::WIRE_BYTES];
+        r.read_exact(&mut buf)?;
+        Ok(ServerHello::from_wire(buf))
+    }
+}
 
 /// Extra bytes a [`SessionHello::Resumable`] handshake sends compared to the
 /// paper's bare module upload: the 4-byte `Hello` selector + 8-byte token.
@@ -175,10 +241,55 @@ mod tests {
 
     #[test]
     fn selectors_cannot_be_module_lengths() {
-        // Hello/Reconnect occupy the top of the u32 range, where a module
-        // length is physically impossible (a 4 GiB module).
-        assert!(FunctionId::Hello.as_u32() > u32::MAX - 2);
-        assert!(FunctionId::Reconnect.as_u32() > u32::MAX - 2);
+        // Hello/Reconnect/Busy occupy the top of the u32 range, where a
+        // module length is physically impossible (a 4 GiB module).
+        assert!(FunctionId::Hello.as_u32() > u32::MAX - 3);
+        assert!(FunctionId::Reconnect.as_u32() > u32::MAX - 3);
+        assert!(FunctionId::Busy.as_u32() > u32::MAX - 3);
+    }
+
+    #[test]
+    fn server_hello_round_trips_both_forms() {
+        for h in [
+            ServerHello::Ready { major: 1, minor: 3 },
+            ServerHello::Ready { major: 9, minor: 0 },
+            ServerHello::Busy {
+                retry_after_ms: 250,
+            },
+            ServerHello::Busy { retry_after_ms: 0 },
+        ] {
+            let mut buf = Vec::new();
+            h.write(&mut buf).unwrap();
+            assert_eq!(buf.len(), ServerHello::WIRE_BYTES);
+            assert_eq!(ServerHello::read(&mut Cursor::new(&buf)).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn server_hello_ready_is_bitwise_the_legacy_cc_push() {
+        // The admitted form must be byte-identical to the raw (major, minor)
+        // LE pair the server has always pushed: legacy clients parse it
+        // positionally without knowing ServerHello exists.
+        let wire = ServerHello::Ready { major: 1, minor: 3 }.to_wire();
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(&1u32.to_le_bytes());
+        legacy.extend_from_slice(&3u32.to_le_bytes());
+        assert_eq!(&wire[..], &legacy[..]);
+    }
+
+    #[test]
+    fn busy_selector_is_an_impossible_capability_major() {
+        // A legacy client decoding a Busy frame positionally sees a
+        // nonsense capability, not a crash; a ServerHello-aware client
+        // distinguishes the forms by the first word alone.
+        let wire = ServerHello::Busy { retry_after_ms: 7 }.to_wire();
+        let first = u32::from_le_bytes(wire[..4].try_into().unwrap());
+        assert_eq!(first, FunctionId::Busy.as_u32());
+        assert!(first > 100, "no real device has this capability major");
+        assert_eq!(
+            ServerHello::from_wire(wire),
+            ServerHello::Busy { retry_after_ms: 7 }
+        );
     }
 
     #[test]

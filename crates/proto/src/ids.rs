@@ -61,6 +61,13 @@ pub enum FunctionId {
     /// loss (extension; see [`crate::handshake`]). Like [`Self::Hello`],
     /// the value cannot be a module length.
     Reconnect = 0xFFFF_FFFF,
+    /// Server → client load-shed marker: the daemon is over its admission
+    /// limits and this connection will not be served (extension; see
+    /// [`crate::handshake::ServerHello`]). The value is an impossible
+    /// compute-capability major, so it is unambiguous in the 8-byte
+    /// server-hello slot, and an impossible module length like the other
+    /// selectors.
+    Busy = 0xFFFF_FFFD,
 }
 
 impl FunctionId {
@@ -85,6 +92,7 @@ impl FunctionId {
             26 => FunctionId::EventDestroy,
             32 => FunctionId::Batch,
             255 => FunctionId::Quit,
+            0xFFFF_FFFD => FunctionId::Busy,
             0xFFFF_FFFE => FunctionId::Hello,
             0xFFFF_FFFF => FunctionId::Reconnect,
             _ => return Err(CudaError::InvalidValue),
@@ -96,7 +104,7 @@ impl FunctionId {
     }
 
     /// All defined ids (for exhaustive round-trip tests).
-    pub const ALL: [FunctionId; 20] = [
+    pub const ALL: [FunctionId; 21] = [
         FunctionId::Malloc,
         FunctionId::Free,
         FunctionId::Memcpy,
@@ -115,6 +123,7 @@ impl FunctionId {
         FunctionId::EventDestroy,
         FunctionId::Batch,
         FunctionId::Quit,
+        FunctionId::Busy,
         FunctionId::Hello,
         FunctionId::Reconnect,
     ];

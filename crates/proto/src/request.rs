@@ -320,6 +320,12 @@ impl Request {
                     "handshake selectors are only valid as the first post-connect message",
                 ))
             }
+            FunctionId::Busy => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "Busy is a server-to-client hello marker, never a request",
+                ))
+            }
             FunctionId::Malloc => Request::Malloc { size: get_u32(r)? },
             FunctionId::Free => Request::Free {
                 ptr: DevicePtr::new(get_u32(r)?),

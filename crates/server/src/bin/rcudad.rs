@@ -3,6 +3,7 @@
 //! ```text
 //! rcudad [--listen ADDR] [--gpus N] [--policy round-robin|least-loaded]
 //!        [--cold-context] [--once N]
+//!        [--max-sessions N] [--max-parked N] [--quota BYTES]
 //! ```
 //!
 //! * `--listen` — bind address (default `127.0.0.1:8308`; use port 0 for an
@@ -12,7 +13,14 @@
 //! * `--cold-context` — do NOT pre-initialize contexts (ablation of the
 //!   warm-daemon behavior, §VI-B).
 //! * `--once N` — exit after serving N sessions (handy for scripts and
-//!   tests; default: run until killed).
+//!   tests; default: run until killed). Exit is a graceful drain: parked
+//!   sessions are reclaimed and the admission/reclamation counters are
+//!   printed.
+//! * `--max-sessions N` — admission cap on live sessions; over-cap
+//!   connections are shed with a `Busy` frame (default: unlimited).
+//! * `--max-parked N` — cap on sessions parked awaiting reconnect
+//!   (default: registry default capacity, no admission check).
+//! * `--quota BYTES` — per-session device-memory quota (default: none).
 
 use rcuda_gpu::GpuDevice;
 use rcuda_server::{GpuPool, PoolPolicy, RcudaDaemon, ServerConfig};
@@ -23,7 +31,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("rcudad: {msg}");
     eprintln!(
         "usage: rcudad [--listen ADDR] [--gpus N] \
-         [--policy round-robin|least-loaded] [--cold-context] [--once N]"
+         [--policy round-robin|least-loaded] [--cold-context] [--once N] \
+         [--max-sessions N] [--max-parked N] [--quota BYTES]"
     );
     std::process::exit(2);
 }
@@ -34,6 +43,9 @@ fn main() {
     let mut policy = PoolPolicy::RoundRobin;
     let mut preinit = true;
     let mut once: Option<u64> = None;
+    let mut max_sessions: Option<usize> = None;
+    let mut max_parked: Option<usize> = None;
+    let mut quota: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,6 +75,30 @@ fn main() {
                         .unwrap_or_else(|| usage("--once needs a count")),
                 );
             }
+            "--max-sessions" => {
+                max_sessions = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage("--max-sessions needs a positive integer")),
+                );
+            }
+            "--max-parked" => {
+                max_parked = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage("--max-parked needs a positive integer")),
+                );
+            }
+            "--quota" => {
+                quota = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage("--quota needs a positive byte count")),
+                );
+            }
             "--help" | "-h" => usage("help"),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -77,6 +113,9 @@ fn main() {
     let config = ServerConfig {
         preinitialize_context: preinit,
         phantom_memory: false,
+        max_sessions,
+        max_parked,
+        session_mem_quota: quota,
         ..Default::default()
     };
     let mut daemon = match RcudaDaemon::bind_pool(&listen, Arc::clone(&pool), config) {
@@ -99,11 +138,17 @@ fn main() {
             if !daemon.wait_for_sessions(n, Duration::from_secs(3600)) {
                 eprintln!("rcudad: timed out waiting for {n} sessions");
             }
+            daemon.drain(Duration::from_secs(5));
+            let h = daemon.health();
             println!(
-                "rcudad: served {} session(s), exiting (--once)",
-                daemon.sessions_served()
+                "rcudad: served {} session(s), exiting (--once): \
+                 {} attempted, {} rejected, {} panics, {} B reclaimed",
+                daemon.sessions_served(),
+                h.attempted,
+                h.rejected,
+                h.panics,
+                h.reclaimed_bytes,
             );
-            daemon.shutdown();
         }
         None => loop {
             std::thread::sleep(Duration::from_secs(3600));

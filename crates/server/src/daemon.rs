@@ -4,20 +4,96 @@
 //! server processes; each gets its own pre-initialized GPU context, so
 //! multiple clients time-multiplex the device concurrently and in isolation
 //! (§III, Fig. 1).
+//!
+//! The multi-tenant hardening layer lives here:
+//!
+//! * **Admission control** — connections over `ServerConfig::max_sessions`
+//!   (or arriving while `max_parked` sessions sit parked) are shed at the
+//!   handshake with an 8-byte `Busy { retry_after_ms }` frame instead of a
+//!   compute capability, then closed. Legacy clients still parse the frame.
+//! * **[`DaemonHealth`]** — a consistent snapshot of admission, panic, and
+//!   reclamation counters. After all workers finish,
+//!   `rejected + served == attempted`.
+//! * **[`RcudaDaemon::drain`]** — graceful shutdown: stop accepting, let
+//!   in-flight sessions finish until the deadline, then hard-stop the
+//!   stragglers by shutting their sockets down, and reclaim every parked
+//!   context so the device ledger returns to baseline.
 
 use parking_lot::Mutex;
 use rcuda_core::time::wall_clock;
 use rcuda_gpu::GpuDevice;
+use rcuda_obs::{DaemonEvent, ObsHandle};
+use rcuda_proto::handshake::ServerHello;
 use rcuda_transport::TcpTransport;
-use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::pool::{GpuPool, PoolPolicy};
 use crate::registry::SessionRegistry;
-use crate::worker::{serve_connection_with_registry, ServerConfig, SessionReport};
+use crate::worker::{release_context, serve_connection_with_registry, ServerConfig, SessionReport};
+
+/// Atomic daemon counters, shared between the accept loop, the workers,
+/// and [`DaemonHealth`] snapshots.
+#[derive(Default)]
+struct Counters {
+    attempted: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    served: AtomicU64,
+    live: AtomicU64,
+    accept_errors: AtomicU64,
+    panics: AtomicU64,
+    reclaimed_bytes: AtomicU64,
+}
+
+/// A point-in-time snapshot of the daemon's admission and resource
+/// accounting. The balance invariant — once every worker has finished
+/// (e.g. after [`RcudaDaemon::drain`]) — is
+/// `rejected + served == attempted`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonHealth {
+    /// Connections the listener accepted (before admission).
+    pub attempted: u64,
+    /// Connections admitted to a worker.
+    pub admitted: u64,
+    /// Connections shed with a `Busy` frame.
+    pub rejected: u64,
+    /// Worker threads that have finished, whatever the outcome.
+    pub served: u64,
+    /// Sessions currently being served.
+    pub live_sessions: u64,
+    /// Sessions currently parked awaiting reconnect.
+    pub parked: usize,
+    /// `listener.incoming()` errors (previously swallowed silently).
+    pub accept_errors: u64,
+    /// Sessions killed by a dispatch panic (the daemon survived each).
+    pub panics: u64,
+    /// Device bytes returned via context release (worker exit, eviction,
+    /// drain).
+    pub reclaimed_bytes: u64,
+}
+
+/// What [`RcudaDaemon::drain`] did with the workers in flight.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Workers that finished on their own within the deadline.
+    pub graceful: usize,
+    /// Workers hard-stopped at the deadline (socket shut down, then
+    /// joined).
+    pub forced: usize,
+}
+
+/// A tracked worker thread: its join handle, a clone of its socket (for
+/// hard-stopping a worker blocked in a read), and its completion flag.
+struct WorkerSlot {
+    handle: JoinHandle<()>,
+    stream: Option<TcpStream>,
+    done: Arc<AtomicBool>,
+}
 
 /// A running rCUDA daemon.
 pub struct RcudaDaemon {
@@ -27,6 +103,9 @@ pub struct RcudaDaemon {
     sessions_served: Arc<AtomicU64>,
     reports: Arc<Mutex<Vec<SessionReport>>>,
     registry: Arc<SessionRegistry>,
+    counters: Arc<Counters>,
+    workers: Arc<Mutex<Vec<WorkerSlot>>>,
+    observer: ObsHandle,
 }
 
 impl RcudaDaemon {
@@ -61,14 +140,23 @@ impl RcudaDaemon {
         let stop = Arc::new(AtomicBool::new(false));
         let sessions_served = Arc::new(AtomicU64::new(0));
         let reports = Arc::new(Mutex::new(Vec::new()));
+        let counters = Arc::new(Counters::default());
+        let workers = Arc::new(Mutex::new(Vec::<WorkerSlot>::new()));
+        let observer = config.observer.clone();
         // One registry shared by every worker, so a session parked by a
-        // dying connection can be resumed by a later one.
-        let registry = Arc::new(SessionRegistry::new());
+        // dying connection can be resumed by a later one. Its capacity is
+        // the parked-admission cap when one is configured.
+        let registry = Arc::new(match config.max_parked {
+            Some(cap) => SessionRegistry::with_capacity(cap),
+            None => SessionRegistry::new(),
+        });
 
         let accept_stop = Arc::clone(&stop);
         let accept_sessions = Arc::clone(&sessions_served);
         let accept_reports = Arc::clone(&reports);
         let accept_registry = Arc::clone(&registry);
+        let accept_counters = Arc::clone(&counters);
+        let accept_workers = Arc::clone(&workers);
         let accept_thread = std::thread::Builder::new()
             .name("rcuda-accept".into())
             .spawn(move || {
@@ -76,20 +164,53 @@ impl RcudaDaemon {
                     if accept_stop.load(Ordering::SeqCst) {
                         break;
                     }
-                    let stream: TcpStream = match stream {
+                    let mut stream: TcpStream = match stream {
                         Ok(s) => s,
-                        Err(_) => continue,
+                        Err(_) => {
+                            accept_counters.accept_errors.fetch_add(1, Ordering::SeqCst);
+                            config.observer.emit_daemon(DaemonEvent::AcceptError);
+                            continue;
+                        }
                     };
+                    accept_counters.attempted.fetch_add(1, Ordering::SeqCst);
+                    // Opportunistically reap finished workers so the slot
+                    // list doesn't grow with daemon lifetime.
+                    reap_finished(&accept_workers);
+
+                    // Admission control: shed the connection with a Busy
+                    // frame instead of the compute-capability push.
+                    let live = accept_counters.live.load(Ordering::SeqCst) as usize;
+                    let over_sessions = config.max_sessions.is_some_and(|cap| live >= cap);
+                    let over_parked = config
+                        .max_parked
+                        .is_some_and(|cap| accept_registry.parked_count() >= cap);
+                    if over_sessions || over_parked {
+                        accept_counters.rejected.fetch_add(1, Ordering::SeqCst);
+                        config.observer.emit_daemon(DaemonEvent::SessionRejected {
+                            retry_after_ms: config.busy_retry_after_ms,
+                        });
+                        let busy = ServerHello::Busy {
+                            retry_after_ms: config.busy_retry_after_ms,
+                        };
+                        let _ = stream.write_all(&busy.to_wire());
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    accept_counters.admitted.fetch_add(1, Ordering::SeqCst);
+                    accept_counters.live.fetch_add(1, Ordering::SeqCst);
+
                     let pool = Arc::clone(&pool);
                     let config = config.clone();
                     let sessions = Arc::clone(&accept_sessions);
                     let reports = Arc::clone(&accept_reports);
                     let registry = Arc::clone(&accept_registry);
-                    // Workers are detached: a session blocked on a quiet
-                    // client must not hold up daemon shutdown (it ends when
-                    // its client leaves, like the original's per-execution
-                    // server processes).
-                    std::thread::Builder::new()
+                    let counters = Arc::clone(&accept_counters);
+                    let done = Arc::new(AtomicBool::new(false));
+                    let worker_done = Arc::clone(&done);
+                    // A socket clone lets `drain` hard-stop a worker that
+                    // is blocked reading a quiet client.
+                    let stream_clone = stream.try_clone().ok();
+                    let handle = std::thread::Builder::new()
                         .name("rcuda-worker".into())
                         .spawn(move || {
                             let served = {
@@ -108,11 +229,25 @@ impl RcudaDaemon {
                                 // before the session is counted below.
                             };
                             if let Some(report) = served {
+                                if report.panicked {
+                                    counters.panics.fetch_add(1, Ordering::SeqCst);
+                                }
+                                counters
+                                    .reclaimed_bytes
+                                    .fetch_add(report.reclaimed_bytes, Ordering::SeqCst);
                                 reports.lock().push(report);
                                 sessions.fetch_add(1, Ordering::SeqCst);
                             }
+                            counters.live.fetch_sub(1, Ordering::SeqCst);
+                            counters.served.fetch_add(1, Ordering::SeqCst);
+                            worker_done.store(true, Ordering::SeqCst);
                         })
                         .expect("spawn worker");
+                    accept_workers.lock().push(WorkerSlot {
+                        handle,
+                        stream: stream_clone,
+                        done,
+                    });
                 }
             })
             .expect("spawn accept loop");
@@ -124,6 +259,9 @@ impl RcudaDaemon {
             sessions_served,
             reports,
             registry,
+            counters,
+            workers,
+            observer,
         })
     }
 
@@ -137,7 +275,8 @@ impl RcudaDaemon {
         self.registry.parked_count()
     }
 
-    /// Completed sessions so far.
+    /// Completed sessions so far (sessions whose worker produced a report;
+    /// see [`DaemonHealth::served`] for all finished workers).
     pub fn sessions_served(&self) -> u64 {
         self.sessions_served.load(Ordering::SeqCst)
     }
@@ -147,33 +286,118 @@ impl RcudaDaemon {
         self.reports.lock().clone()
     }
 
+    /// A snapshot of the daemon's admission and resource counters.
+    pub fn health(&self) -> DaemonHealth {
+        let c = &self.counters;
+        DaemonHealth {
+            attempted: c.attempted.load(Ordering::SeqCst),
+            admitted: c.admitted.load(Ordering::SeqCst),
+            rejected: c.rejected.load(Ordering::SeqCst),
+            served: c.served.load(Ordering::SeqCst),
+            live_sessions: c.live.load(Ordering::SeqCst),
+            parked: self.registry.parked_count(),
+            accept_errors: c.accept_errors.load(Ordering::SeqCst),
+            panics: c.panics.load(Ordering::SeqCst),
+            reclaimed_bytes: c.reclaimed_bytes.load(Ordering::SeqCst),
+        }
+    }
+
     /// Wait until at least `n` sessions have completed (their reports are
     /// recorded and their pool seats released), or the timeout expires.
     /// Returns whether the count was reached. Tests use this to close the
     /// tiny window between a client's Quit acknowledgement and the worker
     /// thread finishing its bookkeeping.
-    pub fn wait_for_sessions(&self, n: u64, timeout: std::time::Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
+    pub fn wait_for_sessions(&self, n: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
         while self.sessions_served() < n {
-            if std::time::Instant::now() >= deadline {
+            if Instant::now() >= deadline {
                 return false;
             }
             std::thread::yield_now();
-            std::thread::sleep(std::time::Duration::from_millis(1));
+            std::thread::sleep(Duration::from_millis(1));
         }
         true
     }
 
-    /// Stop accepting and join the accept loop. Worker threads are
-    /// detached: an active session keeps running until its client leaves
-    /// (like the original middleware's per-execution server processes).
+    /// Graceful shutdown: stop accepting, give in-flight sessions until
+    /// `deadline` to finish, then hard-stop stragglers by shutting their
+    /// sockets down (which turns their blocking reads into disconnects)
+    /// and joining every worker. Parked sessions are then reclaimed —
+    /// nobody is coming back for them — so the device ledger returns to
+    /// baseline for everything the daemon held.
+    pub fn drain(&mut self, deadline: Duration) -> DrainReport {
+        self.stop_accepting();
+
+        let end = Instant::now() + deadline;
+        loop {
+            let all_done = self
+                .workers
+                .lock()
+                .iter()
+                .all(|w| w.done.load(Ordering::SeqCst));
+            if all_done || Instant::now() >= end {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        let slots: Vec<WorkerSlot> = self.workers.lock().drain(..).collect();
+        let mut report = DrainReport::default();
+        for slot in slots {
+            if slot.done.load(Ordering::SeqCst) {
+                report.graceful += 1;
+            } else {
+                report.forced += 1;
+                if let Some(stream) = &slot.stream {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+            let _ = slot.handle.join();
+        }
+
+        for (_, ctx) in self.registry.drain_parked() {
+            let bytes = release_context(ctx, &self.observer);
+            self.counters
+                .reclaimed_bytes
+                .fetch_add(bytes, Ordering::SeqCst);
+        }
+        report
+    }
+
+    /// Stop accepting and join the accept loop. Worker threads keep
+    /// running until their clients leave (like the original middleware's
+    /// per-execution server processes) — use [`Self::drain`] to bound
+    /// that.
     pub fn shutdown(&mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept() with a dummy connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
+    }
+}
+
+/// Join and drop every finished worker slot (non-blocking for the rest).
+fn reap_finished(workers: &Mutex<Vec<WorkerSlot>>) {
+    let mut finished = Vec::new();
+    {
+        let mut slots = workers.lock();
+        let mut i = 0;
+        while i < slots.len() {
+            if slots[i].done.load(Ordering::SeqCst) {
+                finished.push(slots.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+    }
+    for slot in finished {
+        let _ = slot.handle.join();
     }
 }
 
@@ -198,7 +422,6 @@ mod tests {
 
     #[test]
     fn daemon_survives_garbage_connection() {
-        use std::io::Write;
         let device = GpuDevice::tesla_c1060_functional();
         let mut daemon = RcudaDaemon::bind("127.0.0.1:0", device).unwrap();
         {
@@ -209,5 +432,76 @@ mod tests {
         // The daemon still accepts a fresh (also short-lived) connection.
         let _ = TcpStream::connect(daemon.local_addr()).unwrap();
         daemon.shutdown();
+    }
+
+    #[test]
+    fn over_cap_connection_gets_busy_frame() {
+        use std::io::Read;
+
+        let device = GpuDevice::tesla_c1060_functional();
+        let config = ServerConfig {
+            max_sessions: Some(1),
+            busy_retry_after_ms: 7,
+            ..Default::default()
+        };
+        let mut daemon = RcudaDaemon::bind_with_config("127.0.0.1:0", device, config).unwrap();
+
+        // First connection occupies the only slot (handshake not finished,
+        // so the worker stays live).
+        let mut first = TcpStream::connect(daemon.local_addr()).unwrap();
+        let mut hello = [0u8; 8];
+        first.read_exact(&mut hello).unwrap();
+        assert!(matches!(
+            ServerHello::from_wire(hello),
+            ServerHello::Ready { .. }
+        ));
+
+        // Second connection is shed with a Busy frame, then EOF.
+        let mut second = TcpStream::connect(daemon.local_addr()).unwrap();
+        let mut wait = 0;
+        loop {
+            match second.read_exact(&mut hello) {
+                Ok(()) => break,
+                Err(_) if wait < 100 => {
+                    wait += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                    second = TcpStream::connect(daemon.local_addr()).unwrap();
+                }
+                Err(e) => panic!("never heard from daemon: {e}"),
+            }
+        }
+        assert_eq!(
+            ServerHello::from_wire(hello),
+            ServerHello::Busy { retry_after_ms: 7 }
+        );
+        let health = daemon.health();
+        assert!(health.rejected >= 1);
+        assert_eq!(health.admitted, 1);
+        drop(first);
+        daemon.drain(Duration::from_secs(5));
+        let health = daemon.health();
+        assert_eq!(health.rejected + health.served, health.attempted);
+    }
+
+    #[test]
+    fn drain_hard_stops_a_blocked_worker() {
+        use std::io::Read;
+
+        let device = GpuDevice::tesla_c1060_functional();
+        let mut daemon = RcudaDaemon::bind("127.0.0.1:0", device).unwrap();
+        // A client that completes the hello and then goes silent: its
+        // worker blocks in Frame::read forever.
+        let mut quiet = TcpStream::connect(daemon.local_addr()).unwrap();
+        let mut hello = [0u8; 8];
+        quiet.read_exact(&mut hello).unwrap();
+
+        let start = Instant::now();
+        let report = daemon.drain(Duration::from_millis(100));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "drain must not hang on a quiet client"
+        );
+        assert_eq!(report.forced, 1);
+        assert_eq!(daemon.health().live_sessions, 0, "worker joined");
     }
 }

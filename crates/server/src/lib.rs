@@ -19,7 +19,9 @@ pub mod pool;
 pub mod registry;
 pub mod worker;
 
-pub use daemon::RcudaDaemon;
+pub use daemon::{DaemonHealth, DrainReport, RcudaDaemon};
 pub use pool::{GpuPool, PoolPolicy};
 pub use registry::SessionRegistry;
-pub use worker::{serve_connection, serve_connection_with_registry, ServerConfig, SessionReport};
+pub use worker::{
+    serve_connection, serve_connection_with_registry, ChaosHook, ServerConfig, SessionReport,
+};

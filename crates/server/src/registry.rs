@@ -67,8 +67,15 @@ impl SessionRegistry {
     /// Park a session's context for later resume. Replaces any context
     /// already parked under the same token; evicts the oldest parked
     /// session when full.
-    pub fn park(&self, session: u64, ctx: GpuContext) {
+    ///
+    /// Returns the evicted `(token, context)` so the caller can release it
+    /// through the same reclamation path as a worker exit — dropping it
+    /// silently here would leak the evicted session's device allocations
+    /// from every observer's point of view.
+    #[must_use = "an evicted session's context must be reclaimed, not dropped silently"]
+    pub fn park(&self, session: u64, ctx: GpuContext) -> Option<(u64, GpuContext)> {
         let mut inner = self.inner.lock().expect("registry lock");
+        let mut evicted = None;
         if inner.parked.len() >= self.capacity && !inner.parked.contains_key(&session) {
             if let Some(oldest) = inner
                 .parked
@@ -76,7 +83,7 @@ impl SessionRegistry {
                 .min_by_key(|(_, p)| p.parked_at)
                 .map(|(k, _)| *k)
             {
-                inner.parked.remove(&oldest);
+                evicted = inner.parked.remove(&oldest).map(|p| (oldest, p.ctx));
             }
         }
         let seq = inner.seq;
@@ -89,6 +96,7 @@ impl SessionRegistry {
             },
         );
         self.arrived.notify_all();
+        evicted
     }
 
     /// Take a parked context out, if present.
@@ -130,6 +138,13 @@ impl SessionRegistry {
     pub fn parked_count(&self) -> usize {
         self.inner.lock().expect("registry lock").parked.len()
     }
+
+    /// Empty the registry, returning every parked `(token, context)` for
+    /// reclamation (daemon drain: nobody is coming back for them).
+    pub fn drain_parked(&self) -> Vec<(u64, GpuContext)> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.parked.drain().map(|(k, p)| (k, p.ctx)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -146,7 +161,7 @@ mod tests {
     #[test]
     fn park_then_take_round_trips() {
         let reg = SessionRegistry::new();
-        reg.park(7, ctx());
+        assert!(reg.park(7, ctx()).is_none());
         assert_eq!(reg.parked_count(), 1);
         assert!(reg.take(7).is_some());
         assert!(reg.take(7).is_none(), "taking is consuming");
@@ -159,7 +174,7 @@ mod tests {
         let reg2 = Arc::clone(&reg);
         let parker = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(30));
-            reg2.park(42, ctx());
+            let _ = reg2.park(42, ctx());
         });
         // The taker arrives first; the timed wait bridges the gap.
         let got = reg.take_deadline(42, Duration::from_secs(2));
@@ -177,11 +192,12 @@ mod tests {
     }
 
     #[test]
-    fn capacity_evicts_oldest() {
+    fn capacity_evicts_oldest_and_hands_it_back() {
         let reg = SessionRegistry::with_capacity(2);
-        reg.park(1, ctx());
-        reg.park(2, ctx());
-        reg.park(3, ctx()); // evicts 1
+        assert!(reg.park(1, ctx()).is_none());
+        assert!(reg.park(2, ctx()).is_none());
+        let evicted = reg.park(3, ctx());
+        assert_eq!(evicted.as_ref().map(|(t, _)| *t), Some(1), "oldest out");
         assert_eq!(reg.parked_count(), 2);
         assert!(reg.take(1).is_none(), "oldest was evicted");
         assert!(reg.take(2).is_some());
@@ -191,10 +207,21 @@ mod tests {
     #[test]
     fn reparking_same_token_replaces_not_evicts() {
         let reg = SessionRegistry::with_capacity(2);
-        reg.park(1, ctx());
-        reg.park(2, ctx());
-        reg.park(2, ctx()); // replacement, not a third session
+        let _ = reg.park(1, ctx());
+        let _ = reg.park(2, ctx());
+        assert!(reg.park(2, ctx()).is_none(), "replacement, not eviction");
         assert_eq!(reg.parked_count(), 2);
         assert!(reg.take(1).is_some(), "1 must not have been evicted");
+    }
+
+    #[test]
+    fn drain_parked_empties_the_registry() {
+        let reg = SessionRegistry::new();
+        let _ = reg.park(1, ctx());
+        let _ = reg.park(2, ctx());
+        let mut drained: Vec<u64> = reg.drain_parked().into_iter().map(|(t, _)| t).collect();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![1, 2]);
+        assert_eq!(reg.parked_count(), 0);
     }
 }

@@ -10,11 +10,14 @@
 
 use rcuda_core::{CudaError, SharedClock, SimTime};
 use rcuda_gpu::{GpuContext, GpuDevice};
-use rcuda_obs::{ObsHandle, Op, ServerSpan};
+use rcuda_obs::{DaemonEvent, ObsHandle, Op, ServerSpan};
 use rcuda_proto::handshake::write_hello_reply;
+use rcuda_proto::ids::MemcpyKind;
 use rcuda_proto::{Batch, BatchResponse, Frame, Request, Response, SessionHello};
 use rcuda_transport::Transport;
+use std::fmt;
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -26,6 +29,51 @@ use crate::registry::SessionRegistry;
 /// the new connection being accepted and the old worker observing EOF.
 const RESUME_WAIT: Duration = Duration::from_secs(1);
 
+/// A test-only dispatch hook, fired with every post-handshake request just
+/// before it is dispatched (inside the worker's panic guard). The chaos
+/// soak harness arms it to make chosen sessions panic mid-request;
+/// production configs leave it disarmed, where firing is a `None` check.
+#[derive(Clone, Default)]
+pub struct ChaosHook(Option<ChaosFn>);
+
+/// The armed form of a [`ChaosHook`].
+type ChaosFn = Arc<dyn Fn(&Request) + Send + Sync>;
+
+impl ChaosHook {
+    /// The disarmed hook (never fires).
+    pub const fn none() -> Self {
+        ChaosHook(None)
+    }
+
+    /// Arm the hook. `f` runs on the worker thread holding the session's
+    /// context; if it panics, the worker kills that one session (mapped to
+    /// `cudaErrorLaunchFailure` on the wire) and the daemon survives.
+    pub fn new(f: impl Fn(&Request) + Send + Sync + 'static) -> Self {
+        ChaosHook(Some(Arc::new(f)))
+    }
+
+    pub fn is_armed(&self) -> bool {
+        self.0.is_some()
+    }
+
+    #[inline]
+    fn fire(&self, req: &Request) {
+        if let Some(f) = &self.0 {
+            f(req);
+        }
+    }
+}
+
+impl fmt::Debug for ChaosHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.is_armed() {
+            "ChaosHook(armed)"
+        } else {
+            "ChaosHook(none)"
+        })
+    }
+}
+
 /// Worker configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -35,9 +83,29 @@ pub struct ServerConfig {
     /// Use phantom device memory (timing-only sessions at paper scale).
     pub phantom_memory: bool,
     /// Server-side observer: every dispatched request reports a
-    /// [`ServerSpan`] (service time + in-frame queue wait). Disarmed by
-    /// default — the request loop then takes no timestamps at all.
+    /// [`ServerSpan`] (service time + in-frame queue wait), and the daemon
+    /// reports admission/reclamation [`DaemonEvent`]s. Disarmed by default
+    /// — the request loop then takes no timestamps at all.
     pub observer: ObsHandle,
+    /// Admission cap on concurrently live sessions: connections beyond it
+    /// are shed at the handshake with a `Busy` frame. `None` = unlimited
+    /// (the pre-hardening behavior).
+    pub max_sessions: Option<usize>,
+    /// Admission cap on parked-registry occupancy, doubling as the
+    /// registry's capacity. Connections arriving while this many sessions
+    /// sit parked are shed — a load-shedding heuristic that keeps an
+    /// unbounded stream of crash-and-park clients from churning the
+    /// registry. `None` = registry default capacity, no admission check.
+    pub max_parked: Option<usize>,
+    /// Per-session cap on live device bytes (rounded allocator
+    /// accounting). Over-quota mallocs fail with
+    /// `cudaErrorMemoryAllocation`; the session keeps running. `None` =
+    /// uncapped.
+    pub session_mem_quota: Option<u64>,
+    /// The retry hint carried in `Busy` rejection frames, in milliseconds.
+    pub busy_retry_after_ms: u32,
+    /// Test-only per-request hook (see [`ChaosHook`]). Disarmed by default.
+    pub chaos: ChaosHook,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +114,11 @@ impl Default for ServerConfig {
             preinitialize_context: true,
             phantom_memory: false,
             observer: ObsHandle::none(),
+            max_sessions: None,
+            max_parked: None,
+            session_mem_quota: None,
+            busy_retry_after_ms: 25,
+            chaos: ChaosHook::none(),
         }
     }
 }
@@ -65,6 +138,12 @@ pub struct SessionReport {
     /// The session's context was parked for resume when the connection
     /// dropped (its live allocations are preserved, not leaked).
     pub parked: bool,
+    /// A dispatch panicked: the session was killed (never parked) and its
+    /// resources reclaimed; the client saw `cudaErrorLaunchFailure`.
+    pub panicked: bool,
+    /// Device bytes returned to the device ledger when this worker released
+    /// contexts (its own at exit, plus any session it evicted by parking).
+    pub reclaimed_bytes: u64,
 }
 
 /// Serve one connection to completion.
@@ -158,20 +237,32 @@ pub fn serve_connection_with_registry<T: Transport>(
         }
     };
 
+    // Multi-tenant limits apply to resumed sessions too: the quota follows
+    // the config serving the connection, not the context's history.
+    ctx.set_mem_quota(config.session_mem_quota);
+
     // Phase 2: read until the client quits or vanishes (a read error is a
     // client disconnect, not a server fault). Both framings are accepted:
     // the paper's one-call-per-message protocol and the batched extension.
+    // Dispatch runs inside a panic guard: a panicking request (a dispatch
+    // bug, or the chaos hook) kills this one session — answered with a
+    // correctly-shaped `cudaErrorLaunchFailure` so the client never
+    // desyncs — and the daemon lives on.
     while let Ok(frame) = Frame::read(&mut transport) {
         match frame {
             Frame::Single(req) => {
                 report.requests += 1;
-                match dispatch_observed(&mut ctx, &req, &clk, &obs) {
-                    Some(resp) => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    config.chaos.fire(&req);
+                    dispatch_observed(&mut ctx, &req, &clk, &obs)
+                }));
+                match outcome {
+                    Ok(Some(resp)) => {
                         if resp.write(&mut transport).is_err() || transport.flush().is_err() {
                             break;
                         }
                     }
-                    None => {
+                    Ok(None) => {
                         // Finalization stage: acknowledge the Quit, then
                         // release everything ("the daemon server quits
                         // servicing the current execution and releases the
@@ -181,14 +272,36 @@ pub fn serve_connection_with_registry<T: Transport>(
                         report.orderly_shutdown = true;
                         break;
                     }
+                    Err(_) => {
+                        let _ = panic_response(&req).write(&mut transport);
+                        let _ = transport.flush();
+                        obs.emit_daemon(DaemonEvent::SessionPanicked);
+                        report.panicked = true;
+                        break;
+                    }
                 }
             }
             Frame::Batch(batch) => {
                 report.requests += batch.len() as u64;
-                let (resp, quit) = if obs.is_enabled() {
-                    dispatch_batch_observed(&mut ctx, &batch, &clk, &obs)
-                } else {
-                    dispatch_batch(&mut ctx, &batch)
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if obs.is_enabled() || config.chaos.is_armed() {
+                        dispatch_batch_observed(&mut ctx, &batch, &clk, &obs, &config.chaos)
+                    } else {
+                        dispatch_batch(&mut ctx, &batch)
+                    }
+                }));
+                let (resp, quit) = match outcome {
+                    Ok(pair) => pair,
+                    Err(_) => {
+                        // Answer every element so the frame stays shaped,
+                        // then kill the session.
+                        let responses = batch.requests().iter().map(panic_response).collect();
+                        let _ = BatchResponse { responses }.write(&mut transport);
+                        let _ = transport.flush();
+                        obs.emit_daemon(DaemonEvent::SessionPanicked);
+                        report.panicked = true;
+                        break;
+                    }
                 };
                 if resp.write(&mut transport).is_err() || transport.flush().is_err() {
                     break;
@@ -202,15 +315,60 @@ pub fn serve_connection_with_registry<T: Transport>(
     }
 
     match session_token {
-        Some(session) if !report.orderly_shutdown => {
+        Some(session) if !report.orderly_shutdown && !report.panicked => {
             // Unorderly end of a resumable session: keep the context alive
-            // for the client's reconnect instead of releasing it.
-            registry.park(session, ctx);
+            // for the client's reconnect instead of releasing it. A session
+            // evicted to make room is reclaimed here, through the same path
+            // as a worker exit.
+            if let Some((evicted, evicted_ctx)) = registry.park(session, ctx) {
+                obs.emit_daemon(DaemonEvent::SessionEvicted { session: evicted });
+                report.reclaimed_bytes += release_context(evicted_ctx, &obs);
+            }
             report.parked = true;
         }
-        _ => report.leaked_allocations = ctx.live_allocations(),
+        _ => {
+            report.leaked_allocations = ctx.live_allocations();
+            report.reclaimed_bytes += release_context(ctx, &obs);
+        }
     }
     Ok(report)
+}
+
+/// Release a session's context, returning the device bytes it gave back.
+/// Dropping the context returns its allocations to the device ledger; the
+/// observer hears about any nonzero reclamation. Worker exit, registry
+/// eviction, and daemon drain all release through here.
+pub(crate) fn release_context(ctx: GpuContext, obs: &ObsHandle) -> u64 {
+    let bytes = ctx.used_bytes();
+    drop(ctx);
+    if bytes > 0 {
+        obs.emit_daemon(DaemonEvent::BytesReclaimed { bytes });
+    }
+    bytes
+}
+
+/// The correctly-shaped error answer for a request whose dispatch
+/// panicked: every `Err` response serializes as the bare 4-byte code, so
+/// matching the request's response *kind* keeps the client's decoder in
+/// sync while it learns the session is dead.
+fn panic_response(req: &Request) -> Response {
+    let err = CudaError::LaunchFailure;
+    match req {
+        Request::Malloc { .. } => Response::Malloc(Err(err)),
+        Request::Memcpy {
+            kind: MemcpyKind::DeviceToHost,
+            ..
+        }
+        | Request::MemcpyAsync {
+            kind: MemcpyKind::DeviceToHost,
+            ..
+        } => Response::MemcpyToHost(Err(err)),
+        Request::DeviceProps => Response::DeviceProps(Err(err)),
+        Request::StreamCreate => Response::StreamCreate(Err(err)),
+        Request::EventCreate => Response::EventCreate(Err(err)),
+        Request::EventElapsed { .. } => Response::EventElapsed(Err(err)),
+        _ => Response::Ack(Err(err)),
+    }
 }
 
 /// Dispatch one request, reporting its service time as a [`ServerSpan`].
@@ -239,11 +397,13 @@ fn dispatch_observed(
 /// [`crate::dispatch::dispatch_batch`] with per-element [`ServerSpan`]s:
 /// each element's queue wait is the time it spent behind earlier elements
 /// of the same frame (measured from frame arrival to dispatch start).
+/// Also the batch path for an armed [`ChaosHook`] (fired per element).
 fn dispatch_batch_observed(
     ctx: &mut GpuContext,
     batch: &Batch,
     clk: &SharedClock,
     obs: &ObsHandle,
+    chaos: &ChaosHook,
 ) -> (BatchResponse, bool) {
     let frame_at = clk.now();
     let mut responses = Vec::with_capacity(batch.len());
@@ -255,6 +415,7 @@ fn dispatch_batch_observed(
             responses.push(Response::Ack(Err(CudaError::InvalidValue)));
             continue;
         }
+        chaos.fire(req);
         let start = clk.now();
         let resp = dispatch(ctx, req);
         obs.emit_server(&ServerSpan {
@@ -671,6 +832,120 @@ mod tests {
         });
         assert!(report.orderly_shutdown && !report.parked);
         assert_eq!(registry.parked_count(), 0);
+    }
+
+    /// A dispatch panic (chaos hook) kills the session with a shaped
+    /// `LaunchFailure` answer — never a hang or a protocol desync — and is
+    /// never parked, even for resumable sessions.
+    #[test]
+    fn panicking_dispatch_answers_launch_failure_and_never_parks() {
+        use rcuda_proto::handshake::read_hello_reply;
+
+        let registry = SessionRegistry::new();
+        let (mut client, server_side) = channel_pair();
+        let device = GpuDevice::tesla_c1060_functional();
+        let cfg = ServerConfig {
+            chaos: ChaosHook::new(|req| {
+                if matches!(req, Request::ThreadSynchronize) {
+                    panic!("chaos: injected dispatch panic");
+                }
+            }),
+            ..Default::default()
+        };
+        let report = thread::scope(|s| {
+            let h = s.spawn(|| {
+                serve_connection_with_registry(server_side, &device, wall_clock(), &cfg, &registry)
+                    .unwrap()
+            });
+            let mut cc = [0u8; 8];
+            client.read_exact(&mut cc).unwrap();
+            SessionHello::Resumable {
+                session: 0xC4A0_5001,
+                module: build_module(&[], 0),
+            }
+            .write(&mut client)
+            .unwrap();
+            client.flush().unwrap();
+            read_hello_reply(&mut client).unwrap().unwrap();
+
+            // A benign request first: the hook only fires on Synchronize.
+            let malloc = Request::Malloc { size: 64 };
+            malloc.write(&mut client).unwrap();
+            client.flush().unwrap();
+            Response::read(&mut client, &malloc)
+                .unwrap()
+                .into_malloc()
+                .unwrap();
+
+            // The poisoned request: shaped error back, then EOF.
+            Request::ThreadSynchronize.write(&mut client).unwrap();
+            client.flush().unwrap();
+            let resp = Response::read(&mut client, &Request::ThreadSynchronize).unwrap();
+            assert_eq!(resp, Response::Ack(Err(CudaError::LaunchFailure)));
+            h.join().unwrap()
+        });
+        assert!(report.panicked);
+        assert!(!report.parked, "a panicked session is never parked");
+        assert_eq!(registry.parked_count(), 0);
+        assert!(report.reclaimed_bytes > 0, "the leaked malloc came back");
+    }
+
+    /// The per-session quota maps to `cudaErrorMemoryAllocation` at malloc
+    /// dispatch; freeing makes room again and the session keeps working.
+    #[test]
+    fn session_quota_enforced_at_malloc_dispatch() {
+        let (mut client, server_side) = channel_pair();
+        let device = GpuDevice::tesla_c1060_functional();
+        let cfg = ServerConfig {
+            session_mem_quota: Some(1024),
+            ..Default::default()
+        };
+        let worker = thread::spawn(move || {
+            serve_connection(server_side, &device, wall_clock(), &cfg).unwrap()
+        });
+        let mut cc = [0u8; 8];
+        client.read_exact(&mut cc).unwrap();
+        Request::Init {
+            module: build_module(&[], 0),
+        }
+        .write(&mut client)
+        .unwrap();
+        client.flush().unwrap();
+        Response::read(&mut client, &Request::Init { module: vec![] }).unwrap();
+
+        let within = Request::Malloc { size: 1024 };
+        within.write(&mut client).unwrap();
+        client.flush().unwrap();
+        let ptr = Response::read(&mut client, &within)
+            .unwrap()
+            .into_malloc()
+            .unwrap();
+
+        let over = Request::Malloc { size: 256 };
+        over.write(&mut client).unwrap();
+        client.flush().unwrap();
+        assert_eq!(
+            Response::read(&mut client, &over).unwrap(),
+            Response::Malloc(Err(CudaError::MemoryAllocation))
+        );
+
+        // Free, and the same malloc succeeds: the quota is on live bytes.
+        let free = Request::Free { ptr };
+        free.write(&mut client).unwrap();
+        client.flush().unwrap();
+        Response::read(&mut client, &free).unwrap();
+        over.write(&mut client).unwrap();
+        client.flush().unwrap();
+        Response::read(&mut client, &over)
+            .unwrap()
+            .into_malloc()
+            .unwrap();
+
+        Request::Quit.write(&mut client).unwrap();
+        client.flush().unwrap();
+        Response::read(&mut client, &Request::Quit).unwrap();
+        let report = worker.join().unwrap();
+        assert!(report.orderly_shutdown);
     }
 
     #[test]

@@ -13,6 +13,9 @@ cargo test -q --workspace
 echo "== failure-injection conformance (3 seeds) ==" >&2
 RCUDA_FAULT_SEEDS=3 cargo test -q --test failure_injection
 
+echo "== chaos soak (3 seeds) ==" >&2
+RCUDA_FAULT_SEEDS=3 cargo test -q --test server_soak
+
 echo "== observed MM run + trace schema check ==" >&2
 trace_out="target/check_observed_trace.json"
 observed=$(cargo run -q --release --example observed_matmul "$trace_out")
@@ -27,5 +30,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo clippy -p rcuda-obs -D warnings ==" >&2
 cargo clippy -p rcuda-obs --all-targets -- -D warnings
+
+echo "== cargo clippy -p rcuda-server -D warnings ==" >&2
+cargo clippy -p rcuda-server --all-targets -- -D warnings
 
 echo "All checks passed." >&2

@@ -45,7 +45,7 @@ use rcuda_server::{
 };
 use rcuda_transport::{
     channel_pair, sim_pair, ChannelTransport, FaultInjector, FaultPlan, ReconnectTransport,
-    SimTransport, TcpTransport, Transport, TransportStats,
+    SimTransport, TcpTransport, Transport,
 };
 
 /// A functional local-GPU runtime (wall clock, kernels really execute).
@@ -160,6 +160,7 @@ impl SessionBuilder {
             preinitialize_context: true,
             phantom_memory: self.phantom,
             observer: self.observer.clone(),
+            ..ServerConfig::default()
         }
     }
 
@@ -306,12 +307,6 @@ impl SimSession {
         self.runtime.metrics()
     }
 
-    /// Traffic counters for the client side of the connection.
-    #[deprecated(since = "0.2.0", note = "use `metrics()` for the full snapshot")]
-    pub fn transport_stats(&self) -> TransportStats {
-        stats_from_metrics(&self.runtime.metrics())
-    }
-
     /// Join the server side and return its session report.
     pub fn finish(mut self) -> SessionReport {
         // Make sure the server saw a Quit or a hangup: dropping the runtime
@@ -337,12 +332,6 @@ impl ChannelSession {
     /// A point-in-time snapshot of the session's cumulative counters.
     pub fn metrics(&self) -> SessionMetrics {
         self.runtime.metrics()
-    }
-
-    /// Traffic counters for the client side of the connection.
-    #[deprecated(since = "0.2.0", note = "use `metrics()` for the full snapshot")]
-    pub fn transport_stats(&self) -> TransportStats {
-        stats_from_metrics(&self.runtime.metrics())
     }
 
     /// Join the server side and return its session report.
@@ -377,12 +366,6 @@ impl FaultSession {
         self.runtime.metrics()
     }
 
-    /// Traffic counters for the client side, summed across reconnects.
-    #[deprecated(since = "0.2.0", note = "use `metrics()` for the full snapshot")]
-    pub fn transport_stats(&self) -> TransportStats {
-        stats_from_metrics(&self.runtime.metrics())
-    }
-
     /// Sessions currently parked server-side awaiting a reconnect.
     pub fn parked_sessions(&self) -> usize {
         self.registry.parked_count()
@@ -401,18 +384,6 @@ impl FaultSession {
             .into_iter()
             .filter_map(|h| h.join().expect("server thread panicked").ok())
             .collect()
-    }
-}
-
-/// The transport slice of a [`SessionMetrics`] snapshot, for the deprecated
-/// `transport_stats()` shims.
-fn stats_from_metrics(m: &SessionMetrics) -> TransportStats {
-    TransportStats {
-        bytes_sent: m.bytes_sent,
-        bytes_received: m.bytes_received,
-        messages_sent: m.messages_sent,
-        messages_received: m.messages_received,
-        reconnects: m.reconnects,
     }
 }
 
@@ -499,15 +470,6 @@ mod tests {
         assert_eq!(m.reconnects, 0);
         assert_eq!(m.calls, 1, "initialization is a call");
         assert_eq!(m.retries, 0);
-
-        // The deprecated shim reports exactly the transport slice.
-        #[allow(deprecated)]
-        let stats = sess.transport_stats();
-        assert_eq!(stats.bytes_sent, m.bytes_sent);
-        assert_eq!(stats.bytes_received, m.bytes_received);
-        assert_eq!(stats.messages_sent, m.messages_sent);
-        assert_eq!(stats.messages_received, m.messages_received);
-        assert_eq!(stats.reconnects, m.reconnects);
 
         sess.runtime.finalize().unwrap();
         sess.finish();

@@ -1,0 +1,171 @@
+//! Admission control end-to-end: the `Busy { retry_after_ms }` frame on the
+//! wire, the client's `RetryPolicy` treating it as retryable-with-backoff,
+//! panic isolation between concurrent sessions, and graceful drain.
+
+use rcuda::api::CudaRuntime;
+use rcuda::core::CudaError;
+use rcuda::gpu::module::build_module;
+use rcuda::gpu::GpuDevice;
+use rcuda::proto::Request;
+use rcuda::server::{ChaosHook, RcudaDaemon, ServerConfig};
+use rcuda::session::Session;
+use std::io::Read;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Hold the daemon's only session slot: connect raw and read the hello but
+/// never speak, so the worker stays parked in the handshake until the
+/// returned stream drops.
+fn hold_slot(addr: std::net::SocketAddr) -> TcpStream {
+    let mut s = TcpStream::connect(addr).unwrap();
+    let mut hello = [0u8; 8];
+    s.read_exact(&mut hello).unwrap();
+    s
+}
+
+fn single_slot_daemon() -> RcudaDaemon {
+    let config = ServerConfig {
+        max_sessions: Some(1),
+        busy_retry_after_ms: 5,
+        ..Default::default()
+    };
+    RcudaDaemon::bind_with_config("127.0.0.1:0", GpuDevice::tesla_c1060_functional(), config)
+        .unwrap()
+}
+
+#[test]
+fn busy_client_with_retries_backs_off_and_gets_in() {
+    let mut daemon = single_slot_daemon();
+    let addr = daemon.local_addr();
+    let holder = hold_slot(addr);
+
+    // The second client is shed with Busy; its retry policy backs off
+    // (honoring the server's retry-after hint) and re-dials. Free the slot
+    // shortly after it starts knocking.
+    let releaser = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        drop(holder);
+    });
+
+    let mut rt = Session::builder()
+        .deadline(Duration::from_secs(2))
+        .retries(12)
+        .tcp(addr)
+        .unwrap();
+    rt.initialize(&build_module(&[], 0))
+        .expect("admitted once the slot frees");
+    let p = rt.malloc(256).unwrap();
+    rt.free(p).unwrap();
+    rt.finalize().unwrap();
+    releaser.join().unwrap();
+
+    let health = daemon.health();
+    assert!(health.rejected >= 1, "the client was shed at least once");
+    daemon.drain(Duration::from_secs(5));
+    let health = daemon.health();
+    assert_eq!(health.rejected + health.served, health.attempted);
+}
+
+#[test]
+fn busy_without_retries_is_a_clean_error_not_a_hang() {
+    let mut daemon = single_slot_daemon();
+    let addr = daemon.local_addr();
+    let _holder = hold_slot(addr);
+
+    // Default fail-fast policy: the Busy frame surfaces as ServerBusy
+    // immediately — distinct from transport faults, so it is not mistaken
+    // for a dead server.
+    let begun = Instant::now();
+    let mut rt = Session::builder()
+        .deadline(Duration::from_secs(2))
+        .tcp(addr)
+        .unwrap();
+    let err = rt
+        .initialize(&build_module(&[], 0))
+        .expect_err("no retries: the rejection surfaces");
+    assert_eq!(err, CudaError::ServerBusy);
+    assert!(
+        !err.is_transport(),
+        "load shedding is not a transport fault"
+    );
+    assert!(begun.elapsed() < Duration::from_secs(2), "no hang");
+    daemon.drain(Duration::from_secs(5));
+}
+
+#[test]
+fn panic_kills_one_session_and_spares_its_neighbor() {
+    let config = ServerConfig {
+        chaos: ChaosHook::new(|req| {
+            if matches!(req, Request::Malloc { size: 0xDEAD }) {
+                panic!("chaos hook: injected dispatch panic");
+            }
+        }),
+        ..Default::default()
+    };
+    let mut daemon =
+        RcudaDaemon::bind_with_config("127.0.0.1:0", GpuDevice::tesla_c1060_functional(), config)
+            .unwrap();
+    let addr = daemon.local_addr();
+
+    // The bystander is mid-session when its neighbor's dispatch panics.
+    let mut bystander = Session::builder()
+        .deadline(Duration::from_secs(2))
+        .tcp(addr)
+        .unwrap();
+    bystander.initialize(&build_module(&[], 0)).unwrap();
+    let p = bystander.malloc(64).unwrap();
+    bystander.memcpy_h2d(p, &[7u8; 64]).unwrap();
+
+    let mut victim = Session::builder()
+        .deadline(Duration::from_secs(2))
+        .tcp(addr)
+        .unwrap();
+    victim.initialize(&build_module(&[], 0)).unwrap();
+    assert_eq!(victim.malloc(0xDEAD), Err(CudaError::LaunchFailure));
+
+    // The bystander's context, wire state, and data are untouched.
+    assert_eq!(bystander.memcpy_d2h(p, 64).unwrap(), vec![7u8; 64]);
+    bystander.free(p).unwrap();
+    bystander.finalize().unwrap();
+
+    drop(victim);
+    daemon.drain(Duration::from_secs(5));
+    let health = daemon.health();
+    assert_eq!(health.panics, 1, "exactly the injected panic");
+    assert_eq!(health.live_sessions, 0);
+    assert_eq!(
+        health.rejected + health.served,
+        health.attempted,
+        "admission ledger balances after the panic"
+    );
+}
+
+#[test]
+fn drain_finishes_in_flight_sessions_and_bounds_stragglers() {
+    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let addr = daemon.local_addr();
+
+    // One client quits in an orderly fashion; one goes silent mid-session
+    // and must be hard-stopped at the deadline.
+    let mut orderly = Session::builder()
+        .deadline(Duration::from_secs(2))
+        .tcp(addr)
+        .unwrap();
+    orderly.initialize(&build_module(&[], 0)).unwrap();
+    orderly.finalize().unwrap();
+    assert!(daemon.wait_for_sessions(1, Duration::from_secs(5)));
+
+    let quiet = hold_slot(addr);
+
+    let begun = Instant::now();
+    let report = daemon.drain(Duration::from_millis(200));
+    assert!(
+        begun.elapsed() < Duration::from_secs(5),
+        "drain is bounded by its deadline, not by the quiet client"
+    );
+    assert_eq!(report.forced, 1, "the quiet session was hard-stopped");
+    let health = daemon.health();
+    assert_eq!(health.live_sessions, 0, "every worker joined");
+    assert_eq!(health.rejected + health.served, health.attempted);
+    drop(quiet);
+}

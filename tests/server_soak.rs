@@ -1,0 +1,293 @@
+//! Chaos soak: a mixed population of concurrent clients — well-behaved,
+//! leaky, panicking (via the test-only [`ChaosHook`]), and transport-faulted
+//! — hammers one TCP daemon, per seed. The daemon must shrug all of it off:
+//!
+//! * a fresh well-behaved client afterwards completes the matrix-multiply
+//!   case study **bit-identically** to an undisturbed baseline;
+//! * after [`RcudaDaemon::drain`] the device memory ledger is back at its
+//!   baseline — every leaked, parked, and panicked session's allocations
+//!   were reclaimed;
+//! * the admission ledger balances: `rejected + served == attempted`, and
+//!   every admitted worker finished;
+//! * the daemon's [`DaemonEvent`] stream agrees with its [`DaemonHealth`]
+//!   counters — nothing was dropped or double-counted.
+//!
+//! `scripts/check.sh` runs this with `RCUDA_FAULT_SEEDS=3`.
+
+use rcuda::api::{run_matmul_bytes, CudaRuntime};
+use rcuda::client::{RemoteRuntime, RetryPolicy};
+use rcuda::core::time::wall_clock;
+use rcuda::core::CudaError;
+use rcuda::gpu::module::build_module;
+use rcuda::gpu::GpuDevice;
+use rcuda::obs::{DaemonEvent, Recorder};
+use rcuda::proto::Request;
+use rcuda::server::{ChaosHook, RcudaDaemon, ServerConfig};
+use rcuda::session::Session;
+use rcuda::transport::{FaultInjector, FaultPlan, TcpTransport};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Matrix edge for the MM case study (small: the soak is about contention,
+/// not bandwidth).
+const M: u32 = 8;
+
+/// Per-call deadline for soak clients: generous enough for a loaded
+/// machine, short enough to bound a wedged run.
+const DEADLINE: Duration = Duration::from_secs(2);
+
+/// Per-session device-memory quota during the soak.
+const QUOTA: u64 = 1 << 20; // 1 MiB
+
+/// A malloc of this size trips the armed [`ChaosHook`] into panicking on
+/// the worker thread — no production dispatch path can panic on demand, so
+/// the soak smuggles the trigger in-band through an otherwise-valid size.
+const CHAOS_MALLOC: u32 = 0xDEAD;
+
+/// No single seed's soak may take longer than this.
+const WALL_BOUND: Duration = Duration::from_secs(60);
+
+fn mm_input(m: u32) -> Vec<u8> {
+    (0..m * m)
+        .flat_map(|i| (((i % 7) as f32) * 0.5 - 1.0).to_le_bytes())
+        .collect()
+}
+
+/// The undisturbed MM output, from an in-process channel session.
+fn baseline_output() -> Vec<u8> {
+    let (a, b) = (mm_input(M), mm_input(M));
+    let mut sess = Session::builder().channel();
+    let clock = wall_clock();
+    let out = run_matmul_bytes(&mut sess.runtime, &*clock, M, &a, &b)
+        .expect("baseline MM completes")
+        .output;
+    sess.finish();
+    out
+}
+
+// --------------------------------------------------------- client species
+
+/// Runs the full MM case study and insists on the baseline answer.
+fn well_behaved(addr: SocketAddr, baseline: &[u8]) {
+    let (a, b) = (mm_input(M), mm_input(M));
+    let mut rt = Session::builder()
+        .deadline(DEADLINE)
+        .retries(12)
+        .tcp(addr)
+        .expect("dial");
+    let clock = wall_clock();
+    let out = run_matmul_bytes(&mut rt, &*clock, M, &a, &b)
+        .expect("well-behaved MM completes despite the chaos around it")
+        .output;
+    assert_eq!(out, baseline, "soaked daemon still computes the baseline");
+}
+
+/// Allocates, writes, and vanishes without a Quit. With `resumable` the
+/// session parks server-side (reclaimed at drain); without, the worker
+/// reclaims it the moment the socket dies.
+fn leaky(addr: SocketAddr, resumable: bool) {
+    let builder = Session::builder().deadline(DEADLINE);
+    let builder = if resumable {
+        builder.retries(12)
+    } else {
+        builder
+    };
+    let mut rt = match builder.tcp(addr) {
+        Ok(rt) => rt,
+        Err(_) => return, // shed at dial time: nothing to leak
+    };
+    if rt.initialize(&build_module(&[], 0)).is_err() {
+        return; // shed at admission: nothing to leak
+    }
+    for _ in 0..3 {
+        if let Ok(p) = rt.malloc(4096) {
+            let _ = rt.memcpy_h2d(p, &[0xAB; 4096]);
+        }
+    }
+    // No free, no finalize: drop the socket with allocations live.
+}
+
+/// Trips the server-side chaos hook: the dispatch panics, the worker
+/// answers a correctly-shaped `cudaErrorLaunchFailure`, and only this
+/// session dies.
+fn panicking(addr: SocketAddr) {
+    let mut rt = Session::builder()
+        .deadline(DEADLINE)
+        .retries(12)
+        .tcp(addr)
+        .expect("dial");
+    rt.initialize(&build_module(&[], 0))
+        .expect("panicking client is admitted before it misbehaves");
+    assert_eq!(
+        rt.malloc(CHAOS_MALLOC),
+        Err(CudaError::LaunchFailure),
+        "a dispatch panic surfaces as a launch failure, not a hang"
+    );
+}
+
+/// Overshoots the per-session quota, then recovers within it.
+fn greedy(addr: SocketAddr) {
+    let mut rt = Session::builder()
+        .deadline(DEADLINE)
+        .retries(12)
+        .tcp(addr)
+        .expect("dial");
+    rt.initialize(&build_module(&[], 0)).expect("admitted");
+    assert_eq!(
+        rt.malloc((QUOTA + 1) as u32),
+        Err(CudaError::MemoryAllocation),
+        "over-quota malloc is refused"
+    );
+    let p = rt.malloc(1024).expect("the session survives its refusal");
+    rt.free(p).expect("free");
+    rt.finalize().expect("orderly quit");
+}
+
+/// Runs MM through a seeded [`FaultInjector`]: the outcome may be success
+/// (faults retried away) or a clean CUDA error — never a panic or a hang.
+fn faulted(addr: SocketAddr, seed: u64) {
+    let transport = match TcpTransport::connect(addr) {
+        Ok(t) => t,
+        Err(_) => return,
+    };
+    let injector = FaultInjector::new(transport, FaultPlan::seeded(seed, 13, 2));
+    let mut rt = RemoteRuntime::new(injector, wall_clock());
+    rt.set_deadline(Some(DEADLINE));
+    rt.set_retry_policy(RetryPolicy::retries(4));
+    let (a, b) = (mm_input(M), mm_input(M));
+    let clock = wall_clock();
+    if let Err(e) = run_matmul_bytes(&mut rt, &*clock, M, &a, &b) {
+        assert!(e.code() > 0, "faulted run fails with a real code, got {e}");
+    }
+}
+
+// ----------------------------------------------------------------- the soak
+
+fn soak_one_seed(seed: u64, baseline: &[u8]) {
+    let begun = Instant::now();
+    let device = GpuDevice::tesla_c1060_functional();
+    let ledger = std::sync::Arc::clone(device.ledger());
+    let ledger_baseline = ledger.live_bytes();
+
+    let recorder = Recorder::new();
+    let config = ServerConfig {
+        max_sessions: Some(6),
+        // High enough that the soak's parked sessions (leaky + abandoned
+        // faulted) never wedge admission; the parked-shedding and eviction
+        // paths have their own unit tests.
+        max_parked: Some(8),
+        session_mem_quota: Some(QUOTA),
+        busy_retry_after_ms: 5,
+        observer: recorder.handle(),
+        chaos: ChaosHook::new(|req| {
+            if matches!(req, Request::Malloc { size } if *size == CHAOS_MALLOC) {
+                panic!("chaos hook: injected dispatch panic");
+            }
+        }),
+        ..Default::default()
+    };
+    let mut daemon = RcudaDaemon::bind_with_config("127.0.0.1:0", device, config).unwrap();
+    let addr = daemon.local_addr();
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(move || well_behaved(addr, baseline));
+        }
+        s.spawn(move || leaky(addr, true));
+        s.spawn(move || leaky(addr, true));
+        s.spawn(move || leaky(addr, false));
+        s.spawn(move || panicking(addr));
+        s.spawn(move || panicking(addr));
+        s.spawn(move || greedy(addr));
+        s.spawn(move || faulted(addr, seed.wrapping_mul(31).wrapping_add(1)));
+        s.spawn(move || faulted(addr, seed.wrapping_mul(31).wrapping_add(2)));
+    });
+
+    // Invariant 1: after the storm, a fresh well-behaved session gets the
+    // bit-identical baseline answer.
+    well_behaved(addr, baseline);
+
+    // Invariant 2: drain joins every worker within its deadline and
+    // reclaims everything parked.
+    let drained = daemon.drain(Duration::from_secs(10));
+    let health = daemon.health();
+    assert_eq!(health.live_sessions, 0, "seed {seed}: all workers joined");
+    assert_eq!(
+        daemon.parked_sessions(),
+        0,
+        "seed {seed}: drain reclaimed every parked session"
+    );
+    assert!(
+        drained.graceful + drained.forced > 0 || health.served > 0,
+        "seed {seed}: the daemon did serve"
+    );
+
+    // Invariant 3: the device memory ledger is back at baseline — leaky,
+    // panicked, evicted, and parked allocations all came back.
+    assert_eq!(
+        ledger.live_bytes(),
+        ledger_baseline,
+        "seed {seed}: device memory returned to baseline after drain"
+    );
+
+    // Invariant 4: the admission ledger balances.
+    assert_eq!(
+        health.rejected + health.served,
+        health.attempted,
+        "seed {seed}: every accepted connection was either shed or served"
+    );
+    assert_eq!(
+        health.admitted, health.served,
+        "seed {seed}: every admitted worker finished"
+    );
+    assert_eq!(
+        health.panics, 2,
+        "seed {seed}: exactly the two chaos panics"
+    );
+    assert!(
+        health.reclaimed_bytes >= 3 * 4096,
+        "seed {seed}: at least the leaky clients' bytes were reclaimed"
+    );
+
+    // Invariant 5: the observer's daemon-event stream agrees with the
+    // health counters — admission and reclamation are not double-booked.
+    let events = recorder.report().daemon_events;
+    let rejected_events = events
+        .iter()
+        .filter(|e| matches!(e, DaemonEvent::SessionRejected { .. }))
+        .count() as u64;
+    let panic_events = events
+        .iter()
+        .filter(|e| matches!(e, DaemonEvent::SessionPanicked))
+        .count() as u64;
+    let reclaimed_event_bytes: u64 = events
+        .iter()
+        .filter_map(|e| match e {
+            DaemonEvent::BytesReclaimed { bytes } => Some(*bytes),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(rejected_events, health.rejected, "seed {seed}");
+    assert_eq!(panic_events, health.panics, "seed {seed}");
+    assert_eq!(
+        reclaimed_event_bytes, health.reclaimed_bytes,
+        "seed {seed}: every reclaimed byte was announced exactly once"
+    );
+
+    assert!(
+        begun.elapsed() < WALL_BOUND,
+        "seed {seed}: soak exceeded its wall bound"
+    );
+}
+
+#[test]
+fn chaos_soak_across_seeds() {
+    let seeds: u64 = std::env::var("RCUDA_FAULT_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let baseline = baseline_output();
+    for seed in 0..seeds {
+        soak_one_seed(seed, &baseline);
+    }
+}
