@@ -82,6 +82,10 @@ impl CudaRuntime for LocalRuntime {
         self.ctx()?.memcpy_d2h(src, size)
     }
 
+    fn memcpy_d2h_into(&mut self, src: DevicePtr, buf: &mut [u8]) -> CudaResult<()> {
+        self.ctx()?.memcpy_d2h_into(src, buf)
+    }
+
     fn memcpy_d2d(&mut self, dst: DevicePtr, src: DevicePtr, size: u32) -> CudaResult<()> {
         self.ctx()?.memcpy_d2d(dst, src, size)
     }
@@ -131,6 +135,15 @@ impl CudaRuntimeAsyncExt for LocalRuntime {
 
     fn memcpy_d2h_async(&mut self, src: DevicePtr, size: u32, stream: u32) -> CudaResult<Vec<u8>> {
         self.ctx()?.memcpy_d2h_async(src, size, stream)
+    }
+
+    fn memcpy_d2h_async_into(
+        &mut self,
+        src: DevicePtr,
+        buf: &mut [u8],
+        stream: u32,
+    ) -> CudaResult<()> {
+        self.ctx()?.memcpy_d2h_async_into(src, buf, stream)
     }
 
     fn event_create(&mut self) -> CudaResult<u32> {
@@ -207,6 +220,22 @@ mod tests {
             clock.now().as_secs_f64() > 0.1,
             "local apps pay the CUDA init the daemon pre-pays"
         );
+    }
+
+    #[test]
+    fn memcpy_d2h_into_matches_owned_read() {
+        let mut rt = functional();
+        rt.initialize(&build_module(&[], 0)).unwrap();
+        let p = rt.malloc(8).unwrap();
+        rt.memcpy_h2d(p, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let mut buf = [0u8; 8];
+        rt.memcpy_d2h_into(p, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6, 7, 8]);
+        let s = rt.stream_create().unwrap();
+        let mut async_buf = [0u8; 8];
+        rt.memcpy_d2h_async_into(p, &mut async_buf, s).unwrap();
+        rt.stream_synchronize(s).unwrap();
+        assert_eq!(async_buf, buf);
     }
 
     #[test]

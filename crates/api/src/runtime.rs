@@ -43,6 +43,22 @@ pub trait CudaRuntime {
     /// Synchronous `cudaMemcpy`, device → host.
     fn memcpy_d2h(&mut self, src: DevicePtr, size: u32) -> CudaResult<Vec<u8>>;
 
+    /// Synchronous `cudaMemcpy`, device → host, straight into a
+    /// caller-provided buffer (`buf.len()` is the transfer size) — the
+    /// closest analogue of the real `cudaMemcpy` signature, where the host
+    /// pointer is the application's own.
+    ///
+    /// Prefer this in loops: implementations override it to land the bytes
+    /// without any intermediate allocation, so a steady-state transfer loop
+    /// touches the heap zero times. The default just wraps
+    /// [`memcpy_d2h`](CudaRuntime::memcpy_d2h) for implementors that have
+    /// no cheaper path.
+    fn memcpy_d2h_into(&mut self, src: DevicePtr, buf: &mut [u8]) -> CudaResult<()> {
+        let data = self.memcpy_d2h(src, buf.len() as u32)?;
+        buf.copy_from_slice(&data);
+        Ok(())
+    }
+
     /// Synchronous `cudaMemcpy`, device → device.
     fn memcpy_d2d(&mut self, dst: DevicePtr, src: DevicePtr, size: u32) -> CudaResult<()>;
 
@@ -95,6 +111,21 @@ pub trait CudaRuntimeAsyncExt: CudaRuntime {
     /// only guaranteed meaningful after the stream synchronizes (matching
     /// CUDA's contract that the host buffer is undefined until then).
     fn memcpy_d2h_async(&mut self, src: DevicePtr, size: u32, stream: u32) -> CudaResult<Vec<u8>>;
+
+    /// Asynchronous `cudaMemcpy` device → host on a stream, straight into a
+    /// caller-provided buffer (same completion contract as
+    /// [`memcpy_d2h_async`](CudaRuntimeAsyncExt::memcpy_d2h_async), without
+    /// the intermediate allocation when overridden).
+    fn memcpy_d2h_async_into(
+        &mut self,
+        src: DevicePtr,
+        buf: &mut [u8],
+        stream: u32,
+    ) -> CudaResult<()> {
+        let data = self.memcpy_d2h_async(src, buf.len() as u32, stream)?;
+        buf.copy_from_slice(&data);
+        Ok(())
+    }
 
     /// `cudaEventCreate`.
     fn event_create(&mut self) -> CudaResult<u32>;

@@ -1,0 +1,167 @@
+//! The zero-copy data plane's price, measured: memcpy throughput through
+//! the borrowed fast path over live loopback TCP, owned vs. into-buffer
+//! D2H, at sizes straddling `VECTORED_WRITE_MIN`.
+//!
+//! Beyond the criterion timings, the bench always writes a machine-readable
+//! artifact — `target/BENCH_memcpy.json` (override with `BENCH_MEMCPY_OUT`)
+//! — with per-size throughput and both sides' buffer-pool counters, so CI
+//! can diff data-plane regressions run over run without parsing criterion's
+//! output directory.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rcuda_api::CudaRuntime;
+use rcuda_client::RemoteRuntime;
+use rcuda_core::time::wall_clock;
+use rcuda_core::DevicePtr;
+use rcuda_gpu::GpuDevice;
+use rcuda_server::RcudaDaemon;
+use rcuda_transport::TcpTransport;
+use serde_json::json;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Payload sizes: under, at, and well past the vectored-write threshold.
+const SIZES: [usize; 3] = [4 * 1024, 64 * 1024, 1024 * 1024];
+/// Iterations per size for the artifact's throughput numbers.
+const ARTIFACT_ITERS: usize = 64;
+
+struct Rig {
+    daemon: RcudaDaemon,
+    rt: RemoteRuntime<TcpTransport>,
+}
+
+fn rig() -> Rig {
+    let daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let transport = TcpTransport::connect(daemon.local_addr()).unwrap();
+    let mut rt = RemoteRuntime::new(transport, wall_clock());
+    rt.initialize(&rcuda_gpu::module::build_module(&["fill"], 0))
+        .unwrap();
+    Rig { daemon, rt }
+}
+
+fn gbps(bytes: u64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    bytes as f64 * 8.0 / secs / 1e9
+}
+
+/// Time `iters` round trips of `f`, returning throughput in Gbit/s.
+fn measure(iters: usize, bytes_per_iter: usize, mut f: impl FnMut()) -> f64 {
+    // One warm pass so pools and stream buffers are grown before timing.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    gbps(
+        (iters * bytes_per_iter) as u64,
+        start.elapsed().as_secs_f64(),
+    )
+}
+
+/// The before/after-comparable artifact: per-size H2D, owned-D2H and
+/// into-D2H throughput plus both pools' hit/miss counters.
+fn write_artifact() {
+    let Rig { mut daemon, mut rt } = rig();
+    let mut sizes = Vec::new();
+    for size in SIZES {
+        let dev = rt.malloc(size as u32).unwrap();
+        let data = vec![0x5au8; size];
+        let mut out = vec![0u8; size];
+        let h2d = measure(ARTIFACT_ITERS, size, || {
+            rt.memcpy_h2d(dev, &data).unwrap();
+        });
+        let d2h_owned = measure(ARTIFACT_ITERS, size, || {
+            black_box(rt.memcpy_d2h(dev, size as u32).unwrap());
+        });
+        let d2h_into = measure(ARTIFACT_ITERS, size, || {
+            rt.memcpy_d2h_into(dev, &mut out).unwrap();
+        });
+        assert_eq!(out, data, "transfers must round-trip bit-exactly");
+        println!(
+            "  memcpy {size} B over loopback TCP: H2D {h2d:.2} Gb/s, \
+             D2H(owned) {d2h_owned:.2} Gb/s, D2H(into) {d2h_into:.2} Gb/s"
+        );
+        sizes.push(json!({
+            "bytes": size,
+            "iters": ARTIFACT_ITERS,
+            "h2d_gbps": h2d,
+            "d2h_owned_gbps": d2h_owned,
+            "d2h_into_gbps": d2h_into,
+        }));
+        rt.free(dev).unwrap();
+    }
+
+    let pool_json = |p: &rcuda_obs::PoolStats| {
+        json!({
+            "hits": p.hits,
+            "misses": p.misses,
+            "returns": p.returns,
+            "discards": p.discards,
+            "pooled": p.pooled,
+            "pooled_bytes": p.pooled_bytes,
+            "hit_rate": p.hit_rate(),
+        })
+    };
+    let client_pool = rt.pool_stats();
+    let metrics = rt.metrics();
+    rt.finalize().unwrap();
+    drop(rt);
+    assert!(daemon.wait_for_sessions(1, std::time::Duration::from_secs(5)));
+    daemon.shutdown();
+    let reports = daemon.session_reports();
+
+    let artifact = json!({
+        "bench": "memcpy_path",
+        "transport": "loopback-tcp",
+        "sizes": sizes,
+        "client_pool": pool_json(&client_pool),
+        "server_pool": pool_json(&reports[0].pool),
+        "bytes_sent": metrics.bytes_sent,
+        "bytes_received": metrics.bytes_received,
+    });
+    // Benches run with the package dir as cwd; anchor the default to the
+    // workspace target dir so the artifact lands where CI looks for it.
+    let path = std::env::var("BENCH_MEMCPY_OUT").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_memcpy.json"
+        )
+        .to_string()
+    });
+    std::fs::write(&path, serde_json::to_string_pretty(&artifact).unwrap()).unwrap();
+    println!("  wrote {path}");
+}
+
+fn bench_memcpy_path(c: &mut Criterion) {
+    write_artifact();
+
+    let Rig { mut daemon, mut rt } = rig();
+    let mut devs: Vec<(usize, DevicePtr)> = Vec::new();
+    for size in SIZES {
+        devs.push((size, rt.malloc(size as u32).unwrap()));
+    }
+
+    let mut g = c.benchmark_group("memcpy_path");
+    for (size, dev) in devs {
+        let data = vec![0x5au8; size];
+        let mut out = vec![0u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("h2d/{size}"), |b| {
+            b.iter(|| rt.memcpy_h2d(dev, black_box(&data)).unwrap())
+        });
+        g.bench_function(format!("d2h_owned/{size}"), |b| {
+            b.iter(|| black_box(rt.memcpy_d2h(dev, size as u32).unwrap()))
+        });
+        g.bench_function(format!("d2h_into/{size}"), |b| {
+            b.iter(|| rt.memcpy_d2h_into(dev, black_box(&mut out)).unwrap())
+        });
+    }
+    g.finish();
+    drop(rt);
+    daemon.shutdown();
+}
+
+criterion_group!(benches, bench_memcpy_path);
+criterion_main!(benches);

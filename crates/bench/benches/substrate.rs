@@ -21,7 +21,7 @@ fn bench_protocol(c: &mut Criterion) {
             src: 0,
             size: payload as u32,
             kind: MemcpyKind::HostToDevice,
-            data: Some(vec![0xAB; payload]),
+            data: Some(vec![0xAB; payload].into()),
         };
         g.throughput(Throughput::Bytes(req.wire_bytes()));
         g.bench_with_input(

@@ -119,7 +119,7 @@ mod tests {
             src: 0,
             size: 4,
             kind: MemcpyKind::HostToDevice,
-            data: Some(vec![0; 4]),
+            data: Some(vec![0; 4].into()),
         }
     }
 

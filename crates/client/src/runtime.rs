@@ -38,10 +38,13 @@
 
 use rcuda_api::{CudaRuntime, CudaRuntimeAsyncExt};
 use rcuda_core::{CudaError, CudaResult, DeviceProperties, DevicePtr, Dim3, SharedClock};
-use rcuda_obs::{CallSpan, ObsHandle, Op, SessionMetrics};
+use rcuda_obs::{CallSpan, ObsHandle, Op, PoolStats, SessionMetrics};
 use rcuda_proto::handshake::{read_hello_reply, ServerHello};
-use rcuda_proto::ids::MemcpyKind;
-use rcuda_proto::{Batch, BatchResponse, LaunchConfig, Request, Response, SessionHello};
+use rcuda_proto::ids::{FunctionId, MemcpyKind};
+use rcuda_proto::wire::{get_u32, write_all_vectored};
+use rcuda_proto::{
+    Batch, BatchResponse, BufferPool, LaunchConfig, Payload, Request, Response, SessionHello,
+};
 use rcuda_transport::Transport;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -92,6 +95,10 @@ pub struct RemoteRuntime<T: Transport> {
     /// Retry hint from the server's last `Busy` rejection, consumed by the
     /// initialization retry loop (it backs off at least this long).
     busy_retry_hint: Option<Duration>,
+    /// Payload-buffer pool: deferred H2D bodies and launch name regions are
+    /// staged in recycled buffers, so the pipelined steady state allocates
+    /// nothing per call.
+    pool: BufferPool,
 }
 
 impl<T: Transport> RemoteRuntime<T> {
@@ -114,6 +121,7 @@ impl<T: Transport> RemoteRuntime<T> {
             batched_calls: 0,
             retries_total: 0,
             busy_retry_hint: None,
+            pool: BufferPool::new(),
         }
     }
 
@@ -163,6 +171,12 @@ impl<T: Transport> RemoteRuntime<T> {
             batched_calls: self.batched_calls,
             retries: self.retries_total,
         }
+    }
+
+    /// A snapshot of the session's payload-buffer pool counters: how often
+    /// request stagings were served from recycled buffers.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Enable (depth ≥ 1) or disable (0) deferred-completion pipelining.
@@ -420,6 +434,94 @@ impl<T: Transport> RemoteRuntime<T> {
         Ok(resp)
     }
 
+    /// One write-flush-read round of a borrowed-payload exchange (no retry
+    /// logic). `head` and `body` go out as a single vectored message —
+    /// byte-identical to the equivalent [`Request::write`] — and the reply's
+    /// payload, if the caller expects one, lands straight in `into`.
+    ///
+    /// The outer `Err` is a transport fault (retryable); the inner result is
+    /// the server's verdict (final). On a server error no payload follows
+    /// the code, so `into` is left untouched.
+    fn try_exchange(
+        &mut self,
+        head: &[u8],
+        body: &[u8],
+        into: Option<&mut [u8]>,
+        started: Instant,
+    ) -> CudaResult<CudaResult<()>> {
+        self.arm_deadline(started)?;
+        write_all_vectored(&mut self.transport, head, body)
+            .and_then(|_| self.transport.flush())
+            .map_err(|e| transport_error(&e))?;
+        let status = get_u32(&mut self.transport).map_err(|e| transport_error(&e))?;
+        if let Err(e) = CudaError::from_code(status) {
+            return Ok(Err(e));
+        }
+        if let Some(buf) = into {
+            self.transport
+                .read_exact(buf)
+                .map_err(|e| transport_error(&e))?;
+        }
+        Ok(Ok(()))
+    }
+
+    /// A complete borrowed-payload call: the caller's slices cross the wire
+    /// (and the reply lands) without staging copies or allocation, with the
+    /// same retry, deadline, trace, and observer treatment as [`call`]. Only
+    /// used for idempotent memcpy exchanges, so transport faults always
+    /// replay under the configured policy.
+    ///
+    /// [`call`]: RemoteRuntime::call
+    fn exchange_borrowed(
+        &mut self,
+        op: &'static str,
+        head: &[u8],
+        body: &[u8],
+        mut into: Option<&mut [u8]>,
+    ) -> CudaResult<()> {
+        let started = Instant::now();
+        let start = self.clock.now();
+        let sent = (head.len() + body.len()) as u64;
+        let mut attempt = 0;
+        let result = loop {
+            match self.try_exchange(head, body, into.as_deref_mut(), started) {
+                Ok(result) => break result,
+                Err(e) => {
+                    if !self.may_retry(attempt, true, e) {
+                        return Err(e);
+                    }
+                    self.obs.emit_retry(Op::Named(op), attempt);
+                    self.recover(attempt, e)?;
+                    attempt += 1;
+                }
+            }
+        };
+        let end = self.clock.now();
+        // Error replies carry no payload: only the 4-byte code came back.
+        let received = match result {
+            Ok(()) => 4 + into.map_or(0, |b| b.len() as u64),
+            Err(_) => 4,
+        };
+        self.trace.record(CallEvent {
+            op: Op::Named(op),
+            sent,
+            received,
+            start,
+            end,
+        });
+        self.calls += 1;
+        self.retries_total += attempt as u64;
+        self.obs.emit_call(&CallSpan {
+            op: Op::Named(op),
+            bytes_sent: sent,
+            bytes_received: received,
+            start,
+            end,
+            retries: attempt,
+        });
+        result
+    }
+
     /// Submit a no-result call. With pipelining off this is a synchronous
     /// round trip; with pipelining on it joins the window and completes
     /// immediately, draining when the window fills.
@@ -444,11 +546,42 @@ impl<T: Transport> RemoteRuntime<T> {
 }
 
 /// The first error among a batch's responses, if any (submission order).
+/// Checked by reference: a payload-bearing success is never cloned.
 fn first_failure(responses: &[Response]) -> CudaResult<()> {
     for resp in responses {
-        resp.clone().into_ack()?;
+        resp.status()?;
     }
     Ok(())
+}
+
+/// The fixed 20-byte header of a `Memcpy` request, laid out exactly as
+/// [`Request::write`] encodes it (selector + dst + src + size + kind, all
+/// little-endian) — the stack-built head of the borrowed fast paths.
+fn memcpy_head(dst: u32, src: u32, size: u32, kind: MemcpyKind) -> [u8; 20] {
+    let mut head = [0u8; 20];
+    let words = [FunctionId::Memcpy.as_u32(), dst, src, size, kind.as_u32()];
+    for (slot, word) in head.chunks_exact_mut(4).zip(words) {
+        slot.copy_from_slice(&word.to_le_bytes());
+    }
+    head
+}
+
+/// The fixed 24-byte header of a `MemcpyAsync` request ([`memcpy_head`]
+/// plus the trailing stream field).
+fn memcpy_async_head(dst: u32, src: u32, size: u32, kind: MemcpyKind, stream: u32) -> [u8; 24] {
+    let mut head = [0u8; 24];
+    let words = [
+        FunctionId::MemcpyAsync.as_u32(),
+        dst,
+        src,
+        size,
+        kind.as_u32(),
+        stream,
+    ];
+    for (slot, word) in head.chunks_exact_mut(4).zip(words) {
+        slot.copy_from_slice(&word.to_le_bytes());
+    }
+    head
 }
 
 impl<T: Transport> RemoteRuntime<T> {
@@ -578,14 +711,33 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
 
     fn memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) -> CudaResult<()> {
         self.ensure_initialized()?;
+        // Synchronous fast path: the caller's slice goes out as the body of
+        // a vectored write — no `Request` is built and nothing is copied.
+        // (Safe to replay: H2D is idempotent, and the borrow outlives the
+        // retry loop.) The deferred path must own its bytes until the drain,
+        // so it stages one copy in a pooled buffer.
+        if self.pipeline_depth == 0 && self.window.is_empty() {
+            let head = memcpy_head(dst.addr(), 0, data.len() as u32, MemcpyKind::HostToDevice);
+            return self.exchange_borrowed("cudaMemcpyH2D", &head, data, None);
+        }
         let req = Request::Memcpy {
             dst: dst.addr(),
             src: 0,
             size: data.len() as u32,
             kind: MemcpyKind::HostToDevice,
-            data: Some(data.to_vec()),
+            data: Some(Payload::Pooled(self.pool.copy_from(data))),
         };
         self.defer("cudaMemcpyH2D", req)
+    }
+
+    fn memcpy_d2h_into(&mut self, src: DevicePtr, buf: &mut [u8]) -> CudaResult<()> {
+        self.ensure_initialized()?;
+        // Any deferred work must complete first (the copy reads its
+        // results); after the drain the exchange is borrowed end to end —
+        // the reply payload lands straight in the caller's buffer.
+        self.flush_pipeline()?;
+        let head = memcpy_head(0, src.addr(), buf.len() as u32, MemcpyKind::DeviceToHost);
+        self.exchange_borrowed("cudaMemcpyD2H", &head, &[], Some(buf))
     }
 
     fn memcpy_d2h(&mut self, src: DevicePtr, size: u32) -> CudaResult<Vec<u8>> {
@@ -641,7 +793,7 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
             shared_bytes,
             stream,
         };
-        let req = Request::launch(kernel, args, config);
+        let req = Request::launch_pooled(kernel, args, config, &self.pool);
         self.defer("cudaLaunch", req)
     }
 
@@ -686,13 +838,26 @@ impl<T: Transport> CudaRuntimeAsyncExt for RemoteRuntime<T> {
 
     fn memcpy_h2d_async(&mut self, dst: DevicePtr, data: &[u8], stream: u32) -> CudaResult<()> {
         self.ensure_initialized()?;
+        // Same split as the synchronous path: borrowed vectored write when
+        // nothing is pending, pooled staging when the request must ride a
+        // draining batch.
+        if self.window.is_empty() {
+            let head = memcpy_async_head(
+                dst.addr(),
+                0,
+                data.len() as u32,
+                MemcpyKind::HostToDevice,
+                stream,
+            );
+            return self.exchange_borrowed("cudaMemcpyAsyncH2D", &head, data, None);
+        }
         let req = Request::MemcpyAsync {
             dst: dst.addr(),
             src: 0,
             size: data.len() as u32,
             kind: MemcpyKind::HostToDevice,
             stream,
-            data: Some(data.to_vec()),
+            data: Some(Payload::Pooled(self.pool.copy_from(data))),
         };
         self.call("cudaMemcpyAsyncH2D", req)?.into_ack()
     }
@@ -708,6 +873,24 @@ impl<T: Transport> CudaRuntimeAsyncExt for RemoteRuntime<T> {
             data: None,
         };
         self.call("cudaMemcpyAsyncD2H", req)?.into_memcpy_to_host()
+    }
+
+    fn memcpy_d2h_async_into(
+        &mut self,
+        src: DevicePtr,
+        buf: &mut [u8],
+        stream: u32,
+    ) -> CudaResult<()> {
+        self.ensure_initialized()?;
+        self.flush_pipeline()?;
+        let head = memcpy_async_head(
+            0,
+            src.addr(),
+            buf.len() as u32,
+            MemcpyKind::DeviceToHost,
+            stream,
+        );
+        self.exchange_borrowed("cudaMemcpyAsyncD2H", &head, &[], Some(buf))
     }
 
     fn event_create(&mut self) -> CudaResult<u32> {

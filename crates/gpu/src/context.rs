@@ -76,6 +76,15 @@ impl GpuContext {
         Ok(data)
     }
 
+    /// Synchronous device→host `cudaMemcpy` straight into a caller-provided
+    /// buffer (no allocation; `out.len()` is the transfer size).
+    pub fn memcpy_d2h_into(&mut self, src: DevicePtr, out: &mut [u8]) -> CudaResult<()> {
+        self.mem.read_into(src, out)?;
+        self.clock
+            .advance(self.device.cost_model().pcie_time(out.len() as u64));
+        Ok(())
+    }
+
     /// Device→device `cudaMemcpy`.
     pub fn memcpy_d2d(&mut self, dst: DevicePtr, src: DevicePtr, size: u32) -> CudaResult<()> {
         self.mem.copy_within(dst, src, size)?;
@@ -144,6 +153,20 @@ impl GpuContext {
         let cost = self.device.cost_model().pcie_time(size as u64);
         self.streams.enqueue(stream, cost, &*self.clock)?;
         Ok(data)
+    }
+
+    /// Asynchronous device→host copy on a stream, straight into a
+    /// caller-provided buffer.
+    pub fn memcpy_d2h_async_into(
+        &mut self,
+        src: DevicePtr,
+        out: &mut [u8],
+        stream: u32,
+    ) -> CudaResult<()> {
+        self.mem.read_into(src, out)?;
+        let cost = self.device.cost_model().pcie_time(out.len() as u64);
+        self.streams.enqueue(stream, cost, &*self.clock)?;
+        Ok(())
     }
 
     /// `cudaLaunch`: resolve the kernel (it must be named by the loaded

@@ -162,13 +162,22 @@ fn k_saxpy(mem: &mut DeviceMemory, _grid: Dim3, _block: Dim3, args: &[u8]) -> Cu
 }
 
 /// `fill(ptr, n, value)` — ptr[i] = value.
+///
+/// Writes in place through `buffer_mut` rather than staging a `Vec`: this
+/// kernel runs inside the steady-state memcpy loop the counting-allocator
+/// tests measure, so it must not touch the heap.
 fn k_fill(mem: &mut DeviceMemory, _grid: Dim3, _block: Dim3, args: &[u8]) -> CudaResult<()> {
     let mut r = ArgReader::new(args);
     let ptr = r.ptr()?;
     let n = r.u32()?;
     let value = r.f32()?;
     r.finish()?;
-    mem.write_f32(ptr, &vec![value; n as usize])
+    let bytes = mem.buffer_mut(ptr, n.checked_mul(4).ok_or(CudaError::InvalidValue)?)?;
+    let le = value.to_le_bytes();
+    for slot in bytes.chunks_exact_mut(4) {
+        slot.copy_from_slice(&le);
+    }
+    Ok(())
 }
 
 #[cfg(test)]

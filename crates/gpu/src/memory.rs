@@ -138,6 +138,23 @@ impl DeviceMemory {
         Ok(buf[offset..offset + size as usize].to_vec())
     }
 
+    /// Device→host copy straight into a caller-provided buffer — the
+    /// allocation-free sibling of [`DeviceMemory::read`]. `out.len()` is the
+    /// transfer size.
+    pub fn read_into(&self, ptr: DevicePtr, out: &mut [u8]) -> CudaResult<()> {
+        let size = u32::try_from(out.len()).map_err(|_| CudaError::InvalidValue)?;
+        self.alloc.check_range(ptr, size)?;
+        if !self.backed {
+            out.fill(0);
+            return Ok(());
+        }
+        let (base, _) = self.alloc.containing(ptr)?;
+        let offset = (ptr.addr() - base.addr()) as usize;
+        let buf = self.buffers.get(&base.addr()).expect("buffer exists");
+        out.copy_from_slice(&buf[offset..offset + out.len()]);
+        Ok(())
+    }
+
     /// Device→device copy (`cudaMemcpyDeviceToDevice`).
     pub fn copy_within(&mut self, dst: DevicePtr, src: DevicePtr, size: u32) -> CudaResult<()> {
         let data = self.read(src, size)?;
@@ -236,6 +253,36 @@ mod tests {
         let mut m = mem();
         let p = m.malloc(64).unwrap();
         assert_eq!(m.read(p, 64).unwrap(), vec![0u8; 64]);
+    }
+
+    #[test]
+    fn read_into_matches_read() {
+        let mut m = mem();
+        let p = m.malloc(256).unwrap();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write(p, &data).unwrap();
+        let mut out = vec![0u8; 256];
+        m.read_into(p, &mut out).unwrap();
+        assert_eq!(out, data);
+        // Interior offsets work the same as `read`.
+        let mut out = [0u8; 5];
+        m.read_into(p.offset(10), &mut out).unwrap();
+        assert_eq!(out, [10, 11, 12, 13, 14]);
+        // Out-of-bounds is rejected without touching the output buffer.
+        let mut out = vec![0u8; 257];
+        assert_eq!(
+            m.read_into(p, &mut out),
+            Err(CudaError::InvalidDevicePointer)
+        );
+    }
+
+    #[test]
+    fn read_into_phantom_zeroes_the_buffer() {
+        let mut m = DeviceMemory::phantom(1 << 20);
+        let p = m.malloc(64).unwrap();
+        let mut out = [0xFFu8; 64];
+        m.read_into(p, &mut out).unwrap();
+        assert_eq!(out, [0u8; 64]);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod summary;
 pub use chrome::{chrome_trace, validate_chrome_trace};
 pub use event::{CallSpan, DaemonEvent, Dir, MessageEvent, ObsHandle, Observer, ServerSpan};
 pub use hist::{Histogram, BUCKETS};
-pub use metrics::SessionMetrics;
+pub use metrics::{PoolStats, SessionMetrics};
 pub use op::Op;
 pub use record::{MessageTotals, OpStats, Recorder, Report};
 pub use summary::{summary_json, summary_table};

@@ -31,6 +31,46 @@ pub struct SessionMetrics {
     pub retries: u64,
 }
 
+/// A point-in-time snapshot of a [`BufferPool`]'s counters.
+///
+/// The pool itself lives in `rcuda-proto` (next to the payload types it
+/// recycles); this snapshot lives here so the observability layer can report
+/// pool behaviour without a dependency cycle.
+///
+/// `hits / (hits + misses)` is the recycle rate: in a steady-state memcpy
+/// loop it converges to 1.0, which is exactly the "zero allocations per
+/// call" property the counting-allocator tests assert.
+///
+/// [`BufferPool`]: https://docs.rs/rcuda-proto
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// `get()` calls satisfied by a recycled buffer (no heap allocation).
+    pub hits: u64,
+    /// `get()` calls that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers returned to the pool on drop.
+    pub returns: u64,
+    /// Buffers dropped on return because their size class was full.
+    pub discards: u64,
+    /// Buffers currently held by the pool, across all size classes.
+    pub pooled: u64,
+    /// Capacity (bytes) of all buffers currently held by the pool.
+    pub pooled_bytes: u64,
+}
+
+impl PoolStats {
+    /// Fraction of `get()` calls served without allocating (1.0 when the
+    /// pool has never been asked for anything).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -39,6 +79,32 @@ mod tests {
     fn defaults_to_zero() {
         assert_eq!(SessionMetrics::default().bytes_sent, 0);
         assert_eq!(SessionMetrics::default(), SessionMetrics::default());
+    }
+
+    #[test]
+    fn pool_stats_hit_rate() {
+        assert_eq!(PoolStats::default().hit_rate(), 1.0);
+        let s = PoolStats {
+            hits: 3,
+            misses: 1,
+            ..PoolStats::default()
+        };
+        assert_eq!(s.hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn pool_stats_serde_round_trip() {
+        let s = PoolStats {
+            hits: 1,
+            misses: 2,
+            returns: 3,
+            discards: 4,
+            pooled: 5,
+            pooled_bytes: 6,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: PoolStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use std::io::{self, Read, Write};
 
 use crate::ids::FunctionId;
+use crate::payload::BufferPool;
 use crate::request::Request;
 use crate::response::Response;
 use crate::wire::{get_u32, put_u32};
@@ -93,12 +94,21 @@ impl Batch {
     /// Read the body of a batch frame whose `FunctionId::Batch` selector has
     /// already been consumed (see [`Frame::read`]).
     pub fn read_body<R: Read>(r: &mut R) -> io::Result<Batch> {
+        Self::read_body_pooled(r, None)
+    }
+
+    /// Like [`Batch::read_body`], but landing element payloads in buffers
+    /// recycled from `pool` when one is given.
+    pub fn read_body_pooled<R: Read>(r: &mut R, pool: Option<&BufferPool>) -> io::Result<Batch> {
         let count = get_u32(r)? as usize;
         // Capacity is clamped so a corrupt count cannot force a huge
         // allocation before the per-request reads start failing.
         let mut requests = Vec::with_capacity(count.min(1024));
         for _ in 0..count {
-            requests.push(Request::read(r)?);
+            let raw = get_u32(r)?;
+            let id = FunctionId::from_u32(raw)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            requests.push(Request::read_with_id_pooled(id, r, pool)?);
         }
         Ok(Batch { requests })
     }
@@ -168,13 +178,19 @@ pub enum Frame {
 impl Frame {
     /// Read the next frame (selector first).
     pub fn read<R: Read>(r: &mut R) -> io::Result<Frame> {
+        Self::read_pooled(r, None)
+    }
+
+    /// Like [`Frame::read`], but landing payload bytes in buffers recycled
+    /// from `pool` when one is given — the server worker's receive path.
+    pub fn read_pooled<R: Read>(r: &mut R, pool: Option<&BufferPool>) -> io::Result<Frame> {
         let raw = get_u32(r)?;
         let id =
             FunctionId::from_u32(raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         if id == FunctionId::Batch {
-            Ok(Frame::Batch(Batch::read_body(r)?))
+            Ok(Frame::Batch(Batch::read_body_pooled(r, pool)?))
         } else {
-            Ok(Frame::Single(Request::read_with_id(id, r)?))
+            Ok(Frame::Single(Request::read_with_id_pooled(id, r, pool)?))
         }
     }
 }
@@ -194,7 +210,7 @@ mod tests {
                 src: 0,
                 size: 4,
                 kind: MemcpyKind::HostToDevice,
-                data: Some(vec![1, 2, 3, 4]),
+                data: Some(vec![1, 2, 3, 4].into()),
             },
             Request::Memset {
                 dst: 0x2000,
@@ -313,7 +329,7 @@ mod tests {
         let resp = BatchResponse {
             responses: vec![
                 Response::Ack(Ok(())),
-                Response::MemcpyToHost(Ok(vec![7, 7, 7])),
+                Response::MemcpyToHost(Ok(vec![7, 7, 7].into())),
             ],
         };
         let mut buf = Vec::new();

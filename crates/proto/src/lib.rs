@@ -11,7 +11,8 @@
 //! * the exact field layouts of Table I ([`request`], [`response`]),
 //! * streaming encode/decode over any `Read`/`Write` pair ([`wire`]),
 //! * the message-size accounting that reproduces Table I ([`sizes`]),
-//! * the launch-configuration record carried by `cudaLaunch` ([`launch`]).
+//! * the launch-configuration record carried by `cudaLaunch` ([`launch`]),
+//! * pooled payload buffers for the copy-minimal data plane ([`payload`]).
 //!
 //! ## Framing
 //!
@@ -38,6 +39,7 @@ pub mod batch;
 pub mod handshake;
 pub mod ids;
 pub mod launch;
+pub mod payload;
 pub mod request;
 pub mod response;
 pub mod sizes;
@@ -47,6 +49,7 @@ pub use batch::{Batch, BatchResponse, Frame};
 pub use handshake::SessionHello;
 pub use ids::FunctionId;
 pub use launch::LaunchConfig;
+pub use payload::{BufferPool, Payload, PooledBuf};
 pub use request::Request;
 pub use response::Response;
 pub use sizes::{OpKind, OpSizes};

@@ -6,7 +6,8 @@ use rcuda_core::{CudaError, DevicePtr};
 
 use crate::ids::{FunctionId, MemcpyKind};
 use crate::launch::{LaunchConfig, LAUNCH_FIXED_BYTES};
-use crate::wire::{get_array, get_bytes, get_u32, put_bytes, put_u32};
+use crate::payload::{BufferPool, Payload};
+use crate::wire::{get_array, get_bytes, get_u32, put_bytes, put_u32, read_payload};
 
 /// A remote CUDA call as it travels client → server.
 ///
@@ -36,14 +37,14 @@ pub enum Request {
         /// Direction.
         kind: MemcpyKind,
         /// Payload (present only when the data flows client → server).
-        data: Option<Vec<u8>>,
+        data: Option<Payload>,
     },
     /// `cudaLaunch`. `region` is Table I's `x`: the NUL-terminated kernel
     /// name followed by the packed argument block at
     /// `config.parameters_offset`.
     Launch {
         config: LaunchConfig,
-        region: Vec<u8>,
+        region: Payload,
     },
     /// `cudaThreadSynchronize`.
     ThreadSynchronize,
@@ -62,7 +63,7 @@ pub enum Request {
         size: u32,
         kind: MemcpyKind,
         stream: u32,
-        data: Option<Vec<u8>>,
+        data: Option<Payload>,
     },
     /// `cudaMemset(dst, value, size)` (extension; `value` is the byte
     /// pattern, carried in a 4-byte field like every other scalar).
@@ -92,17 +93,51 @@ impl Request {
         }
         config.parameters_offset = region.len() as u32;
         region.extend_from_slice(params);
-        Request::Launch { config, region }
+        Request::Launch {
+            config,
+            region: region.into(),
+        }
     }
 
-    /// The kernel name carried by a `Launch` request (up to the first NUL).
-    pub fn kernel_name(region: &[u8], config: &LaunchConfig) -> Result<String, CudaError> {
+    /// Like [`Request::launch`] but staging the name region in a pooled
+    /// buffer, so a steady-state launch loop allocates nothing.
+    pub fn launch_pooled(
+        name: &str,
+        params: &[u8],
+        mut config: LaunchConfig,
+        pool: &BufferPool,
+    ) -> Request {
+        let nul = usize::from(!name.ends_with('\0'));
+        let mut region = pool.get(name.len() + nul + params.len());
+        region[..name.len()].copy_from_slice(name.as_bytes());
+        if nul == 1 {
+            region[name.len()] = 0;
+        }
+        config.parameters_offset = (name.len() + nul) as u32;
+        region[name.len() + nul..].copy_from_slice(params);
+        Request::Launch {
+            config,
+            region: region.into(),
+        }
+    }
+
+    /// The kernel name carried by a `Launch` request (up to the first NUL),
+    /// borrowed straight out of the region — no allocation.
+    pub fn kernel_name_str<'a>(
+        region: &'a [u8],
+        config: &LaunchConfig,
+    ) -> Result<&'a str, CudaError> {
         let name_end = region
             .iter()
             .take(config.parameters_offset as usize)
             .position(|&b| b == 0)
             .unwrap_or(config.parameters_offset as usize);
-        String::from_utf8(region[..name_end].to_vec()).map_err(|_| CudaError::InvalidValue)
+        std::str::from_utf8(&region[..name_end]).map_err(|_| CudaError::InvalidValue)
+    }
+
+    /// The kernel name carried by a `Launch` request, as an owned `String`.
+    pub fn kernel_name(region: &[u8], config: &LaunchConfig) -> Result<String, CudaError> {
+        Self::kernel_name_str(region, config).map(str::to_owned)
     }
 
     /// The packed argument bytes carried by a `Launch` request.
@@ -307,6 +342,17 @@ impl Request {
     /// (used by [`crate::batch::Frame::read`], which peeks at the selector to
     /// decide between a single request and a batch).
     pub fn read_with_id<R: Read>(id: FunctionId, r: &mut R) -> io::Result<Request> {
+        Self::read_with_id_pooled(id, r, None)
+    }
+
+    /// Like [`Request::read_with_id`], but landing payload bytes (memcpy
+    /// data, launch regions) in buffers recycled from `pool` when one is
+    /// given — the server worker's zero-allocation receive path.
+    pub fn read_with_id_pooled<R: Read>(
+        id: FunctionId,
+        r: &mut R,
+        pool: Option<&BufferPool>,
+    ) -> io::Result<Request> {
         Ok(match id {
             FunctionId::Batch => {
                 return Err(io::Error::new(
@@ -337,7 +383,7 @@ impl Request {
                 let kind = MemcpyKind::from_u32(get_u32(r)?)
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
                 let data = if wire_carries_payload(kind) {
-                    Some(get_bytes(r, size as usize)?)
+                    Some(read_payload(r, size as usize, pool)?)
                 } else {
                     None
                 };
@@ -353,7 +399,7 @@ impl Request {
                 let fixed: [u8; LAUNCH_FIXED_BYTES as usize] = get_array(r)?;
                 let config = LaunchConfig::from_wire(fixed);
                 let region_len = get_u32(r)? as usize;
-                let region = get_bytes(r, region_len)?;
+                let region = read_payload(r, region_len, pool)?;
                 Request::Launch { config, region }
             }
             FunctionId::ThreadSynchronize => Request::ThreadSynchronize,
@@ -373,7 +419,7 @@ impl Request {
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
                 let stream = get_u32(r)?;
                 let data = if wire_carries_payload(kind) {
-                    Some(get_bytes(r, size as usize)?)
+                    Some(read_payload(r, size as usize, pool)?)
                 } else {
                     None
                 };
@@ -452,7 +498,7 @@ mod tests {
             src: 0,
             size: 100,
             kind: MemcpyKind::HostToDevice,
-            data: Some(data),
+            data: Some(data.into()),
         };
         assert_eq!(round_trip(&req), req);
         assert_eq!(req.wire_bytes(), 120); // x + 20
@@ -527,7 +573,7 @@ mod tests {
                 src: 2,
                 size: 3,
                 kind: MemcpyKind::HostToDevice,
-                data: Some(vec![9, 9, 9]),
+                data: Some(vec![9, 9, 9].into()),
             },
             Request::Memcpy {
                 dst: 1,
@@ -548,7 +594,7 @@ mod tests {
                 size: 2,
                 kind: MemcpyKind::HostToDevice,
                 stream: 3,
-                data: Some(vec![1, 2]),
+                data: Some(vec![1, 2].into()),
             },
             Request::Memset {
                 dst: 1,
@@ -582,7 +628,7 @@ mod tests {
             src: 0,
             size: 0,
             kind: MemcpyKind::HostToDevice,
-            data: Some(vec![]),
+            data: Some(vec![].into()),
         };
         assert_eq!(h2d.op_name(), "cudaMemcpyH2D");
         let d2h = Request::Memcpy {

@@ -9,8 +9,9 @@ use std::io::{self, Read, Write};
 use rcuda_core::{error::result_code, CudaError, CudaResult, DevicePtr};
 
 use crate::ids::MemcpyKind;
+use crate::payload::{BufferPool, Payload};
 use crate::request::Request;
-use crate::wire::{get_bytes, get_u32, put_bytes, put_u32};
+use crate::wire::{get_bytes, get_u32, put_bytes, put_u32, read_payload};
 
 /// A server reply. Which variant is legal is determined by the request that
 /// elicited it; [`Response::read`] is therefore keyed on the request.
@@ -21,7 +22,7 @@ pub enum Response {
     /// `cudaMalloc`: result code + device pointer.
     Malloc(CudaResult<DevicePtr>),
     /// Device→host `cudaMemcpy`: result code + payload.
-    MemcpyToHost(CudaResult<Vec<u8>>),
+    MemcpyToHost(CudaResult<Payload>),
     /// `cudaGetDeviceProperties`: result code + length-prefixed blob.
     DeviceProps(CudaResult<Vec<u8>>),
     /// `cudaStreamCreate`: result code + stream handle.
@@ -113,6 +114,16 @@ impl Response {
     /// field, exactly as in the paper's protocol (the receiver knows how many
     /// bytes it asked for).
     pub fn read<R: Read>(r: &mut R, req: &Request) -> io::Result<Response> {
+        Self::read_pooled(r, req, None)
+    }
+
+    /// Like [`Response::read`], but landing device→host payload bytes in a
+    /// buffer recycled from `pool` when one is given.
+    pub fn read_pooled<R: Read>(
+        r: &mut R,
+        req: &Request,
+        pool: Option<&BufferPool>,
+    ) -> io::Result<Response> {
         let status = CudaError::from_code(get_u32(r)?);
         Ok(match req {
             Request::Malloc { .. } => match status {
@@ -125,7 +136,7 @@ impl Response {
                 if matches!(kind, MemcpyKind::DeviceToHost) =>
             {
                 match status {
-                    Ok(()) => Response::MemcpyToHost(Ok(get_bytes(r, *size as usize)?)),
+                    Ok(()) => Response::MemcpyToHost(Ok(read_payload(r, *size as usize, pool)?)),
                     Err(e) => Response::MemcpyToHost(Err(e)),
                 }
             }
@@ -152,6 +163,24 @@ impl Response {
         })
     }
 
+    /// The result code carried by any variant, by reference — the batch
+    /// drain's "did anything fail" check without cloning payloads.
+    pub fn status(&self) -> CudaResult<()> {
+        let failed = match self {
+            Response::Ack(r) => r.as_ref().err(),
+            Response::Malloc(r) => r.as_ref().err(),
+            Response::MemcpyToHost(r) => r.as_ref().err(),
+            Response::DeviceProps(r) => r.as_ref().err(),
+            Response::StreamCreate(r) => r.as_ref().err(),
+            Response::EventCreate(r) => r.as_ref().err(),
+            Response::EventElapsed(r) => r.as_ref().err(),
+        };
+        match failed {
+            Some(e) => Err(*e),
+            None => Ok(()),
+        }
+    }
+
     /// Unwrap as a bare acknowledgement.
     pub fn into_ack(self) -> CudaResult<()> {
         match self {
@@ -168,8 +197,14 @@ impl Response {
         }
     }
 
-    /// Unwrap as a device→host memcpy reply.
+    /// Unwrap as a device→host memcpy reply, materializing an owned `Vec`
+    /// (free when the payload is owned, one copy when pooled).
     pub fn into_memcpy_to_host(self) -> CudaResult<Vec<u8>> {
+        self.into_memcpy_payload().map(Payload::into_vec)
+    }
+
+    /// Unwrap as a device→host memcpy reply without forcing a `Vec`.
+    pub fn into_memcpy_payload(self) -> CudaResult<Payload> {
         match self {
             Response::MemcpyToHost(r) => r,
             other => unexpected(other),
@@ -229,7 +264,7 @@ mod tests {
             kind: MemcpyKind::DeviceToHost,
             data: None,
         };
-        let ok = Response::MemcpyToHost(Ok(vec![1, 2, 3, 4, 5, 6]));
+        let ok = Response::MemcpyToHost(Ok(vec![1, 2, 3, 4, 5, 6].into()));
         assert_eq!(round_trip(&ok, &req), ok);
         assert_eq!(ok.wire_bytes(), 10); // x + 4
 
@@ -244,7 +279,7 @@ mod tests {
             src: 0,
             size: 2,
             kind: MemcpyKind::HostToDevice,
-            data: Some(vec![1, 2]),
+            data: Some(vec![1, 2].into()),
         };
         let ok = Response::Ack(Ok(()));
         assert_eq!(round_trip(&ok, &req), ok); // Table I: to-device receive = 4
@@ -299,7 +334,7 @@ mod tests {
             stream: 1,
             data: None,
         };
-        let ok = Response::MemcpyToHost(Ok(vec![7, 8, 9]));
+        let ok = Response::MemcpyToHost(Ok(vec![7, 8, 9].into()));
         assert_eq!(round_trip(&ok, &req), ok);
     }
 
@@ -311,7 +346,7 @@ mod tests {
             Ok(DevicePtr::new(1))
         );
         assert_eq!(
-            Response::MemcpyToHost(Ok(vec![1])).into_memcpy_to_host(),
+            Response::MemcpyToHost(Ok(vec![1].into())).into_memcpy_to_host(),
             Ok(vec![1])
         );
     }

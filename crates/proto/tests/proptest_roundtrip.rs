@@ -7,7 +7,9 @@ use std::io::{Cursor, Read, Write};
 use rcuda_core::{CudaError, Dim3};
 use rcuda_proto::batch::BATCH_HEADER_BYTES;
 use rcuda_proto::ids::MemcpyKind;
-use rcuda_proto::{Batch, BatchResponse, Frame, LaunchConfig, Request, Response, SessionHello};
+use rcuda_proto::{
+    Batch, BatchResponse, BufferPool, Frame, LaunchConfig, Request, Response, SessionHello,
+};
 
 /// A reader that delivers its data in caller-chosen chunk sizes — the
 /// transport-level shape of partial reads. Once the schedule is exhausted it
@@ -111,7 +113,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 src,
                 size: data.len() as u32,
                 kind: MemcpyKind::HostToDevice,
-                data: Some(data),
+                data: Some(data.into()),
             }),
         (any::<u32>(), any::<u32>(), 0u32..=1 << 20).prop_map(|(dst, src, size)| {
             Request::Memcpy {
@@ -159,7 +161,7 @@ fn response_for(req: &Request, seed: u8, val: u32) -> Response {
             if fail {
                 Response::MemcpyToHost(Err(CudaError::InvalidDevicePointer))
             } else {
-                Response::MemcpyToHost(Ok(vec![seed; *size as usize]))
+                Response::MemcpyToHost(Ok(vec![seed; *size as usize].into()))
             }
         }
         Request::DeviceProps => Response::DeviceProps(Ok(val.to_le_bytes().to_vec())),
@@ -288,7 +290,7 @@ proptest! {
             kind: MemcpyKind::DeviceToHost,
             data: None,
         };
-        let resp = Response::MemcpyToHost(Ok(data));
+        let resp = Response::MemcpyToHost(Ok(data.into()));
         let mut buf = Vec::new();
         resp.write(&mut buf).unwrap();
         prop_assert_eq!(buf.len() as u64, resp.wire_bytes());
@@ -385,6 +387,71 @@ proptest! {
         buf[..4].copy_from_slice(&(reqs.len() as u32 + bogus_extra).to_le_bytes());
         let err = BatchResponse::read(&mut Cursor::new(&buf), &batch).unwrap_err();
         prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn pooled_frame_decode_matches_owned_decode(
+        reqs in proptest::collection::vec(arb_batchable_request(), 1..8),
+        chunks in proptest::collection::vec(1usize..7, 0..128),
+        as_batch in any::<bool>(),
+    ) {
+        // Pooled decode is an allocation strategy, not a format: for any
+        // payload and any read-split schedule it must produce frames
+        // byte-identical to the owned-Vec decode. Decoding the same stream
+        // twice through one pool also covers recycled (previously dirty)
+        // buffers, which must come back fully overwritten.
+        let mut buf = Vec::new();
+        if as_batch {
+            Batch::new(reqs.clone()).unwrap().write(&mut buf).unwrap();
+        } else {
+            for r in &reqs {
+                r.write(&mut buf).unwrap();
+            }
+        }
+        let frames = if as_batch { 1 } else { reqs.len() };
+
+        let mut owned = Cursor::new(&buf);
+        let pool = BufferPool::new();
+        for round in 0..2 {
+            owned.set_position(0);
+            let mut pooled = ChunkedReader::new(&buf, chunks.clone());
+            for _ in 0..frames {
+                let expect = Frame::read(&mut owned).unwrap();
+                let got = Frame::read_pooled(&mut pooled, Some(&pool)).unwrap();
+                // Payload equality is byte-wise, so Pooled == Owned holds
+                // exactly when the recycled buffer was refilled correctly.
+                prop_assert_eq!(got, expect, "round {}", round);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_d2h_response_decode_matches_owned(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        chunks in proptest::collection::vec(1usize..7, 0..64),
+    ) {
+        let req = Request::Memcpy {
+            dst: 0,
+            src: 64,
+            size: data.len() as u32,
+            kind: MemcpyKind::DeviceToHost,
+            data: None,
+        };
+        let resp = Response::MemcpyToHost(Ok(data.into()));
+        let mut buf = Vec::new();
+        resp.write(&mut buf).unwrap();
+
+        let pool = BufferPool::new();
+        for _ in 0..2 {
+            let mut r = ChunkedReader::new(&buf, chunks.clone());
+            let got = Response::read_pooled(&mut r, &req, Some(&pool)).unwrap();
+            prop_assert_eq!(&got, &resp);
+            // The pooled payload round-trips through re-encode bit-exactly:
+            // the wire format is unchanged by where the bytes live.
+            let mut reencoded = Vec::new();
+            got.write(&mut reencoded).unwrap();
+            prop_assert_eq!(&reencoded, &buf);
+        }
     }
 
     #[test]

@@ -8,13 +8,59 @@
 use rcuda_core::{CudaError, DevicePtr};
 use rcuda_gpu::GpuContext;
 use rcuda_proto::ids::MemcpyKind;
-use rcuda_proto::{Batch, BatchResponse, Request, Response};
+use rcuda_proto::payload::MAX_POOLED_BYTES;
+use rcuda_proto::{Batch, BatchResponse, BufferPool, Payload, Request, Response};
 
 /// Handle one request against the connection's context.
 ///
 /// Returns `None` for [`Request::Quit`] (the finalization stage: no reply
 /// beyond the acknowledgement is needed, the worker closes the session).
+///
+/// Convenience form of [`dispatch_pooled`] with no buffer pool: D2H replies
+/// are staged in freshly allocated `Vec`s.
 pub fn dispatch(ctx: &mut GpuContext, req: &Request) -> Option<Response> {
+    dispatch_pooled(ctx, req, None)
+}
+
+/// Stage a D2H reply: through the pool (context writes straight into a
+/// recycled buffer) when one is available and the size is poolable,
+/// otherwise through a fresh `Vec`.
+fn stage_d2h(
+    ctx: &mut GpuContext,
+    src: u32,
+    size: u32,
+    stream: Option<u32>,
+    pool: Option<&BufferPool>,
+) -> rcuda_core::CudaResult<Payload> {
+    match pool {
+        Some(pool) if size as usize <= MAX_POOLED_BYTES => {
+            let mut buf = pool.get(size as usize);
+            match stream {
+                Some(stream) => ctx.memcpy_d2h_async_into(DevicePtr::new(src), &mut buf, stream)?,
+                None => ctx.memcpy_d2h_into(DevicePtr::new(src), &mut buf)?,
+            }
+            Ok(Payload::Pooled(buf))
+        }
+        _ => match stream {
+            Some(stream) => ctx
+                .memcpy_d2h_async(DevicePtr::new(src), size, stream)
+                .map(Payload::Owned),
+            None => ctx
+                .memcpy_d2h(DevicePtr::new(src), size)
+                .map(Payload::Owned),
+        },
+    }
+}
+
+/// Handle one request against the connection's context, staging D2H reply
+/// payloads in `pool` when one is provided (the worker's steady-state path:
+/// device bytes land in a recycled buffer, the encoder writes it to the
+/// wire, and the buffer returns to the pool when the response is dropped).
+pub fn dispatch_pooled(
+    ctx: &mut GpuContext,
+    req: &Request,
+    pool: Option<&BufferPool>,
+) -> Option<Response> {
     Some(match req {
         Request::Init { module } => Response::Ack(ctx.load_module(module)),
         Request::Malloc { size } => Response::Malloc(ctx.malloc(*size)),
@@ -31,7 +77,7 @@ pub fn dispatch(ctx: &mut GpuContext, req: &Request) -> Option<Response> {
                 None => Response::Ack(Err(CudaError::InvalidValue)),
             },
             MemcpyKind::DeviceToHost => {
-                Response::MemcpyToHost(ctx.memcpy_d2h(DevicePtr::new(*src), *size))
+                Response::MemcpyToHost(stage_d2h(ctx, *src, *size, None, pool))
             }
             MemcpyKind::DeviceToDevice => {
                 Response::Ack(ctx.memcpy_d2d(DevicePtr::new(*dst), DevicePtr::new(*src), *size))
@@ -40,7 +86,9 @@ pub fn dispatch(ctx: &mut GpuContext, req: &Request) -> Option<Response> {
             MemcpyKind::HostToHost => Response::Ack(Err(CudaError::InvalidMemcpyDirection)),
         },
         Request::Launch { config, region } => {
-            let result = Request::kernel_name(region, config).and_then(|name| {
+            // `kernel_name_str` borrows the name out of the wire region:
+            // launch dispatch allocates nothing.
+            let result = Request::kernel_name_str(region, config).and_then(|name| {
                 let params = Request::kernel_params(region, config)?;
                 ctx.launch(
                     name.trim_end_matches('\0'),
@@ -75,7 +123,7 @@ pub fn dispatch(ctx: &mut GpuContext, req: &Request) -> Option<Response> {
                 None => Response::Ack(Err(CudaError::InvalidValue)),
             },
             MemcpyKind::DeviceToHost => {
-                Response::MemcpyToHost(ctx.memcpy_d2h_async(DevicePtr::new(*src), *size, *stream))
+                Response::MemcpyToHost(stage_d2h(ctx, *src, *size, Some(*stream), pool))
             }
             _ => Response::Ack(Err(CudaError::InvalidMemcpyDirection)),
         },
@@ -103,6 +151,15 @@ pub fn dispatch(ctx: &mut GpuContext, req: &Request) -> Option<Response> {
 /// sending the combined reply, and any elements after it are answered with
 /// `InvalidValue` without being executed (the session is already over).
 pub fn dispatch_batch(ctx: &mut GpuContext, batch: &Batch) -> (BatchResponse, bool) {
+    dispatch_batch_pooled(ctx, batch, None)
+}
+
+/// [`dispatch_batch`] with pooled D2H staging (see [`dispatch_pooled`]).
+pub fn dispatch_batch_pooled(
+    ctx: &mut GpuContext,
+    batch: &Batch,
+    pool: Option<&BufferPool>,
+) -> (BatchResponse, bool) {
     let mut responses = Vec::with_capacity(batch.len());
     let mut quit = false;
     for req in batch.requests() {
@@ -110,7 +167,7 @@ pub fn dispatch_batch(ctx: &mut GpuContext, batch: &Batch) -> (BatchResponse, bo
             responses.push(Response::Ack(Err(CudaError::InvalidValue)));
             continue;
         }
-        match dispatch(ctx, req) {
+        match dispatch_pooled(ctx, req, pool) {
             Some(resp) => responses.push(resp),
             None => {
                 responses.push(Response::Ack(Ok(())));
@@ -179,7 +236,7 @@ mod tests {
                 src: 0,
                 size: 8,
                 kind: MemcpyKind::HostToDevice,
-                data: Some(vec![1, 2, 3, 4, 5, 6, 7, 8]),
+                data: Some(vec![1, 2, 3, 4, 5, 6, 7, 8].into()),
             },
         )
         .unwrap();
@@ -197,8 +254,54 @@ mod tests {
         .unwrap();
         assert_eq!(
             resp,
-            Response::MemcpyToHost(Ok(vec![1, 2, 3, 4, 5, 6, 7, 8]))
+            Response::MemcpyToHost(Ok(vec![1, 2, 3, 4, 5, 6, 7, 8].into()))
         );
+    }
+
+    /// D2H through `dispatch_pooled` stages the reply in a pooled buffer
+    /// (byte-identical to the owned path) and recycles it across requests.
+    #[test]
+    fn pooled_d2h_stages_through_the_pool_and_recycles() {
+        let mut c = ctx();
+        init(&mut c);
+        let pool = BufferPool::new();
+        let ptr = match dispatch(&mut c, &Request::Malloc { size: 8 }).unwrap() {
+            Response::Malloc(Ok(p)) => p,
+            other => panic!("{other:?}"),
+        };
+        let h2d = Request::Memcpy {
+            dst: ptr.addr(),
+            src: 0,
+            size: 8,
+            kind: MemcpyKind::HostToDevice,
+            data: Some(vec![9, 8, 7, 6, 5, 4, 3, 2].into()),
+        };
+        assert_eq!(
+            dispatch_pooled(&mut c, &h2d, Some(&pool)).unwrap(),
+            Response::Ack(Ok(()))
+        );
+        let d2h = Request::Memcpy {
+            dst: 0,
+            src: ptr.addr(),
+            size: 8,
+            kind: MemcpyKind::DeviceToHost,
+            data: None,
+        };
+        for round in 0u64..3 {
+            let resp = dispatch_pooled(&mut c, &d2h, Some(&pool)).unwrap();
+            match resp {
+                Response::MemcpyToHost(Ok(p)) => {
+                    assert!(matches!(p, Payload::Pooled(_)), "staged through the pool");
+                    assert_eq!(p.as_slice(), &[9, 8, 7, 6, 5, 4, 3, 2]);
+                }
+                other => panic!("{other:?}"),
+            }
+            // The response (and its pooled buffer) dropped: rounds after
+            // the first are served from the recycled buffer.
+            let stats = pool.stats();
+            assert_eq!(stats.misses, 1, "round {round}: one cold allocation");
+            assert_eq!(stats.hits, round, "round {round}");
+        }
     }
 
     #[test]

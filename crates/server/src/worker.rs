@@ -10,10 +10,10 @@
 
 use rcuda_core::{CudaError, SharedClock, SimTime};
 use rcuda_gpu::{GpuContext, GpuDevice};
-use rcuda_obs::{DaemonEvent, ObsHandle, Op, ServerSpan};
+use rcuda_obs::{DaemonEvent, ObsHandle, Op, PoolStats, ServerSpan};
 use rcuda_proto::handshake::write_hello_reply;
 use rcuda_proto::ids::MemcpyKind;
-use rcuda_proto::{Batch, BatchResponse, Frame, Request, Response, SessionHello};
+use rcuda_proto::{Batch, BatchResponse, BufferPool, Frame, Request, Response, SessionHello};
 use rcuda_transport::Transport;
 use std::fmt;
 use std::io;
@@ -21,7 +21,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::dispatch::{dispatch, dispatch_batch};
+use crate::dispatch::{dispatch_batch_pooled, dispatch_pooled};
 use crate::registry::SessionRegistry;
 
 /// How long a reconnecting client's worker waits for the dead worker to
@@ -144,6 +144,10 @@ pub struct SessionReport {
     /// Device bytes returned to the device ledger when this worker released
     /// contexts (its own at exit, plus any session it evicted by parking).
     pub reclaimed_bytes: u64,
+    /// The connection's payload-buffer pool at session end: how often H2D
+    /// request bodies and D2H reply stagings were served from recycled
+    /// buffers rather than fresh allocations.
+    pub pool: PoolStats,
 }
 
 /// Serve one connection to completion.
@@ -179,6 +183,10 @@ pub fn serve_connection_with_registry<T: Transport>(
     registry: &SessionRegistry,
 ) -> io::Result<SessionReport> {
     let obs = config.observer.clone();
+    // One payload pool per connection: H2D request bodies are decoded into
+    // it and D2H replies staged from it, so the steady-state request loop
+    // recycles the same buffers instead of allocating per call.
+    let pool = BufferPool::new();
     // The worker keeps its own clock handle: the context takes ownership of
     // `clock` (it charges simulated GPU time to it), and the span timestamps
     // must come from that same clock so client and server spans line up.
@@ -201,7 +209,7 @@ pub fn serve_connection_with_registry<T: Transport>(
     let (mut ctx, session_token) = match SessionHello::read(&mut transport)? {
         SessionHello::Fresh { module } => {
             let mut ctx = fresh_ctx;
-            let resp = dispatch_observed(&mut ctx, &Request::Init { module }, &clk, &obs)
+            let resp = dispatch_observed(&mut ctx, &Request::Init { module }, None, &clk, &obs)
                 .expect("init never quits");
             resp.write(&mut transport)?;
             transport.flush()?;
@@ -209,7 +217,7 @@ pub fn serve_connection_with_registry<T: Transport>(
         }
         SessionHello::Resumable { session, module } => {
             let mut ctx = fresh_ctx;
-            let resp = dispatch_observed(&mut ctx, &Request::Init { module }, &clk, &obs)
+            let resp = dispatch_observed(&mut ctx, &Request::Init { module }, None, &clk, &obs)
                 .expect("init never quits");
             resp.write(&mut transport)?;
             transport.flush()?;
@@ -248,13 +256,13 @@ pub fn serve_connection_with_registry<T: Transport>(
     // bug, or the chaos hook) kills this one session — answered with a
     // correctly-shaped `cudaErrorLaunchFailure` so the client never
     // desyncs — and the daemon lives on.
-    while let Ok(frame) = Frame::read(&mut transport) {
+    while let Ok(frame) = Frame::read_pooled(&mut transport, Some(&pool)) {
         match frame {
             Frame::Single(req) => {
                 report.requests += 1;
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     config.chaos.fire(&req);
-                    dispatch_observed(&mut ctx, &req, &clk, &obs)
+                    dispatch_observed(&mut ctx, &req, Some(&pool), &clk, &obs)
                 }));
                 match outcome {
                     Ok(Some(resp)) => {
@@ -285,9 +293,16 @@ pub fn serve_connection_with_registry<T: Transport>(
                 report.requests += batch.len() as u64;
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     if obs.is_enabled() || config.chaos.is_armed() {
-                        dispatch_batch_observed(&mut ctx, &batch, &clk, &obs, &config.chaos)
+                        dispatch_batch_observed(
+                            &mut ctx,
+                            &batch,
+                            Some(&pool),
+                            &clk,
+                            &obs,
+                            &config.chaos,
+                        )
                     } else {
-                        dispatch_batch(&mut ctx, &batch)
+                        dispatch_batch_pooled(&mut ctx, &batch, Some(&pool))
                     }
                 }));
                 let (resp, quit) = match outcome {
@@ -331,6 +346,7 @@ pub fn serve_connection_with_registry<T: Transport>(
             report.reclaimed_bytes += release_context(ctx, &obs);
         }
     }
+    report.pool = pool.stats();
     Ok(report)
 }
 
@@ -377,14 +393,15 @@ fn panic_response(req: &Request) -> Response {
 fn dispatch_observed(
     ctx: &mut GpuContext,
     req: &Request,
+    pool: Option<&BufferPool>,
     clk: &SharedClock,
     obs: &ObsHandle,
 ) -> Option<Response> {
     if !obs.is_enabled() {
-        return dispatch(ctx, req);
+        return dispatch_pooled(ctx, req, pool);
     }
     let start = clk.now();
-    let resp = dispatch(ctx, req);
+    let resp = dispatch_pooled(ctx, req, pool);
     obs.emit_server(&ServerSpan {
         op: Op::Named(req.op_name()),
         queue_wait: SimTime::ZERO,
@@ -401,6 +418,7 @@ fn dispatch_observed(
 fn dispatch_batch_observed(
     ctx: &mut GpuContext,
     batch: &Batch,
+    pool: Option<&BufferPool>,
     clk: &SharedClock,
     obs: &ObsHandle,
     chaos: &ChaosHook,
@@ -417,7 +435,7 @@ fn dispatch_batch_observed(
         }
         chaos.fire(req);
         let start = clk.now();
-        let resp = dispatch(ctx, req);
+        let resp = dispatch_pooled(ctx, req, pool);
         obs.emit_server(&ServerSpan {
             op: Op::Named(req.op_name()),
             queue_wait: start.saturating_sub(frame_at),
@@ -720,7 +738,7 @@ mod tests {
             src: 0,
             size: 8,
             kind: MemcpyKind::HostToDevice,
-            data: Some(vec![1, 2, 3, 4, 5, 6, 7, 8]),
+            data: Some(vec![1, 2, 3, 4, 5, 6, 7, 8].into()),
         };
         h2d.write(&mut client).unwrap();
         client.flush().unwrap();

@@ -108,6 +108,18 @@ impl Write for ChannelTransport {
         Ok(buf.len())
     }
 
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        // The pending message is one Vec anyway: append every piece so a
+        // vectored caller completes in a single call.
+        let mut total = 0;
+        for b in bufs {
+            self.out_buf.extend_from_slice(b);
+            total += b.len();
+        }
+        self.stats.record_send(total as u64);
+        Ok(total)
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         self.deliver()
     }
@@ -171,6 +183,25 @@ mod tests {
         let (mut a, _b) = channel_pair();
         a.flush().unwrap();
         assert_eq!(a.stats().messages_sent, 0);
+    }
+
+    #[test]
+    fn vectored_write_appends_all_pieces_as_one_message() {
+        let (mut a, mut b) = channel_pair();
+        let n = a
+            .write_vectored(&[
+                io::IoSlice::new(b"head"),
+                io::IoSlice::new(b""),
+                io::IoSlice::new(b"body"),
+            ])
+            .unwrap();
+        assert_eq!(n, 8);
+        a.flush().unwrap();
+        let mut buf = [0u8; 8];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"headbody");
+        assert_eq!(a.stats().bytes_sent, 8);
+        assert_eq!(a.stats().messages_sent, 1);
     }
 
     #[test]

@@ -299,6 +299,9 @@ impl<T: Transport> Read for FaultInjector<T> {
 }
 
 impl<T: Transport> Write for FaultInjector<T> {
+    // `write_vectored` deliberately keeps the default implementation: it
+    // routes through `write`, so vectored callers see exactly the same
+    // per-write fault schedule as plain ones.
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         if self.dead {
             return Err(Self::dead_write_err());

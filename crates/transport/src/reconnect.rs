@@ -73,6 +73,12 @@ impl<T: Transport> Write for ReconnectTransport<T> {
         self.inner_mut()?.write(buf)
     }
 
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        // Forward so a vectored-capable inner transport (TCP) keeps its
+        // zero-copy path through the wrapper.
+        self.inner_mut()?.write_vectored(bufs)
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         self.inner_mut()?.flush()
     }

@@ -68,6 +68,12 @@ impl Write for SimTransport {
         self.inner.write(buf)
     }
 
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        let n = self.inner.write_vectored(bufs)?;
+        self.pending += n as u64;
+        Ok(n)
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         if self.pending > 0 {
             self.clock.advance(self.net.app_transfer(self.pending));

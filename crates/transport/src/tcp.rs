@@ -14,6 +14,16 @@ use std::time::Duration;
 use crate::stats::TransportStats;
 use crate::Transport;
 
+/// Buffer capacity for both directions of the socket, shared by `connect`
+/// and `reconnect` so the two paths cannot drift.
+const STREAM_BUF_CAPACITY: usize = 256 * 1024;
+
+/// Messages at or above this size bypass the `BufWriter` with one vectored
+/// write straight to the socket. Below it, copying into the write buffer is
+/// cheaper than an extra syscall and keeps small messages packed into as
+/// few segments as possible.
+const VECTORED_WRITE_MIN: usize = 64 * 1024;
+
 /// A TCP-backed transport endpoint.
 pub struct TcpTransport {
     reader: BufReader<TcpStream>,
@@ -49,8 +59,8 @@ impl TcpTransport {
     /// Wrap an accepted stream (sets `TCP_NODELAY`).
     pub fn from_stream(stream: TcpStream) -> io::Result<Self> {
         stream.set_nodelay(true)?;
-        let reader = BufReader::with_capacity(256 * 1024, stream.try_clone()?);
-        let writer = BufWriter::with_capacity(256 * 1024, stream);
+        let reader = BufReader::with_capacity(STREAM_BUF_CAPACITY, stream.try_clone()?);
+        let writer = BufWriter::with_capacity(STREAM_BUF_CAPACITY, stream);
         Ok(TcpTransport {
             reader,
             writer,
@@ -104,6 +114,36 @@ impl Write for TcpTransport {
         Ok(n)
     }
 
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        if total == 0 {
+            return Ok(0);
+        }
+        if total < VECTORED_WRITE_MIN {
+            // Small message: stage in the BufWriter like plain writes, so
+            // it still leaves in as few segments as possible.
+            for b in bufs {
+                self.writer.write_all(b)?;
+            }
+            self.stats.record_send(total as u64);
+            self.dirty = true;
+            self.pending_out += total as u64;
+            return Ok(total);
+        }
+        // Large message: drain the staging buffer, then hand the kernel all
+        // the pieces in one writev — the payload is never coalesced into an
+        // owned buffer. Only the BufWriter is flushed here; the message
+        // boundary (dirty/pending_out) is still marked by `flush`.
+        self.writer.flush()?;
+        let n = self.writer.get_mut().write_vectored(bufs)?;
+        self.stats.record_send(n as u64);
+        if n > 0 {
+            self.dirty = true;
+            self.pending_out += n as u64;
+        }
+        Ok(n)
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         if self.dirty {
             self.stats.record_message();
@@ -143,8 +183,8 @@ impl Transport for TcpTransport {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(self.read_timeout)?;
-        self.reader = BufReader::with_capacity(256 * 1024, stream.try_clone()?);
-        self.writer = BufWriter::with_capacity(256 * 1024, stream);
+        self.reader = BufReader::with_capacity(STREAM_BUF_CAPACITY, stream.try_clone()?);
+        self.writer = BufWriter::with_capacity(STREAM_BUF_CAPACITY, stream);
         self.dirty = false;
         self.pending_out = 0;
         self.awaiting_response = false;
@@ -229,6 +269,53 @@ mod tests {
         client.flush().unwrap();
         let mut ack = [0u8; 1];
         client.read_exact(&mut ack).unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn vectored_write_preserves_bytes_and_message_accounting() {
+        // One small (buffered) and one large (writev bypass) vectored
+        // message; both must arrive intact and count as exactly one message
+        // each, with byte totals matching the slices.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let small_body = vec![7u8; 100];
+        let large_body: Vec<u8> = (0..VECTORED_WRITE_MIN + 4096)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let expect_small = small_body.clone();
+        let expect_large = large_body.clone();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::from_stream(stream).unwrap();
+            let mut head = [0u8; 20];
+            let mut body = vec![0u8; expect_small.len()];
+            t.read_exact(&mut head).unwrap();
+            t.read_exact(&mut body).unwrap();
+            assert_eq!(head, [1u8; 20]);
+            assert_eq!(body, expect_small);
+            let mut body = vec![0u8; expect_large.len()];
+            t.read_exact(&mut head).unwrap();
+            t.read_exact(&mut body).unwrap();
+            assert_eq!(head, [2u8; 20]);
+            assert_eq!(body, expect_large);
+            t.write_all(&[0]).unwrap();
+            t.flush().unwrap();
+        });
+
+        let mut client = TcpTransport::connect(addr).unwrap();
+        rcuda_proto::wire::write_all_vectored(&mut client, &[1u8; 20], &small_body).unwrap();
+        client.flush().unwrap();
+        rcuda_proto::wire::write_all_vectored(&mut client, &[2u8; 20], &large_body).unwrap();
+        client.flush().unwrap();
+        let mut ack = [0u8; 1];
+        client.read_exact(&mut ack).unwrap();
+        let stats = client.stats();
+        assert_eq!(
+            stats.bytes_sent,
+            (20 + small_body.len() + 20 + large_body.len()) as u64
+        );
+        assert_eq!(stats.messages_sent, 2, "one flush per message");
         server.join().unwrap();
     }
 

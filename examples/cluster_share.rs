@@ -14,6 +14,7 @@ use rcuda::gpu::GpuDevice;
 use rcuda::kernels::workload::matrix_pair;
 use rcuda::model::render::TextTable;
 use rcuda::netsim::{NetworkId, SharedLink};
+use rcuda::proto::wire::f32s_to_bytes;
 use rcuda::server::RcudaDaemon;
 use rcuda::session;
 use std::sync::Arc;
@@ -42,11 +43,15 @@ fn concurrent_sharing(clients: usize) {
             thread::spawn(move || {
                 let clock = wall_clock();
                 let (a, b) = matrix_pair(m as usize, seed);
-                let f = |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
                 let mut rt = session::Session::builder().tcp(addr).unwrap();
-                let report =
-                    run_matmul_bytes(&mut rt, &*clock, m, &f(a.as_slice()), &f(b.as_slice()))
-                        .unwrap();
+                let report = run_matmul_bytes(
+                    &mut rt,
+                    &*clock,
+                    m,
+                    &f32s_to_bytes(a.as_slice()),
+                    &f32s_to_bytes(b.as_slice()),
+                )
+                .unwrap();
                 // Checksum so the main thread can spot cross-talk.
                 let sum: f64 = report
                     .output
@@ -63,15 +68,19 @@ fn concurrent_sharing(clients: usize) {
         // Recompute locally to verify isolation under concurrency.
         let clock = wall_clock();
         let (a, b) = matrix_pair(m as usize, seed);
-        let f = |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
         let mut local = session::local_functional();
-        let expect: f64 =
-            run_matmul_bytes(&mut local, &*clock, m, &f(a.as_slice()), &f(b.as_slice()))
-                .unwrap()
-                .output
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().unwrap()) as f64)
-                .sum();
+        let expect: f64 = run_matmul_bytes(
+            &mut local,
+            &*clock,
+            m,
+            &f32s_to_bytes(a.as_slice()),
+            &f32s_to_bytes(b.as_slice()),
+        )
+        .unwrap()
+        .output
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()) as f64)
+        .sum();
         assert_eq!(sum, expect, "client {seed} saw another session's data!");
         println!("  client {seed}: checksum {sum:.3} ✓ (matches local run)");
     }

@@ -21,6 +21,7 @@ use rcuda::model::render::{secs, TextTable};
 use rcuda::model::tables::table6;
 use rcuda::model::SimulatedTestbed;
 use rcuda::netsim::NetworkId;
+use rcuda::proto::wire::f32s_to_bytes;
 use rcuda::session;
 
 fn main() {
@@ -32,8 +33,7 @@ fn main() {
 fn functional_proof() {
     let m = 64u32;
     let (a, b) = matrix_pair(m as usize, 7);
-    let to_bytes = |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|f| f.to_le_bytes()).collect() };
-    let (a, b) = (to_bytes(a.as_slice()), to_bytes(b.as_slice()));
+    let (a, b) = (f32s_to_bytes(a.as_slice()), f32s_to_bytes(b.as_slice()));
 
     let clock = wall_clock();
     let mut local = session::local_functional();

@@ -10,6 +10,7 @@ use rcuda::api::CudaRuntime;
 use rcuda::core::{ArgPack, Dim3};
 use rcuda::gpu::module::build_module;
 use rcuda::gpu::GpuDevice;
+use rcuda::proto::wire::f32s_to_bytes;
 use rcuda::server::RcudaDaemon;
 use rcuda::session;
 
@@ -32,13 +33,11 @@ fn main() {
     let n = 8u32;
     let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
     let y: Vec<f32> = (0..n).map(|i| (10 * i) as f32).collect();
-    let bytes = |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|f| f.to_le_bytes()).collect() };
-
     let a = rt.malloc(n * 4).unwrap();
     let b = rt.malloc(n * 4).unwrap();
     let c = rt.malloc(n * 4).unwrap();
-    rt.memcpy_h2d(a, &bytes(&x)).unwrap();
-    rt.memcpy_h2d(b, &bytes(&y)).unwrap();
+    rt.memcpy_h2d(a, &f32s_to_bytes(&x)).unwrap();
+    rt.memcpy_h2d(b, &f32s_to_bytes(&y)).unwrap();
 
     let args = ArgPack::new()
         .push_ptr(a)

@@ -22,6 +22,13 @@ observed=$(cargo run -q --release --example observed_matmul "$trace_out")
 grep -q "trace schema OK" <<<"$observed"
 test -s "$trace_out" || { echo "observed_matmul wrote no trace" >&2; exit 1; }
 
+echo "== memcpy data-plane bench smoke ==" >&2
+BENCH_MEMCPY_OUT="$PWD/target/BENCH_memcpy.json" \
+    cargo bench -q -p rcuda-bench --bench memcpy_path -- --test >/dev/null
+python3 -c "import json; json.load(open('target/BENCH_memcpy.json'))" 2>/dev/null \
+    || grep -q '"bench": "memcpy_path"' target/BENCH_memcpy.json
+test -s target/BENCH_memcpy.json || { echo "memcpy bench wrote no artifact" >&2; exit 1; }
+
 echo "== cargo fmt --check ==" >&2
 cargo fmt --all --check
 
@@ -33,5 +40,11 @@ cargo clippy -p rcuda-obs --all-targets -- -D warnings
 
 echo "== cargo clippy -p rcuda-server -D warnings ==" >&2
 cargo clippy -p rcuda-server --all-targets -- -D warnings
+
+echo "== cargo clippy -p rcuda-proto -D warnings ==" >&2
+cargo clippy -p rcuda-proto --all-targets -- -D warnings
+
+echo "== cargo clippy -p rcuda-transport -D warnings ==" >&2
+cargo clippy -p rcuda-transport --all-targets -- -D warnings
 
 echo "All checks passed." >&2

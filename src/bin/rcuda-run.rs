@@ -17,6 +17,7 @@ use rcuda::kernels::complex::complex_to_bytes;
 use rcuda::kernels::fft::fft_batch_512;
 use rcuda::kernels::matrix::CpuSgemm;
 use rcuda::kernels::workload::{fft_input, matrix_pair};
+use rcuda::proto::wire::f32s_to_bytes;
 use rcuda::session;
 
 fn usage(msg: &str) -> ! {
@@ -67,14 +68,12 @@ fn main() {
         "mm" => {
             let m = size;
             let (a, b) = matrix_pair(m as usize, seed);
-            let to_bytes =
-                |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|f| f.to_le_bytes()).collect() };
             let report = run_matmul_bytes(
                 &mut rt,
                 &*clock,
                 m,
-                &to_bytes(a.as_slice()),
-                &to_bytes(b.as_slice()),
+                &f32s_to_bytes(a.as_slice()),
+                &f32s_to_bytes(b.as_slice()),
             )
             .expect("remote MM failed");
             // Verify against a local 8-thread reference.
