@@ -101,7 +101,10 @@ fn bench_batching(c: &mut Criterion) {
     });
 
     // Loopback TCP substrate: small functional batch against a live daemon.
-    let daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let addr = daemon.local_addr();
     let batch = 16u32;
     let input = complex_to_bytes(&fft_input(batch as usize, 7));

@@ -1,0 +1,201 @@
+//! Session-concurrency throughput of the sharded reactor, measured: full
+//! session lifecycles per second and per-call p50/p99 round-trip latency
+//! with 100, 1 000 and 10 000 concurrent sessions multiplexed onto a
+//! fixed shard pool.
+//!
+//! Sessions are opened through `RcudaDaemon::connect_in_process` so the
+//! bench exercises the reactor core (admission, registration, decode,
+//! dispatch, finalize) without consuming 10 000 file descriptors. Beyond
+//! the criterion timings, the bench always writes a machine-readable
+//! artifact — `target/BENCH_concurrency.json` (override with
+//! `BENCH_CONCURRENCY_OUT`) — so CI can diff scheduler regressions run
+//! over run without parsing criterion's output directory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcuda_gpu::module::build_module;
+use rcuda_proto::{Request, Response};
+use rcuda_server::{DaemonBuilder, RcudaDaemon};
+use serde_json::json;
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+/// Concurrent-session levels from the acceptance bar: two orders of
+/// magnitude past the point where thread-per-connection stops scaling.
+const LEVELS: [usize; 3] = [100, 1_000, 10_000];
+/// Client threads driving each level (the daemon side stays at its fixed
+/// shard pool regardless).
+const DRIVERS: usize = 8;
+const SHARDS: usize = 4;
+
+fn daemon() -> RcudaDaemon {
+    DaemonBuilder::new()
+        .phantom_memory(true)
+        .shards(SHARDS)
+        .bind("127.0.0.1:0")
+        .unwrap()
+}
+
+/// `sorted` ascending; classic nearest-rank percentile.
+fn pctl(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Run `n` concurrent sessions through open → init → malloc → free → quit,
+/// returning `(total_secs, per-call latencies in seconds)`.
+fn run_level(daemon: &RcudaDaemon, n: usize) -> (f64, Vec<f64>) {
+    let module = build_module(&[], 0);
+    let begun = Instant::now();
+    let mut latencies: Vec<f64> = Vec::with_capacity(n * 2);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..DRIVERS)
+            .map(|d| {
+                let module = &module;
+                s.spawn(move || {
+                    let share = n / DRIVERS + usize::from(d < n % DRIVERS);
+                    let mut conns = Vec::with_capacity(share);
+                    let mut cc = [0u8; 8];
+                    for _ in 0..share {
+                        let mut t = daemon.connect_in_process();
+                        t.read_exact(&mut cc).expect("compute-capability hello");
+                        conns.push(t);
+                    }
+                    // Handshakes pipelined: every session becomes live.
+                    let init = Request::Init {
+                        module: module.clone(),
+                    };
+                    for t in &mut conns {
+                        init.write(t).unwrap();
+                        t.flush().unwrap();
+                    }
+                    for t in &mut conns {
+                        Response::read(t, &init).unwrap().into_ack().unwrap();
+                    }
+                    // Latency probes: synchronous round trips, one in
+                    // flight per session, while the other ~n sessions stay
+                    // registered on the same shards.
+                    let mut lat = Vec::with_capacity(share * 2);
+                    let malloc = Request::Malloc { size: 4096 };
+                    for t in &mut conns {
+                        let t0 = Instant::now();
+                        malloc.write(t).unwrap();
+                        t.flush().unwrap();
+                        let ptr = Response::read(t, &malloc).unwrap().into_malloc().unwrap();
+                        lat.push(t0.elapsed().as_secs_f64());
+                        let free = Request::Free { ptr };
+                        let t0 = Instant::now();
+                        free.write(t).unwrap();
+                        t.flush().unwrap();
+                        Response::read(t, &free).unwrap().into_ack().unwrap();
+                        lat.push(t0.elapsed().as_secs_f64());
+                    }
+                    for t in &mut conns {
+                        Request::Quit.write(t).unwrap();
+                        t.flush().unwrap();
+                    }
+                    for t in &mut conns {
+                        Response::read(t, &Request::Quit)
+                            .unwrap()
+                            .into_ack()
+                            .unwrap();
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().unwrap());
+        }
+    });
+    let total = begun.elapsed().as_secs_f64();
+    (total, latencies)
+}
+
+fn write_artifact() {
+    let mut levels = Vec::new();
+    let mut served_before = 0u64;
+    let daemon = daemon();
+    for n in LEVELS {
+        let (total, mut lat) = run_level(&daemon, n);
+        assert!(
+            daemon.wait_for_sessions(served_before + n as u64, Duration::from_secs(120)),
+            "level {n}: all sessions complete"
+        );
+        served_before += n as u64;
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let p50 = pctl(&lat, 0.50) * 1e6;
+        let p99 = pctl(&lat, 0.99) * 1e6;
+        let rate = n as f64 / total;
+        println!(
+            "  {n} concurrent sessions on {SHARDS} shards: \
+             {rate:.0} sessions/s, call latency p50 {p50:.0} µs, p99 {p99:.0} µs"
+        );
+        levels.push(json!({
+            "sessions": n,
+            "shards": SHARDS,
+            "drivers": DRIVERS,
+            "total_secs": total,
+            "sessions_per_sec": rate,
+            "calls": lat.len(),
+            "call_p50_us": p50,
+            "call_p99_us": p99,
+            "call_max_us": lat.last().copied().unwrap_or(0.0) * 1e6,
+        }));
+    }
+    let health = daemon.health();
+    assert_eq!(health.rejected, 0, "no level was shed");
+    assert_eq!(health.panics, 0);
+
+    let artifact = json!({
+        "bench": "concurrency",
+        "transport": "in-process-channel",
+        "levels": levels,
+    });
+    // Benches run with the package dir as cwd; anchor the default to the
+    // workspace target dir so the artifact lands where CI looks for it.
+    let path = std::env::var("BENCH_CONCURRENCY_OUT").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_concurrency.json"
+        )
+        .to_string()
+    });
+    std::fs::write(&path, serde_json::to_string_pretty(&artifact).unwrap()).unwrap();
+    println!("  wrote {path}");
+}
+
+fn bench_concurrency(c: &mut Criterion) {
+    write_artifact();
+
+    // Criterion timing: one full session lifecycle against a warm daemon
+    // (the per-session cost the levels above pay n times concurrently).
+    let daemon = daemon();
+    let module = build_module(&[], 0);
+    let mut g = c.benchmark_group("concurrency");
+    g.bench_function("session_lifecycle", |b| {
+        b.iter(|| {
+            let mut t = daemon.connect_in_process();
+            let mut cc = [0u8; 8];
+            t.read_exact(&mut cc).unwrap();
+            let init = Request::Init {
+                module: module.clone(),
+            };
+            init.write(&mut t).unwrap();
+            t.flush().unwrap();
+            Response::read(&mut t, &init).unwrap().into_ack().unwrap();
+            Request::Quit.write(&mut t).unwrap();
+            t.flush().unwrap();
+            Response::read(&mut t, &Request::Quit)
+                .unwrap()
+                .into_ack()
+                .unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_concurrency);
+criterion_main!(benches);

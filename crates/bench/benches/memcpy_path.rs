@@ -31,7 +31,10 @@ struct Rig {
 }
 
 fn rig() -> Rig {
-    let daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let transport = TcpTransport::connect(daemon.local_addr()).unwrap();
     let mut rt = RemoteRuntime::new(transport, wall_clock());
     rt.initialize(&rcuda_gpu::module::build_module(&["fill"], 0))

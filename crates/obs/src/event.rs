@@ -84,6 +84,39 @@ pub enum DaemonEvent {
     /// Device bytes returned to the allocator when a session's context was
     /// released (worker exit, eviction, or drain).
     BytesReclaimed { bytes: u64 },
+    /// The accept loop hit a transient error (e.g. `EMFILE`) and backed off
+    /// instead of retrying hot: it slept `backoff_ms` after
+    /// `consecutive_errors` failures in a row.
+    AcceptThrottled {
+        consecutive_errors: u32,
+        backoff_ms: u64,
+    },
+}
+
+/// One readiness pass of a reactor shard that did useful work: how loaded
+/// the shard was and how much it moved. Idle passes are not reported, so
+/// the stream's density tracks actual activity, not spin rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpan {
+    /// Which shard (0-based, stable for the daemon's lifetime).
+    pub shard: u32,
+    /// Connections registered on the shard at the end of the pass.
+    pub sessions: u32,
+    /// Freshly-admitted connections waiting in the shard's injector queue
+    /// when the pass began (queue depth).
+    pub queue_depth: u32,
+    /// Frames dispatched during the pass.
+    pub frames: u32,
+    /// Pass start on the shard's clock.
+    pub start: SimTime,
+    /// Pass end.
+    pub end: SimTime,
+}
+
+impl ShardSpan {
+    pub fn duration(&self) -> SimTime {
+        self.end.saturating_sub(self.start)
+    }
 }
 
 /// A sink for observability events. All methods default to no-ops so
@@ -97,6 +130,7 @@ pub trait Observer: Send + Sync {
     fn reconnect(&self) {}
     fn server_span(&self, _span: &ServerSpan) {}
     fn daemon_event(&self, _event: &DaemonEvent) {}
+    fn shard_span(&self, _span: &ShardSpan) {}
 }
 
 /// The nullable observer handle held by instrumented layers.
@@ -166,6 +200,13 @@ impl ObsHandle {
     pub fn emit_daemon(&self, event: DaemonEvent) {
         if let Some(obs) = &self.observer {
             obs.daemon_event(&event);
+        }
+    }
+
+    #[inline]
+    pub fn emit_shard(&self, span: &ShardSpan) {
+        if let Some(obs) = &self.observer {
+            obs.shard_span(span);
         }
     }
 }

@@ -33,7 +33,9 @@ pub mod record;
 pub mod summary;
 
 pub use chrome::{chrome_trace, validate_chrome_trace};
-pub use event::{CallSpan, DaemonEvent, Dir, MessageEvent, ObsHandle, Observer, ServerSpan};
+pub use event::{
+    CallSpan, DaemonEvent, Dir, MessageEvent, ObsHandle, Observer, ServerSpan, ShardSpan,
+};
 pub use hist::{Histogram, BUCKETS};
 pub use metrics::{PoolStats, SessionMetrics};
 pub use op::Op;

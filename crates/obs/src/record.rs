@@ -7,7 +7,9 @@
 //! by operation group so call time can be split into network and
 //! GPU-service components.
 
-use crate::event::{CallSpan, DaemonEvent, Dir, MessageEvent, ObsHandle, Observer, ServerSpan};
+use crate::event::{
+    CallSpan, DaemonEvent, Dir, MessageEvent, ObsHandle, Observer, ServerSpan, ShardSpan,
+};
 use crate::hist::Histogram;
 use crate::op::Op;
 use parking_lot::Mutex;
@@ -23,6 +25,7 @@ struct RecState {
     retries: u64,
     reconnects: u64,
     daemon_events: Vec<DaemonEvent>,
+    shard_spans: Vec<ShardSpan>,
 }
 
 /// An [`Observer`] that records everything for later aggregation.
@@ -88,6 +91,7 @@ impl Recorder {
             retries: state.retries,
             reconnects: state.reconnects,
             daemon_events: state.daemon_events.clone(),
+            shard_spans: state.shard_spans.clone(),
         }
     }
 }
@@ -124,6 +128,10 @@ impl Observer for Recorder {
 
     fn daemon_event(&self, event: &DaemonEvent) {
         self.state.lock().daemon_events.push(*event);
+    }
+
+    fn shard_span(&self, span: &ShardSpan) {
+        self.state.lock().shard_spans.push(*span);
     }
 }
 
@@ -179,6 +187,8 @@ pub struct Report {
     pub reconnects: u64,
     /// Daemon lifecycle events (admission, reclamation, panics), in order.
     pub daemon_events: Vec<DaemonEvent>,
+    /// Reactor readiness-loop passes that did work, in order.
+    pub shard_spans: Vec<ShardSpan>,
 }
 
 impl Report {

@@ -36,6 +36,7 @@
 //! `8 + 4 = 12` bytes — Table I's Initialization row.
 
 pub mod batch;
+pub mod decode;
 pub mod handshake;
 pub mod ids;
 pub mod launch;
@@ -46,6 +47,7 @@ pub mod sizes;
 pub mod wire;
 
 pub use batch::{Batch, BatchResponse, Frame};
+pub use decode::{scan_frame, scan_hello, Scan, StreamDecoder};
 pub use handshake::SessionHello;
 pub use ids::FunctionId;
 pub use launch::LaunchConfig;

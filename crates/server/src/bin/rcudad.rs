@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! rcudad [--listen ADDR] [--gpus N] [--policy round-robin|least-loaded]
-//!        [--cold-context] [--once N]
+//!        [--shards N] [--cold-context] [--once N]
 //!        [--max-sessions N] [--max-parked N] [--quota BYTES]
 //! ```
 //!
 //! * `--listen` — bind address (default `127.0.0.1:8308`; use port 0 for an
 //!   ephemeral port, printed at startup).
 //! * `--gpus` — size of the simulated GPU pool (default 1).
+//! * `--shards` — reactor shard threads serving all connections (default:
+//!   host parallelism, clamped to 1..=8).
 //! * `--policy` — session placement across the pool (default round-robin).
 //! * `--cold-context` — do NOT pre-initialize contexts (ablation of the
 //!   warm-daemon behavior, §VI-B).
@@ -31,8 +33,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("rcudad: {msg}");
     eprintln!(
         "usage: rcudad [--listen ADDR] [--gpus N] \
-         [--policy round-robin|least-loaded] [--cold-context] [--once N] \
-         [--max-sessions N] [--max-parked N] [--quota BYTES]"
+         [--policy round-robin|least-loaded] [--shards N] [--cold-context] \
+         [--once N] [--max-sessions N] [--max-parked N] [--quota BYTES]"
     );
     std::process::exit(2);
 }
@@ -40,6 +42,7 @@ fn usage(msg: &str) -> ! {
 fn main() {
     let mut listen = "127.0.0.1:8308".to_string();
     let mut gpus = 1usize;
+    let mut shards: Option<usize> = None;
     let mut policy = PoolPolicy::RoundRobin;
     let mut preinit = true;
     let mut once: Option<u64> = None;
@@ -61,6 +64,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| usage("--gpus needs a positive integer"));
+            }
+            "--shards" => {
+                shards = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage("--shards needs a positive integer")),
+                );
             }
             "--policy" => match args.next().as_deref() {
                 Some("round-robin") => policy = PoolPolicy::RoundRobin,
@@ -118,7 +129,13 @@ fn main() {
         session_mem_quota: quota,
         ..Default::default()
     };
-    let mut daemon = match RcudaDaemon::bind_pool(&listen, Arc::clone(&pool), config) {
+    let mut builder = RcudaDaemon::builder()
+        .pool(Arc::clone(&pool))
+        .config(config);
+    if let Some(n) = shards {
+        builder = builder.shards(n);
+    }
+    let mut daemon = match builder.bind(&listen) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("rcudad: cannot bind {listen}: {e}");
@@ -126,11 +143,12 @@ fn main() {
         }
     };
     println!(
-        "rcudad: serving {} simulated Tesla C1060 GPU(s) on {} ({:?} placement, {} contexts)",
+        "rcudad: serving {} simulated Tesla C1060 GPU(s) on {} ({:?} placement, {} contexts, {} shard(s))",
         gpus,
         daemon.local_addr(),
         policy,
         if preinit { "warm" } else { "cold" },
+        daemon.shard_count(),
     );
 
     match once {

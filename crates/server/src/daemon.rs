@@ -1,9 +1,12 @@
-//! The TCP daemon: accept loop + one worker thread per connection.
+//! The TCP daemon: accept loop + the sharded reactor core.
 //!
-//! Worker threads stand in for the original middleware's per-execution
-//! server processes; each gets its own pre-initialized GPU context, so
-//! multiple clients time-multiplex the device concurrently and in isolation
-//! (§III, Fig. 1).
+//! Admitted connections are multiplexed onto a small fixed pool of reactor
+//! shards (see [`crate::reactor`]) instead of one thread per connection:
+//! the thread count is set by [`DaemonBuilder::shards`], not by how many
+//! clients are connected, so thousands of concurrent remote executions
+//! cost neither stacks nor scheduler churn. Each session still gets its
+//! own pre-initialized GPU context, so multiple clients time-multiplex the
+//! device concurrently and in isolation (§III, Fig. 1).
 //!
 //! The multi-tenant hardening layer lives here:
 //!
@@ -11,88 +14,74 @@
 //!   (or arriving while `max_parked` sessions sit parked) are shed at the
 //!   handshake with an 8-byte `Busy { retry_after_ms }` frame instead of a
 //!   compute capability, then closed. Legacy clients still parse the frame.
+//! * **Accept backoff** — transient accept errors (`EMFILE` above all)
+//!   back off with jittered exponential sleeps instead of spinning hot,
+//!   reported as [`DaemonEvent::AcceptThrottled`].
 //! * **[`DaemonHealth`]** — a consistent snapshot of admission, panic, and
-//!   reclamation counters. After all workers finish,
+//!   reclamation counters. After all sessions finish,
 //!   `rejected + served == attempted`.
 //! * **[`RcudaDaemon::drain`]** — graceful shutdown: stop accepting, let
 //!   in-flight sessions finish until the deadline, then hard-stop the
 //!   stragglers by shutting their sockets down, and reclaim every parked
 //!   context so the device ledger returns to baseline.
+//!
+//! Construct daemons with [`DaemonBuilder`]; the free-standing `bind*`
+//! constructors remain as deprecated shims.
 
-use parking_lot::Mutex;
-use rcuda_core::time::wall_clock;
 use rcuda_gpu::GpuDevice;
-use rcuda_obs::{DaemonEvent, ObsHandle};
+use rcuda_obs::DaemonEvent;
 use rcuda_proto::handshake::ServerHello;
-use rcuda_transport::TcpTransport;
+use rcuda_transport::{channel_pair, ChannelTransport, TcpTransport};
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
-use crate::pool::{GpuPool, PoolPolicy};
-use crate::registry::SessionRegistry;
-use crate::worker::{release_context, serve_connection_with_registry, ServerConfig, SessionReport};
+use crate::builder::DaemonBuilder;
+use crate::pool::GpuPool;
+use crate::reactor::{NewConn, Reactor, Shared};
+use crate::worker::{release_context, ServerConfig, SessionReport};
 
-/// Atomic daemon counters, shared between the accept loop, the workers,
-/// and [`DaemonHealth`] snapshots.
-#[derive(Default)]
-struct Counters {
-    attempted: AtomicU64,
-    admitted: AtomicU64,
-    rejected: AtomicU64,
-    served: AtomicU64,
-    live: AtomicU64,
-    accept_errors: AtomicU64,
-    panics: AtomicU64,
-    reclaimed_bytes: AtomicU64,
-}
+/// Longest single accept-error backoff, in milliseconds (before jitter).
+const ACCEPT_BACKOFF_CAP_MS: u64 = 64;
 
 /// A point-in-time snapshot of the daemon's admission and resource
-/// accounting. The balance invariant — once every worker has finished
+/// accounting. The balance invariant — once every session has finished
 /// (e.g. after [`RcudaDaemon::drain`]) — is
 /// `rejected + served == attempted`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DaemonHealth {
     /// Connections the listener accepted (before admission).
     pub attempted: u64,
-    /// Connections admitted to a worker.
+    /// Connections admitted to the reactor.
     pub admitted: u64,
     /// Connections shed with a `Busy` frame.
     pub rejected: u64,
-    /// Worker threads that have finished, whatever the outcome.
+    /// Sessions that have finished, whatever the outcome.
     pub served: u64,
     /// Sessions currently being served.
     pub live_sessions: u64,
     /// Sessions currently parked awaiting reconnect.
     pub parked: usize,
-    /// `listener.incoming()` errors (previously swallowed silently).
+    /// Accept errors (previously swallowed silently).
     pub accept_errors: u64,
     /// Sessions killed by a dispatch panic (the daemon survived each).
     pub panics: u64,
-    /// Device bytes returned via context release (worker exit, eviction,
+    /// Device bytes returned via context release (session exit, eviction,
     /// drain).
     pub reclaimed_bytes: u64,
 }
 
-/// What [`RcudaDaemon::drain`] did with the workers in flight.
+/// What [`RcudaDaemon::drain`] did with the sessions in flight.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DrainReport {
-    /// Workers that finished on their own within the deadline.
+    /// Sessions that finished on their own within the deadline.
     pub graceful: usize,
-    /// Workers hard-stopped at the deadline (socket shut down, then
-    /// joined).
+    /// Sessions hard-stopped at the deadline (socket shut down, then
+    /// finalized by their shard).
     pub forced: usize,
-}
-
-/// A tracked worker thread: its join handle, a clone of its socket (for
-/// hard-stopping a worker blocked in a read), and its completion flag.
-struct WorkerSlot {
-    handle: JoinHandle<()>,
-    stream: Option<TcpStream>,
-    done: Arc<AtomicBool>,
 }
 
 /// A running rCUDA daemon.
@@ -100,154 +89,136 @@ pub struct RcudaDaemon {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    sessions_served: Arc<AtomicU64>,
-    reports: Arc<Mutex<Vec<SessionReport>>>,
-    registry: Arc<SessionRegistry>,
-    counters: Arc<Counters>,
-    workers: Arc<Mutex<Vec<WorkerSlot>>>,
-    observer: ObsHandle,
+    shared: Arc<Shared>,
+    reactor: Arc<Reactor>,
+    pool: Arc<GpuPool>,
+    drain_deadline: Option<Duration>,
+}
+
+/// Count the connection against the admission caps. `true` means it was
+/// admitted (and `live` already includes it); `false` means it must be
+/// shed with a `Busy` frame.
+fn admit(shared: &Shared) -> bool {
+    let c = &shared.counters;
+    c.attempted.fetch_add(1, Ordering::SeqCst);
+    let config = &shared.config;
+    let live = c.live.load(Ordering::SeqCst) as usize;
+    let over_sessions = config.max_sessions.is_some_and(|cap| live >= cap);
+    let over_parked = config
+        .max_parked
+        .is_some_and(|cap| shared.registry.parked_count() >= cap);
+    if over_sessions || over_parked {
+        c.rejected.fetch_add(1, Ordering::SeqCst);
+        config.observer.emit_daemon(DaemonEvent::SessionRejected {
+            retry_after_ms: config.busy_retry_after_ms,
+        });
+        false
+    } else {
+        c.admitted.fetch_add(1, Ordering::SeqCst);
+        c.live.fetch_add(1, Ordering::SeqCst);
+        true
+    }
 }
 
 impl RcudaDaemon {
-    /// Bind and start serving on `addr` (use port 0 for an ephemeral port)
-    /// with the default configuration and a single device.
+    /// Bind and start serving on `addr` with the default configuration and
+    /// a single device.
+    #[deprecated(note = "use `DaemonBuilder` (`RcudaDaemon::builder()`)")]
     pub fn bind<A: ToSocketAddrs>(addr: A, device: Arc<GpuDevice>) -> io::Result<Self> {
-        Self::bind_with_config(addr, device, ServerConfig::default())
+        DaemonBuilder::new().device(device).bind(addr)
     }
 
     /// Bind a single device with an explicit worker configuration.
+    #[deprecated(note = "use `DaemonBuilder` (`RcudaDaemon::builder()`)")]
     pub fn bind_with_config<A: ToSocketAddrs>(
         addr: A,
         device: Arc<GpuDevice>,
         config: ServerConfig,
     ) -> io::Result<Self> {
-        Self::bind_pool(
-            addr,
-            Arc::new(GpuPool::new(vec![device], PoolPolicy::RoundRobin)),
-            config,
-        )
+        DaemonBuilder::new()
+            .device(device)
+            .config(config)
+            .bind(addr)
     }
 
     /// Bind a multi-GPU pool: each incoming session is placed on a device
-    /// by the pool's policy (the paper's future-work scheduling).
+    /// by the pool's policy.
+    #[deprecated(note = "use `DaemonBuilder` (`RcudaDaemon::builder()`)")]
     pub fn bind_pool<A: ToSocketAddrs>(
         addr: A,
         pool: Arc<GpuPool>,
         config: ServerConfig,
     ) -> io::Result<Self> {
+        DaemonBuilder::new().pool(pool).config(config).bind(addr)
+    }
+
+    /// A [`DaemonBuilder`] with defaults (single functional Tesla C1060,
+    /// default config, shard count from the host's parallelism).
+    pub fn builder() -> DaemonBuilder {
+        DaemonBuilder::new()
+    }
+
+    /// Bind the listener, start the reactor, and start accepting. The
+    /// builder is the only caller.
+    pub(crate) fn start<A: ToSocketAddrs>(
+        addr: A,
+        pool: Arc<GpuPool>,
+        shared: Arc<Shared>,
+        shards: usize,
+        drain_deadline: Option<Duration>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let sessions_served = Arc::new(AtomicU64::new(0));
-        let reports = Arc::new(Mutex::new(Vec::new()));
-        let counters = Arc::new(Counters::default());
-        let workers = Arc::new(Mutex::new(Vec::<WorkerSlot>::new()));
-        let observer = config.observer.clone();
-        // One registry shared by every worker, so a session parked by a
-        // dying connection can be resumed by a later one. Its capacity is
-        // the parked-admission cap when one is configured.
-        let registry = Arc::new(match config.max_parked {
-            Some(cap) => SessionRegistry::with_capacity(cap),
-            None => SessionRegistry::new(),
-        });
+        let reactor = Arc::new(Reactor::start(shards, &shared));
 
         let accept_stop = Arc::clone(&stop);
-        let accept_sessions = Arc::clone(&sessions_served);
-        let accept_reports = Arc::clone(&reports);
-        let accept_registry = Arc::clone(&registry);
-        let accept_counters = Arc::clone(&counters);
-        let accept_workers = Arc::clone(&workers);
+        let accept_shared = Arc::clone(&shared);
+        let accept_reactor = Arc::clone(&reactor);
+        let accept_pool = Arc::clone(&pool);
+        // Jitter state for accept backoff: any nonzero xorshift seed will
+        // do; wall time keeps daemons from thundering in step.
+        let mut rng = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map_or(0x9E37_79B9, |d| d.as_nanos() as u64)
+            | 1;
         let accept_thread = std::thread::Builder::new()
             .name("rcuda-accept".into())
             .spawn(move || {
-                for stream in listener.incoming() {
-                    if accept_stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let mut stream: TcpStream = match stream {
-                        Ok(s) => s,
-                        Err(_) => {
-                            accept_counters.accept_errors.fetch_add(1, Ordering::SeqCst);
-                            config.observer.emit_daemon(DaemonEvent::AcceptError);
-                            continue;
-                        }
-                    };
-                    accept_counters.attempted.fetch_add(1, Ordering::SeqCst);
-                    // Opportunistically reap finished workers so the slot
-                    // list doesn't grow with daemon lifetime.
-                    reap_finished(&accept_workers);
-
-                    // Admission control: shed the connection with a Busy
-                    // frame instead of the compute-capability push.
-                    let live = accept_counters.live.load(Ordering::SeqCst) as usize;
-                    let over_sessions = config.max_sessions.is_some_and(|cap| live >= cap);
-                    let over_parked = config
-                        .max_parked
-                        .is_some_and(|cap| accept_registry.parked_count() >= cap);
-                    if over_sessions || over_parked {
-                        accept_counters.rejected.fetch_add(1, Ordering::SeqCst);
-                        config.observer.emit_daemon(DaemonEvent::SessionRejected {
-                            retry_after_ms: config.busy_retry_after_ms,
-                        });
-                        let busy = ServerHello::Busy {
-                            retry_after_ms: config.busy_retry_after_ms,
-                        };
-                        let _ = stream.write_all(&busy.to_wire());
-                        let _ = stream.shutdown(Shutdown::Both);
-                        continue;
-                    }
-                    accept_counters.admitted.fetch_add(1, Ordering::SeqCst);
-                    accept_counters.live.fetch_add(1, Ordering::SeqCst);
-
-                    let pool = Arc::clone(&pool);
-                    let config = config.clone();
-                    let sessions = Arc::clone(&accept_sessions);
-                    let reports = Arc::clone(&accept_reports);
-                    let registry = Arc::clone(&accept_registry);
-                    let counters = Arc::clone(&accept_counters);
-                    let done = Arc::new(AtomicBool::new(false));
-                    let worker_done = Arc::clone(&done);
-                    // A socket clone lets `drain` hard-stop a worker that
-                    // is blocked reading a quiet client.
-                    let stream_clone = stream.try_clone().ok();
-                    let handle = std::thread::Builder::new()
-                        .name("rcuda-worker".into())
-                        .spawn(move || {
-                            let served = {
-                                let (device, _slot) = pool.assign();
-                                TcpTransport::from_stream(stream).ok().and_then(|t| {
-                                    serve_connection_with_registry(
-                                        t,
-                                        &device,
-                                        wall_clock(),
-                                        &config,
-                                        &registry,
-                                    )
-                                    .ok()
-                                })
-                                // _slot drops here: the pool seat is free
-                                // before the session is counted below.
-                            };
-                            if let Some(report) = served {
-                                if report.panicked {
-                                    counters.panics.fetch_add(1, Ordering::SeqCst);
-                                }
-                                counters
-                                    .reclaimed_bytes
-                                    .fetch_add(report.reclaimed_bytes, Ordering::SeqCst);
-                                reports.lock().push(report);
-                                sessions.fetch_add(1, Ordering::SeqCst);
+                let mut consecutive_errors: u32 = 0;
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if accept_stop.load(Ordering::SeqCst) {
+                                break;
                             }
-                            counters.live.fetch_sub(1, Ordering::SeqCst);
-                            counters.served.fetch_add(1, Ordering::SeqCst);
-                            worker_done.store(true, Ordering::SeqCst);
-                        })
-                        .expect("spawn worker");
-                    accept_workers.lock().push(WorkerSlot {
-                        handle,
-                        stream: stream_clone,
-                        done,
-                    });
+                            consecutive_errors = 0;
+                            accept_tcp(stream, &accept_shared, &accept_pool, &accept_reactor);
+                        }
+                        Err(_) => {
+                            if accept_stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let c = &accept_shared.counters;
+                            c.accept_errors.fetch_add(1, Ordering::SeqCst);
+                            let obs = &accept_shared.config.observer;
+                            obs.emit_daemon(DaemonEvent::AcceptError);
+                            // Jittered exponential backoff: an EMFILE storm
+                            // (or any persistent accept failure) must not
+                            // spin the accept thread hot.
+                            consecutive_errors = consecutive_errors.saturating_add(1);
+                            let base = 1u64 << consecutive_errors.clamp(1, 6);
+                            rng ^= rng << 13;
+                            rng ^= rng >> 7;
+                            rng ^= rng << 17;
+                            let backoff_ms = (base + rng % base).min(2 * ACCEPT_BACKOFF_CAP_MS);
+                            obs.emit_daemon(DaemonEvent::AcceptThrottled {
+                                consecutive_errors,
+                                backoff_ms,
+                            });
+                            std::thread::sleep(Duration::from_millis(backoff_ms));
+                        }
+                    }
                 }
             })
             .expect("spawn accept loop");
@@ -256,12 +227,10 @@ impl RcudaDaemon {
             addr,
             stop,
             accept_thread: Some(accept_thread),
-            sessions_served,
-            reports,
-            registry,
-            counters,
-            workers,
-            observer,
+            shared,
+            reactor,
+            pool,
+            drain_deadline,
         })
     }
 
@@ -270,32 +239,62 @@ impl RcudaDaemon {
         self.addr
     }
 
-    /// Sessions currently parked awaiting a reconnect.
-    pub fn parked_sessions(&self) -> usize {
-        self.registry.parked_count()
+    /// How many reactor shards are serving connections.
+    pub fn shard_count(&self) -> usize {
+        self.reactor.shard_count()
     }
 
-    /// Completed sessions so far (sessions whose worker produced a report;
-    /// see [`DaemonHealth::served`] for all finished workers).
+    /// Open an in-process session: the client half of a channel transport
+    /// whose server half is admitted (or `Busy`-shed) exactly like a TCP
+    /// connection, then served by the reactor. Soak tests use this to
+    /// drive tens of thousands of concurrent sessions without consuming
+    /// file descriptors.
+    pub fn connect_in_process(&self) -> ChannelTransport {
+        let (client, mut server) = channel_pair();
+        if admit(&self.shared) {
+            let (device, guard) = self.pool.assign();
+            self.reactor.submit(NewConn {
+                transport: Box::new(server),
+                raw: None,
+                device,
+                guard,
+            });
+        } else {
+            let busy = ServerHello::Busy {
+                retry_after_ms: self.shared.config.busy_retry_after_ms,
+            };
+            let _ = server.write_all(&busy.to_wire());
+            let _ = server.flush();
+        }
+        client
+    }
+
+    /// Sessions currently parked awaiting a reconnect.
+    pub fn parked_sessions(&self) -> usize {
+        self.shared.registry.parked_count()
+    }
+
+    /// Completed sessions so far (sessions that produced a report; see
+    /// [`DaemonHealth::served`] for all finished connections).
     pub fn sessions_served(&self) -> u64 {
-        self.sessions_served.load(Ordering::SeqCst)
+        self.shared.sessions_served.load(Ordering::SeqCst)
     }
 
     /// Reports of completed sessions.
     pub fn session_reports(&self) -> Vec<SessionReport> {
-        self.reports.lock().clone()
+        self.shared.reports.lock().clone()
     }
 
     /// A snapshot of the daemon's admission and resource counters.
     pub fn health(&self) -> DaemonHealth {
-        let c = &self.counters;
+        let c = &self.shared.counters;
         DaemonHealth {
             attempted: c.attempted.load(Ordering::SeqCst),
             admitted: c.admitted.load(Ordering::SeqCst),
             rejected: c.rejected.load(Ordering::SeqCst),
             served: c.served.load(Ordering::SeqCst),
             live_sessions: c.live.load(Ordering::SeqCst),
-            parked: self.registry.parked_count(),
+            parked: self.shared.registry.parked_count(),
             accept_errors: c.accept_errors.load(Ordering::SeqCst),
             panics: c.panics.load(Ordering::SeqCst),
             reclaimed_bytes: c.reclaimed_bytes.load(Ordering::SeqCst),
@@ -305,8 +304,8 @@ impl RcudaDaemon {
     /// Wait until at least `n` sessions have completed (their reports are
     /// recorded and their pool seats released), or the timeout expires.
     /// Returns whether the count was reached. Tests use this to close the
-    /// tiny window between a client's Quit acknowledgement and the worker
-    /// thread finishing its bookkeeping.
+    /// tiny window between a client's Quit acknowledgement and the shard
+    /// finishing its bookkeeping.
     pub fn wait_for_sessions(&self, n: u64, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         while self.sessions_served() < n {
@@ -320,54 +319,42 @@ impl RcudaDaemon {
     }
 
     /// Graceful shutdown: stop accepting, give in-flight sessions until
-    /// `deadline` to finish, then hard-stop stragglers by shutting their
-    /// sockets down (which turns their blocking reads into disconnects)
-    /// and joining every worker. Parked sessions are then reclaimed —
-    /// nobody is coming back for them — so the device ledger returns to
-    /// baseline for everything the daemon held.
+    /// `deadline` to finish, then hard-stop stragglers (their sockets are
+    /// shut down and their shards finalize them like disconnects). Parked
+    /// sessions are then reclaimed — nobody is coming back for them — so
+    /// the device ledger returns to baseline for everything the daemon
+    /// held.
     pub fn drain(&mut self, deadline: Duration) -> DrainReport {
         self.stop_accepting();
+        self.shared.drain.begin();
 
+        let live = |shared: &Shared| shared.counters.live.load(Ordering::SeqCst);
         let end = Instant::now() + deadline;
-        loop {
-            let all_done = self
-                .workers
-                .lock()
-                .iter()
-                .all(|w| w.done.load(Ordering::SeqCst));
-            if all_done || Instant::now() >= end {
-                break;
-            }
+        while live(&self.shared) > 0 && Instant::now() < end {
             std::thread::sleep(Duration::from_millis(1));
         }
-
-        let slots: Vec<WorkerSlot> = self.workers.lock().drain(..).collect();
-        let mut report = DrainReport::default();
-        for slot in slots {
-            if slot.done.load(Ordering::SeqCst) {
-                report.graceful += 1;
-            } else {
-                report.forced += 1;
-                if let Some(stream) = &slot.stream {
-                    let _ = stream.shutdown(Shutdown::Both);
-                }
+        if live(&self.shared) > 0 {
+            self.shared.drain.force();
+            while live(&self.shared) > 0 {
+                std::thread::sleep(Duration::from_millis(1));
             }
-            let _ = slot.handle.join();
         }
+        let (graceful, forced) = self.shared.drain.end();
 
-        for (_, ctx) in self.registry.drain_parked() {
-            let bytes = release_context(ctx, &self.observer);
-            self.counters
+        for (_, ctx) in self.shared.registry.drain_parked() {
+            let bytes = release_context(ctx, &self.shared.config.observer);
+            self.shared
+                .counters
                 .reclaimed_bytes
                 .fetch_add(bytes, Ordering::SeqCst);
         }
-        report
+        DrainReport { graceful, forced }
     }
 
-    /// Stop accepting and join the accept loop. Worker threads keep
-    /// running until their clients leave (like the original middleware's
-    /// per-execution server processes) — use [`Self::drain`] to bound
-    /// that.
+    /// Stop accepting and join the accept loop. The reactor keeps serving
+    /// live sessions until their clients leave (like the original
+    /// middleware's per-execution server processes) — use [`Self::drain`]
+    /// to bound that.
     pub fn shutdown(&mut self) {
         self.stop_accepting();
     }
@@ -382,48 +369,77 @@ impl RcudaDaemon {
     }
 }
 
-/// Join and drop every finished worker slot (non-blocking for the rest).
-fn reap_finished(workers: &Mutex<Vec<WorkerSlot>>) {
-    let mut finished = Vec::new();
-    {
-        let mut slots = workers.lock();
-        let mut i = 0;
-        while i < slots.len() {
-            if slots[i].done.load(Ordering::SeqCst) {
-                finished.push(slots.swap_remove(i));
-            } else {
-                i += 1;
-            }
-        }
+/// Admission + handoff for one accepted TCP connection.
+fn accept_tcp(mut stream: TcpStream, shared: &Shared, pool: &Arc<GpuPool>, reactor: &Reactor) {
+    if !admit(shared) {
+        // Shed with a Busy frame instead of the compute-capability push;
+        // the socket is still blocking here, so the 8 bytes go out inline.
+        let busy = ServerHello::Busy {
+            retry_after_ms: shared.config.busy_retry_after_ms,
+        };
+        let _ = stream.write_all(&busy.to_wire());
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
     }
-    for slot in finished {
-        let _ = slot.handle.join();
+    let (device, guard) = pool.assign();
+    // A socket clone lets drain/halt hard-stop a session whose client has
+    // gone quiet.
+    let raw = stream.try_clone().ok();
+    match TcpTransport::from_stream(stream) {
+        Ok(t) => reactor.submit(NewConn {
+            transport: Box::new(t),
+            raw,
+            device,
+            guard,
+        }),
+        Err(_) => {
+            // The socket died between accept and configuration: balance the
+            // admission counters as an immediately-finished session.
+            let c = &shared.counters;
+            c.served.fetch_add(1, Ordering::SeqCst);
+            c.live.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 }
 
 impl Drop for RcudaDaemon {
     fn drop(&mut self) {
-        self.shutdown();
+        self.stop_accepting();
+        if let Some(deadline) = self.drain_deadline {
+            self.drain(deadline);
+        }
+        // Halt the shards: live connections are force-finalized (their
+        // clients see a disconnect) and the threads exit.
+        self.shared.halt.store(true, Ordering::SeqCst);
+        self.reactor.join();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::PoolPolicy;
 
     #[test]
     fn daemon_binds_ephemeral_port_and_shuts_down() {
         let device = GpuDevice::tesla_c1060_functional();
-        let mut daemon = RcudaDaemon::bind("127.0.0.1:0", device).unwrap();
+        let mut daemon = DaemonBuilder::new()
+            .device(device)
+            .bind("127.0.0.1:0")
+            .unwrap();
         assert_ne!(daemon.local_addr().port(), 0);
         assert_eq!(daemon.sessions_served(), 0);
+        assert!(daemon.shard_count() >= 1);
         daemon.shutdown();
     }
 
     #[test]
     fn daemon_survives_garbage_connection() {
         let device = GpuDevice::tesla_c1060_functional();
-        let mut daemon = RcudaDaemon::bind("127.0.0.1:0", device).unwrap();
+        let mut daemon = DaemonBuilder::new()
+            .device(device)
+            .bind("127.0.0.1:0")
+            .unwrap();
         {
             // Connect, read nothing, send garbage, vanish.
             let mut s = TcpStream::connect(daemon.local_addr()).unwrap();
@@ -439,15 +455,15 @@ mod tests {
         use std::io::Read;
 
         let device = GpuDevice::tesla_c1060_functional();
-        let config = ServerConfig {
-            max_sessions: Some(1),
-            busy_retry_after_ms: 7,
-            ..Default::default()
-        };
-        let mut daemon = RcudaDaemon::bind_with_config("127.0.0.1:0", device, config).unwrap();
+        let mut daemon = DaemonBuilder::new()
+            .device(device)
+            .max_sessions(1)
+            .busy_retry_after_ms(7)
+            .bind("127.0.0.1:0")
+            .unwrap();
 
         // First connection occupies the only slot (handshake not finished,
-        // so the worker stays live).
+        // so the session stays live).
         let mut first = TcpStream::connect(daemon.local_addr()).unwrap();
         let mut hello = [0u8; 8];
         first.read_exact(&mut hello).unwrap();
@@ -488,9 +504,12 @@ mod tests {
         use std::io::Read;
 
         let device = GpuDevice::tesla_c1060_functional();
-        let mut daemon = RcudaDaemon::bind("127.0.0.1:0", device).unwrap();
+        let mut daemon = DaemonBuilder::new()
+            .device(device)
+            .bind("127.0.0.1:0")
+            .unwrap();
         // A client that completes the hello and then goes silent: its
-        // worker blocks in Frame::read forever.
+        // session sits parked in its shard forever.
         let mut quiet = TcpStream::connect(daemon.local_addr()).unwrap();
         let mut hello = [0u8; 8];
         quiet.read_exact(&mut hello).unwrap();
@@ -502,6 +521,56 @@ mod tests {
             "drain must not hang on a quiet client"
         );
         assert_eq!(report.forced, 1);
-        assert_eq!(daemon.health().live_sessions, 0, "worker joined");
+        assert_eq!(daemon.health().live_sessions, 0, "session finalized");
+    }
+
+    #[test]
+    fn deprecated_bind_shims_still_work() {
+        #![allow(deprecated)]
+        let device = GpuDevice::tesla_c1060_functional();
+        let mut daemon = RcudaDaemon::bind("127.0.0.1:0", Arc::clone(&device)).unwrap();
+        assert_ne!(daemon.local_addr().port(), 0);
+        daemon.shutdown();
+        let mut daemon = RcudaDaemon::bind_with_config(
+            "127.0.0.1:0",
+            Arc::clone(&device),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        daemon.shutdown();
+        let pool = Arc::new(GpuPool::new(vec![device], PoolPolicy::RoundRobin));
+        let mut daemon =
+            RcudaDaemon::bind_pool("127.0.0.1:0", pool, ServerConfig::default()).unwrap();
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn in_process_sessions_respect_admission() {
+        use std::io::Read;
+
+        let device = GpuDevice::tesla_c1060_functional();
+        let daemon = DaemonBuilder::new()
+            .device(device)
+            .max_sessions(1)
+            .busy_retry_after_ms(3)
+            .bind("127.0.0.1:0")
+            .unwrap();
+
+        // First in-process session occupies the slot.
+        let mut first = daemon.connect_in_process();
+        let mut hello = [0u8; 8];
+        first.read_exact(&mut hello).unwrap();
+        assert!(matches!(
+            ServerHello::from_wire(hello),
+            ServerHello::Ready { .. }
+        ));
+
+        // Second is shed with the same Busy frame TCP clients get.
+        let mut second = daemon.connect_in_process();
+        second.read_exact(&mut hello).unwrap();
+        assert_eq!(
+            ServerHello::from_wire(hello),
+            ServerHello::Busy { retry_after_ms: 3 }
+        );
     }
 }

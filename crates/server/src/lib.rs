@@ -5,23 +5,30 @@
 //! accomplished by spawning a different server process for each remote
 //! execution over a new GPU context." This crate is that service:
 //!
-//! * [`worker`] — serves one connection: the initialization handshake, then
-//!   a request/dispatch/respond loop over a fresh, **pre-initialized** GPU
-//!   context (the warm context is why remote executions skip the CUDA
-//!   environment initialization delay, §VI-B);
+//! * [`worker`] — the blocking single-connection server: the
+//!   initialization handshake, then a request/dispatch/respond loop over a
+//!   fresh, **pre-initialized** GPU context (the warm context is why
+//!   remote executions skip the CUDA environment initialization delay,
+//!   §VI-B). Still the engine behind in-process channel sessions;
 //! * [`dispatch`] — maps each protocol request onto the context;
-//! * [`daemon`] — the TCP accept loop, one worker thread per connection
-//!   (threads stand in for the original's processes).
+//! * [`reactor`] — the sharded readiness-loop core: a fixed pool of shard
+//!   threads multiplexing every admitted connection over nonblocking
+//!   transports, with the same per-session semantics as [`worker`];
+//! * [`daemon`] — the TCP accept loop (admission control, accept backoff)
+//!   feeding the reactor; built through [`DaemonBuilder`].
 
+pub mod builder;
 pub mod daemon;
 pub mod dispatch;
 pub mod pool;
+pub(crate) mod reactor;
 pub mod registry;
 pub mod worker;
 
+pub use builder::DaemonBuilder;
 pub use daemon::{DaemonHealth, DrainReport, RcudaDaemon};
 pub use pool::{GpuPool, PoolPolicy};
-pub use registry::SessionRegistry;
+pub use registry::{SessionRegistry, ShardedRegistry};
 pub use worker::{
     serve_connection, serve_connection_with_registry, ChaosHook, ServerConfig, SessionReport,
 };

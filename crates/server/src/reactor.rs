@@ -1,0 +1,776 @@
+//! The sharded reactor: a fixed pool of readiness-loop workers
+//! multiplexing every connection the daemon serves.
+//!
+//! The thread-per-connection daemon reproduced the original middleware's
+//! process-per-execution model faithfully, but its thread count scaled with
+//! the session count — at thousands of concurrent remote executions the
+//! stacks alone dominate memory and the scheduler thrashes. The reactor
+//! keeps the per-session *semantics* (admission, quotas, panic isolation,
+//! park/resume, drain) while fixing the thread count:
+//!
+//! * **N shards** (`DaemonBuilder::shards`), each one OS thread named
+//!   `rcuda-shard-<i>` running a readiness loop over its share of the
+//!   connections. Connections are handed to shards round-robin at admission
+//!   through a per-shard injector queue and never migrate.
+//! * **Nonblocking transports** — each connection's transport is switched
+//!   with [`Transport::set_nonblocking`]; all I/O goes through
+//!   [`Transport::try_read`] / [`Transport::try_write`], so a stalled peer
+//!   parks its connection, never its shard.
+//! * **Incremental decode** — bytes accumulate in a per-connection
+//!   [`StreamDecoder`]; a partial frame simply stays buffered until more
+//!   bytes arrive. Frames are only materialized when complete, through the
+//!   same pooled parser as the blocking worker.
+//! * **Per-shard resources** — one [`BufferPool`] per shard (recycled
+//!   across its connections), one clock, and hash-routed
+//!   [`ShardedRegistry`] shards, so the steady-state request path touches
+//!   no cross-shard locks.
+//!
+//! Each connection advances through a small state machine
+//! (`Hello → [Resume] → Running → Closing`) that mirrors
+//! `worker::serve_connection_with_registry` decision-for-decision: the
+//! PR-4 conformance suite re-runs the admission/quota/panic/drain tests
+//! against this core unchanged.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use rcuda_core::time::wall_clock;
+use rcuda_core::{Clock as _, CudaError, SharedClock};
+use rcuda_gpu::{GpuContext, GpuDevice};
+use rcuda_obs::{DaemonEvent, ShardSpan};
+use rcuda_proto::handshake::write_hello_reply;
+use rcuda_proto::{BufferPool, Frame, SessionHello, StreamDecoder};
+use rcuda_transport::{Progress, Transport};
+use std::io;
+use std::net::{Shutdown, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::dispatch::dispatch_batch_pooled;
+use crate::pool::PoolGuard;
+use crate::registry::ShardedRegistry;
+use crate::worker::{
+    dispatch_batch_observed, dispatch_observed, panic_response, release_context, ServerConfig,
+    SessionReport, RESUME_WAIT,
+};
+use rcuda_proto::{BatchResponse, Request, Response};
+
+/// Smallest per-connection read chunk: enough for every fixed-size request
+/// in one gulp while keeping idle connections cheap (10k parked
+/// connections hold 10k of these, so the floor matters).
+const READ_CHUNK_MIN: usize = 2 * 1024;
+/// Largest per-connection read chunk; reached only by connections that
+/// actually move bulk payloads.
+const READ_CHUNK_MAX: usize = 256 * 1024;
+/// Frames dispatched per connection per pass before yielding to shard
+/// neighbors (leftover frames stay buffered and the pass is re-run hot).
+const FRAMES_PER_PASS: u32 = 64;
+/// Longest idle-shard sleep. Bounds resume-poll and drain-notice latency.
+const IDLE_SLEEP_MAX_US: u64 = 2_000;
+
+/// Atomic daemon counters, shared between the accept loop, the reactor
+/// shards, and `DaemonHealth` snapshots.
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub(crate) attempted: AtomicU64,
+    pub(crate) admitted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) served: AtomicU64,
+    pub(crate) live: AtomicU64,
+    pub(crate) accept_errors: AtomicU64,
+    pub(crate) panics: AtomicU64,
+    pub(crate) reclaimed_bytes: AtomicU64,
+}
+
+const DRAIN_OFF: u8 = 0;
+const DRAIN_GRACE: u8 = 1;
+const DRAIN_FORCE: u8 = 2;
+
+/// Drain coordination between the daemon and the shards. While a drain is
+/// in progress, connections that finish on their own count `graceful`;
+/// once the daemon flips to force mode every surviving connection is
+/// closed by its shard and counts `forced`.
+#[derive(Default)]
+pub(crate) struct DrainState {
+    mode: AtomicU8,
+    graceful: AtomicUsize,
+    forced: AtomicUsize,
+}
+
+impl DrainState {
+    pub(crate) fn begin(&self) {
+        self.graceful.store(0, Ordering::SeqCst);
+        self.forced.store(0, Ordering::SeqCst);
+        self.mode.store(DRAIN_GRACE, Ordering::SeqCst);
+    }
+
+    pub(crate) fn force(&self) {
+        self.mode.store(DRAIN_FORCE, Ordering::SeqCst);
+    }
+
+    pub(crate) fn end(&self) -> (usize, usize) {
+        self.mode.store(DRAIN_OFF, Ordering::SeqCst);
+        (
+            self.graceful.load(Ordering::SeqCst),
+            self.forced.load(Ordering::SeqCst),
+        )
+    }
+
+    fn forcing(&self) -> bool {
+        self.mode.load(Ordering::SeqCst) == DRAIN_FORCE
+    }
+
+    fn note_closed(&self) {
+        match self.mode.load(Ordering::SeqCst) {
+            DRAIN_GRACE => {
+                self.graceful.fetch_add(1, Ordering::SeqCst);
+            }
+            DRAIN_FORCE => {
+                self.forced.fetch_add(1, Ordering::SeqCst);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// State shared by the accept loop, every reactor shard, and the daemon
+/// handle.
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
+    pub(crate) counters: Counters,
+    pub(crate) reports: Mutex<Vec<SessionReport>>,
+    pub(crate) sessions_served: AtomicU64,
+    pub(crate) registry: ShardedRegistry,
+    pub(crate) drain: DrainState,
+    pub(crate) halt: AtomicBool,
+}
+
+/// A freshly admitted connection on its way to a shard.
+pub(crate) struct NewConn {
+    pub(crate) transport: Box<dyn Transport>,
+    /// TCP-only: a clone of the socket so a forced close can shut the peer
+    /// down at the OS level (in-process transports see plain EOF instead).
+    pub(crate) raw: Option<TcpStream>,
+    pub(crate) device: Arc<GpuDevice>,
+    pub(crate) guard: PoolGuard,
+}
+
+struct ShardHandle {
+    tx: Sender<NewConn>,
+    queued: Arc<AtomicU32>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// The running shard pool. Dropping the reactor does not stop the shards —
+/// set `Shared::halt` first, then call [`Reactor::join`].
+pub(crate) struct Reactor {
+    shards: Vec<ShardHandle>,
+    next: AtomicUsize,
+}
+
+impl Reactor {
+    /// Spawn `n` shard threads (at least one) over `shared`.
+    pub(crate) fn start(n: usize, shared: &Arc<Shared>) -> Reactor {
+        let shards = (0..n.max(1) as u32)
+            .map(|id| {
+                let (tx, rx) = unbounded::<NewConn>();
+                let queued = Arc::new(AtomicU32::new(0));
+                let shard_queued = Arc::clone(&queued);
+                let shard_shared = Arc::clone(shared);
+                let thread = std::thread::Builder::new()
+                    .name(format!("rcuda-shard-{id}"))
+                    .spawn(move || shard_loop(id, rx, shard_queued, shard_shared))
+                    .expect("spawn reactor shard");
+                ShardHandle {
+                    tx,
+                    queued,
+                    thread: Mutex::new(Some(thread)),
+                }
+            })
+            .collect();
+        Reactor {
+            shards,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Hand an admitted connection to the next shard (round-robin).
+    pub(crate) fn submit(&self, conn: NewConn) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[i].queued.fetch_add(1, Ordering::SeqCst);
+        if self.shards[i].tx.send(conn).is_err() {
+            // Shard already halted (daemon dropping): nothing to serve the
+            // connection with; the NewConn drop closes it.
+            self.shards[i].queued.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Join every shard thread. Callers must set `Shared::halt` first or
+    /// this blocks forever.
+    pub(crate) fn join(&self) {
+        for shard in &self.shards {
+            if let Some(t) = shard.thread.lock().take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- the shard
+
+fn shard_loop(id: u32, rx: Receiver<NewConn>, queued: Arc<AtomicU32>, shared: Arc<Shared>) {
+    let pool = BufferPool::new();
+    let clock = wall_clock();
+    let obs = shared.config.observer.clone();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut idle_passes: u32 = 0;
+
+    loop {
+        let halting = shared.halt.load(Ordering::SeqCst);
+        let forcing = halting || shared.drain.forcing();
+        let depth = queued.load(Ordering::SeqCst);
+        let started = clock.now();
+
+        // Register freshly admitted connections.
+        let mut admitted: u32 = 0;
+        loop {
+            match rx.try_recv() {
+                Ok(new) => {
+                    queued.fetch_sub(1, Ordering::SeqCst);
+                    conns.push(Conn::register(new, &shared));
+                    admitted += 1;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+
+        // One readiness pass over every connection.
+        let mut frames: u32 = 0;
+        let mut moved = admitted > 0;
+        let mut i = 0;
+        while i < conns.len() {
+            let conn = &mut conns[i];
+            if forcing {
+                conn.force_close();
+            }
+            let act = conn.pump(&pool, &shared);
+            frames += act.frames;
+            moved |= act.progress;
+            if conn.done {
+                drop(conns.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+
+        if frames > 0 || admitted > 0 {
+            obs.emit_shard(&ShardSpan {
+                shard: id,
+                sessions: conns.len() as u32,
+                queue_depth: depth,
+                frames,
+                start: started,
+                end: clock.now(),
+            });
+        }
+
+        if halting && conns.is_empty() && queued.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+
+        // Adaptive idle backoff: spin briefly for latency, then sleep with
+        // a bounded ceiling so resume polls and drain flags stay fresh.
+        if moved {
+            idle_passes = 0;
+        } else {
+            idle_passes = idle_passes.saturating_add(1);
+            if idle_passes < 8 {
+                std::thread::yield_now();
+            } else {
+                let us = (u64::from(idle_passes) * 50).min(IDLE_SLEEP_MAX_US);
+                std::thread::sleep(Duration::from_micros(us));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------- the connection
+
+#[derive(Clone, Copy)]
+enum Phase {
+    /// Waiting for the client's `SessionHello`.
+    Hello,
+    /// A `Reconnect` arrived before the dying connection parked the
+    /// session: poll the registry until the context shows up or the
+    /// deadline passes (the nonblocking form of
+    /// `SessionRegistry::take_deadline`).
+    Resume { session: u64, deadline: Instant },
+    /// The request/dispatch/respond loop.
+    Running,
+    /// Drain the outbound buffer, then finalize.
+    Closing,
+}
+
+struct PumpResult {
+    frames: u32,
+    progress: bool,
+}
+
+struct Conn {
+    transport: Box<dyn Transport>,
+    raw: Option<TcpStream>,
+    decoder: StreamDecoder,
+    /// Outbound bytes not yet accepted by the transport.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Total bytes ever queued / flushed, for the handshake watermark.
+    queued_total: u64,
+    flushed_total: u64,
+    /// Once the outbound bytes up to this watermark are flushed, the
+    /// handshake has observably completed and the session produces a
+    /// report — exactly the connections whose blocking worker returned
+    /// `Ok(report)` rather than a handshake error.
+    handshake_done_at: Option<u64>,
+    phase: Phase,
+    /// Warm context created at admission (§VI-B); consumed by the hello.
+    fresh_ctx: Option<GpuContext>,
+    ctx: Option<GpuContext>,
+    token: Option<u64>,
+    report: SessionReport,
+    clk: SharedClock,
+    read_chunk: usize,
+    eof: bool,
+    done: bool,
+    guard: Option<PoolGuard>,
+}
+
+impl Conn {
+    fn register(new: NewConn, shared: &Shared) -> Conn {
+        let NewConn {
+            transport,
+            raw,
+            device,
+            guard,
+        } = new;
+        let clk: SharedClock = wall_clock();
+        let config = &shared.config;
+        let fresh_ctx = if config.phantom_memory {
+            device.create_phantom_context(clk.clone(), config.preinitialize_context)
+        } else {
+            device.create_context(clk.clone(), config.preinitialize_context)
+        };
+        let mut conn = Conn {
+            transport,
+            raw,
+            decoder: StreamDecoder::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            queued_total: 0,
+            flushed_total: 0,
+            handshake_done_at: None,
+            phase: Phase::Hello,
+            fresh_ctx: Some(fresh_ctx),
+            ctx: None,
+            token: None,
+            report: SessionReport::default(),
+            clk,
+            read_chunk: READ_CHUNK_MIN,
+            eof: false,
+            done: false,
+            guard: Some(guard),
+        };
+        // A transport without a nonblocking half cannot be multiplexed;
+        // close it immediately (register still returns a Conn so the
+        // daemon counters balance through the normal finalize path).
+        if conn.transport.set_nonblocking(true).is_err() {
+            conn.abort();
+            return conn;
+        }
+        // Phase 1a: announce the device (8-byte compute capability).
+        let cc = device.properties().compute_capability_wire();
+        conn.queue(|out| {
+            out.extend_from_slice(&cc);
+            Ok(())
+        });
+        conn
+    }
+
+    /// Append serialized bytes to the outbound buffer. Writing to a `Vec`
+    /// cannot fail, so serializer errors here are programming errors.
+    fn queue<F: FnOnce(&mut Vec<u8>) -> io::Result<()>>(&mut self, f: F) {
+        let before = self.out.len();
+        f(&mut self.out).expect("serializing into a Vec cannot fail");
+        self.queued_total += (self.out.len() - before) as u64;
+    }
+
+    fn eligible(&self) -> bool {
+        self.handshake_done_at
+            .is_some_and(|w| self.flushed_total >= w)
+    }
+
+    /// Close without ever producing a report: the nonblocking equivalent
+    /// of the blocking worker returning a handshake `Err`.
+    fn abort(&mut self) {
+        self.handshake_done_at = None;
+        self.out_pos = self.out.len();
+        self.phase = Phase::Closing;
+    }
+
+    /// End the session through the normal report-producing path once the
+    /// outbound buffer drains.
+    fn begin_close(&mut self) {
+        self.phase = Phase::Closing;
+    }
+
+    /// Drain-deadline or daemon-halt close: shut the peer down and
+    /// finalize now, abandoning undeliverable output.
+    fn force_close(&mut self) {
+        if let Some(raw) = &self.raw {
+            let _ = raw.shutdown(Shutdown::Both);
+        }
+        self.eof = true;
+        self.out_pos = self.out.len();
+        self.phase = Phase::Closing;
+    }
+
+    /// A write failure is a vanished peer. Before the handshake watermark
+    /// flushed this matches a blocking handshake error (no report); after
+    /// it, the blocking worker's `break` (report, park-eligible).
+    fn on_write_failure(&mut self) {
+        if self.eligible() {
+            self.out_pos = self.out.len();
+            self.begin_close();
+        } else {
+            self.abort();
+        }
+    }
+
+    /// Push pending outbound bytes into the transport. Returns whether any
+    /// bytes moved.
+    fn flush_out(&mut self) -> bool {
+        let mut progress = false;
+        while self.out_pos < self.out.len() {
+            match self.transport.try_write(&self.out[self.out_pos..]) {
+                Ok(Progress::Ready(0)) | Ok(Progress::Pending) => break,
+                Ok(Progress::Ready(n)) => {
+                    self.out_pos += n;
+                    self.flushed_total += n as u64;
+                    progress = true;
+                }
+                Err(_) => {
+                    self.on_write_failure();
+                    return progress;
+                }
+            }
+        }
+        if self.out_pos >= self.out.len() && !self.out.is_empty() {
+            self.out.clear();
+            self.out_pos = 0;
+            // Mark the message boundary. On a nonblocking endpoint a flush
+            // that cannot complete right now reports WouldBlock and is
+            // retried implicitly by the next pass's writes.
+            if let Err(e) = self.transport.flush() {
+                if e.kind() != io::ErrorKind::WouldBlock {
+                    self.on_write_failure();
+                }
+            }
+        }
+        progress
+    }
+
+    /// One readiness pass: flush, read, decode/dispatch, flush, finalize.
+    fn pump(&mut self, pool: &BufferPool, shared: &Shared) -> PumpResult {
+        let mut res = PumpResult {
+            frames: 0,
+            progress: false,
+        };
+        res.progress |= self.flush_out();
+
+        // Read whatever the transport has, growing the chunk for
+        // connections that move bulk data.
+        if !self.eof && !matches!(self.phase, Phase::Closing) {
+            loop {
+                let chunk = self.read_chunk;
+                let space = self.decoder.space(chunk);
+                match self.transport.try_read(space) {
+                    Ok(Progress::Ready(0)) => {
+                        self.eof = true;
+                        res.progress = true;
+                        break;
+                    }
+                    Ok(Progress::Ready(n)) => {
+                        self.decoder.commit(n);
+                        res.progress = true;
+                        if n == chunk && chunk < READ_CHUNK_MAX {
+                            self.read_chunk = (chunk * 2).min(READ_CHUNK_MAX);
+                        } else {
+                            break;
+                        }
+                    }
+                    Ok(Progress::Pending) => break,
+                    // A read error is a client disconnect, not a server
+                    // fault — same as EOF once buffered frames are served.
+                    Err(_) => {
+                        self.eof = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        self.process(pool, shared, &mut res);
+
+        res.progress |= self.flush_out();
+        if matches!(self.phase, Phase::Closing) && self.out_pos >= self.out.len() {
+            self.finalize(pool, shared);
+            res.progress = true;
+        }
+        res
+    }
+
+    fn process(&mut self, pool: &BufferPool, shared: &Shared, res: &mut PumpResult) {
+        loop {
+            match self.phase {
+                Phase::Hello => match self.decoder.poll_hello() {
+                    Ok(Some(hello)) => {
+                        self.on_hello(hello, shared);
+                        res.progress = true;
+                    }
+                    Ok(None) => {
+                        if self.eof {
+                            self.abort();
+                        }
+                        return;
+                    }
+                    Err(_) => {
+                        self.abort();
+                        return;
+                    }
+                },
+                Phase::Resume { session, deadline } => {
+                    if self.eof {
+                        self.abort();
+                        return;
+                    }
+                    match shared.registry.take(session) {
+                        Some(ctx) => {
+                            self.on_resumed(session, ctx, shared);
+                            res.progress = true;
+                        }
+                        None if Instant::now() >= deadline => {
+                            // Nothing parked under that token: reject and
+                            // end the connection cleanly (with a report).
+                            self.queue(|out| {
+                                write_hello_reply(out, &Err(CudaError::InitializationError))
+                            });
+                            self.handshake_done_at = Some(self.queued_total);
+                            self.begin_close();
+                            res.progress = true;
+                            return;
+                        }
+                        None => return,
+                    }
+                }
+                Phase::Running => {
+                    if res.frames >= FRAMES_PER_PASS {
+                        return;
+                    }
+                    match self.decoder.poll_frame(Some(pool)) {
+                        Ok(Some(frame)) => {
+                            res.frames += 1;
+                            res.progress = true;
+                            self.on_frame(frame, pool, shared);
+                        }
+                        Ok(None) => {
+                            if self.eof {
+                                // Disconnect: unorderly end (park-eligible).
+                                self.begin_close();
+                            }
+                            return;
+                        }
+                        // Garbage on the wire ends the session, not the
+                        // daemon: the blocking worker's loop exit.
+                        Err(_) => {
+                            self.begin_close();
+                            return;
+                        }
+                    }
+                }
+                Phase::Closing => return,
+            }
+        }
+    }
+
+    fn on_hello(&mut self, hello: SessionHello, shared: &Shared) {
+        match hello {
+            SessionHello::Fresh { module } => {
+                self.init_fresh(module, None, shared);
+            }
+            SessionHello::Resumable { session, module } => {
+                self.init_fresh(module, Some(session), shared);
+            }
+            SessionHello::Reconnect { session } => {
+                // The pre-created context is discarded: the parked one
+                // carries the session's state.
+                drop(self.fresh_ctx.take());
+                match shared.registry.take(session) {
+                    Some(ctx) => self.on_resumed(session, ctx, shared),
+                    None => {
+                        self.phase = Phase::Resume {
+                            session,
+                            deadline: Instant::now() + RESUME_WAIT,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    fn init_fresh(&mut self, module: Vec<u8>, token: Option<u64>, shared: &Shared) {
+        let obs = shared.config.observer.clone();
+        let mut ctx = self
+            .fresh_ctx
+            .take()
+            .expect("hello arrives once per connection");
+        let resp = dispatch_observed(&mut ctx, &Request::Init { module }, None, &self.clk, &obs)
+            .expect("init never quits");
+        self.queue(|out| resp.write(out));
+        self.handshake_done_at = Some(self.queued_total);
+        // Multi-tenant limits apply to resumed sessions too: the quota
+        // follows the config serving the connection.
+        ctx.set_mem_quota(shared.config.session_mem_quota);
+        self.ctx = Some(ctx);
+        self.token = token;
+        self.phase = Phase::Running;
+    }
+
+    fn on_resumed(&mut self, session: u64, mut ctx: GpuContext, shared: &Shared) {
+        self.queue(|out| write_hello_reply(out, &Ok(())));
+        self.handshake_done_at = Some(self.queued_total);
+        self.report.resumed = true;
+        ctx.set_mem_quota(shared.config.session_mem_quota);
+        self.ctx = Some(ctx);
+        self.token = Some(session);
+        self.phase = Phase::Running;
+    }
+
+    fn on_frame(&mut self, frame: Frame, pool: &BufferPool, shared: &Shared) {
+        let obs = shared.config.observer.clone();
+        let chaos = &shared.config.chaos;
+        let ctx = self.ctx.as_mut().expect("Running implies a context");
+        match frame {
+            Frame::Single(req) => {
+                self.report.requests += 1;
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    chaos.fire(&req);
+                    dispatch_observed(ctx, &req, Some(pool), &self.clk, &obs)
+                }));
+                match outcome {
+                    Ok(Some(resp)) => self.queue(|out| resp.write(out)),
+                    Ok(None) => {
+                        // Finalization stage: acknowledge the Quit, then
+                        // release everything (§III).
+                        let ack = Response::Ack(Ok(()));
+                        self.queue(|out| ack.write(out));
+                        self.report.orderly_shutdown = true;
+                        self.begin_close();
+                    }
+                    Err(_) => {
+                        let resp = panic_response(&req);
+                        self.queue(|out| resp.write(out));
+                        obs.emit_daemon(DaemonEvent::SessionPanicked);
+                        self.report.panicked = true;
+                        self.begin_close();
+                    }
+                }
+            }
+            Frame::Batch(batch) => {
+                self.report.requests += batch.len() as u64;
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if obs.is_enabled() || chaos.is_armed() {
+                        dispatch_batch_observed(ctx, &batch, Some(pool), &self.clk, &obs, chaos)
+                    } else {
+                        dispatch_batch_pooled(ctx, &batch, Some(pool))
+                    }
+                }));
+                match outcome {
+                    Ok((resp, quit)) => {
+                        self.queue(|out| resp.write(out));
+                        if quit {
+                            self.report.orderly_shutdown = true;
+                            self.begin_close();
+                        }
+                    }
+                    Err(_) => {
+                        // Answer every element so the frame stays shaped,
+                        // then kill the session.
+                        let responses = batch.requests().iter().map(panic_response).collect();
+                        let resp = BatchResponse { responses };
+                        self.queue(|out| resp.write(out));
+                        obs.emit_daemon(DaemonEvent::SessionPanicked);
+                        self.report.panicked = true;
+                        self.begin_close();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Session end: the blocking worker's exit path, plus the daemon-side
+    /// accounting its spawner used to do.
+    fn finalize(&mut self, pool: &BufferPool, shared: &Shared) {
+        self.done = true;
+        drop(self.guard.take());
+        let obs = &shared.config.observer;
+        if self.eligible() {
+            let mut report = std::mem::take(&mut self.report);
+            if let Some(ctx) = self.ctx.take() {
+                match self.token {
+                    Some(session) if !report.orderly_shutdown && !report.panicked => {
+                        // Unorderly end of a resumable session: park the
+                        // context for the client's reconnect. A session
+                        // evicted to make room is reclaimed here, through
+                        // the same path as a session exit.
+                        if let Some((evicted, evicted_ctx)) = shared.registry.park(session, ctx) {
+                            obs.emit_daemon(DaemonEvent::SessionEvicted { session: evicted });
+                            report.reclaimed_bytes += release_context(evicted_ctx, obs);
+                        }
+                        report.parked = true;
+                    }
+                    _ => {
+                        report.leaked_allocations = ctx.live_allocations();
+                        report.reclaimed_bytes += release_context(ctx, obs);
+                    }
+                }
+            }
+            report.pool = pool.stats();
+            if report.panicked {
+                shared.counters.panics.fetch_add(1, Ordering::SeqCst);
+            }
+            shared
+                .counters
+                .reclaimed_bytes
+                .fetch_add(report.reclaimed_bytes, Ordering::SeqCst);
+            shared.reports.lock().push(report);
+            shared.sessions_served.fetch_add(1, Ordering::SeqCst);
+        } else {
+            // The handshake never observably completed: contexts drop
+            // silently, mirroring the blocking worker's early `Err` return
+            // (a warm, allocation-free context releases nothing).
+            drop(self.fresh_ctx.take());
+            drop(self.ctx.take());
+        }
+        shared.counters.served.fetch_add(1, Ordering::SeqCst);
+        shared.drain.note_closed();
+        // `live` goes last: a drain watching it hit zero must observe this
+        // connection's graceful/forced accounting already settled.
+        shared.counters.live.fetch_sub(1, Ordering::SeqCst);
+    }
+}

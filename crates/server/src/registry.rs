@@ -147,6 +147,85 @@ impl SessionRegistry {
     }
 }
 
+/// A hash-routed set of [`SessionRegistry`] shards.
+///
+/// The reactor daemon parks and resumes sessions from every shard thread;
+/// routing tokens across independent registries keeps those threads off a
+/// single park/take mutex. Routing is by token hash, so a session parked by
+/// a connection on one reactor shard is found by its replacement connection
+/// regardless of which reactor shard that lands on.
+///
+/// When a total capacity is configured it is distributed across the
+/// registry shards (never below one slot each); the oldest-first eviction
+/// guarantee then holds per shard rather than globally, which preserves the
+/// bounded-occupancy contract admission control relies on.
+pub struct ShardedRegistry {
+    shards: Vec<SessionRegistry>,
+}
+
+impl ShardedRegistry {
+    /// `shards` hash-routed registries with the default per-shard capacity.
+    pub fn new(shards: usize) -> ShardedRegistry {
+        let n = shards.max(1);
+        ShardedRegistry {
+            shards: (0..n).map(|_| SessionRegistry::new()).collect(),
+        }
+    }
+
+    /// A sharded registry bounding **total** parked occupancy to
+    /// `capacity`. Uses `min(shards, capacity)` registries so every shard
+    /// keeps at least one slot.
+    pub fn with_total_capacity(shards: usize, capacity: usize) -> ShardedRegistry {
+        assert!(capacity > 0, "registry capacity must be positive");
+        let n = shards.max(1).min(capacity);
+        let base = capacity / n;
+        let rem = capacity % n;
+        ShardedRegistry {
+            shards: (0..n)
+                .map(|i| SessionRegistry::with_capacity(base + usize::from(i < rem)))
+                .collect(),
+        }
+    }
+
+    fn route(&self, session: u64) -> &SessionRegistry {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        session.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Number of registry shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Park `session`'s context on its shard; see [`SessionRegistry::park`].
+    #[must_use = "an evicted session's context must be reclaimed, not dropped silently"]
+    pub fn park(&self, session: u64, ctx: GpuContext) -> Option<(u64, GpuContext)> {
+        self.route(session).park(session, ctx)
+    }
+
+    /// Take a parked context out, if present.
+    pub fn take(&self, session: u64) -> Option<GpuContext> {
+        self.route(session).take(session)
+    }
+
+    /// Take a parked context, waiting up to `timeout` for it to appear.
+    pub fn take_deadline(&self, session: u64, timeout: Duration) -> Option<GpuContext> {
+        self.route(session).take_deadline(session, timeout)
+    }
+
+    /// Sessions parked across all shards.
+    pub fn parked_count(&self) -> usize {
+        self.shards.iter().map(|s| s.parked_count()).sum()
+    }
+
+    /// Empty every shard, returning all parked `(token, context)` pairs.
+    pub fn drain_parked(&self) -> Vec<(u64, GpuContext)> {
+        self.shards.iter().flat_map(|s| s.drain_parked()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +301,57 @@ mod tests {
         let mut drained: Vec<u64> = reg.drain_parked().into_iter().map(|(t, _)| t).collect();
         drained.sort_unstable();
         assert_eq!(drained, vec![1, 2]);
+        assert_eq!(reg.parked_count(), 0);
+    }
+
+    #[test]
+    fn sharded_registry_routes_park_and_take_consistently() {
+        let reg = ShardedRegistry::new(4);
+        assert_eq!(reg.shard_count(), 4);
+        for token in 0..32u64 {
+            assert!(reg.park(token, ctx()).is_none());
+        }
+        assert_eq!(reg.parked_count(), 32);
+        for token in 0..32u64 {
+            assert!(reg.take(token).is_some(), "token {token} lost in routing");
+        }
+        assert_eq!(reg.parked_count(), 0);
+    }
+
+    #[test]
+    fn sharded_registry_distributes_total_capacity() {
+        let reg = ShardedRegistry::with_total_capacity(4, 6);
+        // min(shards, capacity) registries, capacities 2,2,1,1.
+        assert_eq!(reg.shard_count(), 4);
+        // Capacity never exceeds the configured total, whatever the token
+        // distribution.
+        let mut evicted = 0;
+        for token in 0..64u64 {
+            if reg.park(token, ctx()).is_some() {
+                evicted += 1;
+            }
+        }
+        assert!(reg.parked_count() <= 6, "total occupancy bounded");
+        assert_eq!(evicted + reg.parked_count(), 64);
+    }
+
+    #[test]
+    fn sharded_registry_keeps_one_slot_per_shard_minimum() {
+        let reg = ShardedRegistry::with_total_capacity(8, 3);
+        assert_eq!(reg.shard_count(), 3, "shards collapse to the capacity");
+        let reg = ShardedRegistry::new(0);
+        assert_eq!(reg.shard_count(), 1, "zero shards clamps to one");
+    }
+
+    #[test]
+    fn sharded_registry_drain_empties_every_shard() {
+        let reg = ShardedRegistry::new(3);
+        for token in 0..9u64 {
+            let _ = reg.park(token, ctx());
+        }
+        let mut drained: Vec<u64> = reg.drain_parked().into_iter().map(|(t, _)| t).collect();
+        drained.sort_unstable();
+        assert_eq!(drained, (0..9).collect::<Vec<_>>());
         assert_eq!(reg.parked_count(), 0);
     }
 }

@@ -27,7 +27,7 @@ use crate::registry::SessionRegistry;
 /// How long a reconnecting client's worker waits for the dead worker to
 /// park the session before rejecting the resume. Covers the window between
 /// the new connection being accepted and the old worker observing EOF.
-const RESUME_WAIT: Duration = Duration::from_secs(1);
+pub(crate) const RESUME_WAIT: Duration = Duration::from_secs(1);
 
 /// A test-only dispatch hook, fired with every post-handshake request just
 /// before it is dispatched (inside the worker's panic guard). The chaos
@@ -57,7 +57,7 @@ impl ChaosHook {
     }
 
     #[inline]
-    fn fire(&self, req: &Request) {
+    pub(crate) fn fire(&self, req: &Request) {
         if let Some(f) = &self.0 {
             f(req);
         }
@@ -367,7 +367,7 @@ pub(crate) fn release_context(ctx: GpuContext, obs: &ObsHandle) -> u64 {
 /// panicked: every `Err` response serializes as the bare 4-byte code, so
 /// matching the request's response *kind* keeps the client's decoder in
 /// sync while it learns the session is dead.
-fn panic_response(req: &Request) -> Response {
+pub(crate) fn panic_response(req: &Request) -> Response {
     let err = CudaError::LaunchFailure;
     match req {
         Request::Malloc { .. } => Response::Malloc(Err(err)),
@@ -390,7 +390,7 @@ fn panic_response(req: &Request) -> Response {
 /// Dispatch one request, reporting its service time as a [`ServerSpan`].
 /// With no observer installed this is exactly [`dispatch`]: no timestamps
 /// are taken.
-fn dispatch_observed(
+pub(crate) fn dispatch_observed(
     ctx: &mut GpuContext,
     req: &Request,
     pool: Option<&BufferPool>,
@@ -415,7 +415,7 @@ fn dispatch_observed(
 /// each element's queue wait is the time it spent behind earlier elements
 /// of the same frame (measured from frame arrival to dispatch start).
 /// Also the batch path for an armed [`ChaosHook`] (fired per element).
-fn dispatch_batch_observed(
+pub(crate) fn dispatch_batch_observed(
     ctx: &mut GpuContext,
     batch: &Batch,
     pool: Option<&BufferPool>,

@@ -12,7 +12,7 @@ use std::io::{self, Read, Write};
 use std::time::Duration;
 
 use crate::stats::TransportStats;
-use crate::Transport;
+use crate::{Progress, Transport};
 
 /// One endpoint of an in-process duplex byte stream.
 pub struct ChannelTransport {
@@ -137,6 +137,65 @@ impl Transport for ChannelTransport {
 
     fn set_observer(&mut self, obs: ObsHandle) {
         self.obs = obs;
+    }
+
+    // Channels are inherently nonblocking-capable: `try_recv` never parks,
+    // and sends on the unbounded channel never block. `set_nonblocking` is
+    // therefore a mode-free no-op — the blocking and nonblocking halves
+    // coexist on the same endpoint.
+    fn set_nonblocking(&mut self, _nonblocking: bool) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn poll_readable(&mut self) -> io::Result<bool> {
+        // Undrained staged message, a queued message, or a hung-up peer
+        // (EOF) all let a read make progress. A queued message is staged
+        // here so the subsequent `try_read` serves it without re-polling.
+        if self.in_pos < self.in_buf.len() {
+            return Ok(true);
+        }
+        match self.rx.try_recv() {
+            Ok(msg) => {
+                self.obs.emit_message(Dir::Received, msg.len() as u64);
+                self.in_buf = msg;
+                self.in_pos = 0;
+                self.stats.record_message_received();
+                Ok(true)
+            }
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(false),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Ok(true),
+        }
+    }
+
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<Progress> {
+        if self.in_pos >= self.in_buf.len() {
+            match self.rx.try_recv() {
+                Ok(msg) => {
+                    self.obs.emit_message(Dir::Received, msg.len() as u64);
+                    self.in_buf = msg;
+                    self.in_pos = 0;
+                    self.stats.record_message_received();
+                }
+                Err(crossbeam::channel::TryRecvError::Empty) => return Ok(Progress::Pending),
+                // A gone peer is EOF, matching socket semantics.
+                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    return Ok(Progress::Ready(0))
+                }
+            }
+        }
+        let n = buf.len().min(self.in_buf.len() - self.in_pos);
+        buf[..n].copy_from_slice(&self.in_buf[self.in_pos..self.in_pos + n]);
+        self.in_pos += n;
+        self.stats.record_recv(n as u64);
+        Ok(Progress::Ready(n))
+    }
+
+    fn try_write(&mut self, buf: &[u8]) -> io::Result<Progress> {
+        // The out buffer and channel are unbounded: a write always lands.
+        // Delivery to the peer still happens at `flush`, which never blocks.
+        self.out_buf.extend_from_slice(buf);
+        self.stats.record_send(buf.len() as u64);
+        Ok(Progress::Ready(buf.len()))
     }
 }
 
@@ -292,6 +351,49 @@ mod tests {
             "partial reads consume one message"
         );
         assert_eq!(report.messages.received_bytes, 24);
+    }
+
+    #[test]
+    fn try_read_reports_pending_then_data_then_eof() {
+        let (mut a, mut b) = channel_pair();
+        let mut buf = [0u8; 8];
+        assert!(!a.poll_readable().unwrap());
+        assert_eq!(a.try_read(&mut buf).unwrap(), Progress::Pending);
+        b.write_all(b"abc").unwrap();
+        b.flush().unwrap();
+        assert!(a.poll_readable().unwrap());
+        assert_eq!(a.try_read(&mut buf).unwrap(), Progress::Ready(3));
+        assert_eq!(&buf[..3], b"abc");
+        drop(b);
+        assert!(a.poll_readable().unwrap(), "EOF is readable progress");
+        assert_eq!(a.try_read(&mut buf).unwrap(), Progress::Ready(0));
+    }
+
+    #[test]
+    fn try_write_then_flush_delivers_one_message() {
+        let (mut a, mut b) = channel_pair();
+        assert_eq!(a.try_write(b"he").unwrap(), Progress::Ready(2));
+        assert_eq!(a.try_write(b"llo").unwrap(), Progress::Ready(3));
+        a.flush().unwrap();
+        let mut buf = [0u8; 5];
+        assert_eq!(b.try_read(&mut buf).unwrap(), Progress::Ready(5));
+        assert_eq!(&buf, b"hello");
+        assert_eq!(a.stats().messages_sent, 1);
+    }
+
+    #[test]
+    fn nonblocking_and_blocking_halves_interleave() {
+        let (mut a, mut b) = channel_pair();
+        a.set_nonblocking(true).unwrap();
+        a.write_all(b"xy").unwrap(); // blocking-half write
+        a.flush().unwrap();
+        let mut buf = [0u8; 2];
+        b.read_exact(&mut buf).unwrap(); // blocking-half read
+        assert_eq!(&buf, b"xy");
+        b.try_write(b"zw").unwrap();
+        b.flush().unwrap();
+        assert_eq!(a.try_read(&mut buf).unwrap(), Progress::Ready(2));
+        assert_eq!(&buf, b"zw");
     }
 
     #[test]

@@ -41,7 +41,34 @@ pub use sim::{sim_pair, SimTransport};
 pub use stats::TransportStats;
 pub use tcp::TcpTransport;
 
+/// Progress of one nonblocking I/O attempt (the `WouldBlock`-aware result
+/// of [`Transport::try_read`] / [`Transport::try_write`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// `n` bytes moved. `Ready(0)` from a read means end-of-stream (the
+    /// peer is gone), mirroring `read`'s 0-return — it is never "try
+    /// again".
+    Ready(usize),
+    /// The operation would block right now; re-attempt after the next
+    /// readiness signal. No bytes moved, no state changed.
+    Pending,
+}
+
 /// A bidirectional byte stream with per-message flush semantics.
+///
+/// ## The nonblocking half
+///
+/// Readiness-driven servers (the sharded reactor in `rcuda-server`)
+/// multiplex many transports on one thread, so they need I/O attempts that
+/// *never park the caller*: [`Transport::set_nonblocking`] switches the
+/// endpoint over, after which [`Transport::try_read`] and
+/// [`Transport::try_write`] translate `WouldBlock` into
+/// [`Progress::Pending`] instead of blocking, and
+/// [`Transport::poll_readable`] answers "would a read make progress right
+/// now?" without consuming anything. Transports that cannot operate
+/// nonblocking keep the defaults and report
+/// [`io::ErrorKind::Unsupported`] — the blocking half of the trait is
+/// unchanged and remains the contract for client-side use.
 pub trait Transport: io::Read + io::Write + Send {
     /// Cumulative traffic counters (used by tests to verify the Table I /
     /// Table II byte accounting end-to-end).
@@ -73,4 +100,48 @@ pub trait Transport: io::Read + io::Write + Send {
     /// Uninstrumented transports accept the call as a no-op (the default);
     /// a disarmed handle uninstalls any previous observer.
     fn set_observer(&mut self, _obs: ObsHandle) {}
+
+    /// Switch the endpoint between blocking and nonblocking operation.
+    /// While nonblocking, `try_read`/`try_write` report [`Progress::Pending`]
+    /// instead of parking the caller. Transports without a nonblocking mode
+    /// return [`io::ErrorKind::Unsupported`] (the default).
+    fn set_nonblocking(&mut self, _nonblocking: bool) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "transport has no nonblocking mode",
+        ))
+    }
+
+    /// Whether a `try_read` right now would make progress (data buffered or
+    /// EOF observable), without consuming anything. `Ok(false)` means a read
+    /// would return [`Progress::Pending`].
+    fn poll_readable(&mut self) -> io::Result<bool> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "transport has no nonblocking mode",
+        ))
+    }
+
+    /// Nonblocking read attempt: `Ready(n)` bytes landed in `buf` (`Ready(0)`
+    /// = end-of-stream), or `Pending` if the operation would block. Requires
+    /// [`Transport::set_nonblocking`] first on transports that distinguish
+    /// modes.
+    fn try_read(&mut self, _buf: &mut [u8]) -> io::Result<Progress> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "transport has no nonblocking mode",
+        ))
+    }
+
+    /// Nonblocking write attempt: `Ready(n)` bytes accepted, or `Pending` if
+    /// the peer's buffers are full. Callers still mark message boundaries
+    /// with `flush` once a whole message has been accepted; on a nonblocking
+    /// endpoint a flush that cannot complete fails with
+    /// [`io::ErrorKind::WouldBlock`] and is safe to retry.
+    fn try_write(&mut self, _buf: &[u8]) -> io::Result<Progress> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "transport has no nonblocking mode",
+        ))
+    }
 }

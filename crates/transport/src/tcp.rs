@@ -12,7 +12,7 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::stats::TransportStats;
-use crate::Transport;
+use crate::{Progress, Transport};
 
 /// Buffer capacity for both directions of the socket, shared by `connect`
 /// and `reconnect` so the two paths cannot drift.
@@ -195,6 +195,86 @@ impl Transport for TcpTransport {
 
     fn set_observer(&mut self, obs: ObsHandle) {
         self.obs = obs;
+    }
+
+    fn set_nonblocking(&mut self, nonblocking: bool) -> io::Result<()> {
+        // Reader and writer are clones of one socket, so O_NONBLOCK set on
+        // either applies to both directions.
+        self.reader.get_ref().set_nonblocking(nonblocking)
+    }
+
+    fn poll_readable(&mut self) -> io::Result<bool> {
+        if !self.reader.buffer().is_empty() {
+            return Ok(true);
+        }
+        let mut probe = [0u8; 1];
+        // peek(Ok(0)) is EOF: that *is* readable progress (read returns 0).
+        match self.reader.get_ref().peek(&mut probe) {
+            Ok(_) => Ok(true),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                ) =>
+            {
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<Progress> {
+        // Route through `Read::read` so stats and message accounting stay
+        // identical between the blocking and nonblocking paths.
+        match Read::read(self, buf) {
+            Ok(n) => Ok(Progress::Ready(n)),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                ) =>
+            {
+                Ok(Progress::Pending)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_write(&mut self, buf: &[u8]) -> io::Result<Progress> {
+        // Drain any bytes a blocking-path write staged in the BufWriter
+        // first, so ordering is preserved; `flush` on WouldBlock keeps the
+        // unwritten remainder buffered, making the retry safe.
+        if !self.writer.buffer().is_empty() {
+            match self.writer.flush() {
+                Ok(()) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    return Ok(Progress::Pending)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Then write straight to the socket: the caller already batches a
+        // whole message, so BufWriter staging would only add a copy.
+        match self.writer.get_mut().write(buf) {
+            Ok(n) => {
+                self.stats.record_send(n as u64);
+                Ok(Progress::Ready(n))
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                ) =>
+            {
+                Ok(Progress::Pending)
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -402,6 +482,79 @@ mod tests {
         );
         assert!(start.elapsed() < std::time::Duration::from_millis(250));
         server.join().unwrap();
+    }
+
+    #[test]
+    fn nonblocking_try_read_pending_then_ready_then_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (sync_tx, sync_rx) = std::sync::mpsc::channel();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::from_stream(stream).unwrap();
+            sync_rx.recv().unwrap(); // wait until the client saw Pending
+            t.write_all(b"pong").unwrap();
+            t.flush().unwrap();
+            sync_rx.recv().unwrap(); // wait until the client read it
+        });
+
+        let mut client = TcpTransport::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let mut buf = [0u8; 16];
+        assert!(!client.poll_readable().unwrap());
+        assert_eq!(client.try_read(&mut buf).unwrap(), Progress::Pending);
+        sync_tx.send(()).unwrap();
+        // Spin until the 4 bytes arrive — never blocking, only re-polling.
+        let mut got = 0;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while got < 4 {
+            assert!(std::time::Instant::now() < deadline, "data never arrived");
+            match client.try_read(&mut buf[got..]).unwrap() {
+                Progress::Ready(n) => got += n,
+                Progress::Pending => std::thread::yield_now(),
+            }
+        }
+        assert_eq!(&buf[..4], b"pong");
+        sync_tx.send(()).unwrap();
+        server.join().unwrap();
+        // Server side gone: the next progress report is EOF, not Pending.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            assert!(std::time::Instant::now() < deadline, "EOF never surfaced");
+            match client.try_read(&mut buf).unwrap() {
+                Progress::Ready(0) => break,
+                Progress::Ready(_) => panic!("no more data was sent"),
+                Progress::Pending => std::thread::yield_now(),
+            }
+        }
+    }
+
+    #[test]
+    fn nonblocking_try_write_round_trips_a_message() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::from_stream(stream).unwrap();
+            let mut buf = [0u8; 8];
+            t.read_exact(&mut buf).unwrap();
+            buf
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        // Stage two bytes through the blocking half first: try_write must
+        // preserve ordering by draining the BufWriter before its own bytes.
+        client.write_all(b"ab").unwrap();
+        client.set_nonblocking(true).unwrap();
+        let mut sent = 0;
+        let payload = b"cdefgh";
+        while sent < payload.len() {
+            match client.try_write(&payload[sent..]).unwrap() {
+                Progress::Ready(n) => sent += n,
+                Progress::Pending => std::thread::yield_now(),
+            }
+        }
+        assert_eq!(&server.join().unwrap(), b"abcdefgh");
+        assert_eq!(client.stats().bytes_sent, 8);
     }
 
     #[test]

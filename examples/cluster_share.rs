@@ -33,7 +33,10 @@ fn main() {
 /// Real concurrent sharing over loopback TCP: every client gets correct,
 /// isolated results from the single daemon.
 fn concurrent_sharing(clients: usize) {
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let addr = daemon.local_addr();
     println!("one GPU server at {addr}, {clients} concurrent clients\n");
 

@@ -16,7 +16,10 @@ use rcuda::session;
 
 fn main() {
     // 1. A node with a GPU runs the daemon (here: in-process, real TCP).
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     println!("rCUDA daemon listening on {}", daemon.local_addr());
 
     // 2. A GPU-less node connects and initializes with its GPU module.
@@ -70,6 +73,9 @@ fn main() {
         );
     }
 
+    // `shutdown` stops the acceptor; the session itself finishes on a
+    // reactor shard, so wait for its report before reading the counter.
     daemon.shutdown();
+    daemon.wait_for_sessions(1, std::time::Duration::from_secs(5));
     println!("\ndone: {} session(s) served", daemon.sessions_served());
 }

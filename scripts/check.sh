@@ -29,6 +29,13 @@ python3 -c "import json; json.load(open('target/BENCH_memcpy.json'))" 2>/dev/nul
     || grep -q '"bench": "memcpy_path"' target/BENCH_memcpy.json
 test -s target/BENCH_memcpy.json || { echo "memcpy bench wrote no artifact" >&2; exit 1; }
 
+echo "== session-concurrency bench smoke ==" >&2
+BENCH_CONCURRENCY_OUT="$PWD/target/BENCH_concurrency.json" \
+    cargo bench -q -p rcuda-bench --bench concurrency -- --test >/dev/null
+python3 -c "import json; json.load(open('target/BENCH_concurrency.json'))" 2>/dev/null \
+    || grep -q '"bench": "concurrency"' target/BENCH_concurrency.json
+test -s target/BENCH_concurrency.json || { echo "concurrency bench wrote no artifact" >&2; exit 1; }
+
 echo "== cargo fmt --check ==" >&2
 cargo fmt --all --check
 

@@ -26,6 +26,8 @@
 //! and multi-client GPU sharing; `rcuda-bench`'s `tables` binary regenerates
 //! every table and figure of the paper.
 
+#![deny(missing_docs)]
+
 pub use rcuda_api as api;
 pub use rcuda_client as client;
 pub use rcuda_core as core;
@@ -41,4 +43,5 @@ pub use rcuda_transport as transport;
 pub mod paper_map;
 pub mod session;
 
+pub use server::{DaemonBuilder, RcudaDaemon};
 pub use session::Session;

@@ -184,7 +184,15 @@ impl SessionBuilder {
     pub fn channel(self) -> ChannelSession {
         let (client_side, server_side) = channel_pair();
         let clock: SharedClock = wall_clock();
-        let server = spawn_server(server_side, clock.clone(), self.server_config());
+        let device = server_device(self.phantom);
+        let server = spawn_server(
+            server_side,
+            device,
+            clock.clone(),
+            self.server_config(),
+            None,
+        )
+        .expect("spawn session server");
         let mut runtime = RemoteRuntime::new(client_side, clock);
         self.configure(&mut runtime).expect("fresh session");
         ChannelSession {
@@ -202,11 +210,7 @@ impl SessionBuilder {
     /// failure-injection conformance suite.
     pub fn channel_faulty(self, plan: FaultPlan) -> FaultSession {
         let clock: SharedClock = wall_clock();
-        let device = Arc::new(if self.phantom {
-            GpuDevice::tesla_c1060()
-        } else {
-            GpuDevice::tesla_c1060_functional()
-        });
+        let device = server_device(self.phantom);
         let config = self.server_config();
         let registry = Arc::new(SessionRegistry::new());
         let servers: ServerSet = Arc::new(Mutex::new(Vec::new()));
@@ -218,21 +222,13 @@ impl SessionBuilder {
             let clock = clock.clone();
             move || -> std::io::Result<ChannelTransport> {
                 let (client_side, server_side) = channel_pair();
-                let device = Arc::clone(&device);
-                let registry = Arc::clone(&registry);
-                let clock = clock.clone();
-                let config = config.clone();
-                let handle = std::thread::Builder::new()
-                    .name("rcuda-faulty-server".into())
-                    .spawn(move || {
-                        serve_connection_with_registry(
-                            server_side,
-                            &device,
-                            clock,
-                            &config,
-                            &registry,
-                        )
-                    })?;
+                let handle = spawn_server(
+                    server_side,
+                    Arc::clone(&device),
+                    clock.clone(),
+                    config.clone(),
+                    Some(Arc::clone(&registry)),
+                )?;
                 servers.lock().expect("server set lock").push(handle);
                 Ok(client_side)
             }
@@ -261,7 +257,15 @@ impl SessionBuilder {
         let clock = virtual_clock();
         let shared: SharedClock = clock.clone();
         let (client_side, server_side) = sim_pair(model, shared.clone());
-        let server = spawn_server(server_side, shared.clone(), self.server_config());
+        let device = server_device(self.phantom);
+        let server = spawn_server(
+            server_side,
+            device,
+            shared.clone(),
+            self.server_config(),
+            None,
+        )
+        .expect("spawn session server");
         let mut runtime = RemoteRuntime::new(client_side, shared);
         self.configure(&mut runtime).expect("fresh session");
         SimSession {
@@ -272,21 +276,32 @@ impl SessionBuilder {
     }
 }
 
-/// Spawn a server thread driving one session over `transport`.
-fn spawn_server<T: Transport + 'static>(
-    transport: T,
-    clock: SharedClock,
-    config: ServerConfig,
-) -> JoinHandle<std::io::Result<SessionReport>> {
-    let device = if config.phantom_memory {
+/// The device an in-process server session runs on.
+fn server_device(phantom: bool) -> Arc<GpuDevice> {
+    if phantom {
         GpuDevice::tesla_c1060()
     } else {
         GpuDevice::tesla_c1060_functional()
-    };
+    }
+}
+
+/// Spawn a server thread driving one session over `transport` — the single
+/// spawn path for every in-process terminal method. With a registry the
+/// session can park on disconnect and resume on a later connection's
+/// thread; without one it lives and dies with this connection.
+fn spawn_server<T: Transport + 'static>(
+    transport: T,
+    device: Arc<GpuDevice>,
+    clock: SharedClock,
+    config: ServerConfig,
+    registry: Option<Arc<SessionRegistry>>,
+) -> std::io::Result<JoinHandle<std::io::Result<SessionReport>>> {
     std::thread::Builder::new()
         .name("rcuda-session-server".into())
-        .spawn(move || serve_connection(transport, &device, clock, &config))
-        .expect("spawn session server")
+        .spawn(move || match registry {
+            Some(reg) => serve_connection_with_registry(transport, &device, clock, &config, &reg),
+            None => serve_connection(transport, &device, clock, &config),
+        })
 }
 
 /// A complete in-process remote session over a simulated network: client

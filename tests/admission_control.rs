@@ -29,7 +29,10 @@ fn single_slot_daemon() -> RcudaDaemon {
         busy_retry_after_ms: 5,
         ..Default::default()
     };
-    RcudaDaemon::bind_with_config("127.0.0.1:0", GpuDevice::tesla_c1060_functional(), config)
+    RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .config(config)
+        .bind("127.0.0.1:0")
         .unwrap()
 }
 
@@ -102,9 +105,11 @@ fn panic_kills_one_session_and_spares_its_neighbor() {
         }),
         ..Default::default()
     };
-    let mut daemon =
-        RcudaDaemon::bind_with_config("127.0.0.1:0", GpuDevice::tesla_c1060_functional(), config)
-            .unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .config(config)
+        .bind("127.0.0.1:0")
+        .unwrap();
     let addr = daemon.local_addr();
 
     // The bystander is mid-session when its neighbor's dispatch panics.
@@ -142,7 +147,10 @@ fn panic_kills_one_session_and_spares_its_neighbor() {
 
 #[test]
 fn drain_finishes_in_flight_sessions_and_bounds_stragglers() {
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let addr = daemon.local_addr();
 
     // One client quits in an orderly fashion; one goes silent mid-session

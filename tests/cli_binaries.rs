@@ -18,7 +18,10 @@ fn run_cli(args: &[&str]) -> (bool, String) {
 
 #[test]
 fn rcuda_run_mm_verifies_against_local_reference() {
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let addr = daemon.local_addr().to_string();
     let (ok, out) = run_cli(&["--connect", &addr, "mm", "48"]);
     assert!(ok, "rcuda-run failed:\n{out}");
@@ -31,7 +34,10 @@ fn rcuda_run_mm_verifies_against_local_reference() {
 
 #[test]
 fn rcuda_run_fft_is_bit_identical() {
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let addr = daemon.local_addr().to_string();
     let (ok, out) = run_cli(&["--connect", &addr, "fft", "4"]);
     assert!(ok, "rcuda-run failed:\n{out}");

@@ -21,7 +21,10 @@ fn f32s(v: &[f32]) -> Vec<u8> {
 
 #[test]
 fn eight_concurrent_clients_share_one_gpu() {
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let addr = daemon.local_addr();
 
     let clock = wall_clock();
@@ -62,7 +65,10 @@ fn eight_concurrent_clients_share_one_gpu() {
 #[test]
 fn mixed_workloads_share_one_gpu() {
     // MM and FFT clients interleaved on one daemon.
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let addr = daemon.local_addr();
     let mm = thread::spawn(move || {
         let clock = wall_clock();
@@ -97,7 +103,10 @@ fn mixed_workloads_share_one_gpu() {
 fn contexts_are_isolated_between_connections() {
     // A device pointer from one session must be invalid in another: each
     // connection gets "a new GPU context" (§III).
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let addr = daemon.local_addr();
     let module = build_module(&["fill"], 0);
 

@@ -345,7 +345,10 @@ fn seeded_schedules_never_hang_or_panic() {
 fn tcp_daemon_resumes_a_faulted_session() {
     // The same injector drives a real TcpTransport (native re-dial) against
     // a live daemon: disconnect under H2D, reconnect, resume, verify bytes.
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let transport = TcpTransport::connect(daemon.local_addr()).unwrap();
     let injector = FaultInjector::new(transport, FaultPlan::at(2, FaultKind::Disconnect));
     let mut rt = RemoteRuntime::new(injector, wall_clock());
@@ -397,7 +400,10 @@ fn parked_session_recovers_on_next_idempotent_call() {
 
 #[test]
 fn server_death_mid_session_surfaces_as_transport_error() {
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let mut rt = session::Session::builder()
         .tcp(daemon.local_addr())
         .unwrap();
@@ -457,7 +463,10 @@ fn oom_propagates_and_session_survives() {
 
 #[test]
 fn garbage_after_handshake_ends_session_not_daemon() {
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let addr = daemon.local_addr();
     {
         // Speak just enough protocol to get past the handshake, then spew

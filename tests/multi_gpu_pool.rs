@@ -5,7 +5,7 @@ use rcuda::api::{run_matmul_bytes, CudaRuntime};
 use rcuda::core::time::wall_clock;
 use rcuda::gpu::GpuDevice;
 use rcuda::kernels::workload::matrix_pair;
-use rcuda::server::{GpuPool, PoolPolicy, RcudaDaemon, ServerConfig};
+use rcuda::server::{GpuPool, PoolPolicy, RcudaDaemon};
 use rcuda::session;
 use std::sync::Arc;
 use std::thread;
@@ -17,8 +17,10 @@ fn f32s(v: &[f32]) -> Vec<u8> {
 #[test]
 fn pooled_daemon_serves_concurrent_clients_correctly() {
     let pool = Arc::new(GpuPool::uniform_c1060(3, PoolPolicy::LeastLoaded));
-    let mut daemon =
-        RcudaDaemon::bind_pool("127.0.0.1:0", Arc::clone(&pool), ServerConfig::default()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .pool(Arc::clone(&pool))
+        .bind("127.0.0.1:0")
+        .unwrap();
     let addr = daemon.local_addr();
 
     let handles: Vec<_> = (0..9u64)
@@ -70,7 +72,10 @@ fn pooled_daemon_serves_concurrent_clients_correctly() {
 #[test]
 fn single_device_daemon_is_a_pool_of_one() {
     // The classic constructor still works and routes through the pool.
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let mut rt = session::Session::builder()
         .tcp(daemon.local_addr())
         .unwrap();

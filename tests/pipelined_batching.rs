@@ -98,7 +98,10 @@ fn pipelined_fft_over_tcp_equals_local() {
         .unwrap()
         .output;
 
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
 
     let mut sync_rt = Session::builder().tcp(daemon.local_addr()).unwrap();
     let sync_out = run_fft_bytes(&mut sync_rt, &*clock, batch, &input)

@@ -1,0 +1,304 @@
+//! Multi-tenant hardening semantics re-run against the sharded reactor
+//! core, configured through `DaemonBuilder`.
+//!
+//! The thread-per-connection daemon established these guarantees
+//! (admission `Busy` frames, per-session memory quotas, per-frame panic
+//! isolation, bounded graceful drain, park/resume). This suite asserts
+//! each of them holds unchanged now that every connection is multiplexed
+//! onto a fixed pool of reactor shards — including at `shards(1)`, where
+//! every session shares a single readiness loop and isolation cannot come
+//! from thread boundaries.
+
+use rcuda::api::CudaRuntime;
+use rcuda::core::CudaError;
+use rcuda::gpu::module::build_module;
+use rcuda::obs::Recorder;
+use rcuda::proto::handshake::read_hello_reply;
+use rcuda::proto::ids::MemcpyKind;
+use rcuda::proto::{Request, Response, SessionHello};
+use rcuda::server::{ChaosHook, DaemonBuilder, RcudaDaemon};
+use rcuda::session::Session;
+use std::io::Read;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Shard counts worth exercising: a single shared loop, and a small pool.
+const SHARD_COUNTS: [usize; 2] = [1, 4];
+
+/// Hold a session slot: connect raw and read the hello but never speak, so
+/// the connection sits in its shard's Hello phase until the stream drops.
+fn hold_slot(addr: std::net::SocketAddr) -> TcpStream {
+    let mut s = TcpStream::connect(addr).unwrap();
+    let mut hello = [0u8; 8];
+    s.read_exact(&mut hello).unwrap();
+    s
+}
+
+#[test]
+fn busy_shedding_holds_on_every_shard_count() {
+    for shards in SHARD_COUNTS {
+        let mut daemon = DaemonBuilder::new()
+            .shards(shards)
+            .max_sessions(1)
+            .busy_retry_after_ms(5)
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let addr = daemon.local_addr();
+        let holder = hold_slot(addr);
+
+        // Fail-fast client: the rejection surfaces as ServerBusy.
+        let mut rt = Session::builder()
+            .deadline(Duration::from_secs(2))
+            .tcp(addr)
+            .unwrap();
+        let err = rt.initialize(&build_module(&[], 0)).unwrap_err();
+        assert_eq!(err, CudaError::ServerBusy, "shards={shards}");
+
+        // Retrying client: gets in once the slot frees.
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            drop(holder);
+        });
+        let mut rt = Session::builder()
+            .deadline(Duration::from_secs(2))
+            .retries(12)
+            .tcp(addr)
+            .unwrap();
+        rt.initialize(&build_module(&[], 0))
+            .expect("admitted once the slot frees");
+        rt.finalize().unwrap();
+        releaser.join().unwrap();
+
+        daemon.drain(Duration::from_secs(5));
+        let health = daemon.health();
+        assert!(health.rejected >= 2, "shards={shards}");
+        assert_eq!(
+            health.rejected + health.served,
+            health.attempted,
+            "admission ledger balances (shards={shards})"
+        );
+    }
+}
+
+#[test]
+fn session_quota_holds_on_the_reactor() {
+    for shards in SHARD_COUNTS {
+        let mut daemon = DaemonBuilder::new()
+            .shards(shards)
+            .session_mem_quota(1024)
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut rt = Session::builder()
+            .deadline(Duration::from_secs(2))
+            .tcp(daemon.local_addr())
+            .unwrap();
+        rt.initialize(&build_module(&[], 0)).unwrap();
+
+        let p = rt.malloc(1024).unwrap();
+        assert_eq!(
+            rt.malloc(256),
+            Err(CudaError::MemoryAllocation),
+            "over-quota malloc fails without killing the session (shards={shards})"
+        );
+        rt.free(p).unwrap();
+        let p = rt.malloc(256).expect("quota is on live bytes");
+        rt.free(p).unwrap();
+        rt.finalize().unwrap();
+        daemon.drain(Duration::from_secs(5));
+    }
+}
+
+#[test]
+fn panic_is_isolated_even_on_a_single_shard() {
+    // One shard: victim and bystander share the same readiness loop, so
+    // isolation must come from the per-frame panic guard, not from thread
+    // boundaries.
+    let mut daemon = DaemonBuilder::new()
+        .shards(1)
+        .chaos(ChaosHook::new(|req| {
+            if matches!(req, Request::Malloc { size: 0xDEAD }) {
+                panic!("chaos hook: injected dispatch panic");
+            }
+        }))
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let addr = daemon.local_addr();
+
+    let mut bystander = Session::builder()
+        .deadline(Duration::from_secs(2))
+        .tcp(addr)
+        .unwrap();
+    bystander.initialize(&build_module(&[], 0)).unwrap();
+    let p = bystander.malloc(64).unwrap();
+    bystander.memcpy_h2d(p, &[7u8; 64]).unwrap();
+
+    let mut victim = Session::builder()
+        .deadline(Duration::from_secs(2))
+        .tcp(addr)
+        .unwrap();
+    victim.initialize(&build_module(&[], 0)).unwrap();
+    assert_eq!(victim.malloc(0xDEAD), Err(CudaError::LaunchFailure));
+
+    // The bystander's context, wire state, and data are untouched.
+    assert_eq!(bystander.memcpy_d2h(p, 64).unwrap(), vec![7u8; 64]);
+    bystander.free(p).unwrap();
+    bystander.finalize().unwrap();
+
+    drop(victim);
+    daemon.drain(Duration::from_secs(5));
+    let health = daemon.health();
+    assert_eq!(health.panics, 1, "exactly the injected panic");
+    assert_eq!(health.live_sessions, 0);
+    assert_eq!(health.rejected + health.served, health.attempted);
+}
+
+#[test]
+fn drain_still_bounds_stragglers_and_finishes_the_orderly() {
+    for shards in SHARD_COUNTS {
+        let mut daemon = DaemonBuilder::new()
+            .shards(shards)
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let addr = daemon.local_addr();
+
+        let mut orderly = Session::builder()
+            .deadline(Duration::from_secs(2))
+            .tcp(addr)
+            .unwrap();
+        orderly.initialize(&build_module(&[], 0)).unwrap();
+        orderly.finalize().unwrap();
+        assert!(daemon.wait_for_sessions(1, Duration::from_secs(5)));
+
+        let quiet = hold_slot(addr);
+        let begun = Instant::now();
+        let report = daemon.drain(Duration::from_millis(200));
+        assert!(
+            begun.elapsed() < Duration::from_secs(5),
+            "drain is bounded by its deadline (shards={shards})"
+        );
+        assert_eq!(report.forced, 1, "shards={shards}");
+        assert_eq!(report.graceful, 0, "pre-drain completions don't count");
+        assert_eq!(daemon.health().live_sessions, 0);
+        drop(quiet);
+    }
+}
+
+#[test]
+fn park_and_resume_work_across_reactor_shards() {
+    let mut daemon = DaemonBuilder::new().shards(4).bind("127.0.0.1:0").unwrap();
+    let addr = daemon.local_addr();
+    let token = 0xFEED_0042u64;
+
+    // Connection 1: resumable hello, malloc + write data, vanish.
+    let mut c1 = TcpStream::connect(addr).unwrap();
+    let mut cc = [0u8; 8];
+    c1.read_exact(&mut cc).unwrap();
+    SessionHello::Resumable {
+        session: token,
+        module: build_module(&[], 0),
+    }
+    .write(&mut c1)
+    .unwrap();
+    assert_eq!(read_hello_reply(&mut c1).unwrap(), Ok(()));
+
+    let malloc = Request::Malloc { size: 8 };
+    malloc.write(&mut c1).unwrap();
+    let ptr = Response::read(&mut c1, &malloc)
+        .unwrap()
+        .into_malloc()
+        .unwrap();
+    let h2d = Request::Memcpy {
+        dst: ptr.addr(),
+        src: 0,
+        size: 8,
+        kind: MemcpyKind::HostToDevice,
+        data: Some(vec![9, 8, 7, 6, 5, 4, 3, 2].into()),
+    };
+    h2d.write(&mut c1).unwrap();
+    Response::read(&mut c1, &h2d).unwrap();
+    drop(c1);
+
+    // The dying connection's shard parks the session.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while daemon.parked_sessions() != 1 {
+        assert!(Instant::now() < deadline, "session never parked");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Connection 2 (round-robin may land on any shard): reconnect, read
+    // the data back, quit.
+    let mut c2 = TcpStream::connect(addr).unwrap();
+    c2.read_exact(&mut cc).unwrap();
+    SessionHello::Reconnect { session: token }
+        .write(&mut c2)
+        .unwrap();
+    assert_eq!(read_hello_reply(&mut c2).unwrap(), Ok(()), "resumed");
+    let d2h = Request::Memcpy {
+        dst: 0,
+        src: ptr.addr(),
+        size: 8,
+        kind: MemcpyKind::DeviceToHost,
+        data: None,
+    };
+    d2h.write(&mut c2).unwrap();
+    let bytes = Response::read(&mut c2, &d2h)
+        .unwrap()
+        .into_memcpy_to_host()
+        .unwrap();
+    assert_eq!(bytes, vec![9, 8, 7, 6, 5, 4, 3, 2], "state survived");
+    Request::Quit.write(&mut c2).unwrap();
+    Response::read(&mut c2, &Request::Quit).unwrap();
+
+    assert!(daemon.wait_for_sessions(2, Duration::from_secs(5)));
+    assert_eq!(daemon.parked_sessions(), 0);
+    let reports = daemon.session_reports();
+    assert!(reports.iter().any(|r| r.parked));
+    assert!(reports.iter().any(|r| r.resumed && r.orderly_shutdown));
+    daemon.drain(Duration::from_secs(5));
+}
+
+#[test]
+fn shard_spans_expose_readiness_loop_activity() {
+    let recorder = Recorder::new();
+    let mut daemon: RcudaDaemon = DaemonBuilder::new()
+        .shards(2)
+        .observer(recorder.handle())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let addr = daemon.local_addr();
+
+    for _ in 0..2 {
+        let mut rt = Session::builder()
+            .deadline(Duration::from_secs(2))
+            .tcp(addr)
+            .unwrap();
+        rt.initialize(&build_module(&[], 0)).unwrap();
+        let p = rt.malloc(128).unwrap();
+        rt.free(p).unwrap();
+        rt.finalize().unwrap();
+    }
+    assert!(daemon.wait_for_sessions(2, Duration::from_secs(5)));
+    daemon.drain(Duration::from_secs(5));
+
+    let report = recorder.report();
+    assert!(
+        !report.shard_spans.is_empty(),
+        "working passes report shard spans"
+    );
+    assert!(report.shard_spans.iter().all(|s| s.shard < 2));
+    assert!(
+        report.shard_spans.iter().any(|s| s.frames > 0),
+        "dispatching passes record their frame count"
+    );
+    assert!(
+        report.shard_spans.iter().any(|s| s.sessions >= 1),
+        "registered connections are visible in the span"
+    );
+    // Three post-handshake frames per session (malloc, free, quit); the
+    // hello is parsed before frame accounting starts.
+    let frames: u64 = report.shard_spans.iter().map(|s| u64::from(s.frames)).sum();
+    assert!(
+        frames >= 6,
+        "malloc/free/quit for two sessions all flowed through shards (saw {frames})"
+    );
+}

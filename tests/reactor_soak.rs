@@ -1,0 +1,184 @@
+//! Reactor scale soak: ten thousand concurrent sessions in one process.
+//!
+//! The point of the sharded reactor is that the daemon's thread count and
+//! per-session memory stay flat as sessions pile up — the opposite of the
+//! thread-per-connection design, where 10k sessions meant 10k stacks. This
+//! test opens `RCUDA_SOAK_SESSIONS` (default 10 000) in-process sessions
+//! through `RcudaDaemon::connect_in_process` (no file descriptors
+//! consumed), holds them all live at once, then drives every one through a
+//! malloc/free/quit round and asserts:
+//!
+//! * the process thread count at peak equals daemon threads + driver
+//!   threads — zero threads per session (Linux only);
+//! * resident memory grows by a bounded number of KiB per session (Linux
+//!   only);
+//! * every session completes orderly with nothing leaked, the admission
+//!   ledger balances, and a final drain is clean (nothing left to force).
+
+use rcuda::gpu::module::build_module;
+use rcuda::proto::{Request, Response};
+use rcuda::server::DaemonBuilder;
+use std::io::{Read, Write};
+use std::sync::Barrier;
+use std::time::Duration;
+
+const DRIVERS: usize = 8;
+/// Generous per-session resident-memory bound. A session costs a decoder
+/// buffer (2 KiB floor), channel buffers on both ends, and a phantom
+/// context — nowhere near a thread stack.
+const RSS_PER_SESSION_BOUND_KIB: usize = 96;
+
+fn soak_sessions() -> usize {
+    std::env::var("RCUDA_SOAK_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+}
+
+/// `(threads, VmRSS KiB)` from /proc/self/status; `None` off Linux.
+fn proc_status() -> Option<(usize, usize)> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let field = |key: &str| {
+        status
+            .lines()
+            .find(|l| l.starts_with(key))?
+            .split_whitespace()
+            .nth(1)?
+            .parse::<usize>()
+            .ok()
+    };
+    Some((field("Threads:")?, field("VmRSS:")?))
+}
+
+#[test]
+fn ten_thousand_concurrent_sessions_stay_flat() {
+    let n = soak_sessions();
+    let shards = 4;
+    let daemon = DaemonBuilder::new()
+        .phantom_memory(true)
+        .shards(shards)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    assert_eq!(daemon.shard_count(), shards);
+
+    let baseline = proc_status();
+    let opened = Barrier::new(DRIVERS + 1);
+    let measured = Barrier::new(DRIVERS + 1);
+    let module = build_module(&[], 0);
+
+    std::thread::scope(|s| {
+        for d in 0..DRIVERS {
+            let daemon = &daemon;
+            let opened = &opened;
+            let measured = &measured;
+            let module = &module;
+            s.spawn(move || {
+                let share = n / DRIVERS + usize::from(d < n % DRIVERS);
+                // Open phase: all sessions of this driver live at once.
+                let mut conns = Vec::with_capacity(share);
+                let mut cc = [0u8; 8];
+                for _ in 0..share {
+                    let mut t = daemon.connect_in_process();
+                    t.read_exact(&mut cc).expect("compute-capability hello");
+                    conns.push(t);
+                }
+                opened.wait();
+                // Main thread snapshots peak threads/memory here.
+                measured.wait();
+
+                // Drive phase, stage-wise so every session in this
+                // driver's share has a request in flight at once.
+                let init = Request::Init {
+                    module: module.clone(),
+                };
+                // `ChannelTransport` is message-oriented: bytes travel on
+                // flush, so every stage write is followed by one.
+                for t in &mut conns {
+                    init.write(t).unwrap();
+                    t.flush().unwrap();
+                }
+                for t in &mut conns {
+                    Response::read(t, &init).unwrap().into_ack().unwrap();
+                }
+                let malloc = Request::Malloc { size: 4096 };
+                let mut ptrs = Vec::with_capacity(share);
+                for t in &mut conns {
+                    malloc.write(t).unwrap();
+                    t.flush().unwrap();
+                }
+                for t in &mut conns {
+                    ptrs.push(Response::read(t, &malloc).unwrap().into_malloc().unwrap());
+                }
+                for (t, ptr) in conns.iter_mut().zip(&ptrs) {
+                    Request::Free { ptr: *ptr }.write(t).unwrap();
+                    t.flush().unwrap();
+                }
+                for (t, ptr) in conns.iter_mut().zip(&ptrs) {
+                    Response::read(t, &Request::Free { ptr: *ptr })
+                        .unwrap()
+                        .into_ack()
+                        .unwrap();
+                }
+                for t in &mut conns {
+                    Request::Quit.write(t).unwrap();
+                    t.flush().unwrap();
+                }
+                for t in &mut conns {
+                    Response::read(t, &Request::Quit)
+                        .unwrap()
+                        .into_ack()
+                        .unwrap();
+                }
+            });
+        }
+
+        opened.wait();
+        // Peak: every session admitted and live, none served yet.
+        let health = daemon.health();
+        assert_eq!(health.live_sessions, n as u64, "all sessions live at once");
+        assert_eq!(health.admitted, n as u64);
+        assert_eq!(health.rejected, 0);
+        if let (Some((threads0, rss0)), Some((threads, rss))) = (baseline, proc_status()) {
+            assert_eq!(
+                threads,
+                threads0 + DRIVERS,
+                "no thread per session: only the {DRIVERS} driver threads appeared"
+            );
+            let growth_kib = rss.saturating_sub(rss0);
+            assert!(
+                growth_kib / n < RSS_PER_SESSION_BOUND_KIB,
+                "per-session memory stays flat: {n} sessions grew RSS by \
+                 {growth_kib} KiB (> {RSS_PER_SESSION_BOUND_KIB} KiB each)"
+            );
+        }
+        measured.wait();
+    });
+
+    assert!(
+        daemon.wait_for_sessions(n as u64, Duration::from_secs(120)),
+        "all sessions complete"
+    );
+    let health = daemon.health();
+    assert_eq!(health.served, n as u64);
+    assert_eq!(health.live_sessions, 0);
+    assert_eq!(health.rejected + health.served, health.attempted);
+    assert_eq!(health.panics, 0);
+    assert_eq!(daemon.parked_sessions(), 0);
+
+    let reports = daemon.session_reports();
+    assert_eq!(reports.len(), n);
+    assert!(reports.iter().all(|r| r.orderly_shutdown));
+    assert_eq!(
+        reports.iter().map(|r| r.leaked_allocations).sum::<usize>(),
+        0,
+        "no session leaked device allocations"
+    );
+
+    let mut daemon = daemon;
+    let drain = daemon.drain(Duration::from_secs(5));
+    assert_eq!(
+        (drain.graceful, drain.forced),
+        (0, 0),
+        "nothing left to drain: every session already finished"
+    );
+}

@@ -30,7 +30,10 @@ fn matmul_over_tcp_equals_local() {
         .output;
 
     // Remote over loopback TCP.
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let mut remote = session::Session::builder()
         .tcp(daemon.local_addr())
         .unwrap();
@@ -58,7 +61,10 @@ fn fft_over_tcp_equals_local() {
         .unwrap()
         .output;
 
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let mut remote = session::Session::builder()
         .tcp(daemon.local_addr())
         .unwrap();
@@ -133,7 +139,10 @@ fn trace_byte_accounting_matches_table1() {
 
 #[test]
 fn two_sequential_sessions_reuse_the_daemon() {
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let clock = wall_clock();
     for seed in 0..2u64 {
         let (a, b) = matrix_pair(16, seed);

@@ -186,7 +186,11 @@ fn soak_one_seed(seed: u64, baseline: &[u8]) {
         }),
         ..Default::default()
     };
-    let mut daemon = RcudaDaemon::bind_with_config("127.0.0.1:0", device, config).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(device)
+        .config(config)
+        .bind("127.0.0.1:0")
+        .unwrap();
     let addr = daemon.local_addr();
 
     std::thread::scope(|s| {

@@ -74,7 +74,10 @@ fn round_trip(
 
 #[test]
 fn memcpy_round_trip_is_allocation_free_at_steady_state() {
-    let mut daemon = RcudaDaemon::bind("127.0.0.1:0", GpuDevice::tesla_c1060_functional()).unwrap();
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
     let transport = TcpTransport::connect(daemon.local_addr()).unwrap();
     let mut rt = RemoteRuntime::new(transport, wall_clock());
     rt.initialize(&build_module(&["fill"], 0)).unwrap();
