@@ -1,0 +1,61 @@
+//! AI-inference workload suite: closed-loop §V model validation.
+//!
+//! Runs the `rcuda-workloads` harness — transformer block, batched small
+//! calls, multi-tenant traffic — through both validation loops (simulated
+//! GigaE→40GI cross-network and loopback TCP against a live daemon),
+//! asserts every row's relative error under its bound, and writes the
+//! paper-style artifact to `target/BENCH_workloads.json` (override with
+//! `BENCH_WORKLOADS_OUT`). Set `RCUDA_WORKLOADS_FAST=1` for CI-sized
+//! shapes; the artifact keeps both transports either way.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcuda_obs::ObsHandle;
+use rcuda_workloads::{
+    channel_session, run_suite, run_transformer, SuiteConfig, TransformerConfig,
+};
+
+/// Master seed for the artifact run: inputs, payload draws, and tenant
+/// schedules all derive from it, so reruns see identical traffic.
+const SEED: u64 = 42;
+
+fn write_artifact() {
+    let cfg = SuiteConfig::from_env(SEED);
+    let report = run_suite(&cfg).expect("workload suite");
+    report.assert_bounds();
+    print!("{}", report.table());
+
+    let path = std::env::var("BENCH_WORKLOADS_OUT").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_workloads.json"
+        )
+        .to_string()
+    });
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report.to_json()).unwrap(),
+    )
+    .unwrap();
+    println!("  wrote {path}");
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    write_artifact();
+
+    // Criterion timing: one transformer block over the in-process channel
+    // session — the per-inference cost the suite's TCP rows pay per client.
+    let cfg = TransformerConfig::small(SEED);
+    let mut g = c.benchmark_group("workloads");
+    g.bench_function("transformer_block_channel", |b| {
+        b.iter(|| {
+            let mut sess = channel_session(ObsHandle::none(), 0);
+            let clock = sess.clock.clone();
+            run_transformer(&mut sess.runtime, &*clock, &ObsHandle::none(), &cfg).unwrap();
+            sess.finish();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

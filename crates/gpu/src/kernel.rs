@@ -11,6 +11,7 @@ use rcuda_kernels::complex::{bytes_to_complex, complex_to_bytes};
 use rcuda_kernels::fft::fft_batch_512;
 use rcuda_kernels::matrix::sgemm_tiled_gpu;
 use rcuda_kernels::nbody::{nbody_accelerations, ACCEL_STRIDE, BODY_STRIDE};
+use rcuda_kernels::transformer::{layernorm_rows, softmax_rows};
 use std::collections::HashMap;
 
 use crate::memory::DeviceMemory;
@@ -67,6 +68,8 @@ pub fn builtin_registry() -> KernelRegistry {
     r.register("vec_add", k_vec_add);
     r.register("saxpy", k_saxpy);
     r.register("fill", k_fill);
+    r.register("softmax_rows", k_softmax_rows);
+    r.register("layernorm_rows", k_layernorm_rows);
     r
 }
 
@@ -129,6 +132,54 @@ fn k_nbody_accel(mem: &mut DeviceMemory, _grid: Dim3, _block: Dim3, args: &[u8])
     let mut accel = vec![0.0f32; n * ACCEL_STRIDE];
     nbody_accelerations(&bodies, &mut accel, softening);
     mem.write_f32(accel_ptr, &accel)
+}
+
+/// `softmax_rows(x, rows, cols)` — in-place row-wise softmax over a
+/// row-major `rows × cols` f32 matrix (transformer-block primitive; see
+/// `rcuda_kernels::transformer`).
+fn k_softmax_rows(
+    mem: &mut DeviceMemory,
+    _grid: Dim3,
+    _block: Dim3,
+    args: &[u8],
+) -> CudaResult<()> {
+    let mut r = ArgReader::new(args);
+    let ptr = r.ptr()?;
+    let rows = r.u32()? as usize;
+    let cols = r.u32()? as usize;
+    r.finish()?;
+    if rows == 0 || cols == 0 {
+        return Err(CudaError::InvalidValue);
+    }
+    let mut x = mem.read_f32(ptr, (rows * cols) as u32)?;
+    softmax_rows(rows, cols, &mut x);
+    mem.write_f32(ptr, &x)
+}
+
+/// `layernorm_rows(x, gamma, beta, rows, cols, eps)` — in-place row-wise
+/// layer normalization with per-column scale `gamma` and shift `beta`.
+fn k_layernorm_rows(
+    mem: &mut DeviceMemory,
+    _grid: Dim3,
+    _block: Dim3,
+    args: &[u8],
+) -> CudaResult<()> {
+    let mut r = ArgReader::new(args);
+    let x_ptr = r.ptr()?;
+    let gamma_ptr = r.ptr()?;
+    let beta_ptr = r.ptr()?;
+    let rows = r.u32()? as usize;
+    let cols = r.u32()? as usize;
+    let eps = r.f32()?;
+    r.finish()?;
+    if rows == 0 || cols == 0 || eps.is_nan() || eps <= 0.0 {
+        return Err(CudaError::InvalidValue);
+    }
+    let mut x = mem.read_f32(x_ptr, (rows * cols) as u32)?;
+    let gamma = mem.read_f32(gamma_ptr, cols as u32)?;
+    let beta = mem.read_f32(beta_ptr, cols as u32)?;
+    layernorm_rows(rows, cols, &mut x, &gamma, &beta, eps);
+    mem.write_f32(x_ptr, &x)
 }
 
 /// `vec_add(a, b, c, n)` — c[i] = a[i] + b[i].
@@ -199,6 +250,8 @@ mod tests {
             "vec_add",
             "saxpy",
             "fill",
+            "softmax_rows",
+            "layernorm_rows",
         ] {
             assert!(r.contains(name), "{name}");
             r.resolve(name).unwrap();
@@ -207,7 +260,60 @@ mod tests {
             r.resolve("nonexistent").err(),
             Some(CudaError::InvalidDeviceFunction)
         );
-        assert_eq!(r.names().len(), 6);
+        assert_eq!(r.names().len(), 8);
+    }
+
+    #[test]
+    fn softmax_kernel_matches_reference_bitwise() {
+        let rows = 3usize;
+        let cols = 5usize;
+        let input: Vec<f32> = (0..rows * cols).map(|i| (i as f32) * 0.37 - 2.0).collect();
+        let mut mem = DeviceMemory::new(1 << 16);
+        let p = mem.malloc((rows * cols * 4) as u32).unwrap();
+        mem.write_f32(p, &input).unwrap();
+        let args = ArgPack::new()
+            .push_ptr(p)
+            .push_u32(rows as u32)
+            .push_u32(cols as u32)
+            .into_bytes();
+        let (g, b) = geometry();
+        k_softmax_rows(&mut mem, g, b, &args).unwrap();
+        let got = mem.read_f32(p, (rows * cols) as u32).unwrap();
+        let mut expect = input;
+        softmax_rows(rows, cols, &mut expect);
+        assert_eq!(got, expect, "device softmax must be bit-identical");
+    }
+
+    #[test]
+    fn layernorm_kernel_matches_reference_bitwise() {
+        let rows = 2usize;
+        let cols = 7usize;
+        let input: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 13 % 9) as f32) - 4.0)
+            .collect();
+        let gamma: Vec<f32> = (0..cols).map(|i| 1.0 + i as f32 * 0.1).collect();
+        let beta: Vec<f32> = (0..cols).map(|i| i as f32 * -0.2).collect();
+        let mut mem = DeviceMemory::new(1 << 16);
+        let px = mem.malloc((rows * cols * 4) as u32).unwrap();
+        let pg = mem.malloc((cols * 4) as u32).unwrap();
+        let pb = mem.malloc((cols * 4) as u32).unwrap();
+        mem.write_f32(px, &input).unwrap();
+        mem.write_f32(pg, &gamma).unwrap();
+        mem.write_f32(pb, &beta).unwrap();
+        let args = ArgPack::new()
+            .push_ptr(px)
+            .push_ptr(pg)
+            .push_ptr(pb)
+            .push_u32(rows as u32)
+            .push_u32(cols as u32)
+            .push_f32(1e-5)
+            .into_bytes();
+        let (g, b) = geometry();
+        k_layernorm_rows(&mut mem, g, b, &args).unwrap();
+        let got = mem.read_f32(px, (rows * cols) as u32).unwrap();
+        let mut expect = input;
+        layernorm_rows(rows, cols, &mut expect, &gamma, &beta, 1e-5);
+        assert_eq!(got, expect, "device layernorm must be bit-identical");
     }
 
     #[test]

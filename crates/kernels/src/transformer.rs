@@ -1,0 +1,162 @@
+//! Transformer-block primitives: row-wise softmax and layer normalization.
+//!
+//! These are the two kernels modern inference graphs interleave between
+//! their GEMMs (arXiv 2401.13354 characterizes exactly this traffic for GPU
+//! API remoting); the paper's own case studies never exercise them. Both
+//! operate in place on row-major `rows × cols` f32 buffers and are written
+//! as straight sequential loops so that the simulated GPU backend and the
+//! CPU reference execute the *same* code path — conformance tests compare
+//! the two bit-for-bit, including denormal inputs and degenerate 1×1
+//! shapes.
+//!
+//! Determinism notes:
+//!
+//! * [`softmax_rows`] subtracts the row maximum before exponentiating (the
+//!   standard overflow guard), accumulates in f32 left-to-right, and divides
+//!   each element by the row sum — no reassociation, no FMA contraction.
+//! * [`layernorm_rows`] uses the two-pass mean/variance formulation with an
+//!   explicit epsilon inside the square root, again accumulating
+//!   left-to-right in f32.
+
+/// In-place row-wise softmax over a row-major `rows × cols` buffer.
+///
+/// Each row becomes `exp(x − max(row)) / Σ exp(x − max(row))`. A row of
+/// identical values (including all-denormal rows) maps to the uniform
+/// distribution `1/cols`. Panics if the buffer length is not `rows·cols`.
+pub fn softmax_rows(rows: usize, cols: usize, data: &mut [f32]) {
+    assert_eq!(data.len(), rows * cols, "buffer must be rows×cols");
+    for row in data.chunks_exact_mut(cols.max(1)) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// In-place row-wise layer normalization with learned scale and shift.
+///
+/// Each row becomes `γ · (x − μ) / √(σ² + ε) + β`, with `μ`/`σ²` the row
+/// mean and (biased) variance. `gamma` and `beta` hold one value per
+/// column. Panics on shape mismatches or a non-positive `eps`.
+pub fn layernorm_rows(
+    rows: usize,
+    cols: usize,
+    data: &mut [f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) {
+    assert_eq!(data.len(), rows * cols, "buffer must be rows×cols");
+    assert_eq!(gamma.len(), cols, "gamma must have one value per column");
+    assert_eq!(beta.len(), cols, "beta must have one value per column");
+    assert!(eps > 0.0, "eps must be positive");
+    for row in data.chunks_exact_mut(cols.max(1)) {
+        let n = cols as f32;
+        let mut mean = 0.0f32;
+        for v in row.iter() {
+            mean += *v;
+        }
+        mean /= n;
+        let mut var = 0.0f32;
+        for v in row.iter() {
+            let d = *v - mean;
+            var += d * d;
+        }
+        var /= n;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (v, (g, b)) in row.iter_mut().zip(gamma.iter().zip(beta)) {
+            *v = g * ((*v - mean) * inv) + b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut x = vec![0.5, -1.0, 2.0, 3.0, 0.0, -2.5];
+        softmax_rows(2, 3, &mut x);
+        for row in x.chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row sums to {sum}");
+            assert!(row.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_ordered() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        let mut b = vec![101.0, 102.0, 103.0];
+        softmax_rows(1, 3, &mut a);
+        softmax_rows(1, 3, &mut b);
+        assert_eq!(a, b, "max subtraction makes shifts exact no-ops");
+        assert!(a[0] < a[1] && a[1] < a[2]);
+    }
+
+    #[test]
+    fn softmax_uniform_and_degenerate_rows() {
+        let mut x = vec![7.25; 4];
+        softmax_rows(1, 4, &mut x);
+        assert_eq!(x, vec![0.25; 4]);
+        // 1×1: the only element is the whole distribution.
+        let mut one = vec![-3.5];
+        softmax_rows(1, 1, &mut one);
+        assert_eq!(one, vec![1.0]);
+        // Denormals: max subtraction keeps everything finite.
+        let mut d = vec![f32::MIN_POSITIVE / 4.0, 0.0, f32::MIN_POSITIVE / 2.0];
+        softmax_rows(1, 3, &mut d);
+        assert!(d.iter().all(|v| v.is_finite()));
+        let sum: f32 = d.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layernorm_normalizes_each_row() {
+        let mut x = vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0];
+        let gamma = vec![1.0; 4];
+        let beta = vec![0.0; 4];
+        layernorm_rows(2, 4, &mut x, &gamma, &beta, 1e-5);
+        for row in x.chunks(4) {
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "normalized mean ≈ 0, got {mean}");
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!((var - 1.0).abs() < 1e-2, "normalized var ≈ 1, got {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_applies_gamma_and_beta() {
+        let mut x = vec![-1.0, 1.0];
+        layernorm_rows(1, 2, &mut x, &[2.0, 2.0], &[5.0, 5.0], 1e-5);
+        assert!((x[0] - 3.0).abs() < 1e-2, "{}", x[0]);
+        assert!((x[1] - 7.0).abs() < 1e-2, "{}", x[1]);
+    }
+
+    #[test]
+    fn layernorm_constant_row_maps_to_beta() {
+        // Variance 0: the epsilon keeps the division finite and the output
+        // collapses to beta.
+        let mut x = vec![4.0; 3];
+        layernorm_rows(1, 3, &mut x, &[1.5; 3], &[0.25; 3], 1e-5);
+        assert!(x.iter().all(|v| (v - 0.25).abs() < 1e-5), "{x:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rows×cols")]
+    fn softmax_shape_mismatch_panics() {
+        softmax_rows(2, 3, &mut [0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "per column")]
+    fn layernorm_shape_mismatch_panics() {
+        layernorm_rows(1, 3, &mut [0.0; 3], &[1.0; 2], &[0.0; 3], 1e-5);
+    }
+}

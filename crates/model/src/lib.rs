@@ -40,6 +40,7 @@ pub mod pipeline;
 pub mod render;
 pub mod tables;
 pub mod testbed;
+pub mod workloads;
 
 pub use calib::{Calibration, PolyFit};
 pub use capacity::{plan_capacity, CapacityPlan, ClusterSpec};
@@ -49,3 +50,7 @@ pub use montecarlo::{default_error_bar, error_bar, Distribution, ErrorBar};
 pub use overlap::{estimate_async, overlap_benefit};
 pub use pipeline::{estimate_pipelined, estimate_pipelined_with, PipelineEstimate};
 pub use testbed::SimulatedTestbed;
+pub use workloads::{
+    closed_loop_wait, estimate_workload, fixed_time_workload, open_loop_wait, PhaseKind,
+    PhaseShape, WorkloadShape,
+};

@@ -39,5 +39,5 @@ pub use event::{
 pub use hist::{Histogram, BUCKETS};
 pub use metrics::{PoolStats, SessionMetrics};
 pub use op::Op;
-pub use record::{MessageTotals, OpStats, Recorder, Report};
+pub use record::{MessageTotals, OpStats, PhaseStats, Recorder, Report};
 pub use summary::{summary_json, summary_table};

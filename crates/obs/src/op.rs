@@ -35,19 +35,26 @@ static KNOWN_OPS: &[&str] = &[
     "cudaEventDestroy",
 ];
 
-/// A call identifier: a named CUDA operation or a batched frame.
+/// A call identifier: a named CUDA operation, a batched frame, or a
+/// workload-phase marker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Op {
     /// A single named operation (`cudaMalloc`, `initialization`, ...).
     Named(&'static str),
     /// A pipelined batch frame of `n` deferred calls.
     Batch(u32),
+    /// A workload-phase marker span: the driver brackets a group of calls
+    /// (e.g. a transformer block's GEMM chain) with one span whose start/end
+    /// cover the whole phase. Carries no bytes of its own; aggregation folds
+    /// the ordinary call spans inside its window (see `Report::phase_rows`).
+    Phase(&'static str),
 }
 
 impl Op {
     /// Parse a display form back into an [`Op`]. `batch[n]` becomes
-    /// [`Op::Batch`]; known names intern to their static string; unknown
-    /// names are leaked once (trace deserialization is a cold path).
+    /// [`Op::Batch`], `phase:name` becomes [`Op::Phase`]; known names intern
+    /// to their static string; unknown names are leaked once (trace
+    /// deserialization is a cold path).
     pub fn parse(s: &str) -> Op {
         if let Some(n) = s
             .strip_prefix("batch[")
@@ -55,6 +62,9 @@ impl Op {
             .and_then(|n| n.parse::<u32>().ok())
         {
             return Op::Batch(n);
+        }
+        if let Some(name) = s.strip_prefix("phase:") {
+            return Op::Phase(Box::leak(name.to_string().into_boxed_str()));
         }
         match KNOWN_OPS.iter().find(|k| **k == s) {
             Some(k) => Op::Named(k),
@@ -66,16 +76,25 @@ impl Op {
     pub fn as_named(&self) -> Option<&'static str> {
         match self {
             Op::Named(name) => Some(name),
-            Op::Batch(_) => None,
+            Op::Batch(_) | Op::Phase(_) => None,
+        }
+    }
+
+    /// The phase label, for phase-marker spans.
+    pub fn as_phase(&self) -> Option<&'static str> {
+        match self {
+            Op::Phase(name) => Some(name),
+            Op::Named(_) | Op::Batch(_) => None,
         }
     }
 
     /// The aggregation key: the operation name, with every batch size
-    /// folding into one `batch` group.
+    /// folding into one `batch` group and phase markers keeping their label.
     pub fn group(&self) -> &'static str {
         match self {
             Op::Named(name) => name,
             Op::Batch(_) => "batch",
+            Op::Phase(name) => name,
         }
     }
 }
@@ -85,6 +104,7 @@ impl fmt::Display for Op {
         match self {
             Op::Named(name) => f.write_str(name),
             Op::Batch(n) => write!(f, "batch[{n}]"),
+            Op::Phase(name) => write!(f, "phase:{name}"),
         }
     }
 }
@@ -100,6 +120,7 @@ impl PartialEq<str> for Op {
                     .and_then(|m| m.parse::<u32>().ok())
                     == Some(*n)
             }
+            Op::Phase(name) => other.strip_prefix("phase:") == Some(name),
         }
     }
 }
@@ -143,9 +164,22 @@ mod tests {
 
     #[test]
     fn display_and_parse_round_trip() {
-        for op in [Op::Named("cudaMalloc"), Op::Batch(7)] {
+        for op in [Op::Named("cudaMalloc"), Op::Batch(7), Op::Phase("block")] {
             assert_eq!(Op::parse(&op.to_string()), op);
         }
+    }
+
+    #[test]
+    fn phase_markers_display_compare_and_group() {
+        let p = Op::Phase("weights");
+        assert_eq!(p.to_string(), "phase:weights");
+        assert!(p == "phase:weights");
+        assert!(p != "weights");
+        assert_eq!(p.group(), "weights");
+        assert_eq!(p.as_phase(), Some("weights"));
+        assert_eq!(p.as_named(), None);
+        assert_eq!(Op::Named("weights").as_phase(), None);
+        assert_eq!(Op::from_content(&p.to_content()).unwrap(), p);
     }
 
     #[test]

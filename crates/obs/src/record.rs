@@ -175,6 +175,33 @@ impl OpStats {
     }
 }
 
+/// Aggregated per-phase statistics: one workload phase (bracketed by an
+/// [`Op::Phase`] marker span) and the ordinary client calls whose start
+/// falls inside its window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Ordinary client calls inside the phase window.
+    pub calls: u64,
+    /// Request bytes summed over those calls.
+    pub bytes_sent: u64,
+    /// Response bytes summed over those calls.
+    pub bytes_received: u64,
+    /// Summed client-side call time of those calls.
+    pub call_time: SimTime,
+    /// Wall time of the phase marker itself (end − start).
+    pub wall: SimTime,
+    /// Server service time attributed to the phase window (by span start).
+    pub server_service: SimTime,
+}
+
+impl PhaseStats {
+    /// Phase call time not accounted to GPU service: the network +
+    /// middleware share of the phase.
+    pub fn network_time(&self) -> SimTime {
+        self.call_time.saturating_sub(self.server_service)
+    }
+}
+
 /// Everything a run's recorder captured, plus aggregation views.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -208,6 +235,9 @@ impl Report {
             }
         };
         for span in &self.spans {
+            if span.op.as_phase().is_some() {
+                continue; // phase markers are meta-spans, not calls
+            }
             let i = row(span.op.group(), &mut rows);
             let stats = &mut rows[i].1;
             stats.calls += 1;
@@ -223,6 +253,57 @@ impl Report {
             stats.server_calls += 1;
             stats.server_service += span.service();
             stats.server_queue_wait += span.queue_wait;
+        }
+        rows
+    }
+
+    /// Per-phase aggregation, in phase-marker emission order.
+    ///
+    /// Workload drivers bracket each phase with one [`Op::Phase`] marker
+    /// span (emitted via `ObsHandle::emit_call` after the phase completes).
+    /// Every ordinary client span whose *start* falls inside a marker's
+    /// `[start, end)` window is folded into that phase; a span is charged to
+    /// the first matching phase, so nested or overlapping markers should be
+    /// avoided by drivers. Server spans are attributed the same way, which
+    /// is only meaningful when client and server share one clock (the
+    /// simulated and in-process channel transports).
+    pub fn phase_rows(&self) -> Vec<(&'static str, PhaseStats)> {
+        let markers: Vec<&CallSpan> = self
+            .spans
+            .iter()
+            .filter(|s| s.op.as_phase().is_some())
+            .collect();
+        let mut rows: Vec<(&'static str, PhaseStats)> = markers
+            .iter()
+            .map(|m| {
+                let stats = PhaseStats {
+                    wall: m.duration(),
+                    ..PhaseStats::default()
+                };
+                (m.op.group(), stats)
+            })
+            .collect();
+        let slot = |start: SimTime, markers: &[&CallSpan]| -> Option<usize> {
+            markers
+                .iter()
+                .position(|m| m.start <= start && start < m.end)
+        };
+        for span in &self.spans {
+            if span.op.as_phase().is_some() {
+                continue;
+            }
+            if let Some(i) = slot(span.start, &markers) {
+                let stats = &mut rows[i].1;
+                stats.calls += 1;
+                stats.bytes_sent += span.bytes_sent;
+                stats.bytes_received += span.bytes_received;
+                stats.call_time += span.duration();
+            }
+        }
+        for span in &self.server_spans {
+            if let Some(i) = slot(span.start, &markers) {
+                rows[i].1.server_service += span.service();
+            }
         }
         rows
     }
@@ -341,7 +422,52 @@ mod tests {
     fn empty_report_is_harmless() {
         let report = Recorder::new().report();
         assert!(report.per_op().is_empty());
+        assert!(report.phase_rows().is_empty());
         assert_eq!(report.totals(), (0, 0));
         assert_eq!(report.span(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn phase_rows_fold_spans_by_time_window() {
+        let rec = Recorder::new();
+        let h = rec.handle();
+        // Phase "weights": two H2D copies, then the marker bracketing them.
+        h.emit_call(&span(Op::Named("cudaMemcpyH2D"), 1024, 4, 0, 100));
+        h.emit_call(&span(Op::Named("cudaMemcpyH2D"), 2048, 4, 100, 300));
+        h.emit_call(&span(Op::Phase("weights"), 0, 0, 0, 300));
+        // Phase "block": one launch; the sync at t=500 is outside any phase.
+        h.emit_call(&span(Op::Named("cudaLaunch"), 64, 4, 300, 450));
+        h.emit_call(&span(Op::Phase("block"), 0, 0, 300, 500));
+        h.emit_call(&span(Op::Named("cudaThreadSynchronize"), 8, 4, 500, 520));
+        h.emit_server(&ServerSpan {
+            op: Op::Named("cudaLaunch"),
+            queue_wait: SimTime::ZERO,
+            start: SimTime::from_nanos(350),
+            end: SimTime::from_nanos(430),
+        });
+        let report = rec.report();
+        let rows = report.phase_rows();
+        assert_eq!(rows.len(), 2);
+        let (name, weights) = rows[0];
+        assert_eq!(name, "weights");
+        assert_eq!(weights.calls, 2);
+        assert_eq!((weights.bytes_sent, weights.bytes_received), (3072, 8));
+        assert_eq!(weights.call_time, SimTime::from_nanos(300));
+        assert_eq!(weights.wall, SimTime::from_nanos(300));
+        assert_eq!(weights.server_service, SimTime::ZERO);
+        let (name, block) = rows[1];
+        assert_eq!(name, "block");
+        assert_eq!(block.calls, 1);
+        assert_eq!(block.server_service, SimTime::from_nanos(80));
+        assert_eq!(block.network_time(), SimTime::from_nanos(70));
+        // The marker itself never shows up as a per-op row.
+        assert!(report.per_op().iter().all(|(k, _)| *k != "weights"));
+        let launch = report
+            .per_op()
+            .into_iter()
+            .find(|(k, _)| *k == "cudaLaunch")
+            .unwrap()
+            .1;
+        assert_eq!(launch.calls, 1);
     }
 }

@@ -1,0 +1,181 @@
+//! Loopback-link calibration: fit a [`NetworkModel`] to what the harness
+//! can actually measure.
+//!
+//! The paper's network models are fitted to ping-pong measurements on real
+//! interconnects (§VI: "the bandwidth is extracted from the measured
+//! round-trip time divided by two"). The harness has no Gigabit Ethernet or
+//! InfiniBand NIC — its "real" transport is loopback TCP against a live
+//! daemon — so it runs the same methodology in miniature: probe the link
+//! with H2D/D2H copies across a ladder of payload sizes, take the best of
+//! `reps` round trips per size, and interpolate one-way times through a
+//! [`PiecewiseLinear`] curve exactly like the builtin models do.
+//!
+//! Two probes matter:
+//!
+//! * [`calibrate_loopback`] measures the full client-observed cost over TCP
+//!   — wire time *plus* the software path (serialization, syscalls, server
+//!   dispatch);
+//! * [`calibrate_channel`] measures the same ladder over the in-process
+//!   channel transport — the software path *alone*.
+//!
+//! Pricing a phase on both links and subtracting isolates the transport's
+//! marginal cost, which is what the §V estimator adds to a near-zero-network
+//! baseline.
+
+use std::io;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use rcuda_api::CudaRuntime;
+use rcuda_client::RemoteRuntime;
+use rcuda_core::time::wall_clock;
+use rcuda_core::{CudaResult, SimTime};
+use rcuda_gpu::module::build_module;
+use rcuda_netsim::{NetworkId, NetworkModel, PiecewiseLinear};
+use rcuda_obs::ObsHandle;
+use rcuda_transport::TcpTransport;
+
+/// Payload ladder, bytes. Spans the sub-4 KiB call-rate regime through the
+/// bulk sizes the transformer's weight copies use.
+const PROBE_SIZES: [u32; 5] = [64, 1024, 4096, 65536, 1 << 20];
+
+/// A [`NetworkModel`] fitted from measured round trips.
+#[derive(Debug, Clone)]
+pub struct CalibratedLink {
+    curve: PiecewiseLinear,
+    bandwidth_mib_s: f64,
+    name: &'static str,
+}
+
+impl CalibratedLink {
+    /// Build from `(bytes, one-way µs)` anchors. Non-monotone anchors (timer
+    /// jitter) are flattened upward before fitting.
+    pub fn from_anchors(name: &'static str, anchors: &[(u64, f64)]) -> CalibratedLink {
+        assert!(anchors.len() >= 2, "need at least two probe sizes");
+        let mut fixed: Vec<(u64, f64)> = Vec::with_capacity(anchors.len());
+        let mut floor = 0.0f64;
+        for &(bytes, us) in anchors {
+            floor = floor.max(us);
+            fixed.push((bytes, floor));
+        }
+        let (x0, y0) = fixed[fixed.len() - 2];
+        let (x1, y1) = fixed[fixed.len() - 1];
+        let tail_slope = ((y1 - y0) / (x1 - x0) as f64).max(0.0);
+        let bandwidth_mib_s = x1 as f64 / (1u64 << 20) as f64 / (y1 / 1e6).max(1e-12);
+        CalibratedLink {
+            curve: PiecewiseLinear::new(&fixed, tail_slope),
+            bandwidth_mib_s,
+            name,
+        }
+    }
+}
+
+impl NetworkModel for CalibratedLink {
+    fn id(&self) -> NetworkId {
+        // Loopback behaves like a (very fast) Ethernet; the id only matters
+        // for wire-level tagging, which calibrated links never do.
+        NetworkId::GigaE
+    }
+
+    fn bandwidth_mib_s(&self) -> f64 {
+        self.bandwidth_mib_s
+    }
+
+    fn one_way(&self, bytes: u64) -> SimTime {
+        SimTime::from_micros_f64(self.curve.eval_us(bytes))
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Run the probe ladder on `rt`: for each size, the best of `reps`
+/// H2D+D2H pairs. One H2D round trip carries the payload outbound, one D2H
+/// carries it inbound, so a quarter of the pair is the paper's
+/// "round trip divided by two" one-way time.
+pub fn probe_runtime(rt: &mut dyn CudaRuntime, reps: usize) -> CudaResult<Vec<(u64, f64)>> {
+    assert!(reps > 0, "need at least one probe rep");
+    let max = *PROBE_SIZES.last().expect("ladder non-empty");
+    rt.initialize(&build_module(&[], 0))?;
+    let p = rt.malloc(max)?;
+    let buf = vec![0xA7u8; max as usize];
+    let mut out = vec![0u8; max as usize];
+    // Warm the path (page-in, lazy socket setup) before timing.
+    rt.memcpy_h2d(p, &buf[..64])?;
+    rt.memcpy_d2h_into(p, &mut out[..64])?;
+    let mut anchors = Vec::with_capacity(PROBE_SIZES.len());
+    for &size in &PROBE_SIZES {
+        let n = size as usize;
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            rt.memcpy_h2d(p, &buf[..n])?;
+            rt.memcpy_d2h_into(p, &mut out[..n])?;
+            best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        anchors.push((u64::from(size), best / 4.0));
+    }
+    rt.free(p)?;
+    rt.finalize()?;
+    Ok(anchors)
+}
+
+/// Calibrate the loopback-TCP link against a live daemon at `addr`.
+pub fn calibrate_loopback(addr: SocketAddr, reps: usize) -> io::Result<CalibratedLink> {
+    let mut rt = RemoteRuntime::new(TcpTransport::connect(addr)?, wall_clock());
+    rt.set_observer(ObsHandle::none());
+    let anchors = probe_runtime(&mut rt, reps)
+        .map_err(|e| io::Error::other(format!("loopback probe failed: {e:?}")))?;
+    Ok(CalibratedLink::from_anchors("loopback-tcp", &anchors))
+}
+
+/// Calibrate the in-process channel transport — the zero-NIC software
+/// baseline the TCP estimate subtracts out.
+pub fn calibrate_channel(reps: usize) -> CalibratedLink {
+    let mut sess = crate::sessions::channel_session(ObsHandle::none(), 0);
+    let anchors = probe_runtime(&mut sess.runtime, reps).expect("channel probe");
+    sess.finish();
+    CalibratedLink::from_anchors("channel", &anchors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fitted_link_is_monotone_and_prices_round_trips() {
+        let link = CalibratedLink::from_anchors(
+            "test",
+            &[(64, 10.0), (1024, 12.0), (4096, 20.0), (1 << 20, 900.0)],
+        );
+        assert_eq!(link.name(), "test");
+        let mut prev = SimTime::from_nanos(0);
+        for bytes in [0u64, 64, 512, 4096, 1 << 16, 1 << 20, 1 << 22] {
+            let t = link.one_way(bytes);
+            assert!(t >= prev, "non-monotone at {bytes}");
+            prev = t;
+        }
+        assert_eq!(
+            link.round_trip(4096, 64),
+            link.one_way(4096) + link.one_way(64)
+        );
+        assert!(link.bandwidth_mib_s() > 0.0);
+    }
+
+    #[test]
+    fn jittery_anchors_are_flattened_upward() {
+        // The 4 KiB probe came back faster than the 1 KiB one; fitting must
+        // not panic and must stay monotone.
+        let link =
+            CalibratedLink::from_anchors("jitter", &[(1024, 15.0), (4096, 11.0), (65536, 40.0)]);
+        assert!(link.one_way(4096) >= link.one_way(1024));
+    }
+
+    #[test]
+    fn channel_probe_yields_a_usable_link() {
+        let link = calibrate_channel(2);
+        assert!(link.one_way(64).as_nanos() > 0, "probe measured something");
+        assert!(link.one_way(1 << 20) >= link.one_way(64));
+    }
+}

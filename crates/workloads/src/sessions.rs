@@ -1,0 +1,167 @@
+//! Minimal in-process session plumbing for the harness.
+//!
+//! The `rcuda` facade's `Session::builder` lives in the root crate, which
+//! depends on this one — so the harness assembles its sessions from the
+//! same lower-level parts the facade uses: a transport pair, a served GPU
+//! context on a thread, and a `RemoteRuntime` on the client end. Both
+//! constructors run the device *functionally* (kernels really execute), so
+//! remote results stay bit-identical to the CPU reference.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use rcuda_client::RemoteRuntime;
+use rcuda_core::time::{virtual_clock, wall_clock};
+use rcuda_core::{SharedClock, VirtualClock};
+use rcuda_gpu::GpuDevice;
+use rcuda_netsim::NetworkModel;
+use rcuda_obs::ObsHandle;
+use rcuda_server::{serve_connection, ServerConfig, SessionReport};
+use rcuda_transport::{channel_pair, sim_pair, ChannelTransport, SimTransport, Transport};
+
+fn server_config(observer: ObsHandle) -> ServerConfig {
+    ServerConfig {
+        preinitialize_context: true,
+        phantom_memory: false,
+        observer,
+        ..ServerConfig::default()
+    }
+}
+
+fn spawn_server<T: Transport + 'static>(
+    transport: T,
+    clock: SharedClock,
+    config: ServerConfig,
+) -> JoinHandle<std::io::Result<SessionReport>> {
+    let device = GpuDevice::tesla_c1060_functional();
+    std::thread::Builder::new()
+        .name("rcuda-workload-server".into())
+        .spawn(move || serve_connection(transport, &device, clock, &config))
+        .expect("spawn workload session server")
+}
+
+/// An in-process session over a simulated network on a shared virtual
+/// clock: the harness's deterministic measurement rig.
+pub struct HarnessSimSession {
+    /// Client-side runtime.
+    pub runtime: RemoteRuntime<SimTransport>,
+    /// The shared virtual clock; `clock.now()` after a run is the simulated
+    /// execution time.
+    pub clock: Arc<VirtualClock>,
+    server: Option<JoinHandle<std::io::Result<SessionReport>>>,
+}
+
+impl HarnessSimSession {
+    /// Join the server side and return its report.
+    pub fn finish(mut self) -> SessionReport {
+        let server = self.server.take().expect("finish called once");
+        drop(self.runtime);
+        server
+            .join()
+            .expect("server thread panicked")
+            .expect("server io error")
+    }
+}
+
+/// A functional in-process session over the network `model`, with
+/// `observer` installed on client runtime, transport, and server worker
+/// (one recorder sees both sides on the shared virtual clock).
+pub fn sim_session(
+    model: Arc<dyn NetworkModel>,
+    observer: ObsHandle,
+    pipeline_depth: usize,
+) -> HarnessSimSession {
+    let clock = virtual_clock();
+    let shared: SharedClock = clock.clone();
+    let (client_side, server_side) = sim_pair(model, shared.clone());
+    let server = spawn_server(server_side, shared.clone(), server_config(observer.clone()));
+    let mut runtime = RemoteRuntime::new(client_side, shared);
+    runtime
+        .set_pipeline_depth(pipeline_depth)
+        .expect("fresh session");
+    runtime.set_observer(observer);
+    HarnessSimSession {
+        runtime,
+        clock,
+        server: Some(server),
+    }
+}
+
+/// An in-process session over a channel transport on the wall clock: the
+/// harness's near-zero-network baseline for TCP estimates.
+pub struct HarnessChannelSession {
+    /// Client-side runtime.
+    pub runtime: RemoteRuntime<ChannelTransport>,
+    /// The session's wall clock. Phase markers must be stamped on *this*
+    /// clock — a `WallClock` measures from its own construction instant, so
+    /// spans from a different instance would not align with the runtime's.
+    pub clock: SharedClock,
+    server: Option<JoinHandle<std::io::Result<SessionReport>>>,
+}
+
+impl HarnessChannelSession {
+    /// Join the server side and return its report.
+    pub fn finish(mut self) -> SessionReport {
+        let server = self.server.take().expect("finish called once");
+        drop(self.runtime);
+        server
+            .join()
+            .expect("server thread panicked")
+            .expect("server io error")
+    }
+}
+
+/// A functional in-process channel session (wall clock) with `observer`
+/// installed across the stack.
+pub fn channel_session(observer: ObsHandle, pipeline_depth: usize) -> HarnessChannelSession {
+    let clock: SharedClock = wall_clock();
+    let (client_side, server_side) = channel_pair();
+    let server = spawn_server(server_side, clock.clone(), server_config(observer.clone()));
+    let mut runtime = RemoteRuntime::new(client_side, clock.clone());
+    runtime
+        .set_pipeline_depth(pipeline_depth)
+        .expect("fresh session");
+    runtime.set_observer(observer);
+    HarnessChannelSession {
+        runtime,
+        clock,
+        server: Some(server),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuda_api::CudaRuntime;
+    use rcuda_core::Clock as _;
+    use rcuda_gpu::module::build_module;
+    use rcuda_netsim::NetworkId;
+
+    #[test]
+    fn sim_session_round_trips_and_advances_the_clock() {
+        let mut sess = sim_session(Arc::from(NetworkId::GigaE.model()), ObsHandle::none(), 0);
+        sess.runtime
+            .initialize(&build_module(&["fill"], 0))
+            .unwrap();
+        let p = sess.runtime.malloc(64).unwrap();
+        sess.runtime.memcpy_h2d(p, &[5u8; 64]).unwrap();
+        assert_eq!(sess.runtime.memcpy_d2h(p, 64).unwrap(), vec![5u8; 64]);
+        sess.runtime.free(p).unwrap();
+        sess.runtime.finalize().unwrap();
+        assert!(sess.clock.now().as_micros_f64() > 0.0);
+        let report = sess.finish();
+        assert!(report.orderly_shutdown);
+    }
+
+    #[test]
+    fn channel_session_round_trips() {
+        let mut sess = channel_session(ObsHandle::none(), 2);
+        sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+        let p = sess.runtime.malloc(16).unwrap();
+        sess.runtime.memcpy_h2d(p, &[9u8; 16]).unwrap();
+        assert_eq!(sess.runtime.memcpy_d2h(p, 16).unwrap(), vec![9u8; 16]);
+        sess.runtime.free(p).unwrap();
+        sess.runtime.finalize().unwrap();
+        assert!(sess.finish().orderly_shutdown);
+    }
+}

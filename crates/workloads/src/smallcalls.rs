@@ -1,0 +1,151 @@
+//! Batched-small-calls stress profile: the call-rate-bound regime.
+//!
+//! Thousands of sub-4 KiB launches and memcpys against a small device
+//! buffer. Each operation's payload is far below the size where bandwidth
+//! matters, so the run's cost is dominated by per-message latency — the
+//! regime the paper's bulk-transfer arithmetic (§V) cannot price and the
+//! extended model's call-rate term exists for. Phases are bracketed with
+//! [`rcuda_obs::Op::Phase`] markers: `init`, `churn`, `cleanup`.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rcuda_api::CudaRuntime;
+use rcuda_core::{ArgPack, Clock, CudaResult, Dim3};
+use rcuda_gpu::module::build_module;
+use rcuda_obs::ObsHandle;
+
+use crate::transformer::mark_phase;
+
+/// Shape of the small-calls stress run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmallCallsConfig {
+    /// Churn iterations; each issues an H2D copy, a `fill` launch, and a
+    /// D2H copy (three synchronous round trips).
+    pub iterations: usize,
+    /// Upper payload bound per copy, bytes (kept under 4 KiB).
+    pub max_payload: u32,
+    /// Seed for the payload-size draws.
+    pub seed: u64,
+}
+
+impl SmallCallsConfig {
+    /// Fast-mode shape.
+    pub fn small(seed: u64) -> Self {
+        SmallCallsConfig {
+            iterations: 150,
+            max_payload: 2048,
+            seed,
+        }
+    }
+
+    /// Default benchmark shape: thousands of sub-4 KiB calls.
+    pub fn bench(seed: u64) -> Self {
+        SmallCallsConfig {
+            iterations: 1_000,
+            max_payload: 4_096,
+            seed,
+        }
+    }
+
+    /// Synchronous calls the churn phase issues (3 per iteration).
+    pub fn churn_calls(&self) -> u64 {
+        3 * self.iterations as u64
+    }
+}
+
+/// Drive the stress profile through `rt`. Returns a checksum of every byte
+/// read back, so functional backends can be compared for identity.
+pub fn run_smallcalls(
+    rt: &mut dyn CudaRuntime,
+    clock: &dyn Clock,
+    obs: &ObsHandle,
+    cfg: &SmallCallsConfig,
+) -> CudaResult<u64> {
+    assert!(cfg.iterations > 0, "empty stress run");
+    assert!(
+        (4..=4096).contains(&cfg.max_payload),
+        "payloads must stay sub-4 KiB (got {})",
+        cfg.max_payload
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut t = clock.now();
+    rt.initialize(&build_module(&["fill"], 0))?;
+    let p = rt.malloc(cfg.max_payload)?;
+    t = mark_phase(obs, clock, "init", t);
+
+    let mut checksum = 0u64;
+    let mut buf = vec![0u8; cfg.max_payload as usize];
+    for i in 0..cfg.iterations {
+        // Word-aligned payload in [4, max_payload]: the fill kernel writes
+        // whole f32 slots.
+        let words = rng.gen_range(1..=(cfg.max_payload / 4));
+        let bytes = words * 4;
+        let pattern = (i % 251) as u8;
+        buf[..bytes as usize].fill(pattern);
+        rt.memcpy_h2d(p, &buf[..bytes as usize])?;
+        let args = ArgPack::new()
+            .push_ptr(p)
+            .push_u32(words)
+            .push_f32(f32::from(pattern))
+            .into_bytes();
+        rt.launch("fill", Dim3::x(1), Dim3::x(64), 0, 0, &args)?;
+        rt.memcpy_d2h_into(p, &mut buf[..bytes as usize])?;
+        checksum = buf[..bytes as usize]
+            .iter()
+            .fold(checksum, |acc, &b| acc.rotate_left(7) ^ u64::from(b));
+    }
+    t = mark_phase(obs, clock, "churn", t);
+
+    rt.free(p)?;
+    rt.finalize()?;
+    mark_phase(obs, clock, "cleanup", t);
+    Ok(checksum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuda_api::LocalRuntime;
+    use rcuda_core::time::wall_clock;
+    use rcuda_gpu::GpuDevice;
+    use rcuda_obs::Recorder;
+
+    #[test]
+    fn checksum_is_deterministic_per_seed() {
+        let clock = wall_clock();
+        let cfg = SmallCallsConfig {
+            iterations: 20,
+            max_payload: 256,
+            seed: 5,
+        };
+        let run = |cfg: &SmallCallsConfig| {
+            let mut rt = LocalRuntime::new(GpuDevice::tesla_c1060_functional(), clock.clone());
+            run_smallcalls(&mut rt, &*clock, &ObsHandle::none(), cfg).unwrap()
+        };
+        assert_eq!(run(&cfg), run(&cfg));
+        let other = SmallCallsConfig { seed: 6, ..cfg };
+        assert_ne!(run(&cfg), run(&other), "seed changes the payload stream");
+    }
+
+    #[test]
+    fn churn_phase_is_call_rate_bound_traffic() {
+        let rec = Recorder::new();
+        let mut sess = crate::sessions::channel_session(rec.handle(), 0);
+        let clock = sess.clock.clone();
+        let cfg = SmallCallsConfig {
+            iterations: 25,
+            max_payload: 512,
+            seed: 9,
+        };
+        run_smallcalls(&mut sess.runtime, &*clock, &rec.handle(), &cfg).unwrap();
+        sess.finish();
+        let rows = rec.report().phase_rows();
+        let names: Vec<&str> = rows.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["init", "churn", "cleanup"]);
+        let churn = rows.iter().find(|(n, _)| *n == "churn").unwrap().1;
+        assert_eq!(churn.calls, cfg.churn_calls());
+        // Every payload stays sub-4 KiB.
+        let avg = churn.bytes_sent / churn.calls;
+        assert!(avg < 4096, "avg request {avg} B");
+    }
+}

@@ -1,0 +1,448 @@
+//! Seeded open/closed-loop traffic generator over tenant personas.
+//!
+//! Tenants are drawn from the persona catalog of the multi-tenant soak
+//! suite (well-behaved, chatty, greedy, leaky); each persona shapes an
+//! operation mix and payload sizes. A [`Schedule`] is built *once*,
+//! deterministically from the seed — Poisson arrivals (exponential
+//! inter-arrival times) per tenant, merged by arrival time — and can then
+//! be replayed two ways:
+//!
+//! * **closed loop** ([`replay_closed_loop`]): each tenant issues its
+//!   operation sequence back-to-back, the next call leaving when the
+//!   previous one returns — the regime the paper's synchronous protocol
+//!   (§III) and the closed-loop wait term of the extended model describe;
+//! * **open loop** ([`replay_open_loop`]): operations are released at their
+//!   scheduled arrival instants on a virtual clock, so queueing builds up
+//!   when service lags the arrival rate.
+//!
+//! Determinism contract (property-tested): the same seed yields an
+//! identical schedule — same arrival instants, same per-tenant operation
+//! sequence — and distinct seeds diverge.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rcuda_api::CudaRuntime;
+use rcuda_core::{ArgPack, Clock, CudaResult, DevicePtr, Dim3, SimTime};
+use rcuda_gpu::module::build_module;
+use rcuda_obs::ObsHandle;
+
+use crate::transformer::mark_phase;
+
+/// Tenant species, echoing the chaos personas of the server soak suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Persona {
+    /// Balanced mix of moderate allocations, copies, and launches; frees
+    /// everything it allocates.
+    WellBehaved,
+    /// Many tiny copies and launches — a call-rate-bound tenant.
+    Chatty,
+    /// Few, large allocations and copies — a bandwidth-bound tenant.
+    Greedy,
+    /// Allocates and never frees (bounded), leaning on the server's
+    /// reclamation ledger.
+    Leaky,
+}
+
+impl Persona {
+    /// Every persona, in catalog order.
+    pub fn all() -> [Persona; 4] {
+        [
+            Persona::WellBehaved,
+            Persona::Chatty,
+            Persona::Greedy,
+            Persona::Leaky,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Persona::WellBehaved => "well-behaved",
+            Persona::Chatty => "chatty",
+            Persona::Greedy => "greedy",
+            Persona::Leaky => "leaky",
+        }
+    }
+
+    /// Payload bounds `(min, max)` for this persona's copies, bytes.
+    fn payload_range(self) -> (u32, u32) {
+        match self {
+            Persona::WellBehaved => (256, 16 << 10),
+            Persona::Chatty => (16, 1 << 10),
+            Persona::Greedy => (256 << 10, 1 << 20),
+            Persona::Leaky => (4 << 10, 64 << 10),
+        }
+    }
+
+    /// Draw one operation for this persona.
+    fn draw_op(self, rng: &mut StdRng, live_allocs: usize) -> TrafficOp {
+        let (lo, hi) = self.payload_range();
+        let size = rng.gen_range(lo..=hi) & !3; // word-aligned
+        let roll = rng.gen_range(0u32..100);
+        match self {
+            Persona::WellBehaved => match roll {
+                0..=19 => TrafficOp::Malloc(size),
+                20..=44 => TrafficOp::H2D(size),
+                45..=69 => TrafficOp::D2H(size),
+                70..=84 => TrafficOp::Launch,
+                _ if live_allocs > 1 => TrafficOp::Free,
+                _ => TrafficOp::Launch,
+            },
+            Persona::Chatty => match roll {
+                0..=4 => TrafficOp::Malloc(size),
+                5..=44 => TrafficOp::H2D(size),
+                45..=84 => TrafficOp::D2H(size),
+                _ => TrafficOp::Launch,
+            },
+            Persona::Greedy => match roll {
+                0..=24 => TrafficOp::Malloc(size),
+                25..=59 => TrafficOp::H2D(size),
+                60..=84 => TrafficOp::D2H(size),
+                _ if live_allocs > 1 => TrafficOp::Free,
+                _ => TrafficOp::Launch,
+            },
+            Persona::Leaky => match roll {
+                0..=29 => TrafficOp::Malloc(size),
+                30..=59 => TrafficOp::H2D(size),
+                60..=84 => TrafficOp::D2H(size),
+                _ => TrafficOp::Launch,
+            },
+        }
+    }
+}
+
+/// One CUDA operation in a tenant's stream. Copies and launches target the
+/// tenant's most recent allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficOp {
+    /// Allocate `size` bytes (becomes the current buffer).
+    Malloc(u32),
+    /// Free the current buffer (skipped if none is live).
+    Free,
+    /// Copy `size` bytes host → device (clamped to the current buffer).
+    H2D(u32),
+    /// Copy `size` bytes device → host (clamped to the current buffer).
+    D2H(u32),
+    /// A `fill` launch over the current buffer.
+    Launch,
+}
+
+/// One scheduled operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival instant on the schedule's virtual timeline.
+    pub at: SimTime,
+    /// Index into the tenant list.
+    pub tenant: usize,
+    /// Position within the tenant's own sequence.
+    pub seq: usize,
+    /// The operation.
+    pub op: TrafficOp,
+}
+
+/// A deterministic multi-tenant schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// All arrivals, sorted by time (ties broken by tenant index).
+    pub arrivals: Vec<Arrival>,
+    /// The tenant personas, in index order.
+    pub tenants: Vec<Persona>,
+}
+
+impl Schedule {
+    /// The operation sequence of one tenant, in arrival order.
+    pub fn tenant_ops(&self, tenant: usize) -> Vec<TrafficOp> {
+        self.arrivals
+            .iter()
+            .filter(|a| a.tenant == tenant)
+            .map(|a| a.op)
+            .collect()
+    }
+
+    /// Arrivals of one tenant, in order.
+    pub fn tenant_arrivals(&self, tenant: usize) -> Vec<Arrival> {
+        self.arrivals
+            .iter()
+            .copied()
+            .filter(|a| a.tenant == tenant)
+            .collect()
+    }
+}
+
+/// Traffic-generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficConfig {
+    /// Tenant mix.
+    pub tenants: Vec<Persona>,
+    /// Operations per tenant.
+    pub ops_per_tenant: usize,
+    /// Mean arrival rate per tenant, operations per second (Poisson).
+    pub rate_per_s: f64,
+    /// Master seed; every tenant derives its own stream from it.
+    pub seed: u64,
+}
+
+impl TrafficConfig {
+    /// Fast-mode mix: one tenant per persona, a short stream each.
+    pub fn small(seed: u64) -> Self {
+        TrafficConfig {
+            tenants: Persona::all().to_vec(),
+            ops_per_tenant: 40,
+            rate_per_s: 2_000.0,
+            seed,
+        }
+    }
+}
+
+/// Build the deterministic schedule for `cfg`: per-tenant exponential
+/// inter-arrival draws (rate `cfg.rate_per_s`) and persona-shaped
+/// operations, merged into one timeline.
+pub fn build_schedule(cfg: &TrafficConfig) -> Schedule {
+    assert!(!cfg.tenants.is_empty(), "at least one tenant");
+    assert!(cfg.rate_per_s > 0.0, "arrival rate must be positive");
+    let mut arrivals = Vec::with_capacity(cfg.tenants.len() * cfg.ops_per_tenant);
+    for (tenant, persona) in cfg.tenants.iter().enumerate() {
+        // Independent stream per tenant: same master seed, disjoint
+        // substreams (SplitMix64 walks the whole 2^64 state space, so a
+        // large odd stride keeps streams far apart).
+        let sub = cfg
+            .seed
+            .wrapping_add((tenant as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(sub);
+        let mut t = 0.0f64;
+        let mut live = 1usize; // replay pre-opens one buffer
+        for seq in 0..cfg.ops_per_tenant {
+            // Exponential inter-arrival: -ln(1 - U) / λ.
+            let u: f64 = rng.gen();
+            t += -(1.0 - u).ln() / cfg.rate_per_s;
+            let op = persona.draw_op(&mut rng, live);
+            match op {
+                TrafficOp::Malloc(_) => live += 1,
+                TrafficOp::Free => live = live.saturating_sub(1),
+                _ => {}
+            }
+            arrivals.push(Arrival {
+                at: SimTime::from_secs_f64(t),
+                tenant,
+                seq,
+                op,
+            });
+        }
+    }
+    arrivals.sort_by_key(|a| (a.at, a.tenant, a.seq));
+    Schedule {
+        arrivals,
+        tenants: cfg.tenants.clone(),
+    }
+}
+
+/// Replay state for one tenant: a stack of live allocations, copies and
+/// launches targeting the top.
+struct TenantState {
+    ptrs: Vec<(DevicePtr, u32)>,
+    buf: Vec<u8>,
+}
+
+impl TenantState {
+    fn open(rt: &mut dyn CudaRuntime) -> CudaResult<Self> {
+        rt.initialize(&build_module(&["fill"], 0))?;
+        // A guaranteed buffer so copies/launches always have a target.
+        let base = rt.malloc(4096)?;
+        Ok(TenantState {
+            ptrs: vec![(base, 4096)],
+            buf: Vec::new(),
+        })
+    }
+
+    fn step(&mut self, rt: &mut dyn CudaRuntime, op: TrafficOp) -> CudaResult<()> {
+        match op {
+            TrafficOp::Malloc(size) => {
+                let p = rt.malloc(size.max(4))?;
+                self.ptrs.push((p, size.max(4)));
+            }
+            TrafficOp::Free => {
+                // Keep the base buffer alive.
+                if self.ptrs.len() > 1 {
+                    let (p, _) = self.ptrs.pop().expect("len checked");
+                    rt.free(p)?;
+                }
+            }
+            TrafficOp::H2D(size) => {
+                let &(p, cap) = self.ptrs.last().expect("base buffer");
+                let n = size.clamp(4, cap) as usize;
+                if self.buf.len() < n {
+                    self.buf.resize(n, 0x5A);
+                }
+                rt.memcpy_h2d(p, &self.buf[..n])?;
+            }
+            TrafficOp::D2H(size) => {
+                let &(p, cap) = self.ptrs.last().expect("base buffer");
+                let n = size.clamp(4, cap);
+                rt.memcpy_d2h(p, n)?;
+            }
+            TrafficOp::Launch => {
+                let &(p, cap) = self.ptrs.last().expect("base buffer");
+                let args = ArgPack::new()
+                    .push_ptr(p)
+                    .push_u32(cap / 4)
+                    .push_f32(1.5)
+                    .into_bytes();
+                rt.launch("fill", Dim3::x(1), Dim3::x(64), 0, 0, &args)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn close(mut self, rt: &mut dyn CudaRuntime) -> CudaResult<()> {
+        while let Some((p, _)) = self.ptrs.pop() {
+            rt.free(p)?;
+        }
+        rt.finalize()
+    }
+}
+
+/// Replay one tenant's operation sequence back-to-back (closed loop) on
+/// `rt`, bracketed by a phase marker named after the tenant's persona slot.
+pub fn replay_closed_loop(
+    rt: &mut dyn CudaRuntime,
+    clock: &dyn Clock,
+    obs: &ObsHandle,
+    phase: &'static str,
+    ops: &[TrafficOp],
+) -> CudaResult<()> {
+    let t = clock.now();
+    let mut state = TenantState::open(rt)?;
+    for &op in ops {
+        state.step(rt, op)?;
+    }
+    state.close(rt)?;
+    mark_phase(obs, clock, phase, t);
+    Ok(())
+}
+
+/// Replay one tenant's arrivals at their scheduled instants on a *virtual*
+/// clock: if an operation's arrival lies in the future, the clock jumps
+/// there first (idle time); if service lags, operations queue back-to-back
+/// — open-loop semantics.
+pub fn replay_open_loop(
+    rt: &mut dyn CudaRuntime,
+    clock: &dyn Clock,
+    obs: &ObsHandle,
+    phase: &'static str,
+    arrivals: &[Arrival],
+) -> CudaResult<()> {
+    assert!(
+        clock.is_virtual(),
+        "open-loop replay paces a virtual clock; use replay_closed_loop on wall clocks"
+    );
+    let t = clock.now();
+    let mut state = TenantState::open(rt)?;
+    for a in arrivals {
+        let now = clock.now();
+        if a.at > now {
+            clock.advance(a.at.saturating_sub(now));
+        }
+        state.step(rt, a.op)?;
+    }
+    state.close(rt)?;
+    mark_phase(obs, clock, phase, t);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuda_api::LocalRuntime;
+    use rcuda_core::time::wall_clock;
+    use rcuda_gpu::GpuDevice;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let cfg = TrafficConfig::small(42);
+        assert_eq!(build_schedule(&cfg), build_schedule(&cfg));
+        let other = TrafficConfig::small(43);
+        assert_ne!(build_schedule(&cfg), build_schedule(&other));
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_complete() {
+        let cfg = TrafficConfig::small(7);
+        let s = build_schedule(&cfg);
+        assert_eq!(s.arrivals.len(), cfg.tenants.len() * cfg.ops_per_tenant);
+        assert!(s.arrivals.windows(2).all(|w| w[0].at <= w[1].at));
+        for tenant in 0..cfg.tenants.len() {
+            let ops = s.tenant_ops(tenant);
+            assert_eq!(ops.len(), cfg.ops_per_tenant);
+            // Per-tenant sequence positions stay ordered after the merge.
+            let seqs: Vec<usize> = s
+                .arrivals
+                .iter()
+                .filter(|a| a.tenant == tenant)
+                .map(|a| a.seq)
+                .collect();
+            assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn personas_shape_the_mix() {
+        let cfg = TrafficConfig {
+            tenants: vec![Persona::Chatty, Persona::Greedy],
+            ops_per_tenant: 200,
+            rate_per_s: 1000.0,
+            seed: 3,
+        };
+        let s = build_schedule(&cfg);
+        let max_copy = |tenant: usize| {
+            s.tenant_ops(tenant)
+                .iter()
+                .filter_map(|op| match op {
+                    TrafficOp::H2D(n) | TrafficOp::D2H(n) => Some(*n),
+                    _ => None,
+                })
+                .max()
+                .unwrap()
+        };
+        assert!(max_copy(0) <= 1 << 10, "chatty stays tiny");
+        assert!(max_copy(1) >= 256 << 10, "greedy goes big");
+    }
+
+    #[test]
+    fn closed_loop_replay_runs_clean_on_a_local_runtime() {
+        let clock = wall_clock();
+        let cfg = TrafficConfig::small(11);
+        let s = build_schedule(&cfg);
+        for (tenant, persona) in cfg.tenants.iter().enumerate() {
+            let mut rt = LocalRuntime::new(GpuDevice::tesla_c1060_functional(), clock.clone());
+            replay_closed_loop(
+                &mut rt,
+                &*clock,
+                &ObsHandle::none(),
+                persona.name(),
+                &s.tenant_ops(tenant),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn open_loop_replay_paces_the_virtual_clock() {
+        use rcuda_core::time::virtual_clock;
+        let clock = virtual_clock();
+        let mut rt = LocalRuntime::new_phantom(GpuDevice::tesla_c1060(), clock.clone());
+        let cfg = TrafficConfig {
+            tenants: vec![Persona::WellBehaved],
+            ops_per_tenant: 10,
+            rate_per_s: 100.0,
+            seed: 5,
+        };
+        let s = build_schedule(&cfg);
+        let arrivals = s.tenant_arrivals(0);
+        let last = arrivals.last().unwrap().at;
+        replay_open_loop(&mut rt, &*clock, &ObsHandle::none(), "open", &arrivals).unwrap();
+        use rcuda_core::Clock as _;
+        assert!(
+            clock.now() >= last,
+            "the clock reached the final arrival instant"
+        );
+    }
+}

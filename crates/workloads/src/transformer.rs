@@ -1,0 +1,304 @@
+//! Transformer-block microbenchmark: a GEMM chain interleaved with the
+//! softmax/layernorm kernels, phased like the paper's case studies.
+//!
+//! Each layer computes `X ← X + softmax(layernorm(X)·W1)·W2` — the shape of
+//! a feed-forward transformer block (with the softmax standing in for the
+//! attention normalization so the whole chain runs on the four builtin
+//! kernels: `layernorm_rows`, `sgemmNN`, `softmax_rows`, `vec_add`). The
+//! driver brackets every phase with an [`Op::Phase`] marker span, so a
+//! `Recorder`'s `phase_rows()` yields the per-phase call counts and byte
+//! totals the extended §V model prices.
+//!
+//! [`reference_transformer`] executes the same chain with the same kernel
+//! functions on the host, so a functional remote session must return a
+//! bit-identical output.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rcuda_api::CudaRuntime;
+use rcuda_core::{ArgPack, Clock, CudaResult, Dim3, SimTime};
+use rcuda_gpu::module::build_module;
+use rcuda_kernels::{layernorm_rows, sgemm_tiled_gpu, softmax_rows};
+use rcuda_obs::{CallSpan, ObsHandle, Op};
+
+/// Layer-normalization epsilon shared by driver and reference.
+pub const LN_EPS: f32 = 1e-5;
+
+/// Problem shape of the transformer-block microbenchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Sequence length (rows of `X`).
+    pub seq: usize,
+    /// Model width (columns of `X`).
+    pub d_model: usize,
+    /// Feed-forward width (columns of `H1`).
+    pub d_ff: usize,
+    /// Number of stacked layers.
+    pub layers: usize,
+    /// Seed for inputs and weights.
+    pub seed: u64,
+}
+
+impl TransformerConfig {
+    /// Small shape for fast-mode harness runs and tests.
+    pub fn small(seed: u64) -> Self {
+        TransformerConfig {
+            seq: 24,
+            d_model: 32,
+            d_ff: 48,
+            layers: 2,
+            seed,
+        }
+    }
+
+    /// The default benchmark shape.
+    pub fn bench(seed: u64) -> Self {
+        TransformerConfig {
+            seq: 64,
+            d_model: 128,
+            d_ff: 256,
+            layers: 4,
+            seed,
+        }
+    }
+
+    fn x_len(&self) -> usize {
+        self.seq * self.d_model
+    }
+}
+
+/// Deterministic inputs: activation matrix plus shared per-layer weights.
+pub struct TransformerData {
+    /// `seq × d_model` activations.
+    pub x: Vec<f32>,
+    /// `d_model × d_ff` up-projection.
+    pub w1: Vec<f32>,
+    /// `d_ff × d_model` down-projection.
+    pub w2: Vec<f32>,
+    /// Per-column layernorm scale (`d_model`).
+    pub gamma: Vec<f32>,
+    /// Per-column layernorm shift (`d_model`).
+    pub beta: Vec<f32>,
+}
+
+/// Generate the seeded inputs for `cfg`.
+pub fn transformer_inputs(cfg: &TransformerConfig) -> TransformerData {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut mat = |len: usize, scale: f32| -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-scale..scale)).collect()
+    };
+    TransformerData {
+        x: mat(cfg.seq * cfg.d_model, 1.0),
+        // Small weights keep the chain numerically tame across layers.
+        w1: mat(cfg.d_model * cfg.d_ff, 0.25),
+        w2: mat(cfg.d_ff * cfg.d_model, 0.25),
+        gamma: mat(cfg.d_model, 1.0),
+        beta: mat(cfg.d_model, 0.5),
+    }
+}
+
+/// Host reference: the same layer chain through the same kernel functions
+/// the device registry executes, so the result is bit-identical.
+pub fn reference_transformer(cfg: &TransformerConfig) -> Vec<f32> {
+    let d = transformer_inputs(cfg);
+    let mut x = d.x;
+    for _ in 0..cfg.layers {
+        let mut ln = x.clone();
+        layernorm_rows(cfg.seq, cfg.d_model, &mut ln, &d.gamma, &d.beta, LN_EPS);
+        let mut h1 = vec![0.0f32; cfg.seq * cfg.d_ff];
+        sgemm_tiled_gpu(cfg.seq, cfg.d_ff, cfg.d_model, &ln, &d.w1, &mut h1);
+        softmax_rows(cfg.seq, cfg.d_ff, &mut h1);
+        let mut h2 = vec![0.0f32; cfg.seq * cfg.d_model];
+        sgemm_tiled_gpu(cfg.seq, cfg.d_model, cfg.d_ff, &h1, &d.w2, &mut h2);
+        for (xi, h) in x.iter_mut().zip(&h2) {
+            *xi += h;
+        }
+    }
+    x
+}
+
+fn f32_bytes(v: &[f32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn bytes_f32(v: &[u8]) -> Vec<f32> {
+    v.chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect()
+}
+
+/// Emit a phase-marker span covering `[start, now)` and return `now`.
+pub(crate) fn mark_phase(
+    obs: &ObsHandle,
+    clock: &dyn Clock,
+    name: &'static str,
+    start: SimTime,
+) -> SimTime {
+    let end = clock.now();
+    obs.emit_call(&CallSpan {
+        op: Op::Phase(name),
+        bytes_sent: 0,
+        bytes_received: 0,
+        start,
+        end,
+        retries: 0,
+    });
+    end
+}
+
+/// Drive the transformer block through `rt`, bracketing the phases
+/// `init` / `weights` / `input` / `block` / `output` with marker spans on
+/// `obs`. Returns the final activations (bit-identical to
+/// [`reference_transformer`] on a functional backend).
+pub fn run_transformer(
+    rt: &mut dyn CudaRuntime,
+    clock: &dyn Clock,
+    obs: &ObsHandle,
+    cfg: &TransformerConfig,
+) -> CudaResult<Vec<f32>> {
+    assert!(
+        cfg.seq > 0 && cfg.d_model > 0 && cfg.d_ff > 0 && cfg.layers > 0,
+        "degenerate transformer shape"
+    );
+    let d = transformer_inputs(cfg);
+    let x_bytes = (cfg.x_len() * 4) as u32;
+    let h1_bytes = (cfg.seq * cfg.d_ff * 4) as u32;
+    let col_bytes = (cfg.d_model * 4) as u32;
+
+    let mut t = clock.now();
+    rt.initialize(&build_module(
+        &["sgemmNN", "softmax_rows", "layernorm_rows", "vec_add"],
+        0,
+    ))?;
+    rt.thread_synchronize()?;
+    t = mark_phase(obs, clock, "init", t);
+
+    let px = rt.malloc(x_bytes)?;
+    let pln = rt.malloc(x_bytes)?;
+    let ph1 = rt.malloc(h1_bytes)?;
+    let ph2 = rt.malloc(x_bytes)?;
+    let pw1 = rt.malloc((cfg.d_model * cfg.d_ff * 4) as u32)?;
+    let pw2 = rt.malloc((cfg.d_ff * cfg.d_model * 4) as u32)?;
+    let pgamma = rt.malloc(col_bytes)?;
+    let pbeta = rt.malloc(col_bytes)?;
+    rt.memcpy_h2d(pw1, &f32_bytes(&d.w1))?;
+    rt.memcpy_h2d(pw2, &f32_bytes(&d.w2))?;
+    rt.memcpy_h2d(pgamma, &f32_bytes(&d.gamma))?;
+    rt.memcpy_h2d(pbeta, &f32_bytes(&d.beta))?;
+    rt.thread_synchronize()?;
+    t = mark_phase(obs, clock, "weights", t);
+
+    rt.memcpy_h2d(px, &f32_bytes(&d.x))?;
+    rt.thread_synchronize()?;
+    t = mark_phase(obs, clock, "input", t);
+
+    let grid = Dim3::x((cfg.seq as u32).div_ceil(4).max(1));
+    let block = Dim3::x(64);
+    for _ in 0..cfg.layers {
+        rt.memcpy_d2d(pln, px, x_bytes)?;
+        let args = ArgPack::new()
+            .push_ptr(pln)
+            .push_ptr(pgamma)
+            .push_ptr(pbeta)
+            .push_u32(cfg.seq as u32)
+            .push_u32(cfg.d_model as u32)
+            .push_f32(LN_EPS)
+            .into_bytes();
+        rt.launch("layernorm_rows", grid, block, 0, 0, &args)?;
+        let args = ArgPack::new()
+            .push_ptr(pln)
+            .push_ptr(pw1)
+            .push_ptr(ph1)
+            .push_u32(cfg.seq as u32)
+            .push_u32(cfg.d_ff as u32)
+            .push_u32(cfg.d_model as u32)
+            .into_bytes();
+        rt.launch("sgemmNN", grid, block, 0, 0, &args)?;
+        let args = ArgPack::new()
+            .push_ptr(ph1)
+            .push_u32(cfg.seq as u32)
+            .push_u32(cfg.d_ff as u32)
+            .into_bytes();
+        rt.launch("softmax_rows", grid, block, 0, 0, &args)?;
+        let args = ArgPack::new()
+            .push_ptr(ph1)
+            .push_ptr(pw2)
+            .push_ptr(ph2)
+            .push_u32(cfg.seq as u32)
+            .push_u32(cfg.d_model as u32)
+            .push_u32(cfg.d_ff as u32)
+            .into_bytes();
+        rt.launch("sgemmNN", grid, block, 0, 0, &args)?;
+        let args = ArgPack::new()
+            .push_ptr(px)
+            .push_ptr(ph2)
+            .push_ptr(px)
+            .push_u32(cfg.x_len() as u32)
+            .into_bytes();
+        rt.launch("vec_add", grid, block, 0, 0, &args)?;
+    }
+    rt.thread_synchronize()?;
+    t = mark_phase(obs, clock, "block", t);
+
+    let out = rt.memcpy_d2h(px, x_bytes)?;
+    for p in [px, pln, ph1, ph2, pw1, pw2, pgamma, pbeta] {
+        rt.free(p)?;
+    }
+    rt.finalize()?;
+    mark_phase(obs, clock, "output", t);
+
+    Ok(bytes_f32(&out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuda_api::LocalRuntime;
+    use rcuda_core::time::wall_clock;
+    use rcuda_gpu::GpuDevice;
+    use rcuda_obs::Recorder;
+
+    #[test]
+    fn local_run_matches_the_reference_bitwise() {
+        let clock = wall_clock();
+        let mut rt = LocalRuntime::new(GpuDevice::tesla_c1060_functional(), clock.clone());
+        let cfg = TransformerConfig::small(7);
+        let got = run_transformer(&mut rt, &*clock, &ObsHandle::none(), &cfg).unwrap();
+        assert_eq!(got, reference_transformer(&cfg));
+    }
+
+    #[test]
+    fn reference_is_deterministic_per_seed_and_finite() {
+        let cfg = TransformerConfig::small(11);
+        let a = reference_transformer(&cfg);
+        let b = reference_transformer(&cfg);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| v.is_finite()));
+        let other = reference_transformer(&TransformerConfig::small(12));
+        assert_ne!(a, other, "distinct seeds produce distinct activations");
+    }
+
+    #[test]
+    fn phase_markers_cover_every_call() {
+        let rec = Recorder::new();
+        let mut sess = crate::sessions::channel_session(rec.handle(), 0);
+        let clock = sess.clock.clone();
+        let cfg = TransformerConfig::small(3);
+        run_transformer(&mut sess.runtime, &*clock, &rec.handle(), &cfg).unwrap();
+        sess.finish();
+        let report = rec.report();
+        let rows = report.phase_rows();
+        let names: Vec<&str> = rows.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["init", "weights", "input", "block", "output"]);
+        // Every non-marker span lands in exactly one phase window.
+        let phased: u64 = rows.iter().map(|(_, s)| s.calls).sum();
+        let spans = report
+            .spans
+            .iter()
+            .filter(|s| s.op.as_phase().is_none())
+            .count() as u64;
+        assert_eq!(phased, spans, "no call escapes its phase");
+        // The block phase carries the launches: 5 per layer plus the sync.
+        let block = rows.iter().find(|(n, _)| *n == "block").unwrap().1;
+        assert_eq!(block.calls, 5 * cfg.layers as u64 + cfg.layers as u64 + 1);
+    }
+}

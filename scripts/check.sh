@@ -36,6 +36,13 @@ python3 -c "import json; json.load(open('target/BENCH_concurrency.json'))" 2>/de
     || grep -q '"bench": "concurrency"' target/BENCH_concurrency.json
 test -s target/BENCH_concurrency.json || { echo "concurrency bench wrote no artifact" >&2; exit 1; }
 
+echo "== workload suite bench smoke (fast mode) ==" >&2
+RCUDA_WORKLOADS_FAST=1 BENCH_WORKLOADS_OUT="$PWD/target/BENCH_workloads.json" \
+    cargo bench -q -p rcuda-bench --bench workloads -- --test >/dev/null
+python3 -c "import json; json.load(open('target/BENCH_workloads.json'))" 2>/dev/null \
+    || grep -q '"suite": "rcuda-workloads"' target/BENCH_workloads.json
+test -s target/BENCH_workloads.json || { echo "workloads bench wrote no artifact" >&2; exit 1; }
+
 echo "== cargo fmt --check ==" >&2
 cargo fmt --all --check
 
@@ -53,5 +60,8 @@ cargo clippy -p rcuda-proto --all-targets -- -D warnings
 
 echo "== cargo clippy -p rcuda-transport -D warnings ==" >&2
 cargo clippy -p rcuda-transport --all-targets -- -D warnings
+
+echo "== cargo clippy -p rcuda-workloads -D warnings ==" >&2
+cargo clippy -p rcuda-workloads --all-targets -- -D warnings
 
 echo "All checks passed." >&2

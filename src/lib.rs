@@ -39,6 +39,7 @@ pub use rcuda_obs as obs;
 pub use rcuda_proto as proto;
 pub use rcuda_server as server;
 pub use rcuda_transport as transport;
+pub use rcuda_workloads as workloads;
 
 pub mod paper_map;
 pub mod session;

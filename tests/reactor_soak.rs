@@ -28,11 +28,30 @@ const DRIVERS: usize = 8;
 /// context — nowhere near a thread stack.
 const RSS_PER_SESSION_BOUND_KIB: usize = 96;
 
+/// Session count from `RCUDA_SOAK_SESSIONS` (default 10 000). A value the
+/// soak cannot honor — unparseable, zero, or absurdly large — used to fall
+/// back to the default silently, which made typos look like passing soaks;
+/// now it fails loudly and clamps only the genuinely out-of-range top end.
 fn soak_sessions() -> usize {
-    std::env::var("RCUDA_SOAK_SESSIONS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(10_000)
+    const DEFAULT: usize = 10_000;
+    /// Past this the in-process channel buffers alone exceed any sane CI
+    /// memory budget; clamp rather than OOM.
+    const MAX: usize = 1_000_000;
+    let Ok(raw) = std::env::var("RCUDA_SOAK_SESSIONS") else {
+        return DEFAULT;
+    };
+    let n: usize = raw.trim().parse().unwrap_or_else(|_| {
+        panic!("RCUDA_SOAK_SESSIONS={raw:?} is not a session count; unset it or pass a positive integer")
+    });
+    assert!(
+        n > 0,
+        "RCUDA_SOAK_SESSIONS=0 would soak nothing; unset it or pass a positive integer"
+    );
+    if n > MAX {
+        eprintln!("RCUDA_SOAK_SESSIONS={n} clamped to {MAX}");
+        return MAX;
+    }
+    n
 }
 
 /// `(threads, VmRSS KiB)` from /proc/self/status; `None` off Linux.

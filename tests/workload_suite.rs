@@ -1,0 +1,240 @@
+//! End-to-end validation of the AI-inference workload suite.
+//!
+//! * the closed-loop §V harness runs both validation loops (simulated
+//!   cross-network and loopback TCP) and every row's relative error lands
+//!   inside its bound;
+//! * conformance: the softmax/layernorm kernels are bit-identical between
+//!   the host reference and the simulated / in-process remote backends
+//!   across edge shapes (1×1, non-power-of-two rows, denormal inputs);
+//! * property: the Poisson traffic generator is deterministic per seed;
+//! * the traffic personas replay cleanly against the sharded reactor
+//!   daemon through `connect_in_process`.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rcuda::api::CudaRuntime;
+use rcuda::client::RemoteRuntime;
+use rcuda::core::time::wall_clock;
+use rcuda::core::{ArgPack, Dim3};
+use rcuda::gpu::module::build_module;
+use rcuda::kernels::{layernorm_rows, softmax_rows};
+use rcuda::netsim::NetworkId;
+use rcuda::obs::ObsHandle;
+use rcuda::workloads::{
+    build_schedule, channel_session, replay_closed_loop, run_sim_rows, run_suite, sim_session,
+    Persona, SuiteConfig, TrafficConfig,
+};
+use rcuda::DaemonBuilder;
+
+// ---------------------------------------------------------------------------
+// Tentpole: the closed-loop harness validates all three workloads on both
+// transports.
+
+#[test]
+fn workload_suite_validates_the_extended_model_on_both_transports() {
+    let report = run_suite(&SuiteConfig::fast(7)).expect("suite runs");
+    assert_eq!(report.rows.len(), 6, "3 workloads x 2 loops");
+    for workload in ["transformer", "smallcalls", "traffic"] {
+        for transport in ["sim GigaE->40GI", "tcp loopback"] {
+            assert!(
+                report
+                    .rows
+                    .iter()
+                    .any(|r| r.workload == workload && r.transport == transport),
+                "missing row: {workload} on {transport}"
+            );
+        }
+    }
+    report.assert_bounds();
+    // The artifact payload is complete: a table plus one JSON row per
+    // validation row, each carrying its verdict.
+    let json = report.to_json();
+    assert_eq!(json["rows"].as_array().map(Vec::len), Some(6));
+    assert!(json["table"].as_str().is_some_and(|t| t.contains("error")));
+}
+
+/// The simulated loop runs on the virtual clock, so the same seed must
+/// reproduce the summary table byte for byte. Regenerate after an
+/// intentional model or workload change with:
+/// `run_sim_rows(&SuiteConfig::fast(42)).table()`.
+#[test]
+fn sim_summary_table_matches_golden() {
+    let report = run_sim_rows(&SuiteConfig::fast(42));
+    let want = include_str!("golden/workloads_sim_summary.txt");
+    assert_eq!(report.table(), want, "sim summary drifted from golden");
+}
+
+// ---------------------------------------------------------------------------
+// Satellite S2: softmax/layernorm conformance across backends.
+
+/// Run softmax then layernorm remotely over `rt` and return both results.
+fn remote_softmax_layernorm(
+    rt: &mut dyn CudaRuntime,
+    rows: usize,
+    cols: usize,
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+) -> (Vec<f32>, Vec<f32>) {
+    let to_bytes = |v: &[f32]| v.iter().flat_map(|f| f.to_le_bytes()).collect::<Vec<u8>>();
+    let from_bytes = |b: &[u8]| {
+        b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect::<Vec<f32>>()
+    };
+    let n_bytes = (x.len() * 4) as u32;
+    let col_bytes = (cols * 4) as u32;
+    rt.initialize(&build_module(&["softmax_rows", "layernorm_rows"], 0))
+        .unwrap();
+    let px = rt.malloc(n_bytes).unwrap();
+    let pgamma = rt.malloc(col_bytes).unwrap();
+    let pbeta = rt.malloc(col_bytes).unwrap();
+    rt.memcpy_h2d(px, &to_bytes(x)).unwrap();
+    let args = ArgPack::new()
+        .push_ptr(px)
+        .push_u32(rows as u32)
+        .push_u32(cols as u32)
+        .into_bytes();
+    rt.launch("softmax_rows", Dim3::x(1), Dim3::x(32), 0, 0, &args)
+        .unwrap();
+    let softmaxed = from_bytes(&rt.memcpy_d2h(px, n_bytes).unwrap());
+
+    rt.memcpy_h2d(px, &to_bytes(x)).unwrap();
+    rt.memcpy_h2d(pgamma, &to_bytes(gamma)).unwrap();
+    rt.memcpy_h2d(pbeta, &to_bytes(beta)).unwrap();
+    let args = ArgPack::new()
+        .push_ptr(px)
+        .push_ptr(pgamma)
+        .push_ptr(pbeta)
+        .push_u32(rows as u32)
+        .push_u32(cols as u32)
+        .push_f32(1e-5)
+        .into_bytes();
+    rt.launch("layernorm_rows", Dim3::x(1), Dim3::x(32), 0, 0, &args)
+        .unwrap();
+    let normed = from_bytes(&rt.memcpy_d2h(px, n_bytes).unwrap());
+    for p in [px, pgamma, pbeta] {
+        rt.free(p).unwrap();
+    }
+    rt.finalize().unwrap();
+    (softmaxed, normed)
+}
+
+#[test]
+fn softmax_layernorm_conform_across_backends_at_edge_shapes() {
+    // (rows, cols, input generator): the 1×1 degenerate case, two
+    // non-power-of-two shapes, and a row mixing denormals with ordinary
+    // magnitudes (subnormal arithmetic must round identically everywhere).
+    let denormal = f32::from_bits(0x0000_0007); // ~1e-44, subnormal
+    let shapes: Vec<(usize, usize, Vec<f32>)> = vec![
+        (1, 1, vec![3.25]),
+        (3, 7, (0..21).map(|i| (i as f32 - 10.0) * 0.37).collect()),
+        (
+            5,
+            13,
+            (0..65)
+                .map(|i| ((i * 37) % 17) as f32 * 0.11 - 0.8)
+                .collect(),
+        ),
+        (
+            2,
+            5,
+            vec![
+                denormal, -denormal, 1.0, -1.0, denormal, 0.0, denormal, -2.5, denormal, 4.0,
+            ],
+        ),
+    ];
+    for (rows, cols, x) in shapes {
+        let gamma: Vec<f32> = (0..cols).map(|i| 0.5 + i as f32 * 0.1).collect();
+        let beta: Vec<f32> = (0..cols).map(|i| -0.2 + i as f32 * 0.05).collect();
+
+        // Host reference through the same kernel functions.
+        let mut want_softmax = x.clone();
+        softmax_rows(rows, cols, &mut want_softmax);
+        let mut want_norm = x.clone();
+        layernorm_rows(rows, cols, &mut want_norm, &gamma, &beta, 1e-5);
+
+        let mut sim = sim_session(Arc::from(NetworkId::Ib40G.model()), ObsHandle::none(), 0);
+        let (got_softmax, got_norm) =
+            remote_softmax_layernorm(&mut sim.runtime, rows, cols, &x, &gamma, &beta);
+        sim.finish();
+        assert_eq!(got_softmax, want_softmax, "sim softmax {rows}x{cols}");
+        assert_eq!(got_norm, want_norm, "sim layernorm {rows}x{cols}");
+
+        let mut chan = channel_session(ObsHandle::none(), 0);
+        let (got_softmax, got_norm) =
+            remote_softmax_layernorm(&mut chan.runtime, rows, cols, &x, &gamma, &beta);
+        chan.finish();
+        assert_eq!(got_softmax, want_softmax, "channel softmax {rows}x{cols}");
+        assert_eq!(got_norm, want_norm, "channel layernorm {rows}x{cols}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite S3: traffic-generator determinism as a property.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn traffic_schedule_is_deterministic_per_seed(
+        seed in any::<u64>(),
+        ops_per_tenant in 1usize..60,
+    ) {
+        let cfg = TrafficConfig {
+            tenants: Persona::all().to_vec(),
+            ops_per_tenant,
+            rate_per_s: 1_500.0,
+            seed,
+        };
+        let a = build_schedule(&cfg);
+        let b = build_schedule(&cfg);
+        // Same seed: identical arrival instants and per-tenant op streams.
+        prop_assert_eq!(&a, &b);
+        for tenant in 0..cfg.tenants.len() {
+            prop_assert_eq!(a.tenant_ops(tenant), b.tenant_ops(tenant));
+        }
+        // A different seed diverges (wrapping_add(1) keeps it a valid u64).
+        let other = build_schedule(&TrafficConfig {
+            seed: seed.wrapping_add(1),
+            ..cfg.clone()
+        });
+        prop_assert_ne!(&a, &other);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The traffic personas against the sharded reactor itself.
+
+#[test]
+fn traffic_personas_replay_against_the_sharded_reactor() {
+    let cfg = TrafficConfig::small(29);
+    let schedule = build_schedule(&cfg);
+    let mut daemon = DaemonBuilder::new().shards(2).bind("127.0.0.1:0").unwrap();
+    std::thread::scope(|s| {
+        for (tenant, persona) in cfg.tenants.iter().enumerate() {
+            let ops = schedule.tenant_ops(tenant);
+            let transport = daemon.connect_in_process();
+            s.spawn(move || {
+                let clock = wall_clock();
+                let mut rt = RemoteRuntime::new(transport, clock.clone());
+                replay_closed_loop(&mut rt, &*clock, &ObsHandle::none(), persona.name(), &ops)
+                    .expect("tenant replay");
+            });
+        }
+    });
+    assert!(
+        daemon.wait_for_sessions(cfg.tenants.len() as u64, std::time::Duration::from_secs(30)),
+        "all tenants complete"
+    );
+    let health = daemon.health();
+    assert_eq!(health.panics, 0, "no dispatch panics under persona mix");
+    assert_eq!(health.rejected, 0, "nothing was shed");
+    assert_eq!(health.served, cfg.tenants.len() as u64);
+    // Every session exited orderly and returned its memory.
+    for report in daemon.session_reports() {
+        assert!(report.orderly_shutdown, "tenant left via Quit");
+    }
+    daemon.shutdown();
+}
