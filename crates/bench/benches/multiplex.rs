@@ -1,0 +1,254 @@
+//! Head-of-line blocking, measured: small-call p99 latency with and
+//! without a concurrent 16 MiB transfer on the same connection, mux on
+//! and off, over live loopback TCP.
+//!
+//! Single-stream, two logical users sharing one session must serialize
+//! whole calls — a small call queues behind the entire in-flight bulk
+//! memcpy. On a multiplexed trunk each user gets a sub-stream and bulk
+//! payloads interleave at 64 KiB chunk granularity, so the small call's
+//! frames wait for at most one chunk per direction.
+//!
+//! Always writes `target/BENCH_multiplex.json` (override with
+//! `BENCH_MULTIPLEX_OUT`): the four p99s, the measured improvement
+//! ratio, and the `rcuda-netsim` HOL model's prediction on the
+//! measurement-calibrated loopback link, so CI can diff the HOL win run
+//! over run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcuda::session::{Endpoint, Session};
+use rcuda_api::CudaRuntime;
+use rcuda_gpu::module::build_module;
+use rcuda_gpu::GpuDevice;
+use rcuda_netsim::{HolModel, NetworkModel};
+use rcuda_server::RcudaDaemon;
+use rcuda_workloads::calibrate_loopback;
+use serde_json::json;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The concurrent bulk payload of the acceptance criterion.
+const BULK_BYTES: usize = 16 << 20;
+/// Small-call samples per arm (at 200 the p99 is the 198th, so one
+/// scheduler hiccup cannot set it).
+const SMALL_ITERS: usize = 200;
+/// Warm calls excluded from every arm's samples.
+const WARMUP: usize = 4;
+/// Pause between successive bulk transfers in the contended arms — the
+/// measured scenario is a small call racing one in-flight 16 MiB
+/// transfer, not a permanently saturated trunk (identical in both arms).
+const BULK_GAP: Duration = Duration::from_millis(1);
+
+fn p99_us(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((samples.len() as f64 * 0.99).ceil() as usize).max(1) - 1;
+    samples[idx]
+}
+
+/// One small call: a malloc/free pair, timed in microseconds.
+fn small_call(rt: &mut impl CudaRuntime) -> f64 {
+    let t0 = Instant::now();
+    let p = rt.malloc(64).unwrap();
+    rt.free(p).unwrap();
+    t0.elapsed().as_secs_f64() * 1e6
+}
+
+fn connect(addr: std::net::SocketAddr, mux: bool) -> Session {
+    let mut sess = Session::builder()
+        .mux(mux)
+        .connect(Endpoint::Tcp(addr))
+        .unwrap();
+    sess.initialize(&build_module(&[], 0)).unwrap();
+    sess
+}
+
+/// Small-call p99 on an otherwise idle connection.
+fn idle_p99(addr: std::net::SocketAddr, mux: bool) -> f64 {
+    let mut sess = connect(addr, mux);
+    for _ in 0..WARMUP {
+        small_call(&mut *sess);
+    }
+    let samples = (0..SMALL_ITERS).map(|_| small_call(&mut *sess)).collect();
+    sess.finalize().unwrap();
+    sess.finish();
+    p99_us(samples)
+}
+
+/// Single-stream contention: both users share one session behind a lock,
+/// so each small call waits for the bulk memcpy in flight — the ordered
+/// byte stream admits nothing finer than whole-call interleaving.
+fn single_stream_bulk_p99(addr: std::net::SocketAddr) -> f64 {
+    let mut sess = connect(addr, false);
+    let dev = sess.malloc(BULK_BYTES as u32).unwrap();
+    let sess = Mutex::new(sess);
+    let stop = AtomicBool::new(false);
+    let data = vec![0x5au8; BULK_BYTES];
+
+    let mut samples = Vec::with_capacity(SMALL_ITERS);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                sess.lock().unwrap().memcpy_h2d(dev, &data).unwrap();
+                // Successive transfers, not a saturated pipe: the scenario
+                // is a small call racing one in-flight bulk transfer.
+                std::thread::sleep(BULK_GAP);
+            }
+        });
+        for i in 0..WARMUP + SMALL_ITERS {
+            std::thread::sleep(Duration::from_micros(500));
+            let t0 = Instant::now();
+            {
+                let mut rt = sess.lock().unwrap();
+                let p = rt.malloc(64).unwrap();
+                rt.free(p).unwrap();
+            }
+            if i >= WARMUP {
+                samples.push(t0.elapsed().as_secs_f64() * 1e6);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let mut sess = sess.into_inner().unwrap();
+    sess.free(dev).unwrap();
+    sess.finalize().unwrap();
+    sess.finish();
+    p99_us(samples)
+}
+
+/// Muxed contention: the same two users ride one trunk on separate
+/// sub-streams — the bulk memcpy streams continuously while the small
+/// caller's frames interleave between its chunks.
+fn mux_bulk_p99(addr: std::net::SocketAddr) -> f64 {
+    let conn = Session::builder()
+        .mux(true)
+        .connector(Endpoint::Tcp(addr))
+        .unwrap();
+    let mut bulk = conn.open().unwrap();
+    bulk.initialize(&build_module(&[], 0)).unwrap();
+    let mut small = conn.open().unwrap();
+    small.initialize(&build_module(&[], 0)).unwrap();
+    let dev = bulk.malloc(BULK_BYTES as u32).unwrap();
+    let stop = AtomicBool::new(false);
+    let data = vec![0x5au8; BULK_BYTES];
+
+    let mut samples = Vec::with_capacity(SMALL_ITERS);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                bulk.memcpy_h2d(dev, &data).unwrap();
+                std::thread::sleep(BULK_GAP);
+            }
+            bulk.free(dev).unwrap();
+            bulk.finalize().unwrap();
+        });
+        for i in 0..WARMUP + SMALL_ITERS {
+            std::thread::sleep(Duration::from_micros(500));
+            let us = small_call(&mut *small);
+            if i >= WARMUP {
+                samples.push(us);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    small.finalize().unwrap();
+    small.finish();
+    conn.finish();
+    p99_us(samples)
+}
+
+fn write_artifact() {
+    // Two reactor shards so the trunk's sub-streams land on separate
+    // shard threads (round-robin assignment) — otherwise one shard
+    // serializes the small call behind the 16 MiB dispatch and measures
+    // server scheduling, not transport head-of-line blocking.
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .shards(2)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let addr = daemon.local_addr();
+
+    let single_idle = idle_p99(addr, false);
+    let mux_idle = idle_p99(addr, true);
+    let single_bulk = single_stream_bulk_p99(addr);
+    let mux_bulk = mux_bulk_p99(addr);
+    let improvement = single_bulk / mux_bulk.max(f64::EPSILON);
+
+    // The netsim HOL model on the measurement-calibrated loopback link.
+    let link = calibrate_loopback(addr, 3).unwrap();
+    let model = HolModel {
+        chunk_bytes: rcuda_proto::mux::CHUNK as u64,
+        ..HolModel::new(BULK_BYTES as u64, 8, 8)
+    };
+    let predicted = model.improvement(&link);
+
+    println!(
+        "  small-call p99 (µs): idle single {single_idle:.0}, idle mux {mux_idle:.0}, \
+         under 16 MiB bulk single {single_bulk:.0}, mux {mux_bulk:.0}"
+    );
+    println!("  HOL improvement: measured {improvement:.1}x, model predicts {predicted:.1}x");
+
+    let p99s = json!({
+        "single_idle": single_idle,
+        "mux_idle": mux_idle,
+        "single_bulk": single_bulk,
+        "mux_bulk": mux_bulk,
+    });
+    let model_json = json!({
+        "link": link.name(),
+        "predicted_improvement": predicted,
+        "single_stream_us": model.small_call_single_stream(&link).as_micros_f64(),
+        "muxed_us": model.small_call_muxed(&link).as_micros_f64(),
+    });
+    let artifact = json!({
+        "bench": "multiplex",
+        "transport": "loopback-tcp",
+        "bulk_bytes": BULK_BYTES,
+        "small_iters": SMALL_ITERS,
+        "p99_us": p99s,
+        "improvement": improvement,
+        "model": model_json,
+    });
+    let path = std::env::var("BENCH_MULTIPLEX_OUT").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_multiplex.json"
+        )
+        .to_string()
+    });
+    std::fs::write(&path, serde_json::to_string_pretty(&artifact).unwrap()).unwrap();
+    println!("  wrote {path}");
+    daemon.shutdown();
+}
+
+fn bench_multiplex(c: &mut Criterion) {
+    write_artifact();
+
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let addr = daemon.local_addr();
+
+    let mut g = c.benchmark_group("multiplex");
+    let mut single = connect(addr, false);
+    g.bench_function("small_call/single_idle", |b| {
+        b.iter(|| small_call(&mut *single))
+    });
+    let mut muxed = connect(addr, true);
+    g.bench_function("small_call/mux_idle", |b| {
+        b.iter(|| small_call(&mut *muxed))
+    });
+    g.finish();
+
+    single.finalize().unwrap();
+    single.finish();
+    muxed.finalize().unwrap();
+    muxed.finish();
+    daemon.shutdown();
+}
+
+criterion_group!(benches, bench_multiplex);
+criterion_main!(benches);

@@ -61,6 +61,11 @@ pub enum CudaError {
     /// the handshake (load shedding, not a fault — retrying after the
     /// server's hint is expected to succeed).
     ServerBusy,
+    /// The daemon requires token authentication and the client's handshake
+    /// proof did not verify (wrong token, missing token, or a legacy hello
+    /// against an auth-gated daemon). Not retryable: retrying with the same
+    /// credentials will fail the same way.
+    AuthFailed,
 }
 
 impl CudaError {
@@ -86,6 +91,7 @@ impl CudaError {
             CudaError::TransportConnectionLost => 10002,
             CudaError::ProtocolViolation => 10003,
             CudaError::ServerBusy => 10004,
+            CudaError::AuthFailed => 10005,
         }
     }
 
@@ -109,6 +115,7 @@ impl CudaError {
             10002 => CudaError::TransportConnectionLost,
             10003 => CudaError::ProtocolViolation,
             10004 => CudaError::ServerBusy,
+            10005 => CudaError::AuthFailed,
             _ => CudaError::Unknown,
         })
     }
@@ -132,11 +139,12 @@ impl CudaError {
             CudaError::TransportConnectionLost => "rcudaErrorTransportConnectionLost",
             CudaError::ProtocolViolation => "rcudaErrorProtocolViolation",
             CudaError::ServerBusy => "rcudaErrorServerBusy",
+            CudaError::AuthFailed => "rcudaErrorAuthFailed",
         }
     }
 
     /// All distinct error variants (useful for exhaustive round-trip tests).
-    pub const ALL: [CudaError; 16] = [
+    pub const ALL: [CudaError; 17] = [
         CudaError::MissingConfiguration,
         CudaError::MemoryAllocation,
         CudaError::InitializationError,
@@ -153,11 +161,13 @@ impl CudaError {
         CudaError::TransportConnectionLost,
         CudaError::ProtocolViolation,
         CudaError::ServerBusy,
+        CudaError::AuthFailed,
     ];
 
     /// Whether this error reports a transport/protocol fault rather than a
-    /// CUDA-level failure. `ServerBusy` is deliberately *not* a transport
-    /// fault: the connection worked, the server chose to shed it.
+    /// CUDA-level failure. `ServerBusy` and `AuthFailed` are deliberately
+    /// *not* transport faults: the connection worked, the server chose to
+    /// refuse it.
     pub const fn is_transport(self) -> bool {
         matches!(
             self,

@@ -31,6 +31,7 @@
 
 pub mod contention;
 pub mod gige;
+pub mod hol;
 pub mod hpc;
 pub mod ib40g;
 pub mod id;
@@ -43,6 +44,7 @@ pub mod topology;
 
 pub use contention::SharedLink;
 pub use gige::GigaEModel;
+pub use hol::HolModel;
 pub use hpc::BandwidthModel;
 pub use ib40g::Ib40GModel;
 pub use id::NetworkId;

@@ -26,6 +26,19 @@ pub struct MessageEvent {
     pub bytes: u64,
 }
 
+/// One multiplexed-transport frame crossing a sub-stream (reported per DATA
+/// chunk by the mux layer, in both directions). Stream 0 is the trunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamFrameEvent {
+    /// The sub-stream the frame belongs to.
+    pub stream: u32,
+    pub dir: Dir,
+    /// Payload bytes of the frame (headers excluded).
+    pub bytes: u64,
+    /// Whether this frame closed a protocol message (flush boundary).
+    pub end_of_message: bool,
+}
+
 /// One client-side CUDA call: request/response byte counts and monotonic
 /// clock timestamps (wall for real runs, virtual for simulated ones).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +139,7 @@ impl ShardSpan {
 pub trait Observer: Send + Sync {
     fn call_span(&self, _span: &CallSpan) {}
     fn message(&self, _event: &MessageEvent) {}
+    fn stream_frame(&self, _event: &StreamFrameEvent) {}
     fn retry(&self, _op: Op, _attempt: u32) {}
     fn reconnect(&self) {}
     fn server_span(&self, _span: &ServerSpan) {}
@@ -172,6 +186,18 @@ impl ObsHandle {
     pub fn emit_message(&self, dir: Dir, bytes: u64) {
         if let Some(obs) = &self.observer {
             obs.message(&MessageEvent { dir, bytes });
+        }
+    }
+
+    #[inline]
+    pub fn emit_stream_frame(&self, stream: u32, dir: Dir, bytes: u64, end_of_message: bool) {
+        if let Some(obs) = &self.observer {
+            obs.stream_frame(&StreamFrameEvent {
+                stream,
+                dir,
+                bytes,
+                end_of_message,
+            });
         }
     }
 

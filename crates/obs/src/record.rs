@@ -9,6 +9,7 @@
 
 use crate::event::{
     CallSpan, DaemonEvent, Dir, MessageEvent, ObsHandle, Observer, ServerSpan, ShardSpan,
+    StreamFrameEvent,
 };
 use crate::hist::Histogram;
 use crate::op::Op;
@@ -26,6 +27,7 @@ struct RecState {
     reconnects: u64,
     daemon_events: Vec<DaemonEvent>,
     shard_spans: Vec<ShardSpan>,
+    stream_frames: Vec<StreamFrameEvent>,
 }
 
 /// An [`Observer`] that records everything for later aggregation.
@@ -56,7 +58,7 @@ impl Recorder {
 
     /// Stamp message events on `clock` from now on. Lets a recorder built
     /// before the session join the session's clock — e.g. the virtual clock
-    /// a `Session::builder().simulated(..)` call creates internally.
+    /// a `Session::builder().connect(Endpoint::Simulated(..))` call creates internally.
     pub fn attach_clock(&self, clock: SharedClock) {
         *self.clock.lock() = Some(clock);
     }
@@ -92,6 +94,7 @@ impl Recorder {
             reconnects: state.reconnects,
             daemon_events: state.daemon_events.clone(),
             shard_spans: state.shard_spans.clone(),
+            stream_frames: state.stream_frames.clone(),
         }
     }
 }
@@ -132,6 +135,10 @@ impl Observer for Recorder {
 
     fn shard_span(&self, span: &ShardSpan) {
         self.state.lock().shard_spans.push(*span);
+    }
+
+    fn stream_frame(&self, event: &StreamFrameEvent) {
+        self.state.lock().stream_frames.push(*event);
     }
 }
 
@@ -216,9 +223,38 @@ pub struct Report {
     pub daemon_events: Vec<DaemonEvent>,
     /// Reactor readiness-loop passes that did work, in order.
     pub shard_spans: Vec<ShardSpan>,
+    /// Multiplexed-transport frames per sub-stream, in arrival order.
+    pub stream_frames: Vec<StreamFrameEvent>,
 }
 
 impl Report {
+    /// Per-sub-stream byte totals of the multiplexed transport, keyed by
+    /// stream id in first-appearance order: `(stream, sent, received)`.
+    pub fn per_stream(&self) -> Vec<(u32, MessageTotals)> {
+        let mut rows: Vec<(u32, MessageTotals)> = Vec::new();
+        for f in &self.stream_frames {
+            let i = match rows.iter().position(|(s, _)| *s == f.stream) {
+                Some(i) => i,
+                None => {
+                    rows.push((f.stream, MessageTotals::default()));
+                    rows.len() - 1
+                }
+            };
+            let t = &mut rows[i].1;
+            match f.dir {
+                Dir::Sent => {
+                    t.sent_count += 1;
+                    t.sent_bytes += f.bytes;
+                }
+                Dir::Received => {
+                    t.received_count += 1;
+                    t.received_bytes += f.bytes;
+                }
+            }
+        }
+        rows
+    }
+
     /// Per-operation aggregation, keyed by [`Op::group`], ordered by first
     /// appearance (client spans first, then server-only groups). The order
     /// is deterministic for a deterministic run, so renders of this view

@@ -24,6 +24,7 @@ use crate::batch::Frame;
 use crate::handshake::SessionHello;
 use crate::ids::{FunctionId, MemcpyKind};
 use crate::launch::LAUNCH_FIXED_BYTES;
+use crate::mux::MuxHello;
 use crate::payload::BufferPool;
 use crate::request::wire_carries_payload;
 
@@ -75,7 +76,7 @@ fn scan_request_at(buf: &[u8], off: usize) -> io::Result<Scan> {
     let fixed = LAUNCH_FIXED_BYTES as usize;
     let scan = match id {
         FunctionId::Batch => return Err(invalid("batch frames cannot appear inside a batch")),
-        FunctionId::Hello | FunctionId::Reconnect => {
+        FunctionId::Hello | FunctionId::Reconnect | FunctionId::MuxHello => {
             return Err(invalid(
                 "handshake selectors are only valid as the first post-connect message",
             ))
@@ -206,6 +207,29 @@ pub fn scan_hello(buf: &[u8]) -> io::Result<Scan> {
     Ok(scan)
 }
 
+/// The first client → server message, in *all* the forms a daemon accepts:
+/// the three [`SessionHello`] shapes, or a [`MuxHello`] asking to upgrade
+/// the connection to the multiplexed framing layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientHello {
+    /// A plain (single-stream) session opening.
+    Session(SessionHello),
+    /// A mux upgrade request; the secure handshake continues from here.
+    Mux(MuxHello),
+}
+
+/// Scan a buffered prefix for the first client → server message, accepting
+/// the mux-upgrade selector in addition to everything [`scan_hello`] takes.
+pub fn scan_client_hello(buf: &[u8]) -> io::Result<Scan> {
+    if buf.len() < 4 {
+        return Ok(Scan::Need(4));
+    }
+    if u32_at(buf, 0) == FunctionId::MuxHello.as_u32() {
+        return Ok(sized(buf.len(), 4 + MuxHello::BODY_BYTES));
+    }
+    scan_hello(buf)
+}
+
 /// Park-and-resume decoder for one connection's inbound byte stream.
 ///
 /// A shard feeds raw bytes in whenever the socket is readable
@@ -286,6 +310,37 @@ impl StreamDecoder {
                 Ok(Some(hello))
             }
         }
+    }
+
+    /// Try to complete the first client message, accepting a mux upgrade
+    /// request in addition to the session-hello forms.
+    pub fn poll_client_hello(&mut self) -> io::Result<Option<ClientHello>> {
+        match scan_client_hello(&self.buf[..self.valid])? {
+            Scan::Need(_) => Ok(None),
+            Scan::Complete(n) => {
+                let mut cur = Cursor::new(&self.buf[..n]);
+                let first = crate::wire::get_u32(&mut cur)?;
+                let hello = if first == FunctionId::MuxHello.as_u32() {
+                    ClientHello::Mux(MuxHello::read_body(&mut cur)?)
+                } else {
+                    // Re-parse from the top: SessionHello owns the first word.
+                    cur.set_position(0);
+                    ClientHello::Session(SessionHello::read(&mut cur)?)
+                };
+                debug_assert_eq!(cur.position() as usize, n, "scan length matches parse");
+                self.consume(n);
+                Ok(Some(hello))
+            }
+        }
+    }
+
+    /// Drain every buffered byte (used when a connection upgrades to the
+    /// mux framing layer and a different reader takes over the transport —
+    /// any bytes the decoder read ahead must move with it).
+    pub fn take_buffered(&mut self) -> Vec<u8> {
+        let out = self.buf[..self.valid].to_vec();
+        self.consume(self.valid);
+        out
     }
 
     /// Try to complete the next post-handshake frame, landing payloads in
@@ -471,6 +526,55 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn client_hello_accepts_both_session_and_mux_forms() {
+        // A mux upgrade request, fed byte-at-a-time.
+        let hello = crate::mux::MuxHello {
+            version: crate::mux::MUX_VERSION,
+            flags: crate::mux::FLAG_CIPHER,
+            client_nonce: [3u8; 16],
+        };
+        let mut wire = Vec::new();
+        hello.write(&mut wire).unwrap();
+        let mut dec = StreamDecoder::new();
+        for (i, b) in wire.iter().enumerate() {
+            dec.feed(std::slice::from_ref(b));
+            let got = dec.poll_client_hello().unwrap();
+            if i + 1 < wire.len() {
+                assert!(got.is_none());
+            } else {
+                assert_eq!(got, Some(ClientHello::Mux(hello)));
+            }
+        }
+        // A legacy session hello still routes through the same poll.
+        let legacy = SessionHello::Fresh { module: vec![7; 5] };
+        let mut wire = Vec::new();
+        legacy.write(&mut wire).unwrap();
+        let mut dec = StreamDecoder::new();
+        dec.feed(&wire);
+        assert_eq!(
+            dec.poll_client_hello().unwrap(),
+            Some(ClientHello::Session(legacy))
+        );
+    }
+
+    #[test]
+    fn take_buffered_drains_read_ahead_bytes() {
+        let hello = crate::mux::MuxHello {
+            version: 1,
+            flags: 0,
+            client_nonce: [0u8; 16],
+        };
+        let mut wire = Vec::new();
+        hello.write(&mut wire).unwrap();
+        wire.extend_from_slice(b"leftover");
+        let mut dec = StreamDecoder::new();
+        dec.feed(&wire);
+        assert!(dec.poll_client_hello().unwrap().is_some());
+        assert_eq!(dec.take_buffered(), b"leftover");
+        assert_eq!(dec.buffered(), 0);
     }
 
     #[test]

@@ -68,6 +68,11 @@ pub enum FunctionId {
     /// server-hello slot, and an impossible module length like the other
     /// selectors.
     Busy = 0xFFFF_FFFD,
+    /// Handshake: the client asks to upgrade the connection to the
+    /// multiplexed framing layer (extension; see [`crate::mux`]). Like the
+    /// other handshake selectors, the value is an impossible module length,
+    /// so a server reading the first post-connect word can route it.
+    MuxHello = 0xFFFF_FFFC,
 }
 
 impl FunctionId {
@@ -92,6 +97,7 @@ impl FunctionId {
             26 => FunctionId::EventDestroy,
             32 => FunctionId::Batch,
             255 => FunctionId::Quit,
+            0xFFFF_FFFC => FunctionId::MuxHello,
             0xFFFF_FFFD => FunctionId::Busy,
             0xFFFF_FFFE => FunctionId::Hello,
             0xFFFF_FFFF => FunctionId::Reconnect,
@@ -104,7 +110,7 @@ impl FunctionId {
     }
 
     /// All defined ids (for exhaustive round-trip tests).
-    pub const ALL: [FunctionId; 21] = [
+    pub const ALL: [FunctionId; 22] = [
         FunctionId::Malloc,
         FunctionId::Free,
         FunctionId::Memcpy,
@@ -123,6 +129,7 @@ impl FunctionId {
         FunctionId::EventDestroy,
         FunctionId::Batch,
         FunctionId::Quit,
+        FunctionId::MuxHello,
         FunctionId::Busy,
         FunctionId::Hello,
         FunctionId::Reconnect,

@@ -40,14 +40,16 @@ pub mod decode;
 pub mod handshake;
 pub mod ids;
 pub mod launch;
+pub mod mux;
 pub mod payload;
 pub mod request;
 pub mod response;
+pub mod secure;
 pub mod sizes;
 pub mod wire;
 
 pub use batch::{Batch, BatchResponse, Frame};
-pub use decode::{scan_frame, scan_hello, Scan, StreamDecoder};
+pub use decode::{scan_frame, scan_hello, ClientHello, Scan, StreamDecoder};
 pub use handshake::SessionHello;
 pub use ids::FunctionId;
 pub use launch::LaunchConfig;

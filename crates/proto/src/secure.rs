@@ -1,0 +1,548 @@
+//! Vendored crypto primitives for the multiplexed transport: SHA-256,
+//! HMAC-SHA256 and a ChaCha20-style stream cipher, all implemented inline so
+//! the workspace stays dependency-free.
+//!
+//! The mux handshake (see [`crate::mux`]) uses HMAC-SHA256 for
+//! challenge-response token authentication and — when the client negotiates
+//! it — derives per-connection keys for a [`CipherSuite`] that scrambles
+//! stream payloads. This is the same shape RGPU ships for shared-network GPU
+//! services: token auth as table stakes, payload encryption as an opt-in.
+//!
+//! None of this is a substitute for a real TLS stack; the point is that the
+//! *protocol* carries the hooks (negotiation at hello, per-stream cipher
+//! state, auth rejection as a first-class error) so a production transport
+//! could slot a vetted implementation behind the same trait.
+
+/// SHA-256 digest length in bytes.
+pub const SHA256_LEN: usize = 32;
+
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Incremental SHA-256 (FIPS 180-4).
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher.
+    pub fn new() -> Sha256 {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Produce the digest, consuming the hasher.
+    pub fn finish(mut self) -> [u8; SHA256_LEN] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; SHA256_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(SHA256_K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> [u8; SHA256_LEN] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finish()
+}
+
+/// HMAC-SHA256 (RFC 2104) over the concatenation of `parts`.
+pub fn hmac_sha256(key: &[u8], parts: &[&[u8]]) -> [u8; SHA256_LEN] {
+    let mut key_block = [0u8; 64];
+    if key.len() > 64 {
+        key_block[..SHA256_LEN].copy_from_slice(&sha256(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; 64];
+    let mut opad = [0x5cu8; 64];
+    for i in 0..64 {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    for p in parts {
+        inner.update(p);
+    }
+    let inner_digest = inner.finish();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finish()
+}
+
+/// Constant-time byte-slice equality — the comparison the server uses to
+/// check the client's auth proof, immune to timing probes on the prefix.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// A symmetric per-stream payload scrambler. Implementations must be
+/// XOR-keystream-style: applying the same instance state to the same bytes
+/// on the peer inverts the transform, so one `apply` method serves both
+/// directions.
+pub trait CipherSuite: Send {
+    /// Wire name of the suite (diagnostics).
+    fn name(&self) -> &'static str;
+    /// Transform `data` in place, advancing the keystream.
+    fn apply(&mut self, data: &mut [u8]);
+}
+
+/// Cipher suites the hello negotiation can select, with their wire ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u32)]
+pub enum CipherSuiteKind {
+    /// No payload encryption (the default).
+    #[default]
+    None = 0,
+    /// The vendored ChaCha20 keystream cipher.
+    ChaCha20 = 1,
+}
+
+impl CipherSuiteKind {
+    /// Decode a negotiated wire id; unknown ids fall back to `None` so a
+    /// newer peer degrades cleanly.
+    pub fn from_u32(v: u32) -> CipherSuiteKind {
+        match v {
+            1 => CipherSuiteKind::ChaCha20,
+            _ => CipherSuiteKind::None,
+        }
+    }
+
+    /// The wire id.
+    pub const fn as_u32(self) -> u32 {
+        self as u32
+    }
+
+    /// Instantiate the suite for one (stream, direction) keystream lane.
+    /// Returns `None` for [`CipherSuiteKind::None`].
+    pub fn instantiate(
+        self,
+        key: &[u8; 32],
+        stream_id: u32,
+        dir_tag: u8,
+    ) -> Option<Box<dyn CipherSuite>> {
+        match self {
+            CipherSuiteKind::None => None,
+            CipherSuiteKind::ChaCha20 => {
+                let mut nonce = [0u8; 12];
+                nonce[..4].copy_from_slice(&stream_id.to_le_bytes());
+                nonce[4] = dir_tag;
+                Some(Box::new(ChaCha20::new(key, &nonce)))
+            }
+        }
+    }
+}
+
+/// ChaCha20 (RFC 7539) used as a pure keystream generator: `apply` XORs the
+/// next keystream bytes into the payload, so encrypt and decrypt are the
+/// same operation.
+pub struct ChaCha20 {
+    state: [u32; 16],
+    keystream: [u8; 64],
+    /// Offset of the next unused keystream byte; 64 means "generate more".
+    ks_pos: usize,
+}
+
+impl ChaCha20 {
+    /// A cipher instance keyed for one lane; the 12-byte nonce encodes the
+    /// lane identity, the block counter starts at 0.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> ChaCha20 {
+        let mut state = [0u32; 16];
+        state[0] = 0x61707865;
+        state[1] = 0x3320646e;
+        state[2] = 0x79622d32;
+        state[3] = 0x6b206574;
+        for i in 0..8 {
+            state[4 + i] =
+                u32::from_le_bytes([key[i * 4], key[i * 4 + 1], key[i * 4 + 2], key[i * 4 + 3]]);
+        }
+        state[12] = 0; // block counter
+        for i in 0..3 {
+            state[13 + i] = u32::from_le_bytes([
+                nonce[i * 4],
+                nonce[i * 4 + 1],
+                nonce[i * 4 + 2],
+                nonce[i * 4 + 3],
+            ]);
+        }
+        ChaCha20 {
+            state,
+            keystream: [0u8; 64],
+            ks_pos: 64,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut x = self.state;
+        for _ in 0..10 {
+            // column rounds
+            Self::quarter(&mut x, 0, 4, 8, 12);
+            Self::quarter(&mut x, 1, 5, 9, 13);
+            Self::quarter(&mut x, 2, 6, 10, 14);
+            Self::quarter(&mut x, 3, 7, 11, 15);
+            // diagonal rounds
+            Self::quarter(&mut x, 0, 5, 10, 15);
+            Self::quarter(&mut x, 1, 6, 11, 12);
+            Self::quarter(&mut x, 2, 7, 8, 13);
+            Self::quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (i, xi) in x.iter().enumerate() {
+            let word = xi.wrapping_add(self.state[i]);
+            self.keystream[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.state[12] = self.state[12].wrapping_add(1);
+        self.ks_pos = 0;
+    }
+
+    #[inline]
+    fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+}
+
+impl CipherSuite for ChaCha20 {
+    fn name(&self) -> &'static str {
+        "chacha20"
+    }
+
+    fn apply(&mut self, data: &mut [u8]) {
+        for byte in data {
+            if self.ks_pos == 64 {
+                self.refill();
+            }
+            *byte ^= self.keystream[self.ks_pos];
+            self.ks_pos += 1;
+        }
+    }
+}
+
+/// A fresh 16-byte handshake nonce, derived from std's randomly seeded
+/// hasher plus a process-global counter. Not a CSPRNG — adequate for
+/// handshake freshness (replay scoping) in this reproduction, where the
+/// threat model is misdirected clients, not adversaries.
+pub fn random_nonce() -> [u8; 16] {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let tick = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut nonce = [0u8; 16];
+    for (i, half) in nonce.chunks_mut(8).enumerate() {
+        let mut hasher = RandomState::new().build_hasher();
+        hasher.write_u64(tick);
+        hasher.write_u64(now);
+        hasher.write_u64(i as u64);
+        half.copy_from_slice(&hasher.finish().to_le_bytes());
+    }
+    nonce
+}
+
+/// Domain label for the auth proof MAC.
+pub const AUTH_LABEL: &[u8] = b"rcuda-mux-auth-v1";
+/// Domain label for cipher key derivation.
+pub const KEY_LABEL: &[u8] = b"rcuda-mux-key-v1";
+
+/// The client's auth proof: `HMAC(token, label || client_nonce || server_nonce)`.
+pub fn auth_proof(token: &[u8], client_nonce: &[u8; 16], server_nonce: &[u8; 16]) -> [u8; 32] {
+    hmac_sha256(token, &[AUTH_LABEL, client_nonce, server_nonce])
+}
+
+/// The per-connection cipher key, bound to both nonces. With an empty token
+/// this still yields a connection-unique key — obfuscation, not secrecy.
+pub fn derive_key(token: &[u8], client_nonce: &[u8; 16], server_nonce: &[u8; 16]) -> [u8; 32] {
+    hmac_sha256(token, &[KEY_LABEL, client_nonce, server_nonce])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha256_vectors() {
+        // FIPS 180-4 / NIST test vectors.
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        let oneshot = sha256(&data);
+        for chunk in [1usize, 3, 63, 64, 65, 255] {
+            let mut h = Sha256::new();
+            for piece in data.chunks(chunk) {
+                h.update(piece);
+            }
+            assert_eq!(h.finish(), oneshot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn hmac_sha256_rfc4231_vectors() {
+        // RFC 4231 test case 1.
+        assert_eq!(
+            hex(&hmac_sha256(&[0x0b; 20], &[b"Hi There"])),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        // Test case 2: key "Jefe".
+        assert_eq!(
+            hex(&hmac_sha256(
+                b"Jefe",
+                &[b"what do ya want ", b"for nothing?"]
+            )),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        // Test case 3: 20-byte 0xaa key, 50-byte 0xdd data.
+        assert_eq!(
+            hex(&hmac_sha256(&[0xaa; 20], &[&[0xdd; 50]])),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+        // Test case 6: key longer than the block size.
+        assert_eq!(
+            hex(&hmac_sha256(
+                &[0xaa; 131],
+                &[b"Test Using Larger Than Block-Size Key - Hash Key First"]
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn chacha20_rfc7539_keystream() {
+        // RFC 7539 §2.4.2: key 00..1f, nonce 000000000000004a00000000, but
+        // the reference starts at block counter 1. Our instance starts at
+        // counter 0, so skip one 64-byte block first.
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut cipher = ChaCha20::new(&key, &nonce);
+        let mut skip = [0u8; 64];
+        cipher.apply(&mut skip);
+        let mut data = *b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        cipher.apply(&mut data);
+        assert_eq!(
+            hex(&data[..16]),
+            "6e2e359a2568f98041ba0728dd0d6981",
+            "RFC 7539 §2.4.2 ciphertext prefix"
+        );
+        assert_eq!(hex(&data[data.len() - 4..]), "5e42874d", "ciphertext tail");
+    }
+
+    #[test]
+    fn chacha20_apply_twice_is_identity() {
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        let original: Vec<u8> = (0..300).map(|i| (i * 7 % 256) as u8).collect();
+        let mut data = original.clone();
+        let mut enc = ChaCha20::new(&key, &nonce);
+        enc.apply(&mut data);
+        assert_ne!(data, original);
+        let mut dec = ChaCha20::new(&key, &nonce);
+        dec.apply(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn chacha20_split_applies_match_contiguous() {
+        let key = [9u8; 32];
+        let nonce = [1u8; 12];
+        let mut whole = vec![0u8; 200];
+        ChaCha20::new(&key, &nonce).apply(&mut whole);
+        let mut pieces = vec![0u8; 200];
+        let mut c = ChaCha20::new(&key, &nonce);
+        for chunk in pieces.chunks_mut(17) {
+            c.apply(chunk);
+        }
+        assert_eq!(whole, pieces, "keystream position survives split applies");
+    }
+
+    #[test]
+    fn lanes_differ_by_stream_and_direction() {
+        let key = [5u8; 32];
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        let mut c = vec![0u8; 32];
+        CipherSuiteKind::ChaCha20
+            .instantiate(&key, 1, 0)
+            .unwrap()
+            .apply(&mut a);
+        CipherSuiteKind::ChaCha20
+            .instantiate(&key, 2, 0)
+            .unwrap()
+            .apply(&mut b);
+        CipherSuiteKind::ChaCha20
+            .instantiate(&key, 1, 1)
+            .unwrap()
+            .apply(&mut c);
+        assert_ne!(a, b, "different streams, different keystream");
+        assert_ne!(a, c, "different directions, different keystream");
+    }
+
+    #[test]
+    fn ct_eq_basics() {
+        assert!(ct_eq(b"same", b"same"));
+        assert!(!ct_eq(b"same", b"diff"));
+        assert!(!ct_eq(b"short", b"longer"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn auth_proof_depends_on_all_inputs() {
+        let cn = [1u8; 16];
+        let sn = [2u8; 16];
+        let base = auth_proof(b"token", &cn, &sn);
+        assert_ne!(base, auth_proof(b"other", &cn, &sn));
+        assert_ne!(base, auth_proof(b"token", &[9u8; 16], &sn));
+        assert_ne!(base, auth_proof(b"token", &cn, &[9u8; 16]));
+        assert_ne!(base, derive_key(b"token", &cn, &sn), "domain separation");
+    }
+
+    #[test]
+    fn cipher_kind_wire_round_trip() {
+        assert_eq!(CipherSuiteKind::from_u32(0), CipherSuiteKind::None);
+        assert_eq!(CipherSuiteKind::from_u32(1), CipherSuiteKind::ChaCha20);
+        assert_eq!(CipherSuiteKind::from_u32(77), CipherSuiteKind::None);
+        assert!(CipherSuiteKind::None.instantiate(&[0; 32], 0, 0).is_none());
+    }
+}

@@ -16,10 +16,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::daemon::RcudaDaemon;
+use crate::mux_host::MuxLinks;
 use crate::pool::{GpuPool, PoolPolicy};
 use crate::reactor::{Counters, DrainState, Shared};
 use crate::registry::ShardedRegistry;
 use crate::worker::{ChaosHook, ServerConfig};
+use rcuda_proto::secure::CipherSuiteKind;
 
 /// Builder for [`RcudaDaemon`].
 ///
@@ -109,6 +111,23 @@ impl DaemonBuilder {
         self
     }
 
+    /// Require every connection to authenticate with this token: mux trunks
+    /// prove possession via the HMAC challenge-response handshake; legacy
+    /// single-stream hellos (which cannot carry a token) are rejected with
+    /// `rcudaErrorAuthFailed` without consuming a session slot.
+    pub fn auth(mut self, required_token: impl Into<Vec<u8>>) -> Self {
+        self.config.auth_token = Some(required_token.into());
+        self
+    }
+
+    /// The cipher suite offered to mux clients requesting payload
+    /// encryption. Defaults to [`CipherSuiteKind::ChaCha20`]; pass
+    /// [`CipherSuiteKind::None`] to refuse encryption outright.
+    pub fn cipher(mut self, suite: CipherSuiteKind) -> Self {
+        self.config.cipher = suite;
+        self
+    }
+
     /// Keep CUDA contexts warm before clients arrive (§VI-B). On by
     /// default; disable to ablate the pre-initialization benefit.
     pub fn preinitialize_context(mut self, on: bool) -> Self {
@@ -169,6 +188,7 @@ impl DaemonBuilder {
             registry,
             drain: DrainState::default(),
             halt: AtomicBool::new(false),
+            links: MuxLinks::default(),
         });
         RcudaDaemon::start(addr, pool, shared, shards, self.drain_deadline)
     }

@@ -25,10 +25,9 @@
 //!   stragglers by shutting their sockets down, and reclaim every parked
 //!   context so the device ledger returns to baseline.
 //!
-//! Construct daemons with [`DaemonBuilder`]; the free-standing `bind*`
-//! constructors remain as deprecated shims.
+//! Construct daemons with [`DaemonBuilder`]; the old free-standing `bind*`
+//! constructors are gone.
 
-use rcuda_gpu::GpuDevice;
 use rcuda_obs::DaemonEvent;
 use rcuda_proto::handshake::ServerHello;
 use rcuda_transport::{channel_pair, ChannelTransport, TcpTransport};
@@ -42,7 +41,7 @@ use std::time::{Duration, Instant, SystemTime};
 use crate::builder::DaemonBuilder;
 use crate::pool::GpuPool;
 use crate::reactor::{NewConn, Reactor, Shared};
-use crate::worker::{release_context, ServerConfig, SessionReport};
+use crate::worker::{release_context, SessionReport};
 
 /// Longest single accept-error backoff, in milliseconds (before jitter).
 const ACCEPT_BACKOFF_CAP_MS: u64 = 64;
@@ -97,8 +96,9 @@ pub struct RcudaDaemon {
 
 /// Count the connection against the admission caps. `true` means it was
 /// admitted (and `live` already includes it); `false` means it must be
-/// shed with a `Busy` frame.
-fn admit(shared: &Shared) -> bool {
+/// shed with a `Busy` frame. Mux sub-streams are admitted through here
+/// too, so every session — whatever its framing — obeys the same caps.
+pub(crate) fn admit(shared: &Shared) -> bool {
     let c = &shared.counters;
     c.attempted.fetch_add(1, Ordering::SeqCst);
     let config = &shared.config;
@@ -121,37 +121,6 @@ fn admit(shared: &Shared) -> bool {
 }
 
 impl RcudaDaemon {
-    /// Bind and start serving on `addr` with the default configuration and
-    /// a single device.
-    #[deprecated(note = "use `DaemonBuilder` (`RcudaDaemon::builder()`)")]
-    pub fn bind<A: ToSocketAddrs>(addr: A, device: Arc<GpuDevice>) -> io::Result<Self> {
-        DaemonBuilder::new().device(device).bind(addr)
-    }
-
-    /// Bind a single device with an explicit worker configuration.
-    #[deprecated(note = "use `DaemonBuilder` (`RcudaDaemon::builder()`)")]
-    pub fn bind_with_config<A: ToSocketAddrs>(
-        addr: A,
-        device: Arc<GpuDevice>,
-        config: ServerConfig,
-    ) -> io::Result<Self> {
-        DaemonBuilder::new()
-            .device(device)
-            .config(config)
-            .bind(addr)
-    }
-
-    /// Bind a multi-GPU pool: each incoming session is placed on a device
-    /// by the pool's policy.
-    #[deprecated(note = "use `DaemonBuilder` (`RcudaDaemon::builder()`)")]
-    pub fn bind_pool<A: ToSocketAddrs>(
-        addr: A,
-        pool: Arc<GpuPool>,
-        config: ServerConfig,
-    ) -> io::Result<Self> {
-        DaemonBuilder::new().pool(pool).config(config).bind(addr)
-    }
-
     /// A [`DaemonBuilder`] with defaults (single functional Tesla C1060,
     /// default config, shard count from the host's parallelism).
     pub fn builder() -> DaemonBuilder {
@@ -171,6 +140,7 @@ impl RcudaDaemon {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let reactor = Arc::new(Reactor::start(shards, &shared));
+        shared.links.install(&reactor, &pool);
 
         let accept_stop = Arc::clone(&stop);
         let accept_shared = Arc::clone(&shared);
@@ -258,6 +228,7 @@ impl RcudaDaemon {
                 raw: None,
                 device,
                 guard,
+                authenticated: false,
             });
         } else {
             let busy = ServerHello::Busy {
@@ -391,6 +362,7 @@ fn accept_tcp(mut stream: TcpStream, shared: &Shared, pool: &Arc<GpuPool>, react
             raw,
             device,
             guard,
+            authenticated: false,
         }),
         Err(_) => {
             // The socket died between accept and configuration: balance the
@@ -418,7 +390,7 @@ impl Drop for RcudaDaemon {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pool::PoolPolicy;
+    use rcuda_gpu::GpuDevice;
 
     #[test]
     fn daemon_binds_ephemeral_port_and_shuts_down() {
@@ -522,26 +494,6 @@ mod tests {
         );
         assert_eq!(report.forced, 1);
         assert_eq!(daemon.health().live_sessions, 0, "session finalized");
-    }
-
-    #[test]
-    fn deprecated_bind_shims_still_work() {
-        #![allow(deprecated)]
-        let device = GpuDevice::tesla_c1060_functional();
-        let mut daemon = RcudaDaemon::bind("127.0.0.1:0", Arc::clone(&device)).unwrap();
-        assert_ne!(daemon.local_addr().port(), 0);
-        daemon.shutdown();
-        let mut daemon = RcudaDaemon::bind_with_config(
-            "127.0.0.1:0",
-            Arc::clone(&device),
-            ServerConfig::default(),
-        )
-        .unwrap();
-        daemon.shutdown();
-        let pool = Arc::new(GpuPool::new(vec![device], PoolPolicy::RoundRobin));
-        let mut daemon =
-            RcudaDaemon::bind_pool("127.0.0.1:0", pool, ServerConfig::default()).unwrap();
-        daemon.shutdown();
     }
 
     #[test]

@@ -20,6 +20,7 @@
 pub mod builder;
 pub mod daemon;
 pub mod dispatch;
+pub mod mux_host;
 pub mod pool;
 pub(crate) mod reactor;
 pub mod registry;
@@ -27,6 +28,7 @@ pub mod worker;
 
 pub use builder::DaemonBuilder;
 pub use daemon::{DaemonHealth, DrainReport, RcudaDaemon};
+pub use mux_host::serve_mux_trunk;
 pub use pool::{GpuPool, PoolPolicy};
 pub use registry::{SessionRegistry, ShardedRegistry};
 pub use worker::{

@@ -38,7 +38,8 @@ use rcuda_core::{Clock as _, CudaError, SharedClock};
 use rcuda_gpu::{GpuContext, GpuDevice};
 use rcuda_obs::{DaemonEvent, ShardSpan};
 use rcuda_proto::handshake::write_hello_reply;
-use rcuda_proto::{BufferPool, Frame, SessionHello, StreamDecoder};
+use rcuda_proto::mux::MuxHello;
+use rcuda_proto::{BufferPool, ClientHello, Frame, SessionHello, StreamDecoder};
 use rcuda_transport::{Progress, Transport};
 use std::io;
 use std::net::{Shutdown, TcpStream};
@@ -145,6 +146,9 @@ pub(crate) struct Shared {
     pub(crate) registry: ShardedRegistry,
     pub(crate) drain: DrainState,
     pub(crate) halt: AtomicBool,
+    /// Late-bound reactor/pool links for mux trunk hosts (see
+    /// [`crate::mux_host`]).
+    pub(crate) links: crate::mux_host::MuxLinks,
 }
 
 /// A freshly admitted connection on its way to a shard.
@@ -155,6 +159,9 @@ pub(crate) struct NewConn {
     pub(crate) raw: Option<TcpStream>,
     pub(crate) device: Arc<GpuDevice>,
     pub(crate) guard: PoolGuard,
+    /// The connection arrived through an authenticated mux trunk: the
+    /// auth gate on legacy hellos does not apply to it.
+    pub(crate) authenticated: bool,
 }
 
 struct ShardHandle {
@@ -349,6 +356,7 @@ struct Conn {
     eof: bool,
     done: bool,
     guard: Option<PoolGuard>,
+    authenticated: bool,
 }
 
 impl Conn {
@@ -358,6 +366,7 @@ impl Conn {
             raw,
             device,
             guard,
+            authenticated,
         } = new;
         let clk: SharedClock = wall_clock();
         let config = &shared.config;
@@ -385,6 +394,7 @@ impl Conn {
             eof: false,
             done: false,
             guard: Some(guard),
+            authenticated,
         };
         // A transport without a nonblocking half cannot be multiplexed;
         // close it immediately (register still returns a Conn so the
@@ -486,7 +496,7 @@ impl Conn {
     }
 
     /// One readiness pass: flush, read, decode/dispatch, flush, finalize.
-    fn pump(&mut self, pool: &BufferPool, shared: &Shared) -> PumpResult {
+    fn pump(&mut self, pool: &BufferPool, shared: &Arc<Shared>) -> PumpResult {
         let mut res = PumpResult {
             frames: 0,
             progress: false,
@@ -535,11 +545,28 @@ impl Conn {
         res
     }
 
-    fn process(&mut self, pool: &BufferPool, shared: &Shared, res: &mut PumpResult) {
+    fn process(&mut self, pool: &BufferPool, shared: &Arc<Shared>, res: &mut PumpResult) {
         loop {
             match self.phase {
-                Phase::Hello => match self.decoder.poll_hello() {
-                    Ok(Some(hello)) => {
+                Phase::Hello => match self.decoder.poll_client_hello() {
+                    Ok(Some(ClientHello::Mux(hello))) => {
+                        self.upgrade_to_mux(hello, shared);
+                        res.progress = true;
+                        return;
+                    }
+                    Ok(Some(ClientHello::Session(hello))) => {
+                        if shared.config.auth_token.is_some() && !self.authenticated {
+                            // A legacy hello cannot carry the required
+                            // token: answer with the 4-byte auth error
+                            // every hello form reads, then close through
+                            // the normal report path (`served` still
+                            // balances; the slot frees on finalize).
+                            self.queue(|out| write_hello_reply(out, &Err(CudaError::AuthFailed)));
+                            self.handshake_done_at = Some(self.queued_total);
+                            self.begin_close();
+                            res.progress = true;
+                            return;
+                        }
                         self.on_hello(hello, shared);
                         res.progress = true;
                     }
@@ -606,6 +633,35 @@ impl Conn {
                 Phase::Closing => return,
             }
         }
+    }
+
+    /// The client asked for the multiplexed framing layer: pull this
+    /// connection out of the shard and hand it to a dedicated trunk host
+    /// (see [`crate::mux_host`]). The trunk is not a session — its
+    /// sub-streams are admitted individually — so the accept-time
+    /// accounting is balanced here as an immediately-finished connection
+    /// and the warm context and pool seat are returned.
+    fn upgrade_to_mux(&mut self, hello: MuxHello, shared: &Arc<Shared>) {
+        drop(self.fresh_ctx.take());
+        drop(self.guard.take());
+        let c = &shared.counters;
+        c.served.fetch_add(1, Ordering::SeqCst);
+        c.live.fetch_sub(1, Ordering::SeqCst);
+
+        let transport = std::mem::replace(&mut self.transport, Box::new(ClosedTransport));
+        let leftover = self.decoder.take_buffered();
+        let pending_out = self.out[self.out_pos..].to_vec();
+        self.out.clear();
+        self.out_pos = 0;
+        self.done = true;
+        crate::mux_host::spawn_reactor_trunk(
+            transport,
+            self.raw.take(),
+            hello,
+            leftover,
+            pending_out,
+            Arc::clone(shared),
+        );
     }
 
     fn on_hello(&mut self, hello: SessionHello, shared: &Shared) {
@@ -772,5 +828,34 @@ impl Conn {
         // `live` goes last: a drain watching it hit zero must observe this
         // connection's graceful/forced accounting already settled.
         shared.counters.live.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The stand-in left behind when a connection's transport is moved to a
+/// mux trunk host: reads are EOF, writes fail.
+struct ClosedTransport;
+
+impl io::Read for ClosedTransport {
+    fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+        Ok(0)
+    }
+}
+
+impl io::Write for ClosedTransport {
+    fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+        Err(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "transport moved to a mux trunk host",
+        ))
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Transport for ClosedTransport {
+    fn stats(&self) -> rcuda_transport::TransportStats {
+        rcuda_transport::TransportStats::default()
     }
 }

@@ -13,6 +13,7 @@ use rcuda_gpu::{GpuContext, GpuDevice};
 use rcuda_obs::{DaemonEvent, ObsHandle, Op, PoolStats, ServerSpan};
 use rcuda_proto::handshake::write_hello_reply;
 use rcuda_proto::ids::MemcpyKind;
+use rcuda_proto::secure::CipherSuiteKind;
 use rcuda_proto::{Batch, BatchResponse, BufferPool, Frame, Request, Response, SessionHello};
 use rcuda_transport::Transport;
 use std::fmt;
@@ -104,6 +105,16 @@ pub struct ServerConfig {
     pub session_mem_quota: Option<u64>,
     /// The retry hint carried in `Busy` rejection frames, in milliseconds.
     pub busy_retry_after_ms: u32,
+    /// Required auth token: when set, only mux trunks proving possession of
+    /// this token (HMAC challenge-response, see [`rcuda_proto::secure`]) are
+    /// served; legacy single-stream hellos are rejected with
+    /// `rcudaErrorAuthFailed`. `None` = open daemon (the token defaults to
+    /// empty on both ends, so unauthenticated mux trunks still verify).
+    pub auth_token: Option<Vec<u8>>,
+    /// Cipher suite offered to mux clients that request payload encryption
+    /// at the hello. [`CipherSuiteKind::None`] disables encryption even for
+    /// requesting clients (the server clears the flag in its challenge).
+    pub cipher: CipherSuiteKind,
     /// Test-only per-request hook (see [`ChaosHook`]). Disarmed by default.
     pub chaos: ChaosHook,
 }
@@ -118,6 +129,8 @@ impl Default for ServerConfig {
             max_parked: None,
             session_mem_quota: None,
             busy_retry_after_ms: 25,
+            auth_token: None,
+            cipher: CipherSuiteKind::ChaCha20,
             chaos: ChaosHook::none(),
         }
     }
@@ -206,7 +219,21 @@ pub fn serve_connection_with_registry<T: Transport>(
     let mut report = SessionReport::default();
 
     // Phase 1b: session handshake.
-    let (mut ctx, session_token) = match SessionHello::read(&mut transport)? {
+    let hello = SessionHello::read(&mut transport)?;
+
+    // An auth-gated server only serves sessions that arrived through an
+    // authenticated mux trunk (which clears `auth_token` for its per-stream
+    // configs). A legacy single-stream hello cannot carry the token, so it
+    // is rejected before any context work — the same 4-byte error code
+    // every hello form knows how to read.
+    if config.auth_token.is_some() {
+        drop(fresh_ctx);
+        write_hello_reply(&mut transport, &Err(CudaError::AuthFailed))?;
+        transport.flush()?;
+        return Ok(report);
+    }
+
+    let (mut ctx, session_token) = match hello {
         SessionHello::Fresh { module } => {
             let mut ctx = fresh_ctx;
             let resp = dispatch_observed(&mut ctx, &Request::Init { module }, None, &clk, &obs)

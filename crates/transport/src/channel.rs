@@ -125,6 +125,62 @@ impl Write for ChannelTransport {
     }
 }
 
+/// The receive half of a split [`ChannelTransport`]: blocking reads off the
+/// crossbeam receiver, carrying over any bytes the unsplit transport had
+/// already buffered.
+pub struct ChannelReadHalf {
+    rx: Receiver<Vec<u8>>,
+    in_buf: Vec<u8>,
+    in_pos: usize,
+}
+
+impl io::Read for ChannelReadHalf {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        while self.in_pos >= self.in_buf.len() {
+            match self.rx.recv() {
+                Ok(msg) => {
+                    self.in_buf = msg;
+                    self.in_pos = 0;
+                }
+                // Peer gone: EOF, the natural shutdown signal for a
+                // demultiplexer thread blocked here.
+                Err(_) => return Ok(0),
+            }
+        }
+        let n = buf.len().min(self.in_buf.len() - self.in_pos);
+        buf[..n].copy_from_slice(&self.in_buf[self.in_pos..self.in_pos + n]);
+        self.in_pos += n;
+        Ok(n)
+    }
+}
+
+/// The send half of a split [`ChannelTransport`]: buffers writes and
+/// delivers one channel message per flush, like the unsplit transport.
+pub struct ChannelWriteHalf {
+    tx: Sender<Vec<u8>>,
+    out_buf: Vec<u8>,
+}
+
+impl io::Write for ChannelWriteHalf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.out_buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.out_buf.is_empty() {
+            return Ok(());
+        }
+        let msg = std::mem::take(&mut self.out_buf);
+        self.tx
+            .send(msg)
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
+    }
+}
+
 impl Transport for ChannelTransport {
     fn stats(&self) -> TransportStats {
         self.stats
@@ -196,6 +252,21 @@ impl Transport for ChannelTransport {
         self.out_buf.extend_from_slice(buf);
         self.stats.record_send(buf.len() as u64);
         Ok(Progress::Ready(buf.len()))
+    }
+
+    fn into_split(self: Box<Self>) -> io::Result<(crate::ReadHalf, crate::WriteHalf)> {
+        let this = *self;
+        Ok((
+            Box::new(ChannelReadHalf {
+                rx: this.rx,
+                in_buf: this.in_buf,
+                in_pos: this.in_pos,
+            }),
+            Box::new(ChannelWriteHalf {
+                tx: this.tx,
+                out_buf: this.out_buf,
+            }),
+        ))
     }
 }
 
@@ -394,6 +465,35 @@ mod tests {
         b.flush().unwrap();
         assert_eq!(a.try_read(&mut buf).unwrap(), Progress::Ready(2));
         assert_eq!(&buf, b"zw");
+    }
+
+    #[test]
+    fn split_halves_carry_buffered_bytes_and_signal_eof() {
+        let (mut a, mut b) = channel_pair();
+        a.write_all(b"first-second").unwrap();
+        a.flush().unwrap();
+        // Partially consume before splitting: the read half must carry over
+        // the rest of the buffered message.
+        let mut head = [0u8; 6];
+        b.read_exact(&mut head).unwrap();
+        assert_eq!(&head, b"first-");
+        let (mut rd, mut wr) = (Box::new(b) as Box<dyn Transport>).into_split().unwrap();
+        let mut tail = [0u8; 6];
+        rd.read_exact(&mut tail).unwrap();
+        assert_eq!(&tail, b"second");
+        // Write half still delivers one message per flush.
+        wr.write_all(b"back").unwrap();
+        wr.flush().unwrap();
+        let mut echo = [0u8; 4];
+        a.read_exact(&mut echo).unwrap();
+        assert_eq!(&echo, b"back");
+        // Dropping both halves hangs up the peer.
+        drop(rd);
+        drop(wr);
+        assert_eq!(
+            a.read_exact(&mut echo).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
     }
 
     #[test]

@@ -29,7 +29,6 @@
 //! across reconnects, so one plan spans the whole session including its
 //! recovery traffic.
 
-use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
@@ -214,8 +213,25 @@ pub struct FaultInjector<T: Transport> {
     /// Bytes already consumed of the reply the armed fault targets.
     reply_pos: usize,
     /// Faults that have actually fired, in order (for deterministic-replay
-    /// assertions).
-    fired: VecDeque<Fault>,
+    /// assertions). Shared so a type-erased session can still observe it.
+    fired: FiredFaults,
+}
+
+/// A shareable, append-only log of the faults a [`FaultInjector`] has
+/// fired. Clones observe the same log, so a session that type-erases its
+/// transport can hand the log out before boxing the injector.
+#[derive(Clone, Default)]
+pub struct FiredFaults(std::sync::Arc<std::sync::Mutex<Vec<Fault>>>);
+
+impl FiredFaults {
+    /// The faults fired so far, in firing order.
+    pub fn snapshot(&self) -> Vec<Fault> {
+        self.0.lock().expect("fired log lock").clone()
+    }
+
+    fn push(&self, fault: Fault) {
+        self.0.lock().expect("fired log lock").push(fault);
+    }
 }
 
 impl<T: Transport> FaultInjector<T> {
@@ -228,13 +244,19 @@ impl<T: Transport> FaultInjector<T> {
             dead: false,
             armed_read: None,
             reply_pos: 0,
-            fired: VecDeque::new(),
+            fired: FiredFaults::default(),
         }
     }
 
     /// The faults that have fired so far, in firing order.
-    pub fn fired(&self) -> impl Iterator<Item = &Fault> {
-        self.fired.iter()
+    pub fn fired(&self) -> Vec<Fault> {
+        self.fired.snapshot()
+    }
+
+    /// A shared handle onto the fired-fault log (survives boxing the
+    /// injector behind `Box<dyn Transport>`).
+    pub fn fired_log(&self) -> FiredFaults {
+        self.fired.clone()
     }
 
     /// Messages flushed so far (the next message's index).
@@ -256,7 +278,7 @@ impl<T: Transport> FaultInjector<T> {
     }
 
     fn record(&mut self, index: u64, kind: FaultKind) {
-        self.fired.push_back(Fault {
+        self.fired.push(Fault {
             message_index: index,
             kind,
         });
@@ -400,6 +422,235 @@ impl<T: Transport> Transport for FaultInjector<T> {
     }
 }
 
+/// One scheduled fault on a multiplexed trunk: `kind` strikes the
+/// `frame`-th frame *of stream `stream`* (write-side kinds only).
+///
+/// The plain [`Fault`] schedule keys on the trunk's global flush count,
+/// which under multiplexing is an interleaving artifact: the same seed
+/// would hit a different logical frame depending on how a bulk transfer's
+/// chunks happened to interleave with control calls. Keying on
+/// `(stream, frame)` makes seeded conformance runs deterministic again —
+/// "kill stream 3's second frame" means the same thing under every
+/// interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamFault {
+    /// The sub-stream the fault targets.
+    pub stream: u32,
+    /// Per-stream frame index (0-based, counted independently per stream).
+    pub frame: u64,
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of [`StreamFault`]s for a multiplexed trunk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamFaultPlan {
+    faults: Vec<StreamFault>,
+}
+
+impl StreamFaultPlan {
+    /// No faults: the wrapper becomes transparent.
+    pub fn none() -> StreamFaultPlan {
+        StreamFaultPlan::default()
+    }
+
+    /// An explicit schedule (sorted internally by stream, then frame).
+    pub fn new(mut faults: Vec<StreamFault>) -> StreamFaultPlan {
+        faults.sort_by_key(|f| (f.stream, f.frame));
+        StreamFaultPlan { faults }
+    }
+
+    /// Convenience: a single fault on `stream`'s `frame`-th frame.
+    pub fn at(stream: u32, frame: u64, kind: FaultKind) -> StreamFaultPlan {
+        StreamFaultPlan::new(vec![StreamFault {
+            stream,
+            frame,
+            kind,
+        }])
+    }
+
+    /// Derive `count` write-side faults from a seed, scattered over the
+    /// given streams and frame indices `0..horizon`. The same
+    /// `(seed, streams, horizon, count)` always yields the same plan,
+    /// regardless of how the trunk interleaves the streams' frames.
+    pub fn seeded(seed: u64, streams: &[u32], horizon: u64, count: usize) -> StreamFaultPlan {
+        assert!(horizon > 0, "horizon must be positive");
+        assert!(!streams.is_empty(), "need at least one stream");
+        let mut rng = SplitMix64::new(seed);
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            let stream = streams[(rng.next() % streams.len() as u64) as usize];
+            let frame = rng.next() % horizon;
+            // Write-side kinds only: the wrapper sits on the trunk's send
+            // half and never sees replies.
+            let kind = match rng.next() % 4 {
+                0 => FaultKind::Disconnect,
+                1 => FaultKind::PartialWrite {
+                    keep: (rng.next() % 12) as usize,
+                },
+                2 => FaultKind::Stall,
+                _ => FaultKind::CorruptWrite {
+                    offset: (rng.next() % 12) as usize,
+                    xor: (rng.next() % 255) as u8 + 1,
+                },
+            };
+            faults.push(StreamFault {
+                stream,
+                frame,
+                kind,
+            });
+        }
+        StreamFaultPlan::new(faults)
+    }
+
+    /// The scheduled faults, in (stream, frame) order.
+    pub fn faults(&self) -> &[StreamFault] {
+        &self.faults
+    }
+
+    fn take(&mut self, stream: u32, frame: u64) -> Option<FaultKind> {
+        let pos = self
+            .faults
+            .iter()
+            .position(|f| f.stream == stream && f.frame == frame)?;
+        Some(self.faults.remove(pos).kind)
+    }
+}
+
+/// A trunk-write-half wrapper that injects [`StreamFaultPlan`] faults.
+///
+/// Sits between the mux layer and the real write half: the mux layer
+/// flushes exactly once per frame, so each flush carries one framed
+/// message. The wrapper parses the 9-byte frame header to attribute the
+/// frame to its stream, keeps an independent frame counter per stream, and
+/// fires faults keyed on `(stream, frame)`. Flushes that are not a single
+/// well-formed frame (e.g. handshake traffic) pass through untouched and
+/// are not counted.
+///
+/// `PartialWrite::keep` and `CorruptWrite::offset` are relative to the
+/// whole frame (header included), so header corruption — which the demux
+/// loop must treat as a fatal trunk error — is reachable from a seed.
+pub struct StreamFaultWrite<W: Write + Send> {
+    inner: W,
+    plan: StreamFaultPlan,
+    out_buf: Vec<u8>,
+    /// Frames seen so far, per stream.
+    counts: std::collections::HashMap<u32, u64>,
+    dead: bool,
+    fired: Vec<StreamFault>,
+}
+
+impl<W: Write + Send> StreamFaultWrite<W> {
+    pub fn new(inner: W, plan: StreamFaultPlan) -> StreamFaultWrite<W> {
+        StreamFaultWrite {
+            inner,
+            plan,
+            out_buf: Vec::new(),
+            counts: std::collections::HashMap::new(),
+            dead: false,
+            fired: Vec::new(),
+        }
+    }
+
+    /// The faults that have fired so far, in firing order.
+    pub fn fired(&self) -> &[StreamFault] {
+        &self.fired
+    }
+
+    /// Frames this wrapper has seen on `stream` (the next frame's index).
+    pub fn frames_seen(&self, stream: u32) -> u64 {
+        self.counts.get(&stream).copied().unwrap_or(0)
+    }
+
+    /// Parse `msg` as exactly one mux frame, returning its stream id.
+    fn frame_stream(msg: &[u8]) -> Option<u32> {
+        use rcuda_proto::mux::{FrameHeader, FRAME_HEADER_BYTES};
+        if msg.len() < FRAME_HEADER_BYTES {
+            return None;
+        }
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        header.copy_from_slice(&msg[..FRAME_HEADER_BYTES]);
+        let parsed = FrameHeader::from_wire(header).ok()?;
+        (msg.len() == FRAME_HEADER_BYTES + parsed.len as usize).then_some(parsed.stream_id)
+    }
+}
+
+impl<W: Write + Send> Write for StreamFaultWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "trunk killed by stream fault",
+            ));
+        }
+        self.out_buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "trunk killed by stream fault",
+            ));
+        }
+        if self.out_buf.is_empty() {
+            return self.inner.flush();
+        }
+        let msg = std::mem::take(&mut self.out_buf);
+        let fault = Self::frame_stream(&msg).and_then(|stream| {
+            let counter = self.counts.entry(stream).or_insert(0);
+            let frame = *counter;
+            *counter += 1;
+            self.plan.take(stream, frame).map(|kind| StreamFault {
+                stream,
+                frame,
+                kind,
+            })
+        });
+        let Some(fault) = fault else {
+            self.inner.write_all(&msg)?;
+            return self.inner.flush();
+        };
+        self.fired.push(fault);
+        match fault.kind {
+            FaultKind::Disconnect => {
+                self.dead = true;
+                Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "trunk killed by stream fault",
+                ))
+            }
+            FaultKind::PartialWrite { keep } => {
+                let keep = keep.min(msg.len());
+                if keep > 0 {
+                    self.inner.write_all(&msg[..keep])?;
+                    let _ = self.inner.flush();
+                }
+                self.dead = true;
+                Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "trunk killed by stream fault",
+                ))
+            }
+            FaultKind::Stall => Ok(()),
+            FaultKind::CorruptWrite { offset, xor } => {
+                let mut msg = msg;
+                if let Some(b) = msg.get_mut(offset) {
+                    *b ^= xor;
+                }
+                self.inner.write_all(&msg)?;
+                self.inner.flush()
+            }
+            FaultKind::PartialRead { .. } | FaultKind::CorruptRead { .. } => {
+                // Read-side kinds are never generated for stream plans and a
+                // hand-written one is a no-op: this wrapper only sees sends.
+                self.inner.write_all(&msg)?;
+                self.inner.flush()
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,7 +672,7 @@ mod tests {
         send(&mut b, b"world").unwrap();
         inj.read_exact(&mut buf).unwrap();
         assert_eq!(&buf, b"world");
-        assert_eq!(inj.fired().count(), 0);
+        assert_eq!(inj.fired().len(), 0);
     }
 
     #[test]
@@ -444,7 +695,7 @@ mod tests {
             io::ErrorKind::UnexpectedEof
         );
         assert_eq!(
-            inj.fired().copied().collect::<Vec<_>>(),
+            inj.fired(),
             vec![Fault {
                 message_index: 1,
                 kind: FaultKind::Disconnect
@@ -581,5 +832,142 @@ mod tests {
         assert!(p1.faults().iter().all(|f| f.message_index < 10));
         let p3 = FaultPlan::seeded(43, 10, 3);
         assert_ne!(p1, p3, "different seed, different plan");
+    }
+
+    use rcuda_proto::mux::{FrameHeader, FrameKind};
+
+    /// Emit one DATA frame for `stream` through the wrapper (one flush per
+    /// frame, as the mux layer does).
+    fn emit_frame(w: &mut impl Write, stream: u32, payload: &[u8]) -> io::Result<()> {
+        let header = FrameHeader {
+            stream_id: stream,
+            kind: FrameKind::Data {
+                end_of_message: true,
+            },
+            len: payload.len() as u32,
+        };
+        w.write_all(&header.to_wire())?;
+        w.write_all(payload)?;
+        w.flush()
+    }
+
+    #[test]
+    fn stream_seeded_plans_are_reproducible_and_write_side_only() {
+        let p1 = StreamFaultPlan::seeded(7, &[1, 2, 3], 20, 5);
+        let p2 = StreamFaultPlan::seeded(7, &[1, 2, 3], 20, 5);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.faults().len(), 5);
+        assert!(p1.faults().iter().all(|f| {
+            !matches!(
+                f.kind,
+                FaultKind::PartialRead { .. } | FaultKind::CorruptRead { .. }
+            )
+        }));
+        assert_ne!(p1, StreamFaultPlan::seeded(8, &[1, 2, 3], 20, 5));
+    }
+
+    #[test]
+    fn stream_fault_fires_on_logical_frame_regardless_of_interleaving() {
+        // Corrupt stream 2's frame #1 (its second frame), payload byte 0
+        // (frame offset 9 = just past the header).
+        let plan = || {
+            StreamFaultPlan::at(
+                2,
+                1,
+                FaultKind::CorruptWrite {
+                    offset: 9,
+                    xor: 0xFF,
+                },
+            )
+        };
+
+        // Interleaving A: 1,2,2 — stream 2's second frame is global frame 2.
+        let (a, mut peer_a) = channel_pair();
+        let (rd_a, wr_a) = (Box::new(a) as Box<dyn Transport>).into_split().unwrap();
+        drop(rd_a);
+        let mut w = StreamFaultWrite::new(wr_a, plan());
+        emit_frame(&mut w, 1, b"x").unwrap();
+        emit_frame(&mut w, 2, b"y").unwrap();
+        emit_frame(&mut w, 2, b"z").unwrap();
+
+        // Interleaving B: 2,1,1,2 — stream 2's second frame is global frame 3.
+        let (b, mut peer_b) = channel_pair();
+        let (rd_b, wr_b) = (Box::new(b) as Box<dyn Transport>).into_split().unwrap();
+        drop(rd_b);
+        let mut w2 = StreamFaultWrite::new(wr_b, plan());
+        emit_frame(&mut w2, 2, b"y").unwrap();
+        emit_frame(&mut w2, 1, b"x").unwrap();
+        emit_frame(&mut w2, 1, b"q").unwrap();
+        emit_frame(&mut w2, 2, b"z").unwrap();
+
+        // Both interleavings corrupt the same logical frame: stream 2's "z".
+        for (peer, frames) in [(&mut peer_a, 3usize), (&mut peer_b, 4)] {
+            let mut corrupted = Vec::new();
+            for _ in 0..frames {
+                let mut header = [0u8; rcuda_proto::mux::FRAME_HEADER_BYTES];
+                peer.read_exact(&mut header).unwrap();
+                let h = FrameHeader::from_wire(header).unwrap();
+                let mut payload = vec![0u8; h.len as usize];
+                peer.read_exact(&mut payload).unwrap();
+                if payload[0] & 0x80 != 0 {
+                    corrupted.push((h.stream_id, payload[0] ^ 0xFF));
+                }
+            }
+            assert_eq!(corrupted, vec![(2, b'z')]);
+        }
+        assert_eq!(w.fired(), w2.fired());
+        assert_eq!(
+            w.fired(),
+            &[StreamFault {
+                stream: 2,
+                frame: 1,
+                kind: FaultKind::CorruptWrite {
+                    offset: 9,
+                    xor: 0xFF
+                }
+            }]
+        );
+    }
+
+    #[test]
+    fn stream_fault_disconnect_kills_the_trunk() {
+        let (a, _peer) = channel_pair();
+        let (rd, wr) = (Box::new(a) as Box<dyn Transport>).into_split().unwrap();
+        drop(rd);
+        let mut w = StreamFaultWrite::new(wr, StreamFaultPlan::at(1, 0, FaultKind::Disconnect));
+        assert_eq!(
+            emit_frame(&mut w, 1, b"dead").unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+        assert_eq!(
+            emit_frame(&mut w, 2, b"also dead").unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+    }
+
+    #[test]
+    fn non_frame_flushes_pass_through_uncounted() {
+        let (a, mut peer) = channel_pair();
+        let (rd, wr) = (Box::new(a) as Box<dyn Transport>).into_split().unwrap();
+        drop(rd);
+        // A plan against frame 0 of stream 0 must not hit handshake bytes.
+        let mut w = StreamFaultWrite::new(
+            wr,
+            StreamFaultPlan::at(
+                0,
+                0,
+                FaultKind::CorruptWrite {
+                    offset: 0,
+                    xor: 0xFF,
+                },
+            ),
+        );
+        w.write_all(b"not a frame").unwrap();
+        w.flush().unwrap();
+        let mut buf = [0u8; 11];
+        peer.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"not a frame");
+        assert!(w.fired().is_empty());
+        assert_eq!(w.frames_seen(0), 0);
     }
 }

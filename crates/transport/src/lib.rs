@@ -24,6 +24,7 @@
 
 pub mod channel;
 pub mod fault;
+pub mod mux;
 pub mod reconnect;
 pub mod sim;
 pub mod stats;
@@ -35,11 +36,20 @@ use std::time::Duration;
 pub use rcuda_obs::ObsHandle;
 
 pub use channel::{channel_pair, ChannelTransport};
-pub use fault::{Fault, FaultInjector, FaultKind, FaultPlan};
+pub use fault::{
+    Fault, FaultInjector, FaultKind, FaultPlan, FiredFaults, StreamFault, StreamFaultPlan,
+    StreamFaultWrite,
+};
+pub use mux::{MuxConfig, MuxPeer, MuxRole, MuxStream};
 pub use reconnect::ReconnectTransport;
 pub use sim::{sim_pair, SimTransport};
 pub use stats::TransportStats;
 pub use tcp::TcpTransport;
+
+/// The owned read half of a split transport (see [`Transport::into_split`]).
+pub type ReadHalf = Box<dyn io::Read + Send>;
+/// The owned write half of a split transport.
+pub type WriteHalf = Box<dyn io::Write + Send>;
 
 /// Progress of one nonblocking I/O attempt (the `WouldBlock`-aware result
 /// of [`Transport::try_read`] / [`Transport::try_write`]).
@@ -143,5 +153,57 @@ pub trait Transport: io::Read + io::Write + Send {
             io::ErrorKind::Unsupported,
             "transport has no nonblocking mode",
         ))
+    }
+
+    /// Consume the transport into independently owned read and write
+    /// halves, so a demultiplexer thread can block on reads while other
+    /// threads write (the foundation of the [`mux`] layer). Splitting
+    /// restores blocking mode and clears any read deadline; per-message
+    /// accounting moves to the layer above. Transports whose two directions
+    /// cannot be separated return [`io::ErrorKind::Unsupported`] (the
+    /// default).
+    fn into_split(self: Box<Self>) -> io::Result<(ReadHalf, WriteHalf)> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "transport cannot be split",
+        ))
+    }
+}
+
+impl Transport for Box<dyn Transport> {
+    fn stats(&self) -> TransportStats {
+        (**self).stats()
+    }
+
+    fn set_read_deadline(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        (**self).set_read_deadline(timeout)
+    }
+
+    fn reconnect(&mut self) -> io::Result<()> {
+        (**self).reconnect()
+    }
+
+    fn set_observer(&mut self, obs: ObsHandle) {
+        (**self).set_observer(obs)
+    }
+
+    fn set_nonblocking(&mut self, nonblocking: bool) -> io::Result<()> {
+        (**self).set_nonblocking(nonblocking)
+    }
+
+    fn poll_readable(&mut self) -> io::Result<bool> {
+        (**self).poll_readable()
+    }
+
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<Progress> {
+        (**self).try_read(buf)
+    }
+
+    fn try_write(&mut self, buf: &[u8]) -> io::Result<Progress> {
+        (**self).try_write(buf)
+    }
+
+    fn into_split(self: Box<Self>) -> io::Result<(ReadHalf, WriteHalf)> {
+        (*self).into_split()
     }
 }

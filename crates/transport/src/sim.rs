@@ -101,6 +101,45 @@ impl Transport for SimTransport {
         // its (simulated) arrival time.
         self.inner.set_observer(obs);
     }
+
+    fn into_split(self: Box<Self>) -> io::Result<(crate::ReadHalf, crate::WriteHalf)> {
+        let this = *self;
+        let (rd, inner_wr) = Box::new(this.inner).into_split()?;
+        Ok((
+            rd,
+            Box::new(SimWriteHalf {
+                inner: inner_wr,
+                net: this.net,
+                clock: this.clock,
+                pending: this.pending,
+            }),
+        ))
+    }
+}
+
+/// The send half of a split [`SimTransport`]: still charges each flushed
+/// message's latency to the shared clock before delivery.
+pub struct SimWriteHalf {
+    inner: crate::WriteHalf,
+    net: Arc<dyn NetworkModel>,
+    clock: SharedClock,
+    pending: u64,
+}
+
+impl Write for SimWriteHalf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.pending += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.pending > 0 {
+            self.clock.advance(self.net.app_transfer(self.pending));
+            self.pending = 0;
+        }
+        self.inner.flush()
+    }
 }
 
 #[cfg(test)]

@@ -79,6 +79,13 @@ impl TcpTransport {
         self.reader.get_ref().peer_addr()
     }
 
+    /// A cloned handle to the underlying socket. Lets a supervisor shut the
+    /// connection down from outside (e.g. to unblock a demultiplexer thread
+    /// parked in a read on the split read half).
+    pub fn raw_stream(&self) -> io::Result<TcpStream> {
+        self.reader.get_ref().try_clone()
+    }
+
     /// Shut down both directions (finalization stage).
     pub fn shutdown(&mut self) -> io::Result<()> {
         let _ = self.writer.flush();
@@ -275,6 +282,15 @@ impl Transport for TcpTransport {
             }
             Err(e) => Err(e),
         }
+    }
+
+    fn into_split(self: Box<Self>) -> io::Result<(crate::ReadHalf, crate::WriteHalf)> {
+        // The halves are used by a blocking demultiplexer: undo any
+        // nonblocking mode or read deadline left over from reactor use.
+        self.reader.get_ref().set_nonblocking(false)?;
+        self.reader.get_ref().set_read_timeout(None)?;
+        let this = *self;
+        Ok((Box::new(this.reader), Box::new(this.writer)))
     }
 }
 

@@ -17,6 +17,7 @@ use rcuda::netsim::{NetworkId, SharedLink};
 use rcuda::proto::wire::f32s_to_bytes;
 use rcuda::server::RcudaDaemon;
 use rcuda::session;
+use rcuda::session::Endpoint;
 use std::sync::Arc;
 use std::thread;
 
@@ -46,9 +47,11 @@ fn concurrent_sharing(clients: usize) {
             thread::spawn(move || {
                 let clock = wall_clock();
                 let (a, b) = matrix_pair(m as usize, seed);
-                let mut rt = session::Session::builder().tcp(addr).unwrap();
+                let mut rt = session::Session::builder()
+                    .connect(Endpoint::Tcp(addr))
+                    .unwrap();
                 let report = run_matmul_bytes(
-                    &mut rt,
+                    &mut *rt,
                     &*clock,
                     m,
                     &f32s_to_bytes(a.as_slice()),

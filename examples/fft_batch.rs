@@ -21,6 +21,7 @@ use rcuda::model::tables::table6;
 use rcuda::model::SimulatedTestbed;
 use rcuda::netsim::NetworkId;
 use rcuda::session;
+use rcuda::session::Endpoint;
 
 fn main() {
     functional_proof();
@@ -34,8 +35,10 @@ fn functional_proof() {
     let input_bytes = complex_to_bytes(&input);
 
     let clock = wall_clock();
-    let mut sess = session::Session::builder().simulated(NetworkId::GigaE);
-    let out = run_fft_bytes(&mut sess.runtime, &*clock, batch, &input_bytes)
+    let mut sess = session::Session::builder()
+        .connect(Endpoint::Simulated(NetworkId::GigaE))
+        .unwrap();
+    let out = run_fft_bytes(&mut *sess, &*clock, batch, &input_bytes)
         .unwrap()
         .output;
     sess.finish();

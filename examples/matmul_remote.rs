@@ -23,6 +23,7 @@ use rcuda::model::SimulatedTestbed;
 use rcuda::netsim::NetworkId;
 use rcuda::proto::wire::f32s_to_bytes;
 use rcuda::session;
+use rcuda::session::Endpoint;
 
 fn main() {
     functional_proof();
@@ -41,8 +42,10 @@ fn functional_proof() {
         .unwrap()
         .output;
 
-    let mut sess = session::Session::builder().simulated(NetworkId::Ib40G);
-    let remote_out = run_matmul_bytes(&mut sess.runtime, &*clock, m, &a, &b)
+    let mut sess = session::Session::builder()
+        .connect(Endpoint::Simulated(NetworkId::Ib40G))
+        .unwrap();
+    let remote_out = run_matmul_bytes(&mut *sess, &*clock, m, &a, &b)
         .unwrap()
         .output;
     sess.finish();

@@ -29,6 +29,7 @@ use rcuda::model::render::{secs, TextTable};
 use rcuda::model::SimulatedTestbed;
 use rcuda::netsim::NetworkId;
 use rcuda::session;
+use rcuda::session::Endpoint;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,28 +46,29 @@ fn main() {
     //         scale; phantom memory keeps host cost negligible).
     let mut sess = session::Session::builder()
         .phantom(true)
-        .simulated(NetworkId::GigaE);
-    let clock = sess.clock.clone();
+        .connect(Endpoint::Simulated(NetworkId::GigaE))
+        .unwrap();
+    let clock = sess.clock().clone();
     match kind.as_str() {
         "mm" => {
             let bytes = vec![0u8; (size * size * 4) as usize];
-            run_matmul_bytes(&mut sess.runtime, &*clock, size, &bytes, &bytes).unwrap();
+            run_matmul_bytes(&mut *sess, &*clock, size, &bytes, &bytes).unwrap();
         }
         "fft" => {
             let bytes = vec![0u8; (size * 512 * 8) as usize];
-            run_fft_bytes(&mut sess.runtime, &*clock, size, &bytes).unwrap();
+            run_fft_bytes(&mut *sess, &*clock, size, &bytes).unwrap();
         }
         "nbody" => {
             let bytes = vec![0u8; (size * 16) as usize];
-            run_nbody_bytes(&mut sess.runtime, &*clock, size, &bytes, 0.01).unwrap();
+            run_nbody_bytes(&mut *sess, &*clock, size, &bytes, 0.01).unwrap();
         }
         other => {
             eprintln!("unknown workload `{other}` (mm, fft, nbody)");
             std::process::exit(2);
         }
     }
-    let measured = sess.clock.now();
-    let trace: Trace = sess.runtime.trace().clone();
+    let measured = sess.clock().now();
+    let trace: Trace = sess.trace().clone();
     sess.finish();
 
     println!("traced one {kind} run (size = {size}) over GigaE:");

@@ -18,6 +18,7 @@ use rcuda::core::{Clock as _, SharedClock};
 use rcuda::model::compare_report;
 use rcuda::netsim::NetworkId;
 use rcuda::obs::{chrome_trace, summary_table, validate_chrome_trace, Recorder};
+use rcuda::session::Endpoint;
 use rcuda::session::Session;
 
 fn main() {
@@ -31,13 +32,14 @@ fn main() {
     let mut sess = Session::builder()
         .phantom(true)
         .observer(rec.handle())
-        .simulated(net);
-    rec.attach_clock(sess.clock.clone() as SharedClock);
+        .connect(Endpoint::Simulated(net))
+        .unwrap();
+    rec.attach_clock(sess.clock().clone() as SharedClock);
 
     let bytes = vec![0u8; (m * m * 4) as usize];
-    let clock = sess.clock.clone();
-    run_matmul_bytes(&mut sess.runtime, &*clock, m, &bytes, &bytes).expect("MM run");
-    let total = sess.clock.now();
+    let clock = sess.clock().clone();
+    run_matmul_bytes(&mut *sess, &*clock, m, &bytes, &bytes).expect("MM run");
+    let total = sess.clock().now();
     sess.finish();
 
     let report = rec.report();

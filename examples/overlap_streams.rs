@@ -16,6 +16,7 @@ use rcuda::core::Clock as _;
 use rcuda::gpu::module::build_module;
 use rcuda::netsim::NetworkId;
 use rcuda::session;
+use rcuda::session::Endpoint;
 
 fn main() {
     let mib: u32 = std::env::args()
@@ -38,17 +39,18 @@ fn main() {
     let sync_time = {
         let mut sess = session::Session::builder()
             .phantom(true)
-            .simulated(NetworkId::AsicHt);
-        sess.runtime.initialize(&build_module(&[], 0)).unwrap();
-        let p = sess.runtime.malloc(total).unwrap();
-        let start = sess.clock.now();
+            .connect(Endpoint::Simulated(NetworkId::AsicHt))
+            .unwrap();
+        sess.initialize(&build_module(&[], 0)).unwrap();
+        let p = sess.malloc(total).unwrap();
+        let start = sess.clock().now();
         let buf = vec![0u8; chunk as usize];
         for i in 0..chunks {
-            sess.runtime.memcpy_h2d(p.offset(i * chunk), &buf).unwrap();
+            sess.memcpy_h2d(p.offset(i * chunk), &buf).unwrap();
         }
-        let t = sess.clock.now() - start;
-        sess.runtime.free(p).unwrap();
-        sess.runtime.finalize().unwrap();
+        let t = sess.clock().now() - start;
+        sess.free(p).unwrap();
+        sess.finalize().unwrap();
         sess.finish();
         t
     };
@@ -58,22 +60,22 @@ fn main() {
     let async_time = {
         let mut sess = session::Session::builder()
             .phantom(true)
-            .simulated(NetworkId::AsicHt);
-        sess.runtime.initialize(&build_module(&[], 0)).unwrap();
-        let p = sess.runtime.malloc(total).unwrap();
-        let stream = sess.runtime.stream_create().unwrap();
-        let start = sess.clock.now();
+            .connect(Endpoint::Simulated(NetworkId::AsicHt))
+            .unwrap();
+        sess.initialize(&build_module(&[], 0)).unwrap();
+        let p = sess.malloc(total).unwrap();
+        let stream = sess.stream_create().unwrap();
+        let start = sess.clock().now();
         let buf = vec![0u8; chunk as usize];
         for i in 0..chunks {
-            sess.runtime
-                .memcpy_h2d_async(p.offset(i * chunk), &buf, stream)
+            sess.memcpy_h2d_async(p.offset(i * chunk), &buf, stream)
                 .unwrap();
         }
-        sess.runtime.stream_synchronize(stream).unwrap();
-        let t = sess.clock.now() - start;
-        sess.runtime.stream_destroy(stream).unwrap();
-        sess.runtime.free(p).unwrap();
-        sess.runtime.finalize().unwrap();
+        sess.stream_synchronize(stream).unwrap();
+        let t = sess.clock().now() - start;
+        sess.stream_destroy(stream).unwrap();
+        sess.free(p).unwrap();
+        sess.finalize().unwrap();
         sess.finish();
         t
     };

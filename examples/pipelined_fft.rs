@@ -11,6 +11,7 @@ use rcuda::core::Clock as _;
 use rcuda::kernels::complex::complex_to_bytes;
 use rcuda::kernels::workload::fft_input;
 use rcuda::netsim::NetworkId;
+use rcuda::session::Endpoint;
 use rcuda::Session;
 
 fn main() {
@@ -21,11 +22,12 @@ fn main() {
     for depth in [0usize, 4] {
         let mut sess = Session::builder()
             .pipeline(depth)
-            .simulated(NetworkId::GigaE);
-        let report = run_fft_bytes(&mut sess.runtime, &*sess.clock.clone(), batch, &input)
-            .expect("remote FFT");
-        let flushes = sess.runtime.metrics().messages_sent;
-        let elapsed = sess.clock.now();
+            .connect(Endpoint::Simulated(NetworkId::GigaE))
+            .unwrap();
+        let clock = sess.clock().clone();
+        let report = run_fft_bytes(&mut *sess, &*clock, batch, &input).expect("remote FFT");
+        let flushes = sess.metrics().messages_sent;
+        let elapsed = sess.clock().now();
         sess.finish();
         println!(
             "depth {depth}: {flushes} network flushes, simulated time {:.3} ms",

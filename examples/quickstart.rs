@@ -13,6 +13,7 @@ use rcuda::gpu::GpuDevice;
 use rcuda::proto::wire::f32s_to_bytes;
 use rcuda::server::RcudaDaemon;
 use rcuda::session;
+use rcuda::session::Endpoint;
 
 fn main() {
     // 1. A node with a GPU runs the daemon (here: in-process, real TCP).
@@ -24,7 +25,7 @@ fn main() {
 
     // 2. A GPU-less node connects and initializes with its GPU module.
     let mut rt = session::Session::builder()
-        .tcp(daemon.local_addr())
+        .connect(Endpoint::Tcp(daemon.local_addr()))
         .unwrap();
     rt.initialize(&build_module(&["vec_add"], 0)).unwrap();
     println!(

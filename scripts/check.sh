@@ -43,6 +43,22 @@ python3 -c "import json; json.load(open('target/BENCH_workloads.json'))" 2>/dev/
     || grep -q '"suite": "rcuda-workloads"' target/BENCH_workloads.json
 test -s target/BENCH_workloads.json || { echo "workloads bench wrote no artifact" >&2; exit 1; }
 
+echo "== multiplex HOL bench smoke ==" >&2
+BENCH_MULTIPLEX_OUT="$PWD/target/BENCH_multiplex.json" \
+    cargo bench -q -p rcuda-bench --bench multiplex -- --test >/dev/null
+if command -v python3 >/dev/null; then
+    python3 -c "
+import json, sys
+a = json.load(open('target/BENCH_multiplex.json'))
+imp = a['improvement']
+if imp < 5.0:
+    sys.exit(f'mux small-call p99 improvement {imp:.1f}x < 5x acceptance floor')
+"
+else
+    grep -q '"bench": "multiplex"' target/BENCH_multiplex.json
+fi
+test -s target/BENCH_multiplex.json || { echo "multiplex bench wrote no artifact" >&2; exit 1; }
+
 echo "== cargo fmt --check ==" >&2
 cargo fmt --all --check
 

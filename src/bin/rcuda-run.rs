@@ -18,7 +18,7 @@ use rcuda::kernels::fft::fft_batch_512;
 use rcuda::kernels::matrix::CpuSgemm;
 use rcuda::kernels::workload::{fft_input, matrix_pair};
 use rcuda::proto::wire::f32s_to_bytes;
-use rcuda::session;
+use rcuda::session::{self, Endpoint};
 
 fn usage(msg: &str) -> ! {
     eprintln!("rcuda-run: {msg}");
@@ -56,10 +56,14 @@ fn main() {
     let (kind, size) = workload.unwrap_or_else(|| usage("pick a workload: mm DIM or fft BATCH"));
 
     let clock = wall_clock();
-    let mut rt = match session::Session::builder().tcp(&addr) {
+    let sock = std::net::ToSocketAddrs::to_socket_addrs(&addr)
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+        .unwrap_or_else(|| usage(&format!("cannot resolve `{addr}`")));
+    let mut rt = match session::Session::builder().connect(Endpoint::Tcp(sock)) {
         Ok(rt) => rt,
         Err(e) => {
-            eprintln!("rcuda-run: cannot connect to {addr}: {e}");
+            eprintln!("rcuda-run: cannot connect to {addr}: {e:?}");
             std::process::exit(1);
         }
     };
@@ -69,7 +73,7 @@ fn main() {
             let m = size;
             let (a, b) = matrix_pair(m as usize, seed);
             let report = run_matmul_bytes(
-                &mut rt,
+                &mut *rt,
                 &*clock,
                 m,
                 &f32s_to_bytes(a.as_slice()),
@@ -106,7 +110,7 @@ fn main() {
         "fft" => {
             let batch = size;
             let input = fft_input(batch as usize, seed);
-            let report = run_fft_bytes(&mut rt, &*clock, batch, &complex_to_bytes(&input))
+            let report = run_fft_bytes(&mut *rt, &*clock, batch, &complex_to_bytes(&input))
                 .expect("remote FFT failed");
             let mut expect = input;
             fft_batch_512(&mut expect);

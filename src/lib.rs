@@ -13,11 +13,15 @@
 //! use rcuda::api::{run_matmul_bytes, CudaRuntime};
 //!
 //! // A remote GPU over a simulated 40 Gbps InfiniBand link:
-//! let mut sess = session::Session::builder().simulated(rcuda::netsim::NetworkId::Ib40G);
+//! use rcuda::session::{Endpoint, Session};
+//! let mut sess = Session::builder()
+//!     .connect(Endpoint::Simulated(rcuda::netsim::NetworkId::Ib40G))
+//!     .unwrap();
 //! let m = 16u32;
 //! let a: Vec<u8> = vec![0u8; (m * m * 4) as usize];
 //! let b = a.clone();
-//! let report = run_matmul_bytes(&mut sess.runtime, &*sess.clock, m, &a, &b).unwrap();
+//! let clock = std::sync::Arc::clone(sess.clock());
+//! let report = run_matmul_bytes(&mut *sess, &*clock, m, &a, &b).unwrap();
 //! assert_eq!(report.output.len(), a.len());
 //! sess.finish();
 //! ```
@@ -45,4 +49,4 @@ pub mod paper_map;
 pub mod session;
 
 pub use server::{DaemonBuilder, RcudaDaemon};
-pub use session::Session;
+pub use session::{Connector, Endpoint, Session};

@@ -1,18 +1,21 @@
-//! Session construction: one builder to stand up a CUDA runtime over any
-//! transport.
+//! Session construction: one builder, one [`Endpoint`] enum, one unified
+//! [`Session`] over any transport.
 //!
-//! [`Session::builder`] unifies the three transport-specific construction
-//! paths (real TCP, in-process channel, simulated network) behind one
-//! fluent API, with pipelining as an opt-in knob:
+//! [`Session::builder`] configures every knob — pipelining, deadlines,
+//! retries, observability, authentication, encryption, multiplexing — and
+//! [`SessionBuilder::connect`] stands the session up against any
+//! [`Endpoint`]: a real TCP daemon, an in-process channel, a fault-injected
+//! channel, or a simulated network on a virtual clock.
 //!
 //! ```
-//! use rcuda::session::Session;
+//! use rcuda::session::{Endpoint, Session};
 //! use rcuda::netsim::NetworkId;
 //!
 //! // Simulated 40 Gbps InfiniBand, deferred-completion window of 4:
 //! let sess = Session::builder()
 //!     .pipeline(4)
-//!     .simulated(NetworkId::Ib40G);
+//!     .connect(Endpoint::Simulated(NetworkId::Ib40G))
+//!     .unwrap();
 //! # drop(sess);
 //! ```
 //!
@@ -20,6 +23,15 @@
 //! strictly synchronous — one round trip per CUDA call — and the estimation
 //! model of §V prices exactly that. `pipeline(depth)` opts a session into
 //! the batched submission path (see `rcuda-client`).
+//!
+//! **Multiplexing** ([`SessionBuilder::mux`]): the connection upgrades to a
+//! framed trunk carrying many logical sub-streams, so small calls are not
+//! stuck behind a bulk transfer in flight (head-of-line blocking, the
+//! multi-tenant analogue of §VI-C's bandwidth observations). Authentication
+//! ([`SessionBuilder::auth`]) and payload encryption
+//! ([`SessionBuilder::cipher`]) ride the trunk handshake and therefore imply
+//! mux. [`SessionBuilder::connector`] returns a [`Connector`] — a shared
+//! trunk from which many concurrent [`Session`]s are opened.
 //!
 //! The free functions ([`local_functional`], [`local_simulated`]) remain for
 //! local runtimes, which involve no transport.
@@ -29,23 +41,30 @@
 //! reports per-message byte events, and the in-process server reports
 //! per-request service spans, all into the same sink (see `rcuda-obs`).
 
+use std::io::{Read, Write};
+use std::ops::{Deref, DerefMut};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use rcuda_api::LocalRuntime;
-use rcuda_client::{RemoteRuntime, RetryPolicy};
+use rcuda_client::{transport_error, RemoteRuntime, RetryPolicy};
 use rcuda_core::time::{virtual_clock, wall_clock};
-use rcuda_core::{CudaResult, SharedClock, VirtualClock};
+use rcuda_core::{CudaError, CudaResult, SharedClock, VirtualClock};
 use rcuda_gpu::GpuDevice;
 use rcuda_netsim::NetworkId;
 use rcuda_obs::{ObsHandle, SessionMetrics};
+use rcuda_proto::handshake::ServerHello;
+use rcuda_proto::mux::{MuxAuth, MuxChallenge, MuxHello, FLAG_CIPHER, MUX_VERSION};
+use rcuda_proto::secure::{auth_proof, derive_key, random_nonce, CipherSuiteKind};
+use rcuda_proto::BufferPool;
 use rcuda_server::{
-    serve_connection, serve_connection_with_registry, ServerConfig, SessionRegistry, SessionReport,
+    serve_connection, serve_connection_with_registry, serve_mux_trunk, ServerConfig,
+    SessionRegistry, SessionReport,
 };
 use rcuda_transport::{
-    channel_pair, sim_pair, ChannelTransport, FaultInjector, FaultPlan, ReconnectTransport,
-    SimTransport, TcpTransport, Transport,
+    channel_pair, sim_pair, ChannelTransport, FaultInjector, FaultPlan, MuxConfig, MuxPeer,
+    ReconnectTransport, SimTransport, TcpTransport, Transport,
 };
 
 /// A functional local-GPU runtime (wall clock, kernels really execute).
@@ -60,13 +79,70 @@ pub fn local_simulated() -> (LocalRuntime, Arc<VirtualClock>) {
     (rt, clock)
 }
 
+/// Where a session connects to — the one enum that replaced the old
+/// transport-specific terminal methods (`tcp` / `channel` /
+/// `channel_faulty` / `simulated` / `simulated_with`).
+pub enum Endpoint {
+    /// A real rCUDA daemon over TCP (see [`rcuda_server::RcudaDaemon`]).
+    Tcp(std::net::SocketAddr),
+    /// A complete in-process session over an OS-free channel transport:
+    /// client runtime on one end, a served GPU context on a server thread,
+    /// both on the wall clock. The fastest way to drive the full protocol
+    /// stack in tests and benches.
+    Channel,
+    /// An in-process server behind a [`FaultInjector`] executing the plan,
+    /// over a reconnectable channel transport. Each (re)connect spawns a
+    /// fresh server thread; all threads share one [`SessionRegistry`], so a
+    /// session announced with [`SessionBuilder::retries`] parks on
+    /// disconnect and resumes — device state intact — on the next
+    /// connection. Incompatible with [`SessionBuilder::mux`].
+    ChannelFaulty(FaultPlan),
+    /// An in-process session over the simulated network `NetworkId`, on a
+    /// fresh shared virtual clock.
+    Simulated(NetworkId),
+    /// [`Endpoint::Simulated`] over an arbitrary network model — e.g. a
+    /// [`rcuda_netsim::TopologyNetwork`] binding two specific cluster
+    /// hosts, or a custom what-if interconnect.
+    SimulatedWith(Arc<dyn rcuda_netsim::NetworkModel>),
+}
+
 /// Entry point for remote-session construction; see [`Session::builder`].
-pub struct Session;
+///
+/// A `Session` wraps a [`RemoteRuntime`] over a type-erased transport and
+/// derefs to it, so every CUDA-surface call (`malloc`, `memcpy_h2d`,
+/// `launch`, …) is available directly on the session. The server side —
+/// whatever it is — is joined by [`Session::finish`].
+pub struct Session {
+    /// The client-side runtime (accessible through `Deref` too).
+    runtime: RemoteRuntime<Box<dyn Transport>>,
+    clock: Option<Arc<VirtualClock>>,
+    backend: Backend,
+}
+
+/// What serves the other side of the session's transport.
+enum Backend {
+    /// An out-of-process daemon owns the server side; nothing to join.
+    Daemon,
+    /// One in-process server thread.
+    Thread(Option<ServerHandle>),
+    /// Fault injection: every (re)connect spawned its own server thread
+    /// over a shared registry.
+    Fault {
+        servers: ServerSet,
+        registry: Arc<SessionRegistry>,
+        fired: rcuda_transport::FiredFaults,
+    },
+    /// A multiplexed trunk, possibly shared with sibling sessions.
+    Trunk(Arc<Trunk>),
+}
+
+type ServerHandle = JoinHandle<std::io::Result<SessionReport>>;
+type ServerSet = Arc<Mutex<Vec<ServerHandle>>>;
+type TrunkHandle = JoinHandle<std::io::Result<Vec<SessionReport>>>;
 
 impl Session {
-    /// Start configuring a remote session. Terminal methods pick the
-    /// transport: [`SessionBuilder::tcp`], [`SessionBuilder::channel`],
-    /// [`SessionBuilder::simulated`] / [`SessionBuilder::simulated_with`].
+    /// Start configuring a session; finish with [`SessionBuilder::connect`]
+    /// (one session) or [`SessionBuilder::connector`] (a shared mux trunk).
     pub fn builder() -> SessionBuilder {
         SessionBuilder {
             pipeline_depth: 0,
@@ -74,11 +150,113 @@ impl Session {
             deadline: None,
             retry: RetryPolicy::default(),
             observer: ObsHandle::none(),
+            auth: None,
+            cipher: CipherSuiteKind::None,
+            mux: false,
         }
+    }
+
+    /// The session's virtual clock: `clock().now()` after a run is the
+    /// simulated execution time.
+    ///
+    /// # Panics
+    ///
+    /// If the session runs on the wall clock (a [`Endpoint::Tcp`],
+    /// [`Endpoint::Channel`], or [`Endpoint::ChannelFaulty`] session).
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        self.clock
+            .as_ref()
+            .expect("session runs on the wall clock, not a virtual one")
+    }
+
+    /// A point-in-time snapshot of the session's cumulative counters
+    /// (summed across reconnects for fault-injected sessions).
+    pub fn metrics(&self) -> SessionMetrics {
+        self.runtime.metrics()
+    }
+
+    /// Sessions currently parked server-side awaiting a reconnect (always
+    /// zero outside [`Endpoint::ChannelFaulty`]).
+    pub fn parked_sessions(&self) -> usize {
+        match &self.backend {
+            Backend::Fault { registry, .. } => registry.parked_count(),
+            _ => 0,
+        }
+    }
+
+    /// The faults the injector has fired so far, in firing order (always
+    /// empty outside [`Endpoint::ChannelFaulty`]).
+    pub fn fired_faults(&self) -> Vec<rcuda_transport::Fault> {
+        match &self.backend {
+            Backend::Fault { fired, .. } => fired.snapshot(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Drop the client side and join whatever served it, returning every
+    /// session report the server side produced, in connection order.
+    ///
+    /// Daemon-served ([`Endpoint::Tcp`]) sessions return no reports — the
+    /// daemon keeps them (see `RcudaDaemon::session_reports`) — as does a
+    /// session whose trunk is still shared with live siblings (the
+    /// [`Connector`] returns those).
+    pub fn finish(self) -> Vec<SessionReport> {
+        let Session {
+            runtime, backend, ..
+        } = self;
+        drop(runtime);
+        match backend {
+            Backend::Daemon => Vec::new(),
+            Backend::Thread(handle) => handle
+                .map(|h| {
+                    vec![h
+                        .join()
+                        .expect("server thread panicked")
+                        .expect("server io error")]
+                })
+                .unwrap_or_default(),
+            Backend::Fault { servers, .. } => {
+                let handles = std::mem::take(&mut *servers.lock().expect("server set lock"));
+                handles
+                    .into_iter()
+                    .filter_map(|h| h.join().expect("server thread panicked").ok())
+                    .collect()
+            }
+            Backend::Trunk(trunk) => match Arc::try_unwrap(trunk) {
+                Ok(trunk) => trunk.finish(),
+                Err(_) => Vec::new(),
+            },
+        }
+    }
+
+    /// [`Session::finish`] for the common case of exactly one server-side
+    /// report.
+    ///
+    /// # Panics
+    ///
+    /// If the server side produced zero or multiple reports.
+    pub fn finish_report(self) -> SessionReport {
+        let mut reports = self.finish();
+        assert_eq!(reports.len(), 1, "expected exactly one session report");
+        reports.pop().expect("one report")
     }
 }
 
-/// Options common to every transport, applied by the terminal methods.
+impl Deref for Session {
+    type Target = RemoteRuntime<Box<dyn Transport>>;
+    fn deref(&self) -> &Self::Target {
+        &self.runtime
+    }
+}
+
+impl DerefMut for Session {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.runtime
+    }
+}
+
+/// Options common to every endpoint, applied by [`SessionBuilder::connect`]
+/// and [`SessionBuilder::connector`].
 #[derive(Debug, Clone)]
 pub struct SessionBuilder {
     pipeline_depth: usize,
@@ -86,6 +264,9 @@ pub struct SessionBuilder {
     deadline: Option<Duration>,
     retry: RetryPolicy,
     observer: ObsHandle,
+    auth: Option<Vec<u8>>,
+    cipher: CipherSuiteKind,
+    mux: bool,
 }
 
 impl SessionBuilder {
@@ -125,7 +306,7 @@ impl SessionBuilder {
     /// (paper-scale problems at negligible host cost — simulated timing is
     /// unaffected). Default `false`: everything executes functionally and
     /// remote results are bit-identical to local ones. Ignored by
-    /// [`SessionBuilder::tcp`], where the daemon owns its configuration.
+    /// [`Endpoint::Tcp`], where the daemon owns its configuration.
     pub fn phantom(mut self, phantom: bool) -> Self {
         self.phantom = phantom;
         self
@@ -133,8 +314,8 @@ impl SessionBuilder {
 
     /// Install an observer on the whole session: per-call spans from the
     /// client runtime, per-message byte events from the transport, and (for
-    /// the in-process terminal methods) per-request service spans from the
-    /// server worker, all reported to the same sink. Accepts an
+    /// the in-process endpoints) per-request service spans from the server
+    /// worker, all reported to the same sink. Accepts an
     /// [`rcuda_obs::ObsHandle`] (e.g. [`rcuda_obs::Recorder::handle`]) or an
     /// `Arc<dyn Observer>`. Default: disarmed — the per-call hot path then
     /// performs no observability work at all.
@@ -143,8 +324,278 @@ impl SessionBuilder {
         self
     }
 
+    /// Authenticate with this shared token: the trunk handshake proves
+    /// possession via an HMAC challenge-response (the token itself never
+    /// crosses the wire) and a wrong token fails with
+    /// `rcudaErrorAuthFailed`. Implies [`SessionBuilder::mux`] — the legacy
+    /// single-stream hello cannot carry credentials. In-process endpoints
+    /// configure their spawned server to require the same token.
+    pub fn auth(mut self, token: impl Into<Vec<u8>>) -> Self {
+        self.auth = Some(token.into());
+        self
+    }
+
+    /// Encrypt every sub-stream payload with this cipher suite, negotiated
+    /// at the trunk handshake under a key derived from the auth token and
+    /// both handshake nonces. Default [`CipherSuiteKind::None`] — off, as
+    /// the paper's middleware sends plaintext. Implies
+    /// [`SessionBuilder::mux`].
+    pub fn cipher(mut self, suite: CipherSuiteKind) -> Self {
+        self.cipher = suite;
+        self
+    }
+
+    /// Multiplex the connection: upgrade to a framed trunk whose
+    /// sub-streams interleave bulk transfers with small calls in 64 KiB
+    /// chunks under windowed credit flow control, so a 16 MiB memcpy in
+    /// flight no longer blocks a concurrent `cudaLaunch` behind it.
+    /// Default `false` — the paper-faithful single-stream protocol.
+    pub fn mux(mut self, on: bool) -> Self {
+        self.mux = on;
+        self
+    }
+
+    /// Whether the connection must carry the mux trunk framing (explicitly
+    /// requested, or implied by auth/cipher).
+    fn use_mux(&self) -> bool {
+        self.mux || self.auth.is_some() || self.cipher != CipherSuiteKind::None
+    }
+
+    /// Connect one session to `endpoint`.
+    pub fn connect(self, endpoint: Endpoint) -> CudaResult<Session> {
+        if self.use_mux() {
+            let trunk = Arc::new(self.open_trunk(endpoint)?);
+            return self.session_on(trunk);
+        }
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let transport = TcpTransport::connect(addr).map_err(|e| transport_error(&e))?;
+                let mut runtime = boxed_runtime(transport, wall_clock());
+                self.configure(&mut runtime)?;
+                Ok(Session {
+                    runtime,
+                    clock: None,
+                    backend: Backend::Daemon,
+                })
+            }
+            Endpoint::Channel => {
+                let (client_side, server_side) = channel_pair();
+                let clock: SharedClock = wall_clock();
+                let server = spawn_server(
+                    server_side,
+                    server_device(self.phantom),
+                    clock.clone(),
+                    self.server_config(),
+                    None,
+                )
+                .map_err(|e| transport_error(&e))?;
+                let mut runtime = boxed_runtime(client_side, clock);
+                self.configure(&mut runtime)?;
+                Ok(Session {
+                    runtime,
+                    clock: None,
+                    backend: Backend::Thread(Some(server)),
+                })
+            }
+            Endpoint::ChannelFaulty(plan) => self.connect_faulty(plan),
+            Endpoint::Simulated(net) => {
+                self.connect(Endpoint::SimulatedWith(Arc::from(net.model())))
+            }
+            Endpoint::SimulatedWith(model) => {
+                let clock = virtual_clock();
+                let shared: SharedClock = clock.clone();
+                let (client_side, server_side) = sim_pair(model, shared.clone());
+                let server = spawn_server(
+                    server_side,
+                    server_device(self.phantom),
+                    shared.clone(),
+                    self.server_config(),
+                    None,
+                )
+                .map_err(|e| transport_error(&e))?;
+                let mut runtime = boxed_runtime(client_side, shared);
+                self.configure(&mut runtime)?;
+                Ok(Session {
+                    runtime,
+                    clock: Some(clock),
+                    backend: Backend::Thread(Some(server)),
+                })
+            }
+        }
+    }
+
+    /// Open a shared mux trunk to `endpoint` and return a [`Connector`]
+    /// from which many concurrent sessions are opened. Implies
+    /// [`SessionBuilder::mux`].
+    pub fn connector(mut self, endpoint: Endpoint) -> CudaResult<Connector> {
+        self.mux = true;
+        let trunk = Arc::new(self.open_trunk(endpoint)?);
+        Ok(Connector { trunk, knobs: self })
+    }
+
+    /// The fault-injection path (never multiplexed: the injector models
+    /// whole-connection faults on the single-stream protocol).
+    fn connect_faulty(self, plan: FaultPlan) -> CudaResult<Session> {
+        let clock: SharedClock = wall_clock();
+        let device = server_device(self.phantom);
+        let config = self.server_config();
+        let registry = Arc::new(SessionRegistry::new());
+        let servers: ServerSet = Arc::new(Mutex::new(Vec::new()));
+
+        let dial = {
+            let device = Arc::clone(&device);
+            let registry = Arc::clone(&registry);
+            let servers = Arc::clone(&servers);
+            let clock = clock.clone();
+            move || -> std::io::Result<ChannelTransport> {
+                let (client_side, server_side) = channel_pair();
+                let handle = spawn_server(
+                    server_side,
+                    Arc::clone(&device),
+                    clock.clone(),
+                    config.clone(),
+                    Some(Arc::clone(&registry)),
+                )?;
+                servers.lock().expect("server set lock").push(handle);
+                Ok(client_side)
+            }
+        };
+        let initial = dial().map_err(|e| transport_error(&e))?;
+        let transport = FaultInjector::new(ReconnectTransport::new(initial, dial), plan);
+        let fired = transport.fired_log();
+        let mut runtime = boxed_runtime(transport, clock);
+        self.configure(&mut runtime)?;
+        Ok(Session {
+            runtime,
+            clock: None,
+            backend: Backend::Fault {
+                servers,
+                registry,
+                fired,
+            },
+        })
+    }
+
+    /// Open one sub-stream session on `trunk`.
+    fn session_on(&self, trunk: Arc<Trunk>) -> CudaResult<Session> {
+        let stream = trunk.peer.open_stream().map_err(|e| transport_error(&e))?;
+        let mut runtime = boxed_runtime(stream, trunk.clock.clone());
+        self.configure(&mut runtime)?;
+        Ok(Session {
+            runtime,
+            clock: trunk.vclock.clone(),
+            backend: Backend::Trunk(trunk),
+        })
+    }
+
+    /// Stand up the raw connection for `endpoint` and run the trunk
+    /// handshake over it.
+    fn open_trunk(&self, endpoint: Endpoint) -> CudaResult<Trunk> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let transport = TcpTransport::connect(addr).map_err(|e| transport_error(&e))?;
+                self.dial_trunk(Box::new(transport), wall_clock(), None, None)
+            }
+            Endpoint::Channel => {
+                let (client_side, server_side) = channel_pair();
+                let clock: SharedClock = wall_clock();
+                let host = self.spawn_trunk_host(server_side, clock.clone());
+                self.dial_trunk(Box::new(client_side), clock, None, Some(host))
+            }
+            Endpoint::Simulated(net) => {
+                self.open_trunk(Endpoint::SimulatedWith(Arc::from(net.model())))
+            }
+            Endpoint::SimulatedWith(model) => {
+                let clock = virtual_clock();
+                let shared: SharedClock = clock.clone();
+                let (client_side, server_side) = sim_pair(model, shared.clone());
+                let host = self.spawn_trunk_host(server_side, shared.clone());
+                self.dial_trunk(Box::new(client_side), shared, Some(clock), Some(host))
+            }
+            Endpoint::ChannelFaulty(_) => Err(CudaError::InvalidValue),
+        }
+    }
+
+    /// Spawn an in-process mux trunk host serving `transport`.
+    fn spawn_trunk_host<T: Transport + 'static>(
+        &self,
+        transport: T,
+        clock: SharedClock,
+    ) -> TrunkHandle {
+        let device = server_device(self.phantom);
+        let mut config = self.server_config();
+        config.auth_token = self.auth.clone();
+        std::thread::Builder::new()
+            .name("rcuda-trunk-host".into())
+            .spawn(move || serve_mux_trunk(transport, device, clock, config))
+            .expect("spawn trunk host")
+    }
+
+    /// The client half of the mux handshake: read the server hello, send
+    /// `MuxHello`, answer the challenge with the HMAC proof, check the
+    /// verdict, derive the session key, and start the demux engine.
+    fn dial_trunk(
+        &self,
+        mut transport: Box<dyn Transport>,
+        clock: SharedClock,
+        vclock: Option<Arc<VirtualClock>>,
+        server: Option<TrunkHandle>,
+    ) -> CudaResult<Trunk> {
+        let io_err = |e: &std::io::Error| transport_error(e);
+        let mut hello = [0u8; ServerHello::WIRE_BYTES];
+        transport.read_exact(&mut hello).map_err(|e| io_err(&e))?;
+        if let ServerHello::Busy { .. } = ServerHello::from_wire(hello) {
+            return Err(CudaError::ServerBusy);
+        }
+
+        let client_nonce = random_nonce();
+        let flags = if self.cipher != CipherSuiteKind::None {
+            FLAG_CIPHER
+        } else {
+            0
+        };
+        MuxHello {
+            version: MUX_VERSION,
+            flags,
+            client_nonce,
+        }
+        .write(&mut transport)
+        .map_err(|e| io_err(&e))?;
+        transport.flush().map_err(|e| io_err(&e))?;
+
+        let challenge = MuxChallenge::read(&mut transport).map_err(|e| io_err(&e))?;
+        let token = self.auth.clone().unwrap_or_default();
+        let mac = auth_proof(&token, &client_nonce, &challenge.server_nonce);
+        MuxAuth { mac }
+            .write(&mut transport)
+            .map_err(|e| io_err(&e))?;
+        transport.flush().map_err(|e| io_err(&e))?;
+        let code = rcuda_proto::mux::read_mux_accept(&mut transport).map_err(|e| io_err(&e))?;
+        CudaError::from_code(code)?;
+
+        let cipher = challenge.cipher_kind();
+        let key = derive_key(&token, &client_nonce, &challenge.server_nonce);
+        let (read, write) = transport.into_split().map_err(|e| io_err(&e))?;
+        let peer = MuxPeer::client(
+            read,
+            write,
+            MuxConfig {
+                cipher,
+                key,
+                pool: BufferPool::default(),
+                obs: self.observer.clone(),
+            },
+        );
+        Ok(Trunk {
+            peer,
+            clock,
+            vclock,
+            server: Mutex::new(server),
+        })
+    }
+
     /// Apply every common knob to a freshly constructed runtime. All
-    /// terminal methods funnel through here so a new option cannot be
+    /// connection paths funnel through here so a new option cannot be
     /// forgotten on one transport path.
     fn configure<T: Transport>(&self, runtime: &mut RemoteRuntime<T>) -> CudaResult<()> {
         runtime.set_pipeline_depth(self.pipeline_depth)?;
@@ -164,23 +615,24 @@ impl SessionBuilder {
         }
     }
 
-    /// Connect to an rCUDA daemon over real TCP (see
-    /// [`rcuda_server::RcudaDaemon`]).
+    // ------------------------------------------------------------------
+    // Deprecated terminal shims (pre-Endpoint API).
+    // ------------------------------------------------------------------
+
+    /// Connect to an rCUDA daemon over real TCP.
+    #[deprecated(note = "use `.connect(Endpoint::Tcp(addr))`")]
     pub fn tcp<A: std::net::ToSocketAddrs>(
         self,
         addr: A,
     ) -> CudaResult<RemoteRuntime<TcpTransport>> {
-        let transport =
-            TcpTransport::connect(addr).map_err(|e| rcuda_client::transport_error(&e))?;
+        let transport = TcpTransport::connect(addr).map_err(|e| transport_error(&e))?;
         let mut rt = RemoteRuntime::new(transport, wall_clock());
         self.configure(&mut rt)?;
         Ok(rt)
     }
 
-    /// A complete in-process session over an OS-free channel transport:
-    /// client runtime on one end, a served GPU context on a server thread,
-    /// both on the wall clock. The fastest way to drive the full protocol
-    /// stack in tests and benches.
+    /// A complete in-process session over a channel transport.
+    #[deprecated(note = "use `.connect(Endpoint::Channel)`")]
     pub fn channel(self) -> ChannelSession {
         let (client_side, server_side) = channel_pair();
         let clock: SharedClock = wall_clock();
@@ -201,13 +653,8 @@ impl SessionBuilder {
         }
     }
 
-    /// A fault-injection session: an in-process server behind a
-    /// [`FaultInjector`] executing `plan`, over a reconnectable channel
-    /// transport. Each (re)connect spawns a fresh server thread; all server
-    /// threads share one [`SessionRegistry`], so a session announced with
-    /// [`SessionBuilder::retries`] parks on disconnect and resumes — with
-    /// device state intact — on the next connection. The workhorse of the
-    /// failure-injection conformance suite.
+    /// A fault-injection session.
+    #[deprecated(note = "use `.connect(Endpoint::ChannelFaulty(plan))`")]
     pub fn channel_faulty(self, plan: FaultPlan) -> FaultSession {
         let clock: SharedClock = wall_clock();
         let device = server_device(self.phantom);
@@ -244,15 +691,15 @@ impl SessionBuilder {
         }
     }
 
-    /// A complete in-process session over the simulated network `net`, on a
-    /// fresh shared virtual clock.
+    /// A complete in-process session over the simulated network `net`.
+    #[deprecated(note = "use `.connect(Endpoint::Simulated(net))`")]
     pub fn simulated(self, net: NetworkId) -> SimSession {
+        #[allow(deprecated)]
         self.simulated_with(Arc::from(net.model()))
     }
 
-    /// [`SessionBuilder::simulated`] over an arbitrary network model — e.g.
-    /// a [`rcuda_netsim::TopologyNetwork`] binding two specific cluster
-    /// hosts, or a custom what-if interconnect.
+    /// [`SessionBuilder::simulated`] over an arbitrary network model.
+    #[deprecated(note = "use `.connect(Endpoint::SimulatedWith(model))`")]
     pub fn simulated_with(self, model: Arc<dyn rcuda_netsim::NetworkModel>) -> SimSession {
         let clock = virtual_clock();
         let shared: SharedClock = clock.clone();
@@ -276,6 +723,85 @@ impl SessionBuilder {
     }
 }
 
+/// A shared multiplexed trunk: many concurrent [`Session`]s over one
+/// connection, one handshake, one (optional) cipher. Obtained from
+/// [`SessionBuilder::connector`].
+pub struct Connector {
+    trunk: Arc<Trunk>,
+    knobs: SessionBuilder,
+}
+
+impl Connector {
+    /// Open a new sub-stream session on the shared trunk. Each session gets
+    /// its own GPU context and admission slot on the server, exactly like a
+    /// dedicated connection would.
+    pub fn open(&self) -> CudaResult<Session> {
+        self.knobs.session_on(Arc::clone(&self.trunk))
+    }
+
+    /// The trunk's virtual clock (simulated endpoints only).
+    ///
+    /// # Panics
+    ///
+    /// If the trunk runs on the wall clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        self.trunk
+            .vclock
+            .as_ref()
+            .expect("connector runs on the wall clock, not a virtual one")
+    }
+
+    /// Live sub-streams on the trunk (open sessions, plus the transient
+    /// handshake streams of sessions being opened).
+    pub fn stream_count(&self) -> usize {
+        self.trunk.peer.stream_count()
+    }
+
+    /// Tear the trunk down and join the in-process host, returning every
+    /// session report it produced. Sessions still open keep the trunk alive
+    /// (and their reports) until they finish; daemon-served trunks always
+    /// return an empty list — the daemon keeps the reports.
+    pub fn finish(self) -> Vec<SessionReport> {
+        let Connector { trunk, .. } = self;
+        match Arc::try_unwrap(trunk) {
+            Ok(trunk) => trunk.finish(),
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+/// The shared core of a multiplexed connection.
+struct Trunk {
+    peer: MuxPeer,
+    clock: SharedClock,
+    vclock: Option<Arc<VirtualClock>>,
+    server: Mutex<Option<TrunkHandle>>,
+}
+
+impl Trunk {
+    /// Drop the peer (GOAWAY + teardown) and join the in-process host.
+    fn finish(self) -> Vec<SessionReport> {
+        let Trunk { peer, server, .. } = self;
+        let server = server.lock().expect("trunk server lock").take();
+        drop(peer);
+        match server {
+            Some(handle) => handle
+                .join()
+                .expect("trunk host panicked")
+                .unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Type-erase a transport into the unified session runtime.
+fn boxed_runtime<T: Transport + 'static>(
+    transport: T,
+    clock: SharedClock,
+) -> RemoteRuntime<Box<dyn Transport>> {
+    RemoteRuntime::new(Box::new(transport), clock)
+}
+
 /// The device an in-process server session runs on.
 fn server_device(phantom: bool) -> Arc<GpuDevice> {
     if phantom {
@@ -286,9 +812,9 @@ fn server_device(phantom: bool) -> Arc<GpuDevice> {
 }
 
 /// Spawn a server thread driving one session over `transport` — the single
-/// spawn path for every in-process terminal method. With a registry the
-/// session can park on disconnect and resume on a later connection's
-/// thread; without one it lives and dies with this connection.
+/// spawn path for every in-process single-stream connection. With a
+/// registry the session can park on disconnect and resume on a later
+/// connection's thread; without one it lives and dies with this connection.
 fn spawn_server<T: Transport + 'static>(
     transport: T,
     device: Arc<GpuDevice>,
@@ -304,9 +830,8 @@ fn spawn_server<T: Transport + 'static>(
         })
 }
 
-/// A complete in-process remote session over a simulated network: client
-/// runtime on one end, a served GPU context on the other, one shared
-/// virtual clock.
+/// A complete in-process remote session over a simulated network (legacy
+/// API; use [`SessionBuilder::connect`] with [`Endpoint::Simulated`]).
 pub struct SimSession {
     /// The client-side runtime (use it like any [`rcuda_api::CudaRuntime`]).
     pub runtime: RemoteRuntime<SimTransport>,
@@ -335,8 +860,8 @@ impl SimSession {
     }
 }
 
-/// A complete in-process remote session over a channel transport (wall
-/// clock); see [`SessionBuilder::channel`].
+/// A complete in-process remote session over a channel transport (legacy
+/// API; use [`SessionBuilder::connect`] with [`Endpoint::Channel`]).
 pub struct ChannelSession {
     /// The client-side runtime.
     pub runtime: RemoteRuntime<ChannelTransport>,
@@ -360,9 +885,8 @@ impl ChannelSession {
     }
 }
 
-type ServerSet = Arc<Mutex<Vec<JoinHandle<std::io::Result<SessionReport>>>>>;
-
-/// A fault-injection session; see [`SessionBuilder::channel_faulty`].
+/// A fault-injection session (legacy API; use [`SessionBuilder::connect`]
+/// with [`Endpoint::ChannelFaulty`]).
 ///
 /// Every connection attempt — the first one included — spawns its own
 /// server thread over a shared [`SessionRegistry`]; [`FaultSession::finish`]
@@ -411,44 +935,114 @@ mod tests {
 
     #[test]
     fn simulated_session_round_trip() {
-        let mut sess = Session::builder().simulated(NetworkId::Ib40G);
-        sess.runtime
-            .initialize(&build_module(&["fill"], 0))
+        let mut sess = Session::builder()
+            .connect(Endpoint::Simulated(NetworkId::Ib40G))
             .unwrap();
-        let p = sess.runtime.malloc(64).unwrap();
-        sess.runtime.memcpy_h2d(p, &[7u8; 64]).unwrap();
-        assert_eq!(sess.runtime.memcpy_d2h(p, 64).unwrap(), vec![7u8; 64]);
-        sess.runtime.free(p).unwrap();
-        sess.runtime.finalize().unwrap();
-        assert!(sess.clock.now().as_micros_f64() > 0.0, "time passed");
-        let report = sess.finish();
+        sess.initialize(&build_module(&["fill"], 0)).unwrap();
+        let p = sess.malloc(64).unwrap();
+        sess.memcpy_h2d(p, &[7u8; 64]).unwrap();
+        assert_eq!(sess.memcpy_d2h(p, 64).unwrap(), vec![7u8; 64]);
+        sess.free(p).unwrap();
+        sess.finalize().unwrap();
+        assert!(sess.clock().now().as_micros_f64() > 0.0, "time passed");
+        let report = sess.finish_report();
         assert!(report.orderly_shutdown);
         assert_eq!(report.leaked_allocations, 0);
     }
 
     #[test]
     fn channel_session_round_trip() {
-        let mut sess = Session::builder().channel();
-        sess.runtime.initialize(&build_module(&[], 0)).unwrap();
-        let p = sess.runtime.malloc(16).unwrap();
-        sess.runtime.memcpy_h2d(p, &[3u8; 16]).unwrap();
-        assert_eq!(sess.runtime.memcpy_d2h(p, 16).unwrap(), vec![3u8; 16]);
-        sess.runtime.free(p).unwrap();
-        sess.runtime.finalize().unwrap();
-        let report = sess.finish();
+        let mut sess = Session::builder().connect(Endpoint::Channel).unwrap();
+        sess.initialize(&build_module(&[], 0)).unwrap();
+        let p = sess.malloc(16).unwrap();
+        sess.memcpy_h2d(p, &[3u8; 16]).unwrap();
+        assert_eq!(sess.memcpy_d2h(p, 16).unwrap(), vec![3u8; 16]);
+        sess.free(p).unwrap();
+        sess.finalize().unwrap();
+        let report = sess.finish_report();
         assert!(report.orderly_shutdown);
     }
 
     #[test]
+    fn muxed_channel_session_round_trip() {
+        let mut sess = Session::builder()
+            .mux(true)
+            .connect(Endpoint::Channel)
+            .unwrap();
+        sess.initialize(&build_module(&[], 0)).unwrap();
+        let p = sess.malloc(32).unwrap();
+        sess.memcpy_h2d(p, &[5u8; 32]).unwrap();
+        assert_eq!(sess.memcpy_d2h(p, 32).unwrap(), vec![5u8; 32]);
+        sess.free(p).unwrap();
+        sess.finalize().unwrap();
+        let report = sess.finish_report();
+        assert!(report.orderly_shutdown);
+    }
+
+    #[test]
+    fn authenticated_encrypted_session_round_trip() {
+        let mut sess = Session::builder()
+            .auth("sesame")
+            .cipher(CipherSuiteKind::ChaCha20)
+            .connect(Endpoint::Channel)
+            .unwrap();
+        sess.initialize(&build_module(&[], 0)).unwrap();
+        let p = sess.malloc(16).unwrap();
+        sess.memcpy_h2d(p, &[0xAB; 16]).unwrap();
+        assert_eq!(sess.memcpy_d2h(p, 16).unwrap(), vec![0xAB; 16]);
+        sess.free(p).unwrap();
+        sess.finalize().unwrap();
+        let report = sess.finish_report();
+        assert!(report.orderly_shutdown);
+    }
+
+    #[test]
+    fn wrong_token_fails_auth() {
+        let host = Session::builder().auth("right");
+        let (client_side, server_side) = channel_pair();
+        let clock: SharedClock = wall_clock();
+        let _host = host.spawn_trunk_host(server_side, clock.clone());
+        let bad = Session::builder().auth("wrong");
+        let err = bad
+            .dial_trunk(Box::new(client_side), clock, None, None)
+            .err()
+            .expect("auth must fail");
+        assert_eq!(err, CudaError::AuthFailed);
+    }
+
+    #[test]
+    fn connector_shares_one_trunk() {
+        let conn = Session::builder().connector(Endpoint::Channel).unwrap();
+        let mut a = conn.open().unwrap();
+        let mut b = conn.open().unwrap();
+        a.initialize(&build_module(&[], 0)).unwrap();
+        b.initialize(&build_module(&[], 0)).unwrap();
+        let pa = a.malloc(8).unwrap();
+        let pb = b.malloc(8).unwrap();
+        a.memcpy_h2d(pa, &[1u8; 8]).unwrap();
+        b.memcpy_h2d(pb, &[2u8; 8]).unwrap();
+        assert_eq!(a.memcpy_d2h(pa, 8).unwrap(), vec![1u8; 8]);
+        assert_eq!(b.memcpy_d2h(pb, 8).unwrap(), vec![2u8; 8]);
+        a.finalize().unwrap();
+        b.finalize().unwrap();
+        assert!(a.finish().is_empty(), "trunk still shared");
+        assert!(b.finish().is_empty(), "trunk still shared");
+        let reports = conn.finish();
+        assert_eq!(reports.len(), 2, "both sub-sessions reported");
+        assert!(reports.iter().all(|r| r.orderly_shutdown));
+    }
+
+    #[test]
     fn builder_applies_the_pipeline_depth() {
-        let sess = Session::builder().pipeline(4).simulated(NetworkId::GigaE);
-        assert_eq!(sess.runtime.pipeline_depth(), 4);
-        let default = Session::builder().simulated(NetworkId::GigaE);
-        assert_eq!(
-            default.runtime.pipeline_depth(),
-            0,
-            "paper-faithful default"
-        );
+        let sess = Session::builder()
+            .pipeline(4)
+            .connect(Endpoint::Simulated(NetworkId::GigaE))
+            .unwrap();
+        assert_eq!(sess.pipeline_depth(), 4);
+        let default = Session::builder()
+            .connect(Endpoint::Simulated(NetworkId::GigaE))
+            .unwrap();
+        assert_eq!(default.pipeline_depth(), 0, "paper-faithful default");
     }
 
     #[test]
@@ -456,18 +1050,18 @@ mod tests {
         let sess = Session::builder()
             .deadline(std::time::Duration::from_millis(250))
             .retries(3)
-            .channel();
-        assert_eq!(
-            sess.runtime.deadline(),
-            Some(std::time::Duration::from_millis(250))
-        );
-        assert_eq!(sess.runtime.retry_policy().max_retries, 3);
+            .connect(Endpoint::Channel)
+            .unwrap();
+        assert_eq!(sess.deadline(), Some(std::time::Duration::from_millis(250)));
+        assert_eq!(sess.retry_policy().max_retries, 3);
         drop(sess);
 
-        let default = Session::builder().simulated(NetworkId::GigaE);
-        assert_eq!(default.runtime.deadline(), None, "block forever by default");
+        let default = Session::builder()
+            .connect(Endpoint::Simulated(NetworkId::GigaE))
+            .unwrap();
+        assert_eq!(default.deadline(), None, "block forever by default");
         assert_eq!(
-            default.runtime.retry_policy().max_retries,
+            default.retry_policy().max_retries,
             0,
             "fail-fast by default"
         );
@@ -475,8 +1069,8 @@ mod tests {
 
     #[test]
     fn session_surfaces_metrics() {
-        let mut sess = Session::builder().channel();
-        sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+        let mut sess = Session::builder().connect(Endpoint::Channel).unwrap();
+        sess.initialize(&build_module(&[], 0)).unwrap();
         let m = sess.metrics();
         assert!(m.bytes_sent > 0, "init was sent");
         assert!(m.bytes_received > 0, "cc push + ack were received");
@@ -486,18 +1080,21 @@ mod tests {
         assert_eq!(m.calls, 1, "initialization is a call");
         assert_eq!(m.retries, 0);
 
-        sess.runtime.finalize().unwrap();
+        sess.finalize().unwrap();
         sess.finish();
     }
 
     #[test]
     fn observer_records_client_and_server_spans() {
         let rec = rcuda_obs::Recorder::new();
-        let mut sess = Session::builder().observer(rec.handle()).channel();
-        sess.runtime.initialize(&build_module(&[], 0)).unwrap();
-        let p = sess.runtime.malloc(16).unwrap();
-        sess.runtime.free(p).unwrap();
-        sess.runtime.finalize().unwrap();
+        let mut sess = Session::builder()
+            .observer(rec.handle())
+            .connect(Endpoint::Channel)
+            .unwrap();
+        sess.initialize(&build_module(&[], 0)).unwrap();
+        let p = sess.malloc(16).unwrap();
+        sess.free(p).unwrap();
+        sess.finalize().unwrap();
         sess.finish();
 
         let report = rec.report();
@@ -513,17 +1110,29 @@ mod tests {
 
     #[test]
     fn faulty_session_without_faults_behaves_normally() {
-        let mut sess = Session::builder().channel_faulty(FaultPlan::none());
-        sess.runtime.initialize(&build_module(&[], 0)).unwrap();
-        let p = sess.runtime.malloc(8).unwrap();
-        sess.runtime.memcpy_h2d(p, &[9u8; 8]).unwrap();
-        assert_eq!(sess.runtime.memcpy_d2h(p, 8).unwrap(), vec![9u8; 8]);
-        sess.runtime.free(p).unwrap();
-        sess.runtime.finalize().unwrap();
+        let mut sess = Session::builder()
+            .connect(Endpoint::ChannelFaulty(FaultPlan::none()))
+            .unwrap();
+        sess.initialize(&build_module(&[], 0)).unwrap();
+        let p = sess.malloc(8).unwrap();
+        sess.memcpy_h2d(p, &[9u8; 8]).unwrap();
+        assert_eq!(sess.memcpy_d2h(p, 8).unwrap(), vec![9u8; 8]);
+        sess.free(p).unwrap();
+        sess.finalize().unwrap();
         assert_eq!(sess.parked_sessions(), 0);
         let reports = sess.finish();
         assert_eq!(reports.len(), 1, "a single connection served everything");
         assert!(reports[0].orderly_shutdown);
+    }
+
+    #[test]
+    fn faulty_endpoint_refuses_mux() {
+        let err = Session::builder()
+            .mux(true)
+            .connect(Endpoint::ChannelFaulty(FaultPlan::none()))
+            .err()
+            .expect("mux over fault injection is not supported");
+        assert_eq!(err, CudaError::InvalidValue);
     }
 
     #[test]

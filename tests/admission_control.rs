@@ -8,6 +8,7 @@ use rcuda::gpu::module::build_module;
 use rcuda::gpu::GpuDevice;
 use rcuda::proto::Request;
 use rcuda::server::{ChaosHook, RcudaDaemon, ServerConfig};
+use rcuda::session::Endpoint;
 use rcuda::session::Session;
 use std::io::Read;
 use std::net::TcpStream;
@@ -53,7 +54,7 @@ fn busy_client_with_retries_backs_off_and_gets_in() {
     let mut rt = Session::builder()
         .deadline(Duration::from_secs(2))
         .retries(12)
-        .tcp(addr)
+        .connect(Endpoint::Tcp(addr))
         .unwrap();
     rt.initialize(&build_module(&[], 0))
         .expect("admitted once the slot frees");
@@ -81,7 +82,7 @@ fn busy_without_retries_is_a_clean_error_not_a_hang() {
     let begun = Instant::now();
     let mut rt = Session::builder()
         .deadline(Duration::from_secs(2))
-        .tcp(addr)
+        .connect(Endpoint::Tcp(addr))
         .unwrap();
     let err = rt
         .initialize(&build_module(&[], 0))
@@ -115,7 +116,7 @@ fn panic_kills_one_session_and_spares_its_neighbor() {
     // The bystander is mid-session when its neighbor's dispatch panics.
     let mut bystander = Session::builder()
         .deadline(Duration::from_secs(2))
-        .tcp(addr)
+        .connect(Endpoint::Tcp(addr))
         .unwrap();
     bystander.initialize(&build_module(&[], 0)).unwrap();
     let p = bystander.malloc(64).unwrap();
@@ -123,7 +124,7 @@ fn panic_kills_one_session_and_spares_its_neighbor() {
 
     let mut victim = Session::builder()
         .deadline(Duration::from_secs(2))
-        .tcp(addr)
+        .connect(Endpoint::Tcp(addr))
         .unwrap();
     victim.initialize(&build_module(&[], 0)).unwrap();
     assert_eq!(victim.malloc(0xDEAD), Err(CudaError::LaunchFailure));
@@ -157,7 +158,7 @@ fn drain_finishes_in_flight_sessions_and_bounds_stragglers() {
     // and must be hard-stopped at the deadline.
     let mut orderly = Session::builder()
         .deadline(Duration::from_secs(2))
-        .tcp(addr)
+        .connect(Endpoint::Tcp(addr))
         .unwrap();
     orderly.initialize(&build_module(&[], 0)).unwrap();
     orderly.finalize().unwrap();

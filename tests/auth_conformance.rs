@@ -1,0 +1,141 @@
+//! Conformance for the daemon-side authentication gate: a daemon built
+//! with `.auth(token)` rejects wrong-token mux clients and legacy
+//! (pre-mux) clients with `rcudaErrorAuthFailed`, without consuming a
+//! session slot in either case — proven by serving a correctly-
+//! authenticated client afterwards under `max_sessions(1)` — and the
+//! admission ledger still balances (`rejected + served == attempted`).
+
+use rcuda::api::CudaRuntime;
+use rcuda::core::CudaError;
+use rcuda::gpu::module::build_module;
+use rcuda::gpu::GpuDevice;
+use rcuda::proto::secure::CipherSuiteKind;
+use rcuda::server::RcudaDaemon;
+use rcuda::session::{Endpoint, Session};
+use std::time::Duration;
+
+const TOKEN: &str = "conformance-token";
+
+fn auth_gated_daemon() -> RcudaDaemon {
+    RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .auth(TOKEN)
+        .max_sessions(1)
+        .bind("127.0.0.1:0")
+        .unwrap()
+}
+
+/// A malloc/memcpy round trip proving the session is fully live.
+fn round_trip(rt: &mut impl CudaRuntime) {
+    rt.initialize(&build_module(&[], 0)).unwrap();
+    let p = rt.malloc(4096).unwrap();
+    let data = vec![0x5Au8; 4096];
+    rt.memcpy_h2d(p, &data).unwrap();
+    assert_eq!(rt.memcpy_d2h(p, 4096).unwrap(), data);
+    rt.free(p).unwrap();
+    rt.finalize().unwrap();
+}
+
+#[test]
+fn bad_tokens_are_rejected_without_consuming_a_slot() {
+    let mut daemon = auth_gated_daemon();
+    let addr = daemon.local_addr();
+
+    // A wrong-token mux client fails the challenge-response handshake at
+    // connect time with the auth error, not a generic I/O failure.
+    let err = Session::builder()
+        .auth("not-the-token")
+        .connect(Endpoint::Tcp(addr))
+        .err()
+        .expect("wrong token must not connect");
+    assert_eq!(err, CudaError::AuthFailed);
+
+    // A legacy single-stream client cannot carry a token at all: its
+    // session hello is answered with the same auth error.
+    let mut legacy = Session::builder()
+        .connect(Endpoint::Tcp(addr))
+        .expect("legacy dial itself succeeds; the gate is at the hello");
+    assert_eq!(
+        legacy.initialize(&build_module(&[], 0)),
+        Err(CudaError::AuthFailed)
+    );
+    drop(legacy);
+
+    // The legacy reject's slot frees when the reactor finishes closing the
+    // connection; wait for that before proving the slot is available.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while daemon.health().live_sessions > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "rejected connections must release their slots"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Neither reject consumed the single session slot: a correctly
+    // authenticated client is admitted and completes a round trip.
+    let mut sess = Session::builder()
+        .auth(TOKEN)
+        .connect(Endpoint::Tcp(addr))
+        .expect("right token connects");
+    round_trip(&mut *sess);
+    sess.finish();
+
+    daemon.drain(Duration::from_secs(5));
+    let health = daemon.health();
+    assert_eq!(health.live_sessions, 0, "nothing left running");
+    assert_eq!(
+        health.rejected + health.served,
+        health.attempted,
+        "every accepted connection was either shed or served"
+    );
+    // The good client's sub-stream session left cleanly with no leaks.
+    let reports = daemon.session_reports();
+    assert!(
+        reports
+            .iter()
+            .any(|r| r.orderly_shutdown && r.leaked_allocations == 0),
+        "the authenticated session exited orderly"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn auth_composes_with_encryption_over_tcp() {
+    let mut daemon = auth_gated_daemon();
+    let addr = daemon.local_addr();
+
+    let mut sess = Session::builder()
+        .auth(TOKEN)
+        .cipher(CipherSuiteKind::ChaCha20)
+        .connect(Endpoint::Tcp(addr))
+        .expect("authenticated encrypted dial");
+    round_trip(&mut *sess);
+    sess.finish();
+
+    daemon.drain(Duration::from_secs(5));
+    let health = daemon.health();
+    assert_eq!(
+        health.rejected + health.served,
+        health.attempted,
+        "ledger balances with the cipher enabled"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn open_daemon_still_accepts_mux_clients_without_a_token() {
+    // No `.auth(...)`: both ends MAC under the empty key and the same
+    // handshake completes, so mux does not require configuring auth.
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let mut sess = Session::builder()
+        .mux(true)
+        .connect(Endpoint::Tcp(daemon.local_addr()))
+        .expect("tokenless mux dial against an open daemon");
+    round_trip(&mut *sess);
+    sess.finish();
+    daemon.shutdown();
+}

@@ -13,6 +13,7 @@ use rcuda::kernels::complex::complex_to_bytes;
 use rcuda::kernels::workload::{fft_input, matrix_pair};
 use rcuda::server::RcudaDaemon;
 use rcuda::session;
+use rcuda::session::Endpoint;
 use std::thread;
 
 fn f32s(v: &[f32]) -> Vec<u8> {
@@ -36,8 +37,10 @@ fn eight_concurrent_clients_share_one_gpu() {
                 let m = 24u32;
                 let (a, b) = matrix_pair(m as usize, seed);
                 let (a, b) = (f32s(a.as_slice()), f32s(b.as_slice()));
-                let mut rt = session::Session::builder().tcp(addr).unwrap();
-                let out = run_matmul_bytes(&mut rt, &*clock, m, &a, &b)
+                let mut rt = session::Session::builder()
+                    .connect(Endpoint::Tcp(addr))
+                    .unwrap();
+                let out = run_matmul_bytes(&mut *rt, &*clock, m, &a, &b)
                     .unwrap()
                     .output;
                 (seed, a, b, out)
@@ -73,9 +76,11 @@ fn mixed_workloads_share_one_gpu() {
     let mm = thread::spawn(move || {
         let clock = wall_clock();
         let (a, b) = matrix_pair(20, 77);
-        let mut rt = session::Session::builder().tcp(addr).unwrap();
+        let mut rt = session::Session::builder()
+            .connect(Endpoint::Tcp(addr))
+            .unwrap();
         run_matmul_bytes(
-            &mut rt,
+            &mut *rt,
             &*clock,
             20,
             &f32s(a.as_slice()),
@@ -87,8 +92,10 @@ fn mixed_workloads_share_one_gpu() {
     let fft = thread::spawn(move || {
         let clock = wall_clock();
         let input = complex_to_bytes(&fft_input(2, 88));
-        let mut rt = session::Session::builder().tcp(addr).unwrap();
-        run_fft_bytes(&mut rt, &*clock, 2, &input).unwrap().output
+        let mut rt = session::Session::builder()
+            .connect(Endpoint::Tcp(addr))
+            .unwrap();
+        run_fft_bytes(&mut *rt, &*clock, 2, &input).unwrap().output
     });
     let mm_out = mm.join().unwrap();
     let fft_out = fft.join().unwrap();
@@ -110,7 +117,9 @@ fn contexts_are_isolated_between_connections() {
     let addr = daemon.local_addr();
     let module = build_module(&["fill"], 0);
 
-    let mut rt1 = session::Session::builder().tcp(addr).unwrap();
+    let mut rt1 = session::Session::builder()
+        .connect(Endpoint::Tcp(addr))
+        .unwrap();
     rt1.initialize(&module).unwrap();
     let p1 = rt1.malloc(1024).unwrap();
     // Fill session 1's buffer with a marker.
@@ -122,7 +131,9 @@ fn contexts_are_isolated_between_connections() {
     rt1.launch("fill", Dim3::x(1), Dim3::x(16), 0, 0, &args)
         .unwrap();
 
-    let mut rt2 = session::Session::builder().tcp(addr).unwrap();
+    let mut rt2 = session::Session::builder()
+        .connect(Endpoint::Tcp(addr))
+        .unwrap();
     rt2.initialize(&module).unwrap();
     // Session 2 allocates; even if it receives the same numeric address,
     // the memory is zeroed, never session 1's data.

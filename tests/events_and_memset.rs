@@ -6,20 +6,25 @@ use rcuda::core::{ArgPack, CudaError, Dim3};
 use rcuda::gpu::module::build_module;
 use rcuda::netsim::NetworkId;
 use rcuda::session;
+use rcuda::session::Endpoint;
 
 fn both_runtimes(test: impl Fn(&mut dyn CudaRuntime)) {
     let mut local = session::local_functional();
     test(&mut local);
-    let mut sess = session::Session::builder().simulated(NetworkId::Ib40G);
-    test(&mut sess.runtime);
+    let mut sess = session::Session::builder()
+        .connect(Endpoint::Simulated(NetworkId::Ib40G))
+        .unwrap();
+    test(&mut *sess);
     sess.finish();
 }
 
 fn both_runtimes_async(test: impl Fn(&mut dyn CudaRuntimeAsyncExt)) {
     let mut local = session::local_functional();
     test(&mut local);
-    let mut sess = session::Session::builder().simulated(NetworkId::Ib40G);
-    test(&mut sess.runtime);
+    let mut sess = session::Session::builder()
+        .connect(Endpoint::Simulated(NetworkId::Ib40G))
+        .unwrap();
+    test(&mut *sess);
     sess.finish();
 }
 
@@ -112,8 +117,9 @@ fn events_measure_simulated_kernel_time() {
     // records — the CUDA idiom for timing kernels, working remotely.
     let mut sess = session::Session::builder()
         .phantom(true)
-        .simulated(NetworkId::Ib40G);
-    let rt = &mut sess.runtime;
+        .connect(Endpoint::Simulated(NetworkId::Ib40G))
+        .unwrap();
+    let rt = &mut *sess;
     rt.initialize(&rcuda::gpu::module::mm_module()).unwrap();
     let m = 2048u32;
     let bytes = m * m * 4;

@@ -33,6 +33,7 @@ use rcuda::core::{CudaError, Dim3};
 use rcuda::gpu::module::build_module;
 use rcuda::gpu::GpuDevice;
 use rcuda::server::RcudaDaemon;
+use rcuda::session::Endpoint;
 use rcuda::session::{self, Session};
 use rcuda::transport::{Fault, FaultInjector, FaultKind, FaultPlan, TcpTransport};
 use std::io::Write;
@@ -61,10 +62,10 @@ fn mm_under(
 ) -> (Result<Vec<u8>, CudaError>, Vec<Fault>) {
     let m = 8u32;
     let (a, b) = (mm_input(m), mm_input(m));
-    let mut sess = builder.channel_faulty(plan);
+    let mut sess = builder.connect(Endpoint::ChannelFaulty(plan)).unwrap();
     let clock = wall_clock();
-    let result = run_matmul_bytes(&mut sess.runtime, &*clock, m, &a, &b).map(|r| r.output);
-    let fired: Vec<Fault> = sess.runtime.transport().fired().copied().collect();
+    let result = run_matmul_bytes(&mut *sess, &*clock, m, &a, &b).map(|r| r.output);
+    let fired: Vec<Fault> = sess.fired_faults();
     sess.finish();
     (result, fired)
 }
@@ -138,9 +139,13 @@ fn disconnect_mid_mm_with_retries_is_bit_identical() {
     let mut sess = Session::builder()
         .deadline(Duration::from_secs(2))
         .retries(2)
-        .channel_faulty(FaultPlan::at(4, FaultKind::Disconnect));
+        .connect(Endpoint::ChannelFaulty(FaultPlan::at(
+            4,
+            FaultKind::Disconnect,
+        )))
+        .unwrap();
     let clock = wall_clock();
-    let out = run_matmul_bytes(&mut sess.runtime, &*clock, m, &a, &b)
+    let out = run_matmul_bytes(&mut *sess, &*clock, m, &a, &b)
         .expect("MM completes despite the mid-run disconnect")
         .output;
     assert_eq!(out, baseline, "replayed run is bit-identical");
@@ -198,15 +203,16 @@ fn corrupted_response_status_is_an_error_not_garbage() {
     // code, never hand the application a pointer decoded from noise.
     let mut sess = Session::builder()
         .deadline(DEADLINE)
-        .channel_faulty(FaultPlan::at(
+        .connect(Endpoint::ChannelFaulty(FaultPlan::at(
             1,
             FaultKind::CorruptRead {
                 offset: 0,
                 xor: 0xFF,
             },
-        ));
-    sess.runtime.initialize(&build_module(&[], 0)).unwrap();
-    assert_eq!(sess.runtime.malloc(64), Err(CudaError::Unknown));
+        )))
+        .unwrap();
+    sess.initialize(&build_module(&[], 0)).unwrap();
+    assert_eq!(sess.malloc(64), Err(CudaError::Unknown));
     sess.finish();
 }
 
@@ -217,18 +223,18 @@ fn corrupted_batch_response_count_is_a_protocol_violation() {
     let mut sess = Session::builder()
         .pipeline(2)
         .deadline(DEADLINE)
-        .channel_faulty(FaultPlan::at(
+        .connect(Endpoint::ChannelFaulty(FaultPlan::at(
             2,
             FaultKind::CorruptRead {
                 offset: 0,
                 xor: 0x04,
             },
-        ));
-    sess.runtime.initialize(&build_module(&[], 0)).unwrap(); // index 0
-    let p = sess.runtime.malloc(32).unwrap(); // index 1
-    sess.runtime.memcpy_h2d(p, &[1u8; 32]).unwrap(); // deferred
+        )))
+        .unwrap();
+    sess.initialize(&build_module(&[], 0)).unwrap(); // index 0
+    let p = sess.malloc(32).unwrap(); // index 1
+    sess.memcpy_h2d(p, &[1u8; 32]).unwrap(); // deferred
     let err = sess
-        .runtime
         .memset(p, 0, 32) // window full → batch flush, index 2
         .unwrap_err();
     assert_eq!(err, CudaError::ProtocolViolation);
@@ -243,19 +249,23 @@ fn idempotent_batch_replays_after_disconnect() {
         .pipeline(2)
         .deadline(Duration::from_secs(2))
         .retries(2)
-        .channel_faulty(FaultPlan::at(2, FaultKind::Disconnect));
-    sess.runtime.initialize(&build_module(&[], 0)).unwrap(); // index 0
-    let p = sess.runtime.malloc(16).unwrap(); // index 1
-    sess.runtime.memcpy_h2d(p, &[7u8; 16]).unwrap(); // deferred
-    sess.runtime.memset(p, 9, 16).unwrap(); // drain: h2d+memset, index 2 dies
+        .connect(Endpoint::ChannelFaulty(FaultPlan::at(
+            2,
+            FaultKind::Disconnect,
+        )))
+        .unwrap();
+    sess.initialize(&build_module(&[], 0)).unwrap(); // index 0
+    let p = sess.malloc(16).unwrap(); // index 1
+    sess.memcpy_h2d(p, &[7u8; 16]).unwrap(); // deferred
+    sess.memset(p, 9, 16).unwrap(); // drain: h2d+memset, index 2 dies
     assert_eq!(
-        sess.runtime.memcpy_d2h(p, 16).unwrap(),
+        sess.memcpy_d2h(p, 16).unwrap(),
         vec![9u8; 16],
         "both batched writes landed exactly once on the resumed session"
     );
     assert_eq!(sess.metrics().reconnects, 1);
-    sess.runtime.free(p).unwrap();
-    sess.runtime.finalize().unwrap();
+    sess.free(p).unwrap();
+    sess.finalize().unwrap();
     let reports = sess.finish();
     assert_eq!(reports.len(), 2);
     assert!(reports[1].resumed);
@@ -267,14 +277,15 @@ fn batch_containing_a_launch_does_not_replay() {
         .pipeline(2)
         .deadline(Duration::from_secs(2))
         .retries(2)
-        .channel_faulty(FaultPlan::at(2, FaultKind::Disconnect));
-    sess.runtime
-        .initialize(&build_module(&["vec_add"], 0))
-        .unwrap(); // index 0
-    let p = sess.runtime.malloc(16).unwrap(); // index 1
-    sess.runtime.memcpy_h2d(p, &[1u8; 16]).unwrap(); // deferred
+        .connect(Endpoint::ChannelFaulty(FaultPlan::at(
+            2,
+            FaultKind::Disconnect,
+        )))
+        .unwrap();
+    sess.initialize(&build_module(&["vec_add"], 0)).unwrap(); // index 0
+    let p = sess.malloc(16).unwrap(); // index 1
+    sess.memcpy_h2d(p, &[1u8; 16]).unwrap(); // deferred
     let err = sess
-        .runtime
         .launch("vec_add", Dim3::x(1), Dim3::x(1), 0, 0, &[]) // drain, dies
         .unwrap_err();
     assert_eq!(
@@ -378,19 +389,20 @@ fn parked_session_recovers_on_next_idempotent_call() {
     let mut sess = Session::builder()
         .deadline(Duration::from_secs(2))
         .retries(1)
-        .channel_faulty(FaultPlan::at(1, FaultKind::Disconnect));
-    sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+        .connect(Endpoint::ChannelFaulty(FaultPlan::at(
+            1,
+            FaultKind::Disconnect,
+        )))
+        .unwrap();
+    sess.initialize(&build_module(&[], 0)).unwrap();
     // Malloc is non-idempotent: the disconnect surfaces...
-    assert_eq!(
-        sess.runtime.malloc(16),
-        Err(CudaError::TransportConnectionLost)
-    );
+    assert_eq!(sess.malloc(16), Err(CudaError::TransportConnectionLost));
     // ...but the session token is real, the first server parked the
     // context, and an idempotent call afterwards recovers the session.
-    assert!(sess.runtime.session_token().is_some());
-    sess.runtime.thread_synchronize().unwrap();
+    assert!(sess.session_token().is_some());
+    sess.thread_synchronize().unwrap();
     assert_eq!(sess.metrics().reconnects, 1);
-    sess.runtime.finalize().unwrap();
+    sess.finalize().unwrap();
     let reports = sess.finish();
     assert_eq!(reports.len(), 2);
     assert!(reports[1].resumed);
@@ -405,7 +417,7 @@ fn server_death_mid_session_surfaces_as_transport_error() {
         .bind("127.0.0.1:0")
         .unwrap();
     let mut rt = session::Session::builder()
-        .tcp(daemon.local_addr())
+        .connect(Endpoint::Tcp(daemon.local_addr()))
         .unwrap();
     rt.initialize(&build_module(&[], 0)).unwrap();
     let p = rt.malloc(64).unwrap();
@@ -430,15 +442,17 @@ fn server_death_mid_session_surfaces_as_transport_error() {
 
 #[test]
 fn oom_propagates_and_session_survives() {
-    let mut sess = session::Session::builder().simulated(rcuda::netsim::NetworkId::Ib40G);
-    sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+    let mut sess = session::Session::builder()
+        .connect(Endpoint::Simulated(rcuda::netsim::NetworkId::Ib40G))
+        .unwrap();
+    sess.initialize(&build_module(&[], 0)).unwrap();
     // The device exposes slightly less than 4 GiB; ask for more in chunks
     // until exhaustion.
     let mut held = Vec::new();
     let chunk = 1u32 << 30; // 1 GiB
     let mut oom = false;
     for _ in 0..8 {
-        match sess.runtime.malloc(chunk) {
+        match sess.malloc(chunk) {
             Ok(p) => held.push(p),
             Err(e) => {
                 assert_eq!(e, CudaError::MemoryAllocation);
@@ -451,12 +465,12 @@ fn oom_propagates_and_session_survives() {
     assert!(held.len() >= 3, "but at least 3 GiB must fit");
     // The session is still healthy: free everything and keep working.
     for p in held {
-        sess.runtime.free(p).unwrap();
+        sess.free(p).unwrap();
     }
-    let p = sess.runtime.malloc(chunk).unwrap();
-    sess.runtime.free(p).unwrap();
-    sess.runtime.finalize().unwrap();
-    let report = sess.finish();
+    let p = sess.malloc(chunk).unwrap();
+    sess.free(p).unwrap();
+    sess.finalize().unwrap();
+    let report = sess.finish_report();
     assert!(report.orderly_shutdown);
     assert_eq!(report.leaked_allocations, 0);
 }
@@ -486,7 +500,9 @@ fn garbage_after_handshake_ends_session_not_daemon() {
         drop(s);
     }
     // Daemon still serves real clients.
-    let mut rt = session::Session::builder().tcp(addr).unwrap();
+    let mut rt = session::Session::builder()
+        .connect(Endpoint::Tcp(addr))
+        .unwrap();
     rt.initialize(&build_module(&[], 0)).unwrap();
     assert!(rt.malloc(64).is_ok());
     rt.finalize().unwrap();
@@ -495,38 +511,36 @@ fn garbage_after_handshake_ends_session_not_daemon() {
 
 #[test]
 fn launch_of_unknown_kernel_is_an_error_code_remotely() {
-    let mut sess = session::Session::builder().simulated(rcuda::netsim::NetworkId::GigaE);
-    sess.runtime
-        .initialize(&build_module(&["vec_add"], 0))
+    let mut sess = session::Session::builder()
+        .connect(Endpoint::Simulated(rcuda::netsim::NetworkId::GigaE))
         .unwrap();
+    sess.initialize(&build_module(&["vec_add"], 0)).unwrap();
     let err = sess
-        .runtime
         .launch("sgemmNN", Dim3::x(1), Dim3::x(1), 0, 0, &[])
         .unwrap_err();
     assert_eq!(err, CudaError::InvalidDeviceFunction);
     // Session continues.
-    let p = sess.runtime.malloc(16).unwrap();
-    sess.runtime.free(p).unwrap();
-    sess.runtime.finalize().unwrap();
+    let p = sess.malloc(16).unwrap();
+    sess.free(p).unwrap();
+    sess.finalize().unwrap();
     sess.finish();
 }
 
 #[test]
 fn dangling_pointer_operations_error_remotely() {
-    let mut sess = session::Session::builder().simulated(rcuda::netsim::NetworkId::Ib40G);
-    sess.runtime.initialize(&build_module(&[], 0)).unwrap();
-    let p = sess.runtime.malloc(128).unwrap();
-    sess.runtime.free(p).unwrap();
+    let mut sess = session::Session::builder()
+        .connect(Endpoint::Simulated(rcuda::netsim::NetworkId::Ib40G))
+        .unwrap();
+    sess.initialize(&build_module(&[], 0)).unwrap();
+    let p = sess.malloc(128).unwrap();
+    sess.free(p).unwrap();
     assert_eq!(
-        sess.runtime.memcpy_h2d(p, &[1, 2, 3]),
+        sess.memcpy_h2d(p, &[1, 2, 3]),
         Err(CudaError::InvalidDevicePointer)
     );
-    assert_eq!(
-        sess.runtime.memcpy_d2h(p, 4),
-        Err(CudaError::InvalidDevicePointer)
-    );
-    assert_eq!(sess.runtime.free(p), Err(CudaError::InvalidDevicePointer));
-    sess.runtime.finalize().unwrap();
+    assert_eq!(sess.memcpy_d2h(p, 4), Err(CudaError::InvalidDevicePointer));
+    assert_eq!(sess.free(p), Err(CudaError::InvalidDevicePointer));
+    sess.finalize().unwrap();
     sess.finish();
 }
 

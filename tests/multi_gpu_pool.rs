@@ -7,6 +7,7 @@ use rcuda::gpu::GpuDevice;
 use rcuda::kernels::workload::matrix_pair;
 use rcuda::server::{GpuPool, PoolPolicy, RcudaDaemon};
 use rcuda::session;
+use rcuda::session::Endpoint;
 use std::sync::Arc;
 use std::thread;
 
@@ -29,9 +30,11 @@ fn pooled_daemon_serves_concurrent_clients_correctly() {
                 let clock = wall_clock();
                 let m = 20u32;
                 let (a, b) = matrix_pair(m as usize, seed);
-                let mut rt = session::Session::builder().tcp(addr).unwrap();
+                let mut rt = session::Session::builder()
+                    .connect(Endpoint::Tcp(addr))
+                    .unwrap();
                 run_matmul_bytes(
-                    &mut rt,
+                    &mut *rt,
                     &*clock,
                     m,
                     &f32s(a.as_slice()),
@@ -77,7 +80,7 @@ fn single_device_daemon_is_a_pool_of_one() {
         .bind("127.0.0.1:0")
         .unwrap();
     let mut rt = session::Session::builder()
-        .tcp(daemon.local_addr())
+        .connect(Endpoint::Tcp(daemon.local_addr()))
         .unwrap();
     rt.initialize(&rcuda::gpu::module::build_module(&[], 0))
         .unwrap();

@@ -9,6 +9,7 @@ use rcuda::core::Clock as _;
 use rcuda::kernels::nbody::{nbody_accelerations, nbody_input};
 use rcuda::netsim::NetworkId;
 use rcuda::session;
+use rcuda::session::Endpoint;
 
 fn f32s(v: &[f32]) -> Vec<u8> {
     v.iter().flat_map(|x| x.to_le_bytes()).collect()
@@ -24,10 +25,12 @@ fn nbody_remote_equals_local_reference() {
     nbody_accelerations(&bodies, &mut expect, 0.02);
 
     for net in [NetworkId::GigaE, NetworkId::Ib40G] {
-        let mut sess = session::Session::builder().simulated(net);
-        let report = run_nbody_bytes(&mut sess.runtime, &*clock, n, &f32s(&bodies), 0.02).unwrap();
+        let mut sess = session::Session::builder()
+            .connect(Endpoint::Simulated(net))
+            .unwrap();
+        let report = run_nbody_bytes(&mut *sess, &*clock, n, &f32s(&bodies), 0.02).unwrap();
         assert_eq!(report.output, f32s(&expect), "{net}");
-        let r = sess.finish();
+        let r = sess.finish_report();
         assert!(r.orderly_shutdown);
         assert_eq!(r.leaked_allocations, 0);
     }
@@ -41,10 +44,13 @@ fn nbody_is_the_most_network_insensitive_workload() {
     let run = |net: NetworkId| -> f64 {
         let n = 65_536u32;
         let bytes = vec![0u8; (16 * n) as usize];
-        let mut sess = session::Session::builder().phantom(true).simulated(net);
-        let clock = sess.clock.clone();
-        run_nbody_bytes(&mut sess.runtime, &*clock, n, &bytes, 0.01).unwrap();
-        let t = sess.clock.now().as_secs_f64();
+        let mut sess = session::Session::builder()
+            .phantom(true)
+            .connect(Endpoint::Simulated(net))
+            .unwrap();
+        let clock = sess.clock().clone();
+        run_nbody_bytes(&mut *sess, &*clock, n, &bytes, 0.01).unwrap();
+        let t = sess.clock().now().as_secs_f64();
         sess.finish();
         t
     };
@@ -61,10 +67,13 @@ fn nbody_is_the_most_network_insensitive_workload() {
     let run_mm = |net: NetworkId| -> f64 {
         let m = 3584u32;
         let bytes = vec![0u8; (m * m * 4) as usize];
-        let mut sess = session::Session::builder().phantom(true).simulated(net);
-        let clock = sess.clock.clone();
-        rcuda::api::run_matmul_bytes(&mut sess.runtime, &*clock, m, &bytes, &bytes).unwrap();
-        let t = sess.clock.now().as_secs_f64();
+        let mut sess = session::Session::builder()
+            .phantom(true)
+            .connect(Endpoint::Simulated(net))
+            .unwrap();
+        let clock = sess.clock().clone();
+        rcuda::api::run_matmul_bytes(&mut *sess, &*clock, m, &bytes, &bytes).unwrap();
+        let t = sess.clock().now().as_secs_f64();
         sess.finish();
         t
     };

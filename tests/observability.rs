@@ -4,6 +4,7 @@
 //! through `model::compare` with zero error on the bulk-transfer phases,
 //! and keep its counters continuous across an injected mid-run fault.
 
+use rcuda::session::Endpoint;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -46,12 +47,13 @@ fn observed_mm(m: u32, net: NetworkId) -> Report {
     let mut sess = Session::builder()
         .phantom(true)
         .observer(rec.handle())
-        .simulated(net);
-    rec.attach_clock(sess.clock.clone() as SharedClock);
-    quiesce(&sess.clock);
+        .connect(Endpoint::Simulated(net))
+        .unwrap();
+    rec.attach_clock(sess.clock().clone() as SharedClock);
+    quiesce(sess.clock());
     let bytes = vec![0u8; (m * m * 4) as usize];
-    let clock = sess.clock.clone();
-    run_matmul_bytes(&mut sess.runtime, &*clock, m, &bytes, &bytes).unwrap();
+    let clock = sess.clock().clone();
+    run_matmul_bytes(&mut *sess, &*clock, m, &bytes, &bytes).unwrap();
     sess.finish();
     rec.report()
 }
@@ -245,11 +247,15 @@ fn observer_counters_survive_a_midrun_fault() {
         .deadline(std::time::Duration::from_secs(2))
         .retries(2)
         .observer(rec.handle())
-        .channel_faulty(FaultPlan::at(4, FaultKind::Disconnect));
+        .connect(Endpoint::ChannelFaulty(FaultPlan::at(
+            4,
+            FaultKind::Disconnect,
+        )))
+        .unwrap();
     let m = 8u32;
     let bytes = vec![0u8; (m * m * 4) as usize];
     let clock = rcuda::core::time::wall_clock();
-    run_matmul_bytes(&mut sess.runtime, &*clock, m, &bytes, &bytes)
+    run_matmul_bytes(&mut *sess, &*clock, m, &bytes, &bytes)
         .expect("MM completes despite the mid-run disconnect");
 
     let metrics = sess.metrics();

@@ -8,6 +8,7 @@ use rcuda::core::{Clock as _, SimTime};
 use rcuda::gpu::module::build_module;
 use rcuda::netsim::NetworkId;
 use rcuda::session;
+use rcuda::session::Endpoint;
 
 const TOTAL: u32 = 256 << 20;
 const CHUNKS: u32 = 32;
@@ -15,30 +16,32 @@ const CHUNKS: u32 = 32;
 /// Stream `TOTAL` bytes H2D in `CHUNKS` chunks, sync or async.
 fn transfer_time(net: NetworkId, use_async: bool) -> SimTime {
     let chunk = TOTAL / CHUNKS;
-    let mut sess = session::Session::builder().phantom(true).simulated(net);
-    sess.runtime.initialize(&build_module(&[], 0)).unwrap();
-    let p = sess.runtime.malloc(TOTAL).unwrap();
+    let mut sess = session::Session::builder()
+        .phantom(true)
+        .connect(Endpoint::Simulated(net))
+        .unwrap();
+    sess.initialize(&build_module(&[], 0)).unwrap();
+    let p = sess.malloc(TOTAL).unwrap();
     let stream = if use_async {
-        sess.runtime.stream_create().unwrap()
+        sess.stream_create().unwrap()
     } else {
         0
     };
-    let start = sess.clock.now();
+    let start = sess.clock().now();
     let buf = vec![0u8; chunk as usize];
     for i in 0..CHUNKS {
         if use_async {
-            sess.runtime
-                .memcpy_h2d_async(p.offset(i * chunk), &buf, stream)
+            sess.memcpy_h2d_async(p.offset(i * chunk), &buf, stream)
                 .unwrap();
         } else {
-            sess.runtime.memcpy_h2d(p.offset(i * chunk), &buf).unwrap();
+            sess.memcpy_h2d(p.offset(i * chunk), &buf).unwrap();
         }
     }
     if use_async {
-        sess.runtime.stream_synchronize(stream).unwrap();
+        sess.stream_synchronize(stream).unwrap();
     }
-    let t = sess.clock.now() - start;
-    sess.runtime.finalize().unwrap();
+    let t = sess.clock().now() - start;
+    sess.finalize().unwrap();
     sess.finish();
     t
 }

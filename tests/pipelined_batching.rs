@@ -12,6 +12,7 @@ use rcuda::kernels::complex::complex_to_bytes;
 use rcuda::kernels::workload::{fft_input, matrix_pair};
 use rcuda::netsim::NetworkId;
 use rcuda::server::RcudaDaemon;
+use rcuda::session::Endpoint;
 use rcuda::session::{self, Session};
 
 fn f32s(v: &[f32]) -> Vec<u8> {
@@ -29,19 +30,24 @@ fn pipelined_fft_is_bit_identical_and_halves_the_flushes() {
         .unwrap()
         .output;
 
-    let mut per_call = Session::builder().simulated(NetworkId::GigaE);
-    let sync_out = run_fft_bytes(&mut per_call.runtime, &*clock, batch, &input)
+    let mut per_call = Session::builder()
+        .connect(Endpoint::Simulated(NetworkId::GigaE))
+        .unwrap();
+    let sync_out = run_fft_bytes(&mut *per_call, &*clock, batch, &input)
         .unwrap()
         .output;
-    let sync_flushes = per_call.runtime.metrics().messages_sent;
+    let sync_flushes = per_call.metrics().messages_sent;
     per_call.finish();
 
-    let mut pipelined = Session::builder().pipeline(4).simulated(NetworkId::GigaE);
-    let pipe_out = run_fft_bytes(&mut pipelined.runtime, &*clock, batch, &input)
+    let mut pipelined = Session::builder()
+        .pipeline(4)
+        .connect(Endpoint::Simulated(NetworkId::GigaE))
+        .unwrap();
+    let pipe_out = run_fft_bytes(&mut *pipelined, &*clock, batch, &input)
         .unwrap()
         .output;
-    let pipe_flushes = pipelined.runtime.metrics().messages_sent;
-    let report = pipelined.finish();
+    let pipe_flushes = pipelined.metrics().messages_sent;
+    let report = pipelined.finish_report();
 
     assert_eq!(sync_out, local_out, "per-call remote must equal local");
     assert_eq!(pipe_out, local_out, "pipelined remote must equal local");
@@ -65,18 +71,23 @@ fn pipelined_matmul_is_bit_identical_with_fewer_flushes() {
         .unwrap()
         .output;
 
-    let mut per_call = Session::builder().simulated(NetworkId::Ib40G);
-    let sync_out = run_matmul_bytes(&mut per_call.runtime, &*clock, m, &a, &b)
+    let mut per_call = Session::builder()
+        .connect(Endpoint::Simulated(NetworkId::Ib40G))
+        .unwrap();
+    let sync_out = run_matmul_bytes(&mut *per_call, &*clock, m, &a, &b)
         .unwrap()
         .output;
-    let sync_flushes = per_call.runtime.metrics().messages_sent;
+    let sync_flushes = per_call.metrics().messages_sent;
     per_call.finish();
 
-    let mut pipelined = Session::builder().pipeline(4).simulated(NetworkId::Ib40G);
-    let pipe_out = run_matmul_bytes(&mut pipelined.runtime, &*clock, m, &a, &b)
+    let mut pipelined = Session::builder()
+        .pipeline(4)
+        .connect(Endpoint::Simulated(NetworkId::Ib40G))
+        .unwrap();
+    let pipe_out = run_matmul_bytes(&mut *pipelined, &*clock, m, &a, &b)
         .unwrap()
         .output;
-    let pipe_flushes = pipelined.runtime.metrics().messages_sent;
+    let pipe_flushes = pipelined.metrics().messages_sent;
     pipelined.finish();
 
     assert_eq!(sync_out, local_out);
@@ -103,8 +114,10 @@ fn pipelined_fft_over_tcp_equals_local() {
         .bind("127.0.0.1:0")
         .unwrap();
 
-    let mut sync_rt = Session::builder().tcp(daemon.local_addr()).unwrap();
-    let sync_out = run_fft_bytes(&mut sync_rt, &*clock, batch, &input)
+    let mut sync_rt = Session::builder()
+        .connect(Endpoint::Tcp(daemon.local_addr()))
+        .unwrap();
+    let sync_out = run_fft_bytes(&mut *sync_rt, &*clock, batch, &input)
         .unwrap()
         .output;
     let sync_flushes = sync_rt.metrics().messages_sent;
@@ -112,9 +125,9 @@ fn pipelined_fft_over_tcp_equals_local() {
 
     let mut pipe_rt = Session::builder()
         .pipeline(4)
-        .tcp(daemon.local_addr())
+        .connect(Endpoint::Tcp(daemon.local_addr()))
         .unwrap();
-    let pipe_out = run_fft_bytes(&mut pipe_rt, &*clock, batch, &input)
+    let pipe_out = run_fft_bytes(&mut *pipe_rt, &*clock, batch, &input)
         .unwrap()
         .output;
     let pipe_flushes = pipe_rt.metrics().messages_sent;
@@ -153,11 +166,12 @@ fn pipelined_depth_sweep_is_deterministic() {
     for depth in [0usize, 1, 2, 4, 8, 64] {
         let mut sess = Session::builder()
             .pipeline(depth)
-            .simulated(NetworkId::GigaE);
-        let out = run_fft_bytes(&mut sess.runtime, &*clock, batch, &input)
+            .connect(Endpoint::Simulated(NetworkId::GigaE))
+            .unwrap();
+        let out = run_fft_bytes(&mut *sess, &*clock, batch, &input)
             .unwrap()
             .output;
-        let flushes = sess.runtime.metrics().messages_sent;
+        let flushes = sess.metrics().messages_sent;
         sess.finish();
         assert_eq!(out, expected, "depth {depth}");
         assert!(

@@ -10,6 +10,7 @@ use rcuda::core::{ArgPack, CudaError, DevicePtr, Dim3};
 use rcuda::gpu::module::build_module;
 use rcuda::netsim::NetworkId;
 use rcuda::session;
+use rcuda::session::Endpoint;
 
 /// An abstract operation over a small pool of buffer slots.
 #[derive(Debug, Clone)]
@@ -161,8 +162,8 @@ proptest! {
         let mut local = session::local_functional();
         let local_outcomes = run_ops(&mut local, &ops);
 
-        let mut sess = session::Session::builder().simulated(NetworkId::Ib40G);
-        let remote_outcomes = run_ops(&mut sess.runtime, &ops);
+        let mut sess = session::Session::builder().connect(Endpoint::Simulated(NetworkId::Ib40G)).unwrap();
+        let remote_outcomes = run_ops(&mut *sess, &ops);
         sess.finish();
 
         prop_assert_eq!(local_outcomes, remote_outcomes);

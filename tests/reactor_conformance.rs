@@ -17,6 +17,7 @@ use rcuda::proto::handshake::read_hello_reply;
 use rcuda::proto::ids::MemcpyKind;
 use rcuda::proto::{Request, Response, SessionHello};
 use rcuda::server::{ChaosHook, DaemonBuilder, RcudaDaemon};
+use rcuda::session::Endpoint;
 use rcuda::session::Session;
 use std::io::Read;
 use std::net::TcpStream;
@@ -49,7 +50,7 @@ fn busy_shedding_holds_on_every_shard_count() {
         // Fail-fast client: the rejection surfaces as ServerBusy.
         let mut rt = Session::builder()
             .deadline(Duration::from_secs(2))
-            .tcp(addr)
+            .connect(Endpoint::Tcp(addr))
             .unwrap();
         let err = rt.initialize(&build_module(&[], 0)).unwrap_err();
         assert_eq!(err, CudaError::ServerBusy, "shards={shards}");
@@ -62,7 +63,7 @@ fn busy_shedding_holds_on_every_shard_count() {
         let mut rt = Session::builder()
             .deadline(Duration::from_secs(2))
             .retries(12)
-            .tcp(addr)
+            .connect(Endpoint::Tcp(addr))
             .unwrap();
         rt.initialize(&build_module(&[], 0))
             .expect("admitted once the slot frees");
@@ -90,7 +91,7 @@ fn session_quota_holds_on_the_reactor() {
             .unwrap();
         let mut rt = Session::builder()
             .deadline(Duration::from_secs(2))
-            .tcp(daemon.local_addr())
+            .connect(Endpoint::Tcp(daemon.local_addr()))
             .unwrap();
         rt.initialize(&build_module(&[], 0)).unwrap();
 
@@ -126,7 +127,7 @@ fn panic_is_isolated_even_on_a_single_shard() {
 
     let mut bystander = Session::builder()
         .deadline(Duration::from_secs(2))
-        .tcp(addr)
+        .connect(Endpoint::Tcp(addr))
         .unwrap();
     bystander.initialize(&build_module(&[], 0)).unwrap();
     let p = bystander.malloc(64).unwrap();
@@ -134,7 +135,7 @@ fn panic_is_isolated_even_on_a_single_shard() {
 
     let mut victim = Session::builder()
         .deadline(Duration::from_secs(2))
-        .tcp(addr)
+        .connect(Endpoint::Tcp(addr))
         .unwrap();
     victim.initialize(&build_module(&[], 0)).unwrap();
     assert_eq!(victim.malloc(0xDEAD), Err(CudaError::LaunchFailure));
@@ -163,7 +164,7 @@ fn drain_still_bounds_stragglers_and_finishes_the_orderly() {
 
         let mut orderly = Session::builder()
             .deadline(Duration::from_secs(2))
-            .tcp(addr)
+            .connect(Endpoint::Tcp(addr))
             .unwrap();
         orderly.initialize(&build_module(&[], 0)).unwrap();
         orderly.finalize().unwrap();
@@ -270,7 +271,7 @@ fn shard_spans_expose_readiness_loop_activity() {
     for _ in 0..2 {
         let mut rt = Session::builder()
             .deadline(Duration::from_secs(2))
-            .tcp(addr)
+            .connect(Endpoint::Tcp(addr))
             .unwrap();
         rt.initialize(&build_module(&[], 0)).unwrap();
         let p = rt.malloc(128).unwrap();

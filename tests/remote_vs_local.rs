@@ -11,6 +11,7 @@ use rcuda::kernels::workload::{fft_input, matrix_pair};
 use rcuda::netsim::NetworkId;
 use rcuda::server::RcudaDaemon;
 use rcuda::session;
+use rcuda::session::Endpoint;
 
 fn f32s(v: &[f32]) -> Vec<u8> {
     v.iter().flat_map(|x| x.to_le_bytes()).collect()
@@ -35,9 +36,9 @@ fn matmul_over_tcp_equals_local() {
         .bind("127.0.0.1:0")
         .unwrap();
     let mut remote = session::Session::builder()
-        .tcp(daemon.local_addr())
+        .connect(Endpoint::Tcp(daemon.local_addr()))
         .unwrap();
-    let remote_out = run_matmul_bytes(&mut remote, &*clock, m, &a, &b)
+    let remote_out = run_matmul_bytes(&mut *remote, &*clock, m, &a, &b)
         .unwrap()
         .output;
 
@@ -66,9 +67,9 @@ fn fft_over_tcp_equals_local() {
         .bind("127.0.0.1:0")
         .unwrap();
     let mut remote = session::Session::builder()
-        .tcp(daemon.local_addr())
+        .connect(Endpoint::Tcp(daemon.local_addr()))
         .unwrap();
-    let remote_out = run_fft_bytes(&mut remote, &*clock, batch, &input)
+    let remote_out = run_fft_bytes(&mut *remote, &*clock, batch, &input)
         .unwrap()
         .output;
 
@@ -89,12 +90,14 @@ fn matmul_over_simulated_network_equals_local() {
         .output;
 
     for net in [NetworkId::GigaE, NetworkId::Ib40G, NetworkId::AsicHt] {
-        let mut sess = session::Session::builder().simulated(net);
-        let out = run_matmul_bytes(&mut sess.runtime, &*clock, m, &a, &b)
+        let mut sess = session::Session::builder()
+            .connect(Endpoint::Simulated(net))
+            .unwrap();
+        let out = run_matmul_bytes(&mut *sess, &*clock, m, &a, &b)
             .unwrap()
             .output;
         assert_eq!(out, local_out, "{net}");
-        let report = sess.finish();
+        let report = sess.finish_report();
         assert!(report.orderly_shutdown);
         assert_eq!(report.leaked_allocations, 0);
     }
@@ -108,10 +111,12 @@ fn trace_byte_accounting_matches_table1() {
     let (a, b) = matrix_pair(m as usize, 2);
     let (a, b) = (f32s(a.as_slice()), f32s(b.as_slice()));
     let clock = wall_clock();
-    let mut sess = session::Session::builder().simulated(NetworkId::Ib40G);
-    run_matmul_bytes(&mut sess.runtime, &*clock, m, &a, &b).unwrap();
+    let mut sess = session::Session::builder()
+        .connect(Endpoint::Simulated(NetworkId::Ib40G))
+        .unwrap();
+    run_matmul_bytes(&mut *sess, &*clock, m, &a, &b).unwrap();
 
-    let trace = sess.runtime.trace().clone();
+    let trace = sess.trace().clone();
     let by_op = |op: &str| -> Vec<(u64, u64)> {
         trace
             .events
@@ -147,10 +152,10 @@ fn two_sequential_sessions_reuse_the_daemon() {
     for seed in 0..2u64 {
         let (a, b) = matrix_pair(16, seed);
         let mut rt = session::Session::builder()
-            .tcp(daemon.local_addr())
+            .connect(Endpoint::Tcp(daemon.local_addr()))
             .unwrap();
         run_matmul_bytes(
-            &mut rt,
+            &mut *rt,
             &*clock,
             16,
             &f32s(a.as_slice()),

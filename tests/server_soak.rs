@@ -23,6 +23,7 @@ use rcuda::gpu::GpuDevice;
 use rcuda::obs::{DaemonEvent, Recorder};
 use rcuda::proto::Request;
 use rcuda::server::{ChaosHook, RcudaDaemon, ServerConfig};
+use rcuda::session::Endpoint;
 use rcuda::session::Session;
 use rcuda::transport::{FaultInjector, FaultPlan, TcpTransport};
 use std::net::SocketAddr;
@@ -56,9 +57,9 @@ fn mm_input(m: u32) -> Vec<u8> {
 /// The undisturbed MM output, from an in-process channel session.
 fn baseline_output() -> Vec<u8> {
     let (a, b) = (mm_input(M), mm_input(M));
-    let mut sess = Session::builder().channel();
+    let mut sess = Session::builder().connect(Endpoint::Channel).unwrap();
     let clock = wall_clock();
-    let out = run_matmul_bytes(&mut sess.runtime, &*clock, M, &a, &b)
+    let out = run_matmul_bytes(&mut *sess, &*clock, M, &a, &b)
         .expect("baseline MM completes")
         .output;
     sess.finish();
@@ -73,10 +74,10 @@ fn well_behaved(addr: SocketAddr, baseline: &[u8]) {
     let mut rt = Session::builder()
         .deadline(DEADLINE)
         .retries(12)
-        .tcp(addr)
+        .connect(Endpoint::Tcp(addr))
         .expect("dial");
     let clock = wall_clock();
-    let out = run_matmul_bytes(&mut rt, &*clock, M, &a, &b)
+    let out = run_matmul_bytes(&mut *rt, &*clock, M, &a, &b)
         .expect("well-behaved MM completes despite the chaos around it")
         .output;
     assert_eq!(out, baseline, "soaked daemon still computes the baseline");
@@ -92,7 +93,7 @@ fn leaky(addr: SocketAddr, resumable: bool) {
     } else {
         builder
     };
-    let mut rt = match builder.tcp(addr) {
+    let mut rt = match builder.connect(Endpoint::Tcp(addr)) {
         Ok(rt) => rt,
         Err(_) => return, // shed at dial time: nothing to leak
     };
@@ -114,7 +115,7 @@ fn panicking(addr: SocketAddr) {
     let mut rt = Session::builder()
         .deadline(DEADLINE)
         .retries(12)
-        .tcp(addr)
+        .connect(Endpoint::Tcp(addr))
         .expect("dial");
     rt.initialize(&build_module(&[], 0))
         .expect("panicking client is admitted before it misbehaves");
@@ -130,7 +131,7 @@ fn greedy(addr: SocketAddr) {
     let mut rt = Session::builder()
         .deadline(DEADLINE)
         .retries(12)
-        .tcp(addr)
+        .connect(Endpoint::Tcp(addr))
         .expect("dial");
     rt.initialize(&build_module(&[], 0)).expect("admitted");
     assert_eq!(

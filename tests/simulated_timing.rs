@@ -8,15 +8,19 @@ use rcuda::core::{CaseStudy, Clock as _, SimTime};
 use rcuda::gpu::{C1060CostModel, CostModel};
 use rcuda::netsim::NetworkId;
 use rcuda::session;
+use rcuda::session::Endpoint;
 
 /// Run the MM phases at paper scale (phantom memory) over a simulated
 /// network and return the virtual-clock total.
 fn simulated_mm(net: NetworkId, m: u32) -> SimTime {
-    let mut sess = session::Session::builder().phantom(true).simulated(net);
+    let mut sess = session::Session::builder()
+        .phantom(true)
+        .connect(Endpoint::Simulated(net))
+        .unwrap();
     let bytes = vec![0u8; (m * m * 4) as usize];
-    let clock = sess.clock.clone();
-    run_matmul_bytes(&mut sess.runtime, &*clock, m, &bytes, &bytes).unwrap();
-    let total = sess.clock.now();
+    let clock = sess.clock().clone();
+    run_matmul_bytes(&mut *sess, &*clock, m, &bytes, &bytes).unwrap();
+    let total = sess.clock().now();
     sess.finish();
     total
 }
@@ -96,10 +100,13 @@ fn fft_remote_overhead_ratio_matches_paper_shape() {
     let batch = 2048u32;
     let bytes = vec![0u8; (batch * 512 * 8) as usize];
     let run = |net: NetworkId| -> f64 {
-        let mut sess = session::Session::builder().phantom(true).simulated(net);
-        let clock = sess.clock.clone();
-        run_fft_bytes(&mut sess.runtime, &*clock, batch, &bytes).unwrap();
-        let t = sess.clock.now().as_secs_f64();
+        let mut sess = session::Session::builder()
+            .phantom(true)
+            .connect(Endpoint::Simulated(net))
+            .unwrap();
+        let clock = sess.clock().clone();
+        run_fft_bytes(&mut *sess, &*clock, batch, &bytes).unwrap();
+        let t = sess.clock().now().as_secs_f64();
         sess.finish();
         t
     };

@@ -9,6 +9,7 @@ use rcuda::core::Clock as _;
 use rcuda::gpu::module::build_module;
 use rcuda::netsim::{NetworkId, Topology, TopologyNetwork};
 use rcuda::session;
+use rcuda::session::Endpoint;
 use std::sync::Arc;
 
 /// Simulated time for a chatty session (many small calls) between two
@@ -17,15 +18,16 @@ fn chatty_session_time(topo: &Topology, a: usize, b: usize) -> f64 {
     let net = Arc::new(TopologyNetwork::between(topo, a, b, NetworkId::Ib40G));
     let mut sess = session::Session::builder()
         .phantom(true)
-        .simulated_with(net);
-    sess.runtime.initialize(&build_module(&[], 0)).unwrap();
+        .connect(Endpoint::SimulatedWith(net))
+        .unwrap();
+    sess.initialize(&build_module(&[], 0)).unwrap();
     // 50 malloc/free pairs: 200 small messages.
     for _ in 0..50 {
-        let p = sess.runtime.malloc(256).unwrap();
-        sess.runtime.free(p).unwrap();
+        let p = sess.malloc(256).unwrap();
+        sess.free(p).unwrap();
     }
-    sess.runtime.finalize().unwrap();
-    let t = sess.clock.now().as_micros_f64();
+    sess.finalize().unwrap();
+    let t = sess.clock().now().as_micros_f64();
     sess.finish();
     t
 }
@@ -53,13 +55,14 @@ fn bulk_workloads_barely_notice_the_rack_boundary() {
         let net = Arc::new(TopologyNetwork::between(&topo, a, b, NetworkId::Ib40G));
         let mut sess = session::Session::builder()
             .phantom(true)
-            .simulated_with(net);
-        sess.runtime.initialize(&build_module(&[], 0)).unwrap();
-        let p = sess.runtime.malloc(64 << 20).unwrap();
-        sess.runtime.memcpy_h2d(p, &vec![0u8; 64 << 20]).unwrap();
-        sess.runtime.free(p).unwrap();
-        sess.runtime.finalize().unwrap();
-        let t = sess.clock.now().as_secs_f64();
+            .connect(Endpoint::SimulatedWith(net))
+            .unwrap();
+        sess.initialize(&build_module(&[], 0)).unwrap();
+        let p = sess.malloc(64 << 20).unwrap();
+        sess.memcpy_h2d(p, &vec![0u8; 64 << 20]).unwrap();
+        sess.free(p).unwrap();
+        sess.finalize().unwrap();
+        let t = sess.clock().now().as_secs_f64();
         sess.finish();
         t
     };

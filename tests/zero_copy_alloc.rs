@@ -21,7 +21,8 @@ use rcuda::core::{ArgPack, Dim3};
 use rcuda::gpu::module::build_module;
 use rcuda::gpu::GpuDevice;
 use rcuda::server::RcudaDaemon;
-use rcuda::transport::TcpTransport;
+use rcuda::session::{Endpoint, Session};
+use rcuda::transport::{TcpTransport, Transport};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -59,8 +60,8 @@ const MEASURED: usize = 8;
 
 /// One round trip: upload `data`, overwrite the region with `fill`, read it
 /// back into `out`. Everything here must be allocation-free at steady state.
-fn round_trip(
-    rt: &mut RemoteRuntime<TcpTransport>,
+fn round_trip<T: Transport>(
+    rt: &mut RemoteRuntime<T>,
     dev: rcuda::core::DevicePtr,
     data: &[u8],
     args: &[u8],
@@ -139,4 +140,63 @@ fn memcpy_round_trip_is_allocation_free_at_steady_state() {
         "server pool mostly missed: {:?}",
         reports[0].pool
     );
+}
+
+/// The same steady-state contract over the multiplexed transport: framing,
+/// credit flow control, and the demux engine must all ride pooled buffers.
+#[test]
+fn muxed_memcpy_round_trip_is_allocation_free_at_steady_state() {
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let mut sess = Session::builder()
+        .mux(true)
+        .connect(Endpoint::Tcp(daemon.local_addr()))
+        .unwrap();
+    sess.initialize(&build_module(&["fill"], 0)).unwrap();
+
+    // 4 KiB is a single sub-CHUNK frame; 128 KiB spans multiple 64 KiB
+    // chunks, exercising chunking and credit refresh on both directions.
+    for size in [4 * 1024usize, 128 * 1024] {
+        let n = (size / 4) as u32;
+        let dev = sess.malloc(size as u32).unwrap();
+        let data = vec![0x5au8; size];
+        let mut out = vec![0u8; size];
+        let args = ArgPack::new().push_ptr(dev).push_u32(n).push_f32(2.5);
+        let expected: Vec<u8> = 2.5f32
+            .to_le_bytes()
+            .iter()
+            .copied()
+            .cycle()
+            .take(size)
+            .collect();
+
+        for _ in 0..WARMUP {
+            round_trip(&mut sess, dev, &data, args.as_bytes(), &mut out);
+        }
+        assert_eq!(out, expected, "fill result wrong before measuring");
+
+        let before = allocations();
+        for _ in 0..MEASURED {
+            round_trip(&mut sess, dev, &data, args.as_bytes(), &mut out);
+            assert!(out == expected, "fill result wrong inside window");
+        }
+        let delta = allocations() - before;
+        assert_eq!(
+            delta, 0,
+            "steady-state muxed round trip allocated ({delta} allocations \
+             over {MEASURED} iterations at {size} bytes)"
+        );
+
+        sess.free(dev).unwrap();
+    }
+
+    sess.finalize().unwrap();
+    sess.finish();
+    assert!(daemon.wait_for_sessions(1, std::time::Duration::from_secs(5)));
+    daemon.shutdown();
+    let reports = daemon.session_reports();
+    assert_eq!(reports.len(), 1, "one sub-stream session served");
+    assert_eq!(reports[0].leaked_allocations, 0);
 }
