@@ -1,0 +1,206 @@
+//! Broker-path costs: placement decision latency and the
+//! failover-to-first-successful-call time a client pays when its daemon
+//! dies mid-session.
+//!
+//! Placement is the broker's hot path — every (re)connect in cluster mode
+//! asks the directory for an ordered candidate list — so its latency is
+//! measured pure, against an in-memory [`Directory`] at several pool
+//! sizes. Failover is measured end to end over live loopback TCP: a
+//! two-daemon pool behind a broker, the session's owner shot, and the
+//! clock runs from the kill to the first call that completes on the
+//! survivor (dial through broker + verified journal replay included).
+//!
+//! Always writes `target/BENCH_broker.json` (override with
+//! `BENCH_BROKER_OUT`): placement p50/p99 per pool size and the failover
+//! recovery-time samples.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcuda::session::{Endpoint, Session};
+use rcuda_api::CudaRuntime;
+use rcuda_broker::{Broker, BrokerBuilder, Directory, HealthPolicy, PlacementPolicy};
+use rcuda_gpu::module::build_module;
+use rcuda_obs::ObsHandle;
+use rcuda_proto::broker::Heartbeat;
+use rcuda_server::RcudaDaemon;
+use serde_json::json;
+use std::time::{Duration, Instant};
+
+/// Placement timing samples per pool size.
+const PLACE_ITERS: usize = 2000;
+/// End-to-end failover repetitions (each builds a fresh cluster).
+const FAILOVER_ITERS: usize = 3;
+
+fn pct_us(samples: &mut [f64], q: f64) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((samples.len() as f64 * q).ceil() as usize).max(1) - 1;
+    samples[idx]
+}
+
+/// A directory with `n` heartbeating daemons, loads staggered so the
+/// sort actually works.
+fn populated_directory(n: usize) -> Directory {
+    let mut dir = Directory::new(
+        PlacementPolicy::LeastLoaded,
+        HealthPolicy::default(),
+        ObsHandle::none(),
+    );
+    let t = Instant::now();
+    for i in 0..n {
+        let id = dir.register(&format!("10.0.0.{i}:8000"), 4 << 30, t);
+        dir.heartbeat(
+            id,
+            &Heartbeat {
+                live_sessions: (i % 7) as u32,
+                parked: 0,
+                free_bytes: (4u64 << 30) - (i as u64) * (64 << 20),
+                served: i as u64,
+                draining: false,
+                sessions: vec![i as u64 + 1000],
+            },
+            t,
+        );
+    }
+    dir
+}
+
+/// Microseconds per placement decision at pool size `n`.
+fn placement_samples(n: usize) -> Vec<f64> {
+    let mut dir = populated_directory(n);
+    (0..PLACE_ITERS)
+        .map(|i| {
+            let t0 = Instant::now();
+            let addrs = dir.place(i as u64);
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            assert_eq!(addrs.len(), n);
+            us
+        })
+        .collect()
+}
+
+fn fast_broker() -> Broker {
+    BrokerBuilder::new()
+        .health(HealthPolicy {
+            suspect_after: Duration::from_millis(100),
+            down_after: Duration::from_millis(300),
+            recover_heartbeats: 2,
+        })
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap()
+}
+
+fn daemon(broker: &Broker) -> RcudaDaemon {
+    RcudaDaemon::builder()
+        .broker(broker.addr())
+        .broker_heartbeat_interval(Duration::from_millis(20))
+        .bind("127.0.0.1:0")
+        .unwrap()
+}
+
+/// Seconds from daemon kill to the first call that completes on the
+/// survivor.
+fn failover_recovery_secs() -> f64 {
+    let broker = fast_broker();
+    let mut daemons = vec![daemon(&broker), daemon(&broker)];
+    assert!(broker.wait_for_daemons(2, Duration::from_secs(5)));
+
+    let mut sess = Session::builder()
+        .deadline(Duration::from_secs(2))
+        .retries(3)
+        .connect(Endpoint::Broker(broker.addr()))
+        .unwrap();
+    sess.initialize(&build_module(&[], 0)).unwrap();
+    let p = sess.malloc(4096).unwrap();
+    sess.memcpy_h2d(p, &[0x42u8; 4096]).unwrap();
+    let token = sess.session_token().expect("broker session has a token");
+
+    // Find the owner and shoot it.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let owner = loop {
+        if let Some(i) = (0..daemons.len()).find(|&i| daemons[i].session_tokens().contains(&token))
+        {
+            break i;
+        }
+        assert!(Instant::now() < deadline, "no daemon reported the session");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let mut dead = daemons.remove(owner);
+    let t0 = Instant::now();
+    dead.shutdown();
+    drop(dead);
+
+    // First successful call after the kill: the client sees the broken
+    // connection, re-places through the broker, and replays its journal.
+    let bytes = sess
+        .memcpy_d2h(p, 4096)
+        .expect("failover must recover the session");
+    let recovered = t0.elapsed().as_secs_f64();
+    assert_eq!(bytes, vec![0x42u8; 4096], "replayed state is bit-identical");
+
+    sess.free(p).unwrap();
+    sess.finalize().unwrap();
+    sess.finish();
+    for mut d in daemons {
+        d.shutdown();
+    }
+    recovered
+}
+
+fn write_artifact() {
+    let mut placement = Vec::new();
+    for n in [3usize, 16, 64] {
+        let mut samples = placement_samples(n);
+        let p50 = pct_us(&mut samples, 0.50);
+        let p99 = pct_us(&mut samples, 0.99);
+        println!("  placement over {n:>2} daemons: p50 {p50:.1} µs, p99 {p99:.1} µs");
+        placement.push((n.to_string(), json!({ "p50_us": p50, "p99_us": p99 })));
+    }
+    let placement = serde_json::Value::Map(placement);
+
+    let recoveries: Vec<f64> = (0..FAILOVER_ITERS)
+        .map(|_| failover_recovery_secs())
+        .collect();
+    let worst = recoveries.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "  failover to first successful call: {:?} (worst {worst:.3} s)",
+        recoveries
+            .iter()
+            .map(|s| format!("{s:.3}s"))
+            .collect::<Vec<_>>()
+    );
+
+    let artifact = json!({
+        "bench": "broker",
+        "transport": "loopback-tcp",
+        "placement_iters": PLACE_ITERS,
+        "placement_us": placement,
+        "failover_recovery_s": recoveries,
+        "failover_worst_s": worst,
+    });
+    let path = std::env::var("BENCH_BROKER_OUT").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_broker.json"
+        )
+        .to_string()
+    });
+    std::fs::write(&path, serde_json::to_string_pretty(&artifact).unwrap()).unwrap();
+    println!("  wrote {path}");
+}
+
+fn bench_broker(c: &mut Criterion) {
+    write_artifact();
+
+    let mut g = c.benchmark_group("broker");
+    let mut dir = populated_directory(16);
+    let mut i = 0u64;
+    g.bench_function("place/16_daemons", |b| {
+        b.iter(|| {
+            i += 1;
+            dir.place(i)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_broker);
+criterion_main!(benches);

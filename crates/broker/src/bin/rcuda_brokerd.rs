@@ -1,0 +1,121 @@
+//! `rcuda-brokerd` — the cluster broker as a standalone binary.
+//!
+//! ```text
+//! rcuda-brokerd [--listen ADDR] [--policy least-loaded|memory-fit|spread]
+//!               [--suspect-ms N] [--down-ms N] [--auth TOKEN]
+//! ```
+//!
+//! * `--listen` — bind address (default `127.0.0.1:8300`; port 0 picks an
+//!   ephemeral port, printed at startup).
+//! * `--policy` — placement policy for fresh sessions (default
+//!   least-loaded).
+//! * `--suspect-ms` / `--down-ms` — heartbeat-silence thresholds for the
+//!   Alive→Suspect→Down health transitions (defaults from
+//!   [`HealthPolicy::default`]).
+//! * `--auth TOKEN` — require daemons and clients to authenticate the
+//!   control link with this token (challenge-response; the token never
+//!   crosses the wire).
+//!
+//! Point daemons at it with `rcudad --broker ADDR` and clients with
+//! `Endpoint::Broker(addr)`. The broker prints membership transitions as
+//! they happen.
+
+use rcuda_broker::{BrokerBuilder, DaemonState, HealthPolicy, PlacementPolicy};
+use std::time::Duration;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("rcuda-brokerd: {msg}");
+    eprintln!(
+        "usage: rcuda-brokerd [--listen ADDR] \
+         [--policy least-loaded|memory-fit|spread] \
+         [--suspect-ms N] [--down-ms N] [--auth TOKEN]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:8300".to_string();
+    let mut policy = PlacementPolicy::LeastLoaded;
+    let mut health = HealthPolicy::default();
+    let mut auth: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => {
+                listen = args
+                    .next()
+                    .unwrap_or_else(|| usage("--listen needs an address"));
+            }
+            "--policy" => match args.next().as_deref() {
+                Some("least-loaded") => policy = PlacementPolicy::LeastLoaded,
+                Some("memory-fit") => policy = PlacementPolicy::MemoryFit,
+                Some("spread") => policy = PlacementPolicy::Spread,
+                _ => usage("--policy is least-loaded, memory-fit or spread"),
+            },
+            "--suspect-ms" => {
+                health.suspect_after = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .map(Duration::from_millis)
+                    .unwrap_or_else(|| usage("--suspect-ms needs milliseconds"));
+            }
+            "--down-ms" => {
+                health.down_after = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .map(Duration::from_millis)
+                    .unwrap_or_else(|| usage("--down-ms needs milliseconds"));
+            }
+            "--auth" => {
+                auth = Some(args.next().unwrap_or_else(|| usage("--auth needs a token")));
+            }
+            "--help" | "-h" => usage("help"),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let addr = match listen.parse() {
+        Ok(a) => a,
+        Err(e) => usage(&format!("cannot parse --listen {listen}: {e}")),
+    };
+    let mut builder = BrokerBuilder::new().policy(policy).health(health);
+    if let Some(token) = auth {
+        builder = builder.auth_token(token);
+    }
+    let broker = match builder.bind(addr) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("rcuda-brokerd: cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "rcuda-brokerd: directory on {} ({:?} placement, suspect {:?}, down {:?})",
+        broker.addr(),
+        policy,
+        health.suspect_after,
+        health.down_after,
+    );
+
+    // Membership report loop: print transitions as the directory sees them.
+    let mut last: Vec<(u64, String, DaemonState)> = Vec::new();
+    loop {
+        std::thread::sleep(Duration::from_millis(500));
+        let now: Vec<(u64, String, DaemonState)> = broker
+            .daemons()
+            .into_iter()
+            .map(|d| (d.id, d.addr, d.state))
+            .collect();
+        for (id, addr, state) in &now {
+            match last.iter().find(|(i, _, _)| i == id) {
+                None => println!("rcuda-brokerd: daemon {id} at {addr} joined ({state:?})"),
+                Some((_, _, prev)) if prev != state => {
+                    println!("rcuda-brokerd: daemon {id} at {addr} {prev:?} -> {state:?}")
+                }
+                _ => {}
+            }
+        }
+        last = now;
+    }
+}

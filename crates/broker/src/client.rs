@@ -1,0 +1,127 @@
+//! Client-side broker connections: the shared authentication dial, the
+//! placement client used by CUDA clients, and the registration link used by
+//! daemons.
+//!
+//! Both roles speak the same opening sequence — the broker pushes an 8-byte
+//! server hello, then the peer proves possession of the shared token with
+//! the PR-8 challenge-response handshake ([`rcuda_proto::mux`]) — before
+//! declaring a role with [`BrokerHello`]. The handshake is reused for
+//! authentication only: broker conversations are short control messages, so
+//! the connection stays a plain byte stream (no mux framing, no cipher).
+
+use rcuda_core::CudaError;
+use rcuda_proto::broker::{
+    BrokerCommand, BrokerHello, Heartbeat, HeartbeatReply, PlaceReply, PlaceRequest,
+};
+use rcuda_proto::handshake::ServerHello;
+use rcuda_proto::mux::{read_mux_accept, MuxAuth, MuxChallenge, MuxHello, MUX_VERSION};
+use rcuda_proto::secure::{auth_proof, random_nonce};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Dial the broker and complete the authentication handshake. With no
+/// token both ends MAC under the empty key — same convention as the
+/// daemons' trunk handshake.
+pub fn connect_authed(addr: SocketAddr, token: Option<&[u8]>) -> io::Result<TcpStream> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut hello = [0u8; 8];
+    stream.read_exact(&mut hello)?;
+    if let ServerHello::Busy { .. } = ServerHello::from_wire(hello) {
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            "broker is shedding connections",
+        ));
+    }
+    let client_nonce = random_nonce();
+    MuxHello {
+        version: MUX_VERSION,
+        flags: 0,
+        client_nonce,
+    }
+    .write(&mut stream)?;
+    stream.flush()?;
+    let challenge = MuxChallenge::read(&mut stream)?;
+    MuxAuth {
+        mac: auth_proof(token.unwrap_or(&[]), &client_nonce, &challenge.server_nonce),
+    }
+    .write(&mut stream)?;
+    stream.flush()?;
+    let code = read_mux_accept(&mut stream)?;
+    if let Err(e) = CudaError::from_code(code) {
+        return Err(io::Error::new(io::ErrorKind::PermissionDenied, e.name()));
+    }
+    Ok(stream)
+}
+
+/// A CUDA client's connection to the broker: ask where sessions should run.
+#[derive(Debug)]
+pub struct BrokerClient {
+    stream: TcpStream,
+}
+
+impl BrokerClient {
+    /// Connect, authenticate, and announce the client role.
+    pub fn connect(addr: SocketAddr, token: Option<&[u8]>) -> io::Result<BrokerClient> {
+        let mut stream = connect_authed(addr, token)?;
+        BrokerHello::Client.write(&mut stream)?;
+        stream.flush()?;
+        Ok(BrokerClient { stream })
+    }
+
+    /// Bound how long one placement round trip may take (placement rides
+    /// the client's reconnect path, which must never hang).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// Where should `session` run? `0` asks for a fresh placement. Returns
+    /// candidate daemon addresses, best first (empty: nothing placeable).
+    pub fn place(&mut self, session: u64) -> io::Result<Vec<String>> {
+        PlaceRequest { session }.write(&mut self.stream)?;
+        self.stream.flush()?;
+        Ok(PlaceReply::read(&mut self.stream)?.addrs)
+    }
+}
+
+/// A daemon's registration link to the broker: announce once, then
+/// heartbeat; each heartbeat reply may carry migration orders.
+#[derive(Debug)]
+pub struct DaemonLink {
+    stream: TcpStream,
+}
+
+impl DaemonLink {
+    /// Connect, authenticate, and register `daemon_addr` (the address
+    /// clients dial) with its device-memory capacity.
+    pub fn connect(
+        broker: SocketAddr,
+        token: Option<&[u8]>,
+        daemon_addr: &str,
+        capacity: u64,
+    ) -> io::Result<DaemonLink> {
+        let mut stream = connect_authed(broker, token)?;
+        BrokerHello::Daemon {
+            addr: daemon_addr.to_string(),
+            capacity,
+        }
+        .write(&mut stream)?;
+        stream.flush()?;
+        Ok(DaemonLink { stream })
+    }
+
+    /// Send one heartbeat and collect any commands the broker queued.
+    pub fn heartbeat(&mut self, hb: &Heartbeat) -> io::Result<Vec<BrokerCommand>> {
+        hb.write(&mut self.stream)?;
+        self.stream.flush()?;
+        Ok(HeartbeatReply::read(&mut self.stream)?.commands)
+    }
+
+    /// Bound how long a heartbeat round trip may block.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+}

@@ -1,0 +1,534 @@
+//! The broker's membership directory — pure state, no I/O.
+//!
+//! Every mutation takes an explicit `now: Instant` so tests drive the
+//! health state machine deterministically. The network layer
+//! ([`crate::broker`]) holds one [`Directory`] behind a mutex and calls in
+//! from its per-connection threads and its sweeper.
+//!
+//! ## Health state machine
+//!
+//! ```text
+//!            heartbeat                        heartbeat × recover_heartbeats
+//!   ┌─────┐ ─────────► stays Alive   ┌─────────┐ ───────────────────► Alive
+//!   │Alive│                          │ Suspect │
+//!   └─────┘ ── no heartbeat for ───► └─────────┘ ── no heartbeat for ──► Down
+//!              suspect_after                         down_after (from last
+//!                                                    heartbeat) or trunk EOF
+//! ```
+//!
+//! `Down` daemons keep their session lists (those sessions are the orphans
+//! failover re-places) but never appear in a placement reply. A heartbeat
+//! from a `Down` daemon re-admits it — the daemon restarted or the
+//! partition healed.
+
+use rcuda_obs::{BrokerEvent, ObsHandle};
+use rcuda_proto::broker::{BrokerCommand, Heartbeat};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Where a daemon sits in the health state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DaemonState {
+    /// Heartbeating on schedule; eligible for placement.
+    Alive,
+    /// Missed heartbeats; still owns its sessions but receives no new ones.
+    Suspect,
+    /// Declared dead: heartbeat timeout expired or its trunk closed. Its
+    /// sessions are orphans awaiting failover.
+    Down,
+}
+
+/// Hysteresis knobs for the suspect → down transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Silence longer than this marks a daemon suspect.
+    pub suspect_after: Duration,
+    /// Silence longer than this (from the last heartbeat, not from
+    /// suspicion) declares it down.
+    pub down_after: Duration,
+    /// Consecutive heartbeats a suspect daemon must land to be trusted
+    /// alive again — one lucky packet does not clear a flapping daemon.
+    pub recover_heartbeats: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            suspect_after: Duration::from_millis(250),
+            down_after: Duration::from_millis(1000),
+            recover_heartbeats: 2,
+        }
+    }
+}
+
+/// How the broker orders live daemons when answering a placement request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Fewest live sessions first (ties broken by free bytes, then id).
+    #[default]
+    LeastLoaded,
+    /// Most free device memory first — for memory-bound tenant mixes.
+    MemoryFit,
+    /// Fewest broker-recorded placements first — spreads sessions evenly
+    /// regardless of how quickly they finish.
+    Spread,
+}
+
+/// One registered daemon as the broker sees it.
+#[derive(Debug, Clone)]
+pub struct DaemonEntry {
+    /// Directory-assigned id (stable for the registration's lifetime).
+    pub id: u64,
+    /// The address clients dial.
+    pub addr: String,
+    /// Device memory capacity announced at registration.
+    pub capacity: u64,
+    /// Headroom from the latest heartbeat.
+    pub free_bytes: u64,
+    /// Live sessions from the latest heartbeat.
+    pub live_sessions: u32,
+    /// Parked contexts from the latest heartbeat.
+    pub parked: u32,
+    /// Lifetime sessions served, from the latest heartbeat.
+    pub served: u64,
+    /// The daemon asked for no new placements.
+    pub draining: bool,
+    pub state: DaemonState,
+    /// Resume tokens the daemon reported holding.
+    pub sessions: HashSet<u64>,
+    /// Placements this directory has handed out to the daemon (drives the
+    /// `Spread` policy).
+    pub placements: u64,
+    last_heartbeat: Instant,
+    consecutive_ok: u32,
+}
+
+impl DaemonEntry {
+    /// Eligible to receive new sessions.
+    fn placeable(&self) -> bool {
+        self.state == DaemonState::Alive && !self.draining
+    }
+}
+
+/// The membership directory: registration, heartbeats, health sweeps,
+/// placement and migration orders.
+pub struct Directory {
+    daemons: HashMap<u64, DaemonEntry>,
+    /// Commands awaiting pickup by each daemon's next heartbeat reply.
+    pending: HashMap<u64, Vec<BrokerCommand>>,
+    next_id: u64,
+    policy: PlacementPolicy,
+    health: HealthPolicy,
+    obs: ObsHandle,
+}
+
+impl Directory {
+    pub fn new(policy: PlacementPolicy, health: HealthPolicy, obs: ObsHandle) -> Directory {
+        Directory {
+            daemons: HashMap::new(),
+            pending: HashMap::new(),
+            next_id: 1,
+            policy,
+            health,
+            obs,
+        }
+    }
+
+    /// Register a daemon; returns its directory id. Re-registration at the
+    /// same address replaces the old entry (the daemon restarted), keeping
+    /// its id so observers see a stable identity.
+    pub fn register(&mut self, addr: &str, capacity: u64, now: Instant) -> u64 {
+        let id = self
+            .daemons
+            .values()
+            .find(|d| d.addr == addr)
+            .map(|d| d.id)
+            .unwrap_or_else(|| {
+                let id = self.next_id;
+                self.next_id += 1;
+                id
+            });
+        self.daemons.insert(
+            id,
+            DaemonEntry {
+                id,
+                addr: addr.to_string(),
+                capacity,
+                free_bytes: capacity,
+                live_sessions: 0,
+                parked: 0,
+                served: 0,
+                draining: false,
+                state: DaemonState::Alive,
+                sessions: HashSet::new(),
+                placements: 0,
+                last_heartbeat: now,
+                consecutive_ok: 0,
+            },
+        );
+        self.obs
+            .emit_broker(BrokerEvent::DaemonJoined { daemon: id });
+        id
+    }
+
+    /// Fold one heartbeat in and drain any commands queued for the daemon.
+    pub fn heartbeat(&mut self, id: u64, hb: &Heartbeat, now: Instant) -> Vec<BrokerCommand> {
+        let Some(d) = self.daemons.get_mut(&id) else {
+            return Vec::new();
+        };
+        d.free_bytes = hb.free_bytes;
+        d.live_sessions = hb.live_sessions;
+        d.parked = hb.parked;
+        d.served = hb.served;
+        d.draining = hb.draining;
+        d.sessions = hb.sessions.iter().copied().collect();
+        d.last_heartbeat = now;
+        match d.state {
+            DaemonState::Alive => {}
+            DaemonState::Suspect => {
+                d.consecutive_ok += 1;
+                if d.consecutive_ok >= self.health.recover_heartbeats {
+                    d.state = DaemonState::Alive;
+                    d.consecutive_ok = 0;
+                    self.obs
+                        .emit_broker(BrokerEvent::DaemonRecovered { daemon: id });
+                }
+            }
+            DaemonState::Down => {
+                // The daemon (or the network to it) came back: re-admit.
+                d.state = DaemonState::Alive;
+                d.consecutive_ok = 0;
+                self.obs
+                    .emit_broker(BrokerEvent::DaemonJoined { daemon: id });
+            }
+        }
+        self.pending.remove(&id).unwrap_or_default()
+    }
+
+    /// Advance the health state machine: daemons silent past the policy's
+    /// thresholds transition Alive → Suspect → Down. Returns the ids that
+    /// went down this sweep (their sessions are now orphans).
+    pub fn sweep(&mut self, now: Instant) -> Vec<u64> {
+        let mut downed = Vec::new();
+        for d in self.daemons.values_mut() {
+            let silent = now.saturating_duration_since(d.last_heartbeat);
+            match d.state {
+                DaemonState::Alive if silent > self.health.suspect_after => {
+                    d.state = DaemonState::Suspect;
+                    d.consecutive_ok = 0;
+                    self.obs
+                        .emit_broker(BrokerEvent::DaemonSuspect { daemon: d.id });
+                }
+                _ => {}
+            }
+            if d.state != DaemonState::Down && silent > self.health.down_after {
+                d.state = DaemonState::Down;
+                self.obs.emit_broker(BrokerEvent::DaemonDown {
+                    daemon: d.id,
+                    orphaned_sessions: d.sessions.len() as u64,
+                });
+                downed.push(d.id);
+            }
+        }
+        downed
+    }
+
+    /// Declare a daemon dead immediately — its registration trunk closed,
+    /// which is stronger evidence than any heartbeat timer.
+    pub fn mark_dead(&mut self, id: u64) {
+        if let Some(d) = self.daemons.get_mut(&id) {
+            if d.state != DaemonState::Down {
+                d.state = DaemonState::Down;
+                self.obs.emit_broker(BrokerEvent::DaemonDown {
+                    daemon: id,
+                    orphaned_sessions: d.sessions.len() as u64,
+                });
+            }
+        }
+    }
+
+    /// Answer a placement request: candidate addresses, best first.
+    ///
+    /// If `session` is a known resume token, the daemon holding it leads
+    /// the list (when it is still placeable) so a reconnect finds its
+    /// parked context; the remaining candidates are ordered by the
+    /// configured policy and serve as failover targets.
+    pub fn place(&mut self, session: u64) -> Vec<String> {
+        let mut candidates: Vec<&DaemonEntry> =
+            self.daemons.values().filter(|d| d.placeable()).collect();
+        match self.policy {
+            PlacementPolicy::LeastLoaded => {
+                candidates.sort_by_key(|d| (d.live_sessions, std::cmp::Reverse(d.free_bytes), d.id))
+            }
+            PlacementPolicy::MemoryFit => {
+                candidates.sort_by_key(|d| (std::cmp::Reverse(d.free_bytes), d.id))
+            }
+            PlacementPolicy::Spread => {
+                candidates.sort_by_key(|d| (d.placements, d.id));
+            }
+        }
+        let mut addrs: Vec<String> = candidates.iter().map(|d| d.addr.clone()).collect();
+        let owner = (session != 0)
+            .then(|| {
+                self.daemons
+                    .values()
+                    .find(|d| d.placeable() && d.sessions.contains(&session))
+                    .map(|d| d.addr.clone())
+            })
+            .flatten();
+        if let Some(owner) = owner {
+            addrs.retain(|a| *a != owner);
+            addrs.insert(0, owner);
+        }
+        match addrs.first() {
+            Some(first) => {
+                let chosen = self
+                    .daemons
+                    .values_mut()
+                    .find(|d| d.addr == *first)
+                    .expect("placement candidate came from the directory");
+                chosen.placements += 1;
+                let id = chosen.id;
+                self.obs.emit_broker(BrokerEvent::Placed {
+                    daemon: id,
+                    candidates: addrs.len() as u32,
+                });
+            }
+            None => self.obs.emit_broker(BrokerEvent::PlacementFailed),
+        }
+        addrs
+    }
+
+    /// Queue a migration order: the daemon holding `session` is told, on
+    /// its next heartbeat, to ship the session to `target_addr`. Errors if
+    /// no placeable daemon holds the session or the target is unknown.
+    pub fn order_migration(&mut self, session: u64, target_addr: &str) -> Result<(), &'static str> {
+        let to = self
+            .daemons
+            .values()
+            .find(|d| d.addr == target_addr && d.placeable())
+            .map(|d| d.id)
+            .ok_or("migration target is not a placeable daemon")?;
+        let from = self
+            .daemons
+            .values()
+            .find(|d| d.state != DaemonState::Down && d.sessions.contains(&session))
+            .map(|d| d.id)
+            .ok_or("no live daemon holds that session")?;
+        if from == to {
+            return Err("session already lives on the target daemon");
+        }
+        self.pending
+            .entry(from)
+            .or_default()
+            .push(BrokerCommand::MigrateOut {
+                session,
+                target: target_addr.to_string(),
+            });
+        self.obs
+            .emit_broker(BrokerEvent::MigrationOrdered { session, from, to });
+        Ok(())
+    }
+
+    /// Snapshot of every entry, id-ordered (for tests and operators).
+    pub fn daemons(&self) -> Vec<DaemonEntry> {
+        let mut out: Vec<DaemonEntry> = self.daemons.values().cloned().collect();
+        out.sort_by_key(|d| d.id);
+        out
+    }
+
+    /// The entry for one daemon, if registered.
+    pub fn daemon(&self, id: u64) -> Option<&DaemonEntry> {
+        self.daemons.get(&id)
+    }
+
+    /// Orphaned sessions: tokens whose daemon is `Down`.
+    pub fn orphaned_sessions(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .daemons
+            .values()
+            .filter(|d| d.state == DaemonState::Down)
+            .flat_map(|d| d.sessions.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hb(live: u32, free: u64, sessions: &[u64]) -> Heartbeat {
+        Heartbeat {
+            live_sessions: live,
+            parked: 0,
+            free_bytes: free,
+            served: 0,
+            draining: false,
+            sessions: sessions.to_vec(),
+        }
+    }
+
+    fn dir(policy: PlacementPolicy) -> Directory {
+        Directory::new(policy, HealthPolicy::default(), ObsHandle::none())
+    }
+
+    #[test]
+    fn least_loaded_orders_by_live_sessions() {
+        let mut d = dir(PlacementPolicy::LeastLoaded);
+        let t = Instant::now();
+        let a = d.register("a:1", 100, t);
+        let b = d.register("b:2", 100, t);
+        let c = d.register("c:3", 100, t);
+        d.heartbeat(a, &hb(5, 50, &[]), t);
+        d.heartbeat(b, &hb(1, 10, &[]), t);
+        d.heartbeat(c, &hb(3, 90, &[]), t);
+        assert_eq!(d.place(0), vec!["b:2", "c:3", "a:1"]);
+    }
+
+    #[test]
+    fn memory_fit_orders_by_headroom() {
+        let mut d = dir(PlacementPolicy::MemoryFit);
+        let t = Instant::now();
+        let a = d.register("a:1", 100, t);
+        let b = d.register("b:2", 100, t);
+        d.heartbeat(a, &hb(0, 10, &[]), t);
+        d.heartbeat(b, &hb(9, 90, &[]), t);
+        assert_eq!(d.place(0), vec!["b:2", "a:1"]);
+    }
+
+    #[test]
+    fn spread_rotates_across_daemons() {
+        let mut d = dir(PlacementPolicy::Spread);
+        let t = Instant::now();
+        d.register("a:1", 100, t);
+        d.register("b:2", 100, t);
+        d.register("c:3", 100, t);
+        let firsts: Vec<String> = (0..6).map(|_| d.place(0).remove(0)).collect();
+        // Each daemon leads twice over six placements.
+        for addr in ["a:1", "b:2", "c:3"] {
+            assert_eq!(
+                firsts.iter().filter(|a| *a == addr).count(),
+                2,
+                "{firsts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_owner_leads_the_candidate_list() {
+        let mut d = dir(PlacementPolicy::LeastLoaded);
+        let t = Instant::now();
+        let a = d.register("a:1", 100, t);
+        let b = d.register("b:2", 100, t);
+        d.heartbeat(a, &hb(9, 1, &[77]), t); // busiest, but owns session 77
+        d.heartbeat(b, &hb(0, 99, &[]), t);
+        assert_eq!(d.place(77), vec!["a:1", "b:2"]);
+        // Unknown session falls back to pure policy order.
+        assert_eq!(d.place(78), vec!["b:2", "a:1"]);
+    }
+
+    #[test]
+    fn health_hysteresis_marks_suspect_then_down_then_recovers() {
+        let health = HealthPolicy {
+            suspect_after: Duration::from_millis(100),
+            down_after: Duration::from_millis(300),
+            recover_heartbeats: 2,
+        };
+        let mut d = Directory::new(PlacementPolicy::LeastLoaded, health, ObsHandle::none());
+        let t0 = Instant::now();
+        let id = d.register("a:1", 100, t0);
+
+        // Silent past suspect_after: suspect, excluded from placement.
+        assert!(d.sweep(t0 + Duration::from_millis(150)).is_empty());
+        assert_eq!(d.daemon(id).unwrap().state, DaemonState::Suspect);
+        assert!(d.place(0).is_empty());
+
+        // One heartbeat is not enough to recover (hysteresis)…
+        d.heartbeat(id, &hb(0, 1, &[]), t0 + Duration::from_millis(160));
+        assert_eq!(d.daemon(id).unwrap().state, DaemonState::Suspect);
+        // …the second consecutive one is.
+        d.heartbeat(id, &hb(0, 1, &[]), t0 + Duration::from_millis(170));
+        assert_eq!(d.daemon(id).unwrap().state, DaemonState::Alive);
+
+        // Silence past down_after declares it down and orphans its sessions.
+        d.heartbeat(id, &hb(2, 1, &[5, 6]), t0 + Duration::from_millis(200));
+        let downed = d.sweep(t0 + Duration::from_millis(600));
+        assert_eq!(downed, vec![id]);
+        assert_eq!(d.daemon(id).unwrap().state, DaemonState::Down);
+        assert_eq!(d.orphaned_sessions(), vec![5, 6]);
+
+        // A heartbeat from a down daemon re-admits it.
+        d.heartbeat(id, &hb(0, 1, &[]), t0 + Duration::from_millis(700));
+        assert_eq!(d.daemon(id).unwrap().state, DaemonState::Alive);
+        assert!(d.orphaned_sessions().is_empty());
+    }
+
+    #[test]
+    fn trunk_death_skips_the_timers() {
+        let mut d = dir(PlacementPolicy::LeastLoaded);
+        let t = Instant::now();
+        let id = d.register("a:1", 100, t);
+        d.heartbeat(id, &hb(1, 1, &[9]), t);
+        d.mark_dead(id);
+        assert_eq!(d.daemon(id).unwrap().state, DaemonState::Down);
+        assert_eq!(d.orphaned_sessions(), vec![9]);
+        assert!(d.place(0).is_empty());
+    }
+
+    #[test]
+    fn draining_daemons_receive_no_placements() {
+        let mut d = dir(PlacementPolicy::LeastLoaded);
+        let t = Instant::now();
+        let a = d.register("a:1", 100, t);
+        let b = d.register("b:2", 100, t);
+        let mut draining = hb(0, 100, &[]);
+        draining.draining = true;
+        d.heartbeat(a, &draining, t);
+        d.heartbeat(b, &hb(5, 1, &[]), t);
+        assert_eq!(d.place(0), vec!["b:2"]);
+    }
+
+    #[test]
+    fn migration_orders_ride_the_next_heartbeat() {
+        let mut d = dir(PlacementPolicy::LeastLoaded);
+        let t = Instant::now();
+        let a = d.register("a:1", 100, t);
+        let _b = d.register("b:2", 100, t);
+        d.heartbeat(a, &hb(1, 1, &[42]), t);
+        d.order_migration(42, "b:2").unwrap();
+        // The command drains with daemon a's next heartbeat, exactly once.
+        let cmds = d.heartbeat(a, &hb(1, 1, &[42]), t);
+        assert_eq!(
+            cmds,
+            vec![BrokerCommand::MigrateOut {
+                session: 42,
+                target: "b:2".into()
+            }]
+        );
+        assert!(d.heartbeat(a, &hb(1, 1, &[42]), t).is_empty());
+
+        // Bad orders are rejected, not silently dropped.
+        assert!(d.order_migration(42, "nowhere:1").is_err());
+        assert!(d.order_migration(999, "b:2").is_err());
+        d.heartbeat(a, &hb(1, 1, &[43]), t);
+        assert!(
+            d.order_migration(43, "a:1").is_err(),
+            "no self-migration orders"
+        );
+    }
+
+    #[test]
+    fn reregistration_keeps_the_daemon_id() {
+        let mut d = dir(PlacementPolicy::LeastLoaded);
+        let t = Instant::now();
+        let id = d.register("a:1", 100, t);
+        d.mark_dead(id);
+        let id2 = d.register("a:1", 200, t + Duration::from_millis(10));
+        assert_eq!(id, id2);
+        assert_eq!(d.daemon(id).unwrap().state, DaemonState::Alive);
+        assert_eq!(d.daemon(id).unwrap().capacity, 200);
+    }
+}

@@ -13,11 +13,12 @@
 //! two different networks" (§I).
 
 pub mod error;
+pub(crate) mod failover;
 pub mod retry;
 pub mod runtime;
 pub mod trace;
 
 pub use error::transport_error;
 pub use retry::{batch_is_idempotent, is_idempotent, RetryPolicy};
-pub use runtime::RemoteRuntime;
+pub use runtime::{fresh_session_token, RemoteRuntime};
 pub use trace::{CallEvent, Trace};

@@ -50,6 +50,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::error::transport_error;
+use crate::failover::{Expect, FailoverJournal};
 use crate::retry::{batch_is_idempotent, is_idempotent, RetryPolicy};
 use crate::trace::{CallEvent, Trace};
 
@@ -58,7 +59,11 @@ use crate::trace::{CallEvent, Trace};
 /// a shared daemon).
 static SESSION_COUNTER: AtomicU64 = AtomicU64::new(1);
 
-fn next_session_token() -> u64 {
+/// Allocate a fresh session token — public so a connection layer that
+/// needs the token *before* `initialize` (e.g. to ask a broker where the
+/// session should run) can mint one and announce it with
+/// [`RemoteRuntime::set_session_token`].
+pub fn fresh_session_token() -> u64 {
     ((std::process::id() as u64) << 32) ^ SESSION_COUNTER.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -93,8 +98,15 @@ pub struct RemoteRuntime<T: Transport> {
     /// Transport-fault replays across all calls.
     retries_total: u64,
     /// Retry hint from the server's last `Busy` rejection, consumed by the
-    /// initialization retry loop (it backs off at least this long).
+    /// next backoff (which honors it as a jittered floor).
     busy_retry_hint: Option<Duration>,
+    /// Replay journal for daemon-failure failover; `None` (the default)
+    /// keeps recovery resume-only.
+    journal: Option<FailoverJournal>,
+    /// Xorshift state for the `Busy`-hint jitter. Re-seeded from the
+    /// session token, so backoff schedules are deterministic per session
+    /// yet decorrelated across a fleet of shed clients.
+    jitter_rng: u64,
     /// Payload-buffer pool: deferred H2D bodies and launch name regions are
     /// staged in recycled buffers, so the pipelined steady state allocates
     /// nothing per call.
@@ -121,6 +133,8 @@ impl<T: Transport> RemoteRuntime<T> {
             batched_calls: 0,
             retries_total: 0,
             busy_retry_hint: None,
+            journal: None,
+            jitter_rng: 0x9E37_79B9_7F4A_7C15,
             pool: BufferPool::new(),
         }
     }
@@ -224,6 +238,36 @@ impl<T: Transport> RemoteRuntime<T> {
         self.session_token
     }
 
+    /// Announce a pre-allocated session token (see [`fresh_session_token`]).
+    /// Must be called before [`CudaRuntime::initialize`]; with retries
+    /// enabled and no explicit token, `initialize` mints its own.
+    pub fn set_session_token(&mut self, token: u64) {
+        self.session_token = Some(token);
+    }
+
+    /// Arm (`Some(cap_bytes)`) or disarm (`None`) the failover replay
+    /// journal. With a journal armed, a rejected session resume — the
+    /// signature of the daemon holding the session having died — triggers
+    /// a verified replay of the session's state-mutating prefix on
+    /// whichever daemon the reconnect reached, instead of failing. The
+    /// journal disarms itself permanently once its weight exceeds
+    /// `cap_bytes` (H2D payloads dominate). Set before `initialize`.
+    pub fn set_failover(&mut self, cap_bytes: Option<u64>) {
+        self.journal = cap_bytes.map(FailoverJournal::new);
+    }
+
+    /// Whether the failover journal is armed and able to replay.
+    pub fn failover_armed(&self) -> bool {
+        self.journal.as_ref().is_some_and(|j| j.armed())
+    }
+
+    /// Journaled calls and their weight in bytes (`(0, 0)` when disarmed).
+    pub fn failover_journal_stats(&self) -> (usize, u64) {
+        self.journal
+            .as_ref()
+            .map_or((0, 0), |j| (j.len(), j.bytes()))
+    }
+
     /// Deferred calls currently waiting in the window.
     pub fn pending_calls(&self) -> usize {
         self.window.len()
@@ -298,15 +342,153 @@ impl<T: Transport> RemoteRuntime<T> {
         read_hello_reply(&mut self.transport).map_err(|e| transport_error(&e))?
     }
 
+    /// The pause before retry `attempt`, honoring a pending `Busy` hint.
+    /// The server's hint is a jittered floor, not an exact schedule: a
+    /// deterministic xorshift stretch of up to half the hint again keeps a
+    /// fleet of clients shed together from returning together and
+    /// re-shedding itself, while the per-session seed keeps each client's
+    /// schedule reproducible.
+    fn backoff_with_busy_hint(&mut self, attempt: u32) -> Duration {
+        let backoff = self.retry.backoff(attempt);
+        match self.busy_retry_hint.take() {
+            Some(hint) => {
+                self.jitter_rng ^= self.jitter_rng << 13;
+                self.jitter_rng ^= self.jitter_rng >> 7;
+                self.jitter_rng ^= self.jitter_rng << 17;
+                let span_us = (hint.as_micros() as u64 / 2).max(1);
+                backoff.max(hint + Duration::from_micros(self.jitter_rng % span_us))
+            }
+            None => backoff,
+        }
+    }
+
+    /// The error a fault surfaces when it cannot be retried. With a
+    /// failover journal armed, a transport-class fault on a non-replayable
+    /// call is a *lost session*, typed as such: neither resume (the
+    /// in-flight call may have executed before the daemon died) nor
+    /// journal replay (it may not have) can re-establish a context that is
+    /// provably the one the application was using.
+    fn surface(&self, replayable: bool, err: CudaError) -> CudaError {
+        if !replayable
+            && self.failover_armed()
+            && matches!(
+                err,
+                CudaError::TransportTimedOut | CudaError::TransportConnectionLost
+            )
+        {
+            return CudaError::SessionLost;
+        }
+        err
+    }
+
     /// Back off, reconnect, resume. Returns the error the caller should
-    /// surface if recovery fails: an explicit resume rejection wins over
-    /// the original fault; any other recovery failure preserves it.
+    /// surface if recovery fails: a rejected resume fails over to journal
+    /// replay (ending in [`CudaError::SessionLost`] if that cannot
+    /// restore a provably identical context); any other recovery failure
+    /// preserves the original fault.
     fn recover(&mut self, attempt: u32, original: CudaError) -> CudaResult<()> {
-        std::thread::sleep(self.retry.backoff(attempt));
+        let backoff = self.backoff_with_busy_hint(attempt);
+        std::thread::sleep(backoff);
         match self.reestablish() {
             Ok(()) => Ok(()),
-            Err(CudaError::InitializationError) => Err(CudaError::InitializationError),
+            // The server does not know the session: the daemon that held
+            // it is gone (or evicted it). Only a verified replay of the
+            // journaled prefix can rebuild the exact context.
+            Err(CudaError::InitializationError) => self.replay_failover(),
             Err(_) => Err(original),
+        }
+    }
+
+    /// Rebuild the session on whichever daemon the next dial reaches: a
+    /// fresh resumable hello under the *same* token re-creates the
+    /// context, then the journaled state-mutating prefix replays with each
+    /// response verified against the original daemon's answer. Any
+    /// failure — no journal, overflowed journal, rejected hello, a
+    /// transport fault mid-replay, or a diverging handle — is terminal for
+    /// the session and surfaces as [`CudaError::SessionLost`].
+    fn replay_failover(&mut self) -> CudaResult<()> {
+        if !self.failover_armed() || self.session_token.is_none() {
+            return Err(if self.journal.is_some() {
+                CudaError::SessionLost
+            } else {
+                CudaError::InitializationError
+            });
+        }
+        self.try_replay_failover()
+            .map_err(|_| CudaError::SessionLost)
+    }
+
+    fn try_replay_failover(&mut self) -> CudaResult<()> {
+        let token = self.session_token.expect("checked by caller");
+        // The resume-rejecting server closes its connection after the
+        // verdict, so the replay needs a fresh dial — which a candidate-
+        // rotating transport may point at a different daemon.
+        self.transport
+            .reconnect()
+            .map_err(|e| transport_error(&e))?;
+        let mut cc = [0u8; 8];
+        self.transport
+            .read_exact(&mut cc)
+            .map_err(|e| transport_error(&e))?;
+        if let ServerHello::Busy { .. } = ServerHello::from_wire(cc) {
+            return Err(CudaError::ServerBusy);
+        }
+        let journal = self.journal.as_ref().expect("armed implies a journal");
+        SessionHello::Resumable {
+            session: token,
+            module: journal.module().to_vec(),
+        }
+        .write(&mut self.transport)
+        .and_then(|_| self.transport.flush())
+        .map_err(|e| transport_error(&e))?;
+        read_hello_reply(&mut self.transport).map_err(|e| transport_error(&e))??;
+        // Disjoint field borrows: the journal is read while the transport
+        // is driven, so no `self` method calls inside the loop.
+        for (req, expect) in journal.ops() {
+            req.write(&mut self.transport)
+                .and_then(|_| self.transport.flush())
+                .map_err(|e| transport_error(&e))?;
+            let resp = Response::read(&mut self.transport, req).map_err(|e| transport_error(&e))?;
+            if !expect.matches(&resp) {
+                return Err(CudaError::SessionLost);
+            }
+        }
+        Ok(())
+    }
+
+    /// Feed a completed exchange to the journal, if one is armed.
+    fn journal_observe(&mut self, req: &Request, resp: &Response) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.observe(req, resp);
+        }
+    }
+
+    /// Journal a borrowed-payload H2D exchange that never built a
+    /// [`Request`]: the equivalent owned request is reconstructed (one
+    /// copy — the price of replayability, paid only with a journal armed).
+    fn journal_borrowed_h2d(&mut self, dst: DevicePtr, data: &[u8], stream: Option<u32>) {
+        if !self.failover_armed() {
+            return;
+        }
+        let req = match stream {
+            None => Request::Memcpy {
+                dst: dst.addr(),
+                src: 0,
+                size: data.len() as u32,
+                kind: MemcpyKind::HostToDevice,
+                data: Some(Payload::Owned(data.to_vec())),
+            },
+            Some(stream) => Request::MemcpyAsync {
+                dst: dst.addr(),
+                src: 0,
+                size: data.len() as u32,
+                kind: MemcpyKind::HostToDevice,
+                stream,
+                data: Some(Payload::Owned(data.to_vec())),
+            },
+        };
+        if let Some(journal) = self.journal.as_mut() {
+            journal.record(req, Expect::Ack);
         }
     }
 
@@ -335,7 +517,7 @@ impl<T: Transport> RemoteRuntime<T> {
                 Ok(resp) => break resp,
                 Err(e) => {
                     if !self.may_retry(attempt, replayable, e) {
-                        return Err(e);
+                        return Err(self.surface(replayable, e));
                     }
                     self.obs.emit_retry(op, attempt);
                     self.recover(attempt, e)?;
@@ -343,6 +525,9 @@ impl<T: Transport> RemoteRuntime<T> {
                 }
             }
         };
+        for (req, elem) in batch.requests().iter().zip(&resp.responses) {
+            self.journal_observe(req, elem);
+        }
         let end = self.clock.now();
         let event = CallEvent {
             op,
@@ -404,7 +589,7 @@ impl<T: Transport> RemoteRuntime<T> {
                 Ok(resp) => break resp,
                 Err(e) => {
                     if !self.may_retry(attempt, replayable, e) {
-                        return Err(e);
+                        return Err(self.surface(replayable, e));
                     }
                     self.obs.emit_retry(Op::Named(op), attempt);
                     self.recover(attempt, e)?;
@@ -412,6 +597,7 @@ impl<T: Transport> RemoteRuntime<T> {
                 }
             }
         };
+        self.journal_observe(&req, &resp);
         let end = self.clock.now();
         let received = resp.wire_bytes();
         self.trace.record(CallEvent {
@@ -631,7 +817,11 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
         // (announcing the session token); the wire is otherwise unchanged,
         // so default sessions keep Table I's exact byte counts.
         if self.retry.max_retries > 0 && self.session_token.is_none() {
-            self.session_token = Some(next_session_token());
+            self.session_token = Some(fresh_session_token());
+        }
+        if let Some(token) = self.session_token {
+            // Per-session jitter seed (any nonzero value; tokens are).
+            self.jitter_rng = token | 1;
         }
         let started = Instant::now();
         let start = self.clock.now();
@@ -654,10 +844,7 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
                         return Err(e);
                     }
                     self.obs.emit_retry(Op::Named("initialization"), attempt);
-                    let mut backoff = self.retry.backoff(attempt);
-                    if let Some(hint) = self.busy_retry_hint.take() {
-                        backoff = backoff.max(hint);
-                    }
+                    let backoff = self.backoff_with_busy_hint(attempt);
                     std::thread::sleep(backoff);
                     self.transport.reconnect().map_err(|_| e)?;
                     attempt += 1;
@@ -682,6 +869,9 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
             end,
             retries: attempt,
         });
+        if let Some(journal) = self.journal.as_mut() {
+            journal.set_module(module);
+        }
         self.initialized = true;
         Ok(())
     }
@@ -718,7 +908,9 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
         // so it stages one copy in a pooled buffer.
         if self.pipeline_depth == 0 && self.window.is_empty() {
             let head = memcpy_head(dst.addr(), 0, data.len() as u32, MemcpyKind::HostToDevice);
-            return self.exchange_borrowed("cudaMemcpyH2D", &head, data, None);
+            self.exchange_borrowed("cudaMemcpyH2D", &head, data, None)?;
+            self.journal_borrowed_h2d(dst, data, None);
+            return Ok(());
         }
         let req = Request::Memcpy {
             dst: dst.addr(),
@@ -849,7 +1041,9 @@ impl<T: Transport> CudaRuntimeAsyncExt for RemoteRuntime<T> {
                 MemcpyKind::HostToDevice,
                 stream,
             );
-            return self.exchange_borrowed("cudaMemcpyAsyncH2D", &head, data, None);
+            self.exchange_borrowed("cudaMemcpyAsyncH2D", &head, data, None)?;
+            self.journal_borrowed_h2d(dst, data, Some(stream));
+            return Ok(());
         }
         let req = Request::MemcpyAsync {
             dst: dst.addr(),
@@ -949,8 +1143,10 @@ mod tests {
             put_bytes(&mut side, &1u32.to_le_bytes()).unwrap();
             put_bytes(&mut side, &3u32.to_le_bytes()).unwrap();
             side.flush().unwrap();
-            // Module upload.
-            let _init = Request::read_init(&mut side).unwrap();
+            // Module upload — read as a session hello so the fake server
+            // understands both fresh uploads and the token-announcing
+            // resumable form that retry-enabled clients send.
+            let _hello = SessionHello::read(&mut side).unwrap();
             put_u32(&mut side, 0).unwrap();
             side.flush().unwrap();
             // Scripted exchanges.
@@ -1321,5 +1517,293 @@ mod tests {
         let mut buf = Vec::new();
         put_u32(&mut buf, 9).unwrap();
         assert_eq!(get_u32(&mut std::io::Cursor::new(buf)).unwrap(), 9);
+    }
+
+    #[test]
+    fn busy_hint_backoff_is_jittered_but_floored_at_the_hint() {
+        let (client_side, _server) = channel_pair();
+        let mut rt = RemoteRuntime::new(client_side, wall_clock());
+        rt.set_retry_policy(crate::retry::RetryPolicy::retries(3));
+        let hint = Duration::from_millis(10);
+        let mut draws = Vec::new();
+        for _ in 0..8 {
+            rt.busy_retry_hint = Some(hint);
+            let b = rt.backoff_with_busy_hint(0);
+            assert!(b >= hint, "the server's hint is a floor: {b:?}");
+            assert!(
+                b < hint * 3 / 2 + Duration::from_micros(1),
+                "jitter ≤ half the hint: {b:?}"
+            );
+            draws.push(b);
+        }
+        assert!(
+            draws.windows(2).any(|w| w[0] != w[1]),
+            "successive draws must not all collide: {draws:?}"
+        );
+        // Without a pending hint the plain deterministic curve applies.
+        assert_eq!(rt.backoff_with_busy_hint(0), rt.retry_policy().backoff(0));
+    }
+
+    #[test]
+    fn busy_hint_jitter_is_deterministic_per_seed_and_differs_across_seeds() {
+        let hint = Duration::from_millis(20);
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let (side, _peer) = channel_pair();
+            let mut rt = RemoteRuntime::new(side, wall_clock());
+            rt.set_retry_policy(crate::retry::RetryPolicy::retries(3));
+            rt.jitter_rng = seed | 1;
+            (0..4)
+                .map(|_| {
+                    rt.busy_retry_hint = Some(hint);
+                    rt.backoff_with_busy_hint(0)
+                })
+                .collect()
+        };
+        assert_eq!(schedule(0xAB), schedule(0xAB), "reproducible per session");
+        assert_ne!(
+            schedule(0xAB),
+            schedule(0xCD),
+            "shed clients with different tokens spread out"
+        );
+    }
+
+    #[test]
+    fn journal_records_mutations_and_skips_reads() {
+        let (client_side, server_side) = channel_pair();
+        let h = fake_server(
+            server_side,
+            vec![
+                Box::new(|_, side| {
+                    put_u32(side, 0).unwrap();
+                    put_u32(side, 0x1000).unwrap();
+                    side.flush().unwrap();
+                }),
+                Box::new(ack), // H2D (borrowed fast path)
+                Box::new(|req, side| {
+                    let size = match req {
+                        Request::Memcpy { size, .. } => *size,
+                        _ => panic!(),
+                    };
+                    put_u32(side, 0).unwrap();
+                    put_bytes(side, &vec![1u8; size as usize]).unwrap();
+                    side.flush().unwrap();
+                }),
+            ],
+        );
+        let mut rt = RemoteRuntime::new(client_side, wall_clock());
+        rt.set_retry_policy(crate::retry::RetryPolicy::retries(2));
+        rt.set_failover(Some(1 << 20));
+        rt.initialize(&[7, 7]).unwrap();
+        let p = rt.malloc(16).unwrap();
+        rt.memcpy_h2d(p, &[9u8; 16]).unwrap();
+        let _ = rt.memcpy_d2h(p, 16).unwrap();
+        let (ops, bytes) = rt.failover_journal_stats();
+        assert_eq!(ops, 2, "malloc + h2d journaled, d2h skipped");
+        assert!(bytes > 16, "the H2D payload weighs in");
+        assert!(rt.failover_armed());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn journal_overflow_disarms_failover() {
+        let (client_side, server_side) = channel_pair();
+        let h = fake_server(server_side, vec![Box::new(ack), Box::new(ack)]);
+        let mut rt = RemoteRuntime::new(client_side, wall_clock());
+        rt.set_retry_policy(crate::retry::RetryPolicy::retries(2));
+        rt.set_failover(Some(64));
+        rt.initialize(&[]).unwrap();
+        rt.memcpy_h2d(DevicePtr::new(0x1000), &[0u8; 40]).unwrap();
+        assert!(rt.failover_armed());
+        rt.memcpy_h2d(DevicePtr::new(0x1000), &[0u8; 40]).unwrap();
+        assert!(!rt.failover_armed(), "cap exceeded: journal disarmed");
+        assert_eq!(rt.failover_journal_stats().0, 0);
+        h.join().unwrap();
+    }
+
+    /// A server scripting the failover sequence: rejects the Reconnect
+    /// resume (daemon died), then serves the replay — resumable hello +
+    /// journaled prefix — answering `replay` with each step's response.
+    fn failover_server(
+        mut side: ChannelTransport,
+        reject_resume: bool,
+        replay: Vec<ScriptStep>,
+    ) -> thread::JoinHandle<()> {
+        thread::spawn(move || {
+            put_bytes(&mut side, &1u32.to_le_bytes()).unwrap();
+            put_bytes(&mut side, &3u32.to_le_bytes()).unwrap();
+            side.flush().unwrap();
+            let hello = rcuda_proto::SessionHello::read(&mut side).unwrap();
+            match hello {
+                rcuda_proto::SessionHello::Reconnect { .. } => {
+                    put_u32(&mut side, CudaError::InitializationError.code()).unwrap();
+                    side.flush().unwrap();
+                    assert!(reject_resume, "unexpected resume rejection");
+                    // The daemon closes a rejected connection.
+                }
+                rcuda_proto::SessionHello::Resumable { .. } => {
+                    put_u32(&mut side, 0).unwrap();
+                    side.flush().unwrap();
+                    for step in replay {
+                        let req = Request::read(&mut side).unwrap();
+                        step(&req, &mut side);
+                    }
+                }
+                other => panic!("unexpected hello {other:?}"),
+            }
+        })
+    }
+
+    #[test]
+    fn rejected_resume_fails_over_by_verified_replay() {
+        use rcuda_transport::ReconnectTransport;
+        // Dial plan: the resume-rejecting incarnation, then the survivor
+        // that serves the replay, then the retried in-flight call.
+        let (c2, s2) = channel_pair();
+        let (c3, s3) = channel_pair();
+        let mut dials: Vec<ChannelTransport> = vec![c3, c2];
+        let (c0, s0) = channel_pair();
+        let transport = ReconnectTransport::new(c0, move || {
+            dials
+                .pop()
+                .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "out"))
+        });
+
+        // Original daemon: init + malloc + h2d, then dies mid-d2h.
+        let h0 = thread::spawn(move || {
+            let mut side = s0;
+            put_bytes(&mut side, &1u32.to_le_bytes()).unwrap();
+            put_bytes(&mut side, &3u32.to_le_bytes()).unwrap();
+            side.flush().unwrap();
+            let _ = rcuda_proto::SessionHello::read(&mut side).unwrap();
+            put_u32(&mut side, 0).unwrap();
+            side.flush().unwrap();
+            let _malloc = Request::read(&mut side).unwrap();
+            put_u32(&mut side, 0).unwrap();
+            put_u32(&mut side, 0x1000).unwrap();
+            side.flush().unwrap();
+            let _h2d = Request::read(&mut side).unwrap();
+            put_u32(&mut side, 0).unwrap();
+            side.flush().unwrap();
+            // Swallow the D2H and die: the daemon crashed.
+            let _d2h = Request::read(&mut side).unwrap();
+        });
+        // Reconnect #1: a daemon that doesn't know the session.
+        let h1 = failover_server(s2, true, vec![]);
+        // Reconnect #2 (inside replay_failover): serves the verified
+        // replay, then the retried D2H.
+        let h2 = failover_server(
+            s3,
+            false,
+            vec![
+                Box::new(|req, side| {
+                    assert!(matches!(req, Request::Malloc { size: 16 }));
+                    put_u32(side, 0).unwrap();
+                    put_u32(side, 0x1000).unwrap(); // same deterministic ptr
+                    side.flush().unwrap();
+                }),
+                Box::new(|req, side| {
+                    match req {
+                        Request::Memcpy { kind, data, .. } => {
+                            assert_eq!(*kind, MemcpyKind::HostToDevice);
+                            assert_eq!(data.as_ref().unwrap().as_slice(), &[9u8; 16]);
+                        }
+                        other => panic!("{other:?}"),
+                    }
+                    ack(req, side);
+                }),
+                Box::new(|req, side| {
+                    // The retried in-flight D2H, served after failover.
+                    let size = match req {
+                        Request::Memcpy { size, .. } => *size,
+                        other => panic!("{other:?}"),
+                    };
+                    put_u32(side, 0).unwrap();
+                    put_bytes(side, &vec![9u8; size as usize]).unwrap();
+                    side.flush().unwrap();
+                }),
+            ],
+        );
+
+        let mut rt = RemoteRuntime::new(transport, wall_clock());
+        rt.set_retry_policy(crate::retry::RetryPolicy::retries(3));
+        rt.set_failover(Some(1 << 20));
+        rt.initialize(&[1]).unwrap();
+        let p = rt.malloc(16).unwrap();
+        rt.memcpy_h2d(p, &[9u8; 16]).unwrap();
+        // The daemon dies mid-call; the failover must hand back the exact
+        // bytes, transparently.
+        assert_eq!(rt.memcpy_d2h(p, 16).unwrap(), vec![9u8; 16]);
+        h0.join().unwrap();
+        h1.join().unwrap();
+        h2.join().unwrap();
+    }
+
+    #[test]
+    fn diverging_replay_surfaces_session_lost() {
+        use rcuda_transport::ReconnectTransport;
+        let (c2, s2) = channel_pair();
+        let (c3, s3) = channel_pair();
+        let mut dials: Vec<ChannelTransport> = vec![c3, c2];
+        let (c0, s0) = channel_pair();
+        let transport = ReconnectTransport::new(c0, move || {
+            dials
+                .pop()
+                .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "out"))
+        });
+        let h0 = thread::spawn(move || {
+            let mut side = s0;
+            put_bytes(&mut side, &1u32.to_le_bytes()).unwrap();
+            put_bytes(&mut side, &3u32.to_le_bytes()).unwrap();
+            side.flush().unwrap();
+            let _ = rcuda_proto::SessionHello::read(&mut side).unwrap();
+            put_u32(&mut side, 0).unwrap();
+            side.flush().unwrap();
+            let _malloc = Request::read(&mut side).unwrap();
+            put_u32(&mut side, 0).unwrap();
+            put_u32(&mut side, 0x1000).unwrap();
+            side.flush().unwrap();
+            let _sync = Request::read(&mut side).unwrap(); // die mid-call
+        });
+        let h1 = failover_server(s2, true, vec![]);
+        // The survivor's allocator answers a DIFFERENT pointer: the rebuilt
+        // context provably diverges, so failover must abort.
+        let h2 = failover_server(
+            s3,
+            false,
+            vec![Box::new(|_, side| {
+                put_u32(side, 0).unwrap();
+                put_u32(side, 0x2000).unwrap();
+                side.flush().unwrap();
+            })],
+        );
+        let mut rt = RemoteRuntime::new(transport, wall_clock());
+        rt.set_retry_policy(crate::retry::RetryPolicy::retries(3));
+        rt.set_failover(Some(1 << 20));
+        rt.initialize(&[1]).unwrap();
+        let _p = rt.malloc(16).unwrap();
+        assert_eq!(
+            rt.thread_synchronize(),
+            Err(CudaError::SessionLost),
+            "a diverging handle must surface the typed loss, not wrong results"
+        );
+        h0.join().unwrap();
+        h1.join().unwrap();
+        h2.join().unwrap();
+    }
+
+    #[test]
+    fn non_idempotent_inflight_fault_surfaces_session_lost_with_journal() {
+        let (client_side, server_side) = channel_pair();
+        let h = fake_server(server_side, vec![]);
+        let mut rt = RemoteRuntime::new(client_side, wall_clock());
+        rt.set_retry_policy(crate::retry::RetryPolicy::retries(2));
+        rt.set_failover(Some(1 << 20));
+        rt.initialize(&[]).unwrap();
+        h.join().unwrap(); // daemon gone
+        assert_eq!(
+            rt.malloc(16),
+            Err(CudaError::SessionLost),
+            "an unknowable in-flight mutation means the session is lost"
+        );
     }
 }

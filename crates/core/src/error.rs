@@ -66,6 +66,12 @@ pub enum CudaError {
     /// against an auth-gated daemon). Not retryable: retrying with the same
     /// credentials will fail the same way.
     AuthFailed,
+    /// The session's server-side state is unrecoverable: the daemon that
+    /// held it died (or evicted it) and the in-flight work was not
+    /// idempotent, so the cluster failover layer could not replay it
+    /// bit-identically. Surfaced instead of a hang — the application knows
+    /// exactly which call's effects are indeterminate.
+    SessionLost,
 }
 
 impl CudaError {
@@ -92,6 +98,7 @@ impl CudaError {
             CudaError::ProtocolViolation => 10003,
             CudaError::ServerBusy => 10004,
             CudaError::AuthFailed => 10005,
+            CudaError::SessionLost => 10006,
         }
     }
 
@@ -116,6 +123,7 @@ impl CudaError {
             10003 => CudaError::ProtocolViolation,
             10004 => CudaError::ServerBusy,
             10005 => CudaError::AuthFailed,
+            10006 => CudaError::SessionLost,
             _ => CudaError::Unknown,
         })
     }
@@ -140,11 +148,12 @@ impl CudaError {
             CudaError::ProtocolViolation => "rcudaErrorProtocolViolation",
             CudaError::ServerBusy => "rcudaErrorServerBusy",
             CudaError::AuthFailed => "rcudaErrorAuthFailed",
+            CudaError::SessionLost => "rcudaErrorSessionLost",
         }
     }
 
     /// All distinct error variants (useful for exhaustive round-trip tests).
-    pub const ALL: [CudaError; 17] = [
+    pub const ALL: [CudaError; 18] = [
         CudaError::MissingConfiguration,
         CudaError::MemoryAllocation,
         CudaError::InitializationError,
@@ -162,6 +171,7 @@ impl CudaError {
         CudaError::ProtocolViolation,
         CudaError::ServerBusy,
         CudaError::AuthFailed,
+        CudaError::SessionLost,
     ];
 
     /// Whether this error reports a transport/protocol fault rather than a

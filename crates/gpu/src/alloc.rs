@@ -181,6 +181,48 @@ impl DeviceAllocator {
     pub fn largest_free_block(&self) -> u32 {
         self.free.values().copied().max().unwrap_or(0)
     }
+
+    /// Live allocations as `(base, rounded_length)` pairs in address order —
+    /// the walk a migration snapshot serializes.
+    pub fn live_blocks(&self) -> Vec<(u32, u32)> {
+        self.live.iter().map(|(&s, &l)| (s, l)).collect()
+    }
+
+    /// Rebuild an allocator whose live set is exactly `blocks` (the
+    /// migration restore path). The free map is reconstructed as the
+    /// coalesced complement of the live blocks over `[BASE, BASE+capacity)`,
+    /// which is byte-identical to the state the source allocator was in —
+    /// its free list is always coalesced, so the complement of its live set
+    /// *is* its free set. Blocks must be aligned, disjoint, and in range.
+    pub fn restore(capacity: u32, blocks: &[(u32, u32)]) -> CudaResult<Self> {
+        assert!(capacity > 0, "device must have memory");
+        let mut sorted = blocks.to_vec();
+        sorted.sort_unstable();
+        let mut free = BTreeMap::new();
+        let mut live = BTreeMap::new();
+        let mut cursor = BASE as u64;
+        let end = BASE as u64 + capacity as u64;
+        for &(start, len) in &sorted {
+            let (s, l) = (start as u64, len as u64);
+            if len == 0 || start % ALIGN != 0 || len % ALIGN != 0 || s < cursor || s + l > end {
+                return Err(CudaError::InvalidValue);
+            }
+            if s > cursor {
+                free.insert(cursor as u32, (s - cursor) as u32);
+            }
+            live.insert(start, len);
+            cursor = s + l;
+        }
+        if cursor < end {
+            free.insert(cursor as u32, (end - cursor) as u32);
+        }
+        Ok(DeviceAllocator {
+            capacity,
+            free,
+            live,
+            policy: AllocPolicy::FirstFit,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +359,37 @@ mod tests {
             ff.largest_free_block()
         );
         assert_eq!(bf.policy(), AllocPolicy::BestFit);
+    }
+
+    #[test]
+    fn restore_reproduces_allocator_state_exactly() {
+        let mut a = alloc_1mib();
+        let p1 = a.alloc(1000).unwrap();
+        let p2 = a.alloc(2000).unwrap();
+        let _p3 = a.alloc(3000).unwrap();
+        a.free(p2).unwrap();
+        let blocks = a.live_blocks();
+        let mut b = DeviceAllocator::restore(1 << 20, &blocks).unwrap();
+        assert_eq!(b.live_blocks(), a.live_blocks());
+        assert_eq!(b.used_bytes(), a.used_bytes());
+        assert_eq!(b.free_bytes(), a.free_bytes());
+        // The next allocation lands at the same address on both sides — the
+        // determinism migration and journal-replay failover rely on.
+        assert_eq!(a.alloc(512).unwrap(), b.alloc(512).unwrap());
+        a.free(p1).unwrap();
+        b.free(p1).unwrap();
+        assert_eq!(a.live_blocks(), b.live_blocks());
+    }
+
+    #[test]
+    fn restore_rejects_malformed_block_lists() {
+        assert!(DeviceAllocator::restore(1 << 20, &[(BASE, 0)]).is_err());
+        assert!(DeviceAllocator::restore(1 << 20, &[(BASE + 1, 256)]).is_err());
+        assert!(
+            DeviceAllocator::restore(1 << 20, &[(BASE, 512), (BASE + 256, 256)]).is_err(),
+            "overlapping blocks rejected"
+        );
+        assert!(DeviceAllocator::restore(4096, &[(BASE, 8192)]).is_err());
     }
 
     #[test]

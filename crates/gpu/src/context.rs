@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use crate::device::GpuDevice;
 use crate::memory::DeviceMemory;
+use crate::snapshot::ContextSnapshot;
 use crate::stream::{EventTable, StreamTable, DEFAULT_STREAM};
 
 /// One application's device state.
@@ -37,6 +38,38 @@ impl GpuContext {
             streams: StreamTable::new(),
             events: EventTable::new(),
             module_kernels: None,
+        }
+    }
+
+    /// Serialize this context's migratable state: allocator layout, backing
+    /// bytes, the loaded module's kernel directory, and the stream/event
+    /// tables. The clock is deliberately excluded — the restoring daemon
+    /// attaches its own, as it would for a fresh connection.
+    pub fn snapshot(&self) -> ContextSnapshot {
+        ContextSnapshot {
+            module_kernels: self.module_kernels.clone(),
+            memory: self.mem.snapshot(),
+            streams: self.streams.snapshot(),
+            events: self.events.snapshot(),
+        }
+    }
+
+    /// Rebuild a migrated context from its snapshot (see
+    /// [`GpuDevice::restore_context`], the public entry point that also
+    /// attaches the target device's ledger).
+    pub(crate) fn from_snapshot(
+        device: Arc<GpuDevice>,
+        mem: DeviceMemory,
+        clock: SharedClock,
+        snap: &ContextSnapshot,
+    ) -> Self {
+        GpuContext {
+            device,
+            mem,
+            clock,
+            streams: StreamTable::restore(&snap.streams),
+            events: EventTable::restore(&snap.events),
+            module_kernels: snap.module_kernels.clone(),
         }
     }
 
@@ -410,6 +443,40 @@ mod tests {
         assert!(t > 10.0 && t < 13.0, "{t}");
         ctx.stream_destroy(s1).unwrap();
         ctx.stream_destroy(s2).unwrap();
+    }
+
+    #[test]
+    fn snapshot_restore_moves_a_context_between_devices() {
+        use rcuda_core::time::wall_clock;
+        let src_dev = GpuDevice::tesla_c1060_functional();
+        let dst_dev = GpuDevice::tesla_c1060_functional();
+        let mut ctx = src_dev.create_context(wall_clock(), true);
+        ctx.load_module(&mm_module()).unwrap();
+        let p = ctx.malloc(1024).unwrap();
+        ctx.memcpy_h2d(p, &[3u8; 1024]).unwrap();
+        let s = ctx.stream_create().unwrap();
+        let e = ctx.event_create().unwrap();
+        ctx.event_record(e, 0).unwrap();
+
+        let wire = ctx.snapshot().encode();
+        let snap = ContextSnapshot::decode(&wire).unwrap();
+        let mut moved = dst_dev.restore_context(wall_clock(), &snap).unwrap();
+        assert_eq!(dst_dev.ledger().live_bytes(), 1024, "target charged");
+        drop(ctx);
+        assert_eq!(src_dev.ledger().live_bytes(), 0, "source balanced");
+
+        assert_eq!(moved.memcpy_d2h(p, 1024).unwrap(), vec![3u8; 1024]);
+        // Handle counters survive: creates continue where they left off.
+        assert_eq!(moved.stream_create().unwrap(), s + 1);
+        assert_eq!(moved.event_create().unwrap(), e + 1);
+        // The module survived without a re-upload: an unknown kernel is
+        // InvalidDeviceFunction, not InitializationError.
+        assert_eq!(
+            moved.launch("nope", Dim3::x(1), Dim3::x(1), &[], 0),
+            Err(CudaError::InvalidDeviceFunction)
+        );
+        drop(moved);
+        assert_eq!(dst_dev.ledger().live_bytes(), 0, "target balanced");
     }
 
     #[test]

@@ -4,13 +4,14 @@
 //! it, exactly like a physical accelerator serving multiple rCUDA
 //! connections.
 
-use rcuda_core::{DeviceProperties, SharedClock};
+use rcuda_core::{CudaResult, DeviceProperties, SharedClock};
 use std::sync::Arc;
 
 use crate::context::GpuContext;
 use crate::kernel::{builtin_registry, KernelRegistry};
 use crate::ledger::MemoryLedger;
 use crate::memory::DeviceMemory;
+use crate::snapshot::ContextSnapshot;
 use crate::timing::{C1060CostModel, CostModel, NullCostModel};
 
 /// Per-context device-memory capacity: the full 32-bit address space minus
@@ -104,6 +105,26 @@ impl GpuDevice {
         preinitialized: bool,
     ) -> GpuContext {
         self.make_context(clock, preinitialized, true)
+    }
+
+    /// Rebuild a migrated context on this device from its snapshot:
+    /// allocator layout, backing bytes, streams/events and the module's
+    /// kernel directory are restored exactly, and the restored bytes are
+    /// charged to *this* device's ledger (the source side balances through
+    /// its own context drop). No context-init charge — the daemon restores
+    /// into its warm context slot, like a resume.
+    pub fn restore_context(
+        self: &Arc<Self>,
+        clock: SharedClock,
+        snap: &ContextSnapshot,
+    ) -> CudaResult<GpuContext> {
+        let mem = DeviceMemory::restore(&snap.memory, Some(Arc::clone(&self.ledger)))?;
+        Ok(GpuContext::from_snapshot(
+            Arc::clone(self),
+            mem,
+            clock,
+            snap,
+        ))
     }
 
     fn make_context(

@@ -27,6 +27,7 @@ pub mod kernel;
 pub mod ledger;
 pub mod memory;
 pub mod module;
+pub mod snapshot;
 pub mod stream;
 pub mod timing;
 
@@ -35,4 +36,5 @@ pub use device::GpuDevice;
 pub use kernel::{builtin_registry, KernelFn, KernelRegistry};
 pub use ledger::MemoryLedger;
 pub use module::{build_module, parse_module};
+pub use snapshot::ContextSnapshot;
 pub use timing::{C1060CostModel, CostModel, NullCostModel};

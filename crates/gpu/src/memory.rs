@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use crate::alloc::DeviceAllocator;
 use crate::ledger::MemoryLedger;
+use crate::snapshot::{BlockSnapshot, MemorySnapshot};
 
 /// Allocator + backing bytes: one application context's device memory.
 ///
@@ -204,6 +205,61 @@ impl DeviceMemory {
             bytes.extend_from_slice(&v.to_le_bytes());
         }
         self.write(ptr, &bytes)
+    }
+
+    /// Serialize this context's memory for migration: allocator layout,
+    /// backing bytes (backed memory only), and the quota.
+    pub fn snapshot(&self) -> MemorySnapshot {
+        MemorySnapshot {
+            capacity: self.alloc.capacity() as u32,
+            backed: self.backed,
+            quota: self.quota,
+            blocks: self
+                .alloc
+                .live_blocks()
+                .into_iter()
+                .map(|(base, len)| BlockSnapshot {
+                    base,
+                    len,
+                    data: if self.backed {
+                        Some(self.buffers.get(&base).expect("buffer exists").clone())
+                    } else {
+                        None
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a context memory from a snapshot, charging the restored bytes
+    /// to `ledger` (the target device's accounting — the source side
+    /// balances through its own [`Drop`]).
+    pub fn restore(
+        snap: &MemorySnapshot,
+        ledger: Option<Arc<MemoryLedger>>,
+    ) -> CudaResult<DeviceMemory> {
+        let layout: Vec<(u32, u32)> = snap.blocks.iter().map(|b| (b.base, b.len)).collect();
+        let alloc = DeviceAllocator::restore(snap.capacity, &layout)?;
+        let mut buffers = HashMap::new();
+        if snap.backed {
+            for b in &snap.blocks {
+                let data = b.data.as_ref().ok_or(CudaError::InvalidValue)?;
+                if data.len() != b.len as usize {
+                    return Err(CudaError::InvalidValue);
+                }
+                buffers.insert(b.base, data.clone());
+            }
+        }
+        if let Some(l) = &ledger {
+            l.add(alloc.used_bytes());
+        }
+        Ok(DeviceMemory {
+            alloc,
+            buffers,
+            backed: snap.backed,
+            ledger,
+            quota: snap.quota,
+        })
     }
 
     /// Allocation statistics passthrough.
@@ -404,6 +460,57 @@ mod tests {
         m.set_quota(Some(256));
         m.malloc(4096).unwrap_err();
         assert_eq!(ledger.live_bytes(), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_bytes_layout_and_ledger() {
+        let src_ledger = Arc::new(MemoryLedger::new());
+        let mut m = DeviceMemory::new(1 << 20).with_ledger(Arc::clone(&src_ledger));
+        let a = m.malloc(300).unwrap();
+        let b = m.malloc(1024).unwrap();
+        let c = m.malloc(256).unwrap();
+        m.free(b).unwrap();
+        m.write(a, &[0xA5u8; 300]).unwrap();
+        m.write(c, &[0x5Au8; 256]).unwrap();
+        let snap = m.snapshot();
+
+        let dst_ledger = Arc::new(MemoryLedger::new());
+        let mut r = DeviceMemory::restore(&snap, Some(Arc::clone(&dst_ledger))).unwrap();
+        assert_eq!(r.read(a, 300).unwrap(), vec![0xA5u8; 300]);
+        assert_eq!(r.read(c, 256).unwrap(), vec![0x5Au8; 256]);
+        assert_eq!(r.used_bytes(), m.used_bytes());
+        assert_eq!(dst_ledger.live_bytes(), r.used_bytes(), "target charged");
+        // Allocation determinism survives the move: the freed hole is
+        // re-found at the same address on both sides.
+        assert_eq!(m.malloc(1024).unwrap(), r.malloc(1024).unwrap());
+        // Source drop releases its side; target drop releases its side.
+        drop(m);
+        assert_eq!(src_ledger.live_bytes(), 0, "source ledger balanced");
+        drop(r);
+        assert_eq!(dst_ledger.live_bytes(), 0, "target ledger balanced");
+    }
+
+    #[test]
+    fn phantom_snapshot_restores_phantom() {
+        let mut m = DeviceMemory::phantom(1 << 20);
+        let p = m.malloc(4096).unwrap();
+        let snap = m.snapshot();
+        let r = DeviceMemory::restore(&snap, None).unwrap();
+        assert!(r.is_phantom());
+        assert_eq!(r.read(p, 16).unwrap(), vec![0u8; 16]);
+        assert_eq!(r.used_bytes(), 4096);
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let mut m = mem();
+        let _ = m.malloc(256).unwrap();
+        let mut snap = m.snapshot();
+        snap.blocks[0].data = None; // backed memory must ship its bytes
+        assert!(DeviceMemory::restore(&snap, None).is_err());
+        let mut snap = m.snapshot();
+        snap.blocks[0].data = Some(vec![0u8; 3]); // wrong length
+        assert!(DeviceMemory::restore(&snap, None).is_err());
     }
 
     #[test]

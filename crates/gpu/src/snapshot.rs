@@ -1,0 +1,392 @@
+//! Context snapshots: the serializable image of one application's device
+//! state, used by live session migration between daemons.
+//!
+//! A snapshot captures everything a [`crate::GpuContext`] owns that the
+//! client cannot re-derive: the allocator's live-block layout (so restored
+//! `DevicePtr`s are bit-identical), the backing bytes of every allocation,
+//! the loaded module's kernel directory, and the stream/event tables. The
+//! context's clock is *not* part of the snapshot — the restoring daemon
+//! attaches its own clock, exactly as it would for a fresh connection.
+//!
+//! The wire form is a versioned little-endian binary blob carried opaquely
+//! by the protocol layer (`SessionHello::Migrate`), so rcuda-proto does not
+//! need to depend on this crate.
+
+use std::io::{self, Cursor, Read, Write};
+
+/// One live allocation: base address, rounded length, and (for backed
+/// memory) its bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockSnapshot {
+    pub base: u32,
+    pub len: u32,
+    /// `None` on phantom memory (nothing to ship — the restore side
+    /// recreates a phantom allocation of the same shape).
+    pub data: Option<Vec<u8>>,
+}
+
+/// The memory half of a context snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemorySnapshot {
+    pub capacity: u32,
+    pub backed: bool,
+    pub quota: Option<u64>,
+    /// Live blocks in address order.
+    pub blocks: Vec<BlockSnapshot>,
+}
+
+/// Stream table state: `(handle, completes_at_nanos)` pairs plus the
+/// next-handle counter (so post-restore creates keep yielding the same
+/// handles the client would have seen without the migration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSnapshot {
+    pub streams: Vec<(u32, u64)>,
+    pub next_handle: u32,
+}
+
+/// Event table state: `(handle, recorded_at_nanos)` pairs (`None` =
+/// created but never recorded) plus the next-handle counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventSnapshot {
+    pub events: Vec<(u32, Option<u64>)>,
+    pub next_handle: u32,
+}
+
+/// The complete serializable image of one [`crate::GpuContext`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextSnapshot {
+    /// Kernel names of the loaded module (`None` = never initialized).
+    pub module_kernels: Option<Vec<String>>,
+    pub memory: MemorySnapshot,
+    pub streams: StreamSnapshot,
+    pub events: EventSnapshot,
+}
+
+const MAGIC: u32 = 0x5253_4E50; // "RSNP"
+const VERSION: u32 = 1;
+
+/// Cap on any single decoded length field — a corrupted snapshot cannot
+/// drive a multi-gigabyte allocation (real snapshots stay far below this;
+/// individual device allocations are themselves `u32`-sized).
+const MAX_LIST: usize = 1 << 24;
+
+fn put_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn get_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn get_len<R: Read>(r: &mut R) -> io::Result<usize> {
+    let n = get_u32(r)? as usize;
+    if n > MAX_LIST {
+        return Err(bad(format!("snapshot length field {n} over limit")));
+    }
+    Ok(n)
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+impl ContextSnapshot {
+    /// Serialize into the versioned little-endian wire blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Vec::new();
+        self.write(&mut w).expect("Vec write cannot fail");
+        w
+    }
+
+    fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        put_u32(w, MAGIC)?;
+        put_u32(w, VERSION)?;
+        // Module kernel directory.
+        match &self.module_kernels {
+            None => w.write_all(&[0])?,
+            Some(names) => {
+                w.write_all(&[1])?;
+                put_u32(w, names.len() as u32)?;
+                for name in names {
+                    put_u32(w, name.len() as u32)?;
+                    w.write_all(name.as_bytes())?;
+                }
+            }
+        }
+        // Memory.
+        let m = &self.memory;
+        put_u32(w, m.capacity)?;
+        w.write_all(&[u8::from(m.backed)])?;
+        match m.quota {
+            None => w.write_all(&[0])?,
+            Some(q) => {
+                w.write_all(&[1])?;
+                put_u64(w, q)?;
+            }
+        }
+        put_u32(w, m.blocks.len() as u32)?;
+        for b in &m.blocks {
+            put_u32(w, b.base)?;
+            put_u32(w, b.len)?;
+            match &b.data {
+                None => w.write_all(&[0])?,
+                Some(data) => {
+                    w.write_all(&[1])?;
+                    put_u32(w, data.len() as u32)?;
+                    w.write_all(data)?;
+                }
+            }
+        }
+        // Streams.
+        put_u32(w, self.streams.streams.len() as u32)?;
+        for &(h, at) in &self.streams.streams {
+            put_u32(w, h)?;
+            put_u64(w, at)?;
+        }
+        put_u32(w, self.streams.next_handle)?;
+        // Events.
+        put_u32(w, self.events.events.len() as u32)?;
+        for &(h, at) in &self.events.events {
+            put_u32(w, h)?;
+            match at {
+                None => w.write_all(&[0])?,
+                Some(t) => {
+                    w.write_all(&[1])?;
+                    put_u64(w, t)?;
+                }
+            }
+        }
+        put_u32(w, self.events.next_handle)
+    }
+
+    /// Decode the wire blob. Truncated or corrupt input is an error, never
+    /// a panic or an oversized allocation.
+    pub fn decode(bytes: &[u8]) -> io::Result<ContextSnapshot> {
+        let r = &mut Cursor::new(bytes);
+        if get_u32(r)? != MAGIC {
+            return Err(bad("snapshot magic mismatch"));
+        }
+        let version = get_u32(r)?;
+        if version != VERSION {
+            return Err(bad(format!("unsupported snapshot version {version}")));
+        }
+        let module_kernels = match get_u8(r)? {
+            0 => None,
+            1 => {
+                let n = get_len(r)?;
+                let mut names = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let len = get_len(r)?;
+                    let mut buf = vec![0u8; len];
+                    r.read_exact(&mut buf)?;
+                    names.push(
+                        String::from_utf8(buf)
+                            .map_err(|_| bad("kernel name is not valid UTF-8"))?,
+                    );
+                }
+                Some(names)
+            }
+            other => return Err(bad(format!("bad module marker {other}"))),
+        };
+        let capacity = get_u32(r)?;
+        let backed = match get_u8(r)? {
+            0 => false,
+            1 => true,
+            other => return Err(bad(format!("bad backed marker {other}"))),
+        };
+        let quota = match get_u8(r)? {
+            0 => None,
+            1 => Some(get_u64(r)?),
+            other => return Err(bad(format!("bad quota marker {other}"))),
+        };
+        let nblocks = get_len(r)?;
+        let mut blocks = Vec::with_capacity(nblocks.min(1024));
+        for _ in 0..nblocks {
+            let base = get_u32(r)?;
+            let len = get_u32(r)?;
+            let data = match get_u8(r)? {
+                0 => None,
+                1 => {
+                    let dlen = get_u32(r)? as usize;
+                    // Bounded chunked growth: a corrupt length costs at most
+                    // one chunk before the inevitable UnexpectedEof.
+                    const CHUNK: usize = 64 * 1024;
+                    let mut buf = Vec::with_capacity(dlen.min(CHUNK));
+                    let mut remaining = dlen;
+                    while remaining > 0 {
+                        let take = remaining.min(CHUNK);
+                        let start = buf.len();
+                        buf.resize(start + take, 0);
+                        r.read_exact(&mut buf[start..])?;
+                        remaining -= take;
+                    }
+                    Some(buf)
+                }
+                other => return Err(bad(format!("bad block data marker {other}"))),
+            };
+            blocks.push(BlockSnapshot { base, len, data });
+        }
+        let nstreams = get_len(r)?;
+        let mut streams = Vec::with_capacity(nstreams.min(1024));
+        for _ in 0..nstreams {
+            streams.push((get_u32(r)?, get_u64(r)?));
+        }
+        let stream_next = get_u32(r)?;
+        let nevents = get_len(r)?;
+        let mut events = Vec::with_capacity(nevents.min(1024));
+        for _ in 0..nevents {
+            let h = get_u32(r)?;
+            let at = match get_u8(r)? {
+                0 => None,
+                1 => Some(get_u64(r)?),
+                other => return Err(bad(format!("bad event marker {other}"))),
+            };
+            events.push((h, at));
+        }
+        let event_next = get_u32(r)?;
+        Ok(ContextSnapshot {
+            module_kernels,
+            memory: MemorySnapshot {
+                capacity,
+                backed,
+                quota,
+                blocks,
+            },
+            streams: StreamSnapshot {
+                streams,
+                next_handle: stream_next,
+            },
+            events: EventSnapshot {
+                events,
+                next_handle: event_next,
+            },
+        })
+    }
+
+    /// Total device bytes this snapshot will charge on restore.
+    pub fn used_bytes(&self) -> u64 {
+        self.memory.blocks.iter().map(|b| b.len as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ContextSnapshot {
+        ContextSnapshot {
+            module_kernels: Some(vec!["sgemmNN".into(), "fft512_batch".into()]),
+            memory: MemorySnapshot {
+                capacity: 1 << 20,
+                backed: true,
+                quota: Some(4096),
+                blocks: vec![
+                    BlockSnapshot {
+                        base: 0x1000,
+                        len: 256,
+                        data: Some(vec![7u8; 256]),
+                    },
+                    BlockSnapshot {
+                        base: 0x1200,
+                        len: 512,
+                        data: Some(vec![9u8; 512]),
+                    },
+                ],
+            },
+            streams: StreamSnapshot {
+                streams: vec![(0, 0), (1, 12345)],
+                next_handle: 2,
+            },
+            events: EventSnapshot {
+                events: vec![(1, None), (2, Some(999))],
+                next_handle: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let snap = sample();
+        let wire = snap.encode();
+        assert_eq!(ContextSnapshot::decode(&wire).unwrap(), snap);
+        assert_eq!(snap.used_bytes(), 768);
+    }
+
+    #[test]
+    fn phantom_and_uninitialized_round_trip() {
+        let snap = ContextSnapshot {
+            module_kernels: None,
+            memory: MemorySnapshot {
+                capacity: u32::MAX - 0x1000,
+                backed: false,
+                quota: None,
+                blocks: vec![BlockSnapshot {
+                    base: 0x1000,
+                    len: 1 << 30,
+                    data: None,
+                }],
+            },
+            streams: StreamSnapshot {
+                streams: vec![(0, 0)],
+                next_handle: 1,
+            },
+            events: EventSnapshot {
+                events: vec![],
+                next_handle: 1,
+            },
+        };
+        let wire = snap.encode();
+        assert_eq!(ContextSnapshot::decode(&wire).unwrap(), snap);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_inputs_error_cleanly() {
+        let wire = sample().encode();
+        for cut in [0, 3, 8, 20, wire.len() - 1] {
+            assert!(ContextSnapshot::decode(&wire[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad_magic = wire.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(ContextSnapshot::decode(&bad_magic).is_err());
+        let mut bad_version = wire;
+        bad_version[4] = 99;
+        assert!(ContextSnapshot::decode(&bad_version).is_err());
+    }
+
+    #[test]
+    fn corrupt_length_does_not_allocate_up_front() {
+        // A snapshot claiming a huge block-data length must fail with EOF,
+        // not attempt the allocation.
+        let mut w = Vec::new();
+        put_u32(&mut w, MAGIC).unwrap();
+        put_u32(&mut w, VERSION).unwrap();
+        w.push(0); // no module
+        put_u32(&mut w, 1 << 20).unwrap();
+        w.push(1); // backed
+        w.push(0); // no quota
+        put_u32(&mut w, 1).unwrap(); // one block
+        put_u32(&mut w, 0x1000).unwrap();
+        put_u32(&mut w, 256).unwrap();
+        w.push(1);
+        put_u32(&mut w, u32::MAX).unwrap(); // absurd data length
+        assert!(ContextSnapshot::decode(&w).is_err());
+    }
+}

@@ -8,6 +8,7 @@
 //! compute/transfer overlap semantics; on a wall clock everything completes
 //! immediately (the functional path executes operations inline).
 
+use crate::snapshot::{EventSnapshot, StreamSnapshot};
 use rcuda_core::{Clock, CudaError, CudaResult, SimTime};
 use std::collections::HashMap;
 
@@ -107,6 +108,40 @@ impl StreamTable {
         }
     }
 
+    /// Serialize for migration: handles, completion deadlines, and the
+    /// next-handle counter (handle determinism survives the move).
+    pub fn snapshot(&self) -> StreamSnapshot {
+        let mut streams: Vec<(u32, u64)> = self
+            .streams
+            .iter()
+            .map(|(&h, s)| (h, s.completes_at.as_nanos()))
+            .collect();
+        streams.sort_unstable();
+        StreamSnapshot {
+            streams,
+            next_handle: self.next_handle,
+        }
+    }
+
+    /// Rebuild a stream table from a snapshot.
+    pub fn restore(snap: &StreamSnapshot) -> StreamTable {
+        StreamTable {
+            streams: snap
+                .streams
+                .iter()
+                .map(|&(h, at)| {
+                    (
+                        h,
+                        StreamState {
+                            completes_at: SimTime::from_nanos(at),
+                        },
+                    )
+                })
+                .collect(),
+            next_handle: snap.next_handle,
+        }
+    }
+
     /// `cudaThreadSynchronize`: drain every stream.
     pub fn synchronize_all(&mut self, clock: &dyn Clock) {
         let target = self
@@ -163,6 +198,33 @@ impl EventTable {
             .remove(&event)
             .map(|_| ())
             .ok_or(CudaError::InvalidResourceHandle)
+    }
+
+    /// Serialize for migration: handles, recorded timestamps, and the
+    /// next-handle counter.
+    pub fn snapshot(&self) -> EventSnapshot {
+        let mut events: Vec<(u32, Option<u64>)> = self
+            .events
+            .iter()
+            .map(|(&h, at)| (h, at.map(|t| t.as_nanos())))
+            .collect();
+        events.sort_unstable();
+        EventSnapshot {
+            events,
+            next_handle: self.next_handle,
+        }
+    }
+
+    /// Rebuild an event table from a snapshot.
+    pub fn restore(snap: &EventSnapshot) -> EventTable {
+        EventTable {
+            events: snap
+                .events
+                .iter()
+                .map(|&(h, at)| (h, at.map(SimTime::from_nanos)))
+                .collect(),
+            next_handle: snap.next_handle,
+        }
     }
 
     /// `cudaEventRecord`: stamp the event at `at` (the recording stream's

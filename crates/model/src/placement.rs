@@ -1,0 +1,266 @@
+//! Placement-quality prediction for the broker's scheduling policies.
+//!
+//! The multi-tenant follow-on work to the paper (vGPU sharing, AaaS
+//! clusters) shows that *which daemon a session lands on* dominates tail
+//! behavior once several clients share a GPU pool. The broker
+//! (`rcuda-broker`) implements three policies; this module predicts the
+//! load distribution each produces for a given session mix so a deployment
+//! can be sized before it exists — the same spirit as [`crate::capacity`],
+//! one level down.
+//!
+//! ## Model
+//!
+//! `m` sessions arrive in order; session `i` carries weight `w_i` (its
+//! expected concurrent demand — 1.0 for identical tenants, or a mix).
+//! Sessions are assigned to `n` daemons by the policy under study:
+//!
+//! - **LeastLoaded** — greedy: each arrival goes to the daemon with the
+//!   lowest accumulated weight (ties to the lowest id). This mirrors the
+//!   broker's live-session ordering exactly, which is what the validation
+//!   test in this module pins.
+//! - **Spread** — round-robin by arrival index, the broker's
+//!   placement-count ordering when sessions never finish.
+//! - **Random** — uniform choice from a seeded xorshift; the baseline a
+//!   broker-less deployment (clients picking daemons themselves) achieves.
+//!
+//! The forecast reports the maximum per-daemon load and the imbalance
+//! ratio `max/mean`. For unit weights, Random's expected maximum follows
+//! the classic balls-into-bins bound `m/n + √(2·m·ln n / n)`
+//! ([`random_max_load_bound`]), which the simulation tracks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which assignment rule to predict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Greedy lowest-accumulated-load (the broker's default).
+    LeastLoaded,
+    /// Round-robin by arrival order.
+    Spread,
+    /// Uniform random daemon per arrival (seeded; the no-broker baseline).
+    Random {
+        /// Seed for the xorshift stream so forecasts are reproducible.
+        seed: u64,
+    },
+}
+
+/// Predicted load distribution for one policy over one session mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementForecast {
+    /// Accumulated weight per daemon, indexed by daemon id.
+    pub loads: Vec<f64>,
+    /// The heaviest daemon's load.
+    pub max_load: f64,
+    /// Mean load (total weight / daemons).
+    pub mean_load: f64,
+    /// `max_load / mean_load`; 1.0 is perfect balance. Defined as 1.0 for
+    /// an empty mix.
+    pub imbalance: f64,
+}
+
+/// Predict the per-daemon load distribution when `weights` (one entry per
+/// session, in arrival order) are placed on `daemons` servers by
+/// `strategy`.
+///
+/// # Panics
+/// If `daemons == 0` or any weight is negative.
+pub fn predict_placement(
+    daemons: usize,
+    weights: &[f64],
+    strategy: PlacementStrategy,
+) -> PlacementForecast {
+    assert!(daemons > 0, "a cluster has daemons");
+    assert!(
+        weights.iter().all(|w| *w >= 0.0),
+        "session weights are demands, not credits"
+    );
+    let mut loads = vec![0.0f64; daemons];
+    let mut rng = match strategy {
+        PlacementStrategy::Random { seed } => Some(StdRng::seed_from_u64(seed)),
+        _ => None,
+    };
+    for (i, w) in weights.iter().enumerate() {
+        let target = match strategy {
+            PlacementStrategy::LeastLoaded => loads
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+                .map(|(idx, _)| idx)
+                .expect("daemons > 0"),
+            PlacementStrategy::Spread => i % daemons,
+            PlacementStrategy::Random { .. } => rng
+                .as_mut()
+                .expect("rng seeded for Random")
+                .gen_range(0..daemons),
+        };
+        loads[target] += w;
+    }
+    summarize(loads)
+}
+
+fn summarize(loads: Vec<f64>) -> PlacementForecast {
+    let total: f64 = loads.iter().sum();
+    let mean_load = total / loads.len() as f64;
+    let max_load = loads.iter().copied().fold(0.0f64, f64::max);
+    let imbalance = if total > 0.0 {
+        max_load / mean_load
+    } else {
+        1.0
+    };
+    PlacementForecast {
+        loads,
+        max_load,
+        mean_load,
+        imbalance,
+    }
+}
+
+/// The classic balls-into-bins expected-maximum bound for `m` unit
+/// sessions on `n` daemons placed uniformly at random:
+/// `m/n + √(2·m·ln n / n)` (valid for `m ≫ n·ln n`). Random placement's
+/// simulated maximum should sit at or below this; LeastLoaded beats it by
+/// construction.
+pub fn random_max_load_bound(daemons: usize, sessions: usize) -> f64 {
+    assert!(daemons > 0);
+    let n = daemons as f64;
+    let m = sessions as f64;
+    if daemons == 1 {
+        return m;
+    }
+    m / n + (2.0 * m * n.ln() / n).sqrt()
+}
+
+/// Side-by-side forecast of all three policies for one mix — the table a
+/// deployment decision reads.
+pub fn compare_strategies(
+    daemons: usize,
+    weights: &[f64],
+    random_seed: u64,
+) -> [(PlacementStrategy, PlacementForecast); 3] {
+    [
+        PlacementStrategy::LeastLoaded,
+        PlacementStrategy::Spread,
+        PlacementStrategy::Random { seed: random_seed },
+    ]
+    .map(|s| (s, predict_placement(daemons, weights, s)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn least_loaded_is_perfectly_balanced_for_unit_weights() {
+        let f = predict_placement(4, &[1.0; 16], PlacementStrategy::LeastLoaded);
+        assert_eq!(f.loads, vec![4.0; 4]);
+        assert!((f.imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spread_ignores_weights_least_loaded_does_not() {
+        // Alternating heavy/light arrivals: round-robin stacks all the
+        // heavy sessions on the same daemons; greedy interleaves them.
+        let weights: Vec<f64> = (0..12)
+            .map(|i| if i % 2 == 0 { 4.0 } else { 1.0 })
+            .collect();
+        let spread = predict_placement(2, &weights, PlacementStrategy::Spread);
+        let greedy = predict_placement(2, &weights, PlacementStrategy::LeastLoaded);
+        assert!(
+            spread.imbalance > greedy.imbalance,
+            "{spread:?} vs {greedy:?}"
+        );
+        assert!((greedy.mean_load - spread.mean_load).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_is_worse_than_least_loaded_but_within_the_bound() {
+        let weights = vec![1.0; 256];
+        let greedy = predict_placement(8, &weights, PlacementStrategy::LeastLoaded);
+        let random = predict_placement(8, &weights, PlacementStrategy::Random { seed: 7 });
+        assert!(random.max_load >= greedy.max_load);
+        assert!(
+            random.max_load <= random_max_load_bound(8, 256),
+            "{} > bound {}",
+            random.max_load,
+            random_max_load_bound(8, 256)
+        );
+    }
+
+    #[test]
+    fn forecasts_are_deterministic_per_seed() {
+        let weights = vec![1.0; 64];
+        let a = predict_placement(4, &weights, PlacementStrategy::Random { seed: 42 });
+        let b = predict_placement(4, &weights, PlacementStrategy::Random { seed: 42 });
+        let c = predict_placement(4, &weights, PlacementStrategy::Random { seed: 43 });
+        assert_eq!(a, b);
+        assert_ne!(a.loads, c.loads, "different seeds should diverge");
+    }
+
+    #[test]
+    fn compare_covers_all_three() {
+        let table = compare_strategies(3, &[1.0; 9], 1);
+        assert_eq!(table.len(), 3);
+        for (_, f) in &table {
+            assert!((f.mean_load - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "daemons")]
+    fn zero_daemons_panics() {
+        predict_placement(0, &[1.0], PlacementStrategy::Spread);
+    }
+
+    /// Validation against the real scheduler: drive `rcuda-broker`'s
+    /// directory with the same arrival sequence the model assumes (unit
+    /// sessions that never finish, constant headroom) and require the
+    /// broker's per-daemon placement counts to equal the LeastLoaded
+    /// forecast exactly — including the lowest-id tie-break.
+    #[test]
+    fn broker_least_loaded_placement_matches_the_forecast() {
+        use rcuda_broker::{Directory, HealthPolicy, PlacementPolicy};
+        use rcuda_obs::ObsHandle;
+        use rcuda_proto::broker::Heartbeat;
+        use std::time::Instant;
+
+        let n = 4usize;
+        let m = 13usize;
+        let addrs: Vec<String> = (0..n).map(|i| format!("daemon{i}:900{i}")).collect();
+        let mut dir = Directory::new(
+            PlacementPolicy::LeastLoaded,
+            HealthPolicy::default(),
+            ObsHandle::none(),
+        );
+        let t = Instant::now();
+        let ids: Vec<u64> = addrs.iter().map(|a| dir.register(a, 1 << 30, t)).collect();
+
+        let mut live = vec![0u32; n];
+        let mut broker_loads = vec![0.0f64; n];
+        for _ in 0..m {
+            let first = dir.place(0).remove(0);
+            let idx = addrs.iter().position(|a| *a == first).unwrap();
+            live[idx] += 1;
+            broker_loads[idx] += 1.0;
+            dir.heartbeat(
+                ids[idx],
+                &Heartbeat {
+                    live_sessions: live[idx],
+                    parked: 0,
+                    free_bytes: 1 << 30,
+                    served: u64::from(live[idx]),
+                    draining: false,
+                    sessions: Vec::new(),
+                },
+                t,
+            );
+        }
+
+        let forecast = predict_placement(n, &vec![1.0; m], PlacementStrategy::LeastLoaded);
+        assert_eq!(
+            broker_loads, forecast.loads,
+            "model diverged from the broker"
+        );
+        assert_eq!(forecast.max_load, 4.0);
+    }
+}

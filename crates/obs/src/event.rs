@@ -106,6 +106,30 @@ pub enum DaemonEvent {
     },
 }
 
+/// A cluster-broker event: membership transitions, placement decisions and
+/// migrations. Daemons are identified by the numeric id the broker assigned
+/// at registration (the broker's directory maps ids to addresses) so the
+/// payload stays `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrokerEvent {
+    /// A daemon registered (or re-registered) with the directory.
+    DaemonJoined { daemon: u64 },
+    /// A daemon missed enough heartbeats to be considered suspect.
+    DaemonSuspect { daemon: u64 },
+    /// A suspect daemon recovered (enough consecutive heartbeats arrived).
+    DaemonRecovered { daemon: u64 },
+    /// A daemon was declared down (heartbeat timeout expired or its
+    /// registration trunk died) and its sessions became orphans.
+    DaemonDown { daemon: u64, orphaned_sessions: u64 },
+    /// A placement decision was served: the chosen daemon and how many
+    /// candidates were considered.
+    Placed { daemon: u64, candidates: u32 },
+    /// A placement request could not be satisfied (no live daemon).
+    PlacementFailed,
+    /// The broker ordered a session migrated between daemons.
+    MigrationOrdered { session: u64, from: u64, to: u64 },
+}
+
 /// One readiness pass of a reactor shard that did useful work: how loaded
 /// the shard was and how much it moved. Idle passes are not reported, so
 /// the stream's density tracks actual activity, not spin rate.
@@ -145,6 +169,7 @@ pub trait Observer: Send + Sync {
     fn server_span(&self, _span: &ServerSpan) {}
     fn daemon_event(&self, _event: &DaemonEvent) {}
     fn shard_span(&self, _span: &ShardSpan) {}
+    fn broker_event(&self, _event: &BrokerEvent) {}
 }
 
 /// The nullable observer handle held by instrumented layers.
@@ -235,6 +260,13 @@ impl ObsHandle {
             obs.shard_span(span);
         }
     }
+
+    #[inline]
+    pub fn emit_broker(&self, event: BrokerEvent) {
+        if let Some(obs) = &self.observer {
+            obs.broker_event(&event);
+        }
+    }
 }
 
 impl From<Arc<dyn Observer>> for ObsHandle {
@@ -266,6 +298,7 @@ mod tests {
         reconnects: AtomicU64,
         server: AtomicU64,
         daemon: AtomicU64,
+        broker: AtomicU64,
     }
 
     impl Observer for Counting {
@@ -286,6 +319,9 @@ mod tests {
         }
         fn daemon_event(&self, _: &DaemonEvent) {
             self.daemon.fetch_add(1, Ordering::Relaxed);
+        }
+        fn broker_event(&self, _: &BrokerEvent) {
+            self.broker.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -316,6 +352,11 @@ mod tests {
             end: SimTime::from_nanos(3),
         });
         handle.emit_daemon(DaemonEvent::SessionRejected { retry_after_ms: 25 });
+        handle.emit_broker(BrokerEvent::Placed {
+            daemon: 1,
+            candidates: 3,
+        });
+        assert_eq!(obs.broker.load(Ordering::Relaxed), 1);
         assert_eq!(obs.calls.load(Ordering::Relaxed), 1);
         assert_eq!(obs.messages.load(Ordering::Relaxed), 1);
         assert_eq!(obs.retries.load(Ordering::Relaxed), 1);

@@ -34,8 +34,8 @@ pub mod summary;
 
 pub use chrome::{chrome_trace, validate_chrome_trace};
 pub use event::{
-    CallSpan, DaemonEvent, Dir, MessageEvent, ObsHandle, Observer, ServerSpan, ShardSpan,
-    StreamFrameEvent,
+    BrokerEvent, CallSpan, DaemonEvent, Dir, MessageEvent, ObsHandle, Observer, ServerSpan,
+    ShardSpan, StreamFrameEvent,
 };
 pub use hist::{Histogram, BUCKETS};
 pub use metrics::{PoolStats, SessionMetrics};

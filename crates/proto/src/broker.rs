@@ -1,0 +1,410 @@
+//! Broker control-plane messages — cluster membership, health and placement.
+//!
+//! The broker is a small directory service that daemons register with and
+//! clients consult before dialing a daemon. All messages here travel over a
+//! connection that has already completed the mux-style authentication
+//! handshake ([`crate::mux`]), so nothing below carries credentials.
+//!
+//! The conversation shapes are deliberately minimal:
+//!
+//! * A **daemon** sends [`BrokerHello::Daemon`] once, then a [`Heartbeat`]
+//!   every interval. The broker answers each heartbeat with a
+//!   [`HeartbeatReply`] that may piggyback [`BrokerCommand`]s (today: migrate
+//!   a session out). Commands ride the reply so a single socket never needs
+//!   concurrent readers.
+//! * A **client** sends [`BrokerHello::Client`] once, then any number of
+//!   [`PlaceRequest`]s; each is answered by a [`PlaceReply`] listing daemon
+//!   addresses in preference order. If the named session is known to live on
+//!   a particular daemon, that daemon is listed first so a reconnect finds
+//!   its parked context.
+//!
+//! Like the rest of the protocol there is no framing: every field is
+//! fixed-size or length-prefixed, and every length is sanity-capped so a
+//! corrupt peer fails fast instead of forcing an absurd allocation.
+
+use std::io::{self, Read, Write};
+
+use crate::wire::{get_bytes, get_u32, get_u64, put_u32, put_u64};
+
+/// Cap on an advertised daemon address (a host:port string).
+pub const MAX_ADDR_BYTES: usize = 256;
+/// Cap on the per-heartbeat session-token list.
+pub const MAX_SESSIONS: usize = 1 << 16;
+/// Cap on commands piggybacked on one heartbeat reply.
+pub const MAX_COMMANDS: usize = 1024;
+/// Cap on candidate addresses in one placement reply.
+pub const MAX_ADDRS: usize = 1024;
+
+fn bad(msg: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn put_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    if s.len() > MAX_ADDR_BYTES {
+        return Err(bad("address string over the wire cap"));
+    }
+    put_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn get_str<R: Read>(r: &mut R) -> io::Result<String> {
+    let len = get_u32(r)? as usize;
+    if len > MAX_ADDR_BYTES {
+        return Err(bad("address string over the wire cap"));
+    }
+    let bytes = get_bytes(r, len)?;
+    String::from_utf8(bytes).map_err(|_| bad("address string is not UTF-8"))
+}
+
+/// First message after authentication: who is on this connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerHello {
+    /// A daemon registering itself: the address clients should dial and the
+    /// device memory capacity it manages.
+    Daemon { addr: String, capacity: u64 },
+    /// A client that will ask for placements.
+    Client,
+}
+
+const ROLE_DAEMON: u32 = 1;
+const ROLE_CLIENT: u32 = 2;
+
+impl BrokerHello {
+    pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            BrokerHello::Daemon { addr, capacity } => {
+                put_u32(w, ROLE_DAEMON)?;
+                put_str(w, addr)?;
+                put_u64(w, *capacity)
+            }
+            BrokerHello::Client => put_u32(w, ROLE_CLIENT),
+        }
+    }
+
+    pub fn read<R: Read>(r: &mut R) -> io::Result<BrokerHello> {
+        match get_u32(r)? {
+            ROLE_DAEMON => Ok(BrokerHello::Daemon {
+                addr: get_str(r)?,
+                capacity: get_u64(r)?,
+            }),
+            ROLE_CLIENT => Ok(BrokerHello::Client),
+            _ => Err(bad("unknown broker role")),
+        }
+    }
+}
+
+/// One periodic daemon → broker health report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Sessions currently being served.
+    pub live_sessions: u32,
+    /// Contexts parked awaiting reconnection.
+    pub parked: u32,
+    /// Device memory headroom (ledger capacity minus in-use bytes).
+    pub free_bytes: u64,
+    /// Sessions served over the daemon's lifetime.
+    pub served: u64,
+    /// The daemon is draining: finish what it has, place nothing new here.
+    pub draining: bool,
+    /// Resume tokens of every session the daemon holds (live and parked) —
+    /// this is how the broker learns where a session lives.
+    pub sessions: Vec<u64>,
+}
+
+impl Heartbeat {
+    pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        if self.sessions.len() > MAX_SESSIONS {
+            return Err(bad("heartbeat session list over the wire cap"));
+        }
+        put_u32(w, self.live_sessions)?;
+        put_u32(w, self.parked)?;
+        put_u64(w, self.free_bytes)?;
+        put_u64(w, self.served)?;
+        w.write_all(&[self.draining as u8])?;
+        put_u32(w, self.sessions.len() as u32)?;
+        for s in &self.sessions {
+            put_u64(w, *s)?;
+        }
+        Ok(())
+    }
+
+    pub fn read<R: Read>(r: &mut R) -> io::Result<Heartbeat> {
+        let live_sessions = get_u32(r)?;
+        let parked = get_u32(r)?;
+        let free_bytes = get_u64(r)?;
+        let served = get_u64(r)?;
+        let mut flag = [0u8; 1];
+        r.read_exact(&mut flag)?;
+        let draining = match flag[0] {
+            0 => false,
+            1 => true,
+            _ => return Err(bad("heartbeat draining flag must be 0 or 1")),
+        };
+        let count = get_u32(r)? as usize;
+        if count > MAX_SESSIONS {
+            return Err(bad("heartbeat session list over the wire cap"));
+        }
+        let mut sessions = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            sessions.push(get_u64(r)?);
+        }
+        Ok(Heartbeat {
+            live_sessions,
+            parked,
+            free_bytes,
+            served,
+            draining,
+            sessions,
+        })
+    }
+}
+
+/// An order the broker piggybacks on a heartbeat reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerCommand {
+    /// Quiesce `session` at its next frame boundary and ship its context
+    /// snapshot to the daemon listening at `target`.
+    MigrateOut { session: u64, target: String },
+}
+
+const CMD_MIGRATE_OUT: u32 = 1;
+
+impl BrokerCommand {
+    fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            BrokerCommand::MigrateOut { session, target } => {
+                put_u32(w, CMD_MIGRATE_OUT)?;
+                put_u64(w, *session)?;
+                put_str(w, target)
+            }
+        }
+    }
+
+    fn read<R: Read>(r: &mut R) -> io::Result<BrokerCommand> {
+        match get_u32(r)? {
+            CMD_MIGRATE_OUT => Ok(BrokerCommand::MigrateOut {
+                session: get_u64(r)?,
+                target: get_str(r)?,
+            }),
+            _ => Err(bad("unknown broker command")),
+        }
+    }
+}
+
+/// Broker → daemon answer to a heartbeat.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HeartbeatReply {
+    pub commands: Vec<BrokerCommand>,
+}
+
+impl HeartbeatReply {
+    pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        if self.commands.len() > MAX_COMMANDS {
+            return Err(bad("heartbeat reply command list over the wire cap"));
+        }
+        put_u32(w, self.commands.len() as u32)?;
+        for c in &self.commands {
+            c.write(w)?;
+        }
+        Ok(())
+    }
+
+    pub fn read<R: Read>(r: &mut R) -> io::Result<HeartbeatReply> {
+        let count = get_u32(r)? as usize;
+        if count > MAX_COMMANDS {
+            return Err(bad("heartbeat reply command list over the wire cap"));
+        }
+        let mut commands = Vec::with_capacity(count.min(64));
+        for _ in 0..count {
+            commands.push(BrokerCommand::read(r)?);
+        }
+        Ok(HeartbeatReply { commands })
+    }
+}
+
+/// Client → broker: where should this session run? `session == 0` means the
+/// client has no resume token yet (fresh placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaceRequest {
+    pub session: u64,
+}
+
+impl PlaceRequest {
+    pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        put_u64(w, self.session)
+    }
+
+    pub fn read<R: Read>(r: &mut R) -> io::Result<PlaceRequest> {
+        Ok(PlaceRequest {
+            session: get_u64(r)?,
+        })
+    }
+}
+
+/// Broker → client: candidate daemon addresses, best first. Empty means no
+/// daemon is currently alive and placeable.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlaceReply {
+    pub addrs: Vec<String>,
+}
+
+impl PlaceReply {
+    pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        if self.addrs.len() > MAX_ADDRS {
+            return Err(bad("placement reply address list over the wire cap"));
+        }
+        put_u32(w, self.addrs.len() as u32)?;
+        for a in &self.addrs {
+            put_str(w, a)?;
+        }
+        Ok(())
+    }
+
+    pub fn read<R: Read>(r: &mut R) -> io::Result<PlaceReply> {
+        let count = get_u32(r)? as usize;
+        if count > MAX_ADDRS {
+            return Err(bad("placement reply address list over the wire cap"));
+        }
+        let mut addrs = Vec::with_capacity(count.min(64));
+        for _ in 0..count {
+            addrs.push(get_str(r)?);
+        }
+        Ok(PlaceReply { addrs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip<T, W, R>(value: &T, write: W, read: R) -> T
+    where
+        W: Fn(&T, &mut Vec<u8>) -> io::Result<()>,
+        R: Fn(&mut Cursor<&[u8]>) -> io::Result<T>,
+    {
+        let mut wire = Vec::new();
+        write(value, &mut wire).unwrap();
+        let mut cur = Cursor::new(wire.as_slice());
+        let got = read(&mut cur).unwrap();
+        assert_eq!(cur.position() as usize, wire.len(), "trailing wire bytes");
+        got
+    }
+
+    #[test]
+    fn hellos_round_trip() {
+        for hello in [
+            BrokerHello::Daemon {
+                addr: "10.0.0.7:9991".into(),
+                capacity: 1 << 32,
+            },
+            BrokerHello::Client,
+        ] {
+            let got = round_trip(&hello, |v, w| v.write(w), |r| BrokerHello::read(r));
+            assert_eq!(got, hello);
+        }
+    }
+
+    #[test]
+    fn heartbeat_round_trips_with_session_list() {
+        let hb = Heartbeat {
+            live_sessions: 3,
+            parked: 1,
+            free_bytes: 123_456_789,
+            served: 42,
+            draining: true,
+            sessions: vec![0xDEAD_BEEF, 7, u64::MAX],
+        };
+        let got = round_trip(&hb, |v, w| v.write(w), |r| Heartbeat::read(r));
+        assert_eq!(got, hb);
+    }
+
+    #[test]
+    fn heartbeat_reply_carries_commands() {
+        let reply = HeartbeatReply {
+            commands: vec![BrokerCommand::MigrateOut {
+                session: 99,
+                target: "127.0.0.1:4000".into(),
+            }],
+        };
+        let got = round_trip(&reply, |v, w| v.write(w), |r| HeartbeatReply::read(r));
+        assert_eq!(got, reply);
+        let empty = HeartbeatReply::default();
+        let got = round_trip(&empty, |v, w| v.write(w), |r| HeartbeatReply::read(r));
+        assert!(got.commands.is_empty());
+    }
+
+    #[test]
+    fn placement_round_trips() {
+        let req = PlaceRequest { session: 0 };
+        assert_eq!(
+            round_trip(&req, |v, w| v.write(w), |r| PlaceRequest::read(r)),
+            req
+        );
+        let reply = PlaceReply {
+            addrs: vec!["a:1".into(), "b:2".into(), "c:3".into()],
+        };
+        assert_eq!(
+            round_trip(&reply, |v, w| v.write(w), |r| PlaceReply::read(r)),
+            reply
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_not_trusted() {
+        // Unknown role.
+        let mut wire = Vec::new();
+        put_u32(&mut wire, 77).unwrap();
+        assert!(BrokerHello::read(&mut Cursor::new(wire.as_slice())).is_err());
+
+        // Address length over the cap must fail before allocating.
+        let mut wire = Vec::new();
+        put_u32(&mut wire, ROLE_DAEMON).unwrap();
+        put_u32(&mut wire, u32::MAX).unwrap();
+        assert!(BrokerHello::read(&mut Cursor::new(wire.as_slice())).is_err());
+
+        // Non-UTF-8 address.
+        let mut wire = Vec::new();
+        put_u32(&mut wire, ROLE_DAEMON).unwrap();
+        put_u32(&mut wire, 2).unwrap();
+        wire.extend_from_slice(&[0xFF, 0xFE]);
+        put_u64(&mut wire, 0).unwrap();
+        assert!(BrokerHello::read(&mut Cursor::new(wire.as_slice())).is_err());
+
+        // Draining flag must be strictly boolean.
+        let hb = Heartbeat {
+            live_sessions: 0,
+            parked: 0,
+            free_bytes: 0,
+            served: 0,
+            draining: false,
+            sessions: vec![],
+        };
+        let mut wire = Vec::new();
+        hb.write(&mut wire).unwrap();
+        wire[24] = 9; // the draining byte
+        assert!(Heartbeat::read(&mut Cursor::new(wire.as_slice())).is_err());
+
+        // Session count over the cap.
+        let mut wire = Vec::new();
+        put_u32(&mut wire, 0).unwrap();
+        put_u32(&mut wire, 0).unwrap();
+        put_u64(&mut wire, 0).unwrap();
+        put_u64(&mut wire, 0).unwrap();
+        wire.push(0);
+        put_u32(&mut wire, u32::MAX).unwrap();
+        assert!(Heartbeat::read(&mut Cursor::new(wire.as_slice())).is_err());
+
+        // Unknown command tag.
+        let mut wire = Vec::new();
+        put_u32(&mut wire, 1).unwrap();
+        put_u32(&mut wire, 999).unwrap();
+        assert!(HeartbeatReply::read(&mut Cursor::new(wire.as_slice())).is_err());
+
+        // Truncated placement reply.
+        let mut wire = Vec::new();
+        put_u32(&mut wire, 3).unwrap();
+        put_str(&mut wire, "only-one:1").unwrap();
+        assert!(PlaceReply::read(&mut Cursor::new(wire.as_slice())).is_err());
+    }
+}

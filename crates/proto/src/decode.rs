@@ -76,7 +76,7 @@ fn scan_request_at(buf: &[u8], off: usize) -> io::Result<Scan> {
     let fixed = LAUNCH_FIXED_BYTES as usize;
     let scan = match id {
         FunctionId::Batch => return Err(invalid("batch frames cannot appear inside a batch")),
-        FunctionId::Hello | FunctionId::Reconnect | FunctionId::MuxHello => {
+        FunctionId::Hello | FunctionId::Reconnect | FunctionId::MuxHello | FunctionId::Migrate => {
             return Err(invalid(
                 "handshake selectors are only valid as the first post-connect message",
             ))
@@ -202,6 +202,15 @@ pub fn scan_hello(buf: &[u8]) -> io::Result<Scan> {
             sized(buf.len(), check_cap(16 + len)?)
         }
         Ok(FunctionId::Reconnect) => sized(buf.len(), 12),
+        Ok(FunctionId::Migrate) => {
+            // selector + session + snapshot length + snapshot — the same
+            // shape as `Hello`, but shipped daemon → daemon.
+            if buf.len() < 16 {
+                return Ok(Scan::Need(16));
+            }
+            let len = u32_at(buf, 12) as usize;
+            sized(buf.len(), check_cap(16 + len)?)
+        }
         _ => sized(buf.len(), check_cap(4 + first as usize)?),
     };
     Ok(scan)
@@ -511,6 +520,10 @@ mod tests {
                 module: vec![9; 40],
             },
             SessionHello::Reconnect { session: 42 },
+            SessionHello::Migrate {
+                session: 7,
+                snapshot: vec![0xAA; 24],
+            },
         ];
         for hello in hellos {
             let mut wire = Vec::new();
@@ -645,7 +658,12 @@ mod tests {
 
     #[test]
     fn handshake_selectors_inside_a_session_are_rejected() {
-        for sel in [FunctionId::Hello, FunctionId::Reconnect, FunctionId::Busy] {
+        for sel in [
+            FunctionId::Hello,
+            FunctionId::Reconnect,
+            FunctionId::Busy,
+            FunctionId::Migrate,
+        ] {
             let mut dec = StreamDecoder::new();
             dec.feed(&sel.as_u32().to_le_bytes());
             assert!(dec.poll_frame(None).is_err(), "{sel:?}");

@@ -110,6 +110,12 @@ pub enum SessionHello {
     /// A returning session: `Reconnect` selector + session token. No module
     /// travels — the parked server context already holds it.
     Reconnect { session: u64 },
+    /// Daemon → daemon live migration: `Migrate` selector, session token,
+    /// and an opaque context-snapshot blob (encoded by `rcuda-gpu`; the
+    /// protocol layer does not interpret it). The receiving daemon restores
+    /// the context and parks it under the token, so the client's next
+    /// `Reconnect` lands transparently.
+    Migrate { session: u64, snapshot: Vec<u8> },
 }
 
 impl SessionHello {
@@ -121,6 +127,9 @@ impl SessionHello {
                 HELLO_OVERHEAD_BYTES + 4 + module.len() as u64
             }
             SessionHello::Reconnect { .. } => 12,
+            SessionHello::Migrate { snapshot, .. } => {
+                HELLO_OVERHEAD_BYTES + 4 + snapshot.len() as u64
+            }
         }
     }
 
@@ -141,6 +150,12 @@ impl SessionHello {
                 put_u32(w, FunctionId::Reconnect.as_u32())?;
                 put_u64(w, *session)
             }
+            SessionHello::Migrate { session, snapshot } => {
+                put_u32(w, FunctionId::Migrate.as_u32())?;
+                put_u64(w, *session)?;
+                put_u32(w, snapshot.len() as u32)?;
+                w.write_all(snapshot)
+            }
         }
     }
 
@@ -159,6 +174,12 @@ impl SessionHello {
             Ok(FunctionId::Reconnect) => Ok(SessionHello::Reconnect {
                 session: get_u64(r)?,
             }),
+            Ok(FunctionId::Migrate) => {
+                let session = get_u64(r)?;
+                let len = get_u32(r)? as usize;
+                let snapshot = get_bytes(r, len)?;
+                Ok(SessionHello::Migrate { session, snapshot })
+            }
             _ => Ok(SessionHello::Fresh {
                 module: get_bytes(r, first as usize)?,
             }),
@@ -169,7 +190,7 @@ impl SessionHello {
     pub fn module(&self) -> Option<&[u8]> {
         match self {
             SessionHello::Fresh { module } | SessionHello::Resumable { module, .. } => Some(module),
-            SessionHello::Reconnect { .. } => None,
+            SessionHello::Reconnect { .. } | SessionHello::Migrate { .. } => None,
         }
     }
 
@@ -177,9 +198,9 @@ impl SessionHello {
     pub fn session(&self) -> Option<u64> {
         match self {
             SessionHello::Fresh { .. } => None,
-            SessionHello::Resumable { session, .. } | SessionHello::Reconnect { session } => {
-                Some(*session)
-            }
+            SessionHello::Resumable { session, .. }
+            | SessionHello::Reconnect { session }
+            | SessionHello::Migrate { session, .. } => Some(*session),
         }
     }
 }
@@ -219,6 +240,10 @@ mod tests {
             SessionHello::Reconnect {
                 session: u64::MAX - 7,
             },
+            SessionHello::Migrate {
+                session: 0xFEED,
+                snapshot: vec![0xAB; 100],
+            },
         ] {
             assert_eq!(round_trip(&h), h);
         }
@@ -243,9 +268,10 @@ mod tests {
     fn selectors_cannot_be_module_lengths() {
         // Hello/Reconnect/Busy occupy the top of the u32 range, where a
         // module length is physically impossible (a 4 GiB module).
-        assert!(FunctionId::Hello.as_u32() > u32::MAX - 3);
-        assert!(FunctionId::Reconnect.as_u32() > u32::MAX - 3);
-        assert!(FunctionId::Busy.as_u32() > u32::MAX - 3);
+        assert!(FunctionId::Hello.as_u32() > u32::MAX - 5);
+        assert!(FunctionId::Reconnect.as_u32() > u32::MAX - 5);
+        assert!(FunctionId::Busy.as_u32() > u32::MAX - 5);
+        assert!(FunctionId::Migrate.as_u32() > u32::MAX - 5);
     }
 
     #[test]

@@ -73,6 +73,11 @@ pub enum FunctionId {
     /// other handshake selectors, the value is an impossible module length,
     /// so a server reading the first post-connect word can route it.
     MuxHello = 0xFFFF_FFFC,
+    /// Handshake: a *daemon* (not a client) ships a quiesced session's
+    /// context snapshot to this daemon — live migration (extension; see
+    /// [`crate::handshake::SessionHello::Migrate`]). Like the other
+    /// handshake selectors, the value is an impossible module length.
+    Migrate = 0xFFFF_FFFB,
 }
 
 impl FunctionId {
@@ -97,6 +102,7 @@ impl FunctionId {
             26 => FunctionId::EventDestroy,
             32 => FunctionId::Batch,
             255 => FunctionId::Quit,
+            0xFFFF_FFFB => FunctionId::Migrate,
             0xFFFF_FFFC => FunctionId::MuxHello,
             0xFFFF_FFFD => FunctionId::Busy,
             0xFFFF_FFFE => FunctionId::Hello,
@@ -110,7 +116,7 @@ impl FunctionId {
     }
 
     /// All defined ids (for exhaustive round-trip tests).
-    pub const ALL: [FunctionId; 22] = [
+    pub const ALL: [FunctionId; 23] = [
         FunctionId::Malloc,
         FunctionId::Free,
         FunctionId::Memcpy,
@@ -129,6 +135,7 @@ impl FunctionId {
         FunctionId::EventDestroy,
         FunctionId::Batch,
         FunctionId::Quit,
+        FunctionId::Migrate,
         FunctionId::MuxHello,
         FunctionId::Busy,
         FunctionId::Hello,

@@ -36,6 +36,7 @@
 //! `8 + 4 = 12` bytes — Table I's Initialization row.
 
 pub mod batch;
+pub mod broker;
 pub mod decode;
 pub mod handshake;
 pub mod ids;

@@ -360,7 +360,10 @@ impl Request {
                     "batch frames cannot appear inside a batch",
                 ))
             }
-            FunctionId::Hello | FunctionId::Reconnect | FunctionId::MuxHello => {
+            FunctionId::Hello
+            | FunctionId::Reconnect
+            | FunctionId::MuxHello
+            | FunctionId::Migrate => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "handshake selectors are only valid as the first post-connect message",

@@ -23,6 +23,12 @@
 //! * `--max-parked N` — cap on sessions parked awaiting reconnect
 //!   (default: registry default capacity, no admission check).
 //! * `--quota BYTES` — per-session device-memory quota (default: none).
+//! * `--broker ADDR` — register with a cluster broker (`rcuda-brokerd`)
+//!   and heartbeat it; the broker then places client sessions here and
+//!   may order sessions migrated out (default: standalone).
+//! * `--advertise ADDR` — the address the broker hands to clients
+//!   (default: the bound listen address; set this when daemons sit
+//!   behind NAT or bind `0.0.0.0`).
 
 use rcuda_gpu::GpuDevice;
 use rcuda_server::{GpuPool, PoolPolicy, RcudaDaemon, ServerConfig};
@@ -34,7 +40,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: rcudad [--listen ADDR] [--gpus N] \
          [--policy round-robin|least-loaded] [--shards N] [--cold-context] \
-         [--once N] [--max-sessions N] [--max-parked N] [--quota BYTES]"
+         [--once N] [--max-sessions N] [--max-parked N] [--quota BYTES] \
+         [--broker ADDR] [--advertise ADDR]"
     );
     std::process::exit(2);
 }
@@ -49,6 +56,8 @@ fn main() {
     let mut max_sessions: Option<usize> = None;
     let mut max_parked: Option<usize> = None;
     let mut quota: Option<u64> = None;
+    let mut broker: Option<std::net::SocketAddr> = None;
+    let mut advertise: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -110,6 +119,19 @@ fn main() {
                         .unwrap_or_else(|| usage("--quota needs a positive byte count")),
                 );
             }
+            "--broker" => {
+                broker = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--broker needs a socket address")),
+                );
+            }
+            "--advertise" => {
+                advertise = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--advertise needs an address")),
+                );
+            }
             "--help" | "-h" => usage("help"),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -134,6 +156,12 @@ fn main() {
         .config(config);
     if let Some(n) = shards {
         builder = builder.shards(n);
+    }
+    if let Some(addr) = broker {
+        builder = builder.broker(addr);
+    }
+    if let Some(addr) = advertise {
+        builder = builder.advertise(addr);
     }
     let mut daemon = match builder.bind(&listen) {
         Ok(d) => d,

@@ -10,15 +10,16 @@ use parking_lot::Mutex;
 use rcuda_gpu::GpuDevice;
 use rcuda_obs::ObsHandle;
 use std::io;
-use std::net::ToSocketAddrs;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::broker_agent::{BrokerAgent, BrokerAgentConfig};
 use crate::daemon::RcudaDaemon;
 use crate::mux_host::MuxLinks;
 use crate::pool::{GpuPool, PoolPolicy};
-use crate::reactor::{Counters, DrainState, Shared};
+use crate::reactor::{Counters, DrainState, MigrationTable, Shared};
 use crate::registry::ShardedRegistry;
 use crate::worker::{ChaosHook, ServerConfig};
 use rcuda_proto::secure::CipherSuiteKind;
@@ -49,7 +50,15 @@ pub struct DaemonBuilder {
     shards: Option<usize>,
     config: ServerConfig,
     drain_deadline: Option<Duration>,
+    broker: Option<SocketAddr>,
+    broker_interval: Option<Duration>,
+    advertise: Option<String>,
 }
+
+/// Default broker heartbeat cadence. The broker's stock
+/// [`HealthPolicy`](rcuda_broker::HealthPolicy) suspects a daemon after
+/// 250 ms of silence, so the default tolerates several missed beats.
+const DEFAULT_BROKER_HEARTBEAT: Duration = Duration::from_millis(50);
 
 impl DaemonBuilder {
     pub fn new() -> Self {
@@ -161,6 +170,32 @@ impl DaemonBuilder {
         self
     }
 
+    /// Register with the cluster broker at `addr`: the daemon announces
+    /// itself on bind, heartbeats its health and session list, and
+    /// executes the broker's migration orders. The control link
+    /// authenticates with the daemon's [`Self::auth`] token (open broker
+    /// when none is set). The broker is a placement service, not a data
+    /// path dependency — the daemon serves clients with or without it.
+    pub fn broker(mut self, addr: SocketAddr) -> Self {
+        self.broker = Some(addr);
+        self
+    }
+
+    /// Heartbeat cadence for the broker registration (default 50 ms).
+    /// Keep it a small fraction of the broker's suspect threshold.
+    pub fn broker_heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.broker_interval = Some(interval);
+        self
+    }
+
+    /// The address advertised to the broker — what *clients* should dial
+    /// to reach this daemon. Defaults to the daemon's bound address,
+    /// which is wrong only behind NAT or a `0.0.0.0` bind.
+    pub fn advertise(mut self, addr: impl Into<String>) -> Self {
+        self.advertise = Some(addr.into());
+        self
+    }
+
     /// Bind `addr` (port 0 for ephemeral), start the reactor shards and
     /// the accept loop, and return the running daemon.
     pub fn bind<A: ToSocketAddrs>(self, addr: A) -> io::Result<RcudaDaemon> {
@@ -189,8 +224,33 @@ impl DaemonBuilder {
             drain: DrainState::default(),
             halt: AtomicBool::new(false),
             links: MuxLinks::default(),
+            migrations: MigrationTable::default(),
+            live_tokens: Mutex::new(std::collections::HashSet::new()),
+            draining: AtomicBool::new(false),
         });
-        RcudaDaemon::start(addr, pool, shared, shards, self.drain_deadline)
+        let mut daemon = RcudaDaemon::start(
+            addr,
+            Arc::clone(&pool),
+            Arc::clone(&shared),
+            shards,
+            self.drain_deadline,
+        )?;
+        if let Some(broker) = self.broker {
+            let advertise = self
+                .advertise
+                .unwrap_or_else(|| daemon.local_addr().to_string());
+            daemon.agent = Some(BrokerAgent::start(
+                BrokerAgentConfig {
+                    broker,
+                    advertise,
+                    interval: self.broker_interval.unwrap_or(DEFAULT_BROKER_HEARTBEAT),
+                    token: shared.config.auth_token.clone(),
+                },
+                shared,
+                pool,
+            ));
+        }
+        Ok(daemon)
     }
 }
 

@@ -29,15 +29,17 @@
 //! constructors are gone.
 
 use rcuda_obs::DaemonEvent;
-use rcuda_proto::handshake::ServerHello;
+use rcuda_proto::handshake::{read_hello_reply, ServerHello};
+use rcuda_proto::SessionHello;
 use rcuda_transport::{channel_pair, ChannelTransport, TcpTransport};
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
 
+use crate::broker_agent::BrokerAgent;
 use crate::builder::DaemonBuilder;
 use crate::pool::GpuPool;
 use crate::reactor::{NewConn, Reactor, Shared};
@@ -45,6 +47,14 @@ use crate::worker::{release_context, SessionReport};
 
 /// Longest single accept-error backoff, in milliseconds (before jitter).
 const ACCEPT_BACKOFF_CAP_MS: u64 = 64;
+
+/// How long [`RcudaDaemon::migrate_out`] waits for a live session to reach
+/// a frame boundary before giving up (the session may be mid-request, and
+/// its shard only quiesces it between frames).
+const MIGRATE_QUIESCE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// I/O timeout on the daemon-to-daemon migration connection.
+const MIGRATE_IO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// A point-in-time snapshot of the daemon's admission and resource
 /// accounting. The balance invariant — once every session has finished
@@ -92,6 +102,103 @@ pub struct RcudaDaemon {
     reactor: Arc<Reactor>,
     pool: Arc<GpuPool>,
     drain_deadline: Option<Duration>,
+    /// The broker registration/heartbeat thread, when
+    /// [`DaemonBuilder::broker`] was configured.
+    pub(crate) agent: Option<BrokerAgent>,
+}
+
+/// Ship one session to a peer daemon at `target`; the free-function form
+/// lets the broker agent thread migrate without holding an
+/// [`RcudaDaemon`] handle (which owns the agent — a cycle otherwise).
+///
+/// Parked sessions are taken straight from the registry; live ones are
+/// captured by their reactor shard at the next frame boundary. The
+/// snapshot travels over a fresh TCP connection as a `Migrate` hello; the
+/// source copy is only released after the target acknowledges the restore,
+/// and a failed ship re-parks the context locally so the session is never
+/// lost in transit.
+pub(crate) fn migrate_out_shared(
+    shared: &Arc<Shared>,
+    session: u64,
+    target: &str,
+) -> io::Result<()> {
+    let ctx = match shared.registry.take(session) {
+        Some(ctx) => ctx,
+        None => {
+            if !shared.live_tokens.lock().contains(&session) {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    "unknown session token",
+                ));
+            }
+            let rx = shared.migrations.arm(session);
+            match rx.recv_timeout(MIGRATE_QUIESCE_TIMEOUT) {
+                Ok(ctx) => ctx,
+                Err(_) => {
+                    shared.migrations.disarm(session);
+                    // The shard may have quiesced between the timeout and
+                    // the disarm: drain once more before giving up.
+                    match rx.try_recv() {
+                        Ok(ctx) => ctx,
+                        Err(_) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                "session never reached a frame boundary",
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+    };
+    let snapshot = ctx.snapshot().encode();
+    match ship_snapshot(target, session, snapshot) {
+        Ok(()) => {
+            let bytes = release_context(ctx, &shared.config.observer);
+            shared
+                .counters
+                .reclaimed_bytes
+                .fetch_add(bytes, Ordering::SeqCst);
+            Ok(())
+        }
+        Err(e) => {
+            // Park locally so the client's reconnect can still find the
+            // session here.
+            if let Some((evicted, evicted_ctx)) = shared.registry.park(session, ctx) {
+                let obs = &shared.config.observer;
+                obs.emit_daemon(DaemonEvent::SessionEvicted { session: evicted });
+                let bytes = release_context(evicted_ctx, obs);
+                shared
+                    .counters
+                    .reclaimed_bytes
+                    .fetch_add(bytes, Ordering::SeqCst);
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Deliver one encoded context snapshot to the daemon at `target` and wait
+/// for its restore acknowledgement.
+fn ship_snapshot(target: &str, session: u64, snapshot: Vec<u8>) -> io::Result<()> {
+    let mut stream = TcpStream::connect(target)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(MIGRATE_IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(MIGRATE_IO_TIMEOUT))?;
+    let mut hello = [0u8; 8];
+    stream.read_exact(&mut hello)?;
+    if let ServerHello::Busy { .. } = ServerHello::from_wire(hello) {
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            "target daemon is shedding connections",
+        ));
+    }
+    SessionHello::Migrate { session, snapshot }.write(&mut stream)?;
+    stream.flush()?;
+    match read_hello_reply(&mut stream)? {
+        Ok(()) => Ok(()),
+        Err(e) => Err(io::Error::other(e.name())),
+    }
 }
 
 /// Count the connection against the admission caps. `true` means it was
@@ -201,6 +308,7 @@ impl RcudaDaemon {
             reactor,
             pool,
             drain_deadline,
+            agent: None,
         })
     }
 
@@ -243,6 +351,29 @@ impl RcudaDaemon {
     /// Sessions currently parked awaiting a reconnect.
     pub fn parked_sessions(&self) -> usize {
         self.shared.registry.parked_count()
+    }
+
+    /// Tokens of every resumable session this daemon holds — live (being
+    /// served) and parked (awaiting reconnect) alike. The broker heartbeat
+    /// advertises this list; drain-time migration walks it.
+    pub fn session_tokens(&self) -> Vec<u64> {
+        let mut tokens = self.shared.registry.parked_tokens();
+        tokens.extend(self.shared.live_tokens.lock().iter().copied());
+        tokens.sort_unstable();
+        tokens.dedup();
+        tokens
+    }
+
+    /// Live-migrate one session to the daemon at `target` (an address
+    /// string clients could dial). Parked sessions ship immediately; a
+    /// live session is quiesced by its reactor shard at the next frame
+    /// boundary — its connection then closes, and the client's reconnect
+    /// finds the session parked on the target. The source context is
+    /// released only after the target acknowledges the restore, so the
+    /// device ledgers on both sides stay balanced; a failed ship re-parks
+    /// the session locally.
+    pub fn migrate_out(&self, session: u64, target: &str) -> io::Result<()> {
+        migrate_out_shared(&self.shared, session, target)
     }
 
     /// Completed sessions so far (sessions that produced a report; see
@@ -296,6 +427,7 @@ impl RcudaDaemon {
     /// the device ledger returns to baseline for everything the daemon
     /// held.
     pub fn drain(&mut self, deadline: Duration) -> DrainReport {
+        self.shared.draining.store(true, Ordering::SeqCst);
         self.stop_accepting();
         self.shared.drain.begin();
 
@@ -320,6 +452,22 @@ impl RcudaDaemon {
                 .fetch_add(bytes, Ordering::SeqCst);
         }
         DrainReport { graceful, forced }
+    }
+
+    /// Graceful decommission: migrate every held session out to `targets`
+    /// (round-robin), then [`Self::drain`]. Sessions that fail to ship
+    /// stay behind and take the ordinary drain path — parked ones are
+    /// reclaimed, live ones get until the deadline. The `draining` flag is
+    /// raised first so the broker stops placing new sessions here while
+    /// the existing ones leave.
+    pub fn drain_with_migration(&mut self, deadline: Duration, targets: &[String]) -> DrainReport {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        if !targets.is_empty() {
+            for (i, session) in self.session_tokens().into_iter().enumerate() {
+                let _ = self.migrate_out(session, &targets[i % targets.len()]);
+            }
+        }
+        self.drain(deadline)
     }
 
     /// Stop accepting and join the accept loop. The reactor keeps serving
@@ -376,6 +524,11 @@ fn accept_tcp(mut stream: TcpStream, shared: &Shared, pool: &Arc<GpuPool>, react
 
 impl Drop for RcudaDaemon {
     fn drop(&mut self) {
+        // The broker agent goes first: no migration orders may arrive
+        // while the daemon tears itself down.
+        if let Some(mut agent) = self.agent.take() {
+            agent.stop();
+        }
         self.stop_accepting();
         if let Some(deadline) = self.drain_deadline {
             self.drain(deadline);

@@ -17,6 +17,7 @@
 //! * [`daemon`] — the TCP accept loop (admission control, accept backoff)
 //!   feeding the reactor; built through [`DaemonBuilder`].
 
+pub(crate) mod broker_agent;
 pub mod builder;
 pub mod daemon;
 pub mod dispatch;

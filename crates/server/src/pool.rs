@@ -64,6 +64,11 @@ impl GpuPool {
         self.devices.is_empty()
     }
 
+    /// The pool's devices, in index order.
+    pub fn devices(&self) -> &[Arc<GpuDevice>] {
+        &self.devices
+    }
+
     /// Active sessions per device.
     pub fn loads(&self) -> Vec<usize> {
         self.loads

@@ -41,6 +41,7 @@ use rcuda_proto::handshake::write_hello_reply;
 use rcuda_proto::mux::MuxHello;
 use rcuda_proto::{BufferPool, ClientHello, Frame, SessionHello, StreamDecoder};
 use rcuda_transport::{Progress, Transport};
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::{Shutdown, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -136,6 +137,56 @@ impl DrainState {
     }
 }
 
+/// Live-migration coordination between the daemon handle and the shards.
+///
+/// [`crate::daemon::RcudaDaemon::migrate_out`] arms an order for a session
+/// token; the shard owning that connection quiesces it at the next frame
+/// boundary (every response flushed, no partial request buffered) and
+/// sends the context through the order's channel. The `armed` flag keeps
+/// the steady-state pump overhead to one relaxed atomic load.
+#[derive(Default)]
+pub(crate) struct MigrationTable {
+    orders: Mutex<HashMap<u64, Sender<GpuContext>>>,
+    armed: AtomicBool,
+}
+
+impl MigrationTable {
+    /// Arm an order for `session`; the context arrives on the returned
+    /// channel once its connection reaches a frame boundary.
+    pub(crate) fn arm(&self, session: u64) -> Receiver<GpuContext> {
+        let (tx, rx) = unbounded();
+        self.orders.lock().insert(session, tx);
+        self.armed.store(true, Ordering::SeqCst);
+        rx
+    }
+
+    /// Withdraw an order that never completed (quiesce timeout). The shard
+    /// may have raced the withdrawal and already sent — the caller must
+    /// drain the receiver once more after this.
+    pub(crate) fn disarm(&self, session: u64) {
+        let mut orders = self.orders.lock();
+        orders.remove(&session);
+        if orders.is_empty() {
+            self.armed.store(false, Ordering::SeqCst);
+        }
+    }
+
+    #[inline]
+    fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+
+    /// Claim the order for `session`, if one is armed.
+    fn take(&self, session: u64) -> Option<Sender<GpuContext>> {
+        let mut orders = self.orders.lock();
+        let tx = orders.remove(&session);
+        if orders.is_empty() {
+            self.armed.store(false, Ordering::SeqCst);
+        }
+        tx
+    }
+}
+
 /// State shared by the accept loop, every reactor shard, and the daemon
 /// handle.
 pub(crate) struct Shared {
@@ -149,6 +200,14 @@ pub(crate) struct Shared {
     /// Late-bound reactor/pool links for mux trunk hosts (see
     /// [`crate::mux_host`]).
     pub(crate) links: crate::mux_host::MuxLinks,
+    /// Armed live-migration orders, keyed by session token.
+    pub(crate) migrations: MigrationTable,
+    /// Tokens of resumable sessions currently being served (the broker
+    /// heartbeat advertises these alongside the parked tokens).
+    pub(crate) live_tokens: Mutex<HashSet<u64>>,
+    /// Set once a drain begins, for the broker heartbeat's `draining` flag
+    /// (the broker stops placing new sessions here).
+    pub(crate) draining: AtomicBool,
 }
 
 /// A freshly admitted connection on its way to a shard.
@@ -348,6 +407,9 @@ struct Conn {
     phase: Phase,
     /// Warm context created at admission (§VI-B); consumed by the hello.
     fresh_ctx: Option<GpuContext>,
+    /// The device serving this connection, kept for snapshot restores
+    /// (a `Migrate` hello rebuilds a shipped context on it).
+    device: Arc<GpuDevice>,
     ctx: Option<GpuContext>,
     token: Option<u64>,
     report: SessionReport,
@@ -386,6 +448,7 @@ impl Conn {
             handshake_done_at: None,
             phase: Phase::Hello,
             fresh_ctx: Some(fresh_ctx),
+            device: Arc::clone(&device),
             ctx: None,
             token: None,
             report: SessionReport::default(),
@@ -538,11 +601,43 @@ impl Conn {
         self.process(pool, shared, &mut res);
 
         res.progress |= self.flush_out();
+        self.quiesce_for_migration(shared, &mut res);
         if matches!(self.phase, Phase::Closing) && self.out_pos >= self.out.len() {
             self.finalize(pool, shared);
             res.progress = true;
         }
         res
+    }
+
+    /// Live-migration quiesce point. A `Running` session whose token has an
+    /// armed migration order is captured at a frame boundary: every
+    /// response flushed, no partial request buffered, peer still present.
+    /// The context travels to `RcudaDaemon::migrate_out` through the
+    /// order's channel; the connection then closes without parking (the
+    /// session lives elsewhere now), and the client's reconnect finds it
+    /// on the target daemon.
+    fn quiesce_for_migration(&mut self, shared: &Shared, res: &mut PumpResult) {
+        if !shared.migrations.is_armed() || !matches!(self.phase, Phase::Running) || self.eof {
+            return;
+        }
+        let Some(token) = self.token else { return };
+        if self.out_pos < self.out.len() || self.decoder.buffered() != 0 {
+            return;
+        }
+        let Some(tx) = shared.migrations.take(token) else {
+            return;
+        };
+        let ctx = self.ctx.take().expect("Running implies a context");
+        if let Err(back) = tx.send(ctx) {
+            // The daemon gave up waiting between our checks and the send:
+            // keep serving as if nothing happened.
+            self.ctx = Some(back.0);
+            return;
+        }
+        shared.live_tokens.lock().remove(&token);
+        self.token = None;
+        self.force_close();
+        res.progress = true;
     }
 
     fn process(&mut self, pool: &BufferPool, shared: &Arc<Shared>, res: &mut PumpResult) {
@@ -686,7 +781,38 @@ impl Conn {
                     }
                 }
             }
+            SessionHello::Migrate { session, snapshot } => {
+                // A peer daemon is shipping a quiesced session here. The
+                // restored context parks immediately — the client's
+                // reconnect resumes it exactly like a locally parked one.
+                drop(self.fresh_ctx.take());
+                let reply = self.install_snapshot(session, &snapshot, shared);
+                self.queue(|out| write_hello_reply(out, &reply));
+                self.handshake_done_at = Some(self.queued_total);
+                self.begin_close();
+            }
         }
+    }
+
+    /// Rebuild a shipped context from its snapshot on this connection's
+    /// device and park it under the session's token. Errors go back to the
+    /// shipping daemon as the hello reply (it keeps its copy on failure).
+    fn install_snapshot(
+        &mut self,
+        session: u64,
+        snapshot: &[u8],
+        shared: &Shared,
+    ) -> rcuda_core::CudaResult<()> {
+        let snap = rcuda_gpu::snapshot::ContextSnapshot::decode(snapshot)
+            .map_err(|_| CudaError::InvalidValue)?;
+        let mut ctx = self.device.restore_context(self.clk.clone(), &snap)?;
+        ctx.set_mem_quota(shared.config.session_mem_quota);
+        if let Some((evicted, evicted_ctx)) = shared.registry.park(session, ctx) {
+            let obs = &shared.config.observer;
+            obs.emit_daemon(DaemonEvent::SessionEvicted { session: evicted });
+            self.report.reclaimed_bytes += release_context(evicted_ctx, obs);
+        }
+        Ok(())
     }
 
     fn init_fresh(&mut self, module: Vec<u8>, token: Option<u64>, shared: &Shared) {
@@ -704,6 +830,9 @@ impl Conn {
         ctx.set_mem_quota(shared.config.session_mem_quota);
         self.ctx = Some(ctx);
         self.token = token;
+        if let Some(session) = token {
+            shared.live_tokens.lock().insert(session);
+        }
         self.phase = Phase::Running;
     }
 
@@ -714,6 +843,7 @@ impl Conn {
         ctx.set_mem_quota(shared.config.session_mem_quota);
         self.ctx = Some(ctx);
         self.token = Some(session);
+        shared.live_tokens.lock().insert(session);
         self.phase = Phase::Running;
     }
 
@@ -784,6 +914,11 @@ impl Conn {
     fn finalize(&mut self, pool: &BufferPool, shared: &Shared) {
         self.done = true;
         drop(self.guard.take());
+        if let Some(token) = self.token {
+            // Parked tokens are advertised through the registry instead;
+            // a migrated-away session already cleared its token.
+            shared.live_tokens.lock().remove(&token);
+        }
         let obs = &shared.config.observer;
         if self.eligible() {
             let mut report = std::mem::take(&mut self.report);

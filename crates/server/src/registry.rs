@@ -139,6 +139,20 @@ impl SessionRegistry {
         self.inner.lock().expect("registry lock").parked.len()
     }
 
+    /// Tokens of every currently parked session, in no particular order.
+    /// A snapshot: a concurrent take or park may invalidate it immediately,
+    /// so callers (the broker heartbeat, drain-time migration) must treat a
+    /// later `take` returning `None` as "already resumed", not an error.
+    pub fn parked_tokens(&self) -> Vec<u64> {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .parked
+            .keys()
+            .copied()
+            .collect()
+    }
+
     /// Empty the registry, returning every parked `(token, context)` for
     /// reclamation (daemon drain: nobody is coming back for them).
     pub fn drain_parked(&self) -> Vec<(u64, GpuContext)> {
@@ -218,6 +232,11 @@ impl ShardedRegistry {
     /// Sessions parked across all shards.
     pub fn parked_count(&self) -> usize {
         self.shards.iter().map(|s| s.parked_count()).sum()
+    }
+
+    /// Tokens parked across all shards (unordered snapshot).
+    pub fn parked_tokens(&self) -> Vec<u64> {
+        self.shards.iter().flat_map(|s| s.parked_tokens()).collect()
     }
 
     /// Empty every shard, returning all parked `(token, context)` pairs.
@@ -341,6 +360,92 @@ mod tests {
         assert_eq!(reg.shard_count(), 3, "shards collapse to the capacity");
         let reg = ShardedRegistry::new(0);
         assert_eq!(reg.shard_count(), 1, "zero shards clamps to one");
+    }
+
+    #[test]
+    fn parked_tokens_snapshots_the_occupancy() {
+        let reg = SessionRegistry::new();
+        let _ = reg.park(3, ctx());
+        let _ = reg.park(11, ctx());
+        let mut tokens = reg.parked_tokens();
+        tokens.sort_unstable();
+        assert_eq!(tokens, vec![3, 11]);
+        let _ = reg.take(3);
+        assert_eq!(reg.parked_tokens(), vec![11]);
+
+        let sharded = ShardedRegistry::new(4);
+        for token in 0..16u64 {
+            let _ = sharded.park(token, ctx());
+        }
+        let mut tokens = sharded.parked_tokens();
+        tokens.sort_unstable();
+        assert_eq!(tokens, (0..16).collect::<Vec<_>>());
+    }
+
+    /// Two connections racing to resume the same token: exactly one wins.
+    /// `take` under the registry mutex is consuming, so the loser sees
+    /// `None` and is rejected cleanly — the context is never handed out
+    /// twice (which would alias one GPU context across two workers).
+    #[test]
+    fn concurrent_resume_of_same_token_admits_exactly_one() {
+        use std::sync::Barrier;
+        for _ in 0..32 {
+            let reg = Arc::new(SessionRegistry::new());
+            let _ = reg.park(77, ctx());
+            let barrier = Arc::new(Barrier::new(2));
+            let takers: Vec<_> = (0..2)
+                .map(|_| {
+                    let reg = Arc::clone(&reg);
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        reg.take_deadline(77, Duration::from_millis(20)).is_some()
+                    })
+                })
+                .collect();
+            let wins: usize = takers
+                .into_iter()
+                .map(|t| usize::from(t.join().unwrap()))
+                .sum();
+            assert_eq!(wins, 1, "exactly one resume may win the parked context");
+            assert_eq!(reg.parked_count(), 0);
+        }
+    }
+
+    /// A resume racing the park itself (park happens between the two
+    /// takes): still exactly one winner thanks to the condvar'd
+    /// `take_deadline`, and nobody hangs.
+    #[test]
+    fn resume_racing_the_park_still_admits_exactly_one() {
+        use std::sync::Barrier;
+        for _ in 0..32 {
+            let reg = Arc::new(SessionRegistry::new());
+            let barrier = Arc::new(Barrier::new(3));
+            let parker = {
+                let reg = Arc::clone(&reg);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let _ = reg.park(5, ctx());
+                })
+            };
+            let takers: Vec<_> = (0..2)
+                .map(|_| {
+                    let reg = Arc::clone(&reg);
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        reg.take_deadline(5, Duration::from_millis(200)).is_some()
+                    })
+                })
+                .collect();
+            parker.join().unwrap();
+            let wins: usize = takers
+                .into_iter()
+                .map(|t| usize::from(t.join().unwrap()))
+                .sum();
+            assert_eq!(wins, 1, "park-racing resumes must admit exactly one");
+        }
     }
 
     #[test]

@@ -270,6 +270,26 @@ pub fn serve_connection_with_registry<T: Transport>(
                 }
             }
         }
+        SessionHello::Migrate { session, snapshot } => {
+            // A peer daemon ships a quiesced session: rebuild its context
+            // from the snapshot and park it for the client's reconnect.
+            // Errors go back as the hello reply (the shipper keeps its
+            // copy on failure) and the connection ends either way.
+            drop(fresh_ctx);
+            let reply = rcuda_gpu::snapshot::ContextSnapshot::decode(&snapshot)
+                .map_err(|_| CudaError::InvalidValue)
+                .and_then(|snap| device.restore_context(clk.clone(), &snap))
+                .map(|mut ctx| {
+                    ctx.set_mem_quota(config.session_mem_quota);
+                    if let Some((evicted, evicted_ctx)) = registry.park(session, ctx) {
+                        obs.emit_daemon(DaemonEvent::SessionEvicted { session: evicted });
+                        report.reclaimed_bytes += release_context(evicted_ctx, &obs);
+                    }
+                });
+            write_hello_reply(&mut transport, &reply)?;
+            transport.flush()?;
+            return Ok(report);
+        }
     };
 
     // Multi-tenant limits apply to resumed sessions too: the quota follows

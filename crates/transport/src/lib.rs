@@ -41,7 +41,7 @@ pub use fault::{
     StreamFaultWrite,
 };
 pub use mux::{MuxConfig, MuxPeer, MuxRole, MuxStream};
-pub use reconnect::ReconnectTransport;
+pub use reconnect::{DialFn, ReconnectTransport};
 pub use sim::{sim_pair, SimTransport};
 pub use stats::TransportStats;
 pub use tcp::TcpTransport;

@@ -1,14 +1,20 @@
 //! A [`Transport`] wrapper that can replace its inner connection.
 //!
-//! [`ReconnectTransport`] holds a *dial factory*: a closure producing a
-//! fresh connected transport to the same peer. [`Transport::reconnect`]
-//! drops the dead inner transport first — so the peer observes EOF and can
-//! park the session for resume — then dials, re-applies the last read
-//! deadline, and folds the dead incarnation's traffic counters into a
-//! running total. This gives reconnect support to transports that cannot
-//! natively re-dial (a [`crate::ChannelTransport`] endpoint has no address
-//! to call back), and lets tests spawn a fresh in-process server per
-//! connection.
+//! [`ReconnectTransport`] holds one or more *dial factories*: closures
+//! producing a fresh connected transport. [`Transport::reconnect`] drops
+//! the dead inner transport first — so the peer observes EOF and can park
+//! the session for resume — then dials, re-applies the last read deadline,
+//! and folds the dead incarnation's traffic counters into a running total.
+//! This gives reconnect support to transports that cannot natively re-dial
+//! (a [`crate::ChannelTransport`] endpoint has no address to call back),
+//! and lets tests spawn a fresh in-process server per connection.
+//!
+//! With [`ReconnectTransport::with_candidates`] the wrapper holds a whole
+//! candidate *list* (e.g. every daemon a broker advertised): one reconnect
+//! walks the list starting from the candidate that last succeeded, so a
+//! session sticks to its daemon while it lives but fails over to a survivor
+//! when it dies. If every candidate refuses, the *last* dial error is
+//! reported — the freshest evidence of the cluster's state — not the first.
 
 use rcuda_obs::ObsHandle;
 use std::io::{self, Read, Write};
@@ -17,10 +23,17 @@ use std::time::Duration;
 use crate::stats::TransportStats;
 use crate::Transport;
 
-/// A transport whose connection can be replaced via a dial factory.
+/// One dial candidate: a closure producing a fresh connected transport.
+pub type DialFn<T> = Box<dyn FnMut() -> io::Result<T> + Send>;
+
+/// A transport whose connection can be replaced via dial factories.
 pub struct ReconnectTransport<T: Transport> {
     inner: Option<T>,
-    dial: Box<dyn FnMut() -> io::Result<T> + Send>,
+    /// Candidate dialers, tried in rotation starting at `cursor`.
+    dials: Vec<DialFn<T>>,
+    /// Index of the candidate that produced the current (or most recent)
+    /// connection; the next reconnect starts here.
+    cursor: usize,
     /// Counters accumulated by previous incarnations of the connection.
     stats_base: TransportStats,
     /// Last deadline set, re-applied after each reconnect.
@@ -42,13 +55,28 @@ impl<T: Transport> ReconnectTransport<T> {
         initial: T,
         dial: impl FnMut() -> io::Result<T> + Send + 'static,
     ) -> ReconnectTransport<T> {
+        ReconnectTransport::with_candidates(initial, vec![Box::new(dial) as DialFn<T>])
+    }
+
+    /// Wrap an already-connected transport with a *list* of dial candidates.
+    /// Each reconnect walks the list in rotation starting at the candidate
+    /// that last produced a working connection; the first success wins. The
+    /// list must be non-empty.
+    pub fn with_candidates(initial: T, dials: Vec<DialFn<T>>) -> ReconnectTransport<T> {
+        assert!(!dials.is_empty(), "need at least one dial candidate");
         ReconnectTransport {
             inner: Some(initial),
-            dial: Box::new(dial),
+            dials,
+            cursor: 0,
             stats_base: TransportStats::default(),
             read_timeout: None,
             obs: ObsHandle::none(),
         }
+    }
+
+    /// How many dial candidates this wrapper rotates over.
+    pub fn candidate_count(&self) -> usize {
+        self.dials.len()
     }
 
     /// The current connection (`None` between a failed reconnect and the
@@ -114,13 +142,27 @@ impl<T: Transport> Transport for ReconnectTransport<T> {
             self.stats_base.absorb(&old.stats());
             drop(old);
         }
-        let mut fresh = (self.dial)()?;
-        fresh.set_read_deadline(self.read_timeout)?;
-        fresh.set_observer(self.obs.clone());
-        self.stats_base.record_reconnect();
-        self.obs.emit_reconnect();
-        self.inner = Some(fresh);
-        Ok(())
+        // Walk the candidates starting at the one that last worked. When
+        // every candidate refuses, surface the *last* error — it reflects
+        // the freshest cluster state, where the first may describe a daemon
+        // that has since been replaced.
+        let mut last_err: Option<io::Error> = None;
+        for i in 0..self.dials.len() {
+            let idx = (self.cursor + i) % self.dials.len();
+            match (self.dials[idx])() {
+                Ok(mut fresh) => {
+                    fresh.set_read_deadline(self.read_timeout)?;
+                    fresh.set_observer(self.obs.clone());
+                    self.cursor = idx;
+                    self.stats_base.record_reconnect();
+                    self.obs.emit_reconnect();
+                    self.inner = Some(fresh);
+                    return Ok(());
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(not_connected))
     }
 
     fn set_observer(&mut self, obs: ObsHandle) {
@@ -268,6 +310,86 @@ mod tests {
             rt.read(&mut buf).unwrap_err().kind(),
             io::ErrorKind::TimedOut,
             "deadline survived the outage"
+        );
+    }
+
+    #[test]
+    fn candidate_list_fails_over_to_the_next_dialer() {
+        let (a1, b1) = channel_pair();
+        let (a2, mut b2) = channel_pair();
+        // Candidate 0 is permanently dead; candidate 1 serves.
+        let dead: DialFn<ChannelTransport> = Box::new(|| {
+            Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "daemon down",
+            ))
+        });
+        let mut rest = vec![a2];
+        let alive: DialFn<ChannelTransport> = Box::new(move || {
+            rest.pop()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::ConnectionRefused, "exhausted"))
+        });
+        let mut rt = ReconnectTransport::with_candidates(a1, vec![dead, alive]);
+        assert_eq!(rt.candidate_count(), 2);
+        drop(b1);
+        rt.reconnect().unwrap();
+        rt.write_all(b"hi").unwrap();
+        rt.flush().unwrap();
+        let mut buf = [0u8; 2];
+        b2.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        assert_eq!(rt.stats().reconnects, 1);
+    }
+
+    #[test]
+    fn candidate_rotation_is_sticky_on_the_last_success() {
+        // Candidate 1 succeeds once; the next reconnect must start there
+        // (session affinity), only then move on to candidate 0.
+        let order = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mk = |id: usize,
+                  endpoints: Vec<ChannelTransport>,
+                  order: std::sync::Arc<std::sync::Mutex<Vec<usize>>>|
+         -> DialFn<ChannelTransport> {
+            let mut q: Vec<ChannelTransport> = endpoints.into_iter().rev().collect();
+            Box::new(move || {
+                order.lock().unwrap().push(id);
+                q.pop()
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::ConnectionRefused, "down"))
+            })
+        };
+        let (a1, b1) = channel_pair();
+        let (c1a, _c1b) = channel_pair();
+        let (c1c, _c1d) = channel_pair();
+        let d0 = mk(0, vec![], order.clone()); // always refuses
+        let d1 = mk(1, vec![c1a, c1c], order.clone()); // serves twice
+        let mut rt = ReconnectTransport::with_candidates(a1, vec![d0, d1]);
+        drop(b1);
+        rt.reconnect().unwrap(); // tries 0 (refused), then 1 (ok)
+        rt.reconnect().unwrap(); // starts at 1 directly
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn exhausted_candidate_list_reports_the_last_error() {
+        let (a1, _b1) = channel_pair();
+        let first: DialFn<ChannelTransport> = Box::new(|| {
+            Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "stale: first candidate",
+            ))
+        });
+        let second: DialFn<ChannelTransport> = Box::new(|| {
+            Err(io::Error::new(
+                io::ErrorKind::HostUnreachable,
+                "fresh: last candidate",
+            ))
+        });
+        let mut rt = ReconnectTransport::with_candidates(a1, vec![first, second]);
+        let err = rt.reconnect().unwrap_err();
+        assert_eq!(
+            err.kind(),
+            io::ErrorKind::HostUnreachable,
+            "exhaustion must surface the most recent dial error, got: {err}"
         );
     }
 

@@ -16,6 +16,9 @@ RCUDA_FAULT_SEEDS=3 cargo test -q --test failure_injection
 echo "== chaos soak (3 seeds) ==" >&2
 RCUDA_FAULT_SEEDS=3 cargo test -q --test server_soak
 
+echo "== broker chaos soak (${RCUDA_BROKER_SEEDS:-3} seeds) ==" >&2
+RCUDA_BROKER_SEEDS="${RCUDA_BROKER_SEEDS:-3}" cargo test -q --test broker_chaos
+
 echo "== observed MM run + trace schema check ==" >&2
 trace_out="target/check_observed_trace.json"
 observed=$(cargo run -q --release --example observed_matmul "$trace_out")
@@ -59,6 +62,13 @@ else
 fi
 test -s target/BENCH_multiplex.json || { echo "multiplex bench wrote no artifact" >&2; exit 1; }
 
+echo "== broker bench smoke ==" >&2
+BENCH_BROKER_OUT="$PWD/target/BENCH_broker.json" \
+    cargo bench -q -p rcuda-bench --bench broker -- --test >/dev/null
+python3 -c "import json; json.load(open('target/BENCH_broker.json'))" 2>/dev/null \
+    || grep -q '"bench": "broker"' target/BENCH_broker.json
+test -s target/BENCH_broker.json || { echo "broker bench wrote no artifact" >&2; exit 1; }
+
 echo "== cargo fmt --check ==" >&2
 cargo fmt --all --check
 
@@ -79,5 +89,8 @@ cargo clippy -p rcuda-transport --all-targets -- -D warnings
 
 echo "== cargo clippy -p rcuda-workloads -D warnings ==" >&2
 cargo clippy -p rcuda-workloads --all-targets -- -D warnings
+
+echo "== cargo clippy -p rcuda-broker -D warnings ==" >&2
+cargo clippy -p rcuda-broker --all-targets -- -D warnings
 
 echo "All checks passed." >&2

@@ -10,6 +10,10 @@
 //!
 //! The workload executes remotely, the result is verified against a local
 //! reference computation, and the session's wire trace is printed.
+//!
+//! Cluster mode: `--broker ADDR` dials an `rcuda-brokerd` directory
+//! instead of a daemon — placement picks the daemon — and `--retries N`
+//! arms reconnect/failover so the run survives its daemon dying.
 
 use rcuda::api::{run_fft_bytes, run_matmul_bytes};
 use rcuda::core::time::wall_clock;
@@ -22,12 +26,17 @@ use rcuda::session::{self, Endpoint};
 
 fn usage(msg: &str) -> ! {
     eprintln!("rcuda-run: {msg}");
-    eprintln!("usage: rcuda-run --connect ADDR (mm DIM | fft BATCH) [--seed N]");
+    eprintln!(
+        "usage: rcuda-run (--connect ADDR | --broker ADDR) \
+         (mm DIM | fft BATCH) [--seed N] [--retries N]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let mut addr = None;
+    let mut broker = false;
+    let mut retries = 0u32;
     let mut workload: Option<(String, u32)> = None;
     let mut seed = 1u64;
 
@@ -35,6 +44,16 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--connect" => addr = args.next(),
+            "--broker" => {
+                addr = args.next();
+                broker = true;
+            }
+            "--retries" => {
+                retries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--retries needs an integer"));
+            }
             "--seed" => {
                 seed = args
                     .next()
@@ -52,7 +71,7 @@ fn main() {
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
-    let addr = addr.unwrap_or_else(|| usage("--connect is required"));
+    let addr = addr.unwrap_or_else(|| usage("--connect or --broker is required"));
     let (kind, size) = workload.unwrap_or_else(|| usage("pick a workload: mm DIM or fft BATCH"));
 
     let clock = wall_clock();
@@ -60,13 +79,29 @@ fn main() {
         .ok()
         .and_then(|mut addrs| addrs.next())
         .unwrap_or_else(|| usage(&format!("cannot resolve `{addr}`")));
-    let mut rt = match session::Session::builder().connect(Endpoint::Tcp(sock)) {
+    let endpoint = if broker {
+        Endpoint::Broker(sock)
+    } else {
+        Endpoint::Tcp(sock)
+    };
+    let mut builder = session::Session::builder();
+    if retries > 0 {
+        builder = builder.retries(retries);
+    }
+    let mut rt = match builder.connect(endpoint) {
         Ok(rt) => rt,
         Err(e) => {
             eprintln!("rcuda-run: cannot connect to {addr}: {e:?}");
             std::process::exit(1);
         }
     };
+
+    // A typed CUDA error (SessionLost after an unrecoverable failover,
+    // ServerBusy, ...) is an outcome, not a bug — report it cleanly.
+    fn fail(e: rcuda::core::CudaError) -> ! {
+        eprintln!("rcuda-run: remote run failed: {e:?}");
+        std::process::exit(1);
+    }
 
     match kind.as_str() {
         "mm" => {
@@ -79,7 +114,7 @@ fn main() {
                 &f32s_to_bytes(a.as_slice()),
                 &f32s_to_bytes(b.as_slice()),
             )
-            .expect("remote MM failed");
+            .unwrap_or_else(|e| fail(e));
             // Verify against a local 8-thread reference.
             let mut expect = vec![0.0f32; (m * m) as usize];
             CpuSgemm::new(8).run(
@@ -111,7 +146,7 @@ fn main() {
             let batch = size;
             let input = fft_input(batch as usize, seed);
             let report = run_fft_bytes(&mut *rt, &*clock, batch, &complex_to_bytes(&input))
-                .expect("remote FFT failed");
+                .unwrap_or_else(|e| fail(e));
             let mut expect = input;
             fft_batch_512(&mut expect);
             assert_eq!(

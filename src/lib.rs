@@ -33,6 +33,7 @@
 #![deny(missing_docs)]
 
 pub use rcuda_api as api;
+pub use rcuda_broker as broker;
 pub use rcuda_client as client;
 pub use rcuda_core as core;
 pub use rcuda_gpu as gpu;
@@ -48,5 +49,6 @@ pub use rcuda_workloads as workloads;
 pub mod paper_map;
 pub mod session;
 
+pub use broker::{Broker, BrokerBuilder};
 pub use server::{DaemonBuilder, RcudaDaemon};
 pub use session::{Connector, Endpoint, Session};

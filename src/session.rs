@@ -85,6 +85,19 @@ pub fn local_simulated() -> (LocalRuntime, Arc<VirtualClock>) {
 pub enum Endpoint {
     /// A real rCUDA daemon over TCP (see [`rcuda_server::RcudaDaemon`]).
     Tcp(std::net::SocketAddr),
+    /// A cluster of daemons behind a broker (see `rcuda_broker`): each
+    /// (re)connect asks the broker where the session should run, then
+    /// dials the advertised daemons best-candidate first. With retries
+    /// enabled the session announces its token to the broker, arms a
+    /// failover replay journal, and survives daemon death: a rejected
+    /// resume triggers a verified replay of the session's state-mutating
+    /// prefix on a surviving daemon (see `rcuda-client`). When the broker
+    /// itself is unreachable, dialing degrades to the last daemon list it
+    /// advertised, after a jittered pause. Cluster mode rides the
+    /// single-stream resumable protocol; [`SessionBuilder::auth`]
+    /// authenticates the broker control link instead of implying a mux
+    /// trunk (daemons must then be open or fronted by their own trunks).
+    Broker(std::net::SocketAddr),
     /// A complete in-process session over an OS-free channel transport:
     /// client runtime on one end, a served GPU context on a server thread,
     /// both on the wall clock. The fastest way to drive the full protocol
@@ -153,6 +166,7 @@ impl Session {
             auth: None,
             cipher: CipherSuiteKind::None,
             mux: false,
+            failover: None,
         }
     }
 
@@ -267,7 +281,12 @@ pub struct SessionBuilder {
     auth: Option<Vec<u8>>,
     cipher: CipherSuiteKind,
     mux: bool,
+    failover: Option<u64>,
 }
+
+/// Default failover-journal cap for [`Endpoint::Broker`] sessions with
+/// retries enabled (see [`SessionBuilder::failover_journal`]).
+const DEFAULT_FAILOVER_JOURNAL_BYTES: u64 = 16 << 20;
 
 impl SessionBuilder {
     /// Deferred-completion window depth. `0` (the default) keeps the
@@ -299,6 +318,18 @@ impl SessionBuilder {
     /// Full control over the retry policy (backoff curve included).
     pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Arm the failover replay journal with this byte cap: after a daemon
+    /// death, the session's state-mutating prefix replays — verified call
+    /// by call — on whichever daemon the reconnect reaches, instead of the
+    /// session failing. The journal disarms itself (failover off, session
+    /// unaffected) once its weight exceeds the cap. Requires
+    /// [`SessionBuilder::retries`]; [`Endpoint::Broker`] sessions with
+    /// retries default to a 16 MiB journal without this call.
+    pub fn failover_journal(mut self, cap_bytes: u64) -> Self {
+        self.failover = Some(cap_bytes);
         self
     }
 
@@ -363,6 +394,12 @@ impl SessionBuilder {
 
     /// Connect one session to `endpoint`.
     pub fn connect(self, endpoint: Endpoint) -> CudaResult<Session> {
+        // Cluster mode first: failover needs the single-stream resumable
+        // protocol (a mux trunk cannot carry `Reconnect`), and the auth
+        // token authenticates the broker link, not a trunk handshake.
+        if let Endpoint::Broker(broker) = endpoint {
+            return self.connect_broker(broker);
+        }
         if self.use_mux() {
             let trunk = Arc::new(self.open_trunk(endpoint)?);
             return self.session_on(trunk);
@@ -421,7 +458,32 @@ impl SessionBuilder {
                     backend: Backend::Thread(Some(server)),
                 })
             }
+            Endpoint::Broker(_) => unreachable!("handled before the mux gate"),
         }
+    }
+
+    /// The cluster-mode path: broker-directed placement over a
+    /// reconnectable TCP transport, with failover armed when retries are.
+    fn connect_broker(self, broker: std::net::SocketAddr) -> CudaResult<Session> {
+        let token = (self.retry.max_retries > 0).then(rcuda_client::fresh_session_token);
+        let mut dialer = BrokerDialer::new(broker, self.auth.clone(), token.unwrap_or(0));
+        let initial = dialer.dial().map_err(|e| transport_error(&e))?;
+        let transport = ReconnectTransport::new(initial, move || dialer.dial());
+        let mut runtime = boxed_runtime(transport, wall_clock());
+        self.configure(&mut runtime)?;
+        if let Some(token) = token {
+            runtime.set_session_token(token);
+            if self.failover.is_none() {
+                // Cluster sessions default to a journal: failover is the
+                // point of placing through a broker.
+                runtime.set_failover(Some(DEFAULT_FAILOVER_JOURNAL_BYTES));
+            }
+        }
+        Ok(Session {
+            runtime,
+            clock: None,
+            backend: Backend::Daemon,
+        })
     }
 
     /// Open a shared mux trunk to `endpoint` and return a [`Connector`]
@@ -512,7 +574,7 @@ impl SessionBuilder {
                 let host = self.spawn_trunk_host(server_side, shared.clone());
                 self.dial_trunk(Box::new(client_side), shared, Some(clock), Some(host))
             }
-            Endpoint::ChannelFaulty(_) => Err(CudaError::InvalidValue),
+            Endpoint::ChannelFaulty(_) | Endpoint::Broker(_) => Err(CudaError::InvalidValue),
         }
     }
 
@@ -601,6 +663,7 @@ impl SessionBuilder {
         runtime.set_pipeline_depth(self.pipeline_depth)?;
         runtime.set_deadline(self.deadline);
         runtime.set_retry_policy(self.retry);
+        runtime.set_failover(self.failover);
         runtime.set_observer(self.observer.clone());
         Ok(())
     }
@@ -791,6 +854,88 @@ impl Trunk {
                 .unwrap_or_default(),
             None => Vec::new(),
         }
+    }
+}
+
+/// The [`Endpoint::Broker`] dial factory: each (re)connect asks the
+/// broker where the session should run, then dials the candidates best
+/// first. The last successful placement is remembered so a broker outage
+/// degrades the cluster to a static daemon list instead of taking the
+/// data path down with it.
+struct BrokerDialer {
+    broker: std::net::SocketAddr,
+    auth: Option<Vec<u8>>,
+    /// Session token quoted in placement requests (0 = fresh session):
+    /// lets the broker steer a reconnect at the daemon currently holding
+    /// the session — e.g. the migration target right after a move.
+    token: u64,
+    /// The daemon list from the last successful placement.
+    last_known: Vec<String>,
+    /// Xorshift state for the degraded-mode pause (seeded per dialer so a
+    /// client fleet doesn't hammer a recovering broker in lockstep).
+    rng: u64,
+}
+
+impl BrokerDialer {
+    fn new(broker: std::net::SocketAddr, auth: Option<Vec<u8>>, token: u64) -> BrokerDialer {
+        let rng = std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .map_or(0x9E37_79B9, |d| d.as_nanos() as u64)
+            ^ token;
+        BrokerDialer {
+            broker,
+            auth,
+            token,
+            last_known: Vec::new(),
+            rng: rng | 1,
+        }
+    }
+
+    /// One placement round trip, bounded so a hung broker can't stall the
+    /// reconnect path.
+    fn place(&mut self) -> std::io::Result<Vec<String>> {
+        let mut client = rcuda_broker::BrokerClient::connect(self.broker, self.auth.as_deref())?;
+        client.set_timeout(Some(Duration::from_secs(1)))?;
+        client.place(self.token)
+    }
+
+    fn jitter(&mut self) -> Duration {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        Duration::from_millis(5 + self.rng % 45)
+    }
+
+    fn dial(&mut self) -> std::io::Result<TcpTransport> {
+        let addrs = match self.place() {
+            Ok(addrs) if !addrs.is_empty() => {
+                self.last_known = addrs.clone();
+                addrs
+            }
+            Ok(_) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AddrNotAvailable,
+                    "broker has no placeable daemon",
+                ))
+            }
+            Err(e) => {
+                // Broker unreachable: fall back to the daemons it last
+                // advertised, after a jittered pause.
+                if self.last_known.is_empty() {
+                    return Err(e);
+                }
+                std::thread::sleep(self.jitter());
+                self.last_known.clone()
+            }
+        };
+        let mut last_err: Option<std::io::Error> = None;
+        for addr in &addrs {
+            match TcpTransport::connect(addr.as_str()) {
+                Ok(t) => return Ok(t),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("non-empty candidate list"))
     }
 }
 

@@ -1,0 +1,388 @@
+//! Broker chaos suite — the tentpole acceptance criteria, end to end over
+//! live loopback TCP.
+//!
+//! A three-daemon pool behind one broker serves matmul sessions while a
+//! seeded killer shuts one daemon down mid-workload. Every session must
+//! either complete **bit-identically** to a fault-free baseline (the
+//! failover journal replays it onto a surviving daemon, where the
+//! deterministic allocator reproduces the same device pointers) or
+//! surface a typed [`CudaError::SessionLost`] — and none may hang.
+//!
+//! Separately: live migration of an idle-at-frame-boundary session moves
+//! it between daemons with the device [`MemoryLedger`] balanced on both
+//! sides and zero client-visible errors, and broker-unreachable clients
+//! degrade to their cached daemon list.
+//!
+//! Seed count is env-overridable like the fault suite:
+//! `RCUDA_BROKER_SEEDS=3 cargo test --test broker_chaos`.
+//!
+//! [`MemoryLedger`]: rcuda::gpu::MemoryLedger
+
+use rcuda::api::{run_matmul_bytes, CudaRuntime};
+use rcuda::broker::{Broker, BrokerBuilder, HealthPolicy};
+use rcuda::core::time::wall_clock;
+use rcuda::core::CudaError;
+use rcuda::gpu::module::build_module;
+use rcuda::gpu::GpuDevice;
+use rcuda::server::{GpuPool, PoolPolicy, RcudaDaemon};
+use rcuda::session::{Endpoint, Session};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Client-side per-call deadline: every blocking call is bounded, so a
+/// wedged failover can never hang the suite.
+const DEADLINE: Duration = Duration::from_secs(2);
+
+/// Whole-round wall bound (generous: three daemons, several sessions,
+/// one failover each).
+const WALL_BOUND: Duration = Duration::from_secs(60);
+
+/// Sessions per chaos round — more than daemons, so LeastLoaded doubles
+/// at least one daemon up and any victim holds at least one session.
+const SESSIONS: usize = 4;
+
+/// Matmul repetitions per session; the kill lands somewhere in the middle.
+const ROUNDS: usize = 6;
+
+const M: u32 = 16;
+
+fn mm_input(m: u32) -> Vec<u8> {
+    (0..m * m)
+        .flat_map(|i| (((i % 7) as f32) * 0.5 - 1.0).to_le_bytes())
+        .collect()
+}
+
+fn seeds() -> u64 {
+    std::env::var("RCUDA_BROKER_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn xorshift(mut x: u64) -> u64 {
+    x |= 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// A broker with hair-trigger health timers so a killed daemon leaves the
+/// placement pool within a couple of heartbeats.
+fn fast_broker() -> Broker {
+    BrokerBuilder::new()
+        .health(HealthPolicy {
+            suspect_after: Duration::from_millis(100),
+            down_after: Duration::from_millis(300),
+            recover_heartbeats: 2,
+        })
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap()
+}
+
+fn pool_daemon(broker: &Broker) -> (RcudaDaemon, Arc<GpuPool>) {
+    let pool = Arc::new(GpuPool::new(
+        vec![GpuDevice::tesla_c1060_functional()],
+        PoolPolicy::RoundRobin,
+    ));
+    let daemon = RcudaDaemon::builder()
+        .pool(Arc::clone(&pool))
+        .broker(broker.addr())
+        .broker_heartbeat_interval(Duration::from_millis(20))
+        .bind("127.0.0.1:0")
+        .unwrap();
+    (daemon, pool)
+}
+
+/// Fault-free baseline output, computed over the same broker path.
+fn baseline(broker: &Broker) -> Vec<u8> {
+    let (a, b) = (mm_input(M), mm_input(M));
+    let mut sess = Session::builder()
+        .deadline(DEADLINE)
+        .connect(Endpoint::Broker(broker.addr()))
+        .unwrap();
+    let clock = wall_clock();
+    let out = run_matmul_bytes(&mut *sess, &*clock, M, &a, &b)
+        .expect("baseline matmul over the broker completes")
+        .output;
+    sess.finish();
+    out
+}
+
+/// One session's life in the chaos round: repeated matmuls until done or
+/// the first error. Returns every completed output plus the terminal
+/// error, if any.
+fn run_session(broker_addr: std::net::SocketAddr) -> (Vec<Vec<u8>>, Option<CudaError>) {
+    let (a, b) = (mm_input(M), mm_input(M));
+    let mut sess = match Session::builder()
+        .deadline(DEADLINE)
+        .retries(3)
+        .connect(Endpoint::Broker(broker_addr))
+    {
+        Ok(s) => s,
+        Err(e) => return (Vec::new(), Some(e)),
+    };
+    let clock = wall_clock();
+    let mut outputs = Vec::new();
+    let mut terminal = None;
+    for _ in 0..ROUNDS {
+        match run_matmul_bytes(&mut *sess, &*clock, M, &a, &b) {
+            Ok(r) => outputs.push(r.output),
+            Err(e) => {
+                terminal = Some(e);
+                break;
+            }
+        }
+    }
+    sess.finish();
+    (outputs, terminal)
+}
+
+fn chaos_round(seed: u64, expected: &[u8]) {
+    let begun = Instant::now();
+    let broker = fast_broker();
+    let mut daemons: Vec<(RcudaDaemon, Arc<GpuPool>)> =
+        (0..3).map(|_| pool_daemon(&broker)).collect();
+    assert!(
+        broker.wait_for_daemons(3, Duration::from_secs(5)),
+        "seed {seed}: three daemons must register"
+    );
+
+    let victim = (seed % 3) as usize;
+    let kill_after = Duration::from_millis(20 + xorshift(seed) % 150);
+    let broker_addr = broker.addr();
+
+    let mut results = Vec::new();
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..SESSIONS)
+            .map(|_| s.spawn(move || run_session(broker_addr)))
+            .collect();
+        // The seeded killer: one of the three daemons dies mid-workload.
+        std::thread::sleep(kill_after);
+        let (mut dead, _pool) = daemons.remove(victim);
+        dead.shutdown();
+        drop(dead);
+        for w in workers {
+            results.push(w.join().expect("session thread must not panic"));
+        }
+    });
+
+    let mut completed = 0usize;
+    let mut lost = 0usize;
+    for (i, (outputs, terminal)) in results.iter().enumerate() {
+        for out in outputs {
+            assert_eq!(
+                out, expected,
+                "seed {seed}, session {i}: every completed matmul is bit-identical"
+            );
+        }
+        match terminal {
+            None => {
+                assert_eq!(outputs.len(), ROUNDS);
+                completed += 1;
+            }
+            Some(CudaError::SessionLost) => lost += 1,
+            Some(other) => panic!(
+                "seed {seed}, session {i}: only SessionLost may surface, got {other} \
+                 after {} good rounds",
+                outputs.len()
+            ),
+        }
+    }
+    assert_eq!(completed + lost, SESSIONS);
+    assert!(
+        completed >= 1,
+        "seed {seed}: at least the sessions on surviving daemons complete \
+         ({completed} completed, {lost} lost)"
+    );
+    assert!(
+        begun.elapsed() < WALL_BOUND,
+        "seed {seed}: chaos round exceeded the wall bound — something hung"
+    );
+
+    for (mut d, _) in daemons {
+        d.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------- tentpole
+
+#[test]
+fn seeded_chaos_kill_one_of_three_daemons_mid_matmul() {
+    let broker = fast_broker();
+    let (mut d, _pool) = pool_daemon(&broker);
+    assert!(broker.wait_for_daemons(1, Duration::from_secs(5)));
+    let expected = baseline(&broker);
+    d.shutdown();
+    drop(broker);
+
+    for seed in 0..seeds() {
+        chaos_round(seed, &expected);
+    }
+}
+
+#[test]
+fn live_migration_moves_an_idle_session_with_zero_client_errors() {
+    let broker = fast_broker();
+    let (source, source_pool) = pool_daemon(&broker);
+    let (target, target_pool) = pool_daemon(&broker);
+    assert!(broker.wait_for_daemons(2, Duration::from_secs(5)));
+
+    // One session, pinned down with live device state: 64 bytes of pattern.
+    let mut sess = Session::builder()
+        .deadline(DEADLINE)
+        .retries(2)
+        .connect(Endpoint::Broker(broker.addr()))
+        .unwrap();
+    sess.initialize(&build_module(&[], 0)).unwrap();
+    let ptr = sess.malloc(64).unwrap();
+    sess.memcpy_h2d(ptr, &[0xA5u8; 64]).unwrap();
+    // The session is now idle at a frame boundary.
+
+    let token = sess.session_token().expect("broker sessions carry a token");
+    // The broker learns who holds the session from heartbeats.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !source.session_tokens().contains(&token) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (from, to, to_pool, from_pool) = if source.session_tokens().contains(&token) {
+        (&source, &target, &target_pool, &source_pool)
+    } else {
+        assert!(target.session_tokens().contains(&token));
+        (&target, &source, &source_pool, &target_pool)
+    };
+    let to_addr = to.local_addr().to_string();
+    let wait_known = Instant::now() + Duration::from_secs(5);
+    while broker.migrate(token, &to_addr).is_err() {
+        assert!(
+            Instant::now() < wait_known,
+            "broker never learned the session's owner from heartbeats"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The order rides the owner's next heartbeat; the snapshot then ships
+    // daemon-to-daemon. Wait for the handover to land.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !to.session_tokens().contains(&token) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        to.session_tokens().contains(&token),
+        "session must arrive on the target daemon"
+    );
+    assert!(
+        !from.session_tokens().contains(&token),
+        "source must release its copy after the acknowledged restore"
+    );
+    // Ledger balance on both sides: the 64 live bytes moved with the
+    // session (allocator granularity may round the charge, so compare the
+    // two sides rather than assuming the raw size).
+    let moved = to_pool.devices()[0].ledger().live_bytes();
+    assert!(moved >= 64, "target ledger carries the allocation, {moved}");
+    assert_eq!(
+        from_pool.devices()[0].ledger().live_bytes(),
+        0,
+        "source ledger drops to zero"
+    );
+
+    // Zero client-visible errors: the next calls transparently land on the
+    // target daemon (the broker leads with the session's new owner) and
+    // read back the exact bytes written before the move.
+    assert_eq!(sess.memcpy_d2h(ptr, 64).unwrap(), vec![0xA5u8; 64]);
+    sess.free(ptr).unwrap();
+    sess.finalize().unwrap();
+    let reports = sess.finish();
+    assert!(
+        reports.iter().all(|r| r.leaked_allocations == 0),
+        "no incarnation leaked"
+    );
+
+    let (mut s, mut t) = (source, target);
+    s.shutdown();
+    t.shutdown();
+}
+
+#[test]
+fn broker_outage_degrades_to_the_cached_daemon_list() {
+    // A client that has dialed through the broker once keeps working —
+    // reconnect included — after the broker dies, via its last-known list.
+    let mut broker = fast_broker();
+    let (mut daemon, _pool) = pool_daemon(&broker);
+    assert!(broker.wait_for_daemons(1, Duration::from_secs(5)));
+
+    let mut sess = Session::builder()
+        .deadline(DEADLINE)
+        .retries(2)
+        .connect(Endpoint::Broker(broker.addr()))
+        .unwrap();
+    sess.initialize(&build_module(&[], 0)).unwrap();
+    let p = sess.malloc(32).unwrap();
+    sess.memcpy_h2d(p, &[7u8; 32]).unwrap();
+
+    broker.shutdown();
+    drop(broker);
+
+    // Still-open connection keeps serving, broker or no broker.
+    assert_eq!(sess.memcpy_d2h(p, 32).unwrap(), vec![7u8; 32]);
+    sess.free(p).unwrap();
+    sess.finalize().unwrap();
+    sess.finish();
+    daemon.shutdown();
+}
+
+#[test]
+fn draining_daemon_migrates_sessions_out_before_hard_stop() {
+    let broker = fast_broker();
+    let (mut source, _source_pool) = pool_daemon(&broker);
+    let (mut target, _target_pool) = pool_daemon(&broker);
+    assert!(broker.wait_for_daemons(2, Duration::from_secs(5)));
+
+    // Park a session on whichever daemon the broker picks, by address.
+    let mut sess = Session::builder()
+        .deadline(DEADLINE)
+        .retries(2)
+        .connect(Endpoint::Broker(broker.addr()))
+        .unwrap();
+    sess.initialize(&build_module(&[], 0)).unwrap();
+    let ptr = sess.malloc(16).unwrap();
+    sess.memcpy_h2d(ptr, &[3u8; 16]).unwrap();
+    let token = sess.session_token().unwrap();
+
+    let owner_is_source = {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if source.session_tokens().contains(&token) {
+                break true;
+            }
+            if target.session_tokens().contains(&token) {
+                break false;
+            }
+            assert!(Instant::now() < deadline, "no daemon reported the session");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+    let (from, to) = if owner_is_source {
+        (&mut source, &mut target)
+    } else {
+        (&mut target, &mut source)
+    };
+
+    // Drain the owner, offering the peer as a migration target: the
+    // session ships out instead of being hard-stopped.
+    let to_addr = to.local_addr().to_string();
+    from.drain_with_migration(Duration::from_secs(5), &[to_addr]);
+    assert!(
+        to.session_tokens().contains(&token),
+        "drained session must move to the offered target"
+    );
+
+    // The client follows it with zero visible errors.
+    assert_eq!(sess.memcpy_d2h(ptr, 16).unwrap(), vec![3u8; 16]);
+    sess.free(ptr).unwrap();
+    sess.finalize().unwrap();
+    sess.finish();
+
+    source.shutdown();
+    target.shutdown();
+}
