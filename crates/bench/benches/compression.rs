@@ -1,0 +1,361 @@
+//! The adaptive wire codec, measured end to end — and validated against the
+//! §V compression model closed-loop.
+//!
+//! Three experiments, all through the real middleware:
+//!
+//! 1. **Per-class ratio/goodput** — fresh codec sessions over simulated
+//!    GigaE (`CodecMode::Always`) push dense-random, sparse and structured
+//!    payloads at 4 KiB / 64 KiB / 1 MiB; the virtual clock charges exactly
+//!    the bytes that cross the wire, so effective goodput and achieved
+//!    ratio fall out per class, along with the codec's decision counters.
+//! 2. **Acceptance gates** — compressible 1 MiB payloads over simulated
+//!    GigaE must move at ≥ 1.5× the raw link; incompressible random floats
+//!    over loopback TCP with the *adaptive* codec must cost ≤ 3% versus a
+//!    codec-less session (the policy must decline, cheaply).
+//! 3. **Closed-loop model check** — the measured sparse-1 MiB virtual time
+//!    must match `app_transfer(head + enc_len)` + ack arithmetic built from
+//!    the codec's own achieved ratio, tying `rcuda_netsim::CompressionModel`
+//!    to the running system.
+//!
+//! Always writes `target/BENCH_compression.json` (override with
+//! `BENCH_COMPRESSION_OUT`) so CI can diff codec regressions run over run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::{rngs::StdRng, RngCore, SeedableRng};
+use rcuda::api::CudaRuntime;
+use rcuda::core::Clock as _;
+use rcuda::netsim::{Compressibility, NetworkId};
+use rcuda::proto::{BufferPool, Codec, CodecMode};
+use rcuda::session::{Endpoint, Session};
+use rcuda_client::RemoteRuntime;
+use rcuda_core::time::wall_clock;
+use rcuda_gpu::GpuDevice;
+use rcuda_server::RcudaDaemon;
+use rcuda_transport::TcpTransport;
+use serde_json::json;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [4 * 1024, 64 * 1024, 1024 * 1024];
+const SIM_ITERS: usize = 8;
+const TCP_ITERS: usize = 48;
+const TCP_ROUNDS: usize = 3;
+
+#[derive(Clone, Copy)]
+enum Kind {
+    Dense,
+    Sparse,
+    Structured,
+}
+
+impl Kind {
+    const ALL: [Kind; 3] = [Kind::Dense, Kind::Sparse, Kind::Structured];
+
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Dense => "dense-random-f32",
+            Kind::Sparse => "sparse-zero-runs",
+            Kind::Structured => "structured-records",
+        }
+    }
+
+    /// Deterministic payload of this class.
+    fn payload(self, len: usize) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(0x5eed ^ len as u64);
+        match self {
+            // Full-entropy bytes: what a dense random f32 matrix looks like
+            // to a byte-level matcher.
+            Kind::Dense => {
+                let mut buf = vec![0u8; len];
+                rng.fill_bytes(&mut buf);
+                buf
+            }
+            // ~90% zero runs with scattered nonzero words (iterative-solver
+            // style sparsity).
+            Kind::Sparse => {
+                let mut buf = vec![0u8; len];
+                let mut i = 0;
+                while i + 4 <= len {
+                    let mut word = [0u8; 4];
+                    rng.fill_bytes(&mut word);
+                    buf[i..i + 4].copy_from_slice(&word);
+                    i += 40; // one live word per ten
+                }
+                buf
+            }
+            // A 64-byte record with a random half and a fixed half,
+            // repeated — record streams, padded tensors.
+            Kind::Structured => {
+                let mut record = [0u8; 64];
+                rng.fill_bytes(&mut record[..32]);
+                let mut buf = vec![0u8; len];
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = record[i % 64];
+                }
+                // Perturb every record's first byte so the stream is not one
+                // giant match.
+                let mut i = 0;
+                while i < len {
+                    buf[i] = buf[i].wrapping_add((i / 64) as u8);
+                    i += 64;
+                }
+                buf
+            }
+        }
+    }
+}
+
+fn gbps(bytes: u64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    bytes as f64 * 8.0 / secs / 1e9
+}
+
+/// Push `iters` H2D copies of `data` through a fresh codec session over
+/// simulated GigaE; return (virtual seconds, codec stats, decisions json).
+fn simulated_run(data: &[u8], mode: CodecMode) -> (f64, rcuda::proto::CodecStats) {
+    let mut sess = Session::builder()
+        .codec(true)
+        .connect(Endpoint::Simulated(NetworkId::GigaE))
+        .expect("simulated session");
+    sess.set_codec_mode(mode);
+    sess.initialize(&rcuda_gpu::module::build_module(&["fill"], 0))
+        .unwrap();
+    assert!(sess.codec_active(), "server must advertise the codec");
+    let dev = sess.malloc(data.len() as u32).unwrap();
+    // Warm pass: module init, malloc and pool growth stay out of the
+    // measured window.
+    sess.memcpy_h2d(dev, data).unwrap();
+    let start = sess.clock().now();
+    for _ in 0..SIM_ITERS {
+        sess.memcpy_h2d(dev, data).unwrap();
+    }
+    let elapsed = (sess.clock().now() - start).as_secs_f64();
+    let stats = sess.codec_stats().expect("codec enabled");
+    sess.free(dev).unwrap();
+    sess.finish();
+    (elapsed, stats)
+}
+
+/// Loopback-TCP H2D goodput for 1 MiB dense-random floats, max of
+/// `TCP_ROUNDS` rounds (max is robust against scheduler noise).
+fn loopback_goodput(codec: bool) -> (f64, Option<rcuda::proto::CodecStats>) {
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let transport = TcpTransport::connect(daemon.local_addr()).unwrap();
+    let mut rt = RemoteRuntime::new(transport, wall_clock());
+    rt.set_codec(codec);
+    rt.initialize(&rcuda_gpu::module::build_module(&["fill"], 0))
+        .unwrap();
+    if codec {
+        assert!(rt.codec_active(), "daemon must advertise the codec");
+    }
+    let size = 1 << 20;
+    let data = Kind::Dense.payload(size);
+    let dev = rt.malloc(size as u32).unwrap();
+    rt.memcpy_h2d(dev, &data).unwrap(); // warm
+    let mut best = 0.0f64;
+    for _ in 0..TCP_ROUNDS {
+        let start = Instant::now();
+        for _ in 0..TCP_ITERS {
+            rt.memcpy_h2d(dev, &data).unwrap();
+        }
+        best = best.max(gbps(
+            (TCP_ITERS * size) as u64,
+            start.elapsed().as_secs_f64(),
+        ));
+    }
+    let stats = rt.codec_stats();
+    rt.free(dev).unwrap();
+    rt.finalize().unwrap();
+    drop(rt);
+    daemon.shutdown();
+    (best, stats)
+}
+
+fn decisions_json(s: &rcuda::proto::CodecStats) -> serde_json::Value {
+    json!({
+        "compressed": s.compressed,
+        "raw_small": s.raw_small,
+        "raw_entropy": s.raw_entropy,
+        "raw_policy": s.raw_policy,
+        "raw_expanded": s.raw_expanded,
+    })
+}
+
+fn write_artifact() {
+    let gige = NetworkId::GigaE.model();
+    let raw_link_gbps = gbps(1 << 20, gige.bulk_transfer(1 << 20).as_secs_f64());
+
+    // 1. Per-class ratio and effective goodput over simulated GigaE.
+    let mut classes = Vec::new();
+    for kind in Kind::ALL {
+        for size in SIZES {
+            let data = kind.payload(size);
+            let (secs, stats) = simulated_run(&data, CodecMode::Always);
+            let eff = gbps((SIM_ITERS * size) as u64, secs);
+            println!(
+                "  {:<20} {:>8} B: ratio {:.3}, effective {:>7.3} Gb/s (raw link {:.3})",
+                kind.label(),
+                size,
+                stats.ratio(),
+                eff,
+                raw_link_gbps,
+            );
+            let decisions = decisions_json(&stats);
+            classes.push(json!({
+                "kind": kind.label(),
+                "bytes": size,
+                "iters": SIM_ITERS,
+                "ratio": stats.ratio(),
+                "effective_gbps": eff,
+                "decisions": decisions,
+            }));
+        }
+    }
+
+    // 2a. Gate: compressible 1 MiB over simulated GigaE ≥ 1.5× raw link.
+    let sparse = Kind::Sparse.payload(1 << 20);
+    let (secs, sparse_stats) = simulated_run(&sparse, CodecMode::Always);
+    let sparse_eff = gbps((SIM_ITERS as u64) << 20, secs);
+    let speedup = sparse_eff / raw_link_gbps;
+    assert!(
+        speedup >= 1.5,
+        "compressible 1 MiB over simulated GigaE: {sparse_eff:.3} Gb/s is only \
+         {speedup:.2}x the {raw_link_gbps:.3} Gb/s raw link (gate: 1.5x)"
+    );
+    assert!(sparse_stats.compressed > 0, "sparse payloads must compress");
+
+    // 2b. Gate: incompressible random floats over loopback TCP, adaptive
+    // codec ≤ 3% behind a codec-less session.
+    let (base_gbps, _) = loopback_goodput(false);
+    let (codec_gbps, codec_stats) = loopback_goodput(true);
+    let codec_stats = codec_stats.expect("codec session has stats");
+    let regression = (base_gbps - codec_gbps) / base_gbps;
+    println!(
+        "  loopback incompressible: baseline {base_gbps:.2} Gb/s, adaptive codec \
+         {codec_gbps:.2} Gb/s ({:+.2}%)",
+        regression * 100.0
+    );
+    assert!(
+        regression <= 0.03,
+        "adaptive codec on incompressible data costs {:.1}% over loopback (gate: 3%)",
+        regression * 100.0
+    );
+    assert_eq!(
+        codec_stats.compressed, 0,
+        "adaptive policy must decline incompressible floats: {codec_stats:?}"
+    );
+    assert!(
+        codec_stats.raw_entropy + codec_stats.raw_policy > 0,
+        "declines must be recorded: {codec_stats:?}"
+    );
+
+    // 3. Closed-loop model check: rebuild the sparse-1 MiB per-copy time
+    // from the codec's achieved ratio and the GigaE model. One H2D copy is
+    // one flushed request message (20-byte head + 4-byte enc_len + encoded
+    // body) plus a 4-byte ack the other way.
+    let enc_per_copy = sparse_stats.bytes_enc as f64 / sparse_stats.compressed as f64;
+    let predicted = gige
+        .app_transfer(24 + enc_per_copy.ceil() as u64)
+        .as_secs_f64()
+        + gige.app_transfer(4).as_secs_f64();
+    let measured = secs / SIM_ITERS as f64;
+    let rel_err = (measured - predicted) / predicted;
+    println!(
+        "  closed loop (sparse 1 MiB): measured {:.3} ms/copy vs model {:.3} ms/copy \
+         ({:+.1}%)",
+        measured * 1e3,
+        predicted * 1e3,
+        rel_err * 100.0
+    );
+    assert!(
+        rel_err.abs() < 0.10,
+        "simulated codec session deviates {:.1}% from the compression model",
+        rel_err * 100.0
+    );
+
+    // Analytic scenario predictions for context: the netsim model's adaptive
+    // goodput per scenario on GigaE (includes its calibrated CPU terms).
+    let model_scenarios: Vec<_> = Compressibility::ALL
+        .iter()
+        .map(|c| {
+            json!({
+                "scenario": c.label(),
+                "ratio": c.ratio(),
+                "model_speedup": c.model().speedup(gige.as_ref()),
+            })
+        })
+        .collect();
+
+    let gates = json!({
+        "compressible_speedup": speedup,
+        "compressible_floor": 1.5,
+        "incompressible_regression": regression,
+        "incompressible_ceiling": 0.03,
+    });
+    let closed_loop = json!({
+        "measured_ms_per_copy": measured * 1e3,
+        "predicted_ms_per_copy": predicted * 1e3,
+        "rel_err": rel_err,
+    });
+    let artifact = json!({
+        "bench": "compression",
+        "raw_link_gbps": raw_link_gbps,
+        "classes": classes,
+        "gates": gates,
+        "closed_loop": closed_loop,
+        "model_scenarios": model_scenarios,
+    });
+    let path = std::env::var("BENCH_COMPRESSION_OUT").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_compression.json"
+        )
+        .to_string()
+    });
+    std::fs::write(&path, serde_json::to_string_pretty(&artifact).unwrap()).unwrap();
+    println!("  wrote {path}");
+}
+
+fn bench_compression(c: &mut Criterion) {
+    write_artifact();
+
+    // Raw codec throughput, wall clock: what the netsim calibration
+    // constants claim to approximate.
+    let pool = BufferPool::new();
+    let codec = Codec::with_mode(pool.clone(), CodecMode::Always);
+    let mut g = c.benchmark_group("codec");
+    for kind in [Kind::Sparse, Kind::Structured] {
+        let data = kind.payload(1 << 20);
+        g.throughput(Throughput::Bytes(1 << 20));
+        g.bench_function(format!("encode/{}", kind.label()), |b| {
+            b.iter(|| black_box(codec.encode(black_box(&data))))
+        });
+        let mut wire = Vec::new();
+        codec.write_block(&mut wire, &data).unwrap();
+        let mut out = vec![0u8; data.len()];
+        g.bench_function(format!("decode/{}", kind.label()), |b| {
+            b.iter(|| {
+                codec
+                    .read_block_into(&mut std::io::Cursor::new(&wire), &mut out)
+                    .unwrap()
+            })
+        });
+        assert_eq!(out, data, "decode must round-trip");
+    }
+    // Adaptive decline on dense data — the cost the 3% gate bounds.
+    let dense = Kind::Dense.payload(1 << 20);
+    let adaptive = Codec::new(pool);
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("decline/dense-random", |b| {
+        b.iter(|| black_box(adaptive.encode(black_box(&dense))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

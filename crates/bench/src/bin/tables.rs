@@ -6,8 +6,9 @@
 //! cargo run -p rcuda-bench --bin tables -- compare # paper-vs-ours report
 //! ```
 //!
-//! Artifacts: `table1 table2 table3 table4 table5 table6 fig3 fig4 fig5
-//! fig6 pipeline compare`. Pass `--json` for machine-readable output.
+//! Artifacts: `table1 table2 table3 table4 table5 table5c table6 table6c
+//! fig3 fig4 fig5 fig6 pipeline compare`. Pass `--json` for
+//! machine-readable output.
 
 use rcuda_bench::compare::{full_report, render_markdown, summarize};
 use rcuda_bench::json::artifact_json;
@@ -33,7 +34,9 @@ fn main() {
             "table3",
             "table4",
             "table5",
+            "table5c",
             "table6",
+            "table6c",
             "fig3",
             "fig4",
             "fig5",
@@ -65,7 +68,9 @@ fn main() {
             "table3" => print_table3(),
             "table4" => print_table4(&testbed),
             "table5" => print_table5(),
+            "table5c" => print_table5c(),
             "table6" => print_table6(&testbed),
+            "table6c" => print_table6c(&testbed),
             "fig3" => print_latency_figure(NetworkId::GigaE, SEED),
             "fig4" => print_latency_figure(NetworkId::Ib40G, SEED),
             "fig5" => print_execution_figure(NetworkId::GigaE, &testbed),

@@ -3,7 +3,9 @@
 
 use rcuda_core::Family;
 use rcuda_model::figures::{execution_figure, latency_figure};
-use rcuda_model::tables::{table2, table3, table4, table5, table6};
+use rcuda_model::tables::{
+    table2, table3, table4, table5, table5_compressed, table6, table6_compressed,
+};
 use rcuda_model::SimulatedTestbed;
 use rcuda_netsim::NetworkId;
 use rcuda_proto::sizes::OpKind;
@@ -51,10 +53,20 @@ pub fn artifact_json(what: &str, testbed: &SimulatedTestbed) -> Option<String> {
             "mm": table5(Family::MatMul),
             "fft": table5(Family::Fft),
         }),
+        "table5c" => json!({
+            "table": "5c",
+            "mm": table5_compressed(Family::MatMul),
+            "fft": table5_compressed(Family::Fft),
+        }),
         "table6" => json!({
             "table": 6,
             "mm": table6(Family::MatMul, testbed),
             "fft": table6(Family::Fft, testbed),
+        }),
+        "table6c" => json!({
+            "table": "6c",
+            "mm": table6_compressed(Family::MatMul, testbed),
+            "fft": table6_compressed(Family::Fft, testbed),
         }),
         "fig3" => json!({ "figure": 3, "data": latency_figure(NetworkId::GigaE, 42) }),
         "fig4" => json!({ "figure": 4, "data": latency_figure(NetworkId::Ib40G, 42) }),
@@ -112,8 +124,8 @@ mod tests {
     fn every_artifact_emits_valid_json() {
         let tb = SimulatedTestbed::new();
         for what in [
-            "table1", "table2", "table3", "table4", "table5", "table6", "fig3", "fig4", "fig5",
-            "fig6", "pipeline", "compare",
+            "table1", "table2", "table3", "table4", "table5", "table5c", "table6", "table6c",
+            "fig3", "fig4", "fig5", "fig6", "pipeline", "compare",
         ] {
             let s = artifact_json(what, &tb).unwrap_or_else(|| panic!("missing {what}"));
             let v: serde_json::Value = serde_json::from_str(&s).expect(what);

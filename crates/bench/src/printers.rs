@@ -5,9 +5,11 @@ use rcuda_core::{CaseStudy, Family};
 use rcuda_model::chart::ascii_chart;
 use rcuda_model::figures::{execution_figure, latency_figure};
 use rcuda_model::render::{millis, millis1, percent, secs, TextTable};
-use rcuda_model::tables::{table2, table3, table4, table5, table6};
+use rcuda_model::tables::{
+    table2, table3, table4, table5, table5_compressed, table6, table6_compressed,
+};
 use rcuda_model::SimulatedTestbed;
-use rcuda_netsim::NetworkId;
+use rcuda_netsim::{Compressibility, NetworkId};
 use rcuda_proto::sizes::OpKind;
 
 /// Time/size formatting convention per family: MM rows print seconds,
@@ -160,6 +162,54 @@ pub fn print_table5() -> String {
     )
 }
 
+/// Table V′: the Table III/V transfer arithmetic with payload
+/// compressibility as an extra axis, over all seven networks.
+pub fn print_table5c() -> String {
+    let mut out = String::from(
+        "Table V' — Estimated transfer times with the adaptive codec, by compressibility\n\
+         (dense random reproduces Tables III/V; only GigaE crosses the codec break-even)\n\n",
+    );
+    for family in Family::ALL {
+        let rows = table5_compressed(family);
+        out.push_str(&format!(
+            "{}:\n",
+            match family {
+                Family::MatMul => "MM",
+                Family::Fft => "FFT",
+            }
+        ));
+        let mut headers = vec![
+            size_header(family).to_string(),
+            "Data (MiB)".to_string(),
+            "Scenario".to_string(),
+        ];
+        headers.extend(NetworkId::ALL.iter().map(|n| format!("{n} (ms)")));
+        let mut table = TextTable::new(headers);
+        for row in rows {
+            for (j, scenario) in Compressibility::ALL.iter().enumerate() {
+                let mut cells = vec![
+                    if j == 0 {
+                        row.case.size().to_string()
+                    } else {
+                        String::new()
+                    },
+                    if j == 0 {
+                        format!("{:.0}", row.data_mib)
+                    } else {
+                        String::new()
+                    },
+                    scenario.label().to_string(),
+                ];
+                cells.extend(row.times.iter().map(|(_, t)| millis1(t[j])));
+                table.row(cells);
+            }
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
 /// Table IV: cross-validation of both estimation models.
 pub fn print_table4(testbed: &SimulatedTestbed) -> String {
     let mut out = String::from(
@@ -232,6 +282,39 @@ pub fn print_table6(testbed: &SimulatedTestbed) -> String {
                 cells.push(fmt_time(family, *t));
             }
             for (_, t) in &row.est_ib40_model {
+                cells.push(fmt_time(family, *t));
+            }
+            table.row(cells);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Table VI′: the GigaE-model execution projection with the adaptive
+/// codec enabled, one row per compressibility scenario.
+pub fn print_table6c(testbed: &SimulatedTestbed) -> String {
+    let mut out = String::from(
+        "Table VI' — Estimated execution times with the adaptive codec, by compressibility\n\
+         (GigaE-derived fixed times; control traffic never compresses, only the bulk term moves)\n\n",
+    );
+    for family in Family::ALL {
+        let rows = table6_compressed(family, testbed);
+        out.push_str(&format!("{}:\n", family_label(family)));
+        let mut headers = vec![size_header(family).to_string(), "Scenario".to_string()];
+        headers.extend(NetworkId::ALL.iter().map(|n| n.to_string()));
+        let mut table = TextTable::new(headers);
+        for row in &rows {
+            let mut cells = vec![
+                if row.scenario == Compressibility::ALL[0] {
+                    row.case.size().to_string()
+                } else {
+                    String::new()
+                },
+                row.scenario.label().to_string(),
+            ];
+            for (_, t) in &row.est {
                 cells.push(fmt_time(family, *t));
             }
             table.row(cells);

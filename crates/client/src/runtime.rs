@@ -39,11 +39,13 @@
 use rcuda_api::{CudaRuntime, CudaRuntimeAsyncExt};
 use rcuda_core::{CudaError, CudaResult, DeviceProperties, DevicePtr, Dim3, SharedClock};
 use rcuda_obs::{CallSpan, ObsHandle, Op, PoolStats, SessionMetrics};
+use rcuda_proto::codec::{split_minor_word, CodecHello, CodecStats, CAP_LZ4};
 use rcuda_proto::handshake::{read_hello_reply, ServerHello};
 use rcuda_proto::ids::{FunctionId, MemcpyKind};
 use rcuda_proto::wire::{get_u32, write_all_vectored};
 use rcuda_proto::{
-    Batch, BatchResponse, BufferPool, LaunchConfig, Payload, Request, Response, SessionHello,
+    Batch, BatchResponse, BufferPool, Codec, CodecMode, LaunchConfig, Payload, Request, Response,
+    SessionHello,
 };
 use rcuda_transport::Transport;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -111,6 +113,14 @@ pub struct RemoteRuntime<T: Transport> {
     /// staged in recycled buffers, so the pipelined steady state allocates
     /// nothing per call.
     pool: BufferPool,
+    /// Wire codec, present iff the application opted in via
+    /// [`RemoteRuntime::set_codec`]. Created once and kept across
+    /// reconnects so its learned throughput model survives failover.
+    codec: Option<Codec>,
+    /// Whether the *current* connection negotiated the codec framing: the
+    /// knob was on and the server advertised [`CAP_LZ4`] in its hello.
+    /// Re-derived on every (re)connect; legacy peers leave it false.
+    codec_active: bool,
 }
 
 impl<T: Transport> RemoteRuntime<T> {
@@ -136,6 +146,8 @@ impl<T: Transport> RemoteRuntime<T> {
             journal: None,
             jitter_rng: 0x9E37_79B9_7F4A_7C15,
             pool: BufferPool::new(),
+            codec: None,
+            codec_active: false,
         }
     }
 
@@ -261,6 +273,62 @@ impl<T: Transport> RemoteRuntime<T> {
         self.journal.as_ref().is_some_and(|j| j.armed())
     }
 
+    /// Opt into (or out of) the adaptive wire codec. Off by default — the
+    /// default wire stays byte-identical to the paper's protocol (Table I).
+    /// With the knob on, `initialize` reads the server's capability bits
+    /// out of the compute-capability push and, when the server advertises
+    /// LZ4, switches both directions of the session to the codec framing;
+    /// a legacy server leaves the session raw. Set before
+    /// [`CudaRuntime::initialize`]. The codec's learned throughput model
+    /// persists across reconnects and failovers.
+    pub fn set_codec(&mut self, enabled: bool) {
+        if enabled {
+            if self.codec.is_none() {
+                self.codec = Some(Codec::new(self.pool.clone()));
+            }
+        } else {
+            self.codec = None;
+            self.codec_active = false;
+        }
+    }
+
+    /// Override the codec's compression policy (default
+    /// [`CodecMode::Adaptive`]). A no-op until [`RemoteRuntime::set_codec`]
+    /// enables the codec.
+    pub fn set_codec_mode(&mut self, mode: CodecMode) {
+        if let Some(codec) = &self.codec {
+            codec.set_mode(mode);
+        }
+    }
+
+    /// Whether the current connection negotiated the codec framing.
+    pub fn codec_active(&self) -> bool {
+        self.codec_active
+    }
+
+    /// A snapshot of the codec's decision and byte counters (`None` when
+    /// the codec was never enabled).
+    pub fn codec_stats(&self) -> Option<CodecStats> {
+        self.codec.as_ref().map(|c| c.stats())
+    }
+
+    /// Split the server's folded hello minor word, activate the codec when
+    /// both ends support it, and queue the one-way [`CodecHello`] (it rides
+    /// the same flush as the session hello that must follow). Returns the
+    /// true minor compute-capability digit, caps masked off — legacy
+    /// servers fold nothing, so the word passes through unchanged.
+    fn negotiate_codec(&mut self, minor_word: u32) -> CudaResult<u32> {
+        let (minor, caps) = split_minor_word(minor_word);
+        self.codec_active = false;
+        if self.codec.is_some() && caps & CAP_LZ4 != 0 {
+            CodecHello { caps: CAP_LZ4 }
+                .write(&mut self.transport)
+                .map_err(|e| transport_error(&e))?;
+            self.codec_active = true;
+        }
+        Ok(minor)
+    }
+
     /// Journaled calls and their weight in bytes (`(0, 0)` when disarmed).
     pub fn failover_journal_stats(&self) -> (usize, u64) {
         self.journal
@@ -329,11 +397,18 @@ impl<T: Transport> RemoteRuntime<T> {
         self.transport
             .read_exact(&mut cc)
             .map_err(|e| transport_error(&e))?;
-        if let ServerHello::Busy { retry_after_ms } = ServerHello::from_wire(cc) {
-            // The daemon shed the reconnect at admission; the parked
-            // session is still there for a later attempt.
-            self.busy_retry_hint = Some(Duration::from_millis(retry_after_ms as u64));
-            return Err(CudaError::ServerBusy);
+        match ServerHello::from_wire(cc) {
+            ServerHello::Busy { retry_after_ms } => {
+                // The daemon shed the reconnect at admission; the parked
+                // session is still there for a later attempt.
+                self.busy_retry_hint = Some(Duration::from_millis(retry_after_ms as u64));
+                return Err(CudaError::ServerBusy);
+            }
+            // Codec terms do not carry over a reconnect: the session may
+            // resume on a daemon with different capabilities.
+            ServerHello::Ready { minor, .. } => {
+                self.negotiate_codec(minor)?;
+            }
         }
         SessionHello::Reconnect { session: token }
             .write(&mut self.transport)
@@ -430,8 +505,11 @@ impl<T: Transport> RemoteRuntime<T> {
         self.transport
             .read_exact(&mut cc)
             .map_err(|e| transport_error(&e))?;
-        if let ServerHello::Busy { .. } = ServerHello::from_wire(cc) {
-            return Err(CudaError::ServerBusy);
+        match ServerHello::from_wire(cc) {
+            ServerHello::Busy { .. } => return Err(CudaError::ServerBusy),
+            ServerHello::Ready { minor, .. } => {
+                self.negotiate_codec(minor)?;
+            }
         }
         let journal = self.journal.as_ref().expect("armed implies a journal");
         SessionHello::Resumable {
@@ -442,13 +520,19 @@ impl<T: Transport> RemoteRuntime<T> {
         .and_then(|_| self.transport.flush())
         .map_err(|e| transport_error(&e))?;
         read_hello_reply(&mut self.transport).map_err(|e| transport_error(&e))??;
-        // Disjoint field borrows: the journal is read while the transport
-        // is driven, so no `self` method calls inside the loop.
+        // Disjoint field borrows: the journal and codec are read while the
+        // transport is driven, so no `self` method calls inside the loop.
+        let codec = if self.codec_active {
+            self.codec.as_ref()
+        } else {
+            None
+        };
         for (req, expect) in journal.ops() {
-            req.write(&mut self.transport)
+            req.write_codec(&mut self.transport, codec)
                 .and_then(|_| self.transport.flush())
                 .map_err(|e| transport_error(&e))?;
-            let resp = Response::read(&mut self.transport, req).map_err(|e| transport_error(&e))?;
+            let resp = Response::read_codec(&mut self.transport, req, None, codec)
+                .map_err(|e| transport_error(&e))?;
             if !expect.matches(&resp) {
                 return Err(CudaError::SessionLost);
             }
@@ -495,11 +579,17 @@ impl<T: Transport> RemoteRuntime<T> {
     /// One write-flush-read exchange of `batch` (no retry logic).
     fn try_batch(&mut self, batch: &Batch, started: Instant) -> CudaResult<BatchResponse> {
         self.arm_deadline(started)?;
+        let codec = if self.codec_active {
+            self.codec.as_ref()
+        } else {
+            None
+        };
         batch
-            .write(&mut self.transport)
+            .write_codec(&mut self.transport, codec)
             .and_then(|_| self.transport.flush())
             .map_err(|e| transport_error(&e))?;
-        BatchResponse::read(&mut self.transport, batch).map_err(|e| transport_error(&e))
+        BatchResponse::read_codec(&mut self.transport, batch, codec)
+            .map_err(|e| transport_error(&e))
     }
 
     /// Write `batch` as one message, read the combined response, trace it.
@@ -554,10 +644,15 @@ impl<T: Transport> RemoteRuntime<T> {
     /// One write-flush-read exchange of `req` (no retry logic).
     fn try_single(&mut self, req: &Request, started: Instant) -> CudaResult<Response> {
         self.arm_deadline(started)?;
-        req.write(&mut self.transport)
+        let codec = if self.codec_active {
+            self.codec.as_ref()
+        } else {
+            None
+        };
+        req.write_codec(&mut self.transport, codec)
             .and_then(|_| self.transport.flush())
             .map_err(|e| transport_error(&e))?;
-        Response::read(&mut self.transport, req).map_err(|e| transport_error(&e))
+        Response::read_codec(&mut self.transport, req, None, codec).map_err(|e| transport_error(&e))
     }
 
     /// One result-bearing exchange, traced. If deferred calls are pending,
@@ -644,9 +739,18 @@ impl<T: Transport> RemoteRuntime<T> {
             return Ok(Err(e));
         }
         if let Some(buf) = into {
-            self.transport
-                .read_exact(buf)
-                .map_err(|e| transport_error(&e))?;
+            // On a codec session the reply payload arrives `enc_len`-framed
+            // and inflates straight into the caller's buffer. Disjoint field
+            // borrows: the codec is read while the transport is driven.
+            match (self.codec_active, self.codec.as_ref()) {
+                (true, Some(codec)) => codec
+                    .read_block_into(&mut self.transport, buf)
+                    .map_err(|e| transport_error(&e))?,
+                _ => self
+                    .transport
+                    .read_exact(buf)
+                    .map_err(|e| transport_error(&e))?,
+            }
         }
         Ok(Ok(()))
     }
@@ -688,6 +792,14 @@ impl<T: Transport> RemoteRuntime<T> {
             Ok(()) => 4 + into.map_or(0, |b| b.len() as u64),
             Err(_) => 4,
         };
+        // Feed the codec's link-throughput estimate from the observed
+        // round trip (bulk exchanges dominate, so the per-call overhead
+        // noise washes out of the EMA).
+        if result.is_ok() && attempt == 0 {
+            if let Some(codec) = self.codec.as_ref() {
+                codec.observe_link(sent + received, started.elapsed().as_nanos() as u64);
+            }
+        }
         self.trace.record(CallEvent {
             op: Op::Named(op),
             sent,
@@ -706,6 +818,31 @@ impl<T: Transport> RemoteRuntime<T> {
             retries: attempt,
         });
         result
+    }
+
+    /// Codec-aware borrowed H2D send: on a negotiated session the body is
+    /// encoded through the codec (pooled scratch, no allocation) and the
+    /// 4-byte `enc_len` word joins the stack-built head; a legacy session
+    /// passes the caller's slices through untouched.
+    fn exchange_borrowed_h2d(
+        &mut self,
+        op: &'static str,
+        head: &[u8],
+        data: &[u8],
+    ) -> CudaResult<()> {
+        if !self.codec_active {
+            return self.exchange_borrowed(op, head, data, None);
+        }
+        let encoded = self
+            .codec
+            .as_ref()
+            .expect("active implies codec")
+            .encode(data);
+        let body: &[u8] = encoded.as_ref().map_or(data, |p| p.as_slice());
+        let mut ext = [0u8; 28];
+        ext[..head.len()].copy_from_slice(head);
+        ext[head.len()..head.len() + 4].copy_from_slice(&(body.len() as u32).to_le_bytes());
+        self.exchange_borrowed(op, &ext[..head.len() + 4], body, None)
     }
 
     /// Submit a no-result call. With pipelining off this is a synchronous
@@ -787,7 +924,12 @@ impl<T: Transport> RemoteRuntime<T> {
                 self.busy_retry_hint = Some(Duration::from_millis(retry_after_ms as u64));
                 return Err(CudaError::ServerBusy);
             }
-            ServerHello::Ready { major, minor } => self.server_cc = Some((major, minor)),
+            ServerHello::Ready { major, minor } => {
+                // The minor word doubles as the capability carrier; strip
+                // the caps (and opt in) before recording the CC.
+                let minor = self.negotiate_codec(minor)?;
+                self.server_cc = Some((major, minor));
+            }
         }
         let hello = match self.session_token {
             Some(session) => SessionHello::Resumable {
@@ -908,7 +1050,7 @@ impl<T: Transport> CudaRuntime for RemoteRuntime<T> {
         // so it stages one copy in a pooled buffer.
         if self.pipeline_depth == 0 && self.window.is_empty() {
             let head = memcpy_head(dst.addr(), 0, data.len() as u32, MemcpyKind::HostToDevice);
-            self.exchange_borrowed("cudaMemcpyH2D", &head, data, None)?;
+            self.exchange_borrowed_h2d("cudaMemcpyH2D", &head, data)?;
             self.journal_borrowed_h2d(dst, data, None);
             return Ok(());
         }
@@ -1041,7 +1183,7 @@ impl<T: Transport> CudaRuntimeAsyncExt for RemoteRuntime<T> {
                 MemcpyKind::HostToDevice,
                 stream,
             );
-            self.exchange_borrowed("cudaMemcpyAsyncH2D", &head, data, None)?;
+            self.exchange_borrowed_h2d("cudaMemcpyAsyncH2D", &head, data)?;
             self.journal_borrowed_h2d(dst, data, Some(stream));
             return Ok(());
         }

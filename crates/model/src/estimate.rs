@@ -18,7 +18,7 @@
 //! ```
 
 use rcuda_core::{CaseStudy, SimTime};
-use rcuda_netsim::NetworkId;
+use rcuda_netsim::{Compressibility, NetworkId};
 use serde::Serialize;
 
 /// Per-copy payload transfer time on a network — the paper's Tables III
@@ -65,6 +65,44 @@ pub fn fixed_time(measured: SimTime, case: CaseStudy, src: NetworkId) -> SimTime
 /// `estimate = fixed + k·transfer(dst)`.
 pub fn estimate(fixed: SimTime, case: CaseStudy, dst: NetworkId) -> SimTime {
     fixed + total_transfer_time(case, dst)
+}
+
+/// Per-copy transfer time through the adaptive compression plane
+/// (`rcuda-proto::codec`): the cheaper of the raw wire and the
+/// compress–ship–decompress pipeline for the given compressibility
+/// scenario. For [`Compressibility::DenseRandom`] this reduces exactly to
+/// [`transfer_time`] — the codec declines on the paper's random matrices.
+pub fn transfer_time_compressed(
+    case: CaseStudy,
+    net: NetworkId,
+    scenario: Compressibility,
+) -> SimTime {
+    scenario
+        .model()
+        .adaptive_transfer(net.model().as_ref(), case.memcpy_bytes().as_bytes())
+}
+
+/// Total bulk-transfer time through the adaptive plane: `k` copies at the
+/// compressed per-copy time.
+pub fn total_transfer_time_compressed(
+    case: CaseStudy,
+    net: NetworkId,
+    scenario: Compressibility,
+) -> SimTime {
+    transfer_time_compressed(case, net, scenario) * case.memcpy_count() as u64
+}
+
+/// Project a fixed time onto a target network with the adaptive codec
+/// enabled: `estimate = fixed + k·transfer_compressed(dst)`. The fixed time
+/// still comes from [`fixed_time`] on raw measurements — control traffic is
+/// never compressed, so the codec only re-prices the bulk term.
+pub fn estimate_compressed(
+    fixed: SimTime,
+    case: CaseStudy,
+    dst: NetworkId,
+    scenario: Compressibility,
+) -> SimTime {
+    fixed + total_transfer_time_compressed(case, dst, scenario)
 }
 
 /// One row of a Table IV-style cross-validation.
@@ -178,6 +216,48 @@ mod tests {
         assert!((row.fixed.as_secs_f64() - 1.93).abs() < 0.01);
         assert!((row.estimated_dst.as_secs_f64() - 2.08).abs() < 0.02);
         assert!((row.error - 0.022).abs() < 0.01, "error {}", row.error);
+    }
+
+    #[test]
+    fn dense_random_compressed_transfer_is_the_raw_transfer() {
+        // The paper's MM/FFT inputs are dense random floats; the adaptive
+        // codec must decline and leave Tables III/V untouched.
+        let mm = CaseStudy::MatMul { dim: 4096 };
+        for net in NetworkId::ALL {
+            assert_eq!(
+                transfer_time_compressed(mm, net, Compressibility::DenseRandom),
+                transfer_time(mm, net),
+                "{net}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_payloads_cut_gigae_transfer_but_not_asic_ht() {
+        let mm = CaseStudy::MatMul { dim: 4096 };
+        let raw = transfer_time(mm, NetworkId::GigaE);
+        let comp = transfer_time_compressed(mm, NetworkId::GigaE, Compressibility::Sparse);
+        assert!(
+            comp.as_secs_f64() < 0.5 * raw.as_secs_f64(),
+            "sparse GigaE {comp:?} vs raw {raw:?}"
+        );
+        // A-HT's wire outruns the encoder; the adaptive plane stays raw.
+        assert_eq!(
+            transfer_time_compressed(mm, NetworkId::AsicHt, Compressibility::Sparse),
+            transfer_time(mm, NetworkId::AsicHt)
+        );
+    }
+
+    #[test]
+    fn compressed_estimate_reprices_only_the_bulk_term() {
+        let case = CaseStudy::MatMul { dim: 8192 };
+        let fixed = SimTime::from_secs_f64(2.0);
+        let est = estimate_compressed(fixed, case, NetworkId::GigaE, Compressibility::Sparse);
+        assert_eq!(
+            est,
+            fixed + total_transfer_time_compressed(case, NetworkId::GigaE, Compressibility::Sparse)
+        );
+        assert!(est < estimate(fixed, case, NetworkId::GigaE));
     }
 
     #[test]

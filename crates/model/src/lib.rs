@@ -46,7 +46,10 @@ pub mod workloads;
 pub use calib::{Calibration, PolyFit};
 pub use capacity::{plan_capacity, CapacityPlan, ClusterSpec};
 pub use compare::{compare_report, CompareReport, PhaseRow};
-pub use estimate::{cross_validate, estimate, fixed_time, transfer_time, CrossValidationRow};
+pub use estimate::{
+    cross_validate, estimate, estimate_compressed, fixed_time, transfer_time,
+    transfer_time_compressed, CrossValidationRow,
+};
 pub use montecarlo::{default_error_bar, error_bar, Distribution, ErrorBar};
 pub use overlap::{estimate_async, overlap_benefit};
 pub use pipeline::{estimate_pipelined, estimate_pipelined_with, PipelineEstimate};

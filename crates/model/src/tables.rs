@@ -6,10 +6,13 @@
 //! comparison).
 
 use rcuda_core::{CaseStudy, Family, SimTime};
-use rcuda_netsim::NetworkId;
+use rcuda_netsim::{Compressibility, NetworkId};
 use serde::Serialize;
 
-use crate::estimate::{cross_validate, estimate, fixed_time, transfer_time, CrossValidationRow};
+use crate::estimate::{
+    cross_validate, estimate, estimate_compressed, fixed_time, transfer_time,
+    transfer_time_compressed, CrossValidationRow,
+};
 use crate::paperdata::control;
 use crate::testbed::SimulatedTestbed;
 
@@ -289,6 +292,45 @@ pub fn table5(family: Family) -> Vec<TransferRow> {
     transfer_table(family, &NetworkId::TARGETS)
 }
 
+// ------------------------------------------------ Table V′ (compressed)
+
+/// One row of the compressed-transfer projection: the Table III/V
+/// arithmetic re-priced through the adaptive compression plane, one time
+/// per (network, compressibility scenario).
+#[derive(Debug, Clone, Serialize)]
+pub struct CompressedTransferRow {
+    pub case: CaseStudy,
+    /// Per-copy raw payload in MiB.
+    pub data_mib: f64,
+    /// `times[i][j]` is network `nets[i]` under `Compressibility::ALL[j]`.
+    pub times: Vec<(NetworkId, [SimTime; 3])>,
+}
+
+/// Table V′: the Table III/V transfer arithmetic with compressibility as
+/// an extra axis, over all seven networks. The dense-random column must
+/// reproduce Tables III/V exactly (the adaptive codec declines on
+/// incompressible data). With the calibrated LZ4 throughputs the break-even
+/// bandwidth for sparse data is ≈470 MiB/s, so only GigaE benefits — the
+/// HPC targets all outrun the encoder, which is itself a finding: wire
+/// compression is a remedy for commodity links, not fast fabrics.
+pub fn table5_compressed(family: Family) -> Vec<CompressedTransferRow> {
+    CaseStudy::standard_grid(family)
+        .into_iter()
+        .map(|case| CompressedTransferRow {
+            case,
+            data_mib: case.memcpy_bytes().as_mib(),
+            times: NetworkId::ALL
+                .iter()
+                .map(|&net| {
+                    let by_scenario =
+                        Compressibility::ALL.map(|c| transfer_time_compressed(case, net, c));
+                    (net, by_scenario)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------- Table IV
 
 /// One row of Table IV: both cross-validation directions.
@@ -361,6 +403,43 @@ pub fn table6(family: Family, testbed: &SimulatedTestbed) -> Vec<Table6Row> {
             }
         })
         .collect()
+}
+
+// ------------------------------------------------ Table VI′ (compressed)
+
+/// One row of the compressed execution projection: GigaE-derived fixed
+/// time plus the compressed bulk term on each target network.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table6CompressedRow {
+    pub case: CaseStudy,
+    /// Scenario axis, [`Compressibility::ALL`] order.
+    pub scenario: Compressibility,
+    /// Estimated total execution time per target network.
+    pub est: Vec<(NetworkId, SimTime)>,
+}
+
+/// Table VI′: Table VI's GigaE-model projections with the adaptive codec
+/// enabled, one block of rows per compressibility scenario, over all seven
+/// networks (GigaE itself included — that is where compression pays).
+/// Control traffic (the fixed time) is never compressed; only the bulk
+/// term moves.
+pub fn table6_compressed(family: Family, testbed: &SimulatedTestbed) -> Vec<Table6CompressedRow> {
+    let mut rows = Vec::new();
+    for case in CaseStudy::standard_grid(family) {
+        let measured = testbed.measured_remote(case, NetworkId::GigaE);
+        let fixed = fixed_time(measured, case, NetworkId::GigaE);
+        for scenario in Compressibility::ALL {
+            rows.push(Table6CompressedRow {
+                case,
+                scenario,
+                est: NetworkId::ALL
+                    .iter()
+                    .map(|&net| (net, estimate_compressed(fixed, case, net, scenario)))
+                    .collect(),
+            });
+        }
+    }
+    rows
 }
 
 #[cfg(test)]
@@ -445,6 +524,82 @@ mod tests {
         let expect = [45.5, 41.2, 53.3, 27.7, 13.9];
         for ((_, t), e) in row.times.iter().zip(expect) {
             assert!((t.as_millis_f64() - e).abs() < 0.1, "{t:?} vs {e}");
+        }
+    }
+
+    #[test]
+    fn table5_compressed_dense_column_reproduces_tables3_and_5() {
+        use crate::estimate::transfer_time;
+        for family in [Family::MatMul, Family::Fft] {
+            for row in table5_compressed(family) {
+                assert_eq!(row.times.len(), NetworkId::ALL.len());
+                for (net, by_scenario) in &row.times {
+                    // Compressibility::ALL[0] is DenseRandom.
+                    assert_eq!(
+                        by_scenario[0],
+                        transfer_time(row.case, *net),
+                        "{net} {:?}",
+                        row.case
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table5_compressed_sparse_wins_only_on_gigae() {
+        // Break-even bandwidth for the sparse scenario is ≈470 MiB/s: only
+        // GigaE sits below it. The adaptive plane never loses anywhere.
+        let rows = table5_compressed(Family::MatMul);
+        let row = rows.iter().find(|r| r.case.size() == 12288).unwrap();
+        for (net, by_scenario) in &row.times {
+            let raw = by_scenario[0];
+            let sparse = by_scenario[1];
+            if *net == NetworkId::GigaE {
+                assert!(
+                    sparse.as_secs_f64() < 0.5 * raw.as_secs_f64(),
+                    "GigaE sparse {sparse:?} vs raw {raw:?}"
+                );
+            } else {
+                assert_eq!(sparse, raw, "{net} outruns the encoder");
+            }
+        }
+    }
+
+    #[test]
+    fn table6_compressed_interleaves_scenarios_and_never_regresses() {
+        let tb = SimulatedTestbed::new();
+        let raw = table6(Family::MatMul, &tb);
+        let comp = table6_compressed(Family::MatMul, &tb);
+        assert_eq!(comp.len(), raw.len() * Compressibility::ALL.len());
+        for (i, row) in comp.iter().enumerate() {
+            assert_eq!(row.scenario, Compressibility::ALL[i % 3]);
+            let raw_row = &raw[i / 3];
+            assert_eq!(row.case, raw_row.case);
+            assert_eq!(row.est.len(), NetworkId::ALL.len());
+            // Target-network estimates line up with Table VI's GigaE-model
+            // columns; dense-random must match them exactly.
+            let targets: Vec<_> = row
+                .est
+                .iter()
+                .filter(|(net, _)| NetworkId::TARGETS.contains(net))
+                .collect();
+            for ((net, t), (net_raw, t_raw)) in targets.iter().zip(&raw_row.est_gigae_model) {
+                assert_eq!(net, net_raw);
+                assert!(*t <= *t_raw, "{net} {:?}", row.scenario);
+                if row.scenario == Compressibility::DenseRandom {
+                    assert_eq!(*t, *t_raw);
+                }
+            }
+            // On GigaE itself, sparse payloads must beat the raw estimate.
+            let gigae = row
+                .est
+                .iter()
+                .find(|(n, _)| *n == NetworkId::GigaE)
+                .unwrap();
+            if row.scenario == Compressibility::Sparse {
+                assert!(gigae.1 < raw_row.gigae, "{:?}", row.case);
+            }
         }
     }
 

@@ -1,0 +1,234 @@
+//! Wire-compression term for the §V transfer model.
+//!
+//! The data plane can LZ4-compress bulk payloads before they hit the link
+//! (see `rcuda-proto::codec`). For the analytic model this turns the paper's
+//! `payload / bandwidth` arithmetic into a three-stage pipeline cost:
+//!
+//! ```text
+//! t_eff(bytes) = bytes / compress_bw           (encode on the client CPU)
+//!              + net.bulk_transfer(bytes · r)  (fewer bytes on the wire)
+//!              + bytes / decompress_bw         (decode on the server CPU)
+//! ```
+//!
+//! where `r` is the achieved compression ratio (`encoded / raw`, 1.0 =
+//! incompressible). Compression pays off exactly when the wire time saved
+//! exceeds the codec time added — the same break-even inequality the
+//! adaptive codec evaluates online per payload, so [`adaptive_transfer`]
+//! (take the cheaper of raw and compressed, like the runtime policy does)
+//! is the term the compressibility-axis projections use.
+//!
+//! The three [`Compressibility`] scenarios bound the study: dense random
+//! matrices (the paper's MM/FFT inputs — incompressible), sparse/zero-heavy
+//! buffers (iterative solvers, padded tensors), and structured data with
+//! repeated records in between.
+//!
+//! [`adaptive_transfer`]: CompressionModel::adaptive_transfer
+
+use rcuda_core::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::model::NetworkModel;
+
+/// Calibrated single-core LZ4 block-encode throughput, MiB/s.
+///
+/// Documented assumption (DESIGN.md §4k): the vendored greedy-match encoder
+/// sustains several hundred MiB/s on commodity 2011-class cores; we use a
+/// conservative figure so the model never over-promises on slow networks.
+pub const LZ4_COMPRESS_MIB_S: f64 = 700.0;
+
+/// Calibrated LZ4 block-decode throughput, MiB/s (decode is branch-light
+/// copying and runs ~3× faster than encode).
+pub const LZ4_DECOMPRESS_MIB_S: f64 = 2100.0;
+
+/// Payload compressibility scenarios for the projection tables.
+///
+/// Ratios are `encoded / raw` as achieved by the vendored LZ4 block codec
+/// on representative buffers (the bench smoke regenerates them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Compressibility {
+    /// Dense random floats — the paper's actual MM/FFT inputs. LZ4 finds no
+    /// matches; the adaptive codec declines and the wire sees raw bytes.
+    DenseRandom,
+    /// Zero-heavy / sparse buffers (≥90% runs): ratio ≈ 0.1.
+    Sparse,
+    /// Structured records with repeated fields: ratio ≈ 0.45.
+    Structured,
+}
+
+impl Compressibility {
+    /// All scenarios, table-column order.
+    pub const ALL: [Compressibility; 3] = [
+        Compressibility::DenseRandom,
+        Compressibility::Sparse,
+        Compressibility::Structured,
+    ];
+
+    /// Achieved compression ratio (`encoded / raw`).
+    pub const fn ratio(self) -> f64 {
+        match self {
+            Compressibility::DenseRandom => 1.0,
+            Compressibility::Sparse => 0.1,
+            Compressibility::Structured => 0.45,
+        }
+    }
+
+    /// Column label for reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Compressibility::DenseRandom => "dense",
+            Compressibility::Sparse => "sparse",
+            Compressibility::Structured => "struct",
+        }
+    }
+
+    /// The compression model for this scenario with the calibrated LZ4
+    /// throughputs.
+    pub fn model(self) -> CompressionModel {
+        CompressionModel::new(self.ratio(), LZ4_COMPRESS_MIB_S, LZ4_DECOMPRESS_MIB_S)
+    }
+}
+
+/// Analytic cost model for wire compression on a given link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompressionModel {
+    /// Achieved ratio, `encoded / raw` in (0, 1].
+    pub ratio: f64,
+    /// Encoder throughput over *raw* bytes, MiB/s.
+    pub compress_mib_s: f64,
+    /// Decoder throughput over *raw* (output) bytes, MiB/s.
+    pub decompress_mib_s: f64,
+}
+
+impl CompressionModel {
+    /// Build a model; panics on non-physical parameters.
+    pub fn new(ratio: f64, compress_mib_s: f64, decompress_mib_s: f64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio {ratio} not in (0, 1]");
+        assert!(compress_mib_s > 0.0);
+        assert!(decompress_mib_s > 0.0);
+        CompressionModel {
+            ratio,
+            compress_mib_s,
+            decompress_mib_s,
+        }
+    }
+
+    /// Codec time (encode + decode) for `bytes` raw bytes, independent of
+    /// the network.
+    pub fn codec_time(&self, bytes: u64) -> SimTime {
+        let mib = bytes as f64 / (1u64 << 20) as f64;
+        SimTime::from_secs_f64(mib / self.compress_mib_s + mib / self.decompress_mib_s)
+    }
+
+    /// Bulk-transfer time with compression forced on (`CodecMode::Always`):
+    /// encode, ship `bytes · ratio`, decode.
+    pub fn effective_transfer(&self, net: &dyn NetworkModel, bytes: u64) -> SimTime {
+        let wire = (bytes as f64 * self.ratio).ceil() as u64;
+        self.codec_time(bytes) + net.bulk_transfer(wire)
+    }
+
+    /// Bulk-transfer time under the adaptive policy: the codec compresses
+    /// only when it wins, so the cost is the cheaper of raw and compressed.
+    pub fn adaptive_transfer(&self, net: &dyn NetworkModel, bytes: u64) -> SimTime {
+        self.effective_transfer(net, bytes)
+            .min(net.bulk_transfer(bytes))
+    }
+
+    /// Whether compression beats the raw wire on this link. Independent of
+    /// payload size because every term is linear in `bytes`:
+    /// `(1 - r)/net_bw > 1/comp_bw + 1/decomp_bw`.
+    pub fn pays_off(&self, net: &dyn NetworkModel) -> bool {
+        (1.0 - self.ratio) / net.bandwidth_mib_s()
+            > 1.0 / self.compress_mib_s + 1.0 / self.decompress_mib_s
+    }
+
+    /// Effective goodput of the adaptive data plane in MiB of *raw* payload
+    /// per second — the figure the bench smoke gates on.
+    pub fn effective_bandwidth_mib_s(&self, net: &dyn NetworkModel) -> f64 {
+        let bytes = 1u64 << 20;
+        1.0 / self.adaptive_transfer(net, bytes).as_secs_f64()
+    }
+
+    /// Speedup of the adaptive data plane over the raw wire (≥ 1.0).
+    pub fn speedup(&self, net: &dyn NetworkModel) -> f64 {
+        let bytes = 1u64 << 20;
+        net.bulk_transfer(bytes).as_secs_f64() / self.adaptive_transfer(net, bytes).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::NetworkId;
+
+    #[test]
+    fn incompressible_adaptive_matches_raw_wire() {
+        // Dense random data: the adaptive policy declines, so the model must
+        // reduce exactly to the paper's payload/bandwidth arithmetic.
+        let m = Compressibility::DenseRandom.model();
+        for id in NetworkId::ALL {
+            let net = id.model();
+            let raw = net.bulk_transfer(64 << 20);
+            assert_eq!(m.adaptive_transfer(net.as_ref(), 64 << 20), raw, "{id}");
+            assert!(!m.pays_off(net.as_ref()), "{id}");
+        }
+    }
+
+    #[test]
+    fn sparse_pays_off_on_gige_but_not_on_asic_ht() {
+        // GigaE at 112.4 MiB/s: shipping 10× fewer bytes dwarfs the codec
+        // cost. A-HT at 2884 MiB/s: the wire is already faster than the
+        // encoder, so compression can only lose.
+        let m = Compressibility::Sparse.model();
+        let gige = NetworkId::GigaE.model();
+        let aht = NetworkId::AsicHt.model();
+        assert!(m.pays_off(gige.as_ref()));
+        assert!(!m.pays_off(aht.as_ref()));
+        assert!(
+            m.speedup(gige.as_ref()) > 1.5,
+            "{}",
+            m.speedup(gige.as_ref())
+        );
+        assert_eq!(m.speedup(aht.as_ref()), 1.0);
+    }
+
+    #[test]
+    fn effective_transfer_sums_three_stages() {
+        let m = CompressionModel::new(0.5, 1000.0, 2000.0);
+        let net = NetworkId::GigaE.model();
+        let bytes = 1u64 << 20; // 1 MiB
+        let t = m.effective_transfer(net.as_ref(), bytes).as_secs_f64();
+        let expect = 1.0 / 1000.0 + 1.0 / 2000.0 + net.bulk_transfer(bytes / 2).as_secs_f64();
+        assert!((t - expect).abs() < 1e-12, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn pays_off_matches_break_even_algebra() {
+        // Construct a link exactly at break-even and nudge either side.
+        let m = CompressionModel::new(0.5, 1000.0, 1000.0);
+        // Break-even: (1 - 0.5)/bw = 2/1000  =>  bw = 250 MiB/s.
+        let slower = crate::hpc::BandwidthModel::custom(NetworkId::TenGigE, 249.0, 0.0);
+        let faster = crate::hpc::BandwidthModel::custom(NetworkId::TenGigE, 251.0, 0.0);
+        assert!(m.pays_off(&slower));
+        assert!(!m.pays_off(&faster));
+    }
+
+    #[test]
+    fn gige_sparse_headline_goodput() {
+        // The acceptance gate's analytic twin: sparse 1 MiB payloads over
+        // GigaE must exceed 1.5× the raw link through the adaptive plane.
+        let m = Compressibility::Sparse.model();
+        let net = NetworkId::GigaE.model();
+        let eff = m.effective_bandwidth_mib_s(net.as_ref());
+        assert!(eff > 1.5 * 112.4, "effective {eff} MiB/s");
+    }
+
+    #[test]
+    fn scenario_catalog_is_consistent() {
+        assert_eq!(Compressibility::ALL.len(), 3);
+        for c in Compressibility::ALL {
+            assert!(c.ratio() > 0.0 && c.ratio() <= 1.0);
+            assert_eq!(c.model().ratio, c.ratio());
+        }
+        assert_eq!(Compressibility::DenseRandom.ratio(), 1.0);
+    }
+}

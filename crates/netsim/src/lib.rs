@@ -29,6 +29,7 @@
 //!   actually costs; for GigaE this includes the TCP-window distortion the
 //!   paper blames for its FFT estimation errors (§V).
 
+pub mod compress;
 pub mod contention;
 pub mod gige;
 pub mod hol;
@@ -42,6 +43,7 @@ pub mod pingpong;
 pub mod regression;
 pub mod topology;
 
+pub use compress::{Compressibility, CompressionModel};
 pub use contention::SharedLink;
 pub use gige::GigaEModel;
 pub use hol::HolModel;

@@ -38,7 +38,7 @@ pub use event::{
     ShardSpan, StreamFrameEvent,
 };
 pub use hist::{Histogram, BUCKETS};
-pub use metrics::{PoolStats, SessionMetrics};
+pub use metrics::{PoolStats, SessionMetrics, POOL_CLASS_COUNT};
 pub use op::Op;
 pub use record::{MessageTotals, OpStats, PhaseStats, Recorder, Report};
 pub use summary::{summary_json, summary_table};

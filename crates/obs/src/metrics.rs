@@ -56,7 +56,17 @@ pub struct PoolStats {
     pub pooled: u64,
     /// Capacity (bytes) of all buffers currently held by the pool.
     pub pooled_bytes: u64,
+    /// Buffers currently held per power-of-two size class, smallest class
+    /// first (class `i` holds buffers of capacity `2^(6+i)`, 64 B up to
+    /// 16 MiB). Lets the compression scratch buffers — which cluster in the
+    /// large classes — be told apart from small header pools at a glance.
+    pub class_occupancy: [u64; POOL_CLASS_COUNT],
 }
+
+/// Number of size classes a `BufferPool` maintains (64 B .. 16 MiB in
+/// power-of-two steps). `rcuda-proto` compile-time-asserts its class count
+/// against this, so the snapshot and the pool cannot drift apart.
+pub const POOL_CLASS_COUNT: usize = 19;
 
 impl PoolStats {
     /// Fraction of `get()` calls served without allocating (1.0 when the
@@ -94,6 +104,9 @@ mod tests {
 
     #[test]
     fn pool_stats_serde_round_trip() {
+        let mut occ = [0u64; POOL_CLASS_COUNT];
+        occ[0] = 7;
+        occ[POOL_CLASS_COUNT - 1] = 9;
         let s = PoolStats {
             hits: 1,
             misses: 2,
@@ -101,6 +114,7 @@ mod tests {
             discards: 4,
             pooled: 5,
             pooled_bytes: 6,
+            class_occupancy: occ,
         };
         let json = serde_json::to_string(&s).unwrap();
         let back: PoolStats = serde_json::from_str(&json).unwrap();

@@ -21,6 +21,7 @@
 
 use std::io::{self, Read, Write};
 
+use crate::codec::Codec;
 use crate::ids::FunctionId;
 use crate::payload::BufferPool;
 use crate::request::Request;
@@ -83,10 +84,17 @@ impl Batch {
     /// Serialize onto the wire: selector, count, then each request encoded
     /// exactly as it would be on its own.
     pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.write_codec(w, None)
+    }
+
+    /// Like [`Batch::write`], threading the session codec through each
+    /// packed request (payload-bearing elements gain the `[enc_len][bytes]`
+    /// framing, exactly as they would on their own).
+    pub fn write_codec<W: Write>(&self, w: &mut W, codec: Option<&Codec>) -> io::Result<()> {
         put_u32(w, FunctionId::Batch.as_u32())?;
         put_u32(w, self.requests.len() as u32)?;
         for req in &self.requests {
-            req.write(w)?;
+            req.write_codec(w, codec)?;
         }
         Ok(())
     }
@@ -100,6 +108,16 @@ impl Batch {
     /// Like [`Batch::read_body`], but landing element payloads in buffers
     /// recycled from `pool` when one is given.
     pub fn read_body_pooled<R: Read>(r: &mut R, pool: Option<&BufferPool>) -> io::Result<Batch> {
+        Self::read_body_codec(r, pool, None)
+    }
+
+    /// Like [`Batch::read_body_pooled`], decoding the codec payload framing
+    /// when a codec was negotiated.
+    pub fn read_body_codec<R: Read>(
+        r: &mut R,
+        pool: Option<&BufferPool>,
+        codec: Option<&Codec>,
+    ) -> io::Result<Batch> {
         let count = get_u32(r)? as usize;
         // Capacity is clamped so a corrupt count cannot force a huge
         // allocation before the per-request reads start failing.
@@ -108,7 +126,7 @@ impl Batch {
             let raw = get_u32(r)?;
             let id = FunctionId::from_u32(raw)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            requests.push(Request::read_with_id_pooled(id, r, pool)?);
+            requests.push(Request::read_with_id_codec(id, r, pool, codec)?);
         }
         Ok(Batch { requests })
     }
@@ -133,9 +151,15 @@ impl BatchResponse {
 
     /// Serialize onto the wire: count, then each response.
     pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.write_codec(w, None)
+    }
+
+    /// Like [`BatchResponse::write`], threading the session codec through
+    /// each packed response.
+    pub fn write_codec<W: Write>(&self, w: &mut W, codec: Option<&Codec>) -> io::Result<()> {
         put_u32(w, self.responses.len() as u32)?;
         for resp in &self.responses {
-            resp.write(w)?;
+            resp.write_codec(w, codec)?;
         }
         Ok(())
     }
@@ -145,6 +169,16 @@ impl BatchResponse {
     /// the request that elicited it. The element count must match the
     /// batch's — anything else is a protocol violation.
     pub fn read<R: Read>(r: &mut R, batch: &Batch) -> io::Result<BatchResponse> {
+        Self::read_codec(r, batch, None)
+    }
+
+    /// Like [`BatchResponse::read`], decoding the codec payload framing
+    /// when a codec was negotiated.
+    pub fn read_codec<R: Read>(
+        r: &mut R,
+        batch: &Batch,
+        codec: Option<&Codec>,
+    ) -> io::Result<BatchResponse> {
         let count = get_u32(r)? as usize;
         if count != batch.len() {
             return Err(io::Error::new(
@@ -157,7 +191,7 @@ impl BatchResponse {
         }
         let mut responses = Vec::with_capacity(count.min(1024));
         for req in batch.requests() {
-            responses.push(Response::read(r, req)?);
+            responses.push(Response::read_codec(r, req, None, codec)?);
         }
         Ok(BatchResponse { responses })
     }
@@ -184,13 +218,25 @@ impl Frame {
     /// Like [`Frame::read`], but landing payload bytes in buffers recycled
     /// from `pool` when one is given — the server worker's receive path.
     pub fn read_pooled<R: Read>(r: &mut R, pool: Option<&BufferPool>) -> io::Result<Frame> {
+        Self::read_codec(r, pool, None)
+    }
+
+    /// Like [`Frame::read_pooled`], decoding the codec payload framing when
+    /// a codec was negotiated on this connection.
+    pub fn read_codec<R: Read>(
+        r: &mut R,
+        pool: Option<&BufferPool>,
+        codec: Option<&Codec>,
+    ) -> io::Result<Frame> {
         let raw = get_u32(r)?;
         let id =
             FunctionId::from_u32(raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         if id == FunctionId::Batch {
-            Ok(Frame::Batch(Batch::read_body_pooled(r, pool)?))
+            Ok(Frame::Batch(Batch::read_body_codec(r, pool, codec)?))
         } else {
-            Ok(Frame::Single(Request::read_with_id_pooled(id, r, pool)?))
+            Ok(Frame::Single(Request::read_with_id_codec(
+                id, r, pool, codec,
+            )?))
         }
     }
 }

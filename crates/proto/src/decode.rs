@@ -21,6 +21,7 @@
 use std::io::{self, Cursor};
 
 use crate::batch::Frame;
+use crate::codec::{Codec, CodecHello};
 use crate::handshake::SessionHello;
 use crate::ids::{FunctionId, MemcpyKind};
 use crate::launch::LAUNCH_FIXED_BYTES;
@@ -63,10 +64,12 @@ fn check_cap(total: usize) -> io::Result<usize> {
 }
 
 /// Scan one request starting at `off`: selector + body, exactly the bytes
-/// [`crate::Request::read`] would consume. Returned lengths are relative to
-/// `off`. Rejections mirror `read_with_id_pooled` so the nonblocking path
-/// fails on the same inputs as the blocking one.
-fn scan_request_at(buf: &[u8], off: usize) -> io::Result<Scan> {
+/// [`crate::Request::read`] would consume — or, when `codec` is set, the
+/// bytes [`crate::Request::read_with_id_codec`] would (bulk payloads gain a
+/// 4-byte `enc_len` prefix and ship `enc_len` bytes). Returned lengths are
+/// relative to `off`. Rejections mirror the blocking readers so the
+/// nonblocking path fails on the same inputs.
+fn scan_request_at(buf: &[u8], off: usize, codec: bool) -> io::Result<Scan> {
     let avail = buf.len() - off;
     if avail < 4 {
         return Ok(Scan::Need(4));
@@ -76,7 +79,11 @@ fn scan_request_at(buf: &[u8], off: usize) -> io::Result<Scan> {
     let fixed = LAUNCH_FIXED_BYTES as usize;
     let scan = match id {
         FunctionId::Batch => return Err(invalid("batch frames cannot appear inside a batch")),
-        FunctionId::Hello | FunctionId::Reconnect | FunctionId::MuxHello | FunctionId::Migrate => {
+        FunctionId::Hello
+        | FunctionId::Reconnect
+        | FunctionId::MuxHello
+        | FunctionId::Migrate
+        | FunctionId::Codec => {
             return Err(invalid(
                 "handshake selectors are only valid as the first post-connect message",
             ))
@@ -108,12 +115,13 @@ fn scan_request_at(buf: &[u8], off: usize) -> io::Result<Scan> {
             let size = u32_at(buf, off + 12) as usize;
             let kind = MemcpyKind::from_u32(u32_at(buf, off + 16))
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            let total = if wire_carries_payload(kind) {
-                check_cap(20 + size)?
+            if !wire_carries_payload(kind) {
+                sized(avail, 20)
+            } else if codec {
+                scan_block(buf, off, avail, 20, size)?
             } else {
-                20
-            };
-            sized(avail, total)
+                sized(avail, check_cap(20 + size)?)
+            }
         }
         FunctionId::MemcpyAsync => {
             // dst, src, size, kind, stream — then the optional payload.
@@ -123,12 +131,13 @@ fn scan_request_at(buf: &[u8], off: usize) -> io::Result<Scan> {
             let size = u32_at(buf, off + 12) as usize;
             let kind = MemcpyKind::from_u32(u32_at(buf, off + 16))
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            let total = if wire_carries_payload(kind) {
-                check_cap(24 + size)?
+            if !wire_carries_payload(kind) {
+                sized(avail, 24)
+            } else if codec {
+                scan_block(buf, off, avail, 24, size)?
             } else {
-                24
-            };
-            sized(avail, total)
+                sized(avail, check_cap(24 + size)?)
+            }
         }
         FunctionId::Launch => {
             // selector + fixed config + region length + region.
@@ -136,11 +145,35 @@ fn scan_request_at(buf: &[u8], off: usize) -> io::Result<Scan> {
                 return Ok(Scan::Need(4 + fixed + 4));
             }
             let region_len = u32_at(buf, off + 4 + fixed) as usize;
-            let total = check_cap(4 + fixed + 4 + region_len)?;
-            sized(avail, total)
+            if codec {
+                scan_block(buf, off, avail, 4 + fixed + 4, region_len)?
+            } else {
+                sized(avail, check_cap(4 + fixed + 4 + region_len)?)
+            }
         }
     };
     Ok(scan)
+}
+
+/// Scan a codec-framed payload block: a 4-byte `enc_len` word at
+/// `off + head`, then `enc_len` payload bytes. `enc_len > raw_len` is
+/// rejected here — exactly where [`Codec::read_block`] would — so a corrupt
+/// prefix cannot park a shard behind bytes that will never pass the parse.
+fn scan_block(
+    buf: &[u8],
+    off: usize,
+    avail: usize,
+    head: usize,
+    raw_len: usize,
+) -> io::Result<Scan> {
+    if avail < head + 4 {
+        return Ok(Scan::Need(head + 4));
+    }
+    let enc_len = u32_at(buf, off + head) as usize;
+    if enc_len > raw_len {
+        return Err(invalid("codec block claims more encoded bytes than raw"));
+    }
+    Ok(sized(avail, check_cap(head + 4 + enc_len)?))
 }
 
 fn fixed_body(avail: usize, body: usize) -> Scan {
@@ -158,11 +191,18 @@ fn sized(avail: usize, total: usize) -> Scan {
 /// Scan a buffered prefix for one post-handshake frame — a single request or
 /// a whole batch, exactly the bytes [`Frame::read_pooled`] would consume.
 pub fn scan_frame(buf: &[u8]) -> io::Result<Scan> {
+    scan_frame_codec(buf, false)
+}
+
+/// [`scan_frame`] with the wire framing selected: when `codec` is set the
+/// frame is measured as [`Frame::read_codec`] would consume it (bulk
+/// payloads carry a 4-byte `enc_len` prefix).
+pub fn scan_frame_codec(buf: &[u8], codec: bool) -> io::Result<Scan> {
     if buf.len() < 4 {
         return Ok(Scan::Need(4));
     }
     if u32_at(buf, 0) != FunctionId::Batch.as_u32() {
-        return scan_request_at(buf, 0);
+        return scan_request_at(buf, 0, codec);
     }
     // Batch: selector + count, then each element encoded as it would be on
     // its own. The walk revalidates from the start on every call; batches
@@ -174,7 +214,7 @@ pub fn scan_frame(buf: &[u8]) -> io::Result<Scan> {
     let count = u32_at(buf, 4) as usize;
     let mut off = 8;
     for _ in 0..count {
-        match scan_request_at(buf, off)? {
+        match scan_request_at(buf, off, codec)? {
             Scan::Need(n) => return Ok(Scan::Need(check_cap(off + n)?)),
             Scan::Complete(n) => off = check_cap(off + n)?,
         }
@@ -217,24 +257,34 @@ pub fn scan_hello(buf: &[u8]) -> io::Result<Scan> {
 }
 
 /// The first client → server message, in *all* the forms a daemon accepts:
-/// the three [`SessionHello`] shapes, or a [`MuxHello`] asking to upgrade
-/// the connection to the multiplexed framing layer.
+/// the three [`SessionHello`] shapes, a [`MuxHello`] asking to upgrade the
+/// connection to the multiplexed framing layer, or a [`CodecHello`]
+/// accepting the advertised payload-compression capabilities (the session
+/// hello proper follows in the same direction).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientHello {
     /// A plain (single-stream) session opening.
     Session(SessionHello),
     /// A mux upgrade request; the secure handshake continues from here.
     Mux(MuxHello),
+    /// Codec capability acceptance; carries the capability bits the client
+    /// turned on. The connection stays in the hello phase — a `Session` or
+    /// `Mux` message follows.
+    Codec(u32),
 }
 
 /// Scan a buffered prefix for the first client → server message, accepting
-/// the mux-upgrade selector in addition to everything [`scan_hello`] takes.
+/// the mux-upgrade and codec selectors in addition to everything
+/// [`scan_hello`] takes.
 pub fn scan_client_hello(buf: &[u8]) -> io::Result<Scan> {
     if buf.len() < 4 {
         return Ok(Scan::Need(4));
     }
     if u32_at(buf, 0) == FunctionId::MuxHello.as_u32() {
         return Ok(sized(buf.len(), 4 + MuxHello::BODY_BYTES));
+    }
+    if u32_at(buf, 0) == FunctionId::Codec.as_u32() {
+        return Ok(sized(buf.len(), CodecHello::WIRE_BYTES));
     }
     scan_hello(buf)
 }
@@ -331,6 +381,8 @@ impl StreamDecoder {
                 let first = crate::wire::get_u32(&mut cur)?;
                 let hello = if first == FunctionId::MuxHello.as_u32() {
                     ClientHello::Mux(MuxHello::read_body(&mut cur)?)
+                } else if first == FunctionId::Codec.as_u32() {
+                    ClientHello::Codec(CodecHello::read_body(&mut cur)?.caps)
                 } else {
                     // Re-parse from the top: SessionHello owns the first word.
                     cur.set_position(0);
@@ -355,11 +407,23 @@ impl StreamDecoder {
     /// Try to complete the next post-handshake frame, landing payloads in
     /// `pool` when one is given.
     pub fn poll_frame(&mut self, pool: Option<&BufferPool>) -> io::Result<Option<Frame>> {
-        match scan_frame(&self.buf[..self.valid])? {
+        self.poll_frame_codec(pool, None)
+    }
+
+    /// [`StreamDecoder::poll_frame`] on a codec-negotiated connection: bulk
+    /// payloads are scanned under the `enc_len`-prefixed framing and inflated
+    /// through `codec` into its pool. With `codec = None` this is exactly
+    /// `poll_frame`.
+    pub fn poll_frame_codec(
+        &mut self,
+        pool: Option<&BufferPool>,
+        codec: Option<&Codec>,
+    ) -> io::Result<Option<Frame>> {
+        match scan_frame_codec(&self.buf[..self.valid], codec.is_some())? {
             Scan::Need(_) => Ok(None),
             Scan::Complete(n) => {
                 let mut cur = Cursor::new(&self.buf[..n]);
-                let frame = Frame::read_pooled(&mut cur, pool)?;
+                let frame = Frame::read_codec(&mut cur, pool, codec)?;
                 debug_assert_eq!(cur.position() as usize, n, "scan length matches parse");
                 self.consume(n);
                 Ok(Some(frame))
@@ -706,6 +770,73 @@ mod tests {
         let _ = dec.space(64);
         dec.commit(0);
         assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn codec_framed_frames_parse_incrementally() {
+        use crate::codec::{CodecMode, CAP_LZ4};
+
+        let pool = BufferPool::new();
+        let codec = Codec::with_mode(pool.clone(), CodecMode::Always);
+        let req = Request::Memcpy {
+            dst: 1,
+            src: 0,
+            size: 64 * 1024,
+            kind: MemcpyKind::HostToDevice,
+            data: Some(vec![0xABu8; 64 * 1024].into()),
+        };
+        let mut wire = Vec::new();
+        req.write_codec(&mut wire, Some(&codec)).unwrap();
+        assert!(
+            wire.len() < 24 + 64 * 1024,
+            "constant payload compressed on the wire"
+        );
+
+        // Legacy scanning must not be fooled by the shorter framing…
+        let mut legacy = StreamDecoder::new();
+        legacy.feed(&wire);
+        assert_eq!(legacy.poll_frame(Some(&pool)).unwrap(), None);
+
+        // …and the codec-aware decoder parses it incrementally.
+        let mut dec = StreamDecoder::new();
+        for chunk in wire.chunks(7) {
+            assert_eq!(
+                dec.poll_frame_codec(Some(&pool), Some(&codec)).unwrap(),
+                None
+            );
+            dec.feed(chunk);
+        }
+        let frame = dec.poll_frame_codec(Some(&pool), Some(&codec)).unwrap();
+        assert_eq!(frame, Some(Frame::Single(req)));
+
+        // The codec hello is accepted before the session hello.
+        let mut hello_wire = Vec::new();
+        crate::codec::CodecHello { caps: CAP_LZ4 }
+            .write(&mut hello_wire)
+            .unwrap();
+        let mut dec = StreamDecoder::new();
+        dec.feed(&hello_wire);
+        assert_eq!(
+            dec.poll_client_hello().unwrap(),
+            Some(ClientHello::Codec(CAP_LZ4))
+        );
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn codec_block_claiming_more_than_raw_is_rejected() {
+        let pool = BufferPool::new();
+        let codec = Codec::new(pool.clone());
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&FunctionId::Memcpy.as_u32().to_le_bytes());
+        wire.extend_from_slice(&1u32.to_le_bytes()); // dst
+        wire.extend_from_slice(&0u32.to_le_bytes()); // src
+        wire.extend_from_slice(&64u32.to_le_bytes()); // raw size
+        wire.extend_from_slice(&(MemcpyKind::HostToDevice as u32).to_le_bytes());
+        wire.extend_from_slice(&65u32.to_le_bytes()); // enc_len > raw: malformed
+        let mut dec = StreamDecoder::new();
+        dec.feed(&wire);
+        assert!(dec.poll_frame_codec(Some(&pool), Some(&codec)).is_err());
     }
 
     #[test]

@@ -164,6 +164,15 @@ impl SessionHello {
     /// *is* the module length of the paper's positional initialization.
     pub fn read<R: Read>(r: &mut R) -> io::Result<SessionHello> {
         let first = get_u32(r)?;
+        Self::read_after(first, r)
+    }
+
+    /// Read the handshake body when the first word has already been
+    /// consumed — servers peek it to peel an optional [`CodecHello`] off
+    /// the stream before the session hello proper.
+    ///
+    /// [`CodecHello`]: crate::codec::CodecHello
+    pub fn read_after<R: Read>(first: u32, r: &mut R) -> io::Result<SessionHello> {
         match FunctionId::from_u32(first) {
             Ok(FunctionId::Hello) => {
                 let session = get_u64(r)?;
@@ -268,10 +277,11 @@ mod tests {
     fn selectors_cannot_be_module_lengths() {
         // Hello/Reconnect/Busy occupy the top of the u32 range, where a
         // module length is physically impossible (a 4 GiB module).
-        assert!(FunctionId::Hello.as_u32() > u32::MAX - 5);
-        assert!(FunctionId::Reconnect.as_u32() > u32::MAX - 5);
-        assert!(FunctionId::Busy.as_u32() > u32::MAX - 5);
-        assert!(FunctionId::Migrate.as_u32() > u32::MAX - 5);
+        assert!(FunctionId::Hello.as_u32() > u32::MAX - 6);
+        assert!(FunctionId::Reconnect.as_u32() > u32::MAX - 6);
+        assert!(FunctionId::Busy.as_u32() > u32::MAX - 6);
+        assert!(FunctionId::Migrate.as_u32() > u32::MAX - 6);
+        assert!(FunctionId::Codec.as_u32() > u32::MAX - 6);
     }
 
     #[test]

@@ -78,6 +78,11 @@ pub enum FunctionId {
     /// [`crate::handshake::SessionHello::Migrate`]). Like the other
     /// handshake selectors, the value is an impossible module length.
     Migrate = 0xFFFF_FFFB,
+    /// Handshake: the client opts in to the wire codec capabilities the
+    /// server advertised in its hello (extension; see [`crate::codec`]).
+    /// Sent once, before the session hello; there is no reply. Like the
+    /// other handshake selectors, the value is an impossible module length.
+    Codec = 0xFFFF_FFFA,
 }
 
 impl FunctionId {
@@ -102,6 +107,7 @@ impl FunctionId {
             26 => FunctionId::EventDestroy,
             32 => FunctionId::Batch,
             255 => FunctionId::Quit,
+            0xFFFF_FFFA => FunctionId::Codec,
             0xFFFF_FFFB => FunctionId::Migrate,
             0xFFFF_FFFC => FunctionId::MuxHello,
             0xFFFF_FFFD => FunctionId::Busy,
@@ -116,7 +122,7 @@ impl FunctionId {
     }
 
     /// All defined ids (for exhaustive round-trip tests).
-    pub const ALL: [FunctionId; 23] = [
+    pub const ALL: [FunctionId; 24] = [
         FunctionId::Malloc,
         FunctionId::Free,
         FunctionId::Memcpy,
@@ -135,6 +141,7 @@ impl FunctionId {
         FunctionId::EventDestroy,
         FunctionId::Batch,
         FunctionId::Quit,
+        FunctionId::Codec,
         FunctionId::Migrate,
         FunctionId::MuxHello,
         FunctionId::Busy,

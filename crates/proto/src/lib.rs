@@ -37,6 +37,7 @@
 
 pub mod batch;
 pub mod broker;
+pub mod codec;
 pub mod decode;
 pub mod handshake;
 pub mod ids;
@@ -50,7 +51,8 @@ pub mod sizes;
 pub mod wire;
 
 pub use batch::{Batch, BatchResponse, Frame};
-pub use decode::{scan_frame, scan_hello, ClientHello, Scan, StreamDecoder};
+pub use codec::{Codec, CodecHello, CodecMode, CodecStats, CAP_LZ4};
+pub use decode::{scan_frame, scan_frame_codec, scan_hello, ClientHello, Scan, StreamDecoder};
 pub use handshake::SessionHello;
 pub use ids::FunctionId;
 pub use launch::LaunchConfig;

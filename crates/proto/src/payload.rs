@@ -48,6 +48,10 @@ const MIN_SHIFT: u32 = 6;
 const MAX_SHIFT: u32 = 24;
 const NUM_CLASSES: usize = (MAX_SHIFT - MIN_SHIFT + 1) as usize;
 
+// The observability snapshot carries one occupancy slot per class; keep the
+// two definitions from drifting apart.
+const _: () = assert!(NUM_CLASSES == rcuda_obs::POOL_CLASS_COUNT);
+
 /// Largest request the pool will serve from (and retain in) a size class.
 pub const MAX_POOLED_BYTES: usize = 1 << MAX_SHIFT;
 
@@ -169,6 +173,10 @@ impl BufferPool {
 
     /// Snapshot the pool's counters.
     pub fn stats(&self) -> PoolStats {
+        let mut class_occupancy = [0u64; NUM_CLASSES];
+        for (slot, class) in class_occupancy.iter_mut().zip(&self.inner.classes) {
+            *slot = class.lock().unwrap().len() as u64;
+        }
         PoolStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),
@@ -176,6 +184,7 @@ impl BufferPool {
             discards: self.inner.discards.load(Ordering::Relaxed),
             pooled: self.inner.pooled.load(Ordering::Relaxed),
             pooled_bytes: self.inner.pooled_bytes.load(Ordering::Relaxed),
+            class_occupancy,
         }
     }
 }
@@ -203,6 +212,14 @@ impl PooledBuf {
     /// Detach the backing `Vec` from the pool (it will not be recycled).
     pub fn into_vec(mut self) -> Vec<u8> {
         std::mem::take(&mut self.buf)
+    }
+
+    /// Shorten the buffer to `len` bytes (no-op if already shorter). The
+    /// codec uses this to trim a worst-case-sized compression scratch down
+    /// to the actual encoded length; capacity — and thus the size class the
+    /// buffer recycles into — is unchanged.
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
     }
 }
 
@@ -254,24 +271,45 @@ impl fmt::Debug for PooledBuf {
     }
 }
 
-/// A wire payload: either a plain owned `Vec` (cold paths, tests, legacy
-/// call sites via `From<Vec<u8>>`) or a pool-recycled buffer (hot decode
-/// paths).
+/// A wire payload: a plain owned `Vec` (cold paths, tests, legacy call
+/// sites via `From<Vec<u8>>`), a pool-recycled buffer (hot decode paths),
+/// or an LZ4-compressed pooled buffer produced by the [`crate::codec`]
+/// encode stage.
 ///
-/// Equality is byte-wise — where the bytes live is an implementation
-/// detail, so a round trip may legitimately come back in the other
-/// representation. Cloning a pooled payload materializes an owned copy
-/// (cloning only happens off the hot path).
+/// The `Lz4` variant is **transient and encode-side only**: it exists
+/// between `Codec::encode` and the vectored write that puts the bytes on
+/// the wire, so `as_slice`/`len` expose the *encoded* bytes (that is what a
+/// transport observes and charges for). Decode always inflates back to
+/// `Owned`/`Pooled` before anything above the wire layer sees the payload —
+/// dispatch, GPU code, and equality semantics never meet a compressed
+/// variant.
+///
+/// Equality is byte-wise over `as_slice` — where the bytes live is an
+/// implementation detail, so a round trip may legitimately come back in
+/// another representation. Cloning a pooled or compressed payload
+/// materializes an owned copy of its current bytes (cloning only happens
+/// off the hot path).
 pub enum Payload {
     Owned(Vec<u8>),
     Pooled(PooledBuf),
+    /// LZ4-block-compressed bytes in a pooled scratch buffer, plus the
+    /// length the payload inflates back to. `raw_len` is what the protocol
+    /// accounts (Table I byte math is defined over logical payloads);
+    /// `data.len()` is what travels.
+    Lz4 {
+        raw_len: u32,
+        data: PooledBuf,
+    },
 }
 
 impl Payload {
+    /// The bytes as they would travel: raw for `Owned`/`Pooled`, the
+    /// compressed block for `Lz4`.
     pub fn as_slice(&self) -> &[u8] {
         match self {
             Payload::Owned(v) => v,
             Payload::Pooled(b) => b,
+            Payload::Lz4 { data, .. } => data,
         }
     }
 
@@ -283,12 +321,25 @@ impl Payload {
         self.as_slice().is_empty()
     }
 
-    /// Materialize a `Vec`: free for owned payloads, one copy for pooled
-    /// ones (the pooled buffer still recycles).
+    /// The *decompressed* length: `len()` for raw payloads, the carried
+    /// `raw_len` for compressed ones. This is the length Table I-style
+    /// accounting uses.
+    pub fn raw_len(&self) -> usize {
+        match self {
+            Payload::Owned(v) => v.len(),
+            Payload::Pooled(b) => b.len(),
+            Payload::Lz4 { raw_len, .. } => *raw_len as usize,
+        }
+    }
+
+    /// Materialize a `Vec` of the current bytes: free for owned payloads,
+    /// one copy for pooled/compressed ones (the pooled buffer still
+    /// recycles).
     pub fn into_vec(self) -> Vec<u8> {
         match self {
             Payload::Owned(v) => v,
             Payload::Pooled(b) => b.to_vec(),
+            Payload::Lz4 { data, .. } => data.to_vec(),
         }
     }
 }
@@ -346,11 +397,13 @@ impl PartialEq<Vec<u8>> for Payload {
 
 impl fmt::Debug for Payload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let kind = match self {
-            Payload::Owned(_) => "owned",
-            Payload::Pooled(_) => "pooled",
-        };
-        write!(f, "Payload({} bytes, {kind})", self.len())
+        match self {
+            Payload::Owned(_) => write!(f, "Payload({} bytes, owned)", self.len()),
+            Payload::Pooled(_) => write!(f, "Payload({} bytes, pooled)", self.len()),
+            Payload::Lz4 { raw_len, data } => {
+                write!(f, "Payload({} bytes lz4, {raw_len} raw)", data.len())
+            }
+        }
     }
 }
 
@@ -418,6 +471,55 @@ mod tests {
     }
 
     #[test]
+    fn handout_exactly_at_max_pooled_bytes_is_pooled() {
+        // MAX_POOLED_BYTES lands exactly on the top size class: the buffer
+        // must recycle, not fall back to an owned Vec.
+        let pool = BufferPool::new();
+        let b = pool.get(MAX_POOLED_BYTES);
+        assert_eq!(b.len(), MAX_POOLED_BYTES);
+        drop(b);
+        let s = pool.stats();
+        assert_eq!(s.returns, 1);
+        assert_eq!(s.pooled, 1);
+        assert_eq!(s.pooled_bytes, MAX_POOLED_BYTES as u64);
+        assert_eq!(s.class_occupancy[NUM_CLASSES - 1], 1);
+        let b2 = pool.get(MAX_POOLED_BYTES);
+        assert_eq!(pool.stats().hits, 1, "served from the top class");
+        drop(b2);
+    }
+
+    #[test]
+    fn handout_one_byte_above_max_is_owned_vec_fallback() {
+        // One byte past the pooled range: served fresh, never retained.
+        let pool = BufferPool::new();
+        let b = pool.get(MAX_POOLED_BYTES + 1);
+        assert_eq!(b.len(), MAX_POOLED_BYTES + 1);
+        drop(b);
+        let s = pool.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.returns, 0);
+        assert_eq!(s.discards, 1);
+        assert_eq!(s.pooled, 0);
+        assert!(s.class_occupancy.iter().all(|&c| c == 0));
+        // A second request must miss again — nothing was pooled.
+        let _b2 = pool.get(MAX_POOLED_BYTES + 1);
+        assert_eq!(pool.stats().misses, 2);
+    }
+
+    #[test]
+    fn class_occupancy_tracks_per_class_holdings() {
+        let pool = BufferPool::new();
+        let small = pool.get(64); // class 0
+        let mid = pool.get(4096); // class 6
+        drop(small);
+        drop(mid);
+        let s = pool.stats();
+        assert_eq!(s.class_occupancy[0], 1);
+        assert_eq!(s.class_occupancy[6], 1);
+        assert_eq!(s.class_occupancy.iter().sum::<u64>(), s.pooled);
+    }
+
+    #[test]
     fn oversize_requests_are_served_but_never_retained() {
         let pool = BufferPool::new();
         let b = pool.get(MAX_POOLED_BYTES + 1);
@@ -463,6 +565,22 @@ mod tests {
         let cloned = pooled.clone();
         assert!(matches!(cloned, Payload::Owned(_)));
         assert_eq!(cloned, pooled);
+    }
+
+    #[test]
+    fn lz4_variant_exposes_encoded_bytes_and_raw_len() {
+        let pool = BufferPool::new();
+        let p = Payload::Lz4 {
+            raw_len: 10,
+            data: pool.copy_from(&[1, 2, 3]),
+        };
+        assert_eq!(p.as_slice(), &[1, 2, 3], "slice is the encoded bytes");
+        assert_eq!(p.len(), 3, "len is the on-wire length");
+        assert_eq!(p.raw_len(), 10, "raw_len is the logical length");
+        let cloned = p.clone();
+        assert!(matches!(cloned, Payload::Owned(_)));
+        assert_eq!(cloned.as_slice(), &[1, 2, 3]);
+        assert_eq!(format!("{p:?}"), "Payload(3 bytes lz4, 10 raw)");
     }
 
     #[test]

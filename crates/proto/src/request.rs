@@ -4,6 +4,7 @@ use std::io::{self, Read, Write};
 
 use rcuda_core::{CudaError, DevicePtr};
 
+use crate::codec::Codec;
 use crate::ids::{FunctionId, MemcpyKind};
 use crate::launch::{LaunchConfig, LAUNCH_FIXED_BYTES};
 use crate::payload::{BufferPool, Payload};
@@ -244,8 +245,19 @@ impl Request {
         }
     }
 
-    /// Serialize onto the wire.
+    /// Serialize onto the wire (legacy framing: payloads travel raw).
     pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.write_codec(w, None)
+    }
+
+    /// Serialize onto the wire. With a codec, bulk payloads (memcpy data,
+    /// launch regions) gain the codec's `[enc_len][bytes]` framing and are
+    /// compressed when the adaptive policy says so; everything else —
+    /// selectors, scalar fields, the module upload — is byte-identical to
+    /// the legacy framing. Compression happens here, at write time, never
+    /// earlier: deferred/batched requests hold raw payloads, so
+    /// [`Request::wire_bytes`] keeps its logical Table I accounting.
+    pub fn write_codec<W: Write>(&self, w: &mut W, codec: Option<&Codec>) -> io::Result<()> {
         if let Some(id) = self.function_id() {
             put_u32(w, id.as_u32())?;
         }
@@ -269,13 +281,23 @@ impl Request {
                 put_u32(w, kind.as_u32())?;
                 if let Some(d) = data {
                     debug_assert_eq!(d.len() as u32, *size);
-                    put_bytes(w, d)?;
+                    match codec {
+                        Some(c) => {
+                            c.write_block(w, d)?;
+                        }
+                        None => put_bytes(w, d)?,
+                    }
                 }
             }
             Request::Launch { config, region } => {
                 put_bytes(w, &config.to_wire())?;
                 put_u32(w, region.len() as u32)?;
-                put_bytes(w, region)?;
+                match codec {
+                    Some(c) => {
+                        c.write_block(w, region)?;
+                    }
+                    None => put_bytes(w, region)?,
+                }
             }
             Request::ThreadSynchronize
             | Request::DeviceProps
@@ -316,7 +338,12 @@ impl Request {
                 put_u32(w, *stream)?;
                 if let Some(d) = data {
                     debug_assert_eq!(d.len() as u32, *size);
-                    put_bytes(w, d)?;
+                    match codec {
+                        Some(c) => {
+                            c.write_block(w, d)?;
+                        }
+                        None => put_bytes(w, d)?,
+                    }
                 }
             }
         }
@@ -353,6 +380,19 @@ impl Request {
         r: &mut R,
         pool: Option<&BufferPool>,
     ) -> io::Result<Request> {
+        Self::read_with_id_codec(id, r, pool, None)
+    }
+
+    /// Like [`Request::read_with_id_pooled`], additionally decoding the
+    /// codec's `[enc_len][bytes]` payload framing when a codec was
+    /// negotiated. The returned request always holds *decompressed*
+    /// payloads — dispatch and GPU code never see a compressed variant.
+    pub fn read_with_id_codec<R: Read>(
+        id: FunctionId,
+        r: &mut R,
+        pool: Option<&BufferPool>,
+        codec: Option<&Codec>,
+    ) -> io::Result<Request> {
         Ok(match id {
             FunctionId::Batch => {
                 return Err(io::Error::new(
@@ -363,7 +403,8 @@ impl Request {
             FunctionId::Hello
             | FunctionId::Reconnect
             | FunctionId::MuxHello
-            | FunctionId::Migrate => {
+            | FunctionId::Migrate
+            | FunctionId::Codec => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "handshake selectors are only valid as the first post-connect message",
@@ -386,7 +427,7 @@ impl Request {
                 let kind = MemcpyKind::from_u32(get_u32(r)?)
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
                 let data = if wire_carries_payload(kind) {
-                    Some(read_payload(r, size as usize, pool)?)
+                    Some(read_block_or_payload(r, size as usize, pool, codec)?)
                 } else {
                     None
                 };
@@ -402,7 +443,7 @@ impl Request {
                 let fixed: [u8; LAUNCH_FIXED_BYTES as usize] = get_array(r)?;
                 let config = LaunchConfig::from_wire(fixed);
                 let region_len = get_u32(r)? as usize;
-                let region = read_payload(r, region_len, pool)?;
+                let region = read_block_or_payload(r, region_len, pool, codec)?;
                 Request::Launch { config, region }
             }
             FunctionId::ThreadSynchronize => Request::ThreadSynchronize,
@@ -422,7 +463,7 @@ impl Request {
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
                 let stream = get_u32(r)?;
                 let data = if wire_carries_payload(kind) {
-                    Some(read_payload(r, size as usize, pool)?)
+                    Some(read_block_or_payload(r, size as usize, pool, codec)?)
                 } else {
                     None
                 };
@@ -460,6 +501,21 @@ impl Request {
 /// (client → server) direction.
 pub fn wire_carries_payload(kind: MemcpyKind) -> bool {
     matches!(kind, MemcpyKind::HostToDevice | MemcpyKind::HostToHost)
+}
+
+/// Read one bulk payload of logical length `raw_len`: through the codec's
+/// `[enc_len][bytes]` framing on codec sessions, straight off the wire on
+/// legacy ones.
+fn read_block_or_payload<R: Read>(
+    r: &mut R,
+    raw_len: usize,
+    pool: Option<&BufferPool>,
+    codec: Option<&Codec>,
+) -> io::Result<Payload> {
+    match codec {
+        Some(c) => c.read_block(r, raw_len),
+        None => read_payload(r, raw_len, pool),
+    }
 }
 
 #[cfg(test)]
@@ -505,6 +561,49 @@ mod tests {
         };
         assert_eq!(round_trip(&req), req);
         assert_eq!(req.wire_bytes(), 120); // x + 20
+    }
+
+    #[test]
+    fn codec_framing_round_trips_memcpy_and_launch() {
+        use crate::codec::{Codec, CodecMode};
+        let pool = BufferPool::new();
+        let codec = Codec::with_mode(pool.clone(), CodecMode::Always);
+
+        let data = vec![0xEEu8; 100_000]; // compressible
+        let req = Request::Memcpy {
+            dst: 0x2000,
+            src: 0,
+            size: data.len() as u32,
+            kind: MemcpyKind::HostToDevice,
+            data: Some(data.into()),
+        };
+        let mut wire = Vec::new();
+        req.write_codec(&mut wire, Some(&codec)).unwrap();
+        assert!(
+            (wire.len() as u64) < req.wire_bytes(),
+            "compressible memcpy shrinks on the wire"
+        );
+        let back = Request::read_with_id_codec(
+            FunctionId::Memcpy,
+            &mut Cursor::new(&wire[4..]),
+            Some(&pool),
+            Some(&codec),
+        )
+        .unwrap();
+        assert_eq!(back, req, "decode restores the raw payload");
+
+        let launch = Request::launch("kern", &vec![0u8; 50_000], LaunchConfig::simple(1, 32));
+        let mut wire = Vec::new();
+        launch.write_codec(&mut wire, Some(&codec)).unwrap();
+        assert!((wire.len() as u64) < launch.wire_bytes());
+        let back = Request::read_with_id_codec(
+            FunctionId::Launch,
+            &mut Cursor::new(&wire[4..]),
+            Some(&pool),
+            Some(&codec),
+        )
+        .unwrap();
+        assert_eq!(back, launch);
     }
 
     #[test]

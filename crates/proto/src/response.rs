@@ -8,6 +8,7 @@ use std::io::{self, Read, Write};
 
 use rcuda_core::{error::result_code, CudaError, CudaResult, DevicePtr};
 
+use crate::codec::Codec;
 use crate::ids::MemcpyKind;
 use crate::payload::{BufferPool, Payload};
 use crate::request::Request;
@@ -58,8 +59,17 @@ impl Response {
         }
     }
 
-    /// Serialize onto the wire: result code, then success payload if any.
+    /// Serialize onto the wire: result code, then success payload if any
+    /// (legacy framing: payloads travel raw).
     pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.write_codec(w, None)
+    }
+
+    /// Serialize onto the wire. With a codec, the device→host payload — the
+    /// one bulk response — gains the codec's `[enc_len][bytes]` framing
+    /// after the status word; every other variant is byte-identical to the
+    /// legacy framing.
+    pub fn write_codec<W: Write>(&self, w: &mut W, codec: Option<&Codec>) -> io::Result<()> {
         match self {
             Response::Ack(r) => put_u32(w, result_code(r)),
             Response::Malloc(r) => match r {
@@ -72,7 +82,10 @@ impl Response {
             Response::MemcpyToHost(r) => match r {
                 Ok(data) => {
                     put_u32(w, 0)?;
-                    put_bytes(w, data)
+                    match codec {
+                        Some(c) => c.write_block(w, data).map(|_| ()),
+                        None => put_bytes(w, data),
+                    }
                 }
                 Err(e) => put_u32(w, e.code()),
             },
@@ -124,6 +137,19 @@ impl Response {
         req: &Request,
         pool: Option<&BufferPool>,
     ) -> io::Result<Response> {
+        Self::read_codec(r, req, pool, None)
+    }
+
+    /// Like [`Response::read_pooled`], additionally decoding the codec's
+    /// `[enc_len][bytes]` framing on the device→host payload when a codec
+    /// was negotiated. The returned response always holds *decompressed*
+    /// payloads.
+    pub fn read_codec<R: Read>(
+        r: &mut R,
+        req: &Request,
+        pool: Option<&BufferPool>,
+        codec: Option<&Codec>,
+    ) -> io::Result<Response> {
         let status = CudaError::from_code(get_u32(r)?);
         Ok(match req {
             Request::Malloc { .. } => match status {
@@ -136,7 +162,10 @@ impl Response {
                 if matches!(kind, MemcpyKind::DeviceToHost) =>
             {
                 match status {
-                    Ok(()) => Response::MemcpyToHost(Ok(read_payload(r, *size as usize, pool)?)),
+                    Ok(()) => Response::MemcpyToHost(Ok(match codec {
+                        Some(c) => c.read_block(r, *size as usize)?,
+                        None => read_payload(r, *size as usize, pool)?,
+                    })),
                     Err(e) => Response::MemcpyToHost(Err(e)),
                 }
             }
@@ -270,6 +299,32 @@ mod tests {
 
         let err = Response::MemcpyToHost(Err(CudaError::InvalidDevicePointer));
         assert_eq!(round_trip(&err, &req), err);
+    }
+
+    #[test]
+    fn codec_framing_round_trips_d2h_payload() {
+        use crate::codec::{Codec, CodecMode};
+        use crate::payload::BufferPool;
+        let pool = BufferPool::new();
+        let codec = Codec::with_mode(pool.clone(), CodecMode::Always);
+        let data = vec![3u8; 200_000]; // compressible
+        let req = Request::Memcpy {
+            dst: 0,
+            src: 0x40,
+            size: data.len() as u32,
+            kind: MemcpyKind::DeviceToHost,
+            data: None,
+        };
+        let resp = Response::MemcpyToHost(Ok(data.into()));
+        let mut wire = Vec::new();
+        resp.write_codec(&mut wire, Some(&codec)).unwrap();
+        assert!(
+            (wire.len() as u64) < resp.wire_bytes(),
+            "compressible D2H shrinks on the wire"
+        );
+        let back =
+            Response::read_codec(&mut Cursor::new(&wire), &req, Some(&pool), Some(&codec)).unwrap();
+        assert_eq!(back, resp);
     }
 
     #[test]

@@ -37,9 +37,10 @@ use rcuda_core::time::wall_clock;
 use rcuda_core::{Clock as _, CudaError, SharedClock};
 use rcuda_gpu::{GpuContext, GpuDevice};
 use rcuda_obs::{DaemonEvent, ShardSpan};
+use rcuda_proto::codec::{fold_caps, CAP_ALL, CAP_LZ4};
 use rcuda_proto::handshake::write_hello_reply;
 use rcuda_proto::mux::MuxHello;
-use rcuda_proto::{BufferPool, ClientHello, Frame, SessionHello, StreamDecoder};
+use rcuda_proto::{BufferPool, ClientHello, Codec, Frame, SessionHello, StreamDecoder};
 use rcuda_transport::{Progress, Transport};
 use std::collections::{HashMap, HashSet};
 use std::io;
@@ -419,6 +420,9 @@ struct Conn {
     done: bool,
     guard: Option<PoolGuard>,
     authenticated: bool,
+    /// Wire codec, installed when the client's `CodecHello` accepts the
+    /// capabilities advertised in the CC push; `None` = legacy framing.
+    codec: Option<Codec>,
 }
 
 impl Conn {
@@ -458,6 +462,7 @@ impl Conn {
             done: false,
             guard: Some(guard),
             authenticated,
+            codec: None,
         };
         // A transport without a nonblocking half cannot be multiplexed;
         // close it immediately (register still returns a Conn so the
@@ -466,8 +471,14 @@ impl Conn {
             conn.abort();
             return conn;
         }
-        // Phase 1a: announce the device (8-byte compute capability).
-        let cc = device.properties().compute_capability_wire();
+        // Phase 1a: announce the device (8-byte compute capability), with
+        // the daemon's codec capability bits folded into the high half of
+        // the minor word (legacy clients never inspect those bits).
+        let mut cc = device.properties().compute_capability_wire();
+        if config.codec {
+            let minor = u32::from_le_bytes(cc[4..8].try_into().expect("8-byte wire"));
+            cc[4..8].copy_from_slice(&fold_caps(minor, CAP_ALL).to_le_bytes());
+        }
         conn.queue(|out| {
             out.extend_from_slice(&cc);
             Ok(())
@@ -649,6 +660,15 @@ impl Conn {
                         res.progress = true;
                         return;
                     }
+                    Ok(Some(ClientHello::Codec(caps))) => {
+                        // The client accepted the advertised codec: switch
+                        // this connection's framing and stay in the hello
+                        // phase — the session hello proper follows.
+                        if caps & CAP_LZ4 != 0 {
+                            self.codec = Some(Codec::new(pool.clone()));
+                        }
+                        res.progress = true;
+                    }
                     Ok(Some(ClientHello::Session(hello))) => {
                         if shared.config.auth_token.is_some() && !self.authenticated {
                             // A legacy hello cannot carry the required
@@ -704,7 +724,10 @@ impl Conn {
                     if res.frames >= FRAMES_PER_PASS {
                         return;
                     }
-                    match self.decoder.poll_frame(Some(pool)) {
+                    match self
+                        .decoder
+                        .poll_frame_codec(Some(pool), self.codec.as_ref())
+                    {
                         Ok(Some(frame)) => {
                             res.frames += 1;
                             res.progress = true;
@@ -850,6 +873,9 @@ impl Conn {
     fn on_frame(&mut self, frame: Frame, pool: &BufferPool, shared: &Shared) {
         let obs = shared.config.observer.clone();
         let chaos = &shared.config.chaos;
+        // Taken for the duration so the queue closures (which borrow `self`
+        // mutably) can frame responses through it; restored on exit.
+        let codec = self.codec.take();
         let ctx = self.ctx.as_mut().expect("Running implies a context");
         match frame {
             Frame::Single(req) => {
@@ -859,7 +885,7 @@ impl Conn {
                     dispatch_observed(ctx, &req, Some(pool), &self.clk, &obs)
                 }));
                 match outcome {
-                    Ok(Some(resp)) => self.queue(|out| resp.write(out)),
+                    Ok(Some(resp)) => self.queue(|out| resp.write_codec(out, codec.as_ref())),
                     Ok(None) => {
                         // Finalization stage: acknowledge the Quit, then
                         // release everything (§III).
@@ -888,7 +914,7 @@ impl Conn {
                 }));
                 match outcome {
                     Ok((resp, quit)) => {
-                        self.queue(|out| resp.write(out));
+                        self.queue(|out| resp.write_codec(out, codec.as_ref()));
                         if quit {
                             self.report.orderly_shutdown = true;
                             self.begin_close();
@@ -907,6 +933,7 @@ impl Conn {
                 }
             }
         }
+        self.codec = codec;
     }
 
     /// Session end: the blocking worker's exit path, plus the daemon-side

@@ -11,10 +11,14 @@
 use rcuda_core::{CudaError, SharedClock, SimTime};
 use rcuda_gpu::{GpuContext, GpuDevice};
 use rcuda_obs::{DaemonEvent, ObsHandle, Op, PoolStats, ServerSpan};
+use rcuda_proto::codec::{fold_caps, CodecHello, CAP_ALL, CAP_LZ4};
 use rcuda_proto::handshake::write_hello_reply;
-use rcuda_proto::ids::MemcpyKind;
+use rcuda_proto::ids::{FunctionId, MemcpyKind};
 use rcuda_proto::secure::CipherSuiteKind;
-use rcuda_proto::{Batch, BatchResponse, BufferPool, Frame, Request, Response, SessionHello};
+use rcuda_proto::wire::get_u32;
+use rcuda_proto::{
+    Batch, BatchResponse, BufferPool, Codec, Frame, Request, Response, SessionHello,
+};
 use rcuda_transport::Transport;
 use std::fmt;
 use std::io;
@@ -115,6 +119,11 @@ pub struct ServerConfig {
     /// at the hello. [`CipherSuiteKind::None`] disables encryption even for
     /// requesting clients (the server clears the flag in its challenge).
     pub cipher: CipherSuiteKind,
+    /// Advertise the adaptive wire codec (LZ4 payload compression) in the
+    /// compute-capability push. On by default: the capability bits ride the
+    /// high half of the minor word, which legacy clients never inspect, so
+    /// advertising costs nothing and only opted-in clients switch framing.
+    pub codec: bool,
     /// Test-only per-request hook (see [`ChaosHook`]). Disarmed by default.
     pub chaos: ChaosHook,
 }
@@ -131,6 +140,7 @@ impl Default for ServerConfig {
             busy_retry_after_ms: 25,
             auth_token: None,
             cipher: CipherSuiteKind::ChaCha20,
+            codec: true,
             chaos: ChaosHook::none(),
         }
     }
@@ -212,14 +222,34 @@ pub fn serve_connection_with_registry<T: Transport>(
         device.create_context(clock, config.preinitialize_context)
     };
 
-    // Phase 1a: announce the device (8-byte compute capability).
-    transport.write_all(&device.properties().compute_capability_wire())?;
+    // Phase 1a: announce the device (8-byte compute capability). A
+    // codec-advertising daemon folds its capability bits into the high half
+    // of the minor word — legacy clients read the full word as the minor
+    // digit but never inspect it beyond display, while codec-aware clients
+    // mask it off (see `rcuda_proto::codec`).
+    let mut cc = device.properties().compute_capability_wire();
+    if config.codec {
+        let minor = u32::from_le_bytes(cc[4..8].try_into().expect("8-byte wire"));
+        cc[4..8].copy_from_slice(&fold_caps(minor, CAP_ALL).to_le_bytes());
+    }
+    transport.write_all(&cc)?;
     transport.flush()?;
 
     let mut report = SessionReport::default();
 
-    // Phase 1b: session handshake.
-    let hello = SessionHello::read(&mut transport)?;
+    // Phase 1b: session handshake. A codec-opting client precedes its
+    // session hello with the one-way `CodecHello`; peel it off and switch
+    // the connection's framing before parsing the hello proper.
+    let mut first = get_u32(&mut transport)?;
+    let mut codec: Option<Codec> = None;
+    if first == FunctionId::Codec.as_u32() {
+        let accept = CodecHello::read_body(&mut transport)?;
+        if accept.caps & CAP_LZ4 != 0 {
+            codec = Some(Codec::new(pool.clone()));
+        }
+        first = get_u32(&mut transport)?;
+    }
+    let hello = SessionHello::read_after(first, &mut transport)?;
 
     // An auth-gated server only serves sessions that arrived through an
     // authenticated mux trunk (which clears `auth_token` for its per-stream
@@ -303,7 +333,7 @@ pub fn serve_connection_with_registry<T: Transport>(
     // bug, or the chaos hook) kills this one session — answered with a
     // correctly-shaped `cudaErrorLaunchFailure` so the client never
     // desyncs — and the daemon lives on.
-    while let Ok(frame) = Frame::read_pooled(&mut transport, Some(&pool)) {
+    while let Ok(frame) = Frame::read_codec(&mut transport, Some(&pool), codec.as_ref()) {
         match frame {
             Frame::Single(req) => {
                 report.requests += 1;
@@ -313,7 +343,9 @@ pub fn serve_connection_with_registry<T: Transport>(
                 }));
                 match outcome {
                     Ok(Some(resp)) => {
-                        if resp.write(&mut transport).is_err() || transport.flush().is_err() {
+                        if resp.write_codec(&mut transport, codec.as_ref()).is_err()
+                            || transport.flush().is_err()
+                        {
                             break;
                         }
                     }
@@ -365,7 +397,9 @@ pub fn serve_connection_with_registry<T: Transport>(
                         break;
                     }
                 };
-                if resp.write(&mut transport).is_err() || transport.flush().is_err() {
+                if resp.write_codec(&mut transport, codec.as_ref()).is_err()
+                    || transport.flush().is_err()
+                {
                     break;
                 }
                 if quit {
@@ -521,12 +555,15 @@ mod tests {
         let worker =
             thread::spawn(move || serve_connection(server_side, &device, clock, &cfg).unwrap());
 
-        // Handshake: compute capability arrives first.
+        // Handshake: compute capability arrives first, with the daemon's
+        // codec capability bits folded into the high half of the minor word.
         let mut cc = [0u8; 8];
         client.read_exact(&mut cc).unwrap();
+        let (major, minor_word) = rcuda_core::DeviceProperties::compute_capability_from_wire(cc);
+        assert_eq!(major, 1);
         assert_eq!(
-            rcuda_core::DeviceProperties::compute_capability_from_wire(cc),
-            (1, 3)
+            rcuda_proto::codec::split_minor_word(minor_word),
+            (3, CAP_ALL)
         );
         // Ship a module.
         Request::Init {

@@ -69,6 +69,24 @@ python3 -c "import json; json.load(open('target/BENCH_broker.json'))" 2>/dev/nul
     || grep -q '"bench": "broker"' target/BENCH_broker.json
 test -s target/BENCH_broker.json || { echo "broker bench wrote no artifact" >&2; exit 1; }
 
+echo "== compression bench smoke ==" >&2
+BENCH_COMPRESSION_OUT="$PWD/target/BENCH_compression.json" \
+    cargo bench -q -p rcuda-bench --bench compression -- --test >/dev/null
+if command -v python3 >/dev/null; then
+    python3 -c "
+import json, sys
+a = json.load(open('target/BENCH_compression.json'))
+g = a['gates']
+if g['compressible_speedup'] < 1.5:
+    sys.exit(f\"compressible speedup {g['compressible_speedup']:.2f}x < 1.5x acceptance floor\")
+if g['incompressible_regression'] > 0.03:
+    sys.exit(f\"incompressible regression {g['incompressible_regression']*100:.1f}% > 3% ceiling\")
+"
+else
+    grep -q '"bench": "compression"' target/BENCH_compression.json
+fi
+test -s target/BENCH_compression.json || { echo "compression bench wrote no artifact" >&2; exit 1; }
+
 echo "== cargo fmt --check ==" >&2
 cargo fmt --all --check
 
@@ -92,5 +110,20 @@ cargo clippy -p rcuda-workloads --all-targets -- -D warnings
 
 echo "== cargo clippy -p rcuda-broker -D warnings ==" >&2
 cargo clippy -p rcuda-broker --all-targets -- -D warnings
+
+echo "== cargo clippy -p lz4_flex -D warnings ==" >&2
+cargo clippy -p lz4_flex --all-targets -- -D warnings
+
+echo "== cargo clippy -p rcuda-netsim -D warnings ==" >&2
+cargo clippy -p rcuda-netsim --all-targets -- -D warnings
+
+echo "== cargo clippy -p rcuda-model -D warnings ==" >&2
+cargo clippy -p rcuda-model --all-targets -- -D warnings
+
+echo "== cargo clippy -p rcuda-client -D warnings ==" >&2
+cargo clippy -p rcuda-client --all-targets -- -D warnings
+
+echo "== cargo clippy -p rcuda-bench -D warnings ==" >&2
+cargo clippy -p rcuda-bench --all-targets -- -D warnings
 
 echo "All checks passed." >&2

@@ -64,7 +64,7 @@ use rcuda_server::{
 };
 use rcuda_transport::{
     channel_pair, sim_pair, ChannelTransport, FaultInjector, FaultPlan, MuxConfig, MuxPeer,
-    ReconnectTransport, SimTransport, TcpTransport, Transport,
+    ReconnectTransport, TcpTransport, Transport,
 };
 
 /// A functional local-GPU runtime (wall clock, kernels really execute).
@@ -167,6 +167,7 @@ impl Session {
             cipher: CipherSuiteKind::None,
             mux: false,
             failover: None,
+            codec: false,
         }
     }
 
@@ -282,6 +283,7 @@ pub struct SessionBuilder {
     cipher: CipherSuiteKind,
     mux: bool,
     failover: Option<u64>,
+    codec: bool,
 }
 
 /// Default failover-journal cap for [`Endpoint::Broker`] sessions with
@@ -373,6 +375,19 @@ impl SessionBuilder {
     /// [`SessionBuilder::mux`].
     pub fn cipher(mut self, suite: CipherSuiteKind) -> Self {
         self.cipher = suite;
+        self
+    }
+
+    /// Opt into the adaptive wire codec: bulk payloads (H2D bodies, launch
+    /// argument regions, D2H replies) are LZ4-compressed when an online
+    /// cost model predicts the byte savings outweigh the CPU time, and
+    /// shipped raw otherwise. Negotiated at the hello — a server that does
+    /// not advertise the capability leaves the session on the legacy
+    /// framing. Default `false`: the paper-faithful wire (Table I byte
+    /// counts) is untouched. Composes with [`SessionBuilder::cipher`]:
+    /// payloads compress before the trunk encrypts (compress-then-encrypt).
+    pub fn codec(mut self, on: bool) -> Self {
+        self.codec = on;
         self
     }
 
@@ -664,6 +679,7 @@ impl SessionBuilder {
         runtime.set_deadline(self.deadline);
         runtime.set_retry_policy(self.retry);
         runtime.set_failover(self.failover);
+        runtime.set_codec(self.codec);
         runtime.set_observer(self.observer.clone());
         Ok(())
     }
@@ -675,113 +691,6 @@ impl SessionBuilder {
             phantom_memory: self.phantom,
             observer: self.observer.clone(),
             ..ServerConfig::default()
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Deprecated terminal shims (pre-Endpoint API).
-    // ------------------------------------------------------------------
-
-    /// Connect to an rCUDA daemon over real TCP.
-    #[deprecated(note = "use `.connect(Endpoint::Tcp(addr))`")]
-    pub fn tcp<A: std::net::ToSocketAddrs>(
-        self,
-        addr: A,
-    ) -> CudaResult<RemoteRuntime<TcpTransport>> {
-        let transport = TcpTransport::connect(addr).map_err(|e| transport_error(&e))?;
-        let mut rt = RemoteRuntime::new(transport, wall_clock());
-        self.configure(&mut rt)?;
-        Ok(rt)
-    }
-
-    /// A complete in-process session over a channel transport.
-    #[deprecated(note = "use `.connect(Endpoint::Channel)`")]
-    pub fn channel(self) -> ChannelSession {
-        let (client_side, server_side) = channel_pair();
-        let clock: SharedClock = wall_clock();
-        let device = server_device(self.phantom);
-        let server = spawn_server(
-            server_side,
-            device,
-            clock.clone(),
-            self.server_config(),
-            None,
-        )
-        .expect("spawn session server");
-        let mut runtime = RemoteRuntime::new(client_side, clock);
-        self.configure(&mut runtime).expect("fresh session");
-        ChannelSession {
-            runtime,
-            server: Some(server),
-        }
-    }
-
-    /// A fault-injection session.
-    #[deprecated(note = "use `.connect(Endpoint::ChannelFaulty(plan))`")]
-    pub fn channel_faulty(self, plan: FaultPlan) -> FaultSession {
-        let clock: SharedClock = wall_clock();
-        let device = server_device(self.phantom);
-        let config = self.server_config();
-        let registry = Arc::new(SessionRegistry::new());
-        let servers: ServerSet = Arc::new(Mutex::new(Vec::new()));
-
-        let dial = {
-            let device = Arc::clone(&device);
-            let registry = Arc::clone(&registry);
-            let servers = Arc::clone(&servers);
-            let clock = clock.clone();
-            move || -> std::io::Result<ChannelTransport> {
-                let (client_side, server_side) = channel_pair();
-                let handle = spawn_server(
-                    server_side,
-                    Arc::clone(&device),
-                    clock.clone(),
-                    config.clone(),
-                    Some(Arc::clone(&registry)),
-                )?;
-                servers.lock().expect("server set lock").push(handle);
-                Ok(client_side)
-            }
-        };
-        let initial = dial().expect("spawn first server");
-        let transport = FaultInjector::new(ReconnectTransport::new(initial, dial), plan);
-        let mut runtime = RemoteRuntime::new(transport, clock);
-        self.configure(&mut runtime).expect("fresh session");
-        FaultSession {
-            runtime,
-            servers,
-            registry,
-        }
-    }
-
-    /// A complete in-process session over the simulated network `net`.
-    #[deprecated(note = "use `.connect(Endpoint::Simulated(net))`")]
-    pub fn simulated(self, net: NetworkId) -> SimSession {
-        #[allow(deprecated)]
-        self.simulated_with(Arc::from(net.model()))
-    }
-
-    /// [`SessionBuilder::simulated`] over an arbitrary network model.
-    #[deprecated(note = "use `.connect(Endpoint::SimulatedWith(model))`")]
-    pub fn simulated_with(self, model: Arc<dyn rcuda_netsim::NetworkModel>) -> SimSession {
-        let clock = virtual_clock();
-        let shared: SharedClock = clock.clone();
-        let (client_side, server_side) = sim_pair(model, shared.clone());
-        let device = server_device(self.phantom);
-        let server = spawn_server(
-            server_side,
-            device,
-            shared.clone(),
-            self.server_config(),
-            None,
-        )
-        .expect("spawn session server");
-        let mut runtime = RemoteRuntime::new(client_side, shared);
-        self.configure(&mut runtime).expect("fresh session");
-        SimSession {
-            runtime,
-            clock,
-            server: Some(server),
         }
     }
 }
@@ -973,102 +882,6 @@ fn spawn_server<T: Transport + 'static>(
             Some(reg) => serve_connection_with_registry(transport, &device, clock, &config, &reg),
             None => serve_connection(transport, &device, clock, &config),
         })
-}
-
-/// A complete in-process remote session over a simulated network (legacy
-/// API; use [`SessionBuilder::connect`] with [`Endpoint::Simulated`]).
-pub struct SimSession {
-    /// The client-side runtime (use it like any [`rcuda_api::CudaRuntime`]).
-    pub runtime: RemoteRuntime<SimTransport>,
-    /// The session's virtual clock — `clock.now()` after a run is the
-    /// simulated execution time.
-    pub clock: Arc<VirtualClock>,
-    server: Option<JoinHandle<std::io::Result<SessionReport>>>,
-}
-
-impl SimSession {
-    /// A point-in-time snapshot of the session's cumulative counters.
-    pub fn metrics(&self) -> SessionMetrics {
-        self.runtime.metrics()
-    }
-
-    /// Join the server side and return its session report.
-    pub fn finish(mut self) -> SessionReport {
-        // Make sure the server saw a Quit or a hangup: dropping the runtime
-        // closes the client endpoint.
-        let server = self.server.take().expect("finish called once");
-        drop(self.runtime);
-        server
-            .join()
-            .expect("server thread panicked")
-            .expect("server io error")
-    }
-}
-
-/// A complete in-process remote session over a channel transport (legacy
-/// API; use [`SessionBuilder::connect`] with [`Endpoint::Channel`]).
-pub struct ChannelSession {
-    /// The client-side runtime.
-    pub runtime: RemoteRuntime<ChannelTransport>,
-    server: Option<JoinHandle<std::io::Result<SessionReport>>>,
-}
-
-impl ChannelSession {
-    /// A point-in-time snapshot of the session's cumulative counters.
-    pub fn metrics(&self) -> SessionMetrics {
-        self.runtime.metrics()
-    }
-
-    /// Join the server side and return its session report.
-    pub fn finish(mut self) -> SessionReport {
-        let server = self.server.take().expect("finish called once");
-        drop(self.runtime);
-        server
-            .join()
-            .expect("server thread panicked")
-            .expect("server io error")
-    }
-}
-
-/// A fault-injection session (legacy API; use [`SessionBuilder::connect`]
-/// with [`Endpoint::ChannelFaulty`]).
-///
-/// Every connection attempt — the first one included — spawns its own
-/// server thread over a shared [`SessionRegistry`]; [`FaultSession::finish`]
-/// joins them all and returns every session report, in connection order.
-pub struct FaultSession {
-    /// The client-side runtime, behind the fault injector.
-    pub runtime: RemoteRuntime<FaultInjector<ReconnectTransport<ChannelTransport>>>,
-    servers: ServerSet,
-    registry: Arc<SessionRegistry>,
-}
-
-impl FaultSession {
-    /// A point-in-time snapshot of the session's cumulative counters,
-    /// summed across reconnects.
-    pub fn metrics(&self) -> SessionMetrics {
-        self.runtime.metrics()
-    }
-
-    /// Sessions currently parked server-side awaiting a reconnect.
-    pub fn parked_sessions(&self) -> usize {
-        self.registry.parked_count()
-    }
-
-    /// Drop the client and join every server thread spawned over the
-    /// session's lifetime. A thread whose connection died before the
-    /// handshake yields no report.
-    pub fn finish(self) -> Vec<SessionReport> {
-        let FaultSession {
-            runtime, servers, ..
-        } = self;
-        drop(runtime);
-        let handles = std::mem::take(&mut *servers.lock().expect("server set lock"));
-        handles
-            .into_iter()
-            .filter_map(|h| h.join().expect("server thread panicked").ok())
-            .collect()
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,327 @@
+//! Codec conformance: negotiation interop with legacy peers in both
+//! directions, composition with the mux trunk and payload cipher, and
+//! property tests over the codec's wire framing.
+//!
+//! The negotiation design promise is that the codec is invisible until
+//! *both* ends opt in: a legacy client against a codec-advertising server
+//! and a codec client against a legacy server must each run a full
+//! session over plain framing, bit-for-bit compatible with the
+//! pre-codec protocol. The property tests then pin the framing itself:
+//! `write_block`/`read_block`/`read_block_into` round-trip arbitrary
+//! payloads byte-identically under every mode, arbitrary read
+//! fragmentation, and recycled pool buffers.
+
+use proptest::prelude::*;
+use rcuda::api::CudaRuntime;
+use rcuda::client::RemoteRuntime;
+use rcuda::core::time::wall_clock;
+use rcuda::core::{ArgPack, Dim3};
+use rcuda::gpu::module::build_module;
+use rcuda::gpu::GpuDevice;
+use rcuda::proto::secure::CipherSuiteKind;
+use rcuda::proto::{BufferPool, Codec, CodecMode};
+use rcuda::server::{RcudaDaemon, ServerConfig};
+use rcuda::session::{Endpoint, Session};
+use rcuda::transport::TcpTransport;
+use std::io::Read;
+
+/// One full data-plane round trip: upload, overwrite with `fill`, read
+/// back into a caller buffer, and check the kernel's output — proof the
+/// session's framing is intact end to end, whatever the codec decided.
+fn fill_round_trip<R: CudaRuntime>(rt: &mut R, size: usize) {
+    let n = (size / 4) as u32;
+    let dev = rt.malloc(size as u32).unwrap();
+    let data = vec![0x5au8; size];
+    let mut out = vec![0u8; size];
+    let args = ArgPack::new().push_ptr(dev).push_u32(n).push_f32(2.5);
+    let expected: Vec<u8> = 2.5f32
+        .to_le_bytes()
+        .iter()
+        .copied()
+        .cycle()
+        .take(size)
+        .collect();
+
+    rt.memcpy_h2d(dev, &data).unwrap();
+    rt.launch("fill", Dim3::x(1), Dim3::x(64), 0, 0, args.as_bytes())
+        .unwrap();
+    rt.memcpy_d2h_into(dev, &mut out).unwrap();
+    assert_eq!(out, expected, "fill result wrong at {size} bytes");
+    rt.free(dev).unwrap();
+}
+
+/// A legacy client (no codec opt-in) against a codec-advertising server:
+/// the capability bits ride the high half of the CC minor word, which a
+/// legacy client never inspects, so the session must run raw framing and
+/// work exactly as before.
+#[test]
+fn legacy_client_ignores_codec_advertising_server() {
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let transport = TcpTransport::connect(daemon.local_addr()).unwrap();
+    let mut rt = RemoteRuntime::new(transport, wall_clock());
+    // No set_codec: this client predates the codec.
+    rt.initialize(&build_module(&["fill"], 0)).unwrap();
+    assert!(!rt.codec_active(), "no opt-in must mean no codec");
+    assert!(rt.codec_stats().is_none(), "no codec, no stats");
+
+    for size in [256usize, 64 * 1024] {
+        fill_round_trip(&mut rt, size);
+    }
+
+    rt.finalize().unwrap();
+    drop(rt);
+    assert!(daemon.wait_for_sessions(1, std::time::Duration::from_secs(5)));
+    daemon.shutdown();
+    let reports = daemon.session_reports();
+    assert!(reports[0].orderly_shutdown);
+}
+
+/// A codec client against a server that does not advertise it: the client
+/// must fall back to raw framing silently (even in `Always` mode) and the
+/// session must be indistinguishable from a legacy one.
+#[test]
+fn codec_client_falls_back_against_legacy_server() {
+    let mut daemon = RcudaDaemon::builder()
+        .config(ServerConfig {
+            codec: false,
+            ..ServerConfig::default()
+        })
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let transport = TcpTransport::connect(daemon.local_addr()).unwrap();
+    let mut rt = RemoteRuntime::new(transport, wall_clock());
+    rt.set_codec(true);
+    rt.set_codec_mode(CodecMode::Always);
+    rt.initialize(&build_module(&["fill"], 0)).unwrap();
+    assert!(
+        !rt.codec_active(),
+        "server did not advertise; the codec must stay off"
+    );
+
+    for size in [256usize, 64 * 1024] {
+        fill_round_trip(&mut rt, size);
+    }
+    if let Some(stats) = rt.codec_stats() {
+        assert_eq!(stats.compressed, 0, "nothing may compress when inactive");
+    }
+
+    rt.finalize().unwrap();
+    drop(rt);
+    assert!(daemon.wait_for_sessions(1, std::time::Duration::from_secs(5)));
+    daemon.shutdown();
+    let reports = daemon.session_reports();
+    assert!(reports[0].orderly_shutdown);
+}
+
+/// The codec composes with the mux trunk and the ChaCha20 payload cipher:
+/// compress-then-encrypt on the way out, decrypt-then-inflate on the way
+/// in, all three layers negotiated in one handshake.
+#[test]
+fn codec_composes_with_mux_and_cipher() {
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let mut sess = Session::builder()
+        .mux(true)
+        .cipher(CipherSuiteKind::ChaCha20)
+        .codec(true)
+        .connect(Endpoint::Tcp(daemon.local_addr()))
+        .unwrap();
+    sess.set_codec_mode(CodecMode::Always);
+    sess.initialize(&build_module(&["fill"], 0)).unwrap();
+    assert!(sess.codec_active(), "daemon must advertise the codec");
+
+    for size in [4 * 1024usize, 128 * 1024] {
+        fill_round_trip(&mut *sess, size);
+    }
+
+    let stats = sess.codec_stats().expect("codec enabled");
+    assert!(
+        stats.compressed > 0,
+        "0x5a payloads must have compressed under the cipher: {stats:?}"
+    );
+    assert!(stats.ratio() < 0.5, "0x5a bytes compress well: {stats:?}");
+
+    sess.finalize().unwrap();
+    sess.finish();
+    assert!(daemon.wait_for_sessions(1, std::time::Duration::from_secs(5)));
+    daemon.shutdown();
+    let reports = daemon.session_reports();
+    assert_eq!(reports[0].leaked_allocations, 0);
+}
+
+/// A frame whose `enc_len` prefix exceeds the raw length it must inflate
+/// to is malformed — both decode paths must reject it cleanly rather than
+/// over-read or trust the attacker-controlled length.
+#[test]
+fn oversized_enc_len_is_rejected() {
+    let codec = Codec::new(BufferPool::new());
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&8u32.to_le_bytes());
+    frame.extend_from_slice(&[0u8; 8]);
+
+    let err = codec
+        .read_block(&mut frame.as_slice(), 4)
+        .expect_err("enc_len > raw_len must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    let mut out = [0u8; 4];
+    let err = codec
+        .read_block_into(&mut frame.as_slice(), &mut out)
+        .expect_err("enc_len > out.len() must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+/// A reader that serves its bytes in caller-chosen fragments, modelling a
+/// TCP stream handing the decoder short reads at arbitrary boundaries.
+struct ChunkedReader {
+    data: Vec<u8>,
+    pos: usize,
+    chunks: Vec<usize>,
+    next: usize,
+}
+
+impl ChunkedReader {
+    fn new(data: Vec<u8>, chunks: Vec<usize>) -> ChunkedReader {
+        ChunkedReader {
+            data,
+            pos: 0,
+            chunks,
+            next: 0,
+        }
+    }
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.data.len() - self.pos;
+        if remaining == 0 || buf.is_empty() {
+            return Ok(0);
+        }
+        // Cycle through the fragment schedule; 0-sized entries become 1 so
+        // the stream always makes progress.
+        let chunk = if self.chunks.is_empty() {
+            remaining
+        } else {
+            let c = self.chunks[self.next % self.chunks.len()].max(1);
+            self.next += 1;
+            c
+        };
+        let n = chunk.min(remaining).min(buf.len());
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Payloads spanning the codec's interesting regimes: dense random bytes
+/// (decline material), a single repeated byte (maximal compression), and
+/// a short motif tiled past the 4 KiB probe threshold (realistic
+/// structured buffers). Sizes straddle `MIN_COMPRESS_LEN`.
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 1..12 * 1024),
+        (any::<u8>(), 1usize..12 * 1024).prop_map(|(b, n)| vec![b; n]),
+        (proptest::collection::vec(any::<u8>(), 1..64), 64usize..512).prop_map(|(motif, reps)| {
+            motif
+                .iter()
+                .copied()
+                .cycle()
+                .take(motif.len() * reps)
+                .collect()
+        }),
+    ]
+}
+
+fn arb_mode() -> impl Strategy<Value = CodecMode> {
+    prop_oneof![
+        Just(CodecMode::Never),
+        Just(CodecMode::Always),
+        Just(CodecMode::Adaptive),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `write_block` → `read_block` is the identity on arbitrary payloads,
+    /// for every mode, under arbitrary read fragmentation, with encoder
+    /// and decoder recycling their pools across two consecutive frames
+    /// (the second pass rides buffers the first returned).
+    #[test]
+    fn codec_block_round_trips_byte_identical(
+        payload in arb_payload(),
+        mode in arb_mode(),
+        chunks in proptest::collection::vec(1usize..1024, 0..8),
+    ) {
+        let encoder = Codec::with_mode(BufferPool::new(), mode);
+        let decoder = Codec::new(BufferPool::new());
+        for _ in 0..2 {
+            let mut wire = Vec::new();
+            let on_wire = encoder.write_block(&mut wire, &payload).unwrap();
+            prop_assert_eq!(on_wire as usize, wire.len());
+            let mut r = ChunkedReader::new(wire, chunks.clone());
+            let decoded = decoder.read_block(&mut r, payload.len()).unwrap();
+            prop_assert_eq!(decoded.as_slice(), payload.as_slice());
+        }
+    }
+
+    /// The same identity through `read_block_into`: the caller's buffer is
+    /// the final destination (the client's D2H receive path), raw and
+    /// compressed frames alike.
+    #[test]
+    fn codec_block_into_round_trips_byte_identical(
+        payload in arb_payload(),
+        mode in arb_mode(),
+        chunks in proptest::collection::vec(1usize..1024, 0..8),
+    ) {
+        let encoder = Codec::with_mode(BufferPool::new(), mode);
+        let decoder = Codec::new(BufferPool::new());
+        for _ in 0..2 {
+            let mut wire = Vec::new();
+            encoder.write_block(&mut wire, &payload).unwrap();
+            let mut r = ChunkedReader::new(wire, chunks.clone());
+            let mut out = vec![0u8; payload.len()];
+            decoder.read_block_into(&mut r, &mut out).unwrap();
+            prop_assert_eq!(out.as_slice(), payload.as_slice());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// End to end: arbitrary payloads pushed H2D through a codec session
+    /// (in-process channel server, `Always` mode) come back D2H
+    /// byte-identical, whatever the encoder decided per payload.
+    #[test]
+    fn codec_session_round_trips_arbitrary_payloads(
+        payloads in proptest::collection::vec(arb_payload(), 1..4),
+    ) {
+        let mut sess = Session::builder()
+            .codec(true)
+            .connect(Endpoint::Channel)
+            .unwrap();
+        sess.set_codec_mode(CodecMode::Always);
+        sess.initialize(&build_module(&["fill"], 0)).unwrap();
+        prop_assert!(sess.codec_active());
+
+        for payload in &payloads {
+            let dev = sess.malloc(payload.len() as u32).unwrap();
+            sess.memcpy_h2d(dev, payload).unwrap();
+            let mut out = vec![0u8; payload.len()];
+            sess.memcpy_d2h_into(dev, &mut out).unwrap();
+            prop_assert_eq!(&out, payload);
+            sess.free(dev).unwrap();
+        }
+
+        sess.finalize().unwrap();
+        let report = sess.finish_report();
+        prop_assert!(report.orderly_shutdown);
+    }
+}

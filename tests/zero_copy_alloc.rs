@@ -142,6 +142,77 @@ fn memcpy_round_trip_is_allocation_free_at_steady_state() {
     );
 }
 
+/// The same steady-state contract with the wire codec forced on: LZ4
+/// scratch on both sides must come from the same pools as payload staging
+/// (compress on the client's H2D sends and the server's D2H replies,
+/// decompress into pooled/caller buffers on the receiving ends), so a
+/// compressed round trip still touches the heap zero times per iteration.
+#[test]
+fn codec_memcpy_round_trip_is_allocation_free_at_steady_state() {
+    use rcuda::proto::CodecMode;
+
+    let mut daemon = RcudaDaemon::builder()
+        .device(GpuDevice::tesla_c1060_functional())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let transport = TcpTransport::connect(daemon.local_addr()).unwrap();
+    let mut rt = RemoteRuntime::new(transport, wall_clock());
+    rt.set_codec(true);
+    rt.set_codec_mode(CodecMode::Always);
+    rt.initialize(&build_module(&["fill"], 0)).unwrap();
+    assert!(rt.codec_active(), "daemon must advertise the codec");
+
+    for size in [4 * 1024usize, 128 * 1024] {
+        let n = (size / 4) as u32;
+        let dev = rt.malloc(size as u32).unwrap();
+        // Repetitive payload: the encoder genuinely compresses, so the
+        // measured window exercises the LZ4 scratch path, not a decline.
+        let data = vec![0x5au8; size];
+        let mut out = vec![0u8; size];
+        let args = ArgPack::new().push_ptr(dev).push_u32(n).push_f32(2.5);
+        let expected: Vec<u8> = 2.5f32
+            .to_le_bytes()
+            .iter()
+            .copied()
+            .cycle()
+            .take(size)
+            .collect();
+
+        for _ in 0..WARMUP {
+            round_trip(&mut rt, dev, &data, args.as_bytes(), &mut out);
+        }
+        assert_eq!(out, expected, "fill result wrong before measuring");
+
+        let before = allocations();
+        for _ in 0..MEASURED {
+            round_trip(&mut rt, dev, &data, args.as_bytes(), &mut out);
+            assert!(out == expected, "fill result wrong inside window");
+        }
+        let delta = allocations() - before;
+        assert_eq!(
+            delta, 0,
+            "steady-state compressed round trip allocated ({delta} \
+             allocations over {MEASURED} iterations at {size} bytes)"
+        );
+
+        rt.free(dev).unwrap();
+    }
+
+    let stats = rt.codec_stats().expect("codec enabled");
+    assert!(
+        stats.compressed > 0,
+        "payloads must have compressed: {stats:?}"
+    );
+    assert!(stats.ratio() < 0.5, "0x5a bytes compress well: {stats:?}");
+
+    rt.finalize().unwrap();
+    drop(rt);
+    assert!(daemon.wait_for_sessions(1, std::time::Duration::from_secs(5)));
+    daemon.shutdown();
+    let reports = daemon.session_reports();
+    assert_eq!(reports[0].leaked_allocations, 0);
+}
+
 /// The same steady-state contract over the multiplexed transport: framing,
 /// credit flow control, and the demux engine must all ride pooled buffers.
 #[test]

@@ -1,0 +1,446 @@
+//! LZ4 block format: sequences of `[token][literal len*][literals][offset
+//! u16 LE][match len*]`, where the token's high nibble is the literal length
+//! (15 = continuation bytes follow) and the low nibble is the match length
+//! minus the 4-byte minimum (15 = continuation bytes follow). The final
+//! sequence carries literals only. Compliant encoders keep the last five
+//! bytes as literals and start no match within twelve bytes of the end.
+
+use std::fmt;
+
+/// Minimum match length the format can express.
+const MIN_MATCH: usize = 4;
+/// No match may *start* within this many bytes of the input end.
+const MF_LIMIT: usize = 12;
+/// The last bytes of the input are always emitted as literals.
+const LAST_LITERALS: usize = 5;
+/// log2 of the hash-table entry count: 4096 × 4 B = 16 KiB, on the stack.
+const HASH_BITS: u32 = 12;
+const HASH_LEN: usize = 1 << HASH_BITS;
+
+/// Compression failure: the output buffer cannot hold the worst case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressError {
+    /// Output shorter than [`get_maximum_output_size`] of the input length.
+    OutputTooSmall,
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::OutputTooSmall => write!(f, "output buffer too small for worst case"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// Decompression failure on malformed (or truncated) input. Wire bytes are
+/// untrusted: every variant is a graceful error, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompressError {
+    /// Input ended mid-sequence.
+    Truncated,
+    /// A literal run or match would overflow the output buffer.
+    OutputTooSmall,
+    /// A match offset of zero or pointing before the output start.
+    InvalidOffset,
+    /// The stream ended before filling the expected output length.
+    UnexpectedEnd,
+}
+
+impl fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            DecompressError::Truncated => "input truncated mid-sequence",
+            DecompressError::OutputTooSmall => "decoded data overflows the output buffer",
+            DecompressError::InvalidOffset => "match offset outside the decoded prefix",
+            DecompressError::UnexpectedEnd => "stream ended before the expected output length",
+        };
+        write!(f, "{msg}")
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+/// Worst-case compressed size for `len` input bytes (the classic
+/// `LZ4_compressBound`): incompressible data expands by at most
+/// `len / 255 + 16` bytes of token/length overhead.
+pub const fn get_maximum_output_size(len: usize) -> usize {
+    len + len / 255 + 16
+}
+
+#[inline]
+fn hash(seq: u32) -> usize {
+    (seq.wrapping_mul(2_654_435_761) >> (32 - HASH_BITS)) as usize
+}
+
+#[inline]
+fn read_u32(input: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes(input[i..i + 4].try_into().expect("bounds checked"))
+}
+
+#[inline]
+fn read_u64(input: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(input[i..i + 8].try_into().expect("bounds checked"))
+}
+
+/// Append an LZ4 length continuation (`n/255` bytes of 255 + remainder).
+#[inline]
+fn put_length(output: &mut [u8], mut out: usize, mut n: usize) -> usize {
+    while n >= 255 {
+        output[out] = 255;
+        out += 1;
+        n -= 255;
+    }
+    output[out] = n as u8;
+    out + 1
+}
+
+/// How far the match at (`i`, `cand`) extends beyond its verified prefix,
+/// comparing eight bytes at a time (the fast path on compressible data).
+#[inline]
+fn extend_match(input: &[u8], i: usize, cand: usize, start: usize, limit: usize) -> usize {
+    let mut mlen = start;
+    while i + mlen + 8 <= limit {
+        let diff = read_u64(input, i + mlen) ^ read_u64(input, cand + mlen);
+        if diff != 0 {
+            return mlen + (diff.trailing_zeros() / 8) as usize;
+        }
+        mlen += 8;
+    }
+    while i + mlen < limit && input[i + mlen] == input[cand + mlen] {
+        mlen += 1;
+    }
+    mlen
+}
+
+/// Compress `input` into `output` (LZ4 block format), returning the
+/// compressed length. `output` must hold at least
+/// [`get_maximum_output_size`]`(input.len())` bytes. Performs no heap
+/// allocation: the match table lives on the stack.
+pub fn compress_into(input: &[u8], output: &mut [u8]) -> Result<usize, CompressError> {
+    if output.len() < get_maximum_output_size(input.len()) {
+        return Err(CompressError::OutputTooSmall);
+    }
+    let mut table = [0u32; HASH_LEN];
+    let mut anchor = 0usize;
+    let mut out = 0usize;
+
+    if input.len() > MF_LIMIT {
+        let match_end = input.len() - MF_LIMIT;
+        let lit_limit = input.len() - LAST_LITERALS;
+        let mut i = 0usize;
+        while i < match_end {
+            let seq = read_u32(input, i);
+            let h = hash(seq);
+            let cand = table[h] as usize;
+            table[h] = i as u32;
+            // A stale or never-written slot fails the equality check; a
+            // too-distant candidate cannot be expressed in the u16 offset.
+            if cand < i && i - cand <= u16::MAX as usize && read_u32(input, cand) == seq {
+                let mlen = extend_match(input, i, cand, MIN_MATCH, lit_limit);
+                out = emit_sequence(input, output, out, anchor, i, (i - cand) as u16, mlen);
+                i += mlen;
+                anchor = i;
+                if i < match_end {
+                    // Re-prime the table near the match end so adjacent
+                    // repeats chain (i ≥ mlen ≥ 4, so i-2 reads in bounds).
+                    table[hash(read_u32(input, i - 2))] = (i - 2) as u32;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // Final sequence: the remaining bytes as literals, no match part.
+    let lit = input.len() - anchor;
+    let token = (lit.min(15) as u8) << 4;
+    output[out] = token;
+    out += 1;
+    if lit >= 15 {
+        out = put_length(output, out, lit - 15);
+    }
+    output[out..out + lit].copy_from_slice(&input[anchor..]);
+    Ok(out + lit)
+}
+
+/// Emit one `[token][lit ext][literals][offset][match ext]` sequence.
+#[inline]
+fn emit_sequence(
+    input: &[u8],
+    output: &mut [u8],
+    mut out: usize,
+    anchor: usize,
+    i: usize,
+    offset: u16,
+    mlen: usize,
+) -> usize {
+    let lit = i - anchor;
+    let m = mlen - MIN_MATCH;
+    output[out] = ((lit.min(15) as u8) << 4) | (m.min(15) as u8);
+    out += 1;
+    if lit >= 15 {
+        out = put_length(output, out, lit - 15);
+    }
+    output[out..out + lit].copy_from_slice(&input[anchor..i]);
+    out += lit;
+    output[out..out + 2].copy_from_slice(&offset.to_le_bytes());
+    out += 2;
+    if m >= 15 {
+        out = put_length(output, out, m - 15);
+    }
+    out
+}
+
+/// Decompress an LZ4 block into `output`, returning the decoded length
+/// (callers compare it against the expected raw length). Every length and
+/// offset is validated; malformed input yields an error, never a panic.
+pub fn decompress_into(input: &[u8], output: &mut [u8]) -> Result<usize, DecompressError> {
+    let mut i = 0usize;
+    let mut o = 0usize;
+    if input.is_empty() {
+        return Err(DecompressError::Truncated);
+    }
+    loop {
+        let token = input[i];
+        i += 1;
+        let mut lit = (token >> 4) as usize;
+        if lit == 15 {
+            loop {
+                let b = *input.get(i).ok_or(DecompressError::Truncated)?;
+                i += 1;
+                lit = lit
+                    .checked_add(b as usize)
+                    .ok_or(DecompressError::Truncated)?;
+                if b != 255 {
+                    break;
+                }
+            }
+        }
+        let lit_end = i.checked_add(lit).ok_or(DecompressError::Truncated)?;
+        if lit_end > input.len() {
+            return Err(DecompressError::Truncated);
+        }
+        if o + lit > output.len() {
+            return Err(DecompressError::OutputTooSmall);
+        }
+        output[o..o + lit].copy_from_slice(&input[i..lit_end]);
+        o += lit;
+        i = lit_end;
+        if i == input.len() {
+            // Final sequence: literals only.
+            return Ok(o);
+        }
+
+        if i + 2 > input.len() {
+            return Err(DecompressError::Truncated);
+        }
+        let offset = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
+        i += 2;
+        if offset == 0 || offset > o {
+            return Err(DecompressError::InvalidOffset);
+        }
+        let mut mlen = (token & 0x0F) as usize;
+        if mlen == 15 {
+            loop {
+                let b = *input.get(i).ok_or(DecompressError::Truncated)?;
+                i += 1;
+                mlen = mlen
+                    .checked_add(b as usize)
+                    .ok_or(DecompressError::Truncated)?;
+                if b != 255 {
+                    break;
+                }
+            }
+        }
+        mlen += MIN_MATCH;
+        if o + mlen > output.len() {
+            return Err(DecompressError::OutputTooSmall);
+        }
+        let src = o - offset;
+        if offset >= mlen {
+            output.copy_within(src..src + mlen, o);
+        } else {
+            // Overlapping match (run-length style): byte-serial copy.
+            for k in 0..mlen {
+                output[o + k] = output[src + k];
+            }
+        }
+        o += mlen;
+        if i == input.len() {
+            // The format requires a literal-only closing sequence; a stream
+            // ending on a match is malformed (and would otherwise silently
+            // under-fill fixed-length wire payloads).
+            return Err(DecompressError::UnexpectedEnd);
+        }
+    }
+}
+
+/// Compress with the decompressed length prepended as a u32 LE (the
+/// upstream convenience form; allocates).
+pub fn compress_prepend_size(input: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; 4 + get_maximum_output_size(input.len())];
+    out[..4].copy_from_slice(&(input.len() as u32).to_le_bytes());
+    let n = compress_into(input, &mut out[4..]).expect("sized to the worst case");
+    out.truncate(4 + n);
+    out
+}
+
+/// Inverse of [`compress_prepend_size`].
+pub fn decompress_size_prepended(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    if input.len() < 4 {
+        return Err(DecompressError::Truncated);
+    }
+    let raw_len = u32::from_le_bytes(input[..4].try_into().expect("length checked")) as usize;
+    let mut out = vec![0u8; raw_len];
+    let n = if raw_len == 0 {
+        // An empty payload encodes as the single-token empty block.
+        decompress_into(&input[4..], &mut out).unwrap_or(0)
+    } else {
+        decompress_into(&input[4..], &mut out)?
+    };
+    if n != raw_len {
+        return Err(DecompressError::UnexpectedEnd);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> usize {
+        let mut comp = vec![0u8; get_maximum_output_size(data.len())];
+        let n = compress_into(data, &mut comp).unwrap();
+        let mut back = vec![0u8; data.len()];
+        let m = decompress_into(&comp[..n], &mut back).unwrap();
+        assert_eq!(m, data.len());
+        assert_eq!(back, data);
+        n
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_round_trip() {
+        assert_eq!(round_trip(&[]), 1); // single zero token
+        round_trip(&[42]);
+        round_trip(b"hello, world"); // exactly 12 bytes: all literals
+        round_trip(b"hello, world!"); // 13 bytes: match finding engages
+    }
+
+    #[test]
+    fn repetitive_data_compresses_hard() {
+        let data = vec![7u8; 100_000];
+        let n = round_trip(&data);
+        assert!(n < data.len() / 50, "RLE-like input: {n} bytes");
+    }
+
+    #[test]
+    fn structured_data_compresses() {
+        // Sparse f32 matrix: 90% zeros, the classic compressible payload.
+        let mut data = vec![0u8; 1 << 16];
+        for i in (0..data.len()).step_by(40) {
+            data[i] = (i % 251) as u8;
+        }
+        let n = round_trip(&data);
+        assert!(n < data.len() / 2, "sparse input halves at least: {n}");
+    }
+
+    #[test]
+    fn incompressible_data_expands_within_bound() {
+        // Xorshift noise: no 4-byte repeats to speak of.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let data: Vec<u8> = (0..65_536)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 56) as u8
+            })
+            .collect();
+        let n = round_trip(&data);
+        assert!(n >= data.len(), "noise cannot shrink");
+        assert!(n <= get_maximum_output_size(data.len()));
+    }
+
+    #[test]
+    fn overlapping_matches_decode_correctly() {
+        let mut data = Vec::new();
+        for i in 0u8..=255 {
+            data.extend_from_slice(&[i, i, i]); // offset-1/2/3 overlaps
+        }
+        data.extend_from_slice(&vec![9u8; 5000]);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn long_literal_and_match_extensions_round_trip() {
+        // > 255-byte literal run followed by a > 255-byte match.
+        let mut data: Vec<u8> = (0..600u32).flat_map(|i| i.to_le_bytes()).collect();
+        data.extend_from_slice(&vec![0xAB; 1000]);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn prepend_size_helpers_mirror_upstream() {
+        let data = b"the quick brown fox jumps over the lazy dog".repeat(20);
+        let comp = compress_prepend_size(&data);
+        assert_eq!(decompress_size_prepended(&comp).unwrap(), data);
+    }
+
+    #[test]
+    fn malformed_inputs_error_not_panic() {
+        let mut out = vec![0u8; 64];
+        // Empty stream.
+        assert_eq!(
+            decompress_into(&[], &mut out),
+            Err(DecompressError::Truncated)
+        );
+        // Literal run longer than the input.
+        assert_eq!(
+            decompress_into(&[0xF0, 200], &mut out),
+            Err(DecompressError::Truncated)
+        );
+        // Offset into nowhere (no literals decoded yet).
+        assert_eq!(
+            decompress_into(&[0x04, 0x01, 0x00], &mut out),
+            Err(DecompressError::InvalidOffset)
+        );
+        // Literal run overflowing the output buffer.
+        let mut tiny = [0u8; 2];
+        assert_eq!(
+            decompress_into(&[0x40, 1, 2, 3, 4], &mut tiny),
+            Err(DecompressError::OutputTooSmall)
+        );
+        // Stream ending on a match sequence (no closing literals).
+        let mut out4 = [0u8; 64];
+        assert_eq!(
+            decompress_into(&[0x14, 0xAA, 0x01, 0x00], &mut out4),
+            Err(DecompressError::UnexpectedEnd)
+        );
+    }
+
+    #[test]
+    fn truncated_compressed_stream_is_rejected() {
+        let data = vec![3u8; 10_000];
+        let mut comp = vec![0u8; get_maximum_output_size(data.len())];
+        let n = compress_into(&data, &mut comp).unwrap();
+        let mut back = vec![0u8; data.len()];
+        for cut in [1, n / 2, n - 1] {
+            assert!(
+                decompress_into(&comp[..cut], &mut back).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn output_bound_is_enforced() {
+        let data = [1u8; 100];
+        let mut small = vec![0u8; 50];
+        assert_eq!(
+            compress_into(&data, &mut small),
+            Err(CompressError::OutputTooSmall)
+        );
+    }
+}

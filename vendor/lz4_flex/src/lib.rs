@@ -1,0 +1,23 @@
+//! Offline stand-in for the `lz4_flex` crate: the LZ4 *block* format
+//! (compression and safe decompression), dependency-free and `unsafe`-free.
+//!
+//! Implements exactly the surface this workspace uses — the block-format
+//! `compress_into` / `decompress_into` pair plus the size helpers — against
+//! the upstream API, so restoring the real crate is a `Cargo.toml` change
+//! (see `vendor/README.md`).
+//!
+//! The encoder is a greedy single-pass matcher over a 4 KiB-entry hash
+//! table kept on the stack (16 KiB), so a compression call performs **zero
+//! heap allocations** — a requirement of the workspace's pooled data plane.
+//! Match extension compares eight bytes at a time, which is what makes
+//! compressible payloads fast; incompressible payloads degrade to a single
+//! hash-probe-and-skip per position. The decoder validates every length and
+//! offset against its buffers and returns an error on malformed input —
+//! never a panic, never an out-of-bounds access (wire bytes are untrusted).
+
+pub mod block;
+
+pub use block::{
+    compress_into, compress_prepend_size, decompress_into, decompress_size_prepended,
+    get_maximum_output_size, CompressError, DecompressError,
+};

@@ -376,6 +376,14 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let v: Vec<T> = Vec::from_content(c)?;
+        v.try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
 macro_rules! impl_de_tuple {
     ($(($($name:ident : $idx:tt),+ ; $len:expr))*) => {$(
         impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
